@@ -1,0 +1,20 @@
+//! # zdr-appserver — an HHVM-like application server
+//!
+//! The paper's App Server tier (§2.1): short-lived API requests dominate,
+//! but long POST uploads are the disruption hot spot — their drain period
+//! is only 10–15 s, far shorter than a large upload (§4.3). The machines
+//! cannot host two parallel instances (cache priming is memory-heavy,
+//! §4.4), so Socket Takeover is unavailable; instead the server implements
+//! the **Partial Post Replay** server side:
+//!
+//! on restart, every request with an incomplete body is answered with
+//! **HTTP 379 `Partial POST Replay`** carrying the partial body and echoed
+//! request metadata, which the downstream Origin proxy replays to a healthy
+//! peer (`zdr-proxy`). Fully received requests are allowed to finish during
+//! the brief drain.
+//!
+//! * [`server`] — the tokio HTTP/1.1 server with drain/restart lifecycle.
+
+pub mod server;
+
+pub use server::{spawn, AppServerConfig, AppServerHandle, AppStats, RestartBehavior};

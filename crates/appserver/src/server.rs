@@ -1,0 +1,545 @@
+//! The app server: HTTP/1.1 over tokio, with the Partial Post Replay
+//! restart path.
+//!
+//! Request handling:
+//!
+//! * `GET /health` — 200 when serving, 503 when draining (the health-check
+//!   signal Katran and the Origin proxy watch).
+//! * `GET <path>` — 200 with a small canned body (the short-API workload).
+//! * `POST <path>` — reads the whole body, 200 echoing `received=<n>`.
+//!
+//! On [`AppServerHandle::initiate_restart`]:
+//!
+//! * new connections are refused (listener closed);
+//! * in-flight requests whose body is **complete** finish normally within
+//!   the drain;
+//! * in-flight requests with **incomplete bodies** are answered according
+//!   to [`RestartBehavior`]: `PartialPostReplay` sends the 379 + partial
+//!   body (§4.3); `Error500` is the traditional baseline the paper
+//!   contrasts (§4.3 option i).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+
+use zdr_proto::http1::{
+    serialize_response, Method, Request, RequestParser, Response, StatusCode, Version,
+};
+use zdr_proto::ppr::{build_379, PartialRequest};
+
+/// What a restarting server does with incomplete requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartBehavior {
+    /// §4.3: 379 + partial body, replayable by the downstream proxy.
+    PartialPostReplay,
+    /// Traditional: 500 Internal Server Error straight to the user.
+    Error500,
+}
+
+/// App server tuning.
+#[derive(Debug, Clone)]
+pub struct AppServerConfig {
+    /// Drain period after a restart is initiated (10–15 s in production;
+    /// tests use shorter).
+    pub drain_ms: u64,
+    /// Incomplete-request handling.
+    pub restart_behavior: RestartBehavior,
+    /// Identity string returned in responses (lets tests see which replica
+    /// served a replayed request).
+    pub server_name: String,
+    /// Artificial delay before each socket read, ms. Models a loaded HHVM
+    /// worker and makes restart-mid-body scenarios deterministic in tests.
+    pub read_delay_ms: u64,
+}
+
+impl Default for AppServerConfig {
+    fn default() -> Self {
+        AppServerConfig {
+            drain_ms: 12_000,
+            restart_behavior: RestartBehavior::PartialPostReplay,
+            server_name: "app-0".into(),
+            read_delay_ms: 0,
+        }
+    }
+}
+
+/// Live counters.
+#[derive(Debug, Default)]
+pub struct AppStats {
+    /// Requests answered 200.
+    pub served_ok: AtomicU64,
+    /// 379 responses sent (PPR handoffs).
+    pub ppr_379_sent: AtomicU64,
+    /// 500s sent on restart (baseline mode).
+    pub restart_500_sent: AtomicU64,
+    /// POST bodies fully received.
+    pub posts_completed: AtomicU64,
+}
+
+impl AppStats {
+    /// Snapshot `(ok, 379, 500, posts)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.served_ok.load(Ordering::Relaxed),
+            self.ppr_379_sent.load(Ordering::Relaxed),
+            self.restart_500_sent.load(Ordering::Relaxed),
+            self.posts_completed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Handle to a running app server.
+#[derive(Debug)]
+pub struct AppServerHandle {
+    /// Bound address.
+    pub addr: SocketAddr,
+    /// Live counters.
+    pub stats: Arc<AppStats>,
+    restart_tx: watch::Sender<bool>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl AppServerHandle {
+    /// Initiates a restart: stop accepting, 379/500 all incomplete
+    /// requests, drain the rest.
+    pub fn initiate_restart(&self) {
+        self.accept_task.abort();
+        let _ = self.restart_tx.send(true);
+    }
+
+    /// True once a restart has been initiated.
+    pub fn is_restarting(&self) -> bool {
+        *self.restart_tx.borrow()
+    }
+}
+
+impl Drop for AppServerHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Binds and spawns an app server.
+pub async fn spawn(addr: SocketAddr, config: AppServerConfig) -> std::io::Result<AppServerHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(AppStats::default());
+    let (restart_tx, restart_rx) = watch::channel(false);
+    let config = Arc::new(config);
+
+    let accept_stats = Arc::clone(&stats);
+    let accept_config = Arc::clone(&config);
+    let accept_restart = restart_rx.clone();
+    let accept_task = tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            let stats = Arc::clone(&accept_stats);
+            let config = Arc::clone(&accept_config);
+            let restart = accept_restart.clone();
+            tokio::spawn(async move {
+                let _ = handle_connection(stream, config, stats, restart).await;
+            });
+        }
+    });
+
+    Ok(AppServerHandle {
+        addr,
+        stats,
+        restart_tx,
+        accept_task,
+    })
+}
+
+async fn handle_connection(
+    mut stream: TcpStream,
+    config: Arc<AppServerConfig>,
+    stats: Arc<AppStats>,
+    mut restart: watch::Receiver<bool>,
+) -> std::io::Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+    'requests: loop {
+        let mut parser = RequestParser::new();
+        let mut sent_continue = false;
+        // Read one full request, racing against the restart signal.
+        let request = loop {
+            if *restart.borrow() {
+                // Restart fired while this request is incomplete.
+                return finish_incomplete(&mut stream, &parser, &config, &stats).await;
+            }
+            tokio::select! {
+                changed = restart.changed() => {
+                    if changed.is_ok() && *restart.borrow() {
+                        return finish_incomplete(&mut stream, &parser, &config, &stats).await;
+                    }
+                }
+                read = throttled_read(&mut stream, &mut buf, config.read_delay_ms) => {
+                    let n = match read {
+                        Ok(0) | Err(_) => return Ok(()),
+                        Ok(n) => n,
+                    };
+                    match parser.push(&buf[..n]) {
+                        Ok(Some(req)) => break req,
+                        Ok(None) => {
+                            // RFC 9110 §10.1.1: a client holding a large
+                            // body behind `Expect: 100-continue` waits for
+                            // the interim response before uploading.
+                            if !sent_continue {
+                                if let Some((_, _, headers)) = parser.head() {
+                                    if headers
+                                        .get("expect")
+                                        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+                                    {
+                                        stream
+                                            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                                            .await?;
+                                        sent_continue = true;
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            let resp = Response::new(StatusCode::from_code(400), &b"bad request"[..]);
+                            stream.write_all(&serialize_response(&resp)).await?;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        };
+
+        let close = request
+            .headers
+            .wants_close(request.version == Version::Http10);
+        let response = respond(&request, &config, &stats);
+        stream.write_all(&serialize_response(&response)).await?;
+        if close {
+            return Ok(());
+        }
+        // Draining: after completing the in-flight request, close.
+        if *restart.borrow() {
+            return Ok(());
+        }
+        continue 'requests;
+    }
+}
+
+async fn throttled_read(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    delay_ms: u64,
+) -> std::io::Result<usize> {
+    if delay_ms > 0 {
+        tokio::time::sleep(std::time::Duration::from_millis(delay_ms)).await;
+    }
+    stream.read(buf).await
+}
+
+fn respond(request: &Request, config: &AppServerConfig, stats: &AppStats) -> Response {
+    match (request.method, request.target.as_str()) {
+        (Method::Get, "/health") => {
+            stats.served_ok.fetch_add(1, Ordering::Relaxed);
+            Response::ok(&b"healthy"[..])
+        }
+        (Method::Get, _) => {
+            stats.served_ok.fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::ok(format!("hello from {}", config.server_name));
+            resp.headers.set("x-served-by", &config.server_name);
+            resp
+        }
+        (Method::Post, _) | (Method::Put, _) => {
+            stats.served_ok.fetch_add(1, Ordering::Relaxed);
+            stats.posts_completed.fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::ok(format!("received={}", request.body.len()));
+            resp.headers.set("x-served-by", &config.server_name);
+            resp
+        }
+        _ => Response::new(StatusCode::from_code(404), &b"not found"[..]),
+    }
+}
+
+async fn finish_incomplete(
+    stream: &mut TcpStream,
+    parser: &RequestParser,
+    config: &AppServerConfig,
+    stats: &AppStats,
+) -> std::io::Result<()> {
+    let Some((method, target, headers)) = parser.head() else {
+        // Head not even parsed: nothing to hand over; just close. The
+        // client sees a connection reset — counted by the proxy.
+        return Ok(());
+    };
+    let (body, chunk_state) = parser.partial_body().expect("head implies body state");
+
+    match config.restart_behavior {
+        RestartBehavior::PartialPostReplay if method.has_request_body() => {
+            let partial = PartialRequest {
+                method,
+                target: target.to_string(),
+                version: Version::Http11,
+                headers: headers.clone(),
+                body_received: bytes::Bytes::copy_from_slice(body),
+                chunked_state: chunk_state,
+            };
+            let resp = build_379(&partial);
+            stats.ppr_379_sent.fetch_add(1, Ordering::Relaxed);
+            stream.write_all(&serialize_response(&resp)).await?;
+        }
+        _ => {
+            stats.restart_500_sent.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::internal_error();
+            stream.write_all(&serialize_response(&resp)).await?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdr_proto::http1::{serialize_request, ResponseParser};
+    use zdr_proto::ppr::{decode_379, is_partial_post};
+
+    async fn server(behavior: RestartBehavior) -> AppServerHandle {
+        spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            AppServerConfig {
+                drain_ms: 100,
+                restart_behavior: behavior,
+                server_name: "test-app".into(),
+                read_delay_ms: 0,
+            },
+        )
+        .await
+        .unwrap()
+    }
+
+    async fn roundtrip(addr: SocketAddr, req: &Request) -> Response {
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        stream.write_all(&serialize_request(req)).await.unwrap();
+        read_response(&mut stream).await
+    }
+
+    async fn read_response(stream: &mut TcpStream) -> Response {
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = tokio::time::timeout(std::time::Duration::from_secs(5), stream.read(&mut buf))
+                .await
+                .expect("response timeout")
+                .unwrap();
+            if n == 0 {
+                panic!("connection closed before response");
+            }
+            if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                return resp;
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn serves_get() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let resp = roundtrip(s.addr, &Request::get("/feed")).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(resp.headers.get("x-served-by"), Some("test-app"));
+        assert!(std::str::from_utf8(&resp.body)
+            .unwrap()
+            .contains("test-app"));
+    }
+
+    #[tokio::test]
+    async fn serves_health() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let resp = roundtrip(s.addr, &Request::get("/health")).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(&resp.body[..], b"healthy");
+    }
+
+    #[tokio::test]
+    async fn serves_post_echoing_length() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let body = vec![0xabu8; 10_000];
+        let resp = roundtrip(s.addr, &Request::post("/upload", body)).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(&resp.body[..], b"received=10000");
+        assert_eq!(s.stats.snapshot().3, 1);
+    }
+
+    #[tokio::test]
+    async fn unknown_method_paths_404() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut req = Request::get("/x");
+        req.method = Method::Delete;
+        let resp = roundtrip(s.addr, &req).await;
+        assert_eq!(resp.status.code, 404);
+    }
+
+    #[tokio::test]
+    async fn keep_alive_serves_multiple_requests() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        for i in 0..3 {
+            stream
+                .write_all(&serialize_request(&Request::get(format!("/r{i}"))))
+                .await
+                .unwrap();
+            let resp = read_response(&mut stream).await;
+            assert_eq!(resp.status.code, 200, "request {i}");
+        }
+    }
+
+    #[tokio::test]
+    async fn restart_mid_post_returns_379_with_partial_body() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+
+        // Send head + half of a 20-byte body, then trigger restart.
+        let head = b"POST /upload/video HTTP/1.1\r\ncontent-length: 20\r\nx-user: u1\r\n\r\n";
+        stream.write_all(head).await.unwrap();
+        stream.write_all(b"0123456789").await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+
+        s.initiate_restart();
+        let resp = read_response(&mut stream).await;
+        assert!(is_partial_post(&resp), "got {:?}", resp.status);
+
+        let partial = decode_379(&resp).unwrap();
+        assert_eq!(partial.method, Method::Post);
+        assert_eq!(partial.target, "/upload/video");
+        assert_eq!(&partial.body_received[..], b"0123456789");
+        assert_eq!(partial.headers.get("x-user"), Some("u1"));
+        assert_eq!(s.stats.snapshot().1, 1);
+    }
+
+    #[tokio::test]
+    async fn restart_mid_post_baseline_returns_500() {
+        let s = server(RestartBehavior::Error500).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        stream
+            .write_all(b"POST /u HTTP/1.1\r\ncontent-length: 20\r\n\r\nhalf")
+            .await
+            .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        s.initiate_restart();
+        let resp = read_response(&mut stream).await;
+        assert_eq!(resp.status.code, 500);
+        assert_eq!(s.stats.snapshot().2, 1);
+    }
+
+    #[tokio::test]
+    async fn restart_mid_chunked_post_echoes_chunk_state() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        stream
+            .write_all(b"POST /u HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\na\r\n0123")
+            .await
+            .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        s.initiate_restart();
+        let resp = read_response(&mut stream).await;
+        let partial = decode_379(&resp).unwrap();
+        assert_eq!(&partial.body_received[..], b"0123");
+        assert_eq!(
+            partial.chunked_state,
+            Some(zdr_proto::http1::ChunkedState::InChunk {
+                size: 10,
+                remaining: 6
+            })
+        );
+    }
+
+    #[tokio::test]
+    async fn complete_request_finishes_during_drain() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        // Full request delivered, then restart fires while we're between
+        // reads — the request must still be answered 200.
+        stream
+            .write_all(&serialize_request(&Request::post("/u", &b"complete"[..])))
+            .await
+            .unwrap();
+        let resp = read_response(&mut stream).await;
+        s.initiate_restart();
+        assert_eq!(resp.status.code, 200);
+    }
+
+    #[tokio::test]
+    async fn new_connections_refused_after_restart() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        s.initiate_restart();
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        let result = TcpStream::connect(s.addr).await;
+        // Listener is closed: either refused outright or connects then EOFs.
+        if let Ok(mut stream) = result {
+            stream
+                .write_all(&serialize_request(&Request::get("/x")))
+                .await
+                .ok();
+            let mut buf = [0u8; 64];
+            let n = tokio::time::timeout(std::time::Duration::from_secs(2), stream.read(&mut buf))
+                .await
+                .unwrap_or(Ok(0))
+                .unwrap_or(0);
+            assert_eq!(n, 0, "refused listener must not serve");
+        }
+        assert!(s.is_restarting());
+    }
+
+    #[tokio::test]
+    async fn restart_with_no_head_parsed_just_closes() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        stream.write_all(b"POST /u HT").await.unwrap(); // mid-head
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        s.initiate_restart();
+        let mut buf = [0u8; 64];
+        let n = tokio::time::timeout(std::time::Duration::from_secs(5), stream.read(&mut buf))
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 0, "no response possible without a request head");
+    }
+
+    #[tokio::test]
+    async fn expect_100_continue_gets_interim_then_final() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        stream
+            .write_all(b"POST /u HTTP/1.1\r\ncontent-length: 5\r\nexpect: 100-continue\r\n\r\n")
+            .await
+            .unwrap();
+
+        // Interim 100 arrives before we send any body byte.
+        let mut buf = [0u8; 256];
+        let n = tokio::time::timeout(std::time::Duration::from_secs(5), stream.read(&mut buf))
+            .await
+            .unwrap()
+            .unwrap();
+        let interim = String::from_utf8_lossy(&buf[..n]);
+        assert!(
+            interim.starts_with("HTTP/1.1 100 Continue"),
+            "expected interim response, got {interim:?}"
+        );
+
+        // Now the body; the final response follows.
+        stream.write_all(b"hello").await.unwrap();
+        let resp = read_response(&mut stream).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(&resp.body[..], b"received=5");
+    }
+
+    #[tokio::test]
+    async fn no_expect_header_means_no_interim() {
+        let s = server(RestartBehavior::PartialPostReplay).await;
+        let mut stream = TcpStream::connect(s.addr).await.unwrap();
+        stream
+            .write_all(b"POST /u HTTP/1.1\r\ncontent-length: 2\r\n\r\nok")
+            .await
+            .unwrap();
+        let resp = read_response(&mut stream).await;
+        assert_eq!(resp.status.code, 200, "straight to the final response");
+    }
+}

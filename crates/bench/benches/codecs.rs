@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the protocol codecs: the per-request
+//! costs a Proxygen-like proxy pays on every hop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::Bytes;
+use zdr_proto::http1::{serialize_request, Request, RequestParser};
+use zdr_proto::{h2, mqtt, quic};
+
+fn http1_parse(c: &mut Criterion) {
+    let wire = serialize_request(&{
+        let mut r = Request::post("/upload/video", vec![0u8; 4096]);
+        r.headers.append("host", "origin.example");
+        r.headers.append("user-agent", "bench/1.0");
+        r.headers.append("accept", "*/*");
+        r
+    });
+    let mut g = c.benchmark_group("http1");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("parse_post_4k", |b| {
+        b.iter(|| {
+            let mut p = RequestParser::new();
+            black_box(p.push(black_box(&wire)).unwrap().unwrap())
+        })
+    });
+    g.bench_function("serialize_post_4k", |b| {
+        let req = Request::post("/upload/video", vec![0u8; 4096]);
+        b.iter(|| black_box(serialize_request(black_box(&req))))
+    });
+    g.finish();
+}
+
+fn mqtt_codec(c: &mut Criterion) {
+    let publish = mqtt::Packet::Publish {
+        topic: "notif/user-123456".into(),
+        packet_id: None,
+        payload: Bytes::from(vec![0u8; 256]),
+        qos: mqtt::QoS::AtMostOnce,
+        retain: false,
+        dup: false,
+    };
+    let wire = mqtt::encode(&publish).unwrap();
+    let mut g = c.benchmark_group("mqtt");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_publish_256", |b| {
+        b.iter(|| black_box(mqtt::encode(black_box(&publish)).unwrap()))
+    });
+    g.bench_function("decode_publish_256", |b| {
+        b.iter(|| black_box(mqtt::decode(black_box(&wire)).unwrap()))
+    });
+    g.finish();
+}
+
+fn h2_frames(c: &mut Criterion) {
+    let frame = h2::Frame::Data {
+        stream_id: 7,
+        data: Bytes::from(vec![0u8; 8192]),
+        end_stream: false,
+    };
+    let wire = h2::encode(&frame).unwrap();
+    let mut g = c.benchmark_group("h2");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_data_8k", |b| {
+        b.iter(|| black_box(h2::encode(black_box(&frame)).unwrap()))
+    });
+    g.bench_function("decode_data_8k", |b| {
+        b.iter(|| black_box(h2::decode(black_box(&wire)).unwrap()))
+    });
+    g.finish();
+}
+
+fn quic_peek(c: &mut Criterion) {
+    let d = quic::Datagram::one_rtt(quic::ConnectionId::new(3, 42), 100, vec![0u8; 1200]);
+    let wire = quic::encode(&d).unwrap();
+    let mut g = c.benchmark_group("quic");
+    // peek_cid is the user-space router's per-packet hot path.
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("peek_cid", |b| {
+        b.iter(|| black_box(quic::peek_cid(black_box(&wire)).unwrap()))
+    });
+    g.bench_function("full_decode_1200", |b| {
+        b.iter(|| black_box(quic::decode(black_box(&wire)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, http1_parse, mqtt_codec, h2_frames, quic_peek);
+criterion_main!(benches);

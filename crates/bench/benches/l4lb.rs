@@ -1,0 +1,109 @@
+//! Criterion benches for the L4 forwarding plane: Maglev builds (the cost
+//! of a health transition) and per-packet routing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use zdr_l4lb::conntrack::LruTable;
+use zdr_l4lb::forwarder::{ForwarderConfig, L4Forwarder};
+use zdr_l4lb::hash::FlowKey;
+use zdr_l4lb::maglev::MaglevTable;
+use zdr_l4lb::BackendId;
+
+fn flows(n: u16) -> Vec<FlowKey> {
+    (0..n)
+        .map(|i| {
+            FlowKey::tcp(
+                format!("10.{}.{}.{}:{}", i % 4, (i / 4) % 250, i % 250, 1024 + i)
+                    .parse()
+                    .unwrap(),
+                "198.51.100.1:443".parse().unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn maglev(c: &mut Criterion) {
+    let backends: Vec<BackendId> = (0..100).map(BackendId).collect();
+    let mut g = c.benchmark_group("maglev");
+    g.bench_function("build_100_backends_65537", |b| {
+        b.iter(|| black_box(MaglevTable::new(black_box(&backends)).unwrap()))
+    });
+    let table = MaglevTable::new(&backends).unwrap();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(0x9e37_79b9);
+            black_box(table.lookup(black_box(h)))
+        })
+    });
+    g.finish();
+}
+
+fn conntrack(c: &mut Criterion) {
+    let keys = flows(4096);
+    let mut g = c.benchmark_group("conntrack");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert_evict", |b| {
+        let mut lru: LruTable<FlowKey, BackendId> = LruTable::new(1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            lru.insert(keys[i % keys.len()], BackendId((i % 7) as u32));
+            i += 1;
+        })
+    });
+    g.bench_function("hit_path", |b| {
+        let mut lru: LruTable<FlowKey, BackendId> = LruTable::new(8192);
+        for (i, k) in keys.iter().enumerate() {
+            lru.insert(*k, BackendId(i as u32 % 5));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = lru.get(&keys[i % keys.len()]).copied();
+            i += 1;
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
+fn forwarder(c: &mut Criterion) {
+    let keys = flows(4096);
+    let mut g = c.benchmark_group("forwarder");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("route_with_conn_table", |b| {
+        let mut f = L4Forwarder::new(
+            (0..50).map(BackendId).collect(),
+            ForwarderConfig {
+                table_size: 65_537,
+                ..ForwarderConfig::default()
+            },
+        );
+        let mut i = 0usize;
+        b.iter(|| {
+            let b_ = f.route(keys[i % keys.len()]);
+            i += 1;
+            black_box(b_)
+        })
+    });
+    g.bench_function("route_maglev_only", |b| {
+        let mut f = L4Forwarder::new(
+            (0..50).map(BackendId).collect(),
+            ForwarderConfig {
+                table_size: 65_537,
+                conn_table_capacity: 0,
+                ..ForwarderConfig::default()
+            },
+        );
+        let mut i = 0usize;
+        b.iter(|| {
+            let b_ = f.route(keys[i % keys.len()]);
+            i += 1;
+            black_box(b_)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, maglev, conntrack, forwarder);
+criterion_main!(benches);

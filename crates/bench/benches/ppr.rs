@@ -1,0 +1,83 @@
+//! Criterion benches for Partial Post Replay: the 379 round trip and the
+//! chunk-stream reconstruction — the costs added to a replayed request,
+//! and the ablation against full-buffering (§4.3 option iii).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use zdr_proto::http1::{ChunkedEncoder, ChunkedState, Headers, Method, Version};
+use zdr_proto::ppr::{build_379, decode_379, rebuild_request, PartialRequest};
+
+fn partial(body_len: usize) -> PartialRequest {
+    let mut headers = Headers::new();
+    headers.append("host", "origin.example");
+    headers.append("content-type", "application/octet-stream");
+    headers.append("content-length", (body_len * 2).to_string());
+    PartialRequest {
+        method: Method::Post,
+        target: "/upload/video".into(),
+        version: Version::Http11,
+        headers,
+        body_received: Bytes::from(vec![0xabu8; body_len]),
+        chunked_state: None,
+    }
+}
+
+fn ppr_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppr");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let p = partial(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("build_379", size), &p, |b, p| {
+            b.iter(|| black_box(build_379(black_box(p))))
+        });
+        let resp = build_379(&p);
+        g.bench_with_input(BenchmarkId::new("decode_379", size), &resp, |b, resp| {
+            b.iter(|| black_box(decode_379(black_box(resp)).unwrap()))
+        });
+        let rest = vec![0xcdu8; size];
+        g.bench_with_input(BenchmarkId::new("rebuild_request", size), &p, |b, p| {
+            b.iter(|| black_box(rebuild_request(black_box(p), black_box(&rest))))
+        });
+    }
+    g.finish();
+}
+
+fn chunk_resume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunked");
+    let enc = ChunkedEncoder::new();
+    let rest = vec![0u8; 64 * 1024];
+    g.throughput(Throughput::Bytes(rest.len() as u64));
+    g.bench_function("resume_mid_chunk_64k", |b| {
+        let state = ChunkedState::InChunk {
+            size: 16 * 1024,
+            remaining: 8 * 1024,
+        };
+        b.iter(|| black_box(enc.resume(black_box(state), black_box(&rest)).unwrap()))
+    });
+    g.bench_function("encode_all_64k", |b| {
+        b.iter(|| black_box(enc.encode_all(black_box(&rest))))
+    });
+    g.finish();
+}
+
+/// Ablation: PPR's per-replay copy vs buffering EVERY request at the proxy
+/// (the rejected design). Buffering cost is paid per request; PPR's is
+/// paid only on the rare restart-interrupted request.
+fn buffering_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppr_ablation");
+    let body = vec![0u8; 256 * 1024];
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    // Option (iii): copy every request body into a proxy-side buffer.
+    g.bench_function("buffer_every_post_256k", |b| {
+        b.iter(|| black_box(body.to_vec()))
+    });
+    // PPR: nothing to do on the common path.
+    g.bench_function("ppr_common_path_noop", |b| {
+        b.iter(|| black_box(&body).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ppr_round_trip, chunk_resume, buffering_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the fleet simulator itself: ticks/second at
+//! cluster scale determines how cheap the figure reproductions are.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::tier::Tier;
+use zdr_sim::cluster::{ClusterConfig, ClusterSim};
+
+fn cluster_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tick_100_machines_steady", |b| {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(ClusterConfig::edge(100, strategy, 1));
+        sim.run_ticks(5);
+        b.iter(|| {
+            sim.tick();
+            black_box(sim.now_ms())
+        })
+    });
+    g.bench_function("tick_100_machines_draining", |b| {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(ClusterConfig::edge(100, strategy, 2));
+        sim.run_ticks(5);
+        let indices: Vec<usize> = (0..20).collect();
+        sim.begin_restart(&indices);
+        b.iter(|| {
+            sim.tick();
+            black_box(sim.now_ms())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cluster_tick);
+criterion_main!(benches);

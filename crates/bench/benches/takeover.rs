@@ -1,0 +1,87 @@
+//! Criterion benches for the Socket Takeover substrate: the cost of
+//! passing FDs and of a complete handshake — i.e. how much "restart" the
+//! mechanism adds to a release.
+
+use std::os::fd::AsFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use zdr_net::fdpass::{recv_with_fds, send_with_fds};
+use zdr_net::inventory::{bind_tcp, bind_udp_reuseport_group, ListenerInventory};
+use zdr_net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
+
+fn fd_pass_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fdpass");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_recv_1_fd", |b| {
+        let (a, bside) = UnixStream::pair().unwrap();
+        let file = std::fs::File::open("/proc/self/cmdline").unwrap();
+        let mut buf = [0u8; 16];
+        b.iter(|| {
+            send_with_fds(&a, b"x", &[file.as_fd()]).unwrap();
+            let (_, fds) = recv_with_fds(&bside, &mut buf).unwrap();
+            black_box(fds); // dropped: closes the dup'd fd
+        })
+    });
+    g.bench_function("send_recv_32_fds", |b| {
+        let (a, bside) = UnixStream::pair().unwrap();
+        let file = std::fs::File::open("/proc/self/cmdline").unwrap();
+        let fds: Vec<_> = (0..32).map(|_| file.as_fd()).collect();
+        let mut buf = [0u8; 16];
+        b.iter(|| {
+            send_with_fds(&a, b"x", &fds).unwrap();
+            let (_, received) = recv_with_fds(&bside, &mut buf).unwrap();
+            black_box(received);
+        })
+    });
+    g.finish();
+}
+
+fn takeover_handshake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("takeover");
+    g.sample_size(20);
+    g.bench_function("full_handshake_1_tcp_4_udp", |b| {
+        b.iter(|| {
+            let path = std::env::temp_dir().join(format!(
+                "zdr-bench-takeover-{}-{:x}.sock",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            let tcp = bind_tcp("127.0.0.1:0".parse().unwrap()).unwrap();
+            let tcp_addr = tcp.local_addr().unwrap();
+            let udp = bind_udp_reuseport_group("127.0.0.1:0".parse().unwrap(), 4).unwrap();
+            let udp_addr = udp[0].local_addr().unwrap();
+            let mut inv = ListenerInventory::new();
+            inv.add_tcp(tcp_addr, tcp);
+            inv.add_udp_group(udp_addr, udp);
+
+            let server = TakeoverServer::bind(&path).unwrap();
+            let info = HandoffInfo {
+                generation: 1,
+                udp_router_addr: None,
+                drain_deadline_ms: 1000,
+            };
+            let old = std::thread::spawn(move || {
+                server
+                    .serve_once(&inv, info, Duration::from_secs(10))
+                    .unwrap()
+            });
+            let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+            let mut result = pending.confirm().unwrap();
+            let listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+            let group = result.inventory.claim_udp_group(udp_addr).unwrap();
+            result.inventory.finish().unwrap();
+            old.join().unwrap();
+            black_box((listener, group));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fd_pass_round_trip, takeover_handshake);
+criterion_main!(benches);

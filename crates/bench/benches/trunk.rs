@@ -1,0 +1,112 @@
+//! Criterion benches for the Edge↔Origin trunk: per-stream costs on the
+//! multiplexed connection, and the latency of a GOAWAY drain.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tokio::runtime::Runtime;
+
+use zdr_proxy::trunk::{self, StreamEvent};
+
+fn trunk_round_trip(c: &mut Criterion) {
+    let rt = Runtime::new().unwrap();
+    let mut g = c.benchmark_group("trunk");
+    g.sample_size(30);
+
+    // One persistent trunk; measure open+send+recv+close per iteration.
+    let (client, _server, _echo_task) = rt.block_on(async {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_task = tokio::spawn(async move {
+            let (stream, _) = listener.accept().await.unwrap();
+            trunk::accept(stream)
+        });
+        let (client, _ci) = trunk::connect(addr).await.unwrap();
+        let (server, mut incoming) = server_task.await.unwrap();
+        // Echo every incoming stream.
+        let echo = tokio::spawn(async move {
+            while let Some(mut s) = incoming.recv().await {
+                tokio::spawn(async move {
+                    while let Some(ev) = s.recv().await {
+                        match ev {
+                            StreamEvent::Data(d) => {
+                                if s.send(d).await.is_err() {
+                                    break;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                });
+            }
+        });
+        (client, server, echo)
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("open_echo_close_1k", |b| {
+        let payload = vec![0u8; 1024];
+        b.iter(|| {
+            rt.block_on(async {
+                let mut s = client.open_stream(vec![]).await.unwrap();
+                s.send(payload.clone()).await.unwrap();
+                let ev = s.recv().await.unwrap();
+                s.finish().await.unwrap();
+                black_box(ev)
+            })
+        })
+    });
+
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("stream_echo_64k", |b| {
+        let payload = vec![0u8; 16 * 1024 - 64]; // fits one h2 frame
+        b.iter(|| {
+            rt.block_on(async {
+                let mut s = client.open_stream(vec![]).await.unwrap();
+                let mut echoed = 0usize;
+                for _ in 0..4 {
+                    s.send(payload.clone()).await.unwrap();
+                }
+                while echoed < 4 * payload.len() {
+                    match s.recv().await.unwrap() {
+                        StreamEvent::Data(d) => echoed += d.len(),
+                        _ => break,
+                    }
+                }
+                s.finish().await.unwrap();
+                black_box(echoed)
+            })
+        })
+    });
+
+    g.sample_size(20);
+    g.bench_function("goaway_drain_empty_trunk", |b| {
+        // Each iteration needs a fresh trunk pair (GOAWAY is one-shot per
+        // connection). A dedicated current-thread runtime per iteration
+        // gives every pair — and all its spawned connection tasks — a
+        // clean, bounded shutdown.
+        b.iter(|| {
+            let rt2 = tokio::runtime::Builder::new_current_thread()
+                .enable_all()
+                .build()
+                .unwrap();
+            let drained = rt2.block_on(async {
+                let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+                let addr = listener.local_addr().unwrap();
+                let accept = tokio::spawn(async move {
+                    let (stream, _) = listener.accept().await.unwrap();
+                    trunk::accept(stream)
+                });
+                let (_client, _ci) = trunk::connect(addr).await.unwrap();
+                let (server, _si) = accept.await.unwrap();
+                server.goaway().await.unwrap();
+                server.drained().await
+            });
+            drop(rt2);
+            black_box(drained)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, trunk_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation: drain period vs disruption and completion time.
+
+use zdr_sim::experiments::drain_sweep;
+
+fn main() {
+    zdr_bench::header("Ablation", "drain-period sweep");
+    let cfg = if zdr_bench::fast_mode() {
+        drain_sweep::Config {
+            machines: 10,
+            drain_periods_ms: vec![10_000, 60_000, 300_000],
+            ..drain_sweep::Config::default()
+        }
+    } else {
+        drain_sweep::Config::default()
+    };
+    println!("{}", drain_sweep::run(&cfg));
+    println!("takeaway: persistent connections defeat any drain length; mechanisms don't");
+}

@@ -1,0 +1,13 @@
+//! §4.3 ablation: the four ways to handle restart-interrupted POSTs.
+
+use zdr_sim::experiments::ppr_alternatives;
+
+fn main() {
+    zdr_bench::header("Ablation", "interrupted-POST design alternatives (§4.3)");
+    println!(
+        "{}",
+        ppr_alternatives::run(&ppr_alternatives::Config::default())
+    );
+    println!("paper: 500 disrupts; 307 re-uploads over high-RTT WAN; buffering every");
+    println!("POST is impractical; PPR pays only intra-DC replay bytes during releases");
+}

@@ -1,0 +1,18 @@
+//! §6.2.2: the disruption cost of releasing at peak vs at the trough.
+
+use zdr_sim::experiments::peak_release;
+
+fn main() {
+    zdr_bench::header("§6.2.2", "releasing at peak hours");
+    let cfg = if zdr_bench::fast_mode() {
+        peak_release::Config {
+            machines: 20,
+            window_ticks: 60,
+            ..peak_release::Config::default()
+        }
+    } else {
+        peak_release::Config::default()
+    };
+    println!("{}", peak_release::run(&cfg));
+    println!("paper: ZDR lets operators release 12-17h, when they can react fastest");
+}

@@ -1,0 +1,20 @@
+//! Fig. 10: UDP misrouting under Socket Takeover vs traditional migration.
+
+use zdr_sim::experiments::misroute;
+
+fn main() {
+    zdr_bench::header("Fig. 10", "connection-ID user-space routing");
+    let cfg = if zdr_bench::fast_mode() {
+        misroute::Config {
+            flows: 5_000,
+            ..misroute::Config::default()
+        }
+    } else {
+        misroute::Config {
+            flows: 200_000,
+            ..misroute::Config::default()
+        }
+    };
+    println!("{}", misroute::run(&cfg));
+    println!("paper: ~100x fewer misrouted packets at the tail with conn-id routing");
+}

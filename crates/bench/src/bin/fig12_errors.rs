@@ -1,0 +1,19 @@
+//! Fig. 12: proxy error classes, traditional vs Zero Downtime restarts.
+
+use zdr_sim::experiments::proxy_errors;
+
+fn main() {
+    zdr_bench::header("Fig. 12", "proxy errors sent to end users");
+    let cfg = if zdr_bench::fast_mode() {
+        proxy_errors::Config {
+            machines: 20,
+            window_ticks: 60,
+            drain_ms: 20_000,
+            ..proxy_errors::Config::default()
+        }
+    } else {
+        proxy_errors::Config::default()
+    };
+    println!("{}", proxy_errors::run(&cfg));
+    println!("paper: all classes worse traditionally; write timeouts up to 16x");
+}

@@ -1,0 +1,21 @@
+//! Fig. 13: release timelines for restarted (GR) vs non-restarted (GNR)
+//! machine groups.
+
+use zdr_sim::experiments::timeline;
+
+fn main() {
+    zdr_bench::header("Fig. 13", "release timeline, GR vs GNR groups");
+    let cfg = if zdr_bench::fast_mode() {
+        timeline::Config {
+            machines: 20,
+            warmup_ticks: 15,
+            window_ticks: 80,
+            drain_ms: 30_000,
+            ..timeline::Config::default()
+        }
+    } else {
+        timeline::Config::default()
+    };
+    println!("{}", timeline::run(&cfg));
+    println!("paper: RPS/MQTT flat cluster-wide; small CPU bump on GR from takeover");
+}

@@ -1,0 +1,17 @@
+//! Fig. 15: PDF of release hour-of-day.
+
+use zdr_sim::experiments::peak;
+
+fn main() {
+    zdr_bench::header("Fig. 15", "release hour-of-day distribution");
+    let cfg = if zdr_bench::fast_mode() {
+        peak::Config {
+            weeks: 40,
+            ..peak::Config::default()
+        }
+    } else {
+        peak::Config::default()
+    };
+    println!("{}", peak::run(&cfg));
+    println!("paper: Proxygen releases peak 12-17h; App Server PDF is flat");
+}

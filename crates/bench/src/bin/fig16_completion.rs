@@ -1,0 +1,18 @@
+//! Fig. 16: global release completion times per tier.
+
+use zdr_sim::experiments::completion;
+
+fn main() {
+    zdr_bench::header("Fig. 16", "release completion times");
+    let cfg = if zdr_bench::fast_mode() {
+        completion::Config {
+            clusters: 8,
+            machines_per_cluster: 40,
+            batch_fraction: 0.20,
+        }
+    } else {
+        completion::Config::default()
+    };
+    println!("{}", completion::run(&cfg));
+    println!("paper: Proxygen ≈1.5h median; App Server ≈25min");
+}

@@ -1,0 +1,10 @@
+//! Fig. 17: system-resource overhead of Socket Takeover.
+
+use zdr_sim::experiments::overhead;
+
+fn main() {
+    zdr_bench::header("Fig. 17", "Socket Takeover system overheads");
+    let cfg = overhead::Config::default();
+    println!("{}", overhead::run(&cfg));
+    println!("paper: median <5% CPU/RAM; spike persists ~60-70s of a 20-min drain");
+}

@@ -1,0 +1,18 @@
+//! Figs. 2a–2c: release frequency, root-cause mix, commits per update.
+
+use zdr_sim::experiments::releases;
+
+fn main() {
+    zdr_bench::header("Figs. 2a-2c", "release characterization");
+    let cfg = if zdr_bench::fast_mode() {
+        releases::Config {
+            weeks: 4,
+            clusters: 3,
+            seed: 2020,
+        }
+    } else {
+        releases::Config::default()
+    };
+    println!("{}", releases::run(&cfg));
+    println!("paper: L7LB ≈3+/wk; App ≈100/wk; binary ≈47%; commits 10-100");
+}

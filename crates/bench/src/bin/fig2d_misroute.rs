@@ -1,0 +1,17 @@
+//! Fig. 2d: UDP packets misrouted during an SO_REUSEPORT socket handover.
+
+use zdr_sim::experiments::misroute;
+
+fn main() {
+    zdr_bench::header("Fig. 2d", "SO_REUSEPORT handover misrouting");
+    let cfg = if zdr_bench::fast_mode() {
+        misroute::Config {
+            flows: 2_000,
+            ..misroute::Config::default()
+        }
+    } else {
+        misroute::Config::default()
+    };
+    println!("{}", misroute::run(&cfg));
+    println!("paper: ring flux misroutes most packets; motivates FD passing");
+}

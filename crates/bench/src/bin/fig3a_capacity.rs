@@ -1,0 +1,24 @@
+//! Fig. 3a: cluster capacity during a rolling update.
+
+use zdr_sim::experiments::capacity;
+
+fn main() {
+    zdr_bench::header("Fig. 3a", "cluster capacity during rolling update");
+    for batch in [0.15f64, 0.20] {
+        let cfg = if zdr_bench::fast_mode() {
+            capacity::Config {
+                machines: 20,
+                batch_fraction: batch,
+                drain_ms: 20_000,
+                seed: 31,
+            }
+        } else {
+            capacity::Config {
+                batch_fraction: batch,
+                ..capacity::Config::default()
+            }
+        };
+        println!("{}", capacity::run(&cfg));
+    }
+    println!("paper: cluster persistently below 85% capacity with 15-20% batches");
+}

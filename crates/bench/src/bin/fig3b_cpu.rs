@@ -1,0 +1,10 @@
+//! Fig. 3b: app-tier CPU burned on reconnection storms.
+
+use zdr_sim::experiments::reconnect_storm;
+
+fn main() {
+    zdr_bench::header("Fig. 3b", "reconnect-storm CPU at the app tier");
+    let cfg = reconnect_storm::Config::default();
+    println!("{}", reconnect_storm::run(&cfg));
+    println!("paper: 10% of origins restarting costs ~20% of app-tier CPU");
+}

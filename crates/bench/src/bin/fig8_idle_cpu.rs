@@ -1,0 +1,18 @@
+//! Fig. 8b: idle CPU during draining, ZDR vs HardRestart.
+
+use zdr_sim::experiments::idle_cpu;
+
+fn main() {
+    zdr_bench::header("Fig. 8b", "idle CPU during draining");
+    let cfg = if zdr_bench::fast_mode() {
+        idle_cpu::Config {
+            machines: 40,
+            drain_ms: 20_000,
+            ..idle_cpu::Config::default()
+        }
+    } else {
+        idle_cpu::Config::default()
+    };
+    println!("{}", idle_cpu::run(&cfg));
+    println!("paper: ZDR within ~1%; HardRestart degrades linearly with batch size");
+}

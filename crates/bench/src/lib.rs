@@ -1,0 +1,29 @@
+//! # zdr-bench — figure-reproduction binaries and criterion benches
+//!
+//! One binary per paper figure (`cargo run -p zdr-bench --release --bin
+//! figN_*`) plus criterion micro-benchmarks of the hot paths
+//! (`cargo bench -p zdr-bench`).
+//!
+//! Every binary accepts `--fast` to run a scaled-down configuration
+//! (useful in CI); default parameters match EXPERIMENTS.md.
+
+/// True when `--fast` was passed on the command line.
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// Prints the standard experiment header.
+pub fn header(figure: &str, title: &str) {
+    println!("┌──────────────────────────────────────────────────────────────");
+    println!("│ Zero Downtime Release — {figure}: {title}");
+    println!("└──────────────────────────────────────────────────────────────");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fast_mode_reflects_args() {
+        // Test binaries don't pass --fast.
+        assert!(!super::fast_mode());
+    }
+}

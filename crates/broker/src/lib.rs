@@ -1,0 +1,22 @@
+//! # zdr-broker — MQTT pub/sub broker back-end
+//!
+//! The paper's pub/sub tier (§2.1, §4.2): special-purpose back-ends that
+//! hold per-user **session context** for billions of persistent MQTT
+//! connections. Brokers are located by consistent-hashing the globally
+//! unique user-id, and the Origin Proxygen between Edge and broker is a
+//! stateless relay — the two facts Downstream Connection Reuse exploits.
+//!
+//! DCR's broker side (§4.2 workflow): on `re_connect(user-id)` arriving via
+//! a *different* Origin relay, the broker *"looks for the end-user's
+//! connection context and accepts re_connect (if one exists) and sends back
+//! connect_ack. Otherwise, re_connect is refused."*
+//!
+//! * [`topic`] — MQTT topic-filter matching (`+`/`#` wildcards).
+//! * [`session`] — the sans-I/O session store and DCR accept/refuse logic.
+//! * [`server`] — a tokio TCP server speaking the `zdr-proto` MQTT subset.
+
+pub mod server;
+pub mod session;
+pub mod topic;
+
+pub use session::{BrokerCore, ReconnectOutcome, SessionStats};

@@ -1,0 +1,671 @@
+//! Tokio TCP front-end for the broker.
+//!
+//! A relay (Origin Proxygen) opens one TCP connection per tunnelled user.
+//! The first byte disambiguates the two §4.2 paths:
+//!
+//! * `0x10` (MQTT CONNECT) — a fresh tunnel: the user's CONNECT was
+//!   forwarded verbatim through Edge and Origin.
+//! * `0x02` (DCR `re_connect` type byte) — a re-homed tunnel: another Origin
+//!   is re-attaching an existing session. The broker answers with a DCR
+//!   `connect_ack` / `connect_refuse` frame, then (on accept) the
+//!   connection carries plain MQTT for the re-attached session.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+use zdr_proto::dcr::{self, DcrMessage, UserId};
+use zdr_proto::mqtt::{self, ConnectReturnCode, Packet, QoS, StreamDecoder};
+
+use crate::session::{BrokerCore, ReconnectOutcome};
+
+/// Parses the user id from an MQTT client id of the form `user-<n>`.
+pub fn parse_user_id(client_id: &str) -> Option<UserId> {
+    UserId::from_client_id(client_id)
+}
+
+/// Canonical client id for a user.
+pub fn client_id_for(user: UserId) -> String {
+    user.client_id()
+}
+
+/// A running broker with its listening address and shared core.
+#[derive(Debug)]
+pub struct BrokerHandle {
+    /// Where the broker listens.
+    pub addr: SocketAddr,
+    /// Shared session store (inspectable by tests and experiments).
+    pub core: Arc<BrokerCore>,
+    join: tokio::task::JoinHandle<()>,
+}
+
+impl BrokerHandle {
+    /// Stops the accept loop (existing connections die with it).
+    pub fn shutdown(&self) {
+        self.join.abort();
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        self.join.abort();
+    }
+}
+
+/// Binds and spawns a broker on `addr` (use port 0 for ephemeral).
+pub async fn spawn(addr: SocketAddr) -> std::io::Result<BrokerHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let core = Arc::new(BrokerCore::new());
+    let core_for_loop = Arc::clone(&core);
+    let join = tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            let core = Arc::clone(&core_for_loop);
+            tokio::spawn(async move {
+                let _ = handle_connection(stream, core).await;
+            });
+        }
+    });
+    Ok(BrokerHandle { addr, core, join })
+}
+
+async fn handle_connection(stream: TcpStream, core: Arc<BrokerCore>) -> std::io::Result<()> {
+    let mut first = [0u8; 1];
+    let n = stream.peek(&mut first).await?;
+    if n == 0 {
+        return Ok(());
+    }
+    if first[0] == 0x02 {
+        handle_dcr_reconnect(stream, core).await
+    } else {
+        handle_mqtt(stream, core, None).await
+    }
+}
+
+async fn handle_dcr_reconnect(mut stream: TcpStream, core: Arc<BrokerCore>) -> std::io::Result<()> {
+    let mut buf = [0u8; dcr::MESSAGE_LEN];
+    stream.read_exact(&mut buf).await?;
+    let user = match dcr::decode(&buf) {
+        Ok((DcrMessage::ReConnect { user_id }, _)) => user_id,
+        _ => return Ok(()), // malformed; drop
+    };
+
+    let (tx, rx) = mpsc::unbounded_channel();
+    match core.dcr_reconnect(user, tx) {
+        ReconnectOutcome::Accepted { .. } => {
+            stream
+                .write_all(&dcr::encode(&DcrMessage::ConnectAck { user_id: user }))
+                .await?;
+            // The connection now carries MQTT for the re-attached session.
+            // The original keep-alive travels with the client, not the
+            // relay; re-attached sessions get the default grace.
+            mqtt_session_loop(stream, core, user, rx, None).await
+        }
+        ReconnectOutcome::Refused => {
+            stream
+                .write_all(&dcr::encode(&DcrMessage::ConnectRefuse { user_id: user }))
+                .await?;
+            Ok(())
+        }
+    }
+}
+
+async fn handle_mqtt(
+    stream: TcpStream,
+    core: Arc<BrokerCore>,
+    preattached: Option<(UserId, mpsc::UnboundedReceiver<Packet>)>,
+) -> std::io::Result<()> {
+    if let Some((user, rx)) = preattached {
+        return mqtt_session_loop(stream, core, user, rx, None).await;
+    }
+    // Expect a CONNECT first.
+    let mut stream = stream;
+    let mut decoder = StreamDecoder::new();
+    let mut read_buf = [0u8; 8 * 1024];
+    let (user, rx, keep_alive) = loop {
+        let n = stream.read(&mut read_buf).await?;
+        if n == 0 {
+            return Ok(());
+        }
+        decoder.extend(&read_buf[..n]);
+        match decoder.next_packet() {
+            Ok(Some(Packet::Connect {
+                client_id,
+                clean_session,
+                keep_alive,
+            })) => {
+                let Some(user) = parse_user_id(&client_id) else {
+                    let nack = mqtt::encode(&Packet::ConnAck {
+                        session_present: false,
+                        code: ConnectReturnCode::IdentifierRejected,
+                    })
+                    .expect("static packet encodes");
+                    stream.write_all(&nack).await?;
+                    return Ok(());
+                };
+                let (tx, rx) = mpsc::unbounded_channel();
+                let present = core.connect(user, clean_session, tx);
+                let ack = mqtt::encode(&Packet::ConnAck {
+                    session_present: present,
+                    code: ConnectReturnCode::Accepted,
+                })
+                .expect("static packet encodes");
+                stream.write_all(&ack).await?;
+                break (user, rx, keep_alive);
+            }
+            Ok(Some(_other)) => return Ok(()), // protocol violation: first packet must be CONNECT
+            Ok(None) => continue,
+            Err(_) => return Ok(()),
+        }
+    };
+    mqtt_session_loop(stream, core, user, rx, Some(keep_alive)).await
+}
+
+/// MQTT 3.1.1 §3.1.2.10: the server must close the network connection if
+/// nothing arrives within 1.5x the keep-alive interval. A keep-alive of 0
+/// (or a DCR re-attach, where the interval is unknown) disables the timer.
+fn keepalive_grace(keep_alive: Option<u16>) -> Option<std::time::Duration> {
+    match keep_alive {
+        Some(0) | None => None,
+        Some(s) => Some(std::time::Duration::from_millis(u64::from(s) * 1500)),
+    }
+}
+
+async fn mqtt_session_loop(
+    stream: TcpStream,
+    core: Arc<BrokerCore>,
+    user: UserId,
+    mut outbound: mpsc::UnboundedReceiver<Packet>,
+    keep_alive: Option<u16>,
+) -> std::io::Result<()> {
+    let (mut rd, mut wr) = stream.into_split();
+    let mut decoder = StreamDecoder::new();
+    let mut read_buf = [0u8; 8 * 1024];
+    let grace = keepalive_grace(keep_alive);
+    loop {
+        let idle_deadline = async {
+            match grace {
+                Some(g) => tokio::time::sleep(g).await,
+                None => std::future::pending::<()>().await,
+            }
+        };
+        tokio::select! {
+            _ = idle_deadline => {
+                // Client went silent past 1.5x keep-alive: the transport is
+                // considered dead; the session context survives for a
+                // reconnect (clean_session=false) or DCR re-attach.
+                core.detach(user);
+                return Ok(());
+            }
+            pkt = outbound.recv() => {
+                match pkt {
+                    Some(pkt) => {
+                        let bytes = match mqtt::encode(&pkt) {
+                            Ok(b) => b,
+                            Err(_) => continue,
+                        };
+                        if wr.write_all(&bytes).await.is_err() {
+                            core.detach(user);
+                            return Ok(());
+                        }
+                    }
+                    None => {
+                        // Session re-attached elsewhere (DCR): this relay
+                        // connection is obsolete.
+                        return Ok(());
+                    }
+                }
+            }
+            read = rd.read(&mut read_buf) => {
+                let n = match read {
+                    Ok(0) | Err(_) => {
+                        // Relay dropped (e.g. Origin restarting): keep the
+                        // context, detach the transport.
+                        core.detach(user);
+                        return Ok(());
+                    }
+                    Ok(n) => n,
+                };
+                decoder.extend(&read_buf[..n]);
+                loop {
+                    match decoder.next_packet() {
+                        Ok(Some(pkt)) => {
+                            if handle_packet(&core, user, pkt, &mut wr).await?.is_break() {
+                                return Ok(());
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            core.detach(user);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+async fn handle_packet(
+    core: &BrokerCore,
+    user: UserId,
+    pkt: Packet,
+    wr: &mut tokio::net::tcp::OwnedWriteHalf,
+) -> std::io::Result<std::ops::ControlFlow<()>> {
+    use std::ops::ControlFlow;
+    match pkt {
+        Packet::Subscribe { packet_id, filters } => {
+            let return_codes = core.subscribe(user, &filters);
+            let ack = mqtt::encode(&Packet::SubAck {
+                packet_id,
+                return_codes,
+            })
+            .expect("suback encodes");
+            wr.write_all(&ack).await?;
+        }
+        Packet::Publish {
+            topic,
+            packet_id,
+            payload,
+            qos,
+            ..
+        } => {
+            core.publish(&topic, &payload, qos);
+            if qos == QoS::AtLeastOnce {
+                if let Some(id) = packet_id {
+                    let ack =
+                        mqtt::encode(&Packet::PubAck { packet_id: id }).expect("puback encodes");
+                    wr.write_all(&ack).await?;
+                }
+            }
+        }
+        Packet::PingReq => {
+            let pong = mqtt::encode(&Packet::PingResp).expect("pingresp encodes");
+            wr.write_all(&pong).await?;
+        }
+        Packet::PubAck { packet_id } => core.puback(user, packet_id),
+        Packet::Disconnect => {
+            core.disconnect(user);
+            return Ok(ControlFlow::Break(()));
+        }
+        // CONNECT mid-stream or server-only packets: protocol violation.
+        _ => {
+            core.detach(user);
+            return Ok(ControlFlow::Break(()));
+        }
+    }
+    Ok(std::ops::ControlFlow::Continue(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::AsyncReadExt;
+
+    async fn broker() -> BrokerHandle {
+        spawn("127.0.0.1:0".parse().unwrap()).await.unwrap()
+    }
+
+    /// Minimal test client speaking raw MQTT over TCP.
+    struct TestClient {
+        stream: TcpStream,
+        decoder: StreamDecoder,
+    }
+
+    impl TestClient {
+        async fn connect(addr: SocketAddr, user: UserId, clean: bool) -> TestClient {
+            let mut stream = TcpStream::connect(addr).await.unwrap();
+            let pkt = Packet::Connect {
+                client_id: client_id_for(user),
+                keep_alive: 60,
+                clean_session: clean,
+            };
+            stream
+                .write_all(&mqtt::encode(&pkt).unwrap())
+                .await
+                .unwrap();
+            let mut c = TestClient {
+                stream,
+                decoder: StreamDecoder::new(),
+            };
+            match c.recv().await {
+                Packet::ConnAck {
+                    code: ConnectReturnCode::Accepted,
+                    ..
+                } => c,
+                other => panic!("expected CONNACK, got {other:?}"),
+            }
+        }
+
+        async fn send(&mut self, pkt: &Packet) {
+            self.stream
+                .write_all(&mqtt::encode(pkt).unwrap())
+                .await
+                .unwrap();
+        }
+
+        async fn recv(&mut self) -> Packet {
+            let mut buf = [0u8; 4096];
+            loop {
+                if let Some(p) = self.decoder.next_packet().unwrap() {
+                    return p;
+                }
+                let n = tokio::time::timeout(
+                    std::time::Duration::from_secs(5),
+                    self.stream.read(&mut buf),
+                )
+                .await
+                .expect("recv timeout")
+                .unwrap();
+                assert!(n > 0, "peer closed");
+                self.decoder.extend(&buf[..n]);
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn connect_subscribe_publish_round_trip() {
+        let b = broker().await;
+        let mut sub = TestClient::connect(b.addr, UserId(1), true).await;
+        sub.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![("notif/user-1".into(), QoS::AtMostOnce)],
+        })
+        .await;
+        match sub.recv().await {
+            Packet::SubAck {
+                packet_id: 1,
+                return_codes,
+            } => assert_eq!(return_codes, vec![0]),
+            other => panic!("{other:?}"),
+        }
+
+        let mut publisher = TestClient::connect(b.addr, UserId(2), true).await;
+        publisher
+            .send(&Packet::Publish {
+                topic: "notif/user-1".into(),
+                packet_id: None,
+                payload: bytes::Bytes::from_static(b"hello"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+            })
+            .await;
+
+        match sub.recv().await {
+            Packet::Publish { topic, payload, .. } => {
+                assert_eq!(topic, "notif/user-1");
+                assert_eq!(&payload[..], b"hello");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn qos1_publish_gets_puback() {
+        let b = broker().await;
+        let mut c = TestClient::connect(b.addr, UserId(1), true).await;
+        c.send(&Packet::Publish {
+            topic: "t".into(),
+            packet_id: Some(42),
+            payload: bytes::Bytes::from_static(b"x"),
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            dup: false,
+        })
+        .await;
+        match c.recv().await {
+            Packet::PubAck { packet_id } => assert_eq!(packet_id, 42),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn ping_pong() {
+        let b = broker().await;
+        let mut c = TestClient::connect(b.addr, UserId(1), true).await;
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+    }
+
+    #[tokio::test]
+    async fn bad_client_id_rejected() {
+        let b = broker().await;
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: "not-a-user".into(),
+            keep_alive: 60,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let n = stream.read(&mut buf).await.unwrap();
+        let (resp, _) = mqtt::decode(&buf[..n]).unwrap();
+        assert_eq!(
+            resp,
+            Packet::ConnAck {
+                session_present: false,
+                code: ConnectReturnCode::IdentifierRejected
+            }
+        );
+    }
+
+    #[tokio::test]
+    async fn dcr_reconnect_accepted_with_context_and_refused_without() {
+        let b = broker().await;
+
+        // Establish a session for user 7 and then drop the relay (as a
+        // restarting Origin would).
+        let sub = TestClient::connect(b.addr, UserId(7), true).await;
+        drop(sub);
+        // Wait for the broker to notice the detach.
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        assert!(b.core.has_session(UserId(7)));
+
+        // Another Origin re-homes the tunnel.
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        stream
+            .write_all(&dcr::encode(&DcrMessage::ReConnect { user_id: UserId(7) }))
+            .await
+            .unwrap();
+        let mut buf = [0u8; dcr::MESSAGE_LEN];
+        stream.read_exact(&mut buf).await.unwrap();
+        let (resp, _) = dcr::decode(&buf).unwrap();
+        assert_eq!(resp, DcrMessage::ConnectAck { user_id: UserId(7) });
+
+        // No context for user 99: refused.
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        stream
+            .write_all(&dcr::encode(&DcrMessage::ReConnect {
+                user_id: UserId(99),
+            }))
+            .await
+            .unwrap();
+        let mut buf = [0u8; dcr::MESSAGE_LEN];
+        stream.read_exact(&mut buf).await.unwrap();
+        let (resp, _) = dcr::decode(&buf).unwrap();
+        assert_eq!(
+            resp,
+            DcrMessage::ConnectRefuse {
+                user_id: UserId(99)
+            }
+        );
+
+        let stats = b.core.stats();
+        assert_eq!(stats.dcr_accepted, 1);
+        assert_eq!(stats.dcr_refused, 1);
+    }
+
+    #[tokio::test]
+    async fn dcr_reattached_connection_carries_mqtt() {
+        let b = broker().await;
+        // Create session with a subscription, then detach.
+        let mut c = TestClient::connect(b.addr, UserId(3), true).await;
+        c.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![("t".into(), QoS::AtMostOnce)],
+        })
+        .await;
+        c.recv().await; // SubAck
+        drop(c);
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+
+        // Re-home via DCR.
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        stream
+            .write_all(&dcr::encode(&DcrMessage::ReConnect { user_id: UserId(3) }))
+            .await
+            .unwrap();
+        let mut ackbuf = [0u8; dcr::MESSAGE_LEN];
+        stream.read_exact(&mut ackbuf).await.unwrap();
+        assert!(matches!(
+            dcr::decode(&ackbuf).unwrap().0,
+            DcrMessage::ConnectAck { .. }
+        ));
+
+        // A publish from another client reaches the re-homed transport.
+        let mut publisher = TestClient::connect(b.addr, UserId(4), true).await;
+        publisher
+            .send(&Packet::Publish {
+                topic: "t".into(),
+                packet_id: None,
+                payload: bytes::Bytes::from_static(b"re-homed"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+            })
+            .await;
+
+        let mut buf = [0u8; 4096];
+        let n = tokio::time::timeout(std::time::Duration::from_secs(5), stream.read(&mut buf))
+            .await
+            .unwrap()
+            .unwrap();
+        let (pkt, _) = mqtt::decode(&buf[..n]).unwrap();
+        match pkt {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"re-homed"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn disconnect_destroys_session() {
+        let b = broker().await;
+        let mut c = TestClient::connect(b.addr, UserId(8), true).await;
+        c.send(&Packet::Disconnect).await;
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        assert!(!b.core.has_session(UserId(8)));
+    }
+
+    #[tokio::test]
+    async fn silent_client_detached_after_keepalive_grace() {
+        let b = broker().await;
+        // keep_alive = 1 s → grace 1.5 s.
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: client_id_for(UserId(21)),
+            keep_alive: 1,
+            clean_session: false,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let n = stream.read(&mut buf).await.unwrap();
+        assert!(matches!(
+            mqtt::decode(&buf[..n]).unwrap().0,
+            Packet::ConnAck { .. }
+        ));
+        assert_eq!(b.core.stats().attached, 1);
+
+        // Go silent; the broker must detach the transport but keep the
+        // session context (clean_session=false).
+        tokio::time::sleep(std::time::Duration::from_millis(2_000)).await;
+        assert_eq!(b.core.stats().attached, 0, "transport detached");
+        assert!(
+            b.core.has_session(UserId(21)),
+            "context survives for reconnect/DCR"
+        );
+    }
+
+    #[tokio::test]
+    async fn pings_keep_the_session_attached() {
+        let b = broker().await;
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: client_id_for(UserId(22)),
+            keep_alive: 1,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        stream.read(&mut buf).await.unwrap(); // CONNACK
+
+        // Ping repeatedly across what would otherwise be the expiry window.
+        for _ in 0..4 {
+            tokio::time::sleep(std::time::Duration::from_millis(600)).await;
+            stream
+                .write_all(&mqtt::encode(&Packet::PingReq).unwrap())
+                .await
+                .unwrap();
+            let n = stream.read(&mut buf).await.unwrap();
+            assert!(matches!(
+                mqtt::decode(&buf[..n]).unwrap().0,
+                Packet::PingResp
+            ));
+        }
+        assert_eq!(
+            b.core.stats().attached,
+            1,
+            "pings must keep the session alive"
+        );
+    }
+
+    #[tokio::test]
+    async fn zero_keepalive_disables_the_timer() {
+        let b = broker().await;
+        let mut stream = TcpStream::connect(b.addr).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: client_id_for(UserId(23)),
+            keep_alive: 0,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        stream.read(&mut buf).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(1_000)).await;
+        assert_eq!(b.core.stats().attached, 1, "keep_alive=0 means no expiry");
+    }
+
+    #[test]
+    fn keepalive_grace_rule() {
+        assert_eq!(keepalive_grace(None), None);
+        assert_eq!(keepalive_grace(Some(0)), None);
+        assert_eq!(
+            keepalive_grace(Some(60)),
+            Some(std::time::Duration::from_millis(90_000))
+        );
+    }
+
+    #[test]
+    fn user_id_parsing() {
+        assert_eq!(parse_user_id("user-42"), Some(UserId(42)));
+        assert_eq!(parse_user_id("user-0"), Some(UserId(0)));
+        assert_eq!(parse_user_id("nope"), None);
+        assert_eq!(parse_user_id("user-abc"), None);
+        assert_eq!(client_id_for(UserId(7)), "user-7");
+    }
+}

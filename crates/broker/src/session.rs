@@ -1,0 +1,604 @@
+//! The broker's session store and DCR accept/refuse logic (sans network).
+//!
+//! Each end-user has one session, keyed by [`UserId`]. The session holds
+//! the user's **connection context** — subscriptions plus any messages
+//! buffered while no relay is attached. A relay (the Origin Proxygen
+//! tunnelling the user) is just an outbound channel; swapping relays is
+//! invisible to the user, which is the §4.2 statelessness DCR leans on.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use tokio::sync::mpsc;
+
+use zdr_proto::dcr::UserId;
+use zdr_proto::mqtt::{Packet, QoS};
+
+use crate::topic;
+
+/// Outbound channel toward one user (via whichever relay currently carries
+/// the tunnel).
+pub type Outbound = mpsc::UnboundedSender<Packet>;
+
+/// Result of a DCR `re_connect` attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconnectOutcome {
+    /// Session context found; tunnel re-attached, `buffered` queued
+    /// messages flushed to the new relay.
+    Accepted {
+        /// Messages flushed from the offline buffer.
+        buffered: usize,
+    },
+    /// No context — the client must reconnect organically (`connect_refuse`).
+    Refused,
+}
+
+/// Broker-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Live sessions.
+    pub sessions: usize,
+    /// Sessions currently attached to a relay.
+    pub attached: usize,
+    /// Total CONNECTs accepted (new sessions or clean re-connects).
+    pub connects: u64,
+    /// Total DCR re_connects accepted.
+    pub dcr_accepted: u64,
+    /// Total DCR re_connects refused.
+    pub dcr_refused: u64,
+    /// PUBLISH messages routed.
+    pub published: u64,
+}
+
+#[derive(Debug)]
+struct Session {
+    subscriptions: Vec<(String, QoS)>,
+    relay: Option<Outbound>,
+    /// Messages that arrived while detached.
+    inbox: Vec<Packet>,
+    /// QoS-1 publishes delivered but not yet PUBACKed, keyed by packet id.
+    /// Redelivered with `dup = true` when the session re-attaches.
+    inflight: Vec<(u16, Packet)>,
+    /// Per-session packet-id counter (MQTT ids are per connection/session).
+    next_packet_id: u16,
+}
+
+impl Session {
+    fn new() -> Self {
+        Session {
+            subscriptions: Vec::new(),
+            relay: None,
+            inbox: Vec::new(),
+            inflight: Vec::new(),
+            next_packet_id: 1,
+        }
+    }
+
+    fn allocate_packet_id(&mut self) -> u16 {
+        let id = self.next_packet_id;
+        self.next_packet_id = self.next_packet_id.wrapping_add(1).max(1);
+        id
+    }
+
+    fn deliver(&mut self, packet: Packet) -> bool {
+        if let Some(relay) = &self.relay {
+            if relay.send(packet.clone()).is_ok() {
+                return true;
+            }
+            // Relay endpoint dropped (e.g. restarting Origin): detach and
+            // buffer.
+            self.relay = None;
+        }
+        self.inbox.push(packet);
+        false
+    }
+}
+
+/// Clones a tracked QoS-1 publish with the duplicate flag set.
+fn redelivery(pkt: &Packet) -> Packet {
+    match pkt {
+        Packet::Publish {
+            topic,
+            packet_id,
+            payload,
+            qos,
+            retain,
+            ..
+        } => Packet::Publish {
+            topic: topic.clone(),
+            packet_id: *packet_id,
+            payload: payload.clone(),
+            qos: *qos,
+            retain: *retain,
+            dup: true,
+        },
+        other => other.clone(),
+    }
+}
+
+/// The broker's shared state.
+#[derive(Debug, Default)]
+pub struct BrokerCore {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sessions: HashMap<UserId, Session>,
+    connects: u64,
+    dcr_accepted: u64,
+    dcr_refused: u64,
+    published: u64,
+}
+
+impl BrokerCore {
+    /// A broker with no sessions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles CONNECT: creates (or, with `clean_session`, resets) the
+    /// session and attaches `outbound`. Returns `session_present` for the
+    /// CONNACK.
+    pub fn connect(&self, user: UserId, clean_session: bool, outbound: Outbound) -> bool {
+        let mut inner = self.inner.lock();
+        inner.connects += 1;
+        let existed = inner.sessions.contains_key(&user);
+        let session = inner.sessions.entry(user).or_insert_with(Session::new);
+        if clean_session {
+            session.subscriptions.clear();
+            session.inbox.clear();
+            session.inflight.clear();
+        } else {
+            // Persistent-session re-attach: unacked QoS-1 deliveries go out
+            // again as duplicates (MQTT 3.1.1 §4.4).
+            for (_, pkt) in &session.inflight {
+                let _ = outbound.send(redelivery(pkt));
+            }
+        }
+        session.relay = Some(outbound);
+        existed && !clean_session
+    }
+
+    /// Records a PUBACK from the client, retiring the QoS-1 delivery.
+    pub fn puback(&self, user: UserId, packet_id: u16) {
+        if let Some(session) = self.inner.lock().sessions.get_mut(&user) {
+            session.inflight.retain(|(id, _)| *id != packet_id);
+        }
+    }
+
+    /// QoS-1 deliveries awaiting PUBACK for `user`.
+    pub fn inflight_count(&self, user: UserId) -> usize {
+        self.inner
+            .lock()
+            .sessions
+            .get(&user)
+            .map_or(0, |s| s.inflight.len())
+    }
+
+    /// Handles a DCR `re_connect` (§4.2 steps C1–C2): re-attaches the
+    /// session to a new relay *only if* its context exists, flushing any
+    /// buffered messages.
+    pub fn dcr_reconnect(&self, user: UserId, outbound: Outbound) -> ReconnectOutcome {
+        let mut inner = self.inner.lock();
+        match inner.sessions.get_mut(&user) {
+            Some(session) => {
+                // Unacked QoS-1 deliveries first (dup), then the offline
+                // buffer.
+                for (_, pkt) in &session.inflight {
+                    let _ = outbound.send(redelivery(pkt));
+                }
+                let buffered = session.inbox.len();
+                for pkt in session.inbox.drain(..) {
+                    let _ = outbound.send(pkt);
+                }
+                session.relay = Some(outbound);
+                inner.dcr_accepted += 1;
+                ReconnectOutcome::Accepted { buffered }
+            }
+            None => {
+                inner.dcr_refused += 1;
+                ReconnectOutcome::Refused
+            }
+        }
+    }
+
+    /// Detaches the relay (Origin dropped the tunnel) without destroying
+    /// the context — the context is what a later re_connect needs.
+    pub fn detach(&self, user: UserId) {
+        if let Some(s) = self.inner.lock().sessions.get_mut(&user) {
+            s.relay = None;
+        }
+    }
+
+    /// Handles DISCONNECT: destroys the session entirely.
+    pub fn disconnect(&self, user: UserId) {
+        self.inner.lock().sessions.remove(&user);
+    }
+
+    /// Handles SUBSCRIBE; returns per-filter return codes (granted QoS or
+    /// 0x80 failure).
+    pub fn subscribe(&self, user: UserId, filters: &[(String, QoS)]) -> Vec<u8> {
+        let mut inner = self.inner.lock();
+        let Some(session) = inner.sessions.get_mut(&user) else {
+            return vec![0x80; filters.len()];
+        };
+        filters
+            .iter()
+            .map(|(f, qos)| {
+                if topic::valid_topic_filter(f) {
+                    session.subscriptions.retain(|(existing, _)| existing != f);
+                    session.subscriptions.push((f.clone(), *qos));
+                    *qos as u8
+                } else {
+                    0x80
+                }
+            })
+            .collect()
+    }
+
+    /// Routes a PUBLISH to every subscribed session. Returns
+    /// `(delivered_live, buffered)`.
+    pub fn publish(&self, topic_name: &str, payload: &[u8], qos: QoS) -> (usize, usize) {
+        let mut inner = self.inner.lock();
+        inner.published += 1;
+        let mut delivered = 0;
+        let mut buffered = 0;
+        let sessions = &mut inner.sessions;
+        for session in sessions.values_mut() {
+            if session
+                .subscriptions
+                .iter()
+                .any(|(f, _)| topic::matches(f, topic_name))
+            {
+                let packet_id = (qos == QoS::AtLeastOnce).then(|| session.allocate_packet_id());
+                let pkt = Packet::Publish {
+                    topic: topic_name.to_string(),
+                    packet_id,
+                    payload: bytes::Bytes::copy_from_slice(payload),
+                    qos,
+                    retain: false,
+                    dup: false,
+                };
+                if let Some(id) = packet_id {
+                    // Track until the client acknowledges.
+                    session.inflight.push((id, pkt.clone()));
+                }
+                if session.deliver(pkt) {
+                    delivered += 1;
+                } else {
+                    buffered += 1;
+                }
+            }
+        }
+        (delivered, buffered)
+    }
+
+    /// Whether `user` has a session context.
+    pub fn has_session(&self, user: UserId) -> bool {
+        self.inner.lock().sessions.contains_key(&user)
+    }
+
+    /// Broker-wide counters.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.inner.lock();
+        SessionStats {
+            sessions: inner.sessions.len(),
+            attached: inner
+                .sessions
+                .values()
+                .filter(|s| s.relay.is_some())
+                .count(),
+            connects: inner.connects,
+            dcr_accepted: inner.dcr_accepted,
+            dcr_refused: inner.dcr_refused,
+            published: inner.published,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> (Outbound, mpsc::UnboundedReceiver<Packet>) {
+        mpsc::unbounded_channel()
+    }
+
+    #[test]
+    fn connect_creates_session() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        let present = broker.connect(UserId(1), true, tx);
+        assert!(!present);
+        assert!(broker.has_session(UserId(1)));
+        assert_eq!(broker.stats().sessions, 1);
+        assert_eq!(broker.stats().attached, 1);
+    }
+
+    #[test]
+    fn reconnect_without_clean_session_reports_present() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        broker.connect(UserId(1), false, tx);
+        let (tx2, _rx2) = chan();
+        assert!(broker.connect(UserId(1), false, tx2));
+        let (tx3, _rx3) = chan();
+        assert!(
+            !broker.connect(UserId(1), true, tx3),
+            "clean session resets"
+        );
+    }
+
+    #[test]
+    fn publish_routes_by_subscription() {
+        let broker = BrokerCore::new();
+        let (tx, mut rx) = chan();
+        broker.connect(UserId(1), true, tx);
+        broker.subscribe(UserId(1), &[("notif/user-1".into(), QoS::AtMostOnce)]);
+
+        let (d, b) = broker.publish("notif/user-1", b"ping", QoS::AtMostOnce);
+        assert_eq!((d, b), (1, 0));
+        match rx.try_recv().unwrap() {
+            Packet::Publish { topic, payload, .. } => {
+                assert_eq!(topic, "notif/user-1");
+                assert_eq!(&payload[..], b"ping");
+            }
+            other => panic!("expected Publish, got {other:?}"),
+        }
+
+        let (d, b) = broker.publish("notif/user-2", b"x", QoS::AtMostOnce);
+        assert_eq!((d, b), (0, 0), "non-matching topic");
+    }
+
+    #[test]
+    fn wildcard_subscription_routes() {
+        let broker = BrokerCore::new();
+        let (tx, mut rx) = chan();
+        broker.connect(UserId(9), true, tx);
+        broker.subscribe(UserId(9), &[("notif/#".into(), QoS::AtMostOnce)]);
+        broker.publish("notif/user-9/badge", b"1", QoS::AtMostOnce);
+        assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn qos1_publish_carries_packet_id() {
+        let broker = BrokerCore::new();
+        let (tx, mut rx) = chan();
+        broker.connect(UserId(1), true, tx);
+        broker.subscribe(UserId(1), &[("t".into(), QoS::AtLeastOnce)]);
+        broker.publish("t", b"x", QoS::AtLeastOnce);
+        match rx.try_recv().unwrap() {
+            Packet::Publish { packet_id, qos, .. } => {
+                assert_eq!(qos, QoS::AtLeastOnce);
+                assert!(packet_id.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detach_buffers_messages_and_dcr_flushes_them() {
+        let broker = BrokerCore::new();
+        let (tx, rx) = chan();
+        broker.connect(UserId(5), true, tx);
+        broker.subscribe(UserId(5), &[("t".into(), QoS::AtMostOnce)]);
+
+        // Origin restarts: relay detaches (receiver dropped).
+        drop(rx);
+        broker.detach(UserId(5));
+
+        let (d, b) = broker.publish("t", b"while-away", QoS::AtMostOnce);
+        assert_eq!((d, b), (0, 1), "buffered while detached");
+
+        // DCR re_connect through another Origin.
+        let (tx2, mut rx2) = chan();
+        let outcome = broker.dcr_reconnect(UserId(5), tx2);
+        assert_eq!(outcome, ReconnectOutcome::Accepted { buffered: 1 });
+        match rx2.try_recv().unwrap() {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"while-away"),
+            other => panic!("{other:?}"),
+        }
+
+        // Subscriptions survived the relay swap.
+        let (d, _) = broker.publish("t", b"after", QoS::AtMostOnce);
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn dcr_refused_without_context() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        assert_eq!(
+            broker.dcr_reconnect(UserId(404), tx),
+            ReconnectOutcome::Refused
+        );
+        assert_eq!(broker.stats().dcr_refused, 1);
+    }
+
+    #[test]
+    fn dead_relay_detected_on_publish() {
+        let broker = BrokerCore::new();
+        let (tx, rx) = chan();
+        broker.connect(UserId(2), true, tx);
+        broker.subscribe(UserId(2), &[("t".into(), QoS::AtMostOnce)]);
+        drop(rx); // relay endpoint vanished without detach()
+        let (d, b) = broker.publish("t", b"x", QoS::AtMostOnce);
+        assert_eq!((d, b), (0, 1));
+        assert_eq!(broker.stats().attached, 0);
+    }
+
+    #[test]
+    fn disconnect_destroys_context() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        broker.connect(UserId(3), true, tx);
+        broker.disconnect(UserId(3));
+        assert!(!broker.has_session(UserId(3)));
+        let (tx2, _rx2) = chan();
+        assert_eq!(
+            broker.dcr_reconnect(UserId(3), tx2),
+            ReconnectOutcome::Refused
+        );
+    }
+
+    #[test]
+    fn subscribe_on_missing_session_fails_all() {
+        let broker = BrokerCore::new();
+        let codes = broker.subscribe(UserId(1), &[("t".into(), QoS::AtMostOnce)]);
+        assert_eq!(codes, vec![0x80]);
+    }
+
+    #[test]
+    fn invalid_filter_gets_failure_code() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        broker.connect(UserId(1), true, tx);
+        let codes = broker.subscribe(
+            UserId(1),
+            &[
+                ("ok/+".into(), QoS::AtMostOnce),
+                ("bad/#/x".into(), QoS::AtLeastOnce),
+            ],
+        );
+        assert_eq!(codes, vec![0, 0x80]);
+    }
+
+    #[test]
+    fn resubscribe_replaces_existing_filter() {
+        let broker = BrokerCore::new();
+        let (tx, mut rx) = chan();
+        broker.connect(UserId(1), true, tx);
+        broker.subscribe(UserId(1), &[("t".into(), QoS::AtMostOnce)]);
+        broker.subscribe(UserId(1), &[("t".into(), QoS::AtLeastOnce)]);
+        broker.publish("t", b"x", QoS::AtMostOnce);
+        // Only one delivery despite subscribing twice.
+        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn qos1_inflight_until_puback() {
+        let broker = BrokerCore::new();
+        let (tx, mut rx) = chan();
+        broker.connect(UserId(1), true, tx);
+        broker.subscribe(UserId(1), &[("t".into(), QoS::AtLeastOnce)]);
+        broker.publish("t", b"x", QoS::AtLeastOnce);
+        assert_eq!(broker.inflight_count(UserId(1)), 1);
+
+        let id = match rx.try_recv().unwrap() {
+            Packet::Publish {
+                packet_id: Some(id),
+                dup: false,
+                ..
+            } => id,
+            other => panic!("{other:?}"),
+        };
+        broker.puback(UserId(1), id);
+        assert_eq!(broker.inflight_count(UserId(1)), 0);
+    }
+
+    #[test]
+    fn unacked_qos1_redelivered_as_dup_on_dcr_reattach() {
+        let broker = BrokerCore::new();
+        let (tx, rx) = chan();
+        broker.connect(UserId(2), true, tx);
+        broker.subscribe(UserId(2), &[("t".into(), QoS::AtLeastOnce)]);
+        broker.publish("t", b"unacked", QoS::AtLeastOnce);
+        // Relay dies before the client could ack.
+        drop(rx);
+        broker.detach(UserId(2));
+
+        let (tx2, mut rx2) = chan();
+        broker.dcr_reconnect(UserId(2), tx2);
+        match rx2.try_recv().unwrap() {
+            Packet::Publish { payload, dup, .. } => {
+                assert_eq!(&payload[..], b"unacked");
+                assert!(dup, "redelivery must set the duplicate flag");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Still inflight until acked.
+        assert_eq!(broker.inflight_count(UserId(2)), 1);
+    }
+
+    #[test]
+    fn acked_qos1_not_redelivered() {
+        let broker = BrokerCore::new();
+        let (tx, mut rx) = chan();
+        broker.connect(UserId(3), false, tx);
+        broker.subscribe(UserId(3), &[("t".into(), QoS::AtLeastOnce)]);
+        broker.publish("t", b"x", QoS::AtLeastOnce);
+        let id = match rx.try_recv().unwrap() {
+            Packet::Publish {
+                packet_id: Some(id),
+                ..
+            } => id,
+            other => panic!("{other:?}"),
+        };
+        broker.puback(UserId(3), id);
+
+        // Persistent-session reconnect: nothing to redeliver.
+        let (tx2, mut rx2) = chan();
+        assert!(broker.connect(UserId(3), false, tx2));
+        assert!(rx2.try_recv().is_err(), "no redelivery after ack");
+    }
+
+    #[test]
+    fn clean_session_clears_inflight() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        broker.connect(UserId(4), true, tx);
+        broker.subscribe(UserId(4), &[("t".into(), QoS::AtLeastOnce)]);
+        broker.publish("t", b"x", QoS::AtLeastOnce);
+        assert_eq!(broker.inflight_count(UserId(4)), 1);
+        let (tx2, mut rx2) = chan();
+        broker.connect(UserId(4), true, tx2);
+        assert_eq!(broker.inflight_count(UserId(4)), 0);
+        assert!(rx2.try_recv().is_err());
+    }
+
+    #[test]
+    fn per_session_packet_ids_are_independent() {
+        let broker = BrokerCore::new();
+        let (tx1, mut rx1) = chan();
+        let (tx2, mut rx2) = chan();
+        broker.connect(UserId(10), true, tx1);
+        broker.connect(UserId(11), true, tx2);
+        for u in [10u64, 11] {
+            broker.subscribe(UserId(u), &[("t".into(), QoS::AtLeastOnce)]);
+        }
+        broker.publish("t", b"a", QoS::AtLeastOnce);
+        let id1 = match rx1.try_recv().unwrap() {
+            Packet::Publish {
+                packet_id: Some(id),
+                ..
+            } => id,
+            other => panic!("{other:?}"),
+        };
+        let id2 = match rx2.try_recv().unwrap() {
+            Packet::Publish {
+                packet_id: Some(id),
+                ..
+            } => id,
+            other => panic!("{other:?}"),
+        };
+        // Both sessions start their own id sequence.
+        assert_eq!(id1, 1);
+        assert_eq!(id2, 1);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let broker = BrokerCore::new();
+        let (tx, _rx) = chan();
+        broker.connect(UserId(1), true, tx);
+        broker.publish("t", b"x", QoS::AtMostOnce);
+        let (tx2, _rx2) = chan();
+        broker.dcr_reconnect(UserId(1), tx2);
+        let s = broker.stats();
+        assert_eq!(s.connects, 1);
+        assert_eq!(s.published, 1);
+        assert_eq!(s.dcr_accepted, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! MQTT topic-name / topic-filter matching (MQTT 3.1.1 §4.7).
+//!
+//! `+` matches exactly one level; `#` matches any number of trailing
+//! levels (and must be the last level of the filter). Topic names beginning
+//! with `$` are not matched by wildcard-leading filters.
+
+/// Validates a topic *name* (no wildcards, non-empty, no NUL).
+pub fn valid_topic_name(topic: &str) -> bool {
+    !topic.is_empty()
+        && !topic.contains(['+', '#'])
+        && !topic.contains('\0')
+        && topic.len() <= 65_535
+}
+
+/// Validates a topic *filter* (wildcards in legal positions only).
+pub fn valid_topic_filter(filter: &str) -> bool {
+    if filter.is_empty() || filter.contains('\0') || filter.len() > 65_535 {
+        return false;
+    }
+    let levels: Vec<&str> = filter.split('/').collect();
+    for (i, level) in levels.iter().enumerate() {
+        if level.contains('#') {
+            // '#' must be alone in its level and in the last level.
+            if *level != "#" || i != levels.len() - 1 {
+                return false;
+            }
+        }
+        if level.contains('+') && *level != "+" {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does `filter` match `topic`?
+pub fn matches(filter: &str, topic: &str) -> bool {
+    if !valid_topic_filter(filter) || !valid_topic_name(topic) {
+        return false;
+    }
+    // $-topics are not matched by filters starting with a wildcard.
+    if topic.starts_with('$') && (filter.starts_with('+') || filter.starts_with('#')) {
+        return false;
+    }
+    let mut f = filter.split('/');
+    let mut t = topic.split('/');
+    loop {
+        match (f.next(), t.next()) {
+            // "#" matches the rest — including "a/#" matching "a" itself.
+            (Some("#"), _) => return true,
+            (Some("+"), Some(_)) => {}
+            (Some(fl), Some(tl)) if fl == tl => {}
+            (None, None) => return true,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(matches("a/b/c", "a/b/c"));
+        assert!(!matches("a/b/c", "a/b"));
+        assert!(!matches("a/b", "a/b/c"));
+        assert!(!matches("a/b/c", "a/b/x"));
+    }
+
+    #[test]
+    fn plus_matches_single_level() {
+        assert!(matches("a/+/c", "a/b/c"));
+        assert!(matches("a/+/c", "a/xyz/c"));
+        assert!(!matches("a/+/c", "a/b/d/c"));
+        assert!(!matches("a/+", "a"));
+        assert!(matches("+", "anything"));
+        assert!(!matches("+", "two/levels"));
+    }
+
+    #[test]
+    fn hash_matches_suffix() {
+        assert!(matches("a/#", "a/b/c"));
+        assert!(matches("a/#", "a"));
+        assert!(matches("#", "a/b/c"));
+        assert!(!matches("a/#", "b/c"));
+    }
+
+    #[test]
+    fn invalid_filters_rejected() {
+        assert!(!valid_topic_filter("a/#/b"));
+        assert!(!valid_topic_filter("a/b#"));
+        assert!(!valid_topic_filter("a/b+"));
+        assert!(!valid_topic_filter("a/+b/c"));
+        assert!(!valid_topic_filter(""));
+        assert!(valid_topic_filter("a/+/c"));
+        assert!(valid_topic_filter("#"));
+        assert!(valid_topic_filter("+"));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        assert!(!valid_topic_name("a/+/c"));
+        assert!(!valid_topic_name("a/#"));
+        assert!(!valid_topic_name(""));
+        assert!(valid_topic_name("notif/user-42"));
+    }
+
+    #[test]
+    fn dollar_topics_hidden_from_leading_wildcards() {
+        assert!(!matches("#", "$SYS/stats"));
+        assert!(!matches("+/stats", "$SYS/stats"));
+        assert!(matches("$SYS/#", "$SYS/stats"));
+    }
+
+    #[test]
+    fn empty_levels_are_significant() {
+        assert!(matches("a//c", "a//c"));
+        assert!(matches("a/+/c", "a//c"));
+        assert!(!matches("a//c", "a/b/c"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Release-calendar model (Figs. 2a–2c, Fig. 15).
+//!
+//! §2.4's measurements: L7LB clusters see ≈3+ releases/week, ~47% of them
+//! binary updates (configuration changes also force restarts at Facebook —
+//! an explicit §2.4 design artifact); the App Server tier releases ~100×
+//! per week with 10–100 commits per update. §6.2.2: Proxygen releases
+//! concentrate in peak hours (12:00–17:00) *because* Zero Downtime Release
+//! makes peak-hour releases safe, while App Server updates run continuously
+//! around the clock.
+//!
+//! The model is a seeded sampler over those distributions, used by the
+//! Fig. 2 / Fig. 15 reproduction binaries.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::tier::Tier;
+
+/// Why a release happened (Fig. 2b root causes).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum RootCause {
+    /// Code change — always necessitates a restart; ≈47% of releases.
+    BinaryUpdate,
+    /// Configuration change — at Facebook these restart instances too.
+    ConfigChange,
+    /// Expedited security fix.
+    SecurityPatch,
+    /// Rolling back a bad release.
+    Rollback,
+    /// Experiments / miscellaneous.
+    Other,
+}
+
+impl RootCause {
+    /// All causes with their Fig. 2b-calibrated weights.
+    pub fn weighted() -> [(RootCause, f64); 5] {
+        [
+            (RootCause::BinaryUpdate, 0.47),
+            (RootCause::ConfigChange, 0.38),
+            (RootCause::SecurityPatch, 0.08),
+            (RootCause::Rollback, 0.04),
+            (RootCause::Other, 0.03),
+        ]
+    }
+}
+
+/// One sampled release.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReleaseEvent {
+    /// Tier being released.
+    pub tier: Tier,
+    /// Week index the release falls in.
+    pub week: u32,
+    /// Day of week, 0–6.
+    pub day: u8,
+    /// Hour of day, 0–23.
+    pub hour: u8,
+    /// Root cause.
+    pub cause: RootCause,
+    /// Code commits bundled into the release (Fig. 2c: 10–100 for the app
+    /// tier).
+    pub commits: u32,
+}
+
+/// The hour-of-day release probability density for a tier (Fig. 15).
+///
+/// Proxygen releases cluster in the 12:00–17:00 operator-attended window;
+/// App Server releases are continuous ("a fraction of App Servers are
+/// always restarting throughout the day — the flat PDF").
+pub fn hour_pdf(tier: Tier) -> [f64; 24] {
+    let mut pdf = [0.0f64; 24];
+    match tier {
+        Tier::EdgeProxygen | Tier::OriginProxygen => {
+            // Weight mass into 12–17 with shoulders at 10–12 and 17–19.
+            for (h, p) in pdf.iter_mut().enumerate() {
+                *p = match h {
+                    12..=16 => 0.14,
+                    10 | 11 | 17 | 18 => 0.05,
+                    9 | 19 => 0.02,
+                    _ => 0.004,
+                };
+            }
+        }
+        Tier::AppServer => {
+            // Near-flat with a slight working-hours bump.
+            for (h, p) in pdf.iter_mut().enumerate() {
+                *p = if (9..=18).contains(&h) { 0.048 } else { 0.038 };
+            }
+        }
+    }
+    // Normalize exactly.
+    let sum: f64 = pdf.iter().sum();
+    for p in &mut pdf {
+        *p /= sum;
+    }
+    pdf
+}
+
+/// Seeded sampler of release calendars.
+#[derive(Debug)]
+pub struct ReleaseCalendar {
+    rng: ChaCha8Rng,
+}
+
+impl ReleaseCalendar {
+    /// A calendar with the given RNG seed (same seed ⇒ same calendar).
+    pub fn new(seed: u64) -> Self {
+        ReleaseCalendar {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples every release for `weeks` weeks on `tier`.
+    pub fn sample(&mut self, tier: Tier, weeks: u32) -> Vec<ReleaseEvent> {
+        let profile = tier.profile();
+        let cause_weights = RootCause::weighted();
+        let cause_dist = WeightedIndex::new(cause_weights.iter().map(|(_, w)| *w))
+            .expect("static weights are valid");
+        let hour_dist = WeightedIndex::new(hour_pdf(tier)).expect("hour pdf is valid");
+
+        let mut out = Vec::new();
+        for week in 0..weeks {
+            let n = self.sample_poisson(profile.releases_per_week);
+            for _ in 0..n {
+                let cause = cause_weights[cause_dist.sample(&mut self.rng)].0;
+                let hour = hour_dist.sample(&mut self.rng) as u8;
+                let day = self.rng.gen_range(0..7u8);
+                let commits = match tier {
+                    // Fig. 2c: 10–100 commits, log-uniform-ish.
+                    Tier::AppServer => {
+                        let log = self.rng.gen_range(1.0f64..2.0);
+                        10f64.powf(log).round() as u32
+                    }
+                    _ => self.rng.gen_range(1..40u32),
+                };
+                out.push(ReleaseEvent {
+                    tier,
+                    week,
+                    day,
+                    hour,
+                    cause,
+                    commits,
+                });
+            }
+        }
+        out
+    }
+
+    /// Knuth Poisson sampler (λ small enough for the calendar's rates; for
+    /// the app tier λ=100 this is still fine at calendar scale).
+    fn sample_poisson(&mut self, lambda: f64) -> u32 {
+        let l = (-lambda).exp();
+        if l == 0.0 {
+            // λ too large for Knuth; normal approximation.
+            let (mu, sigma) = (lambda, lambda.sqrt());
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            return (mu + sigma * z).round().max(0.0) as u32;
+        }
+        let mut k = 0u32;
+        let mut p = 1.0f64;
+        loop {
+            p *= self.rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Aggregates a sampled calendar into the Fig. 2b root-cause fractions.
+pub fn cause_fractions(events: &[ReleaseEvent]) -> Vec<(RootCause, f64)> {
+    let mut counts: std::collections::BTreeMap<RootCause, usize> =
+        RootCause::weighted().iter().map(|(c, _)| (*c, 0)).collect();
+    for e in events {
+        *counts.get_mut(&e.cause).expect("all causes present") += 1;
+    }
+    let total = events.len().max(1) as f64;
+    counts
+        .into_iter()
+        .map(|(c, n)| (c, n as f64 / total))
+        .collect()
+}
+
+/// Aggregates into an hour-of-day histogram (Fig. 15's empirical PDF).
+pub fn hour_histogram(events: &[ReleaseEvent]) -> [f64; 24] {
+    let mut h = [0.0f64; 24];
+    for e in events {
+        h[e.hour as usize] += 1.0;
+    }
+    let total: f64 = h.iter().sum();
+    if total > 0.0 {
+        for v in &mut h {
+            *v /= total;
+        }
+    }
+    h
+}
+
+/// Releases per week across the sampled horizon (Fig. 2a's per-week series).
+pub fn releases_per_week(events: &[ReleaseEvent], weeks: u32) -> Vec<u32> {
+    let mut counts = vec![0u32; weeks as usize];
+    for e in events {
+        counts[e.week as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = ReleaseCalendar::new(7).sample(Tier::EdgeProxygen, 12);
+        let b = ReleaseCalendar::new(7).sample(Tier::EdgeProxygen, 12);
+        assert_eq!(a, b);
+        let c = ReleaseCalendar::new(8).sample(Tier::EdgeProxygen, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn l7lb_release_rate_matches_paper() {
+        // ≈3 releases/week on average over a long horizon.
+        let events = ReleaseCalendar::new(1).sample(Tier::EdgeProxygen, 520);
+        let rate = events.len() as f64 / 520.0;
+        assert!((2.5..3.5).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn app_server_rate_is_about_100_per_week() {
+        let events = ReleaseCalendar::new(2).sample(Tier::AppServer, 52);
+        let rate = events.len() as f64 / 52.0;
+        assert!((90.0..110.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn binary_updates_about_47_percent() {
+        let events = ReleaseCalendar::new(3).sample(Tier::OriginProxygen, 2000);
+        let fractions = cause_fractions(&events);
+        let binary = fractions
+            .iter()
+            .find(|(c, _)| *c == RootCause::BinaryUpdate)
+            .unwrap()
+            .1;
+        assert!((0.42..0.52).contains(&binary), "binary fraction {binary}");
+    }
+
+    #[test]
+    fn app_commits_in_10_to_100_range() {
+        let events = ReleaseCalendar::new(4).sample(Tier::AppServer, 10);
+        assert!(!events.is_empty());
+        for e in &events {
+            assert!((10..=100).contains(&e.commits), "commits {}", e.commits);
+        }
+    }
+
+    #[test]
+    fn proxygen_hours_peak_in_afternoon() {
+        let events = ReleaseCalendar::new(5).sample(Tier::EdgeProxygen, 2000);
+        let hist = hour_histogram(&events);
+        let peak: f64 = (12..=16).map(|h| hist[h]).sum();
+        assert!(peak > 0.5, "peak-hours mass {peak}");
+        // Night hours nearly empty.
+        let night: f64 = (0..6).map(|h| hist[h]).sum();
+        assert!(night < 0.1, "night mass {night}");
+    }
+
+    #[test]
+    fn app_server_hours_are_flat() {
+        let events = ReleaseCalendar::new(6).sample(Tier::AppServer, 100);
+        let hist = hour_histogram(&events);
+        let max = hist.iter().cloned().fold(0.0, f64::max);
+        let min = hist.iter().cloned().fold(1.0, f64::min);
+        assert!(
+            max / min.max(1e-9) < 2.5,
+            "flat PDF expected: max {max} min {min}"
+        );
+    }
+
+    #[test]
+    fn pdfs_normalized() {
+        for tier in Tier::all() {
+            let pdf = hour_pdf(tier);
+            let sum: f64 = pdf.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{tier}: {sum}");
+        }
+    }
+
+    #[test]
+    fn weekly_series_covers_all_weeks() {
+        let events = ReleaseCalendar::new(9).sample(Tier::AppServer, 8);
+        let weekly = releases_per_week(&events, 8);
+        assert_eq!(weekly.len(), 8);
+        assert_eq!(weekly.iter().sum::<u32>() as usize, events.len());
+    }
+
+    #[test]
+    fn cause_fractions_sum_to_one() {
+        let events = ReleaseCalendar::new(10).sample(Tier::EdgeProxygen, 500);
+        let sum: f64 = cause_fractions(&events).iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_sampler_large_lambda_uses_normal_approx() {
+        let mut cal = ReleaseCalendar::new(11);
+        // λ=1000 forces the normal path; mean should be near λ.
+        let samples: Vec<u32> = (0..200).map(|_| cal.sample_poisson(1000.0)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+        assert!((900.0..1100.0).contains(&mean), "mean {mean}");
+    }
+}

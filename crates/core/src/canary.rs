@@ -1,0 +1,276 @@
+//! Canary analysis and release gating.
+//!
+//! §5.1: Zero Downtime Release confines "the blast radius of a buggy
+//! release ... largely ... to one layer where mitigation (or rollbacks)
+//! can be applied swiftly", and operators release at peak hours *because*
+//! they can watch the canary signals and halt (§6.2.2). This module is
+//! that watching: a [`CanaryPolicy`] compares the restarted group's
+//! disruption rate against the pre-release baseline and halts the rollout
+//! when the budget is blown.
+//!
+//! The gate is deliberately signal-agnostic: callers feed it
+//! `(requests, disruptions)` deltas per evaluation window — from the
+//! simulator, from live [`crate::metrics::DisruptionCounters`], or from
+//! tests.
+
+use crate::TimeMs;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanaryPolicy {
+    /// Halt when the canary's disruption rate exceeds
+    /// `baseline_rate * tolerance_factor + absolute_slack`.
+    pub tolerance_factor: f64,
+    /// Additive slack on the rate, shielding near-zero baselines from
+    /// noise.
+    pub absolute_slack: f64,
+    /// Do not judge a window with fewer requests than this.
+    pub min_requests: u64,
+    /// Consecutive bad windows required to halt (debounce).
+    pub bad_windows_to_halt: u32,
+}
+
+impl Default for CanaryPolicy {
+    fn default() -> Self {
+        CanaryPolicy {
+            tolerance_factor: 3.0,
+            absolute_slack: 0.001,
+            min_requests: 1_000,
+            bad_windows_to_halt: 2,
+        }
+    }
+}
+
+/// The gate's standing decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Keep rolling.
+    Proceed,
+    /// Stop the release and roll back (§5.1's swift mitigation).
+    Halt {
+        /// When the gate tripped.
+        at: TimeMs,
+        /// Observed canary disruption rate.
+        observed_rate: f64,
+        /// The threshold it exceeded.
+        threshold: f64,
+    },
+}
+
+/// One observation window's traffic summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowSample {
+    /// Requests handled in the window.
+    pub requests: u64,
+    /// User-visible disruptions in the window.
+    pub disruptions: u64,
+}
+
+impl WindowSample {
+    /// Disruptions per request (0 when no traffic).
+    pub fn rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.disruptions as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The canary gate: capture a baseline, then evaluate the canary group's
+/// windows against it.
+#[derive(Debug, Clone)]
+pub struct CanaryGate {
+    policy: CanaryPolicy,
+    baseline: WindowSample,
+    consecutive_bad: u32,
+    verdict: Verdict,
+}
+
+impl CanaryGate {
+    /// A gate with the pre-release `baseline` window.
+    pub fn new(policy: CanaryPolicy, baseline: WindowSample) -> Self {
+        CanaryGate {
+            policy,
+            baseline,
+            consecutive_bad: 0,
+            verdict: Verdict::Proceed,
+        }
+    }
+
+    /// The halt threshold in force.
+    pub fn threshold(&self) -> f64 {
+        self.baseline.rate() * self.policy.tolerance_factor + self.policy.absolute_slack
+    }
+
+    /// Feeds one canary window observed at `now`; returns the standing
+    /// verdict. A tripped gate stays tripped (halts are sticky — a
+    /// rollback, not a resume, clears them).
+    pub fn observe(&mut self, now: TimeMs, canary: WindowSample) -> &Verdict {
+        if matches!(self.verdict, Verdict::Halt { .. }) {
+            return &self.verdict;
+        }
+        if canary.requests < self.policy.min_requests {
+            // Too little traffic to judge; do not count either way.
+            return &self.verdict;
+        }
+        let threshold = self.threshold();
+        if canary.rate() > threshold {
+            self.consecutive_bad += 1;
+            if self.consecutive_bad >= self.policy.bad_windows_to_halt {
+                self.verdict = Verdict::Halt {
+                    at: now,
+                    observed_rate: canary.rate(),
+                    threshold,
+                };
+            }
+        } else {
+            self.consecutive_bad = 0;
+        }
+        &self.verdict
+    }
+
+    /// The standing verdict.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// True when the gate has tripped.
+    pub fn halted(&self) -> bool {
+        matches!(self.verdict, Verdict::Halt { .. })
+    }
+}
+
+/// Outcome of a gated release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatedReleaseOutcome {
+    /// Batches fully released before any halt.
+    pub batches_released: usize,
+    /// Fraction of the fleet running the new code when the release ended
+    /// (the blast radius of a bad release).
+    pub fleet_fraction_on_new_code: f64,
+    /// The gate's final verdict.
+    pub verdict: Verdict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> WindowSample {
+        WindowSample {
+            requests: 100_000,
+            disruptions: 10,
+        } // rate 1e-4
+    }
+
+    #[test]
+    fn healthy_canary_proceeds() {
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline());
+        for t in 0..20 {
+            let v = gate.observe(
+                t,
+                WindowSample {
+                    requests: 50_000,
+                    disruptions: 5,
+                },
+            );
+            assert_eq!(v, &Verdict::Proceed, "window {t}");
+        }
+        assert!(!gate.halted());
+    }
+
+    #[test]
+    fn bad_canary_halts_after_debounce() {
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline());
+        let bad = WindowSample {
+            requests: 50_000,
+            disruptions: 2_000,
+        }; // 4%
+        assert_eq!(
+            gate.observe(1, bad),
+            &Verdict::Proceed,
+            "first bad window debounced"
+        );
+        match gate.observe(2, bad) {
+            Verdict::Halt {
+                at,
+                observed_rate,
+                threshold,
+            } => {
+                assert_eq!(*at, 2);
+                assert!(*observed_rate > *threshold);
+            }
+            v => panic!("expected halt, got {v:?}"),
+        }
+        assert!(gate.halted());
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline());
+        let bad = WindowSample {
+            requests: 50_000,
+            disruptions: 2_000,
+        };
+        gate.observe(1, bad);
+        gate.observe(2, bad);
+        assert!(gate.halted());
+        let good = WindowSample {
+            requests: 50_000,
+            disruptions: 0,
+        };
+        assert!(matches!(gate.observe(3, good), Verdict::Halt { .. }));
+    }
+
+    #[test]
+    fn single_blip_does_not_halt() {
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline());
+        let bad = WindowSample {
+            requests: 50_000,
+            disruptions: 2_000,
+        };
+        let good = WindowSample {
+            requests: 50_000,
+            disruptions: 3,
+        };
+        gate.observe(1, bad);
+        gate.observe(2, good); // resets the debounce
+        gate.observe(3, bad);
+        assert!(!gate.halted(), "non-consecutive bad windows must not trip");
+    }
+
+    #[test]
+    fn thin_traffic_windows_are_skipped() {
+        let policy = CanaryPolicy {
+            min_requests: 10_000,
+            ..Default::default()
+        };
+        let mut gate = CanaryGate::new(policy, baseline());
+        // Catastrophic rate but only 100 requests: not judged.
+        let tiny = WindowSample {
+            requests: 100,
+            disruptions: 90,
+        };
+        for t in 0..10 {
+            assert_eq!(gate.observe(t, tiny), &Verdict::Proceed);
+        }
+    }
+
+    #[test]
+    fn zero_baseline_uses_absolute_slack() {
+        let gate = CanaryGate::new(
+            CanaryPolicy::default(),
+            WindowSample {
+                requests: 100_000,
+                disruptions: 0,
+            },
+        );
+        assert!((gate.threshold() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_of_empty_window_is_zero() {
+        assert_eq!(WindowSample::default().rate(), 0.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Per-instance restart lifecycle and connection-survival accounting.
+//!
+//! A restarting instance walks `Serving → Draining → Restarting → Serving`
+//! (§2.3). What differs between strategies is what each phase *means*:
+//!
+//! * **HardRestart**: draining = failing health checks, serving no new
+//!   connections, zero effective capacity; at the deadline surviving
+//!   connections are terminated (TCP RST).
+//! * **ZeroDowntime** with Socket Takeover: the new process serves new
+//!   connections and answers health checks from the first instant; the old
+//!   process drains in parallel at a small CPU cost (§6.3); connections
+//!   that outlive the drain are handed over by DCR (MQTT) or PPR (POSTs)
+//!   rather than reset.
+
+use crate::mechanism::{Mechanism, RestartStrategy};
+use crate::TimeMs;
+
+/// Where an instance is in its restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Normal operation.
+    Serving,
+    /// Old code still running; existing connections finishing.
+    Draining {
+        /// When draining began.
+        started: TimeMs,
+        /// When the old process exits.
+        deadline: TimeMs,
+    },
+    /// Process (re)starting; for HardRestart this is downtime.
+    Restarting {
+        /// When the instance returns to service.
+        until: TimeMs,
+    },
+}
+
+/// Lifecycle events emitted by [`InstanceLifecycle::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// Drain deadline reached; old process exiting. Carries how many
+    /// surviving connections get terminated (HardRestart) or handed over.
+    DrainEnded,
+    /// Restart finished; the instance serves at the new generation.
+    BackInService {
+        /// The new code generation.
+        generation: u32,
+    },
+}
+
+/// The relative CPU cost of running two Proxygen instances side by side
+/// during a Socket Takeover drain (§6.3: median overhead below 5%).
+pub const PARALLEL_INSTANCE_CPU_OVERHEAD: f64 = 0.05;
+
+/// State machine for one instance's restart.
+#[derive(Debug, Clone)]
+pub struct InstanceLifecycle {
+    strategy: RestartStrategy,
+    phase: Phase,
+    generation: u32,
+}
+
+impl InstanceLifecycle {
+    /// A serving instance at generation 0.
+    pub fn new(strategy: RestartStrategy) -> Self {
+        InstanceLifecycle {
+            strategy,
+            phase: Phase::Serving,
+            generation: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Current code generation.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> &RestartStrategy {
+        &self.strategy
+    }
+
+    /// Begins a release at `now`. No-op (returns false) if already mid-restart.
+    pub fn begin_release(&mut self, now: TimeMs, drain_ms: u64, restart_ms: u64) -> bool {
+        if self.phase != Phase::Serving {
+            return false;
+        }
+        // Under Socket Takeover the new process starts *now*; the drain and
+        // the restart overlap completely. Under HardRestart the restart
+        // begins only after the drain deadline.
+        let _ = restart_ms;
+        self.phase = Phase::Draining {
+            started: now,
+            deadline: now + drain_ms,
+        };
+        true
+    }
+
+    /// Advances the clock; emits at most one event per call.
+    pub fn tick(&mut self, now: TimeMs, restart_ms: u64) -> Option<LifecycleEvent> {
+        match self.phase {
+            Phase::Serving => None,
+            Phase::Draining { deadline, .. } if now >= deadline => {
+                if self.strategy.stays_healthy_during_restart() {
+                    // New process has been serving all along; old one exits.
+                    self.generation += 1;
+                    self.phase = Phase::Serving;
+                    Some(LifecycleEvent::BackInService {
+                        generation: self.generation,
+                    })
+                } else {
+                    self.phase = Phase::Restarting {
+                        until: deadline + restart_ms,
+                    };
+                    Some(LifecycleEvent::DrainEnded)
+                }
+            }
+            Phase::Draining { .. } => None,
+            Phase::Restarting { until } if now >= until => {
+                self.generation += 1;
+                self.phase = Phase::Serving;
+                Some(LifecycleEvent::BackInService {
+                    generation: self.generation,
+                })
+            }
+            Phase::Restarting { .. } => None,
+        }
+    }
+
+    /// Does the instance accept new connections at `now`?
+    pub fn accepts_new_connections(&self) -> bool {
+        match self.phase {
+            Phase::Serving => true,
+            // Socket Takeover: the parallel new process accepts.
+            Phase::Draining { .. } => self.strategy.stays_healthy_during_restart(),
+            Phase::Restarting { .. } => false,
+        }
+    }
+
+    /// Does the machine answer L4 health checks positively at `now`?
+    pub fn answers_health_checks(&self) -> bool {
+        // Identical criterion to accepting connections: the HC responder is
+        // the serving process.
+        self.accepts_new_connections()
+    }
+
+    /// Effective serving capacity of the machine, 0.0–1.0 (Figs. 3a, 8b).
+    pub fn capacity(&self) -> f64 {
+        match self.phase {
+            Phase::Serving => 1.0,
+            Phase::Draining { .. } => {
+                if self.strategy.stays_healthy_during_restart() {
+                    1.0 - PARALLEL_INSTANCE_CPU_OVERHEAD
+                } else {
+                    0.0
+                }
+            }
+            Phase::Restarting { .. } => 0.0,
+        }
+    }
+}
+
+/// Kinds of connections the paper's workloads carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnectionKind {
+    /// Short-lived HTTP request (dominant app-server workload).
+    ShortRequest,
+    /// Long HTTP POST upload — outlives short drains.
+    LongPost,
+    /// Persistent MQTT tunnel.
+    MqttTunnel,
+    /// QUIC/UDP flow.
+    QuicFlow,
+}
+
+/// What happens to one connection when its instance restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionOutcome {
+    /// Finished within the drain period; no disruption.
+    CompletedDuringDrain,
+    /// Kept alive end-to-end by a mechanism.
+    HandedOver(Mechanism),
+    /// Reset / errored — the user-visible disruption (§2.5).
+    Disrupted,
+}
+
+/// Decides a connection's fate (§4.4 composition rules).
+///
+/// `remaining_ms` is how much longer the connection needs to finish
+/// organically; persistent tunnels are effectively infinite.
+pub fn connection_outcome(
+    strategy: &RestartStrategy,
+    kind: ConnectionKind,
+    remaining_ms: u64,
+    drain_ms: u64,
+) -> ConnectionOutcome {
+    if remaining_ms <= drain_ms {
+        return ConnectionOutcome::CompletedDuringDrain;
+    }
+    match kind {
+        ConnectionKind::MqttTunnel if strategy.uses(Mechanism::DownstreamConnectionReuse) => {
+            ConnectionOutcome::HandedOver(Mechanism::DownstreamConnectionReuse)
+        }
+        ConnectionKind::LongPost | ConnectionKind::ShortRequest
+            if strategy.uses(Mechanism::PartialPostReplay) =>
+        {
+            ConnectionOutcome::HandedOver(Mechanism::PartialPostReplay)
+        }
+        // A QUIC flow under Socket Takeover survives the whole drain window
+        // via user-space routing; only flows outliving the drain get cut.
+        _ => ConnectionOutcome::Disrupted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::Tier;
+
+    const DRAIN: u64 = 1_200_000; // 20 min
+    const RESTART: u64 = 30_000;
+
+    fn hard() -> InstanceLifecycle {
+        InstanceLifecycle::new(RestartStrategy::HardRestart)
+    }
+
+    fn zdr() -> InstanceLifecycle {
+        InstanceLifecycle::new(RestartStrategy::zero_downtime_for(Tier::EdgeProxygen))
+    }
+
+    #[test]
+    fn hard_restart_full_lifecycle() {
+        let mut l = hard();
+        assert_eq!(l.phase(), Phase::Serving);
+        assert!(l.begin_release(0, DRAIN, RESTART));
+        assert!(!l.begin_release(1, DRAIN, RESTART), "no double release");
+
+        assert!(!l.accepts_new_connections());
+        assert!(!l.answers_health_checks());
+        assert_eq!(l.capacity(), 0.0);
+
+        assert_eq!(l.tick(DRAIN - 1, RESTART), None);
+        assert_eq!(l.tick(DRAIN, RESTART), Some(LifecycleEvent::DrainEnded));
+        assert!(matches!(l.phase(), Phase::Restarting { .. }));
+        assert_eq!(l.capacity(), 0.0);
+
+        assert_eq!(
+            l.tick(DRAIN + RESTART, RESTART),
+            Some(LifecycleEvent::BackInService { generation: 1 })
+        );
+        assert_eq!(l.phase(), Phase::Serving);
+        assert_eq!(l.generation(), 1);
+        assert_eq!(l.capacity(), 1.0);
+    }
+
+    #[test]
+    fn zdr_stays_available_through_restart() {
+        let mut l = zdr();
+        assert!(l.begin_release(0, DRAIN, RESTART));
+        // The machine never stops accepting connections or answering HCs.
+        assert!(l.accepts_new_connections());
+        assert!(l.answers_health_checks());
+        // Small parallel-instance overhead, not an outage.
+        assert!((l.capacity() - 0.95).abs() < 1e-9);
+
+        // At the drain deadline the old process exits and we're done — no
+        // Restarting downtime phase.
+        assert_eq!(
+            l.tick(DRAIN, RESTART),
+            Some(LifecycleEvent::BackInService { generation: 1 })
+        );
+        assert_eq!(l.capacity(), 1.0);
+    }
+
+    #[test]
+    fn app_server_zdr_is_not_takeover_shaped() {
+        // App-server ZDR (PPR only) still goes through the unavailable
+        // window — the machine can't host two instances.
+        let mut l = InstanceLifecycle::new(RestartStrategy::zero_downtime_for(Tier::AppServer));
+        l.begin_release(0, 12_000, 60_000);
+        assert!(!l.accepts_new_connections());
+        assert_eq!(l.capacity(), 0.0);
+        assert_eq!(l.tick(12_000, 60_000), Some(LifecycleEvent::DrainEnded));
+    }
+
+    #[test]
+    fn short_connections_complete_during_drain() {
+        let s = RestartStrategy::HardRestart;
+        assert_eq!(
+            connection_outcome(&s, ConnectionKind::ShortRequest, 500, DRAIN),
+            ConnectionOutcome::CompletedDuringDrain
+        );
+    }
+
+    #[test]
+    fn long_lived_disrupted_under_hard_restart() {
+        let s = RestartStrategy::HardRestart;
+        for kind in [
+            ConnectionKind::LongPost,
+            ConnectionKind::MqttTunnel,
+            ConnectionKind::QuicFlow,
+        ] {
+            assert_eq!(
+                connection_outcome(&s, kind, DRAIN + 1, DRAIN),
+                ConnectionOutcome::Disrupted,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mqtt_handed_over_by_dcr() {
+        let s = RestartStrategy::zero_downtime_for(Tier::OriginProxygen);
+        assert_eq!(
+            connection_outcome(&s, ConnectionKind::MqttTunnel, u64::MAX, DRAIN),
+            ConnectionOutcome::HandedOver(Mechanism::DownstreamConnectionReuse)
+        );
+    }
+
+    #[test]
+    fn long_post_handed_over_by_ppr_at_app_tier() {
+        let s = RestartStrategy::zero_downtime_for(Tier::AppServer);
+        assert_eq!(
+            connection_outcome(&s, ConnectionKind::LongPost, 60_000, 12_000),
+            ConnectionOutcome::HandedOver(Mechanism::PartialPostReplay)
+        );
+    }
+
+    #[test]
+    fn quic_flow_outliving_drain_is_cut_even_under_zdr() {
+        let s = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        assert_eq!(
+            connection_outcome(&s, ConnectionKind::QuicFlow, DRAIN + 1, DRAIN),
+            ConnectionOutcome::Disrupted
+        );
+    }
+
+    #[test]
+    fn boundary_condition_exactly_at_drain() {
+        let s = RestartStrategy::HardRestart;
+        assert_eq!(
+            connection_outcome(&s, ConnectionKind::LongPost, DRAIN, DRAIN),
+            ConnectionOutcome::CompletedDuringDrain
+        );
+    }
+}

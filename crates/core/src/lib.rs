@@ -1,0 +1,88 @@
+//! # zdr-core — Zero Downtime Release orchestration
+//!
+//! The paper's contribution is not any single network trick but a *release
+//! framework*: a way to restart a global fleet of load balancers and app
+//! servers continuously without users noticing (§4). This crate holds the
+//! framework itself, independent of transport:
+//!
+//! * [`tier`] — the serving tiers (Edge Proxygen, Origin Proxygen, App
+//!   Server) and their operational envelopes: drain periods, restart
+//!   frequencies, resource constraints.
+//! * [`mechanism`] — the three mechanisms (Socket Takeover, Downstream
+//!   Connection Reuse, Partial Post Replay) and the §4.4 applicability
+//!   matrix deciding which runs where.
+//! * [`drain`] — per-instance restart lifecycle (serving → draining →
+//!   restarting → serving), connection-survival accounting.
+//! * [`scheduler`] — batch rolling-release scheduling across a cluster and
+//!   a global fleet; completion-time and capacity-floor computation
+//!   (Figs. 3a, 16).
+//! * [`calendar`] — the release-calendar model: how often each tier
+//!   releases, why (binary vs. config), commits per release, and the
+//!   hour-of-day release distribution (Figs. 2a–c, 15).
+//! * [`metrics`] — the disruption taxonomy (§2.5, Fig. 12) and small
+//!   time-series/percentile utilities the experiments report with.
+//! * [`canary`] — release gating: baseline-relative disruption budgets
+//!   that halt a bad rollout after its first batch (§5.1's confined blast
+//!   radius and swift rollback).
+//! * [`pipeline`] — multi-cluster release trains (canary → early → fleet)
+//!   with a gate between stages.
+
+pub mod calendar;
+pub mod canary;
+pub mod drain;
+pub mod mechanism;
+pub mod metrics;
+pub mod pipeline;
+pub mod scheduler;
+pub mod tier;
+
+pub use mechanism::Mechanism;
+pub use tier::Tier;
+
+/// Identifies a machine/instance within a cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct InstanceId(pub u32);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instance-{}", self.0)
+    }
+}
+
+/// Identifies a cluster (Edge PoP or DataCenter cluster).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct ClusterId(pub u32);
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster-{}", self.0)
+    }
+}
+
+/// Simulation-friendly milliseconds-since-epoch timestamp.
+pub type TimeMs = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(InstanceId(3).to_string(), "instance-3");
+        assert_eq!(ClusterId(9).to_string(), "cluster-9");
+    }
+
+    #[test]
+    fn ids_order_and_serde() {
+        let mut v = vec![InstanceId(2), InstanceId(0), InstanceId(1)];
+        v.sort();
+        assert_eq!(v, vec![InstanceId(0), InstanceId(1), InstanceId(2)]);
+        let json = serde_json::to_string(&ClusterId(5)).unwrap();
+        let back: ClusterId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ClusterId(5));
+    }
+}

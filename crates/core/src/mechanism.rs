@@ -1,0 +1,177 @@
+//! The three Zero Downtime Release mechanisms and the §4.4 applicability
+//! matrix.
+//!
+//! *"The three mechanisms differ with respect to the protocol or the target
+//! layer in the networking stack. Hence, there's no interdependencies and
+//! the mechanisms are used concurrently."*
+
+use crate::tier::Tier;
+
+/// A disruption-avoidance mechanism.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Mechanism {
+    /// §4.1 — pass listening-socket FDs to a parallel new instance.
+    SocketTakeover,
+    /// §4.2 — re-home tunnelled MQTT connections through another healthy
+    /// proxy instead of dropping them.
+    DownstreamConnectionReuse,
+    /// §4.3 — hand incomplete POSTs back to the proxy for replay (HTTP 379).
+    PartialPostReplay,
+}
+
+impl Mechanism {
+    /// All mechanisms.
+    pub fn all() -> [Mechanism; 3] {
+        [
+            Mechanism::SocketTakeover,
+            Mechanism::DownstreamConnectionReuse,
+            Mechanism::PartialPostReplay,
+        ]
+    }
+
+    /// Whether this mechanism is applicable on `tier` (§4.4):
+    ///
+    /// * Socket Takeover runs on **every Proxygen** but not on App Servers
+    ///   (no headroom for two parallel instances, and the 10–15 s drain is
+    ///   too short for it to help long POSTs anyway).
+    /// * DCR runs at Edge and Origin Proxygen for MQTT-backed services.
+    /// * PPR is the App Server mechanism (server side) — the proxy side
+    ///   lives downstream at the Origin.
+    pub fn applicable_to(self, tier: Tier) -> bool {
+        match self {
+            Mechanism::SocketTakeover => {
+                tier.profile().supports_parallel_instances
+                    && matches!(tier, Tier::EdgeProxygen | Tier::OriginProxygen)
+            }
+            Mechanism::DownstreamConnectionReuse => {
+                matches!(tier, Tier::EdgeProxygen | Tier::OriginProxygen)
+            }
+            Mechanism::PartialPostReplay => matches!(tier, Tier::AppServer),
+        }
+    }
+
+    /// The mechanism set a Zero Downtime Release deploys on `tier`.
+    pub fn for_tier(tier: Tier) -> Vec<Mechanism> {
+        Mechanism::all()
+            .into_iter()
+            .filter(|m| m.applicable_to(tier))
+            .collect()
+    }
+
+    /// Short name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::SocketTakeover => "socket-takeover",
+            Mechanism::DownstreamConnectionReuse => "downstream-connection-reuse",
+            Mechanism::PartialPostReplay => "partial-post-replay",
+        }
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a tier is restarted.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum RestartStrategy {
+    /// The traditional baseline (§2.3, §6.1): fail health checks, drain for
+    /// the tier's drain period, terminate survivors, restart.
+    HardRestart,
+    /// The paper's framework: the listed mechanisms run concurrently.
+    ZeroDowntime {
+        /// Mechanisms in effect.
+        mechanisms: Vec<Mechanism>,
+    },
+}
+
+impl RestartStrategy {
+    /// The Zero Downtime strategy with every §4.4-applicable mechanism for
+    /// `tier`.
+    pub fn zero_downtime_for(tier: Tier) -> RestartStrategy {
+        RestartStrategy::ZeroDowntime {
+            mechanisms: Mechanism::for_tier(tier),
+        }
+    }
+
+    /// True when `m` is active.
+    pub fn uses(&self, m: Mechanism) -> bool {
+        match self {
+            RestartStrategy::HardRestart => false,
+            RestartStrategy::ZeroDowntime { mechanisms } => mechanisms.contains(&m),
+        }
+    }
+
+    /// Whether the instance keeps answering L4 health checks during its
+    /// restart. This is the Fig. 8 discriminator: Socket Takeover's new
+    /// process answers probes immediately, so Katran never sees the restart.
+    pub fn stays_healthy_during_restart(&self) -> bool {
+        self.uses(Mechanism::SocketTakeover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_matrix_matches_section_4_4() {
+        use Mechanism::*;
+        use Tier::*;
+        assert!(SocketTakeover.applicable_to(EdgeProxygen));
+        assert!(SocketTakeover.applicable_to(OriginProxygen));
+        assert!(!SocketTakeover.applicable_to(AppServer));
+
+        assert!(DownstreamConnectionReuse.applicable_to(EdgeProxygen));
+        assert!(DownstreamConnectionReuse.applicable_to(OriginProxygen));
+        assert!(!DownstreamConnectionReuse.applicable_to(AppServer));
+
+        assert!(!PartialPostReplay.applicable_to(EdgeProxygen));
+        assert!(!PartialPostReplay.applicable_to(OriginProxygen));
+        assert!(PartialPostReplay.applicable_to(AppServer));
+    }
+
+    #[test]
+    fn for_tier_sets() {
+        let edge = Mechanism::for_tier(Tier::EdgeProxygen);
+        assert_eq!(
+            edge,
+            vec![
+                Mechanism::SocketTakeover,
+                Mechanism::DownstreamConnectionReuse
+            ]
+        );
+        let app = Mechanism::for_tier(Tier::AppServer);
+        assert_eq!(app, vec![Mechanism::PartialPostReplay]);
+    }
+
+    #[test]
+    fn strategy_health_visibility() {
+        assert!(!RestartStrategy::HardRestart.stays_healthy_during_restart());
+        assert!(
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen).stays_healthy_during_restart()
+        );
+        // App-server ZDR has no Socket Takeover, so the *instance* does go
+        // unhealthy — PPR protects the requests instead.
+        assert!(!RestartStrategy::zero_downtime_for(Tier::AppServer).stays_healthy_during_restart());
+    }
+
+    #[test]
+    fn uses_reports_mechanisms() {
+        let s = RestartStrategy::zero_downtime_for(Tier::OriginProxygen);
+        assert!(s.uses(Mechanism::SocketTakeover));
+        assert!(s.uses(Mechanism::DownstreamConnectionReuse));
+        assert!(!s.uses(Mechanism::PartialPostReplay));
+        assert!(!RestartStrategy::HardRestart.uses(Mechanism::SocketTakeover));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mechanism::SocketTakeover.to_string(), "socket-takeover");
+        assert_eq!(Mechanism::all().len(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! Disruption metrics and reporting utilities.
+//!
+//! §2.5 defines "disruption" operationally: *"any irregular increase in the
+//! number of HTTP errors (e.g., 500 code), proxy errors (e.g., timeouts),
+//! connection terminations (e.g., TCP RSTs) and QoE degradation"*. Fig. 12
+//! breaks proxy errors into four classes. These types carry those counters
+//! through the simulator and the real proxy alike, plus the small
+//! time-series/percentile helpers every experiment reports with.
+
+use std::collections::BTreeMap;
+
+use crate::TimeMs;
+
+/// Fig. 12's four proxy-error classes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum ProxyErrorKind {
+    /// TCP RST sent to terminate the connection.
+    ConnReset,
+    /// HTTP-level stream abort.
+    StreamAbort,
+    /// TCP-level timeout.
+    Timeout,
+    /// Application write timeout — "significantly disruptive for user
+    /// experience as users can not retry right away" (§6.1.4; 16× worse
+    /// under traditional restarts).
+    WriteTimeout,
+}
+
+impl ProxyErrorKind {
+    /// All classes, in Fig. 12 order.
+    pub fn all() -> [ProxyErrorKind; 4] {
+        [
+            ProxyErrorKind::ConnReset,
+            ProxyErrorKind::StreamAbort,
+            ProxyErrorKind::Timeout,
+            ProxyErrorKind::WriteTimeout,
+        ]
+    }
+
+    /// Label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProxyErrorKind::ConnReset => "conn-reset",
+            ProxyErrorKind::StreamAbort => "stream-abort",
+            ProxyErrorKind::Timeout => "timeout",
+            ProxyErrorKind::WriteTimeout => "write-timeout",
+        }
+    }
+}
+
+/// Aggregate disruption counters for one instance / cluster / experiment.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DisruptionCounters {
+    /// Requests served successfully.
+    pub requests_ok: u64,
+    /// HTTP 5xx returned to end users.
+    pub http_5xx: u64,
+    /// Proxy errors by class.
+    pub proxy_errors: BTreeMap<ProxyErrorKind, u64>,
+    /// Connections terminated by restart (TCP RST).
+    pub connections_reset: u64,
+    /// MQTT tunnels re-homed by DCR (no user impact).
+    pub dcr_handovers: u64,
+    /// MQTT client reconnects forced (user impact).
+    pub mqtt_forced_reconnects: u64,
+    /// POSTs saved by Partial Post Replay.
+    pub ppr_replays: u64,
+    /// POSTs lost despite everything.
+    pub posts_disrupted: u64,
+    /// UDP packets misrouted to a process without flow state.
+    pub udp_misrouted: u64,
+    /// TLS/TCP re-handshakes forced by connection loss (the Fig. 3b CPU
+    /// driver).
+    pub rehandshakes: u64,
+}
+
+impl DisruptionCounters {
+    /// Bumps one proxy-error class.
+    pub fn record_proxy_error(&mut self, kind: ProxyErrorKind) {
+        *self.proxy_errors.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Count for one proxy-error class.
+    pub fn proxy_error(&self, kind: ProxyErrorKind) -> u64 {
+        self.proxy_errors.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total user-visible disruptions (the paper's headline metric).
+    pub fn total_disruptions(&self) -> u64 {
+        self.http_5xx
+            + self.connections_reset
+            + self.mqtt_forced_reconnects
+            + self.posts_disrupted
+            + self.proxy_errors.values().sum::<u64>()
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &DisruptionCounters) {
+        self.requests_ok += other.requests_ok;
+        self.http_5xx += other.http_5xx;
+        for (k, v) in &other.proxy_errors {
+            *self.proxy_errors.entry(*k).or_insert(0) += v;
+        }
+        self.connections_reset += other.connections_reset;
+        self.dcr_handovers += other.dcr_handovers;
+        self.mqtt_forced_reconnects += other.mqtt_forced_reconnects;
+        self.ppr_replays += other.ppr_replays;
+        self.posts_disrupted += other.posts_disrupted;
+        self.udp_misrouted += other.udp_misrouted;
+        self.rehandshakes += other.rehandshakes;
+    }
+}
+
+/// A `(time, value)` series, the shape every timeline figure plots.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimeSeries {
+    /// Samples in time order.
+    pub points: Vec<(TimeMs, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample (times must be non-decreasing).
+    pub fn push(&mut self, t: TimeMs, v: f64) {
+        debug_assert!(self.points.last().is_none_or(|&(pt, _)| pt <= t));
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Normalizes every value by the first sample — "normalized by the
+    /// value just before the release" (Fig. 13, Fig. 9).
+    pub fn normalized(&self) -> TimeSeries {
+        let base = match self.points.first() {
+            Some(&(_, v)) if v != 0.0 => v,
+            _ => return self.clone(),
+        };
+        TimeSeries {
+            points: self.points.iter().map(|&(t, v)| (t, v / base)).collect(),
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) of `values`, by nearest-rank on a sorted
+/// copy. Returns `None` on empty input.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric values"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_record_and_total() {
+        let mut c = DisruptionCounters {
+            requests_ok: 1000,
+            http_5xx: 3,
+            ..Default::default()
+        };
+        c.record_proxy_error(ProxyErrorKind::WriteTimeout);
+        c.record_proxy_error(ProxyErrorKind::WriteTimeout);
+        c.record_proxy_error(ProxyErrorKind::ConnReset);
+        c.connections_reset = 5;
+        c.mqtt_forced_reconnects = 2;
+        c.posts_disrupted = 1;
+
+        assert_eq!(c.proxy_error(ProxyErrorKind::WriteTimeout), 2);
+        assert_eq!(c.proxy_error(ProxyErrorKind::Timeout), 0);
+        assert_eq!(c.total_disruptions(), 3 + 5 + 2 + 1 + 3);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = DisruptionCounters {
+            requests_ok: 10,
+            ..Default::default()
+        };
+        a.record_proxy_error(ProxyErrorKind::Timeout);
+        let mut b = DisruptionCounters {
+            requests_ok: 5,
+            dcr_handovers: 7,
+            ..Default::default()
+        };
+        b.record_proxy_error(ProxyErrorKind::Timeout);
+        b.record_proxy_error(ProxyErrorKind::ConnReset);
+        a.merge(&b);
+        assert_eq!(a.requests_ok, 15);
+        assert_eq!(a.dcr_handovers, 7);
+        assert_eq!(a.proxy_error(ProxyErrorKind::Timeout), 2);
+        assert_eq!(a.proxy_error(ProxyErrorKind::ConnReset), 1);
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = TimeSeries::new();
+        s.push(0, 4.0);
+        s.push(1, 2.0);
+        s.push(2, 6.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+        assert_eq!(s.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn series_normalization() {
+        let mut s = TimeSeries::new();
+        s.push(0, 200.0);
+        s.push(1, 100.0);
+        s.push(2, 300.0);
+        let n = s.normalized();
+        assert_eq!(n.points, vec![(0, 1.0), (1, 0.5), (2, 1.5)]);
+    }
+
+    #[test]
+    fn normalization_with_zero_or_empty_base_is_identity() {
+        let mut s = TimeSeries::new();
+        s.push(0, 0.0);
+        s.push(1, 5.0);
+        assert_eq!(s.normalized(), s);
+        let empty = TimeSeries::new();
+        assert_eq!(empty.normalized(), empty);
+        assert!(empty.is_empty());
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.mean(), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(51.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.9), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn error_kind_names() {
+        assert_eq!(ProxyErrorKind::WriteTimeout.name(), "write-timeout");
+        assert_eq!(ProxyErrorKind::all().len(), 4);
+    }
+
+    #[test]
+    fn counters_serialize() {
+        let mut c = DisruptionCounters::default();
+        c.record_proxy_error(ProxyErrorKind::StreamAbort);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DisruptionCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,307 @@
+//! Multi-cluster, multi-tier release pipelines with canary gates.
+//!
+//! A production release is not one cluster rollout: it is a *train* —
+//! canary clusters first, then the fleet, tier by tier (§2.4's tens of
+//! releases per week ride this machinery). The pipeline composes
+//! [`crate::scheduler::ClusterRollout`] per cluster with a
+//! [`crate::canary::CanaryGate`] between stages, so a bad binary is caught
+//! while its blast radius is one canary cluster (§5.1).
+
+use crate::canary::{CanaryGate, CanaryPolicy, Verdict, WindowSample};
+use crate::mechanism::RestartStrategy;
+use crate::scheduler::{ClusterRollout, RolloutPlan};
+use crate::{ClusterId, TimeMs};
+
+/// One stage of the train: a set of clusters released together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Human label ("canary", "pop-1", "fleet"…).
+    pub name: String,
+    /// Clusters released in this stage.
+    pub clusters: Vec<ClusterId>,
+    /// Machines per cluster in this stage.
+    pub machines_per_cluster: usize,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Ordered stages (canary first).
+    pub stages: Vec<Stage>,
+    /// Strategy used for every cluster rollout.
+    pub strategy: RestartStrategy,
+    /// Per-cluster rollout parameters.
+    pub plan: RolloutPlan,
+    /// Gate policy applied after each stage.
+    pub policy: CanaryPolicy,
+}
+
+/// Why (and where) a pipeline stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineOutcome {
+    /// Every stage shipped.
+    Completed {
+        /// Total wall-clock, ms.
+        duration_ms: TimeMs,
+    },
+    /// The gate tripped after `stage`; later stages never started.
+    HaltedAfter {
+        /// Index of the last stage that ran.
+        stage: usize,
+        /// The verdict that stopped the train.
+        verdict: Verdict,
+        /// Clusters that received the release before the halt.
+        clusters_released: usize,
+    },
+}
+
+/// Drives a pipeline. The caller supplies `observe`, which runs one
+/// post-stage canary window and reports what the monitoring saw — from the
+/// simulator, production counters, or a test stub.
+#[derive(Debug)]
+pub struct ReleasePipeline {
+    config: PipelineConfig,
+    gate: CanaryGate,
+    now: TimeMs,
+    clusters_released: usize,
+}
+
+impl ReleasePipeline {
+    /// A pipeline with a pre-release `baseline` window for the gate.
+    pub fn new(config: PipelineConfig, baseline: WindowSample) -> Self {
+        assert!(
+            !config.stages.is_empty(),
+            "pipeline needs at least one stage"
+        );
+        let gate = CanaryGate::new(config.policy, baseline);
+        ReleasePipeline {
+            config,
+            gate,
+            now: 0,
+            clusters_released: 0,
+        }
+    }
+
+    /// Runs the train to completion or halt.
+    pub fn run(&mut self, mut observe: impl FnMut(&Stage) -> WindowSample) -> PipelineOutcome {
+        for i in 0..self.config.stages.len() {
+            let stage = self.config.stages[i].clone();
+            // Release every cluster in the stage (they roll in parallel;
+            // wall-clock is the slowest cluster).
+            let mut stage_duration: TimeMs = 0;
+            for _cluster in &stage.clusters {
+                let mut rollout = ClusterRollout::new(
+                    stage.machines_per_cluster,
+                    self.config.strategy.clone(),
+                    self.config.plan,
+                );
+                let (t, _) = crate::scheduler::run_to_completion(&mut rollout, 5_000);
+                stage_duration = stage_duration.max(t);
+                self.clusters_released += 1;
+            }
+            self.now += stage_duration;
+
+            // Post-stage canary window (debounced per the gate policy).
+            loop {
+                let sample = observe(&stage);
+                let looked_bad = sample.requests > 0 && sample.rate() > self.gate.threshold();
+                match self.gate.observe(self.now, sample) {
+                    Verdict::Halt { .. } => {
+                        return PipelineOutcome::HaltedAfter {
+                            stage: i,
+                            verdict: self.gate.verdict().clone(),
+                            clusters_released: self.clusters_released,
+                        };
+                    }
+                    Verdict::Proceed if looked_bad => continue,
+                    Verdict::Proceed => break,
+                }
+            }
+        }
+        PipelineOutcome::Completed {
+            duration_ms: self.now,
+        }
+    }
+
+    /// Clusters released so far.
+    pub fn clusters_released(&self) -> usize {
+        self.clusters_released
+    }
+}
+
+/// The canonical Facebook-shaped train: one canary cluster, then a small
+/// region, then the fleet.
+pub fn canary_train(
+    strategy: RestartStrategy,
+    plan: RolloutPlan,
+    fleet_clusters: u32,
+    machines_per_cluster: usize,
+) -> PipelineConfig {
+    assert!(fleet_clusters >= 2, "a train needs a canary plus a fleet");
+    let canary = Stage {
+        name: "canary".into(),
+        clusters: vec![ClusterId(0)],
+        machines_per_cluster,
+    };
+    let early = Stage {
+        name: "early".into(),
+        clusters: (1..=fleet_clusters.min(3)).map(ClusterId).collect(),
+        machines_per_cluster,
+    };
+    let fleet = Stage {
+        name: "fleet".into(),
+        clusters: (fleet_clusters.min(3) + 1..=fleet_clusters)
+            .map(ClusterId)
+            .collect(),
+        machines_per_cluster,
+    };
+    let stages = if fleet.clusters.is_empty() {
+        vec![canary, early]
+    } else {
+        vec![canary, early, fleet]
+    };
+    PipelineConfig {
+        stages,
+        strategy,
+        plan,
+        policy: CanaryPolicy::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::Tier;
+
+    fn plan() -> RolloutPlan {
+        RolloutPlan {
+            batch_fraction: 0.2,
+            drain_ms: 1_000,
+            restart_ms: 100,
+        }
+    }
+
+    fn baseline() -> WindowSample {
+        WindowSample {
+            requests: 100_000,
+            disruptions: 10,
+        }
+    }
+
+    fn good_window() -> WindowSample {
+        WindowSample {
+            requests: 100_000,
+            disruptions: 12,
+        }
+    }
+
+    fn bad_window() -> WindowSample {
+        WindowSample {
+            requests: 100_000,
+            disruptions: 5_000,
+        }
+    }
+
+    #[test]
+    fn healthy_train_ships_every_stage() {
+        let cfg = canary_train(
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen),
+            plan(),
+            10,
+            20,
+        );
+        let total_clusters: usize = cfg.stages.iter().map(|s| s.clusters.len()).sum();
+        let mut pipeline = ReleasePipeline::new(cfg, baseline());
+        let outcome = pipeline.run(|_| good_window());
+        match outcome {
+            PipelineOutcome::Completed { duration_ms } => assert!(duration_ms > 0),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(pipeline.clusters_released(), total_clusters);
+    }
+
+    #[test]
+    fn bad_binary_stops_at_the_canary() {
+        let cfg = canary_train(
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen),
+            plan(),
+            10,
+            20,
+        );
+        let mut pipeline = ReleasePipeline::new(cfg, baseline());
+        let outcome = pipeline.run(|_| bad_window());
+        match outcome {
+            PipelineOutcome::HaltedAfter {
+                stage,
+                clusters_released,
+                ..
+            } => {
+                assert_eq!(stage, 0, "the canary stage catches it");
+                assert_eq!(clusters_released, 1, "blast radius: one canary cluster");
+            }
+            other => panic!("expected halt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regression_appearing_mid_train_stops_there() {
+        // Healthy at the canary, regresses under fleet-scale load.
+        let cfg = canary_train(RestartStrategy::HardRestart, plan(), 10, 10);
+        let mut pipeline = ReleasePipeline::new(cfg, baseline());
+        let mut stage_seen = 0usize;
+        let outcome = pipeline.run(|stage| {
+            stage_seen += 1;
+            if stage.name == "fleet" {
+                bad_window()
+            } else {
+                good_window()
+            }
+        });
+        match outcome {
+            PipelineOutcome::HaltedAfter { stage, .. } => assert_eq!(stage, 2),
+            other => panic!("expected halt at fleet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_bad_window_is_debounced() {
+        let cfg = canary_train(RestartStrategy::HardRestart, plan(), 4, 10);
+        let mut pipeline = ReleasePipeline::new(cfg, baseline());
+        let mut flaked = false;
+        let outcome = pipeline.run(|_| {
+            if !flaked {
+                flaked = true;
+                bad_window() // one monitoring blip
+            } else {
+                good_window()
+            }
+        });
+        assert!(
+            matches!(outcome, PipelineOutcome::Completed { .. }),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn train_structure() {
+        let cfg = canary_train(RestartStrategy::HardRestart, plan(), 10, 5);
+        assert_eq!(cfg.stages.len(), 3);
+        assert_eq!(cfg.stages[0].clusters.len(), 1);
+        assert_eq!(cfg.stages[1].clusters.len(), 3);
+        assert_eq!(cfg.stages[2].clusters.len(), 7);
+        // Every cluster appears exactly once.
+        let mut all: Vec<u32> = cfg
+            .stages
+            .iter()
+            .flat_map(|s| s.clusters.iter().map(|c| c.0))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_cluster_train_has_no_fleet_stage() {
+        let cfg = canary_train(RestartStrategy::HardRestart, plan(), 2, 5);
+        assert_eq!(cfg.stages.len(), 2);
+    }
+}

@@ -1,0 +1,322 @@
+//! Batch rolling-release scheduling (§2.3, §6.1.1, Fig. 16).
+//!
+//! Operators "rely on over-provisioning the deployments and incrementally
+//! release updates to subset of machines in batches". A cluster rollout
+//! partitions instances into batches of a configured fraction (the paper
+//! tests 5%, 15% and 20%), releases one batch at a time, and starts the
+//! next batch when the previous one is back in service.
+
+use crate::drain::{InstanceLifecycle, LifecycleEvent, Phase};
+use crate::mechanism::RestartStrategy;
+use crate::{InstanceId, TimeMs};
+
+/// Rollout parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RolloutPlan {
+    /// Fraction of the cluster restarted per batch (0, 1].
+    pub batch_fraction: f64,
+    /// Drain period per instance, ms.
+    pub drain_ms: u64,
+    /// Restart duration per instance (HardRestart only), ms.
+    pub restart_ms: u64,
+}
+
+impl RolloutPlan {
+    /// Number of batches needed for `n` instances.
+    pub fn batch_count(&self, n: usize) -> usize {
+        assert!(self.batch_fraction > 0.0 && self.batch_fraction <= 1.0);
+        let per_batch = ((n as f64) * self.batch_fraction).ceil().max(1.0) as usize;
+        n.div_ceil(per_batch)
+    }
+
+    /// Instances per batch for a cluster of `n`.
+    pub fn batch_size(&self, n: usize) -> usize {
+        ((n as f64) * self.batch_fraction).ceil().max(1.0) as usize
+    }
+}
+
+/// A rolling release over one cluster.
+#[derive(Debug)]
+pub struct ClusterRollout {
+    instances: Vec<InstanceLifecycle>,
+    plan: RolloutPlan,
+    /// Index of the next instance not yet released.
+    next_unreleased: usize,
+    /// Instances in the currently releasing batch.
+    in_flight: Vec<usize>,
+    started_at: Option<TimeMs>,
+    completed_at: Option<TimeMs>,
+}
+
+impl ClusterRollout {
+    /// A rollout of `n` instances, all running `strategy`.
+    pub fn new(n: usize, strategy: RestartStrategy, plan: RolloutPlan) -> Self {
+        assert!(n > 0, "cluster must have instances");
+        ClusterRollout {
+            instances: (0..n)
+                .map(|_| InstanceLifecycle::new(strategy.clone()))
+                .collect(),
+            plan,
+            next_unreleased: 0,
+            in_flight: Vec::new(),
+            started_at: None,
+            completed_at: None,
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when empty (never — constructor asserts) — for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Starts the rollout at `now` (kicks off the first batch).
+    pub fn start(&mut self, now: TimeMs) {
+        if self.started_at.is_none() {
+            self.started_at = Some(now);
+            self.launch_next_batch(now);
+        }
+    }
+
+    fn launch_next_batch(&mut self, now: TimeMs) {
+        debug_assert!(self.in_flight.is_empty());
+        let batch = self.plan.batch_size(self.instances.len());
+        let end = (self.next_unreleased + batch).min(self.instances.len());
+        for i in self.next_unreleased..end {
+            self.instances[i].begin_release(now, self.plan.drain_ms, self.plan.restart_ms);
+            self.in_flight.push(i);
+        }
+        self.next_unreleased = end;
+    }
+
+    /// Advances to `now`; returns lifecycle events that fired. Starts the
+    /// next batch when the current one finishes.
+    pub fn tick(&mut self, now: TimeMs) -> Vec<(InstanceId, LifecycleEvent)> {
+        if self.started_at.is_none() || self.completed_at.is_some() {
+            return Vec::new();
+        }
+        let mut events = Vec::new();
+        for &i in &self.in_flight {
+            if let Some(ev) = self.instances[i].tick(now, self.plan.restart_ms) {
+                events.push((InstanceId(i as u32), ev));
+            }
+        }
+        // Batch is done when every in-flight instance is serving again.
+        let done = self
+            .in_flight
+            .iter()
+            .all(|&i| self.instances[i].phase() == Phase::Serving);
+        if done {
+            self.in_flight.clear();
+            if self.next_unreleased < self.instances.len() {
+                self.launch_next_batch(now);
+            } else if self.instances.iter().all(|l| l.generation() > 0) {
+                self.completed_at = Some(now);
+            }
+        }
+        events
+    }
+
+    /// Aggregate cluster capacity, 0.0–1.0 (the Fig. 3a / Fig. 8b series).
+    pub fn capacity(&self) -> f64 {
+        self.instances.iter().map(|l| l.capacity()).sum::<f64>() / self.instances.len() as f64
+    }
+
+    /// Fraction of instances answering health checks (Katran's view).
+    pub fn healthy_fraction(&self) -> f64 {
+        let up = self
+            .instances
+            .iter()
+            .filter(|l| l.answers_health_checks())
+            .count();
+        up as f64 / self.instances.len() as f64
+    }
+
+    /// Completion timestamp, once every instance runs the new generation.
+    pub fn completed_at(&self) -> Option<TimeMs> {
+        self.completed_at
+    }
+
+    /// True when the rollout finished.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Immutable view of instance `i`'s lifecycle.
+    pub fn instance(&self, i: usize) -> &InstanceLifecycle {
+        &self.instances[i]
+    }
+}
+
+/// Drives a rollout to completion with a fixed tick, returning
+/// `(completion_ms, min_capacity_seen)` — the two numbers Figs. 16 and 3a
+/// summarize.
+pub fn run_to_completion(rollout: &mut ClusterRollout, tick_ms: u64) -> (TimeMs, f64) {
+    rollout.start(0);
+    let mut now = 0;
+    let mut min_capacity = rollout.capacity();
+    // Generous upper bound to catch non-termination bugs in tests.
+    let limit = 10_000_000_000u64;
+    while !rollout.is_complete() {
+        now += tick_ms;
+        assert!(now < limit, "rollout failed to terminate");
+        rollout.tick(now);
+        min_capacity = min_capacity.min(rollout.capacity());
+    }
+    (rollout.completed_at().expect("complete"), min_capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::Tier;
+
+    const PLAN: RolloutPlan = RolloutPlan {
+        batch_fraction: 0.20,
+        drain_ms: 1_200_000, // 20 min
+        restart_ms: 30_000,
+    };
+
+    #[test]
+    fn batch_math() {
+        assert_eq!(PLAN.batch_size(100), 20);
+        assert_eq!(PLAN.batch_count(100), 5);
+        let p5 = RolloutPlan {
+            batch_fraction: 0.05,
+            ..PLAN
+        };
+        assert_eq!(p5.batch_size(100), 5);
+        assert_eq!(p5.batch_count(100), 20);
+        // Rounding: 7 instances at 20% → batches of 2 → 4 batches.
+        assert_eq!(PLAN.batch_size(7), 2);
+        assert_eq!(PLAN.batch_count(7), 4);
+    }
+
+    #[test]
+    fn hard_restart_capacity_dips_by_batch_fraction() {
+        let mut r = ClusterRollout::new(100, RestartStrategy::HardRestart, PLAN);
+        r.start(0);
+        // During the first batch, 20% of machines are at zero capacity —
+        // the "persistently at less than 85% capacity" observation (§2.5)
+        // for 15–20% batches.
+        assert!((r.capacity() - 0.80).abs() < 1e-9);
+        assert!((r.healthy_fraction() - 0.80).abs() < 1e-9);
+        let (completion, min_cap) = run_to_completion(&mut r, 10_000);
+        assert!((min_cap - 0.80).abs() < 1e-9);
+        // 5 batches × (drain 20 min + restart 30 s) ≈ 102.5 min.
+        let expected = 5 * (PLAN.drain_ms + PLAN.restart_ms);
+        assert!(completion >= expected && completion <= expected + 5 * 10_000);
+    }
+
+    #[test]
+    fn zdr_capacity_stays_near_one() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut r = ClusterRollout::new(100, strategy, PLAN);
+        r.start(0);
+        // 20% of machines at 95% capacity → cluster at 99%.
+        assert!(r.capacity() > 0.98);
+        assert_eq!(r.healthy_fraction(), 1.0, "Katran never sees the restart");
+        let (_, min_cap) = run_to_completion(&mut r, 10_000);
+        assert!(min_cap > 0.98, "min capacity {min_cap}");
+    }
+
+    #[test]
+    fn zdr_completes_faster_than_hard() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut z = ClusterRollout::new(50, strategy, PLAN);
+        let mut h = ClusterRollout::new(50, RestartStrategy::HardRestart, PLAN);
+        let (tz, _) = run_to_completion(&mut z, 5_000);
+        let (th, _) = run_to_completion(&mut h, 5_000);
+        assert!(tz < th, "zdr {tz} vs hard {th}");
+    }
+
+    #[test]
+    fn all_instances_reach_new_generation() {
+        let mut r = ClusterRollout::new(13, RestartStrategy::HardRestart, PLAN);
+        run_to_completion(&mut r, 60_000);
+        for i in 0..13 {
+            assert_eq!(r.instance(i).generation(), 1, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn app_server_rollout_is_fast() {
+        // §6.1.1: App Server releases finish in ~25 minutes because drain is
+        // seconds, despite hundreds of instances.
+        let plan = RolloutPlan {
+            batch_fraction: 0.05,
+            drain_ms: 12_000,
+            restart_ms: 60_000,
+        };
+        let strategy = RestartStrategy::zero_downtime_for(Tier::AppServer);
+        let mut r = ClusterRollout::new(200, strategy, plan);
+        let (completion, _) = run_to_completion(&mut r, 1_000);
+        // 20 batches × 72 s = 24 min.
+        assert!(completion < 30 * 60 * 1000, "completion {completion}");
+    }
+
+    #[test]
+    fn tick_before_start_is_inert() {
+        let mut r = ClusterRollout::new(10, RestartStrategy::HardRestart, PLAN);
+        assert!(r.tick(1_000).is_empty());
+        assert_eq!(r.capacity(), 1.0);
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn tick_after_complete_is_inert() {
+        let mut r = ClusterRollout::new(5, RestartStrategy::HardRestart, PLAN);
+        let (t, _) = run_to_completion(&mut r, 60_000);
+        assert!(r.tick(t + 1_000_000).is_empty());
+    }
+
+    #[test]
+    fn start_is_idempotent() {
+        let mut r = ClusterRollout::new(10, RestartStrategy::HardRestart, PLAN);
+        r.start(0);
+        let cap = r.capacity();
+        r.start(5_000);
+        assert_eq!(r.capacity(), cap);
+    }
+
+    #[test]
+    fn events_emitted_per_instance() {
+        let mut r = ClusterRollout::new(
+            10,
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen),
+            RolloutPlan {
+                batch_fraction: 0.5,
+                drain_ms: 100,
+                restart_ms: 10,
+            },
+        );
+        r.start(0);
+        let events = r.tick(100);
+        assert_eq!(events.len(), 5);
+        assert!(events
+            .iter()
+            .all(|(_, e)| matches!(e, LifecycleEvent::BackInService { generation: 1 })));
+    }
+
+    #[test]
+    fn batch_fraction_one_restarts_everything_at_once() {
+        let mut r = ClusterRollout::new(
+            8,
+            RestartStrategy::HardRestart,
+            RolloutPlan {
+                batch_fraction: 1.0,
+                drain_ms: 100,
+                restart_ms: 10,
+            },
+        );
+        r.start(0);
+        assert_eq!(r.capacity(), 0.0);
+        let (t, min_cap) = run_to_completion(&mut r, 10);
+        assert_eq!(min_cap, 0.0);
+        assert!(t <= 150);
+    }
+}

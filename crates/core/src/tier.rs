@@ -1,0 +1,109 @@
+//! Serving tiers and their operational envelopes (§2.1, §4.4, §6.1).
+
+use std::time::Duration;
+
+/// The three tiers the paper restarts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Tier {
+    /// Edge PoP Proxygen — terminates user TCP/TLS/QUIC connections.
+    EdgeProxygen,
+    /// Origin DataCenter Proxygen — fans requests to app servers, relays
+    /// MQTT tunnels.
+    OriginProxygen,
+    /// HHVM-style application server.
+    AppServer,
+}
+
+/// Static operational profile of a tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierProfile {
+    /// The tier.
+    pub tier: Tier,
+    /// Configured drain period (§6.1.1: Proxygen drains 20 minutes; App
+    /// Servers 10–15 seconds).
+    pub drain_period: Duration,
+    /// Typical releases per week (§2.4: L7LB ≈3+/wk; App Server ≈100/wk).
+    pub releases_per_week: f64,
+    /// Whether the machines can host two parallel instances during a
+    /// restart. App Server machines cannot — "too constrained along CPU and
+    /// memory dimensions ... priming local cache for a new HHVM instance is
+    /// memory-heavy" (§4.4) — which rules Socket Takeover out there.
+    pub supports_parallel_instances: bool,
+    /// Median time to restart one instance once draining completes.
+    pub restart_duration: Duration,
+}
+
+impl Tier {
+    /// The production-calibrated profile from the paper.
+    pub fn profile(self) -> TierProfile {
+        match self {
+            Tier::EdgeProxygen => TierProfile {
+                tier: self,
+                drain_period: Duration::from_secs(20 * 60),
+                releases_per_week: 3.0,
+                supports_parallel_instances: true,
+                restart_duration: Duration::from_secs(30),
+            },
+            Tier::OriginProxygen => TierProfile {
+                tier: self,
+                drain_period: Duration::from_secs(20 * 60),
+                releases_per_week: 3.0,
+                supports_parallel_instances: true,
+                restart_duration: Duration::from_secs(30),
+            },
+            Tier::AppServer => TierProfile {
+                tier: self,
+                drain_period: Duration::from_secs(12), // 10–15 s
+                releases_per_week: 100.0,
+                supports_parallel_instances: false,
+                restart_duration: Duration::from_secs(60),
+            },
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::EdgeProxygen => "edge-proxygen",
+            Tier::OriginProxygen => "origin-proxygen",
+            Tier::AppServer => "app-server",
+        }
+    }
+
+    /// All tiers.
+    pub fn all() -> [Tier; 3] {
+        [Tier::EdgeProxygen, Tier::OriginProxygen, Tier::AppServer]
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_numbers() {
+        let edge = Tier::EdgeProxygen.profile();
+        assert_eq!(edge.drain_period, Duration::from_secs(1200));
+        assert!(edge.supports_parallel_instances);
+
+        let app = Tier::AppServer.profile();
+        assert!(app.drain_period <= Duration::from_secs(15));
+        assert!(app.drain_period >= Duration::from_secs(10));
+        assert!(!app.supports_parallel_instances);
+        assert!(app.releases_per_week > edge.releases_per_week * 10.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Tier::EdgeProxygen.to_string(), "edge-proxygen");
+        assert_eq!(Tier::all().len(), 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! LRU connection table.
+//!
+//! §5.1 remediation: *"To avoid instability in routing due to momentary
+//! shuffle in the routing topology ... we recommend adopting a connection
+//! table cache for the most recent flows. In Facebook we employ a Least
+//! Recently Used (LRU) cache in the Katran (L4LB layer) to absorb such
+//! momentary shuffles and facilitate connections to be routed consistently
+//! to the same end server."*
+//!
+//! Implementation: a capacity-bounded O(1) LRU — `HashMap` into a
+//! slab-allocated doubly-linked list of entries, most-recently-used at the
+//! head.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+#[derive(Debug)]
+pub struct LruTable<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
+    /// Creates a table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        LruTable {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up without touching recency or counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Inserts or updates `key`, marking it most-recently-used; evicts the
+    /// least-recently-used entry when full. Returns the evicted pair, if
+    /// any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            let node = &mut self.slab[lru];
+            self.map.remove(&node.key);
+            self.evictions += 1;
+            let old_key = node.key.clone();
+            let idx = lru;
+            // Reuse the slot in place.
+            let old_value = std::mem::replace(&mut self.slab[idx].value, value);
+            self.slab[idx].key = key.clone();
+            evicted = Some((old_key, old_value));
+            self.map.insert(key, idx);
+            self.attach_front(idx);
+            return evicted;
+        }
+
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slab.push(Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruTable<K, V> {
+    /// Removes `key`, returning a clone of its value (V: Clone keeps the
+    /// slab-based storage simple; values here are small `BackendId`s).
+    pub fn remove_cloned(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let v = self.slab[idx].value.clone();
+        self.free.push(idx);
+        Some(v)
+    }
+
+    /// Drops every entry whose value matches `pred` (e.g. flush flows
+    /// pinned to a decommissioned backend).
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut pred: F) {
+        let doomed: Vec<K> = self
+            .map
+            .iter()
+            .filter(|(_, &idx)| {
+                let n = &self.slab[idx];
+                !pred(&n.key, &n.value)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in doomed {
+            self.remove_cloned(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut t: LruTable<u32, &str> = LruTable::new(2);
+        assert!(t.is_empty());
+        t.insert(1, "a");
+        t.insert(2, "b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&1), Some(&"a"));
+        assert_eq!(t.get(&3), None);
+        let (hits, misses, _) = t.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut t: LruTable<u32, u32> = LruTable::new(3);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.insert(3, 30);
+        // Touch 1 so 2 becomes LRU.
+        t.get(&1);
+        let evicted = t.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(t.peek(&2), None);
+        assert_eq!(t.peek(&1), Some(&10));
+        assert_eq!(t.stats().2, 1);
+    }
+
+    #[test]
+    fn update_refreshes_recency_without_eviction() {
+        let mut t: LruTable<u32, u32> = LruTable::new(2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert!(t.insert(1, 11).is_none()); // update, no eviction
+        assert_eq!(t.len(), 2);
+        let evicted = t.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)), "2 was LRU after 1's update");
+        assert_eq!(t.peek(&1), Some(&11));
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut t: LruTable<u32, u32> = LruTable::new(1);
+        t.insert(1, 10);
+        assert_eq!(t.insert(2, 20), Some((1, 10)));
+        assert_eq!(t.peek(&2), Some(&20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_slot_reuse() {
+        let mut t: LruTable<u32, u32> = LruTable::new(3);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert_eq!(t.remove_cloned(&1), Some(10));
+        assert_eq!(t.remove_cloned(&1), None);
+        assert_eq!(t.len(), 1);
+        t.insert(3, 30);
+        t.insert(4, 40);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.peek(&2), Some(&20));
+        assert_eq!(t.peek(&3), Some(&30));
+        assert_eq!(t.peek(&4), Some(&40));
+    }
+
+    #[test]
+    fn retain_flushes_matching_values() {
+        let mut t: LruTable<u32, u32> = LruTable::new(10);
+        for i in 0..10 {
+            t.insert(i, i % 3);
+        }
+        t.retain(|_, v| *v != 1);
+        assert!(t.peek(&1).is_none());
+        assert!(t.peek(&4).is_none());
+        assert!(t.peek(&0).is_some());
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut t: LruTable<u64, u64> = LruTable::new(64);
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2);
+            assert!(t.len() <= 64);
+            if i >= 1 {
+                // The most recent insert is always present.
+                assert_eq!(t.peek(&i), Some(&(i * 2)));
+            }
+        }
+        // Exactly the last 64 keys survive.
+        for i in 10_000 - 64..10_000 {
+            assert_eq!(t.peek(&i), Some(&(i * 2)), "key {i}");
+        }
+        assert_eq!(t.peek(&(10_000 - 65)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: LruTable<u32, u32> = LruTable::new(0);
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut t: LruTable<u32, u32> = LruTable::new(2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.peek(&1); // should NOT refresh 1
+        let evicted = t.insert(3, 30);
+        assert_eq!(evicted, Some((1, 10)));
+    }
+}

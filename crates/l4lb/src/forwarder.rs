@@ -1,0 +1,338 @@
+//! The composed L4 forwarding plane: health view → Maglev ring → LRU
+//! connection table.
+//!
+//! Routing rule per packet (the Katran data path):
+//!
+//! 1. If the LRU connection table holds the flow and its backend is still
+//!    healthy, use it — this is what keeps established connections pinned
+//!    through "momentary shuffle\[s\] in the routing topology" (§5.1).
+//! 2. Otherwise consult the Maglev table built over the *currently healthy*
+//!    backends, and remember the decision in the connection table.
+//!
+//! The table is rebuilt only on health transitions, mirroring how Katran
+//! reprograms its forwarding plane when its health view changes.
+
+use crate::conntrack::LruTable;
+use crate::hash::FlowKey;
+use crate::health::{HealthChecker, HealthConfig, HealthState, Transition};
+use crate::maglev::MaglevTable;
+use crate::BackendId;
+
+/// Forwarder tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwarderConfig {
+    /// Maglev table size (prime).
+    pub table_size: usize,
+    /// LRU connection-table capacity; 0 disables the table (the ablation
+    /// the §5.1 discussion motivates).
+    pub conn_table_capacity: usize,
+    /// Probe thresholds.
+    pub health: HealthConfig,
+}
+
+impl Default for ForwarderConfig {
+    fn default() -> Self {
+        ForwarderConfig {
+            table_size: crate::maglev::DEFAULT_TABLE_SIZE,
+            conn_table_capacity: 1 << 20,
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// Per-forwarder routing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwarderStats {
+    /// Packets routed via a connection-table hit.
+    pub via_conn_table: u64,
+    /// Packets routed via a fresh Maglev lookup.
+    pub via_maglev: u64,
+    /// Packets dropped because no backend is healthy.
+    pub dropped_no_backend: u64,
+    /// Maglev table rebuilds (health transitions).
+    pub table_rebuilds: u64,
+}
+
+/// A Katran-like L4 forwarder.
+#[derive(Debug)]
+pub struct L4Forwarder {
+    config: ForwarderConfig,
+    health: HealthChecker,
+    table: Option<MaglevTable>,
+    conn_table: Option<LruTable<FlowKey, BackendId>>,
+    stats: ForwarderStats,
+}
+
+impl L4Forwarder {
+    /// Builds a forwarder over `backends`, all initially healthy.
+    pub fn new(backends: Vec<BackendId>, config: ForwarderConfig) -> Self {
+        let health = HealthChecker::new(config.health, backends.iter().copied());
+        let table = MaglevTable::with_size(&health.healthy(), config.table_size);
+        let conn_table =
+            (config.conn_table_capacity > 0).then(|| LruTable::new(config.conn_table_capacity));
+        L4Forwarder {
+            config,
+            health,
+            table,
+            conn_table,
+            stats: ForwarderStats::default(),
+        }
+    }
+
+    /// Routes one packet, returning the chosen backend.
+    pub fn route(&mut self, flow: FlowKey) -> Option<BackendId> {
+        // 1. Connection-table hit for a still-healthy backend wins.
+        if let Some(ct) = &mut self.conn_table {
+            if let Some(&backend) = ct.get(&flow) {
+                if self.health.state(backend) == Some(HealthState::Up) {
+                    self.stats.via_conn_table += 1;
+                    return Some(backend);
+                }
+                // Pinned backend is gone: forget the pin.
+                ct.remove_cloned(&flow);
+            }
+        }
+
+        // 2. Fresh consistent-hash decision.
+        let backend = match &self.table {
+            Some(t) => t.lookup(flow.hash()),
+            None => {
+                self.stats.dropped_no_backend += 1;
+                return None;
+            }
+        };
+        self.stats.via_maglev += 1;
+        if let Some(ct) = &mut self.conn_table {
+            ct.insert(flow, backend);
+        }
+        Some(backend)
+    }
+
+    /// Feeds a probe result; rebuilds the Maglev ring on transitions.
+    pub fn report_probe(&mut self, backend: BackendId, ok: bool) -> Option<Transition> {
+        let transition = self.health.report(backend, ok)?;
+        self.rebuild_table();
+        Some(transition)
+    }
+
+    /// Registers a new backend (healthy) and rebuilds.
+    pub fn add_backend(&mut self, backend: BackendId) {
+        self.health.add_backend(backend);
+        self.rebuild_table();
+    }
+
+    /// Deregisters a backend and rebuilds.
+    pub fn remove_backend(&mut self, backend: BackendId) {
+        self.health.remove_backend(backend);
+        if let Some(ct) = &mut self.conn_table {
+            ct.retain(|_, b| *b != backend);
+        }
+        self.rebuild_table();
+    }
+
+    fn rebuild_table(&mut self) {
+        self.table = MaglevTable::with_size(&self.health.healthy(), self.config.table_size);
+        self.stats.table_rebuilds += 1;
+    }
+
+    /// Currently healthy backends.
+    pub fn healthy_backends(&self) -> Vec<BackendId> {
+        self.health.healthy()
+    }
+
+    /// Healthy fraction of the fleet — the cluster-capacity signal Fig. 3a
+    /// plots.
+    pub fn healthy_fraction(&self) -> f64 {
+        if self.health.is_empty() {
+            0.0
+        } else {
+            self.health.healthy().len() as f64 / self.health.len() as f64
+        }
+    }
+
+    /// Routing counters.
+    pub fn stats(&self) -> ForwarderStats {
+        self.stats
+    }
+
+    /// Health state of one backend.
+    pub fn backend_state(&self, b: BackendId) -> Option<HealthState> {
+        self.health.state(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    const TEST_CFG: ForwarderConfig = ForwarderConfig {
+        table_size: 1009,
+        conn_table_capacity: 1024,
+        health: HealthConfig {
+            fall_threshold: 3,
+            rise_threshold: 2,
+        },
+    };
+
+    fn fwd(n: u32) -> L4Forwarder {
+        L4Forwarder::new((0..n).map(BackendId).collect(), TEST_CFG)
+    }
+
+    fn flow(i: u16) -> FlowKey {
+        let src: SocketAddr = format!("10.0.{}.{}:{}", i / 250, i % 250, 1024 + i)
+            .parse()
+            .unwrap();
+        FlowKey::tcp(src, "198.51.100.1:443".parse().unwrap())
+    }
+
+    fn take_down(f: &mut L4Forwarder, b: BackendId) {
+        for _ in 0..3 {
+            f.report_probe(b, false);
+        }
+        assert_eq!(f.backend_state(b), Some(HealthState::Down));
+    }
+
+    #[test]
+    fn routes_consistently_for_same_flow() {
+        let mut f = fwd(8);
+        let b1 = f.route(flow(1)).unwrap();
+        let b2 = f.route(flow(1)).unwrap();
+        assert_eq!(b1, b2);
+        let s = f.stats();
+        assert_eq!(s.via_maglev, 1);
+        assert_eq!(s.via_conn_table, 1);
+    }
+
+    #[test]
+    fn spreads_flows_across_backends() {
+        let mut f = fwd(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            seen.insert(f.route(flow(i)).unwrap());
+        }
+        assert_eq!(seen.len(), 8, "all backends should receive flows");
+    }
+
+    #[test]
+    fn down_backend_stops_receiving_new_flows() {
+        let mut f = fwd(4);
+        take_down(&mut f, BackendId(2));
+        for i in 0..500 {
+            let b = f.route(flow(i)).unwrap();
+            assert_ne!(b, BackendId(2));
+        }
+    }
+
+    #[test]
+    fn conn_table_pins_flows_across_health_flap_of_other_backend() {
+        // The §5.1 scenario: a different backend flaps; established flows
+        // must not move even though the Maglev ring reshuffles.
+        let mut f = fwd(4);
+        let mut pins = Vec::new();
+        for i in 0..200 {
+            pins.push((flow(i), f.route(flow(i)).unwrap()));
+        }
+        // Pick a backend that some flows do NOT use; flap it down and up.
+        take_down(&mut f, BackendId(0));
+        for _ in 0..2 {
+            f.report_probe(BackendId(0), true);
+        }
+        assert_eq!(f.backend_state(BackendId(0)), Some(HealthState::Up));
+
+        for (fl, before) in pins {
+            if before != BackendId(0) {
+                assert_eq!(f.route(fl), Some(before), "pinned flow moved");
+            }
+        }
+    }
+
+    #[test]
+    fn without_conn_table_flap_reshuffles_established_flows() {
+        // Ablation: conn table disabled → the same flap moves some flows.
+        let cfg = ForwarderConfig {
+            conn_table_capacity: 0,
+            ..TEST_CFG
+        };
+        let mut f = L4Forwarder::new((0..4).map(BackendId).collect(), cfg);
+        let mut before = Vec::new();
+        for i in 0..400 {
+            before.push((flow(i), f.route(flow(i)).unwrap()));
+        }
+        take_down(&mut f, BackendId(0));
+        let moved = before
+            .iter()
+            .filter(|(fl, b)| *b != BackendId(0) && f.route(*fl) != Some(*b))
+            .count();
+        assert!(
+            moved > 0,
+            "expected residual Maglev shuffle without the LRU pin"
+        );
+    }
+
+    #[test]
+    fn pinned_flow_to_dead_backend_is_rerouted() {
+        let mut f = fwd(4);
+        let fl = flow(7);
+        let b = f.route(fl).unwrap();
+        take_down(&mut f, b);
+        let nb = f.route(fl).unwrap();
+        assert_ne!(nb, b);
+        // And the new pin sticks.
+        assert_eq!(f.route(fl), Some(nb));
+    }
+
+    #[test]
+    fn all_backends_down_drops() {
+        let mut f = fwd(2);
+        take_down(&mut f, BackendId(0));
+        take_down(&mut f, BackendId(1));
+        assert_eq!(f.route(flow(1)), None);
+        assert_eq!(f.stats().dropped_no_backend, 1);
+        assert_eq!(f.healthy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn healthy_fraction_tracks_restarts() {
+        let mut f = fwd(10);
+        assert_eq!(f.healthy_fraction(), 1.0);
+        take_down(&mut f, BackendId(0));
+        take_down(&mut f, BackendId(1));
+        assert!((f.healthy_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_remove_backend_rebuilds() {
+        let mut f = fwd(2);
+        let before = f.stats().table_rebuilds;
+        f.add_backend(BackendId(9));
+        f.remove_backend(BackendId(0));
+        assert_eq!(f.stats().table_rebuilds, before + 2);
+        assert_eq!(f.healthy_backends(), vec![BackendId(1), BackendId(9)]);
+    }
+
+    #[test]
+    fn remove_backend_flushes_its_pins() {
+        let mut f = fwd(2);
+        // Pin a bunch of flows.
+        for i in 0..100 {
+            f.route(flow(i));
+        }
+        f.remove_backend(BackendId(0));
+        // Every flow now routes to backend 1 (fresh or pinned).
+        for i in 0..100 {
+            assert_eq!(f.route(flow(i)), Some(BackendId(1)));
+        }
+    }
+
+    #[test]
+    fn probe_recovery_transition_reported() {
+        let mut f = fwd(1);
+        take_down(&mut f, BackendId(0));
+        assert_eq!(f.report_probe(BackendId(0), true), None);
+        assert_eq!(
+            f.report_probe(BackendId(0), true),
+            Some(Transition::CameUp(BackendId(0)))
+        );
+    }
+}

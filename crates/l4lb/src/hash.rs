@@ -1,0 +1,128 @@
+//! Deterministic hashing primitives.
+//!
+//! The forwarding plane must hash identically across runs (the simulator's
+//! experiments are seeded and reproducible) and across instances (every
+//! L4LB in a cluster must map a flow to the same backend), so we use
+//! fixed-constant FNV-1a rather than `std`'s randomized hasher.
+
+use std::net::SocketAddr;
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a `u64` (little-endian bytes).
+pub fn fnv1a_u64(v: u64) -> u64 {
+    fnv1a(&v.to_le_bytes())
+}
+
+/// Transport protocol in a flow 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP flow.
+    Tcp,
+    /// UDP flow.
+    Udp,
+}
+
+/// A connection 5-tuple, the consistent-hashing key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Client address.
+    pub src: SocketAddr,
+    /// VIP address.
+    pub dst: SocketAddr,
+}
+
+impl FlowKey {
+    /// A TCP flow key.
+    pub fn tcp(src: SocketAddr, dst: SocketAddr) -> Self {
+        FlowKey {
+            proto: Proto::Tcp,
+            src,
+            dst,
+        }
+    }
+
+    /// A UDP flow key.
+    pub fn udp(src: SocketAddr, dst: SocketAddr) -> Self {
+        FlowKey {
+            proto: Proto::Udp,
+            src,
+            dst,
+        }
+    }
+
+    /// Deterministic 64-bit hash of the 5-tuple.
+    pub fn hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(40);
+        bytes.push(match self.proto {
+            Proto::Tcp => 6u8,
+            Proto::Udp => 17u8,
+        });
+        encode_addr(&mut bytes, &self.src);
+        encode_addr(&mut bytes, &self.dst);
+        fnv1a(&bytes)
+    }
+}
+
+fn encode_addr(out: &mut Vec<u8>, addr: &SocketAddr) {
+    match addr.ip() {
+        std::net::IpAddr::V4(ip) => out.extend_from_slice(&ip.octets()),
+        std::net::IpAddr::V6(ip) => out.extend_from_slice(&ip.octets()),
+    }
+    out.extend_from_slice(&addr.port().to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn flow_key_hash_is_stable_and_discriminating() {
+        let a = FlowKey::tcp(addr("10.0.0.1:1234"), addr("198.51.100.1:443"));
+        let b = FlowKey::tcp(addr("10.0.0.1:1234"), addr("198.51.100.1:443"));
+        assert_eq!(a.hash(), b.hash());
+
+        let c = FlowKey::tcp(addr("10.0.0.1:1235"), addr("198.51.100.1:443"));
+        assert_ne!(a.hash(), c.hash());
+
+        let d = FlowKey::udp(addr("10.0.0.1:1234"), addr("198.51.100.1:443"));
+        assert_ne!(a.hash(), d.hash(), "proto must discriminate");
+    }
+
+    #[test]
+    fn ipv6_flows_hash() {
+        let a = FlowKey::tcp(addr("[2001:db8::1]:1"), addr("[2001:db8::2]:443"));
+        let b = FlowKey::tcp(addr("[2001:db8::1]:2"), addr("[2001:db8::2]:443"));
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn u64_hash_helper() {
+        assert_eq!(fnv1a_u64(1), fnv1a(&1u64.to_le_bytes()));
+        assert_ne!(fnv1a_u64(1), fnv1a_u64(2));
+    }
+}

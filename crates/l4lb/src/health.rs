@@ -1,0 +1,266 @@
+//! Health-check state machine.
+//!
+//! Katran "maintains an updated view of available Proxygen through
+//! health-checks" (§6.1.2). A HardRestart instance fails probes and is
+//! removed from the routing ring; a Zero-Downtime restart stays healthy
+//! because the new process answers probes the moment it takes the sockets
+//! over (Fig. 5 step F), so "Zero Downtime Restart stays transparent to
+//! Katran".
+//!
+//! The checker is threshold-based (consecutive failures to go down,
+//! consecutive successes to come back) to avoid flapping on a single lost
+//! probe — and §5.1 warns that even momentary flaps reshuffle a
+//! consistent-hash ring, which is why the [`crate::conntrack`] LRU exists.
+
+use std::collections::BTreeMap;
+
+use crate::BackendId;
+
+/// Probe verdict thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive probe failures before marking a backend down.
+    pub fall_threshold: u32,
+    /// Consecutive probe successes before marking it up again.
+    pub rise_threshold: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        // Production-ish defaults: fast fall, cautious rise.
+        HealthConfig {
+            fall_threshold: 3,
+            rise_threshold: 2,
+        }
+    }
+}
+
+/// A backend's probe standing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Receiving traffic.
+    Up,
+    /// Removed from the routing ring.
+    Down,
+}
+
+#[derive(Debug, Clone)]
+struct BackendHealth {
+    state: HealthState,
+    consecutive_ok: u32,
+    consecutive_fail: u32,
+}
+
+/// A health transition worth acting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Backend crossed the fall threshold.
+    WentDown(BackendId),
+    /// Backend crossed the rise threshold.
+    CameUp(BackendId),
+}
+
+/// Tracks probe history for a backend fleet.
+#[derive(Debug)]
+pub struct HealthChecker {
+    config: HealthConfig,
+    backends: BTreeMap<BackendId, BackendHealth>,
+}
+
+impl HealthChecker {
+    /// A checker over an initially all-up fleet.
+    pub fn new(config: HealthConfig, backends: impl IntoIterator<Item = BackendId>) -> Self {
+        HealthChecker {
+            config,
+            backends: backends
+                .into_iter()
+                .map(|b| {
+                    (
+                        b,
+                        BackendHealth {
+                            state: HealthState::Up,
+                            consecutive_ok: 0,
+                            consecutive_fail: 0,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Registers a new backend (starts up).
+    pub fn add_backend(&mut self, b: BackendId) {
+        self.backends.entry(b).or_insert(BackendHealth {
+            state: HealthState::Up,
+            consecutive_ok: 0,
+            consecutive_fail: 0,
+        });
+    }
+
+    /// Deregisters a backend entirely.
+    pub fn remove_backend(&mut self, b: BackendId) {
+        self.backends.remove(&b);
+    }
+
+    /// Feeds one probe result; returns a transition if a threshold was
+    /// crossed.
+    pub fn report(&mut self, b: BackendId, probe_ok: bool) -> Option<Transition> {
+        let h = self.backends.get_mut(&b)?;
+        if probe_ok {
+            h.consecutive_fail = 0;
+            h.consecutive_ok += 1;
+            if h.state == HealthState::Down && h.consecutive_ok >= self.config.rise_threshold {
+                h.state = HealthState::Up;
+                return Some(Transition::CameUp(b));
+            }
+        } else {
+            h.consecutive_ok = 0;
+            h.consecutive_fail += 1;
+            if h.state == HealthState::Up && h.consecutive_fail >= self.config.fall_threshold {
+                h.state = HealthState::Down;
+                return Some(Transition::WentDown(b));
+            }
+        }
+        None
+    }
+
+    /// Current state of `b`, if registered.
+    pub fn state(&self, b: BackendId) -> Option<HealthState> {
+        self.backends.get(&b).map(|h| h.state)
+    }
+
+    /// All currently-up backends, sorted.
+    pub fn healthy(&self) -> Vec<BackendId> {
+        self.backends
+            .iter()
+            .filter(|(_, h)| h.state == HealthState::Up)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// Total registered backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when no backends are registered.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(n: u32) -> HealthChecker {
+        HealthChecker::new(HealthConfig::default(), (0..n).map(BackendId))
+    }
+
+    #[test]
+    fn starts_all_up() {
+        let c = checker(3);
+        assert_eq!(c.healthy().len(), 3);
+        assert_eq!(c.state(BackendId(0)), Some(HealthState::Up));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn falls_after_threshold_consecutive_failures() {
+        let mut c = checker(2);
+        assert_eq!(c.report(BackendId(0), false), None);
+        assert_eq!(c.report(BackendId(0), false), None);
+        assert_eq!(
+            c.report(BackendId(0), false),
+            Some(Transition::WentDown(BackendId(0)))
+        );
+        assert_eq!(c.state(BackendId(0)), Some(HealthState::Down));
+        assert_eq!(c.healthy(), vec![BackendId(1)]);
+        // Further failures don't re-fire the transition.
+        assert_eq!(c.report(BackendId(0), false), None);
+    }
+
+    #[test]
+    fn single_flap_does_not_take_backend_down() {
+        // §5.1: a momentary flap must not reshuffle routing.
+        let mut c = checker(1);
+        assert_eq!(c.report(BackendId(0), false), None);
+        assert_eq!(c.report(BackendId(0), true), None);
+        assert_eq!(c.state(BackendId(0)), Some(HealthState::Up));
+        // Counter reset: two more failures still under threshold.
+        assert_eq!(c.report(BackendId(0), false), None);
+        assert_eq!(c.report(BackendId(0), false), None);
+        assert_eq!(c.state(BackendId(0)), Some(HealthState::Up));
+    }
+
+    #[test]
+    fn rises_after_threshold_consecutive_successes() {
+        let mut c = checker(1);
+        for _ in 0..3 {
+            c.report(BackendId(0), false);
+        }
+        assert_eq!(c.state(BackendId(0)), Some(HealthState::Down));
+        assert_eq!(c.report(BackendId(0), true), None);
+        assert_eq!(
+            c.report(BackendId(0), true),
+            Some(Transition::CameUp(BackendId(0)))
+        );
+        assert_eq!(c.state(BackendId(0)), Some(HealthState::Up));
+    }
+
+    #[test]
+    fn failure_resets_rise_progress() {
+        let mut c = checker(1);
+        for _ in 0..3 {
+            c.report(BackendId(0), false);
+        }
+        c.report(BackendId(0), true);
+        c.report(BackendId(0), false); // resets
+        assert_eq!(c.report(BackendId(0), true), None);
+        assert_eq!(
+            c.report(BackendId(0), true),
+            Some(Transition::CameUp(BackendId(0)))
+        );
+    }
+
+    #[test]
+    fn unknown_backend_ignored() {
+        let mut c = checker(1);
+        assert_eq!(c.report(BackendId(99), false), None);
+    }
+
+    #[test]
+    fn add_remove_backends() {
+        let mut c = checker(1);
+        c.add_backend(BackendId(7));
+        assert_eq!(c.healthy(), vec![BackendId(0), BackendId(7)]);
+        c.remove_backend(BackendId(0));
+        assert_eq!(c.healthy(), vec![BackendId(7)]);
+        // add is idempotent and does not reset state.
+        for _ in 0..3 {
+            c.report(BackendId(7), false);
+        }
+        c.add_backend(BackendId(7));
+        assert_eq!(c.state(BackendId(7)), Some(HealthState::Down));
+    }
+
+    #[test]
+    fn custom_thresholds() {
+        let mut c = HealthChecker::new(
+            HealthConfig {
+                fall_threshold: 1,
+                rise_threshold: 1,
+            },
+            [BackendId(0)],
+        );
+        assert_eq!(
+            c.report(BackendId(0), false),
+            Some(Transition::WentDown(BackendId(0)))
+        );
+        assert_eq!(
+            c.report(BackendId(0), true),
+            Some(Transition::CameUp(BackendId(0)))
+        );
+    }
+}

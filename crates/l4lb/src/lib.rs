@@ -1,0 +1,35 @@
+//! # zdr-l4lb — a Katran-like layer-4 load balancer
+//!
+//! The paper's L4 tier, Katran (§2.1), sits between the network routers and
+//! the Proxygen fleet: routers ECMP packets across L4LB instances, which
+//! use **consistent hashing** to pick an L7LB for each flow, keep an
+//! updated view of L7LB health via periodic **health checks**, and (per the
+//! §5.1 remediation) cache recent flow→backend decisions in an **LRU
+//! connection table** so momentary topology shuffles — e.g. a health-check
+//! flap during a release — do not re-route established connections.
+//!
+//! Modules:
+//!
+//! * [`hash`] — deterministic FNV-1a and the 5-tuple [`hash::FlowKey`].
+//! * [`maglev`] — Maglev consistent hashing (the algorithm Katran uses).
+//! * [`conntrack`] — O(1) LRU connection table.
+//! * [`health`] — threshold-based health-check state machine.
+//! * [`forwarder`] — the composed L4 forwarding plane.
+
+pub mod conntrack;
+pub mod forwarder;
+pub mod hash;
+pub mod health;
+pub mod maglev;
+
+/// Identifies one L7LB backend (a Proxygen instance) behind the L4LB.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct BackendId(pub u32);
+
+impl std::fmt::Display for BackendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend-{}", self.0)
+    }
+}

@@ -1,0 +1,252 @@
+//! Maglev consistent hashing (Eisenbud et al., NSDI '16) — the consistent
+//! hashing scheme Katran uses to spread flows over the L7LB fleet (§2.1).
+//!
+//! Each backend fills a prime-sized lookup table by walking its own
+//! pseudo-random permutation of table slots; competition for slots is
+//! round-robin across backends, which yields near-perfect balance and
+//! minimal disruption when the backend set changes: removing one backend
+//! only remaps the slots that backend occupied (plus a small residual).
+
+use crate::hash::{fnv1a, fnv1a_u64};
+use crate::BackendId;
+
+/// Default lookup-table size. Prime, as the permutation construction
+/// requires; 65537 matches Maglev's "small" table.
+pub const DEFAULT_TABLE_SIZE: usize = 65_537;
+
+/// A built Maglev lookup table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaglevTable {
+    table: Vec<BackendId>,
+    backends: Vec<BackendId>,
+    size: usize,
+}
+
+impl MaglevTable {
+    /// Builds a table of [`DEFAULT_TABLE_SIZE`] slots over `backends`.
+    pub fn new(backends: &[BackendId]) -> Option<Self> {
+        Self::with_size(backends, DEFAULT_TABLE_SIZE)
+    }
+
+    /// Builds a table of `size` slots (must be prime and ≥ backend count).
+    /// Returns `None` when `backends` is empty.
+    pub fn with_size(backends: &[BackendId], size: usize) -> Option<Self> {
+        if backends.is_empty() {
+            return None;
+        }
+        assert!(
+            is_prime(size),
+            "maglev table size must be prime, got {size}"
+        );
+        assert!(size >= backends.len(), "table smaller than backend set");
+
+        let n = backends.len();
+        // offset/skip per backend, derived from two independent hashes of
+        // the backend identity.
+        let mut offsets = Vec::with_capacity(n);
+        let mut skips = Vec::with_capacity(n);
+        for b in backends {
+            let name = format!("backend:{}", b.0);
+            let h1 = fnv1a(name.as_bytes());
+            let h2 = fnv1a_u64(h1);
+            offsets.push((h1 % size as u64) as usize);
+            skips.push((h2 % (size as u64 - 1) + 1) as usize);
+        }
+
+        let mut next = vec![0usize; n];
+        let mut table: Vec<Option<BackendId>> = vec![None; size];
+        let mut filled = 0usize;
+        'outer: loop {
+            for i in 0..n {
+                // Find backend i's next preferred empty slot.
+                loop {
+                    let slot = (offsets[i] + next[i] * skips[i]) % size;
+                    next[i] += 1;
+                    if table[slot].is_none() {
+                        table[slot] = Some(backends[i]);
+                        filled += 1;
+                        if filled == size {
+                            break 'outer;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        Some(MaglevTable {
+            table: table.into_iter().map(|s| s.expect("filled")).collect(),
+            backends: backends.to_vec(),
+            size,
+        })
+    }
+
+    /// Looks up the backend for a flow hash.
+    pub fn lookup(&self, flow_hash: u64) -> BackendId {
+        self.table[(flow_hash % self.size as u64) as usize]
+    }
+
+    /// Table size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The backend set the table was built over.
+    pub fn backends(&self) -> &[BackendId] {
+        &self.backends
+    }
+
+    /// Slots assigned to each backend (diagnostics / balance tests).
+    pub fn slot_counts(&self) -> Vec<(BackendId, usize)> {
+        let mut counts: std::collections::BTreeMap<BackendId, usize> =
+            self.backends.iter().map(|b| (*b, 0)).collect();
+        for b in &self.table {
+            *counts.get_mut(b).expect("backend in table") += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Fraction of slots that map differently in `other` — the disruption
+    /// metric for a backend-set change.
+    pub fn disruption(&self, other: &MaglevTable) -> f64 {
+        assert_eq!(self.size, other.size, "tables must be same size to compare");
+        let moved = self
+            .table
+            .iter()
+            .zip(&other.table)
+            .filter(|(a, b)| a != b)
+            .count();
+        moved as f64 / self.size as f64
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3usize;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends(n: u32) -> Vec<BackendId> {
+        (0..n).map(BackendId).collect()
+    }
+
+    const TEST_SIZE: usize = 1009; // prime, fast to build in tests
+
+    #[test]
+    fn empty_backends_yields_none() {
+        assert!(MaglevTable::with_size(&[], TEST_SIZE).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn non_prime_size_panics() {
+        let _ = MaglevTable::with_size(&backends(2), 1000);
+    }
+
+    #[test]
+    fn single_backend_gets_everything() {
+        let t = MaglevTable::with_size(&backends(1), TEST_SIZE).unwrap();
+        for h in [0u64, 1, 999, u64::MAX] {
+            assert_eq!(t.lookup(h), BackendId(0));
+        }
+    }
+
+    #[test]
+    fn balance_within_maglev_bound() {
+        // Maglev guarantees max/min slot ratio close to 1 for M >> N.
+        let t = MaglevTable::with_size(&backends(10), TEST_SIZE).unwrap();
+        let counts = t.slot_counts();
+        let min = counts.iter().map(|(_, c)| *c).min().unwrap();
+        let max = counts.iter().map(|(_, c)| *c).max().unwrap();
+        assert!(min > 0);
+        let ratio = max as f64 / min as f64;
+        assert!(ratio < 1.3, "imbalance ratio {ratio}");
+    }
+
+    #[test]
+    fn lookup_deterministic_across_builds() {
+        let a = MaglevTable::with_size(&backends(7), TEST_SIZE).unwrap();
+        let b = MaglevTable::with_size(&backends(7), TEST_SIZE).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removal_disrupts_roughly_its_share() {
+        let full = MaglevTable::with_size(&backends(10), TEST_SIZE).unwrap();
+        let mut nine = backends(10);
+        nine.remove(3);
+        let reduced = MaglevTable::with_size(&nine, TEST_SIZE).unwrap();
+        let d = full.disruption(&reduced);
+        // Removed backend held ~10% of slots; Maglev's residual shuffle is
+        // small, so total disruption should be near 0.10, well under 0.25.
+        assert!(d >= 0.08, "disruption {d} too low to be plausible");
+        assert!(d < 0.25, "disruption {d} too high for consistent hashing");
+
+        // Flows not mapped to the removed backend mostly stay put.
+        let mut stayed = 0;
+        let mut total = 0;
+        for h in 0..5000u64 {
+            if full.lookup(h) != BackendId(3) {
+                total += 1;
+                if full.lookup(h) == reduced.lookup(h) {
+                    stayed += 1;
+                }
+            }
+        }
+        assert!(stayed as f64 / total as f64 > 0.85);
+    }
+
+    #[test]
+    fn addition_disrupts_roughly_new_share() {
+        let ten = MaglevTable::with_size(&backends(10), TEST_SIZE).unwrap();
+        let eleven = MaglevTable::with_size(&backends(11), TEST_SIZE).unwrap();
+        let d = ten.disruption(&eleven);
+        assert!(d < 0.25, "disruption {d}");
+    }
+
+    #[test]
+    fn all_backends_appear() {
+        let t = MaglevTable::with_size(&backends(50), TEST_SIZE).unwrap();
+        let counts = t.slot_counts();
+        assert_eq!(counts.len(), 50);
+        assert!(counts.iter().all(|(_, c)| *c > 0));
+    }
+
+    #[test]
+    fn default_size_is_prime() {
+        assert!(is_prime(DEFAULT_TABLE_SIZE));
+    }
+
+    #[test]
+    fn primality_helper() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(65_537));
+        assert!(!is_prime(0));
+        assert!(!is_prime(1));
+        assert!(!is_prime(4));
+        assert!(!is_prime(65_536));
+        assert!(is_prime(1009));
+    }
+
+    #[test]
+    fn disruption_of_identical_tables_is_zero() {
+        let t = MaglevTable::with_size(&backends(5), TEST_SIZE).unwrap();
+        assert_eq!(t.disruption(&t.clone()), 0.0);
+    }
+}

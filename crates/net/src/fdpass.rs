@@ -1,0 +1,334 @@
+//! File-descriptor passing over UNIX domain sockets (`SCM_RIGHTS`).
+//!
+//! This is the §4.1 kernel mechanism verbatim: *"we use `sendmsg(2)` and
+//! `recvmsg(2)` over a UNIX domain socket ... we set `SCM_RIGHTS` to send
+//! open FDs with the data portion containing an integer array of the open
+//! FDs. On the receiving side, these FDs behave as though they have been
+//! created with `dup(2)`."*
+//!
+//! The functions here are synchronous; the takeover handshake is a short,
+//! one-shot exchange and the async callers run it on a blocking task.
+
+use std::io::{IoSlice, IoSliceMut};
+use std::os::fd::{AsRawFd, BorrowedFd, FromRawFd, OwnedFd, RawFd};
+use std::os::unix::net::UnixStream;
+
+use nix::sys::socket::{recvmsg, sendmsg, ControlMessage, ControlMessageOwned, MsgFlags};
+
+use crate::{NetError, Result};
+
+/// Maximum FDs transferred in one `sendmsg` call. Linux caps SCM_RIGHTS at
+/// `SCM_MAX_FD` (253); we chunk below that.
+pub const MAX_FDS_PER_MSG: usize = 64;
+
+/// Sends `payload` plus up to [`MAX_FDS_PER_MSG`] descriptors across `sock`.
+///
+/// The payload must be non-empty: SCM_RIGHTS rides on a data byte, and a
+/// zero-length `sendmsg` with ancillary data is not reliably delivered.
+pub fn send_with_fds(sock: &UnixStream, payload: &[u8], fds: &[BorrowedFd<'_>]) -> Result<usize> {
+    if payload.is_empty() {
+        return Err(NetError::Handshake(
+            "fd-passing payload must be non-empty".into(),
+        ));
+    }
+    if fds.len() > MAX_FDS_PER_MSG {
+        return Err(NetError::Inventory(format!(
+            "{} fds exceeds per-message cap {MAX_FDS_PER_MSG}",
+            fds.len()
+        )));
+    }
+    let raw: Vec<RawFd> = fds.iter().map(|f| f.as_raw_fd()).collect();
+    let iov = [IoSlice::new(payload)];
+    let cmsgs = if raw.is_empty() {
+        vec![]
+    } else {
+        vec![ControlMessage::ScmRights(&raw)]
+    };
+    let sent = sendmsg::<()>(sock.as_raw_fd(), &iov, &cmsgs, MsgFlags::empty(), None)?;
+    Ok(sent)
+}
+
+/// Receives a message of at most `buf.len()` payload bytes plus any
+/// attached descriptors.
+///
+/// Returns `(payload_len, fds)`. The returned [`OwnedFd`]s are duplicates
+/// of the sender's descriptors sharing the same open file description —
+/// closing them here does not close the sender's copies.
+pub fn recv_with_fds(sock: &UnixStream, buf: &mut [u8]) -> Result<(usize, Vec<OwnedFd>)> {
+    let mut cmsg_buf = nix::cmsg_space!([RawFd; MAX_FDS_PER_MSG]);
+    let mut iov = [IoSliceMut::new(buf)];
+    let msg = recvmsg::<()>(
+        sock.as_raw_fd(),
+        &mut iov,
+        Some(&mut cmsg_buf),
+        MsgFlags::MSG_CMSG_CLOEXEC,
+    )?;
+    let mut fds = Vec::new();
+    for cmsg in msg.cmsgs()? {
+        if let ControlMessageOwned::ScmRights(received) = cmsg {
+            for fd in received {
+                // SAFETY: the kernel just installed `fd` into our file table
+                // for this process; we are its unique owner.
+                fds.push(unsafe { OwnedFd::from_raw_fd(fd) });
+            }
+        }
+    }
+    Ok((msg.bytes, fds))
+}
+
+/// Sends an arbitrary number of descriptors by chunking into
+/// [`MAX_FDS_PER_MSG`]-sized messages, each tagged `seq/total` in its
+/// payload so the receiver can detect loss or reordering.
+pub fn send_fd_batch(sock: &UnixStream, fds: &[BorrowedFd<'_>]) -> Result<()> {
+    let total_chunks = fds.chunks(MAX_FDS_PER_MSG).count().max(1);
+    if fds.is_empty() {
+        let header = format!("chunk 0/{total_chunks} fds 0");
+        send_with_fds(sock, header.as_bytes(), &[])?;
+        return Ok(());
+    }
+    for (i, chunk) in fds.chunks(MAX_FDS_PER_MSG).enumerate() {
+        let header = format!("chunk {i}/{total_chunks} fds {}", chunk.len());
+        send_with_fds(sock, header.as_bytes(), chunk)?;
+    }
+    Ok(())
+}
+
+/// Receives a batch sent with [`send_fd_batch`], validating chunk headers.
+pub fn recv_fd_batch(sock: &UnixStream) -> Result<Vec<OwnedFd>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 128];
+    let mut expected_total: Option<usize> = None;
+    let mut next_seq = 0usize;
+    loop {
+        let (n, mut fds) = recv_with_fds(sock, &mut buf)?;
+        if n == 0 {
+            return Err(NetError::Handshake("peer closed mid-batch".into()));
+        }
+        let header = std::str::from_utf8(&buf[..n])
+            .map_err(|_| NetError::Handshake("non-utf8 chunk header".into()))?;
+        let (seq, total, count) = parse_chunk_header(header)?;
+        if seq != next_seq {
+            return Err(NetError::Handshake(format!(
+                "chunk out of order: expected {next_seq}, got {seq}"
+            )));
+        }
+        if let Some(t) = expected_total {
+            if t != total {
+                return Err(NetError::Handshake("chunk total changed mid-batch".into()));
+            }
+        }
+        expected_total = Some(total);
+        if fds.len() != count {
+            return Err(NetError::Inventory(format!(
+                "chunk {seq} advertised {count} fds but carried {}",
+                fds.len()
+            )));
+        }
+        out.append(&mut fds);
+        next_seq += 1;
+        if next_seq >= total {
+            return Ok(out);
+        }
+    }
+}
+
+fn parse_chunk_header(h: &str) -> Result<(usize, usize, usize)> {
+    // "chunk <seq>/<total> fds <count>"
+    let parts: Vec<&str> = h.split_whitespace().collect();
+    if parts.len() != 4 || parts[0] != "chunk" || parts[2] != "fds" {
+        return Err(NetError::Handshake(format!("bad chunk header {h:?}")));
+    }
+    let (seq, total) = parts[1]
+        .split_once('/')
+        .ok_or_else(|| NetError::Handshake(format!("bad chunk header {h:?}")))?;
+    let seq = seq
+        .parse()
+        .map_err(|_| NetError::Handshake("bad seq".into()))?;
+    let total = total
+        .parse()
+        .map_err(|_| NetError::Handshake("bad total".into()))?;
+    let count = parts[3]
+        .parse()
+        .map_err(|_| NetError::Handshake("bad count".into()))?;
+    Ok((seq, total, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Seek, SeekFrom, Write};
+    use std::os::fd::AsFd;
+
+    fn tmpfile_with(content: &[u8]) -> std::fs::File {
+        let mut f = tempfile();
+        f.write_all(content).unwrap();
+        f.flush().unwrap();
+        f
+    }
+
+    fn tempfile() -> std::fs::File {
+        // tmpfile via std: create + unlink pattern.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "zdr-fdpass-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let f = std::fs::OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        f
+    }
+
+    #[test]
+    fn pass_single_fd_preserves_open_file() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let file = tmpfile_with(b"socket takeover");
+
+        send_with_fds(&a, b"one-fd", &[file.as_fd()]).unwrap();
+
+        let mut buf = [0u8; 16];
+        let (n, fds) = recv_with_fds(&b, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"one-fd");
+        assert_eq!(fds.len(), 1);
+
+        // The received FD shares the file description: reading from offset 0
+        // must yield the content the sender wrote.
+        let mut received = std::fs::File::from(fds.into_iter().next().unwrap());
+        received.seek(SeekFrom::Start(0)).unwrap();
+        let mut content = String::new();
+        received.read_to_string(&mut content).unwrap();
+        assert_eq!(content, "socket takeover");
+    }
+
+    #[test]
+    fn shared_file_description_like_dup() {
+        // §4.1: "these FDs behave as though they have been created with
+        // dup(2)" — the offset is shared, not copied.
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut file = tmpfile_with(b"0123456789");
+        file.seek(SeekFrom::Start(0)).unwrap();
+
+        send_with_fds(&a, b"x", &[file.as_fd()]).unwrap();
+        let mut buf = [0u8; 4];
+        let (_, fds) = recv_with_fds(&b, &mut buf).unwrap();
+        let mut received = std::fs::File::from(fds.into_iter().next().unwrap());
+
+        // Advance via the *received* fd…
+        let mut four = [0u8; 4];
+        received.read_exact(&mut four).unwrap();
+        assert_eq!(&four, b"0123");
+        // …and observe the shared offset via the *original* fd.
+        let mut next = [0u8; 4];
+        file.read_exact(&mut next).unwrap();
+        assert_eq!(&next, b"4567");
+    }
+
+    #[test]
+    fn pass_multiple_fds_in_one_message() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let files: Vec<_> = (0..5)
+            .map(|i| tmpfile_with(format!("file{i}").as_bytes()))
+            .collect();
+        let borrowed: Vec<_> = files.iter().map(|f| f.as_fd()).collect();
+
+        send_with_fds(&a, b"five", &borrowed).unwrap();
+        let mut buf = [0u8; 8];
+        let (_, fds) = recv_with_fds(&b, &mut buf).unwrap();
+        assert_eq!(fds.len(), 5);
+        for (i, fd) in fds.into_iter().enumerate() {
+            let mut f = std::fs::File::from(fd);
+            f.seek(SeekFrom::Start(0)).unwrap();
+            let mut s = String::new();
+            f.read_to_string(&mut s).unwrap();
+            assert_eq!(s, format!("file{i}"));
+        }
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let f = tempfile();
+        assert!(send_with_fds(&a, b"", &[f.as_fd()]).is_err());
+    }
+
+    #[test]
+    fn too_many_fds_in_one_message_rejected() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let f = tempfile();
+        let fds: Vec<_> = (0..MAX_FDS_PER_MSG + 1).map(|_| f.as_fd()).collect();
+        assert!(send_with_fds(&a, b"x", &fds).is_err());
+    }
+
+    #[test]
+    fn message_without_fds() {
+        let (a, b) = UnixStream::pair().unwrap();
+        send_with_fds(&a, b"plain", &[]).unwrap();
+        let mut buf = [0u8; 8];
+        let (n, fds) = recv_with_fds(&b, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"plain");
+        assert!(fds.is_empty());
+    }
+
+    #[test]
+    fn batch_round_trip_crossing_chunk_boundary() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let count = MAX_FDS_PER_MSG * 2 + 7;
+        let files: Vec<_> = (0..count).map(|_| tempfile()).collect();
+
+        let sender = std::thread::spawn(move || {
+            // files moved into the closure stay alive until send completes.
+            let borrowed: Vec<_> = files.iter().map(|f| f.as_fd()).collect();
+            send_fd_batch(&a, &borrowed).unwrap();
+            files.len()
+        });
+
+        let fds = recv_fd_batch(&b).unwrap();
+        assert_eq!(fds.len(), sender.join().unwrap());
+    }
+
+    #[test]
+    fn batch_empty() {
+        let (a, b) = UnixStream::pair().unwrap();
+        send_fd_batch(&a, &[]).unwrap();
+        let fds = recv_fd_batch(&b).unwrap();
+        assert!(fds.is_empty());
+    }
+
+    #[test]
+    fn batch_detects_peer_close() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(a);
+        assert!(matches!(recv_fd_batch(&b), Err(NetError::Handshake(_))));
+    }
+
+    #[test]
+    fn chunk_header_parser() {
+        assert_eq!(parse_chunk_header("chunk 0/3 fds 64").unwrap(), (0, 3, 64));
+        assert!(parse_chunk_header("chunk 03 fds 64").is_err());
+        assert!(parse_chunk_header("blob 0/3 fds 64").is_err());
+        assert!(parse_chunk_header("chunk a/3 fds 64").is_err());
+        assert!(parse_chunk_header("chunk 0/3 fds x").is_err());
+        assert!(parse_chunk_header("").is_err());
+    }
+
+    #[test]
+    fn received_fd_is_cloexec() {
+        // MSG_CMSG_CLOEXEC must be honored so takeover FDs do not leak into
+        // unrelated children.
+        let (a, b) = UnixStream::pair().unwrap();
+        let f = tempfile();
+        send_with_fds(&a, b"x", &[f.as_fd()]).unwrap();
+        let mut buf = [0u8; 4];
+        let (_, fds) = recv_with_fds(&b, &mut buf).unwrap();
+        let flags = nix::fcntl::fcntl(fds[0].as_raw_fd(), nix::fcntl::FcntlArg::F_GETFD).unwrap();
+        assert!(flags & libc::FD_CLOEXEC != 0, "received fd must be CLOEXEC");
+    }
+}

@@ -1,0 +1,502 @@
+//! Per-VIP listening-socket inventory.
+//!
+//! A Proxygen instance serves many VIPs (virtual IPs), each with one TCP
+//! listener and — for QUIC — several `SO_REUSEPORT` UDP sockets processed
+//! by independent server threads (§4.1). During Socket Takeover the whole
+//! inventory is serialized into a manifest (what exists) plus a flat FD
+//! array (the sockets themselves, passed with `SCM_RIGHTS`).
+//!
+//! §5.1 hazard enforced here: *"it is essential that the receiving process
+//! acts upon each of the received FDs, either by listening on those sockets
+//! or by closing any unused ones"* — an FD left neither claimed nor closed
+//! keeps receiving its SO_REUSEPORT share of packets which "only sit idle
+//! on their queues and never get processed". [`ReceivedInventory`] tracks
+//! claims and [`ReceivedInventory::finish`] fails loudly if any FD was
+//! ignored.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::os::fd::{AsFd, AsRawFd, BorrowedFd, OwnedFd};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NetError, Result};
+
+/// Transport protocol of a VIP listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    /// TCP listening socket (accept-based).
+    Tcp,
+    /// UDP socket (SO_REUSEPORT group member).
+    Udp,
+}
+
+/// A service address: transport + socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vip {
+    /// TCP or UDP.
+    pub transport: Transport,
+    /// The bound address.
+    pub addr: SocketAddr,
+}
+
+impl Vip {
+    /// A TCP VIP.
+    pub fn tcp(addr: SocketAddr) -> Self {
+        Vip {
+            transport: Transport::Tcp,
+            addr,
+        }
+    }
+
+    /// A UDP VIP.
+    pub fn udp(addr: SocketAddr) -> Self {
+        Vip {
+            transport: Transport::Udp,
+            addr,
+        }
+    }
+}
+
+impl std::fmt::Display for Vip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = match self.transport {
+            Transport::Tcp => "tcp",
+            Transport::Udp => "udp",
+        };
+        write!(f, "{t}://{}", self.addr)
+    }
+}
+
+/// Manifest describing the FD array accompanying a takeover: for each VIP
+/// (in order), how many consecutive FDs belong to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// `(vip, fd_count)` in FD-array order.
+    pub entries: Vec<(Vip, usize)>,
+}
+
+impl Manifest {
+    /// Total FDs the manifest accounts for.
+    pub fn total_fds(&self) -> usize {
+        self.entries.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The sending side's inventory: live listening sockets per VIP.
+#[derive(Debug, Default)]
+pub struct ListenerInventory {
+    entries: Vec<(Vip, Vec<OwnedFd>)>,
+}
+
+impl ListenerInventory {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of VIPs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no VIPs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a TCP listener for `vip`.
+    pub fn add_tcp(&mut self, addr: SocketAddr, listener: TcpListener) {
+        self.entries
+            .push((Vip::tcp(addr), vec![OwnedFd::from(listener)]));
+    }
+
+    /// Registers a group of `SO_REUSEPORT` UDP sockets for `vip`.
+    pub fn add_udp_group(&mut self, addr: SocketAddr, sockets: Vec<UdpSocket>) {
+        self.entries.push((
+            Vip::udp(addr),
+            sockets.into_iter().map(OwnedFd::from).collect(),
+        ));
+    }
+
+    /// The manifest describing this inventory.
+    pub fn manifest(&self) -> Manifest {
+        Manifest {
+            entries: self
+                .entries
+                .iter()
+                .map(|(vip, fds)| (*vip, fds.len()))
+                .collect(),
+        }
+    }
+
+    /// All FDs in manifest order, borrowed for an SCM_RIGHTS send.
+    pub fn borrowed_fds(&self) -> Vec<BorrowedFd<'_>> {
+        self.entries
+            .iter()
+            .flat_map(|(_, fds)| fds.iter().map(|f| f.as_fd()))
+            .collect()
+    }
+
+    /// VIPs in manifest order.
+    pub fn vips(&self) -> Vec<Vip> {
+        self.entries.iter().map(|(v, _)| *v).collect()
+    }
+}
+
+/// The receiving side's view after a takeover: FDs grouped by VIP, with
+/// claim tracking to enforce the §5.1 "act on every FD" rule.
+#[derive(Debug)]
+pub struct ReceivedInventory {
+    groups: BTreeMap<Vip, Vec<OwnedFd>>,
+}
+
+impl ReceivedInventory {
+    /// Reassembles the manifest + flat FD array into per-VIP groups,
+    /// validating that counts line up exactly.
+    pub fn reassemble(manifest: &Manifest, fds: Vec<OwnedFd>) -> Result<Self> {
+        if manifest.total_fds() != fds.len() {
+            return Err(NetError::Inventory(format!(
+                "manifest claims {} fds but {} arrived",
+                manifest.total_fds(),
+                fds.len()
+            )));
+        }
+        let mut groups = BTreeMap::new();
+        let mut it = fds.into_iter();
+        for (vip, count) in &manifest.entries {
+            let group: Vec<OwnedFd> = it.by_ref().take(*count).collect();
+            debug_assert_eq!(group.len(), *count);
+            if groups.insert(*vip, group).is_some() {
+                return Err(NetError::Inventory(format!(
+                    "duplicate vip {vip} in manifest"
+                )));
+            }
+        }
+        Ok(ReceivedInventory { groups })
+    }
+
+    /// VIPs still unclaimed.
+    pub fn unclaimed(&self) -> Vec<Vip> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// Claims the TCP listener for `addr`, converting the FD back into a
+    /// [`TcpListener`] ready for `accept`.
+    pub fn claim_tcp(&mut self, addr: SocketAddr) -> Result<TcpListener> {
+        let vip = Vip::tcp(addr);
+        let mut fds = self
+            .groups
+            .remove(&vip)
+            .ok_or_else(|| NetError::Inventory(format!("no such vip {vip}")))?;
+        if fds.len() != 1 {
+            // Put it back so finish() still reports it.
+            let n = fds.len();
+            self.groups.insert(vip, fds);
+            return Err(NetError::Inventory(format!(
+                "vip {vip} has {n} fds, expected 1"
+            )));
+        }
+        Ok(TcpListener::from(fds.pop().expect("one fd")))
+    }
+
+    /// Claims the UDP socket group for `addr`.
+    pub fn claim_udp_group(&mut self, addr: SocketAddr) -> Result<Vec<UdpSocket>> {
+        let vip = Vip::udp(addr);
+        let fds = self
+            .groups
+            .remove(&vip)
+            .ok_or_else(|| NetError::Inventory(format!("no such vip {vip}")))?;
+        Ok(fds.into_iter().map(UdpSocket::from).collect())
+    }
+
+    /// Explicitly discards (closes) an unwanted VIP's sockets — the legal
+    /// alternative to claiming them.
+    pub fn close_vip(&mut self, vip: Vip) -> Result<()> {
+        self.groups
+            .remove(&vip)
+            .map(drop)
+            .ok_or_else(|| NetError::Inventory(format!("no such vip {vip}")))
+    }
+
+    /// Finalizes the takeover. Errors if any FD was neither claimed nor
+    /// closed — the orphaned-socket hazard: those sockets would keep
+    /// receiving their SO_REUSEPORT share of traffic into queues nobody
+    /// drains, surfacing as user-visible connection timeouts (§5.1).
+    pub fn finish(self) -> Result<()> {
+        if self.groups.is_empty() {
+            Ok(())
+        } else {
+            let orphans: Vec<String> = self.groups.keys().map(|v| v.to_string()).collect();
+            Err(NetError::Inventory(format!(
+                "orphaned sockets (neither claimed nor closed): {}",
+                orphans.join(", ")
+            )))
+        }
+    }
+}
+
+/// Binds a TCP listener suitable for takeover (non-blocking off; callers
+/// set what they need).
+pub fn bind_tcp(addr: SocketAddr) -> Result<TcpListener> {
+    Ok(TcpListener::bind(addr)?)
+}
+
+/// Binds `n` UDP sockets to the same address with `SO_REUSEPORT`, forming
+/// the kernel socket-ring group the paper describes (§4.1).
+pub fn bind_udp_reuseport_group(addr: SocketAddr, n: usize) -> Result<Vec<UdpSocket>> {
+    assert!(n > 0, "group must have at least one socket");
+    let mut sockets = Vec::with_capacity(n);
+    let mut bound_addr = addr;
+    for _ in 0..n {
+        let domain = if bound_addr.is_ipv4() {
+            nix::sys::socket::AddressFamily::Inet
+        } else {
+            nix::sys::socket::AddressFamily::Inet6
+        };
+        let fd = nix::sys::socket::socket(
+            domain,
+            nix::sys::socket::SockType::Datagram,
+            nix::sys::socket::SockFlag::SOCK_CLOEXEC,
+            None,
+        )?;
+        nix::sys::socket::setsockopt(&fd, nix::sys::socket::sockopt::ReusePort, &true)?;
+        let sockaddr = nix::sys::socket::SockaddrStorage::from(bound_addr);
+        nix::sys::socket::bind(fd.as_raw_fd(), &sockaddr)?;
+        let sock = UdpSocket::from(fd);
+        // Subsequent sockets must bind the *same* concrete port (the first
+        // bind may have been to port 0).
+        bound_addr = sock.local_addr()?;
+        sockets.push(sock);
+    }
+    Ok(sockets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{Ipv4Addr, SocketAddrV4, TcpStream};
+
+    fn loopback() -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))
+    }
+
+    #[test]
+    fn vip_display() {
+        let v = Vip::tcp("127.0.0.1:443".parse().unwrap());
+        assert_eq!(v.to_string(), "tcp://127.0.0.1:443");
+        let v = Vip::udp("127.0.0.1:443".parse().unwrap());
+        assert_eq!(v.to_string(), "udp://127.0.0.1:443");
+    }
+
+    #[test]
+    fn manifest_counts() {
+        let m = Manifest {
+            entries: vec![
+                (Vip::tcp("127.0.0.1:80".parse().unwrap()), 1),
+                (Vip::udp("127.0.0.1:443".parse().unwrap()), 4),
+            ],
+        };
+        assert_eq!(m.total_fds(), 5);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn inventory_manifest_and_fd_order() {
+        let t = bind_tcp(loopback()).unwrap();
+        let taddr = t.local_addr().unwrap();
+        let udp = bind_udp_reuseport_group(loopback(), 3).unwrap();
+        let uaddr = udp[0].local_addr().unwrap();
+
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(taddr, t);
+        inv.add_udp_group(uaddr, udp);
+
+        let m = inv.manifest();
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.entries[0], (Vip::tcp(taddr), 1));
+        assert_eq!(m.entries[1], (Vip::udp(uaddr), 3));
+        assert_eq!(inv.borrowed_fds().len(), 4);
+        assert_eq!(inv.vips().len(), 2);
+        assert!(!inv.is_empty());
+        assert_eq!(inv.len(), 2);
+    }
+
+    #[test]
+    fn reassemble_validates_counts() {
+        let m = Manifest {
+            entries: vec![(Vip::tcp("127.0.0.1:80".parse().unwrap()), 1)],
+        };
+        assert!(matches!(
+            ReceivedInventory::reassemble(&m, vec![]),
+            Err(NetError::Inventory(_))
+        ));
+    }
+
+    #[test]
+    fn reassemble_rejects_duplicate_vip() {
+        let vip = Vip::tcp("127.0.0.1:80".parse().unwrap());
+        let m = Manifest {
+            entries: vec![(vip, 1), (vip, 1)],
+        };
+        let a = bind_tcp(loopback()).unwrap();
+        let b = bind_tcp(loopback()).unwrap();
+        assert!(matches!(
+            ReceivedInventory::reassemble(&m, vec![OwnedFd::from(a), OwnedFd::from(b)]),
+            Err(NetError::Inventory(_))
+        ));
+    }
+
+    #[test]
+    fn claim_tcp_yields_working_listener() {
+        let t = bind_tcp(loopback()).unwrap();
+        let addr = t.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(addr, t);
+        let manifest = inv.manifest();
+        // Simulate the FD trip: in-process we can just move the OwnedFds.
+        let fds: Vec<OwnedFd> = inv.entries.into_iter().flat_map(|(_, f)| f).collect();
+
+        let mut received = ReceivedInventory::reassemble(&manifest, fds).unwrap();
+        let listener = received.claim_tcp(addr).unwrap();
+        received.finish().unwrap();
+
+        // The reclaimed listener accepts real connections.
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut echo = [0u8; 5];
+        c.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"hello");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn orphaned_fds_detected_on_finish() {
+        let t = bind_tcp(loopback()).unwrap();
+        let addr = t.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(addr, t);
+        let manifest = inv.manifest();
+        let fds: Vec<OwnedFd> = inv.entries.into_iter().flat_map(|(_, f)| f).collect();
+
+        let received = ReceivedInventory::reassemble(&manifest, fds).unwrap();
+        // Claim nothing, close nothing → the §5.1 orphan hazard.
+        let err = received.finish().unwrap_err();
+        assert!(err.to_string().contains("orphaned"), "{err}");
+    }
+
+    #[test]
+    fn close_vip_is_a_legal_alternative_to_claiming() {
+        let t = bind_tcp(loopback()).unwrap();
+        let addr = t.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(addr, t);
+        let manifest = inv.manifest();
+        let fds: Vec<OwnedFd> = inv.entries.into_iter().flat_map(|(_, f)| f).collect();
+
+        let mut received = ReceivedInventory::reassemble(&manifest, fds).unwrap();
+        received.close_vip(Vip::tcp(addr)).unwrap();
+        received.finish().unwrap();
+    }
+
+    #[test]
+    fn claim_unknown_vip_fails() {
+        let m = Manifest { entries: vec![] };
+        let mut r = ReceivedInventory::reassemble(&m, vec![]).unwrap();
+        assert!(r.claim_tcp("127.0.0.1:1".parse().unwrap()).is_err());
+        assert!(r.claim_udp_group("127.0.0.1:1".parse().unwrap()).is_err());
+        assert!(r
+            .close_vip(Vip::tcp("127.0.0.1:1".parse().unwrap()))
+            .is_err());
+    }
+
+    #[test]
+    fn kernel_socket_state_persists_across_takeover() {
+        // The §5.1 war story: "an unchanged socket state in the Kernel even
+        // after restart of the associated application process is not only
+        // unintuitive but can also hinder in debugging ... a rollback of
+        // the latest deployment does not resolve the issue" (the UDP GSO
+        // buffer-accumulation bug). Demonstrate the underlying property:
+        // kernel-level socket options survive the FD handover, because the
+        // file description — not a copy — is what moves.
+        let group = bind_udp_reuseport_group(loopback(), 1).unwrap();
+        let addr = group[0].local_addr().unwrap();
+        let fd = &group[0];
+        // Perturb kernel state on the old process's socket.
+        nix::sys::socket::setsockopt(fd, nix::sys::socket::sockopt::RcvBuf, &(1 << 16)).unwrap();
+        let set_value =
+            nix::sys::socket::getsockopt(fd, nix::sys::socket::sockopt::RcvBuf).unwrap();
+
+        let mut inv = ListenerInventory::new();
+        inv.add_udp_group(addr, group);
+        let manifest = inv.manifest();
+        let fds: Vec<OwnedFd> = inv.entries.into_iter().flat_map(|(_, f)| f).collect();
+        let mut received = ReceivedInventory::reassemble(&manifest, fds).unwrap();
+        let new_group = received.claim_udp_group(addr).unwrap();
+        received.finish().unwrap();
+
+        // The "new process" observes the exact same kernel state — restart
+        // (or rollback) does not reset it.
+        let got =
+            nix::sys::socket::getsockopt(&new_group[0], nix::sys::socket::sockopt::RcvBuf).unwrap();
+        assert_eq!(
+            got, set_value,
+            "kernel socket state must survive the handover"
+        );
+    }
+
+    #[test]
+    fn udp_reuseport_group_binds_same_port() {
+        let group = bind_udp_reuseport_group(loopback(), 4).unwrap();
+        let port = group[0].local_addr().unwrap().port();
+        assert!(port > 0);
+        for s in &group {
+            assert_eq!(s.local_addr().unwrap().port(), port);
+        }
+    }
+
+    #[test]
+    fn udp_group_claim_round_trip() {
+        let group = bind_udp_reuseport_group(loopback(), 2).unwrap();
+        let addr = group[0].local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_udp_group(addr, group);
+        let manifest = inv.manifest();
+        let fds: Vec<OwnedFd> = inv.entries.into_iter().flat_map(|(_, f)| f).collect();
+
+        let mut received = ReceivedInventory::reassemble(&manifest, fds).unwrap();
+        let sockets = received.claim_udp_group(addr).unwrap();
+        received.finish().unwrap();
+        assert_eq!(sockets.len(), 2);
+
+        // A reclaimed socket still receives datagrams sent to the VIP.
+        let sender = UdpSocket::bind(loopback()).unwrap();
+        sender.send_to(b"ping", addr).unwrap();
+        // With a 2-socket ring either member may receive; poll both briefly.
+        for s in &sockets {
+            s.set_nonblocking(true).unwrap();
+        }
+        let mut got = false;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut buf = [0u8; 8];
+        while std::time::Instant::now() < deadline && !got {
+            for s in &sockets {
+                if let Ok((n, _)) = s.recv_from(&mut buf) {
+                    assert_eq!(&buf[..n], b"ping");
+                    got = true;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(got, "no ring member received the datagram");
+    }
+}

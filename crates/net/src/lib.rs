@@ -1,0 +1,110 @@
+//! # zdr-net — the Socket Takeover substrate
+//!
+//! Real-kernel building blocks for the paper's Socket Takeover mechanism
+//! (§4.1):
+//!
+//! * [`fdpass`] — passing open file descriptors between processes over a
+//!   UNIX domain socket with `sendmsg(2)`/`SCM_RIGHTS`. On the receiving
+//!   side the FDs behave as though created with `dup(2)`: both processes
+//!   share one file table entry, so the listening socket is never closed
+//!   and the kernel's SO_REUSEPORT ring never changes.
+//! * [`inventory`] — the per-VIP listening-socket inventory a proxy hands
+//!   over during a restart, including the §5.1 hazard checks (an FD the new
+//!   process neither listens on nor closes becomes an orphaned socket that
+//!   blackholes its share of incoming connections).
+//! * [`takeover`] — the Fig. 5 handshake (steps A–F) between the old and
+//!   new proxy process: serve → pass FDs → confirm → drain → health-check
+//!   handoff.
+//! * [`reuseport`] — an executable model of the kernel's SO_REUSEPORT
+//!   socket-ring and of the routing flux that misroutes UDP packets when
+//!   sockets are rebound instead of passed (Fig. 2d).
+//! * [`udp_router`] — user-space routing of QUIC-like packets between the
+//!   new and the draining process, keyed on the connection-ID's process
+//!   generation (the Fig. 10 mechanism).
+//!
+//! Everything here is Linux-first (the paper's production environment);
+//! the simulation models ([`reuseport`], [`udp_router`] classification) are
+//! portable.
+
+pub mod fdpass;
+pub mod inventory;
+pub mod reuseport;
+pub mod takeover;
+pub mod udp_router;
+
+use std::fmt;
+use std::io;
+
+/// Errors from the takeover substrate.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying I/O or syscall failure.
+    Io(io::Error),
+    /// The takeover peer violated the handshake protocol.
+    Handshake(String),
+    /// The FD inventory is inconsistent (e.g. metadata/FD count mismatch —
+    /// the §5.1 orphaned-socket hazard).
+    Inventory(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Handshake(m) => write!(f, "takeover handshake error: {m}"),
+            NetError::Inventory(m) => write!(f, "socket inventory error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<nix::errno::Errno> for NetError {
+    fn from(e: nix::errno::Errno) -> Self {
+        NetError::Io(io::Error::from_raw_os_error(e as i32))
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = NetError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = NetError::Handshake("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = NetError::Inventory("fd count mismatch".into());
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn errno_conversion() {
+        let e = NetError::from(nix::errno::Errno::EAGAIN);
+        match e {
+            NetError::Io(io) => assert_eq!(io.raw_os_error(), Some(libc::EAGAIN)),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Executable model of the kernel's `SO_REUSEPORT` UDP socket ring.
+//!
+//! §4.1: *"When `SO_REUSEPORT` socket option is used for an UDP address,
+//! Kernel's internal representation of the socket ring associated with \[the\]
+//! UDP VIP is in flux during a release — new process binds to same address
+//! and new entries are added to socket ring, while the old process shutdowns
+//! and gets its entries purged from the socket ring. This flux breaks the
+//! consistency in picking up a socket for the same 4-tuple combination."*
+//!
+//! The kernel selects `hash(4-tuple) % ring_len` over the current ring
+//! members; there is no consistent hashing, so any membership change
+//! reshuffles almost every flow. This module reproduces that selection rule
+//! so the Fig. 2d / Fig. 10 experiments can count misrouted packets under
+//! the two handover strategies:
+//!
+//! * [`HandoverStrategy::Rebind`] — the naive path: the new process binds
+//!   fresh sockets (ring grows), then the old process closes its own (ring
+//!   shrinks). The ring is in flux for the whole window.
+//! * [`HandoverStrategy::FdPassing`] — Socket Takeover: FDs are passed, the
+//!   ring never changes, and packets keep landing on the same sockets; only
+//!   the user-space owner of those sockets changed.
+
+use std::collections::HashMap;
+
+/// Identifies a proxy process across a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProcessId {
+    /// The draining pre-restart process.
+    Old,
+    /// The freshly spawned post-restart process.
+    New,
+}
+
+/// One socket in the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingSocket {
+    /// Stable identity of the underlying socket (file description).
+    pub socket_id: u64,
+    /// Which process currently owns (reads from) it.
+    pub owner: ProcessId,
+}
+
+/// The kernel's per-VIP socket ring.
+#[derive(Debug, Clone, Default)]
+pub struct SocketRing {
+    members: Vec<RingSocket>,
+}
+
+impl SocketRing {
+    /// A ring of `n` sockets owned by `owner`, with socket ids
+    /// `first_id..first_id + n`.
+    pub fn new(n: usize, owner: ProcessId, first_id: u64) -> Self {
+        SocketRing {
+            members: (0..n as u64)
+                .map(|i| RingSocket {
+                    socket_id: first_id + i,
+                    owner,
+                })
+                .collect(),
+        }
+    }
+
+    /// Ring size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no members (the VIP is black-holed).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Adds a socket (a new `bind` joining the group).
+    pub fn add(&mut self, socket: RingSocket) {
+        self.members.push(socket);
+    }
+
+    /// Removes a socket by id (a `close` leaving the group).
+    pub fn remove(&mut self, socket_id: u64) -> bool {
+        let before = self.members.len();
+        self.members.retain(|s| s.socket_id != socket_id);
+        self.members.len() != before
+    }
+
+    /// Transfers ownership of every member to `owner` without changing
+    /// membership — what FD passing looks like from the kernel's side.
+    pub fn transfer_ownership(&mut self, owner: ProcessId) {
+        for m in &mut self.members {
+            m.owner = owner;
+        }
+    }
+
+    /// The kernel's selection rule: `flow_hash % ring_len` over current
+    /// membership order.
+    pub fn route(&self, flow_hash: u64) -> Option<RingSocket> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[(flow_hash % self.members.len() as u64) as usize])
+        }
+    }
+
+    /// Current members, in kernel order.
+    pub fn members(&self) -> &[RingSocket] {
+        &self.members
+    }
+}
+
+/// How the restart hands the UDP VIP to the new process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoverStrategy {
+    /// New process binds its own sockets, old process closes its own:
+    /// the ring is in flux (the §4.1 failure mode).
+    Rebind,
+    /// Socket Takeover: FDs passed via SCM_RIGHTS; ring membership is
+    /// untouched.
+    FdPassing,
+}
+
+/// Result of simulating one handover under a packet workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoverReport {
+    /// Packets whose socket changed vs. where the flow's state lives
+    /// (deliveries a stateful UDP application cannot serve).
+    pub misrouted: u64,
+    /// Total packets routed during the window.
+    pub total: u64,
+    /// Misrouted packets at each step of the handover timeline (one entry
+    /// per ring mutation, or a single entry for `FdPassing`).
+    pub per_step: Vec<u64>,
+}
+
+impl HandoverReport {
+    /// Misrouted fraction across the whole window.
+    pub fn misroute_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misrouted as f64 / self.total as f64
+        }
+    }
+}
+
+/// Simulates the handover of one UDP VIP.
+///
+/// `flow_hashes` are the active flows (one state entry each, pinned to the
+/// socket the kernel chose *before* the restart began); each flow sends one
+/// packet at every timeline step. A packet is misrouted when it lands on a
+/// different socket than the one holding the flow's state.
+///
+/// Ring evolution for `Rebind` with `n` sockets per process is the §4.1
+/// flux: `n` add-steps (new process binding) followed by `n` remove-steps
+/// (old process closing); every intermediate ring size from `n` to `2n` and
+/// back reshuffles `hash % len`. For `FdPassing` there is exactly one step
+/// (ownership transfer) and the mapping is unchanged.
+pub fn simulate_handover(
+    flow_hashes: &[u64],
+    sockets_per_process: usize,
+    strategy: HandoverStrategy,
+) -> HandoverReport {
+    assert!(sockets_per_process > 0);
+    let mut ring = SocketRing::new(sockets_per_process, ProcessId::Old, 0);
+
+    // Pin each flow's state to its pre-restart socket.
+    let state_home: HashMap<u64, u64> = flow_hashes
+        .iter()
+        .map(|&h| (h, ring.route(h).expect("non-empty ring").socket_id))
+        .collect();
+
+    let mut per_step = Vec::new();
+    let mut misrouted = 0u64;
+    let mut total = 0u64;
+
+    let mut run_step = |ring: &SocketRing| {
+        let mut step_miss = 0u64;
+        for &h in flow_hashes {
+            total += 1;
+            let landed = ring.route(h).expect("ring never fully empties mid-flux");
+            if landed.socket_id != state_home[&h] {
+                step_miss += 1;
+            }
+        }
+        misrouted += step_miss;
+        step_miss
+    };
+
+    match strategy {
+        HandoverStrategy::Rebind => {
+            // New process binds one socket at a time.
+            for i in 0..sockets_per_process as u64 {
+                ring.add(RingSocket {
+                    socket_id: 1000 + i,
+                    owner: ProcessId::New,
+                });
+                per_step.push(run_step(&ring));
+            }
+            // Old process closes its sockets one at a time.
+            for i in 0..sockets_per_process as u64 {
+                ring.remove(i);
+                per_step.push(run_step(&ring));
+            }
+        }
+        HandoverStrategy::FdPassing => {
+            ring.transfer_ownership(ProcessId::New);
+            per_step.push(run_step(&ring));
+        }
+    }
+
+    HandoverReport {
+        misrouted,
+        total,
+        per_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(n: u64) -> Vec<u64> {
+        // Spread hashes deterministically (odd multiplier avoids trivial
+        // modular structure).
+        (0..n)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect()
+    }
+
+    #[test]
+    fn ring_route_is_modular() {
+        let ring = SocketRing::new(4, ProcessId::Old, 0);
+        assert_eq!(ring.route(0).unwrap().socket_id, 0);
+        assert_eq!(ring.route(5).unwrap().socket_id, 1);
+        assert_eq!(ring.route(7).unwrap().socket_id, 3);
+        assert!(SocketRing::default().route(1).is_none());
+    }
+
+    #[test]
+    fn ring_membership_ops() {
+        let mut ring = SocketRing::new(2, ProcessId::Old, 0);
+        assert_eq!(ring.len(), 2);
+        ring.add(RingSocket {
+            socket_id: 99,
+            owner: ProcessId::New,
+        });
+        assert_eq!(ring.len(), 3);
+        assert!(ring.remove(99));
+        assert!(!ring.remove(99));
+        assert_eq!(ring.len(), 2);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn ownership_transfer_keeps_membership() {
+        let mut ring = SocketRing::new(3, ProcessId::Old, 0);
+        let before: Vec<u64> = ring.members().iter().map(|m| m.socket_id).collect();
+        ring.transfer_ownership(ProcessId::New);
+        let after: Vec<u64> = ring.members().iter().map(|m| m.socket_id).collect();
+        assert_eq!(before, after);
+        assert!(ring.members().iter().all(|m| m.owner == ProcessId::New));
+    }
+
+    #[test]
+    fn fd_passing_has_zero_misrouting() {
+        let report = simulate_handover(&flows(10_000), 8, HandoverStrategy::FdPassing);
+        assert_eq!(report.misrouted, 0);
+        assert_eq!(report.total, 10_000);
+        assert_eq!(report.per_step, vec![0]);
+        assert_eq!(report.misroute_rate(), 0.0);
+    }
+
+    #[test]
+    fn rebind_misroutes_heavily_during_flux() {
+        let report = simulate_handover(&flows(10_000), 8, HandoverStrategy::Rebind);
+        // With ring sizes changing 16 times, most packets are misrouted.
+        assert!(
+            report.misroute_rate() > 0.5,
+            "rate = {}",
+            report.misroute_rate()
+        );
+        assert_eq!(report.per_step.len(), 16);
+        // The very first add already reshuffles hash % len for most flows.
+        assert!(report.per_step[0] > 0);
+        assert_eq!(report.total, 10_000 * 16);
+    }
+
+    #[test]
+    fn rebind_single_socket_process() {
+        // Even the minimal 1-socket-per-process case misroutes: during the
+        // 2-member window half the flows move; after the old socket closes,
+        // every flow lands on the new socket (which has no state).
+        let report = simulate_handover(&flows(1_000), 1, HandoverStrategy::Rebind);
+        assert!(report.misrouted > 0);
+        // Final step: all packets land on socket 1000 != state homes (0).
+        assert_eq!(*report.per_step.last().unwrap(), 1_000);
+    }
+
+    #[test]
+    fn misroute_rate_empty_workload() {
+        let report = simulate_handover(&[], 4, HandoverStrategy::Rebind);
+        assert_eq!(report.total, 0);
+        assert_eq!(report.misroute_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let a = simulate_handover(&flows(5_000), 4, HandoverStrategy::Rebind);
+        let b = simulate_handover(&flows(5_000), 4, HandoverStrategy::Rebind);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_sockets_longer_flux_window() {
+        let small = simulate_handover(&flows(1_000), 2, HandoverStrategy::Rebind);
+        let large = simulate_handover(&flows(1_000), 16, HandoverStrategy::Rebind);
+        assert_eq!(small.per_step.len(), 4);
+        assert_eq!(large.per_step.len(), 32);
+        // Longer flux ⇒ more total misrouted packets.
+        assert!(large.misrouted > small.misrouted);
+    }
+}

@@ -1,0 +1,560 @@
+//! The Socket Takeover handshake (Fig. 5, steps A–F).
+//!
+//! Roles:
+//!
+//! * the **old** (running) Proxygen spawns a takeover server bound to a
+//!   pre-specified UNIX-socket path (step A);
+//! * the **new** process starts, connects, and requests takeover;
+//! * the old process sends the listening-socket manifest and the FDs
+//!   themselves via `SCM_RIGHTS` (step B);
+//! * the new process claims the listeners (step C) and sends confirmation
+//!   (step D);
+//! * on confirmation the old process stops accepting new connections and
+//!   enters draining (step E); the new process assumes health-check
+//!   responsibility (step F) — that part lives in `zdr-proxy`.
+//!
+//! ### Wire discipline
+//!
+//! Control messages are 4-byte-length-prefixed JSON frames (ordinary stream
+//! reads, immune to fragmentation). Each FD chunk is one `sendmsg` whose
+//! payload is a **single byte**, so a 1-byte `recvmsg` can never split or
+//! merge ancillary boundaries; the chunk's FD count is announced in a
+//! control frame beforehand. This avoids relying on luck about how a
+//! `SOCK_STREAM` socket segments SCM_RIGHTS payloads.
+
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::os::fd::OwnedFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fdpass::{recv_with_fds, send_with_fds, MAX_FDS_PER_MSG};
+use crate::inventory::{ListenerInventory, Manifest, ReceivedInventory};
+use crate::{NetError, Result};
+
+/// Single filler byte carried by each SCM_RIGHTS message.
+const FD_CHUNK_MARKER: u8 = 0xf5;
+
+/// Metadata accompanying the socket handoff.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandoffInfo {
+    /// The old process's takeover generation; the new process runs at
+    /// `generation + 1` and mints connection IDs accordingly.
+    pub generation: u32,
+    /// Host-local address where the old process keeps receiving user-space
+    /// routed UDP packets while draining (None when no UDP VIPs exist).
+    pub udp_router_addr: Option<SocketAddr>,
+    /// How long the old process intends to drain.
+    pub drain_deadline_ms: u64,
+}
+
+/// Control frames exchanged during the handshake.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+enum ControlFrame {
+    /// New → old: request the takeover.
+    Request {
+        /// Handshake protocol version.
+        version: u32,
+    },
+    /// Old → new: here is what you are about to receive.
+    Offer {
+        /// Socket layout.
+        manifest: Manifest,
+        /// Handoff metadata.
+        info: HandoffInfo,
+        /// Number of SCM_RIGHTS chunks that follow.
+        chunks: usize,
+    },
+    /// Old → new: the next SCM_RIGHTS message carries this many FDs.
+    Chunk {
+        /// FD count in the upcoming message.
+        fds: usize,
+    },
+    /// New → old: listeners claimed; start draining (step D).
+    Confirm,
+    /// Old → new: draining has begun (step E); you own health checks now.
+    Draining,
+    /// Either direction: abort with a reason.
+    Abort {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Current handshake protocol version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+fn write_frame(stream: &mut UnixStream, frame: &ControlFrame) -> Result<()> {
+    let body = serde_json::to_vec(frame)
+        .map_err(|e| NetError::Handshake(format!("encode control frame: {e}")))?;
+    let len = u32::try_from(body.len())
+        .map_err(|_| NetError::Handshake("control frame too large".into()))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&body)?;
+    Ok(())
+}
+
+fn read_frame(stream: &mut UnixStream) -> Result<ControlFrame> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 1 << 20 {
+        return Err(NetError::Handshake(format!("control frame of {len} bytes")));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map_err(|e| NetError::Handshake(format!("decode control frame: {e}")))
+}
+
+/// What [`TakeoverServer::serve_once`] reports back to the old process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The new process confirmed; the old process must now drain: stop
+    /// accepting connections and let existing ones finish (step E).
+    DrainNow,
+}
+
+/// The old process's side: a UNIX-socket server that hands its listening
+/// sockets to the next generation.
+#[derive(Debug)]
+pub struct TakeoverServer {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl TakeoverServer {
+    /// Binds the takeover server at `path` (step A). An existing stale
+    /// socket file is replaced.
+    pub fn bind(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(TakeoverServer { listener, path })
+    }
+
+    /// The bound path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serves exactly one takeover: waits for the new process, transfers
+    /// `inventory`, and returns once the peer confirmed. `timeout` bounds
+    /// each blocking step so a wedged peer cannot hang the old process
+    /// forever (§5.1: a broken takeover must degrade to a normal restart,
+    /// not an outage).
+    pub fn serve_once(
+        &self,
+        inventory: &ListenerInventory,
+        info: HandoffInfo,
+        timeout: Duration,
+    ) -> Result<ServeOutcome> {
+        let (mut stream, _) = self.listener.accept()?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+
+        match read_frame(&mut stream)? {
+            ControlFrame::Request { version } if version == PROTOCOL_VERSION => {}
+            ControlFrame::Request { version } => {
+                let frame = ControlFrame::Abort {
+                    reason: format!("unsupported protocol version {version}"),
+                };
+                let _ = write_frame(&mut stream, &frame);
+                return Err(NetError::Handshake(format!(
+                    "peer requested unsupported version {version}"
+                )));
+            }
+            other => {
+                return Err(NetError::Handshake(format!(
+                    "expected Request, got {other:?}"
+                )))
+            }
+        }
+
+        let fds = inventory.borrowed_fds();
+        let chunks: Vec<_> = fds.chunks(MAX_FDS_PER_MSG).collect();
+        write_frame(
+            &mut stream,
+            &ControlFrame::Offer {
+                manifest: inventory.manifest(),
+                info,
+                chunks: chunks.len(),
+            },
+        )?;
+
+        for chunk in chunks {
+            write_frame(&mut stream, &ControlFrame::Chunk { fds: chunk.len() })?;
+            send_with_fds(&stream, &[FD_CHUNK_MARKER], chunk)?;
+        }
+
+        match read_frame(&mut stream)? {
+            ControlFrame::Confirm => {}
+            ControlFrame::Abort { reason } => {
+                return Err(NetError::Handshake(format!("peer aborted: {reason}")))
+            }
+            other => {
+                return Err(NetError::Handshake(format!(
+                    "expected Confirm, got {other:?}"
+                )))
+            }
+        }
+
+        write_frame(&mut stream, &ControlFrame::Draining)?;
+        Ok(ServeOutcome::DrainNow)
+    }
+}
+
+impl Drop for TakeoverServer {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Everything the new process receives from the old one.
+#[derive(Debug)]
+pub struct TakeoverResult {
+    /// The sockets, grouped per VIP, with §5.1 claim tracking.
+    pub inventory: ReceivedInventory,
+    /// Handoff metadata (generation, UDP router address, drain deadline).
+    pub info: HandoffInfo,
+}
+
+/// The new process's side: connect to the old process at `path`, receive
+/// the sockets, and return them ready to claim. The returned closure-style
+/// confirmation is deferred: call [`PendingTakeover::confirm`] with the stream once
+/// listeners are claimed, completing steps D–E.
+pub struct PendingTakeover {
+    stream: UnixStream,
+    /// The received sockets and metadata.
+    pub result: TakeoverResult,
+}
+
+impl std::fmt::Debug for PendingTakeover {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingTakeover")
+            .field("result", &self.result)
+            .finish()
+    }
+}
+
+impl PendingTakeover {
+    /// Confirms the takeover (step D) and waits for the old process to
+    /// acknowledge that draining has begun (step E).
+    pub fn confirm(mut self) -> Result<TakeoverResult> {
+        write_frame(&mut self.stream, &ControlFrame::Confirm)?;
+        match read_frame(&mut self.stream)? {
+            ControlFrame::Draining => Ok(self.result),
+            other => Err(NetError::Handshake(format!(
+                "expected Draining, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Aborts the takeover, telling the old process to keep serving.
+    pub fn abort(mut self, reason: &str) -> Result<()> {
+        write_frame(
+            &mut self.stream,
+            &ControlFrame::Abort {
+                reason: reason.into(),
+            },
+        )?;
+        Ok(())
+    }
+}
+
+/// Connects to the old process and receives the socket inventory (steps
+/// B–C). Claim the listeners from `result.inventory`, then call
+/// [`PendingTakeover::confirm`].
+pub fn request_takeover(path: impl AsRef<Path>, timeout: Duration) -> Result<PendingTakeover> {
+    let mut stream = UnixStream::connect(path.as_ref())?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+
+    write_frame(
+        &mut stream,
+        &ControlFrame::Request {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+
+    let (manifest, info, chunks) = match read_frame(&mut stream)? {
+        ControlFrame::Offer {
+            manifest,
+            info,
+            chunks,
+        } => (manifest, info, chunks),
+        ControlFrame::Abort { reason } => {
+            return Err(NetError::Handshake(format!(
+                "old process aborted: {reason}"
+            )))
+        }
+        other => {
+            return Err(NetError::Handshake(format!(
+                "expected Offer, got {other:?}"
+            )))
+        }
+    };
+
+    let mut fds: Vec<OwnedFd> = Vec::with_capacity(manifest.total_fds());
+    for _ in 0..chunks {
+        let expected = match read_frame(&mut stream)? {
+            ControlFrame::Chunk { fds } => fds,
+            other => {
+                return Err(NetError::Handshake(format!(
+                    "expected Chunk, got {other:?}"
+                )))
+            }
+        };
+        let mut marker = [0u8; 1];
+        let (n, mut received) = recv_with_fds(&stream, &mut marker)?;
+        if n != 1 || marker[0] != FD_CHUNK_MARKER {
+            return Err(NetError::Handshake("bad fd-chunk marker".into()));
+        }
+        if received.len() != expected {
+            return Err(NetError::Inventory(format!(
+                "chunk advertised {expected} fds, received {}",
+                received.len()
+            )));
+        }
+        fds.append(&mut received);
+    }
+
+    let inventory = ReceivedInventory::reassemble(&manifest, fds)?;
+    Ok(PendingTakeover {
+        stream,
+        result: TakeoverResult { inventory, info },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::{bind_tcp, bind_udp_reuseport_group};
+    use std::net::{SocketAddr, TcpStream};
+
+    fn tmp_sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "zdr-takeover-{tag}-{}-{:x}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+    }
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn full_handshake_transfers_working_listeners() {
+        let path = tmp_sock_path("full");
+
+        // Old process: one TCP VIP and a 3-socket UDP VIP.
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+        let udp = bind_udp_reuseport_group(loopback(), 3).unwrap();
+        let udp_addr = udp[0].local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+        inv.add_udp_group(udp_addr, udp);
+
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 4,
+            udp_router_addr: Some("127.0.0.1:9999".parse().unwrap()),
+            drain_deadline_ms: 20 * 60 * 1000,
+        };
+        let old = std::thread::spawn(move || {
+            server
+                .serve_once(&inv, info, Duration::from_secs(10))
+                .unwrap()
+        });
+
+        // New process.
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        assert_eq!(pending.result.info.generation, 4);
+        assert_eq!(pending.result.info.drain_deadline_ms, 20 * 60 * 1000);
+        let mut result = pending.confirm().unwrap();
+
+        assert_eq!(old.join().unwrap(), ServeOutcome::DrainNow);
+
+        let listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+        let udp_group = result.inventory.claim_udp_group(udp_addr).unwrap();
+        result.inventory.finish().unwrap();
+        assert_eq!(udp_group.len(), 3);
+
+        // The taken-over TCP listener accepts a real connection — the
+        // "listening sockets ... are never closed (and hence no downtime)"
+        // property.
+        let acceptor = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut b = [0u8; 2];
+            s.read_exact(&mut b).unwrap();
+            s.write_all(b"ok").unwrap();
+        });
+        let mut c = TcpStream::connect(tcp_addr).unwrap();
+        c.write_all(b"hi").unwrap();
+        let mut reply = [0u8; 2];
+        c.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"ok");
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn connections_established_before_takeover_survive() {
+        // A client connected to the old listener keeps its connection
+        // through the handover: both processes share the file table entry.
+        let path = tmp_sock_path("survive");
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+
+        // Client connects and old process accepts BEFORE the takeover.
+        let mut client = TcpStream::connect(tcp_addr).unwrap();
+        let (mut old_conn, _) = tcp.accept().unwrap();
+
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 1,
+            udp_router_addr: None,
+            drain_deadline_ms: 1000,
+        };
+        let old = std::thread::spawn(move || {
+            let outcome = server
+                .serve_once(&inv, info, Duration::from_secs(10))
+                .unwrap();
+            // Old process keeps serving its accepted connection while
+            // draining.
+            let mut b = [0u8; 4];
+            old_conn.read_exact(&mut b).unwrap();
+            old_conn.write_all(&b).unwrap();
+            outcome
+        });
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        let mut result = pending.confirm().unwrap();
+        let _listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+        result.inventory.finish().unwrap();
+
+        // The pre-takeover connection still works end-to-end.
+        client.write_all(b"ping").unwrap();
+        let mut echo = [0u8; 4];
+        client.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"ping");
+        assert_eq!(old.join().unwrap(), ServeOutcome::DrainNow);
+    }
+
+    #[test]
+    fn abort_leaves_old_process_serving() {
+        let path = tmp_sock_path("abort");
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 1,
+            udp_router_addr: None,
+            drain_deadline_ms: 1000,
+        };
+        let old =
+            std::thread::spawn(move || server.serve_once(&inv, info, Duration::from_secs(10)));
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        pending.abort("new binary failed self-check").unwrap();
+
+        // Old process sees a handshake error, NOT a drain command — it
+        // keeps serving (rollback safety).
+        let outcome = old.join().unwrap();
+        assert!(
+            matches!(outcome, Err(NetError::Handshake(_))),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn many_fds_cross_chunk_boundary() {
+        let path = tmp_sock_path("chunks");
+        let mut inv = ListenerInventory::new();
+        // 70 single-socket UDP groups at distinct ports > MAX_FDS_PER_MSG.
+        let mut addrs = Vec::new();
+        for _ in 0..70 {
+            let group = bind_udp_reuseport_group(loopback(), 1).unwrap();
+            let addr = group[0].local_addr().unwrap();
+            addrs.push(addr);
+            inv.add_udp_group(addr, group);
+        }
+
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 2,
+            udp_router_addr: None,
+            drain_deadline_ms: 10,
+        };
+        let old = std::thread::spawn(move || {
+            server
+                .serve_once(&inv, info, Duration::from_secs(10))
+                .unwrap()
+        });
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        let mut result = pending.confirm().unwrap();
+        for addr in addrs {
+            let group = result.inventory.claim_udp_group(addr).unwrap();
+            assert_eq!(group.len(), 1);
+        }
+        result.inventory.finish().unwrap();
+        old.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_missing_server_fails_cleanly() {
+        let path = tmp_sock_path("missing");
+        assert!(matches!(
+            request_takeover(&path, Duration::from_secs(1)),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn server_socket_file_removed_on_drop() {
+        let path = tmp_sock_path("cleanup");
+        {
+            let _server = TakeoverServer::bind(&path).unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stale_socket_file_is_replaced() {
+        let path = tmp_sock_path("stale");
+        std::fs::write(&path, b"stale").unwrap();
+        let server = TakeoverServer::bind(&path).unwrap();
+        assert_eq!(server.path(), path.as_path());
+    }
+
+    #[test]
+    fn control_frame_round_trip() {
+        let frames = vec![
+            ControlFrame::Request { version: 1 },
+            ControlFrame::Chunk { fds: 64 },
+            ControlFrame::Confirm,
+            ControlFrame::Draining,
+            ControlFrame::Abort { reason: "x".into() },
+        ];
+        for f in frames {
+            let json = serde_json::to_string(&f).unwrap();
+            let back: ControlFrame = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! User-space routing of UDP packets between proxy generations.
+//!
+//! After Socket Takeover the new process owns every UDP socket, *including*
+//! datagrams belonging to flows of the draining process: *"the new process
+//! employs user-space routing and forwards packets to the old process
+//! through a pre-configured host local addresses. Decisions for user-space
+//! routing of packets are made based on information present in each UDP
+//! packet, such as connection ID"* (§4.1).
+//!
+//! Our QUIC-like connection IDs embed the minting process's generation
+//! ([`zdr_proto::quic::ConnectionId::generation`]), so classification is a
+//! single header peek:
+//!
+//! * Initial packets → new flow → always local.
+//! * CID generation == ours → local.
+//! * CID generation < ours → forward to the draining process's host-local
+//!   address.
+//! * CID generation > ours → cannot happen in a healthy fleet; counted and
+//!   dropped (it indicates a rollback — see §5.1 on rollback hazards).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tokio::net::UdpSocket;
+
+use zdr_proto::quic;
+
+use crate::Result;
+
+/// Where a datagram should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Handle in this process.
+    Local,
+    /// Forward to the draining (older-generation) process.
+    ForwardToOld,
+    /// Unparseable or future-generation packet; drop and count.
+    Drop,
+}
+
+/// Stateless classification rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Classifier {
+    /// This process's takeover generation.
+    pub my_generation: u32,
+}
+
+impl Classifier {
+    /// A classifier for generation `my_generation`.
+    pub fn new(my_generation: u32) -> Self {
+        Classifier { my_generation }
+    }
+
+    /// Classifies one datagram from its wire bytes (header peek only).
+    pub fn classify(&self, datagram: &[u8]) -> RouteDecision {
+        match quic::peek_is_initial(datagram) {
+            Ok(true) => RouteDecision::Local,
+            Ok(false) => match quic::peek_cid(datagram) {
+                Ok(cid) => {
+                    if cid.generation == self.my_generation {
+                        RouteDecision::Local
+                    } else if cid.generation < self.my_generation {
+                        RouteDecision::ForwardToOld
+                    } else {
+                        RouteDecision::Drop
+                    }
+                }
+                Err(_) => RouteDecision::Drop,
+            },
+            Err(_) => RouteDecision::Drop,
+        }
+    }
+}
+
+/// Counters exposed by a running router — the per-instance signals the
+/// paper's auditing system scrapes (§6, "each restarting instance emits a
+/// signal through which its status can be observed in real-time").
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Datagrams handled locally.
+    pub local: AtomicU64,
+    /// Datagrams forwarded to the draining process.
+    pub forwarded: AtomicU64,
+    /// Datagrams dropped (unparseable / future generation).
+    pub dropped: AtomicU64,
+}
+
+impl RouterStats {
+    /// Snapshot as `(local, forwarded, dropped)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.local.load(Ordering::Relaxed),
+            self.forwarded.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A datagram delivered to the local application, with its source address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Decoded datagram.
+    pub datagram: quic::Datagram,
+    /// The client's address.
+    pub from: SocketAddr,
+}
+
+/// Magic first byte of an encapsulated forward (outside QUIC's header
+/// space: the fixed bit pattern differs).
+const ENCAP_MAGIC: u8 = 0xee;
+
+/// Wraps a datagram for host-local forwarding, preserving the client's
+/// source address so the draining process can reply to the *client* (the
+/// forwarded packet's UDP source is otherwise the VIP socket).
+pub fn encapsulate(client: SocketAddr, datagram: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 1 + 16 + 2 + datagram.len());
+    out.push(ENCAP_MAGIC);
+    match client.ip() {
+        std::net::IpAddr::V4(ip) => {
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+        }
+        std::net::IpAddr::V6(ip) => {
+            out.push(6);
+            out.extend_from_slice(&ip.octets());
+        }
+    }
+    out.extend_from_slice(&client.port().to_be_bytes());
+    out.extend_from_slice(datagram);
+    out
+}
+
+/// Unwraps a forwarded datagram into `(client_addr, inner_datagram)`.
+pub fn decapsulate(buf: &[u8]) -> Option<(SocketAddr, &[u8])> {
+    if buf.len() < 2 || buf[0] != ENCAP_MAGIC {
+        return None;
+    }
+    match buf[1] {
+        4 if buf.len() >= 8 => {
+            let ip = std::net::Ipv4Addr::new(buf[2], buf[3], buf[4], buf[5]);
+            let port = u16::from_be_bytes([buf[6], buf[7]]);
+            Some((SocketAddr::from((ip, port)), &buf[8..]))
+        }
+        6 if buf.len() >= 20 => {
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(&buf[2..18]);
+            let ip = std::net::Ipv6Addr::from(octets);
+            let port = u16::from_be_bytes([buf[18], buf[19]]);
+            Some((SocketAddr::from((ip, port)), &buf[20..]))
+        }
+        _ => None,
+    }
+}
+
+/// Async user-space router: owns one (taken-over) UDP socket, delivers
+/// local packets to the application channel, and relays the draining
+/// process's packets to its host-local address.
+#[derive(Debug)]
+pub struct UdpRouter {
+    socket: Arc<UdpSocket>,
+    classifier: Classifier,
+    /// Host-local address of the draining process (None once it exits).
+    old_process_addr: Option<SocketAddr>,
+    stats: Arc<RouterStats>,
+}
+
+impl UdpRouter {
+    /// Wraps `socket` (typically reclaimed via Socket Takeover) in a router
+    /// for generation `my_generation`.
+    pub fn new(
+        socket: UdpSocket,
+        my_generation: u32,
+        old_process_addr: Option<SocketAddr>,
+    ) -> Self {
+        UdpRouter {
+            socket: Arc::new(socket),
+            classifier: Classifier::new(my_generation),
+            old_process_addr,
+            stats: Arc::new(RouterStats::default()),
+        }
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<RouterStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The underlying socket (e.g. for replying to clients).
+    pub fn socket(&self) -> Arc<UdpSocket> {
+        Arc::clone(&self.socket)
+    }
+
+    /// Receives and routes datagrams until `deliveries` closes or the task
+    /// is cancelled. Local packets are decoded and sent to `deliveries`;
+    /// old-generation packets are forwarded verbatim.
+    pub async fn run(&self, deliveries: tokio::sync::mpsc::Sender<Delivery>) -> Result<()> {
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let (n, from) = self.socket.recv_from(&mut buf).await?;
+            let packet = &buf[..n];
+            match self.classifier.classify(packet) {
+                RouteDecision::Local => match quic::decode(packet) {
+                    Ok(datagram) => {
+                        self.stats.local.fetch_add(1, Ordering::Relaxed);
+                        if deliveries.send(Delivery { datagram, from }).await.is_err() {
+                            return Ok(()); // application shut down
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                RouteDecision::ForwardToOld => {
+                    if let Some(old) = self.old_process_addr {
+                        // Encapsulate so the draining process learns the
+                        // true client address and can reply to it.
+                        self.socket.send_to(&encapsulate(from, packet), old).await?;
+                        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Draining process gone; flow state is lost.
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                RouteDecision::Drop => {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdr_proto::quic::{ConnectionId, Datagram};
+
+    fn wire(d: &Datagram) -> Vec<u8> {
+        quic::encode(d).unwrap().to_vec()
+    }
+
+    #[test]
+    fn classify_initial_is_local() {
+        let c = Classifier::new(5);
+        let d = Datagram::initial(ConnectionId::new(3, 1), &b"hello"[..]);
+        assert_eq!(c.classify(&wire(&d)), RouteDecision::Local);
+    }
+
+    #[test]
+    fn classify_same_generation_local() {
+        let c = Classifier::new(5);
+        let d = Datagram::one_rtt(ConnectionId::new(5, 1), 1, &b""[..]);
+        assert_eq!(c.classify(&wire(&d)), RouteDecision::Local);
+    }
+
+    #[test]
+    fn classify_older_generation_forwards() {
+        let c = Classifier::new(5);
+        for old_gen in [0u32, 1, 4] {
+            let d = Datagram::one_rtt(ConnectionId::new(old_gen, 1), 1, &b""[..]);
+            assert_eq!(
+                c.classify(&wire(&d)),
+                RouteDecision::ForwardToOld,
+                "gen {old_gen}"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_future_generation_drops() {
+        let c = Classifier::new(5);
+        let d = Datagram::one_rtt(ConnectionId::new(6, 1), 1, &b""[..]);
+        assert_eq!(c.classify(&wire(&d)), RouteDecision::Drop);
+    }
+
+    #[test]
+    fn classify_garbage_drops() {
+        let c = Classifier::new(5);
+        assert_eq!(c.classify(&[]), RouteDecision::Drop);
+        assert_eq!(c.classify(&[0x00, 0x01]), RouteDecision::Drop);
+        assert_eq!(c.classify(&[0x40, 0x01, 0x02]), RouteDecision::Drop); // truncated CID
+    }
+
+    #[tokio::test]
+    async fn router_delivers_local_and_forwards_old() {
+        // "Old process": a plain socket standing in for the draining
+        // instance's host-local address.
+        let old_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let old_addr = old_sock.local_addr().unwrap();
+
+        // "New process": the router, generation 2.
+        let router_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let router_addr = router_sock.local_addr().unwrap();
+        let router = UdpRouter::new(router_sock, 2, Some(old_addr));
+        let stats = router.stats();
+        let (tx, mut rx) = tokio::sync::mpsc::channel(16);
+        let handle = tokio::spawn(async move { router.run(tx).await });
+
+        // A client sends one new-gen packet and one old-gen packet.
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let new_pkt = Datagram::one_rtt(ConnectionId::new(2, 7), 1, &b"new-flow"[..]);
+        let old_pkt = Datagram::one_rtt(ConnectionId::new(1, 9), 4, &b"old-flow"[..]);
+        client.send_to(&wire(&new_pkt), router_addr).await.unwrap();
+        client.send_to(&wire(&old_pkt), router_addr).await.unwrap();
+
+        // New-gen packet arrives at the application.
+        let delivery = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(delivery.datagram, new_pkt);
+
+        // Old-gen packet is forwarded to the old process, encapsulated
+        // with the client's source address.
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(
+            std::time::Duration::from_secs(5),
+            old_sock.recv_from(&mut buf),
+        )
+        .await
+        .unwrap()
+        .unwrap();
+        let (client_addr, inner) = decapsulate(&buf[..n]).expect("encapsulated");
+        assert_eq!(client_addr, client.local_addr().unwrap());
+        assert_eq!(quic::decode(inner).unwrap(), old_pkt);
+
+        let (local, forwarded, dropped) = stats.snapshot();
+        assert_eq!((local, forwarded, dropped), (1, 1, 0));
+        handle.abort();
+    }
+
+    #[tokio::test]
+    async fn router_drops_old_packets_when_old_process_gone() {
+        let router_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let router_addr = router_sock.local_addr().unwrap();
+        let router = UdpRouter::new(router_sock, 3, None);
+        let stats = router.stats();
+        let (tx, mut rx) = tokio::sync::mpsc::channel(16);
+        let handle = tokio::spawn(async move { router.run(tx).await });
+
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let old_pkt = Datagram::one_rtt(ConnectionId::new(1, 9), 4, &b"x"[..]);
+        client.send_to(&wire(&old_pkt), router_addr).await.unwrap();
+        // Then a local packet as a barrier so we know the old one was seen.
+        let new_pkt = Datagram::initial(ConnectionId::new(3, 1), &b"barrier"[..]);
+        client.send_to(&wire(&new_pkt), router_addr).await.unwrap();
+
+        let delivery = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(delivery.datagram, new_pkt);
+        let (_, forwarded, dropped) = stats.snapshot();
+        assert_eq!(forwarded, 0);
+        assert_eq!(dropped, 1);
+        handle.abort();
+    }
+
+    #[test]
+    fn encapsulation_round_trip_v4_and_v6() {
+        let inner = b"datagram-bytes";
+        for addr in ["203.0.113.9:4433", "[2001:db8::7]:4433"] {
+            let client: SocketAddr = addr.parse().unwrap();
+            let wrapped = encapsulate(client, inner);
+            let (back_addr, back_inner) = decapsulate(&wrapped).expect("valid encap");
+            assert_eq!(back_addr, client, "{addr}");
+            assert_eq!(back_inner, inner);
+        }
+    }
+
+    #[test]
+    fn decapsulate_rejects_garbage() {
+        assert!(decapsulate(&[]).is_none());
+        assert!(decapsulate(&[0x40, 1, 2]).is_none()); // not the magic
+        assert!(decapsulate(&[0xee]).is_none()); // truncated
+        assert!(decapsulate(&[0xee, 9, 0, 0]).is_none()); // bad family
+        assert!(decapsulate(&[0xee, 4, 1, 2]).is_none()); // short v4
+    }
+
+    #[tokio::test]
+    async fn router_stops_when_application_closes_channel() {
+        let router_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let router_addr = router_sock.local_addr().unwrap();
+        let router = UdpRouter::new(router_sock, 1, None);
+        let (tx, rx) = tokio::sync::mpsc::channel(1);
+        drop(rx);
+        let handle = tokio::spawn(async move { router.run(tx).await });
+
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let pkt = Datagram::initial(ConnectionId::new(1, 1), &b"x"[..]);
+        client.send_to(&wire(&pkt), router_addr).await.unwrap();
+
+        let result = tokio::time::timeout(std::time::Duration::from_secs(5), handle)
+            .await
+            .expect("router should exit")
+            .unwrap();
+        assert!(result.is_ok());
+    }
+}

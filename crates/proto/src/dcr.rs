@@ -1,0 +1,204 @@
+//! Downstream Connection Reuse control messages (§4.2, Fig. 6).
+//!
+//! MQTT has no GOAWAY. When an Origin Proxygen restarts, instead of
+//! dropping the tunnelled MQTT connections (forcing billions of client
+//! re-connects), it *solicits* the downstream Edge to re-attach each tunnel
+//! through a different healthy Origin to the **same** broker — possible
+//! because the Origin is a stateless relay and the broker is located by
+//! consistent-hashing the globally unique user-id.
+//!
+//! The four messages:
+//!
+//! 1. `ReconnectSolicitation` — restarting Origin → Edge ("step A").
+//! 2. `ReConnect { user_id }` — Edge → replacement Origin ("steps B1/B2").
+//! 3. `ConnectAck { user_id }` — broker accepts: its session context for the
+//!    user exists ("steps C1/C2").
+//! 4. `ConnectRefuse { user_id }` — broker has no context; the Edge drops
+//!    the connection and the client reconnects organically.
+//!
+//! Wire format: 1-byte message type, then big-endian fields. These frames
+//! travel on the Edge↔Origin HTTP/2 trunk as an opaque control stream, so
+//! they only need to be self-delimiting.
+
+use crate::wire::{Reader, Writer};
+use crate::{CodecError, Result};
+
+/// A user's globally unique identifier — the consistent-hashing key that
+/// locates the MQTT broker holding the user's session context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// The canonical MQTT client id for this user (`user-<n>`).
+    pub fn client_id(self) -> String {
+        format!("user-{}", self.0)
+    }
+
+    /// Parses a `user-<n>` client id back into a [`UserId`].
+    pub fn from_client_id(client_id: &str) -> Option<UserId> {
+        client_id.strip_prefix("user-")?.parse().ok().map(UserId)
+    }
+}
+
+/// DCR control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcrMessage {
+    /// A restarting Origin tells the Edge to re-home the tunnels it is
+    /// relaying. `draining_deadline_ms` is how long the old instance will
+    /// keep relaying while re-connects proceed.
+    ReconnectSolicitation {
+        /// Identifier of the restarting Origin proxy instance.
+        origin_id: u32,
+        /// Milliseconds until the old instance stops relaying.
+        draining_deadline_ms: u32,
+    },
+    /// The Edge asks a (different) Origin to re-attach `user_id`'s tunnel to
+    /// the user's broker.
+    ReConnect {
+        /// The user whose tunnel must be re-homed.
+        user_id: UserId,
+    },
+    /// Broker found the user's session context and re-attached the tunnel.
+    ConnectAck {
+        /// The re-homed user.
+        user_id: UserId,
+    },
+    /// Broker has no session context; the connection must be torn down and
+    /// re-established by the client.
+    ConnectRefuse {
+        /// The affected user.
+        user_id: UserId,
+    },
+}
+
+const TYPE_SOLICIT: u8 = 1;
+const TYPE_RECONNECT: u8 = 2;
+const TYPE_ACK: u8 = 3;
+const TYPE_REFUSE: u8 = 4;
+
+/// Fixed encoded size of every DCR message (type + 8-byte body).
+pub const MESSAGE_LEN: usize = 9;
+
+/// Encodes a DCR message to its fixed 9-byte wire form.
+pub fn encode(msg: &DcrMessage) -> Vec<u8> {
+    let mut w = Writer::with_capacity(MESSAGE_LEN);
+    match msg {
+        DcrMessage::ReconnectSolicitation {
+            origin_id,
+            draining_deadline_ms,
+        } => {
+            w.u8(TYPE_SOLICIT);
+            w.u32(*origin_id);
+            w.u32(*draining_deadline_ms);
+        }
+        DcrMessage::ReConnect { user_id } => {
+            w.u8(TYPE_RECONNECT);
+            w.u64(user_id.0);
+        }
+        DcrMessage::ConnectAck { user_id } => {
+            w.u8(TYPE_ACK);
+            w.u64(user_id.0);
+        }
+        DcrMessage::ConnectRefuse { user_id } => {
+            w.u8(TYPE_REFUSE);
+            w.u64(user_id.0);
+        }
+    }
+    w.freeze().to_vec()
+}
+
+/// Decodes one DCR message from the front of `buf`; returns it and the
+/// bytes consumed.
+pub fn decode(buf: &[u8]) -> Result<(DcrMessage, usize)> {
+    if buf.len() < MESSAGE_LEN {
+        return Err(CodecError::needs(MESSAGE_LEN - buf.len()));
+    }
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        TYPE_SOLICIT => DcrMessage::ReconnectSolicitation {
+            origin_id: r.u32()?,
+            draining_deadline_ms: r.u32()?,
+        },
+        TYPE_RECONNECT => DcrMessage::ReConnect {
+            user_id: UserId(r.u64()?),
+        },
+        TYPE_ACK => DcrMessage::ConnectAck {
+            user_id: UserId(r.u64()?),
+        },
+        TYPE_REFUSE => DcrMessage::ConnectRefuse {
+            user_id: UserId(r.u64()?),
+        },
+        other => {
+            return Err(CodecError::InvalidValue {
+                what: "DCR message type",
+                value: u64::from(other),
+            })
+        }
+    };
+    Ok((msg, r.consumed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: DcrMessage) {
+        let wire = encode(&msg);
+        assert_eq!(wire.len(), MESSAGE_LEN);
+        let (back, consumed) = decode(&wire).unwrap();
+        assert_eq!(consumed, MESSAGE_LEN);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(DcrMessage::ReconnectSolicitation {
+            origin_id: 17,
+            draining_deadline_ms: 20 * 60 * 1000,
+        });
+        round_trip(DcrMessage::ReConnect {
+            user_id: UserId(0xfeed_face_dead_beef),
+        });
+        round_trip(DcrMessage::ConnectAck { user_id: UserId(1) });
+        round_trip(DcrMessage::ConnectRefuse {
+            user_id: UserId(u64::MAX),
+        });
+    }
+
+    #[test]
+    fn decode_short_buffer_is_incomplete() {
+        let wire = encode(&DcrMessage::ReConnect { user_id: UserId(9) });
+        for cut in 0..MESSAGE_LEN {
+            assert!(
+                decode(&wire[..cut]).unwrap_err().is_incomplete(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        let mut wire = encode(&DcrMessage::ConnectAck { user_id: UserId(1) });
+        wire[0] = 0x7f;
+        assert!(matches!(
+            decode(&wire),
+            Err(CodecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let mut wire = encode(&DcrMessage::ConnectAck { user_id: UserId(1) });
+        wire.extend_from_slice(b"next message bytes");
+        let (_, consumed) = decode(&wire).unwrap();
+        assert_eq!(consumed, MESSAGE_LEN);
+    }
+
+    #[test]
+    fn user_id_ordering_for_consistent_hashing() {
+        // UserId must be usable as a stable hash/sort key.
+        let mut ids = vec![UserId(3), UserId(1), UserId(2)];
+        ids.sort();
+        assert_eq!(ids, vec![UserId(1), UserId(2), UserId(3)]);
+    }
+}

@@ -1,0 +1,796 @@
+//! HTTP/2-like binary framing with GOAWAY graceful shutdown.
+//!
+//! Edge and Origin Proxygen maintain long-lived HTTP/2 trunk connections
+//! over which user requests and MQTT tunnels are multiplexed (§2.2). During
+//! a release those trunks are "gracefully terminated over the draining
+//! period" using GOAWAY (§4.1), and DCR itself "is possible due to the
+//! design choice of tunneling MQTT over HTTP/2, that has in-built graceful
+//! shutdown" (§4.2).
+//!
+//! This module implements a faithful *shape* of RFC 9113 framing — 9-byte
+//! frame header, odd client-initiated stream IDs, GOAWAY's
+//! `last_stream_id` contract, stream lifecycle — with one simplification:
+//! header blocks use a trivial length-prefixed encoding instead of HPACK
+//! (header compression is orthogonal to release orchestration). Pseudo-
+//! headers (`:path` &c.) are preserved because Partial Post Replay echoes
+//! them back with an `echo-` prefix in HTTP/2+ (§5.2).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::wire::{Reader, Writer};
+use crate::{CodecError, Result};
+
+/// Size of the fixed frame header.
+pub const FRAME_HEADER_LEN: usize = 9;
+/// Maximum frame payload we accept (the RFC 9113 default).
+pub const MAX_FRAME_SIZE: usize = 16_384;
+
+/// Frame types (RFC 9113 numbering where applicable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Stream payload bytes.
+    Data = 0x0,
+    /// Stream header block (our length-prefixed encoding, not HPACK).
+    Headers = 0x1,
+    /// Abrupt stream teardown.
+    RstStream = 0x3,
+    /// Connection preferences (opaque here).
+    Settings = 0x4,
+    /// Liveness probe.
+    Ping = 0x6,
+    /// Graceful connection shutdown.
+    GoAway = 0x7,
+    /// Flow-control credit.
+    WindowUpdate = 0x8,
+}
+
+impl FrameType {
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0x0 => Self::Data,
+            0x1 => Self::Headers,
+            0x3 => Self::RstStream,
+            0x4 => Self::Settings,
+            0x6 => Self::Ping,
+            0x7 => Self::GoAway,
+            0x8 => Self::WindowUpdate,
+            other => {
+                return Err(CodecError::InvalidValue {
+                    what: "frame type",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// Flag bit: this frame ends its stream (DATA/HEADERS).
+pub const FLAG_END_STREAM: u8 = 0x1;
+/// Flag bit: SETTINGS/PING acknowledgement.
+pub const FLAG_ACK: u8 = 0x1;
+
+/// Error codes carried by RST_STREAM / GOAWAY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ErrorCode {
+    /// Graceful, no error (the GOAWAY used for releases).
+    NoError = 0x0,
+    /// Generic protocol error.
+    Protocol = 0x1,
+    /// Internal error.
+    Internal = 0x2,
+    /// Stream refused before processing (safe to retry elsewhere — the
+    /// code a draining peer uses for streams above `last_stream_id`).
+    RefusedStream = 0x7,
+    /// Stream cancelled.
+    Cancel = 0x8,
+}
+
+impl ErrorCode {
+    fn from_u32(v: u32) -> Result<Self> {
+        Ok(match v {
+            0x0 => Self::NoError,
+            0x1 => Self::Protocol,
+            0x2 => Self::Internal,
+            0x7 => Self::RefusedStream,
+            0x8 => Self::Cancel,
+            other => {
+                return Err(CodecError::InvalidValue {
+                    what: "h2 error code",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Stream payload.
+    Data {
+        /// Stream the payload belongs to.
+        stream_id: u32,
+        /// Payload bytes.
+        data: Bytes,
+        /// Whether this ends the stream.
+        end_stream: bool,
+    },
+    /// Stream header block.
+    Headers {
+        /// Stream being opened / continued.
+        stream_id: u32,
+        /// Decoded header list (pseudo-headers first by convention).
+        headers: Vec<(String, String)>,
+        /// Whether this ends the stream.
+        end_stream: bool,
+    },
+    /// Abrupt stream teardown.
+    RstStream {
+        /// Stream being reset.
+        stream_id: u32,
+        /// Why.
+        code: ErrorCode,
+    },
+    /// Connection preferences; opaque payload.
+    Settings {
+        /// ACK flag.
+        ack: bool,
+    },
+    /// Liveness probe with opaque 8-byte payload.
+    Ping {
+        /// ACK flag.
+        ack: bool,
+        /// Opaque data echoed in the ACK.
+        data: [u8; 8],
+    },
+    /// Graceful shutdown: the sender will not accept streams above
+    /// `last_stream_id`; streams at or below it will be allowed to finish.
+    GoAway {
+        /// Highest stream the sender may still process.
+        last_stream_id: u32,
+        /// Shutdown reason.
+        code: ErrorCode,
+        /// Optional debug text.
+        debug: Bytes,
+    },
+    /// Flow-control credit grant.
+    WindowUpdate {
+        /// Stream (0 = connection).
+        stream_id: u32,
+        /// Credit in bytes.
+        increment: u32,
+    },
+}
+
+/// Encodes a frame to wire bytes.
+pub fn encode(frame: &Frame) -> Result<Bytes> {
+    let (ftype, flags, stream_id, payload): (FrameType, u8, u32, Bytes) = match frame {
+        Frame::Data {
+            stream_id,
+            data,
+            end_stream,
+        } => {
+            if *stream_id == 0 {
+                return Err(CodecError::Protocol("DATA on stream 0".into()));
+            }
+            (
+                FrameType::Data,
+                if *end_stream { FLAG_END_STREAM } else { 0 },
+                *stream_id,
+                data.clone(),
+            )
+        }
+        Frame::Headers {
+            stream_id,
+            headers,
+            end_stream,
+        } => {
+            if *stream_id == 0 {
+                return Err(CodecError::Protocol("HEADERS on stream 0".into()));
+            }
+            let mut w = Writer::new();
+            w.u16(headers.len() as u16);
+            for (n, v) in headers {
+                w.string16(n)?;
+                w.string16(v)?;
+            }
+            (
+                FrameType::Headers,
+                if *end_stream { FLAG_END_STREAM } else { 0 },
+                *stream_id,
+                w.freeze(),
+            )
+        }
+        Frame::RstStream { stream_id, code } => {
+            if *stream_id == 0 {
+                return Err(CodecError::Protocol("RST_STREAM on stream 0".into()));
+            }
+            let mut w = Writer::new();
+            w.u32(*code as u32);
+            (FrameType::RstStream, 0, *stream_id, w.freeze())
+        }
+        Frame::Settings { ack } => (
+            FrameType::Settings,
+            if *ack { FLAG_ACK } else { 0 },
+            0,
+            Bytes::new(),
+        ),
+        Frame::Ping { ack, data } => (
+            FrameType::Ping,
+            if *ack { FLAG_ACK } else { 0 },
+            0,
+            Bytes::copy_from_slice(data),
+        ),
+        Frame::GoAway {
+            last_stream_id,
+            code,
+            debug,
+        } => {
+            let mut w = Writer::new();
+            w.u32(*last_stream_id);
+            w.u32(*code as u32);
+            w.bytes(debug);
+            (FrameType::GoAway, 0, 0, w.freeze())
+        }
+        Frame::WindowUpdate {
+            stream_id,
+            increment,
+        } => {
+            if *increment == 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "window increment",
+                    value: 0,
+                });
+            }
+            let mut w = Writer::new();
+            w.u32(*increment);
+            (FrameType::WindowUpdate, 0, *stream_id, w.freeze())
+        }
+    };
+
+    if payload.len() > MAX_FRAME_SIZE {
+        return Err(CodecError::TooLarge {
+            what: "frame payload",
+            len: payload.len(),
+            max: MAX_FRAME_SIZE,
+        });
+    }
+    let mut w = Writer::with_capacity(FRAME_HEADER_LEN + payload.len());
+    let len = payload.len() as u32;
+    w.u8((len >> 16) as u8);
+    w.u8((len >> 8) as u8);
+    w.u8(len as u8);
+    w.u8(ftype as u8);
+    w.u8(flags);
+    w.u32(stream_id & 0x7fff_ffff);
+    w.bytes(&payload);
+    Ok(w.freeze())
+}
+
+/// Decodes one frame from the front of `buf`; returns it and the bytes
+/// consumed, or `Incomplete` if a whole frame has not arrived.
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize)> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(CodecError::needs(FRAME_HEADER_LEN - buf.len()));
+    }
+    let len = ((buf[0] as usize) << 16) | ((buf[1] as usize) << 8) | buf[2] as usize;
+    if len > MAX_FRAME_SIZE {
+        return Err(CodecError::TooLarge {
+            what: "frame payload",
+            len,
+            max: MAX_FRAME_SIZE,
+        });
+    }
+    let total = FRAME_HEADER_LEN + len;
+    if buf.len() < total {
+        return Err(CodecError::needs(total - buf.len()));
+    }
+    let ftype = FrameType::from_u8(buf[3])?;
+    let flags = buf[4];
+    let stream_id = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]) & 0x7fff_ffff;
+    let payload = &buf[FRAME_HEADER_LEN..total];
+
+    let frame = match ftype {
+        FrameType::Data => {
+            if stream_id == 0 {
+                return Err(CodecError::Protocol("DATA on stream 0".into()));
+            }
+            Frame::Data {
+                stream_id,
+                data: Bytes::copy_from_slice(payload),
+                end_stream: flags & FLAG_END_STREAM != 0,
+            }
+        }
+        FrameType::Headers => {
+            if stream_id == 0 {
+                return Err(CodecError::Protocol("HEADERS on stream 0".into()));
+            }
+            let mut r = Reader::new(payload);
+            let count = r.u16()? as usize;
+            let mut headers = Vec::with_capacity(count.min(128));
+            for _ in 0..count {
+                let n = r.string16()?;
+                let v = r.string16()?;
+                headers.push((n, v));
+            }
+            if !r.is_empty() {
+                return Err(CodecError::Protocol("trailing bytes in HEADERS".into()));
+            }
+            Frame::Headers {
+                stream_id,
+                headers,
+                end_stream: flags & FLAG_END_STREAM != 0,
+            }
+        }
+        FrameType::RstStream => {
+            if stream_id == 0 {
+                return Err(CodecError::Protocol("RST_STREAM on stream 0".into()));
+            }
+            let mut r = Reader::new(payload);
+            Frame::RstStream {
+                stream_id,
+                code: ErrorCode::from_u32(r.u32()?)?,
+            }
+        }
+        FrameType::Settings => Frame::Settings {
+            ack: flags & FLAG_ACK != 0,
+        },
+        FrameType::Ping => {
+            if payload.len() != 8 {
+                return Err(CodecError::Protocol("PING payload must be 8 bytes".into()));
+            }
+            let mut data = [0u8; 8];
+            data.copy_from_slice(payload);
+            Frame::Ping {
+                ack: flags & FLAG_ACK != 0,
+                data,
+            }
+        }
+        FrameType::GoAway => {
+            let mut r = Reader::new(payload);
+            let last_stream_id = r.u32()? & 0x7fff_ffff;
+            let code = ErrorCode::from_u32(r.u32()?)?;
+            let debug = Bytes::copy_from_slice(r.rest());
+            Frame::GoAway {
+                last_stream_id,
+                code,
+                debug,
+            }
+        }
+        FrameType::WindowUpdate => {
+            let mut r = Reader::new(payload);
+            let increment = r.u32()?;
+            if increment == 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "window increment",
+                    value: 0,
+                });
+            }
+            Frame::WindowUpdate {
+                stream_id,
+                increment,
+            }
+        }
+    };
+    Ok((frame, total))
+}
+
+/// Lifecycle of one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// Opened (HEADERS exchanged), both directions live.
+    Open,
+    /// We sent END_STREAM; peer may still send.
+    HalfClosedLocal,
+    /// Peer sent END_STREAM; we may still send.
+    HalfClosedRemote,
+    /// Fully closed.
+    Closed,
+}
+
+/// Connection-level stream bookkeeping with GOAWAY drain semantics.
+///
+/// This is the piece the release machinery leans on: after
+/// [`Multiplexer::send_goaway`], no new streams are admitted but existing
+/// ones run to completion; [`Multiplexer::drained`] reports when the
+/// connection can be closed with zero disruption.
+#[derive(Debug)]
+pub struct Multiplexer {
+    /// True for the connection initiator (client side, odd stream IDs).
+    client: bool,
+    next_stream_id: u32,
+    streams: BTreeMap<u32, StreamState>,
+    /// Highest peer-initiated stream we have admitted.
+    highest_peer_stream: u32,
+    /// `last_stream_id` we advertised in our GOAWAY, if sent.
+    goaway_sent: Option<u32>,
+    /// `last_stream_id` the peer advertised, if received.
+    goaway_received: Option<u32>,
+}
+
+impl Multiplexer {
+    /// Client-side (initiator) multiplexer: opens odd stream IDs.
+    pub fn client() -> Self {
+        Multiplexer {
+            client: true,
+            next_stream_id: 1,
+            streams: BTreeMap::new(),
+            highest_peer_stream: 0,
+            goaway_sent: None,
+            goaway_received: None,
+        }
+    }
+
+    /// Server-side multiplexer: opens even stream IDs (push-style).
+    pub fn server() -> Self {
+        Multiplexer {
+            client: false,
+            next_stream_id: 2,
+            streams: BTreeMap::new(),
+            highest_peer_stream: 0,
+            goaway_sent: None,
+            goaway_received: None,
+        }
+    }
+
+    /// Opens a new locally initiated stream, returning its ID.
+    ///
+    /// Fails once the peer has sent GOAWAY (new streams would be refused) or
+    /// we have begun draining ourselves.
+    pub fn open_stream(&mut self) -> Result<u32> {
+        if self.goaway_received.is_some() {
+            return Err(CodecError::Protocol(
+                "peer is draining (GOAWAY received)".into(),
+            ));
+        }
+        if self.goaway_sent.is_some() {
+            return Err(CodecError::Protocol(
+                "local GOAWAY sent; not opening streams".into(),
+            ));
+        }
+        let id = self.next_stream_id;
+        self.next_stream_id += 2;
+        self.streams.insert(id, StreamState::Open);
+        Ok(id)
+    }
+
+    /// Admits a peer-initiated stream. Returns `false` (stream refused)
+    /// when we are draining and the stream exceeds our advertised
+    /// `last_stream_id`.
+    pub fn admit_peer_stream(&mut self, stream_id: u32) -> Result<bool> {
+        let peer_initiated = (stream_id % 2 == 1) != self.client;
+        if !peer_initiated {
+            return Err(CodecError::Protocol(format!(
+                "stream {stream_id} has local parity"
+            )));
+        }
+        if stream_id <= self.highest_peer_stream {
+            return Err(CodecError::Protocol(format!(
+                "stream {stream_id} not greater than previous {}",
+                self.highest_peer_stream
+            )));
+        }
+        if let Some(last) = self.goaway_sent {
+            if stream_id > last {
+                return Ok(false); // refuse: we are draining
+            }
+        }
+        self.highest_peer_stream = stream_id;
+        self.streams.insert(stream_id, StreamState::Open);
+        Ok(true)
+    }
+
+    /// Records that we sent END_STREAM on `stream_id`.
+    pub fn local_end(&mut self, stream_id: u32) -> Result<()> {
+        self.transition(stream_id, true)
+    }
+
+    /// Records that the peer sent END_STREAM on `stream_id`.
+    pub fn peer_end(&mut self, stream_id: u32) -> Result<()> {
+        self.transition(stream_id, false)
+    }
+
+    fn transition(&mut self, stream_id: u32, local: bool) -> Result<()> {
+        let state = self
+            .streams
+            .get_mut(&stream_id)
+            .ok_or_else(|| CodecError::Protocol(format!("unknown stream {stream_id}")))?;
+        *state = match (*state, local) {
+            (StreamState::Open, true) => StreamState::HalfClosedLocal,
+            (StreamState::Open, false) => StreamState::HalfClosedRemote,
+            (StreamState::HalfClosedRemote, true) | (StreamState::HalfClosedLocal, false) => {
+                StreamState::Closed
+            }
+            (s, _) => {
+                return Err(CodecError::Protocol(format!(
+                    "END_STREAM in state {s:?} on stream {stream_id}"
+                )))
+            }
+        };
+        if *state == StreamState::Closed {
+            self.streams.remove(&stream_id);
+        }
+        Ok(())
+    }
+
+    /// Abruptly closes a stream (RST_STREAM in either direction).
+    pub fn reset_stream(&mut self, stream_id: u32) {
+        self.streams.remove(&stream_id);
+    }
+
+    /// Begins graceful drain: returns the GOAWAY frame to send. New peer
+    /// streams above the returned `last_stream_id` will be refused.
+    pub fn send_goaway(&mut self, code: ErrorCode) -> Frame {
+        let last = self.highest_peer_stream;
+        self.goaway_sent = Some(last);
+        Frame::GoAway {
+            last_stream_id: last,
+            code,
+            debug: Bytes::from_static(b"draining"),
+        }
+    }
+
+    /// Processes a received GOAWAY.
+    pub fn receive_goaway(&mut self, last_stream_id: u32) {
+        self.goaway_received = Some(last_stream_id);
+        // Streams we opened above the peer's last_stream_id were never
+        // processed; they are safe to retry on another connection.
+        let orphaned: Vec<u32> = self
+            .streams
+            .keys()
+            .copied()
+            .filter(|id| {
+                let local = (id % 2 == 1) == self.client;
+                local && *id > last_stream_id
+            })
+            .collect();
+        for id in orphaned {
+            self.streams.remove(&id);
+        }
+    }
+
+    /// Number of live streams.
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when a GOAWAY has been sent or received.
+    pub fn is_draining(&self) -> bool {
+        self.goaway_sent.is_some() || self.goaway_received.is_some()
+    }
+
+    /// True when draining and every admitted stream has completed — the
+    /// zero-disruption close point.
+    pub fn drained(&self) -> bool {
+        self.is_draining() && self.streams.is_empty()
+    }
+
+    /// State of `stream_id`, if live.
+    pub fn stream_state(&self, stream_id: u32) -> Option<StreamState> {
+        self.streams.get(&stream_id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: Frame) {
+        let wire = encode(&f).unwrap();
+        let (back, consumed) = decode(&wire).unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        round_trip(Frame::Data {
+            stream_id: 1,
+            data: Bytes::from_static(b"payload"),
+            end_stream: true,
+        });
+        round_trip(Frame::Headers {
+            stream_id: 3,
+            headers: vec![
+                (":method".into(), "POST".into()),
+                (":path".into(), "/upload".into()),
+                ("content-type".into(), "application/octet-stream".into()),
+            ],
+            end_stream: false,
+        });
+        round_trip(Frame::RstStream {
+            stream_id: 5,
+            code: ErrorCode::Cancel,
+        });
+        round_trip(Frame::Settings { ack: false });
+        round_trip(Frame::Settings { ack: true });
+        round_trip(Frame::Ping {
+            ack: false,
+            data: [1, 2, 3, 4, 5, 6, 7, 8],
+        });
+        round_trip(Frame::GoAway {
+            last_stream_id: 41,
+            code: ErrorCode::NoError,
+            debug: Bytes::from_static(b"release"),
+        });
+        round_trip(Frame::WindowUpdate {
+            stream_id: 0,
+            increment: 65_535,
+        });
+    }
+
+    #[test]
+    fn decode_incomplete() {
+        let wire = encode(&Frame::Ping {
+            ack: false,
+            data: [0; 8],
+        })
+        .unwrap();
+        for cut in 0..wire.len() {
+            assert!(
+                decode(&wire[..cut]).unwrap_err().is_incomplete(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_stream_zero_where_forbidden() {
+        assert!(encode(&Frame::Data {
+            stream_id: 0,
+            data: Bytes::new(),
+            end_stream: false
+        })
+        .is_err());
+        assert!(encode(&Frame::Headers {
+            stream_id: 0,
+            headers: vec![],
+            end_stream: false
+        })
+        .is_err());
+        assert!(encode(&Frame::RstStream {
+            stream_id: 0,
+            code: ErrorCode::Cancel
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_frame() {
+        let big = Bytes::from(vec![0u8; MAX_FRAME_SIZE + 1]);
+        assert!(matches!(
+            encode(&Frame::Data {
+                stream_id: 1,
+                data: big,
+                end_stream: false
+            }),
+            Err(CodecError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_window_increment() {
+        assert!(encode(&Frame::WindowUpdate {
+            stream_id: 0,
+            increment: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_ping_len_on_decode() {
+        // Hand-craft a PING with 7-byte payload.
+        let mut wire = vec![0, 0, 7, 0x6, 0, 0, 0, 0, 0];
+        wire.extend_from_slice(&[0; 7]);
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn mux_stream_lifecycle() {
+        let mut m = Multiplexer::client();
+        let s1 = m.open_stream().unwrap();
+        assert_eq!(s1, 1);
+        let s2 = m.open_stream().unwrap();
+        assert_eq!(s2, 3);
+        assert_eq!(m.active_streams(), 2);
+
+        m.local_end(s1).unwrap();
+        assert_eq!(m.stream_state(s1), Some(StreamState::HalfClosedLocal));
+        m.peer_end(s1).unwrap();
+        assert_eq!(m.stream_state(s1), None);
+        assert_eq!(m.active_streams(), 1);
+    }
+
+    #[test]
+    fn mux_peer_streams_must_ascend() {
+        let mut m = Multiplexer::client();
+        assert!(m.admit_peer_stream(2).unwrap());
+        assert!(m.admit_peer_stream(4).unwrap());
+        assert!(m.admit_peer_stream(4).is_err());
+        assert!(m.admit_peer_stream(2).is_err());
+        // Wrong parity: client peer initiates even streams only.
+        assert!(m.admit_peer_stream(7).is_err());
+    }
+
+    #[test]
+    fn goaway_refuses_new_streams_but_drains_existing() {
+        let mut m = Multiplexer::server();
+        assert!(m.admit_peer_stream(1).unwrap());
+        assert!(m.admit_peer_stream(3).unwrap());
+
+        let frame = m.send_goaway(ErrorCode::NoError);
+        match frame {
+            Frame::GoAway {
+                last_stream_id,
+                code,
+                ..
+            } => {
+                assert_eq!(last_stream_id, 3);
+                assert_eq!(code, ErrorCode::NoError);
+            }
+            other => panic!("expected GoAway, got {other:?}"),
+        }
+        assert!(m.is_draining());
+        assert!(!m.drained());
+
+        // New peer stream above last_stream_id is refused, not an error.
+        assert!(!m.admit_peer_stream(5).unwrap());
+
+        // Existing streams complete; connection reaches the drained point.
+        for id in [1u32, 3] {
+            m.peer_end(id).unwrap();
+            m.local_end(id).unwrap();
+        }
+        assert!(m.drained());
+    }
+
+    #[test]
+    fn goaway_received_blocks_opens_and_orphans_unprocessed() {
+        let mut m = Multiplexer::client();
+        let s1 = m.open_stream().unwrap(); // 1
+        let s3 = m.open_stream().unwrap(); // 3
+        let s5 = m.open_stream().unwrap(); // 5
+        assert_eq!((s1, s3, s5), (1, 3, 5));
+
+        // Peer drains having processed only stream 3 and below.
+        m.receive_goaway(3);
+        assert!(m.open_stream().is_err());
+        // Stream 5 was never processed — dropped for retry elsewhere.
+        assert_eq!(m.stream_state(5), None);
+        assert!(m.stream_state(1).is_some());
+        assert!(m.stream_state(3).is_some());
+    }
+
+    #[test]
+    fn reset_stream_removes() {
+        let mut m = Multiplexer::client();
+        let s = m.open_stream().unwrap();
+        m.reset_stream(s);
+        assert_eq!(m.active_streams(), 0);
+        assert!(m.local_end(s).is_err());
+    }
+
+    #[test]
+    fn end_stream_twice_is_protocol_error() {
+        let mut m = Multiplexer::client();
+        let s = m.open_stream().unwrap();
+        m.local_end(s).unwrap();
+        assert!(m.local_end(s).is_err());
+    }
+
+    #[test]
+    fn headers_with_many_fields() {
+        let headers: Vec<(String, String)> = (0..100)
+            .map(|i| (format!("h{i}"), format!("v{i}")))
+            .collect();
+        round_trip(Frame::Headers {
+            stream_id: 9,
+            headers,
+            end_stream: true,
+        });
+    }
+}

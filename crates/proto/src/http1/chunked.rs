@@ -1,0 +1,492 @@
+//! Chunked transfer encoding (RFC 9112 §7.1) with exact-state exposure.
+//!
+//! §5.2 of the paper: *"A proxy implementing PPR must remember the exact
+//! state of forwarding the body to the original server, whether it is in the
+//! middle or at the beginning of a chunk in order to reconstitute the
+//! original chunk headers or recompute them from the current state."*
+//!
+//! The [`ChunkedDecoder`] therefore reports, at any instant, whether the
+//! stream sits at a chunk boundary or `remaining` bytes deep inside a chunk
+//! ([`ChunkedState`]), and [`ChunkedEncoder::resume`] rebuilds a legal
+//! chunk stream from that state when a partially forwarded body must be
+//! replayed to a different server.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::{CodecError, Result};
+
+/// Maximum accepted chunk size (64 MiB) — a sanity bound against hostile
+/// chunk-size lines.
+pub const MAX_CHUNK_SIZE: u64 = 64 * 1024 * 1024;
+
+/// Where the decoder currently is inside the chunk grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkedState {
+    /// Expecting a chunk-size line next (a clean chunk boundary).
+    AtBoundary,
+    /// `remaining` data bytes of the current `size`-byte chunk are unread.
+    InChunk {
+        /// Declared size of the current chunk.
+        size: u64,
+        /// Data bytes of it not yet decoded.
+        remaining: u64,
+    },
+    /// Chunk data fully read; expecting the chunk-terminating CRLF.
+    AfterChunkData,
+    /// Saw the zero-length last chunk; consuming (possibly empty) trailers.
+    InTrailers,
+    /// The terminal CRLF was consumed; the body is complete.
+    Done,
+}
+
+/// One decoder step's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkEvent {
+    /// Decoded payload bytes (one chunk may surface as several events when
+    /// the input arrives fragmented).
+    Data(Bytes),
+    /// The final chunk and trailers were consumed; the body is complete.
+    End,
+}
+
+/// Incremental chunked-body decoder.
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    state: ChunkedState,
+    /// Total payload bytes decoded so far (chunk headers excluded).
+    decoded: u64,
+    /// Line assembly buffer for size lines and trailers.
+    line: Vec<u8>,
+}
+
+impl Default for ChunkedDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChunkedDecoder {
+    /// Creates a decoder positioned before the first chunk.
+    pub fn new() -> Self {
+        ChunkedDecoder {
+            state: ChunkedState::AtBoundary,
+            decoded: 0,
+            line: Vec::new(),
+        }
+    }
+
+    /// Current position in the chunk grammar.
+    pub fn state(&self) -> ChunkedState {
+        self.state
+    }
+
+    /// Total payload bytes decoded so far.
+    pub fn decoded_len(&self) -> u64 {
+        self.decoded
+    }
+
+    /// True once the terminal chunk and trailers have been consumed.
+    pub fn is_done(&self) -> bool {
+        self.state == ChunkedState::Done
+    }
+
+    /// Feeds `input`, returning `(bytes_consumed, events)`.
+    ///
+    /// The decoder consumes as much as it can; a short read simply leaves it
+    /// mid-state, ready for the next call. Errors are terminal.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Vec<ChunkEvent>)> {
+        let mut pos = 0usize;
+        let mut events = Vec::new();
+
+        while pos < input.len() {
+            match self.state {
+                ChunkedState::Done => break,
+                ChunkedState::AtBoundary => {
+                    match self.take_line(input, &mut pos)? {
+                        None => break, // need more bytes
+                        Some(line) => {
+                            let size = parse_chunk_size(&line)?;
+                            if size == 0 {
+                                self.state = ChunkedState::InTrailers;
+                            } else {
+                                self.state = ChunkedState::InChunk {
+                                    size,
+                                    remaining: size,
+                                };
+                            }
+                        }
+                    }
+                }
+                ChunkedState::InChunk { size, remaining } => {
+                    let take = remaining.min((input.len() - pos) as u64) as usize;
+                    if take > 0 {
+                        events.push(ChunkEvent::Data(Bytes::copy_from_slice(
+                            &input[pos..pos + take],
+                        )));
+                        self.decoded += take as u64;
+                        pos += take;
+                    }
+                    let left = remaining - take as u64;
+                    if left == 0 {
+                        self.state = ChunkedState::AfterChunkData;
+                    } else {
+                        self.state = ChunkedState::InChunk {
+                            size,
+                            remaining: left,
+                        };
+                        break; // input exhausted
+                    }
+                }
+                ChunkedState::AfterChunkData => match self.take_line(input, &mut pos)? {
+                    None => break,
+                    Some(line) => {
+                        if !line.is_empty() {
+                            return Err(CodecError::Protocol(
+                                "chunk data not followed by CRLF".into(),
+                            ));
+                        }
+                        self.state = ChunkedState::AtBoundary;
+                    }
+                },
+                ChunkedState::InTrailers => {
+                    match self.take_line(input, &mut pos)? {
+                        None => break,
+                        Some(line) => {
+                            if line.is_empty() {
+                                self.state = ChunkedState::Done;
+                                events.push(ChunkEvent::End);
+                            }
+                            // Non-empty trailer lines are consumed and ignored.
+                        }
+                    }
+                }
+            }
+        }
+        Ok((pos, events))
+    }
+
+    /// Pulls one CRLF-terminated line out of `input` starting at `*pos`,
+    /// buffering partial lines across calls. Returns the line without its
+    /// CRLF, or `None` if the terminator has not arrived yet.
+    fn take_line(&mut self, input: &[u8], pos: &mut usize) -> Result<Option<Vec<u8>>> {
+        while *pos < input.len() {
+            let b = input[*pos];
+            *pos += 1;
+            if b == b'\n' {
+                if self.line.last() == Some(&b'\r') {
+                    self.line.pop();
+                } else {
+                    return Err(CodecError::Protocol("bare LF in chunked framing".into()));
+                }
+                return Ok(Some(std::mem::take(&mut self.line)));
+            }
+            if self.line.len() >= 1024 {
+                return Err(CodecError::TooLarge {
+                    what: "chunk-size or trailer line",
+                    len: self.line.len(),
+                    max: 1024,
+                });
+            }
+            self.line.push(b);
+        }
+        Ok(None)
+    }
+}
+
+fn parse_chunk_size(line: &[u8]) -> Result<u64> {
+    // Chunk extensions (";ext=val") are permitted and ignored.
+    let hex_part = line.split(|&b| b == b';').next().unwrap_or(&[]);
+    let hex = std::str::from_utf8(hex_part)
+        .map_err(|_| CodecError::InvalidEncoding("chunk-size line"))?
+        .trim();
+    if hex.is_empty() {
+        return Err(CodecError::Protocol("empty chunk-size line".into()));
+    }
+    let size = u64::from_str_radix(hex, 16)
+        .map_err(|_| CodecError::Protocol(format!("bad chunk size {hex:?}")))?;
+    if size > MAX_CHUNK_SIZE {
+        return Err(CodecError::TooLarge {
+            what: "chunk",
+            len: size as usize,
+            max: MAX_CHUNK_SIZE as usize,
+        });
+    }
+    Ok(size)
+}
+
+/// Chunked transfer encoder.
+#[derive(Debug, Default)]
+pub struct ChunkedEncoder {
+    _private: (),
+}
+
+impl ChunkedEncoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        ChunkedEncoder { _private: () }
+    }
+
+    /// Encodes one chunk. Empty input yields no bytes (an empty chunk would
+    /// terminate the body).
+    pub fn chunk(&self, data: &[u8]) -> Bytes {
+        if data.is_empty() {
+            return Bytes::new();
+        }
+        let mut out = BytesMut::with_capacity(data.len() + 20);
+        out.put_slice(format!("{:x}\r\n", data.len()).as_bytes());
+        out.put_slice(data);
+        out.put_slice(b"\r\n");
+        out.freeze()
+    }
+
+    /// Encodes the terminal zero chunk (no trailers).
+    pub fn finish(&self) -> Bytes {
+        Bytes::from_static(b"0\r\n\r\n")
+    }
+
+    /// Encodes a complete body as a single chunk plus terminator.
+    pub fn encode_all(&self, data: &[u8]) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_slice(&self.chunk(data));
+        out.put_slice(&self.finish());
+        out.freeze()
+    }
+
+    /// Rebuilds a legal chunk stream for a body whose forwarding stopped in
+    /// the state `stopped_at`, with `rest` being all payload bytes not yet
+    /// forwarded (§5.2's "reconstitute the original chunk headers or
+    /// recompute them").
+    ///
+    /// * Stopped at a boundary (or after chunk data / before the size line):
+    ///   `rest` is re-chunked from scratch.
+    /// * Stopped mid-chunk with `remaining` bytes owed: the first `remaining`
+    ///   bytes of `rest` complete the open chunk — we recompute a fresh chunk
+    ///   header of exactly that size so the downstream sees valid framing —
+    ///   and the remainder is re-chunked.
+    pub fn resume(&self, stopped_at: ChunkedState, rest: &[u8]) -> Result<Bytes> {
+        match stopped_at {
+            ChunkedState::Done => {
+                if rest.is_empty() {
+                    Ok(Bytes::new())
+                } else {
+                    Err(CodecError::Protocol(
+                        "payload bytes remain but chunk stream was complete".into(),
+                    ))
+                }
+            }
+            ChunkedState::AtBoundary | ChunkedState::AfterChunkData => Ok(self.encode_all(rest)),
+            ChunkedState::InChunk { remaining, .. } => {
+                let remaining = remaining as usize;
+                if rest.len() < remaining {
+                    return Err(CodecError::needs(remaining - rest.len()));
+                }
+                let mut out = BytesMut::new();
+                out.put_slice(&self.chunk(&rest[..remaining]));
+                out.put_slice(&self.chunk(&rest[remaining..]));
+                out.put_slice(&self.finish());
+                Ok(out.freeze())
+            }
+            ChunkedState::InTrailers => Err(CodecError::Protocol(
+                "cannot resume a body inside trailers".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(dec: &mut ChunkedDecoder, input: &[u8]) -> (Vec<u8>, bool) {
+        let (consumed, events) = dec.feed(input).unwrap();
+        assert_eq!(consumed, input.len(), "decoder should consume everything");
+        let mut out = Vec::new();
+        let mut done = false;
+        for e in events {
+            match e {
+                ChunkEvent::Data(d) => out.extend_from_slice(&d),
+                ChunkEvent::End => done = true,
+            }
+        }
+        (out, done)
+    }
+
+    #[test]
+    fn basic_round_trip() {
+        let enc = ChunkedEncoder::new();
+        let wire = enc.encode_all(b"hello world");
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, &wire);
+        assert_eq!(out, b"hello world");
+        assert!(done);
+        assert!(dec.is_done());
+        assert_eq!(dec.decoded_len(), 11);
+    }
+
+    #[test]
+    fn multi_chunk_stream() {
+        let enc = ChunkedEncoder::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&enc.chunk(b"abc"));
+        wire.extend_from_slice(&enc.chunk(b"defgh"));
+        wire.extend_from_slice(&enc.finish());
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, &wire);
+        assert_eq!(out, b"abcdefgh");
+        assert!(done);
+    }
+
+    #[test]
+    fn empty_body() {
+        let enc = ChunkedEncoder::new();
+        let wire = enc.encode_all(b"");
+        assert_eq!(&wire[..], b"0\r\n\r\n");
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, &wire);
+        assert!(out.is_empty());
+        assert!(done);
+    }
+
+    #[test]
+    fn byte_at_a_time_decoding() {
+        let enc = ChunkedEncoder::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&enc.chunk(b"split me"));
+        wire.extend_from_slice(&enc.chunk(b"anywhere"));
+        wire.extend_from_slice(&enc.finish());
+
+        let mut dec = ChunkedDecoder::new();
+        let mut out = Vec::new();
+        let mut done = false;
+        for b in &wire {
+            let (consumed, events) = dec.feed(std::slice::from_ref(b)).unwrap();
+            assert_eq!(consumed, 1);
+            for e in events {
+                match e {
+                    ChunkEvent::Data(d) => out.extend_from_slice(&d),
+                    ChunkEvent::End => done = true,
+                }
+            }
+        }
+        assert_eq!(out, b"split meanywhere");
+        assert!(done);
+    }
+
+    #[test]
+    fn state_observability_mid_chunk() {
+        let mut dec = ChunkedDecoder::new();
+        // 10-byte chunk, deliver size line + 4 bytes of data.
+        let (_, _) = dec.feed(b"a\r\n0123").unwrap();
+        match dec.state() {
+            ChunkedState::InChunk { size, remaining } => {
+                assert_eq!(size, 10);
+                assert_eq!(remaining, 6);
+            }
+            other => panic!("expected InChunk, got {other:?}"),
+        }
+        assert_eq!(dec.decoded_len(), 4);
+    }
+
+    #[test]
+    fn state_at_boundary_between_chunks() {
+        let mut dec = ChunkedDecoder::new();
+        dec.feed(b"3\r\nabc\r\n").unwrap();
+        assert_eq!(dec.state(), ChunkedState::AtBoundary);
+    }
+
+    #[test]
+    fn chunk_extensions_ignored() {
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, b"5;name=val\r\nhello\r\n0\r\n\r\n");
+        assert_eq!(out, b"hello");
+        assert!(done);
+    }
+
+    #[test]
+    fn trailers_consumed_and_ignored() {
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, b"2\r\nhi\r\n0\r\nX-Trailer: v\r\nY: w\r\n\r\n");
+        assert_eq!(out, b"hi");
+        assert!(done);
+    }
+
+    #[test]
+    fn rejects_bad_chunk_size() {
+        let mut dec = ChunkedDecoder::new();
+        assert!(matches!(dec.feed(b"zz\r\n"), Err(CodecError::Protocol(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_chunk() {
+        let mut dec = ChunkedDecoder::new();
+        let line = format!("{:x}\r\n", MAX_CHUNK_SIZE + 1);
+        assert!(matches!(
+            dec.feed(line.as_bytes()),
+            Err(CodecError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_chunk_crlf() {
+        let mut dec = ChunkedDecoder::new();
+        // 3-byte chunk followed by junk instead of CRLF.
+        assert!(dec.feed(b"3\r\nabcXX\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_lf() {
+        let mut dec = ChunkedDecoder::new();
+        assert!(matches!(dec.feed(b"3\nabc"), Err(CodecError::Protocol(_))));
+    }
+
+    #[test]
+    fn resume_from_boundary_rechunks_everything() {
+        let enc = ChunkedEncoder::new();
+        let wire = enc.resume(ChunkedState::AtBoundary, b"remainder").unwrap();
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, &wire);
+        assert_eq!(out, b"remainder");
+        assert!(done);
+    }
+
+    #[test]
+    fn resume_mid_chunk_completes_open_chunk() {
+        let enc = ChunkedEncoder::new();
+        // Original sender was 4 bytes short of finishing a chunk.
+        let state = ChunkedState::InChunk {
+            size: 10,
+            remaining: 4,
+        };
+        let wire = enc.resume(state, b"ABCDrest-of-body").unwrap();
+        let mut dec = ChunkedDecoder::new();
+        let (out, done) = decode_all(&mut dec, &wire);
+        assert_eq!(out, b"ABCDrest-of-body");
+        assert!(done);
+        // First reconstructed chunk must be exactly the owed 4 bytes.
+        assert!(wire.starts_with(b"4\r\nABCD\r\n"), "wire = {:?}", &wire[..]);
+    }
+
+    #[test]
+    fn resume_mid_chunk_short_payload_is_incomplete() {
+        let enc = ChunkedEncoder::new();
+        let state = ChunkedState::InChunk {
+            size: 10,
+            remaining: 8,
+        };
+        assert!(enc.resume(state, b"abc").unwrap_err().is_incomplete());
+    }
+
+    #[test]
+    fn resume_done_state() {
+        let enc = ChunkedEncoder::new();
+        assert!(enc.resume(ChunkedState::Done, b"").unwrap().is_empty());
+        assert!(enc.resume(ChunkedState::Done, b"x").is_err());
+        assert!(enc.resume(ChunkedState::InTrailers, b"").is_err());
+    }
+
+    #[test]
+    fn encoder_empty_chunk_emits_nothing() {
+        let enc = ChunkedEncoder::new();
+        assert!(enc.chunk(b"").is_empty());
+    }
+}

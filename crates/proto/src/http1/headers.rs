@@ -1,0 +1,266 @@
+//! Case-insensitive, order-preserving header map.
+//!
+//! A proxy that replays a request byte-for-byte (Partial Post Replay) must
+//! preserve header order and multiplicity, so this is a `Vec` of pairs with
+//! case-insensitive lookup rather than a hash map.
+
+use std::fmt;
+
+/// An ordered multi-map of HTTP header fields.
+///
+/// Names are stored as received; lookups are ASCII case-insensitive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    fields: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Headers { fields: Vec::new() }
+    }
+
+    /// Number of header fields (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when no fields are present.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Appends a field, keeping any existing fields with the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.fields.push((name.into(), value.into()));
+    }
+
+    /// Replaces all fields named `name` with a single field, or appends it.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        self.remove(&name);
+        self.fields.push((name, value.into()));
+    }
+
+    /// Removes every field named `name` (case-insensitive); returns how many
+    /// were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.fields.len();
+        self.fields.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.fields.len()
+    }
+
+    /// First value for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if any field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Parsed `Content-Length`, if present and well-formed.
+    ///
+    /// Multiple differing `Content-Length` fields are a request-smuggling
+    /// vector, so they are rejected (`None` + flagging via [`Err`] would be
+    /// overkill at this layer; callers treat `None` with a body as framing
+    /// by other means).
+    pub fn content_length(&self) -> Option<u64> {
+        let mut found: Option<u64> = None;
+        for v in self.get_all("content-length") {
+            let parsed = v.trim().parse::<u64>().ok()?;
+            match found {
+                Some(prev) if prev != parsed => return None,
+                _ => found = Some(parsed),
+            }
+        }
+        found
+    }
+
+    /// True when `Transfer-Encoding: chunked` is the final encoding.
+    pub fn is_chunked(&self) -> bool {
+        self.get_all("transfer-encoding").any(|v| {
+            v.split(',')
+                .map(str::trim)
+                .next_back()
+                .is_some_and(|t| t.eq_ignore_ascii_case("chunked"))
+        })
+    }
+
+    /// True when the connection should close after this message
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub fn wants_close(&self, http10: bool) -> bool {
+        let mut close = http10;
+        for v in self.get_all("connection") {
+            for token in v.split(',').map(str::trim) {
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
+        }
+        close
+    }
+}
+
+impl fmt::Display for Headers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in self.iter() {
+            writeln!(f, "{n}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, String)> for Headers {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        Headers {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/plain");
+        assert_eq!(h.get("content-type"), Some("text/plain"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/plain"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("content-length"));
+    }
+
+    #[test]
+    fn append_preserves_order_and_duplicates() {
+        let mut h = Headers::new();
+        h.append("x-tag", "a");
+        h.append("other", "1");
+        h.append("X-Tag", "b");
+        let all: Vec<_> = h.get_all("x-tag").collect();
+        assert_eq!(all, vec!["a", "b"]);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs[0], ("x-tag", "a"));
+        assert_eq!(pairs[1], ("other", "1"));
+        assert_eq!(pairs[2], ("X-Tag", "b"));
+    }
+
+    #[test]
+    fn set_replaces_all_duplicates() {
+        let mut h = Headers::new();
+        h.append("x", "1");
+        h.append("X", "2");
+        h.set("x", "3");
+        let all: Vec<_> = h.get_all("x").collect();
+        assert_eq!(all, vec!["3"]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = Headers::new();
+        h.append("a", "1");
+        h.append("A", "2");
+        h.append("b", "3");
+        assert_eq!(h.remove("a"), 2);
+        assert_eq!(h.remove("a"), 0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        h.set("content-length", "42");
+        assert_eq!(h.content_length(), Some(42));
+
+        h.set("content-length", " 7 ");
+        assert_eq!(h.content_length(), Some(7));
+
+        h.set("content-length", "nope");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected() {
+        let mut h = Headers::new();
+        h.append("content-length", "1");
+        h.append("content-length", "2");
+        assert_eq!(h.content_length(), None);
+
+        // Identical duplicates are tolerated per RFC 9110 §8.6.
+        let mut h = Headers::new();
+        h.append("content-length", "5");
+        h.append("Content-Length", "5");
+        assert_eq!(h.content_length(), Some(5));
+    }
+
+    #[test]
+    fn chunked_detection() {
+        let mut h = Headers::new();
+        h.set("transfer-encoding", "chunked");
+        assert!(h.is_chunked());
+
+        h.set("transfer-encoding", "gzip, chunked");
+        assert!(h.is_chunked());
+
+        // chunked must be final encoding
+        h.set("transfer-encoding", "chunked, gzip");
+        assert!(!h.is_chunked());
+
+        h.remove("transfer-encoding");
+        assert!(!h.is_chunked());
+    }
+
+    #[test]
+    fn connection_close_semantics() {
+        let mut h = Headers::new();
+        assert!(!h.wants_close(false));
+        assert!(h.wants_close(true)); // HTTP/1.0 default
+
+        h.set("connection", "close");
+        assert!(h.wants_close(false));
+
+        h.set("connection", "keep-alive");
+        assert!(!h.wants_close(true)); // 1.0 + keep-alive stays open
+
+        h.set("connection", "Keep-Alive, Upgrade");
+        assert!(!h.wants_close(true));
+    }
+
+    #[test]
+    fn display_renders_wire_format_lines() {
+        let mut h = Headers::new();
+        h.append("a", "1");
+        h.append("b", "2");
+        assert_eq!(h.to_string(), "a: 1\nb: 2\n");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let h: Headers = vec![("a".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(h.get("a"), Some("1"));
+    }
+}

@@ -1,0 +1,30 @@
+//! HTTP/1.1 codec.
+//!
+//! Implements the subset of RFC 9110/9112 the Zero Downtime Release stack
+//! exercises: request/response heads, case-insensitive multi-value headers,
+//! `Content-Length` and `Transfer-Encoding: chunked` body framing, and
+//! incremental (streaming) parsing.
+//!
+//! Two design points are driven directly by the paper:
+//!
+//! * **Status 379 / `Partial POST Replay`** (§4.3, §5.2): 379 sits in the
+//!   IANA-unreserved range, so a proxy may only honor it when the status
+//!   *message* is exactly `Partial POST Replay` — see [`crate::ppr`].
+//! * **Chunk-exact forwarding state** (§5.2): a proxy replaying a partially
+//!   forwarded chunked body must know whether it stopped at a chunk boundary
+//!   or mid-chunk in order to recompute chunk headers. The
+//!   [`chunked::ChunkedDecoder`] therefore exposes its precise state.
+
+mod chunked;
+mod headers;
+mod parser;
+mod serialize;
+mod types;
+
+pub use chunked::{ChunkEvent, ChunkedDecoder, ChunkedEncoder, ChunkedState};
+pub use headers::Headers;
+pub use parser::{BodyFraming, BodyReader, RequestParser, ResponseParser};
+pub use serialize::{
+    serialize_request, serialize_request_head, serialize_response, serialize_response_head,
+};
+pub use types::{Method, Request, Response, StatusCode, Version};

@@ -1,0 +1,794 @@
+//! Incremental HTTP/1.1 request/response parsers.
+//!
+//! Both parsers accept arbitrary byte fragments (`push`) and yield a
+//! complete message once the final body byte arrives. For Partial Post
+//! Replay, [`RequestParser::partial_body`] exposes the body received *so
+//! far* together with the exact chunked-decoder state, which is exactly the
+//! information a restarting app server echoes back in its 379 response.
+
+use bytes::{Bytes, BytesMut};
+
+use super::chunked::{ChunkEvent, ChunkedDecoder, ChunkedState};
+use super::headers::Headers;
+use super::types::{Method, Request, Response, StatusCode, Version};
+use crate::{CodecError, Result};
+
+/// Upper bound on the head (start line + headers) size.
+pub const MAX_HEAD_SIZE: usize = 64 * 1024;
+/// Upper bound on a decoded body we are willing to buffer.
+pub const MAX_BODY_SIZE: usize = 256 * 1024 * 1024;
+
+/// How the message body is delimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// No body at all.
+    None,
+    /// Exactly `len` bytes follow the head.
+    ContentLength(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+    /// Body runs until the peer closes (HTTP/1.0 responses).
+    UntilClose,
+}
+
+/// Internal body accumulation state shared by both parsers.
+#[derive(Debug)]
+pub struct BodyReader {
+    framing: BodyFraming,
+    body: BytesMut,
+    chunked: Option<ChunkedDecoder>,
+    complete: bool,
+}
+
+impl BodyReader {
+    fn new(framing: BodyFraming) -> Self {
+        let chunked = matches!(framing, BodyFraming::Chunked).then(ChunkedDecoder::new);
+        let complete = matches!(framing, BodyFraming::None)
+            || matches!(framing, BodyFraming::ContentLength(0));
+        BodyReader {
+            framing,
+            body: BytesMut::new(),
+            chunked,
+            complete,
+        }
+    }
+
+    /// Feeds bytes; returns how many were consumed.
+    fn push(&mut self, input: &[u8]) -> Result<usize> {
+        if self.complete {
+            return Ok(0);
+        }
+        if self.body.len() + input.len() > MAX_BODY_SIZE {
+            return Err(CodecError::TooLarge {
+                what: "message body",
+                len: self.body.len() + input.len(),
+                max: MAX_BODY_SIZE,
+            });
+        }
+        match self.framing {
+            BodyFraming::None => Ok(0),
+            BodyFraming::ContentLength(total) => {
+                let want = (total - self.body.len() as u64).min(input.len() as u64) as usize;
+                self.body.extend_from_slice(&input[..want]);
+                if self.body.len() as u64 == total {
+                    self.complete = true;
+                }
+                Ok(want)
+            }
+            BodyFraming::Chunked => {
+                let dec = self.chunked.as_mut().expect("chunked decoder present");
+                let (consumed, events) = dec.feed(input)?;
+                for e in events {
+                    match e {
+                        ChunkEvent::Data(d) => self.body.extend_from_slice(&d),
+                        ChunkEvent::End => self.complete = true,
+                    }
+                }
+                Ok(consumed)
+            }
+            BodyFraming::UntilClose => {
+                self.body.extend_from_slice(input);
+                Ok(input.len())
+            }
+        }
+    }
+
+    fn finish_on_close(&mut self) {
+        if matches!(self.framing, BodyFraming::UntilClose) {
+            self.complete = true;
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    fn take_body(&mut self) -> Bytes {
+        std::mem::take(&mut self.body).freeze()
+    }
+}
+
+#[derive(Debug)]
+enum ReqState {
+    Head,
+    Body {
+        head: RequestHead,
+        reader: BodyReader,
+    },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RequestHead {
+    method: Method,
+    target: String,
+    version: Version,
+    headers: Headers,
+    chunked: bool,
+}
+
+/// Incremental request parser (one request at a time; persistent-connection
+/// hosts re-use the parser across requests via [`RequestParser::reset`]).
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: BytesMut,
+    state: ReqState,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// Creates a parser expecting a request head.
+    pub fn new() -> Self {
+        RequestParser {
+            buf: BytesMut::new(),
+            state: ReqState::Head,
+        }
+    }
+
+    /// Resets to expect the next request on the same connection, preserving
+    /// any already-buffered bytes (pipelining).
+    pub fn reset(&mut self) {
+        self.state = ReqState::Head;
+    }
+
+    /// Feeds bytes; returns a complete request when one is finished.
+    ///
+    /// At most one request is returned per call; with pipelined input, call
+    /// [`reset`](Self::reset) and `push(&[])` to drain the next one.
+    pub fn push(&mut self, input: &[u8]) -> Result<Option<Request>> {
+        self.buf.extend_from_slice(input);
+        loop {
+            match &mut self.state {
+                ReqState::Head => {
+                    if self.buf.len() > MAX_HEAD_SIZE {
+                        return Err(CodecError::TooLarge {
+                            what: "request head",
+                            len: self.buf.len(),
+                            max: MAX_HEAD_SIZE,
+                        });
+                    }
+                    let Some(head_len) = find_head_end(&self.buf) else {
+                        return Ok(None);
+                    };
+                    let head_bytes = self.buf.split_to(head_len);
+                    let head = parse_request_head(&head_bytes)?;
+                    let framing = request_framing(&head)?;
+                    self.state = ReqState::Body {
+                        head,
+                        reader: BodyReader::new(framing),
+                    };
+                }
+                ReqState::Body { reader, .. } => {
+                    let chunk = self.buf.split();
+                    let consumed = reader.push(&chunk)?;
+                    // Preserve unconsumed bytes (start of a pipelined next
+                    // request) at the front of the buffer.
+                    let leftover = &chunk[consumed..];
+                    if !leftover.is_empty() {
+                        let mut rebuilt = BytesMut::with_capacity(leftover.len() + self.buf.len());
+                        rebuilt.extend_from_slice(leftover);
+                        rebuilt.extend_from_slice(&self.buf);
+                        self.buf = rebuilt;
+                    }
+                    if reader.is_complete() {
+                        let ReqState::Body { head, mut reader } =
+                            std::mem::replace(&mut self.state, ReqState::Done)
+                        else {
+                            unreachable!()
+                        };
+                        return Ok(Some(Request {
+                            method: head.method,
+                            target: head.target,
+                            version: head.version,
+                            headers: head.headers,
+                            body: reader.take_body(),
+                            chunked: head.chunked,
+                        }));
+                    }
+                    return Ok(None);
+                }
+                ReqState::Done => {
+                    return Err(CodecError::Protocol(
+                        "push after request complete; call reset()".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// True once the head has been fully parsed.
+    pub fn has_head(&self) -> bool {
+        matches!(self.state, ReqState::Body { .. } | ReqState::Done)
+    }
+
+    /// The parsed head, if available: `(method, target, headers)`.
+    pub fn head(&self) -> Option<(Method, &str, &Headers)> {
+        match &self.state {
+            ReqState::Body { head, .. } => Some((head.method, &head.target, &head.headers)),
+            _ => None,
+        }
+    }
+
+    /// The body bytes received so far and, for chunked bodies, the exact
+    /// decoder state — the payload a restarting app server hands back in a
+    /// 379 response (Partial Post Replay).
+    pub fn partial_body(&self) -> Option<(&[u8], Option<ChunkedState>)> {
+        match &self.state {
+            ReqState::Body { reader, .. } => {
+                Some((&reader.body, reader.chunked.as_ref().map(|d| d.state())))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum RespState {
+    Head,
+    Body {
+        head: ResponseHead,
+        reader: BodyReader,
+    },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct ResponseHead {
+    version: Version,
+    status: StatusCode,
+    headers: Headers,
+}
+
+/// Incremental response parser.
+#[derive(Debug)]
+pub struct ResponseParser {
+    buf: BytesMut,
+    state: RespState,
+    /// Set when parsing the response to a HEAD request (no body regardless
+    /// of headers).
+    head_request: bool,
+}
+
+impl Default for ResponseParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseParser {
+    /// Creates a parser expecting a response head.
+    pub fn new() -> Self {
+        ResponseParser {
+            buf: BytesMut::new(),
+            state: RespState::Head,
+            head_request: false,
+        }
+    }
+
+    /// Creates a parser for the response to a HEAD request.
+    pub fn for_head_request() -> Self {
+        ResponseParser {
+            buf: BytesMut::new(),
+            state: RespState::Head,
+            head_request: true,
+        }
+    }
+
+    /// Resets to expect the next response on the same connection.
+    pub fn reset(&mut self) {
+        self.state = RespState::Head;
+    }
+
+    /// Feeds bytes; returns a complete response when one is finished.
+    pub fn push(&mut self, input: &[u8]) -> Result<Option<Response>> {
+        self.buf.extend_from_slice(input);
+        loop {
+            match &mut self.state {
+                RespState::Head => {
+                    if self.buf.len() > MAX_HEAD_SIZE {
+                        return Err(CodecError::TooLarge {
+                            what: "response head",
+                            len: self.buf.len(),
+                            max: MAX_HEAD_SIZE,
+                        });
+                    }
+                    let Some(head_len) = find_head_end(&self.buf) else {
+                        return Ok(None);
+                    };
+                    let head_bytes = self.buf.split_to(head_len);
+                    let head = parse_response_head(&head_bytes)?;
+                    let framing = response_framing(&head, self.head_request)?;
+                    self.state = RespState::Body {
+                        head,
+                        reader: BodyReader::new(framing),
+                    };
+                }
+                RespState::Body { reader, .. } => {
+                    let chunk = self.buf.split();
+                    let consumed = reader.push(&chunk)?;
+                    let leftover = &chunk[consumed..];
+                    if !leftover.is_empty() {
+                        let mut rebuilt = BytesMut::with_capacity(leftover.len() + self.buf.len());
+                        rebuilt.extend_from_slice(leftover);
+                        rebuilt.extend_from_slice(&self.buf);
+                        self.buf = rebuilt;
+                    }
+                    if reader.is_complete() {
+                        let RespState::Body { head, mut reader } =
+                            std::mem::replace(&mut self.state, RespState::Done)
+                        else {
+                            unreachable!()
+                        };
+                        return Ok(Some(Response {
+                            version: head.version,
+                            status: head.status,
+                            headers: head.headers,
+                            body: reader.take_body(),
+                        }));
+                    }
+                    return Ok(None);
+                }
+                RespState::Done => {
+                    return Err(CodecError::Protocol(
+                        "push after response complete; call reset()".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Signals the peer closed the connection; completes an `UntilClose`
+    /// body if one was in flight.
+    pub fn peer_closed(&mut self) -> Result<Option<Response>> {
+        if let RespState::Body { reader, .. } = &mut self.state {
+            reader.finish_on_close();
+            if reader.is_complete() {
+                let RespState::Body { head, mut reader } =
+                    std::mem::replace(&mut self.state, RespState::Done)
+                else {
+                    unreachable!()
+                };
+                return Ok(Some(Response {
+                    version: head.version,
+                    status: head.status,
+                    headers: head.headers,
+                    body: reader.take_body(),
+                }));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Finds the end of the head (index just past `\r\n\r\n`), if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn parse_request_head(raw: &[u8]) -> Result<RequestHead> {
+    let text = std::str::from_utf8(raw).map_err(|_| CodecError::InvalidEncoding("request head"))?;
+    let mut lines = text.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| CodecError::Protocol("empty head".into()))?;
+    let mut parts = start.split(' ');
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| CodecError::Protocol("missing request target".into()))?
+        .to_string();
+    let version = Version::parse(parts.next().unwrap_or(""))?;
+    if parts.next().is_some() {
+        return Err(CodecError::Protocol("extra tokens on request line".into()));
+    }
+    let headers = parse_header_lines(lines)?;
+    let chunked = headers.is_chunked();
+    Ok(RequestHead {
+        method,
+        target,
+        version,
+        headers,
+        chunked,
+    })
+}
+
+fn parse_response_head(raw: &[u8]) -> Result<ResponseHead> {
+    let text =
+        std::str::from_utf8(raw).map_err(|_| CodecError::InvalidEncoding("response head"))?;
+    let mut lines = text.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| CodecError::Protocol("empty head".into()))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = Version::parse(parts.next().unwrap_or(""))?;
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| CodecError::Protocol("bad status code".into()))?;
+    if !(100..=999).contains(&code) {
+        return Err(CodecError::InvalidValue {
+            what: "status code",
+            value: u64::from(code),
+        });
+    }
+    let reason = parts.next().unwrap_or("").to_string();
+    let headers = parse_header_lines(lines)?;
+    Ok(ResponseHead {
+        version,
+        status: StatusCode { code, reason },
+        headers,
+    })
+}
+
+fn parse_header_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank line terminating the head
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| CodecError::Protocol(format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(CodecError::Protocol(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.append(name, value.trim());
+    }
+    Ok(headers)
+}
+
+fn request_framing(head: &RequestHead) -> Result<BodyFraming> {
+    if head.chunked {
+        if head.version == Version::Http10 {
+            return Err(CodecError::Protocol("chunked TE on HTTP/1.0".into()));
+        }
+        return Ok(BodyFraming::Chunked);
+    }
+    match head.headers.content_length() {
+        Some(0) | None if !head.headers.contains("content-length") => {
+            // No framing headers: requests have no body.
+            Ok(BodyFraming::None)
+        }
+        Some(n) => Ok(BodyFraming::ContentLength(n)),
+        None => Err(CodecError::Protocol("unparseable Content-Length".into())),
+    }
+}
+
+fn response_framing(head: &ResponseHead, head_request: bool) -> Result<BodyFraming> {
+    let code = head.status.code;
+    if head_request || code / 100 == 1 || code == 204 || code == 304 {
+        return Ok(BodyFraming::None);
+    }
+    if head.headers.is_chunked() {
+        return Ok(BodyFraming::Chunked);
+    }
+    match head.headers.content_length() {
+        Some(n) => Ok(BodyFraming::ContentLength(n)),
+        None if head.headers.contains("content-length") => {
+            Err(CodecError::Protocol("unparseable Content-Length".into()))
+        }
+        None => Ok(BodyFraming::UntilClose),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_get() {
+        let mut p = RequestParser::new();
+        let req = p
+            .push(b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/index.html");
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.headers.get("host"), Some("example.com"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parse_post_content_length() {
+        let mut p = RequestParser::new();
+        let req = p
+            .push(b"POST /u HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(&req.body[..], b"hello");
+        assert!(!req.chunked);
+    }
+
+    #[test]
+    fn parse_post_chunked() {
+        let mut p = RequestParser::new();
+        let req = p
+            .push(b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(&req.body[..], b"hello");
+        assert!(req.chunked);
+    }
+
+    #[test]
+    fn incremental_fragmented_delivery() {
+        let wire = b"POST /upload HTTP/1.1\r\nContent-Length: 10\r\nHost: h\r\n\r\n0123456789";
+        // Split at every possible position.
+        for split in 0..wire.len() {
+            let mut p = RequestParser::new();
+            let first = p.push(&wire[..split]).unwrap();
+            if let Some(req) = first {
+                assert_eq!(split, wire.len(), "completed early at {split}");
+                assert_eq!(&req.body[..], b"0123456789");
+                continue;
+            }
+            let req = p
+                .push(&wire[split..])
+                .unwrap()
+                .expect("complete after second push");
+            assert_eq!(req.target, "/upload");
+            assert_eq!(&req.body[..], b"0123456789");
+        }
+    }
+
+    #[test]
+    fn partial_body_exposed_for_ppr() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /u HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123")
+            .unwrap();
+        let (body, chunk_state) = p.partial_body().expect("head parsed");
+        assert_eq!(body, b"0123");
+        assert!(chunk_state.is_none());
+        let (m, t, h) = p.head().unwrap();
+        assert_eq!(m, Method::Post);
+        assert_eq!(t, "/u");
+        assert_eq!(h.content_length(), Some(10));
+    }
+
+    #[test]
+    fn partial_body_exposes_chunked_state() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\na\r\n0123")
+            .unwrap();
+        let (body, chunk_state) = p.partial_body().expect("head parsed");
+        assert_eq!(body, b"0123");
+        assert_eq!(
+            chunk_state,
+            Some(ChunkedState::InChunk {
+                size: 10,
+                remaining: 6
+            })
+        );
+    }
+
+    #[test]
+    fn pipelined_requests() {
+        let mut p = RequestParser::new();
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let r1 = p.push(wire).unwrap().expect("first");
+        assert_eq!(r1.target, "/a");
+        p.reset();
+        let r2 = p.push(b"").unwrap().expect("second from buffer");
+        assert_eq!(r2.target, "/b");
+    }
+
+    #[test]
+    fn pipelined_requests_with_bodies() {
+        let mut p = RequestParser::new();
+        let wire =
+            b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy";
+        let r1 = p.push(wire).unwrap().expect("first");
+        assert_eq!(&r1.body[..], b"abc");
+        p.reset();
+        let r2 = p.push(b"").unwrap().expect("second");
+        assert_eq!(r2.target, "/b");
+        assert_eq!(&r2.body[..], b"xy");
+    }
+
+    #[test]
+    fn push_after_done_is_an_error() {
+        let mut p = RequestParser::new();
+        p.push(b"GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(p.push(b"x").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        for wire in [
+            &b"GET\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / HTTP/1.1 extra\r\n\r\n"[..],
+            &b"BREW / HTTP/1.1\r\n\r\n"[..],
+            &b"GET / HTTP/3.0\r\n\r\n"[..],
+        ] {
+            let mut p = RequestParser::new();
+            assert!(
+                p.push(wire).is_err(),
+                "accepted {:?}",
+                std::str::from_utf8(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        let mut p = RequestParser::new();
+        assert!(p.push(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+        let mut p = RequestParser::new();
+        assert!(p.push(b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let mut p = RequestParser::new();
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_SIZE)
+        );
+        assert!(matches!(
+            p.push(huge.as_bytes()),
+            Err(CodecError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_chunked_on_http10() {
+        let mut p = RequestParser::new();
+        assert!(p
+            .push(b"POST /u HTTP/1.0\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .is_err());
+    }
+
+    #[test]
+    fn parse_response_basic() {
+        let mut p = ResponseParser::new();
+        let resp = p
+            .push(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(resp.status.reason, "OK");
+        assert_eq!(&resp.body[..], b"hi");
+    }
+
+    #[test]
+    fn parse_response_379_preserves_reason() {
+        let mut p = ResponseParser::new();
+        let resp = p
+            .push(b"HTTP/1.1 379 Partial POST Replay\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(resp.status.code, 379);
+        assert_eq!(resp.status.reason, "Partial POST Replay");
+    }
+
+    #[test]
+    fn response_204_has_no_body() {
+        let mut p = ResponseParser::new();
+        let resp = p
+            .push(b"HTTP/1.1 204 No Content\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(resp.status.code, 204);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn head_response_ignores_content_length_body() {
+        let mut p = ResponseParser::for_head_request();
+        let resp = p
+            .push(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n")
+            .unwrap()
+            .expect("complete without body");
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn response_until_close_framing() {
+        let mut p = ResponseParser::new();
+        assert!(p.push(b"HTTP/1.0 200 OK\r\n\r\npartial").unwrap().is_none());
+        assert!(p.push(b" more").unwrap().is_none());
+        let resp = p.peer_closed().unwrap().expect("complete on close");
+        assert_eq!(&resp.body[..], b"partial more");
+    }
+
+    #[test]
+    fn response_chunked_body() {
+        let mut p = ResponseParser::new();
+        let resp = p
+            .push(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(&resp.body[..], b"abc");
+    }
+
+    #[test]
+    fn rejects_bad_status_line() {
+        let mut p = ResponseParser::new();
+        assert!(p.push(b"HTTP/1.1 xx OK\r\n\r\n").is_err());
+        let mut p = ResponseParser::new();
+        assert!(p.push(b"HTTP/1.1 99 Too Low\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn reason_phrase_may_contain_spaces() {
+        let mut p = ResponseParser::new();
+        let resp = p
+            .push(b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.status.reason, "Internal Server Error");
+    }
+
+    #[test]
+    fn get_with_explicit_zero_content_length() {
+        let mut p = RequestParser::new();
+        let req = p
+            .push(b"GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn request_with_bad_content_length_rejected() {
+        let mut p = RequestParser::new();
+        assert!(p
+            .push(b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+            .is_err());
+    }
+
+    #[test]
+    fn transfer_encoding_wins_over_content_length() {
+        // RFC 9112 §6.3: when both are present, Transfer-Encoding governs —
+        // honoring Content-Length instead is the request-smuggling vector.
+        let mut p = RequestParser::new();
+        let req = p
+            .push(
+                b"POST /u HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n\
+                  5\r\nhello\r\n0\r\n\r\n",
+            )
+            .unwrap()
+            .expect("complete");
+        assert!(req.chunked);
+        assert_eq!(&req.body[..], b"hello", "chunked framing must govern");
+    }
+
+    #[test]
+    fn smuggling_shaped_duplicate_content_lengths_rejected() {
+        let mut p = RequestParser::new();
+        assert!(p
+            .push(b"POST /u HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 10\r\n\r\nabc")
+            .is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! HTTP/1.1 message serialization.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use super::chunked::ChunkedEncoder;
+use super::types::{Request, Response};
+
+/// Serializes a request head (start line + headers + blank line).
+pub fn serialize_request_head(req: &Request) -> Bytes {
+    let mut out = BytesMut::with_capacity(128);
+    out.put_slice(req.method.as_str().as_bytes());
+    out.put_u8(b' ');
+    out.put_slice(req.target.as_bytes());
+    out.put_u8(b' ');
+    out.put_slice(req.version.as_str().as_bytes());
+    out.put_slice(b"\r\n");
+    for (n, v) in req.headers.iter() {
+        out.put_slice(n.as_bytes());
+        out.put_slice(b": ");
+        out.put_slice(v.as_bytes());
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"\r\n");
+    out.freeze()
+}
+
+/// Serializes a complete request, applying chunked framing when
+/// `req.chunked` is set (the body is emitted as a single chunk).
+pub fn serialize_request(req: &Request) -> Bytes {
+    let head = serialize_request_head(req);
+    let mut out = BytesMut::with_capacity(head.len() + req.body.len() + 16);
+    out.put_slice(&head);
+    if req.chunked {
+        out.put_slice(&ChunkedEncoder::new().encode_all(&req.body));
+    } else {
+        out.put_slice(&req.body);
+    }
+    out.freeze()
+}
+
+/// Serializes a response head.
+pub fn serialize_response_head(resp: &Response) -> Bytes {
+    let mut out = BytesMut::with_capacity(128);
+    out.put_slice(resp.version.as_str().as_bytes());
+    out.put_slice(format!(" {} {}\r\n", resp.status.code, resp.status.reason).as_bytes());
+    for (n, v) in resp.headers.iter() {
+        out.put_slice(n.as_bytes());
+        out.put_slice(b": ");
+        out.put_slice(v.as_bytes());
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"\r\n");
+    out.freeze()
+}
+
+/// Serializes a complete response. Chunked framing is applied when the
+/// headers say `Transfer-Encoding: chunked`; otherwise the body is raw.
+pub fn serialize_response(resp: &Response) -> Bytes {
+    let head = serialize_response_head(resp);
+    let mut out = BytesMut::with_capacity(head.len() + resp.body.len() + 16);
+    out.put_slice(&head);
+    if resp.headers.is_chunked() {
+        out.put_slice(&ChunkedEncoder::new().encode_all(&resp.body));
+    } else {
+        out.put_slice(&resp.body);
+    }
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::{RequestParser, ResponseParser};
+    use super::super::types::{Response, StatusCode};
+    use super::*;
+    use crate::http1::Request;
+
+    #[test]
+    fn request_round_trip_content_length() {
+        let req = Request::post("/upload", &b"payload"[..]);
+        let wire = serialize_request(&req);
+        let mut p = RequestParser::new();
+        let back = p.push(&wire).unwrap().expect("complete");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_round_trip_chunked() {
+        let req = Request::post_chunked("/upload", &b"chunky payload"[..]);
+        let wire = serialize_request(&req);
+        assert!(wire.windows(2).any(|w| w == b"\r\n"));
+        let mut p = RequestParser::new();
+        let back = p.push(&wire).unwrap().expect("complete");
+        assert_eq!(back.body, req.body);
+        assert!(back.chunked);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ok(&b"hello"[..]);
+        let wire = serialize_response(&resp);
+        let mut p = ResponseParser::new();
+        let back = p.push(&wire).unwrap().expect("complete");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn response_round_trip_379() {
+        let mut resp = Response::new(StatusCode::partial_post_replay(), &b"partial-data"[..]);
+        resp.headers.append("echo-path", "/upload");
+        let wire = serialize_response(&resp);
+        let text = String::from_utf8_lossy(&wire);
+        assert!(
+            text.starts_with("HTTP/1.1 379 Partial POST Replay\r\n"),
+            "{text}"
+        );
+        let mut p = ResponseParser::new();
+        let back = p.push(&wire).unwrap().expect("complete");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn head_only_serialization_ends_with_blank_line() {
+        let req = Request::get("/");
+        let head = serialize_request_head(&req);
+        assert!(head.ends_with(b"\r\n\r\n"));
+        let resp = Response::ok(&b""[..]);
+        let head = serialize_response_head(&resp);
+        assert!(head.ends_with(b"\r\n\r\n"));
+    }
+
+    #[test]
+    fn header_order_preserved_on_wire() {
+        let mut req = Request::get("/");
+        req.headers.append("b-second", "2");
+        req.headers.append("a-first", "1");
+        let wire = serialize_request(&req);
+        let text = String::from_utf8_lossy(&wire);
+        let b = text.find("b-second").unwrap();
+        let a = text.find("a-first").unwrap();
+        assert!(b < a, "insertion order must be preserved: {text}");
+    }
+
+    #[test]
+    fn chunked_response_serialization() {
+        let mut resp = Response {
+            body: Bytes::from_static(b"data"),
+            ..Response::ok(&b""[..])
+        };
+        resp.headers.remove("content-length");
+        resp.headers.set("transfer-encoding", "chunked");
+        let wire = serialize_response(&resp);
+        let mut p = ResponseParser::new();
+        let back = p.push(&wire).unwrap().expect("complete");
+        assert_eq!(&back.body[..], b"data");
+    }
+}

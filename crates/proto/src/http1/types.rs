@@ -1,0 +1,382 @@
+//! Core HTTP/1.1 message types.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use super::headers::Headers;
+use crate::{CodecError, Result};
+
+/// HTTP request methods used by the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Cache-able reads; the dominant short-lived API workload.
+    Get,
+    /// Uploads — the long-lived requests Partial Post Replay protects.
+    Post,
+    /// Idempotent full writes.
+    Put,
+    /// Deletions.
+    Delete,
+    /// Head-only probes; used by health checks.
+    Head,
+    /// Capability probes.
+    Options,
+}
+
+impl Method {
+    /// Parses a method token.
+    pub fn parse(s: &str) -> Result<Method> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "DELETE" => Ok(Method::Delete),
+            "HEAD" => Ok(Method::Head),
+            "OPTIONS" => Ok(Method::Options),
+            other => Err(CodecError::Protocol(format!("unknown method {other:?}"))),
+        }
+    }
+
+    /// The canonical token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+        }
+    }
+
+    /// Whether requests with this method carry a body by default.
+    pub fn has_request_body(&self) -> bool {
+        matches!(self, Method::Post | Method::Put)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP protocol versions the codec speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// HTTP/1.0 — no persistent connections by default, no chunked TE.
+    Http10,
+    /// HTTP/1.1 — persistent connections, chunked transfer encoding.
+    Http11,
+}
+
+impl Version {
+    /// Parses the `HTTP/x.y` token of a request/status line.
+    pub fn parse(s: &str) -> Result<Version> {
+        match s {
+            "HTTP/1.0" => Ok(Version::Http10),
+            "HTTP/1.1" => Ok(Version::Http11),
+            other => Err(CodecError::Protocol(format!(
+                "unsupported version {other:?}"
+            ))),
+        }
+    }
+
+    /// The canonical token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP status code plus its reason phrase.
+///
+/// The reason phrase is load-bearing here: the paper's Partial Post Replay
+/// disambiguates status 379 from unrelated uses of the same unreserved code
+/// by requiring the exact phrase `Partial POST Replay` (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusCode {
+    /// The three-digit code.
+    pub code: u16,
+    /// The reason phrase sent on the status line.
+    pub reason: String,
+}
+
+impl StatusCode {
+    /// 200 OK.
+    pub fn ok() -> Self {
+        StatusCode {
+            code: 200,
+            reason: "OK".into(),
+        }
+    }
+
+    /// 307 Temporary Redirect — the rejected PPR alternative (§4.3 option ii).
+    pub fn temporary_redirect() -> Self {
+        StatusCode {
+            code: 307,
+            reason: "Temporary Redirect".into(),
+        }
+    }
+
+    /// 379 Partial POST Replay — the paper's new code (§4.3).
+    pub fn partial_post_replay() -> Self {
+        StatusCode {
+            code: 379,
+            reason: crate::ppr::PARTIAL_POST_REASON.into(),
+        }
+    }
+
+    /// 500 Internal Server Error — what the user sees without PPR.
+    pub fn internal_error() -> Self {
+        StatusCode {
+            code: 500,
+            reason: "Internal Server Error".into(),
+        }
+    }
+
+    /// 503 Service Unavailable — what a draining instance answers to
+    /// health-check probes under HardRestart.
+    pub fn service_unavailable() -> Self {
+        StatusCode {
+            code: 503,
+            reason: "Service Unavailable".into(),
+        }
+    }
+
+    /// Builds a status with the stock reason phrase for well-known codes.
+    pub fn from_code(code: u16) -> Self {
+        let reason = match code {
+            200 => "OK",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            307 => "Temporary Redirect",
+            379 => crate::ppr::PARTIAL_POST_REASON,
+            400 => "Bad Request",
+            404 => "Not Found",
+            408 => "Request Timeout",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        };
+        StatusCode {
+            code,
+            reason: reason.into(),
+        }
+    }
+
+    /// True for 2xx codes.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.code)
+    }
+
+    /// True for 5xx codes — the user-visible disruption class the paper
+    /// counts (§2.5).
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.code)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.reason)
+    }
+}
+
+/// A complete (head + body) HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (origin-form path).
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Header fields in received order.
+    pub headers: Headers,
+    /// Decoded message body (after any transfer decoding).
+    pub body: Bytes,
+    /// Whether the body arrived chunk-encoded. Preserved so a proxy can
+    /// re-serialize in the same framing the client used.
+    pub chunked: bool,
+}
+
+impl Request {
+    /// Builds a bodyless GET request.
+    pub fn get(target: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+            body: Bytes::new(),
+            chunked: false,
+        }
+    }
+
+    /// Builds a POST with a fixed-length body (`Content-Length` framing).
+    pub fn post(target: impl Into<String>, body: impl Into<Bytes>) -> Self {
+        let body = body.into();
+        let mut headers = Headers::new();
+        headers.set("content-length", body.len().to_string());
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            version: Version::Http11,
+            headers,
+            body,
+            chunked: false,
+        }
+    }
+
+    /// Builds a POST whose body will be sent with chunked transfer encoding.
+    pub fn post_chunked(target: impl Into<String>, body: impl Into<Bytes>) -> Self {
+        let mut headers = Headers::new();
+        headers.set("transfer-encoding", "chunked");
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            version: Version::Http11,
+            headers,
+            body: body.into(),
+            chunked: true,
+        }
+    }
+}
+
+/// A complete (head + body) HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Protocol version.
+    pub version: Version,
+    /// Status code and reason phrase.
+    pub status: StatusCode,
+    /// Header fields in received order.
+    pub headers: Headers,
+    /// Decoded message body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// Builds a response with the given status and body, setting
+    /// `Content-Length`.
+    pub fn new(status: StatusCode, body: impl Into<Bytes>) -> Self {
+        let body = body.into();
+        let mut headers = Headers::new();
+        headers.set("content-length", body.len().to_string());
+        Response {
+            version: Version::Http11,
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// 200 OK with a body.
+    pub fn ok(body: impl Into<Bytes>) -> Self {
+        Response::new(StatusCode::ok(), body)
+    }
+
+    /// 500 with an empty body.
+    pub fn internal_error() -> Self {
+        Response::new(StatusCode::internal_error(), Bytes::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_round_trip() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Head,
+            Method::Options,
+        ] {
+            assert_eq!(Method::parse(m.as_str()).unwrap(), m);
+        }
+        assert!(Method::parse("BREW").is_err());
+    }
+
+    #[test]
+    fn method_body_expectations() {
+        assert!(Method::Post.has_request_body());
+        assert!(Method::Put.has_request_body());
+        assert!(!Method::Get.has_request_body());
+        assert!(!Method::Head.has_request_body());
+    }
+
+    #[test]
+    fn version_round_trip() {
+        assert_eq!(Version::parse("HTTP/1.1").unwrap(), Version::Http11);
+        assert_eq!(Version::parse("HTTP/1.0").unwrap(), Version::Http10);
+        assert!(Version::parse("HTTP/2.0").is_err());
+        assert_eq!(Version::Http11.to_string(), "HTTP/1.1");
+    }
+
+    #[test]
+    fn status_code_classes() {
+        assert!(StatusCode::ok().is_success());
+        assert!(StatusCode::internal_error().is_server_error());
+        assert!(!StatusCode::partial_post_replay().is_server_error());
+        assert!(!StatusCode::partial_post_replay().is_success());
+    }
+
+    #[test]
+    fn status_379_reason_is_the_ppr_gate() {
+        let s = StatusCode::partial_post_replay();
+        assert_eq!(s.code, 379);
+        assert_eq!(s.reason, "Partial POST Replay");
+        assert_eq!(StatusCode::from_code(379).reason, "Partial POST Replay");
+    }
+
+    #[test]
+    fn request_builders_set_framing_headers() {
+        let r = Request::post("/upload", &b"abc"[..]);
+        assert_eq!(r.headers.get("Content-Length"), Some("3"));
+        assert!(!r.chunked);
+
+        let r = Request::post_chunked("/upload", &b"abc"[..]);
+        assert_eq!(r.headers.get("transfer-encoding"), Some("chunked"));
+        assert!(r.chunked);
+
+        let r = Request::get("/");
+        assert!(r.body.is_empty());
+        assert_eq!(r.method, Method::Get);
+    }
+
+    #[test]
+    fn response_builders() {
+        let r = Response::ok(&b"hi"[..]);
+        assert_eq!(r.status.code, 200);
+        assert_eq!(r.headers.get("content-length"), Some("2"));
+        let r = Response::internal_error();
+        assert_eq!(r.status.code, 500);
+        assert_eq!(r.headers.get("content-length"), Some("0"));
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(StatusCode::ok().to_string(), "200 OK");
+        assert_eq!(
+            StatusCode::partial_post_replay().to_string(),
+            "379 Partial POST Replay"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! # zdr-proto — protocol codecs for Zero Downtime Release
+//!
+//! This crate implements every wire protocol the Zero Downtime Release
+//! mechanisms touch, from scratch:
+//!
+//! * [`http1`] — HTTP/1.1 request/response parsing and serialization,
+//!   including incremental parsing and chunked transfer encoding. Partial
+//!   Post Replay must be able to reconstruct a request *mid-chunk*, so the
+//!   chunked decoder exposes its exact internal state.
+//! * [`h2`] — an HTTP/2-like binary framing layer with multiplexed streams
+//!   and `GOAWAY` graceful-shutdown semantics, used on the long-lived
+//!   Edge↔Origin trunks.
+//! * [`mqtt`] — an MQTT 3.1.1 subset (CONNECT/CONNACK/PUBLISH/PUBACK/
+//!   SUBSCRIBE/SUBACK/PINGREQ/PINGRESP/DISCONNECT) for the pub/sub tier.
+//! * [`quic`] — a QUIC-like UDP datagram header carrying a connection ID,
+//!   which Socket Takeover's user-space router keys on.
+//! * [`dcr`] — the Downstream Connection Reuse control messages
+//!   (`reconnect_solicitation`, `re_connect`, `connect_ack`,
+//!   `connect_refuse`) exchanged between Edge and Origin proxies.
+//! * [`ppr`] — status-379 "Partial POST Replay" semantics: the `PartialPOST`
+//!   status-message gate, pseudo-header echoing, and request reconstruction.
+//! * [`wire`] — small shared buffer primitives (varints, length-prefixed
+//!   strings) used by the binary codecs.
+//!
+//! All codecs are sans-I/O: they operate on byte buffers and are driven by
+//! whatever transport hosts them (real tokio sockets in `zdr-proxy`, or the
+//! deterministic simulator in `zdr-sim`).
+
+pub mod dcr;
+pub mod h2;
+pub mod http1;
+pub mod mqtt;
+pub mod ppr;
+pub mod quic;
+pub mod wire;
+
+use std::fmt;
+
+/// Errors produced by the codecs in this crate.
+///
+/// Each variant carries enough context to distinguish "need more bytes"
+/// (recoverable — feed the decoder again) from genuine protocol violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ends before a complete frame/message; retry with more data.
+    Incomplete {
+        /// Lower bound on additional bytes needed, if known.
+        needed: Option<usize>,
+    },
+    /// The peer violated the protocol grammar.
+    Protocol(String),
+    /// A length field exceeds the configured or protocol-defined maximum.
+    TooLarge {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+        /// The maximum allowed.
+        max: usize,
+    },
+    /// A numeric field holds a value outside its legal range.
+    InvalidValue {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value widened to u64.
+        value: u64,
+    },
+    /// Text that must be ASCII/UTF-8 is not.
+    InvalidEncoding(&'static str),
+}
+
+impl CodecError {
+    /// Convenience constructor for [`CodecError::Incomplete`] with an
+    /// unknown byte requirement.
+    pub fn incomplete() -> Self {
+        CodecError::Incomplete { needed: None }
+    }
+
+    /// Convenience constructor for [`CodecError::Incomplete`] when the
+    /// decoder knows how many more bytes it needs.
+    pub fn needs(n: usize) -> Self {
+        CodecError::Incomplete { needed: Some(n) }
+    }
+
+    /// True when the error simply means "feed me more bytes".
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, CodecError::Incomplete { .. })
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Incomplete { needed: Some(n) } => {
+                write!(f, "incomplete input: need at least {n} more bytes")
+            }
+            CodecError::Incomplete { needed: None } => write!(f, "incomplete input"),
+            CodecError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            CodecError::TooLarge { what, len, max } => {
+                write!(f, "{what} length {len} exceeds maximum {max}")
+            }
+            CodecError::InvalidValue { what, value } => {
+                write!(f, "invalid value {value} for {what}")
+            }
+            CodecError::InvalidEncoding(what) => write!(f, "invalid text encoding in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias used throughout the codecs.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incomplete_helpers() {
+        assert!(CodecError::incomplete().is_incomplete());
+        assert!(CodecError::needs(4).is_incomplete());
+        assert!(!CodecError::Protocol("x".into()).is_incomplete());
+        assert_eq!(
+            CodecError::needs(4),
+            CodecError::Incomplete { needed: Some(4) }
+        );
+    }
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let s = CodecError::needs(7).to_string();
+        assert!(s.contains('7'), "{s}");
+        let s = CodecError::TooLarge {
+            what: "header",
+            len: 10,
+            max: 5,
+        }
+        .to_string();
+        assert!(
+            s.contains("header") && s.contains("10") && s.contains('5'),
+            "{s}"
+        );
+        let s = CodecError::InvalidValue {
+            what: "qos",
+            value: 9,
+        }
+        .to_string();
+        assert!(s.contains("qos") && s.contains('9'), "{s}");
+        let s = CodecError::InvalidEncoding("topic").to_string();
+        assert!(s.contains("topic"), "{s}");
+        let s = CodecError::Incomplete { needed: None }.to_string();
+        assert!(s.contains("incomplete"), "{s}");
+        let s = CodecError::Protocol("bad magic".into()).to_string();
+        assert!(s.contains("bad magic"), "{s}");
+    }
+}

@@ -1,0 +1,630 @@
+//! MQTT 3.1.1 subset codec.
+//!
+//! The paper's pub/sub tier keeps billions of long-lived MQTT connections
+//! alive through the Edge→Origin→broker path (§2.1, §4.2). This module
+//! implements the packets that path exercises: session establishment
+//! (CONNECT/CONNACK), data (PUBLISH/PUBACK), subscription management
+//! (SUBSCRIBE/SUBACK), liveness (PINGREQ/PINGRESP — "MQTT clients
+//! periodically exchange ping"), and teardown (DISCONNECT).
+//!
+//! MQTT deliberately has no GOAWAY-style graceful shutdown; that gap is
+//! exactly why Downstream Connection Reuse ([`crate::dcr`]) exists.
+
+use bytes::Bytes;
+
+use crate::wire::{mqtt_varint_len, Reader, Writer};
+use crate::{CodecError, Result};
+
+/// Quality-of-service level for PUBLISH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QoS {
+    /// Fire and forget.
+    AtMostOnce = 0,
+    /// Acknowledged delivery (PUBACK).
+    AtLeastOnce = 1,
+}
+
+impl QoS {
+    fn from_bits(b: u8) -> Result<QoS> {
+        match b {
+            0 => Ok(QoS::AtMostOnce),
+            1 => Ok(QoS::AtLeastOnce),
+            v => Err(CodecError::InvalidValue {
+                what: "QoS",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+/// CONNACK return codes (3.1.1 §3.2.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectReturnCode {
+    /// Connection accepted.
+    Accepted = 0,
+    /// Unacceptable protocol version.
+    BadProtocol = 1,
+    /// Client identifier rejected.
+    IdentifierRejected = 2,
+    /// Broker unavailable (e.g. draining for restart).
+    ServerUnavailable = 3,
+    /// Bad credentials.
+    BadCredentials = 4,
+    /// Not authorized.
+    NotAuthorized = 5,
+}
+
+impl ConnectReturnCode {
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => Self::Accepted,
+            1 => Self::BadProtocol,
+            2 => Self::IdentifierRejected,
+            3 => Self::ServerUnavailable,
+            4 => Self::BadCredentials,
+            5 => Self::NotAuthorized,
+            other => {
+                return Err(CodecError::InvalidValue {
+                    what: "CONNACK return code",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A decoded MQTT control packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Client session establishment.
+    Connect {
+        /// Client identifier — at Facebook scale this is derived from the
+        /// globally unique user-id that DCR routes on (§4.2).
+        client_id: String,
+        /// Keep-alive interval in seconds.
+        keep_alive: u16,
+        /// Clean-session flag; DCR re_connects set this to `false` so the
+        /// broker re-attaches the existing session context.
+        clean_session: bool,
+    },
+    /// Broker's reply to CONNECT.
+    ConnAck {
+        /// Whether an existing session was resumed.
+        session_present: bool,
+        /// Accept/reject code.
+        code: ConnectReturnCode,
+    },
+    /// Application message.
+    Publish {
+        /// Topic name.
+        topic: String,
+        /// Packet id; present iff `qos` > AtMostOnce.
+        packet_id: Option<u16>,
+        /// Payload bytes.
+        payload: Bytes,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Retain flag.
+        retain: bool,
+        /// Duplicate-delivery flag.
+        dup: bool,
+    },
+    /// Acknowledges a QoS-1 PUBLISH.
+    PubAck {
+        /// Id of the PUBLISH being acknowledged.
+        packet_id: u16,
+    },
+    /// Subscription request.
+    Subscribe {
+        /// Packet id.
+        packet_id: u16,
+        /// `(topic filter, requested QoS)` pairs.
+        filters: Vec<(String, QoS)>,
+    },
+    /// Subscription acknowledgement.
+    SubAck {
+        /// Id of the SUBSCRIBE being acknowledged.
+        packet_id: u16,
+        /// Granted QoS per filter (0x80 = failure).
+        return_codes: Vec<u8>,
+    },
+    /// Client liveness probe.
+    PingReq,
+    /// Broker liveness reply.
+    PingResp,
+    /// Clean client disconnect.
+    Disconnect,
+}
+
+impl Packet {
+    /// Packet type name, for logging and metrics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Packet::Connect { .. } => "CONNECT",
+            Packet::ConnAck { .. } => "CONNACK",
+            Packet::Publish { .. } => "PUBLISH",
+            Packet::PubAck { .. } => "PUBACK",
+            Packet::Subscribe { .. } => "SUBSCRIBE",
+            Packet::SubAck { .. } => "SUBACK",
+            Packet::PingReq => "PINGREQ",
+            Packet::PingResp => "PINGRESP",
+            Packet::Disconnect => "DISCONNECT",
+        }
+    }
+}
+
+const PROTOCOL_NAME: &str = "MQTT";
+const PROTOCOL_LEVEL: u8 = 4; // 3.1.1
+
+/// Encodes a packet to wire bytes.
+pub fn encode(packet: &Packet) -> Result<Bytes> {
+    // Encode the variable header + payload first so the remaining-length
+    // varint in the fixed header can be computed.
+    let mut body = Writer::new();
+    let (type_bits, flags) = match packet {
+        Packet::Connect {
+            client_id,
+            keep_alive,
+            clean_session,
+        } => {
+            body.string16(PROTOCOL_NAME)?;
+            body.u8(PROTOCOL_LEVEL);
+            let connect_flags = if *clean_session { 0x02 } else { 0x00 };
+            body.u8(connect_flags);
+            body.u16(*keep_alive);
+            body.string16(client_id)?;
+            (1u8, 0u8)
+        }
+        Packet::ConnAck {
+            session_present,
+            code,
+        } => {
+            body.u8(u8::from(*session_present));
+            body.u8(*code as u8);
+            (2, 0)
+        }
+        Packet::Publish {
+            topic,
+            packet_id,
+            payload,
+            qos,
+            retain,
+            dup,
+        } => {
+            body.string16(topic)?;
+            match (qos, packet_id) {
+                (QoS::AtMostOnce, None) => {}
+                (QoS::AtLeastOnce, Some(id)) => {
+                    body.u16(*id);
+                }
+                _ => {
+                    return Err(CodecError::Protocol(
+                        "PUBLISH packet id must be present iff QoS > 0".into(),
+                    ))
+                }
+            }
+            body.bytes(payload);
+            let flags = (u8::from(*dup) << 3) | ((*qos as u8) << 1) | u8::from(*retain);
+            (3, flags)
+        }
+        Packet::PubAck { packet_id } => {
+            body.u16(*packet_id);
+            (4, 0)
+        }
+        Packet::Subscribe { packet_id, filters } => {
+            if filters.is_empty() {
+                return Err(CodecError::Protocol("SUBSCRIBE with no filters".into()));
+            }
+            body.u16(*packet_id);
+            for (f, q) in filters {
+                body.string16(f)?;
+                body.u8(*q as u8);
+            }
+            (8, 0x02) // reserved flags for SUBSCRIBE are 0b0010
+        }
+        Packet::SubAck {
+            packet_id,
+            return_codes,
+        } => {
+            body.u16(*packet_id);
+            for rc in return_codes {
+                body.u8(*rc);
+            }
+            (9, 0)
+        }
+        Packet::PingReq => (12, 0),
+        Packet::PingResp => (13, 0),
+        Packet::Disconnect => (14, 0),
+    };
+
+    let body = body.freeze();
+    let mut out = Writer::with_capacity(body.len() + 5);
+    out.u8((type_bits << 4) | flags);
+    out.mqtt_varint(body.len() as u32)?;
+    out.bytes(&body);
+    Ok(out.freeze())
+}
+
+/// Attempts to decode one packet from the front of `buf`.
+///
+/// Returns `(packet, bytes_consumed)`, or `Incomplete` if a full packet has
+/// not arrived yet.
+pub fn decode(buf: &[u8]) -> Result<(Packet, usize)> {
+    if buf.is_empty() {
+        return Err(CodecError::incomplete());
+    }
+    let first = buf[0];
+    let varint_len = mqtt_varint_len(&buf[1..]).ok_or_else(CodecError::incomplete)?;
+    let mut r = Reader::new(&buf[1..]);
+    let remaining = r.mqtt_varint()? as usize;
+    let header_len = 1 + varint_len;
+    let total = header_len + remaining;
+    if buf.len() < total {
+        return Err(CodecError::needs(total - buf.len()));
+    }
+    let body = &buf[header_len..total];
+    let packet = decode_body(first, body)?;
+    Ok((packet, total))
+}
+
+fn decode_body(first: u8, body: &[u8]) -> Result<Packet> {
+    let type_bits = first >> 4;
+    let flags = first & 0x0f;
+    let mut r = Reader::new(body);
+    let packet = match type_bits {
+        1 => {
+            let name = r.string16()?;
+            if name != PROTOCOL_NAME {
+                return Err(CodecError::Protocol(format!("bad protocol name {name:?}")));
+            }
+            let level = r.u8()?;
+            if level != PROTOCOL_LEVEL {
+                return Err(CodecError::InvalidValue {
+                    what: "protocol level",
+                    value: u64::from(level),
+                });
+            }
+            let connect_flags = r.u8()?;
+            let keep_alive = r.u16()?;
+            let client_id = r.string16()?;
+            Packet::Connect {
+                client_id,
+                keep_alive,
+                clean_session: connect_flags & 0x02 != 0,
+            }
+        }
+        2 => {
+            let ack_flags = r.u8()?;
+            let code = ConnectReturnCode::from_u8(r.u8()?)?;
+            Packet::ConnAck {
+                session_present: ack_flags & 0x01 != 0,
+                code,
+            }
+        }
+        3 => {
+            let dup = flags & 0x08 != 0;
+            let qos = QoS::from_bits((flags >> 1) & 0x03)?;
+            let retain = flags & 0x01 != 0;
+            let topic = r.string16()?;
+            let packet_id = if qos == QoS::AtLeastOnce {
+                Some(r.u16()?)
+            } else {
+                None
+            };
+            let payload = Bytes::copy_from_slice(r.rest());
+            Packet::Publish {
+                topic,
+                packet_id,
+                payload,
+                qos,
+                retain,
+                dup,
+            }
+        }
+        4 => Packet::PubAck {
+            packet_id: r.u16()?,
+        },
+        8 => {
+            if flags != 0x02 {
+                return Err(CodecError::Protocol("bad SUBSCRIBE flags".into()));
+            }
+            let packet_id = r.u16()?;
+            let mut filters = Vec::new();
+            while !r.is_empty() {
+                let f = r.string16()?;
+                let q = QoS::from_bits(r.u8()?)?;
+                filters.push((f, q));
+            }
+            if filters.is_empty() {
+                return Err(CodecError::Protocol("SUBSCRIBE with no filters".into()));
+            }
+            Packet::Subscribe { packet_id, filters }
+        }
+        9 => {
+            let packet_id = r.u16()?;
+            let return_codes = r.rest().to_vec();
+            Packet::SubAck {
+                packet_id,
+                return_codes,
+            }
+        }
+        12 => Packet::PingReq,
+        13 => Packet::PingResp,
+        14 => Packet::Disconnect,
+        other => {
+            return Err(CodecError::InvalidValue {
+                what: "MQTT packet type",
+                value: u64::from(other),
+            })
+        }
+    };
+    if !matches!(packet, Packet::Publish { .. } | Packet::SubAck { .. }) && !r.is_empty() {
+        return Err(CodecError::Protocol(format!(
+            "{} trailing bytes after {}",
+            r.remaining(),
+            packet.type_name()
+        )));
+    }
+    Ok(packet)
+}
+
+/// Incremental MQTT packet decoder over a byte stream.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+}
+
+impl StreamDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pops the next complete packet, if any.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>> {
+        match decode(&self.buf) {
+            Ok((packet, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(packet))
+            }
+            Err(e) if e.is_incomplete() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(p: Packet) {
+        let wire = encode(&p).unwrap();
+        let (back, consumed) = decode(&wire).unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn connect_round_trip() {
+        round_trip(Packet::Connect {
+            client_id: "user-12345".into(),
+            keep_alive: 60,
+            clean_session: true,
+        });
+        round_trip(Packet::Connect {
+            client_id: "user-12345".into(),
+            keep_alive: 0,
+            clean_session: false,
+        });
+    }
+
+    #[test]
+    fn connack_round_trip_all_codes() {
+        for code in [
+            ConnectReturnCode::Accepted,
+            ConnectReturnCode::BadProtocol,
+            ConnectReturnCode::IdentifierRejected,
+            ConnectReturnCode::ServerUnavailable,
+            ConnectReturnCode::BadCredentials,
+            ConnectReturnCode::NotAuthorized,
+        ] {
+            round_trip(Packet::ConnAck {
+                session_present: false,
+                code,
+            });
+            round_trip(Packet::ConnAck {
+                session_present: true,
+                code,
+            });
+        }
+    }
+
+    #[test]
+    fn publish_qos0_round_trip() {
+        round_trip(Packet::Publish {
+            topic: "notif/user-1".into(),
+            packet_id: None,
+            payload: Bytes::from_static(b"live notification"),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+        });
+    }
+
+    #[test]
+    fn publish_qos1_round_trip_with_flags() {
+        round_trip(Packet::Publish {
+            topic: "t".into(),
+            packet_id: Some(0xbeef),
+            payload: Bytes::from_static(b"x"),
+            qos: QoS::AtLeastOnce,
+            retain: true,
+            dup: true,
+        });
+    }
+
+    #[test]
+    fn publish_empty_payload() {
+        round_trip(Packet::Publish {
+            topic: "t".into(),
+            packet_id: None,
+            payload: Bytes::new(),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+        });
+    }
+
+    #[test]
+    fn publish_qos_id_mismatch_rejected_on_encode() {
+        let bad = Packet::Publish {
+            topic: "t".into(),
+            packet_id: None,
+            payload: Bytes::new(),
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            dup: false,
+        };
+        assert!(encode(&bad).is_err());
+        let bad = Packet::Publish {
+            topic: "t".into(),
+            packet_id: Some(1),
+            payload: Bytes::new(),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+        };
+        assert!(encode(&bad).is_err());
+    }
+
+    #[test]
+    fn puback_subscribe_suback_round_trip() {
+        round_trip(Packet::PubAck { packet_id: 7 });
+        round_trip(Packet::Subscribe {
+            packet_id: 11,
+            filters: vec![
+                ("a/b".into(), QoS::AtMostOnce),
+                ("c/#".into(), QoS::AtLeastOnce),
+            ],
+        });
+        round_trip(Packet::SubAck {
+            packet_id: 11,
+            return_codes: vec![0, 1, 0x80],
+        });
+    }
+
+    #[test]
+    fn control_packets_round_trip() {
+        round_trip(Packet::PingReq);
+        round_trip(Packet::PingResp);
+        round_trip(Packet::Disconnect);
+        assert_eq!(encode(&Packet::PingReq).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn subscribe_empty_filters_rejected() {
+        assert!(encode(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![]
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn decode_incomplete_reports_needed() {
+        let wire = encode(&Packet::Connect {
+            client_id: "abc".into(),
+            keep_alive: 30,
+            clean_session: true,
+        })
+        .unwrap();
+        for cut in 0..wire.len() {
+            match decode(&wire[..cut]) {
+                Err(e) if e.is_incomplete() => {}
+                other => panic!("cut {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_type() {
+        // type 15 with zero length
+        assert!(matches!(
+            decode(&[0xf0, 0x00]),
+            Err(CodecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        // PINGREQ with nonzero remaining length
+        assert!(decode(&[0xc0, 0x01, 0x00]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_protocol_name() {
+        let mut wire = encode(&Packet::Connect {
+            client_id: "a".into(),
+            keep_alive: 1,
+            clean_session: true,
+        })
+        .unwrap()
+        .to_vec();
+        // Corrupt the protocol name "MQTT" -> "MQTX".
+        let pos = wire.windows(4).position(|w| w == b"MQTT").unwrap();
+        wire[pos + 3] = b'X';
+        assert!(matches!(decode(&wire), Err(CodecError::Protocol(_))));
+    }
+
+    #[test]
+    fn stream_decoder_handles_fragmentation_and_coalescing() {
+        let p1 = encode(&Packet::PingReq).unwrap();
+        let p2 = encode(&Packet::Publish {
+            topic: "t".into(),
+            packet_id: None,
+            payload: Bytes::from_static(b"data"),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+        })
+        .unwrap();
+        let mut wire = p1.to_vec();
+        wire.extend_from_slice(&p2);
+
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for b in wire {
+            dec.extend(&[b]);
+            while let Some(p) = dec.next_packet().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], Packet::PingReq);
+        assert!(matches!(got[1], Packet::Publish { .. }));
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn large_payload_round_trip() {
+        let payload = Bytes::from(vec![0xabu8; 200_000]);
+        round_trip(Packet::Publish {
+            topic: "big".into(),
+            packet_id: None,
+            payload,
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+        });
+    }
+}

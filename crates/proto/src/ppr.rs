@@ -1,0 +1,483 @@
+//! Partial Post Replay: status 379 semantics (§4.3, §5.2, RFC draft \[27\]).
+//!
+//! When an app server restarts with POST requests in flight, it answers
+//! each unfinished request with **status 379** whose body is the partial
+//! POST data received so far, plus echoed request metadata. The downstream
+//! proxy — which forwarded the original head and is still receiving the
+//! rest of the body from the client — rebuilds the original request and
+//! replays it to another healthy server. 379 must **never** reach the
+//! end-user.
+//!
+//! Hard-won production rules encoded here (§5.2):
+//!
+//! * 379 lives in the IANA-unreserved range, and a buggy upstream really did
+//!   return randomized status codes, so the proxy only honors 379 when the
+//!   status message is exactly [`PARTIAL_POST_REASON`] — see
+//!   [`is_partial_post`].
+//! * HTTP/2+ pseudo-headers are echoed with a prefix (`pseudo-echo-path` for
+//!   `:path`); HTTP/1.1 echoes method/target/version in `echo-*` headers.
+//! * A proxy replaying a chunked body must restore the exact chunk-framing
+//!   position ([`crate::http1::ChunkedState`]), carried in
+//!   [`CHUNKED_STATE_HEADER`].
+
+use bytes::Bytes;
+
+use crate::http1::{ChunkedState, Headers, Method, Request, Response, StatusCode, Version};
+use crate::{CodecError, Result};
+
+/// The new status code introduced by the paper.
+pub const STATUS_PARTIAL_POST: u16 = 379;
+
+/// The exact status message that gates PPR handling.
+pub const PARTIAL_POST_REASON: &str = "Partial POST Replay";
+
+/// Echo header carrying the original request method.
+pub const ECHO_METHOD_HEADER: &str = "echo-method";
+/// Echo header carrying the original request target (`pseudo-echo-path` in
+/// the HTTP/2+ spelling; we accept both).
+pub const ECHO_PATH_HEADER: &str = "echo-path";
+/// HTTP/2+ spelling of the path echo.
+pub const PSEUDO_ECHO_PATH_HEADER: &str = "pseudo-echo-path";
+/// Echo header carrying the original protocol version.
+pub const ECHO_VERSION_HEADER: &str = "echo-version";
+/// Prefix applied to every echoed original request header.
+pub const ECHO_HEADER_PREFIX: &str = "echo-hdr-";
+/// Header carrying the chunked-decoder state at the moment of interruption.
+pub const CHUNKED_STATE_HEADER: &str = "x-ppr-chunked-state";
+
+/// The paper's production retry budget: "the number of retries is set to 10
+/// and is found enough to never result in a failure due to unavailability
+/// of active HHVM server" (§4.4).
+pub const DEFAULT_REPLAY_BUDGET: u32 = 10;
+
+/// Everything a restarting app server knows about an unfinished request —
+/// the payload of its 379 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialRequest {
+    /// Original request method.
+    pub method: Method,
+    /// Original request target.
+    pub target: String,
+    /// Original protocol version.
+    pub version: Version,
+    /// Original request headers (as received by the app server).
+    pub headers: Headers,
+    /// Body bytes received before the restart.
+    pub body_received: Bytes,
+    /// Exact chunk-framing position, when the body was chunk-encoded.
+    pub chunked_state: Option<ChunkedState>,
+}
+
+/// Strict gate: is this response a genuine Partial POST Replay?
+///
+/// Both conditions are required — the right code *and* the right status
+/// message (§5.2 remediation).
+pub fn is_partial_post(resp: &Response) -> bool {
+    resp.status.code == STATUS_PARTIAL_POST && resp.status.reason == PARTIAL_POST_REASON
+}
+
+fn encode_chunked_state(s: ChunkedState) -> String {
+    match s {
+        ChunkedState::AtBoundary => "boundary".to_string(),
+        ChunkedState::AfterChunkData => "after-chunk".to_string(),
+        ChunkedState::InChunk { size, remaining } => {
+            format!("in-chunk;size={size};remaining={remaining}")
+        }
+        ChunkedState::InTrailers => "trailers".to_string(),
+        ChunkedState::Done => "done".to_string(),
+    }
+}
+
+fn decode_chunked_state(s: &str) -> Result<ChunkedState> {
+    if s == "boundary" {
+        return Ok(ChunkedState::AtBoundary);
+    }
+    if s == "after-chunk" {
+        return Ok(ChunkedState::AfterChunkData);
+    }
+    if s == "trailers" {
+        return Ok(ChunkedState::InTrailers);
+    }
+    if s == "done" {
+        return Ok(ChunkedState::Done);
+    }
+    if let Some(rest) = s.strip_prefix("in-chunk;") {
+        let mut size = None;
+        let mut remaining = None;
+        for part in rest.split(';') {
+            if let Some(v) = part.strip_prefix("size=") {
+                size = v.parse::<u64>().ok();
+            } else if let Some(v) = part.strip_prefix("remaining=") {
+                remaining = v.parse::<u64>().ok();
+            }
+        }
+        match (size, remaining) {
+            (Some(size), Some(remaining)) if remaining <= size => {
+                return Ok(ChunkedState::InChunk { size, remaining })
+            }
+            _ => {}
+        }
+    }
+    Err(CodecError::Protocol(format!(
+        "bad chunked-state header {s:?}"
+    )))
+}
+
+/// App-server side: builds the 379 response for an interrupted request.
+pub fn build_379(partial: &PartialRequest) -> Response {
+    let mut headers = Headers::new();
+    headers.set("content-length", partial.body_received.len().to_string());
+    headers.set(ECHO_METHOD_HEADER, partial.method.as_str());
+    headers.set(ECHO_PATH_HEADER, &partial.target);
+    headers.set(ECHO_VERSION_HEADER, partial.version.as_str());
+    if let Some(state) = partial.chunked_state {
+        headers.set(CHUNKED_STATE_HEADER, encode_chunked_state(state));
+    }
+    for (n, v) in partial.headers.iter() {
+        headers.append(format!("{ECHO_HEADER_PREFIX}{n}"), v);
+    }
+    Response {
+        version: partial.version,
+        status: StatusCode {
+            code: STATUS_PARTIAL_POST,
+            reason: PARTIAL_POST_REASON.into(),
+        },
+        headers,
+        body: partial.body_received.clone(),
+    }
+}
+
+/// Proxy side: recovers the partial request from a (gated) 379 response.
+///
+/// Fails unless [`is_partial_post`] holds — an upstream emitting 379 for
+/// its own purposes must be treated as an ordinary (erroneous) response.
+pub fn decode_379(resp: &Response) -> Result<PartialRequest> {
+    if !is_partial_post(resp) {
+        return Err(CodecError::Protocol(
+            "response is not a gated Partial POST Replay".into(),
+        ));
+    }
+    let method = Method::parse(
+        resp.headers
+            .get(ECHO_METHOD_HEADER)
+            .ok_or_else(|| CodecError::Protocol("379 missing echo-method".into()))?,
+    )?;
+    let target = resp
+        .headers
+        .get(ECHO_PATH_HEADER)
+        .or_else(|| resp.headers.get(PSEUDO_ECHO_PATH_HEADER))
+        .ok_or_else(|| CodecError::Protocol("379 missing echo-path".into()))?
+        .to_string();
+    let version = Version::parse(
+        resp.headers
+            .get(ECHO_VERSION_HEADER)
+            .ok_or_else(|| CodecError::Protocol("379 missing echo-version".into()))?,
+    )?;
+    let chunked_state = resp
+        .headers
+        .get(CHUNKED_STATE_HEADER)
+        .map(decode_chunked_state)
+        .transpose()?;
+    let mut headers = Headers::new();
+    for (n, v) in resp.headers.iter() {
+        if let Some(orig) = strip_prefix_ci(n, ECHO_HEADER_PREFIX) {
+            headers.append(orig, v);
+        }
+    }
+    Ok(PartialRequest {
+        method,
+        target,
+        version,
+        headers,
+        body_received: resp.body.clone(),
+        chunked_state,
+    })
+}
+
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&s[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+/// Proxy side: rebuilds the request to replay to another app server.
+///
+/// `remaining_body` is whatever body the proxy has received from the client
+/// beyond what the failed server saw (possibly empty when the client had
+/// finished uploading). The replayed request always uses explicit
+/// `Content-Length` framing: the proxy now knows the exact total, and
+/// recomputing framing is precisely what §5.2 prescribes.
+pub fn rebuild_request(partial: &PartialRequest, remaining_body: &[u8]) -> Request {
+    let mut body = Vec::with_capacity(partial.body_received.len() + remaining_body.len());
+    body.extend_from_slice(&partial.body_received);
+    body.extend_from_slice(remaining_body);
+    let mut headers = partial.headers.clone();
+    headers.remove("transfer-encoding");
+    headers.set("content-length", body.len().to_string());
+    Request {
+        method: partial.method,
+        target: partial.target.clone(),
+        version: partial.version,
+        headers,
+        body: Bytes::from(body),
+        chunked: false,
+    }
+}
+
+/// Outcome of one replay decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayDecision {
+    /// Replay to another server (budget remains).
+    Retry {
+        /// Attempts used so far, including the one about to be made.
+        attempt: u32,
+    },
+    /// Budget exhausted: fail the request with standard 500 (§4.3 caveat —
+    /// "in case when intermediary cannot replay request to another server,
+    /// the requests should be failed with standard 500 code").
+    GiveUp,
+}
+
+/// Tracks the per-request replay budget.
+#[derive(Debug, Clone)]
+pub struct ReplayBudget {
+    used: u32,
+    max: u32,
+}
+
+impl Default for ReplayBudget {
+    fn default() -> Self {
+        Self::new(DEFAULT_REPLAY_BUDGET)
+    }
+}
+
+impl ReplayBudget {
+    /// A budget allowing `max` replays.
+    pub fn new(max: u32) -> Self {
+        ReplayBudget { used: 0, max }
+    }
+
+    /// Attempts used so far.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Decides whether another replay may proceed, consuming budget.
+    pub fn decide(&mut self) -> ReplayDecision {
+        if self.used >= self.max {
+            ReplayDecision::GiveUp
+        } else {
+            self.used += 1;
+            ReplayDecision::Retry { attempt: self.used }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_partial(chunked: Option<ChunkedState>) -> PartialRequest {
+        let mut headers = Headers::new();
+        headers.append("host", "origin.example");
+        headers.append("content-type", "application/octet-stream");
+        if chunked.is_some() {
+            headers.append("transfer-encoding", "chunked");
+        } else {
+            headers.append("content-length", "100");
+        }
+        PartialRequest {
+            method: Method::Post,
+            target: "/upload/video".into(),
+            version: Version::Http11,
+            headers,
+            body_received: Bytes::from_static(b"first-40-bytes-of-the-upload-payload...."),
+            chunked_state: chunked,
+        }
+    }
+
+    #[test]
+    fn gate_requires_code_and_reason() {
+        let ok = Response {
+            version: Version::Http11,
+            status: StatusCode {
+                code: 379,
+                reason: PARTIAL_POST_REASON.into(),
+            },
+            headers: Headers::new(),
+            body: Bytes::new(),
+        };
+        assert!(is_partial_post(&ok));
+
+        // The §5.2 war story: randomized status codes from a buggy upstream.
+        let wrong_reason = Response {
+            status: StatusCode {
+                code: 379,
+                reason: "Whatever".into(),
+            },
+            ..ok.clone()
+        };
+        assert!(!is_partial_post(&wrong_reason));
+        assert!(decode_379(&wrong_reason).is_err());
+
+        let wrong_code = Response {
+            status: StatusCode {
+                code: 380,
+                reason: PARTIAL_POST_REASON.into(),
+            },
+            ..ok
+        };
+        assert!(!is_partial_post(&wrong_code));
+    }
+
+    #[test]
+    fn round_trip_via_379_response() {
+        let partial = sample_partial(None);
+        let resp = build_379(&partial);
+        assert!(is_partial_post(&resp));
+        assert_eq!(resp.body, partial.body_received);
+        let back = decode_379(&resp).unwrap();
+        assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn round_trip_with_chunked_state() {
+        for state in [
+            ChunkedState::AtBoundary,
+            ChunkedState::AfterChunkData,
+            ChunkedState::InChunk {
+                size: 4096,
+                remaining: 1024,
+            },
+        ] {
+            let partial = sample_partial(Some(state));
+            let back = decode_379(&build_379(&partial)).unwrap();
+            assert_eq!(back.chunked_state, Some(state), "state {state:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_http1_serialization() {
+        // The 379 response must survive a real wire trip, since it travels
+        // from app server to proxy over HTTP/1.1.
+        use crate::http1::{serialize_response, ResponseParser};
+        let partial = sample_partial(Some(ChunkedState::InChunk {
+            size: 10,
+            remaining: 3,
+        }));
+        let wire = serialize_response(&build_379(&partial));
+        let mut p = ResponseParser::new();
+        let resp = p.push(&wire).unwrap().expect("complete");
+        let back = decode_379(&resp).unwrap();
+        assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn rebuild_concatenates_and_recomputes_framing() {
+        let partial = sample_partial(Some(ChunkedState::AtBoundary));
+        let req = rebuild_request(&partial, b"-and-the-rest");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.target, "/upload/video");
+        let expected_len = partial.body_received.len() + "-and-the-rest".len();
+        assert_eq!(req.headers.content_length(), Some(expected_len as u64));
+        assert!(!req.headers.is_chunked(), "replay must use explicit length");
+        assert!(req.body.ends_with(b"-and-the-rest"));
+        assert!(req.body.starts_with(b"first-40"));
+    }
+
+    #[test]
+    fn rebuild_with_no_remaining_body() {
+        let partial = sample_partial(None);
+        let req = rebuild_request(&partial, b"");
+        assert_eq!(req.body, partial.body_received);
+        assert_eq!(req.headers.get("host"), Some("origin.example"));
+        assert_eq!(
+            req.headers.get("content-type"),
+            Some("application/octet-stream")
+        );
+    }
+
+    #[test]
+    fn decode_379_missing_echo_headers() {
+        let partial = sample_partial(None);
+        for victim in [ECHO_METHOD_HEADER, ECHO_PATH_HEADER, ECHO_VERSION_HEADER] {
+            let mut resp = build_379(&partial);
+            resp.headers.remove(victim);
+            assert!(decode_379(&resp).is_err(), "should fail without {victim}");
+        }
+    }
+
+    #[test]
+    fn decode_379_accepts_pseudo_echo_path_spelling() {
+        let partial = sample_partial(None);
+        let mut resp = build_379(&partial);
+        let path = resp.headers.get(ECHO_PATH_HEADER).unwrap().to_string();
+        resp.headers.remove(ECHO_PATH_HEADER);
+        resp.headers.set(PSEUDO_ECHO_PATH_HEADER, path);
+        let back = decode_379(&resp).unwrap();
+        assert_eq!(back.target, partial.target);
+    }
+
+    #[test]
+    fn chunked_state_header_rejects_garbage() {
+        assert!(decode_chunked_state("in-chunk;size=abc;remaining=1").is_err());
+        assert!(decode_chunked_state("in-chunk;size=1;remaining=2").is_err()); // remaining > size
+        assert!(decode_chunked_state("mystery").is_err());
+        assert!(decode_chunked_state("").is_err());
+    }
+
+    #[test]
+    fn chunked_state_encodings_are_stable() {
+        assert_eq!(encode_chunked_state(ChunkedState::AtBoundary), "boundary");
+        assert_eq!(
+            encode_chunked_state(ChunkedState::InChunk {
+                size: 10,
+                remaining: 4
+            }),
+            "in-chunk;size=10;remaining=4"
+        );
+        assert_eq!(
+            decode_chunked_state("in-chunk;size=10;remaining=4").unwrap(),
+            ChunkedState::InChunk {
+                size: 10,
+                remaining: 4
+            }
+        );
+    }
+
+    #[test]
+    fn replay_budget_allows_exactly_max() {
+        let mut b = ReplayBudget::new(3);
+        assert_eq!(b.decide(), ReplayDecision::Retry { attempt: 1 });
+        assert_eq!(b.decide(), ReplayDecision::Retry { attempt: 2 });
+        assert_eq!(b.decide(), ReplayDecision::Retry { attempt: 3 });
+        assert_eq!(b.decide(), ReplayDecision::GiveUp);
+        assert_eq!(b.decide(), ReplayDecision::GiveUp);
+        assert_eq!(b.used(), 3);
+    }
+
+    #[test]
+    fn default_budget_matches_paper() {
+        assert_eq!(ReplayBudget::default().max, 10);
+    }
+
+    #[test]
+    fn echoed_headers_preserve_duplicates() {
+        let mut headers = Headers::new();
+        headers.append("cookie", "a=1");
+        headers.append("cookie", "b=2");
+        let partial = PartialRequest {
+            method: Method::Post,
+            target: "/t".into(),
+            version: Version::Http11,
+            headers,
+            body_received: Bytes::new(),
+            chunked_state: None,
+        };
+        let back = decode_379(&build_379(&partial)).unwrap();
+        let cookies: Vec<_> = back.headers.get_all("cookie").collect();
+        assert_eq!(cookies, vec!["a=1", "b=2"]);
+    }
+}

@@ -1,0 +1,272 @@
+//! QUIC-like UDP datagram protocol.
+//!
+//! Socket Takeover's UDP story (§4.1) hinges on one property of QUIC: every
+//! packet carries a **connection ID**, so a user-space router can decide
+//! which process owns a flow without kernel help. This module implements
+//! just enough of a QUIC-shaped protocol to exercise that mechanism:
+//!
+//! * a connection ID that embeds the **process generation** that minted it
+//!   (the real Proxygen encodes comparable routing info in its CIDs), so the
+//!   post-takeover process can recognise packets belonging to flows owned by
+//!   the draining process and forward them over a host-local address;
+//! * Initial vs. 1-RTT packet forms (a new flow vs. continuation);
+//! * varint packet numbers and an opaque payload.
+//!
+//! Crypto, loss recovery, and streams are deliberately out of scope — they
+//! play no role in the takeover mechanism.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::wire::{Reader, Writer};
+use crate::{CodecError, Result};
+
+/// Wire size of a connection ID: 4-byte process generation + 8 random bytes.
+pub const CONNECTION_ID_LEN: usize = 12;
+
+/// A QUIC-like connection ID.
+///
+/// Layout: `[process_generation: u32 BE][random: u64 BE]`. The generation
+/// is the takeover ordinal of the proxy process that created the flow; the
+/// user-space router compares it with its own generation to route packets
+/// for still-draining flows back to the old process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionId {
+    /// Takeover ordinal of the owning process.
+    pub generation: u32,
+    /// Random discriminator within that generation.
+    pub random: u64,
+}
+
+impl ConnectionId {
+    /// Mints a connection ID owned by process `generation`.
+    pub fn new(generation: u32, random: u64) -> Self {
+        ConnectionId { generation, random }
+    }
+
+    /// Encodes to the 12-byte wire form.
+    pub fn to_bytes(self) -> [u8; CONNECTION_ID_LEN] {
+        let mut out = [0u8; CONNECTION_ID_LEN];
+        out[..4].copy_from_slice(&self.generation.to_be_bytes());
+        out[4..].copy_from_slice(&self.random.to_be_bytes());
+        out
+    }
+
+    /// Decodes from the 12-byte wire form.
+    pub fn from_bytes(b: &[u8]) -> Result<Self> {
+        if b.len() < CONNECTION_ID_LEN {
+            return Err(CodecError::needs(CONNECTION_ID_LEN - b.len()));
+        }
+        let mut gen = [0u8; 4];
+        gen.copy_from_slice(&b[..4]);
+        let mut rnd = [0u8; 8];
+        rnd.copy_from_slice(&b[4..12]);
+        Ok(ConnectionId {
+            generation: u32::from_be_bytes(gen),
+            random: u64::from_be_bytes(rnd),
+        })
+    }
+}
+
+/// Packet form: does this datagram open a flow or continue one?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketType {
+    /// First packet of a new flow (long-header analog).
+    Initial,
+    /// Continuation packet of an established flow (short-header analog).
+    OneRtt,
+}
+
+const FLAG_INITIAL: u8 = 0x80;
+const FLAG_FIXED: u8 = 0x40; // always set, like QUIC's fixed bit
+
+/// A decoded datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Initial vs. continuation.
+    pub packet_type: PacketType,
+    /// The flow's connection ID.
+    pub cid: ConnectionId,
+    /// Monotonic per-flow packet number.
+    pub packet_number: u64,
+    /// Opaque application payload.
+    pub payload: Bytes,
+}
+
+impl Datagram {
+    /// Builds an Initial packet opening flow `cid`.
+    pub fn initial(cid: ConnectionId, payload: impl Into<Bytes>) -> Self {
+        Datagram {
+            packet_type: PacketType::Initial,
+            cid,
+            packet_number: 0,
+            payload: payload.into(),
+        }
+    }
+
+    /// Builds a 1-RTT continuation packet.
+    pub fn one_rtt(cid: ConnectionId, packet_number: u64, payload: impl Into<Bytes>) -> Self {
+        Datagram {
+            packet_type: PacketType::OneRtt,
+            cid,
+            packet_number,
+            payload: payload.into(),
+        }
+    }
+}
+
+/// Encodes a datagram to wire bytes.
+pub fn encode(d: &Datagram) -> Result<Bytes> {
+    let mut flags = FLAG_FIXED;
+    if d.packet_type == PacketType::Initial {
+        flags |= FLAG_INITIAL;
+    }
+    let mut w = Writer::with_capacity(1 + CONNECTION_ID_LEN + 9 + d.payload.len());
+    w.u8(flags);
+    w.bytes(&d.cid.to_bytes());
+    w.quic_varint(d.packet_number)?;
+    let mut out = BytesMut::from(w.freeze().as_ref());
+    out.put_slice(&d.payload);
+    Ok(out.freeze())
+}
+
+/// Decodes a datagram (UDP gives whole datagrams, so no partial handling —
+/// a short buffer is a protocol error, not `Incomplete`).
+pub fn decode(buf: &[u8]) -> Result<Datagram> {
+    let mut r = Reader::new(buf);
+    let flags = r
+        .u8()
+        .map_err(|_| CodecError::Protocol("empty datagram".into()))?;
+    if flags & FLAG_FIXED == 0 {
+        return Err(CodecError::Protocol("fixed bit not set".into()));
+    }
+    let packet_type = if flags & FLAG_INITIAL != 0 {
+        PacketType::Initial
+    } else {
+        PacketType::OneRtt
+    };
+    let cid = ConnectionId::from_bytes(
+        r.bytes(CONNECTION_ID_LEN)
+            .map_err(|_| CodecError::Protocol("truncated connection id".into()))?,
+    )?;
+    let packet_number = r
+        .quic_varint()
+        .map_err(|_| CodecError::Protocol("truncated packet number".into()))?;
+    let payload = Bytes::copy_from_slice(r.rest());
+    Ok(Datagram {
+        packet_type,
+        cid,
+        packet_number,
+        payload,
+    })
+}
+
+/// Extracts just the connection ID without decoding the whole packet — the
+/// hot path of the user-space router (§4.1: "Decisions for user-space
+/// routing of packets are made based on information present in each UDP
+/// packet, such as connection ID").
+pub fn peek_cid(buf: &[u8]) -> Result<ConnectionId> {
+    if buf.len() < 1 + CONNECTION_ID_LEN {
+        return Err(CodecError::Protocol("datagram too short for CID".into()));
+    }
+    if buf[0] & FLAG_FIXED == 0 {
+        return Err(CodecError::Protocol("fixed bit not set".into()));
+    }
+    ConnectionId::from_bytes(&buf[1..1 + CONNECTION_ID_LEN])
+}
+
+/// True when the datagram opens a new flow (no routing decision needed —
+/// new flows always belong to the current process).
+pub fn peek_is_initial(buf: &[u8]) -> Result<bool> {
+    if buf.is_empty() {
+        return Err(CodecError::Protocol("empty datagram".into()));
+    }
+    if buf[0] & FLAG_FIXED == 0 {
+        return Err(CodecError::Protocol("fixed bit not set".into()));
+    }
+    Ok(buf[0] & FLAG_INITIAL != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cid_round_trip() {
+        let cid = ConnectionId::new(42, 0xdead_beef_cafe_f00d);
+        let back = ConnectionId::from_bytes(&cid.to_bytes()).unwrap();
+        assert_eq!(back, cid);
+        assert_eq!(back.generation, 42);
+    }
+
+    #[test]
+    fn cid_short_buffer() {
+        assert!(ConnectionId::from_bytes(&[0u8; 11])
+            .unwrap_err()
+            .is_incomplete());
+    }
+
+    #[test]
+    fn datagram_round_trip_initial() {
+        let d = Datagram::initial(ConnectionId::new(1, 99), &b"client hello"[..]);
+        let wire = encode(&d).unwrap();
+        let back = decode(&wire).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.packet_type, PacketType::Initial);
+        assert_eq!(back.packet_number, 0);
+    }
+
+    #[test]
+    fn datagram_round_trip_one_rtt() {
+        let d = Datagram::one_rtt(ConnectionId::new(7, 3), 123_456, &b"stream data"[..]);
+        let wire = encode(&d).unwrap();
+        let back = decode(&wire).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.packet_type, PacketType::OneRtt);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let d = Datagram::one_rtt(ConnectionId::new(0, 0), 0, Bytes::new());
+        let back = decode(&encode(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn peek_cid_matches_full_decode() {
+        let d = Datagram::one_rtt(ConnectionId::new(5, 0x1122), 9, &b"xx"[..]);
+        let wire = encode(&d).unwrap();
+        assert_eq!(peek_cid(&wire).unwrap(), d.cid);
+        assert!(!peek_is_initial(&wire).unwrap());
+
+        let d = Datagram::initial(ConnectionId::new(5, 0x1122), &b""[..]);
+        let wire = encode(&d).unwrap();
+        assert!(peek_is_initial(&wire).unwrap());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0x00, 1, 2, 3]).is_err()); // fixed bit missing
+        assert!(peek_cid(&[0x40]).is_err()); // too short
+        assert!(peek_is_initial(&[]).is_err());
+        // fixed bit set but truncated cid
+        assert!(decode(&[0x40, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn generation_routing_discriminator() {
+        // The property the router relies on: CIDs minted by different
+        // generations are distinguishable from the wire bytes alone.
+        let old = Datagram::one_rtt(ConnectionId::new(3, 1), 1, &b"old flow"[..]);
+        let new = Datagram::one_rtt(ConnectionId::new(4, 1), 1, &b"new flow"[..]);
+        assert_eq!(peek_cid(&encode(&old).unwrap()).unwrap().generation, 3);
+        assert_eq!(peek_cid(&encode(&new).unwrap()).unwrap().generation, 4);
+    }
+
+    #[test]
+    fn large_packet_number_varint() {
+        let d = Datagram::one_rtt(ConnectionId::new(1, 1), (1 << 62) - 1, &b""[..]);
+        let back = decode(&encode(&d).unwrap()).unwrap();
+        assert_eq!(back.packet_number, (1 << 62) - 1);
+    }
+}

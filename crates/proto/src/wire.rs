@@ -1,0 +1,470 @@
+//! Shared binary wire primitives.
+//!
+//! The binary codecs in this crate ([`crate::h2`], [`crate::mqtt`],
+//! [`crate::quic`], [`crate::dcr`]) share a handful of encoding shapes:
+//! big-endian fixed integers, MQTT-style variable-length integers,
+//! QUIC-style varints, and 16-bit length-prefixed strings. Centralising them
+//! keeps each codec focused on its grammar and gives us one well-tested
+//! implementation of the fiddly parts.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{CodecError, Result};
+
+/// A cursor over an immutable byte slice with protocol-friendly accessors.
+///
+/// Unlike [`bytes::Buf`] alone, every read returns a [`CodecError`] instead
+/// of panicking when the buffer runs dry, which lets incremental decoders
+/// translate "ran out of bytes" into a retryable condition.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn ensure(&self, n: usize) -> Result<()> {
+        if self.remaining() < n {
+            Err(CodecError::needs(n - self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        self.ensure(1)?;
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16> {
+        self.ensure(2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        self.ensure(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        self.ensure(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.ensure(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads the rest of the buffer.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Reads an MQTT variable-length integer (1–4 bytes, 7 bits per byte,
+    /// continuation bit in the MSB). Maximum value is 268 435 455.
+    pub fn mqtt_varint(&mut self) -> Result<u32> {
+        let mut multiplier: u32 = 1;
+        let mut value: u32 = 0;
+        for i in 0..4 {
+            let byte = self.u8()?;
+            value += u32::from(byte & 0x7f) * multiplier;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            if i == 3 {
+                return Err(CodecError::Protocol(
+                    "MQTT varint longer than 4 bytes".into(),
+                ));
+            }
+            multiplier *= 128;
+        }
+        unreachable!("loop returns or errors within 4 iterations")
+    }
+
+    /// Reads a QUIC-style variable-length integer (RFC 9000 §16): the two
+    /// high bits of the first byte select a 1/2/4/8-byte encoding.
+    pub fn quic_varint(&mut self) -> Result<u64> {
+        self.ensure(1)?;
+        let first = self.buf[self.pos];
+        let len = 1usize << (first >> 6);
+        self.ensure(len)?;
+        let mut value = u64::from(first & 0x3f);
+        self.pos += 1;
+        for _ in 1..len {
+            value = (value << 8) | u64::from(self.buf[self.pos]);
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Reads a 16-bit length-prefixed UTF-8 string (the MQTT string shape).
+    pub fn string16(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CodecError::InvalidEncoding("length-prefixed string"))
+    }
+
+    /// Reads a 16-bit length-prefixed opaque byte string.
+    pub fn bytes16(&mut self) -> Result<&'a [u8]> {
+        let len = self.u16()? as usize;
+        self.bytes(len)
+    }
+}
+
+/// Growable write buffer with the mirror-image encoders of [`Reader`].
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Creates a writer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Writes a big-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16(v);
+        self
+    }
+
+    /// Writes a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Writes a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Writes raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Writes an MQTT variable-length integer. Returns an error if the value
+    /// exceeds the 4-byte maximum (268 435 455).
+    pub fn mqtt_varint(&mut self, mut v: u32) -> Result<&mut Self> {
+        if v > 268_435_455 {
+            return Err(CodecError::InvalidValue {
+                what: "MQTT varint",
+                value: u64::from(v),
+            });
+        }
+        loop {
+            let mut byte = (v % 128) as u8;
+            v /= 128;
+            if v > 0 {
+                byte |= 0x80;
+            }
+            self.buf.put_u8(byte);
+            if v == 0 {
+                return Ok(self);
+            }
+        }
+    }
+
+    /// Writes a QUIC-style variable-length integer, choosing the shortest
+    /// legal encoding. Values ≥ 2^62 are unrepresentable.
+    pub fn quic_varint(&mut self, v: u64) -> Result<&mut Self> {
+        if v < 1 << 6 {
+            self.buf.put_u8(v as u8);
+        } else if v < 1 << 14 {
+            self.buf.put_u16(0x4000 | v as u16);
+        } else if v < 1 << 30 {
+            self.buf.put_u32(0x8000_0000 | v as u32);
+        } else if v < 1 << 62 {
+            self.buf.put_u64(0xc000_0000_0000_0000 | v);
+        } else {
+            return Err(CodecError::InvalidValue {
+                what: "QUIC varint",
+                value: v,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Writes a 16-bit length-prefixed UTF-8 string.
+    pub fn string16(&mut self, s: &str) -> Result<&mut Self> {
+        self.bytes16(s.as_bytes())
+    }
+
+    /// Writes a 16-bit length-prefixed opaque byte string.
+    pub fn bytes16(&mut self, b: &[u8]) -> Result<&mut Self> {
+        if b.len() > usize::from(u16::MAX) {
+            return Err(CodecError::TooLarge {
+                what: "length-prefixed string",
+                len: b.len(),
+                max: usize::from(u16::MAX),
+            });
+        }
+        self.buf.put_u16(b.len() as u16);
+        self.buf.put_slice(b);
+        Ok(self)
+    }
+}
+
+/// Peeks how many bytes an MQTT varint occupies at the head of `buf`, or
+/// `None` if the buffer is too short to tell.
+pub fn mqtt_varint_len(buf: &[u8]) -> Option<usize> {
+    for (i, b) in buf.iter().take(4).enumerate() {
+        if b & 0x80 == 0 {
+            return Some(i + 1);
+        }
+    }
+    if buf.len() >= 4 {
+        // 4 continuation bits in a row — invalid; report as 4 so the caller
+        // attempts a decode and surfaces the protocol error.
+        Some(4)
+    } else {
+        None
+    }
+}
+
+/// Consumes `amount` bytes from the front of a [`BytesMut`], asserting the
+/// caller accounted correctly. Thin helper shared by the incremental
+/// decoders.
+pub fn advance(buf: &mut BytesMut, amount: usize) {
+    debug_assert!(amount <= buf.len());
+    buf.advance(amount);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xab)
+            .u16(0x1234)
+            .u32(0xdead_beef)
+            .u64(0x0102_0304_0506_0708);
+        w.bytes(b"tail");
+        let b = w.freeze();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.rest(), b"tail");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_reports_needed_bytes() {
+        let mut r = Reader::new(&[0x01]);
+        match r.u32() {
+            Err(CodecError::Incomplete { needed: Some(n) }) => assert_eq!(n, 3),
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+        // Failed read must not consume.
+        assert_eq!(r.u8().unwrap(), 0x01);
+    }
+
+    #[test]
+    fn mqtt_varint_round_trip_boundaries() {
+        for v in [
+            0u32,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            2_097_151,
+            2_097_152,
+            268_435_455,
+        ] {
+            let mut w = Writer::new();
+            w.mqtt_varint(v).unwrap();
+            let b = w.freeze();
+            let mut r = Reader::new(&b);
+            assert_eq!(r.mqtt_varint().unwrap(), v, "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn mqtt_varint_rejects_overflow_value() {
+        let mut w = Writer::new();
+        assert!(matches!(
+            w.mqtt_varint(268_435_456),
+            Err(CodecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn mqtt_varint_rejects_five_byte_encoding() {
+        let mut r = Reader::new(&[0x80, 0x80, 0x80, 0x80, 0x01]);
+        assert!(matches!(r.mqtt_varint(), Err(CodecError::Protocol(_))));
+    }
+
+    #[test]
+    fn mqtt_varint_len_peek() {
+        assert_eq!(mqtt_varint_len(&[0x05]), Some(1));
+        assert_eq!(mqtt_varint_len(&[0x80, 0x01]), Some(2));
+        assert_eq!(mqtt_varint_len(&[0x80]), None);
+        assert_eq!(mqtt_varint_len(&[]), None);
+        assert_eq!(mqtt_varint_len(&[0x80, 0x80, 0x80, 0x80]), Some(4));
+    }
+
+    #[test]
+    fn quic_varint_round_trip_boundaries() {
+        for v in [
+            0u64,
+            63,
+            64,
+            16_383,
+            16_384,
+            1_073_741_823,
+            1_073_741_824,
+            (1 << 62) - 1,
+        ] {
+            let mut w = Writer::new();
+            w.quic_varint(v).unwrap();
+            let b = w.freeze();
+            let mut r = Reader::new(&b);
+            assert_eq!(r.quic_varint().unwrap(), v, "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn quic_varint_shortest_encoding_lengths() {
+        let cases = [
+            (0u64, 1usize),
+            (63, 1),
+            (64, 2),
+            (16_383, 2),
+            (16_384, 4),
+            ((1 << 30) - 1, 4),
+            (1 << 30, 8),
+        ];
+        for (v, len) in cases {
+            let mut w = Writer::new();
+            w.quic_varint(v).unwrap();
+            assert_eq!(w.len(), len, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quic_varint_rejects_2_62() {
+        let mut w = Writer::new();
+        assert!(matches!(
+            w.quic_varint(1 << 62),
+            Err(CodecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn string16_round_trip_and_limits() {
+        let mut w = Writer::new();
+        w.string16("héllo").unwrap();
+        let b = w.freeze();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.string16().unwrap(), "héllo");
+
+        let big = vec![b'a'; usize::from(u16::MAX) + 1];
+        let mut w = Writer::new();
+        assert!(matches!(w.bytes16(&big), Err(CodecError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn string16_rejects_invalid_utf8() {
+        let mut w = Writer::new();
+        w.bytes16(&[0xff, 0xfe]).unwrap();
+        let b = w.freeze();
+        let mut r = Reader::new(&b);
+        assert!(matches!(r.string16(), Err(CodecError::InvalidEncoding(_))));
+    }
+
+    #[test]
+    fn bytes16_round_trip() {
+        let mut w = Writer::new();
+        w.bytes16(&[1, 2, 3]).unwrap();
+        let b = w.freeze();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.bytes16().unwrap(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # zdr-proxy — a Proxygen-like L7 load balancer
+//!
+//! "Proxygen is the heart of traffic management" (§2.1): it terminates
+//! client connections, reverse-proxies HTTP to the app-server tier, relays
+//! MQTT tunnels to the pub/sub brokers, answers the L4LB's health checks,
+//! and — for this paper — orchestrates every Zero Downtime Release
+//! mechanism:
+//!
+//! * [`takeover`] — Socket Takeover integration: a [`takeover::ProxyInstance`]
+//!   hands its listening sockets to a successor process/instance via
+//!   `zdr-net`, keeps draining its accepted connections, and the successor
+//!   answers health checks from its first instant (Fig. 5).
+//! * [`reverse`] — the streaming HTTP reverse proxy with the **Partial Post
+//!   Replay client side**: a gated 379 from a restarting app server is never
+//!   forwarded; the proxy rebuilds the original request and replays it to
+//!   another healthy server, up to 10 attempts (§4.3, §4.4).
+//! * [`mqtt_relay`] — Edge/Origin MQTT relaying with **Downstream
+//!   Connection Reuse**: a restarting Origin solicits the Edge to re-home
+//!   each tunnel through another Origin to the same broker (§4.2).
+//! * [`mqtt_relay_trunk`] — the same DCR workflow over the multiplexed
+//!   HTTP/2-like trunk, where **GOAWAY is the solicitation** (§4.2's
+//!   "in-built graceful shutdown").
+//! * [`quic_service`] — a QUIC-like UDP service whose SO_REUSEPORT socket
+//!   group crosses the takeover with connection-ID user-space routing, so
+//!   draining flows keep being served by the old instance (§4.1's UDP
+//!   mechanism end to end).
+//! * [`trunk`] — the long-lived Edge↔Origin trunk: streams multiplexed
+//!   over one TCP connection with GOAWAY graceful drain (§2.2, §4.1).
+//! * [`upstream`] — healthy-upstream selection shared by the above.
+//! * [`stats`] — per-instance disruption counters (the §6 monitoring
+//!   signals).
+
+pub mod mqtt_relay;
+pub mod mqtt_relay_trunk;
+pub mod quic_service;
+pub mod reverse;
+pub mod stats;
+pub mod takeover;
+pub mod trunk;
+pub mod upstream;
+
+pub use reverse::{spawn_reverse_proxy, ReverseProxyConfig, ReverseProxyHandle};
+pub use stats::ProxyStats;
+pub use upstream::UpstreamPool;

@@ -1,0 +1,721 @@
+//! MQTT relaying through Edge and Origin, with Downstream Connection Reuse.
+//!
+//! Topology (§2.2): `client ↔ Edge ↔ Origin ↔ broker`. The Edge terminates
+//! the user's TCP; Edge↔Origin tunnels ride the long-lived trunk; the
+//! Origin merely relays bytes between the tunnel and the user's broker —
+//! *"as long as the two are connected, it does not matter which Proxygen
+//! relayed the packets"* (§4.2).
+//!
+//! Trunk framing: we carry each tunnel on its own TCP connection with
+//! `[kind:u8][len:u32][payload]` frames — `kind 0` is opaque MQTT bytes,
+//! `kind 1` is a DCR control message. (The production system multiplexes
+//! tunnels over HTTP/2; per-tunnel framed TCP preserves the same control
+//! surface — in-band DCR signaling plus graceful teardown — without the
+//! mux. DESIGN.md records the substitution.)
+//!
+//! The DCR workflow (Fig. 6) as implemented:
+//!
+//! 1. Origin enters draining → sends `reconnect_solicitation` on every
+//!    tunnel (step A), then **keeps relaying**.
+//! 2. Edge picks a *different* healthy Origin, opens a new tunnel, and
+//!    sends `re_connect(user-id)` (step B1).
+//! 3. The new Origin locates the user's broker by consistent-hashing the
+//!    user-id and forwards the `re_connect` (step B2).
+//! 4. The broker matches its session context and answers `connect_ack`
+//!    (steps C1–C2); the new Origin relays the verdict to the Edge.
+//! 5. On ack, the Edge atomically swaps the tunnel; the end-user
+//!    connection is never touched. On refuse, the Edge drops the client,
+//!    which reconnects organically.
+
+use std::net::SocketAddr;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+
+use zdr_proto::dcr::{self, DcrMessage, UserId};
+use zdr_proto::mqtt::{Packet, StreamDecoder};
+
+use crate::stats::ProxyStats;
+
+/// Tunnel frame kinds.
+const KIND_DATA: u8 = 0;
+const KIND_DCR: u8 = 1;
+
+/// Maximum tunnel frame payload.
+const MAX_FRAME: usize = 1 << 20;
+
+async fn write_frame<W: tokio::io::AsyncWrite + Unpin>(
+    w: &mut W,
+    kind: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut head = [0u8; 5];
+    head[0] = kind;
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&head).await?;
+    w.write_all(payload).await
+}
+
+async fn read_frame<R: tokio::io::AsyncRead + Unpin>(
+    r: &mut R,
+) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut head = [0u8; 5];
+    match r.read_exact(&mut head).await {
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "tunnel frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).await?;
+    Ok(Some((head[0], payload)))
+}
+
+/// Locates the broker for a user by consistent hashing (§4.2: "Consistent
+/// hashing is used to keep these mappings consistent at scale").
+pub fn broker_for_user(user: UserId, brokers: &[SocketAddr]) -> Option<SocketAddr> {
+    if brokers.is_empty() {
+        return None;
+    }
+    // Rendezvous (highest-random-weight) hashing: stable under broker-set
+    // changes, deterministic across relays.
+    brokers
+        .iter()
+        .max_by_key(|b| zdr_l4lb::hash::fnv1a(format!("{}|{}", user.0, b).as_bytes()))
+        .copied()
+}
+
+// ---------------------------------------------------------------------
+// Origin relay
+// ---------------------------------------------------------------------
+
+/// Handle to a running Origin relay.
+#[derive(Debug)]
+pub struct OriginHandle {
+    /// Trunk-side address the Edge connects to.
+    pub addr: SocketAddr,
+    /// Instance id carried in solicitations.
+    pub origin_id: u32,
+    /// Live counters.
+    pub stats: Arc<ProxyStats>,
+    drain_tx: watch::Sender<bool>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl OriginHandle {
+    /// Begins the DCR restart flow: solicit every tunnel to re-home, stop
+    /// accepting new tunnels, keep relaying existing ones.
+    pub fn drain(&self) {
+        self.accept_task.abort();
+        let _ = self.drain_tx.send(true);
+    }
+}
+
+impl Drop for OriginHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Spawns an Origin relay fronting `brokers`.
+pub async fn spawn_origin(
+    addr: SocketAddr,
+    origin_id: u32,
+    brokers: Vec<SocketAddr>,
+    drain_deadline_ms: u32,
+) -> std::io::Result<OriginHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ProxyStats::default());
+    let (drain_tx, drain_rx) = watch::channel(false);
+    let brokers = Arc::new(brokers);
+
+    let loop_stats = Arc::clone(&stats);
+    let accept_task = tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            let stats = Arc::clone(&loop_stats);
+            let brokers = Arc::clone(&brokers);
+            let drain = drain_rx.clone();
+            tokio::spawn(async move {
+                let _ = origin_tunnel(stream, origin_id, &brokers, stats, drain, drain_deadline_ms)
+                    .await;
+            });
+        }
+    });
+
+    Ok(OriginHandle {
+        addr,
+        origin_id,
+        stats,
+        drain_tx,
+        accept_task,
+    })
+}
+
+/// Handles one Edge↔Origin tunnel on the Origin side.
+async fn origin_tunnel(
+    mut edge: TcpStream,
+    origin_id: u32,
+    brokers: &[SocketAddr],
+    stats: Arc<ProxyStats>,
+    mut drain: watch::Receiver<bool>,
+    drain_deadline_ms: u32,
+) -> std::io::Result<()> {
+    // First frame decides the mode: data (fresh tunnel, starts with the
+    // client's CONNECT) or DCR re_connect (re-homing an existing session).
+    let Some((kind, payload)) = read_frame(&mut edge).await? else {
+        return Ok(());
+    };
+
+    let mut broker_conn: TcpStream;
+    let mut sniff = StreamDecoder::new();
+
+    match kind {
+        KIND_DCR => {
+            let Ok((DcrMessage::ReConnect { user_id }, _)) = dcr::decode(&payload) else {
+                return Ok(());
+            };
+            let Some(broker_addr) = broker_for_user(user_id, brokers) else {
+                let refuse = dcr::encode(&DcrMessage::ConnectRefuse { user_id });
+                return write_frame(&mut edge, KIND_DCR, &refuse).await;
+            };
+            // Forward the re_connect to the broker (its 0x02 path).
+            broker_conn = TcpStream::connect(broker_addr).await?;
+            broker_conn
+                .write_all(&dcr::encode(&DcrMessage::ReConnect { user_id }))
+                .await?;
+            let mut reply = [0u8; dcr::MESSAGE_LEN];
+            broker_conn.read_exact(&mut reply).await?;
+            // Relay the verdict to the Edge.
+            write_frame(&mut edge, KIND_DCR, &reply).await?;
+            match dcr::decode(&reply) {
+                Ok((DcrMessage::ConnectAck { .. }, _)) => {
+                    ProxyStats::bump(&stats.mqtt_tunnels);
+                }
+                _ => return Ok(()), // refused; tunnel dies here
+            }
+        }
+        KIND_DATA => {
+            // Sniff the user's CONNECT to locate the broker.
+            sniff.extend(&payload);
+            let user = match sniff.next_packet() {
+                Ok(Some(Packet::Connect { ref client_id, .. })) => {
+                    UserId::from_client_id(client_id)
+                }
+                _ => None,
+            };
+            let Some(user) = user else {
+                return Ok(()); // first bytes must be a parseable CONNECT
+            };
+            let Some(broker_addr) = broker_for_user(user, brokers) else {
+                return Ok(());
+            };
+            broker_conn = TcpStream::connect(broker_addr).await?;
+            ProxyStats::bump(&stats.mqtt_tunnels);
+            // Forward the CONNECT bytes.
+            broker_conn.write_all(&payload).await?;
+        }
+        _ => return Ok(()),
+    }
+
+    // Steady-state relay loop.
+    let mut solicited = false;
+    let mut broker_buf = [0u8; 16 * 1024];
+    loop {
+        tokio::select! {
+            changed = drain.changed(), if !solicited => {
+                if changed.is_ok() && *drain.borrow() {
+                    solicited = true;
+                    ProxyStats::bump(&stats.dcr_rehomed);
+                    let frame = dcr::encode(&DcrMessage::ReconnectSolicitation {
+                        origin_id,
+                        draining_deadline_ms: drain_deadline_ms,
+                    });
+                    if write_frame(&mut edge, KIND_DCR, &frame).await.is_err() {
+                        return Ok(());
+                    }
+                }
+            }
+            frame = read_frame(&mut edge) => {
+                match frame? {
+                    None => return Ok(()), // Edge closed (re-homed or client gone)
+                    Some((KIND_DATA, payload)) => {
+                        if broker_conn.write_all(&payload).await.is_err() {
+                            return Ok(());
+                        }
+                    }
+                    Some(_) => return Ok(()), // unexpected control frame
+                }
+            }
+            read = broker_conn.read(&mut broker_buf) => {
+                match read {
+                    Ok(0) | Err(_) => return Ok(()),
+                    Ok(n) => {
+                        if write_frame(&mut edge, KIND_DATA, &broker_buf[..n]).await.is_err() {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge relay
+// ---------------------------------------------------------------------
+
+/// Edge-side counters beyond [`ProxyStats`].
+#[derive(Debug, Default)]
+pub struct EdgeDcrStats {
+    /// Tunnels successfully re-homed (user never noticed).
+    pub rehomed_ok: AtomicU64,
+    /// Re-homes refused by the broker (client dropped to reconnect).
+    pub rehome_refused: AtomicU64,
+    /// Tunnels dropped for other reasons.
+    pub dropped: AtomicU64,
+}
+
+/// Handle to a running Edge relay.
+#[derive(Debug)]
+pub struct EdgeHandle {
+    /// Client-facing address.
+    pub addr: SocketAddr,
+    /// General proxy counters.
+    pub stats: Arc<ProxyStats>,
+    /// DCR-specific counters.
+    pub dcr_stats: Arc<EdgeDcrStats>,
+    origins: Arc<parking_lot::RwLock<Vec<SocketAddr>>>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl EdgeHandle {
+    /// Updates the set of Origin relays (e.g. after an Origin finishes
+    /// restarting on a new port in tests).
+    pub fn set_origins(&self, origins: Vec<SocketAddr>) {
+        *self.origins.write() = origins;
+    }
+}
+
+impl Drop for EdgeHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Spawns an Edge relay fronting `origins`.
+pub async fn spawn_edge(addr: SocketAddr, origins: Vec<SocketAddr>) -> std::io::Result<EdgeHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ProxyStats::default());
+    let dcr_stats = Arc::new(EdgeDcrStats::default());
+    let origins = Arc::new(parking_lot::RwLock::new(origins));
+
+    let loop_stats = Arc::clone(&stats);
+    let loop_dcr = Arc::clone(&dcr_stats);
+    let loop_origins = Arc::clone(&origins);
+    let accept_task = tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            ProxyStats::bump(&loop_stats.connections_accepted);
+            let stats = Arc::clone(&loop_stats);
+            let dcr_stats = Arc::clone(&loop_dcr);
+            let origins = Arc::clone(&loop_origins);
+            tokio::spawn(async move {
+                let _ = edge_tunnel(stream, origins, stats, dcr_stats).await;
+            });
+        }
+    });
+
+    Ok(EdgeHandle {
+        addr,
+        stats,
+        dcr_stats,
+        origins,
+        accept_task,
+    })
+}
+
+fn candidate_origins(
+    origins: &parking_lot::RwLock<Vec<SocketAddr>>,
+    exclude: Option<SocketAddr>,
+) -> Vec<SocketAddr> {
+    origins
+        .read()
+        .iter()
+        .copied()
+        .filter(|o| Some(*o) != exclude)
+        .collect()
+}
+
+/// Connects to the first reachable Origin (a draining Origin no longer
+/// accepts new tunnels, so connect failures are expected mid-release).
+async fn connect_origin(
+    origins: &parking_lot::RwLock<Vec<SocketAddr>>,
+    exclude: Option<SocketAddr>,
+) -> Option<(TcpStream, SocketAddr)> {
+    for addr in candidate_origins(origins, exclude) {
+        if let Ok(conn) = TcpStream::connect(addr).await {
+            return Some((conn, addr));
+        }
+    }
+    None
+}
+
+/// Handles one client connection on the Edge side.
+async fn edge_tunnel(
+    mut client: TcpStream,
+    origins: Arc<parking_lot::RwLock<Vec<SocketAddr>>>,
+    stats: Arc<ProxyStats>,
+    dcr_stats: Arc<EdgeDcrStats>,
+) -> std::io::Result<()> {
+    let Some((mut origin, mut current_origin)) = connect_origin(&origins, None).await else {
+        return Ok(());
+    };
+    ProxyStats::bump(&stats.mqtt_tunnels);
+
+    // Sniff the user id from the client's CONNECT as bytes flow.
+    let mut sniffer = StreamDecoder::new();
+    let mut user: Option<UserId> = None;
+
+    let mut client_buf = [0u8; 16 * 1024];
+    loop {
+        tokio::select! {
+            read = client.read(&mut client_buf) => {
+                match read {
+                    Ok(0) | Err(_) => {
+                        ProxyStats::bump(&stats.mqtt_dropped);
+                        return Ok(());
+                    }
+                    Ok(n) => {
+                        if user.is_none() {
+                            sniffer.extend(&client_buf[..n]);
+                            if let Ok(Some(Packet::Connect { ref client_id, .. })) =
+                                sniffer.next_packet()
+                            {
+                                user = UserId::from_client_id(client_id);
+                            }
+                        }
+                        if write_frame(&mut origin, KIND_DATA, &client_buf[..n]).await.is_err() {
+                            ProxyStats::bump(&stats.mqtt_dropped);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            frame = read_frame(&mut origin) => {
+                match frame? {
+                    None => {
+                        // Origin vanished without soliciting (crash, not a
+                        // graceful release): the client must reconnect.
+                        ProxyStats::bump(&stats.mqtt_dropped);
+                        return Ok(());
+                    }
+                    Some((KIND_DATA, payload)) => {
+                        if client.write_all(&payload).await.is_err() {
+                            return Ok(());
+                        }
+                    }
+                    Some((KIND_DCR, payload)) => {
+                        if let Ok((DcrMessage::ReconnectSolicitation { .. }, _)) =
+                            dcr::decode(&payload)
+                        {
+                            // Fig. 6 steps B1→C2: re-home through another
+                            // Origin, keeping the old tunnel live meanwhile.
+                            match rehome(&origins, current_origin, user).await {
+                                Some((new_conn, new_addr)) => {
+                                    origin = new_conn;
+                                    current_origin = new_addr;
+                                    ProxyStats::bump(&dcr_stats.rehomed_ok);
+                                    ProxyStats::bump(&stats.dcr_rehomed);
+                                }
+                                None => {
+                                    // Refused or no alternate Origin: drop;
+                                    // the client reconnects the normal way.
+                                    ProxyStats::bump(&dcr_stats.rehome_refused);
+                                    ProxyStats::bump(&stats.mqtt_dropped);
+                                    return Ok(());
+                                }
+                            }
+                        }
+                    }
+                    Some(_) => return Ok(()),
+                }
+            }
+        }
+    }
+}
+
+/// Opens a tunnel to an alternate Origin and re-attaches `user`'s session.
+async fn rehome(
+    origins: &parking_lot::RwLock<Vec<SocketAddr>>,
+    exclude: SocketAddr,
+    user: Option<UserId>,
+) -> Option<(TcpStream, SocketAddr)> {
+    let user = user?;
+    let (mut conn, new_addr) = connect_origin(origins, Some(exclude)).await?;
+    let msg = dcr::encode(&DcrMessage::ReConnect { user_id: user });
+    write_frame(&mut conn, KIND_DCR, &msg).await.ok()?;
+    let (kind, payload) = read_frame(&mut conn).await.ok()??;
+    if kind != KIND_DCR {
+        return None;
+    }
+    match dcr::decode(&payload) {
+        Ok((DcrMessage::ConnectAck { .. }, _)) => Some((conn, new_addr)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use zdr_proto::mqtt::{self, ConnectReturnCode, QoS};
+
+    struct Client {
+        stream: TcpStream,
+        decoder: StreamDecoder,
+    }
+
+    impl Client {
+        async fn connect(edge: SocketAddr, user: UserId) -> Client {
+            let mut stream = TcpStream::connect(edge).await.unwrap();
+            let pkt = Packet::Connect {
+                client_id: zdr_broker::server::client_id_for(user),
+                keep_alive: 60,
+                clean_session: true,
+            };
+            stream
+                .write_all(&mqtt::encode(&pkt).unwrap())
+                .await
+                .unwrap();
+            let mut c = Client {
+                stream,
+                decoder: StreamDecoder::new(),
+            };
+            match c.recv().await {
+                Packet::ConnAck {
+                    code: ConnectReturnCode::Accepted,
+                    ..
+                } => c,
+                other => panic!("expected CONNACK, got {other:?}"),
+            }
+        }
+
+        async fn send(&mut self, pkt: &Packet) {
+            self.stream
+                .write_all(&mqtt::encode(pkt).unwrap())
+                .await
+                .unwrap();
+        }
+
+        async fn recv(&mut self) -> Packet {
+            let mut buf = [0u8; 8192];
+            loop {
+                if let Some(p) = self.decoder.next_packet().unwrap() {
+                    return p;
+                }
+                let n = tokio::time::timeout(Duration::from_secs(10), self.stream.read(&mut buf))
+                    .await
+                    .expect("recv timeout")
+                    .unwrap();
+                assert!(n > 0, "peer closed");
+                self.decoder.extend(&buf[..n]);
+            }
+        }
+    }
+
+    async fn stack() -> (
+        zdr_broker::server::BrokerHandle,
+        OriginHandle,
+        OriginHandle,
+        EdgeHandle,
+    ) {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let o1 = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, vec![broker.addr], 5_000)
+            .await
+            .unwrap();
+        let o2 = spawn_origin("127.0.0.1:0".parse().unwrap(), 2, vec![broker.addr], 5_000)
+            .await
+            .unwrap();
+        let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![o1.addr, o2.addr])
+            .await
+            .unwrap();
+        (broker, o1, o2, edge)
+    }
+
+    #[tokio::test]
+    async fn end_to_end_publish_through_relays() {
+        let (broker, _o1, _o2, edge) = stack().await;
+
+        let mut sub = Client::connect(edge.addr, UserId(1)).await;
+        sub.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![("notif/user-1".into(), QoS::AtMostOnce)],
+        })
+        .await;
+        match sub.recv().await {
+            Packet::SubAck { .. } => {}
+            other => panic!("{other:?}"),
+        }
+
+        let mut publisher = Client::connect(edge.addr, UserId(2)).await;
+        publisher
+            .send(&Packet::Publish {
+                topic: "notif/user-1".into(),
+                packet_id: None,
+                payload: bytes::Bytes::from_static(b"via-tunnel"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+            })
+            .await;
+
+        match sub.recv().await {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"via-tunnel"),
+            other => panic!("{other:?}"),
+        }
+        assert!(broker.core.stats().sessions >= 2);
+    }
+
+    #[tokio::test]
+    async fn ping_through_tunnel() {
+        let (_broker, _o1, _o2, edge) = stack().await;
+        let mut c = Client::connect(edge.addr, UserId(5)).await;
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+    }
+
+    #[tokio::test]
+    async fn origin_drain_rehomes_tunnel_without_client_disruption() {
+        let (broker, o1, o2, edge) = stack().await;
+
+        // Force the client's tunnel through o1 only.
+        edge.set_origins(vec![o1.addr, o2.addr]);
+        let mut c = Client::connect(edge.addr, UserId(7)).await;
+        c.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![("t/7".into(), QoS::AtMostOnce)],
+        })
+        .await;
+        c.recv().await; // SubAck
+
+        // Origin 1 enters the DCR restart flow.
+        o1.drain();
+        // Give the re-home a moment to complete.
+        tokio::time::sleep(Duration::from_millis(300)).await;
+
+        assert_eq!(
+            ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+            1,
+            "tunnel must re-home via origin 2"
+        );
+
+        // The SAME client connection keeps working: publish and receive.
+        let mut publisher = Client::connect(edge.addr, UserId(8)).await;
+        publisher
+            .send(&Packet::Publish {
+                topic: "t/7".into(),
+                packet_id: None,
+                payload: bytes::Bytes::from_static(b"post-restart"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+            })
+            .await;
+        match c.recv().await {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"post-restart"),
+            other => panic!("{other:?}"),
+        }
+
+        // Broker saw exactly one DCR re-attach and zero new user connects
+        // beyond the original two.
+        let stats = broker.core.stats();
+        assert_eq!(stats.dcr_accepted, 1);
+    }
+
+    #[tokio::test]
+    async fn rehome_refused_when_no_alternate_origin() {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let o1 = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, vec![broker.addr], 1_000)
+            .await
+            .unwrap();
+        // Edge knows only the draining origin.
+        let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![o1.addr])
+            .await
+            .unwrap();
+
+        let mut c = Client::connect(edge.addr, UserId(9)).await;
+        o1.drain();
+        tokio::time::sleep(Duration::from_millis(300)).await;
+
+        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehome_refused), 1);
+        // The client connection is dropped — the organic-reconnect path.
+        let mut buf = [0u8; 16];
+        let n = tokio::time::timeout(Duration::from_secs(5), c.stream.read(&mut buf))
+            .await
+            .expect("expected EOF")
+            .unwrap_or(0);
+        assert_eq!(n, 0);
+    }
+
+    #[tokio::test]
+    async fn broker_refusal_drops_client() {
+        // Session context destroyed before the re-home: broker refuses.
+        let (broker, o1, _o2, edge) = stack().await;
+        let mut _c = Client::connect(edge.addr, UserId(11)).await;
+        // Destroy the context behind the relay's back.
+        broker.core.disconnect(UserId(11));
+        o1.drain();
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehome_refused), 1);
+        assert_eq!(broker.core.stats().dcr_refused, 1);
+    }
+
+    #[test]
+    fn broker_selection_is_consistent_and_spread() {
+        let brokers: Vec<SocketAddr> = (0..4)
+            .map(|i| format!("10.0.0.{}:1883", i + 1).parse().unwrap())
+            .collect();
+        // Deterministic.
+        for u in 0..100 {
+            assert_eq!(
+                broker_for_user(UserId(u), &brokers),
+                broker_for_user(UserId(u), &brokers)
+            );
+        }
+        // Spread across brokers.
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..100 {
+            seen.insert(broker_for_user(UserId(u), &brokers).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        // Stable under unrelated broker removal (consistent hashing).
+        let removed = &brokers[..3];
+        let mut moved = 0;
+        for u in 0..1000 {
+            let before = broker_for_user(UserId(u), &brokers).unwrap();
+            let after = broker_for_user(UserId(u), removed).unwrap();
+            if before != brokers[3] && before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(
+            moved, 0,
+            "rendezvous hashing must not move unaffected users"
+        );
+        assert!(broker_for_user(UserId(1), &[]).is_none());
+    }
+}

@@ -1,0 +1,647 @@
+//! MQTT relaying over the multiplexed HTTP/2-like trunk — the paper's
+//! actual Edge↔Origin architecture.
+//!
+//! §2.2: MQTT connections are tunneled Edge→Origin over long-lived HTTP/2
+//! connections; each tunnel is one stream. §4.2's closing observation is
+//! implemented literally here: *"DCR is possible due to the design choice
+//! of tunneling MQTT over HTTP/2, that has in-built graceful shutdown
+//! (GOAWAYs)"* — a restarting Origin sends **GOAWAY on the trunk**, which
+//! is the reconnect solicitation: the Edge re-homes every tunnel riding
+//! that trunk through another Origin (DCR `re_connect` per user), while
+//! the draining trunk keeps relaying until each tunnel has moved.
+//!
+//! Stream conventions:
+//!
+//! * fresh tunnel: headers `[("user-id", "<n>")]`, data = raw MQTT bytes;
+//! * re-home: headers `[("dcr", "re_connect"), ("user-id", "<n>")]`; the
+//!   Origin forwards the `re_connect` to the user's broker and relays the
+//!   broker's 9-byte DCR verdict as the stream's first data frame; on
+//!   `connect_ack` the stream becomes the tunnel's new transport.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+use zdr_proto::dcr::{self, DcrMessage, UserId};
+use zdr_proto::mqtt::{Packet, StreamDecoder};
+
+use crate::mqtt_relay::broker_for_user;
+use crate::stats::ProxyStats;
+use crate::trunk::{self, StreamEvent, TrunkHandle, TrunkStream};
+
+// ---------------------------------------------------------------------
+// Origin side
+// ---------------------------------------------------------------------
+
+/// A running trunk-based Origin relay.
+#[derive(Debug)]
+pub struct OriginTrunkHandle {
+    /// Trunk-side address the Edge connects to.
+    pub addr: SocketAddr,
+    /// Live counters.
+    pub stats: Arc<ProxyStats>,
+    trunks: Arc<Mutex<Vec<TrunkHandle>>>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl OriginTrunkHandle {
+    /// Begins the restart flow: GOAWAY on every trunk (the §4.2
+    /// solicitation); existing streams keep relaying while the Edge
+    /// re-homes them.
+    pub async fn drain(&self) {
+        self.accept_task.abort();
+        let trunks: Vec<TrunkHandle> = self.trunks.lock().clone();
+        for t in trunks {
+            let _ = t.goaway().await;
+        }
+    }
+
+    /// Streams still relaying across all trunks.
+    pub fn active_streams(&self) -> usize {
+        self.trunks.lock().iter().map(|t| t.active_streams()).sum()
+    }
+}
+
+impl Drop for OriginTrunkHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Spawns a trunk-based Origin relay fronting `brokers`.
+pub async fn spawn_origin_trunk(
+    addr: SocketAddr,
+    brokers: Vec<SocketAddr>,
+) -> std::io::Result<OriginTrunkHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ProxyStats::default());
+    let trunks: Arc<Mutex<Vec<TrunkHandle>>> = Arc::new(Mutex::new(Vec::new()));
+    let brokers = Arc::new(brokers);
+
+    let loop_stats = Arc::clone(&stats);
+    let loop_trunks = Arc::clone(&trunks);
+    let accept_task = tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            let (handle, mut incoming) = trunk::accept(stream);
+            loop_trunks.lock().push(handle);
+            let stats = Arc::clone(&loop_stats);
+            let brokers = Arc::clone(&brokers);
+            tokio::spawn(async move {
+                while let Some(s) = incoming.recv().await {
+                    let stats = Arc::clone(&stats);
+                    let brokers = Arc::clone(&brokers);
+                    tokio::spawn(async move {
+                        let _ = origin_stream(s, &brokers, stats).await;
+                    });
+                }
+            });
+        }
+    });
+
+    Ok(OriginTrunkHandle {
+        addr,
+        stats,
+        trunks,
+        accept_task,
+    })
+}
+
+fn header<'a>(s: &'a TrunkStream, name: &str) -> Option<&'a str> {
+    s.headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Handles one tunnel stream on the Origin side.
+async fn origin_stream(
+    mut stream: TrunkStream,
+    brokers: &[SocketAddr],
+    stats: Arc<ProxyStats>,
+) -> std::io::Result<()> {
+    let Some(user) = header(&stream, "user-id").and_then(|v| v.parse().ok().map(UserId)) else {
+        let _ = stream.finish().await;
+        return Ok(());
+    };
+    let Some(broker_addr) = broker_for_user(user, brokers) else {
+        let _ = stream.finish().await;
+        return Ok(());
+    };
+
+    let mut broker_conn = TcpStream::connect(broker_addr).await?;
+
+    if header(&stream, "dcr") == Some("re_connect") {
+        // Fig. 6 steps B2/C1–C2 over the trunk.
+        broker_conn
+            .write_all(&dcr::encode(&DcrMessage::ReConnect { user_id: user }))
+            .await?;
+        let mut reply = [0u8; dcr::MESSAGE_LEN];
+        broker_conn.read_exact(&mut reply).await?;
+        let accepted = matches!(dcr::decode(&reply), Ok((DcrMessage::ConnectAck { .. }, _)));
+        let _ = stream.send(reply.to_vec()).await;
+        if !accepted {
+            let _ = stream.finish().await;
+            return Ok(());
+        }
+        ProxyStats::bump(&stats.dcr_rehomed);
+    }
+
+    ProxyStats::bump(&stats.mqtt_tunnels);
+    // Steady-state relay: stream ↔ broker.
+    let mut broker_buf = [0u8; 16 * 1024];
+    loop {
+        tokio::select! {
+            event = stream.recv() => {
+                match event {
+                    Some(StreamEvent::Data(d)) => {
+                        if broker_conn.write_all(&d).await.is_err() {
+                            let _ = stream.finish().await;
+                            return Ok(());
+                        }
+                    }
+                    Some(StreamEvent::End) | Some(StreamEvent::Reset) | None => {
+                        // Edge closed the tunnel (re-homed or client gone).
+                        return Ok(());
+                    }
+                }
+            }
+            read = broker_conn.read(&mut broker_buf) => {
+                match read {
+                    Ok(0) | Err(_) => {
+                        let _ = stream.finish().await;
+                        return Ok(());
+                    }
+                    Ok(n) => {
+                        if stream.send(broker_buf[..n].to_vec()).await.is_err() {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge side
+// ---------------------------------------------------------------------
+
+/// A running trunk-based Edge relay.
+#[derive(Debug)]
+pub struct EdgeTrunkHandle {
+    /// Client-facing address.
+    pub addr: SocketAddr,
+    /// Live counters.
+    pub stats: Arc<ProxyStats>,
+    /// DCR counters (shared shape with the per-tunnel-TCP relay).
+    pub dcr_stats: Arc<crate::mqtt_relay::EdgeDcrStats>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl Drop for EdgeTrunkHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Lazily-connected trunks to each Origin.
+#[derive(Debug)]
+struct TrunkPool {
+    origins: Vec<SocketAddr>,
+    trunks: Mutex<Vec<Option<TrunkHandle>>>,
+}
+
+impl TrunkPool {
+    fn new(origins: Vec<SocketAddr>) -> Self {
+        let n = origins.len();
+        TrunkPool {
+            origins,
+            trunks: Mutex::new(vec![None; n]),
+        }
+    }
+
+    /// A healthy (non-draining) trunk, excluding index `exclude`.
+    /// Establishes connections on demand.
+    async fn pick(&self, exclude: Option<usize>) -> Option<(usize, TrunkHandle)> {
+        for i in 0..self.origins.len() {
+            if Some(i) == exclude {
+                continue;
+            }
+            if let Some(h) = self.get(i).await {
+                if !h.peer_is_draining() {
+                    return Some((i, h));
+                }
+            }
+        }
+        None
+    }
+
+    async fn get(&self, i: usize) -> Option<TrunkHandle> {
+        if let Some(h) = self.trunks.lock()[i].clone() {
+            return Some(h);
+        }
+        match trunk::connect(self.origins[i]).await {
+            Ok((handle, _incoming)) => {
+                // Edge-initiated trunks carry no Origin-initiated streams;
+                // dropping the incoming half is fine.
+                self.trunks.lock()[i] = Some(handle.clone());
+                Some(handle)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Spawns a trunk-based Edge relay fronting `origins`.
+pub async fn spawn_edge_trunk(
+    addr: SocketAddr,
+    origins: Vec<SocketAddr>,
+) -> std::io::Result<EdgeTrunkHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ProxyStats::default());
+    let dcr_stats = Arc::new(crate::mqtt_relay::EdgeDcrStats::default());
+    let pool = Arc::new(TrunkPool::new(origins));
+
+    let loop_stats = Arc::clone(&stats);
+    let loop_dcr = Arc::clone(&dcr_stats);
+    let accept_task = tokio::spawn(async move {
+        while let Ok((client, _)) = listener.accept().await {
+            ProxyStats::bump(&loop_stats.connections_accepted);
+            let stats = Arc::clone(&loop_stats);
+            let dcr_stats = Arc::clone(&loop_dcr);
+            let pool = Arc::clone(&pool);
+            tokio::spawn(async move {
+                let _ = edge_client(client, pool, stats, dcr_stats).await;
+            });
+        }
+    });
+
+    Ok(EdgeTrunkHandle {
+        addr,
+        stats,
+        dcr_stats,
+        accept_task,
+    })
+}
+
+/// Handles one end-user client on the Edge side.
+async fn edge_client(
+    mut client: TcpStream,
+    pool: Arc<TrunkPool>,
+    stats: Arc<ProxyStats>,
+    dcr_stats: Arc<crate::mqtt_relay::EdgeDcrStats>,
+) -> std::io::Result<()> {
+    // Read until the CONNECT parses so we know the user id (needed for the
+    // stream headers and any later re-home).
+    let mut sniffer = StreamDecoder::new();
+    let mut initial = Vec::new();
+    let mut buf = [0u8; 8 * 1024];
+    let user = loop {
+        let n = client.read(&mut buf).await?;
+        if n == 0 {
+            return Ok(());
+        }
+        initial.extend_from_slice(&buf[..n]);
+        sniffer.extend(&buf[..n]);
+        match sniffer.next_packet() {
+            Ok(Some(Packet::Connect { ref client_id, .. })) => {
+                match UserId::from_client_id(client_id) {
+                    Some(u) => break u,
+                    None => return Ok(()),
+                }
+            }
+            Ok(Some(_)) | Err(_) => return Ok(()), // first packet must be CONNECT
+            Ok(None) => continue,
+        }
+    };
+
+    // Open the tunnel stream on a healthy trunk.
+    let Some((mut origin_idx, handle)) = pool.pick(None).await else {
+        ProxyStats::bump(&stats.mqtt_dropped);
+        return Ok(());
+    };
+    let Ok(mut stream) = handle
+        .open_stream(vec![("user-id".into(), user.0.to_string())])
+        .await
+    else {
+        ProxyStats::bump(&stats.mqtt_dropped);
+        return Ok(());
+    };
+    if stream.send(initial).await.is_err() {
+        ProxyStats::bump(&stats.mqtt_dropped);
+        return Ok(());
+    }
+    ProxyStats::bump(&stats.mqtt_tunnels);
+    let mut draining = handle.peer_draining_watch();
+
+    loop {
+        tokio::select! {
+            changed = draining.changed() => {
+                if changed.is_err() || !*draining.borrow() {
+                    continue;
+                }
+                // GOAWAY from the Origin: re-home this tunnel (§4.2).
+                match rehome(&pool, origin_idx, user).await {
+                    Some((idx, new_stream, new_watch)) => {
+                        // Old stream closes once we stop using it; the new
+                        // one carries the tunnel from here.
+                        let _ = stream.finish().await;
+                        stream = new_stream;
+                        origin_idx = idx;
+                        draining = new_watch;
+                        ProxyStats::bump(&dcr_stats.rehomed_ok);
+                        ProxyStats::bump(&stats.dcr_rehomed);
+                    }
+                    None => {
+                        ProxyStats::bump(&dcr_stats.rehome_refused);
+                        ProxyStats::bump(&stats.mqtt_dropped);
+                        return Ok(()); // client reconnects organically
+                    }
+                }
+            }
+            read = client.read(&mut buf) => {
+                match read {
+                    Ok(0) | Err(_) => {
+                        let _ = stream.finish().await;
+                        ProxyStats::bump(&stats.mqtt_dropped);
+                        return Ok(());
+                    }
+                    Ok(n) => {
+                        if stream.send(buf[..n].to_vec()).await.is_err() {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            event = stream.recv() => {
+                match event {
+                    Some(StreamEvent::Data(d)) => {
+                        if client.write_all(&d).await.is_err() {
+                            return Ok(());
+                        }
+                    }
+                    Some(StreamEvent::End) | Some(StreamEvent::Reset) | None => {
+                        // Tunnel gone without a re-home: drop the client.
+                        ProxyStats::bump(&stats.mqtt_dropped);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-homes a tunnel through another Origin: opens a `re_connect` stream
+/// and waits for the broker's verdict.
+async fn rehome(
+    pool: &TrunkPool,
+    exclude: usize,
+    user: UserId,
+) -> Option<(usize, TrunkStream, tokio::sync::watch::Receiver<bool>)> {
+    let (idx, handle) = pool.pick(Some(exclude)).await?;
+    let mut stream = handle
+        .open_stream(vec![
+            ("dcr".into(), "re_connect".into()),
+            ("user-id".into(), user.0.to_string()),
+        ])
+        .await
+        .ok()?;
+    // First data frame is the broker's DCR verdict.
+    let verdict: Bytes = loop {
+        match stream.recv().await? {
+            StreamEvent::Data(d) => break d,
+            StreamEvent::End | StreamEvent::Reset => return None,
+        }
+    };
+    match dcr::decode(&verdict) {
+        Ok((DcrMessage::ConnectAck { .. }, _)) => Some((idx, stream, handle.peer_draining_watch())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use zdr_proto::mqtt::{self, ConnectReturnCode, QoS};
+
+    struct Client {
+        stream: TcpStream,
+        decoder: StreamDecoder,
+    }
+
+    impl Client {
+        async fn connect(edge: SocketAddr, user: UserId) -> Client {
+            let mut stream = TcpStream::connect(edge).await.unwrap();
+            let pkt = Packet::Connect {
+                client_id: user.client_id(),
+                keep_alive: 60,
+                clean_session: true,
+            };
+            stream
+                .write_all(&mqtt::encode(&pkt).unwrap())
+                .await
+                .unwrap();
+            let mut c = Client {
+                stream,
+                decoder: StreamDecoder::new(),
+            };
+            match c.recv().await {
+                Packet::ConnAck {
+                    code: ConnectReturnCode::Accepted,
+                    ..
+                } => c,
+                other => panic!("expected CONNACK, got {other:?}"),
+            }
+        }
+
+        async fn send(&mut self, pkt: &Packet) {
+            self.stream
+                .write_all(&mqtt::encode(pkt).unwrap())
+                .await
+                .unwrap();
+        }
+
+        async fn recv(&mut self) -> Packet {
+            let mut buf = [0u8; 8192];
+            loop {
+                if let Some(p) = self.decoder.next_packet().unwrap() {
+                    return p;
+                }
+                let n = tokio::time::timeout(Duration::from_secs(10), self.stream.read(&mut buf))
+                    .await
+                    .expect("recv timeout")
+                    .unwrap();
+                assert!(n > 0, "peer closed");
+                self.decoder.extend(&buf[..n]);
+            }
+        }
+    }
+
+    async fn stack() -> (
+        zdr_broker::server::BrokerHandle,
+        OriginTrunkHandle,
+        OriginTrunkHandle,
+        EdgeTrunkHandle,
+    ) {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let o1 = spawn_origin_trunk("127.0.0.1:0".parse().unwrap(), vec![broker.addr])
+            .await
+            .unwrap();
+        let o2 = spawn_origin_trunk("127.0.0.1:0".parse().unwrap(), vec![broker.addr])
+            .await
+            .unwrap();
+        let edge = spawn_edge_trunk("127.0.0.1:0".parse().unwrap(), vec![o1.addr, o2.addr])
+            .await
+            .unwrap();
+        (broker, o1, o2, edge)
+    }
+
+    #[tokio::test]
+    async fn publish_round_trip_over_trunk() {
+        let (_broker, _o1, _o2, edge) = stack().await;
+        let mut sub = Client::connect(edge.addr, UserId(1)).await;
+        sub.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![("t/1".into(), QoS::AtMostOnce)],
+        })
+        .await;
+        match sub.recv().await {
+            Packet::SubAck { .. } => {}
+            other => panic!("{other:?}"),
+        }
+
+        let mut publisher = Client::connect(edge.addr, UserId(2)).await;
+        publisher
+            .send(&Packet::Publish {
+                topic: "t/1".into(),
+                packet_id: None,
+                payload: Bytes::from_static(b"over-the-trunk"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+            })
+            .await;
+        match sub.recv().await {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"over-the-trunk"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn many_tunnels_share_one_trunk() {
+        let (_broker, o1, _o2, edge) = stack().await;
+        let mut clients = Vec::new();
+        for u in 0..10u64 {
+            clients.push(Client::connect(edge.addr, UserId(u)).await);
+        }
+        // All ten tunnels multiplex on o1's single trunk (Edge picks the
+        // first healthy origin).
+        assert_eq!(o1.active_streams(), 10);
+        for c in clients.iter_mut() {
+            c.send(&Packet::PingReq).await;
+            assert_eq!(c.recv().await, Packet::PingResp);
+        }
+    }
+
+    #[tokio::test]
+    async fn goaway_rehomes_tunnels_without_client_disruption() {
+        let (broker, o1, o2, edge) = stack().await;
+        let mut c = Client::connect(edge.addr, UserId(7)).await;
+        c.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![("t/7".into(), QoS::AtMostOnce)],
+        })
+        .await;
+        c.recv().await; // SUBACK
+        assert_eq!(o1.active_streams(), 1);
+
+        // Origin 1 restarts: GOAWAY is the solicitation.
+        o1.drain().await;
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        assert_eq!(
+            ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+            1,
+            "tunnel must re-home to origin 2"
+        );
+        assert_eq!(broker.core.stats().dcr_accepted, 1);
+        assert_eq!(o2.active_streams(), 1, "tunnel now rides origin 2's trunk");
+
+        // Same client connection keeps delivering.
+        broker.core.publish("t/7", b"post-goaway", QoS::AtMostOnce);
+        match c.recv().await {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"post-goaway"),
+            other => panic!("{other:?}"),
+        }
+
+        // And liveness still works end to end.
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+    }
+
+    #[tokio::test]
+    async fn rehome_refused_without_alternate_origin_drops_client() {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let o1 = spawn_origin_trunk("127.0.0.1:0".parse().unwrap(), vec![broker.addr])
+            .await
+            .unwrap();
+        let edge = spawn_edge_trunk("127.0.0.1:0".parse().unwrap(), vec![o1.addr])
+            .await
+            .unwrap();
+        let mut c = Client::connect(edge.addr, UserId(9)).await;
+
+        o1.drain().await;
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehome_refused), 1);
+        // Client connection torn down → organic reconnect path.
+        let mut buf = [0u8; 16];
+        let n = tokio::time::timeout(Duration::from_secs(5), c.stream.read(&mut buf))
+            .await
+            .expect("expected EOF")
+            .unwrap_or(0);
+        assert_eq!(n, 0);
+    }
+
+    #[tokio::test]
+    async fn twenty_tunnels_rehome_concurrently_over_trunks() {
+        let (broker, o1, o2, edge) = stack().await;
+        let mut clients = Vec::new();
+        for u in 0..20u64 {
+            let mut c = Client::connect(edge.addr, UserId(u)).await;
+            c.send(&Packet::Subscribe {
+                packet_id: 1,
+                filters: vec![(format!("u/{u}"), QoS::AtMostOnce)],
+            })
+            .await;
+            c.recv().await;
+            clients.push(c);
+        }
+        assert_eq!(o1.active_streams(), 20);
+
+        o1.drain().await;
+        tokio::time::sleep(Duration::from_millis(500)).await;
+        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehomed_ok), 20);
+        assert_eq!(o2.active_streams(), 20);
+        assert_eq!(broker.core.stats().dcr_accepted, 20);
+
+        for (u, c) in clients.iter_mut().enumerate() {
+            broker
+                .core
+                .publish(&format!("u/{u}"), b"alive", QoS::AtMostOnce);
+            match c.recv().await {
+                Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"alive"),
+                other => panic!("user {u}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! The HTTP reverse proxy with the Partial Post Replay client side.
+//!
+//! Request path: terminate the client's HTTP/1.1, pick a healthy app
+//! server, forward, relay the response. The release-relevant part is the
+//! 379 interception (§4.3):
+//!
+//! * a **gated** 379 (`Partial POST Replay` status message) is never
+//!   relayed; the proxy rebuilds the original request and replays it to a
+//!   different app server — up to [`zdr_proto::ppr::DEFAULT_REPLAY_BUDGET`]
+//!   attempts, then a standard 500;
+//! * an **ungated** 379 (the §5.2 "buggy upstream with randomized status
+//!   codes" case) is treated as an ordinary response and relayed verbatim.
+//!
+//! Design note (recorded in DESIGN.md): this proxy holds the in-flight
+//! request it is forwarding, so a replay rebuilds from its own copy and
+//! uses the 379's echoed body as a consistency check. This retains one
+//! request per active stream — unlike the paper's rejected option (iii),
+//! which buffered *every* POST at the Origin for the request's entire
+//! lifetime regardless of restarts.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+
+use zdr_proto::http1::{
+    serialize_request, serialize_response, Request, RequestParser, Response, StatusCode,
+};
+use zdr_proto::ppr::{decode_379, is_partial_post, ReplayBudget, ReplayDecision};
+
+use crate::stats::ProxyStats;
+use crate::upstream::UpstreamPool;
+
+/// Reverse-proxy tuning.
+#[derive(Debug, Clone)]
+pub struct ReverseProxyConfig {
+    /// App-server addresses.
+    pub upstreams: Vec<SocketAddr>,
+    /// Replay budget per request (production: 10).
+    pub ppr_budget: u32,
+    /// PPR client side on/off (off = relay 500s like the baseline).
+    pub ppr_enabled: bool,
+    /// Per-upstream connect/read timeout.
+    pub upstream_timeout: Duration,
+}
+
+impl Default for ReverseProxyConfig {
+    fn default() -> Self {
+        ReverseProxyConfig {
+            upstreams: Vec::new(),
+            ppr_budget: zdr_proto::ppr::DEFAULT_REPLAY_BUDGET,
+            ppr_enabled: true,
+            upstream_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Handle to a running reverse proxy.
+#[derive(Debug)]
+pub struct ReverseProxyHandle {
+    /// Bound address.
+    pub addr: SocketAddr,
+    /// Live counters.
+    pub stats: Arc<ProxyStats>,
+    /// Upstream pool (health-markable by callers).
+    pub pool: Arc<UpstreamPool>,
+    drain_tx: watch::Sender<bool>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl ReverseProxyHandle {
+    /// Enters draining: stop accepting; in-flight requests finish; the
+    /// health endpoint reports unhealthy.
+    pub fn drain(&self) {
+        self.accept_task.abort();
+        let _ = self.drain_tx.send(true);
+    }
+
+    /// True once draining.
+    pub fn is_draining(&self) -> bool {
+        *self.drain_tx.borrow()
+    }
+}
+
+impl Drop for ReverseProxyHandle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+/// Binds and spawns a reverse proxy.
+pub async fn spawn_reverse_proxy(
+    addr: SocketAddr,
+    config: ReverseProxyConfig,
+) -> std::io::Result<ReverseProxyHandle> {
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+    let handle = serve_on_listener(listener, config)?;
+    debug_assert_eq!(handle.addr, addr);
+    Ok(handle)
+}
+
+/// Spawns a reverse proxy on an already-bound listener — the entry point
+/// the Socket Takeover path uses with a reclaimed listener FD.
+pub fn serve_on_listener(
+    listener: TcpListener,
+    config: ReverseProxyConfig,
+) -> std::io::Result<ReverseProxyHandle> {
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ProxyStats::default());
+    let pool = Arc::new(UpstreamPool::new(config.upstreams.clone()));
+    let (drain_tx, drain_rx) = watch::channel(false);
+    let config = Arc::new(config);
+
+    let accept_stats = Arc::clone(&stats);
+    let accept_pool = Arc::clone(&pool);
+    let accept_task = tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            ProxyStats::bump(&accept_stats.connections_accepted);
+            let stats = Arc::clone(&accept_stats);
+            let pool = Arc::clone(&accept_pool);
+            let config = Arc::clone(&config);
+            let drain = drain_rx.clone();
+            tokio::spawn(async move {
+                let _ = handle_client(stream, config, pool, stats, drain).await;
+            });
+        }
+    });
+
+    Ok(ReverseProxyHandle {
+        addr,
+        stats,
+        pool,
+        drain_tx,
+        accept_task,
+    })
+}
+
+async fn handle_client(
+    mut stream: TcpStream,
+    config: Arc<ReverseProxyConfig>,
+    pool: Arc<UpstreamPool>,
+    stats: Arc<ProxyStats>,
+    drain: watch::Receiver<bool>,
+) -> std::io::Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let mut parser = RequestParser::new();
+        let request = loop {
+            let n = match stream.read(&mut buf).await {
+                Ok(0) | Err(_) => return Ok(()),
+                Ok(n) => n,
+            };
+            match parser.push(&buf[..n]) {
+                Ok(Some(req)) => break req,
+                Ok(None) => {}
+                Err(_) => {
+                    let resp = Response::new(StatusCode::from_code(400), &b"bad request"[..]);
+                    stream.write_all(&serialize_response(&resp)).await?;
+                    return Ok(());
+                }
+            }
+        };
+
+        let client_wants_close = request
+            .headers
+            .wants_close(request.version == zdr_proto::http1::Version::Http10);
+
+        // L4LB health probe answered locally (Fig. 5 step F: whoever owns
+        // the listener owns the probe).
+        let response = if request.target == "/proxygen/health" {
+            if *drain.borrow() {
+                ProxyStats::bump(&stats.health_unhealthy);
+                Response::new(StatusCode::service_unavailable(), &b"draining"[..])
+            } else {
+                ProxyStats::bump(&stats.health_ok);
+                Response::ok(&b"ok"[..])
+            }
+        } else {
+            proxy_with_replay(request, &config, &pool, &stats).await
+        };
+
+        if response.status.is_server_error() {
+            ProxyStats::bump(&stats.responses_5xx);
+        } else {
+            ProxyStats::bump(&stats.requests_ok);
+        }
+        stream.write_all(&serialize_response(&response)).await?;
+
+        if client_wants_close {
+            return Ok(());
+        }
+        if *drain.borrow() {
+            // Finish this request, then let the connection close.
+            return Ok(());
+        }
+    }
+}
+
+/// Forwards `request`, replaying on gated 379s and connect failures.
+async fn proxy_with_replay(
+    request: Request,
+    config: &ReverseProxyConfig,
+    pool: &UpstreamPool,
+    stats: &ProxyStats,
+) -> Response {
+    let mut exclude: Vec<SocketAddr> = Vec::new();
+    let mut budget = ReplayBudget::new(config.ppr_budget);
+    let mut current = request;
+    // Hop hygiene: a chunked request may have arrived with a (stale or
+    // smuggling-shaped) Content-Length next to Transfer-Encoding; we
+    // re-frame on the upstream hop, so drop the conflicting length.
+    if current.chunked {
+        current.headers.remove("content-length");
+    }
+
+    loop {
+        let Some(upstream) = pool.pick(&exclude) else {
+            // §4.3 caveat: no replay target → standard 500.
+            ProxyStats::bump(&stats.ppr_gave_up);
+            return Response::internal_error();
+        };
+
+        match forward_once(upstream, &current, config.upstream_timeout).await {
+            Ok(resp) if resp.status.code == zdr_proto::ppr::STATUS_PARTIAL_POST => {
+                if !is_partial_post(&resp) {
+                    // §5.2: 379 without the exact status message is NOT a
+                    // PPR — relay it like any other response.
+                    ProxyStats::bump(&stats.ungated_379);
+                    return resp;
+                }
+                if !config.ppr_enabled {
+                    // Ablation/baseline: behave like a proxy that doesn't
+                    // implement PPR — the user sees a 500.
+                    return Response::internal_error();
+                }
+                ProxyStats::bump(&stats.ppr_handoffs);
+                // Consistency check: the server's echoed partial body must
+                // be a prefix of what we forwarded ("trust the app server,
+                // but always double-check", §5.2).
+                match decode_379(&resp) {
+                    Ok(partial)
+                        if current.body.starts_with(&partial.body_received)
+                            || partial.body_received.starts_with(&current.body) =>
+                    {
+                        exclude.push(upstream);
+                        match budget.decide() {
+                            ReplayDecision::Retry { .. } => continue,
+                            ReplayDecision::GiveUp => {
+                                ProxyStats::bump(&stats.ppr_gave_up);
+                                return Response::internal_error();
+                            }
+                        }
+                    }
+                    _ => {
+                        // Echo inconsistent with our copy: do not replay
+                        // corrupted state.
+                        ProxyStats::bump(&stats.ppr_gave_up);
+                        return Response::internal_error();
+                    }
+                }
+            }
+            Ok(resp) => {
+                if budget.used() > 0 {
+                    ProxyStats::bump(&stats.ppr_replayed_ok);
+                }
+                return resp;
+            }
+            Err(_) => {
+                // Connect/read failure: mark and try another (counts
+                // against the same budget to bound total attempts).
+                pool.mark_unhealthy(upstream);
+                exclude.push(upstream);
+                match budget.decide() {
+                    ReplayDecision::Retry { .. } => continue,
+                    ReplayDecision::GiveUp => {
+                        ProxyStats::bump(&stats.ppr_gave_up);
+                        return Response::internal_error();
+                    }
+                }
+            }
+        }
+    }
+}
+
+async fn forward_once(
+    upstream: SocketAddr,
+    request: &Request,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let io = async {
+        let mut conn = TcpStream::connect(upstream).await?;
+        conn.write_all(&serialize_request(request)).await?;
+        let mut parser = zdr_proto::http1::ResponseParser::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let n = conn.read(&mut buf).await?;
+            if n == 0 {
+                if let Some(resp) = parser
+                    .peer_closed()
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+                {
+                    return Ok(resp);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "upstream closed mid-response",
+                ));
+            }
+            if let Some(resp) = parser
+                .push(&buf[..n])
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                // Interim responses (100 Continue, …) are hop-internal:
+                // keep reading for the final response.
+                if resp.status.code / 100 == 1 {
+                    parser.reset();
+                    continue;
+                }
+                return Ok(resp);
+            }
+        }
+    };
+    tokio::time::timeout(timeout, io)
+        .await
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::TimedOut, "upstream timeout"))?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdr_appserver::{AppServerConfig, RestartBehavior};
+    use zdr_proto::http1::ResponseParser;
+
+    async fn app(name: &str) -> zdr_appserver::AppServerHandle {
+        zdr_appserver::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            AppServerConfig {
+                drain_ms: 100,
+                restart_behavior: RestartBehavior::PartialPostReplay,
+                server_name: name.into(),
+                read_delay_ms: 0,
+            },
+        )
+        .await
+        .unwrap()
+    }
+
+    async fn proxy(upstreams: Vec<SocketAddr>) -> ReverseProxyHandle {
+        spawn_reverse_proxy(
+            "127.0.0.1:0".parse().unwrap(),
+            ReverseProxyConfig {
+                upstreams,
+                upstream_timeout: Duration::from_secs(5),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap()
+    }
+
+    async fn send(addr: SocketAddr, req: &Request) -> Response {
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        stream.write_all(&serialize_request(req)).await.unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let n = tokio::time::timeout(Duration::from_secs(10), stream.read(&mut buf))
+                .await
+                .expect("response timeout")
+                .unwrap();
+            assert!(n > 0, "closed before response");
+            if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                return resp;
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn proxies_get_to_app_server() {
+        let a = app("app-A").await;
+        let p = proxy(vec![a.addr]).await;
+        let resp = send(p.addr, &Request::get("/feed")).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(resp.headers.get("x-served-by"), Some("app-A"));
+        assert_eq!(ProxyStats::get(&p.stats.requests_ok), 1);
+    }
+
+    #[tokio::test]
+    async fn proxies_post() {
+        let a = app("app-A").await;
+        let p = proxy(vec![a.addr]).await;
+        let resp = send(p.addr, &Request::post("/upload", vec![7u8; 5000])).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(&resp.body[..], b"received=5000");
+    }
+
+    #[tokio::test]
+    async fn health_endpoint_flips_on_drain() {
+        let p = proxy(vec![]).await;
+        let resp = send(p.addr, &Request::get("/proxygen/health")).await;
+        assert_eq!(resp.status.code, 200);
+        p.drain();
+        // Draining closes the listener; an existing connection would see
+        // 503 — verify via counters on a fresh spawn instead.
+        assert!(p.is_draining());
+        assert_eq!(ProxyStats::get(&p.stats.health_ok), 1);
+    }
+
+    #[tokio::test]
+    async fn connect_failure_fails_over_to_healthy_upstream() {
+        let a = app("app-B").await;
+        // First upstream is a dead port.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let p = proxy(vec![dead, a.addr]).await;
+        for _ in 0..3 {
+            let resp = send(p.addr, &Request::get("/x")).await;
+            assert_eq!(resp.status.code, 200);
+        }
+        assert!(p.pool.healthy().contains(&a.addr));
+    }
+
+    #[tokio::test]
+    async fn no_upstreams_yields_500() {
+        let p = proxy(vec![]).await;
+        let resp = send(p.addr, &Request::get("/x")).await;
+        assert_eq!(resp.status.code, 500);
+        assert_eq!(ProxyStats::get(&p.stats.responses_5xx), 1);
+    }
+
+    #[tokio::test]
+    async fn ungated_379_relayed_verbatim() {
+        // A fake upstream that answers 379 with the WRONG status message —
+        // the §5.2 buggy-upstream scenario.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let Ok((mut s, _)) = listener.accept().await else {
+                    break;
+                };
+                tokio::spawn(async move {
+                    let mut buf = [0u8; 4096];
+                    let _ = s.read(&mut buf).await;
+                    let _ = s
+                        .write_all(b"HTTP/1.1 379 Something Else\r\ncontent-length: 3\r\n\r\nodd")
+                        .await;
+                });
+            }
+        });
+        let p = proxy(vec![addr]).await;
+        let resp = send(p.addr, &Request::get("/x")).await;
+        assert_eq!(resp.status.code, 379);
+        assert_eq!(resp.status.reason, "Something Else");
+        assert_eq!(ProxyStats::get(&p.stats.ungated_379), 1);
+        assert_eq!(ProxyStats::get(&p.stats.ppr_handoffs), 0);
+    }
+
+    #[tokio::test]
+    async fn chunked_request_forwarded_without_stale_content_length() {
+        let a = app("app-G").await;
+        let p = proxy(vec![a.addr]).await;
+        // Smuggling-shaped input: chunked TE plus a bogus Content-Length.
+        let mut stream = TcpStream::connect(p.addr).await.unwrap();
+        stream
+            .write_all(
+                b"POST /u HTTP/1.1\r\ncontent-length: 3\r\ntransfer-encoding: chunked\r\n\r\n\
+                  5\r\nhello\r\n0\r\n\r\n",
+            )
+            .await
+            .unwrap();
+        let mut parser = zdr_proto::http1::ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        let resp = loop {
+            let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+                .await
+                .expect("timeout")
+                .unwrap();
+            assert!(n > 0);
+            if let Some(r) = parser.push(&buf[..n]).unwrap() {
+                break r;
+            }
+        };
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(
+            &resp.body[..],
+            b"received=5",
+            "chunked framing governed end to end"
+        );
+    }
+
+    #[tokio::test]
+    async fn interim_100_continue_from_upstream_is_skipped() {
+        // The app server answers the forwarded Expect with an interim 100
+        // before the final 200; the proxy must relay only the final.
+        let a = app("app-E").await;
+        let p = proxy(vec![a.addr]).await;
+        let mut req = Request::post("/upload", &b"body!"[..]);
+        req.headers.append("expect", "100-continue");
+        let resp = send(p.addr, &req).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(&resp.body[..], b"received=5");
+    }
+
+    #[tokio::test]
+    async fn connection_close_honored() {
+        let a = app("app-F").await;
+        let p = proxy(vec![a.addr]).await;
+        let mut stream = TcpStream::connect(p.addr).await.unwrap();
+        let mut req = Request::get("/once");
+        req.headers.set("connection", "close");
+        stream.write_all(&serialize_request(&req)).await.unwrap();
+
+        // Read the response, then expect EOF — the proxy must close.
+        let mut parser = zdr_proto::http1::ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        let mut got_response = false;
+        loop {
+            let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+                .await
+                .expect("timeout")
+                .unwrap();
+            if n == 0 {
+                break;
+            }
+            if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                assert_eq!(resp.status.code, 200);
+                got_response = true;
+            }
+        }
+        assert!(got_response, "response must arrive before the close");
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-instance counters — the real-time release-observability signals the
+//! paper's auditing infrastructure scrapes (§6: RPS, HTTP status codes
+//! sent, TCP RSTs, MQTT connection counts, takeover status).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one proxy instance.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Requests proxied to a 2xx/3xx/4xx conclusion.
+    pub requests_ok: AtomicU64,
+    /// 5xx responses sent to clients.
+    pub responses_5xx: AtomicU64,
+    /// Gated 379 responses intercepted (PPR handoffs observed).
+    pub ppr_handoffs: AtomicU64,
+    /// Requests successfully replayed to another app server.
+    pub ppr_replayed_ok: AtomicU64,
+    /// Replays abandoned (budget exhausted / no upstream) → 500 to user.
+    pub ppr_gave_up: AtomicU64,
+    /// Ungated 379s passed through as ordinary (erroneous) responses —
+    /// the §5.2 "randomized status code" guard in action.
+    pub ungated_379: AtomicU64,
+    /// MQTT tunnels currently relayed.
+    pub mqtt_tunnels: AtomicU64,
+    /// Tunnels re-homed away from this instance by DCR.
+    pub dcr_rehomed: AtomicU64,
+    /// Tunnels dropped (client must reconnect).
+    pub mqtt_dropped: AtomicU64,
+    /// Connections accepted.
+    pub connections_accepted: AtomicU64,
+    /// Connections torn down by our restart (RSTs under HardRestart).
+    pub connections_reset: AtomicU64,
+    /// Health probes answered healthy.
+    pub health_ok: AtomicU64,
+    /// Health probes answered draining/unhealthy.
+    pub health_unhealthy: AtomicU64,
+}
+
+impl ProxyStats {
+    /// Convenience: relaxed add.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let s = ProxyStats::default();
+        ProxyStats::bump(&s.requests_ok);
+        ProxyStats::bump(&s.requests_ok);
+        assert_eq!(ProxyStats::get(&s.requests_ok), 2);
+        assert_eq!(ProxyStats::get(&s.responses_5xx), 0);
+    }
+}

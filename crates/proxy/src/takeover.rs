@@ -1,0 +1,348 @@
+//! Socket Takeover integration: restarting a proxy instance with zero
+//! downtime (§4.1, Fig. 5).
+//!
+//! A [`ProxyInstance`] owns its VIP listener twice over: a tokio clone that
+//! the reverse proxy serves on, and a pristine `std` clone kept in a
+//! [`zdr_net::inventory::ListenerInventory`] for the next handover (both
+//! clones share one kernel socket, so accepting on either is equivalent).
+//!
+//! Restart choreography:
+//!
+//! 1. The running instance parks a [`zdr_net::takeover::TakeoverServer`]
+//!    on the well-known UNIX-socket path (step A).
+//! 2. The successor calls [`ProxyInstance::takeover_from`]: it receives
+//!    the listener FDs (step B), starts serving on them — including the
+//!    `/proxygen/health` probe (steps C, F) — and confirms (step D).
+//! 3. [`ProxyInstance::serve_one_takeover`] returns [`Drained`], the old
+//!    instance stops accepting and finishes its in-flight connections
+//!    (step E).
+//!
+//! At no instant is the listening socket closed, so no SYN is ever
+//! refused: that is the "zero downtime" in the name.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use zdr_net::inventory::ListenerInventory;
+use zdr_net::takeover::{request_takeover, HandoffInfo, ServeOutcome, TakeoverServer};
+
+use crate::reverse::{serve_on_listener, ReverseProxyConfig, ReverseProxyHandle};
+
+/// Configuration for a takeover-capable proxy instance.
+#[derive(Debug, Clone)]
+pub struct ProxyInstanceConfig {
+    /// Reverse-proxy settings (upstreams, PPR budget, …).
+    pub reverse: ReverseProxyConfig,
+    /// UNIX-socket path where takeover is served/requested.
+    pub takeover_path: PathBuf,
+    /// Drain period the old instance advertises.
+    pub drain_ms: u64,
+}
+
+/// A live, takeover-capable proxy instance.
+#[derive(Debug)]
+pub struct ProxyInstance {
+    /// This instance's takeover generation (0 = first boot).
+    pub generation: u32,
+    /// The serving reverse proxy.
+    pub reverse: ReverseProxyHandle,
+    /// VIP address.
+    pub addr: SocketAddr,
+    config: ProxyInstanceConfig,
+    /// Pristine listener clone reserved for the next handover.
+    handover_listener: std::net::TcpListener,
+}
+
+/// The old instance after a successful handover: draining, still usable
+/// for inspecting stats.
+#[derive(Debug)]
+pub struct Drained {
+    /// The draining reverse proxy (stops accepting; in-flight finish).
+    pub reverse: ReverseProxyHandle,
+    /// Generation that just retired.
+    pub generation: u32,
+}
+
+impl ProxyInstance {
+    /// First boot: bind the VIP fresh (no predecessor).
+    pub async fn bind_fresh(
+        addr: SocketAddr,
+        config: ProxyInstanceConfig,
+    ) -> zdr_net::Result<ProxyInstance> {
+        let std_listener = std::net::TcpListener::bind(addr)?;
+        Self::from_std_listener(std_listener, 0, config)
+    }
+
+    fn from_std_listener(
+        std_listener: std::net::TcpListener,
+        generation: u32,
+        config: ProxyInstanceConfig,
+    ) -> zdr_net::Result<ProxyInstance> {
+        let addr = std_listener.local_addr()?;
+        let handover_listener = std_listener.try_clone()?;
+        std_listener.set_nonblocking(true)?;
+        let tokio_listener = tokio::net::TcpListener::from_std(std_listener)?;
+        let reverse = serve_on_listener(tokio_listener, config.reverse.clone())?;
+        Ok(ProxyInstance {
+            generation,
+            reverse,
+            addr,
+            config,
+            handover_listener,
+        })
+    }
+
+    /// Successor boot: receive the sockets from the instance at
+    /// `config.takeover_path` and start serving at `predecessor + 1`.
+    pub async fn takeover_from(config: ProxyInstanceConfig) -> zdr_net::Result<ProxyInstance> {
+        let path = config.takeover_path.clone();
+        let pending =
+            tokio::task::spawn_blocking(move || request_takeover(&path, Duration::from_secs(30)))
+                .await
+                .expect("takeover task panicked")?;
+
+        let info = pending.result.info.clone();
+        let vips = pending.result.inventory.unclaimed();
+        // This instance serves exactly one TCP VIP; claim it, then confirm.
+        let [vip] = vips.as_slice() else {
+            pending.abort("expected exactly one VIP")?;
+            return Err(zdr_net::NetError::Inventory(format!(
+                "expected one VIP, predecessor offered {}",
+                vips.len()
+            )));
+        };
+        let vip_addr = vip.addr;
+        let mut result = tokio::task::spawn_blocking(move || pending.confirm())
+            .await
+            .expect("confirm task panicked")?;
+        let listener = result.inventory.claim_tcp(vip_addr)?;
+        result.inventory.finish()?;
+
+        Self::from_std_listener(listener, info.generation + 1, config)
+    }
+
+    /// Parks a takeover server and serves one handover; on success the
+    /// instance flips to draining and is returned as [`Drained`].
+    ///
+    /// Blocking steps run on the blocking pool; await this from wherever
+    /// the instance's release logic lives.
+    pub async fn serve_one_takeover(self) -> zdr_net::Result<Drained> {
+        let server = TakeoverServer::bind(&self.config.takeover_path)?;
+        let mut inventory = ListenerInventory::new();
+        inventory.add_tcp(self.addr, self.handover_listener);
+        let info = HandoffInfo {
+            generation: self.generation,
+            udp_router_addr: None,
+            drain_deadline_ms: self.config.drain_ms,
+        };
+        let outcome = tokio::task::spawn_blocking(move || {
+            server.serve_once(&inventory, info, Duration::from_secs(60))
+        })
+        .await
+        .expect("takeover server task panicked")?;
+        debug_assert_eq!(outcome, ServeOutcome::DrainNow);
+
+        // Step E: stop accepting, drain in-flight connections.
+        self.reverse.drain();
+        Ok(Drained {
+            reverse: self.reverse,
+            generation: self.generation,
+        })
+    }
+
+    /// Shared stats handle.
+    pub fn stats(&self) -> Arc<crate::stats::ProxyStats> {
+        Arc::clone(&self.reverse.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ProxyStats;
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+    use tokio::net::TcpStream;
+    use zdr_proto::http1::{serialize_request, Request, Response, ResponseParser};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "zdr-proxy-takeover-{tag}-{}-{:x}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+    }
+
+    async fn app() -> zdr_appserver::AppServerHandle {
+        zdr_appserver::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            zdr_appserver::AppServerConfig::default(),
+        )
+        .await
+        .unwrap()
+    }
+
+    async fn send(addr: SocketAddr, req: &Request) -> Response {
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        stream.write_all(&serialize_request(req)).await.unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = tokio::time::timeout(Duration::from_secs(10), stream.read(&mut buf))
+                .await
+                .expect("timeout")
+                .unwrap();
+            assert!(n > 0);
+            if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                return resp;
+            }
+        }
+    }
+
+    fn config(upstream: SocketAddr, path: PathBuf) -> ProxyInstanceConfig {
+        ProxyInstanceConfig {
+            reverse: ReverseProxyConfig {
+                upstreams: vec![upstream],
+                upstream_timeout: Duration::from_secs(5),
+                ..Default::default()
+            },
+            takeover_path: path,
+            drain_ms: 1_000,
+        }
+    }
+
+    #[tokio::test]
+    async fn zero_downtime_restart_under_load() {
+        let a = app().await;
+        let path = tmp_path("load");
+        let cfg = config(a.addr, path.clone());
+
+        let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let vip = old.addr;
+        assert_eq!(old.generation, 0);
+
+        // Continuous client load across the restart.
+        let load = tokio::spawn(async move {
+            let mut failures = 0u32;
+            let mut successes = 0u32;
+            for _ in 0..200 {
+                match tokio::time::timeout(
+                    Duration::from_secs(5),
+                    send_checked(vip, &Request::get("/feed")),
+                )
+                .await
+                {
+                    Ok(true) => successes += 1,
+                    _ => failures += 1,
+                }
+                tokio::time::sleep(Duration::from_millis(2)).await;
+            }
+            (successes, failures)
+        });
+
+        // Old instance parks the takeover server…
+        let old_task = tokio::spawn(old.serve_one_takeover());
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        // …new instance takes over.
+        let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+        assert_eq!(new.generation, 1);
+        assert_eq!(new.addr, vip, "same VIP, same socket");
+
+        let drained = old_task.await.unwrap().unwrap();
+        assert!(drained.reverse.is_draining());
+
+        let (successes, failures) = load.await.unwrap();
+        assert_eq!(failures, 0, "zero downtime means zero failed requests");
+        assert_eq!(successes, 200);
+
+        // The new instance is really the one serving now.
+        let before = ProxyStats::get(&new.reverse.stats.requests_ok);
+        let resp = send(vip, &Request::get("/x")).await;
+        assert_eq!(resp.status.code, 200);
+        assert!(ProxyStats::get(&new.reverse.stats.requests_ok) > before.saturating_sub(1));
+    }
+
+    async fn send_checked(addr: SocketAddr, req: &Request) -> bool {
+        let Ok(mut stream) = TcpStream::connect(addr).await else {
+            return false;
+        };
+        if stream.write_all(&serialize_request(req)).await.is_err() {
+            return false;
+        }
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            match stream.read(&mut buf).await {
+                Ok(0) | Err(_) => return false,
+                Ok(n) => match parser.push(&buf[..n]) {
+                    Ok(Some(resp)) => return resp.status.code == 200,
+                    Ok(None) => {}
+                    Err(_) => return false,
+                },
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn health_checks_answered_throughout_restart() {
+        let a = app().await;
+        let path = tmp_path("health");
+        let cfg = config(a.addr, path.clone());
+        let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let vip = old.addr;
+
+        // Probe before, during, after.
+        assert_eq!(
+            send(vip, &Request::get("/proxygen/health"))
+                .await
+                .status
+                .code,
+            200
+        );
+
+        let old_task = tokio::spawn(old.serve_one_takeover());
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+        let _drained = old_task.await.unwrap().unwrap();
+
+        // Fig. 5 step F: the NEW instance answers probes; Katran never saw
+        // a failure.
+        let resp = send(vip, &Request::get("/proxygen/health")).await;
+        assert_eq!(resp.status.code, 200);
+        assert!(ProxyStats::get(&new.reverse.stats.health_ok) >= 1);
+    }
+
+    #[tokio::test]
+    async fn generations_chain_across_multiple_takeovers() {
+        let a = app().await;
+        let path = tmp_path("chain");
+        let cfg = config(a.addr, path.clone());
+        let g0 = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let vip = g0.addr;
+
+        let t0 = tokio::spawn(g0.serve_one_takeover());
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let g1 = ProxyInstance::takeover_from(cfg.clone()).await.unwrap();
+        t0.await.unwrap().unwrap();
+        assert_eq!(g1.generation, 1);
+
+        let t1 = tokio::spawn(g1.serve_one_takeover());
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let g2 = ProxyInstance::takeover_from(cfg).await.unwrap();
+        t1.await.unwrap().unwrap();
+        assert_eq!(g2.generation, 2);
+
+        let resp = send(vip, &Request::get("/still-serving")).await;
+        assert_eq!(resp.status.code, 200);
+    }
+}

@@ -1,0 +1,149 @@
+//! Upstream (app server / broker / peer-origin) selection.
+//!
+//! A small round-robin pool with failure marking and exclusion — enough to
+//! express the §4.4 retry rule: *"it is possible that the next HHVM server
+//! is also restarting ... In such a case, the downstream Proxygen retries
+//! the request with a different HHVM server"*.
+
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+/// A shared pool of upstream addresses.
+#[derive(Debug)]
+pub struct UpstreamPool {
+    addrs: RwLock<Vec<SocketAddr>>,
+    unhealthy: RwLock<HashSet<SocketAddr>>,
+    cursor: AtomicUsize,
+}
+
+impl UpstreamPool {
+    /// A pool over `addrs`, all initially healthy.
+    pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        UpstreamPool {
+            addrs: RwLock::new(addrs),
+            unhealthy: RwLock::new(HashSet::new()),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of configured upstreams.
+    pub fn len(&self) -> usize {
+        self.addrs.read().len()
+    }
+
+    /// True when no upstreams are configured.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.read().is_empty()
+    }
+
+    /// Picks the next healthy upstream (round-robin), skipping any in
+    /// `exclude`. Returns `None` when nothing qualifies.
+    pub fn pick(&self, exclude: &[SocketAddr]) -> Option<SocketAddr> {
+        let addrs = self.addrs.read();
+        if addrs.is_empty() {
+            return None;
+        }
+        let unhealthy = self.unhealthy.read();
+        let n = addrs.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let a = addrs[(start + i) % n];
+            if !exclude.contains(&a) && !unhealthy.contains(&a) {
+                return Some(a);
+            }
+        }
+        // Every healthy upstream is excluded — allow an unhealthy,
+        // non-excluded one as a last resort? No: the §4.4 contract is to
+        // fail with 500 when no active server exists.
+        None
+    }
+
+    /// Marks an upstream unhealthy (connect failure / restart observed).
+    pub fn mark_unhealthy(&self, addr: SocketAddr) {
+        self.unhealthy.write().insert(addr);
+    }
+
+    /// Marks an upstream healthy again.
+    pub fn mark_healthy(&self, addr: SocketAddr) {
+        self.unhealthy.write().remove(&addr);
+    }
+
+    /// Currently healthy upstreams.
+    pub fn healthy(&self) -> Vec<SocketAddr> {
+        let unhealthy = self.unhealthy.read();
+        self.addrs
+            .read()
+            .iter()
+            .copied()
+            .filter(|a| !unhealthy.contains(a))
+            .collect()
+    }
+
+    /// Replaces the address set (config update).
+    pub fn replace(&self, addrs: Vec<SocketAddr>) {
+        *self.addrs.write() = addrs;
+        self.unhealthy.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(p: u16) -> SocketAddr {
+        format!("127.0.0.1:{p}").parse().unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let pool = UpstreamPool::new(vec![addr(1), addr(2), addr(3)]);
+        let picks: Vec<_> = (0..6).map(|_| pool.pick(&[]).unwrap()).collect();
+        assert_eq!(picks[0..3], picks[3..6]);
+        let distinct: HashSet<_> = picks[0..3].iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn exclusion_skips() {
+        let pool = UpstreamPool::new(vec![addr(1), addr(2)]);
+        for _ in 0..4 {
+            assert_eq!(pool.pick(&[addr(1)]), Some(addr(2)));
+        }
+    }
+
+    #[test]
+    fn unhealthy_skipped_until_recovered() {
+        let pool = UpstreamPool::new(vec![addr(1), addr(2)]);
+        pool.mark_unhealthy(addr(2));
+        for _ in 0..4 {
+            assert_eq!(pool.pick(&[]), Some(addr(1)));
+        }
+        assert_eq!(pool.healthy(), vec![addr(1)]);
+        pool.mark_healthy(addr(2));
+        assert_eq!(pool.healthy().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_pool_returns_none() {
+        let pool = UpstreamPool::new(vec![addr(1), addr(2)]);
+        assert_eq!(pool.pick(&[addr(1), addr(2)]), None);
+        pool.mark_unhealthy(addr(1));
+        pool.mark_unhealthy(addr(2));
+        assert_eq!(pool.pick(&[]), None);
+        let empty = UpstreamPool::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.pick(&[]), None);
+    }
+
+    #[test]
+    fn replace_resets() {
+        let pool = UpstreamPool::new(vec![addr(1)]);
+        pool.mark_unhealthy(addr(1));
+        pool.replace(vec![addr(1), addr(9)]);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.healthy().len(), 2);
+    }
+}

@@ -1,0 +1,925 @@
+//! Time-stepped cluster simulation.
+//!
+//! A cluster of machines serves the seeded workload while restart
+//! strategies from `zdr-core` run over it. One tick = one simulated
+//! second. The simulator tracks exactly the signals the paper's monitoring
+//! system scrapes (§6): per-group RPS, active MQTT connections, CPU
+//! utilization / idle CPU, throughput, health-check visibility, and the
+//! full §2.5 disruption taxonomy.
+//!
+//! Modeling notes:
+//!
+//! * Connections are tracked as *counts bucketed by expiry tick*
+//!   (`BTreeMap<tick, KindCounts>`), not as individual objects, so a
+//!   100-machine cluster with ~10⁵ live connections steps in microseconds.
+//! * When a release begins, a machine's live connections move to a separate
+//!   `draining` ledger: under Socket Takeover the machine keeps accepting
+//!   *new* connections (owned by the new process and never at risk), while
+//!   only the draining ledger faces the drain-deadline fates.
+//! * Error-class mapping at a hard deadline (§2.5, Fig. 12): cut idle
+//!   keep-alive connections and tunnels → connection resets (plus a slice
+//!   of stream aborts for requests racing the cut); cut POSTs → write
+//!   timeouts; cut QUIC flows → connection resets. Saturated machines
+//!   (capacity loss, reconnect storms) shed excess work as TCP timeouts
+//!   and application write timeouts.
+
+use std::collections::BTreeMap;
+
+use zdr_core::drain::{ConnectionKind, InstanceLifecycle, LifecycleEvent, Phase};
+use zdr_core::mechanism::{Mechanism, RestartStrategy};
+use zdr_core::metrics::{DisruptionCounters, ProxyErrorKind, TimeSeries};
+
+use crate::cpu::{takeover_overhead_fraction, CpuMeter, CpuModel};
+use crate::workload::{WorkloadConfig, WorkloadSampler};
+use crate::TICK_MS;
+
+/// Per-kind connection counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Short API requests.
+    pub short: u64,
+    /// Long POST uploads.
+    pub post: u64,
+    /// QUIC flows.
+    pub quic: u64,
+}
+
+impl KindCounts {
+    fn add(&mut self, kind: ConnectionKind, n: u64) {
+        match kind {
+            ConnectionKind::ShortRequest => self.short += n,
+            ConnectionKind::LongPost => self.post += n,
+            ConnectionKind::QuicFlow => self.quic += n,
+            ConnectionKind::MqttTunnel => unreachable!("tunnels tracked separately"),
+        }
+    }
+
+    fn merge(&mut self, other: &KindCounts) {
+        self.short += other.short;
+        self.post += other.post;
+        self.quic += other.quic;
+    }
+}
+
+#[derive(Debug)]
+struct MachineState {
+    lifecycle: InstanceLifecycle,
+    /// Current-process connections bucketed by completion tick.
+    expiry: BTreeMap<u64, KindCounts>,
+    /// Old-process connections draining toward the deadline.
+    draining: BTreeMap<u64, KindCounts>,
+    /// Live MQTT tunnels.
+    mqtt: u64,
+    /// Idle persistent keep-alive client connections.
+    keepalive: u64,
+    /// Tick the current takeover began, for overhead modeling.
+    takeover_start: Option<u64>,
+    /// True when the machine runs a defective binary (the §5.1 bad-release
+    /// scenario): it serves, but errors at `buggy_error_rate`.
+    buggy: bool,
+    cpu: CpuMeter,
+    /// Requests completed this tick (throughput).
+    completed_this_tick: u64,
+    /// Requests accepted this tick (RPS).
+    accepted_this_tick: u64,
+}
+
+/// Cluster simulation parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Restart strategy in force.
+    pub strategy: RestartStrategy,
+    /// Drain period, ms.
+    pub drain_ms: u64,
+    /// Post-drain restart duration, ms (HardRestart downtime).
+    pub restart_ms: u64,
+    /// Offered workload.
+    pub workload: WorkloadConfig,
+    /// Idle keep-alive client connections per machine.
+    pub keepalive_per_machine: u64,
+    /// CPU model.
+    pub cpu: CpuModel,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ticks a dropped MQTT client waits before reconnecting, mean
+    /// (exponential-ish drain of the reconnect backlog).
+    pub reconnect_mean_ticks: f64,
+    /// HTTP 5xx rate of a machine running a defective binary (see
+    /// [`ClusterSim::set_buggy_deployment`]).
+    pub buggy_error_rate: f64,
+}
+
+impl ClusterConfig {
+    /// A reasonable Edge-cluster default for the given strategy.
+    pub fn edge(machines: usize, strategy: RestartStrategy, seed: u64) -> Self {
+        ClusterConfig {
+            machines,
+            strategy,
+            drain_ms: 20 * 60 * 1000,
+            restart_ms: 30 * 1000,
+            workload: WorkloadConfig::default(),
+            keepalive_per_machine: 2_000,
+            cpu: CpuModel::default(),
+            seed,
+            reconnect_mean_ticks: 5.0,
+            buggy_error_rate: 0.05,
+        }
+    }
+}
+
+/// The running simulation.
+#[derive(Debug)]
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    machines: Vec<MachineState>,
+    sampler: WorkloadSampler,
+    tick: u64,
+    counters: DisruptionCounters,
+    /// MQTT clients waiting to reconnect (dropped tunnels).
+    reconnect_backlog: u64,
+    /// TCP/TLS re-handshakes owed by cut connections, drained over the
+    /// next ticks onto the surviving machines (the Fig. 3b storm).
+    rehandshake_pool: f64,
+    series: BTreeMap<&'static str, TimeSeries>,
+    /// Machines in the "restarted" group (GR) for Fig. 13-style reporting.
+    group_restarted: Vec<usize>,
+    /// When true, machines completing a restart come up on a defective
+    /// binary (the §5.1 bad-release scenario).
+    deploying_buggy_code: bool,
+    /// Load multiplier applied this tick (diurnal experiments set this).
+    pub load_multiplier: f64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster with steady-state MQTT tunnels and keep-alive
+    /// connections pre-attached.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.machines > 0);
+        let sampler = WorkloadSampler::new(cfg.workload.clone(), cfg.seed);
+        let machines = (0..cfg.machines)
+            .map(|_| MachineState {
+                lifecycle: InstanceLifecycle::new(cfg.strategy.clone()),
+                expiry: BTreeMap::new(),
+                draining: BTreeMap::new(),
+                mqtt: cfg.workload.mqtt_tunnels_per_machine,
+                keepalive: cfg.keepalive_per_machine,
+                takeover_start: None,
+                buggy: false,
+                cpu: CpuMeter::default(),
+                completed_this_tick: 0,
+                accepted_this_tick: 0,
+            })
+            .collect();
+        ClusterSim {
+            cfg,
+            machines,
+            sampler,
+            tick: 0,
+            counters: DisruptionCounters::default(),
+            reconnect_backlog: 0,
+            rehandshake_pool: 0.0,
+            series: BTreeMap::new(),
+            group_restarted: Vec::new(),
+            deploying_buggy_code: false,
+            load_multiplier: 1.0,
+        }
+    }
+
+    /// Current simulated time, ms.
+    pub fn now_ms(&self) -> u64 {
+        self.tick * TICK_MS
+    }
+
+    /// Disruption counters so far.
+    pub fn counters(&self) -> &DisruptionCounters {
+        &self.counters
+    }
+
+    /// A recorded series by name (see `tick()` for the names).
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All recorded series.
+    pub fn all_series(&self) -> &BTreeMap<&'static str, TimeSeries> {
+        &self.series
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the cluster has no machines (never; constructor asserts).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Pre-registers the GR (to-be-restarted) group so the Fig. 13 group
+    /// series are meaningful from the first tick.
+    pub fn set_restart_group(&mut self, indices: &[usize]) {
+        for &i in indices {
+            if !self.group_restarted.contains(&i) {
+                self.group_restarted.push(i);
+            }
+        }
+    }
+
+    /// Begins a release on the given machines. MQTT tunnels are re-homed
+    /// immediately under DCR (solicitation happens at restart start, §4.2);
+    /// live connections move to the draining ledger.
+    pub fn begin_restart(&mut self, indices: &[usize]) {
+        let now = self.now_ms();
+        self.set_restart_group(indices);
+        for &i in indices {
+            let started = self.machines[i].lifecycle.begin_release(
+                now,
+                self.cfg.drain_ms,
+                self.cfg.restart_ms,
+            );
+            if !started {
+                continue;
+            }
+            // The old process's connections drain; new arrivals (if any)
+            // belong to the successor process.
+            let m = &mut self.machines[i];
+            let old = std::mem::take(&mut m.expiry);
+            for (t, c) in old {
+                m.draining.entry(t).or_default().merge(&c);
+            }
+            if self.cfg.strategy.stays_healthy_during_restart() {
+                self.machines[i].takeover_start = Some(self.tick);
+            }
+            // DCR: tunnels re-home through other proxies at solicitation
+            // time, with zero client impact.
+            if self.cfg.strategy.uses(Mechanism::DownstreamConnectionReuse) {
+                let moving = self.machines[i].mqtt;
+                self.machines[i].mqtt = 0;
+                self.counters.dcr_handovers += moving;
+                self.distribute_mqtt(moving, indices);
+            }
+        }
+    }
+
+    /// Indices of machines currently accepting new connections.
+    fn accepting(&self) -> Vec<usize> {
+        (0..self.machines.len())
+            .filter(|&i| self.machines[i].lifecycle.accepts_new_connections())
+            .collect()
+    }
+
+    /// Spreads re-homed or reconnecting tunnels over healthy machines not
+    /// in `exclude`.
+    fn distribute_mqtt(&mut self, n: u64, exclude: &[usize]) {
+        let targets: Vec<usize> = (0..self.machines.len())
+            .filter(|i| {
+                !exclude.contains(i) && self.machines[*i].lifecycle.accepts_new_connections()
+            })
+            .collect();
+        if targets.is_empty() {
+            // Nowhere to go: clients must retry later.
+            self.reconnect_backlog += n;
+            return;
+        }
+        let per = n / targets.len() as u64;
+        let mut rem = n % targets.len() as u64;
+        for &t in &targets {
+            let extra = if rem > 0 {
+                rem -= 1;
+                1
+            } else {
+                0
+            };
+            self.machines[t].mqtt += per + extra;
+        }
+    }
+
+    /// Advances one tick (1 s). Records series points:
+    /// `capacity`, `healthy_fraction`, `rps`, `throughput`, `cpu`,
+    /// `idle_cpu`, `mqtt_conns`, `publish_delivered`, `mqtt_connect_acks`,
+    /// and the Fig. 13 group series `gr_rps`/`gnr_rps`/`gr_cpu`/`gnr_cpu`/
+    /// `gr_mqtt`/`gnr_mqtt`/`gr_throughput`/`gnr_throughput`.
+    pub fn tick(&mut self) {
+        self.tick += 1;
+        let now = self.now_ms();
+        let load = self.load_multiplier;
+
+        for m in &mut self.machines {
+            m.cpu.reset();
+            m.completed_this_tick = 0;
+            m.accepted_this_tick = 0;
+        }
+
+        // 1. Lifecycle transitions (drain endings, restarts completing).
+        let mut drain_ended: Vec<usize> = Vec::new();
+        for i in 0..self.machines.len() {
+            let event = self.machines[i].lifecycle.tick(now, self.cfg.restart_ms);
+            match event {
+                Some(LifecycleEvent::DrainEnded) => drain_ended.push(i),
+                Some(LifecycleEvent::BackInService { .. }) => {
+                    self.machines[i].buggy = self.deploying_buggy_code;
+                    if self.machines[i].takeover_start.take().is_some() {
+                        // Takeover drain over: old-process survivors face
+                        // the deadline fates.
+                        drain_ended.push(i);
+                    } else {
+                        // HardRestart back up: fresh keep-alive population
+                        // accretes onto the new process.
+                        self.machines[i].keepalive = self.cfg.keepalive_per_machine;
+                    }
+                }
+                None => {}
+            }
+        }
+        for i in drain_ended {
+            self.finish_drain(i);
+        }
+
+        // 2. Connection completions (both ledgers).
+        for m in &mut self.machines {
+            for ledger in [&mut m.expiry, &mut m.draining] {
+                let done: Vec<u64> = ledger.range(..=self.tick).map(|(k, _)| *k).collect();
+                for k in done {
+                    let c = ledger.remove(&k).expect("key exists");
+                    m.completed_this_tick += c.short + c.post;
+                    self.counters.requests_ok += c.short + c.post;
+                }
+            }
+        }
+
+        // 3. New arrivals, spread across accepting machines (the L4LB view).
+        let accepting = self.accepting();
+        let total_arrivals: Vec<crate::workload::Arrival> = (0..self.machines.len())
+            .flat_map(|_| self.sampler.tick_arrivals(load))
+            .collect();
+        if accepting.is_empty() {
+            // Cluster black-holed: every arrival times out.
+            for _ in &total_arrivals {
+                self.counters.record_proxy_error(ProxyErrorKind::Timeout);
+            }
+        } else {
+            for (j, arrival) in total_arrivals.iter().enumerate() {
+                let i = accepting[j % accepting.len()];
+                let m = &mut self.machines[i];
+                let end_tick = self.tick + arrival.duration_ms.div_ceil(TICK_MS).max(1);
+                m.expiry.entry(end_tick).or_default().add(arrival.kind, 1);
+                m.accepted_this_tick += 1;
+                m.cpu.charge(self.cfg.cpu.handshake_cost_ms * 0.1); // amortized setup
+                m.cpu.charge(self.cfg.cpu.request_cost_ms);
+            }
+        }
+
+        // 3b. Defective binaries error on a slice of what they serve.
+        if self.cfg.buggy_error_rate > 0.0 {
+            let mut extra_5xx = 0u64;
+            for m in &self.machines {
+                if m.buggy && m.accepted_this_tick > 0 {
+                    extra_5xx += self
+                        .sampler
+                        .poisson(m.accepted_this_tick as f64 * self.cfg.buggy_error_rate);
+                }
+            }
+            self.counters.http_5xx += extra_5xx;
+        }
+
+        // 4. MQTT reconnect backlog drains (forced reconnect storms).
+        if self.reconnect_backlog > 0 {
+            let rate = 1.0 - (-1.0 / self.cfg.reconnect_mean_ticks).exp();
+            let reconnecting = ((self.reconnect_backlog as f64) * rate).ceil() as u64;
+            let reconnecting = reconnecting.min(self.reconnect_backlog);
+            self.reconnect_backlog -= reconnecting;
+            self.counters.mqtt_forced_reconnects += reconnecting;
+            self.counters.rehandshakes += reconnecting;
+            self.rehandshake_pool += reconnecting as f64;
+            self.distribute_mqtt(reconnecting, &[]);
+            self.record("mqtt_connect_acks", reconnecting as f64);
+        } else {
+            self.record("mqtt_connect_acks", 0.0);
+        }
+
+        // 4b. Re-handshake CPU storm lands on the accepting machines.
+        if self.rehandshake_pool > 0.5 {
+            let doing = self.rehandshake_pool * 0.5; // half the pool per tick
+            self.rehandshake_pool -= doing;
+            let accepting = self.accepting();
+            if !accepting.is_empty() {
+                let per = doing / accepting.len() as f64;
+                for &i in &accepting {
+                    self.machines[i]
+                        .cpu
+                        .charge(per * self.cfg.cpu.handshake_cost_ms);
+                }
+            }
+        } else {
+            self.rehandshake_pool = 0.0;
+        }
+
+        // 5. Publish traffic: deterministic expectation (the figure signal
+        // is the delivered/offered ratio, not Poisson noise). Publishes to
+        // clients in the reconnect backlog are lost.
+        let live_tunnels: u64 = self.machines.iter().map(|m| m.mqtt).sum();
+        let delivered = live_tunnels as f64 * self.cfg.workload.publish_rate * load;
+        for m in &mut self.machines {
+            m.cpu.charge(
+                m.mqtt as f64 * self.cfg.workload.publish_rate * self.cfg.cpu.publish_cost_ms,
+            );
+        }
+        self.record("publish_delivered", delivered);
+
+        // 6. Takeover overhead + saturation accounting.
+        let mut cpu_sum = 0.0;
+        let mut idle_sum = 0.0;
+        let mut overflow_events = 0u64;
+        for m in &mut self.machines {
+            let mut util = m.cpu.utilization(&self.cfg.cpu);
+            if let Some(start) = m.takeover_start {
+                util =
+                    (util + takeover_overhead_fraction(&self.cfg.cpu, self.tick - start)).min(1.0);
+            }
+            // §6.1.2 counts cluster idle over in-rotation machines; a
+            // hard-down machine's idle CPU is not usable capacity.
+            let in_rotation = m.lifecycle.answers_health_checks();
+            if in_rotation {
+                cpu_sum += util;
+                idle_sum += 1.0 - util;
+            }
+            if m.cpu.saturated(&self.cfg.cpu) {
+                // Excess work sheds as user-visible slowness: TCP timeouts
+                // and application write timeouts (§2.5's QoE degradation).
+                let excess_ms = m.cpu.utilization_raw_ms() - self.cfg.cpu.capacity_ms_per_tick;
+                let events = (excess_ms / self.cfg.cpu.request_cost_ms).round() as u64;
+                overflow_events += events.min(10_000);
+            }
+        }
+        for _ in 0..(overflow_events / 2) {
+            self.counters.record_proxy_error(ProxyErrorKind::Timeout);
+        }
+        for _ in 0..(overflow_events - overflow_events / 2) {
+            self.counters
+                .record_proxy_error(ProxyErrorKind::WriteTimeout);
+        }
+        let n = self.machines.len() as f64;
+
+        // 7. Record the tick's series.
+        let capacity: f64 = self
+            .machines
+            .iter()
+            .map(|m| m.lifecycle.capacity())
+            .sum::<f64>()
+            / n;
+        let healthy: f64 = self
+            .machines
+            .iter()
+            .filter(|m| m.lifecycle.answers_health_checks())
+            .count() as f64
+            / n;
+        let rps: u64 = self.machines.iter().map(|m| m.accepted_this_tick).sum();
+        let throughput: u64 = self.machines.iter().map(|m| m.completed_this_tick).sum();
+        self.record("capacity", capacity);
+        self.record("healthy_fraction", healthy);
+        self.record("rps", rps as f64);
+        self.record("throughput", throughput as f64);
+        self.record("cpu", cpu_sum / n);
+        self.record("idle_cpu", idle_sum / n);
+        self.record("mqtt_conns", live_tunnels as f64);
+
+        // Group series (Fig. 13): GR = registered restart group.
+        let (mut gr_rps, mut gnr_rps, mut gr_cpu, mut gnr_cpu) = (0.0, 0.0, 0.0, 0.0);
+        let (mut gr_mqtt, mut gnr_mqtt, mut gr_tp, mut gnr_tp) = (0.0, 0.0, 0.0, 0.0);
+        let gr_n = self.group_restarted.len().max(1) as f64;
+        let gnr_n = (self.machines.len() - self.group_restarted.len()).max(1) as f64;
+        for (i, m) in self.machines.iter().enumerate() {
+            let mut util = m.cpu.utilization(&self.cfg.cpu);
+            if let Some(start) = m.takeover_start {
+                util =
+                    (util + takeover_overhead_fraction(&self.cfg.cpu, self.tick - start)).min(1.0);
+            }
+            if self.group_restarted.contains(&i) {
+                gr_rps += m.accepted_this_tick as f64;
+                gr_cpu += util;
+                gr_mqtt += m.mqtt as f64;
+                gr_tp += m.completed_this_tick as f64;
+            } else {
+                gnr_rps += m.accepted_this_tick as f64;
+                gnr_cpu += util;
+                gnr_mqtt += m.mqtt as f64;
+                gnr_tp += m.completed_this_tick as f64;
+            }
+        }
+        self.record("gr_rps", gr_rps / gr_n);
+        self.record("gnr_rps", gnr_rps / gnr_n);
+        self.record("gr_cpu", gr_cpu / gr_n);
+        self.record("gnr_cpu", gnr_cpu / gnr_n);
+        self.record("gr_mqtt", gr_mqtt / gr_n);
+        self.record("gnr_mqtt", gnr_mqtt / gnr_n);
+        self.record("gr_throughput", gr_tp / gr_n);
+        self.record("gnr_throughput", gnr_tp / gnr_n);
+    }
+
+    fn record(&mut self, name: &'static str, v: f64) {
+        let t = self.now_ms();
+        self.series.entry(name).or_default().push(t, v);
+    }
+
+    /// Applies the drain-deadline fates to machine `i`'s draining ledger.
+    fn finish_drain(&mut self, i: usize) {
+        let strategy = self.cfg.strategy.clone();
+        let m = &mut self.machines[i];
+        let mut survivors = KindCounts::default();
+        for (_, c) in m.draining.range(self.tick + 1..) {
+            survivors.merge(c);
+        }
+        m.draining.clear();
+
+        // Short requests cut mid-flight: stream aborts.
+        for _ in 0..survivors.short {
+            self.counters
+                .record_proxy_error(ProxyErrorKind::StreamAbort);
+        }
+        self.counters.connections_reset += survivors.short;
+
+        // Long POSTs: PPR replays them; otherwise write timeouts.
+        if strategy.uses(Mechanism::PartialPostReplay) {
+            self.counters.ppr_replays += survivors.post;
+            // Replayed posts continue on other machines.
+            let targets = self.accepting();
+            if let Some(&t) = targets.iter().find(|&&t| t != i) {
+                self.machines[t]
+                    .expiry
+                    .entry(self.tick + 10)
+                    .or_default()
+                    .add(ConnectionKind::LongPost, survivors.post);
+            }
+        } else {
+            for _ in 0..survivors.post {
+                self.counters
+                    .record_proxy_error(ProxyErrorKind::WriteTimeout);
+            }
+            self.counters.posts_disrupted += survivors.post;
+            self.counters.connections_reset += survivors.post;
+        }
+
+        // QUIC flows outliving the drain: connection resets.
+        for _ in 0..survivors.quic {
+            self.counters.record_proxy_error(ProxyErrorKind::ConnReset);
+        }
+        self.counters.connections_reset += survivors.quic;
+        self.counters.rehandshakes += survivors.quic + survivors.short;
+        self.rehandshake_pool += (survivors.quic + survivors.short) as f64;
+
+        let m = &mut self.machines[i];
+        let graceful = strategy.stays_healthy_during_restart();
+
+        // Idle keep-alive connections: a hard deadline RSTs them all (some
+        // with a request racing the cut); a takeover drain closes them
+        // after their last response, which clients absorb silently except
+        // for a sliver of in-flight races.
+        let ka = m.keepalive;
+        if graceful {
+            let racing = ka / 100;
+            for _ in 0..racing {
+                self.counters
+                    .record_proxy_error(ProxyErrorKind::StreamAbort);
+            }
+            self.counters.connections_reset += racing;
+            // Clients re-establish lazily; no thundering herd.
+            m.keepalive = self.cfg.keepalive_per_machine;
+        } else {
+            for _ in 0..ka {
+                self.counters.record_proxy_error(ProxyErrorKind::ConnReset);
+            }
+            let racing = ka / 10;
+            for _ in 0..racing {
+                self.counters
+                    .record_proxy_error(ProxyErrorKind::StreamAbort);
+            }
+            self.counters.connections_reset += ka;
+            self.counters.rehandshakes += ka;
+            self.rehandshake_pool += ka as f64;
+            m.keepalive = 0; // repopulated when the machine returns
+        }
+
+        // MQTT tunnels: without DCR they die here and the clients storm
+        // back (with DCR they moved at restart start).
+        if !strategy.uses(Mechanism::DownstreamConnectionReuse) {
+            let dropped = m.mqtt;
+            m.mqtt = 0;
+            self.reconnect_backlog += dropped;
+            self.counters.connections_reset += dropped;
+            for _ in 0..dropped.min(100_000) {
+                self.counters.record_proxy_error(ProxyErrorKind::ConnReset);
+            }
+        }
+    }
+
+    /// Drives a full rolling release (batches of `batch_fraction`) to
+    /// completion, ticking the workload throughout. Returns the completion
+    /// time in ms.
+    pub fn run_rolling_release(&mut self, batch_fraction: f64) -> u64 {
+        assert!(batch_fraction > 0.0 && batch_fraction <= 1.0);
+        let n = self.machines.len();
+        let batch = ((n as f64 * batch_fraction).ceil() as usize).max(1);
+        let mut next = 0usize;
+        let limit = 100_000_000 / TICK_MS; // termination guard
+        while next < n
+            || self
+                .machines
+                .iter()
+                .any(|m| m.lifecycle.phase() != Phase::Serving)
+        {
+            // Launch the next batch when everyone is serving.
+            if next < n
+                && self
+                    .machines
+                    .iter()
+                    .all(|m| m.lifecycle.phase() == Phase::Serving)
+            {
+                let indices: Vec<usize> = (next..(next + batch).min(n)).collect();
+                next = (next + batch).min(n);
+                self.begin_restart(&indices);
+            }
+            self.tick();
+            assert!(self.tick < limit, "release failed to terminate");
+        }
+        self.now_ms()
+    }
+
+    /// Steps `n` ticks with no release activity (warm-up / steady state).
+    pub fn run_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// The generation of machine `i` (how many releases it completed).
+    pub fn generation(&self, i: usize) -> u32 {
+        self.machines[i].lifecycle.generation()
+    }
+
+    /// Marks subsequent restarts as deploying a defective binary (or a
+    /// fixed one, when `buggy` is false — the rollback path).
+    pub fn set_buggy_deployment(&mut self, buggy: bool) {
+        self.deploying_buggy_code = buggy;
+    }
+
+    /// True when machine `i` currently runs the defective binary.
+    pub fn is_buggy(&self, i: usize) -> bool {
+        self.machines[i].buggy
+    }
+
+    /// Fraction of the fleet currently running the defective binary — the
+    /// blast radius of a bad release.
+    pub fn buggy_fraction(&self) -> f64 {
+        self.machines.iter().filter(|m| m.buggy).count() as f64 / self.machines.len() as f64
+    }
+
+    /// True when every machine is back in normal service (no drains or
+    /// restarts in flight).
+    pub fn all_serving(&self) -> bool {
+        self.machines
+            .iter()
+            .all(|m| m.lifecycle.phase() == Phase::Serving)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdr_core::tier::Tier;
+
+    fn small_cfg(strategy: RestartStrategy, seed: u64) -> ClusterConfig {
+        ClusterConfig {
+            machines: 10,
+            strategy,
+            drain_ms: 30_000, // 30 s drains keep tests fast
+            restart_ms: 5_000,
+            workload: WorkloadConfig {
+                short_rps: 50.0,
+                post_rps: 2.0,
+                post_median_ms: 10_000.0,
+                mqtt_tunnels_per_machine: 100,
+                quic_fps: 5.0,
+                quic_mean_ms: 8_000.0,
+                ..WorkloadConfig::default()
+            },
+            keepalive_per_machine: 200,
+            cpu: CpuModel::default(),
+            seed,
+            reconnect_mean_ticks: 3.0,
+            buggy_error_rate: 0.05,
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut sim = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, seed));
+            sim.run_ticks(5);
+            sim.begin_restart(&[0, 1]);
+            sim.run_ticks(60);
+            (sim.counters().clone(), sim.series("rps").unwrap().clone())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn steady_state_has_no_disruptions() {
+        let mut sim = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 1));
+        sim.run_ticks(30);
+        assert_eq!(sim.counters().total_disruptions(), 0);
+        assert!(sim.counters().requests_ok > 0);
+        assert_eq!(sim.series("capacity").unwrap().min(), Some(1.0));
+    }
+
+    #[test]
+    fn hard_restart_drops_capacity_and_disrupts() {
+        let mut sim = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 2));
+        sim.run_ticks(5);
+        sim.begin_restart(&[0, 1]); // 20% of the cluster
+        sim.run_ticks(50);
+        let min_cap = sim.series("capacity").unwrap().min().unwrap();
+        assert!((min_cap - 0.8).abs() < 1e-9, "min capacity {min_cap}");
+        assert!(sim.series("healthy_fraction").unwrap().min().unwrap() < 0.9);
+        assert!(sim.counters().total_disruptions() > 0);
+        assert!(
+            sim.counters().mqtt_forced_reconnects > 0,
+            "tunnels must storm back"
+        );
+    }
+
+    #[test]
+    fn zdr_restart_keeps_capacity_and_health() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(small_cfg(strategy, 3));
+        sim.run_ticks(5);
+        sim.begin_restart(&[0, 1]);
+        sim.run_ticks(50);
+        assert_eq!(sim.series("healthy_fraction").unwrap().min(), Some(1.0));
+        let min_cap = sim.series("capacity").unwrap().min().unwrap();
+        assert!(min_cap > 0.98, "min capacity {min_cap}");
+        assert!(sim.counters().dcr_handovers >= 200);
+        assert_eq!(sim.counters().mqtt_forced_reconnects, 0);
+    }
+
+    #[test]
+    fn new_connections_survive_takeover_drain() {
+        // The core correctness property: connections accepted during a
+        // takeover drain belong to the new process and are never cut.
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut cfg = small_cfg(strategy, 12);
+        // No long-lived pre-restart load at all: any disruption would have
+        // to come (incorrectly) from post-restart arrivals.
+        cfg.workload.quic_fps = 0.0;
+        cfg.workload.post_rps = 0.0;
+        cfg.workload.mqtt_tunnels_per_machine = 0;
+        cfg.keepalive_per_machine = 0;
+        let mut sim = ClusterSim::new(cfg);
+        sim.begin_restart(&[0, 1, 2]);
+        sim.run_ticks(60); // across the 30 s drain deadline
+        assert_eq!(sim.counters().total_disruptions(), 0);
+        assert!(sim.counters().requests_ok > 0);
+    }
+
+    #[test]
+    fn zdr_vs_hard_disruption_gap() {
+        let mut hard = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 4));
+        hard.run_ticks(5);
+        hard.begin_restart(&[0, 1]);
+        hard.run_ticks(60);
+
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut zdr = ClusterSim::new(small_cfg(strategy, 4));
+        zdr.run_ticks(5);
+        zdr.begin_restart(&[0, 1]);
+        zdr.run_ticks(60);
+
+        assert!(
+            hard.counters().total_disruptions() > 10 * zdr.counters().total_disruptions().max(1),
+            "hard {} vs zdr {}",
+            hard.counters().total_disruptions(),
+            zdr.counters().total_disruptions()
+        );
+    }
+
+    #[test]
+    fn publish_delivery_dips_without_dcr_only() {
+        let mut hard = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 5));
+        hard.run_ticks(5);
+        hard.begin_restart(&[0, 1, 2]);
+        hard.run_ticks(60);
+        let hard_min_tunnels = hard.series("mqtt_conns").unwrap().min().unwrap();
+
+        let strategy = RestartStrategy::zero_downtime_for(Tier::OriginProxygen);
+        let mut zdr = ClusterSim::new(small_cfg(strategy, 5));
+        zdr.run_ticks(5);
+        zdr.begin_restart(&[0, 1, 2]);
+        zdr.run_ticks(60);
+        let zdr_min_tunnels = zdr.series("mqtt_conns").unwrap().min().unwrap();
+
+        assert!(
+            hard_min_tunnels < 800.0,
+            "hard tunnels dipped: {hard_min_tunnels}"
+        );
+        assert_eq!(zdr_min_tunnels, 1000.0, "DCR keeps every tunnel live");
+        assert!(hard.series("mqtt_connect_acks").unwrap().max().unwrap() > 0.0);
+        assert_eq!(zdr.series("mqtt_connect_acks").unwrap().max(), Some(0.0));
+    }
+
+    #[test]
+    fn ppr_turns_write_timeouts_into_replays() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::AppServer);
+        let mut cfg = small_cfg(strategy, 6);
+        cfg.drain_ms = 5_000; // app-server-style short drain
+        let mut with_ppr = ClusterSim::new(cfg.clone());
+        with_ppr.run_ticks(10);
+        with_ppr.begin_restart(&[0]);
+        with_ppr.run_ticks(30);
+        assert!(with_ppr.counters().ppr_replays > 0);
+        assert_eq!(with_ppr.counters().posts_disrupted, 0);
+
+        cfg.strategy = RestartStrategy::HardRestart;
+        let mut without = ClusterSim::new(cfg);
+        without.run_ticks(10);
+        without.begin_restart(&[0]);
+        without.run_ticks(30);
+        assert!(without.counters().posts_disrupted > 0);
+        assert!(
+            without.counters().proxy_error(ProxyErrorKind::WriteTimeout) > 0,
+            "posts cut mid-upload are write timeouts"
+        );
+    }
+
+    #[test]
+    fn rolling_release_completes_all_machines() {
+        let mut sim = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 7));
+        let completion = sim.run_rolling_release(0.5);
+        assert!(completion > 0);
+        for i in 0..10 {
+            assert_eq!(sim.generation(i), 1, "machine {i}");
+        }
+    }
+
+    #[test]
+    fn zdr_rolling_release_faster_than_hard() {
+        let mut hard = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 8));
+        let t_hard = hard.run_rolling_release(0.2);
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut zdr = ClusterSim::new(small_cfg(strategy, 8));
+        let t_zdr = zdr.run_rolling_release(0.2);
+        assert!(t_zdr < t_hard, "zdr {t_zdr} vs hard {t_hard}");
+    }
+
+    #[test]
+    fn group_series_recorded() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(small_cfg(strategy, 9));
+        sim.set_restart_group(&[0, 1]);
+        sim.run_ticks(3);
+        sim.begin_restart(&[0, 1]);
+        sim.run_ticks(10);
+        for key in [
+            "gr_rps", "gnr_rps", "gr_cpu", "gnr_cpu", "gr_mqtt", "gnr_mqtt",
+        ] {
+            assert!(sim.series(key).is_some(), "{key} missing");
+        }
+        // GR carries takeover overhead: its CPU tops GNR's during drain.
+        let gr_max = sim.series("gr_cpu").unwrap().max().unwrap();
+        let gnr_max = sim.series("gnr_cpu").unwrap().max().unwrap();
+        assert!(gr_max > gnr_max, "gr {gr_max} vs gnr {gnr_max}");
+        // And GR's RPS stays near GNR's: takeover keeps accepting.
+        let gr_last = sim.series("gr_rps").unwrap().points.last().unwrap().1;
+        let gnr_last = sim.series("gnr_rps").unwrap().points.last().unwrap().1;
+        assert!(
+            (gr_last / gnr_last - 1.0).abs() < 0.5,
+            "gr {gr_last} gnr {gnr_last}"
+        );
+    }
+
+    #[test]
+    fn all_arrivals_timeout_when_cluster_black_holed() {
+        let mut cfg = small_cfg(RestartStrategy::HardRestart, 10);
+        cfg.machines = 2;
+        let mut sim = ClusterSim::new(cfg);
+        sim.begin_restart(&[0, 1]);
+        sim.run_ticks(3);
+        assert!(sim.counters().proxy_error(ProxyErrorKind::Timeout) > 0);
+    }
+
+    #[test]
+    fn keepalive_cut_classes_differ_by_strategy() {
+        let mut hard = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 11));
+        hard.begin_restart(&[0]);
+        hard.run_ticks(40);
+        // 200 keep-alives RST + 100 tunnels RST at least.
+        assert!(hard.counters().proxy_error(ProxyErrorKind::ConnReset) >= 300);
+
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut zdr = ClusterSim::new(small_cfg(strategy, 11));
+        zdr.begin_restart(&[0]);
+        zdr.run_ticks(40);
+        assert!(zdr.counters().proxy_error(ProxyErrorKind::ConnReset) < 50);
+    }
+}

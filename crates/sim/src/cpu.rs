@@ -1,0 +1,148 @@
+//! Machine CPU model.
+//!
+//! Calibrated against the paper's observations:
+//!
+//! * §2.5 / Fig. 3b: when 10% of Origin Proxygens restart and their clients
+//!   reconnect, the app cluster burns ~20% of its CPU rebuilding TCP/TLS
+//!   state — so a re-handshake costs roughly 2× the service cost of an
+//!   ordinary request at the observed request mix.
+//! * §6.3 / Fig. 17: two parallel Proxygen instances during a takeover
+//!   drain cost a median <5% CPU/RSS, with a 60–70 s tail spike.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU cost model, in abstract "CPU-milliseconds per event" units on a
+/// machine with `capacity_ms_per_tick` of compute per simulated second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// CPU-ms available per 1 s tick (1000 = one core fully ours).
+    pub capacity_ms_per_tick: f64,
+    /// Cost of serving one short request.
+    pub request_cost_ms: f64,
+    /// Cost of one TCP+TLS handshake (connection setup or rebuild).
+    pub handshake_cost_ms: f64,
+    /// Cost of relaying one MQTT publish.
+    pub publish_cost_ms: f64,
+    /// Steady overhead fraction while two instances run in parallel
+    /// (Socket Takeover drain window), of total capacity.
+    pub parallel_instance_overhead: f64,
+    /// Extra overhead fraction during the initial takeover spike.
+    pub takeover_spike_overhead: f64,
+    /// How long the spike lasts, ticks (§6.3: "persisting for around
+    /// 60-70 seconds").
+    pub takeover_spike_ticks: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            capacity_ms_per_tick: 1_000.0,
+            request_cost_ms: 0.5,
+            handshake_cost_ms: 1.0,
+            publish_cost_ms: 0.05,
+            parallel_instance_overhead: 0.04,
+            takeover_spike_overhead: 0.18,
+            takeover_spike_ticks: 65,
+        }
+    }
+}
+
+/// Tracks one machine's CPU usage over a tick.
+#[derive(Debug, Clone, Default)]
+pub struct CpuMeter {
+    used_ms: f64,
+}
+
+impl CpuMeter {
+    /// Starts a fresh tick.
+    pub fn reset(&mut self) {
+        self.used_ms = 0.0;
+    }
+
+    /// Charges `cost_ms` of work.
+    pub fn charge(&mut self, cost_ms: f64) {
+        self.used_ms += cost_ms;
+    }
+
+    /// Utilization for the tick, clamped to 1.0 (saturation).
+    pub fn utilization(&self, model: &CpuModel) -> f64 {
+        (self.used_ms / model.capacity_ms_per_tick).min(1.0)
+    }
+
+    /// Idle fraction for the tick.
+    pub fn idle(&self, model: &CpuModel) -> f64 {
+        1.0 - self.utilization(model)
+    }
+
+    /// Whether the tick's work exceeded capacity (overload → queueing,
+    /// tail-latency growth).
+    pub fn saturated(&self, model: &CpuModel) -> bool {
+        self.used_ms > model.capacity_ms_per_tick
+    }
+
+    /// Raw CPU-ms charged this tick (unclamped; used for overflow
+    /// accounting when saturated).
+    pub fn utilization_raw_ms(&self) -> f64 {
+        self.used_ms
+    }
+}
+
+/// Per-tick CPU overhead of a takeover in progress, as a fraction of
+/// capacity: a spike for the first [`CpuModel::takeover_spike_ticks`],
+/// then the steady parallel-instance overhead.
+pub fn takeover_overhead_fraction(model: &CpuModel, ticks_since_takeover_start: u64) -> f64 {
+    if ticks_since_takeover_start < model.takeover_spike_ticks {
+        model.parallel_instance_overhead + model.takeover_spike_overhead
+    } else {
+        model.parallel_instance_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_and_resets() {
+        let model = CpuModel::default();
+        let mut m = CpuMeter::default();
+        m.charge(250.0);
+        m.charge(250.0);
+        assert!((m.utilization(&model) - 0.5).abs() < 1e-9);
+        assert!((m.idle(&model) - 0.5).abs() < 1e-9);
+        assert!(!m.saturated(&model));
+        m.reset();
+        assert_eq!(m.utilization(&model), 0.0);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let model = CpuModel::default();
+        let mut m = CpuMeter::default();
+        m.charge(5_000.0);
+        assert_eq!(m.utilization(&model), 1.0);
+        assert!(m.saturated(&model));
+        assert_eq!(m.idle(&model), 0.0);
+    }
+
+    #[test]
+    fn handshake_costs_more_than_request() {
+        // The Fig. 3b premise: rebuilding state is more expensive than
+        // serving a request.
+        let model = CpuModel::default();
+        assert!(model.handshake_cost_ms > model.request_cost_ms);
+    }
+
+    #[test]
+    fn takeover_spike_then_steady() {
+        let model = CpuModel::default();
+        let spike = takeover_overhead_fraction(&model, 0);
+        let mid = takeover_overhead_fraction(&model, 30);
+        let steady = takeover_overhead_fraction(&model, 100);
+        assert_eq!(spike, mid);
+        assert!(spike > steady);
+        assert!((steady - 0.04).abs() < 1e-9);
+        // §6.3: median (steady) below 5%.
+        assert!(steady < 0.05);
+    }
+}

@@ -1,0 +1,301 @@
+//! Blast radius of a defective release: canary-gated vs ungated rollout.
+//!
+//! §5.1: because Zero Downtime Release isolates restarts to one layer,
+//! "the blast radius of a buggy release is largely confined to one layer
+//! where mitigation (or rollbacks) can be applied swiftly"; §6.2.2 adds
+//! that peak-hour releases are safe *because* operators can watch and
+//! react. This experiment quantifies that: a release whose new binary
+//! errors on 5% of requests rolls across a cluster (a) ungated and (b)
+//! behind a [`zdr_core::canary::CanaryGate`] that halts and rolls back.
+
+use std::fmt;
+
+use zdr_core::canary::{CanaryGate, CanaryPolicy, Verdict, WindowSample};
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::tier::Tier;
+
+use crate::cluster::{ClusterConfig, ClusterSim};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Batch fraction per rollout step.
+    pub batch_fraction: f64,
+    /// Error rate of the defective binary.
+    pub buggy_error_rate: f64,
+    /// Ticks observed per canary window after each batch.
+    pub window_ticks: u64,
+    /// Drain period, ms.
+    pub drain_ms: u64,
+    /// Gate policy.
+    pub policy: CanaryPolicy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            machines: 50,
+            batch_fraction: 0.2,
+            buggy_error_rate: 0.05,
+            window_ticks: 20,
+            drain_ms: 10_000,
+            policy: CanaryPolicy {
+                min_requests: 100,
+                ..CanaryPolicy::default()
+            },
+            seed: 4242,
+        }
+    }
+}
+
+/// One arm's outcome.
+#[derive(Debug, Clone)]
+pub struct ArmOutcome {
+    /// Peak fraction of the fleet on the defective binary.
+    pub peak_blast_radius: f64,
+    /// HTTP 5xx served to users over the whole run.
+    pub user_errors: u64,
+    /// Batches released before the run ended or halted.
+    pub batches_released: usize,
+    /// Whether the gate halted (always false for the ungated arm).
+    pub halted: bool,
+}
+
+/// Gated vs ungated comparison.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// No canary gate: the release runs to completion.
+    pub ungated: ArmOutcome,
+    /// Canary-gated with rollback on halt.
+    pub gated: ArmOutcome,
+}
+
+fn new_sim(cfg: &Config) -> ClusterSim {
+    let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+    let mut ccfg = ClusterConfig::edge(cfg.machines, strategy, cfg.seed);
+    ccfg.drain_ms = cfg.drain_ms;
+    ccfg.buggy_error_rate = cfg.buggy_error_rate;
+    ccfg.workload.short_rps = 200.0;
+    ccfg.workload.mqtt_tunnels_per_machine = 100;
+    ccfg.workload.quic_fps = 1.0;
+    ClusterSim::new(ccfg)
+}
+
+fn batch_indices(cfg: &Config, batch: usize) -> Vec<usize> {
+    let size = ((cfg.machines as f64 * cfg.batch_fraction).ceil() as usize).max(1);
+    let start = batch * size;
+    (start..(start + size).min(cfg.machines)).collect()
+}
+
+fn batch_count(cfg: &Config) -> usize {
+    let size = ((cfg.machines as f64 * cfg.batch_fraction).ceil() as usize).max(1);
+    cfg.machines.div_ceil(size)
+}
+
+/// Releases one batch and waits for it to finish draining.
+fn complete_batch(sim: &mut ClusterSim, indices: &[usize]) {
+    sim.begin_restart(indices);
+    while !sim.all_serving() {
+        sim.tick();
+    }
+}
+
+/// Runs a traffic window and returns its `(requests, disruptions)` summary.
+fn observe_window(sim: &mut ClusterSim, window_ticks: u64) -> WindowSample {
+    let before_ok = sim.counters().requests_ok + sim.counters().http_5xx;
+    let before_bad = sim.counters().http_5xx;
+    sim.run_ticks(window_ticks);
+    WindowSample {
+        requests: (sim.counters().requests_ok + sim.counters().http_5xx) - before_ok,
+        disruptions: sim.counters().http_5xx - before_bad,
+    }
+}
+
+fn run_batch_and_window(
+    sim: &mut ClusterSim,
+    indices: &[usize],
+    window_ticks: u64,
+) -> WindowSample {
+    complete_batch(sim, indices);
+    observe_window(sim, window_ticks)
+}
+
+/// Runs the ungated arm: every batch ships, no one watches.
+fn run_ungated(cfg: &Config) -> ArmOutcome {
+    let mut sim = new_sim(cfg);
+    sim.run_ticks(10);
+    sim.set_buggy_deployment(true);
+    let batches = batch_count(cfg);
+    for b in 0..batches {
+        run_batch_and_window(&mut sim, &batch_indices(cfg, b), cfg.window_ticks);
+    }
+    ArmOutcome {
+        peak_blast_radius: sim.buggy_fraction(),
+        user_errors: sim.counters().http_5xx,
+        batches_released: batches,
+        halted: false,
+    }
+}
+
+/// Runs the gated arm: canary window after each batch; halt → roll the
+/// batch back to the previous binary and stop.
+fn run_gated(cfg: &Config) -> ArmOutcome {
+    let mut sim = new_sim(cfg);
+    sim.run_ticks(10);
+
+    // Baseline window before the release starts.
+    let before_ok = sim.counters().requests_ok + sim.counters().http_5xx;
+    let before_bad = sim.counters().http_5xx;
+    sim.run_ticks(cfg.window_ticks);
+    let baseline = WindowSample {
+        requests: (sim.counters().requests_ok + sim.counters().http_5xx) - before_ok,
+        disruptions: sim.counters().http_5xx - before_bad,
+    };
+    let mut gate = CanaryGate::new(cfg.policy, baseline);
+
+    sim.set_buggy_deployment(true);
+    let mut peak_radius = 0.0f64;
+    let mut released = 0usize;
+    let mut halted = false;
+    'rollout: for b in 0..batch_count(cfg) {
+        let indices = batch_indices(cfg, b);
+        complete_batch(&mut sim, &indices);
+        released += 1;
+        peak_radius = peak_radius.max(sim.buggy_fraction());
+
+        // Observe canary windows until the gate either halts (a bad window
+        // confirmed after debounce) or passes a clean window.
+        loop {
+            let sample = observe_window(&mut sim, cfg.window_ticks);
+            let looked_bad = sample.rate() > gate.threshold();
+            match gate.observe(sim.now_ms(), sample) {
+                Verdict::Halt { .. } => {
+                    halted = true;
+                    // Swift mitigation: re-release the old binary on the
+                    // affected batch (a rollback is itself a zero-downtime
+                    // release, §2.4).
+                    sim.set_buggy_deployment(false);
+                    complete_batch(&mut sim, &indices);
+                    break 'rollout;
+                }
+                Verdict::Proceed if looked_bad => continue, // debouncing: watch another window
+                Verdict::Proceed => break,
+            }
+        }
+    }
+
+    ArmOutcome {
+        peak_blast_radius: peak_radius,
+        user_errors: sim.counters().http_5xx,
+        batches_released: released,
+        halted,
+    }
+}
+
+/// Runs both arms.
+pub fn run(cfg: &Config) -> Report {
+    Report {
+        ungated: run_ungated(cfg),
+        gated: run_gated(cfg),
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Blast radius of a defective release (§5.1 ablation) =="
+        )?;
+        for (name, arm) in [("ungated", &self.ungated), ("canary-gated", &self.gated)] {
+            writeln!(
+                f,
+                "  {name:<13} batches {:>2}  peak blast radius {:>5.1}%  user errors {:>8}  halted: {}",
+                arm.batches_released,
+                arm.peak_blast_radius * 100.0,
+                arm.user_errors,
+                arm.halted
+            )?;
+        }
+        let reduction = self.ungated.user_errors as f64 / self.gated.user_errors.max(1) as f64;
+        writeln!(f, "  error reduction from gating: {reduction:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            machines: 20,
+            window_ticks: 10,
+            drain_ms: 5_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn gate_halts_after_first_batch() {
+        let r = run(&fast());
+        assert!(r.gated.halted, "the 5% error rate must trip the gate");
+        assert_eq!(r.gated.batches_released, 1, "halted at the first batch");
+        assert!(!r.ungated.halted);
+        assert_eq!(r.ungated.batches_released, batch_count(&fast()));
+    }
+
+    #[test]
+    fn gating_confines_blast_radius() {
+        let r = run(&fast());
+        assert!(
+            (r.gated.peak_blast_radius - 0.2).abs() < 0.06,
+            "one batch ≈ 20%: {}",
+            r.gated.peak_blast_radius
+        );
+        assert!(
+            (r.ungated.peak_blast_radius - 1.0).abs() < 1e-9,
+            "ungated ships everywhere"
+        );
+    }
+
+    #[test]
+    fn gating_cuts_user_errors_by_a_large_factor() {
+        let r = run(&fast());
+        assert!(r.ungated.user_errors > 5 * r.gated.user_errors.max(1));
+    }
+
+    #[test]
+    fn rollback_restores_a_clean_fleet() {
+        let cfg = fast();
+        let mut sim = new_sim(&cfg);
+        sim.run_ticks(5);
+        sim.set_buggy_deployment(true);
+        run_batch_and_window(&mut sim, &batch_indices(&cfg, 0), 5);
+        assert!(sim.buggy_fraction() > 0.0);
+        // Roll back.
+        sim.set_buggy_deployment(false);
+        sim.begin_restart(&batch_indices(&cfg, 0));
+        while !sim.all_serving() {
+            sim.tick();
+        }
+        assert_eq!(sim.buggy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn healthy_release_is_never_halted() {
+        let mut cfg = fast();
+        cfg.buggy_error_rate = 0.0;
+        let r = run(&cfg);
+        assert!(!r.gated.halted);
+        assert_eq!(r.gated.batches_released, batch_count(&cfg));
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&fast()).to_string();
+        assert!(s.contains("blast radius") || s.contains("Blast radius"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Fig. 16: time to complete a global release.
+//!
+//! "In the median update, Proxygen releases finish in 1.5 hours, whereas
+//! App Server releases are even faster (25 minutes). The major factor ...
+//! is the different draining behavior": 20-minute drains vs 10–15 s.
+
+use std::fmt;
+
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::metrics::percentile;
+use zdr_core::scheduler::{run_to_completion, ClusterRollout, RolloutPlan};
+use zdr_core::tier::Tier;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Clusters in the global fleet.
+    pub clusters: usize,
+    /// Machines per cluster (jittered ±20% by cluster index).
+    pub machines_per_cluster: usize,
+    /// Batch fraction per cluster.
+    pub batch_fraction: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            clusters: 30,
+            machines_per_cluster: 100,
+            batch_fraction: 0.20,
+        }
+    }
+}
+
+/// Completion-time distribution for one tier.
+#[derive(Debug, Clone)]
+pub struct TierCompletion {
+    /// The tier.
+    pub tier: Tier,
+    /// Per-cluster completion times, ms.
+    pub completion_ms: Vec<f64>,
+}
+
+impl TierCompletion {
+    /// A percentile of the distribution, minutes.
+    pub fn pct_minutes(&self, p: f64) -> f64 {
+        percentile(&self.completion_ms, p).unwrap_or(0.0) / 60_000.0
+    }
+}
+
+/// Fig. 16's distributions.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Proxygen tier (ZDR, 20-minute drains).
+    pub proxygen: TierCompletion,
+    /// App Server tier (PPR, 12-second drains).
+    pub app_server: TierCompletion,
+    /// Proxygen under HardRestart, for contrast.
+    pub proxygen_hard: TierCompletion,
+}
+
+fn run_tier(cfg: &Config, tier: Tier, strategy: RestartStrategy) -> TierCompletion {
+    let profile = tier.profile();
+    let plan = RolloutPlan {
+        batch_fraction: cfg.batch_fraction,
+        drain_ms: profile.drain_period.as_millis() as u64,
+        restart_ms: profile.restart_duration.as_millis() as u64,
+    };
+    let mut completion_ms = Vec::with_capacity(cfg.clusters);
+    for c in 0..cfg.clusters {
+        // Deterministic ±20% size jitter across clusters.
+        let jitter = 0.8 + 0.4 * ((c * 7919) % 100) as f64 / 100.0;
+        let n = ((cfg.machines_per_cluster as f64) * jitter)
+            .round()
+            .max(1.0) as usize;
+        let mut rollout = ClusterRollout::new(n, strategy.clone(), plan);
+        let (t, _) = run_to_completion(&mut rollout, 5_000);
+        completion_ms.push(t as f64);
+    }
+    TierCompletion {
+        tier,
+        completion_ms,
+    }
+}
+
+/// Runs the Fig. 16 comparison.
+pub fn run(cfg: &Config) -> Report {
+    Report {
+        proxygen: run_tier(
+            cfg,
+            Tier::EdgeProxygen,
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen),
+        ),
+        app_server: run_tier(
+            cfg,
+            Tier::AppServer,
+            RestartStrategy::zero_downtime_for(Tier::AppServer),
+        ),
+        proxygen_hard: run_tier(cfg, Tier::EdgeProxygen, RestartStrategy::HardRestart),
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 16: release completion times ==")?;
+        for (name, t) in [
+            ("Proxygen (ZDR)", &self.proxygen),
+            ("App Server (ZDR)", &self.app_server),
+            ("Proxygen (HardRestart)", &self.proxygen_hard),
+        ] {
+            writeln!(
+                f,
+                "  {name:<24} p25 {:.0} min  median {:.0} min  p75 {:.0} min",
+                t.pct_minutes(25.0),
+                t.pct_minutes(50.0),
+                t.pct_minutes(75.0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            clusters: 10,
+            machines_per_cluster: 40,
+            batch_fraction: 0.20,
+        }
+    }
+
+    #[test]
+    fn proxygen_median_about_100_minutes() {
+        // 5 batches × 20 min drain = 100 min ≈ the paper's 1.5 h.
+        let r = run(&fast());
+        let median = r.proxygen.pct_minutes(50.0);
+        assert!((80.0..130.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn app_server_median_under_30_minutes() {
+        let r = run(&fast());
+        let median = r.app_server.pct_minutes(50.0);
+        assert!(median < 30.0, "median {median}");
+        // And clearly faster than Proxygen: the drain-period gap.
+        assert!(median < r.proxygen.pct_minutes(50.0) / 3.0);
+    }
+
+    #[test]
+    fn hard_restart_slower_than_zdr() {
+        let r = run(&fast());
+        assert!(r.proxygen_hard.pct_minutes(50.0) > r.proxygen.pct_minutes(50.0));
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&fast()).to_string();
+        assert!(s.contains("Fig. 16"));
+        assert!(s.contains("median"));
+    }
+}

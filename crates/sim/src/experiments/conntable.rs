@@ -1,0 +1,279 @@
+//! Ablation: the L4 LRU connection table under health flaps (§5.1).
+//!
+//! "Occasionally ... servers going through deployment in peak hours
+//! suffer momentary CPU and memory pressure, and consequently reply back
+//! as unhealthy ... This seemingly momentary flap can escalate to system
+//! wide instability due to mis-routing of packets for existing
+//! connections if ... the L4LB layer employs a consistent routing
+//! mechanism such as consistent-hash". The remediation is the LRU
+//! connection table.
+//!
+//! Three routing schemes are compared across the same flap sequence:
+//!
+//! * **modulo hashing** (`hash % healthy_count`) — the naive strawman:
+//!   every membership change reshuffles almost every flow;
+//! * **Maglev only** — consistent hashing bounds the damage to the
+//!   victim's share plus a small residual;
+//! * **Maglev + LRU table** — the Katran configuration: the residual
+//!   collateral goes to zero; only the victim's own flows (unavoidably)
+//!   break.
+
+use std::fmt;
+use std::net::SocketAddr;
+
+use zdr_l4lb::forwarder::{ForwarderConfig, L4Forwarder};
+use zdr_l4lb::hash::FlowKey;
+use zdr_l4lb::health::HealthConfig;
+use zdr_l4lb::BackendId;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Backends behind the L4LB.
+    pub backends: u32,
+    /// Established flows pinned before the flap.
+    pub flows: u32,
+    /// How many distinct backends flap (sequentially).
+    pub flaps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            backends: 20,
+            flows: 20_000,
+            flaps: 3,
+        }
+    }
+}
+
+/// One routing scheme's damage count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmOutcome {
+    /// Established flows whose backend changed at any point (each is a
+    /// broken connection).
+    pub broken_connections: u32,
+    /// Flows owned by the flapping backends (these break unavoidably —
+    /// their backend was down).
+    pub flap_owned_flows: u32,
+}
+
+impl ArmOutcome {
+    /// Broken flows that did NOT belong to a flapping backend — the §5.1
+    /// collateral damage the connection table exists to prevent.
+    pub fn collateral(&self) -> u32 {
+        self.broken_connections
+            .saturating_sub(self.flap_owned_flows)
+    }
+}
+
+/// The three-arm comparison.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `hash % healthy_count`.
+    pub modulo: ArmOutcome,
+    /// Maglev, no connection table.
+    pub maglev_only: ArmOutcome,
+    /// Maglev + LRU connection table (the Katran remediation).
+    pub maglev_with_table: ArmOutcome,
+}
+
+fn flow(i: u32) -> FlowKey {
+    let src: SocketAddr = format!(
+        "10.{}.{}.{}:{}",
+        (i >> 16) & 0xff,
+        (i >> 8) & 0xff,
+        i & 0xff,
+        1024 + (i % 50_000) as u16
+    )
+    .parse()
+    .expect("valid synthetic address");
+    FlowKey::tcp(src, "198.51.100.1:443".parse().unwrap())
+}
+
+/// Drives the flap sequence against a routing function. `route` is called
+/// with the currently-down backend (or None when all healthy).
+fn drive(
+    cfg: &Config,
+    mut route: impl FnMut(FlowKey, Option<BackendId>) -> Option<BackendId>,
+) -> ArmOutcome {
+    let flows: Vec<FlowKey> = (0..cfg.flows).map(flow).collect();
+    let pinned: Vec<Option<BackendId>> = flows.iter().map(|f| route(*f, None)).collect();
+
+    let mut moved = vec![false; flows.len()];
+    let mut flap_owned = 0u32;
+    for flap in 0..cfg.flaps {
+        let victim = BackendId(flap % cfg.backends);
+        flap_owned += pinned.iter().filter(|b| **b == Some(victim)).count() as u32;
+        // Packets during the down window…
+        for (idx, f) in flows.iter().enumerate() {
+            if !moved[idx] && route(*f, Some(victim)) != pinned[idx] {
+                moved[idx] = true;
+            }
+        }
+        // …and after recovery.
+        for (idx, f) in flows.iter().enumerate() {
+            if !moved[idx] && route(*f, None) != pinned[idx] {
+                moved[idx] = true;
+            }
+        }
+    }
+    ArmOutcome {
+        broken_connections: moved.iter().filter(|m| **m).count() as u32,
+        flap_owned_flows: flap_owned,
+    }
+}
+
+fn run_modulo(cfg: &Config) -> ArmOutcome {
+    let all: Vec<BackendId> = (0..cfg.backends).map(BackendId).collect();
+    drive(cfg, |f, down| {
+        let healthy: Vec<BackendId> = all.iter().copied().filter(|b| Some(*b) != down).collect();
+        Some(healthy[(f.hash() % healthy.len() as u64) as usize])
+    })
+}
+
+fn run_forwarder(cfg: &Config, conn_table: bool) -> ArmOutcome {
+    let mut fwd = L4Forwarder::new(
+        (0..cfg.backends).map(BackendId).collect(),
+        ForwarderConfig {
+            table_size: 65_537,
+            conn_table_capacity: if conn_table { 1 << 20 } else { 0 },
+            health: HealthConfig {
+                fall_threshold: 1,
+                rise_threshold: 1,
+            },
+        },
+    );
+    let mut current_down: Option<BackendId> = None;
+    drive(cfg, move |f, down| {
+        if down != current_down {
+            // Apply the health transition.
+            if let Some(v) = current_down {
+                fwd.report_probe(v, true);
+            }
+            if let Some(v) = down {
+                fwd.report_probe(v, false);
+            }
+            current_down = down;
+        }
+        fwd.route(f)
+    })
+}
+
+/// Runs all three arms.
+pub fn run(cfg: &Config) -> Report {
+    Report {
+        modulo: run_modulo(cfg),
+        maglev_only: run_forwarder(cfg, false),
+        maglev_with_table: run_forwarder(cfg, true),
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Ablation: L4 routing stability under health flaps ==")?;
+        writeln!(
+            f,
+            "  {:<18} {:>9} {:>12} {:>12}",
+            "scheme", "broken", "unavoidable", "collateral"
+        )?;
+        for (name, arm) in [
+            ("hash % N", &self.modulo),
+            ("maglev", &self.maglev_only),
+            ("maglev + LRU", &self.maglev_with_table),
+        ] {
+            writeln!(
+                f,
+                "  {:<18} {:>9} {:>12} {:>12}",
+                name,
+                arm.broken_connections,
+                arm.flap_owned_flows.min(arm.broken_connections),
+                arm.collateral()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            flows: 5_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn lru_eliminates_collateral_damage() {
+        let r = run(&fast());
+        assert_eq!(
+            r.maglev_with_table.collateral(),
+            0,
+            "the connection table must pin every non-victim flow"
+        );
+    }
+
+    #[test]
+    fn maglev_alone_leaves_residual_collateral() {
+        let r = run(&fast());
+        assert!(
+            r.maglev_only.collateral() > 0,
+            "consistent hashing still reshuffles a residual"
+        );
+    }
+
+    #[test]
+    fn modulo_hashing_is_catastrophic() {
+        let r = run(&fast());
+        // hash % N moves nearly everything on each membership change.
+        assert!(
+            r.modulo.broken_connections as f64 > 0.8 * fast().flows as f64,
+            "{} of {}",
+            r.modulo.broken_connections,
+            fast().flows
+        );
+        assert!(r.modulo.collateral() > 10 * r.maglev_only.collateral().max(1));
+    }
+
+    #[test]
+    fn damage_ordering_matches_the_design_story() {
+        let r = run(&fast());
+        assert!(r.modulo.broken_connections > r.maglev_only.broken_connections);
+        assert!(r.maglev_only.broken_connections >= r.maglev_with_table.broken_connections);
+    }
+
+    #[test]
+    fn unavoidable_share_is_roughly_flaps_over_backends() {
+        let cfg = fast();
+        let r = run(&cfg);
+        let expected = cfg.flows as f64 * cfg.flaps as f64 / cfg.backends as f64;
+        let got = r.maglev_with_table.broken_connections as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.5,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = Config {
+            flows: 2_000,
+            ..Config::default()
+        };
+        assert_eq!(run(&cfg).maglev_only, run(&cfg).maglev_only);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&Config {
+            flows: 1_000,
+            ..Config::default()
+        })
+        .to_string();
+        assert!(s.contains("maglev + LRU"));
+        assert!(s.contains("collateral"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 9: MQTT publish continuity and connect-ACK spikes, with and
+//! without Downstream Connection Reuse.
+//!
+//! With DCR "the number of published messages do not deteriorate during
+//! the restart ... we do not observe any change"; without it there is "a
+//! sharp drop in Publish messages ... \[and\] a sharp spike in number of
+//! ACKs sent for new MQTT connections".
+
+use std::fmt;
+
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::metrics::TimeSeries;
+use zdr_core::tier::Tier;
+
+use crate::cluster::{ClusterConfig, ClusterSim};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Origin machines in the cluster.
+    pub machines: usize,
+    /// Fraction restarted at T=0 of the observation.
+    pub restart_fraction: f64,
+    /// MQTT tunnels per machine.
+    pub tunnels_per_machine: u64,
+    /// Observation ticks after the restart begins.
+    pub window_ticks: u64,
+    /// Drain period, ms.
+    pub drain_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            machines: 50,
+            restart_fraction: 0.2,
+            tunnels_per_machine: 5_000,
+            window_ticks: 120,
+            drain_ms: 30_000,
+            seed: 99,
+        }
+    }
+}
+
+/// One strategy's Fig. 9 timelines, normalized by the pre-restart value.
+#[derive(Debug, Clone)]
+pub struct StrategyRun {
+    /// Publish messages delivered per tick (normalized).
+    pub publish: TimeSeries,
+    /// New-connection ACKs per tick (absolute; zero before restart).
+    pub connect_acks: TimeSeries,
+    /// Deepest publish-delivery dip (1.0 = no dip).
+    pub min_publish: f64,
+    /// Tallest connect-ACK spike.
+    pub max_acks: f64,
+}
+
+/// Fig. 9 with and without DCR.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Restart with DCR active.
+    pub with_dcr: StrategyRun,
+    /// Restart without DCR (traditional).
+    pub without_dcr: StrategyRun,
+}
+
+fn run_one(cfg: &Config, strategy: RestartStrategy) -> StrategyRun {
+    let mut ccfg = ClusterConfig::edge(cfg.machines, strategy, cfg.seed);
+    ccfg.drain_ms = cfg.drain_ms;
+    ccfg.workload.mqtt_tunnels_per_machine = cfg.tunnels_per_machine;
+    ccfg.workload.publish_rate = 0.05;
+    ccfg.workload.short_rps = 50.0; // keep the HTTP side light
+    ccfg.workload.quic_fps = 1.0;
+    let mut sim = ClusterSim::new(ccfg);
+
+    sim.run_ticks(20); // steady state
+    let n = (cfg.machines as f64 * cfg.restart_fraction).round() as usize;
+    let indices: Vec<usize> = (0..n).collect();
+    sim.begin_restart(&indices);
+    sim.run_ticks(cfg.window_ticks);
+
+    let publish = sim.series("publish_delivered").unwrap().normalized();
+    let connect_acks = sim.series("mqtt_connect_acks").unwrap().clone();
+    // Ignore warm-up wobble: compare the post-restart window only.
+    let restart_idx = 20usize;
+    let min_publish = publish.points[restart_idx..]
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let max_acks = connect_acks.max().unwrap_or(0.0);
+    StrategyRun {
+        publish,
+        connect_acks,
+        min_publish,
+        max_acks,
+    }
+}
+
+/// Runs both arms.
+pub fn run(cfg: &Config) -> Report {
+    Report {
+        with_dcr: run_one(
+            cfg,
+            RestartStrategy::zero_downtime_for(Tier::OriginProxygen),
+        ),
+        without_dcr: run_one(cfg, RestartStrategy::HardRestart),
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 9: MQTT behavior during Origin restart ==")?;
+        writeln!(
+            f,
+            "  with DCR:    publish floor {:.3} (normalized), connect-ACK spike {:.0}",
+            self.with_dcr.min_publish, self.with_dcr.max_acks
+        )?;
+        writeln!(
+            f,
+            "  without DCR: publish floor {:.3} (normalized), connect-ACK spike {:.0}",
+            self.without_dcr.min_publish, self.without_dcr.max_acks
+        )?;
+        writeln!(f, "  publish timeline (normalized, woutDCR):")?;
+        let stride = (self.without_dcr.publish.points.len() / 12).max(1);
+        for (t, v) in self.without_dcr.publish.points.iter().step_by(stride) {
+            writeln!(f, "    t={:>5.0}s publish={v:.3}", *t as f64 / 1000.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            machines: 20,
+            tunnels_per_machine: 500,
+            window_ticks: 60,
+            drain_ms: 15_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn dcr_has_no_publish_dip() {
+        let r = run(&fast());
+        assert!(r.with_dcr.min_publish > 0.9, "{}", r.with_dcr.min_publish);
+    }
+
+    #[test]
+    fn without_dcr_publish_drops_sharply() {
+        let r = run(&fast());
+        assert!(
+            r.without_dcr.min_publish < 0.9,
+            "expected a dip, floor {}",
+            r.without_dcr.min_publish
+        );
+        assert!(r.without_dcr.min_publish < r.with_dcr.min_publish);
+    }
+
+    #[test]
+    fn connect_ack_spike_only_without_dcr() {
+        let r = run(&fast());
+        assert_eq!(r.with_dcr.max_acks, 0.0, "DCR must not force reconnects");
+        assert!(r.without_dcr.max_acks > 100.0, "{}", r.without_dcr.max_acks);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&fast());
+        let b = run(&fast());
+        assert_eq!(a.without_dcr.publish, b.without_dcr.publish);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&fast()).to_string();
+        assert!(s.contains("Fig. 9"));
+    }
+}

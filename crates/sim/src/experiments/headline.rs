@@ -1,0 +1,181 @@
+//! The paper's three headline claims (§1), computed from the simulator.
+//!
+//! "While comparing our framework to previously used release
+//! methodologies, we observed that our framework provided the following
+//! benefits: (i) we reduced the release times to 25 and 90 minutes, for
+//! the App. Server tier and the L7LB tiers respectively, (ii) we were able
+//! to increase the effective L7LB CPU capacity by 15-20%, and (iii)
+//! prevent millions of error codes from being propagated to the end-user."
+
+use std::fmt;
+
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::tier::Tier;
+
+use crate::cluster::{ClusterConfig, ClusterSim};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Machines per cluster.
+    pub machines: usize,
+    /// Batch fraction.
+    pub batch_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            machines: 100,
+            batch_fraction: 0.2,
+            seed: 11,
+        }
+    }
+}
+
+/// The three §1 claims, ours vs the baseline.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// (i) Release completion, minutes: (L7LB ZDR, L7LB Hard, App ZDR).
+    pub l7lb_completion_min: f64,
+    /// HardRestart L7LB completion for contrast.
+    pub l7lb_hard_completion_min: f64,
+    /// App-tier completion, minutes.
+    pub app_completion_min: f64,
+    /// (ii) Effective capacity gained during releases (mean capacity under
+    /// ZDR minus mean under HardRestart, as a fraction).
+    pub capacity_gain: f64,
+    /// (iii) User-visible errors prevented per full cluster release.
+    pub errors_prevented: u64,
+}
+
+fn run_release(cfg: &Config, strategy: RestartStrategy, drain_ms: u64) -> (u64, f64, u64) {
+    let mut ccfg = ClusterConfig::edge(cfg.machines, strategy, cfg.seed);
+    ccfg.drain_ms = drain_ms;
+    ccfg.workload.short_rps = 400.0;
+    ccfg.workload.mqtt_tunnels_per_machine = 2_000;
+    ccfg.keepalive_per_machine = 2_000;
+    let mut sim = ClusterSim::new(ccfg);
+    sim.run_ticks(10);
+    let completion = sim.run_rolling_release(cfg.batch_fraction);
+    let mean_capacity = sim
+        .series("capacity")
+        .expect("recorded")
+        .mean()
+        .unwrap_or(0.0);
+    (
+        completion,
+        mean_capacity,
+        sim.counters().total_disruptions(),
+    )
+}
+
+/// Computes all three claims.
+pub fn run(cfg: &Config) -> Report {
+    // L7LB tier: 1-minute-scale drains at experiment scale (the paper's 20-min
+    // drains with a global fleet map to its 90-minute releases; the ratio
+    // between strategies is the claim under test).
+    let l7_drain = 120_000;
+    let (zdr_t, zdr_cap, zdr_err) = run_release(
+        cfg,
+        RestartStrategy::zero_downtime_for(Tier::EdgeProxygen),
+        l7_drain,
+    );
+    let (hard_t, hard_cap, hard_err) = run_release(cfg, RestartStrategy::HardRestart, l7_drain);
+
+    // App tier: 12 s drains, PPR.
+    let (app_t, _, _) = run_release(
+        cfg,
+        RestartStrategy::zero_downtime_for(Tier::AppServer),
+        12_000,
+    );
+
+    Report {
+        l7lb_completion_min: zdr_t as f64 / 60_000.0,
+        l7lb_hard_completion_min: hard_t as f64 / 60_000.0,
+        app_completion_min: app_t as f64 / 60_000.0,
+        capacity_gain: zdr_cap - hard_cap,
+        errors_prevented: hard_err.saturating_sub(zdr_err),
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== §1 headline claims ==")?;
+        writeln!(
+            f,
+            "  (i)   release completion: L7LB {:.1} min (vs {:.1} min hard); App {:.1} min",
+            self.l7lb_completion_min, self.l7lb_hard_completion_min, self.app_completion_min
+        )?;
+        writeln!(
+            f,
+            "  (ii)  effective capacity gained during release: {:.1}%",
+            self.capacity_gain * 100.0
+        )?;
+        writeln!(
+            f,
+            "  (iii) user-visible errors prevented per cluster release: {}",
+            self.errors_prevented
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The run is deterministic and moderately expensive; share one result
+    /// across the claim tests.
+    fn shared() -> &'static Report {
+        static REPORT: std::sync::OnceLock<Report> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| {
+            run(&Config {
+                machines: 30,
+                ..Config::default()
+            })
+        })
+    }
+
+    #[test]
+    fn zdr_release_is_faster() {
+        let r = shared();
+        assert!(r.l7lb_completion_min < r.l7lb_hard_completion_min);
+    }
+
+    #[test]
+    fn app_tier_completes_fastest() {
+        // Claim (i)'s structure: the App tier's short drains finish far
+        // sooner than the L7LB tier's long ones.
+        let r = shared();
+        assert!(r.app_completion_min < r.l7lb_completion_min / 2.0);
+    }
+
+    #[test]
+    fn capacity_gain_in_the_paper_band() {
+        // Claim (ii): 15-20% effective capacity. With 20% batches offline
+        // under HardRestart for most of the release, the mean-capacity gap
+        // sits right in that band.
+        let r = shared();
+        assert!(
+            (0.10..0.25).contains(&r.capacity_gain),
+            "gain {:.3}",
+            r.capacity_gain
+        );
+    }
+
+    #[test]
+    fn errors_prevented_is_large() {
+        // Claim (iii): at production scale this is "millions"; at our
+        // 30-machine scale it must still be a large count.
+        let r = shared();
+        assert!(r.errors_prevented > 10_000, "{}", r.errors_prevented);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = shared().to_string();
+        assert!(s.contains("(i)") && s.contains("(ii)") && s.contains("(iii)"));
+    }
+}

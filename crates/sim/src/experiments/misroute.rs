@@ -1,0 +1,261 @@
+//! Figs. 2d & 10: UDP packets misrouted during a socket handover.
+//!
+//! Fig. 2d motivates Socket Takeover: with plain `SO_REUSEPORT` rebinding,
+//! the kernel's socket ring is in flux and `hash % len` reshuffles nearly
+//! every flow. Fig. 10 evaluates the full mechanism: FD passing keeps the
+//! ring fixed, and connection-ID user-space routing sends the residual
+//! old-process packets back to the draining process — "100X less packets
+//! mis-routed for the worst case".
+
+use std::fmt;
+
+use zdr_net::reuseport::{simulate_handover, HandoverReport, HandoverStrategy};
+use zdr_net::udp_router::{Classifier, RouteDecision};
+use zdr_proto::quic::{ConnectionId, Datagram};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Active UDP flows on the instance.
+    pub flows: u64,
+    /// `SO_REUSEPORT` sockets per process.
+    pub sockets_per_process: usize,
+    /// Fraction of flows belonging to the old (draining) generation at
+    /// handover time.
+    pub old_generation_fraction: f64,
+    /// Packets sent per flow during the observation window (Fig. 10's
+    /// per-instance timeline).
+    pub packets_per_flow: u32,
+    /// RNG seed for flow-hash generation.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            flows: 50_000,
+            sockets_per_process: 8,
+            old_generation_fraction: 0.6,
+            packets_per_flow: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// Results for the three strategies.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Plain rebinding (Fig. 2d's motivation case).
+    pub rebind: HandoverReport,
+    /// FD passing but **no** connection-ID routing (Fig. 10's
+    /// "traditional" line: sockets migrate, old-process packets land on
+    /// the new process and are lost).
+    pub fd_passing_no_connid: MisrouteCount,
+    /// Full Socket Takeover with user-space routing (Fig. 10's ZDR line).
+    pub full_takeover: MisrouteCount,
+}
+
+/// Simple misroute tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisrouteCount {
+    /// Packets that reached a process without flow state.
+    pub misrouted: u64,
+    /// Total packets observed.
+    pub total: u64,
+}
+
+impl MisrouteCount {
+    /// Misrouted fraction.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misrouted as f64 / self.total as f64
+        }
+    }
+}
+
+fn splitmix(seed: &mut u64) -> u64 {
+    // splitmix64 — deterministic flow-hash generator.
+    *seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs all three strategies over the same flow population.
+pub fn run(cfg: &Config) -> Report {
+    let mut seed = cfg.seed;
+    let flow_hashes: Vec<u64> = (0..cfg.flows).map(|_| splitmix(&mut seed)).collect();
+
+    // Fig. 2d: ring-flux rebinding.
+    let rebind = simulate_handover(
+        &flow_hashes,
+        cfg.sockets_per_process,
+        HandoverStrategy::Rebind,
+    );
+
+    // Fig. 10: after FD passing all packets land on the new process (ring
+    // unchanged ⇒ kernel delivery is "right socket", but the *process*
+    // behind it changed). Old-generation flows need user-space routing;
+    // without it, each of their packets is a misroute.
+    let old_flows = (cfg.flows as f64 * cfg.old_generation_fraction).round() as u64;
+    let new_gen = 5u32;
+    let old_gen = 4u32;
+    let classifier = Classifier::new(new_gen);
+
+    let mut without = MisrouteCount {
+        misrouted: 0,
+        total: 0,
+    };
+    let mut with = MisrouteCount {
+        misrouted: 0,
+        total: 0,
+    };
+    for (i, _) in flow_hashes.iter().enumerate() {
+        let generation = if (i as u64) < old_flows {
+            old_gen
+        } else {
+            new_gen
+        };
+        let cid = ConnectionId::new(generation, i as u64);
+        for pn in 0..cfg.packets_per_flow {
+            let wire =
+                zdr_proto::quic::encode(&Datagram::one_rtt(cid, u64::from(pn) + 1, &b"d"[..]))
+                    .expect("datagram encodes");
+            without.total += 1;
+            with.total += 1;
+            match classifier.classify(&wire) {
+                RouteDecision::Local => {
+                    // New-generation flow: state lives in the new process.
+                    if generation != new_gen {
+                        without.misrouted += 1;
+                        with.misrouted += 1;
+                    }
+                }
+                RouteDecision::ForwardToOld => {
+                    // Without conn-ID routing this packet is lost at the
+                    // new process; with it, it reaches the old process.
+                    without.misrouted += 1;
+                }
+                RouteDecision::Drop => {
+                    without.misrouted += 1;
+                    with.misrouted += 1;
+                }
+            }
+        }
+    }
+
+    Report {
+        rebind,
+        fd_passing_no_connid: without,
+        full_takeover: with,
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Fig. 2d: misrouted UDP packets during SO_REUSEPORT rebind =="
+        )?;
+        writeln!(
+            f,
+            "  rebind flux: {} / {} packets misrouted ({:.1}%) over {} ring mutations",
+            self.rebind.misrouted,
+            self.rebind.total,
+            self.rebind.misroute_rate() * 100.0,
+            self.rebind.per_step.len()
+        )?;
+        writeln!(f, "== Fig. 10: misrouting under Socket Takeover ==")?;
+        writeln!(
+            f,
+            "  traditional (no conn-id routing): {} / {} ({:.2}%)",
+            self.fd_passing_no_connid.misrouted,
+            self.fd_passing_no_connid.total,
+            self.fd_passing_no_connid.rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  zero-downtime (conn-id routing):  {} / {} ({:.4}%)",
+            self.full_takeover.misrouted,
+            self.full_takeover.total,
+            self.full_takeover.rate() * 100.0
+        )?;
+        let factor =
+            self.fd_passing_no_connid.misrouted as f64 / self.full_takeover.misrouted.max(1) as f64;
+        writeln!(f, "  improvement factor: {factor:.0}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebind_misroutes_most_packets() {
+        let r = run(&Config {
+            flows: 5_000,
+            ..Config::default()
+        });
+        assert!(
+            r.rebind.misroute_rate() > 0.5,
+            "{}",
+            r.rebind.misroute_rate()
+        );
+    }
+
+    #[test]
+    fn conn_id_routing_eliminates_misrouting() {
+        // §4.1: "this mechanism effectively eliminated all the cases of
+        // mis-routing of UDP packets".
+        let r = run(&Config {
+            flows: 5_000,
+            ..Config::default()
+        });
+        assert_eq!(r.full_takeover.misrouted, 0);
+        // Without it, every old-generation packet is lost.
+        let expected = (5_000f64 * 0.6).round() as u64 * 4;
+        assert_eq!(r.fd_passing_no_connid.misrouted, expected);
+    }
+
+    #[test]
+    fn improvement_is_orders_of_magnitude() {
+        let r = run(&Config {
+            flows: 20_000,
+            ..Config::default()
+        });
+        let factor =
+            r.fd_passing_no_connid.misrouted as f64 / r.full_takeover.misrouted.max(1) as f64;
+        assert!(factor >= 100.0, "factor {factor}"); // the paper's "100X"
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Config::default());
+        let b = run(&Config::default());
+        assert_eq!(a.rebind, b.rebind);
+        assert_eq!(a.fd_passing_no_connid, b.fd_passing_no_connid);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&Config {
+            flows: 100,
+            ..Config::default()
+        })
+        .to_string();
+        assert!(s.contains("Fig. 2d") && s.contains("Fig. 10"));
+    }
+
+    #[test]
+    fn zero_flows_edge_case() {
+        let r = run(&Config {
+            flows: 0,
+            ..Config::default()
+        });
+        assert_eq!(r.full_takeover.total, 0);
+        assert_eq!(r.full_takeover.rate(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! One driver per paper figure.
+//!
+//! Each module exposes a `Config` (seeded), a `run(config) -> Report`, and
+//! a `Display` on the report that prints the figure's rows/series. The
+//! `zdr-bench` binaries are thin wrappers over these.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`releases`] | Figs. 2a–2c — release frequency, root causes, commits |
+//! | [`headline`] | §1 — the three headline claims, ours vs baseline |
+//! | [`misroute`] | Figs. 2d & 10 — UDP misrouting during handover |
+//! | [`capacity`] | Fig. 3a — cluster capacity during a rolling update |
+//! | [`blast_radius`] | §5.1 ablation — canary-gated vs ungated bad release |
+//! | [`conntable`] | §5.1 ablation — LRU connection table under health flaps |
+//! | [`drain_sweep`] | ablation — drain period vs disruption/completion |
+//! | [`ppr_alternatives`] | §4.3 ablation — 500 / 307 / buffering / PPR costs |
+//! | [`reconnect_storm`] | Fig. 3b — app-tier CPU under a reconnect storm |
+//! | [`idle_cpu`] | Fig. 8b — idle CPU, ZDR vs HardRestart |
+//! | [`dcr`] | Fig. 9 — MQTT publish continuity with/without DCR |
+//! | [`ppr`] | Fig. 11 — POST disruptions over a week of restarts |
+//! | [`proxy_errors`] | Fig. 12 — proxy error ratios by class |
+//! | [`timeline`] | Fig. 13 — RPS/MQTT/throughput/CPU, GR vs GNR |
+//! | [`peak`] | Fig. 15 — release hour-of-day PDFs |
+//! | [`peak_release`] | §6.2.2 — disruption cost of releasing at peak vs trough |
+//! | [`completion`] | Fig. 16 — release completion times |
+//! | [`overhead`] | Fig. 17 — system overheads during takeover |
+
+pub mod blast_radius;
+pub mod capacity;
+pub mod completion;
+pub mod conntable;
+pub mod dcr;
+pub mod drain_sweep;
+pub mod headline;
+pub mod idle_cpu;
+pub mod misroute;
+pub mod overhead;
+pub mod peak;
+pub mod peak_release;
+pub mod ppr;
+pub mod ppr_alternatives;
+pub mod proxy_errors;
+pub mod reconnect_storm;
+pub mod releases;
+pub mod timeline;

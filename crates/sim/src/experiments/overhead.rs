@@ -1,0 +1,194 @@
+//! Fig. 17: system-resource overhead of a restart on one machine.
+//!
+//! "The presence of two concurrent Proxygen instances contributes to the
+//! costs in system resources (increased CPU and Memory usage, decreased
+//! throughput) ... Although the tail resource usage can be high
+//! (persisting for around 60-70 seconds), the median is below 5% for CPU
+//! and RAM usage."
+
+use std::fmt;
+
+use zdr_core::metrics::percentile;
+
+use crate::cpu::{takeover_overhead_fraction, CpuModel};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Machines sampled in the cluster.
+    pub machines: usize,
+    /// Drain duration, seconds.
+    pub drain_s: u64,
+    /// CPU model (spike magnitude/duration).
+    pub cpu: CpuModel,
+    /// Memory overhead of the parallel instance, fraction of RSS (median).
+    pub mem_overhead_median: f64,
+    /// Seed for per-machine jitter.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            machines: 200,
+            drain_s: 20 * 60,
+            cpu: CpuModel::default(),
+            mem_overhead_median: 0.035,
+            seed: 1717,
+        }
+    }
+}
+
+/// Per-machine overhead summary across the restart.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineOverhead {
+    /// Median CPU overhead over the drain window.
+    pub cpu_median: f64,
+    /// Peak CPU overhead (the takeover spike).
+    pub cpu_peak: f64,
+    /// Memory overhead.
+    pub mem: f64,
+    /// Throughput decrease at the spike (fraction).
+    pub throughput_dip: f64,
+    /// How long the spike lasted, seconds.
+    pub spike_duration_s: u64,
+}
+
+/// Fig. 17's distribution across a cluster's machines.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-machine summaries.
+    pub machines: Vec<MachineOverhead>,
+}
+
+impl Report {
+    fn collect(&self, f: impl Fn(&MachineOverhead) -> f64) -> Vec<f64> {
+        self.machines.iter().map(f).collect()
+    }
+
+    /// Median of a metric across machines.
+    pub fn median(&self, f: impl Fn(&MachineOverhead) -> f64) -> f64 {
+        percentile(&self.collect(f), 50.0).unwrap_or(0.0)
+    }
+
+    /// p99 of a metric across machines.
+    pub fn p99(&self, f: impl Fn(&MachineOverhead) -> f64) -> f64 {
+        percentile(&self.collect(f), 99.0).unwrap_or(0.0)
+    }
+}
+
+fn jitter(seed: u64, i: u64, spread: f64) -> f64 {
+    // Deterministic per-machine multiplier in [1-spread, 1+spread].
+    let h = zdr_l4lb::hash::fnv1a_u64(seed.wrapping_mul(31).wrapping_add(i));
+    let unit = (h % 10_000) as f64 / 10_000.0;
+    1.0 - spread + 2.0 * spread * unit
+}
+
+/// Simulates the per-machine overhead of one takeover per machine.
+pub fn run(cfg: &Config) -> Report {
+    let mut machines = Vec::with_capacity(cfg.machines);
+    for i in 0..cfg.machines as u64 {
+        let j = jitter(cfg.seed, i, 0.3);
+        // Walk the drain window; collect the overhead series.
+        let mut series = Vec::with_capacity(cfg.drain_s as usize);
+        for t in 0..cfg.drain_s {
+            series.push(takeover_overhead_fraction(&cfg.cpu, t) * j);
+        }
+        let cpu_median = percentile(&series, 50.0).unwrap_or(0.0);
+        let cpu_peak = percentile(&series, 100.0).unwrap_or(0.0);
+        // Throughput dip correlates (inverse-proportionally, §6.3) with the
+        // CPU spike.
+        let throughput_dip = cpu_peak * 0.8;
+        machines.push(MachineOverhead {
+            cpu_median,
+            cpu_peak,
+            mem: cfg.mem_overhead_median * j,
+            throughput_dip,
+            spike_duration_s: (cfg.cpu.takeover_spike_ticks as f64 * j).round() as u64,
+        });
+    }
+    Report { machines }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 17: Socket Takeover system overheads ==")?;
+        writeln!(
+            f,
+            "  CPU overhead:        median {:.1}%  p99 {:.1}%  (peak spike median {:.1}%)",
+            self.median(|m| m.cpu_median) * 100.0,
+            self.p99(|m| m.cpu_median) * 100.0,
+            self.median(|m| m.cpu_peak) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  RAM overhead:        median {:.1}%  p99 {:.1}%",
+            self.median(|m| m.mem) * 100.0,
+            self.p99(|m| m.mem) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  throughput dip:      median {:.1}%",
+            self.median(|m| m.throughput_dip) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  spike duration:      median {:.0}s",
+            self.median(|m| m.spike_duration_s as f64)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_cpu_and_ram_below_five_percent() {
+        let r = run(&Config::default());
+        assert!(
+            r.median(|m| m.cpu_median) < 0.05,
+            "{}",
+            r.median(|m| m.cpu_median)
+        );
+        assert!(r.median(|m| m.mem) < 0.05, "{}", r.median(|m| m.mem));
+    }
+
+    #[test]
+    fn spike_lasts_about_a_minute() {
+        let r = run(&Config::default());
+        let d = r.median(|m| m.spike_duration_s as f64);
+        assert!((50.0..85.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn peak_overhead_much_higher_than_median() {
+        let r = run(&Config::default());
+        assert!(r.median(|m| m.cpu_peak) > 3.0 * r.median(|m| m.cpu_median));
+    }
+
+    #[test]
+    fn overhead_does_not_persist_for_whole_drain() {
+        // The spike (~65 s) is a small part of the 20-minute drain, which
+        // is why the median is low.
+        let cfg = Config::default();
+        assert!(cfg.cpu.takeover_spike_ticks < cfg.drain_s / 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Config::default());
+        let b = run(&Config::default());
+        assert_eq!(a.median(|m| m.cpu_peak), b.median(|m| m.cpu_peak));
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&Config {
+            machines: 10,
+            ..Config::default()
+        })
+        .to_string();
+        assert!(s.contains("Fig. 17"));
+    }
+}

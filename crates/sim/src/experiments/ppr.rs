@@ -1,0 +1,263 @@
+//! Fig. 11: fraction of web-tier POSTs disrupted across a week of
+//! restarts, with Partial Post Replay.
+//!
+//! The paper measures 7 days (~70 web-tier restarts) from the Origin
+//! proxy's vantage point: every gated 379 is a request that *would have*
+//! been disrupted without PPR. The per-restart percentages look tiny
+//! (median ≈0.0008%) but the tier serves billions of POSTs per minute, so
+//! the median restart still saves millions of requests.
+
+use std::fmt;
+
+use zdr_core::metrics::percentile;
+
+use crate::workload::WorkloadSampler;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Machines in the web tier.
+    pub machines: usize,
+    /// POST starts per machine per second.
+    pub post_rps: f64,
+    /// Median POST duration, ms.
+    pub post_median_ms: f64,
+    /// Heavy-tail σ.
+    pub post_sigma: f64,
+    /// App-server drain period, ms (10–15 s).
+    pub drain_ms: u64,
+    /// Restarts observed over the window (paper: ~70 over 7 days).
+    pub restarts: usize,
+    /// Fraction of the tier restarted per restart event.
+    pub restart_fraction: f64,
+    /// Days in the observation window.
+    pub days: u64,
+    /// PPR replay budget (0 disables PPR → the baseline).
+    pub replay_budget: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            machines: 1_000,
+            post_rps: 8.0,
+            post_median_ms: 20_000.0,
+            post_sigma: 1.2,
+            drain_ms: 12_000,
+            restarts: 70,
+            restart_fraction: 0.05,
+            days: 7,
+            replay_budget: zdr_proto::ppr::DEFAULT_REPLAY_BUDGET,
+            seed: 1111,
+        }
+    }
+}
+
+/// One restart event's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartOutcome {
+    /// POSTs in flight past the drain deadline (= 379s emitted).
+    pub interrupted: u64,
+    /// Of those, replays that succeeded.
+    pub replayed_ok: u64,
+    /// Of those, requests disrupted anyway.
+    pub disrupted: u64,
+    /// Disrupted as a fraction of the tier's daily POST volume.
+    pub disrupted_fraction: f64,
+    /// Interrupted as a fraction of daily volume (the woutPPR number).
+    pub interrupted_fraction: f64,
+}
+
+/// Fig. 11's distribution.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-restart outcomes.
+    pub outcomes: Vec<RestartOutcome>,
+    /// Daily POST volume across the tier.
+    pub daily_posts: u64,
+}
+
+impl Report {
+    /// Percentile of the *without-PPR* disruption fractions.
+    pub fn interrupted_pct(&self, p: f64) -> f64 {
+        let v: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(|o| o.interrupted_fraction)
+            .collect();
+        percentile(&v, p).unwrap_or(0.0)
+    }
+
+    /// Percentile of the with-PPR residual disruption fractions.
+    pub fn disrupted_pct(&self, p: f64) -> f64 {
+        let v: Vec<f64> = self.outcomes.iter().map(|o| o.disrupted_fraction).collect();
+        percentile(&v, p).unwrap_or(0.0)
+    }
+
+    /// Total requests saved by PPR over the window.
+    pub fn total_saved(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.replayed_ok).sum()
+    }
+}
+
+/// Runs the 7-day observation.
+pub fn run(cfg: &Config) -> Report {
+    let mut sampler = WorkloadSampler::new(crate::workload::WorkloadConfig::default(), cfg.seed);
+    let daily_posts = (cfg.machines as f64 * cfg.post_rps * 86_400.0).round() as u64;
+    let restarted_machines = (cfg.machines as f64 * cfg.restart_fraction).ceil() as u64;
+
+    let mut outcomes = Vec::with_capacity(cfg.restarts);
+    for _ in 0..cfg.restarts {
+        // POSTs in flight on the restarted machines at the restart instant:
+        // arrivals over the lookback window that are still running.
+        // Lookback is capped at the p99.99-ish duration.
+        let lookback_ms =
+            (cfg.post_median_ms * (cfg.post_sigma * 4.0).exp()).min(4.0 * 3_600_000.0);
+        let lookback_s = lookback_ms / 1000.0;
+        let candidates = sampler.poisson(restarted_machines as f64 * cfg.post_rps * lookback_s);
+
+        let mut interrupted = 0u64;
+        for _ in 0..candidates {
+            let age_ms = sampler.uniform(0.0, lookback_ms);
+            let duration = sampler.lognormal(cfg.post_median_ms, cfg.post_sigma) as f64;
+            // In flight now, and needing more time than the drain allows.
+            if duration > age_ms && duration - age_ms > cfg.drain_ms as f64 {
+                interrupted += 1;
+            }
+        }
+
+        // Replay path: each interrupted POST retries on another server;
+        // a retry fails only if that server is also restarting. With the
+        // paper's budget of 10 the failure probability is negligible —
+        // exactly the §4.4 claim.
+        let p_target_restarting = cfg.restart_fraction;
+        let mut replayed_ok = 0u64;
+        let mut disrupted = 0u64;
+        for _ in 0..interrupted {
+            if cfg.replay_budget == 0 {
+                disrupted += 1;
+                continue;
+            }
+            let mut ok = false;
+            for _ in 0..cfg.replay_budget {
+                if sampler.uniform(0.0, 1.0) >= p_target_restarting {
+                    ok = true;
+                    break;
+                }
+            }
+            if ok {
+                replayed_ok += 1;
+            } else {
+                disrupted += 1;
+            }
+        }
+
+        outcomes.push(RestartOutcome {
+            interrupted,
+            replayed_ok,
+            disrupted,
+            disrupted_fraction: disrupted as f64 / daily_posts as f64,
+            interrupted_fraction: interrupted as f64 / daily_posts as f64,
+        });
+    }
+
+    Report {
+        outcomes,
+        daily_posts,
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Fig. 11: POST disruption across {} restarts ==",
+            self.outcomes.len()
+        )?;
+        writeln!(f, "  daily POST volume: {}", self.daily_posts)?;
+        writeln!(
+            f,
+            "  without PPR (interrupted): median {:.6}%  p90 {:.6}%",
+            self.interrupted_pct(50.0) * 100.0,
+            self.interrupted_pct(90.0) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  with PPR (residual):       median {:.6}%  p90 {:.6}%",
+            self.disrupted_pct(50.0) * 100.0,
+            self.disrupted_pct(90.0) * 100.0
+        )?;
+        writeln!(f, "  requests saved by PPR: {}", self.total_saved())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            machines: 100,
+            restarts: 20,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn interrupted_fraction_is_tiny_but_nonzero() {
+        let r = run(&fast());
+        let median = r.interrupted_pct(50.0);
+        // Order of magnitude of the paper's 0.0008% = 8e-6.
+        assert!(median > 1e-7, "median {median}");
+        assert!(median < 1e-3, "median {median}");
+    }
+
+    #[test]
+    fn ppr_saves_essentially_everything() {
+        let r = run(&fast());
+        let interrupted: u64 = r.outcomes.iter().map(|o| o.interrupted).sum();
+        let disrupted: u64 = r.outcomes.iter().map(|o| o.disrupted).sum();
+        assert!(interrupted > 0, "need some interruptions to be meaningful");
+        // Budget 10 vs 5% restart probability → loss rate ~0.05^10 ≈ 0.
+        assert_eq!(disrupted, 0, "PPR with budget 10 must save everything");
+        assert_eq!(r.total_saved(), interrupted);
+    }
+
+    #[test]
+    fn budget_zero_is_the_baseline() {
+        let r = run(&Config {
+            replay_budget: 0,
+            ..fast()
+        });
+        let interrupted: u64 = r.outcomes.iter().map(|o| o.interrupted).sum();
+        let disrupted: u64 = r.outcomes.iter().map(|o| o.disrupted).sum();
+        assert_eq!(interrupted, disrupted);
+        assert_eq!(r.total_saved(), 0);
+    }
+
+    #[test]
+    fn single_retry_budget_occasionally_fails() {
+        let r = run(&Config {
+            replay_budget: 1,
+            restart_fraction: 0.5, // hostile: half the tier restarting
+            ..fast()
+        });
+        let disrupted: u64 = r.outcomes.iter().map(|o| o.disrupted).sum();
+        assert!(disrupted > 0, "with budget 1 and 50% churn some must fail");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&fast());
+        let b = run(&fast());
+        assert_eq!(a.total_saved(), b.total_saved());
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&fast()).to_string();
+        assert!(s.contains("Fig. 11"));
+    }
+}

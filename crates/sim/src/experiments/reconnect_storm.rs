@@ -1,0 +1,194 @@
+//! Fig. 3b: app-tier CPU burned rebuilding state when proxies restart.
+//!
+//! "When 10% of Origin Proxygen restart, the app. cluster uses 20% of CPU
+//! cycles to rebuild state" (§2.5) — the state being TCP/TLS sessions that
+//! the terminated clients renegotiate in a storm.
+
+use std::fmt;
+
+use zdr_core::metrics::TimeSeries;
+
+use crate::cpu::CpuModel;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Origin proxies in the deployment.
+    pub origins: usize,
+    /// App-tier machines absorbing the re-handshakes.
+    pub app_machines: usize,
+    /// Client connections relayed per origin.
+    pub conns_per_origin: u64,
+    /// Baseline app-tier CPU utilization (serving traffic).
+    pub baseline_cpu: f64,
+    /// Mean client reconnect delay after termination, seconds.
+    pub reconnect_mean_s: f64,
+    /// Observation window, seconds.
+    pub window_s: u64,
+    /// CPU model (handshake cost).
+    pub cpu: CpuModel,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            origins: 100,
+            app_machines: 100,
+            conns_per_origin: 20_000,
+            baseline_cpu: 0.45,
+            reconnect_mean_s: 10.0,
+            window_s: 120,
+            cpu: CpuModel::default(),
+        }
+    }
+}
+
+/// One restart-fraction's outcome.
+#[derive(Debug, Clone)]
+pub struct FractionRun {
+    /// Fraction of origins restarted.
+    pub fraction: f64,
+    /// App-tier CPU utilization over the window.
+    pub cpu: TimeSeries,
+    /// Peak extra CPU above baseline.
+    pub peak_extra_cpu: f64,
+    /// Total re-handshakes performed.
+    pub rehandshakes: u64,
+}
+
+/// The Fig. 3b sweep.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Runs at each restart fraction.
+    pub runs: Vec<FractionRun>,
+    /// Baseline CPU used.
+    pub baseline_cpu: f64,
+}
+
+/// Simulates a hard restart of `fraction` of the origins.
+pub fn run_fraction(cfg: &Config, fraction: f64) -> FractionRun {
+    let terminated = (cfg.origins as f64 * fraction).round() as u64 * cfg.conns_per_origin;
+    let mut backlog = terminated as f64;
+    let drain_rate = 1.0 - (-1.0 / cfg.reconnect_mean_s).exp();
+
+    let mut cpu = TimeSeries::new();
+    let mut peak_extra: f64 = 0.0;
+    let mut rehandshakes = 0u64;
+    for t in 0..cfg.window_s {
+        let reconnecting = backlog * drain_rate;
+        backlog -= reconnecting;
+        rehandshakes += reconnecting.round() as u64;
+        // Handshake work lands evenly on the app tier this second.
+        let per_machine_ms = reconnecting * cfg.cpu.handshake_cost_ms / cfg.app_machines as f64;
+        let extra = per_machine_ms / cfg.cpu.capacity_ms_per_tick;
+        let util = (cfg.baseline_cpu + extra).min(1.0);
+        peak_extra = peak_extra.max(util - cfg.baseline_cpu);
+        cpu.push(t * 1000, util);
+    }
+    FractionRun {
+        fraction,
+        cpu,
+        peak_extra_cpu: peak_extra,
+        rehandshakes,
+    }
+}
+
+/// Runs the sweep over restart fractions {5%, 10%, 20%}.
+pub fn run(cfg: &Config) -> Report {
+    let runs = [0.05, 0.10, 0.20]
+        .iter()
+        .map(|&f| run_fraction(cfg, f))
+        .collect();
+    Report {
+        runs,
+        baseline_cpu: cfg.baseline_cpu,
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Fig. 3b: app-tier CPU under proxy-restart reconnect storms =="
+        )?;
+        writeln!(f, "  baseline CPU: {:.0}%", self.baseline_cpu * 100.0)?;
+        for run in &self.runs {
+            writeln!(
+                f,
+                "  {:>4.0}% origins restarted -> peak extra CPU {:.1}% ({} re-handshakes)",
+                run.fraction * 100.0,
+                run.peak_extra_cpu * 100.0,
+                run.rehandshakes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_percent_restart_costs_about_twenty_percent_cpu() {
+        let r = run(&Config::default());
+        let ten = r
+            .runs
+            .iter()
+            .find(|r| (r.fraction - 0.10).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            (0.15..0.30).contains(&ten.peak_extra_cpu),
+            "peak extra {}",
+            ten.peak_extra_cpu
+        );
+    }
+
+    #[test]
+    fn extra_cpu_scales_with_fraction() {
+        let r = run(&Config::default());
+        assert!(r.runs[0].peak_extra_cpu < r.runs[1].peak_extra_cpu);
+        assert!(r.runs[1].peak_extra_cpu < r.runs[2].peak_extra_cpu);
+    }
+
+    #[test]
+    fn storm_decays_over_window() {
+        let run = run_fraction(&Config::default(), 0.10);
+        let first = run.cpu.points[1].1;
+        let last = run.cpu.points.last().unwrap().1;
+        assert!(
+            first > last,
+            "storm should decay: first {first}, last {last}"
+        );
+        // Eventually back to ~baseline.
+        assert!((last - 0.45).abs() < 0.02);
+    }
+
+    #[test]
+    fn all_terminated_connections_eventually_rehandshake() {
+        let cfg = Config {
+            window_s: 300,
+            ..Config::default()
+        };
+        let run = run_fraction(&cfg, 0.10);
+        let expected = (cfg.origins as f64 * 0.10) as u64 * cfg.conns_per_origin;
+        let got = run.rehandshakes as f64;
+        assert!((got / expected as f64) > 0.99, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn cpu_never_exceeds_one() {
+        let cfg = Config {
+            conns_per_origin: 10_000_000,
+            ..Config::default()
+        };
+        let run = run_fraction(&cfg, 0.20);
+        assert!(run.cpu.max().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&Config::default()).to_string();
+        assert!(s.contains("Fig. 3b"));
+    }
+}

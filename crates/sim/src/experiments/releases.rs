@@ -1,0 +1,189 @@
+//! Figs. 2a–2c: release frequency, root causes, and commits per update.
+
+use std::fmt;
+
+use zdr_core::calendar::{
+    cause_fractions, hour_histogram, releases_per_week, ReleaseCalendar, ReleaseEvent, RootCause,
+};
+use zdr_core::metrics::percentile;
+use zdr_core::tier::Tier;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Calendar horizon (paper: ~13 weeks / 3 months).
+    pub weeks: u32,
+    /// Clusters sampled (paper: 10).
+    pub clusters: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            weeks: 13,
+            clusters: 10,
+            seed: 2020,
+        }
+    }
+}
+
+/// The Figs. 2a–2c data.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-cluster weekly release counts for the L7LB tier (Fig. 2a).
+    pub l7lb_weekly: Vec<Vec<u32>>,
+    /// Per-cluster weekly release counts for the App Server tier (Fig. 2a).
+    pub app_weekly: Vec<Vec<u32>>,
+    /// Root-cause fractions for L7LB releases (Fig. 2b).
+    pub causes: Vec<(RootCause, f64)>,
+    /// Commits-per-update percentiles for the app tier (Fig. 2c):
+    /// (p10, p50, p90).
+    pub commit_percentiles: (f64, f64, f64),
+    /// App-tier hour-of-day histogram (context for Fig. 15).
+    pub app_hour_histogram: [f64; 24],
+}
+
+impl Report {
+    /// Median weekly L7LB releases across clusters and weeks.
+    pub fn l7lb_median_per_week(&self) -> f64 {
+        let all: Vec<f64> = self
+            .l7lb_weekly
+            .iter()
+            .flatten()
+            .map(|&c| c as f64)
+            .collect();
+        percentile(&all, 50.0).unwrap_or(0.0)
+    }
+
+    /// Median weekly App Server releases.
+    pub fn app_median_per_week(&self) -> f64 {
+        let all: Vec<f64> = self
+            .app_weekly
+            .iter()
+            .flatten()
+            .map(|&c| c as f64)
+            .collect();
+        percentile(&all, 50.0).unwrap_or(0.0)
+    }
+
+    /// Binary-update fraction (paper: ≈47%).
+    pub fn binary_fraction(&self) -> f64 {
+        self.causes
+            .iter()
+            .find(|(c, _)| *c == RootCause::BinaryUpdate)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs the release-calendar characterization.
+pub fn run(cfg: &Config) -> Report {
+    let mut l7lb_weekly = Vec::new();
+    let mut app_weekly = Vec::new();
+    let mut l7lb_events: Vec<ReleaseEvent> = Vec::new();
+    let mut app_events: Vec<ReleaseEvent> = Vec::new();
+
+    for c in 0..cfg.clusters {
+        let mut cal = ReleaseCalendar::new(cfg.seed.wrapping_add(u64::from(c)));
+        let l7 = cal.sample(Tier::EdgeProxygen, cfg.weeks);
+        l7lb_weekly.push(releases_per_week(&l7, cfg.weeks));
+        l7lb_events.extend(l7);
+        let app = cal.sample(Tier::AppServer, cfg.weeks);
+        app_weekly.push(releases_per_week(&app, cfg.weeks));
+        app_events.extend(app);
+    }
+
+    let causes = cause_fractions(&l7lb_events);
+    let commits: Vec<f64> = app_events.iter().map(|e| e.commits as f64).collect();
+    let commit_percentiles = (
+        percentile(&commits, 10.0).unwrap_or(0.0),
+        percentile(&commits, 50.0).unwrap_or(0.0),
+        percentile(&commits, 90.0).unwrap_or(0.0),
+    );
+    let app_hour_histogram = hour_histogram(&app_events);
+
+    Report {
+        l7lb_weekly,
+        app_weekly,
+        causes,
+        commit_percentiles,
+        app_hour_histogram,
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Fig. 2a: releases per week (median across clusters) =="
+        )?;
+        writeln!(
+            f,
+            "  L7LB (Edge/Origin Proxygen): {:.1}/week",
+            self.l7lb_median_per_week()
+        )?;
+        writeln!(
+            f,
+            "  App Server:                  {:.1}/week",
+            self.app_median_per_week()
+        )?;
+        writeln!(f, "== Fig. 2b: root causes of L7LB releases ==")?;
+        for (cause, frac) in &self.causes {
+            writeln!(f, "  {cause:?}: {:.1}%", frac * 100.0)?;
+        }
+        let (p10, p50, p90) = self.commit_percentiles;
+        writeln!(f, "== Fig. 2c: commits per App Server update ==")?;
+        writeln!(f, "  p10 {p10:.0}  p50 {p50:.0}  p90 {p90:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_shape() {
+        let r = run(&Config::default());
+        // Fig. 2a: L7LB ≈3/week, App ≈100/week.
+        assert!(
+            (1.0..6.0).contains(&r.l7lb_median_per_week()),
+            "{}",
+            r.l7lb_median_per_week()
+        );
+        assert!(
+            (80.0..120.0).contains(&r.app_median_per_week()),
+            "{}",
+            r.app_median_per_week()
+        );
+        // Fig. 2b: binary ≈47%.
+        assert!(
+            (0.40..0.55).contains(&r.binary_fraction()),
+            "{}",
+            r.binary_fraction()
+        );
+        // Fig. 2c: commits within 10–100.
+        let (p10, p50, p90) = r.commit_percentiles;
+        assert!(p10 >= 10.0 && p90 <= 100.0 && p50 > p10 && p50 < p90);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&Config::default());
+        let b = run(&Config::default());
+        assert_eq!(a.l7lb_weekly, b.l7lb_weekly);
+        assert_eq!(a.commit_percentiles, b.commit_percentiles);
+    }
+
+    #[test]
+    fn report_prints() {
+        let r = run(&Config {
+            weeks: 4,
+            clusters: 2,
+            seed: 1,
+        });
+        let s = r.to_string();
+        assert!(s.contains("Fig. 2a") && s.contains("Fig. 2b") && s.contains("Fig. 2c"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Fig. 13: system/performance timelines during a Zero Downtime release —
+//! RPS, active MQTT connections, throughput and CPU for the restarted 20%
+//! (GR) vs the other 80% (GNR).
+//!
+//! "Across RPS and number of MQTT conn., we observe virtually no change in
+//! cluster-wide average over the restart period ... We do observe a small
+//! increase in CPU utilization after T=2, attributed to the system
+//! overheads of Socket Takeover."
+
+use std::fmt;
+
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::metrics::TimeSeries;
+use zdr_core::tier::Tier;
+
+use crate::cluster::{ClusterConfig, ClusterSim};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Batch fraction restarted at T=0 (paper: 20%).
+    pub batch_fraction: f64,
+    /// Warm-up ticks before the restart.
+    pub warmup_ticks: u64,
+    /// Observation ticks after the restart.
+    pub window_ticks: u64,
+    /// Drain period, ms.
+    pub drain_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            machines: 50,
+            batch_fraction: 0.2,
+            warmup_ticks: 30,
+            window_ticks: 180,
+            drain_ms: 60_000,
+            seed: 1313,
+        }
+    }
+}
+
+/// Fig. 13's four per-group timelines (normalized by pre-restart values).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-machine RPS, restarted group.
+    pub gr_rps: TimeSeries,
+    /// Per-machine RPS, non-restarted group.
+    pub gnr_rps: TimeSeries,
+    /// MQTT connections per machine, restarted group.
+    pub gr_mqtt: TimeSeries,
+    /// MQTT connections per machine, non-restarted group.
+    pub gnr_mqtt: TimeSeries,
+    /// Throughput per machine, restarted group.
+    pub gr_throughput: TimeSeries,
+    /// Throughput per machine, non-restarted group.
+    pub gnr_throughput: TimeSeries,
+    /// CPU utilization, restarted group.
+    pub gr_cpu: TimeSeries,
+    /// CPU utilization, non-restarted group.
+    pub gnr_cpu: TimeSeries,
+    /// Tick index at which the restart began.
+    pub restart_tick: u64,
+}
+
+/// Runs the Fig. 13 timeline.
+pub fn run(cfg: &Config) -> Report {
+    let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+    let mut ccfg = ClusterConfig::edge(cfg.machines, strategy, cfg.seed);
+    ccfg.drain_ms = cfg.drain_ms;
+    ccfg.workload.short_rps = 300.0;
+    ccfg.workload.mqtt_tunnels_per_machine = 2_000;
+    let mut sim = ClusterSim::new(ccfg);
+
+    // Mark the GR group up front so group series are meaningful from t=0.
+    let n = (cfg.machines as f64 * cfg.batch_fraction).round() as usize;
+    let indices: Vec<usize> = (0..n).collect();
+    sim.set_restart_group(&indices);
+
+    sim.run_ticks(cfg.warmup_ticks);
+    sim.begin_restart(&indices);
+    sim.run_ticks(cfg.window_ticks);
+
+    // Normalize by the mean of the pre-restart (warm-up) window — "the
+    // metrics are normalized by the value just before the release".
+    let norm = |name: &str| {
+        let s = sim.series(name).expect("series recorded");
+        let warm = cfg.warmup_ticks as usize;
+        let base = s.points[..warm.min(s.points.len())]
+            .iter()
+            .map(|&(_, v)| v)
+            .sum::<f64>()
+            / warm.max(1) as f64;
+        if base == 0.0 {
+            return s.clone();
+        }
+        zdr_core::metrics::TimeSeries {
+            points: s.points.iter().map(|&(t, v)| (t, v / base)).collect(),
+        }
+    };
+    Report {
+        gr_rps: norm("gr_rps"),
+        gnr_rps: norm("gnr_rps"),
+        gr_mqtt: norm("gr_mqtt"),
+        gnr_mqtt: norm("gnr_mqtt"),
+        gr_throughput: norm("gr_throughput"),
+        gnr_throughput: norm("gnr_throughput"),
+        gr_cpu: sim.series("gr_cpu").expect("recorded").clone(),
+        gnr_cpu: sim.series("gnr_cpu").expect("recorded").clone(),
+        restart_tick: cfg.warmup_ticks,
+    }
+}
+
+fn post_restart_stats(s: &TimeSeries, restart_tick: u64) -> (f64, f64) {
+    let pts: Vec<f64> = s
+        .points
+        .iter()
+        .skip(restart_tick as usize)
+        .map(|&(_, v)| v)
+        .collect();
+    let mean = pts.iter().sum::<f64>() / pts.len().max(1) as f64;
+    let max = pts.iter().cloned().fold(0.0, f64::max);
+    (mean, max)
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Fig. 13: release timeline, GR (restarted) vs GNR ==")?;
+        for (name, s) in [
+            ("RPS (GR, norm)", &self.gr_rps),
+            ("RPS (GNR, norm)", &self.gnr_rps),
+            ("MQTT (GR, norm)", &self.gr_mqtt),
+            ("MQTT (GNR, norm)", &self.gnr_mqtt),
+            ("throughput (GR, norm)", &self.gr_throughput),
+            ("throughput (GNR, norm)", &self.gnr_throughput),
+            ("CPU (GR)", &self.gr_cpu),
+            ("CPU (GNR)", &self.gnr_cpu),
+        ] {
+            let (mean, max) = post_restart_stats(s, self.restart_tick);
+            writeln!(f, "  {name:<24} post-restart mean {mean:.3}, max {max:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            machines: 20,
+            warmup_ticks: 15,
+            window_ticks: 80,
+            drain_ms: 30_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn rps_virtually_unchanged_for_both_groups() {
+        let r = run(&fast());
+        for s in [&r.gr_rps, &r.gnr_rps] {
+            let (mean, _) = post_restart_stats(s, r.restart_tick);
+            assert!((0.8..1.2).contains(&mean), "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn gnr_mqtt_absorbs_gr_tunnels() {
+        // DCR moves the GR group's tunnels to GNR machines: GR's MQTT count
+        // collapses, GNR's rises ~proportionally — cluster-wide total flat.
+        let r = run(&fast());
+        let (gr_mean, _) = post_restart_stats(&r.gr_mqtt, r.restart_tick + 5);
+        let (gnr_mean, _) = post_restart_stats(&r.gnr_mqtt, r.restart_tick + 5);
+        assert!(gr_mean < 0.2, "gr tunnels re-homed away: {gr_mean}");
+        assert!(gnr_mean > 1.1, "gnr absorbed them: {gnr_mean}");
+    }
+
+    #[test]
+    fn cpu_bump_confined_to_gr() {
+        let r = run(&fast());
+        let (_, gr_max) = post_restart_stats(&r.gr_cpu, r.restart_tick);
+        let (_, gnr_max) = post_restart_stats(&r.gnr_cpu, r.restart_tick);
+        assert!(
+            gr_max > gnr_max,
+            "takeover overhead lives on GR: {gr_max} vs {gnr_max}"
+        );
+    }
+
+    #[test]
+    fn throughput_recovers() {
+        let r = run(&fast());
+        let last = r.gr_throughput.points.last().unwrap().1;
+        assert!(
+            (0.7..1.4).contains(&last),
+            "final normalized throughput {last}"
+        );
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&fast()).to_string();
+        assert!(s.contains("Fig. 13"));
+        assert!(s.contains("GNR"));
+    }
+}

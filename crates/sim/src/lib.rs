@@ -1,0 +1,46 @@
+//! # zdr-sim — deterministic fleet simulator
+//!
+//! The paper's evaluation (§6) runs on live production clusters serving
+//! billions of users. This crate is the substitute substrate: a seeded,
+//! deterministic simulation of clusters, workloads and restart strategies
+//! that reproduces the *shape* of every figure — who wins, by what rough
+//! factor, where the lines cross — on a laptop.
+//!
+//! Building blocks:
+//!
+//! * [`cpu`] — the machine CPU model: request service cost, TLS/TCP
+//!   re-handshake cost (the §2.5 "20% of CPU cycles to rebuild state"
+//!   driver), parallel-instance overhead during Socket Takeover.
+//! * [`workload`] — seeded arrival/duration models for the four connection
+//!   kinds (short API, long POST, MQTT tunnel, QUIC flow).
+//! * [`cluster`] — a time-stepped cluster of machines fed by the workload,
+//!   with an L4 health view, restart orchestration from `zdr-core`, and
+//!   disruption accounting.
+//! * [`experiments`] — one driver per paper figure; each returns a printable
+//!   report (`zdr-bench` binaries just run + print them).
+//!
+//! Determinism contract: every entry point takes a seed; the same seed
+//! yields bit-identical reports (property-tested).
+
+pub mod cluster;
+pub mod cpu;
+pub mod experiments;
+pub mod workload;
+
+/// Milliseconds per simulated second (the simulator's base tick).
+pub const TICK_MS: u64 = 1_000;
+
+/// Formats a fraction as a percentage with fixed precision (report
+/// output helper used by the figure binaries).
+pub fn pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pct_formats() {
+        assert_eq!(super::pct(0.1234), "12.34%");
+        assert_eq!(super::pct(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,266 @@
+//! Seeded workload models.
+//!
+//! The paper's traffic mix (§2.2, §2.5): short API requests dominate;
+//! long POST uploads are rare but "at the tail (p99.9) most requests are
+//! sufficiently large enough to outlive the draining period"; MQTT tunnels
+//! are persistent; traffic is diurnal (§6.2.2).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use zdr_core::drain::ConnectionKind;
+
+/// Arrival and duration model for one cluster's offered load.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadConfig {
+    /// Short API requests per machine per second at peak.
+    pub short_rps: f64,
+    /// Long POST starts per machine per second.
+    pub post_rps: f64,
+    /// Mean short-request duration, ms (exponential).
+    pub short_mean_ms: f64,
+    /// Long POST duration, ms (log-normal-ish heavy tail).
+    pub post_median_ms: f64,
+    /// Heavy-tail shape for POSTs (σ of the underlying normal).
+    pub post_sigma: f64,
+    /// Persistent MQTT tunnels per machine.
+    pub mqtt_tunnels_per_machine: u64,
+    /// MQTT publishes per tunnel per second.
+    pub publish_rate: f64,
+    /// QUIC flow starts per machine per second.
+    pub quic_fps: f64,
+    /// Mean QUIC flow duration, ms (exponential).
+    pub quic_mean_ms: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            short_rps: 800.0,
+            post_rps: 8.0,
+            short_mean_ms: 200.0,
+            post_median_ms: 20_000.0,
+            post_sigma: 1.2,
+            mqtt_tunnels_per_machine: 5_000,
+            publish_rate: 0.05,
+            quic_fps: 40.0,
+            quic_mean_ms: 30_000.0,
+        }
+    }
+}
+
+/// The diurnal load multiplier for hour-of-day `h` (§6.2.2's pattern):
+/// trough near 04:00, peak near 15:00.
+pub fn diurnal_multiplier(hour: f64) -> f64 {
+    // Cosine with trough at 4h, peak at 16h, swinging 0.55–1.0.
+    let phase = (hour - 16.0) / 24.0 * std::f64::consts::TAU;
+    0.775 + 0.225 * phase.cos()
+}
+
+/// A seeded sampler of connection arrivals and durations.
+#[derive(Debug)]
+pub struct WorkloadSampler {
+    cfg: WorkloadConfig,
+    rng: ChaCha8Rng,
+}
+
+/// One sampled connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// What kind of connection.
+    pub kind: ConnectionKind,
+    /// How long it needs to complete organically, ms (`u64::MAX` for
+    /// persistent tunnels).
+    pub duration_ms: u64,
+}
+
+impl WorkloadSampler {
+    /// A sampler with the given config and seed.
+    pub fn new(cfg: WorkloadConfig, seed: u64) -> Self {
+        WorkloadSampler {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Samples the arrivals on one machine during one 1-second tick at
+    /// load multiplier `load` (from [`diurnal_multiplier`]).
+    pub fn tick_arrivals(&mut self, load: f64) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        let shorts = self.poisson(self.cfg.short_rps * load);
+        for _ in 0..shorts {
+            let d = self.exponential(self.cfg.short_mean_ms);
+            out.push(Arrival {
+                kind: ConnectionKind::ShortRequest,
+                duration_ms: d,
+            });
+        }
+        let posts = self.poisson(self.cfg.post_rps * load);
+        for _ in 0..posts {
+            let d = self.lognormal(self.cfg.post_median_ms, self.cfg.post_sigma);
+            out.push(Arrival {
+                kind: ConnectionKind::LongPost,
+                duration_ms: d,
+            });
+        }
+        let quics = self.poisson(self.cfg.quic_fps * load);
+        for _ in 0..quics {
+            let d = self.exponential(self.cfg.quic_mean_ms);
+            out.push(Arrival {
+                kind: ConnectionKind::QuicFlow,
+                duration_ms: d,
+            });
+        }
+        out
+    }
+
+    /// Poisson sample (normal approximation above λ=64 for speed).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let z = self.standard_normal();
+            return (lambda + lambda.sqrt() * z).round().max(0.0) as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= self.rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Exponential sample with the given mean, ms.
+    pub fn exponential(&mut self, mean_ms: f64) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-mean_ms * u.ln()).round() as u64
+    }
+
+    /// Log-normal sample with the given median and σ, ms.
+    pub fn lognormal(&mut self, median_ms: f64, sigma: f64) -> u64 {
+        let z = self.standard_normal();
+        (median_ms * (sigma * z).exp()).round().min(1e12) as u64
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform helper for experiment drivers.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WorkloadSampler::new(WorkloadConfig::default(), 42);
+        let mut b = WorkloadSampler::new(WorkloadConfig::default(), 42);
+        for _ in 0..5 {
+            assert_eq!(a.tick_arrivals(1.0), b.tick_arrivals(1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadSampler::new(WorkloadConfig::default(), 1);
+        let mut b = WorkloadSampler::new(WorkloadConfig::default(), 2);
+        let av: Vec<_> = (0..3).flat_map(|_| a.tick_arrivals(1.0)).collect();
+        let bv: Vec<_> = (0..3).flat_map(|_| b.tick_arrivals(1.0)).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn arrival_rates_roughly_match_config() {
+        let cfg = WorkloadConfig::default();
+        let mut s = WorkloadSampler::new(cfg.clone(), 7);
+        let mut shorts = 0u64;
+        let mut posts = 0u64;
+        let ticks = 200;
+        for _ in 0..ticks {
+            for a in s.tick_arrivals(1.0) {
+                match a.kind {
+                    ConnectionKind::ShortRequest => shorts += 1,
+                    ConnectionKind::LongPost => posts += 1,
+                    _ => {}
+                }
+            }
+        }
+        let short_rate = shorts as f64 / ticks as f64;
+        let post_rate = posts as f64 / ticks as f64;
+        assert!(
+            (short_rate - cfg.short_rps).abs() < cfg.short_rps * 0.1,
+            "{short_rate}"
+        );
+        assert!(
+            (post_rate - cfg.post_rps).abs() < cfg.post_rps * 0.4,
+            "{post_rate}"
+        );
+    }
+
+    #[test]
+    fn post_durations_heavy_tailed() {
+        let mut s = WorkloadSampler::new(WorkloadConfig::default(), 9);
+        let samples: Vec<u64> = (0..5_000).map(|_| s.lognormal(20_000.0, 1.2)).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let p999 = sorted[(sorted.len() as f64 * 0.999) as usize];
+        assert!((15_000..25_000).contains(&median), "median {median}");
+        // §2.5: the p99.9 outlives a short draining period by a lot.
+        assert!(p999 > 20 * median, "p999 {p999} vs median {median}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut s = WorkloadSampler::new(WorkloadConfig::default(), 11);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| s.exponential(200.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        assert!(diurnal_multiplier(16.0) > 0.99);
+        assert!(diurnal_multiplier(4.0) < 0.56);
+        // Always positive, never above 1.
+        for h in 0..24 {
+            let m = diurnal_multiplier(h as f64);
+            assert!(m > 0.0 && m <= 1.0, "hour {h}: {m}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut s = WorkloadSampler::new(WorkloadConfig::default(), 13);
+        assert_eq!(s.poisson(0.0), 0);
+        assert_eq!(s.poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut s = WorkloadSampler::new(WorkloadConfig::default(), 17);
+        let n = 2_000;
+        let sum: u64 = (0..n).map(|_| s.poisson(800.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 800.0).abs() < 20.0, "mean {mean}");
+    }
+}

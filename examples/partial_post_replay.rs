@@ -1,0 +1,96 @@
+//! Partial Post Replay end to end: a large upload survives an app-server
+//! restart because the proxy replays it to a healthy replica.
+//!
+//! ```sh
+//! cargo run --example partial_post_replay
+//! ```
+
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
+use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
+use zero_downtime_release::proxy::reverse::{spawn_reverse_proxy, ReverseProxyConfig};
+use zero_downtime_release::proxy::ProxyStats;
+
+#[tokio::main]
+async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // app-A reads uploads slowly (a loaded HHVM worker); app-B is healthy.
+    let app_a = appserver::spawn(
+        "127.0.0.1:0".parse()?,
+        AppServerConfig {
+            server_name: "app-A".into(),
+            restart_behavior: RestartBehavior::PartialPostReplay,
+            read_delay_ms: 50,
+            ..Default::default()
+        },
+    )
+    .await?;
+    let app_b = appserver::spawn(
+        "127.0.0.1:0".parse()?,
+        AppServerConfig {
+            server_name: "app-B".into(),
+            ..Default::default()
+        },
+    )
+    .await?;
+
+    let proxy = spawn_reverse_proxy(
+        "127.0.0.1:0".parse()?,
+        ReverseProxyConfig {
+            upstreams: vec![app_a.addr, app_b.addr],
+            upstream_timeout: Duration::from_secs(30),
+            ..Default::default()
+        },
+    )
+    .await?;
+    println!(
+        "proxy {} → app-A {} (slow), app-B {}",
+        proxy.addr, app_a.addr, app_b.addr
+    );
+
+    // Start a 1 MiB upload; app-A's throttled reads stretch it over
+    // seconds, guaranteeing the restart lands mid-body.
+    let upload = Request::post("/upload/video", vec![0x5au8; 1024 * 1024]);
+    let client = tokio::spawn({
+        let addr = proxy.addr;
+        async move {
+            let mut stream = TcpStream::connect(addr).await.unwrap();
+            stream.write_all(&serialize_request(&upload)).await.unwrap();
+            let mut parser = ResponseParser::new();
+            let mut buf = [0u8; 8192];
+            loop {
+                let n = stream.read(&mut buf).await.unwrap();
+                assert!(n > 0, "connection closed without response");
+                if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                    return resp;
+                }
+            }
+        }
+    });
+
+    // Mid-upload, app-A restarts for a release.
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    println!("app-A restarting mid-upload → emits 379 Partial POST Replay");
+    app_a.initiate_restart();
+
+    let resp = client.await?;
+    println!(
+        "client saw: {} {} served by {:?}",
+        resp.status.code,
+        resp.status.reason,
+        resp.headers.get("x-served-by")
+    );
+    assert_eq!(resp.status.code, 200, "the user must never see the restart");
+    assert_eq!(resp.headers.get("x-served-by"), Some("app-B"));
+
+    let handoffs = ProxyStats::get(&proxy.stats.ppr_handoffs);
+    let replays = ProxyStats::get(&proxy.stats.ppr_replayed_ok);
+    println!("proxy stats: {handoffs} PPR handoff(s), {replays} successful replay(s)");
+    let (_, a379, _, _) = app_a.stats.snapshot();
+    println!("app-A sent {a379} × 379 responses");
+    println!("partial post replay confirmed ✔");
+    Ok(())
+}

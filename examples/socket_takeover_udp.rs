@@ -1,0 +1,139 @@
+//! Socket Takeover for UDP: pass a live `SO_REUSEPORT` socket group to a
+//! new "process" (task) and user-space route the draining generation's
+//! packets back to the old one — the Fig. 10 mechanism on real sockets.
+//!
+//! ```sh
+//! cargo run --example socket_takeover_udp
+//! ```
+
+use std::os::fd::OwnedFd;
+use std::time::Duration;
+
+use tokio::net::UdpSocket;
+
+use zero_downtime_release::net::inventory::{
+    bind_udp_reuseport_group, ListenerInventory, ReceivedInventory,
+};
+use zero_downtime_release::net::udp_router::UdpRouter;
+use zero_downtime_release::proto::quic::{ConnectionId, Datagram};
+
+#[tokio::main]
+async fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Old process (generation 1) ─────────────────────────────────────
+    // Owns the UDP VIP as a 2-socket SO_REUSEPORT group, plus a host-local
+    // socket where forwarded packets arrive while it drains.
+    let group = bind_udp_reuseport_group("127.0.0.1:0".parse()?, 2)?;
+    let vip = group[0].local_addr()?;
+    println!("UDP VIP {vip} with a 2-socket SO_REUSEPORT ring");
+
+    let drain_socket = UdpSocket::bind("127.0.0.1:0").await?;
+    let drain_addr = drain_socket.local_addr()?;
+    let old_process = tokio::spawn(async move {
+        // The draining old process counts packets for its flows.
+        let mut received = 0u32;
+        let mut buf = [0u8; 2048];
+        loop {
+            match tokio::time::timeout(Duration::from_secs(3), drain_socket.recv_from(&mut buf))
+                .await
+            {
+                Ok(Ok((n, _))) => {
+                    let (_client, inner) =
+                        zero_downtime_release::net::udp_router::decapsulate(&buf[..n])
+                            .expect("forwards are encapsulated with the client address");
+                    let d = zero_downtime_release::proto::quic::decode(inner)
+                        .expect("forwarded packets are valid datagrams");
+                    assert_eq!(
+                        d.cid.generation, 1,
+                        "only gen-1 flows reach the old process"
+                    );
+                    received += 1;
+                }
+                _ => return received,
+            }
+        }
+    });
+
+    // ── Socket Takeover ────────────────────────────────────────────────
+    // The inventory's manifest + FDs move to the new process. (In-process
+    // here; `zdr-net::takeover` does the same over a UNIX socket between
+    // real processes — see the quickstart example.)
+    let mut inventory = ListenerInventory::new();
+    inventory.add_udp_group(vip, group);
+    let manifest = inventory.manifest();
+    let fds: Vec<OwnedFd> = {
+        // Simulate the SCM_RIGHTS trip by moving the owned FDs.
+        let vips = inventory.vips();
+        assert_eq!(vips.len(), 1);
+        let mut received = Vec::new();
+        for fd in inventory.borrowed_fds() {
+            received.push(fd.try_clone_to_owned()?);
+        }
+        drop(inventory); // old process's copies close; ring survives via dups
+        received
+    };
+    let mut received = ReceivedInventory::reassemble(&manifest, fds)?;
+    let sockets = received.claim_udp_group(vip)?;
+    received.finish()?; // §5.1: every FD claimed — no orphaned sockets
+    println!(
+        "took over {} UDP sockets; ring membership unchanged",
+        sockets.len()
+    );
+
+    // ── New process (generation 2) ─────────────────────────────────────
+    // One router per ring member; old-generation packets forward to the
+    // draining process's host-local address.
+    let (tx, mut deliveries) = tokio::sync::mpsc::channel(1024);
+    let mut stats = Vec::new();
+    for sock in sockets {
+        sock.set_nonblocking(true)?;
+        let router = UdpRouter::new(UdpSocket::from_std(sock)?, 2, Some(drain_addr));
+        stats.push(router.stats());
+        let tx = tx.clone();
+        tokio::spawn(async move { router.run(tx).await });
+    }
+
+    // ── Traffic: a mix of old-generation and new-generation flows ──────
+    let client = UdpSocket::bind("127.0.0.1:0").await?;
+    let mut sent_old = 0u32;
+    let mut sent_new = 0u32;
+    for i in 0..100u64 {
+        let generation = if i % 2 == 0 { 1 } else { 2 };
+        let d = Datagram::one_rtt(ConnectionId::new(generation, i), i, &b"payload"[..]);
+        client
+            .send_to(&zero_downtime_release::proto::quic::encode(&d)?, vip)
+            .await?;
+        if generation == 1 {
+            sent_old += 1;
+        } else {
+            sent_new += 1;
+        }
+    }
+
+    // New-generation packets reach the new process's application.
+    let mut delivered_new = 0u32;
+    while delivered_new < sent_new {
+        let d = tokio::time::timeout(Duration::from_secs(5), deliveries.recv())
+            .await?
+            .expect("router alive");
+        assert_eq!(d.datagram.cid.generation, 2);
+        delivered_new += 1;
+    }
+
+    let old_received = old_process.await?;
+    let (local, forwarded, dropped): (u64, u64, u64) = stats
+        .iter()
+        .map(|s| s.snapshot())
+        .fold((0, 0, 0), |a, s| (a.0 + s.0, a.1 + s.1, a.2 + s.2));
+
+    println!("sent: {sent_old} old-gen + {sent_new} new-gen packets");
+    println!(
+        "router: {local} handled locally, {forwarded} forwarded to old process, {dropped} dropped"
+    );
+    println!("old process received {old_received} of its packets during drain");
+    assert_eq!(delivered_new, sent_new);
+    assert_eq!(forwarded, u64::from(sent_old));
+    assert_eq!(old_received, sent_old);
+    assert_eq!(dropped, 0);
+    println!("zero misrouted packets ✔");
+    Ok(())
+}

@@ -1,0 +1,414 @@
+//! `zdr` — the multi-tool daemon for the Zero Downtime Release stack.
+//!
+//! One binary, five roles, so a real multi-process deployment can be
+//! driven from the shell (and from the cross-process integration tests):
+//!
+//! ```sh
+//! zdr broker     --listen 127.0.0.1:1883
+//! zdr app-server --listen 127.0.0.1:8080 --name web-1
+//! zdr origin     --listen 127.0.0.1:9001 --id 1 --broker 127.0.0.1:1883
+//! zdr edge       --listen 127.0.0.1:9000 --origin 127.0.0.1:9001 --origin 127.0.0.1:9002
+//! zdr proxy      --listen 127.0.0.1:443 --upstream 127.0.0.1:8080 \
+//!                --takeover-path /run/zdr-proxy.sock
+//! ```
+//!
+//! A release of the `proxy` role is just starting the new binary with
+//! `--takeover`: it receives the listening sockets from the running
+//! process via SCM_RIGHTS, and the old process drains and exits:
+//!
+//! ```sh
+//! zdr proxy --takeover --upstream 127.0.0.1:8080 \
+//!           --takeover-path /run/zdr-proxy.sock
+//! ```
+//!
+//! Every role prints `READY <addr>` on stdout once serving, so scripts and
+//! tests can synchronize on it.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
+use zero_downtime_release::broker::server as broker;
+use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
+use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+const USAGE: &str = "\
+zdr — Zero Downtime Release stack daemon
+
+USAGE:
+  zdr <role> [options]
+
+ROLES:
+  broker       MQTT pub/sub broker
+  app-server   HHVM-like app server with Partial Post Replay
+  origin       Origin MQTT relay (DCR-capable)
+  edge         Edge MQTT relay (DCR-capable)
+  proxy        HTTP reverse proxy with Socket Takeover
+  quic         QUIC-like UDP echo service with Socket Takeover
+  l4           Katran-like L4 forwarder (Maglev + LRU + health checks)
+
+COMMON OPTIONS:
+  --listen ADDR          bind address (default 127.0.0.1:0)
+
+app-server:
+  --name NAME            identity reported in x-served-by (default app-0)
+  --read-delay MS        throttle body reads (default 0)
+  --drain-ms MS          drain period (default 12000)
+  --no-ppr               answer restarts with 500 instead of 379
+  --restart-after MS     self-initiate a restart after MS (for demos)
+
+origin:
+  --id N                 origin id in solicitations (default 1)
+  --broker ADDR          broker address (repeatable)
+  --drain-after MS       begin DCR drain after MS (for demos)
+  --trunk                multiplex tunnels over an HTTP/2-like trunk
+                         (GOAWAY-driven DCR) instead of per-tunnel TCP
+
+edge:
+  --origin ADDR          origin address (repeatable)
+  --trunk                match the origins' trunk mode
+
+proxy:
+  --upstream ADDR        app-server address (repeatable)
+  --takeover-path PATH   UNIX socket for takeover (required)
+  --takeover             take sockets over from the running instance
+  --drain-ms MS          drain period advertised on handover (default 2000)
+
+quic:
+  --takeover-path PATH   UNIX socket for takeover (required)
+  --takeover             take the SO_REUSEPORT group over
+  --sockets N            ring size (default 2)
+  --drain-ms MS          drain period (default 2000)
+
+l4:
+  --backend ADDR         L7 proxy address (repeatable)
+  --probe-interval-ms MS health-probe cadence (default 200)
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn new() -> Self {
+        Args {
+            items: std::env::args().skip(2).collect(),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.items.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.items.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn values(&self, name: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for (i, a) in self.items.iter().enumerate() {
+            if a == name {
+                if let Some(v) = self.items.get(i + 1) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    fn addr(&self, name: &str, default: &str) -> Result<SocketAddr, String> {
+        self.value(name)
+            .unwrap_or(default)
+            .parse()
+            .map_err(|e| format!("bad {name}: {e}"))
+    }
+
+    fn addrs(&self, name: &str) -> Result<Vec<SocketAddr>, String> {
+        self.values(name)
+            .into_iter()
+            .map(|v| v.parse().map_err(|e| format!("bad {name} {v}: {e}")))
+            .collect()
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad {name}: {e}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let role = match std::env::args().nth(1) {
+        Some(r) => r,
+        None => return fail("missing role"),
+    };
+    let args = Args::new();
+    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    let result = rt.block_on(async {
+        match role.as_str() {
+            "broker" => run_broker(&args).await,
+            "app-server" => run_app_server(&args).await,
+            "origin" => run_origin(&args).await,
+            "edge" => run_edge(&args).await,
+            "proxy" => run_proxy(&args).await,
+            "quic" => run_quic(&args).await,
+            "l4" => run_l4(&args).await,
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown role {other:?}")),
+        }
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// Retries a takeover request for a few seconds: the predecessor binds its
+/// takeover socket lazily, so a fresh successor can out-race it.
+async fn takeover_with_retry<T, F, Fut>(mut attempt: F) -> Result<T, String>
+where
+    F: FnMut() -> Fut,
+    Fut: std::future::Future<Output = zero_downtime_release::net::Result<T>>,
+{
+    let mut last = String::new();
+    for _ in 0..40 {
+        match attempt().await {
+            Ok(v) => return Ok(v),
+            Err(e) => last = e.to_string(),
+        }
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+    Err(format!("takeover failed after retries: {last}"))
+}
+
+fn ready(addr: SocketAddr) {
+    // Synchronization point for scripts/tests.
+    println!("READY {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+async fn wait_forever() {
+    let _ = tokio::signal::ctrl_c().await;
+}
+
+async fn run_broker(args: &Args) -> Result<(), String> {
+    let listen = args.addr("--listen", "127.0.0.1:0")?;
+    let handle = broker::spawn(listen).await.map_err(|e| e.to_string())?;
+    ready(handle.addr);
+    wait_forever().await;
+    Ok(())
+}
+
+async fn run_app_server(args: &Args) -> Result<(), String> {
+    let listen = args.addr("--listen", "127.0.0.1:0")?;
+    let config = AppServerConfig {
+        server_name: args.value("--name").unwrap_or("app-0").to_string(),
+        read_delay_ms: args.u64_or("--read-delay", 0)?,
+        drain_ms: args.u64_or("--drain-ms", 12_000)?,
+        restart_behavior: if args.flag("--no-ppr") {
+            RestartBehavior::Error500
+        } else {
+            RestartBehavior::PartialPostReplay
+        },
+    };
+    let restart_after = args.u64_or("--restart-after", 0)?;
+    let handle = appserver::spawn(listen, config)
+        .await
+        .map_err(|e| e.to_string())?;
+    ready(handle.addr);
+    if restart_after > 0 {
+        tokio::time::sleep(Duration::from_millis(restart_after)).await;
+        eprintln!("initiating restart (PPR window open)");
+        handle.initiate_restart();
+        // Grace period for 379s + drain, then exit like a real release.
+        tokio::time::sleep(Duration::from_millis(2_000)).await;
+        return Ok(());
+    }
+    wait_forever().await;
+    Ok(())
+}
+
+async fn run_origin(args: &Args) -> Result<(), String> {
+    let listen = args.addr("--listen", "127.0.0.1:0")?;
+    let brokers = args.addrs("--broker")?;
+    if brokers.is_empty() {
+        return Err("origin requires at least one --broker".into());
+    }
+    let id = args.u64_or("--id", 1)? as u32;
+    let drain_after = args.u64_or("--drain-after", 0)?;
+    if args.flag("--trunk") {
+        let handle =
+            zero_downtime_release::proxy::mqtt_relay_trunk::spawn_origin_trunk(listen, brokers)
+                .await
+                .map_err(|e| e.to_string())?;
+        ready(handle.addr);
+        if drain_after > 0 {
+            tokio::time::sleep(Duration::from_millis(drain_after)).await;
+            eprintln!("origin {id} draining (GOAWAY on trunks)");
+            handle.drain().await;
+            tokio::time::sleep(Duration::from_millis(5_000)).await;
+            return Ok(());
+        }
+        wait_forever().await;
+        return Ok(());
+    }
+    let handle = spawn_origin(listen, id, brokers, 5_000)
+        .await
+        .map_err(|e| e.to_string())?;
+    ready(handle.addr);
+    if drain_after > 0 {
+        tokio::time::sleep(Duration::from_millis(drain_after)).await;
+        eprintln!("origin {id} draining (DCR solicitations sent)");
+        handle.drain();
+        tokio::time::sleep(Duration::from_millis(5_000)).await;
+        return Ok(());
+    }
+    wait_forever().await;
+    Ok(())
+}
+
+async fn run_edge(args: &Args) -> Result<(), String> {
+    let listen = args.addr("--listen", "127.0.0.1:0")?;
+    let origins = args.addrs("--origin")?;
+    if origins.is_empty() {
+        return Err("edge requires at least one --origin".into());
+    }
+    if args.flag("--trunk") {
+        let handle =
+            zero_downtime_release::proxy::mqtt_relay_trunk::spawn_edge_trunk(listen, origins)
+                .await
+                .map_err(|e| e.to_string())?;
+        ready(handle.addr);
+        wait_forever().await;
+        return Ok(());
+    }
+    let handle = spawn_edge(listen, origins)
+        .await
+        .map_err(|e| e.to_string())?;
+    ready(handle.addr);
+    wait_forever().await;
+    Ok(())
+}
+
+async fn run_quic(args: &Args) -> Result<(), String> {
+    use zero_downtime_release::proxy::quic_service::{QuicInstance, QuicInstanceConfig};
+    let takeover_path: PathBuf = args
+        .value("--takeover-path")
+        .ok_or_else(|| "quic requires --takeover-path".to_string())?
+        .into();
+    let config = QuicInstanceConfig {
+        takeover_path,
+        sockets: args.u64_or("--sockets", 2)? as usize,
+        drain_ms: args.u64_or("--drain-ms", 2_000)?,
+    };
+    let instance = if args.flag("--takeover") {
+        takeover_with_retry(|| QuicInstance::takeover_from(config.clone())).await?
+    } else {
+        let listen = args.addr("--listen", "127.0.0.1:0")?;
+        QuicInstance::bind_fresh(listen, config)
+            .await
+            .map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "quic generation {} serving on {}",
+        instance.generation, instance.vip
+    );
+    ready(instance.vip);
+    let drained = instance
+        .serve_one_takeover()
+        .await
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "quic generation {} drained ({} datagrams served while draining)",
+        drained.generation, drained.served_during_drain
+    );
+    println!("DRAINED");
+    Ok(())
+}
+
+async fn run_l4(args: &Args) -> Result<(), String> {
+    use zero_downtime_release::l4d::{self, L4Config};
+    let listen = args.addr("--listen", "127.0.0.1:0")?;
+    let backends = args.addrs("--backend")?;
+    if backends.is_empty() {
+        return Err("l4 requires at least one --backend".into());
+    }
+    let config = L4Config {
+        backends,
+        probe_interval: Duration::from_millis(args.u64_or("--probe-interval-ms", 200)?),
+        ..Default::default()
+    };
+    let handle = l4d::spawn(listen, config)
+        .await
+        .map_err(|e| e.to_string())?;
+    ready(handle.addr);
+    wait_forever().await;
+    Ok(())
+}
+
+async fn run_proxy(args: &Args) -> Result<(), String> {
+    let upstreams = args.addrs("--upstream")?;
+    let takeover_path: PathBuf = args
+        .value("--takeover-path")
+        .ok_or_else(|| "proxy requires --takeover-path".to_string())?
+        .into();
+    let config = ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams,
+            upstream_timeout: Duration::from_secs(30),
+            ..Default::default()
+        },
+        takeover_path,
+        drain_ms: args.u64_or("--drain-ms", 2_000)?,
+    };
+
+    let instance = if args.flag("--takeover") {
+        // New process: receive the sockets from the running instance. The
+        // old process may still be binding its takeover server (we may
+        // have been exec'd seconds early) — retry briefly.
+        takeover_with_retry(|| ProxyInstance::takeover_from(config.clone())).await?
+    } else {
+        let listen = args.addr("--listen", "127.0.0.1:0")?;
+        ProxyInstance::bind_fresh(listen, config)
+            .await
+            .map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "proxy generation {} serving on {}",
+        instance.generation, instance.addr
+    );
+    ready(instance.addr);
+
+    // Serve until a successor takes over, then drain and exit — the real
+    // release lifecycle: each process serves exactly one generation.
+    let drained = instance
+        .serve_one_takeover()
+        .await
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "generation {} handed over; draining {} ms before exit",
+        drained.generation,
+        args.u64_or("--drain-ms", 2_000)?
+    );
+    tokio::time::sleep(Duration::from_millis(args.u64_or("--drain-ms", 2_000)?)).await;
+    println!("DRAINED");
+    Ok(())
+}

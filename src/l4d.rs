@@ -1,0 +1,201 @@
+//! The L4 load-balancing daemon: `zdr-l4lb`'s forwarding plane on real
+//! sockets — the Katran position in Fig. 1.
+//!
+//! Accepts TCP connections on the cluster VIP, picks an L7 proxy with the
+//! Maglev + LRU-connection-table forwarder, and splices bytes both ways.
+//! A background prober GETs `/proxygen/health` on every backend and feeds
+//! the verdicts to the health state machine; Socket Takeover keeps those
+//! probes green through L7 releases, so "Zero Downtime Restart stays
+//! transparent to Katran" (§6.1.2).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+use zdr_l4lb::forwarder::{ForwarderConfig, ForwarderStats, L4Forwarder};
+use zdr_l4lb::hash::FlowKey;
+use zdr_l4lb::health::HealthState;
+use zdr_l4lb::BackendId;
+use zdr_proto::http1::{serialize_request, Request, ResponseParser};
+
+/// L4 daemon configuration.
+#[derive(Debug, Clone)]
+pub struct L4Config {
+    /// The L7 proxies behind this L4.
+    pub backends: Vec<SocketAddr>,
+    /// Health-probe cadence.
+    pub probe_interval: Duration,
+    /// Per-probe timeout.
+    pub probe_timeout: Duration,
+    /// Forwarder tuning (Maglev size, conn-table capacity, thresholds).
+    pub forwarder: ForwarderConfig,
+}
+
+impl Default for L4Config {
+    fn default() -> Self {
+        L4Config {
+            backends: Vec::new(),
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(500),
+            forwarder: ForwarderConfig {
+                table_size: 65_537,
+                ..ForwarderConfig::default()
+            },
+        }
+    }
+}
+
+/// A running L4 daemon.
+#[derive(Debug)]
+pub struct L4Handle {
+    /// The cluster VIP.
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_task: tokio::task::JoinHandle<()>,
+    probe_task: tokio::task::JoinHandle<()>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    forwarder: Mutex<L4Forwarder>,
+    backends: Vec<SocketAddr>,
+}
+
+impl L4Handle {
+    /// Routing counters.
+    pub fn stats(&self) -> ForwarderStats {
+        self.shared.forwarder.lock().stats()
+    }
+
+    /// Health state of backend `i`.
+    pub fn backend_state(&self, i: usize) -> Option<HealthState> {
+        self.shared
+            .forwarder
+            .lock()
+            .backend_state(BackendId(i as u32))
+    }
+
+    /// Currently healthy backends (addresses).
+    pub fn healthy_backends(&self) -> Vec<SocketAddr> {
+        let fwd = self.shared.forwarder.lock();
+        fwd.healthy_backends()
+            .into_iter()
+            .map(|b| self.shared.backends[b.0 as usize])
+            .collect()
+    }
+}
+
+impl Drop for L4Handle {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+        self.probe_task.abort();
+    }
+}
+
+/// Binds and spawns the L4 daemon.
+pub async fn spawn(addr: SocketAddr, config: L4Config) -> std::io::Result<L4Handle> {
+    assert!(!config.backends.is_empty(), "l4 needs at least one backend");
+    let listener = TcpListener::bind(addr).await?;
+    let addr = listener.local_addr()?;
+
+    let ids: Vec<BackendId> = (0..config.backends.len() as u32).map(BackendId).collect();
+    let forwarder = L4Forwarder::new(ids, config.forwarder);
+    let shared = Arc::new(Shared {
+        forwarder: Mutex::new(forwarder),
+        backends: config.backends.clone(),
+    });
+
+    // Health prober (Fig. 5 step F's observer side).
+    let probe_shared = Arc::clone(&shared);
+    let probe_interval = config.probe_interval;
+    let probe_timeout = config.probe_timeout;
+    let probe_task = tokio::spawn(async move {
+        loop {
+            for (i, &backend) in probe_shared.backends.iter().enumerate() {
+                let ok = probe_health(backend, probe_timeout).await;
+                probe_shared
+                    .forwarder
+                    .lock()
+                    .report_probe(BackendId(i as u32), ok);
+            }
+            tokio::time::sleep(probe_interval).await;
+        }
+    });
+
+    // Forwarding plane.
+    let accept_shared = Arc::clone(&shared);
+    let accept_task = tokio::spawn(async move {
+        while let Ok((client, peer)) = listener.accept().await {
+            let shared = Arc::clone(&accept_shared);
+            tokio::spawn(async move {
+                let _ = forward(client, peer, addr, shared).await;
+            });
+        }
+    });
+
+    Ok(L4Handle {
+        addr,
+        shared,
+        accept_task,
+        probe_task,
+    })
+}
+
+/// One HTTP health probe against `/proxygen/health`.
+async fn probe_health(backend: SocketAddr, timeout: Duration) -> bool {
+    let attempt = async {
+        let mut conn = TcpStream::connect(backend).await.ok()?;
+        let req = Request::get("/proxygen/health");
+        conn.write_all(&serialize_request(&req)).await.ok()?;
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 2048];
+        loop {
+            let n = conn.read(&mut buf).await.ok()?;
+            if n == 0 {
+                return None;
+            }
+            if let Ok(Some(resp)) = parser.push(&buf[..n]) {
+                return Some(resp.status.code == 200);
+            }
+        }
+    };
+    matches!(tokio::time::timeout(timeout, attempt).await, Ok(Some(true)))
+}
+
+/// Splices one client connection to its Maglev-chosen backend.
+async fn forward(
+    mut client: TcpStream,
+    peer: SocketAddr,
+    vip: SocketAddr,
+    shared: Arc<Shared>,
+) -> std::io::Result<()> {
+    let flow = FlowKey::tcp(peer, vip);
+    let backend = {
+        let mut fwd = shared.forwarder.lock();
+        fwd.route(flow)
+    };
+    let Some(backend) = backend else {
+        return Ok(()); // no healthy backend: connection drops (counted)
+    };
+    let backend_addr = shared.backends[backend.0 as usize];
+    let mut upstream = match TcpStream::connect(backend_addr).await {
+        Ok(s) => s,
+        Err(_) => return Ok(()),
+    };
+    let _ = tokio::io::copy_bidirectional(&mut client, &mut upstream).await;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn probe_reports_false_for_dead_backend() {
+        assert!(!probe_health("127.0.0.1:1".parse().unwrap(), Duration::from_millis(200)).await);
+    }
+}

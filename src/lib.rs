@@ -1,0 +1,70 @@
+//! # zero-downtime-release
+//!
+//! A from-scratch Rust implementation of **"Zero Downtime Release:
+//! Disruption-free Load Balancing of a Multi-Billion User Website"**
+//! (SIGCOMM '20): the release framework Facebook uses to restart its
+//! global fleet of L7 load balancers and app servers without users
+//! noticing.
+//!
+//! Three mechanisms, all implemented here against real sockets:
+//!
+//! * **Socket Takeover** ([`net`], [`proxy::takeover`]) — pass every
+//!   listening socket FD (TCP and UDP) from the old proxy process to the
+//!   new one over a UNIX socket with `SCM_RIGHTS`; the new process serves
+//!   new connections and answers health checks immediately while the old
+//!   one drains. QUIC-like packets for draining flows are user-space
+//!   routed by connection ID.
+//! * **Downstream Connection Reuse** ([`proxy::mqtt_relay`], [`broker`]) —
+//!   a restarting Origin proxy solicits the Edge to re-home each MQTT
+//!   tunnel through another Origin to the same broker (located by
+//!   consistent-hashing the user id); end-user connections never drop.
+//! * **Partial Post Replay** ([`appserver`], [`proxy::reverse`]) — a
+//!   restarting app server answers in-flight POSTs with HTTP **379**
+//!   carrying the partial body; the proxy rebuilds and replays the request
+//!   to a healthy server (up to 10 attempts) and the user sees only a 200.
+//!
+//! The release *framework* (strategies, drain lifecycles, batch
+//! scheduling, release calendars, disruption taxonomy) lives in [`core`],
+//! and a deterministic fleet simulator ([`sim`]) reproduces every figure
+//! of the paper's evaluation — see `EXPERIMENTS.md` and the `zdr-bench`
+//! figure binaries.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+//! use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+//!
+//! # async fn demo() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generation 0 binds the VIP fresh:
+//! let cfg = ProxyInstanceConfig {
+//!     reverse: ReverseProxyConfig {
+//!         upstreams: vec!["127.0.0.1:8080".parse()?],
+//!         ..Default::default()
+//!     },
+//!     takeover_path: "/tmp/proxy-takeover.sock".into(),
+//!     drain_ms: 20 * 60 * 1000,
+//! };
+//! let gen0 = ProxyInstance::bind_fresh("127.0.0.1:443".parse()?, cfg.clone()).await?;
+//!
+//! // ... release time: the NEW process takes the sockets over ...
+//! let old = tokio::spawn(gen0.serve_one_takeover());
+//! let gen1 = ProxyInstance::takeover_from(cfg).await?;   // serves instantly
+//! let drained = old.await.expect("join")?;                // old instance drains
+//! assert_eq!(gen1.generation, 1);
+//! # drop(drained);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod l4d;
+
+pub use zdr_appserver as appserver;
+pub use zdr_broker as broker;
+pub use zdr_core as core;
+pub use zdr_l4lb as l4lb;
+pub use zdr_net as net;
+pub use zdr_proto as proto;
+pub use zdr_proxy as proxy;
+pub use zdr_sim as sim;

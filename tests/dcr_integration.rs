@@ -1,0 +1,201 @@
+//! Downstream Connection Reuse integration: continuous publish delivery
+//! across an Origin restart, through the public crate API.
+
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::broker::server as broker;
+use zero_downtime_release::proto::dcr::UserId;
+use zero_downtime_release::proto::mqtt::{self, ConnectReturnCode, Packet, QoS, StreamDecoder};
+use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
+use zero_downtime_release::proxy::ProxyStats;
+
+struct Client {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+}
+
+impl Client {
+    async fn connect(edge: std::net::SocketAddr, user: UserId) -> Client {
+        let mut stream = TcpStream::connect(edge).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: user.client_id(),
+            keep_alive: 60,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut c = Client {
+            stream,
+            decoder: StreamDecoder::new(),
+        };
+        match c.recv().await {
+            Packet::ConnAck {
+                code: ConnectReturnCode::Accepted,
+                ..
+            } => c,
+            other => panic!("expected CONNACK, got {other:?}"),
+        }
+    }
+
+    async fn send(&mut self, pkt: &Packet) {
+        self.stream
+            .write_all(&mqtt::encode(pkt).unwrap())
+            .await
+            .unwrap();
+    }
+
+    async fn recv(&mut self) -> Packet {
+        let mut buf = [0u8; 8192];
+        loop {
+            if let Some(p) = self.decoder.next_packet().unwrap() {
+                return p;
+            }
+            let n = tokio::time::timeout(Duration::from_secs(10), self.stream.read(&mut buf))
+                .await
+                .expect("recv timeout")
+                .unwrap();
+            assert!(n > 0, "connection closed unexpectedly");
+            self.decoder.extend(&buf[..n]);
+        }
+    }
+}
+
+#[tokio::test]
+async fn publish_stream_continues_across_origin_restart() {
+    let broker = broker::spawn("127.0.0.1:0".parse().unwrap()).await.unwrap();
+    let o1 = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, vec![broker.addr], 5_000)
+        .await
+        .unwrap();
+    let o2 = spawn_origin("127.0.0.1:0".parse().unwrap(), 2, vec![broker.addr], 5_000)
+        .await
+        .unwrap();
+    let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![o1.addr, o2.addr])
+        .await
+        .unwrap();
+
+    // Subscriber through origin 1.
+    let mut sub = Client::connect(edge.addr, UserId(1)).await;
+    sub.send(&Packet::Subscribe {
+        packet_id: 1,
+        filters: vec![("stream/1".into(), QoS::AtMostOnce)],
+    })
+    .await;
+    sub.recv().await; // SUBACK
+
+    // Publisher task feeds sequence-numbered messages directly at the
+    // broker core (decoupled from the relay under test).
+    let core = std::sync::Arc::clone(&broker.core);
+    let publisher = tokio::spawn(async move {
+        for seq in 0..50u32 {
+            core.publish("stream/1", format!("msg-{seq}").as_bytes(), QoS::AtMostOnce);
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        }
+    });
+
+    // Restart origin 1 mid-stream.
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    o1.drain();
+
+    // The subscriber must receive ALL 50 messages in order, despite the
+    // restart. (DCR re-homes the tunnel; the broker buffers anything that
+    // races the swap.)
+    let mut next = 0u32;
+    while next < 50 {
+        match sub.recv().await {
+            Packet::Publish { payload, .. } => {
+                let text = String::from_utf8(payload.to_vec()).unwrap();
+                assert_eq!(text, format!("msg-{next}"), "gap or reorder at {next}");
+                next += 1;
+            }
+            Packet::PingResp => {}
+            other => panic!("unexpected packet {other:?}"),
+        }
+    }
+    publisher.await.unwrap();
+
+    assert_eq!(ProxyStats::get(&edge.dcr_stats.rehomed_ok), 1);
+    assert_eq!(broker.core.stats().dcr_accepted, 1);
+    assert_eq!(
+        ProxyStats::get(&edge.stats.mqtt_dropped),
+        0,
+        "no client saw a drop"
+    );
+}
+
+#[tokio::test]
+async fn many_tunnels_rehome_concurrently() {
+    let broker = broker::spawn("127.0.0.1:0".parse().unwrap()).await.unwrap();
+    let o1 = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, vec![broker.addr], 5_000)
+        .await
+        .unwrap();
+    let o2 = spawn_origin("127.0.0.1:0".parse().unwrap(), 2, vec![broker.addr], 5_000)
+        .await
+        .unwrap();
+    let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![o1.addr, o2.addr])
+        .await
+        .unwrap();
+
+    let mut clients = Vec::new();
+    for u in 0..20u64 {
+        let mut c = Client::connect(edge.addr, UserId(u)).await;
+        c.send(&Packet::Subscribe {
+            packet_id: 1,
+            filters: vec![(format!("user/{u}"), QoS::AtMostOnce)],
+        })
+        .await;
+        c.recv().await;
+        clients.push(c);
+    }
+
+    o1.drain();
+    tokio::time::sleep(Duration::from_millis(500)).await;
+    assert_eq!(
+        ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+        20,
+        "every tunnel re-homed"
+    );
+    assert_eq!(broker.core.stats().dcr_accepted, 20);
+
+    // Every client still receives its topic.
+    for (u, c) in clients.iter_mut().enumerate() {
+        broker
+            .core
+            .publish(&format!("user/{u}"), b"still-here", QoS::AtMostOnce);
+        match c.recv().await {
+            Packet::Publish { payload, .. } => assert_eq!(&payload[..], b"still-here"),
+            other => panic!("user {u}: {other:?}"),
+        }
+    }
+}
+
+#[tokio::test]
+async fn ping_liveness_survives_rehome() {
+    let broker = broker::spawn("127.0.0.1:0".parse().unwrap()).await.unwrap();
+    let o1 = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, vec![broker.addr], 5_000)
+        .await
+        .unwrap();
+    let o2 = spawn_origin("127.0.0.1:0".parse().unwrap(), 2, vec![broker.addr], 5_000)
+        .await
+        .unwrap();
+    let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![o1.addr, o2.addr])
+        .await
+        .unwrap();
+
+    let mut c = Client::connect(edge.addr, UserId(5)).await;
+    c.send(&Packet::PingReq).await;
+    assert_eq!(c.recv().await, Packet::PingResp);
+
+    o1.drain();
+    tokio::time::sleep(Duration::from_millis(300)).await;
+
+    // The MQTT keep-alive ping still round-trips on the same client
+    // connection — "the underlying transport session [is] always
+    // available" (§4.2).
+    c.send(&Packet::PingReq).await;
+    assert_eq!(c.recv().await, Packet::PingResp);
+}

@@ -1,0 +1,206 @@
+//! End-to-end integration: client → takeover-capable proxy → app tier,
+//! restarted live under load, observed through the public crate API.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::appserver::{self, AppServerConfig};
+use zero_downtime_release::l4lb::health::{HealthChecker, HealthConfig, HealthState};
+use zero_downtime_release::l4lb::BackendId;
+use zero_downtime_release::proto::http1::{serialize_request, Request, Response, ResponseParser};
+use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+async fn send(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr).await?;
+    stream.write_all(&serialize_request(req)).await?;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof",
+            ));
+        }
+        if let Some(resp) = parser.push(&buf[..n]).map_err(std::io::Error::other)? {
+            return Ok(resp);
+        }
+    }
+}
+
+fn takeover_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-it-{tag}-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+async fn stack(
+    tag: &str,
+) -> (
+    Vec<appserver::AppServerHandle>,
+    ProxyInstanceConfig,
+    ProxyInstance,
+) {
+    let mut apps = Vec::new();
+    for name in ["app-A", "app-B", "app-C"] {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: name.into(),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap(),
+        );
+    }
+    let cfg = ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams: apps.iter().map(|a| a.addr).collect(),
+            upstream_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+        takeover_path: takeover_path(tag),
+        drain_ms: 1_000,
+    };
+    let proxy = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .await
+        .unwrap();
+    (apps, cfg, proxy)
+}
+
+#[tokio::test]
+async fn requests_flow_through_entire_stack() {
+    let (_apps, _cfg, proxy) = stack("flow").await;
+    for i in 0..10 {
+        let resp = send(proxy.addr, &Request::get(format!("/item/{i}")))
+            .await
+            .unwrap();
+        assert_eq!(resp.status.code, 200);
+        assert!(resp.headers.get("x-served-by").is_some());
+    }
+    // Round-robin spreads load over the app tier.
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..9 {
+        let resp = send(proxy.addr, &Request::get("/spread")).await.unwrap();
+        seen.insert(resp.headers.get("x-served-by").unwrap().to_string());
+    }
+    assert_eq!(seen.len(), 3, "all three app servers must serve");
+}
+
+#[tokio::test]
+async fn post_upload_round_trips() {
+    let (_apps, _cfg, proxy) = stack("post").await;
+    let body = vec![0x42u8; 128 * 1024];
+    let resp = send(proxy.addr, &Request::post("/upload", body))
+        .await
+        .unwrap();
+    assert_eq!(resp.status.code, 200);
+    assert_eq!(
+        &resp.body[..],
+        format!("received={}", 128 * 1024).as_bytes()
+    );
+}
+
+#[tokio::test]
+async fn l4_health_view_never_flaps_through_takeover() {
+    // Katran's perspective: probe the proxy through the whole restart and
+    // feed verdicts to the real health-checker state machine. The backend
+    // must never transition down.
+    let (_apps, cfg, proxy) = stack("health").await;
+    let vip = proxy.addr;
+    let mut checker = HealthChecker::new(
+        HealthConfig {
+            fall_threshold: 3,
+            rise_threshold: 2,
+        },
+        [BackendId(0)],
+    );
+
+    let prober = tokio::spawn(async move {
+        let mut transitions = Vec::new();
+        for _ in 0..40 {
+            let ok = matches!(
+                send(vip, &Request::get("/proxygen/health")).await,
+                Ok(resp) if resp.status.code == 200
+            );
+            if let Some(t) = checker.report(BackendId(0), ok) {
+                transitions.push(t);
+            }
+            assert_eq!(checker.state(BackendId(0)), Some(HealthState::Up));
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        transitions
+    });
+
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let old_task = tokio::spawn(proxy.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let _new = ProxyInstance::takeover_from(cfg).await.unwrap();
+    old_task.await.unwrap().unwrap();
+
+    let transitions = prober.await.unwrap();
+    assert!(
+        transitions.is_empty(),
+        "no health transitions during ZDR: {transitions:?}"
+    );
+}
+
+#[tokio::test]
+async fn sustained_load_across_double_restart() {
+    let (_apps, cfg, proxy) = stack("double").await;
+    let vip = proxy.addr;
+
+    let load = tokio::spawn(async move {
+        let mut failures = 0u32;
+        for i in 0..300 {
+            match send(vip, &Request::get(format!("/r/{i}"))).await {
+                Ok(resp) if resp.status.code == 200 => {}
+                _ => failures += 1,
+            }
+            tokio::time::sleep(Duration::from_millis(3)).await;
+        }
+        failures
+    });
+
+    // Two back-to-back releases.
+    let t0 = tokio::spawn(proxy.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(30)).await;
+    let gen1 = ProxyInstance::takeover_from(cfg.clone()).await.unwrap();
+    t0.await.unwrap().unwrap();
+
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    let t1 = tokio::spawn(gen1.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(30)).await;
+    let gen2 = ProxyInstance::takeover_from(cfg).await.unwrap();
+    t1.await.unwrap().unwrap();
+
+    assert_eq!(gen2.generation, 2);
+    assert_eq!(load.await.unwrap(), 0, "two releases, zero failures");
+}
+
+#[tokio::test]
+async fn app_server_failure_fails_over_without_user_impact() {
+    let (apps, _cfg, proxy) = stack("failover").await;
+    // Kill app-A outright (crash, not graceful).
+    apps[0].initiate_restart();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    for i in 0..10 {
+        let resp = send(proxy.addr, &Request::get(format!("/x/{i}")))
+            .await
+            .unwrap();
+        assert_eq!(resp.status.code, 200, "request {i}");
+        assert_ne!(resp.headers.get("x-served-by"), Some("app-A"));
+    }
+}

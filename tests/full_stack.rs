@@ -1,0 +1,196 @@
+//! The complete Fig. 1 stack on real sockets: client → L4 (Maglev + LRU +
+//! health checks) → L7 proxies (Socket Takeover) → app servers (PPR) —
+//! with an L7 release happening under load and the L4 layer never noticing.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::appserver::{self, AppServerConfig};
+use zero_downtime_release::l4d::{self, L4Config};
+use zero_downtime_release::l4lb::health::HealthState;
+use zero_downtime_release::proto::http1::{serialize_request, Request, Response, ResponseParser};
+use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+async fn send(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr).await?;
+    stream.write_all(&serialize_request(req)).await?;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof",
+            ));
+        }
+        if let Some(resp) = parser.push(&buf[..n]).map_err(std::io::Error::other)? {
+            return Ok(resp);
+        }
+    }
+}
+
+fn takeover_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-fullstack-{tag}-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+struct Stack {
+    _apps: Vec<appserver::AppServerHandle>,
+    proxies: Vec<ProxyInstance>,
+    proxy_cfgs: Vec<ProxyInstanceConfig>,
+    l4: l4d::L4Handle,
+}
+
+async fn build_stack(tag: &str, n_proxies: usize) -> Stack {
+    let mut apps = Vec::new();
+    for name in ["web-1", "web-2"] {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: name.into(),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap(),
+        );
+    }
+    let upstreams: Vec<SocketAddr> = apps.iter().map(|a| a.addr).collect();
+
+    let mut proxies = Vec::new();
+    let mut proxy_cfgs = Vec::new();
+    for i in 0..n_proxies {
+        let cfg = ProxyInstanceConfig {
+            reverse: ReverseProxyConfig {
+                upstreams: upstreams.clone(),
+                upstream_timeout: Duration::from_secs(10),
+                ..Default::default()
+            },
+            takeover_path: takeover_path(&format!("{tag}-{i}")),
+            drain_ms: 500,
+        };
+        proxies.push(
+            ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+                .await
+                .unwrap(),
+        );
+        proxy_cfgs.push(cfg);
+    }
+
+    let l4 = l4d::spawn(
+        "127.0.0.1:0".parse().unwrap(),
+        L4Config {
+            backends: proxies.iter().map(|p| p.addr).collect(),
+            probe_interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+
+    Stack {
+        _apps: apps,
+        proxies,
+        proxy_cfgs,
+        l4,
+    }
+}
+
+#[tokio::test]
+async fn requests_traverse_all_three_tiers() {
+    let stack = build_stack("traverse", 2).await;
+    for i in 0..20 {
+        let resp = send(stack.l4.addr, &Request::get(format!("/item/{i}")))
+            .await
+            .unwrap();
+        assert_eq!(resp.status.code, 200, "request {i}");
+        let served = resp.headers.get("x-served-by").unwrap();
+        assert!(served.starts_with("web-"), "{served}");
+    }
+    // Both proxies saw the user traffic (health probes also count into
+    // requests_ok, so subtract the probe tally).
+    use zero_downtime_release::proxy::ProxyStats;
+    let user_requests = |p: &ProxyInstance| {
+        ProxyStats::get(&p.reverse.stats.requests_ok) - ProxyStats::get(&p.reverse.stats.health_ok)
+    };
+    let total = user_requests(&stack.proxies[0]) + user_requests(&stack.proxies[1]);
+    assert_eq!(total, 20);
+}
+
+#[tokio::test]
+async fn l7_release_invisible_to_l4_under_load() {
+    let stack = build_stack("release", 2).await;
+    let vip = stack.l4.addr;
+
+    // Continuous load through the whole stack.
+    let load = tokio::spawn(async move {
+        let mut failures = 0u32;
+        for i in 0..200 {
+            match send(vip, &Request::get(format!("/r/{i}"))).await {
+                Ok(resp) if resp.status.code == 200 => {}
+                _ => failures += 1,
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        failures
+    });
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    // Release proxy 0 via Socket Takeover.
+    let mut proxies = stack.proxies;
+    let p0 = proxies.remove(0);
+    let cfg = stack.proxy_cfgs[0].clone();
+    let old_task = tokio::spawn(p0.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let p0_new = ProxyInstance::takeover_from(cfg).await.unwrap();
+    old_task.await.unwrap().unwrap();
+    assert_eq!(p0_new.generation, 1);
+
+    let failures = load.await.unwrap();
+    assert_eq!(failures, 0, "release must be invisible end to end");
+
+    // Katran's view never flapped: both backends stayed Up throughout
+    // (the prober ran every 50 ms across the restart).
+    assert_eq!(stack.l4.backend_state(0), Some(HealthState::Up));
+    assert_eq!(stack.l4.backend_state(1), Some(HealthState::Up));
+    assert_eq!(stack.l4.healthy_backends().len(), 2);
+}
+
+#[tokio::test]
+async fn l4_routes_around_a_dead_proxy() {
+    let stack = build_stack("dead", 2).await;
+    let vip = stack.l4.addr;
+
+    // Kill proxy 0 outright (crash, not a release).
+    stack.proxies[0].reverse.drain(); // closes its listener
+                                      // Wait for fall_threshold consecutive probe failures.
+    let mut down = false;
+    for _ in 0..100 {
+        if stack.l4.backend_state(0) == Some(HealthState::Down) {
+            down = true;
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(50)).await;
+    }
+    assert!(down, "prober must mark the dead proxy down");
+
+    // Traffic keeps flowing via proxy 1.
+    for i in 0..10 {
+        let resp = send(vip, &Request::get(format!("/x/{i}"))).await.unwrap();
+        assert_eq!(resp.status.code, 200, "request {i}");
+    }
+    assert_eq!(stack.l4.healthy_backends().len(), 1);
+}

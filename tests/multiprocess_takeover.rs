@@ -1,0 +1,288 @@
+//! The real thing: Socket Takeover between two **separate OS processes**,
+//! exactly as deployed — the old `zdr proxy` process passes its listening
+//! socket to a newly exec'd `zdr proxy --takeover` process over the UNIX
+//! socket, drains, and exits, while a client hammers the VIP and sees zero
+//! failures.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
+
+const ZDR_BIN: &str = env!("CARGO_BIN_EXE_zdr");
+
+struct Daemon {
+    child: Child,
+    /// Address parsed from the `READY <addr>` line.
+    addr: SocketAddr,
+    /// Retained stdout reader (for DRAINED etc.).
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(ZDR_BIN)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn zdr");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read READY line");
+        let addr = line
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("expected READY line, got {line:?}"))
+            .parse()
+            .expect("parse READY addr");
+        Daemon {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn wait_for_line(&mut self, needle: &str, timeout: Duration) -> bool {
+        // Reads lines until the needle appears (blocking reads; the caller
+        // bounds the wall time by arranging the process to print or exit).
+        let start = std::time::Instant::now();
+        let mut line = String::new();
+        while start.elapsed() < timeout {
+            line.clear();
+            match self.stdout.read_line(&mut line) {
+                Ok(0) => return false, // EOF
+                Ok(_) if line.contains(needle) => return true,
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+        }
+        false
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn sock_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "zdr-mp-{tag}-{}-{:x}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+async fn get_ok(addr: SocketAddr, path: &str) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr).await else {
+        return false;
+    };
+    let req = Request::get(path);
+    if stream.write_all(&serialize_request(&req)).await.is_err() {
+        return false;
+    }
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        match stream.read(&mut buf).await {
+            Ok(0) | Err(_) => return false,
+            Ok(n) => match parser.push(&buf[..n]) {
+                Ok(Some(resp)) => return resp.status.code == 200,
+                Ok(None) => {}
+                Err(_) => return false,
+            },
+        }
+    }
+}
+
+#[tokio::test]
+async fn cross_process_takeover_with_zero_failures() {
+    // Real app-server process.
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+    let app_addr = app.addr.to_string();
+
+    // Generation-0 proxy process.
+    let path = sock_path("g0");
+    let mut old = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "500",
+    ]);
+    let vip = old.addr;
+
+    // Continuous load against the VIP for the duration of the release.
+    let load = tokio::spawn(async move {
+        let mut ok = 0u32;
+        let mut failed = 0u32;
+        for i in 0..250 {
+            if get_ok(vip, &format!("/r/{i}")).await {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+            tokio::time::sleep(Duration::from_millis(4)).await;
+        }
+        (ok, failed)
+    });
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    // Release: exec the NEW process, which takes the sockets over.
+    let new = Daemon::spawn(&[
+        "proxy",
+        "--takeover",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "500",
+    ]);
+    assert_eq!(new.addr, vip, "successor must own the same VIP");
+
+    // The old process drains and exits on its own.
+    let drained = tokio::task::spawn_blocking(move || {
+        let ok = old.wait_for_line("DRAINED", Duration::from_secs(15));
+        let status = old.child.wait().expect("old process exits");
+        (ok, status.success())
+    })
+    .await
+    .unwrap();
+    assert!(drained.0, "old process must report DRAINED");
+    assert!(drained.1, "old process must exit cleanly");
+
+    // Zero failed requests across the whole cross-process restart.
+    let (ok, failed) = load.await.unwrap();
+    assert_eq!(failed, 0, "cross-process takeover must drop nothing");
+    assert_eq!(ok, 250);
+
+    // And the successor really is serving.
+    assert!(get_ok(vip, "/post-release").await);
+}
+
+#[tokio::test]
+async fn cross_process_generation_chain() {
+    // Three generations across three OS processes, same VIP throughout.
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0"]);
+    let app_addr = app.addr.to_string();
+    let path = sock_path("chain");
+
+    let g0 = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "200",
+    ]);
+    let vip = g0.addr;
+    assert!(get_ok(vip, "/gen0").await);
+
+    let g1 = Daemon::spawn(&[
+        "proxy",
+        "--takeover",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "200",
+    ]);
+    assert_eq!(g1.addr, vip);
+    assert!(get_ok(vip, "/gen1").await);
+
+    let g2 = Daemon::spawn(&[
+        "proxy",
+        "--takeover",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "200",
+    ]);
+    assert_eq!(g2.addr, vip);
+    assert!(get_ok(vip, "/gen2").await);
+}
+
+#[tokio::test]
+async fn cross_process_ppr_during_app_release() {
+    // A slow-reading app-server process that restarts itself mid-upload;
+    // the proxy process replays to the healthy replica.
+    let slow = Daemon::spawn(&[
+        "app-server",
+        "--listen",
+        "127.0.0.1:0",
+        "--name",
+        "web-slow",
+        "--read-delay",
+        "50",
+        "--restart-after",
+        "600",
+    ]);
+    let healthy = Daemon::spawn(&[
+        "app-server",
+        "--listen",
+        "127.0.0.1:0",
+        "--name",
+        "web-healthy",
+    ]);
+    let path = sock_path("ppr");
+    let proxy = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &slow.addr.to_string(),
+        "--upstream",
+        &healthy.addr.to_string(),
+        "--takeover-path",
+        &path,
+    ]);
+
+    // 1 MiB upload: the slow server reads ~16 KiB per 50 ms, so the
+    // self-restart at t=600ms lands mid-body.
+    let mut stream = TcpStream::connect(proxy.addr).await.unwrap();
+    let req = Request::post("/upload", vec![0x7fu8; 1024 * 1024]);
+    stream.write_all(&serialize_request(&req)).await.unwrap();
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    let resp = loop {
+        let n = tokio::time::timeout(Duration::from_secs(30), stream.read(&mut buf))
+            .await
+            .expect("response timeout")
+            .unwrap();
+        assert!(n > 0, "connection closed without response");
+        if let Some(r) = parser.push(&buf[..n]).unwrap() {
+            break r;
+        }
+    };
+    assert_eq!(resp.status.code, 200, "user must never see the app release");
+    assert_eq!(resp.headers.get("x-served-by"), Some("web-healthy"));
+    assert_eq!(
+        &resp.body[..],
+        format!("received={}", 1024 * 1024).as_bytes()
+    );
+}

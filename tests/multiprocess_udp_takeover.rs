@@ -1,0 +1,200 @@
+//! Cross-process UDP Socket Takeover: two real `zdr quic` processes hand
+//! an SO_REUSEPORT socket group over SCM_RIGHTS while live QUIC-like flows
+//! keep being served — the §4.1 UDP mechanism, deployed shape.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use tokio::net::UdpSocket;
+
+use zero_downtime_release::proto::quic::{self, ConnectionId, Datagram};
+
+const ZDR_BIN: &str = env!("CARGO_BIN_EXE_zdr");
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(ZDR_BIN)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn zdr");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read READY line");
+        let addr = line
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("expected READY, got {line:?}"))
+            .parse()
+            .expect("parse addr");
+        Daemon {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn wait_drained(mut self) -> bool {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.stdout.read_line(&mut line) {
+                Ok(0) => return false,
+                Ok(_) if line.contains("DRAINED") => {
+                    let _ = self.child.wait();
+                    return true;
+                }
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn sock_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "zdr-mpudp-{tag}-{}-{:x}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+struct FlowClient {
+    socket: UdpSocket,
+    cid: ConnectionId,
+    next_pn: u64,
+}
+
+impl FlowClient {
+    async fn open(vip: SocketAddr, random: u64) -> FlowClient {
+        let socket = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let hello = Datagram::initial(ConnectionId::new(0, random), &b"hello"[..]);
+        socket
+            .send_to(&quic::encode(&hello).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(10), socket.recv_from(&mut buf))
+            .await
+            .expect("open timeout")
+            .unwrap();
+        let reply = quic::decode(&buf[..n]).unwrap();
+        FlowClient {
+            socket,
+            cid: reply.cid,
+            next_pn: 1,
+        }
+    }
+
+    async fn echo(&mut self, vip: SocketAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        let d = Datagram::one_rtt(self.cid, self.next_pn, payload.to_vec());
+        self.next_pn += 1;
+        self.socket
+            .send_to(&quic::encode(&d).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(10), self.socket.recv_from(&mut buf))
+            .await
+            .ok()?
+            .ok()?;
+        Some(quic::decode(&buf[..n]).unwrap().payload.to_vec())
+    }
+}
+
+#[tokio::test]
+async fn udp_flows_survive_cross_process_takeover() {
+    let path = sock_path("flows");
+    let old = Daemon::spawn(&[
+        "quic",
+        "--listen",
+        "127.0.0.1:0",
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "3000",
+    ]);
+    let vip = old.addr;
+
+    // Generation-0 flows against the old process.
+    let mut flow_a = FlowClient::open(vip, 11).await;
+    assert_eq!(flow_a.cid.generation, 0);
+    assert_eq!(flow_a.echo(vip, b"pre").await.unwrap(), b"echo:pre");
+
+    // Release: the NEW OS process takes the SO_REUSEPORT group over.
+    let new = Daemon::spawn(&[
+        "quic",
+        "--takeover",
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "3000",
+    ]);
+    assert_eq!(new.addr, vip, "successor owns the same UDP VIP");
+
+    // The old flow keeps working across processes: the new process's
+    // user-space router forwards its packets to the draining process.
+    for i in 0..5 {
+        let msg = format!("mid-{i}");
+        assert_eq!(
+            flow_a
+                .echo(vip, msg.as_bytes())
+                .await
+                .expect("old flow must survive"),
+            format!("echo:{msg}").into_bytes()
+        );
+    }
+
+    // New flows are served by the new process at generation 1. In the
+    // handover instant both processes may briefly accept Initials (packets
+    // already queued on the shared ring) — that's the paper's overlap
+    // window, and such flows still get service via user-space routing. We
+    // only require that the window closes: fresh flows soon mint gen-1.
+    let mut flow_b = FlowClient::open(vip, 12).await;
+    for attempt in 0..20u64 {
+        if flow_b.cid.generation == 1 {
+            break;
+        }
+        // Raced flow: still served (by the draining process) — verify,
+        // then try a fresh one.
+        assert!(
+            flow_b.echo(vip, b"raced").await.is_some(),
+            "raced flow must still work"
+        );
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        flow_b = FlowClient::open(vip, 100 + attempt).await;
+    }
+    assert_eq!(flow_b.cid.generation, 1, "overlap window must close");
+    assert_eq!(flow_b.echo(vip, b"new").await.unwrap(), b"echo:new");
+
+    // The old process drains out and exits cleanly.
+    assert!(
+        old.wait_drained(),
+        "old process must report DRAINED and exit"
+    );
+
+    // The new process still serves after its predecessor is gone.
+    assert_eq!(flow_b.echo(vip, b"after").await.unwrap(), b"echo:after");
+}

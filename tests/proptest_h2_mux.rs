@@ -1,0 +1,173 @@
+//! Model-checked property tests for the h2 stream multiplexer — the state
+//! machine the trunk drain (GOAWAY) semantics rest on.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use zero_downtime_release::proto::h2::{ErrorCode, Frame, Multiplexer, StreamState};
+
+/// Operations the fuzzer drives.
+#[derive(Debug, Clone)]
+enum Op {
+    Open,
+    AdmitPeer { jump: u32 },
+    LocalEnd { pick: usize },
+    PeerEnd { pick: usize },
+    Reset { pick: usize },
+    SendGoaway,
+    ReceiveGoaway { at_pick: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Open),
+        3 => (1u32..4).prop_map(|jump| Op::AdmitPeer { jump }),
+        2 => any::<usize>().prop_map(|pick| Op::LocalEnd { pick }),
+        2 => any::<usize>().prop_map(|pick| Op::PeerEnd { pick }),
+        1 => any::<usize>().prop_map(|pick| Op::Reset { pick }),
+        1 => Just(Op::SendGoaway),
+        1 => any::<usize>().prop_map(|at_pick| Op::ReceiveGoaway { at_pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mux_invariants_hold_under_random_ops(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut mux = Multiplexer::client();
+        // Reference model: the set of live stream ids we believe exist.
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_peer = 2u32;
+        let mut goaway_sent = false;
+        let mut goaway_received = false;
+
+        for op in ops {
+            match op {
+                Op::Open => {
+                    let result = mux.open_stream();
+                    if goaway_sent || goaway_received {
+                        prop_assert!(result.is_err(), "opens must fail while draining");
+                    } else {
+                        let id = result.unwrap();
+                        prop_assert_eq!(id % 2, 1, "client streams are odd");
+                        prop_assert!(!live.contains(&id));
+                        live.push(id);
+                    }
+                }
+                Op::AdmitPeer { jump } => {
+                    let id = next_peer + (jump - 1) * 2;
+                    match mux.admit_peer_stream(id) {
+                        Ok(true) => {
+                            live.push(id);
+                            next_peer = id + 2;
+                        }
+                        Ok(false) => {
+                            prop_assert!(goaway_sent, "refusal only while draining");
+                            next_peer = next_peer.max(id + 2);
+                        }
+                        Err(_) => prop_assert!(false, "ascending ids must be admitted"),
+                    }
+                }
+                Op::LocalEnd { pick } if !live.is_empty() => {
+                    let id = live[pick % live.len()];
+                    let before = mux.stream_state(id);
+                    let _ = mux.local_end(id);
+                    match before {
+                        Some(StreamState::HalfClosedRemote) => {
+                            prop_assert_eq!(mux.stream_state(id), None);
+                            live.retain(|s| *s != id);
+                        }
+                        Some(StreamState::Open) => {
+                            prop_assert_eq!(
+                                mux.stream_state(id),
+                                Some(StreamState::HalfClosedLocal)
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                Op::PeerEnd { pick } if !live.is_empty() => {
+                    let id = live[pick % live.len()];
+                    let before = mux.stream_state(id);
+                    let _ = mux.peer_end(id);
+                    match before {
+                        Some(StreamState::HalfClosedLocal) => {
+                            prop_assert_eq!(mux.stream_state(id), None);
+                            live.retain(|s| *s != id);
+                        }
+                        Some(StreamState::Open) => {
+                            prop_assert_eq!(
+                                mux.stream_state(id),
+                                Some(StreamState::HalfClosedRemote)
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                Op::Reset { pick } if !live.is_empty() => {
+                    let id = live[pick % live.len()];
+                    mux.reset_stream(id);
+                    prop_assert_eq!(mux.stream_state(id), None);
+                    live.retain(|s| *s != id);
+                }
+                Op::SendGoaway => {
+                    let frame = mux.send_goaway(ErrorCode::NoError);
+                    let is_goaway = matches!(frame, Frame::GoAway { .. });
+                    prop_assert!(is_goaway);
+                    goaway_sent = true;
+                }
+                Op::ReceiveGoaway { at_pick } => {
+                    // The peer processed streams up to some id we pick from
+                    // our live set (or 0).
+                    let last = if live.is_empty() {
+                        0
+                    } else {
+                        live[at_pick % live.len()]
+                    };
+                    mux.receive_goaway(last);
+                    goaway_received = true;
+                    // Locally-initiated (odd) streams above `last` are
+                    // orphaned and dropped.
+                    live.retain(|id| !(id % 2 == 1 && *id > last));
+                }
+                _ => {} // pick ops on an empty live set: no-ops
+            }
+
+            // Core invariants, every step:
+            prop_assert_eq!(mux.active_streams(), live.len());
+            let unique: HashSet<u32> = live.iter().copied().collect();
+            prop_assert_eq!(unique.len(), live.len(), "no duplicate live streams");
+            prop_assert_eq!(mux.is_draining(), goaway_sent || goaway_received);
+            prop_assert_eq!(mux.drained(), mux.is_draining() && live.is_empty());
+            for id in &live {
+                prop_assert!(mux.stream_state(*id).is_some(), "live stream {id} tracked");
+            }
+        }
+    }
+
+    #[test]
+    fn drained_is_reachable_from_any_state(opens in 0usize..10, admits in 0usize..10) {
+        // From any population of streams, completing them all after a
+        // GOAWAY always reaches the drained point — the trunk can always
+        // close cleanly.
+        let mut mux = Multiplexer::server();
+        let mut ids = Vec::new();
+        for i in 0..admits {
+            let id = (2 * i + 1) as u32;
+            if mux.admit_peer_stream(id).unwrap() {
+                ids.push(id);
+            }
+        }
+        for _ in 0..opens {
+            ids.push(mux.open_stream().unwrap());
+        }
+        mux.send_goaway(ErrorCode::NoError);
+        for id in &ids {
+            mux.local_end(*id).unwrap();
+            mux.peer_end(*id).unwrap();
+        }
+        prop_assert!(mux.drained());
+    }
+}

@@ -1,0 +1,378 @@
+//! Property-based tests over the infrastructure: consistent hashing, the
+//! LRU connection table (model-checked against a reference), release
+//! scheduling, and simulator determinism.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use zero_downtime_release::core::drain::{connection_outcome, ConnectionKind, ConnectionOutcome};
+use zero_downtime_release::core::mechanism::RestartStrategy;
+use zero_downtime_release::core::scheduler::{run_to_completion, ClusterRollout, RolloutPlan};
+use zero_downtime_release::core::tier::Tier;
+use zero_downtime_release::l4lb::conntrack::LruTable;
+use zero_downtime_release::l4lb::maglev::MaglevTable;
+use zero_downtime_release::l4lb::BackendId;
+use zero_downtime_release::net::reuseport::{simulate_handover, HandoverStrategy};
+use zero_downtime_release::sim::cluster::{ClusterConfig, ClusterSim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ── Maglev ────────────────────────────────────────────────────────
+
+    #[test]
+    fn maglev_covers_all_backends(n in 1u32..40) {
+        let backends: Vec<BackendId> = (0..n).map(BackendId).collect();
+        let t = MaglevTable::with_size(&backends, 1009).unwrap();
+        let counts = t.slot_counts();
+        prop_assert_eq!(counts.len(), n as usize);
+        for (b, c) in counts {
+            prop_assert!(c > 0, "backend {b} starved");
+        }
+    }
+
+    #[test]
+    fn maglev_removal_moves_only_affected_flows(
+        n in 3u32..20,
+        removed_idx in 0u32..20,
+        flows in proptest::collection::vec(any::<u64>(), 50..200),
+    ) {
+        let removed_idx = removed_idx % n;
+        let backends: Vec<BackendId> = (0..n).map(BackendId).collect();
+        let full = MaglevTable::with_size(&backends, 1009).unwrap();
+        let mut reduced_set = backends.clone();
+        reduced_set.remove(removed_idx as usize);
+        let reduced = MaglevTable::with_size(&reduced_set, 1009).unwrap();
+
+        let mut moved_unaffected = 0usize;
+        let mut unaffected = 0usize;
+        for h in flows {
+            let before = full.lookup(h);
+            if before != BackendId(removed_idx) {
+                unaffected += 1;
+                if reduced.lookup(h) != before {
+                    moved_unaffected += 1;
+                }
+            } else {
+                // Flows of the removed backend must land somewhere valid.
+                prop_assert!(reduced_set.contains(&reduced.lookup(h)));
+            }
+        }
+        // Maglev's residual disruption is small: <20% of unaffected flows.
+        if unaffected > 20 {
+            prop_assert!(
+                (moved_unaffected as f64) < 0.2 * unaffected as f64,
+                "{moved_unaffected}/{unaffected} unaffected flows moved"
+            );
+        }
+    }
+
+    // ── LRU conntrack vs reference model ──────────────────────────────
+
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec((0u8..3, 0u32..64, any::<u32>()), 1..200),
+    ) {
+        let mut lru: LruTable<u32, u32> = LruTable::new(capacity);
+        // Reference: map + recency list.
+        let mut model: Vec<(u32, u32)> = Vec::new(); // front = MRU
+
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    // insert
+                    let evicted = lru.insert(key, value);
+                    if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                        model.remove(pos);
+                        model.insert(0, (key, value));
+                        prop_assert!(evicted.is_none());
+                    } else {
+                        if model.len() == capacity {
+                            let lru_entry = model.pop().unwrap();
+                            prop_assert_eq!(evicted, Some(lru_entry));
+                        } else {
+                            prop_assert!(evicted.is_none());
+                        }
+                        model.insert(0, (key, value));
+                    }
+                }
+                1 => {
+                    // get
+                    let got = lru.get(&key).copied();
+                    if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                        let entry = model.remove(pos);
+                        prop_assert_eq!(got, Some(entry.1));
+                        model.insert(0, entry);
+                    } else {
+                        prop_assert_eq!(got, None);
+                    }
+                }
+                _ => {
+                    // remove
+                    let got = lru.remove_cloned(&key);
+                    if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                        let entry = model.remove(pos);
+                        prop_assert_eq!(got, Some(entry.1));
+                    } else {
+                        prop_assert_eq!(got, None);
+                    }
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+        }
+        // Final contents agree.
+        for (k, v) in &model {
+            prop_assert_eq!(lru.peek(k), Some(v));
+        }
+    }
+
+    // ── SO_REUSEPORT model ────────────────────────────────────────────
+
+    #[test]
+    fn fd_passing_never_misroutes(
+        flows in proptest::collection::vec(any::<u64>(), 0..500),
+        sockets in 1usize..16,
+    ) {
+        let report = simulate_handover(&flows, sockets, HandoverStrategy::FdPassing);
+        prop_assert_eq!(report.misrouted, 0);
+    }
+
+    #[test]
+    fn rebind_misroute_rate_bounded(
+        flows in proptest::collection::vec(any::<u64>(), 1..500),
+        sockets in 1usize..16,
+    ) {
+        let report = simulate_handover(&flows, sockets, HandoverStrategy::Rebind);
+        prop_assert!(report.misroute_rate() <= 1.0);
+        prop_assert_eq!(report.total, flows.len() as u64 * 2 * sockets as u64);
+    }
+
+    // ── Release scheduling ────────────────────────────────────────────
+
+    #[test]
+    fn rollout_always_terminates_and_covers_everyone(
+        n in 1usize..60,
+        batch_pct in 1u32..=100,
+        hard in any::<bool>(),
+    ) {
+        let plan = RolloutPlan {
+            batch_fraction: batch_pct as f64 / 100.0,
+            drain_ms: 1_000,
+            restart_ms: 100,
+        };
+        let strategy = if hard {
+            RestartStrategy::HardRestart
+        } else {
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen)
+        };
+        let mut rollout = ClusterRollout::new(n, strategy, plan);
+        let (t, min_cap) = run_to_completion(&mut rollout, 100);
+        prop_assert!(t > 0);
+        prop_assert!((0.0..=1.0).contains(&min_cap));
+        for i in 0..n {
+            prop_assert_eq!(rollout.instance(i).generation(), 1);
+        }
+    }
+
+    #[test]
+    fn zdr_min_capacity_dominates_hard(
+        n in 2usize..40,
+        batch_pct in 5u32..=50,
+    ) {
+        let plan = RolloutPlan {
+            batch_fraction: batch_pct as f64 / 100.0,
+            drain_ms: 1_000,
+            restart_ms: 100,
+        };
+        let mut hard = ClusterRollout::new(n, RestartStrategy::HardRestart, plan);
+        let (_, hard_cap) = run_to_completion(&mut hard, 100);
+        let mut zdr = ClusterRollout::new(
+            n,
+            RestartStrategy::zero_downtime_for(Tier::EdgeProxygen),
+            plan,
+        );
+        let (_, zdr_cap) = run_to_completion(&mut zdr, 100);
+        prop_assert!(zdr_cap >= hard_cap);
+    }
+
+    // ── Connection-outcome totality ───────────────────────────────────
+
+    #[test]
+    fn connection_outcome_is_total_and_consistent(
+        remaining in any::<u64>(),
+        drain in any::<u64>(),
+        kind_sel in 0u8..4,
+        hard in any::<bool>(),
+    ) {
+        let kind = match kind_sel {
+            0 => ConnectionKind::ShortRequest,
+            1 => ConnectionKind::LongPost,
+            2 => ConnectionKind::MqttTunnel,
+            _ => ConnectionKind::QuicFlow,
+        };
+        let strategy = if hard {
+            RestartStrategy::HardRestart
+        } else {
+            RestartStrategy::zero_downtime_for(Tier::OriginProxygen)
+        };
+        let outcome = connection_outcome(&strategy, kind, remaining, drain);
+        // Anything finishing within the drain is never disrupted.
+        if remaining <= drain {
+            prop_assert_eq!(outcome, ConnectionOutcome::CompletedDuringDrain);
+        }
+        // HardRestart never hands anything over.
+        if hard && remaining > drain {
+            prop_assert_eq!(outcome, ConnectionOutcome::Disrupted);
+        }
+    }
+}
+
+// ── Takeover manifest + canary gate ────────────────────────────────────
+
+use zero_downtime_release::core::canary::{CanaryGate, CanaryPolicy, WindowSample};
+use zero_downtime_release::net::inventory::{Manifest, Vip};
+use zero_downtime_release::net::udp_router::{decapsulate, encapsulate};
+
+proptest! {
+    #[test]
+    fn manifest_serde_round_trip(
+        entries in proptest::collection::vec(
+            (any::<bool>(), any::<u16>(), 0usize..16),
+            0..20,
+        ),
+    ) {
+        let manifest = Manifest {
+            entries: entries
+                .iter()
+                .map(|(tcp, port, count)| {
+                    let addr = format!("127.0.0.1:{port}").parse().unwrap();
+                    let vip = if *tcp { Vip::tcp(addr) } else { Vip::udp(addr) };
+                    (vip, *count)
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string(&manifest).unwrap();
+        let back: Manifest = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &manifest);
+        prop_assert_eq!(
+            back.total_fds(),
+            entries.iter().map(|(_, _, c)| c).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn udp_encapsulation_round_trip_any_payload(
+        a in any::<u8>(), b in any::<u8>(), c in any::<u8>(), d in any::<u8>(),
+        port in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let client = std::net::SocketAddr::from(([a, b, c, d], port));
+        let wrapped = encapsulate(client, &payload);
+        let (addr, inner) = decapsulate(&wrapped).expect("valid encapsulation");
+        prop_assert_eq!(addr, client);
+        prop_assert_eq!(inner, &payload[..]);
+    }
+
+    #[test]
+    fn canary_gate_never_halts_below_threshold(
+        baseline_bad in 0u64..100,
+        windows in proptest::collection::vec(0u64..100, 1..30),
+    ) {
+        // Canary windows whose rate stays at or below the baseline rate can
+        // never trip the gate (threshold = 3x baseline + slack).
+        let baseline = WindowSample { requests: 100_000, disruptions: baseline_bad };
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline);
+        for (t, bad) in windows.iter().enumerate() {
+            let sample = WindowSample {
+                requests: 100_000,
+                disruptions: (*bad).min(baseline_bad),
+            };
+            gate.observe(t as u64, sample);
+        }
+        prop_assert!(!gate.halted());
+    }
+
+    #[test]
+    fn canary_gate_always_halts_on_sustained_blowup(extra in 1u64..1000) {
+        let baseline = WindowSample { requests: 100_000, disruptions: 10 };
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline);
+        // Sustained rate far above threshold must halt within the debounce.
+        let blowup = WindowSample { requests: 100_000, disruptions: 1_000 + extra };
+        let mut halted_at = None;
+        for t in 0..5u64 {
+            if matches!(
+                gate.observe(t, blowup),
+                zero_downtime_release::core::canary::Verdict::Halt { .. }
+            ) {
+                halted_at = Some(t);
+                break;
+            }
+        }
+        prop_assert_eq!(halted_at, Some(1), "halt on the 2nd bad window (debounce=2)");
+    }
+}
+
+// ── Simulator determinism (heavier; fewer cases) ───────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cluster_sim_is_deterministic(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+            let mut cfg = ClusterConfig::edge(5, strategy, seed);
+            cfg.drain_ms = 10_000;
+            cfg.workload.short_rps = 20.0;
+            cfg.workload.mqtt_tunnels_per_machine = 50;
+            let mut sim = ClusterSim::new(cfg);
+            sim.run_ticks(5);
+            sim.begin_restart(&[0]);
+            sim.run_ticks(20);
+            (
+                sim.counters().clone(),
+                sim.series("rps").unwrap().clone(),
+                sim.series("capacity").unwrap().clone(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn sim_conservation_requests_never_vanish(seed in any::<u64>()) {
+        // Every short/post request either completes or is disrupted; with
+        // no restarts, everything completes eventually.
+        let mut cfg = ClusterConfig::edge(3, RestartStrategy::HardRestart, seed);
+        cfg.workload.short_rps = 30.0;
+        cfg.workload.post_rps = 0.0;
+        cfg.workload.quic_fps = 0.0;
+        cfg.workload.mqtt_tunnels_per_machine = 0;
+        cfg.keepalive_per_machine = 0;
+        let mut sim = ClusterSim::new(cfg);
+        sim.run_ticks(30);
+        prop_assert_eq!(sim.counters().total_disruptions(), 0);
+        let accepted: f64 = sim.series("rps").unwrap().points.iter().map(|&(_, v)| v).sum();
+        let completed = sim.counters().requests_ok as f64;
+        // Allow the in-flight tail (≤ a few ticks of arrivals).
+        prop_assert!(completed <= accepted);
+        prop_assert!(completed >= accepted - 5.0 * 30.0 * 3.0, "completed {completed} accepted {accepted}");
+    }
+}
+
+#[test]
+fn maglev_lookup_distribution_is_uniform_ish() {
+    // Non-proptest statistical check: hashing 100k flows over 10 backends
+    // lands within ±15% of uniform.
+    let backends: Vec<BackendId> = (0..10).map(BackendId).collect();
+    let t = MaglevTable::with_size(&backends, 65_537).unwrap();
+    let mut counts: HashMap<BackendId, u64> = HashMap::new();
+    for i in 0..100_000u64 {
+        let h = zero_downtime_release::l4lb::hash::fnv1a_u64(i);
+        *counts.entry(t.lookup(h)).or_insert(0) += 1;
+    }
+    for (b, c) in counts {
+        assert!((8_500..=11_500).contains(&c), "{b}: {c}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Failure injection on the Socket Takeover handshake (§5.1's operational
+//! hazards): a takeover that breaks must degrade into "old process keeps
+//! serving", never into an outage.
+
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use zero_downtime_release::net::inventory::{bind_tcp, ListenerInventory};
+use zero_downtime_release::net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
+use zero_downtime_release::net::NetError;
+
+fn sock_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-fi-{tag}-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+fn loopback() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+fn inventory_with_tcp() -> (ListenerInventory, SocketAddr) {
+    let l = bind_tcp(loopback()).unwrap();
+    let addr = l.local_addr().unwrap();
+    let mut inv = ListenerInventory::new();
+    inv.add_tcp(addr, l);
+    (inv, addr)
+}
+
+type ServeResult = (Result<(), String>, SocketAddr, ListenerInventory);
+
+/// Serves one takeover attempt, returning the outcome and the still-owned
+/// inventory — a failed handshake must leave the old process holding (and
+/// serving) its sockets.
+fn serve(path: std::path::PathBuf) -> std::thread::JoinHandle<ServeResult> {
+    std::thread::spawn(move || {
+        let (inv, addr) = inventory_with_tcp();
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 3,
+            udp_router_addr: None,
+            drain_deadline_ms: 500,
+        };
+        let outcome = server
+            .serve_once(&inv, info, Duration::from_secs(2))
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+        (outcome, addr, inv)
+    })
+}
+
+#[test]
+fn peer_dies_mid_handshake_old_keeps_serving() {
+    // The "new binary crashes during takeover" case: connects, receives
+    // the offer + FDs, then dies without confirming.
+    let path = sock_path("die");
+    let server = serve(path.clone());
+    std::thread::sleep(Duration::from_millis(100));
+
+    {
+        let mut conn = UnixStream::connect(&path).unwrap();
+        // Send a valid Request frame, then read a bit of the offer and die.
+        let body = br#"{"type":"request","version":1}"#;
+        conn.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+        conn.write_all(body).unwrap();
+        let mut some = [0u8; 16];
+        let _ = conn.read(&mut some);
+        // conn drops here — mid-handshake death.
+    }
+
+    let (outcome, vip, _inv) = server.join().unwrap();
+    assert!(
+        outcome.is_err(),
+        "server must report the failed handshake: {outcome:?}"
+    );
+    // The VIP listener was only *borrowed* for the attempt: the old process
+    // still owns it and keeps serving.
+    assert!(
+        std::net::TcpStream::connect(vip).is_ok(),
+        "old process must keep serving"
+    );
+}
+
+#[test]
+fn garbage_on_the_takeover_socket_is_rejected() {
+    let path = sock_path("garbage");
+    let server = serve(path.clone());
+    std::thread::sleep(Duration::from_millis(100));
+
+    {
+        let mut conn = UnixStream::connect(&path).unwrap();
+        conn.write_all(b"\xff\xff\xff\xff totally not a frame")
+            .unwrap();
+    }
+
+    let (outcome, vip, _inv) = server.join().unwrap();
+    assert!(outcome.is_err());
+    assert!(std::net::TcpStream::connect(vip).is_ok());
+}
+
+#[test]
+fn version_mismatch_is_refused_cleanly() {
+    let path = sock_path("version");
+    let server = serve(path.clone());
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut conn = UnixStream::connect(&path).unwrap();
+    let body = br#"{"type":"request","version":999}"#;
+    conn.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+    conn.write_all(body).unwrap();
+    // The server answers with an Abort frame before erroring out.
+    let mut len = [0u8; 4];
+    conn.read_exact(&mut len).unwrap();
+    let mut reply = vec![0u8; u32::from_be_bytes(len) as usize];
+    conn.read_exact(&mut reply).unwrap();
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.contains("abort"), "{text}");
+    assert!(text.contains("version"), "{text}");
+
+    let (outcome, vip, _inv) = server.join().unwrap();
+    assert!(
+        matches!(outcome, Err(ref m) if m.contains("version")),
+        "{outcome:?}"
+    );
+    assert!(std::net::TcpStream::connect(vip).is_ok());
+}
+
+#[test]
+fn slow_loris_peer_times_out() {
+    // A peer that connects and sends nothing must not wedge the old
+    // process: the per-step timeout fires.
+    let path = sock_path("loris");
+    let server = serve(path.clone());
+    std::thread::sleep(Duration::from_millis(100));
+
+    let _conn = UnixStream::connect(&path).unwrap();
+    // Send nothing; hold the connection open past the server's timeout.
+    let start = std::time::Instant::now();
+    let (outcome, vip, _inv) = server.join().unwrap();
+    assert!(outcome.is_err(), "{outcome:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "timeout must bound the wait"
+    );
+    assert!(std::net::TcpStream::connect(vip).is_ok());
+}
+
+#[test]
+fn no_server_listening_fails_fast_for_the_new_process() {
+    // The successor starting when no old process exists (first boot race):
+    // request_takeover must fail cleanly so the caller can bind fresh.
+    let path = sock_path("absent");
+    let err = request_takeover(&path, Duration::from_secs(1)).unwrap_err();
+    assert!(matches!(err, NetError::Io(_)), "{err:?}");
+}
