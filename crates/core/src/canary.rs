@@ -130,6 +130,21 @@ impl CanaryGate {
         &self.verdict
     }
 
+    /// Records a failed release directly into the gate: a takeover that
+    /// exhausted its retry budget or a post-confirm rollback is a
+    /// release-health signal even when no traffic window shows it (the
+    /// supervisor caught the failure *before* users did). The halt is
+    /// sticky like any traffic-driven halt.
+    pub fn record_release_failure(&mut self, now: TimeMs) {
+        if !self.halted() {
+            self.verdict = Verdict::Halt {
+                at: now,
+                observed_rate: 1.0,
+                threshold: self.threshold(),
+            };
+        }
+    }
+
     /// The standing verdict.
     pub fn verdict(&self) -> &Verdict {
         &self.verdict
@@ -272,5 +287,24 @@ mod tests {
     #[test]
     fn rate_of_empty_window_is_zero() {
         assert_eq!(WindowSample::default().rate(), 0.0);
+    }
+
+    #[test]
+    fn release_failure_trips_and_sticks() {
+        let mut gate = CanaryGate::new(CanaryPolicy::default(), baseline());
+        assert!(!gate.halted());
+        gate.record_release_failure(42);
+        match gate.verdict() {
+            Verdict::Halt { at, .. } => assert_eq!(*at, 42),
+            v => panic!("expected halt, got {v:?}"),
+        }
+        // Sticky: a later failure does not move the halt time, and good
+        // traffic does not clear it.
+        gate.record_release_failure(99);
+        let good = WindowSample {
+            requests: 50_000,
+            disruptions: 0,
+        };
+        assert!(matches!(gate.observe(100, good), Verdict::Halt { at: 42, .. }));
     }
 }

@@ -188,6 +188,76 @@ pub enum ConnectionOutcome {
     Disrupted,
 }
 
+/// The protocol-appropriate signal sent when a connection is force-closed
+/// at the drain hard deadline. A bare RST is only correct for plain TCP;
+/// multiplexed and persistent protocols have graceful-shutdown frames that
+/// let clients retry immediately instead of timing out (§2.5's
+/// write-timeout class is exactly what a silent close causes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseSignal {
+    /// Plain TCP reset.
+    TcpReset,
+    /// HTTP/2 GOAWAY, then close.
+    H2Goaway,
+    /// MQTT DISCONNECT, prompting an orderly client reconnect.
+    MqttDisconnect,
+    /// QUIC CONNECTION_CLOSE frame.
+    QuicConnectionClose,
+}
+
+impl CloseSignal {
+    /// Label used in logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CloseSignal::TcpReset => "tcp-rst",
+            CloseSignal::H2Goaway => "h2-goaway",
+            CloseSignal::MqttDisconnect => "mqtt-disconnect",
+            CloseSignal::QuicConnectionClose => "quic-close",
+        }
+    }
+}
+
+/// Maps a connection kind to its forced-close signal.
+pub fn forced_close_signal(kind: ConnectionKind) -> CloseSignal {
+    match kind {
+        ConnectionKind::ShortRequest => CloseSignal::TcpReset,
+        ConnectionKind::LongPost => CloseSignal::H2Goaway,
+        ConnectionKind::MqttTunnel => CloseSignal::MqttDisconnect,
+        ConnectionKind::QuicFlow => CloseSignal::QuicConnectionClose,
+    }
+}
+
+/// Tally of forced closes by signal, reported when a drain hits its hard
+/// deadline with survivors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForcedCloseTally {
+    /// Plain TCP resets sent.
+    pub tcp_resets: u64,
+    /// HTTP/2 GOAWAYs sent.
+    pub h2_goaways: u64,
+    /// MQTT DISCONNECTs sent.
+    pub mqtt_disconnects: u64,
+    /// QUIC CONNECTION_CLOSEs sent.
+    pub quic_closes: u64,
+}
+
+impl ForcedCloseTally {
+    /// Records one forced close.
+    pub fn record(&mut self, signal: CloseSignal) {
+        match signal {
+            CloseSignal::TcpReset => self.tcp_resets += 1,
+            CloseSignal::H2Goaway => self.h2_goaways += 1,
+            CloseSignal::MqttDisconnect => self.mqtt_disconnects += 1,
+            CloseSignal::QuicConnectionClose => self.quic_closes += 1,
+        }
+    }
+
+    /// Total connections force-closed.
+    pub fn total(&self) -> u64 {
+        self.tcp_resets + self.h2_goaways + self.mqtt_disconnects + self.quic_closes
+    }
+}
+
 /// Decides a connection's fate (§4.4 composition rules).
 ///
 /// `remaining_ms` is how much longer the connection needs to finish
@@ -337,6 +407,46 @@ mod tests {
             connection_outcome(&s, ConnectionKind::QuicFlow, DRAIN + 1, DRAIN),
             ConnectionOutcome::Disrupted
         );
+    }
+
+    #[test]
+    fn forced_close_signals_match_protocol() {
+        assert_eq!(
+            forced_close_signal(ConnectionKind::ShortRequest),
+            CloseSignal::TcpReset
+        );
+        assert_eq!(
+            forced_close_signal(ConnectionKind::LongPost),
+            CloseSignal::H2Goaway
+        );
+        assert_eq!(
+            forced_close_signal(ConnectionKind::MqttTunnel),
+            CloseSignal::MqttDisconnect
+        );
+        assert_eq!(
+            forced_close_signal(ConnectionKind::QuicFlow),
+            CloseSignal::QuicConnectionClose
+        );
+        assert_eq!(CloseSignal::MqttDisconnect.name(), "mqtt-disconnect");
+    }
+
+    #[test]
+    fn forced_close_tally_counts_by_signal() {
+        let mut tally = ForcedCloseTally::default();
+        for kind in [
+            ConnectionKind::ShortRequest,
+            ConnectionKind::LongPost,
+            ConnectionKind::MqttTunnel,
+            ConnectionKind::MqttTunnel,
+            ConnectionKind::QuicFlow,
+        ] {
+            tally.record(forced_close_signal(kind));
+        }
+        assert_eq!(tally.tcp_resets, 1);
+        assert_eq!(tally.h2_goaways, 1);
+        assert_eq!(tally.mqtt_disconnects, 2);
+        assert_eq!(tally.quic_closes, 1);
+        assert_eq!(tally.total(), 5);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   radius and swift rollback).
 //! * [`pipeline`] — multi-cluster release trains (canary → early → fleet)
 //!   with a gate between stages.
+//! * [`supervisor`] — the per-instance release supervisor: attempt →
+//!   confirm → watch → drain with per-phase timeouts, bounded jittered
+//!   retry backoff, and rollback on post-confirm failure.
 
 pub mod calendar;
 pub mod canary;
@@ -34,6 +37,7 @@ pub mod mechanism;
 pub mod metrics;
 pub mod pipeline;
 pub mod scheduler;
+pub mod supervisor;
 pub mod tier;
 
 pub use mechanism::Mechanism;

@@ -113,6 +113,41 @@ impl DisruptionCounters {
     }
 }
 
+/// Counters for the release-supervision machinery itself — distinct from
+/// [`DisruptionCounters`] (user-visible damage): these measure how hard the
+/// supervisor had to work to *avoid* damage.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize,
+)]
+pub struct ReleaseCounters {
+    /// Takeover attempts retried after a handshake failure/timeout.
+    pub takeover_retries: u64,
+    /// Releases rolled back post-confirm (old process reclaimed sockets).
+    pub rollbacks: u64,
+    /// Connections force-closed at the drain hard deadline.
+    pub forced_closes: u64,
+    /// Faults injected by the test/sim harness.
+    pub injected_faults: u64,
+    /// Releases aborted pre-confirm after exhausting the retry budget.
+    pub aborted_releases: u64,
+}
+
+impl ReleaseCounters {
+    /// Releases that did not land the new code (rollback or abort).
+    pub fn failed_releases(&self) -> u64 {
+        self.rollbacks + self.aborted_releases
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &ReleaseCounters) {
+        self.takeover_retries += other.takeover_retries;
+        self.rollbacks += other.rollbacks;
+        self.forced_closes += other.forced_closes;
+        self.injected_faults += other.injected_faults;
+        self.aborted_releases += other.aborted_releases;
+    }
+}
+
 /// A `(time, value)` series, the shape every timeline figure plots.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimeSeries {
@@ -297,6 +332,30 @@ mod tests {
     fn error_kind_names() {
         assert_eq!(ProxyErrorKind::WriteTimeout.name(), "write-timeout");
         assert_eq!(ProxyErrorKind::all().len(), 4);
+    }
+
+    #[test]
+    fn release_counters_merge_and_serialize() {
+        let mut a = ReleaseCounters {
+            takeover_retries: 2,
+            rollbacks: 1,
+            ..Default::default()
+        };
+        let b = ReleaseCounters {
+            takeover_retries: 1,
+            forced_closes: 4,
+            injected_faults: 3,
+            aborted_releases: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.takeover_retries, 3);
+        assert_eq!(a.forced_closes, 4);
+        assert_eq!(a.injected_faults, 3);
+        assert_eq!(a.failed_releases(), 2);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ReleaseCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

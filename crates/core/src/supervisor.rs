@@ -1,0 +1,553 @@
+//! Release supervision: attempt → confirm → watch → drain, with retries
+//! and rollback.
+//!
+//! The paper treats Socket Takeover (§4.1) as a straight-line handshake;
+//! production operation needs the unhappy paths. This module is the
+//! deterministic state machine the proxy layer drives:
+//!
+//! * **Attempting** — the new process is handshaking for the listeners.
+//!   Attempts time out; retries follow a bounded exponential
+//!   [`BackoffSchedule`] with deterministic jitter. Exhausting the budget
+//!   aborts the release and keeps the old process serving.
+//! * **Watching** — post-confirm the new process must prove itself
+//!   healthy within the watch window. An unhealthy report, a dropped
+//!   channel, or silence past the deadline triggers **rollback**: the old
+//!   process reclaims the sockets (the reverse takeover in
+//!   `zdr-net::takeover`) and the failure is recorded into the
+//!   [`crate::canary`] gate.
+//! * **Draining** — the old process drains; at `drain_deadline_ms` the
+//!   supervisor orders the remaining connections force-closed with
+//!   protocol-appropriate signals ([`crate::drain::forced_close_signal`]).
+//!
+//! The machine is pure (no clocks, no I/O): callers feed wall-cues in and
+//! act on the returned [`Action`]s, which keeps every path — including the
+//! ones only fault injection can reach — unit-testable.
+
+use crate::metrics::ReleaseCounters;
+use crate::TimeMs;
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Delays grow as `base_ms * multiplier^(attempt-1)`, capped at `cap_ms`,
+/// then jittered uniformly within `±jitter_frac` of the raw delay. The
+/// jitter is a pure function of `(seed, attempt)` so schedules replay
+/// byte-for-byte in tests and in `zdr-sim`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffSchedule {
+    /// First-retry delay.
+    pub base_ms: u64,
+    /// Ceiling on the raw (pre-jitter) delay.
+    pub cap_ms: u64,
+    /// Growth factor per attempt.
+    pub multiplier: f64,
+    /// Jitter half-width as a fraction of the raw delay (0.2 → ±20%).
+    pub jitter_frac: f64,
+    /// Attempts before the release is aborted (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        BackoffSchedule {
+            base_ms: 100,
+            cap_ms: 10_000,
+            multiplier: 2.0,
+            jitter_frac: 0.2,
+            max_attempts: 5,
+        }
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BackoffSchedule {
+    /// The raw (un-jittered) delay before retry number `attempt` (1-based:
+    /// attempt 1 is the first *retry*).
+    pub fn raw_delay_ms(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(63) as i32;
+        let raw = self.base_ms as f64 * self.multiplier.powi(exp);
+        // `inf.min(cap)` is `cap`, so overflowing growth still lands on the
+        // ceiling rather than wrapping.
+        raw.min(self.cap_ms as f64) as u64
+    }
+
+    /// Inclusive `(lo, hi)` jitter bounds for retry `attempt`.
+    pub fn bounds_ms(&self, attempt: u32) -> (u64, u64) {
+        let raw = self.raw_delay_ms(attempt) as f64;
+        let lo = (raw * (1.0 - self.jitter_frac)).floor().max(0.0) as u64;
+        let hi = (raw * (1.0 + self.jitter_frac)).ceil() as u64;
+        (lo, hi.max(lo))
+    }
+
+    /// The jittered delay for retry `attempt` under `seed` — deterministic,
+    /// and always within [`Self::bounds_ms`].
+    pub fn delay_ms(&self, attempt: u32, seed: u64) -> u64 {
+        let (lo, hi) = self.bounds_ms(attempt);
+        let span = hi - lo + 1;
+        lo + splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % span
+    }
+}
+
+/// Supervisor timeouts; every phase has a hard deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// How long one takeover attempt (handshake through Confirm) may run.
+    pub attempt_timeout_ms: u64,
+    /// Post-confirm window in which the new process must report healthy.
+    pub watch_ms: u64,
+    /// Hard deadline for the old process's drain.
+    pub drain_deadline_ms: u64,
+    /// Retry policy for failed attempts.
+    pub backoff: BackoffSchedule,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            attempt_timeout_ms: 5_000,
+            watch_ms: 10_000,
+            drain_deadline_ms: 60_000,
+            backoff: BackoffSchedule::default(),
+        }
+    }
+}
+
+/// Why a post-confirm release was rolled back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackReason {
+    /// The new process reported itself unhealthy.
+    UnhealthyReport,
+    /// No health report arrived within the watch window.
+    WatchTimeout,
+    /// The supervision channel dropped (new process died).
+    ChannelLost,
+}
+
+impl RollbackReason {
+    /// Label used in logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RollbackReason::UnhealthyReport => "unhealthy-report",
+            RollbackReason::WatchTimeout => "watch-timeout",
+            RollbackReason::ChannelLost => "channel-lost",
+        }
+    }
+}
+
+/// Where the supervised release stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// No release in flight.
+    Idle,
+    /// Attempt `attempt` handshaking; fails at `deadline`.
+    Attempting {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// When this attempt times out.
+        deadline: TimeMs,
+    },
+    /// Waiting out the backoff before attempt `next_attempt`.
+    BackingOff {
+        /// The attempt that will start at `until`.
+        next_attempt: u32,
+        /// When the backoff expires.
+        until: TimeMs,
+    },
+    /// Confirmed; watching the new process's health until `deadline`.
+    Watching {
+        /// End of the watch window.
+        deadline: TimeMs,
+    },
+    /// Old process draining; force-close at `deadline`.
+    Draining {
+        /// The drain hard deadline.
+        deadline: TimeMs,
+    },
+    /// Release succeeded; old process exited.
+    Completed,
+    /// Release failed post-confirm; old process reclaimed the sockets.
+    RolledBack,
+    /// Retry budget exhausted pre-confirm; old process kept the sockets.
+    Aborted,
+}
+
+/// What the driver must do next. Returned by every transition; `None`
+/// means "nothing new".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Nothing to do.
+    None,
+    /// Launch takeover attempt `attempt`.
+    StartAttempt {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// Attempt failed; retry after `delay_ms`.
+    RetryAfter {
+        /// The attempt that just failed.
+        attempt: u32,
+        /// Jittered backoff before the next attempt.
+        delay_ms: u64,
+    },
+    /// Give up: keep the old process serving.
+    AbortKeepOld,
+    /// Reclaim the sockets from the new process.
+    Rollback {
+        /// Why the release is being rolled back.
+        reason: RollbackReason,
+    },
+    /// Confirmed and healthy: start draining the old process.
+    BeginDrain,
+    /// Drain hard deadline hit: force-close survivors.
+    ForceCloseRemaining,
+    /// Release finished cleanly.
+    Done,
+}
+
+/// The release state machine. Drive it with the event methods and
+/// [`ReleaseSupervisor::tick`]; obey the returned [`Action`]s.
+#[derive(Debug, Clone)]
+pub struct ReleaseSupervisor {
+    config: SupervisorConfig,
+    seed: u64,
+    phase: Phase,
+    counters: ReleaseCounters,
+}
+
+impl ReleaseSupervisor {
+    /// An idle supervisor. `seed` fixes the jitter schedule.
+    pub fn new(config: SupervisorConfig, seed: u64) -> Self {
+        ReleaseSupervisor {
+            config,
+            seed,
+            phase: Phase::Idle,
+            counters: ReleaseCounters::default(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &ReleaseCounters {
+        &self.counters
+    }
+
+    /// True when the release reached a terminal phase.
+    pub fn finished(&self) -> bool {
+        matches!(
+            self.phase,
+            Phase::Completed | Phase::RolledBack | Phase::Aborted
+        )
+    }
+
+    /// Begins a release at `now`. Returns [`Action::None`] if one is
+    /// already in flight.
+    pub fn start(&mut self, now: TimeMs) -> Action {
+        if self.phase != Phase::Idle {
+            return Action::None;
+        }
+        self.phase = Phase::Attempting {
+            attempt: 1,
+            deadline: now + self.config.attempt_timeout_ms,
+        };
+        Action::StartAttempt { attempt: 1 }
+    }
+
+    /// The in-flight attempt failed (handshake error, injected fault, …).
+    pub fn attempt_failed(&mut self, now: TimeMs) -> Action {
+        let Phase::Attempting { attempt, .. } = self.phase else {
+            return Action::None;
+        };
+        self.fail_attempt(now, attempt)
+    }
+
+    fn fail_attempt(&mut self, now: TimeMs, attempt: u32) -> Action {
+        if attempt >= self.config.backoff.max_attempts {
+            self.phase = Phase::Aborted;
+            self.counters.aborted_releases += 1;
+            return Action::AbortKeepOld;
+        }
+        let delay_ms = self.config.backoff.delay_ms(attempt, self.seed);
+        self.counters.takeover_retries += 1;
+        self.phase = Phase::BackingOff {
+            next_attempt: attempt + 1,
+            until: now + delay_ms,
+        };
+        Action::RetryAfter { attempt, delay_ms }
+    }
+
+    /// The new process confirmed the takeover; the watch window opens.
+    pub fn confirmed(&mut self, now: TimeMs) -> Action {
+        if !matches!(self.phase, Phase::Attempting { .. }) {
+            return Action::None;
+        }
+        self.phase = Phase::Watching {
+            deadline: now + self.config.watch_ms,
+        };
+        Action::None
+    }
+
+    /// A health report arrived from the new process during the watch.
+    pub fn health_report(&mut self, now: TimeMs, ok: bool) -> Action {
+        if !matches!(self.phase, Phase::Watching { .. }) {
+            return Action::None;
+        }
+        if ok {
+            self.phase = Phase::Draining {
+                deadline: now + self.config.drain_deadline_ms,
+            };
+            Action::BeginDrain
+        } else {
+            self.roll_back(RollbackReason::UnhealthyReport)
+        }
+    }
+
+    /// The supervision channel to the new process dropped.
+    pub fn channel_lost(&mut self, _now: TimeMs) -> Action {
+        if !matches!(self.phase, Phase::Watching { .. }) {
+            return Action::None;
+        }
+        self.roll_back(RollbackReason::ChannelLost)
+    }
+
+    /// The old process finished draining before the hard deadline.
+    pub fn drain_complete(&mut self, _now: TimeMs) -> Action {
+        if !matches!(self.phase, Phase::Draining { .. }) {
+            return Action::None;
+        }
+        self.phase = Phase::Completed;
+        Action::Done
+    }
+
+    /// Records connections force-closed at the drain deadline.
+    pub fn record_forced_closes(&mut self, n: u64) {
+        self.counters.forced_closes += n;
+    }
+
+    /// Records faults injected by the test/sim harness.
+    pub fn record_injected_faults(&mut self, n: u64) {
+        self.counters.injected_faults += n;
+    }
+
+    fn roll_back(&mut self, reason: RollbackReason) -> Action {
+        self.phase = Phase::RolledBack;
+        self.counters.rollbacks += 1;
+        Action::Rollback { reason }
+    }
+
+    /// Advances the clock; fires at most one deadline per call.
+    pub fn tick(&mut self, now: TimeMs) -> Action {
+        match self.phase {
+            Phase::Attempting { attempt, deadline } if now >= deadline => {
+                self.fail_attempt(now, attempt)
+            }
+            Phase::BackingOff { next_attempt, until } if now >= until => {
+                self.phase = Phase::Attempting {
+                    attempt: next_attempt,
+                    deadline: now + self.config.attempt_timeout_ms,
+                };
+                Action::StartAttempt {
+                    attempt: next_attempt,
+                }
+            }
+            Phase::Watching { deadline } if now >= deadline => {
+                // Silence is failure: an unsupervised process must not be
+                // left holding the production sockets.
+                self.roll_back(RollbackReason::WatchTimeout)
+            }
+            Phase::Draining { deadline } if now >= deadline => {
+                self.phase = Phase::Completed;
+                Action::ForceCloseRemaining
+            }
+            _ => Action::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> SupervisorConfig {
+        SupervisorConfig {
+            attempt_timeout_ms: 100,
+            watch_ms: 500,
+            drain_deadline_ms: 1_000,
+            backoff: BackoffSchedule {
+                base_ms: 10,
+                cap_ms: 100,
+                multiplier: 2.0,
+                jitter_frac: 0.2,
+                max_attempts: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn backoff_raw_delays_are_monotone_and_capped() {
+        let b = BackoffSchedule::default();
+        let mut prev = 0;
+        for attempt in 1..=20 {
+            let d = b.raw_delay_ms(attempt);
+            assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            assert!(d <= b.cap_ms);
+            prev = d;
+        }
+        assert_eq!(b.raw_delay_ms(1), 100);
+        assert_eq!(b.raw_delay_ms(2), 200);
+        assert_eq!(b.raw_delay_ms(20), b.cap_ms);
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_bounds_and_is_deterministic() {
+        let b = BackoffSchedule::default();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for attempt in 1..=10 {
+                let (lo, hi) = b.bounds_ms(attempt);
+                let d = b.delay_ms(attempt, seed);
+                assert!(
+                    (lo..=hi).contains(&d),
+                    "seed {seed} attempt {attempt}: {d} ∉ [{lo}, {hi}]"
+                );
+                assert_eq!(d, b.delay_ms(attempt, seed), "not deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_zero_jitter_is_exact() {
+        let b = BackoffSchedule {
+            jitter_frac: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(b.delay_ms(1, 7), 100);
+        assert_eq!(b.delay_ms(2, 7), 200);
+    }
+
+    #[test]
+    fn happy_path_completes() {
+        let mut s = ReleaseSupervisor::new(fast(), 1);
+        assert_eq!(s.start(0), Action::StartAttempt { attempt: 1 });
+        assert_eq!(s.start(0), Action::None, "no double start");
+        assert_eq!(s.confirmed(50), Action::None);
+        assert!(matches!(s.phase(), Phase::Watching { deadline: 550 }));
+        assert_eq!(s.health_report(100, true), Action::BeginDrain);
+        assert_eq!(s.drain_complete(900), Action::Done);
+        assert_eq!(s.phase(), Phase::Completed);
+        assert!(s.finished());
+        assert_eq!(s.counters().rollbacks, 0);
+        assert_eq!(s.counters().takeover_retries, 0);
+    }
+
+    #[test]
+    fn attempt_timeouts_retry_then_abort() {
+        let mut s = ReleaseSupervisor::new(fast(), 9);
+        s.start(0);
+        // Attempt 1 times out at 100.
+        let a = s.tick(100);
+        let Action::RetryAfter { attempt: 1, delay_ms } = a else {
+            panic!("expected retry, got {a:?}");
+        };
+        let (lo, hi) = fast().backoff.bounds_ms(1);
+        assert!((lo..=hi).contains(&delay_ms));
+        // Backoff expires → attempt 2.
+        assert_eq!(
+            s.tick(100 + delay_ms),
+            Action::StartAttempt { attempt: 2 }
+        );
+        // Explicit failure (not timeout) also retries.
+        assert!(matches!(
+            s.attempt_failed(150 + delay_ms),
+            Action::RetryAfter { attempt: 2, .. }
+        ));
+        assert_eq!(s.counters().takeover_retries, 2);
+        // Attempt 3 is the last in the budget.
+        let Phase::BackingOff { until, .. } = s.phase() else {
+            panic!("expected backoff")
+        };
+        assert_eq!(s.tick(until), Action::StartAttempt { attempt: 3 });
+        assert_eq!(s.attempt_failed(until + 1), Action::AbortKeepOld);
+        assert_eq!(s.phase(), Phase::Aborted);
+        assert_eq!(s.counters().aborted_releases, 1);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn unhealthy_report_rolls_back() {
+        let mut s = ReleaseSupervisor::new(fast(), 2);
+        s.start(0);
+        s.confirmed(10);
+        assert_eq!(
+            s.health_report(20, false),
+            Action::Rollback {
+                reason: RollbackReason::UnhealthyReport
+            }
+        );
+        assert_eq!(s.phase(), Phase::RolledBack);
+        assert_eq!(s.counters().rollbacks, 1);
+    }
+
+    #[test]
+    fn silent_watch_window_rolls_back() {
+        let mut s = ReleaseSupervisor::new(fast(), 3);
+        s.start(0);
+        s.confirmed(0);
+        assert_eq!(s.tick(499), Action::None);
+        assert_eq!(
+            s.tick(500),
+            Action::Rollback {
+                reason: RollbackReason::WatchTimeout
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_channel_rolls_back() {
+        let mut s = ReleaseSupervisor::new(fast(), 4);
+        s.start(0);
+        s.confirmed(0);
+        assert_eq!(
+            s.channel_lost(5),
+            Action::Rollback {
+                reason: RollbackReason::ChannelLost
+            }
+        );
+        // Terminal: further events are inert.
+        assert_eq!(s.health_report(6, true), Action::None);
+        assert_eq!(s.tick(10_000), Action::None);
+    }
+
+    #[test]
+    fn drain_deadline_forces_closure() {
+        let mut s = ReleaseSupervisor::new(fast(), 5);
+        s.start(0);
+        s.confirmed(0);
+        s.health_report(10, true);
+        assert!(matches!(s.phase(), Phase::Draining { deadline: 1_010 }));
+        assert_eq!(s.tick(1_009), Action::None);
+        assert_eq!(s.tick(1_010), Action::ForceCloseRemaining);
+        assert_eq!(s.phase(), Phase::Completed);
+        s.record_forced_closes(3);
+        assert_eq!(s.counters().forced_closes, 3);
+    }
+
+    #[test]
+    fn reason_names() {
+        assert_eq!(RollbackReason::WatchTimeout.name(), "watch-timeout");
+        assert_eq!(RollbackReason::ChannelLost.name(), "channel-lost");
+        assert_eq!(RollbackReason::UnhealthyReport.name(), "unhealthy-report");
+    }
+}

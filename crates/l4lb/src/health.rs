@@ -138,6 +138,21 @@ impl HealthChecker {
             .collect()
     }
 
+    /// The backends traffic should route to, **failing open**: when every
+    /// registered backend is marked down the full set is returned instead
+    /// of an empty one. An empty routing ring blackholes 100% of traffic,
+    /// which is strictly worse than sending it to backends whose probes
+    /// fail — mass probe failure usually means the *prober* (or its
+    /// network path) broke, not the entire fleet at once.
+    pub fn routable(&self) -> Vec<BackendId> {
+        let up = self.healthy();
+        if up.is_empty() {
+            self.backends.keys().copied().collect()
+        } else {
+            up
+        }
+    }
+
     /// Total registered backends.
     pub fn len(&self) -> usize {
         self.backends.len()
@@ -243,6 +258,34 @@ mod tests {
         }
         c.add_backend(BackendId(7));
         assert_eq!(c.state(BackendId(7)), Some(HealthState::Down));
+    }
+
+    #[test]
+    fn routable_fails_open_when_all_backends_down() {
+        let mut c = checker(3);
+        // Partial failure: routable == healthy.
+        for _ in 0..3 {
+            c.report(BackendId(0), false);
+        }
+        assert_eq!(c.routable(), vec![BackendId(1), BackendId(2)]);
+        // Total failure: fail open to the full registered set.
+        for b in [1, 2] {
+            for _ in 0..3 {
+                c.report(BackendId(b), false);
+            }
+        }
+        assert!(c.healthy().is_empty());
+        assert_eq!(
+            c.routable(),
+            vec![BackendId(0), BackendId(1), BackendId(2)]
+        );
+        // A single recovery narrows routing back to the healthy set.
+        c.report(BackendId(1), true);
+        c.report(BackendId(1), true);
+        assert_eq!(c.routable(), vec![BackendId(1)]);
+        // Empty checker stays empty — nothing to fail open to.
+        let empty = HealthChecker::new(HealthConfig::default(), Vec::<BackendId>::new());
+        assert!(empty.routable().is_empty());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Deterministic fault injection for the takeover data path.
+//!
+//! The paper's robustness claim (§4.1, §5.1) is not "the handshake works"
+//! but "the handshake *failing* never takes the VIP down". Proving that
+//! requires exercising every failure edge on demand: truncated SCM_RIGHTS
+//! payloads, confirms that never arrive, FDs that vanish mid-chunk, a peer
+//! that dies with the sockets half-transferred. This module provides the
+//! hook points as a small trait so both unit tests and `sim` experiments
+//! drive the same code paths the happy path uses — no `#[cfg(test)]`
+//! forks of the protocol.
+//!
+//! Injectors are deterministic and seedable: a [`ScriptedFaults`] built
+//! from the same seed and script always fires the same faults in the same
+//! order, so a failing CI run reproduces locally byte-for-byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where in the protocol a fault can fire.
+///
+/// Each point corresponds to one concrete syscall-adjacent step of the
+/// Fig. 5 handshake or the UDP forwarding path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Old process is about to send one SCM_RIGHTS chunk of FDs.
+    SendFdChunk,
+    /// New process is about to send its `Confirm` frame (Fig. 5 step D).
+    SendConfirm,
+    /// Old process is about to send the `Offer` frame.
+    SendOffer,
+    /// UDP router is about to forward an encapsulated datagram to the old
+    /// process.
+    ForwardDatagram,
+}
+
+/// What the injector does at a hook point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: run the step normally.
+    Proceed,
+    /// Sleep before running the step (models a wedged peer / slow kernel).
+    Delay(Duration),
+    /// Send strictly fewer FDs (or bytes) than advertised, so the receiver
+    /// observes a count mismatch.
+    Truncate,
+    /// Silently skip the step; the peer blocks until its read timeout.
+    Drop,
+    /// Abort the handshake as if the process died: the stream is dropped
+    /// and the peer sees EOF.
+    Die,
+}
+
+/// A deterministic source of faults, consulted at each [`FaultPoint`].
+///
+/// Implementations must be cheap and `Send + Sync`: the takeover handshake
+/// runs on a blocking thread and the UDP router on the tokio runtime.
+pub trait FaultInjector: Send + Sync {
+    /// Decides what happens at `point`. Called once per protocol step.
+    fn decide(&self, point: FaultPoint) -> FaultAction;
+
+    /// Total faults fired so far (actions other than `Proceed`).
+    fn injected(&self) -> u64 {
+        0
+    }
+}
+
+/// The production injector: never faults.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn decide(&self, _point: FaultPoint) -> FaultAction {
+        FaultAction::Proceed
+    }
+}
+
+/// One scripted rule: fire `action` at the `nth` visit (0-based) to
+/// `point`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRule {
+    /// Hook point the rule applies to.
+    pub point: FaultPoint,
+    /// Which visit to that point fires the rule (0 = first).
+    pub nth: u64,
+    /// The action to take.
+    pub action: FaultAction,
+}
+
+/// A seedable, scripted injector.
+///
+/// Rules fire on exact visit counts, so a test can say "truncate the
+/// second FD chunk" and nothing else. The seed perturbs [`FaultAction::Delay`]
+/// durations deterministically (splitmix64), which lets a single script be
+/// replayed across many seeds in `sim` without changing *which* faults
+/// fire — only their timing jitter.
+#[derive(Debug)]
+pub struct ScriptedFaults {
+    rules: Vec<FaultRule>,
+    seed: u64,
+    visits: [AtomicU64; 4],
+    injected: AtomicU64,
+}
+
+fn point_index(point: FaultPoint) -> usize {
+    match point {
+        FaultPoint::SendFdChunk => 0,
+        FaultPoint::SendConfirm => 1,
+        FaultPoint::SendOffer => 2,
+        FaultPoint::ForwardDatagram => 3,
+    }
+}
+
+/// splitmix64: tiny, seedable, good-enough mixing for jitter. Inlined to
+/// keep `zdr-net` free of an RNG dependency.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ScriptedFaults {
+    /// An injector that fires `rules` under `seed`.
+    pub fn new(seed: u64, rules: Vec<FaultRule>) -> Self {
+        ScriptedFaults {
+            rules,
+            seed,
+            visits: Default::default(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: a single rule firing at the first visit to `point`.
+    pub fn once(point: FaultPoint, action: FaultAction) -> Self {
+        Self::new(
+            0,
+            vec![FaultRule {
+                point,
+                nth: 0,
+                action,
+            }],
+        )
+    }
+
+    /// Jitters a scripted delay by ±50% of its length, deterministically
+    /// from the seed and visit count.
+    fn jitter(&self, base: Duration, visit: u64) -> Duration {
+        let base_ms = base.as_millis() as u64;
+        if base_ms == 0 {
+            return base;
+        }
+        let r = splitmix64(self.seed ^ visit.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        // Uniform in [base/2, base*3/2].
+        let lo = base_ms / 2;
+        let span = base_ms + 1;
+        Duration::from_millis(lo + r % span)
+    }
+}
+
+impl FaultInjector for ScriptedFaults {
+    fn decide(&self, point: FaultPoint) -> FaultAction {
+        let visit = self.visits[point_index(point)].fetch_add(1, Ordering::Relaxed);
+        for rule in &self.rules {
+            if rule.point == point && rule.nth == visit {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return match rule.action {
+                    FaultAction::Delay(d) => FaultAction::Delay(self.jitter(d, visit)),
+                    other => other,
+                };
+            }
+        }
+        FaultAction::Proceed
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_always_proceeds() {
+        let inj = NoFaults;
+        for p in [
+            FaultPoint::SendFdChunk,
+            FaultPoint::SendConfirm,
+            FaultPoint::SendOffer,
+            FaultPoint::ForwardDatagram,
+        ] {
+            assert_eq!(inj.decide(p), FaultAction::Proceed);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn scripted_fires_only_on_the_nth_visit() {
+        let inj = ScriptedFaults::new(
+            7,
+            vec![FaultRule {
+                point: FaultPoint::SendFdChunk,
+                nth: 1,
+                action: FaultAction::Truncate,
+            }],
+        );
+        assert_eq!(inj.decide(FaultPoint::SendFdChunk), FaultAction::Proceed);
+        assert_eq!(inj.decide(FaultPoint::SendFdChunk), FaultAction::Truncate);
+        assert_eq!(inj.decide(FaultPoint::SendFdChunk), FaultAction::Proceed);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn points_are_counted_independently() {
+        let inj = ScriptedFaults::once(FaultPoint::SendConfirm, FaultAction::Die);
+        // Visits to other points never trip the SendConfirm rule.
+        assert_eq!(inj.decide(FaultPoint::SendOffer), FaultAction::Proceed);
+        assert_eq!(inj.decide(FaultPoint::SendConfirm), FaultAction::Die);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn delay_jitter_is_deterministic_and_bounded() {
+        let mk = || {
+            ScriptedFaults::new(
+                42,
+                vec![FaultRule {
+                    point: FaultPoint::SendOffer,
+                    nth: 0,
+                    action: FaultAction::Delay(Duration::from_millis(100)),
+                }],
+            )
+        };
+        let (a, b) = (mk(), mk());
+        let (da, db) = (
+            a.decide(FaultPoint::SendOffer),
+            b.decide(FaultPoint::SendOffer),
+        );
+        assert_eq!(da, db, "same seed, same jitter");
+        match da {
+            FaultAction::Delay(d) => {
+                assert!(d >= Duration::from_millis(50) && d <= Duration::from_millis(150));
+            }
+            other => panic!("expected delay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_seeds_can_change_timing_but_not_which_faults_fire() {
+        let a = ScriptedFaults::new(
+            1,
+            vec![FaultRule {
+                point: FaultPoint::SendOffer,
+                nth: 0,
+                action: FaultAction::Delay(Duration::from_millis(80)),
+            }],
+        );
+        let b = ScriptedFaults::new(
+            2,
+            vec![FaultRule {
+                point: FaultPoint::SendOffer,
+                nth: 0,
+                action: FaultAction::Delay(Duration::from_millis(80)),
+            }],
+        );
+        assert!(matches!(
+            a.decide(FaultPoint::SendOffer),
+            FaultAction::Delay(_)
+        ));
+        assert!(matches!(
+            b.decide(FaultPoint::SendOffer),
+            FaultAction::Delay(_)
+        ));
+        assert_eq!(a.injected(), 1);
+        assert_eq!(b.injected(), 1);
+    }
+}

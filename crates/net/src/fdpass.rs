@@ -15,6 +15,7 @@ use std::os::unix::net::UnixStream;
 
 use nix::sys::socket::{recvmsg, sendmsg, ControlMessage, ControlMessageOwned, MsgFlags};
 
+use crate::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
 use crate::{NetError, Result};
 
 /// Maximum FDs transferred in one `sendmsg` call. Linux caps SCM_RIGHTS at
@@ -80,6 +81,18 @@ pub fn recv_with_fds(sock: &UnixStream, buf: &mut [u8]) -> Result<(usize, Vec<Ow
 /// [`MAX_FDS_PER_MSG`]-sized messages, each tagged `seq/total` in its
 /// payload so the receiver can detect loss or reordering.
 pub fn send_fd_batch(sock: &UnixStream, fds: &[BorrowedFd<'_>]) -> Result<()> {
+    send_fd_batch_with(sock, fds, &NoFaults)
+}
+
+/// [`send_fd_batch`] with a fault injector consulted before each chunk:
+/// chunks can be truncated (one FD short of the advertised count), dropped
+/// outright, delayed, or the sender can "die" mid-batch. The header
+/// discipline guarantees [`recv_fd_batch`] detects every one of these.
+pub fn send_fd_batch_with(
+    sock: &UnixStream,
+    fds: &[BorrowedFd<'_>],
+    faults: &dyn FaultInjector,
+) -> Result<()> {
     let total_chunks = fds.chunks(MAX_FDS_PER_MSG).count().max(1);
     if fds.is_empty() {
         let header = format!("chunk 0/{total_chunks} fds 0");
@@ -88,7 +101,29 @@ pub fn send_fd_batch(sock: &UnixStream, fds: &[BorrowedFd<'_>]) -> Result<()> {
     }
     for (i, chunk) in fds.chunks(MAX_FDS_PER_MSG).enumerate() {
         let header = format!("chunk {i}/{total_chunks} fds {}", chunk.len());
-        send_with_fds(sock, header.as_bytes(), chunk)?;
+        match faults.decide(FaultPoint::SendFdChunk) {
+            FaultAction::Proceed => {
+                send_with_fds(sock, header.as_bytes(), chunk)?;
+            }
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                send_with_fds(sock, header.as_bytes(), chunk)?;
+            }
+            FaultAction::Truncate => {
+                // Advertised count stays; the FD array loses its tail.
+                send_with_fds(
+                    sock,
+                    header.as_bytes(),
+                    &chunk[..chunk.len().saturating_sub(1)],
+                )?;
+            }
+            FaultAction::Drop => {}
+            FaultAction::Die => {
+                return Err(NetError::Handshake(
+                    "fault injection: sender died mid-batch".into(),
+                ))
+            }
+        }
     }
     Ok(())
 }
@@ -300,6 +335,42 @@ mod tests {
         send_fd_batch(&a, &[]).unwrap();
         let fds = recv_fd_batch(&b).unwrap();
         assert!(fds.is_empty());
+    }
+
+    #[test]
+    fn truncated_batch_chunk_is_detected() {
+        use crate::fault::{FaultPoint, ScriptedFaults};
+        let (a, b) = UnixStream::pair().unwrap();
+        let files: Vec<_> = (0..5).map(|_| tempfile()).collect();
+        let faults = ScriptedFaults::once(FaultPoint::SendFdChunk, FaultAction::Truncate);
+
+        let sender = std::thread::spawn(move || {
+            let borrowed: Vec<_> = files.iter().map(|f| f.as_fd()).collect();
+            send_fd_batch_with(&a, &borrowed, &faults).unwrap();
+            faults.injected()
+        });
+
+        // Header advertises 5 FDs; only 4 arrive → inventory mismatch.
+        assert!(matches!(recv_fd_batch(&b), Err(NetError::Inventory(_))));
+        assert_eq!(sender.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn dropped_batch_chunk_breaks_sequence() {
+        use crate::fault::{FaultPoint, ScriptedFaults};
+        let (a, b) = UnixStream::pair().unwrap();
+        let count = MAX_FDS_PER_MSG + 3; // two chunks
+        let files: Vec<_> = (0..count).map(|_| tempfile()).collect();
+        let faults = ScriptedFaults::once(FaultPoint::SendFdChunk, FaultAction::Drop);
+
+        let sender = std::thread::spawn(move || {
+            let borrowed: Vec<_> = files.iter().map(|f| f.as_fd()).collect();
+            send_fd_batch_with(&a, &borrowed, &faults).unwrap();
+        });
+
+        // Chunk 0 vanished; the receiver sees chunk 1 first → out of order.
+        assert!(matches!(recv_fd_batch(&b), Err(NetError::Handshake(_))));
+        sender.join().unwrap();
     }
 
     #[test]

@@ -21,11 +21,16 @@
 //! * [`udp_router`] — user-space routing of QUIC-like packets between the
 //!   new and the draining process, keyed on the connection-ID's process
 //!   generation (the Fig. 10 mechanism).
+//! * [`fault`] — deterministic, seedable fault injection threaded through
+//!   the handshake and forwarding hook points, so tests and `sim` can
+//!   exercise truncated frames, dropped FDs, delayed confirms, and peer
+//!   death on the exact production code paths.
 //!
 //! Everything here is Linux-first (the paper's production environment);
 //! the simulation models ([`reuseport`], [`udp_router`] classification) are
 //! portable.
 
+pub mod fault;
 pub mod fdpass;
 pub mod inventory;
 pub mod reuseport;

@@ -1,4 +1,4 @@
-//! The Socket Takeover handshake (Fig. 5, steps A–F).
+//! The Socket Takeover handshake (Fig. 5, steps A–F) and its rollback.
 //!
 //! Roles:
 //!
@@ -13,6 +13,25 @@
 //!   enters draining (step E); the new process assumes health-check
 //!   responsibility (step F) — that part lives in `zdr-proxy`.
 //!
+//! ### The watch window and rollback
+//!
+//! A release must never degrade into an outage (§5.1): confirmation alone
+//! does not prove the new process can actually serve. In **watched** mode
+//! the handshake stream stays open after step E as a supervision channel:
+//!
+//! * the new process sends a `HealthReport` once its own health probe
+//!   passes ([`ReleaseChannel::report_health`]);
+//! * the old process waits for it ([`WatchChannel::await_health`]). A
+//!   healthy report leads to `Release` (the handoff stands). An unhealthy
+//!   report, a timeout, or the channel dropping (the new process died)
+//!   triggers `Reclaim`: a **reverse takeover** over the same stream, with
+//!   the roles swapped — the new process sends the inventory back and the
+//!   old process resumes serving on the very same kernel sockets.
+//!
+//! Because both processes share the listening sockets' file-table entries
+//! until the drain completes, the rollback loses no accepted connections:
+//! SYNs queue in the shared backlog while the supervisor decides.
+//!
 //! ### Wire discipline
 //!
 //! Control messages are 4-byte-length-prefixed JSON frames (ordinary stream
@@ -21,16 +40,22 @@
 //! merge ancillary boundaries; the chunk's FD count is announced in a
 //! control frame beforehand. This avoids relying on luck about how a
 //! `SOCK_STREAM` socket segments SCM_RIGHTS payloads.
+//!
+//! Every send site consults a [`FaultInjector`], so tests and `sim` can
+//! truncate frames, delay confirms, drop FD chunks, or kill a peer on the
+//! exact code paths production uses.
 
 use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::os::fd::OwnedFd;
+use std::os::unix::fs::MetadataExt;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
 use crate::fdpass::{recv_with_fds, send_with_fds, MAX_FDS_PER_MSG};
 use crate::inventory::{ListenerInventory, Manifest, ReceivedInventory};
 use crate::{NetError, Result};
@@ -60,7 +85,7 @@ enum ControlFrame {
         /// Handshake protocol version.
         version: u32,
     },
-    /// Old → new: here is what you are about to receive.
+    /// Sender → receiver of sockets: here is what you are about to receive.
     Offer {
         /// Socket layout.
         manifest: Manifest,
@@ -69,15 +94,25 @@ enum ControlFrame {
         /// Number of SCM_RIGHTS chunks that follow.
         chunks: usize,
     },
-    /// Old → new: the next SCM_RIGHTS message carries this many FDs.
+    /// Socket sender: the next SCM_RIGHTS message carries this many FDs.
     Chunk {
         /// FD count in the upcoming message.
         fds: usize,
     },
-    /// New → old: listeners claimed; start draining (step D).
+    /// Socket receiver: listeners claimed; start draining (step D).
     Confirm,
-    /// Old → new: draining has begun (step E); you own health checks now.
+    /// Socket sender: draining has begun (step E); you own health checks
+    /// now.
     Draining,
+    /// New → old: post-confirm health report during the watch window.
+    HealthReport {
+        /// Whether the new process considers itself able to serve.
+        ok: bool,
+    },
+    /// Old → new: reverse takeover — hand the sockets back (rollback).
+    Reclaim,
+    /// Old → new: the watch window closed cleanly; the release stands.
+    Release,
     /// Either direction: abort with a reason.
     Abort {
         /// Human-readable reason.
@@ -98,6 +133,18 @@ fn write_frame(stream: &mut UnixStream, frame: &ControlFrame) -> Result<()> {
     Ok(())
 }
 
+/// Fault-injection helper: advertise the full frame length but withhold the
+/// last byte, starving the peer's `read_exact` until its timeout.
+fn write_frame_truncated(stream: &mut UnixStream, frame: &ControlFrame) -> Result<()> {
+    let body = serde_json::to_vec(frame)
+        .map_err(|e| NetError::Handshake(format!("encode control frame: {e}")))?;
+    let len = u32::try_from(body.len())
+        .map_err(|_| NetError::Handshake("control frame too large".into()))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&body[..body.len() - 1])?;
+    Ok(())
+}
+
 fn read_frame(stream: &mut UnixStream) -> Result<ControlFrame> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
@@ -109,6 +156,130 @@ fn read_frame(stream: &mut UnixStream) -> Result<ControlFrame> {
     stream.read_exact(&mut body)?;
     serde_json::from_slice(&body)
         .map_err(|e| NetError::Handshake(format!("decode control frame: {e}")))
+}
+
+/// Sends `inventory` as Offer + SCM_RIGHTS chunks, consulting `faults` at
+/// each send site. Shared by the forward handshake (old → new) and the
+/// reverse takeover (new → old).
+fn send_inventory(
+    stream: &mut UnixStream,
+    inventory: &ListenerInventory,
+    info: HandoffInfo,
+    faults: &dyn FaultInjector,
+) -> Result<()> {
+    let fds = inventory.borrowed_fds();
+    let chunks: Vec<_> = fds.chunks(MAX_FDS_PER_MSG).collect();
+    let offer = ControlFrame::Offer {
+        manifest: inventory.manifest(),
+        info,
+        chunks: chunks.len(),
+    };
+    match faults.decide(FaultPoint::SendOffer) {
+        FaultAction::Proceed => write_frame(stream, &offer)?,
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            write_frame(stream, &offer)?;
+        }
+        FaultAction::Truncate => {
+            write_frame_truncated(stream, &offer)?;
+            return Ok(());
+        }
+        FaultAction::Drop => return Ok(()),
+        FaultAction::Die => {
+            return Err(NetError::Handshake(
+                "fault injection: peer died before Offer".into(),
+            ))
+        }
+    }
+    for chunk in chunks {
+        match faults.decide(FaultPoint::SendFdChunk) {
+            FaultAction::Proceed => {
+                write_frame(stream, &ControlFrame::Chunk { fds: chunk.len() })?;
+                send_with_fds(stream, &[FD_CHUNK_MARKER], chunk)?;
+            }
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                write_frame(stream, &ControlFrame::Chunk { fds: chunk.len() })?;
+                send_with_fds(stream, &[FD_CHUNK_MARKER], chunk)?;
+            }
+            FaultAction::Truncate => {
+                // Advertise the full count but pass one FD short: the §5.1
+                // inventory check on the receiver must flag the mismatch.
+                write_frame(stream, &ControlFrame::Chunk { fds: chunk.len() })?;
+                send_with_fds(
+                    stream,
+                    &[FD_CHUNK_MARKER],
+                    &chunk[..chunk.len().saturating_sub(1)],
+                )?;
+            }
+            FaultAction::Drop => {}
+            FaultAction::Die => {
+                return Err(NetError::Handshake(
+                    "fault injection: peer died mid-transfer".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Receives Offer + SCM_RIGHTS chunks and reassembles the inventory.
+/// Shared by the forward handshake and the reverse takeover.
+fn recv_inventory(stream: &mut UnixStream) -> Result<TakeoverResult> {
+    let (manifest, info, chunks) = match read_frame(stream)? {
+        ControlFrame::Offer {
+            manifest,
+            info,
+            chunks,
+        } => (manifest, info, chunks),
+        ControlFrame::Abort { reason } => {
+            return Err(NetError::Handshake(format!("peer aborted: {reason}")))
+        }
+        other => {
+            return Err(NetError::Handshake(format!(
+                "expected Offer, got {other:?}"
+            )))
+        }
+    };
+
+    let mut fds: Vec<OwnedFd> = Vec::with_capacity(manifest.total_fds());
+    for _ in 0..chunks {
+        let expected = match read_frame(stream)? {
+            ControlFrame::Chunk { fds } => fds,
+            other => {
+                return Err(NetError::Handshake(format!(
+                    "expected Chunk, got {other:?}"
+                )))
+            }
+        };
+        let mut marker = [0u8; 1];
+        let (n, mut received) = recv_with_fds(stream, &mut marker)?;
+        if n != 1 || marker[0] != FD_CHUNK_MARKER {
+            return Err(NetError::Handshake("bad fd-chunk marker".into()));
+        }
+        if received.len() != expected {
+            return Err(NetError::Inventory(format!(
+                "chunk advertised {expected} fds, received {}",
+                received.len()
+            )));
+        }
+        fds.append(&mut received);
+    }
+
+    let inventory = ReceivedInventory::reassemble(&manifest, fds)?;
+    Ok(TakeoverResult { inventory, info })
+}
+
+fn await_confirm(stream: &mut UnixStream) -> Result<()> {
+    match read_frame(stream)? {
+        ControlFrame::Confirm => Ok(()),
+        ControlFrame::Abort { reason } => {
+            Err(NetError::Handshake(format!("peer aborted: {reason}")))
+        }
+        other => Err(NetError::Handshake(format!(
+            "expected Confirm, got {other:?}"
+        ))),
+    }
 }
 
 /// What [`TakeoverServer::serve_once`] reports back to the old process.
@@ -125,16 +296,43 @@ pub enum ServeOutcome {
 pub struct TakeoverServer {
     listener: UnixListener,
     path: PathBuf,
+    /// `(st_dev, st_ino)` of the socket file this server created, so Drop
+    /// unlinks the path only while it still refers to *our* socket.
+    bound_ino: Option<(u64, u64)>,
 }
 
 impl TakeoverServer {
-    /// Binds the takeover server at `path` (step A). An existing stale
-    /// socket file is replaced.
+    /// Binds the takeover server at `path` (step A).
+    ///
+    /// A path owned by a **live** process is refused (`AddrInUse`): blindly
+    /// unlinking it would silently orphan the running server and break the
+    /// next release. Only an existing-but-unconnectable path — the leftover
+    /// of a crashed predecessor — is treated as stale and replaced.
     pub fn bind(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
+        if path.exists() {
+            match UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!(
+                            "takeover socket {} is owned by a live process",
+                            path.display()
+                        ),
+                    )))
+                }
+                Err(_) => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
         let listener = UnixListener::bind(&path)?;
-        Ok(TakeoverServer { listener, path })
+        let bound_ino = std::fs::metadata(&path).ok().map(|m| (m.dev(), m.ino()));
+        Ok(TakeoverServer {
+            listener,
+            path,
+            bound_ino,
+        })
     }
 
     /// The bound path.
@@ -153,6 +351,20 @@ impl TakeoverServer {
         info: HandoffInfo,
         timeout: Duration,
     ) -> Result<ServeOutcome> {
+        let _watch = self.serve_once_watched(inventory, info, timeout, &NoFaults)?;
+        Ok(ServeOutcome::DrainNow)
+    }
+
+    /// Like [`TakeoverServer::serve_once`], but keeps the handshake stream
+    /// open as a [`WatchChannel`] for the supervised watch window, and
+    /// consults `faults` at each send site.
+    pub fn serve_once_watched(
+        &self,
+        inventory: &ListenerInventory,
+        info: HandoffInfo,
+        timeout: Duration,
+        faults: &dyn FaultInjector,
+    ) -> Result<WatchChannel> {
         let (mut stream, _) = self.listener.accept()?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
@@ -175,42 +387,133 @@ impl TakeoverServer {
             }
         }
 
-        let fds = inventory.borrowed_fds();
-        let chunks: Vec<_> = fds.chunks(MAX_FDS_PER_MSG).collect();
-        write_frame(
-            &mut stream,
-            &ControlFrame::Offer {
-                manifest: inventory.manifest(),
-                info,
-                chunks: chunks.len(),
-            },
-        )?;
-
-        for chunk in chunks {
-            write_frame(&mut stream, &ControlFrame::Chunk { fds: chunk.len() })?;
-            send_with_fds(&stream, &[FD_CHUNK_MARKER], chunk)?;
-        }
-
-        match read_frame(&mut stream)? {
-            ControlFrame::Confirm => {}
-            ControlFrame::Abort { reason } => {
-                return Err(NetError::Handshake(format!("peer aborted: {reason}")))
-            }
-            other => {
-                return Err(NetError::Handshake(format!(
-                    "expected Confirm, got {other:?}"
-                )))
-            }
-        }
-
+        send_inventory(&mut stream, inventory, info, faults)?;
+        await_confirm(&mut stream)?;
         write_frame(&mut stream, &ControlFrame::Draining)?;
-        Ok(ServeOutcome::DrainNow)
+        Ok(WatchChannel { stream })
     }
 }
 
 impl Drop for TakeoverServer {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        // A successor may already have bound its own server at this path;
+        // unlink only while the file is still the one we created.
+        let still_ours = match (self.bound_ino, std::fs::metadata(&self.path)) {
+            (Some((dev, ino)), Ok(m)) => m.dev() == dev && m.ino() == ino,
+            (None, Ok(_)) => true,
+            (_, Err(_)) => false,
+        };
+        if still_ours {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// The old process's end of the post-confirm supervision stream.
+///
+/// Held through the watch window; exactly one of [`WatchChannel::release`]
+/// or [`WatchChannel::reclaim`] ends it.
+#[derive(Debug)]
+pub struct WatchChannel {
+    stream: UnixStream,
+}
+
+impl WatchChannel {
+    /// Waits for the successor's health report.
+    ///
+    /// `Ok(true)` — the successor probes healthy; `Ok(false)` — it reported
+    /// itself unable to serve; `Err` — no report within `timeout`, or the
+    /// channel dropped (the successor died). Every non-`Ok(true)` outcome
+    /// should trigger [`WatchChannel::reclaim`].
+    pub fn await_health(&mut self, timeout: Duration) -> Result<bool> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        match read_frame(&mut self.stream)? {
+            ControlFrame::HealthReport { ok } => Ok(ok),
+            other => Err(NetError::Handshake(format!(
+                "expected HealthReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes the watch window in the successor's favour: the release
+    /// stands, no rollback will be requested.
+    pub fn release(mut self) -> Result<()> {
+        write_frame(&mut self.stream, &ControlFrame::Release)
+    }
+
+    /// Reverse takeover (rollback): demands the sockets back and receives
+    /// them over the same protocol the forward handshake used, roles
+    /// swapped. Returns the reclaimed inventory ready to claim.
+    ///
+    /// If the successor already died this fails — the caller then falls
+    /// back to its retained listener clones, which still accept because the
+    /// kernel file-table entry never closed.
+    pub fn reclaim(mut self, timeout: Duration) -> Result<TakeoverResult> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))?;
+        write_frame(&mut self.stream, &ControlFrame::Reclaim)?;
+        let result = recv_inventory(&mut self.stream)?;
+        write_frame(&mut self.stream, &ControlFrame::Confirm)?;
+        match read_frame(&mut self.stream)? {
+            ControlFrame::Draining => Ok(result),
+            other => Err(NetError::Handshake(format!(
+                "expected Draining, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// How the watch window ended, from the successor's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimVerdict {
+    /// The predecessor released us (or exited); the takeover stands.
+    Released,
+    /// The predecessor demands the sockets back; answer with
+    /// [`ReleaseChannel::serve_reclaim`].
+    Reclaimed,
+}
+
+/// The new process's end of the post-confirm supervision stream.
+#[derive(Debug)]
+pub struct ReleaseChannel {
+    stream: UnixStream,
+}
+
+impl ReleaseChannel {
+    /// Reports the outcome of the successor's own health probe (Fig. 5
+    /// step F: the new process owns health-check responsibility — this
+    /// relays the first verdict to the supervising predecessor).
+    pub fn report_health(&mut self, ok: bool) -> Result<()> {
+        write_frame(&mut self.stream, &ControlFrame::HealthReport { ok })
+    }
+
+    /// Waits for the predecessor's verdict.
+    ///
+    /// EOF counts as [`ReclaimVerdict::Released`]: the predecessor exited
+    /// (drained and gone, or crashed), so no rollback can follow and the
+    /// takeover stands.
+    pub fn await_verdict(&mut self, timeout: Duration) -> Result<ReclaimVerdict> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        match read_frame(&mut self.stream) {
+            Ok(ControlFrame::Release) => Ok(ReclaimVerdict::Released),
+            Ok(ControlFrame::Reclaim) => Ok(ReclaimVerdict::Reclaimed),
+            Ok(other) => Err(NetError::Handshake(format!(
+                "expected Release or Reclaim, got {other:?}"
+            ))),
+            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Ok(ReclaimVerdict::Released)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Answers a [`ReclaimVerdict::Reclaimed`]: sends `inventory` back to
+    /// the predecessor over the reverse of the forward handshake.
+    pub fn serve_reclaim(mut self, inventory: &ListenerInventory, info: HandoffInfo) -> Result<()> {
+        send_inventory(&mut self.stream, inventory, info, &NoFaults)?;
+        await_confirm(&mut self.stream)?;
+        write_frame(&mut self.stream, &ControlFrame::Draining)?;
+        Ok(())
     }
 }
 
@@ -244,10 +547,51 @@ impl std::fmt::Debug for PendingTakeover {
 impl PendingTakeover {
     /// Confirms the takeover (step D) and waits for the old process to
     /// acknowledge that draining has begun (step E).
-    pub fn confirm(mut self) -> Result<TakeoverResult> {
-        write_frame(&mut self.stream, &ControlFrame::Confirm)?;
+    pub fn confirm(self) -> Result<TakeoverResult> {
+        self.confirm_watched_with(&NoFaults)
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`PendingTakeover::confirm`], consulting `faults` before the
+    /// Confirm frame (delayed/dropped confirms, simulated death).
+    pub fn confirm_with(self, faults: &dyn FaultInjector) -> Result<TakeoverResult> {
+        self.confirm_watched_with(faults).map(|(result, _)| result)
+    }
+
+    /// Confirms and keeps the stream open as a [`ReleaseChannel`] so the
+    /// predecessor can supervise the watch window and, if needed, reclaim.
+    pub fn confirm_watched(self) -> Result<(TakeoverResult, ReleaseChannel)> {
+        self.confirm_watched_with(&NoFaults)
+    }
+
+    /// [`PendingTakeover::confirm_watched`] with fault injection.
+    pub fn confirm_watched_with(
+        mut self,
+        faults: &dyn FaultInjector,
+    ) -> Result<(TakeoverResult, ReleaseChannel)> {
+        match faults.decide(FaultPoint::SendConfirm) {
+            FaultAction::Proceed => write_frame(&mut self.stream, &ControlFrame::Confirm)?,
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                write_frame(&mut self.stream, &ControlFrame::Confirm)?;
+            }
+            FaultAction::Truncate => {
+                write_frame_truncated(&mut self.stream, &ControlFrame::Confirm)?;
+            }
+            FaultAction::Drop => {}
+            FaultAction::Die => {
+                return Err(NetError::Handshake(
+                    "fault injection: new process died before Confirm".into(),
+                ))
+            }
+        }
         match read_frame(&mut self.stream)? {
-            ControlFrame::Draining => Ok(self.result),
+            ControlFrame::Draining => Ok((
+                self.result,
+                ReleaseChannel {
+                    stream: self.stream,
+                },
+            )),
             other => Err(NetError::Handshake(format!(
                 "expected Draining, got {other:?}"
             ))),
@@ -281,53 +625,8 @@ pub fn request_takeover(path: impl AsRef<Path>, timeout: Duration) -> Result<Pen
         },
     )?;
 
-    let (manifest, info, chunks) = match read_frame(&mut stream)? {
-        ControlFrame::Offer {
-            manifest,
-            info,
-            chunks,
-        } => (manifest, info, chunks),
-        ControlFrame::Abort { reason } => {
-            return Err(NetError::Handshake(format!(
-                "old process aborted: {reason}"
-            )))
-        }
-        other => {
-            return Err(NetError::Handshake(format!(
-                "expected Offer, got {other:?}"
-            )))
-        }
-    };
-
-    let mut fds: Vec<OwnedFd> = Vec::with_capacity(manifest.total_fds());
-    for _ in 0..chunks {
-        let expected = match read_frame(&mut stream)? {
-            ControlFrame::Chunk { fds } => fds,
-            other => {
-                return Err(NetError::Handshake(format!(
-                    "expected Chunk, got {other:?}"
-                )))
-            }
-        };
-        let mut marker = [0u8; 1];
-        let (n, mut received) = recv_with_fds(&stream, &mut marker)?;
-        if n != 1 || marker[0] != FD_CHUNK_MARKER {
-            return Err(NetError::Handshake("bad fd-chunk marker".into()));
-        }
-        if received.len() != expected {
-            return Err(NetError::Inventory(format!(
-                "chunk advertised {expected} fds, received {}",
-                received.len()
-            )));
-        }
-        fds.append(&mut received);
-    }
-
-    let inventory = ReceivedInventory::reassemble(&manifest, fds)?;
-    Ok(PendingTakeover {
-        stream,
-        result: TakeoverResult { inventory, info },
-    })
+    let result = recv_inventory(&mut stream)?;
+    Ok(PendingTakeover { stream, result })
 }
 
 #[cfg(test)]
@@ -543,12 +842,179 @@ mod tests {
     }
 
     #[test]
+    fn stale_socket_of_crashed_predecessor_is_replaced() {
+        // A real AF_UNIX socket file whose owner crashed: dropping a plain
+        // UnixListener closes the fd but leaves the file behind, exactly
+        // what a SIGKILLed predecessor leaves on disk. Connecting to it
+        // fails, so bind treats it as stale and replaces it.
+        let path = tmp_sock_path("crashed");
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "crash leaves the socket file behind");
+        let server = TakeoverServer::bind(&path).unwrap();
+        assert_eq!(server.path(), path.as_path());
+    }
+
+    #[test]
+    fn bind_refuses_path_of_live_server() {
+        let path = tmp_sock_path("live");
+        let first = TakeoverServer::bind(&path).unwrap();
+        let second = TakeoverServer::bind(&path);
+        assert!(matches!(second, Err(NetError::Io(_))), "{second:?}");
+        // The loser must not have unlinked the winner's socket.
+        assert!(path.exists());
+        drop(first);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn drop_does_not_unlink_a_successors_socket() {
+        let path = tmp_sock_path("dropguard");
+        let first = TakeoverServer::bind(&path).unwrap();
+        // The path gets replaced out from under the server (as a successor
+        // rebinding it would).
+        std::fs::remove_file(&path).unwrap();
+        std::fs::write(&path, b"successor").unwrap();
+        drop(first);
+        assert!(path.exists(), "drop must not unlink a path it no longer owns");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn watched_release_reports_health_and_releases() {
+        let path = tmp_sock_path("watched");
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 1,
+            udp_router_addr: None,
+            drain_deadline_ms: 1000,
+        };
+        let old = std::thread::spawn(move || {
+            let mut watch = server
+                .serve_once_watched(&inv, info, Duration::from_secs(10), &NoFaults)
+                .unwrap();
+            let healthy = watch.await_health(Duration::from_secs(10)).unwrap();
+            watch.release().unwrap();
+            healthy
+        });
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        let (mut result, mut release) = pending.confirm_watched().unwrap();
+        let _listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+        result.inventory.finish().unwrap();
+        release.report_health(true).unwrap();
+        assert_eq!(
+            release.await_verdict(Duration::from_secs(10)).unwrap(),
+            ReclaimVerdict::Released
+        );
+        assert!(old.join().unwrap(), "old side must see the healthy report");
+    }
+
+    #[test]
+    fn rollback_reclaims_working_listeners() {
+        let path = tmp_sock_path("rollback");
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 3,
+            udp_router_addr: None,
+            drain_deadline_ms: 500,
+        };
+        let old = std::thread::spawn(move || {
+            let mut watch = server
+                .serve_once_watched(&inv, info, Duration::from_secs(10), &NoFaults)
+                .unwrap();
+            // The successor reports unhealthy: take the sockets back.
+            assert!(!watch.await_health(Duration::from_secs(10)).unwrap());
+            watch.reclaim(Duration::from_secs(10)).unwrap()
+        });
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        let (mut result, mut release) = pending.confirm_watched().unwrap();
+        let listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+        result.inventory.finish().unwrap();
+        release.report_health(false).unwrap();
+        assert_eq!(
+            release.await_verdict(Duration::from_secs(10)).unwrap(),
+            ReclaimVerdict::Reclaimed
+        );
+        let mut back = ListenerInventory::new();
+        back.add_tcp(tcp_addr, listener);
+        let info_back = HandoffInfo {
+            generation: 3,
+            udp_router_addr: None,
+            drain_deadline_ms: 0,
+        };
+        release.serve_reclaim(&back, info_back).unwrap();
+
+        // The old process got a working listener back on the same VIP.
+        let mut reclaimed = old.join().unwrap();
+        assert_eq!(reclaimed.info.generation, 3);
+        let listener = reclaimed.inventory.claim_tcp(tcp_addr).unwrap();
+        reclaimed.inventory.finish().unwrap();
+        let acceptor = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut b = [0u8; 2];
+            s.read_exact(&mut b).unwrap();
+            s.write_all(b"ok").unwrap();
+        });
+        let mut c = TcpStream::connect(tcp_addr).unwrap();
+        c.write_all(b"hi").unwrap();
+        let mut reply = [0u8; 2];
+        c.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"ok");
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_release_channel_fails_the_watch() {
+        // The successor confirms unwatched (its channel end drops right
+        // after the handshake): the watching predecessor must see EOF, the
+        // signal that triggers a rollback.
+        let path = tmp_sock_path("eofwatch");
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 1,
+            udp_router_addr: None,
+            drain_deadline_ms: 1000,
+        };
+        let old = std::thread::spawn(move || {
+            let mut watch = server
+                .serve_once_watched(&inv, info, Duration::from_secs(10), &NoFaults)
+                .unwrap();
+            watch.await_health(Duration::from_secs(10))
+        });
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        let mut result = pending.confirm().unwrap();
+        let _listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+        result.inventory.finish().unwrap();
+        drop(result);
+
+        let outcome = old.join().unwrap();
+        assert!(matches!(outcome, Err(NetError::Io(_))), "{outcome:?}");
+    }
+
+    #[test]
     fn control_frame_round_trip() {
         let frames = vec![
             ControlFrame::Request { version: 1 },
             ControlFrame::Chunk { fds: 64 },
             ControlFrame::Confirm,
             ControlFrame::Draining,
+            ControlFrame::HealthReport { ok: true },
+            ControlFrame::Reclaim,
+            ControlFrame::Release,
             ControlFrame::Abort { reason: "x".into() },
         ];
         for f in frames {

@@ -26,7 +26,19 @@ use tokio::net::UdpSocket;
 
 use zdr_proto::quic;
 
+use crate::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
 use crate::Result;
+
+/// Why a datagram was dropped instead of routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Bytes that don't parse as any QUIC-like header — noise, scans, or
+    /// corruption. Must never be propagated to either process.
+    Garbage,
+    /// A connection ID minted by a generation *newer* than ours: stale
+    /// routing after a rollback (§5.1). Forwarding it would loop.
+    FutureGeneration,
+}
 
 /// Where a datagram should go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,8 +47,8 @@ pub enum RouteDecision {
     Local,
     /// Forward to the draining (older-generation) process.
     ForwardToOld,
-    /// Unparseable or future-generation packet; drop and count.
-    Drop,
+    /// Drop and count, with the reason.
+    Drop(DropReason),
 }
 
 /// Stateless classification rule.
@@ -63,12 +75,12 @@ impl Classifier {
                     } else if cid.generation < self.my_generation {
                         RouteDecision::ForwardToOld
                     } else {
-                        RouteDecision::Drop
+                        RouteDecision::Drop(DropReason::FutureGeneration)
                     }
                 }
-                Err(_) => RouteDecision::Drop,
+                Err(_) => RouteDecision::Drop(DropReason::Garbage),
             },
-            Err(_) => RouteDecision::Drop,
+            Err(_) => RouteDecision::Drop(DropReason::Garbage),
         }
     }
 }
@@ -82,8 +94,15 @@ pub struct RouterStats {
     pub local: AtomicU64,
     /// Datagrams forwarded to the draining process.
     pub forwarded: AtomicU64,
-    /// Datagrams dropped (unparseable / future generation).
+    /// Datagrams dropped, all causes.
     pub dropped: AtomicU64,
+    /// Of the dropped: unparseable bytes (noise, scans, corruption).
+    pub dropped_garbage: AtomicU64,
+    /// Of the dropped: stale future-generation connection IDs (§5.1
+    /// rollback hazard).
+    pub dropped_future_gen: AtomicU64,
+    /// Of the dropped: injected forward-path faults.
+    pub dropped_injected: AtomicU64,
 }
 
 impl RouterStats {
@@ -94,6 +113,25 @@ impl RouterStats {
             self.forwarded.load(Ordering::Relaxed),
             self.dropped.load(Ordering::Relaxed),
         )
+    }
+
+    /// Drop breakdown as `(garbage, future_generation, injected)`.
+    pub fn drop_breakdown(&self) -> (u64, u64, u64) {
+        (
+            self.dropped_garbage.load(Ordering::Relaxed),
+            self.dropped_future_gen.load(Ordering::Relaxed),
+            self.dropped_injected.load(Ordering::Relaxed),
+        )
+    }
+
+    fn count_drop(&self, reason: DropReason) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            DropReason::Garbage => self.dropped_garbage.fetch_add(1, Ordering::Relaxed),
+            DropReason::FutureGeneration => {
+                self.dropped_future_gen.fetch_add(1, Ordering::Relaxed)
+            }
+        };
     }
 }
 
@@ -156,13 +194,23 @@ pub fn decapsulate(buf: &[u8]) -> Option<(SocketAddr, &[u8])> {
 /// Async user-space router: owns one (taken-over) UDP socket, delivers
 /// local packets to the application channel, and relays the draining
 /// process's packets to its host-local address.
-#[derive(Debug)]
 pub struct UdpRouter {
     socket: Arc<UdpSocket>,
     classifier: Classifier,
     /// Host-local address of the draining process (None once it exits).
     old_process_addr: Option<SocketAddr>,
     stats: Arc<RouterStats>,
+    faults: Arc<dyn FaultInjector>,
+}
+
+impl std::fmt::Debug for UdpRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpRouter")
+            .field("classifier", &self.classifier)
+            .field("old_process_addr", &self.old_process_addr)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl UdpRouter {
@@ -173,11 +221,23 @@ impl UdpRouter {
         my_generation: u32,
         old_process_addr: Option<SocketAddr>,
     ) -> Self {
+        Self::with_faults(socket, my_generation, old_process_addr, Arc::new(NoFaults))
+    }
+
+    /// [`UdpRouter::new`] with a fault injector on the forward path, so
+    /// tests and `sim` can lose or delay the relay to the draining process.
+    pub fn with_faults(
+        socket: UdpSocket,
+        my_generation: u32,
+        old_process_addr: Option<SocketAddr>,
+        faults: Arc<dyn FaultInjector>,
+    ) -> Self {
         UdpRouter {
             socket: Arc::new(socket),
             classifier: Classifier::new(my_generation),
             old_process_addr,
             stats: Arc::new(RouterStats::default()),
+            faults,
         }
     }
 
@@ -208,10 +268,22 @@ impl UdpRouter {
                         }
                     }
                     Err(_) => {
-                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        // Header peeked fine but the body is corrupt.
+                        self.stats.count_drop(DropReason::Garbage);
                     }
                 },
                 RouteDecision::ForwardToOld => {
+                    match self.faults.decide(FaultPoint::ForwardDatagram) {
+                        FaultAction::Proceed => {}
+                        FaultAction::Delay(d) => tokio::time::sleep(d).await,
+                        FaultAction::Truncate | FaultAction::Drop | FaultAction::Die => {
+                            // Injected forward-path fault: the relay loses
+                            // the datagram.
+                            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                            self.stats.dropped_injected.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
                     if let Some(old) = self.old_process_addr {
                         // Encapsulate so the draining process learns the
                         // true client address and can reply to it.
@@ -222,8 +294,8 @@ impl UdpRouter {
                         self.stats.dropped.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                RouteDecision::Drop => {
-                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                RouteDecision::Drop(reason) => {
+                    self.stats.count_drop(reason);
                 }
             }
         }
@@ -270,15 +342,129 @@ mod tests {
     fn classify_future_generation_drops() {
         let c = Classifier::new(5);
         let d = Datagram::one_rtt(ConnectionId::new(6, 1), 1, &b""[..]);
-        assert_eq!(c.classify(&wire(&d)), RouteDecision::Drop);
+        assert_eq!(
+            c.classify(&wire(&d)),
+            RouteDecision::Drop(DropReason::FutureGeneration)
+        );
     }
 
     #[test]
     fn classify_garbage_drops() {
         let c = Classifier::new(5);
-        assert_eq!(c.classify(&[]), RouteDecision::Drop);
-        assert_eq!(c.classify(&[0x00, 0x01]), RouteDecision::Drop);
-        assert_eq!(c.classify(&[0x40, 0x01, 0x02]), RouteDecision::Drop); // truncated CID
+        let garbage = RouteDecision::Drop(DropReason::Garbage);
+        assert_eq!(c.classify(&[]), garbage);
+        assert_eq!(c.classify(&[0x00, 0x01]), garbage);
+        assert_eq!(c.classify(&[0x40, 0x01, 0x02]), garbage); // truncated CID
+    }
+
+    #[test]
+    fn classify_never_panics_on_random_bytes() {
+        // Fuzz-ish sweep: a deterministic pseudo-random byte stream of
+        // varying lengths must classify without panicking, and anything
+        // that isn't a well-formed local/old packet must be a counted drop,
+        // never a forward of garbage.
+        let c = Classifier::new(7);
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state = crate::fault::splitmix64(state);
+            state
+        };
+        let mut drops = 0u64;
+        for i in 0..2000 {
+            let len = (next() % 64) as usize;
+            let mut buf = vec![0u8; len];
+            for b in buf.iter_mut() {
+                *b = (next() & 0xff) as u8;
+            }
+            match c.classify(&buf) {
+                RouteDecision::Drop(_) => drops += 1,
+                RouteDecision::Local | RouteDecision::ForwardToOld => {
+                    // Random bytes that happen to parse: classification must
+                    // at least have peeked a structurally valid header.
+                    assert!(quic::peek_is_initial(&buf).is_ok(), "iteration {i}");
+                }
+            }
+        }
+        assert!(drops > 1500, "random bytes overwhelmingly drop: {drops}");
+    }
+
+    #[tokio::test]
+    async fn router_counts_garbage_and_stale_generation_drops() {
+        let router_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let router_addr = router_sock.local_addr().unwrap();
+        let router = UdpRouter::new(router_sock, 2, None);
+        let stats = router.stats();
+        let (tx, mut rx) = tokio::sync::mpsc::channel(16);
+        let handle = tokio::spawn(async move { router.run(tx).await });
+
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        // Garbage bytes, then a future-generation packet, then a barrier.
+        client.send_to(&[0xde, 0xad, 0xbe], router_addr).await.unwrap();
+        let future_pkt = Datagram::one_rtt(ConnectionId::new(9, 1), 1, &b"x"[..]);
+        client
+            .send_to(&wire(&future_pkt), router_addr)
+            .await
+            .unwrap();
+        let barrier = Datagram::initial(ConnectionId::new(2, 1), &b"barrier"[..]);
+        client.send_to(&wire(&barrier), router_addr).await.unwrap();
+
+        let delivery = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(delivery.datagram, barrier);
+        let (garbage, future_gen, injected) = stats.drop_breakdown();
+        assert_eq!((garbage, future_gen, injected), (1, 1, 0));
+        let (_, _, dropped) = stats.snapshot();
+        assert_eq!(dropped, 2);
+        handle.abort();
+    }
+
+    #[tokio::test]
+    async fn injected_forward_fault_drops_the_relay() {
+        use crate::fault::{FaultAction, FaultPoint, ScriptedFaults};
+        let old_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let old_addr = old_sock.local_addr().unwrap();
+        let router_sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let router_addr = router_sock.local_addr().unwrap();
+        let faults = Arc::new(ScriptedFaults::once(
+            FaultPoint::ForwardDatagram,
+            FaultAction::Drop,
+        ));
+        let router = UdpRouter::with_faults(router_sock, 2, Some(old_addr), faults.clone());
+        let stats = router.stats();
+        let (tx, mut rx) = tokio::sync::mpsc::channel(16);
+        let handle = tokio::spawn(async move { router.run(tx).await });
+
+        let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        // First old-gen packet: the injector eats it. Second: relayed.
+        let old_pkt = Datagram::one_rtt(ConnectionId::new(1, 9), 4, &b"old"[..]);
+        client.send_to(&wire(&old_pkt), router_addr).await.unwrap();
+        client.send_to(&wire(&old_pkt), router_addr).await.unwrap();
+        let barrier = Datagram::initial(ConnectionId::new(2, 1), &b"b"[..]);
+        client.send_to(&wire(&barrier), router_addr).await.unwrap();
+
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(
+            std::time::Duration::from_secs(5),
+            old_sock.recv_from(&mut buf),
+        )
+        .await
+        .unwrap()
+        .unwrap();
+        assert!(decapsulate(&buf[..n]).is_some());
+        let delivery = tokio::time::timeout(std::time::Duration::from_secs(5), rx.recv())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(delivery.datagram, barrier);
+
+        let (_, forwarded, dropped) = stats.snapshot();
+        assert_eq!((forwarded, dropped), (1, 1));
+        let (_, _, injected) = stats.drop_breakdown();
+        assert_eq!(injected, 1);
+        assert_eq!(faults.injected(), 1);
+        handle.abort();
     }
 
     #[tokio::test]

@@ -68,6 +68,7 @@ pub struct ReverseProxyHandle {
     /// Upstream pool (health-markable by callers).
     pub pool: Arc<UpstreamPool>,
     drain_tx: watch::Sender<bool>,
+    force_tx: watch::Sender<bool>,
     accept_task: tokio::task::JoinHandle<()>,
 }
 
@@ -82,6 +83,24 @@ impl ReverseProxyHandle {
     /// True once draining.
     pub fn is_draining(&self) -> bool {
         *self.drain_tx.borrow()
+    }
+
+    /// Arms the drain hard deadline: `after` from now, connections still
+    /// open are force-closed and counted in `stats.forced_closes`. A drain
+    /// without a deadline leaves idle keep-alive connections (and stuck
+    /// peers) holding the old process open forever.
+    pub fn arm_force_close(&self, after: Duration) {
+        let tx = self.force_tx.clone();
+        tokio::spawn(async move {
+            tokio::time::sleep(after).await;
+            let _ = tx.send(true);
+        });
+    }
+
+    /// [`ReverseProxyHandle::drain`] plus a hard deadline.
+    pub fn drain_with_deadline(&self, deadline: Duration) {
+        self.drain();
+        self.arm_force_close(deadline);
     }
 }
 
@@ -113,6 +132,7 @@ pub fn serve_on_listener(
     let stats = Arc::new(ProxyStats::default());
     let pool = Arc::new(UpstreamPool::new(config.upstreams.clone()));
     let (drain_tx, drain_rx) = watch::channel(false);
+    let (force_tx, force_rx) = watch::channel(false);
     let config = Arc::new(config);
 
     let accept_stats = Arc::clone(&stats);
@@ -124,8 +144,9 @@ pub fn serve_on_listener(
             let pool = Arc::clone(&accept_pool);
             let config = Arc::clone(&config);
             let drain = drain_rx.clone();
+            let force = force_rx.clone();
             tokio::spawn(async move {
-                let _ = handle_client(stream, config, pool, stats, drain).await;
+                let _ = handle_client(stream, config, pool, stats, drain, force).await;
             });
         }
     });
@@ -135,8 +156,23 @@ pub fn serve_on_listener(
         stats,
         pool,
         drain_tx,
+        force_tx,
         accept_task,
     })
+}
+
+/// Resolves when the force-close signal fires. Pends forever once the
+/// sender side is gone: a dropped handle must never read as "force-close
+/// everything".
+async fn force_close_signal(rx: &mut watch::Receiver<bool>) {
+    loop {
+        if *rx.borrow() {
+            return;
+        }
+        if rx.changed().await.is_err() {
+            std::future::pending::<()>().await;
+        }
+    }
 }
 
 async fn handle_client(
@@ -145,14 +181,22 @@ async fn handle_client(
     pool: Arc<UpstreamPool>,
     stats: Arc<ProxyStats>,
     drain: watch::Receiver<bool>,
+    mut force: watch::Receiver<bool>,
 ) -> std::io::Result<()> {
     let mut buf = [0u8; 16 * 1024];
     loop {
         let mut parser = RequestParser::new();
         let request = loop {
-            let n = match stream.read(&mut buf).await {
-                Ok(0) | Err(_) => return Ok(()),
-                Ok(n) => n,
+            let n = tokio::select! {
+                r = stream.read(&mut buf) => match r {
+                    Ok(0) | Err(_) => return Ok(()),
+                    Ok(n) => n,
+                },
+                _ = force_close_signal(&mut force) => {
+                    // Drain hard deadline: close out from under the client.
+                    ProxyStats::bump(&stats.forced_closes);
+                    return Ok(());
+                }
             };
             match parser.push(&buf[..n]) {
                 Ok(Some(req)) => break req,
@@ -408,6 +452,73 @@ mod tests {
         // 503 — verify via counters on a fresh spawn instead.
         assert!(p.is_draining());
         assert_eq!(ProxyStats::get(&p.stats.health_ok), 1);
+    }
+
+    #[tokio::test]
+    async fn idle_connection_force_closed_at_drain_deadline() {
+        let a = app("app-H").await;
+        let p = proxy(vec![a.addr]).await;
+
+        // Warm a keep-alive connection with one request, then go idle.
+        let mut stream = TcpStream::connect(p.addr).await.unwrap();
+        stream
+            .write_all(&serialize_request(&Request::get("/warm")))
+            .await
+            .unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = stream.read(&mut buf).await.unwrap();
+            assert!(n > 0);
+            if parser.push(&buf[..n]).unwrap().is_some() {
+                break;
+            }
+        }
+
+        // An idle client outliving the drain must be force-closed at the
+        // deadline, not left dangling.
+        let start = std::time::Instant::now();
+        p.drain_with_deadline(Duration::from_millis(200));
+        let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+            .await
+            .expect("connection outlived the drain hard deadline")
+            .unwrap_or(0);
+        assert_eq!(n, 0, "expected EOF from the forced close");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(150),
+            "closed before the deadline: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "outlived the deadline by more than a tick: {elapsed:?}"
+        );
+        assert_eq!(ProxyStats::get(&p.stats.forced_closes), 1);
+    }
+
+    #[tokio::test]
+    async fn drain_without_deadline_leaves_idle_connection_open() {
+        let a = app("app-I").await;
+        let p = proxy(vec![a.addr]).await;
+        let mut stream = TcpStream::connect(p.addr).await.unwrap();
+        stream
+            .write_all(&serialize_request(&Request::get("/warm")))
+            .await
+            .unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = stream.read(&mut buf).await.unwrap();
+            assert!(n > 0);
+            if parser.push(&buf[..n]).unwrap().is_some() {
+                break;
+            }
+        }
+        p.drain();
+        // No deadline armed: the idle connection stays open.
+        let read = tokio::time::timeout(Duration::from_millis(300), stream.read(&mut buf)).await;
+        assert!(read.is_err(), "plain drain must not force-close");
+        assert_eq!(ProxyStats::get(&p.stats.forced_closes), 0);
     }
 
     #[tokio::test]

@@ -34,6 +34,14 @@ pub struct ProxyStats {
     pub health_ok: AtomicU64,
     /// Health probes answered draining/unhealthy.
     pub health_unhealthy: AtomicU64,
+    /// Takeover attempts retried after a handshake failure/timeout.
+    pub takeover_retries: AtomicU64,
+    /// Releases rolled back (sockets reclaimed from an unhealthy successor).
+    pub rollbacks: AtomicU64,
+    /// Connections force-closed at the drain hard deadline.
+    pub forced_closes: AtomicU64,
+    /// Faults injected by the test harness on this instance's handshakes.
+    pub injected_faults: AtomicU64,
 }
 
 impl ProxyStats {
@@ -45,6 +53,22 @@ impl ProxyStats {
     /// Relaxed read.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed add of `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the release-supervision counters as core metrics.
+    pub fn release_counters(&self) -> zdr_core::metrics::ReleaseCounters {
+        zdr_core::metrics::ReleaseCounters {
+            takeover_retries: Self::get(&self.takeover_retries),
+            rollbacks: Self::get(&self.rollbacks),
+            forced_closes: Self::get(&self.forced_closes),
+            injected_faults: Self::get(&self.injected_faults),
+            aborted_releases: 0,
+        }
     }
 }
 
@@ -59,5 +83,20 @@ mod tests {
         ProxyStats::bump(&s.requests_ok);
         assert_eq!(ProxyStats::get(&s.requests_ok), 2);
         assert_eq!(ProxyStats::get(&s.responses_5xx), 0);
+    }
+
+    #[test]
+    fn release_counter_snapshot() {
+        let s = ProxyStats::default();
+        ProxyStats::bump(&s.takeover_retries);
+        ProxyStats::bump(&s.rollbacks);
+        ProxyStats::add(&s.forced_closes, 4);
+        ProxyStats::add(&s.injected_faults, 2);
+        let c = s.release_counters();
+        assert_eq!(c.takeover_retries, 1);
+        assert_eq!(c.rollbacks, 1);
+        assert_eq!(c.forced_closes, 4);
+        assert_eq!(c.injected_faults, 2);
+        assert_eq!(c.failed_releases(), 1);
     }
 }

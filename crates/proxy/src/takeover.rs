@@ -21,14 +21,19 @@
 //! refused: that is the "zero downtime" in the name.
 
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
+use zdr_core::supervisor::BackoffSchedule;
+use zdr_net::fault::FaultInjector;
 use zdr_net::inventory::ListenerInventory;
-use zdr_net::takeover::{request_takeover, HandoffInfo, ServeOutcome, TakeoverServer};
+use zdr_net::takeover::{
+    request_takeover, HandoffInfo, ReleaseChannel, ServeOutcome, TakeoverServer,
+};
 
 use crate::reverse::{serve_on_listener, ReverseProxyConfig, ReverseProxyHandle};
+use crate::stats::ProxyStats;
 
 /// Configuration for a takeover-capable proxy instance.
 #[derive(Debug, Clone)]
@@ -65,6 +70,71 @@ pub struct Drained {
     pub generation: u32,
 }
 
+/// Tuning for [`ProxyInstance::serve_one_takeover_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Bound on each handshake step of one takeover attempt.
+    pub attempt_timeout: Duration,
+    /// Post-confirm window in which the successor must report healthy.
+    pub watch: Duration,
+    /// Retry policy for failed attempts.
+    pub backoff: BackoffSchedule,
+    /// Seed for the backoff jitter (deterministic schedules in tests).
+    pub seed: u64,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            attempt_timeout: Duration::from_secs(30),
+            watch: Duration::from_secs(10),
+            backoff: BackoffSchedule::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// How a supervised release ended.
+#[derive(Debug)]
+pub enum SupervisedOutcome {
+    /// The successor proved healthy; the old instance is draining with its
+    /// hard deadline armed.
+    Completed(Drained),
+    /// Post-confirm failure: the old process reclaimed the sockets and
+    /// serves the VIP again at its original generation.
+    RolledBack {
+        /// The rebuilt old instance, accepting again.
+        instance: ProxyInstance,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The retry budget ran out pre-confirm: the old process never stopped
+    /// serving.
+    AbortedKeepOld {
+        /// The old instance, untouched.
+        instance: ProxyInstance,
+        /// The last attempt's failure.
+        reason: String,
+    },
+}
+
+/// Binds the takeover path, retrying briefly: with strict stale-socket
+/// handling a just-retired predecessor may still hold the path (and its
+/// live server refuses replacement) for a beat while it tears down.
+fn bind_with_retry(path: &Path) -> zdr_net::Result<TakeoverServer> {
+    let mut last = None;
+    for _ in 0..50 {
+        match TakeoverServer::bind(path) {
+            Ok(server) => return Ok(server),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
+}
+
 impl ProxyInstance {
     /// First boot: bind the VIP fresh (no predecessor).
     pub async fn bind_fresh(
@@ -97,6 +167,42 @@ impl ProxyInstance {
     /// Successor boot: receive the sockets from the instance at
     /// `config.takeover_path` and start serving at `predecessor + 1`.
     pub async fn takeover_from(config: ProxyInstanceConfig) -> zdr_net::Result<ProxyInstance> {
+        let (pending, vip_addr, info) = Self::request_and_claim(&config).await?;
+        let mut result = tokio::task::spawn_blocking(move || pending.confirm())
+            .await
+            .expect("confirm task panicked")?;
+        let listener = result.inventory.claim_tcp(vip_addr)?;
+        result.inventory.finish()?;
+
+        Self::from_std_listener(listener, info.generation + 1, config)
+    }
+
+    /// Like [`ProxyInstance::takeover_from`], but keeps the handshake
+    /// stream open as a [`ReleaseChannel`]: the successor must report its
+    /// health on it and obey a reclaim verdict (the supervised-release
+    /// protocol driven by [`ProxyInstance::serve_one_takeover_supervised`]
+    /// on the predecessor side).
+    pub async fn takeover_from_watched(
+        config: ProxyInstanceConfig,
+    ) -> zdr_net::Result<(ProxyInstance, ReleaseChannel)> {
+        let (pending, vip_addr, info) = Self::request_and_claim(&config).await?;
+        let (mut result, release) = tokio::task::spawn_blocking(move || pending.confirm_watched())
+            .await
+            .expect("confirm task panicked")?;
+        let listener = result.inventory.claim_tcp(vip_addr)?;
+        result.inventory.finish()?;
+
+        let instance = Self::from_std_listener(listener, info.generation + 1, config)?;
+        Ok((instance, release))
+    }
+
+    async fn request_and_claim(
+        config: &ProxyInstanceConfig,
+    ) -> zdr_net::Result<(
+        zdr_net::takeover::PendingTakeover,
+        SocketAddr,
+        HandoffInfo,
+    )> {
         let path = config.takeover_path.clone();
         let pending =
             tokio::task::spawn_blocking(move || request_takeover(&path, Duration::from_secs(30)))
@@ -114,22 +220,26 @@ impl ProxyInstance {
             )));
         };
         let vip_addr = vip.addr;
-        let mut result = tokio::task::spawn_blocking(move || pending.confirm())
-            .await
-            .expect("confirm task panicked")?;
-        let listener = result.inventory.claim_tcp(vip_addr)?;
-        result.inventory.finish()?;
+        Ok((pending, vip_addr, info))
+    }
 
-        Self::from_std_listener(listener, info.generation + 1, config)
+    fn handoff_info(&self) -> HandoffInfo {
+        HandoffInfo {
+            generation: self.generation,
+            udp_router_addr: None,
+            drain_deadline_ms: self.config.drain_ms,
+        }
     }
 
     /// Parks a takeover server and serves one handover; on success the
-    /// instance flips to draining and is returned as [`Drained`].
+    /// instance flips to draining — with the hard deadline armed, so
+    /// connections surviving `drain_ms` are force-closed — and is returned
+    /// as [`Drained`].
     ///
     /// Blocking steps run on the blocking pool; await this from wherever
     /// the instance's release logic lives.
     pub async fn serve_one_takeover(self) -> zdr_net::Result<Drained> {
-        let server = TakeoverServer::bind(&self.config.takeover_path)?;
+        let path = self.config.takeover_path.clone();
         let mut inventory = ListenerInventory::new();
         inventory.add_tcp(self.addr, self.handover_listener);
         let info = HandoffInfo {
@@ -138,14 +248,132 @@ impl ProxyInstance {
             drain_deadline_ms: self.config.drain_ms,
         };
         let outcome = tokio::task::spawn_blocking(move || {
+            let server = bind_with_retry(&path)?;
             server.serve_once(&inventory, info, Duration::from_secs(60))
         })
         .await
         .expect("takeover server task panicked")?;
         debug_assert_eq!(outcome, ServeOutcome::DrainNow);
 
-        // Step E: stop accepting, drain in-flight connections.
+        // Step E: stop accepting, drain in-flight connections, force-close
+        // whatever survives the deadline.
+        self.reverse
+            .drain_with_deadline(Duration::from_millis(self.config.drain_ms));
+        Ok(Drained {
+            reverse: self.reverse,
+            generation: self.generation,
+        })
+    }
+
+    /// Serves one **supervised** handover: retry failed takeover attempts
+    /// under `opts.backoff`, then hold the post-confirm watch window and
+    /// roll the release back — reclaiming the sockets over the reverse
+    /// handshake — if the successor reports unhealthy, stays silent, or
+    /// dies. `faults` is consulted at the protocol's send sites (tests and
+    /// `zdr-sim` inject there; production passes
+    /// [`zdr_net::fault::NoFaults`]).
+    ///
+    /// On rollback/abort the returned [`ProxyInstance`] serves the same
+    /// VIP at the same generation (with fresh [`ProxyStats`] — the
+    /// pre-release counters live on in whatever handle the caller kept).
+    pub async fn serve_one_takeover_supervised(
+        self,
+        opts: SupervisorOptions,
+        faults: Arc<dyn FaultInjector>,
+    ) -> zdr_net::Result<SupervisedOutcome> {
+        let stats = self.stats();
+        let mut attempt = 1u32;
+        let watch = loop {
+            let path = self.config.takeover_path.clone();
+            let listener = self.handover_listener.try_clone()?;
+            let addr = self.addr;
+            let info = self.handoff_info();
+            let attempt_timeout = opts.attempt_timeout;
+            let attempt_faults = Arc::clone(&faults);
+            let result = tokio::task::spawn_blocking(move || {
+                let server = bind_with_retry(&path)?;
+                let mut inventory = ListenerInventory::new();
+                inventory.add_tcp(addr, listener);
+                server.serve_once_watched(&inventory, info, attempt_timeout, &*attempt_faults)
+            })
+            .await
+            .expect("takeover server task panicked");
+
+            match result {
+                Ok(watch) => break watch,
+                Err(e) if attempt >= opts.backoff.max_attempts => {
+                    ProxyStats::add(&stats.injected_faults, faults.injected());
+                    return Ok(SupervisedOutcome::AbortedKeepOld {
+                        reason: format!("takeover attempt {attempt} failed: {e}"),
+                        instance: self,
+                    });
+                }
+                Err(_) => {
+                    ProxyStats::bump(&stats.takeover_retries);
+                    let delay = opts.backoff.delay_ms(attempt, opts.seed);
+                    tokio::time::sleep(Duration::from_millis(delay)).await;
+                    attempt += 1;
+                }
+            }
+        };
+        ProxyStats::add(&stats.injected_faults, faults.injected());
+
+        // Confirmed: the successor owns the accepts now; stop our own and
+        // supervise its first health verdict before committing.
         self.reverse.drain();
+        let watch_window = opts.watch;
+        let (watch, health) = tokio::task::spawn_blocking(move || {
+            let mut watch = watch;
+            let health = watch.await_health(watch_window);
+            (watch, health)
+        })
+        .await
+        .expect("watch task panicked");
+
+        match health {
+            Ok(true) => {
+                let _ = tokio::task::spawn_blocking(move || watch.release()).await;
+                self.reverse
+                    .arm_force_close(Duration::from_millis(self.config.drain_ms));
+                Ok(SupervisedOutcome::Completed(Drained {
+                    reverse: self.reverse,
+                    generation: self.generation,
+                }))
+            }
+            outcome => {
+                let reason = match outcome {
+                    Ok(_) => "successor reported unhealthy".to_string(),
+                    Err(e) => format!("watch channel failed: {e}"),
+                };
+                ProxyStats::bump(&stats.rollbacks);
+                // Reverse takeover. Best-effort: if the successor already
+                // died there is nobody to hand the FDs back — but our
+                // retained clone shares the kernel socket, so rebuilding
+                // from it resumes accepts either way, and SYNs that arrived
+                // meanwhile are still queued in the backlog.
+                let _ = tokio::task::spawn_blocking(move || watch.reclaim(Duration::from_secs(5)))
+                    .await
+                    .expect("reclaim task panicked");
+                let listener = self.handover_listener.try_clone()?;
+                let instance =
+                    Self::from_std_listener(listener, self.generation, self.config.clone())?;
+                Ok(SupervisedOutcome::RolledBack { instance, reason })
+            }
+        }
+    }
+
+    /// Successor side of a rollback: answers the predecessor's reclaim by
+    /// sending the listeners back over the reverse handshake, then drains
+    /// this instance (hard deadline armed).
+    pub async fn serve_reclaim(self, release: ReleaseChannel) -> zdr_net::Result<Drained> {
+        let mut inventory = ListenerInventory::new();
+        inventory.add_tcp(self.addr, self.handover_listener);
+        let info = self.handoff_info();
+        tokio::task::spawn_blocking(move || release.serve_reclaim(&inventory, info))
+            .await
+            .expect("reclaim task panicked")?;
+        self.reverse
+            .drain_with_deadline(Duration::from_millis(self.config.drain_ms));
         Ok(Drained {
             reverse: self.reverse,
             generation: self.generation,
@@ -287,6 +515,164 @@ mod tests {
                 },
             }
         }
+    }
+
+    #[tokio::test]
+    async fn supervised_release_completes_on_healthy_successor() {
+        use zdr_net::fault::NoFaults;
+        use zdr_net::takeover::ReclaimVerdict;
+
+        let a = app().await;
+        let path = tmp_path("sup-ok");
+        let cfg = config(a.addr, path.clone());
+        let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let vip = old.addr;
+
+        let old_task = tokio::spawn(
+            old.serve_one_takeover_supervised(SupervisorOptions::default(), Arc::new(NoFaults)),
+        );
+        tokio::time::sleep(Duration::from_millis(50)).await;
+
+        let (new, release) = ProxyInstance::takeover_from_watched(cfg).await.unwrap();
+        assert_eq!(new.generation, 1);
+        tokio::task::spawn_blocking(move || {
+            let mut release = release;
+            release.report_health(true).unwrap();
+            assert_eq!(
+                release.await_verdict(Duration::from_secs(5)).unwrap(),
+                ReclaimVerdict::Released
+            );
+        })
+        .await
+        .unwrap();
+
+        let outcome = old_task.await.unwrap().unwrap();
+        let SupervisedOutcome::Completed(drained) = outcome else {
+            panic!("expected completion");
+        };
+        assert!(drained.reverse.is_draining());
+
+        let resp = send(vip, &Request::get("/after")).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(ProxyStats::get(&new.reverse.stats.requests_ok), 1);
+    }
+
+    #[tokio::test]
+    async fn supervised_release_rolls_back_on_unhealthy_successor() {
+        use zdr_net::fault::NoFaults;
+        use zdr_net::takeover::ReclaimVerdict;
+
+        let a = app().await;
+        let path = tmp_path("sup-rollback");
+        let cfg = config(a.addr, path.clone());
+        let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let vip = old.addr;
+        let old_stats = old.stats();
+
+        let old_task = tokio::spawn(
+            old.serve_one_takeover_supervised(SupervisorOptions::default(), Arc::new(NoFaults)),
+        );
+        tokio::time::sleep(Duration::from_millis(50)).await;
+
+        let (new, release) = ProxyInstance::takeover_from_watched(cfg).await.unwrap();
+        let release = tokio::task::spawn_blocking(move || {
+            let mut release = release;
+            release.report_health(false).unwrap();
+            assert_eq!(
+                release.await_verdict(Duration::from_secs(5)).unwrap(),
+                ReclaimVerdict::Reclaimed
+            );
+            release
+        })
+        .await
+        .unwrap();
+        let drained_new = new.serve_reclaim(release).await.unwrap();
+        assert!(drained_new.reverse.is_draining());
+
+        let outcome = old_task.await.unwrap().unwrap();
+        let SupervisedOutcome::RolledBack { instance, reason } = outcome else {
+            panic!("expected rollback");
+        };
+        assert!(reason.contains("unhealthy"), "{reason}");
+        assert_eq!(instance.generation, 0, "rollback keeps the old generation");
+        assert_eq!(ProxyStats::get(&old_stats.rollbacks), 1);
+
+        // The rebuilt old instance serves the same VIP — same kernel
+        // socket, so nothing was ever refused.
+        let resp = send(vip, &Request::get("/rolled-back")).await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(ProxyStats::get(&instance.reverse.stats.requests_ok), 1);
+    }
+
+    #[tokio::test]
+    async fn supervised_release_aborts_after_exhausted_retries() {
+        use zdr_core::supervisor::BackoffSchedule;
+        use zdr_net::fault::{FaultAction, FaultPoint, FaultRule, ScriptedFaults};
+
+        let a = app().await;
+        let path = tmp_path("sup-abort");
+        let cfg = config(a.addr, path.clone());
+        let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let old_stats = old.stats();
+
+        // Every offer the old process sends dies mid-frame.
+        let faults = Arc::new(ScriptedFaults::new(
+            7,
+            vec![
+                FaultRule {
+                    point: FaultPoint::SendOffer,
+                    nth: 1,
+                    action: FaultAction::Die,
+                },
+                FaultRule {
+                    point: FaultPoint::SendOffer,
+                    nth: 2,
+                    action: FaultAction::Die,
+                },
+            ],
+        ));
+        let opts = SupervisorOptions {
+            backoff: BackoffSchedule {
+                base_ms: 50,
+                cap_ms: 100,
+                multiplier: 2.0,
+                jitter_frac: 0.0,
+                max_attempts: 2,
+            },
+            ..Default::default()
+        };
+        let old_task = tokio::spawn(old.serve_one_takeover_supervised(opts, faults));
+
+        // Successor keeps trying; every attempt fails at the injected
+        // fault until the supervisor gives up.
+        for _ in 0..20 {
+            tokio::time::sleep(Duration::from_millis(100)).await;
+            if old_task.is_finished() {
+                break;
+            }
+            assert!(
+                ProxyInstance::takeover_from(cfg.clone()).await.is_err(),
+                "handshake must fail at the injected fault"
+            );
+        }
+
+        let outcome = old_task.await.unwrap().unwrap();
+        let SupervisedOutcome::AbortedKeepOld { instance, reason } = outcome else {
+            panic!("expected abort-and-keep-old");
+        };
+        assert!(reason.contains("failed"), "{reason}");
+        assert_eq!(ProxyStats::get(&old_stats.takeover_retries), 1);
+        assert_eq!(ProxyStats::get(&old_stats.injected_faults), 2);
+
+        // Old never stopped serving.
+        let resp = send(instance.addr, &Request::get("/still-here")).await;
+        assert_eq!(resp.status.code, 200);
     }
 
     #[tokio::test]

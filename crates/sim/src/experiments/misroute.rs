@@ -139,7 +139,7 @@ pub fn run(cfg: &Config) -> Report {
                     // new process; with it, it reaches the old process.
                     without.misrouted += 1;
                 }
-                RouteDecision::Drop => {
+                RouteDecision::Drop(_) => {
                     without.misrouted += 1;
                     with.misrouted += 1;
                 }

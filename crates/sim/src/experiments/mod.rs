@@ -24,6 +24,7 @@
 //! | [`peak_release`] | §6.2.2 — disruption cost of releasing at peak vs trough |
 //! | [`completion`] | Fig. 16 — release completion times |
 //! | [`overhead`] | Fig. 17 — system overheads during takeover |
+//! | [`supervisor`] | robustness ablation — supervised releases under injected failure |
 
 pub mod blast_radius;
 pub mod capacity;
@@ -42,4 +43,5 @@ pub mod ppr_alternatives;
 pub mod proxy_errors;
 pub mod reconnect_storm;
 pub mod releases;
+pub mod supervisor;
 pub mod timeline;

@@ -1,0 +1,233 @@
+//! Robustness ablation: supervised releases under injected failure.
+//!
+//! The paper's evaluation assumes takeovers succeed; §5.1 only argues that
+//! a *bad binary* is contained by the canary gate. This experiment covers
+//! the remaining failure surface — the takeover machinery itself — by
+//! driving [`zdr_core::supervisor::ReleaseSupervisor`] over a fleet of
+//! releases with seeded per-attempt failure, post-confirm death, and
+//! drain stragglers, and reporting how many releases complete, roll back,
+//! or abort-and-keep-old, plus the counter totals the real proxy exports
+//! ([`zdr_core::metrics::ReleaseCounters`]).
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use zdr_core::metrics::ReleaseCounters;
+use zdr_core::supervisor::{Action, ReleaseSupervisor, SupervisorConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Releases (instances restarted) to simulate.
+    pub releases: u32,
+    /// Probability one takeover attempt fails (handshake error/timeout).
+    pub attempt_failure_prob: f64,
+    /// Probability a confirmed successor fails its health window
+    /// (unhealthy report, crash, or silence).
+    pub post_confirm_failure_prob: f64,
+    /// Mean connections still open when a drain hits its hard deadline.
+    pub mean_stragglers: f64,
+    /// Supervisor timeouts and backoff.
+    pub supervisor: SupervisorConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            releases: 10_000,
+            attempt_failure_prob: 0.05,
+            post_confirm_failure_prob: 0.01,
+            mean_stragglers: 2.0,
+            supervisor: SupervisorConfig::default(),
+            seed: 11,
+        }
+    }
+}
+
+/// Fleet-level outcome tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Releases that landed the new code.
+    pub completed: u64,
+    /// Releases rolled back post-confirm.
+    pub rolled_back: u64,
+    /// Releases aborted pre-confirm (old kept).
+    pub aborted: u64,
+    /// Supervision counters summed across the fleet.
+    pub counters: ReleaseCounters,
+}
+
+/// Runs `cfg.releases` supervised releases.
+pub fn run(cfg: &Config) -> Report {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut report = Report::default();
+
+    for release in 0..cfg.releases {
+        let mut sup = ReleaseSupervisor::new(cfg.supervisor, cfg.seed ^ u64::from(release));
+        let mut now = 0u64;
+        let mut action = sup.start(now);
+        loop {
+            match action {
+                Action::StartAttempt { .. } => {
+                    if rng.gen_bool(cfg.attempt_failure_prob) {
+                        now += cfg.supervisor.attempt_timeout_ms;
+                        action = sup.attempt_failed(now);
+                    } else {
+                        now += 1;
+                        let _ = sup.confirmed(now);
+                        // Post-confirm verdict arrives mid-window (or never,
+                        // modeled as silence past the deadline).
+                        action = if rng.gen_bool(cfg.post_confirm_failure_prob) {
+                            if rng.gen_bool(0.5) {
+                                now += cfg.supervisor.watch_ms / 2;
+                                sup.health_report(now, false)
+                            } else {
+                                now += cfg.supervisor.watch_ms;
+                                sup.tick(now)
+                            }
+                        } else {
+                            now += cfg.supervisor.watch_ms / 4;
+                            sup.health_report(now, true)
+                        };
+                    }
+                }
+                Action::RetryAfter { delay_ms, .. } => {
+                    now += delay_ms;
+                    action = sup.tick(now);
+                }
+                Action::BeginDrain => {
+                    // Stragglers force the hard deadline; an empty drain
+                    // finishes early.
+                    let stragglers = (rng.gen::<f64>() * 2.0 * cfg.mean_stragglers).round() as u64;
+                    if stragglers > 0 {
+                        now += cfg.supervisor.drain_deadline_ms;
+                        action = sup.tick(now);
+                        if action == Action::ForceCloseRemaining {
+                            sup.record_forced_closes(stragglers);
+                        }
+                    } else {
+                        now += cfg.supervisor.drain_deadline_ms / 2;
+                        action = sup.drain_complete(now);
+                    }
+                }
+                Action::Rollback { .. }
+                | Action::AbortKeepOld
+                | Action::ForceCloseRemaining
+                | Action::Done
+                | Action::None => break,
+            }
+        }
+        match sup.phase() {
+            zdr_core::supervisor::Phase::Completed => report.completed += 1,
+            zdr_core::supervisor::Phase::RolledBack => report.rolled_back += 1,
+            zdr_core::supervisor::Phase::Aborted => report.aborted += 1,
+            other => unreachable!("supervisor left mid-flight: {other:?}"),
+        }
+        report.counters.merge(sup.counters());
+    }
+    report
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.completed + self.rolled_back + self.aborted;
+        writeln!(f, "== Supervised releases under injected failure ==")?;
+        writeln!(
+            f,
+            "  completed:   {} / {} ({:.2}%)",
+            self.completed,
+            total,
+            100.0 * self.completed as f64 / total.max(1) as f64
+        )?;
+        writeln!(f, "  rolled back: {}", self.rolled_back)?;
+        writeln!(f, "  aborted:     {}", self.aborted)?;
+        writeln!(
+            f,
+            "  retries={} rollbacks={} forced_closes={} aborted={}",
+            self.counters.takeover_retries,
+            self.counters.rollbacks,
+            self.counters.forced_closes,
+            self.counters.aborted_releases
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Config {
+        Config {
+            releases: 500,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&fast()), run(&fast()));
+    }
+
+    #[test]
+    fn every_release_reaches_a_terminal_state() {
+        let r = run(&fast());
+        assert_eq!(r.completed + r.rolled_back + r.aborted, 500);
+    }
+
+    #[test]
+    fn failure_free_fleet_all_completes() {
+        let r = run(&Config {
+            attempt_failure_prob: 0.0,
+            post_confirm_failure_prob: 0.0,
+            ..fast()
+        });
+        assert_eq!(r.completed, 500);
+        assert_eq!(r.counters.takeover_retries, 0);
+        assert_eq!(r.counters.rollbacks, 0);
+    }
+
+    #[test]
+    fn post_confirm_failures_become_rollbacks_not_outages() {
+        let r = run(&Config {
+            attempt_failure_prob: 0.0,
+            post_confirm_failure_prob: 1.0,
+            ..fast()
+        });
+        assert_eq!(r.rolled_back, 500);
+        assert_eq!(r.counters.rollbacks, 500);
+        assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn hopeless_attempts_abort_and_keep_old() {
+        let r = run(&Config {
+            attempt_failure_prob: 1.0,
+            ..fast()
+        });
+        assert_eq!(r.aborted, 500);
+        // Every release burned its full retry budget.
+        let per_release = SupervisorConfig::default().backoff.max_attempts as u64 - 1;
+        assert_eq!(r.counters.takeover_retries, 500 * per_release);
+    }
+
+    #[test]
+    fn stragglers_are_force_closed_and_counted() {
+        let r = run(&Config {
+            attempt_failure_prob: 0.0,
+            post_confirm_failure_prob: 0.0,
+            mean_stragglers: 5.0,
+            ..fast()
+        });
+        assert!(r.counters.forced_closes > 0);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&fast()).to_string();
+        assert!(s.contains("rolled back") && s.contains("retries="));
+    }
+}

@@ -76,6 +76,14 @@ proxy:
   --takeover-path PATH   UNIX socket for takeover (required)
   --takeover             take sockets over from the running instance
   --drain-ms MS          drain period advertised on handover (default 2000)
+  --supervised           supervise the release: retry failed attempts,
+                         watch the successor's health, roll back on failure
+                         (prints ROLLBACK/ABORTED and keeps serving)
+  --watch-ms MS          post-confirm health watch window (default 10000)
+  --max-attempts N       takeover attempts before aborting (default 5)
+  --health-report-ms MS  successor: delay before reporting health
+                         (default 200; with --takeover --supervised)
+  --report-unhealthy     successor: report unhealthy (for failure drills)
 
 quic:
   --takeover-path PATH   UNIX socket for takeover (required)
@@ -200,7 +208,12 @@ where
 
 fn ready(addr: SocketAddr) {
     // Synchronization point for scripts/tests.
-    println!("READY {addr}");
+    announce(&format!("READY {addr}"));
+}
+
+fn announce(line: &str) {
+    // stdout is block-buffered when piped; tests tail it line by line.
+    println!("{line}");
     use std::io::Write;
     let _ = std::io::stdout().flush();
 }
@@ -380,6 +393,11 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         drain_ms: args.u64_or("--drain-ms", 2_000)?,
     };
 
+    let supervised = args.flag("--supervised");
+    if supervised && args.flag("--takeover") {
+        return run_proxy_watched_successor(args, config).await;
+    }
+
     let instance = if args.flag("--takeover") {
         // New process: receive the sockets from the running instance. The
         // old process may still be binding its takeover server (we may
@@ -397,6 +415,10 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
     );
     ready(instance.addr);
 
+    if supervised {
+        return run_proxy_supervised(args, instance).await;
+    }
+
     // Serve until a successor takes over, then drain and exit — the real
     // release lifecycle: each process serves exactly one generation.
     let drained = instance
@@ -409,6 +431,118 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         args.u64_or("--drain-ms", 2_000)?
     );
     tokio::time::sleep(Duration::from_millis(args.u64_or("--drain-ms", 2_000)?)).await;
-    println!("DRAINED");
+    announce("DRAINED");
+    Ok(())
+}
+
+/// Old-process side of a supervised release: serve takeovers, watch each
+/// successor, and on rollback/abort go right back to serving — the release
+/// failed, the users never noticed.
+async fn run_proxy_supervised(args: &Args, instance: ProxyInstance) -> Result<(), String> {
+    use std::sync::Arc;
+    use zero_downtime_release::core::supervisor::BackoffSchedule;
+    use zero_downtime_release::net::fault::NoFaults;
+    use zero_downtime_release::proxy::takeover::{SupervisedOutcome, SupervisorOptions};
+
+    let drain_ms = args.u64_or("--drain-ms", 2_000)?;
+    let opts = SupervisorOptions {
+        watch: Duration::from_millis(args.u64_or("--watch-ms", 10_000)?),
+        backoff: BackoffSchedule {
+            max_attempts: args.u64_or("--max-attempts", 5)? as u32,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut instance = instance;
+    loop {
+        let outcome = instance
+            .serve_one_takeover_supervised(opts.clone(), Arc::new(NoFaults))
+            .await
+            .map_err(|e| e.to_string())?;
+        match outcome {
+            SupervisedOutcome::Completed(drained) => {
+                eprintln!(
+                    "generation {} handed over; draining {drain_ms} ms before exit",
+                    drained.generation
+                );
+                tokio::time::sleep(Duration::from_millis(drain_ms)).await;
+                announce("DRAINED");
+                return Ok(());
+            }
+            SupervisedOutcome::RolledBack {
+                instance: reclaimed,
+                reason,
+            } => {
+                eprintln!("release rolled back: {reason}");
+                announce(&format!("ROLLBACK {reason}"));
+                instance = reclaimed;
+            }
+            SupervisedOutcome::AbortedKeepOld {
+                instance: kept,
+                reason,
+            } => {
+                eprintln!("release aborted: {reason}");
+                announce(&format!("ABORTED {reason}"));
+                instance = kept;
+            }
+        }
+    }
+}
+
+/// New-process side of a supervised release: take the sockets over, serve,
+/// report health after `--health-report-ms`, and obey the predecessor's
+/// verdict (released → normal lifecycle; reclaimed → hand the sockets back
+/// and exit).
+async fn run_proxy_watched_successor(
+    args: &Args,
+    config: ProxyInstanceConfig,
+) -> Result<(), String> {
+    use zero_downtime_release::net::takeover::ReclaimVerdict;
+
+    let (instance, release) =
+        takeover_with_retry(|| ProxyInstance::takeover_from_watched(config.clone())).await?;
+    eprintln!(
+        "proxy generation {} serving on {} (supervised)",
+        instance.generation, instance.addr
+    );
+    ready(instance.addr);
+
+    let report_ms = args.u64_or("--health-report-ms", 200)?;
+    let report_ok = !args.flag("--report-unhealthy");
+    let (verdict, release) = tokio::task::spawn_blocking(move || {
+        std::thread::sleep(Duration::from_millis(report_ms));
+        let mut release = release;
+        release.report_health(report_ok).map_err(|e| e.to_string())?;
+        let verdict = release
+            .await_verdict(Duration::from_secs(600))
+            .map_err(|e| e.to_string())?;
+        Ok::<_, String>((verdict, release))
+    })
+    .await
+    .expect("verdict task panicked")?;
+
+    match verdict {
+        ReclaimVerdict::Released => {
+            announce("RELEASED");
+            let drain_ms = args.u64_or("--drain-ms", 2_000)?;
+            let drained = instance
+                .serve_one_takeover()
+                .await
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "generation {} handed over; draining {drain_ms} ms before exit",
+                drained.generation
+            );
+            tokio::time::sleep(Duration::from_millis(drain_ms)).await;
+            announce("DRAINED");
+        }
+        ReclaimVerdict::Reclaimed => {
+            let drained = instance.serve_reclaim(release).await.map_err(|e| e.to_string())?;
+            eprintln!("generation {} handed the sockets back", drained.generation);
+            announce("RECLAIMED");
+            tokio::time::sleep(Duration::from_millis(500)).await;
+        }
+    }
     Ok(())
 }

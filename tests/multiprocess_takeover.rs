@@ -228,6 +228,107 @@ async fn cross_process_generation_chain() {
 }
 
 #[tokio::test]
+async fn cross_process_rollback_when_successor_dies_before_health_confirm() {
+    // The robustness path: the successor confirms the takeover, then dies
+    // (SIGKILL) before ever reporting health. The supervising old process
+    // must notice the dropped watch channel, reclaim the listeners, and
+    // keep serving the same VIP — the failed release degrades to a no-op.
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+    let app_addr = app.addr.to_string();
+    let path = sock_path("rollback");
+
+    let mut old = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "500",
+        "--supervised",
+        "--watch-ms",
+        "10000",
+    ]);
+    let vip = old.addr;
+
+    // Baseline: generation 0 serves.
+    for i in 0..25 {
+        assert!(get_ok(vip, &format!("/pre/{i}")).await, "pre-release {i}");
+    }
+
+    // The successor takes the sockets, prints READY, and is killed before
+    // its health report (--health-report-ms far beyond the watch window).
+    let mut new = Daemon::spawn(&[
+        "proxy",
+        "--takeover",
+        "--supervised",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "500",
+        "--health-report-ms",
+        "600000",
+    ]);
+    assert_eq!(new.addr, vip, "successor must own the same VIP");
+    new.child.kill().expect("kill successor");
+    new.child.wait().expect("reap successor");
+
+    // A connection arriving while nobody accepts lands in the listen
+    // backlog — the kernel file description never closed, because the old
+    // process retained a clone — and must be served after the rollback.
+    let in_gap = tokio::spawn(async move { get_ok(vip, "/in-gap").await });
+
+    let (rolled_back, mut old) = tokio::task::spawn_blocking(move || {
+        let ok = old.wait_for_line("ROLLBACK", Duration::from_secs(15));
+        (ok, old)
+    })
+    .await
+    .unwrap();
+    assert!(rolled_back, "old process must report ROLLBACK");
+
+    assert!(
+        in_gap.await.unwrap(),
+        "connection queued during the rollback gap must be served"
+    );
+
+    // Zero-loss after the failed release: the old process serves the VIP.
+    for i in 0..25 {
+        assert!(get_ok(vip, &format!("/post/{i}")).await, "post-rollback {i}");
+    }
+
+    // And a healthy successor can still release afterwards: the supervisor
+    // rebinds the takeover socket and completes normally.
+    let new2 = Daemon::spawn(&[
+        "proxy",
+        "--takeover",
+        "--supervised",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "500",
+        "--health-report-ms",
+        "100",
+    ]);
+    assert_eq!(new2.addr, vip);
+    let drained = tokio::task::spawn_blocking(move || {
+        let ok = old.wait_for_line("DRAINED", Duration::from_secs(15));
+        let status = old.child.wait().expect("old process exits");
+        (ok, status.success())
+    })
+    .await
+    .unwrap();
+    assert!(drained.0, "old process must drain after the second, healthy release");
+    assert!(drained.1, "old process must exit cleanly");
+    assert!(get_ok(vip, "/post-release").await);
+}
+
+#[tokio::test]
 async fn cross_process_ppr_during_app_release() {
     // A slow-reading app-server process that restarts itself mid-upload;
     // the proxy process replays to the healthy replica.

@@ -5,10 +5,16 @@
 use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::os::unix::net::UnixStream;
+use std::sync::Arc;
 use std::time::Duration;
 
+use zero_downtime_release::net::fault::{
+    FaultAction, FaultInjector, FaultPoint, NoFaults, ScriptedFaults,
+};
 use zero_downtime_release::net::inventory::{bind_tcp, ListenerInventory};
-use zero_downtime_release::net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
+use zero_downtime_release::net::takeover::{
+    request_takeover, HandoffInfo, ReclaimVerdict, TakeoverServer,
+};
 use zero_downtime_release::net::NetError;
 
 fn sock_path(tag: &str) -> std::path::PathBuf {
@@ -159,4 +165,178 @@ fn no_server_listening_fails_fast_for_the_new_process() {
     let path = sock_path("absent");
     let err = request_takeover(&path, Duration::from_secs(1)).unwrap_err();
     assert!(matches!(err, NetError::Io(_)), "{err:?}");
+}
+
+/// Like [`serve`], but consults a scripted injector at each send site.
+fn serve_with(
+    path: std::path::PathBuf,
+    faults: Arc<ScriptedFaults>,
+) -> std::thread::JoinHandle<ServeResult> {
+    std::thread::spawn(move || {
+        let (inv, addr) = inventory_with_tcp();
+        let server = TakeoverServer::bind(&path).unwrap();
+        let info = HandoffInfo {
+            generation: 3,
+            udp_router_addr: None,
+            drain_deadline_ms: 500,
+        };
+        let outcome = server
+            .serve_once_watched(&inv, info, Duration::from_secs(2), &*faults)
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+        (outcome, addr, inv)
+    })
+}
+
+#[test]
+fn truncated_fd_chunk_is_rejected_by_the_new_process() {
+    // The old process advertises N FDs but the SCM_RIGHTS payload carries
+    // N-1 (kernel truncation / sender bug). The receiver's inventory check
+    // must flag the mismatch instead of serving with a hole in the VIP set.
+    let path = sock_path("trunc");
+    let faults = Arc::new(ScriptedFaults::once(
+        FaultPoint::SendFdChunk,
+        FaultAction::Truncate,
+    ));
+    let server = serve_with(path.clone(), Arc::clone(&faults));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let err = request_takeover(&path, Duration::from_secs(2)).unwrap_err();
+    assert!(matches!(err, NetError::Inventory(_)), "{err:?}");
+    assert_eq!(faults.injected(), 1);
+
+    let (outcome, vip, _inv) = server.join().unwrap();
+    assert!(outcome.is_err(), "{outcome:?}");
+    // The old process still owns and serves the VIP.
+    assert!(std::net::TcpStream::connect(vip).is_ok());
+}
+
+#[test]
+fn dropped_confirm_times_out_both_sides() {
+    // The new process receives the sockets but its Confirm frame never
+    // leaves (step D lost). The old process's per-step timeout must fire —
+    // and it must keep serving, since without a Confirm it never drains.
+    let path = sock_path("noconfirm");
+    let server = serve(path.clone());
+    std::thread::sleep(Duration::from_millis(100));
+
+    let pending = request_takeover(&path, Duration::from_secs(1)).unwrap();
+    let faults = ScriptedFaults::once(FaultPoint::SendConfirm, FaultAction::Drop);
+    // The confirm is silently dropped; the new side then waits for a
+    // Draining ack that never comes and times out.
+    let err = pending.confirm_with(&faults).unwrap_err();
+    assert!(matches!(err, NetError::Io(_)), "{err:?}");
+    assert_eq!(faults.injected(), 1);
+
+    let (outcome, vip, _inv) = server.join().unwrap();
+    assert!(outcome.is_err(), "{outcome:?}");
+    assert!(std::net::TcpStream::connect(vip).is_ok());
+}
+
+#[test]
+fn watched_rollback_returns_the_sockets_to_the_old_process() {
+    // Full reverse-takeover round trip: the successor confirms, fails its
+    // health probe, and hands the sockets back over the same UNIX stream.
+    let path = sock_path("rollback");
+    let old = std::thread::spawn({
+        let path = path.clone();
+        move || {
+            let (inv, addr) = inventory_with_tcp();
+            let server = TakeoverServer::bind(&path).unwrap();
+            let info = HandoffInfo {
+                generation: 4,
+                udp_router_addr: None,
+                drain_deadline_ms: 500,
+            };
+            let mut watch = server
+                .serve_once_watched(&inv, info, Duration::from_secs(5), &NoFaults)
+                .unwrap();
+            let healthy = watch.await_health(Duration::from_secs(5)).unwrap();
+            assert!(!healthy, "successor reports unhealthy in this scenario");
+            let reclaimed = watch.reclaim(Duration::from_secs(5)).unwrap();
+            (reclaimed, addr)
+        }
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // New process: take the sockets, confirm, report unhealthy, then answer
+    // the predecessor's Reclaim by sending the sockets back.
+    let pending = request_takeover(&path, Duration::from_secs(5)).unwrap();
+    let (mut result, mut release) = pending.confirm_watched().unwrap();
+    let vip = result.inventory.unclaimed()[0].addr;
+    let listener = result.inventory.claim_tcp(vip).unwrap();
+    release.report_health(false).unwrap();
+    assert_eq!(
+        release.await_verdict(Duration::from_secs(5)).unwrap(),
+        ReclaimVerdict::Reclaimed
+    );
+    let mut back = ListenerInventory::new();
+    back.add_tcp(vip, listener);
+    let info = HandoffInfo {
+        generation: 4,
+        udp_router_addr: None,
+        drain_deadline_ms: 500,
+    };
+    release.serve_reclaim(&back, info).unwrap();
+
+    let (mut reclaimed, addr) = old.join().unwrap();
+    assert_eq!(addr, vip, "reclaim must return the same VIP");
+    assert_eq!(reclaimed.info.generation, 4);
+    let got = reclaimed.inventory.claim_tcp(addr).unwrap();
+    // The reclaimed listener is the same kernel file description: a client
+    // connecting now lands in its backlog and is accepted by the old
+    // process — zero accepted-connection loss across the rollback.
+    let conn = std::net::TcpStream::connect(addr);
+    assert!(conn.is_ok(), "VIP must accept after rollback");
+    let (peer, _) = got.accept().unwrap();
+    drop(peer);
+}
+
+mod backoff_properties {
+    use proptest::prelude::*;
+    use zero_downtime_release::core::supervisor::BackoffSchedule;
+
+    fn schedules() -> impl Strategy<Value = BackoffSchedule> {
+        (1u64..500, 500u64..50_000, 1.0f64..4.0, 0.0f64..0.9, 1u32..10).prop_map(
+            |(base_ms, cap_ms, multiplier, jitter_frac, max_attempts)| BackoffSchedule {
+                base_ms,
+                cap_ms,
+                multiplier,
+                jitter_frac,
+                max_attempts,
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn raw_delays_are_monotone_and_capped(s in schedules()) {
+            let mut prev = 0u64;
+            for attempt in 1..=s.max_attempts {
+                let d = s.raw_delay_ms(attempt);
+                prop_assert!(d >= prev, "attempt {}: {} < {}", attempt, d, prev);
+                prop_assert!(d <= s.cap_ms, "attempt {}: {} above cap {}", attempt, d, s.cap_ms);
+                prev = d;
+            }
+        }
+
+        #[test]
+        fn jittered_delay_stays_within_bounds(s in schedules(), seed in any::<u64>()) {
+            for attempt in 1..=s.max_attempts {
+                let (lo, hi) = s.bounds_ms(attempt);
+                let d = s.delay_ms(attempt, seed);
+                prop_assert!(
+                    lo <= d && d <= hi,
+                    "attempt {}: {} outside [{}, {}]", attempt, d, lo, hi
+                );
+            }
+        }
+
+        #[test]
+        fn jittered_delay_is_deterministic_per_seed(s in schedules(), seed in any::<u64>()) {
+            for attempt in 1..=s.max_attempts {
+                prop_assert_eq!(s.delay_ms(attempt, seed), s.delay_ms(attempt, seed));
+            }
+        }
+    }
 }
