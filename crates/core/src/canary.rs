@@ -305,6 +305,9 @@ mod tests {
             requests: 50_000,
             disruptions: 0,
         };
-        assert!(matches!(gate.observe(100, good), Verdict::Halt { at: 42, .. }));
+        assert!(matches!(
+            gate.observe(100, good),
+            Verdict::Halt { at: 42, .. }
+        ));
     }
 }

@@ -116,9 +116,7 @@ impl DisruptionCounters {
 /// Counters for the release-supervision machinery itself — distinct from
 /// [`DisruptionCounters`] (user-visible damage): these measure how hard the
 /// supervisor had to work to *avoid* damage.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ReleaseCounters {
     /// Takeover attempts retried after a handshake failure/timeout.
     pub takeover_retries: u64,

@@ -354,7 +354,10 @@ impl ReleaseSupervisor {
             Phase::Attempting { attempt, deadline } if now >= deadline => {
                 self.fail_attempt(now, attempt)
             }
-            Phase::BackingOff { next_attempt, until } if now >= until => {
+            Phase::BackingOff {
+                next_attempt,
+                until,
+            } if now >= until => {
                 self.phase = Phase::Attempting {
                     attempt: next_attempt,
                     deadline: now + self.config.attempt_timeout_ms,
@@ -458,16 +461,17 @@ mod tests {
         s.start(0);
         // Attempt 1 times out at 100.
         let a = s.tick(100);
-        let Action::RetryAfter { attempt: 1, delay_ms } = a else {
+        let Action::RetryAfter {
+            attempt: 1,
+            delay_ms,
+        } = a
+        else {
             panic!("expected retry, got {a:?}");
         };
         let (lo, hi) = fast().backoff.bounds_ms(1);
         assert!((lo..=hi).contains(&delay_ms));
         // Backoff expires → attempt 2.
-        assert_eq!(
-            s.tick(100 + delay_ms),
-            Action::StartAttempt { attempt: 2 }
-        );
+        assert_eq!(s.tick(100 + delay_ms), Action::StartAttempt { attempt: 2 });
         // Explicit failure (not timeout) also retries.
         assert!(matches!(
             s.attempt_failed(150 + delay_ms),

@@ -275,10 +275,7 @@ mod tests {
             }
         }
         assert!(c.healthy().is_empty());
-        assert_eq!(
-            c.routable(),
-            vec![BackendId(0), BackendId(1), BackendId(2)]
-        );
+        assert_eq!(c.routable(), vec![BackendId(0), BackendId(1), BackendId(2)]);
         // A single recovery narrows routing back to the healthy set.
         c.report(BackendId(1), true);
         c.report(BackendId(1), true);

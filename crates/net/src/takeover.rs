@@ -875,7 +875,10 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         std::fs::write(&path, b"successor").unwrap();
         drop(first);
-        assert!(path.exists(), "drop must not unlink a path it no longer owns");
+        assert!(
+            path.exists(),
+            "drop must not unlink a path it no longer owns"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

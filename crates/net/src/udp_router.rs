@@ -128,9 +128,7 @@ impl RouterStats {
         self.dropped.fetch_add(1, Ordering::Relaxed);
         match reason {
             DropReason::Garbage => self.dropped_garbage.fetch_add(1, Ordering::Relaxed),
-            DropReason::FutureGeneration => {
-                self.dropped_future_gen.fetch_add(1, Ordering::Relaxed)
-            }
+            DropReason::FutureGeneration => self.dropped_future_gen.fetch_add(1, Ordering::Relaxed),
         };
     }
 }
@@ -399,7 +397,10 @@ mod tests {
 
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         // Garbage bytes, then a future-generation packet, then a barrier.
-        client.send_to(&[0xde, 0xad, 0xbe], router_addr).await.unwrap();
+        client
+            .send_to(&[0xde, 0xad, 0xbe], router_addr)
+            .await
+            .unwrap();
         let future_pkt = Datagram::one_rtt(ConnectionId::new(9, 1), 1, &b"x"[..]);
         client
             .send_to(&wire(&future_pkt), router_addr)

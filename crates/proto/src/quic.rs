@@ -67,17 +67,22 @@ impl ConnectionId {
     }
 }
 
-/// Packet form: does this datagram open a flow or continue one?
+/// Packet form: does this datagram open a flow, continue one, or close one?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketType {
     /// First packet of a new flow (long-header analog).
     Initial,
     /// Continuation packet of an established flow (short-header analog).
     OneRtt,
+    /// CONNECTION_CLOSE analog: the server is discarding the flow's state
+    /// (drain hard deadline); the client should reconnect rather than
+    /// retry into a void.
+    Close,
 }
 
 const FLAG_INITIAL: u8 = 0x80;
 const FLAG_FIXED: u8 = 0x40; // always set, like QUIC's fixed bit
+const FLAG_CLOSE: u8 = 0x20;
 
 /// A decoded datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,13 +117,27 @@ impl Datagram {
             payload: payload.into(),
         }
     }
+
+    /// Builds a CONNECTION_CLOSE packet for flow `cid`. Sent by a draining
+    /// process when its hard deadline fires so clients learn the flow is
+    /// dead instead of retransmitting into silence.
+    pub fn connection_close(cid: ConnectionId) -> Self {
+        Datagram {
+            packet_type: PacketType::Close,
+            cid,
+            packet_number: 0,
+            payload: Bytes::new(),
+        }
+    }
 }
 
 /// Encodes a datagram to wire bytes.
 pub fn encode(d: &Datagram) -> Result<Bytes> {
     let mut flags = FLAG_FIXED;
-    if d.packet_type == PacketType::Initial {
-        flags |= FLAG_INITIAL;
+    match d.packet_type {
+        PacketType::Initial => flags |= FLAG_INITIAL,
+        PacketType::Close => flags |= FLAG_CLOSE,
+        PacketType::OneRtt => {}
     }
     let mut w = Writer::with_capacity(1 + CONNECTION_ID_LEN + 9 + d.payload.len());
     w.u8(flags);
@@ -141,6 +160,8 @@ pub fn decode(buf: &[u8]) -> Result<Datagram> {
     }
     let packet_type = if flags & FLAG_INITIAL != 0 {
         PacketType::Initial
+    } else if flags & FLAG_CLOSE != 0 {
+        PacketType::Close
     } else {
         PacketType::OneRtt
     };
@@ -241,6 +262,20 @@ mod tests {
         let d = Datagram::initial(ConnectionId::new(5, 0x1122), &b""[..]);
         let wire = encode(&d).unwrap();
         assert!(peek_is_initial(&wire).unwrap());
+    }
+
+    #[test]
+    fn connection_close_round_trip() {
+        let d = Datagram::connection_close(ConnectionId::new(9, 0x55));
+        let wire = encode(&d).unwrap();
+        let back = decode(&wire).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.packet_type, PacketType::Close);
+        assert!(back.payload.is_empty());
+        // A close is not an initial, and its CID still peeks correctly so the
+        // router can deliver it to the right flow.
+        assert!(!peek_is_initial(&wire).unwrap());
+        assert_eq!(peek_cid(&wire).unwrap(), d.cid);
     }
 
     #[test]

@@ -28,17 +28,35 @@
 //!   over one TCP connection with GOAWAY graceful drain (§2.2, §4.1).
 //! * [`upstream`] — healthy-upstream selection shared by the above.
 //! * [`stats`] — per-instance disruption counters (the §6 monitoring
-//!   signals).
+//!   signals) and the unified [`stats::StatsSnapshot`] merged view.
+//!
+//! All four services share one lifecycle, the **unified service layer**:
+//!
+//! * [`service`] — [`service::ServiceHandle`] / [`service::DrainState`]:
+//!   the drain signal, the hard-deadline force-close timer, and the
+//!   per-protocol close signal ([`service::CloseSignal`]: TCP reset,
+//!   H2 GOAWAY, MQTT DISCONNECT, QUIC CONNECTION_CLOSE) behave
+//!   identically whether the bytes are HTTP, MQTT, or QUIC.
+//! * [`conn_tracker`] — the sharded active-connection gauge and
+//!   forced-close accounting every service registers with.
+//! * [`mqtt_common`] — broker selection and tunnel framing shared by the
+//!   two MQTT relay flavors.
 
+pub mod conn_tracker;
+pub mod mqtt_common;
 pub mod mqtt_relay;
 pub mod mqtt_relay_trunk;
 pub mod quic_service;
 pub mod reverse;
+pub mod service;
 pub mod stats;
 pub mod takeover;
 pub mod trunk;
 pub mod upstream;
 
+pub use conn_tracker::{ConnGuard, ConnTracker};
+pub use mqtt_common::broker_for_user;
 pub use reverse::{spawn_reverse_proxy, ReverseProxyConfig, ReverseProxyHandle};
-pub use stats::ProxyStats;
+pub use service::{CloseSignal, DrainState, ServiceHandle};
+pub use stats::{Counter, EdgeDcrStats, ProxyStats, StatsSnapshot};
 pub use upstream::UpstreamPool;

@@ -1,0 +1,149 @@
+//! Helpers shared by the two MQTT relay implementations
+//! ([`crate::mqtt_relay`] per-tunnel-TCP and [`crate::mqtt_relay_trunk`]
+//! multiplexed): tunnel framing, broker selection, and CONNECT sniffing.
+//! One copy, one behavior — the DCR workflow must pick the same broker for
+//! a user no matter which relay flavor carried the tunnel.
+
+use std::net::SocketAddr;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+use zdr_proto::dcr::UserId;
+use zdr_proto::mqtt::{Packet, StreamDecoder};
+
+/// Tunnel frame kind: opaque MQTT bytes.
+pub(crate) const KIND_DATA: u8 = 0;
+/// Tunnel frame kind: DCR control message.
+pub(crate) const KIND_DCR: u8 = 1;
+
+/// Maximum tunnel frame payload.
+pub(crate) const MAX_FRAME: usize = 1 << 20;
+
+/// Writes one `[kind:u8][len:u32][payload]` tunnel frame.
+pub(crate) async fn write_frame<W: tokio::io::AsyncWrite + Unpin>(
+    w: &mut W,
+    kind: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut head = [0u8; 5];
+    head[0] = kind;
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&head).await?;
+    w.write_all(payload).await
+}
+
+/// Reads one tunnel frame; `None` on clean EOF at a frame boundary.
+pub(crate) async fn read_frame<R: tokio::io::AsyncRead + Unpin>(
+    r: &mut R,
+) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut head = [0u8; 5];
+    match r.read_exact(&mut head).await {
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "tunnel frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).await?;
+    Ok(Some((head[0], payload)))
+}
+
+/// Locates the broker for a user by consistent hashing (§4.2: "Consistent
+/// hashing is used to keep these mappings consistent at scale").
+pub fn broker_for_user(user: UserId, brokers: &[SocketAddr]) -> Option<SocketAddr> {
+    if brokers.is_empty() {
+        return None;
+    }
+    // Rendezvous (highest-random-weight) hashing: stable under broker-set
+    // changes, deterministic across relays.
+    brokers
+        .iter()
+        .max_by_key(|b| zdr_l4lb::hash::fnv1a(format!("{}|{}", user.0, b).as_bytes()))
+        .copied()
+}
+
+/// Feeds `bytes` to the sniffer and, if a complete CONNECT has arrived,
+/// extracts the user id from its client id. `None` until then (or if the
+/// first packet is not a parseable CONNECT).
+pub(crate) fn sniff_connect_user(sniffer: &mut StreamDecoder, bytes: &[u8]) -> Option<UserId> {
+    sniffer.extend(bytes);
+    match sniffer.next_packet() {
+        Ok(Some(Packet::Connect { ref client_id, .. })) => UserId::from_client_id(client_id),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broker_selection_is_consistent_and_spread() {
+        let brokers: Vec<SocketAddr> = (0..4)
+            .map(|i| format!("10.0.0.{}:1883", i + 1).parse().unwrap())
+            .collect();
+        // Deterministic.
+        for u in 0..100 {
+            assert_eq!(
+                broker_for_user(UserId(u), &brokers),
+                broker_for_user(UserId(u), &brokers)
+            );
+        }
+        // Spread across brokers.
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..100 {
+            seen.insert(broker_for_user(UserId(u), &brokers).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        // Stable under unrelated broker removal (consistent hashing).
+        let removed = &brokers[..3];
+        let mut moved = 0;
+        for u in 0..1000 {
+            let before = broker_for_user(UserId(u), &brokers).unwrap();
+            let after = broker_for_user(UserId(u), removed).unwrap();
+            if before != brokers[3] && before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(
+            moved, 0,
+            "rendezvous hashing must not move unaffected users"
+        );
+        assert!(broker_for_user(UserId(1), &[]).is_none());
+    }
+
+    #[tokio::test]
+    async fn frame_round_trip() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        write_frame(&mut a, KIND_DCR, b"hello").await.unwrap();
+        let (kind, payload) = read_frame(&mut b).await.unwrap().unwrap();
+        assert_eq!(kind, KIND_DCR);
+        assert_eq!(payload, b"hello");
+        drop(a);
+        assert!(read_frame(&mut b).await.unwrap().is_none());
+    }
+
+    #[test]
+    fn sniffs_user_from_connect_bytes() {
+        let pkt = Packet::Connect {
+            client_id: "user-42".into(),
+            keep_alive: 60,
+            clean_session: true,
+        };
+        let wire = zdr_proto::mqtt::encode(&pkt).unwrap();
+        let mut sniffer = StreamDecoder::new();
+        // Partial bytes: no verdict yet.
+        assert_eq!(sniff_connect_user(&mut sniffer, &wire[..3]), None);
+        // Rest arrives: user extracted.
+        assert_eq!(
+            sniff_connect_user(&mut sniffer, &wire[3..]),
+            Some(UserId(42))
+        );
+    }
+}

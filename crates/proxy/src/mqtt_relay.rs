@@ -8,10 +8,11 @@
 //!
 //! Trunk framing: we carry each tunnel on its own TCP connection with
 //! `[kind:u8][len:u32][payload]` frames — `kind 0` is opaque MQTT bytes,
-//! `kind 1` is a DCR control message. (The production system multiplexes
-//! tunnels over HTTP/2; per-tunnel framed TCP preserves the same control
-//! surface — in-band DCR signaling plus graceful teardown — without the
-//! mux. DESIGN.md records the substitution.)
+//! `kind 1` is a DCR control message (shared helpers in
+//! [`crate::mqtt_common`]). (The production system multiplexes tunnels
+//! over HTTP/2; per-tunnel framed TCP preserves the same control surface —
+//! in-band DCR signaling plus graceful teardown — without the mux.
+//! DESIGN.md records the substitution.)
 //!
 //! The DCR workflow (Fig. 6) as implemented:
 //!
@@ -26,103 +27,50 @@
 //! 5. On ack, the Edge atomically swaps the tunnel; the end-user
 //!    connection is never touched. On refuse, the Edge drops the client,
 //!    which reconnects organically.
+//!
+//! Lifecycle (drain signal, hard deadline, forced-close accounting) comes
+//! from the unified [`crate::service`] layer; at the deadline both relays
+//! deliver the MQTT close signal — a DISCONNECT packet — before closing.
 
 use std::net::SocketAddr;
-use std::sync::atomic::AtomicU64;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::watch;
 
 use zdr_proto::dcr::{self, DcrMessage, UserId};
-use zdr_proto::mqtt::{Packet, StreamDecoder};
+use zdr_proto::mqtt::StreamDecoder;
 
+use crate::conn_tracker::ConnGuard;
+use crate::mqtt_common::{read_frame, sniff_connect_user, write_frame, KIND_DATA, KIND_DCR};
+use crate::service::{DrainState, MqttCloseSignal, ServiceHandle};
 use crate::stats::ProxyStats;
 
-/// Tunnel frame kinds.
-const KIND_DATA: u8 = 0;
-const KIND_DCR: u8 = 1;
-
-/// Maximum tunnel frame payload.
-const MAX_FRAME: usize = 1 << 20;
-
-async fn write_frame<W: tokio::io::AsyncWrite + Unpin>(
-    w: &mut W,
-    kind: u8,
-    payload: &[u8],
-) -> std::io::Result<()> {
-    let mut head = [0u8; 5];
-    head[0] = kind;
-    head[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
-    w.write_all(&head).await?;
-    w.write_all(payload).await
-}
-
-async fn read_frame<R: tokio::io::AsyncRead + Unpin>(
-    r: &mut R,
-) -> std::io::Result<Option<(u8, Vec<u8>)>> {
-    let mut head = [0u8; 5];
-    match r.read_exact(&mut head).await {
-        Ok(_) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "tunnel frame too large",
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).await?;
-    Ok(Some((head[0], payload)))
-}
-
-/// Locates the broker for a user by consistent hashing (§4.2: "Consistent
-/// hashing is used to keep these mappings consistent at scale").
-pub fn broker_for_user(user: UserId, brokers: &[SocketAddr]) -> Option<SocketAddr> {
-    if brokers.is_empty() {
-        return None;
-    }
-    // Rendezvous (highest-random-weight) hashing: stable under broker-set
-    // changes, deterministic across relays.
-    brokers
-        .iter()
-        .max_by_key(|b| zdr_l4lb::hash::fnv1a(format!("{}|{}", user.0, b).as_bytes()))
-        .copied()
-}
+pub use crate::mqtt_common::broker_for_user;
+pub use crate::stats::EdgeDcrStats;
 
 // ---------------------------------------------------------------------
 // Origin relay
 // ---------------------------------------------------------------------
 
-/// Handle to a running Origin relay.
+/// Handle to a running Origin relay. Derefs to [`ServiceHandle`] for the
+/// unified lifecycle: [`ServiceHandle::drain`] begins the DCR restart flow
+/// (solicit every tunnel to re-home, stop accepting, keep relaying).
 #[derive(Debug)]
 pub struct OriginHandle {
-    /// Trunk-side address the Edge connects to.
-    pub addr: SocketAddr,
+    /// The unified service lifecycle (addr, drain, deadline, tracking).
+    pub service: ServiceHandle,
     /// Instance id carried in solicitations.
     pub origin_id: u32,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
-    drain_tx: watch::Sender<bool>,
-    accept_task: tokio::task::JoinHandle<()>,
 }
 
-impl OriginHandle {
-    /// Begins the DCR restart flow: solicit every tunnel to re-home, stop
-    /// accepting new tunnels, keep relaying existing ones.
-    pub fn drain(&self) {
-        self.accept_task.abort();
-        let _ = self.drain_tx.send(true);
-    }
-}
-
-impl Drop for OriginHandle {
-    fn drop(&mut self) {
-        self.accept_task.abort();
+impl Deref for OriginHandle {
+    type Target = ServiceHandle;
+    fn deref(&self) -> &ServiceHandle {
+        &self.service
     }
 }
 
@@ -136,28 +84,36 @@ pub async fn spawn_origin(
     let listener = TcpListener::bind(addr).await?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
-    let (drain_tx, drain_rx) = watch::channel(false);
+    let state = DrainState::new(MqttCloseSignal);
     let brokers = Arc::new(brokers);
 
     let loop_stats = Arc::clone(&stats);
+    let loop_state = Arc::clone(&state);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
             let stats = Arc::clone(&loop_stats);
             let brokers = Arc::clone(&brokers);
-            let drain = drain_rx.clone();
+            let state = Arc::clone(&loop_state);
+            let guard = state.register();
             tokio::spawn(async move {
-                let _ = origin_tunnel(stream, origin_id, &brokers, stats, drain, drain_deadline_ms)
-                    .await;
+                let _ = origin_tunnel(
+                    stream,
+                    origin_id,
+                    &brokers,
+                    stats,
+                    state,
+                    guard,
+                    drain_deadline_ms,
+                )
+                .await;
             });
         }
     });
 
     Ok(OriginHandle {
-        addr,
+        service: ServiceHandle::new(addr, state, vec![accept_task]),
         origin_id,
         stats,
-        drain_tx,
-        accept_task,
     })
 }
 
@@ -167,9 +123,13 @@ async fn origin_tunnel(
     origin_id: u32,
     brokers: &[SocketAddr],
     stats: Arc<ProxyStats>,
-    mut drain: watch::Receiver<bool>,
+    state: Arc<DrainState>,
+    mut guard: ConnGuard,
     drain_deadline_ms: u32,
 ) -> std::io::Result<()> {
+    let mut drain = state.drain_watch();
+    let mut force = state.force_watch();
+
     // First frame decides the mode: data (fresh tunnel, starts with the
     // client's CONNECT) or DCR re_connect (re-homing an existing session).
     let Some((kind, payload)) = read_frame(&mut edge).await? else {
@@ -177,7 +137,6 @@ async fn origin_tunnel(
     };
 
     let mut broker_conn: TcpStream;
-    let mut sniff = StreamDecoder::new();
 
     match kind {
         KIND_DCR => {
@@ -199,28 +158,22 @@ async fn origin_tunnel(
             write_frame(&mut edge, KIND_DCR, &reply).await?;
             match dcr::decode(&reply) {
                 Ok((DcrMessage::ConnectAck { .. }, _)) => {
-                    ProxyStats::bump(&stats.mqtt_tunnels);
+                    stats.mqtt_tunnels.bump();
                 }
                 _ => return Ok(()), // refused; tunnel dies here
             }
         }
         KIND_DATA => {
             // Sniff the user's CONNECT to locate the broker.
-            sniff.extend(&payload);
-            let user = match sniff.next_packet() {
-                Ok(Some(Packet::Connect { ref client_id, .. })) => {
-                    UserId::from_client_id(client_id)
-                }
-                _ => None,
-            };
-            let Some(user) = user else {
+            let mut sniff = StreamDecoder::new();
+            let Some(user) = sniff_connect_user(&mut sniff, &payload) else {
                 return Ok(()); // first bytes must be a parseable CONNECT
             };
             let Some(broker_addr) = broker_for_user(user, brokers) else {
                 return Ok(());
             };
             broker_conn = TcpStream::connect(broker_addr).await?;
-            ProxyStats::bump(&stats.mqtt_tunnels);
+            stats.mqtt_tunnels.bump();
             // Forward the CONNECT bytes.
             broker_conn.write_all(&payload).await?;
         }
@@ -235,7 +188,7 @@ async fn origin_tunnel(
             changed = drain.changed(), if !solicited => {
                 if changed.is_ok() && *drain.borrow() {
                     solicited = true;
-                    ProxyStats::bump(&stats.dcr_rehomed);
+                    stats.dcr_rehomed.bump();
                     let frame = dcr::encode(&DcrMessage::ReconnectSolicitation {
                         origin_id,
                         draining_deadline_ms: drain_deadline_ms,
@@ -244,6 +197,16 @@ async fn origin_tunnel(
                         return Ok(());
                     }
                 }
+            }
+            _ = DrainState::force_signal(&mut force) => {
+                // Hard deadline: deliver the MQTT close signal down the
+                // tunnel (the Edge relays it to the client) and close.
+                if let Some(frame) = state.close_frame() {
+                    let _ = write_frame(&mut edge, KIND_DATA, &frame).await;
+                }
+                guard.mark_forced(state.close_kind());
+                stats.mqtt_dropped.bump();
+                return Ok(());
             }
             frame = read_frame(&mut edge) => {
                 match frame? {
@@ -274,28 +237,25 @@ async fn origin_tunnel(
 // Edge relay
 // ---------------------------------------------------------------------
 
-/// Edge-side counters beyond [`ProxyStats`].
-#[derive(Debug, Default)]
-pub struct EdgeDcrStats {
-    /// Tunnels successfully re-homed (user never noticed).
-    pub rehomed_ok: AtomicU64,
-    /// Re-homes refused by the broker (client dropped to reconnect).
-    pub rehome_refused: AtomicU64,
-    /// Tunnels dropped for other reasons.
-    pub dropped: AtomicU64,
-}
-
-/// Handle to a running Edge relay.
+/// Handle to a running Edge relay. Derefs to [`ServiceHandle`], so the
+/// Edge drains exactly like every other service: stop accepting, existing
+/// clients keep flowing, survivors get a DISCONNECT at the hard deadline.
 #[derive(Debug)]
 pub struct EdgeHandle {
-    /// Client-facing address.
-    pub addr: SocketAddr,
+    /// The unified service lifecycle (addr, drain, deadline, tracking).
+    pub service: ServiceHandle,
     /// General proxy counters.
     pub stats: Arc<ProxyStats>,
     /// DCR-specific counters.
     pub dcr_stats: Arc<EdgeDcrStats>,
     origins: Arc<parking_lot::RwLock<Vec<SocketAddr>>>,
-    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl Deref for EdgeHandle {
+    type Target = ServiceHandle;
+    fn deref(&self) -> &ServiceHandle {
+        &self.service
+    }
 }
 
 impl EdgeHandle {
@@ -306,12 +266,6 @@ impl EdgeHandle {
     }
 }
 
-impl Drop for EdgeHandle {
-    fn drop(&mut self) {
-        self.accept_task.abort();
-    }
-}
-
 /// Spawns an Edge relay fronting `origins`.
 pub async fn spawn_edge(addr: SocketAddr, origins: Vec<SocketAddr>) -> std::io::Result<EdgeHandle> {
     let listener = TcpListener::bind(addr).await?;
@@ -319,28 +273,31 @@ pub async fn spawn_edge(addr: SocketAddr, origins: Vec<SocketAddr>) -> std::io::
     let stats = Arc::new(ProxyStats::default());
     let dcr_stats = Arc::new(EdgeDcrStats::default());
     let origins = Arc::new(parking_lot::RwLock::new(origins));
+    let state = DrainState::new(MqttCloseSignal);
 
     let loop_stats = Arc::clone(&stats);
     let loop_dcr = Arc::clone(&dcr_stats);
     let loop_origins = Arc::clone(&origins);
+    let loop_state = Arc::clone(&state);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
-            ProxyStats::bump(&loop_stats.connections_accepted);
+            loop_stats.connections_accepted.bump();
             let stats = Arc::clone(&loop_stats);
             let dcr_stats = Arc::clone(&loop_dcr);
             let origins = Arc::clone(&loop_origins);
+            let state = Arc::clone(&loop_state);
+            let guard = state.register();
             tokio::spawn(async move {
-                let _ = edge_tunnel(stream, origins, stats, dcr_stats).await;
+                let _ = edge_tunnel(stream, origins, stats, dcr_stats, state, guard).await;
             });
         }
     });
 
     Ok(EdgeHandle {
-        addr,
+        service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
         dcr_stats,
         origins,
-        accept_task,
     })
 }
 
@@ -376,11 +333,14 @@ async fn edge_tunnel(
     origins: Arc<parking_lot::RwLock<Vec<SocketAddr>>>,
     stats: Arc<ProxyStats>,
     dcr_stats: Arc<EdgeDcrStats>,
+    state: Arc<DrainState>,
+    mut guard: ConnGuard,
 ) -> std::io::Result<()> {
+    let mut force = state.force_watch();
     let Some((mut origin, mut current_origin)) = connect_origin(&origins, None).await else {
         return Ok(());
     };
-    ProxyStats::bump(&stats.mqtt_tunnels);
+    stats.mqtt_tunnels.bump();
 
     // Sniff the user id from the client's CONNECT as bytes flow.
     let mut sniffer = StreamDecoder::new();
@@ -389,23 +349,28 @@ async fn edge_tunnel(
     let mut client_buf = [0u8; 16 * 1024];
     loop {
         tokio::select! {
+            _ = DrainState::force_signal(&mut force) => {
+                // Hard deadline on the Edge itself: tell the client with a
+                // DISCONNECT, then close.
+                if let Some(frame) = state.close_frame() {
+                    let _ = client.write_all(&frame).await;
+                }
+                guard.mark_forced(state.close_kind());
+                stats.mqtt_dropped.bump();
+                return Ok(());
+            }
             read = client.read(&mut client_buf) => {
                 match read {
                     Ok(0) | Err(_) => {
-                        ProxyStats::bump(&stats.mqtt_dropped);
+                        stats.mqtt_dropped.bump();
                         return Ok(());
                     }
                     Ok(n) => {
                         if user.is_none() {
-                            sniffer.extend(&client_buf[..n]);
-                            if let Ok(Some(Packet::Connect { ref client_id, .. })) =
-                                sniffer.next_packet()
-                            {
-                                user = UserId::from_client_id(client_id);
-                            }
+                            user = sniff_connect_user(&mut sniffer, &client_buf[..n]);
                         }
                         if write_frame(&mut origin, KIND_DATA, &client_buf[..n]).await.is_err() {
-                            ProxyStats::bump(&stats.mqtt_dropped);
+                            stats.mqtt_dropped.bump();
                             return Ok(());
                         }
                     }
@@ -416,7 +381,7 @@ async fn edge_tunnel(
                     None => {
                         // Origin vanished without soliciting (crash, not a
                         // graceful release): the client must reconnect.
-                        ProxyStats::bump(&stats.mqtt_dropped);
+                        stats.mqtt_dropped.bump();
                         return Ok(());
                     }
                     Some((KIND_DATA, payload)) => {
@@ -434,14 +399,14 @@ async fn edge_tunnel(
                                 Some((new_conn, new_addr)) => {
                                     origin = new_conn;
                                     current_origin = new_addr;
-                                    ProxyStats::bump(&dcr_stats.rehomed_ok);
-                                    ProxyStats::bump(&stats.dcr_rehomed);
+                                    dcr_stats.rehomed_ok.bump();
+                                    stats.dcr_rehomed.bump();
                                 }
                                 None => {
                                     // Refused or no alternate Origin: drop;
                                     // the client reconnects the normal way.
-                                    ProxyStats::bump(&dcr_stats.rehome_refused);
-                                    ProxyStats::bump(&stats.mqtt_dropped);
+                                    dcr_stats.rehome_refused.bump();
+                                    stats.mqtt_dropped.bump();
                                     return Ok(());
                                 }
                             }
@@ -478,7 +443,7 @@ async fn rehome(
 mod tests {
     use super::*;
     use std::time::Duration;
-    use zdr_proto::mqtt::{self, ConnectReturnCode, QoS};
+    use zdr_proto::mqtt::{self, ConnectReturnCode, Packet, QoS};
 
     struct Client {
         stream: TcpStream,
@@ -616,7 +581,7 @@ mod tests {
         tokio::time::sleep(Duration::from_millis(300)).await;
 
         assert_eq!(
-            ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+            edge.dcr_stats.rehomed_ok.get(),
             1,
             "tunnel must re-home via origin 2"
         );
@@ -661,7 +626,7 @@ mod tests {
         o1.drain();
         tokio::time::sleep(Duration::from_millis(300)).await;
 
-        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehome_refused), 1);
+        assert_eq!(edge.dcr_stats.rehome_refused.get(), 1);
         // The client connection is dropped — the organic-reconnect path.
         let mut buf = [0u8; 16];
         let n = tokio::time::timeout(Duration::from_secs(5), c.stream.read(&mut buf))
@@ -680,42 +645,26 @@ mod tests {
         broker.core.disconnect(UserId(11));
         o1.drain();
         tokio::time::sleep(Duration::from_millis(300)).await;
-        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehome_refused), 1);
+        assert_eq!(edge.dcr_stats.rehome_refused.get(), 1);
         assert_eq!(broker.core.stats().dcr_refused, 1);
     }
 
-    #[test]
-    fn broker_selection_is_consistent_and_spread() {
-        let brokers: Vec<SocketAddr> = (0..4)
-            .map(|i| format!("10.0.0.{}:1883", i + 1).parse().unwrap())
-            .collect();
-        // Deterministic.
-        for u in 0..100 {
-            assert_eq!(
-                broker_for_user(UserId(u), &brokers),
-                broker_for_user(UserId(u), &brokers)
-            );
-        }
-        // Spread across brokers.
-        let mut seen = std::collections::HashSet::new();
-        for u in 0..100 {
-            seen.insert(broker_for_user(UserId(u), &brokers).unwrap());
-        }
-        assert_eq!(seen.len(), 4);
-        // Stable under unrelated broker removal (consistent hashing).
-        let removed = &brokers[..3];
-        let mut moved = 0;
-        for u in 0..1000 {
-            let before = broker_for_user(UserId(u), &brokers).unwrap();
-            let after = broker_for_user(UserId(u), removed).unwrap();
-            if before != brokers[3] && before != after {
-                moved += 1;
-            }
-        }
-        assert_eq!(
-            moved, 0,
-            "rendezvous hashing must not move unaffected users"
-        );
-        assert!(broker_for_user(UserId(1), &[]).is_none());
+    #[tokio::test]
+    async fn edge_deadline_sends_disconnect_to_surviving_client() {
+        let (_broker, _o1, _o2, edge) = stack().await;
+        let mut c = Client::connect(edge.addr, UserId(13)).await;
+        assert_eq!(edge.active_connections(), 1);
+
+        // Drain the Edge itself with a short hard deadline; the idle client
+        // neither finishes nor reconnects, so it must be force-closed with
+        // the MQTT close signal.
+        edge.drain_with_deadline(Duration::from_millis(100));
+        assert_eq!(c.recv().await, Packet::Disconnect);
+        tokio::time::timeout(Duration::from_secs(2), edge.drained())
+            .await
+            .expect("edge must finish draining");
+        assert_eq!(edge.active_connections(), 0);
+        assert_eq!(edge.forced_closes(), 1);
+        assert_eq!(edge.tracker().forced_tally().mqtt_disconnects, 1);
     }
 }

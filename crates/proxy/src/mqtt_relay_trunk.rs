@@ -17,8 +17,14 @@
 //!   Origin forwards the `re_connect` to the user's broker and relays the
 //!   broker's 9-byte DCR verdict as the stream's first data frame; on
 //!   `connect_ack` the stream becomes the tunnel's new transport.
+//!
+//! Lifecycle comes from the unified [`crate::service`] layer. The Origin's
+//! close signal is the trunk GOAWAY itself: a drain-watcher task sends it
+//! on every trunk the moment [`ServiceHandle::drain`] flips the signal, so
+//! `drain()` is sync here like everywhere else.
 
 use std::net::SocketAddr;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -29,46 +35,39 @@ use tokio::net::{TcpListener, TcpStream};
 use zdr_proto::dcr::{self, DcrMessage, UserId};
 use zdr_proto::mqtt::{Packet, StreamDecoder};
 
-use crate::mqtt_relay::broker_for_user;
-use crate::stats::ProxyStats;
+use crate::conn_tracker::ConnGuard;
+use crate::mqtt_common::broker_for_user;
+use crate::service::{DrainState, MqttCloseSignal, ServiceHandle, TrunkCloseSignal};
+use crate::stats::{EdgeDcrStats, ProxyStats};
 use crate::trunk::{self, StreamEvent, TrunkHandle, TrunkStream};
 
 // ---------------------------------------------------------------------
 // Origin side
 // ---------------------------------------------------------------------
 
-/// A running trunk-based Origin relay.
+/// A running trunk-based Origin relay. Derefs to [`ServiceHandle`];
+/// [`ServiceHandle::drain`] begins the restart flow — GOAWAY on every
+/// trunk (the §4.2 solicitation), existing streams keep relaying while
+/// the Edge re-homes them.
 #[derive(Debug)]
 pub struct OriginTrunkHandle {
-    /// Trunk-side address the Edge connects to.
-    pub addr: SocketAddr,
+    /// The unified service lifecycle (addr, drain, deadline, tracking).
+    pub service: ServiceHandle,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
-    trunks: Arc<Mutex<Vec<TrunkHandle>>>,
-    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl Deref for OriginTrunkHandle {
+    type Target = ServiceHandle;
+    fn deref(&self) -> &ServiceHandle {
+        &self.service
+    }
 }
 
 impl OriginTrunkHandle {
-    /// Begins the restart flow: GOAWAY on every trunk (the §4.2
-    /// solicitation); existing streams keep relaying while the Edge
-    /// re-homes them.
-    pub async fn drain(&self) {
-        self.accept_task.abort();
-        let trunks: Vec<TrunkHandle> = self.trunks.lock().clone();
-        for t in trunks {
-            let _ = t.goaway().await;
-        }
-    }
-
     /// Streams still relaying across all trunks.
     pub fn active_streams(&self) -> usize {
-        self.trunks.lock().iter().map(|t| t.active_streams()).sum()
-    }
-}
-
-impl Drop for OriginTrunkHandle {
-    fn drop(&mut self) {
-        self.accept_task.abort();
+        self.tracker().active() as usize
     }
 }
 
@@ -82,32 +81,55 @@ pub async fn spawn_origin_trunk(
     let stats = Arc::new(ProxyStats::default());
     let trunks: Arc<Mutex<Vec<TrunkHandle>>> = Arc::new(Mutex::new(Vec::new()));
     let brokers = Arc::new(brokers);
+    let state = DrainState::new(TrunkCloseSignal);
 
     let loop_stats = Arc::clone(&stats);
     let loop_trunks = Arc::clone(&trunks);
+    let loop_state = Arc::clone(&state);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
             let (handle, mut incoming) = trunk::accept(stream);
             loop_trunks.lock().push(handle);
             let stats = Arc::clone(&loop_stats);
             let brokers = Arc::clone(&brokers);
+            let state = Arc::clone(&loop_state);
             tokio::spawn(async move {
                 while let Some(s) = incoming.recv().await {
                     let stats = Arc::clone(&stats);
                     let brokers = Arc::clone(&brokers);
+                    let state = Arc::clone(&state);
+                    let guard = state.register();
                     tokio::spawn(async move {
-                        let _ = origin_stream(s, &brokers, stats).await;
+                        let _ = origin_stream(s, &brokers, stats, state, guard).await;
                     });
                 }
             });
         }
     });
 
+    // The trunk protocol's drain announcement is GOAWAY on the mux: this
+    // watcher fires it the instant the (sync) drain signal flips, keeping
+    // drain() itself free of protocol knowledge.
+    let goaway_trunks = Arc::clone(&trunks);
+    let mut drain_rx = state.drain_watch();
+    tokio::spawn(async move {
+        loop {
+            if *drain_rx.borrow() {
+                break;
+            }
+            if drain_rx.changed().await.is_err() {
+                return; // service dropped before any drain
+            }
+        }
+        let trunks: Vec<TrunkHandle> = goaway_trunks.lock().clone();
+        for t in trunks {
+            let _ = t.goaway().await;
+        }
+    });
+
     Ok(OriginTrunkHandle {
-        addr,
+        service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
-        trunks,
-        accept_task,
     })
 }
 
@@ -123,7 +145,10 @@ async fn origin_stream(
     mut stream: TrunkStream,
     brokers: &[SocketAddr],
     stats: Arc<ProxyStats>,
+    state: Arc<DrainState>,
+    mut guard: ConnGuard,
 ) -> std::io::Result<()> {
+    let mut force = state.force_watch();
     let Some(user) = header(&stream, "user-id").and_then(|v| v.parse().ok().map(UserId)) else {
         let _ = stream.finish().await;
         return Ok(());
@@ -148,14 +173,22 @@ async fn origin_stream(
             let _ = stream.finish().await;
             return Ok(());
         }
-        ProxyStats::bump(&stats.dcr_rehomed);
+        stats.dcr_rehomed.bump();
     }
 
-    ProxyStats::bump(&stats.mqtt_tunnels);
+    stats.mqtt_tunnels.bump();
     // Steady-state relay: stream ↔ broker.
     let mut broker_buf = [0u8; 16 * 1024];
     loop {
         tokio::select! {
+            _ = DrainState::force_signal(&mut force) => {
+                // Hard deadline: the GOAWAY already announced the drain;
+                // surviving streams are finished and accounted to it.
+                let _ = stream.finish().await;
+                guard.mark_forced(state.close_kind());
+                stats.mqtt_dropped.bump();
+                return Ok(());
+            }
             event = stream.recv() => {
                 match event {
                     Some(StreamEvent::Data(d)) => {
@@ -191,21 +224,22 @@ async fn origin_stream(
 // Edge side
 // ---------------------------------------------------------------------
 
-/// A running trunk-based Edge relay.
+/// A running trunk-based Edge relay. Derefs to [`ServiceHandle`]; at the
+/// drain hard deadline surviving clients get an MQTT DISCONNECT.
 #[derive(Debug)]
 pub struct EdgeTrunkHandle {
-    /// Client-facing address.
-    pub addr: SocketAddr,
+    /// The unified service lifecycle (addr, drain, deadline, tracking).
+    pub service: ServiceHandle,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
     /// DCR counters (shared shape with the per-tunnel-TCP relay).
-    pub dcr_stats: Arc<crate::mqtt_relay::EdgeDcrStats>,
-    accept_task: tokio::task::JoinHandle<()>,
+    pub dcr_stats: Arc<EdgeDcrStats>,
 }
 
-impl Drop for EdgeTrunkHandle {
-    fn drop(&mut self) {
-        self.accept_task.abort();
+impl Deref for EdgeTrunkHandle {
+    type Target = ServiceHandle;
+    fn deref(&self) -> &ServiceHandle {
+        &self.service
     }
 }
 
@@ -265,28 +299,31 @@ pub async fn spawn_edge_trunk(
     let listener = TcpListener::bind(addr).await?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
-    let dcr_stats = Arc::new(crate::mqtt_relay::EdgeDcrStats::default());
+    let dcr_stats = Arc::new(EdgeDcrStats::default());
     let pool = Arc::new(TrunkPool::new(origins));
+    let state = DrainState::new(MqttCloseSignal);
 
     let loop_stats = Arc::clone(&stats);
     let loop_dcr = Arc::clone(&dcr_stats);
+    let loop_state = Arc::clone(&state);
     let accept_task = tokio::spawn(async move {
         while let Ok((client, _)) = listener.accept().await {
-            ProxyStats::bump(&loop_stats.connections_accepted);
+            loop_stats.connections_accepted.bump();
             let stats = Arc::clone(&loop_stats);
             let dcr_stats = Arc::clone(&loop_dcr);
             let pool = Arc::clone(&pool);
+            let state = Arc::clone(&loop_state);
+            let guard = state.register();
             tokio::spawn(async move {
-                let _ = edge_client(client, pool, stats, dcr_stats).await;
+                let _ = edge_client(client, pool, stats, dcr_stats, state, guard).await;
             });
         }
     });
 
     Ok(EdgeTrunkHandle {
-        addr,
+        service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
         dcr_stats,
-        accept_task,
     })
 }
 
@@ -295,8 +332,11 @@ async fn edge_client(
     mut client: TcpStream,
     pool: Arc<TrunkPool>,
     stats: Arc<ProxyStats>,
-    dcr_stats: Arc<crate::mqtt_relay::EdgeDcrStats>,
+    dcr_stats: Arc<EdgeDcrStats>,
+    state: Arc<DrainState>,
+    mut guard: ConnGuard,
 ) -> std::io::Result<()> {
+    let mut force = state.force_watch();
     // Read until the CONNECT parses so we know the user id (needed for the
     // stream headers and any later re-home).
     let mut sniffer = StreamDecoder::new();
@@ -323,25 +363,36 @@ async fn edge_client(
 
     // Open the tunnel stream on a healthy trunk.
     let Some((mut origin_idx, handle)) = pool.pick(None).await else {
-        ProxyStats::bump(&stats.mqtt_dropped);
+        stats.mqtt_dropped.bump();
         return Ok(());
     };
     let Ok(mut stream) = handle
         .open_stream(vec![("user-id".into(), user.0.to_string())])
         .await
     else {
-        ProxyStats::bump(&stats.mqtt_dropped);
+        stats.mqtt_dropped.bump();
         return Ok(());
     };
     if stream.send(initial).await.is_err() {
-        ProxyStats::bump(&stats.mqtt_dropped);
+        stats.mqtt_dropped.bump();
         return Ok(());
     }
-    ProxyStats::bump(&stats.mqtt_tunnels);
+    stats.mqtt_tunnels.bump();
     let mut draining = handle.peer_draining_watch();
 
     loop {
         tokio::select! {
+            _ = DrainState::force_signal(&mut force) => {
+                // Hard deadline on the Edge itself: DISCONNECT the client,
+                // finish the tunnel stream, account the forced close.
+                if let Some(frame) = state.close_frame() {
+                    let _ = client.write_all(&frame).await;
+                }
+                let _ = stream.finish().await;
+                guard.mark_forced(state.close_kind());
+                stats.mqtt_dropped.bump();
+                return Ok(());
+            }
             changed = draining.changed() => {
                 if changed.is_err() || !*draining.borrow() {
                     continue;
@@ -355,12 +406,12 @@ async fn edge_client(
                         stream = new_stream;
                         origin_idx = idx;
                         draining = new_watch;
-                        ProxyStats::bump(&dcr_stats.rehomed_ok);
-                        ProxyStats::bump(&stats.dcr_rehomed);
+                        dcr_stats.rehomed_ok.bump();
+                        stats.dcr_rehomed.bump();
                     }
                     None => {
-                        ProxyStats::bump(&dcr_stats.rehome_refused);
-                        ProxyStats::bump(&stats.mqtt_dropped);
+                        dcr_stats.rehome_refused.bump();
+                        stats.mqtt_dropped.bump();
                         return Ok(()); // client reconnects organically
                     }
                 }
@@ -369,7 +420,7 @@ async fn edge_client(
                 match read {
                     Ok(0) | Err(_) => {
                         let _ = stream.finish().await;
-                        ProxyStats::bump(&stats.mqtt_dropped);
+                        stats.mqtt_dropped.bump();
                         return Ok(());
                     }
                     Ok(n) => {
@@ -388,7 +439,7 @@ async fn edge_client(
                     }
                     Some(StreamEvent::End) | Some(StreamEvent::Reset) | None => {
                         // Tunnel gone without a re-home: drop the client.
-                        ProxyStats::bump(&stats.mqtt_dropped);
+                        stats.mqtt_dropped.bump();
                         return Ok(());
                     }
                 }
@@ -564,11 +615,12 @@ mod tests {
         c.recv().await; // SUBACK
         assert_eq!(o1.active_streams(), 1);
 
-        // Origin 1 restarts: GOAWAY is the solicitation.
-        o1.drain().await;
+        // Origin 1 restarts: GOAWAY is the solicitation. drain() is sync —
+        // the drain-watcher task fires the GOAWAYs.
+        o1.drain();
         tokio::time::sleep(Duration::from_millis(300)).await;
         assert_eq!(
-            ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+            edge.dcr_stats.rehomed_ok.get(),
             1,
             "tunnel must re-home to origin 2"
         );
@@ -585,6 +637,11 @@ mod tests {
         // And liveness still works end to end.
         c.send(&Packet::PingReq).await;
         assert_eq!(c.recv().await, Packet::PingResp);
+
+        // The drained origin's gauge empties once its streams move away.
+        tokio::time::timeout(Duration::from_secs(2), o1.drained())
+            .await
+            .expect("origin 1 must fully drain");
     }
 
     #[tokio::test]
@@ -600,9 +657,9 @@ mod tests {
             .unwrap();
         let mut c = Client::connect(edge.addr, UserId(9)).await;
 
-        o1.drain().await;
+        o1.drain();
         tokio::time::sleep(Duration::from_millis(300)).await;
-        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehome_refused), 1);
+        assert_eq!(edge.dcr_stats.rehome_refused.get(), 1);
         // Client connection torn down → organic reconnect path.
         let mut buf = [0u8; 16];
         let n = tokio::time::timeout(Duration::from_secs(5), c.stream.read(&mut buf))
@@ -628,9 +685,9 @@ mod tests {
         }
         assert_eq!(o1.active_streams(), 20);
 
-        o1.drain().await;
+        o1.drain();
         tokio::time::sleep(Duration::from_millis(500)).await;
-        assert_eq!(ProxyStats::get(&edge.dcr_stats.rehomed_ok), 20);
+        assert_eq!(edge.dcr_stats.rehomed_ok.get(), 20);
         assert_eq!(o2.active_streams(), 20);
         assert_eq!(broker.core.stats().dcr_accepted, 20);
 

@@ -12,8 +12,9 @@
 //!    datagram by the connection ID's generation: its own flows are served
 //!    locally, the predecessor's flows are forwarded to the predecessor's
 //!    host-local drain address;
-//! 3. the predecessor keeps serving its flows from the drain socket for
-//!    the drain period, then exits.
+//! 3. the predecessor keeps serving its flows from the drain socket until
+//!    the drain hard deadline (from the unified [`crate::service`] layer),
+//!    then sends each surviving flow a CONNECTION_CLOSE and exits.
 //!
 //! The flow-state table is per-instance and never migrated — the paper's
 //! point is precisely that you don't have to migrate it.
@@ -21,7 +22,6 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,6 +32,10 @@ use zdr_net::inventory::{bind_udp_reuseport_group, ListenerInventory};
 use zdr_net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
 use zdr_net::udp_router::{Delivery, UdpRouter};
 use zdr_proto::quic::{self, ConnectionId, Datagram, PacketType};
+
+use crate::conn_tracker::ConnGuard;
+use crate::service::{quic_close_datagram, DrainState, QuicCloseSignal, ServiceHandle};
+use crate::stats::{Counter, StatsSnapshot};
 
 /// Configuration for a takeover-capable QUIC service instance.
 #[derive(Debug, Clone)]
@@ -48,30 +52,70 @@ pub struct QuicInstanceConfig {
 #[derive(Debug, Default)]
 pub struct QuicStats {
     /// Flows opened on this instance.
-    pub flows_opened: AtomicU64,
+    pub flows_opened: Counter,
     /// Datagrams served from local flow state.
-    pub served: AtomicU64,
+    pub served: Counter,
     /// Datagrams for unknown flows (the misrouting signal — must stay 0
     /// under Zero Downtime Release).
-    pub unknown_flow: AtomicU64,
+    pub unknown_flow: Counter,
+}
+
+impl QuicStats {
+    /// These counters as a (partial) unified snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            quic_flows_opened: self.flows_opened.get(),
+            quic_served: self.served.get(),
+            quic_unknown_flow: self.unknown_flow.get(),
+            ..StatsSnapshot::default()
+        }
+    }
+}
+
+/// Per-flow state: packets seen, the client's last address (the close
+/// datagram's destination at the deadline), and the flow's registration
+/// with the service layer's connection tracker.
+#[derive(Debug)]
+struct FlowEntry {
+    seen: u64,
+    from: SocketAddr,
+    guard: ConnGuard,
 }
 
 /// The echo application: per-flow state keyed by connection ID.
 #[derive(Debug, Default)]
 struct FlowTable {
-    flows: Mutex<HashMap<ConnectionId, u64>>, // cid → packets seen
+    flows: Mutex<HashMap<ConnectionId, FlowEntry>>,
 }
 
 impl FlowTable {
-    fn open(&self, cid: ConnectionId) {
-        self.flows.lock().insert(cid, 0);
+    fn open(&self, cid: ConnectionId, from: SocketAddr, guard: ConnGuard) {
+        self.flows.lock().insert(
+            cid,
+            FlowEntry {
+                seen: 0,
+                from,
+                guard,
+            },
+        );
     }
 
-    fn touch(&self, cid: ConnectionId) -> Option<u64> {
+    fn touch(&self, cid: ConnectionId, from: SocketAddr) -> Option<u64> {
         let mut flows = self.flows.lock();
-        let seen = flows.get_mut(&cid)?;
-        *seen += 1;
-        Some(*seen)
+        let entry = flows.get_mut(&cid)?;
+        entry.seen += 1;
+        entry.from = from;
+        Some(entry.seen)
+    }
+
+    /// Takes every surviving flow out of the table (for the deadline
+    /// close-out).
+    fn drain_all(&self) -> Vec<(ConnectionId, SocketAddr, ConnGuard)> {
+        self.flows
+            .lock()
+            .drain()
+            .map(|(cid, e)| (cid, e.from, e.guard))
+            .collect()
     }
 }
 
@@ -80,6 +124,7 @@ async fn serve_deliveries(
     mut rx: tokio::sync::mpsc::Receiver<Delivery>,
     table: Arc<FlowTable>,
     stats: Arc<QuicStats>,
+    state: Arc<DrainState>,
     generation: u32,
 ) {
     while let Some(d) = rx.recv().await {
@@ -88,17 +133,17 @@ async fn serve_deliveries(
             // New flows always belong to the serving instance; re-mint the
             // CID at our generation so subsequent packets route to us.
             let local_cid = ConnectionId::new(generation, cid.random);
-            table.open(local_cid);
-            stats.flows_opened.fetch_add(1, Ordering::Relaxed);
+            table.open(local_cid, d.from, state.register());
+            stats.flows_opened.bump();
             let reply = Datagram::one_rtt(local_cid, 0, d.datagram.payload.clone());
             if let Ok(wire) = quic::encode(&reply) {
                 let _ = socket.send_to(&wire, d.from).await;
             }
             continue;
         }
-        match table.touch(cid) {
+        match table.touch(cid, d.from) {
             Some(seen) => {
-                stats.served.fetch_add(1, Ordering::Relaxed);
+                stats.served.bump();
                 let mut payload = b"echo:".to_vec();
                 payload.extend_from_slice(&d.datagram.payload);
                 let reply = Datagram::one_rtt(cid, seen, payload);
@@ -108,15 +153,18 @@ async fn serve_deliveries(
             }
             None => {
                 // A datagram for a flow we don't know: the §4.1 disruption.
-                stats.unknown_flow.fetch_add(1, Ordering::Relaxed);
+                stats.unknown_flow.bump();
             }
         }
     }
 }
 
-/// A live QUIC-service instance.
+/// A live QUIC-service instance. Derefs to [`ServiceHandle`], so flows
+/// are tracked and drained by the same machinery as every TCP service.
 #[derive(Debug)]
 pub struct QuicInstance {
+    /// The unified service lifecycle (addr = VIP, drain, tracking).
+    pub service: ServiceHandle,
     /// This instance's takeover generation.
     pub generation: u32,
     /// The UDP VIP.
@@ -127,15 +175,12 @@ pub struct QuicInstance {
     table: Arc<FlowTable>,
     /// Pristine socket clones reserved for the next handover.
     handover_sockets: Vec<std::net::UdpSocket>,
-    /// Tasks serving the VIP (routers + apps).
-    tasks: Vec<tokio::task::JoinHandle<()>>,
 }
 
-impl Drop for QuicInstance {
-    fn drop(&mut self) {
-        for t in &self.tasks {
-            t.abort();
-        }
+impl std::ops::Deref for QuicInstance {
+    type Target = ServiceHandle;
+    fn deref(&self) -> &ServiceHandle {
+        &self.service
     }
 }
 
@@ -183,6 +228,7 @@ impl QuicInstance {
         let vip = group[0].local_addr()?;
         let stats = Arc::new(QuicStats::default());
         let table = Arc::new(FlowTable::default());
+        let state = DrainState::new(QuicCloseSignal);
         let mut handover_sockets = Vec::with_capacity(group.len());
         let mut tasks = Vec::new();
 
@@ -200,24 +246,31 @@ impl QuicInstance {
                 rx,
                 Arc::clone(&table),
                 Arc::clone(&stats),
+                Arc::clone(&state),
                 generation,
             )));
         }
 
         Ok(QuicInstance {
+            service: ServiceHandle::new(vip, state, tasks),
             generation,
             vip,
             stats,
             config,
             table,
             handover_sockets,
-            tasks,
         })
     }
 
+    /// This instance's counters plus flow tracking as one merged snapshot.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot().merged(&self.tracker().snapshot())
+    }
+
     /// Parks a takeover server, serves one handover, then keeps serving
-    /// this instance's flows from a host-local drain socket for the drain
-    /// period. Resolves when draining completes.
+    /// this instance's flows from a host-local drain socket until the
+    /// drain hard deadline; at the deadline every surviving flow gets a
+    /// CONNECTION_CLOSE. Resolves when draining completes.
     pub async fn serve_one_takeover(mut self) -> zdr_net::Result<DrainedQuic> {
         // The drain socket must exist before the offer so its address can
         // ride in the HandoffInfo.
@@ -243,54 +296,59 @@ impl QuicInstance {
 
         // Successor owns the VIP; our routers now see no packets (the
         // kernel still delivers to the shared ring, but the successor's
-        // reads win — so shut our VIP tasks down and serve the drain
-        // socket only).
-        for t in &self.tasks {
-            t.abort();
-        }
-        self.tasks.clear();
+        // reads win). Enter the unified drain: VIP tasks stop, the force
+        // timer arms the hard deadline.
+        let mut force = self.service.state().force_watch();
+        self.service
+            .drain_with_deadline(Duration::from_millis(drain_ms));
 
         // Serve forwarded packets from the drain socket until the deadline.
-        let table = Arc::clone(&self.table);
-        let stats = Arc::clone(&self.stats);
-        let served_during_drain = Arc::new(AtomicU64::new(0));
-        let served_counter = Arc::clone(&served_during_drain);
-        let drain_task = tokio::spawn(async move {
-            let socket = Arc::new(drain_socket);
-            let mut buf = vec![0u8; 64 * 1024];
-            loop {
-                let Ok((n, _)) = socket.recv_from(&mut buf).await else {
-                    return;
-                };
-                // Forwards arrive encapsulated with the true client address
-                // (the UDP source is the successor's VIP socket).
-                let Some((from, inner)) = zdr_net::udp_router::decapsulate(&buf[..n]) else {
-                    continue;
-                };
-                let Ok(datagram) = quic::decode(inner) else {
-                    continue;
-                };
-                if let Some(seen) = table.touch(datagram.cid) {
-                    stats.served.fetch_add(1, Ordering::Relaxed);
-                    served_counter.fetch_add(1, Ordering::Relaxed);
-                    let mut payload = b"echo:".to_vec();
-                    payload.extend_from_slice(&datagram.payload);
-                    let reply = Datagram::one_rtt(datagram.cid, seen, payload);
-                    if let Ok(wire) = quic::encode(&reply) {
-                        let _ = socket.send_to(&wire, from).await;
+        let socket = Arc::new(drain_socket);
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut served_during_drain = 0u64;
+        loop {
+            tokio::select! {
+                _ = DrainState::force_signal(&mut force) => break,
+                recv = socket.recv_from(&mut buf) => {
+                    let Ok((n, _)) = recv else { break };
+                    // Forwards arrive encapsulated with the true client
+                    // address (the UDP source is the successor's VIP
+                    // socket).
+                    let Some((from, inner)) = zdr_net::udp_router::decapsulate(&buf[..n]) else {
+                        continue;
+                    };
+                    let Ok(datagram) = quic::decode(inner) else {
+                        continue;
+                    };
+                    if let Some(seen) = self.table.touch(datagram.cid, from) {
+                        self.stats.served.bump();
+                        served_during_drain += 1;
+                        let mut payload = b"echo:".to_vec();
+                        payload.extend_from_slice(&datagram.payload);
+                        let reply = Datagram::one_rtt(datagram.cid, seen, payload);
+                        if let Ok(wire) = quic::encode(&reply) {
+                            let _ = socket.send_to(&wire, from).await;
+                        }
+                    } else {
+                        self.stats.unknown_flow.bump();
                     }
-                } else {
-                    stats.unknown_flow.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        });
-        tokio::time::sleep(Duration::from_millis(drain_ms)).await;
-        drain_task.abort();
+        }
+
+        // Hard deadline: QUIC's close signal is a CONNECTION_CLOSE per
+        // surviving flow, sent to the flow's last known address.
+        let kind = self.service.state().close_kind();
+        for (cid, from, mut guard) in self.table.drain_all() {
+            let _ = socket.send_to(&quic_close_datagram(cid), from).await;
+            guard.mark_forced(kind);
+        }
 
         Ok(DrainedQuic {
             generation: self.generation,
             stats: Arc::clone(&self.stats),
-            served_during_drain: served_during_drain.load(Ordering::Relaxed),
+            served_during_drain,
+            snapshot: self.stats_snapshot(),
         })
     }
 }
@@ -304,6 +362,8 @@ pub struct DrainedQuic {
     pub stats: Arc<QuicStats>,
     /// Datagrams it served via user-space routing while draining.
     pub served_during_drain: u64,
+    /// Final merged counters + flow-tracking view.
+    pub snapshot: StatsSnapshot,
 }
 
 #[cfg(test)]
@@ -372,6 +432,17 @@ mod tests {
                     .ok()?;
             Some(quic::decode(&buf[..n]).unwrap().payload.to_vec())
         }
+
+        /// Receives one datagram (e.g. an expected CONNECTION_CLOSE).
+        async fn recv(&mut self) -> Datagram {
+            let mut buf = [0u8; 2048];
+            let (n, _) =
+                tokio::time::timeout(Duration::from_secs(5), self.socket.recv_from(&mut buf))
+                    .await
+                    .expect("recv timeout")
+                    .unwrap();
+            quic::decode(&buf[..n]).unwrap()
+        }
     }
 
     #[tokio::test]
@@ -384,7 +455,9 @@ mod tests {
         assert_eq!(flow.cid.generation, 0);
         let reply = flow.echo(vip, b"ping").await.expect("echo");
         assert_eq!(reply, b"echo:ping");
-        assert_eq!(instance.stats.unknown_flow.load(Ordering::Relaxed), 0);
+        assert_eq!(instance.stats.unknown_flow.get(), 0);
+        // The flow is tracked by the unified service layer.
+        assert_eq!(instance.active_connections(), 1);
     }
 
     #[tokio::test]
@@ -422,18 +495,17 @@ mod tests {
             drained.served_during_drain >= 2,
             "old flows served while draining"
         );
-        assert_eq!(drained.stats.unknown_flow.load(Ordering::Relaxed), 0);
-        assert_eq!(
-            new.stats.unknown_flow.load(Ordering::Relaxed),
-            0,
-            "zero misrouting"
-        );
-        // Forwarding really happened.
-        // (The new instance's routers forwarded flow_a/flow_b packets.)
+        assert_eq!(drained.stats.unknown_flow.get(), 0);
+        assert_eq!(new.stats.unknown_flow.get(), 0, "zero misrouting");
+        // The retired generation's snapshot accounts its flows: both
+        // outlived the drain and were force-closed with CONNECTION_CLOSE.
+        assert_eq!(drained.snapshot.quic_flows_opened, 2);
+        assert_eq!(drained.snapshot.forced_quic_closes, 2);
+        assert_eq!(drained.snapshot.active_connections, 0);
     }
 
     #[tokio::test]
-    async fn old_flows_die_after_drain_deadline() {
+    async fn old_flows_get_connection_close_at_drain_deadline() {
         let cfg = QuicInstanceConfig {
             drain_ms: 300,
             ..config("deadline")
@@ -447,11 +519,19 @@ mod tests {
         let old_task = tokio::spawn(old.serve_one_takeover());
         tokio::time::sleep(Duration::from_millis(50)).await;
         let _new = QuicInstance::takeover_from(cfg).await.unwrap();
-        let _drained = old_task.await.unwrap().unwrap();
+        let drained = old_task.await.unwrap().unwrap();
 
-        // The drain window has passed; the old process is gone and its
-        // flows get no replies — the bounded residual disruption the
-        // paper accepts for flows outliving the drain.
+        // The drain window has passed; the surviving flow was told
+        // explicitly with a CONNECTION_CLOSE (so the client reconnects
+        // instead of retransmitting into silence)…
+        let close = flow.recv().await;
+        assert_eq!(close.packet_type, PacketType::Close);
+        assert_eq!(close.cid, flow.cid);
+        assert_eq!(drained.snapshot.forced_quic_closes, 1);
+
+        // …and the old process is gone: further echoes get no reply — the
+        // bounded residual disruption the paper accepts for flows
+        // outliving the drain.
         assert_eq!(flow.echo(vip, b"too-late").await, None);
     }
 }

@@ -17,20 +17,26 @@
 //! request per active stream — unlike the paper's rejected option (iii),
 //! which buffered *every* POST at the Origin for the request's entire
 //! lifetime regardless of restarts.
+//!
+//! Lifecycle (drain, hard deadline, forced-close accounting) comes from
+//! the unified [`crate::service`] layer; HTTP's close signal is the bare
+//! TCP close itself.
 
 use std::net::SocketAddr;
+use std::ops::Deref;
 use std::sync::Arc;
 use std::time::Duration;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::watch;
 
 use zdr_proto::http1::{
     serialize_request, serialize_response, Request, RequestParser, Response, StatusCode,
 };
 use zdr_proto::ppr::{decode_379, is_partial_post, ReplayBudget, ReplayDecision};
 
+use crate::conn_tracker::ConnGuard;
+use crate::service::{DrainState, HttpCloseSignal, ServiceHandle};
 use crate::stats::ProxyStats;
 use crate::upstream::UpstreamPool;
 
@@ -58,55 +64,24 @@ impl Default for ReverseProxyConfig {
     }
 }
 
-/// Handle to a running reverse proxy.
+/// Handle to a running reverse proxy. Derefs to [`ServiceHandle`] for the
+/// unified lifecycle: `drain()` stops accepting (in-flight requests finish
+/// and the health endpoint reports unhealthy), `drain_with_deadline()`
+/// additionally force-closes survivors at the hard deadline.
 #[derive(Debug)]
 pub struct ReverseProxyHandle {
-    /// Bound address.
-    pub addr: SocketAddr,
+    /// The unified service lifecycle (addr, drain, deadline, tracking).
+    pub service: ServiceHandle,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
     /// Upstream pool (health-markable by callers).
     pub pool: Arc<UpstreamPool>,
-    drain_tx: watch::Sender<bool>,
-    force_tx: watch::Sender<bool>,
-    accept_task: tokio::task::JoinHandle<()>,
 }
 
-impl ReverseProxyHandle {
-    /// Enters draining: stop accepting; in-flight requests finish; the
-    /// health endpoint reports unhealthy.
-    pub fn drain(&self) {
-        self.accept_task.abort();
-        let _ = self.drain_tx.send(true);
-    }
-
-    /// True once draining.
-    pub fn is_draining(&self) -> bool {
-        *self.drain_tx.borrow()
-    }
-
-    /// Arms the drain hard deadline: `after` from now, connections still
-    /// open are force-closed and counted in `stats.forced_closes`. A drain
-    /// without a deadline leaves idle keep-alive connections (and stuck
-    /// peers) holding the old process open forever.
-    pub fn arm_force_close(&self, after: Duration) {
-        let tx = self.force_tx.clone();
-        tokio::spawn(async move {
-            tokio::time::sleep(after).await;
-            let _ = tx.send(true);
-        });
-    }
-
-    /// [`ReverseProxyHandle::drain`] plus a hard deadline.
-    pub fn drain_with_deadline(&self, deadline: Duration) {
-        self.drain();
-        self.arm_force_close(deadline);
-    }
-}
-
-impl Drop for ReverseProxyHandle {
-    fn drop(&mut self) {
-        self.accept_task.abort();
+impl Deref for ReverseProxyHandle {
+    type Target = ServiceHandle;
+    fn deref(&self) -> &ServiceHandle {
+        &self.service
     }
 }
 
@@ -131,48 +106,31 @@ pub fn serve_on_listener(
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
     let pool = Arc::new(UpstreamPool::new(config.upstreams.clone()));
-    let (drain_tx, drain_rx) = watch::channel(false);
-    let (force_tx, force_rx) = watch::channel(false);
+    let state = DrainState::new(HttpCloseSignal);
     let config = Arc::new(config);
 
     let accept_stats = Arc::clone(&stats);
     let accept_pool = Arc::clone(&pool);
+    let accept_state = Arc::clone(&state);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
-            ProxyStats::bump(&accept_stats.connections_accepted);
+            accept_stats.connections_accepted.bump();
             let stats = Arc::clone(&accept_stats);
             let pool = Arc::clone(&accept_pool);
             let config = Arc::clone(&config);
-            let drain = drain_rx.clone();
-            let force = force_rx.clone();
+            let state = Arc::clone(&accept_state);
+            let guard = state.register();
             tokio::spawn(async move {
-                let _ = handle_client(stream, config, pool, stats, drain, force).await;
+                let _ = handle_client(stream, config, pool, stats, state, guard).await;
             });
         }
     });
 
     Ok(ReverseProxyHandle {
-        addr,
+        service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
         pool,
-        drain_tx,
-        force_tx,
-        accept_task,
     })
-}
-
-/// Resolves when the force-close signal fires. Pends forever once the
-/// sender side is gone: a dropped handle must never read as "force-close
-/// everything".
-async fn force_close_signal(rx: &mut watch::Receiver<bool>) {
-    loop {
-        if *rx.borrow() {
-            return;
-        }
-        if rx.changed().await.is_err() {
-            std::future::pending::<()>().await;
-        }
-    }
 }
 
 async fn handle_client(
@@ -180,9 +138,11 @@ async fn handle_client(
     config: Arc<ReverseProxyConfig>,
     pool: Arc<UpstreamPool>,
     stats: Arc<ProxyStats>,
-    drain: watch::Receiver<bool>,
-    mut force: watch::Receiver<bool>,
+    state: Arc<DrainState>,
+    mut guard: ConnGuard,
 ) -> std::io::Result<()> {
+    let drain = state.drain_watch();
+    let mut force = state.force_watch();
     let mut buf = [0u8; 16 * 1024];
     loop {
         let mut parser = RequestParser::new();
@@ -192,9 +152,13 @@ async fn handle_client(
                     Ok(0) | Err(_) => return Ok(()),
                     Ok(n) => n,
                 },
-                _ = force_close_signal(&mut force) => {
+                _ = DrainState::force_signal(&mut force) => {
                     // Drain hard deadline: close out from under the client.
-                    ProxyStats::bump(&stats.forced_closes);
+                    // HTTP's close signal is the TCP close itself.
+                    if let Some(frame) = state.close_frame() {
+                        let _ = stream.write_all(&frame).await;
+                    }
+                    guard.mark_forced(state.close_kind());
                     return Ok(());
                 }
             };
@@ -217,10 +181,10 @@ async fn handle_client(
         // the listener owns the probe).
         let response = if request.target == "/proxygen/health" {
             if *drain.borrow() {
-                ProxyStats::bump(&stats.health_unhealthy);
+                stats.health_unhealthy.bump();
                 Response::new(StatusCode::service_unavailable(), &b"draining"[..])
             } else {
-                ProxyStats::bump(&stats.health_ok);
+                stats.health_ok.bump();
                 Response::ok(&b"ok"[..])
             }
         } else {
@@ -228,9 +192,9 @@ async fn handle_client(
         };
 
         if response.status.is_server_error() {
-            ProxyStats::bump(&stats.responses_5xx);
+            stats.responses_5xx.bump();
         } else {
-            ProxyStats::bump(&stats.requests_ok);
+            stats.requests_ok.bump();
         }
         stream.write_all(&serialize_response(&response)).await?;
 
@@ -264,7 +228,7 @@ async fn proxy_with_replay(
     loop {
         let Some(upstream) = pool.pick(&exclude) else {
             // §4.3 caveat: no replay target → standard 500.
-            ProxyStats::bump(&stats.ppr_gave_up);
+            stats.ppr_gave_up.bump();
             return Response::internal_error();
         };
 
@@ -273,7 +237,7 @@ async fn proxy_with_replay(
                 if !is_partial_post(&resp) {
                     // §5.2: 379 without the exact status message is NOT a
                     // PPR — relay it like any other response.
-                    ProxyStats::bump(&stats.ungated_379);
+                    stats.ungated_379.bump();
                     return resp;
                 }
                 if !config.ppr_enabled {
@@ -281,7 +245,7 @@ async fn proxy_with_replay(
                     // implement PPR — the user sees a 500.
                     return Response::internal_error();
                 }
-                ProxyStats::bump(&stats.ppr_handoffs);
+                stats.ppr_handoffs.bump();
                 // Consistency check: the server's echoed partial body must
                 // be a prefix of what we forwarded ("trust the app server,
                 // but always double-check", §5.2).
@@ -294,7 +258,7 @@ async fn proxy_with_replay(
                         match budget.decide() {
                             ReplayDecision::Retry { .. } => continue,
                             ReplayDecision::GiveUp => {
-                                ProxyStats::bump(&stats.ppr_gave_up);
+                                stats.ppr_gave_up.bump();
                                 return Response::internal_error();
                             }
                         }
@@ -302,14 +266,14 @@ async fn proxy_with_replay(
                     _ => {
                         // Echo inconsistent with our copy: do not replay
                         // corrupted state.
-                        ProxyStats::bump(&stats.ppr_gave_up);
+                        stats.ppr_gave_up.bump();
                         return Response::internal_error();
                     }
                 }
             }
             Ok(resp) => {
                 if budget.used() > 0 {
-                    ProxyStats::bump(&stats.ppr_replayed_ok);
+                    stats.ppr_replayed_ok.bump();
                 }
                 return resp;
             }
@@ -321,7 +285,7 @@ async fn proxy_with_replay(
                 match budget.decide() {
                     ReplayDecision::Retry { .. } => continue,
                     ReplayDecision::GiveUp => {
-                        ProxyStats::bump(&stats.ppr_gave_up);
+                        stats.ppr_gave_up.bump();
                         return Response::internal_error();
                     }
                 }
@@ -430,7 +394,7 @@ mod tests {
         let resp = send(p.addr, &Request::get("/feed")).await;
         assert_eq!(resp.status.code, 200);
         assert_eq!(resp.headers.get("x-served-by"), Some("app-A"));
-        assert_eq!(ProxyStats::get(&p.stats.requests_ok), 1);
+        assert_eq!(p.stats.requests_ok.get(), 1);
     }
 
     #[tokio::test]
@@ -451,7 +415,7 @@ mod tests {
         // Draining closes the listener; an existing connection would see
         // 503 — verify via counters on a fresh spawn instead.
         assert!(p.is_draining());
-        assert_eq!(ProxyStats::get(&p.stats.health_ok), 1);
+        assert_eq!(p.stats.health_ok.get(), 1);
     }
 
     #[tokio::test]
@@ -474,6 +438,7 @@ mod tests {
                 break;
             }
         }
+        assert_eq!(p.active_connections(), 1);
 
         // An idle client outliving the drain must be force-closed at the
         // deadline, not left dangling.
@@ -493,7 +458,15 @@ mod tests {
             elapsed < Duration::from_secs(2),
             "outlived the deadline by more than a tick: {elapsed:?}"
         );
-        assert_eq!(ProxyStats::get(&p.stats.forced_closes), 1);
+        assert_eq!(p.forced_closes(), 1);
+        assert_eq!(
+            p.tracker().forced_tally().tcp_resets,
+            1,
+            "HTTP forced closes are accounted as TCP resets"
+        );
+        tokio::time::timeout(Duration::from_secs(2), p.drained())
+            .await
+            .expect("drained() must resolve after the forced close");
     }
 
     #[tokio::test]
@@ -518,7 +491,8 @@ mod tests {
         // No deadline armed: the idle connection stays open.
         let read = tokio::time::timeout(Duration::from_millis(300), stream.read(&mut buf)).await;
         assert!(read.is_err(), "plain drain must not force-close");
-        assert_eq!(ProxyStats::get(&p.stats.forced_closes), 0);
+        assert_eq!(p.forced_closes(), 0);
+        assert_eq!(p.active_connections(), 1);
     }
 
     #[tokio::test]
@@ -539,7 +513,7 @@ mod tests {
         let p = proxy(vec![]).await;
         let resp = send(p.addr, &Request::get("/x")).await;
         assert_eq!(resp.status.code, 500);
-        assert_eq!(ProxyStats::get(&p.stats.responses_5xx), 1);
+        assert_eq!(p.stats.responses_5xx.get(), 1);
     }
 
     #[tokio::test]
@@ -566,8 +540,8 @@ mod tests {
         let resp = send(p.addr, &Request::get("/x")).await;
         assert_eq!(resp.status.code, 379);
         assert_eq!(resp.status.reason, "Something Else");
-        assert_eq!(ProxyStats::get(&p.stats.ungated_379), 1);
-        assert_eq!(ProxyStats::get(&p.stats.ppr_handoffs), 0);
+        assert_eq!(p.stats.ungated_379.get(), 1);
+        assert_eq!(p.stats.ppr_handoffs.get(), 0);
     }
 
     #[tokio::test]

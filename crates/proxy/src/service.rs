@@ -1,0 +1,403 @@
+//! The unified proxy service layer: one listener/drain/stats lifecycle
+//! shared by every protocol this Proxygen-like proxy serves.
+//!
+//! The paper applies a single release lifecycle to every service (§4.1,
+//! §4.3): stop accepting, announce the drain, keep serving existing
+//! connections, and at a hard deadline force-close the survivors with a
+//! protocol-appropriate signal. This module is that lifecycle as a reusable
+//! component:
+//!
+//! * [`DrainState`] — the shared drain/force watch channels plus the
+//!   [`ConnTracker`] and the protocol's [`CloseSignal`] impl. Connection
+//!   tasks hold an `Arc<DrainState>` and select on its signals.
+//! * [`ServiceHandle`] — what a spawned service returns to its owner: a
+//!   sync `drain()` that stops the accept tasks and flips the drain signal,
+//!   `drain_with_deadline()` that also arms the force-close timer, and an
+//!   awaitable [`ServiceHandle::drained`] that resolves once the active
+//!   gauge hits zero.
+//! * [`CloseSignal`] — how a protocol says "this connection is being
+//!   killed": kind (for accounting) + optional close frame (bytes written
+//!   to the peer before the close). HTTP is a bare TCP close; MQTT writes
+//!   a DISCONNECT packet; the trunk's GOAWAY rides the mux; QUIC sends a
+//!   CONNECTION_CLOSE datagram per flow.
+//!
+//! Service modules differ only in their accept loops and per-connection
+//! I/O; everything lifecycle-shaped lives here.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use tokio::sync::watch;
+use tokio::task::JoinHandle;
+
+use zdr_proto::mqtt;
+
+use crate::conn_tracker::{ConnGuard, ConnTracker};
+
+/// How a protocol closes a connection at the drain hard deadline.
+///
+/// Implementations are tiny: a close-signal *kind* (what the accounting
+/// records, `zdr_core::drain::CloseSignal`) and optionally a close *frame*
+/// (bytes written to the peer before the transport closes). A new protocol
+/// plugs into the service layer by implementing this trait and passing it
+/// to [`DrainState::new`].
+pub trait CloseSignal: Send + Sync + std::fmt::Debug + 'static {
+    /// The accounting kind of this protocol's forced close.
+    fn kind(&self) -> zdr_core::drain::CloseSignal;
+
+    /// The close frame written to the peer before closing, if the protocol
+    /// has one. `None` means close the transport silently (plain TCP).
+    fn close_frame(&self) -> Option<Bytes> {
+        None
+    }
+}
+
+/// Plain HTTP/TCP: no close frame, the reset itself is the signal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpCloseSignal;
+
+impl CloseSignal for HttpCloseSignal {
+    fn kind(&self) -> zdr_core::drain::CloseSignal {
+        zdr_core::drain::CloseSignal::TcpReset
+    }
+}
+
+/// MQTT: write a DISCONNECT packet so the client knows to reconnect now
+/// instead of discovering a dead tunnel on its next publish.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MqttCloseSignal;
+
+impl CloseSignal for MqttCloseSignal {
+    fn kind(&self) -> zdr_core::drain::CloseSignal {
+        zdr_core::drain::CloseSignal::MqttDisconnect
+    }
+
+    fn close_frame(&self) -> Option<Bytes> {
+        // Encoding a DISCONNECT is infallible (fixed two-byte packet).
+        mqtt::encode(&mqtt::Packet::Disconnect).ok()
+    }
+}
+
+/// Trunked streams: the GOAWAY rides the HTTP/2-like mux (sent by the
+/// trunk layer itself), so there is no per-connection frame here — only
+/// the accounting kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrunkCloseSignal;
+
+impl CloseSignal for TrunkCloseSignal {
+    fn kind(&self) -> zdr_core::drain::CloseSignal {
+        zdr_core::drain::CloseSignal::H2Goaway
+    }
+}
+
+/// QUIC: each surviving flow gets a CONNECTION_CLOSE datagram, built per
+/// flow by [`quic_close_datagram`] since it must carry the flow's CID.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuicCloseSignal;
+
+impl CloseSignal for QuicCloseSignal {
+    fn kind(&self) -> zdr_core::drain::CloseSignal {
+        zdr_core::drain::CloseSignal::QuicConnectionClose
+    }
+}
+
+/// Builds the CONNECTION_CLOSE datagram for one QUIC flow.
+pub fn quic_close_datagram(cid: zdr_proto::quic::ConnectionId) -> Bytes {
+    zdr_proto::quic::encode(&zdr_proto::quic::Datagram::connection_close(cid))
+        .expect("close datagram encoding is infallible")
+}
+
+/// Shared drain machinery for one service: the drain and force-close watch
+/// signals, the connection tracker, and the protocol's close signal.
+#[derive(Debug)]
+pub struct DrainState {
+    drain_tx: watch::Sender<bool>,
+    force_tx: watch::Sender<bool>,
+    tracker: Arc<ConnTracker>,
+    close: Arc<dyn CloseSignal>,
+}
+
+impl DrainState {
+    /// Fresh, not-draining state for a service speaking `close`'s protocol.
+    pub fn new(close: impl CloseSignal) -> Arc<Self> {
+        let (drain_tx, _) = watch::channel(false);
+        let (force_tx, _) = watch::channel(false);
+        Arc::new(DrainState {
+            drain_tx,
+            force_tx,
+            tracker: ConnTracker::new(),
+            close: Arc::new(close),
+        })
+    }
+
+    /// Flips the drain signal. Idempotent; never blocks.
+    pub fn drain(&self) {
+        let _ = self.drain_tx.send(true);
+    }
+
+    /// Has the drain signal fired?
+    pub fn is_draining(&self) -> bool {
+        *self.drain_tx.borrow()
+    }
+
+    /// A receiver for the drain signal.
+    pub fn drain_watch(&self) -> watch::Receiver<bool> {
+        self.drain_tx.subscribe()
+    }
+
+    /// A receiver for the force-close signal.
+    pub fn force_watch(&self) -> watch::Receiver<bool> {
+        self.force_tx.subscribe()
+    }
+
+    /// Fires the force-close signal `after` the given delay (the hard
+    /// deadline of §4.3). Connection tasks observe it via
+    /// [`DrainState::force_signal`].
+    pub fn arm_force_close(self: &Arc<Self>, after: Duration) {
+        let state = Arc::clone(self);
+        tokio::spawn(async move {
+            tokio::time::sleep(after).await;
+            let _ = state.force_tx.send(true);
+        });
+    }
+
+    /// Resolves when the force-close deadline fires. If the service handle
+    /// is dropped (sender gone), pends forever: an abandoned handle must
+    /// not read as "force-close everything".
+    pub async fn force_signal(rx: &mut watch::Receiver<bool>) {
+        loop {
+            if *rx.borrow() {
+                return;
+            }
+            if rx.changed().await.is_err() {
+                std::future::pending::<()>().await;
+            }
+        }
+    }
+
+    /// Registers a connection with the tracker.
+    pub fn register(self: &Arc<Self>) -> ConnGuard {
+        self.tracker.register()
+    }
+
+    /// The service's connection tracker.
+    pub fn tracker(&self) -> &Arc<ConnTracker> {
+        &self.tracker
+    }
+
+    /// The accounting kind of this service's forced closes.
+    pub fn close_kind(&self) -> zdr_core::drain::CloseSignal {
+        self.close.kind()
+    }
+
+    /// The protocol's close frame, if it has one.
+    pub fn close_frame(&self) -> Option<Bytes> {
+        self.close.close_frame()
+    }
+}
+
+/// Handle to one running service: address, lifecycle controls, accounting.
+///
+/// Per-service handle types (`ReverseProxyHandle`, `OriginHandle`, …) embed
+/// one of these and `Deref` to it, so `handle.drain()`,
+/// `handle.is_draining()`, `handle.drain_with_deadline()`,
+/// `handle.drained().await` behave identically across HTTP, MQTT (plain and
+/// trunked), and QUIC.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    /// Address the service listens on.
+    pub addr: std::net::SocketAddr,
+    state: Arc<DrainState>,
+    accept_tasks: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// Wraps a spawned service: its listen address, drain state, and the
+    /// accept/router tasks that must stop when the drain begins.
+    pub fn new(
+        addr: std::net::SocketAddr,
+        state: Arc<DrainState>,
+        accept_tasks: Vec<JoinHandle<()>>,
+    ) -> Self {
+        ServiceHandle {
+            addr,
+            state,
+            accept_tasks,
+        }
+    }
+
+    /// Begins draining: stops the accept tasks and flips the drain signal.
+    /// Sync and idempotent — the signal is the drain, observation is
+    /// [`ServiceHandle::drained`].
+    pub fn drain(&self) {
+        for t in &self.accept_tasks {
+            t.abort();
+        }
+        self.state.drain();
+    }
+
+    /// Has the drain begun?
+    pub fn is_draining(&self) -> bool {
+        self.state.is_draining()
+    }
+
+    /// Arms the hard deadline: `after` from now, surviving connections are
+    /// force-closed with the protocol's close signal.
+    pub fn arm_force_close(&self, after: Duration) {
+        self.state.arm_force_close(after);
+    }
+
+    /// Drain with a hard deadline — the §4.3 shape: stop accepting now,
+    /// force-close whatever is still open after `deadline`.
+    pub fn drain_with_deadline(&self, deadline: Duration) {
+        self.drain();
+        self.arm_force_close(deadline);
+    }
+
+    /// Resolves once the service is draining *and* its active-connection
+    /// gauge has reached zero.
+    pub async fn drained(&self) {
+        let mut rx = self.state.drain_watch();
+        loop {
+            if *rx.borrow() {
+                break;
+            }
+            if rx.changed().await.is_err() {
+                break;
+            }
+        }
+        while self.state.tracker().active() > 0 {
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+    }
+
+    /// Connections currently open on this service.
+    pub fn active_connections(&self) -> u64 {
+        self.state.tracker().active()
+    }
+
+    /// Connections force-closed at the hard deadline so far.
+    pub fn forced_closes(&self) -> u64 {
+        self.state.tracker().forced_closes()
+    }
+
+    /// The shared drain state (for connection tasks and tests).
+    pub fn state(&self) -> &Arc<DrainState> {
+        &self.state
+    }
+
+    /// The service's connection tracker.
+    pub fn tracker(&self) -> &Arc<ConnTracker> {
+        self.state.tracker()
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        for t in &self.accept_tasks {
+            t.abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(state: &Arc<DrainState>) -> ServiceHandle {
+        ServiceHandle::new(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::clone(state),
+            Vec::new(),
+        )
+    }
+
+    #[tokio::test]
+    async fn drain_is_sync_idempotent_and_observable() {
+        let state = DrainState::new(HttpCloseSignal);
+        let h = handle(&state);
+        assert!(!h.is_draining());
+        h.drain();
+        h.drain();
+        assert!(h.is_draining());
+        // drained() resolves immediately: draining and gauge is zero.
+        tokio::time::timeout(Duration::from_secs(1), h.drained())
+            .await
+            .expect("drained should resolve");
+    }
+
+    #[tokio::test]
+    async fn drained_waits_for_active_connections() {
+        let state = DrainState::new(HttpCloseSignal);
+        let h = handle(&state);
+        let guard = state.register();
+        h.drain();
+        assert_eq!(h.active_connections(), 1);
+        let state2 = Arc::clone(&state);
+        tokio::spawn(async move {
+            tokio::time::sleep(Duration::from_millis(30)).await;
+            drop(guard);
+            drop(state2);
+        });
+        tokio::time::timeout(Duration::from_secs(2), h.drained())
+            .await
+            .expect("drained should resolve once the guard drops");
+        assert_eq!(h.active_connections(), 0);
+    }
+
+    #[tokio::test]
+    async fn force_signal_fires_after_deadline() {
+        let state = DrainState::new(MqttCloseSignal);
+        let mut rx = state.force_watch();
+        state.arm_force_close(Duration::from_millis(20));
+        tokio::time::timeout(Duration::from_secs(2), DrainState::force_signal(&mut rx))
+            .await
+            .expect("force signal should fire");
+    }
+
+    #[tokio::test]
+    async fn dropped_state_never_reads_as_force_close() {
+        let state = DrainState::new(HttpCloseSignal);
+        let mut rx = state.force_watch();
+        drop(state);
+        let fired = tokio::time::timeout(Duration::from_millis(50), async {
+            DrainState::force_signal(&mut rx).await
+        })
+        .await;
+        assert!(fired.is_err(), "dropped sender must pend, not fire");
+    }
+
+    #[test]
+    fn close_signals_are_protocol_appropriate() {
+        assert_eq!(
+            HttpCloseSignal.kind(),
+            zdr_core::drain::CloseSignal::TcpReset
+        );
+        assert!(HttpCloseSignal.close_frame().is_none());
+
+        assert_eq!(
+            MqttCloseSignal.kind(),
+            zdr_core::drain::CloseSignal::MqttDisconnect
+        );
+        let frame = MqttCloseSignal.close_frame().expect("disconnect frame");
+        let (pkt, used) = mqtt::decode(&frame).unwrap();
+        assert_eq!(pkt, mqtt::Packet::Disconnect);
+        assert_eq!(used, frame.len());
+
+        assert_eq!(
+            TrunkCloseSignal.kind(),
+            zdr_core::drain::CloseSignal::H2Goaway
+        );
+
+        assert_eq!(
+            QuicCloseSignal.kind(),
+            zdr_core::drain::CloseSignal::QuicConnectionClose
+        );
+        let cid = zdr_proto::quic::ConnectionId::new(3, 77);
+        let wire = quic_close_datagram(cid);
+        let d = zdr_proto::quic::decode(&wire).unwrap();
+        assert_eq!(d.packet_type, zdr_proto::quic::PacketType::Close);
+        assert_eq!(d.cid, cid);
+    }
+}

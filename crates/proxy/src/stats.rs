@@ -1,74 +1,258 @@
 //! Per-instance counters — the real-time release-observability signals the
 //! paper's auditing infrastructure scrapes (§6: RPS, HTTP status codes
 //! sent, TCP RSTs, MQTT connection counts, takeover status).
+//!
+//! Every counter is a [`Counter`] (a relaxed `AtomicU64`); the free-function
+//! helpers (`ProxyStats::bump/get/add`) are gone, so a call site can only
+//! touch a counter through the struct that owns it. The merged, serializable
+//! view of everything is [`StatsSnapshot`] — the `zdr --stats-json` payload.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A relaxed monotonic event counter.
+///
+/// Counters count events — they never go down. The live gauge of open
+/// connections lives in [`crate::conn_tracker::ConnTracker`], not here.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Live counters for one proxy instance.
 #[derive(Debug, Default)]
 pub struct ProxyStats {
     /// Requests proxied to a 2xx/3xx/4xx conclusion.
-    pub requests_ok: AtomicU64,
+    pub requests_ok: Counter,
     /// 5xx responses sent to clients.
-    pub responses_5xx: AtomicU64,
+    pub responses_5xx: Counter,
     /// Gated 379 responses intercepted (PPR handoffs observed).
-    pub ppr_handoffs: AtomicU64,
+    pub ppr_handoffs: Counter,
     /// Requests successfully replayed to another app server.
-    pub ppr_replayed_ok: AtomicU64,
+    pub ppr_replayed_ok: Counter,
     /// Replays abandoned (budget exhausted / no upstream) → 500 to user.
-    pub ppr_gave_up: AtomicU64,
+    pub ppr_gave_up: Counter,
     /// Ungated 379s passed through as ordinary (erroneous) responses —
     /// the §5.2 "randomized status code" guard in action.
-    pub ungated_379: AtomicU64,
-    /// MQTT tunnels currently relayed.
-    pub mqtt_tunnels: AtomicU64,
+    pub ungated_379: Counter,
+    /// MQTT tunnels relayed.
+    pub mqtt_tunnels: Counter,
     /// Tunnels re-homed away from this instance by DCR.
-    pub dcr_rehomed: AtomicU64,
+    pub dcr_rehomed: Counter,
     /// Tunnels dropped (client must reconnect).
-    pub mqtt_dropped: AtomicU64,
+    pub mqtt_dropped: Counter,
     /// Connections accepted.
-    pub connections_accepted: AtomicU64,
+    pub connections_accepted: Counter,
     /// Connections torn down by our restart (RSTs under HardRestart).
-    pub connections_reset: AtomicU64,
+    pub connections_reset: Counter,
     /// Health probes answered healthy.
-    pub health_ok: AtomicU64,
+    pub health_ok: Counter,
     /// Health probes answered draining/unhealthy.
-    pub health_unhealthy: AtomicU64,
+    pub health_unhealthy: Counter,
     /// Takeover attempts retried after a handshake failure/timeout.
-    pub takeover_retries: AtomicU64,
+    pub takeover_retries: Counter,
     /// Releases rolled back (sockets reclaimed from an unhealthy successor).
-    pub rollbacks: AtomicU64,
-    /// Connections force-closed at the drain hard deadline.
-    pub forced_closes: AtomicU64,
+    pub rollbacks: Counter,
     /// Faults injected by the test harness on this instance's handshakes.
-    pub injected_faults: AtomicU64,
+    pub injected_faults: Counter,
 }
 
 impl ProxyStats {
-    /// Convenience: relaxed add.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Relaxed read.
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
-    }
-
-    /// Relaxed add of `n`.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
     /// Snapshot of the release-supervision counters as core metrics.
-    pub fn release_counters(&self) -> zdr_core::metrics::ReleaseCounters {
+    /// `forced_closes` comes from the service layer's
+    /// [`crate::conn_tracker::ConnTracker`], which owns that accounting.
+    pub fn release_counters(&self, forced_closes: u64) -> zdr_core::metrics::ReleaseCounters {
         zdr_core::metrics::ReleaseCounters {
-            takeover_retries: Self::get(&self.takeover_retries),
-            rollbacks: Self::get(&self.rollbacks),
-            forced_closes: Self::get(&self.forced_closes),
-            injected_faults: Self::get(&self.injected_faults),
+            takeover_retries: self.takeover_retries.get(),
+            rollbacks: self.rollbacks.get(),
+            forced_closes,
+            injected_faults: self.injected_faults.get(),
             aborted_releases: 0,
         }
+    }
+
+    /// This instance's counters as a (partial) unified snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_ok: self.requests_ok.get(),
+            responses_5xx: self.responses_5xx.get(),
+            ppr_handoffs: self.ppr_handoffs.get(),
+            ppr_replayed_ok: self.ppr_replayed_ok.get(),
+            ppr_gave_up: self.ppr_gave_up.get(),
+            ungated_379: self.ungated_379.get(),
+            mqtt_tunnels: self.mqtt_tunnels.get(),
+            dcr_rehomed: self.dcr_rehomed.get(),
+            mqtt_dropped: self.mqtt_dropped.get(),
+            connections_accepted: self.connections_accepted.get(),
+            connections_reset: self.connections_reset.get(),
+            health_ok: self.health_ok.get(),
+            health_unhealthy: self.health_unhealthy.get(),
+            takeover_retries: self.takeover_retries.get(),
+            rollbacks: self.rollbacks.get(),
+            injected_faults: self.injected_faults.get(),
+            ..StatsSnapshot::default()
+        }
+    }
+}
+
+/// Edge-side Downstream Connection Reuse counters (§4.2) — owned by the
+/// Edge handles in [`crate::mqtt_relay`] and [`crate::mqtt_relay_trunk`].
+#[derive(Debug, Default)]
+pub struct EdgeDcrStats {
+    /// Tunnels successfully re-homed to another Origin.
+    pub rehomed_ok: Counter,
+    /// Solicitations received with no alternate Origin available.
+    pub rehome_refused: Counter,
+    /// Tunnels torn down because re-homing failed.
+    pub dropped: Counter,
+}
+
+impl EdgeDcrStats {
+    /// These counters as a (partial) unified snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            dcr_rehomed_ok: self.rehomed_ok.get(),
+            dcr_rehome_refused: self.rehome_refused.get(),
+            dcr_dropped: self.dropped.get(),
+            ..StatsSnapshot::default()
+        }
+    }
+}
+
+/// One merged, serializable view across every service a process runs —
+/// HTTP reverse proxy, MQTT relay (per-tunnel or trunked), QUIC, plus the
+/// service layer's connection tracking. Sections a process doesn't run
+/// merge as zeros, so `zdr --stats-json` always emits the same shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    // HTTP reverse proxy (ProxyStats).
+    /// Requests proxied to a 2xx/3xx/4xx conclusion.
+    pub requests_ok: u64,
+    /// 5xx responses sent to clients.
+    pub responses_5xx: u64,
+    /// Gated 379 responses intercepted (PPR handoffs observed).
+    pub ppr_handoffs: u64,
+    /// Requests successfully replayed to another app server.
+    pub ppr_replayed_ok: u64,
+    /// Replays abandoned → 500 to user.
+    pub ppr_gave_up: u64,
+    /// Ungated 379s passed through untouched.
+    pub ungated_379: u64,
+    /// MQTT tunnels relayed.
+    pub mqtt_tunnels: u64,
+    /// Tunnels re-homed away from this instance by DCR.
+    pub dcr_rehomed: u64,
+    /// Tunnels dropped (client must reconnect).
+    pub mqtt_dropped: u64,
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections torn down by our restart.
+    pub connections_reset: u64,
+    /// Health probes answered healthy.
+    pub health_ok: u64,
+    /// Health probes answered draining/unhealthy.
+    pub health_unhealthy: u64,
+    /// Takeover attempts retried.
+    pub takeover_retries: u64,
+    /// Releases rolled back.
+    pub rollbacks: u64,
+    /// Faults injected by the test harness.
+    pub injected_faults: u64,
+
+    // Edge-side DCR (EdgeDcrStats).
+    /// Tunnels the Edge re-homed successfully.
+    pub dcr_rehomed_ok: u64,
+    /// Solicitations refused for lack of an alternate Origin.
+    pub dcr_rehome_refused: u64,
+    /// Tunnels the Edge dropped after a failed re-home.
+    pub dcr_dropped: u64,
+
+    // QUIC (QuicStats).
+    /// QUIC flows opened (Initial packets accepted).
+    pub quic_flows_opened: u64,
+    /// QUIC datagrams served on known flows.
+    pub quic_served: u64,
+    /// QUIC datagrams for unknown flows (dropped).
+    pub quic_unknown_flow: u64,
+
+    // Service layer (ConnTracker).
+    /// Connections currently open across the process's services.
+    pub active_connections: u64,
+    /// Connections ever registered with the tracker.
+    pub connections_tracked: u64,
+    /// Forced closes delivered as plain TCP resets.
+    pub forced_tcp_resets: u64,
+    /// Forced closes delivered as H2 GOAWAY.
+    pub forced_h2_goaways: u64,
+    /// Forced closes delivered as MQTT DISCONNECT.
+    pub forced_mqtt_disconnects: u64,
+    /// Forced closes delivered as QUIC CONNECTION_CLOSE.
+    pub forced_quic_closes: u64,
+}
+
+impl StatsSnapshot {
+    /// Total connections force-closed at a drain hard deadline, across all
+    /// close signals.
+    pub fn forced_closes(&self) -> u64 {
+        self.forced_tcp_resets
+            + self.forced_h2_goaways
+            + self.forced_mqtt_disconnects
+            + self.forced_quic_closes
+    }
+
+    /// Folds another snapshot into this one field-by-field. Snapshots from
+    /// the services of one process are disjoint, so addition is the merge.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.requests_ok += other.requests_ok;
+        self.responses_5xx += other.responses_5xx;
+        self.ppr_handoffs += other.ppr_handoffs;
+        self.ppr_replayed_ok += other.ppr_replayed_ok;
+        self.ppr_gave_up += other.ppr_gave_up;
+        self.ungated_379 += other.ungated_379;
+        self.mqtt_tunnels += other.mqtt_tunnels;
+        self.dcr_rehomed += other.dcr_rehomed;
+        self.mqtt_dropped += other.mqtt_dropped;
+        self.connections_accepted += other.connections_accepted;
+        self.connections_reset += other.connections_reset;
+        self.health_ok += other.health_ok;
+        self.health_unhealthy += other.health_unhealthy;
+        self.takeover_retries += other.takeover_retries;
+        self.rollbacks += other.rollbacks;
+        self.injected_faults += other.injected_faults;
+        self.dcr_rehomed_ok += other.dcr_rehomed_ok;
+        self.dcr_rehome_refused += other.dcr_rehome_refused;
+        self.dcr_dropped += other.dcr_dropped;
+        self.quic_flows_opened += other.quic_flows_opened;
+        self.quic_served += other.quic_served;
+        self.quic_unknown_flow += other.quic_unknown_flow;
+        self.active_connections += other.active_connections;
+        self.connections_tracked += other.connections_tracked;
+        self.forced_tcp_resets += other.forced_tcp_resets;
+        self.forced_h2_goaways += other.forced_h2_goaways;
+        self.forced_mqtt_disconnects += other.forced_mqtt_disconnects;
+        self.forced_quic_closes += other.forced_quic_closes;
+    }
+
+    /// Merges by value (builder style): `a.merged(&b).merged(&c)`.
+    pub fn merged(mut self, other: &StatsSnapshot) -> StatsSnapshot {
+        self.merge(other);
+        self
     }
 }
 
@@ -77,26 +261,51 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bump_and_get() {
-        let s = ProxyStats::default();
-        ProxyStats::bump(&s.requests_ok);
-        ProxyStats::bump(&s.requests_ok);
-        assert_eq!(ProxyStats::get(&s.requests_ok), 2);
-        assert_eq!(ProxyStats::get(&s.responses_5xx), 0);
+    fn counter_bump_add_get() {
+        let c = Counter::default();
+        c.bump();
+        c.bump();
+        c.add(3);
+        assert_eq!(c.get(), 5);
     }
 
     #[test]
     fn release_counter_snapshot() {
         let s = ProxyStats::default();
-        ProxyStats::bump(&s.takeover_retries);
-        ProxyStats::bump(&s.rollbacks);
-        ProxyStats::add(&s.forced_closes, 4);
-        ProxyStats::add(&s.injected_faults, 2);
-        let c = s.release_counters();
+        s.takeover_retries.bump();
+        s.rollbacks.bump();
+        s.injected_faults.add(2);
+        let c = s.release_counters(4);
         assert_eq!(c.takeover_retries, 1);
         assert_eq!(c.rollbacks, 1);
         assert_eq!(c.forced_closes, 4);
         assert_eq!(c.injected_faults, 2);
         assert_eq!(c.failed_releases(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_is_fieldwise_sum() {
+        let p = ProxyStats::default();
+        p.requests_ok.add(10);
+        p.takeover_retries.bump();
+        let d = EdgeDcrStats::default();
+        d.rehomed_ok.add(3);
+        let merged = p.snapshot().merged(&d.snapshot());
+        assert_eq!(merged.requests_ok, 10);
+        assert_eq!(merged.takeover_retries, 1);
+        assert_eq!(merged.dcr_rehomed_ok, 3);
+        assert_eq!(merged.quic_flows_opened, 0);
+        assert_eq!(merged.forced_closes(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let p = ProxyStats::default();
+        p.requests_ok.add(7);
+        let snap = p.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.requests_ok, 7);
     }
 }

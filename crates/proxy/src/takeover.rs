@@ -198,11 +198,7 @@ impl ProxyInstance {
 
     async fn request_and_claim(
         config: &ProxyInstanceConfig,
-    ) -> zdr_net::Result<(
-        zdr_net::takeover::PendingTakeover,
-        SocketAddr,
-        HandoffInfo,
-    )> {
+    ) -> zdr_net::Result<(zdr_net::takeover::PendingTakeover, SocketAddr, HandoffInfo)> {
         let path = config.takeover_path.clone();
         let pending =
             tokio::task::spawn_blocking(move || request_takeover(&path, Duration::from_secs(30)))
@@ -302,21 +298,21 @@ impl ProxyInstance {
             match result {
                 Ok(watch) => break watch,
                 Err(e) if attempt >= opts.backoff.max_attempts => {
-                    ProxyStats::add(&stats.injected_faults, faults.injected());
+                    stats.injected_faults.add(faults.injected());
                     return Ok(SupervisedOutcome::AbortedKeepOld {
                         reason: format!("takeover attempt {attempt} failed: {e}"),
                         instance: self,
                     });
                 }
                 Err(_) => {
-                    ProxyStats::bump(&stats.takeover_retries);
+                    stats.takeover_retries.bump();
                     let delay = opts.backoff.delay_ms(attempt, opts.seed);
                     tokio::time::sleep(Duration::from_millis(delay)).await;
                     attempt += 1;
                 }
             }
         };
-        ProxyStats::add(&stats.injected_faults, faults.injected());
+        stats.injected_faults.add(faults.injected());
 
         // Confirmed: the successor owns the accepts now; stop our own and
         // supervise its first health verdict before committing.
@@ -345,7 +341,7 @@ impl ProxyInstance {
                     Ok(_) => "successor reported unhealthy".to_string(),
                     Err(e) => format!("watch channel failed: {e}"),
                 };
-                ProxyStats::bump(&stats.rollbacks);
+                stats.rollbacks.bump();
                 // Reverse takeover. Best-effort: if the successor already
                 // died there is nobody to hand the FDs back — but our
                 // retained clone shares the kernel socket, so rebuilding
@@ -381,15 +377,23 @@ impl ProxyInstance {
     }
 
     /// Shared stats handle.
-    pub fn stats(&self) -> Arc<crate::stats::ProxyStats> {
+    pub fn stats(&self) -> Arc<ProxyStats> {
         Arc::clone(&self.reverse.stats)
+    }
+
+    /// This instance's counters plus connection tracking as one merged
+    /// [`crate::stats::StatsSnapshot`].
+    pub fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
+        self.reverse
+            .stats
+            .snapshot()
+            .merged(&self.reverse.tracker().snapshot())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::ProxyStats;
     use tokio::io::{AsyncReadExt, AsyncWriteExt};
     use tokio::net::TcpStream;
     use zdr_proto::http1::{serialize_request, Request, Response, ResponseParser};
@@ -490,10 +494,10 @@ mod tests {
         assert_eq!(successes, 200);
 
         // The new instance is really the one serving now.
-        let before = ProxyStats::get(&new.reverse.stats.requests_ok);
+        let before = new.reverse.stats.requests_ok.get();
         let resp = send(vip, &Request::get("/x")).await;
         assert_eq!(resp.status.code, 200);
-        assert!(ProxyStats::get(&new.reverse.stats.requests_ok) > before.saturating_sub(1));
+        assert!(new.reverse.stats.requests_ok.get() > before.saturating_sub(1));
     }
 
     async fn send_checked(addr: SocketAddr, req: &Request) -> bool {
@@ -556,7 +560,7 @@ mod tests {
 
         let resp = send(vip, &Request::get("/after")).await;
         assert_eq!(resp.status.code, 200);
-        assert_eq!(ProxyStats::get(&new.reverse.stats.requests_ok), 1);
+        assert_eq!(new.reverse.stats.requests_ok.get(), 1);
     }
 
     #[tokio::test]
@@ -599,13 +603,13 @@ mod tests {
         };
         assert!(reason.contains("unhealthy"), "{reason}");
         assert_eq!(instance.generation, 0, "rollback keeps the old generation");
-        assert_eq!(ProxyStats::get(&old_stats.rollbacks), 1);
+        assert_eq!(old_stats.rollbacks.get(), 1);
 
         // The rebuilt old instance serves the same VIP — same kernel
         // socket, so nothing was ever refused.
         let resp = send(vip, &Request::get("/rolled-back")).await;
         assert_eq!(resp.status.code, 200);
-        assert_eq!(ProxyStats::get(&instance.reverse.stats.requests_ok), 1);
+        assert_eq!(instance.reverse.stats.requests_ok.get(), 1);
     }
 
     #[tokio::test]
@@ -667,8 +671,8 @@ mod tests {
             panic!("expected abort-and-keep-old");
         };
         assert!(reason.contains("failed"), "{reason}");
-        assert_eq!(ProxyStats::get(&old_stats.takeover_retries), 1);
-        assert_eq!(ProxyStats::get(&old_stats.injected_faults), 2);
+        assert_eq!(old_stats.takeover_retries.get(), 1);
+        assert_eq!(old_stats.injected_faults.get(), 2);
 
         // Old never stopped serving.
         let resp = send(instance.addr, &Request::get("/still-here")).await;
@@ -703,7 +707,7 @@ mod tests {
         // a failure.
         let resp = send(vip, &Request::get("/proxygen/health")).await;
         assert_eq!(resp.status.code, 200);
-        assert!(ProxyStats::get(&new.reverse.stats.health_ok) >= 1);
+        assert!(new.reverse.stats.health_ok.get() >= 1);
     }
 
     #[tokio::test]

@@ -11,6 +11,12 @@
 //! logical streams on one TCP connection, and — the release-relevant part
 //! — a drain that refuses new streams while every in-flight stream runs
 //! to completion ([`TrunkHandle::goaway`] / [`TrunkHandle::drained`]).
+//!
+//! The trunk is a *transport*, below the unified [`crate::service`]
+//! layer: services built on trunks (e.g. [`crate::mqtt_relay_trunk`])
+//! drive `goaway()` from their [`crate::service::DrainState`] drain
+//! signal, so GOAWAY is the H2-level close signal of the one shared
+//! lifecycle rather than a private drain implementation.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -16,7 +16,6 @@ use zero_downtime_release::broker::server as broker;
 use zero_downtime_release::proto::dcr::UserId;
 use zero_downtime_release::proto::mqtt::{self, ConnectReturnCode, Packet, QoS, StreamDecoder};
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
-use zero_downtime_release::proxy::ProxyStats;
 
 struct Client {
     stream: TcpStream,
@@ -116,7 +115,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     tokio::time::sleep(Duration::from_millis(300)).await;
     println!(
         "edge re-homed {} tunnel(s); broker accepted {} DCR re-connect(s)",
-        ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+        edge.dcr_stats.rehomed_ok.get(),
         broker.core.stats().dcr_accepted
     );
 

@@ -17,7 +17,6 @@ use zero_downtime_release::broker::server as broker;
 use zero_downtime_release::proto::dcr::UserId;
 use zero_downtime_release::proto::mqtt::{self, ConnectReturnCode, Packet, QoS, StreamDecoder};
 use zero_downtime_release::proxy::mqtt_relay_trunk::{spawn_edge_trunk, spawn_origin_trunk};
-use zero_downtime_release::proxy::ProxyStats;
 
 struct Client {
     stream: TcpStream,
@@ -111,11 +110,11 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Origin 1 restarts: GOAWAY on the trunk IS the solicitation.
     println!("origin 1 draining: sending GOAWAY on its trunk…");
-    origin1.drain().await;
+    origin1.drain();
     tokio::time::sleep(Duration::from_millis(400)).await;
     println!(
         "edge re-homed {} tunnels via DCR; origin 2 now carries {} streams",
-        ProxyStats::get(&edge.dcr_stats.rehomed_ok),
+        edge.dcr_stats.rehomed_ok.get(),
         origin2.active_streams()
     );
 

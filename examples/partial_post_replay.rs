@@ -13,7 +13,6 @@ use tokio::net::TcpStream;
 use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
 use zero_downtime_release::proxy::reverse::{spawn_reverse_proxy, ReverseProxyConfig};
-use zero_downtime_release::proxy::ProxyStats;
 
 #[tokio::main]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -86,8 +85,8 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(resp.status.code, 200, "the user must never see the restart");
     assert_eq!(resp.headers.get("x-served-by"), Some("app-B"));
 
-    let handoffs = ProxyStats::get(&proxy.stats.ppr_handoffs);
-    let replays = ProxyStats::get(&proxy.stats.ppr_replayed_ok);
+    let handoffs = proxy.stats.ppr_handoffs.get();
+    let replays = proxy.stats.ppr_replayed_ok.get();
     println!("proxy stats: {handoffs} PPR handoff(s), {replays} successful replay(s)");
     let (_, a379, _, _) = app_a.stats.snapshot();
     println!("app-A sent {a379} × 379 responses");

@@ -33,6 +33,7 @@ use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::broker::server as broker;
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
 use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+use zero_downtime_release::proxy::stats::StatsSnapshot;
 use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
 
 const USAGE: &str = "\
@@ -52,6 +53,9 @@ ROLES:
 
 COMMON OPTIONS:
   --listen ADDR          bind address (default 127.0.0.1:0)
+  --stats-json           print `STATS <json>` — one merged snapshot of every
+                         counter (proxy + DCR + QUIC + connection tracking) —
+                         when the role drains or exits
 
 app-server:
   --name NAME            identity reported in x-served-by (default app-0)
@@ -222,6 +226,19 @@ async fn wait_forever() {
     let _ = tokio::signal::ctrl_c().await;
 }
 
+/// Emits the unified snapshot as one `STATS <json>` line when
+/// `--stats-json` was given. Every role funnels through this — the whole
+/// point of [`StatsSnapshot`] is that experiments and tests parse one
+/// merged view instead of scraping per-module counters.
+fn dump_stats(args: &Args, snapshot: &StatsSnapshot) {
+    if args.flag("--stats-json") {
+        announce(&format!(
+            "STATS {}",
+            serde_json::to_string(snapshot).expect("snapshot serializes")
+        ));
+    }
+}
+
 async fn run_broker(args: &Args) -> Result<(), String> {
     let listen = args.addr("--listen", "127.0.0.1:0")?;
     let handle = broker::spawn(listen).await.map_err(|e| e.to_string())?;
@@ -276,8 +293,12 @@ async fn run_origin(args: &Args) -> Result<(), String> {
         if drain_after > 0 {
             tokio::time::sleep(Duration::from_millis(drain_after)).await;
             eprintln!("origin {id} draining (GOAWAY on trunks)");
-            handle.drain().await;
+            handle.drain();
             tokio::time::sleep(Duration::from_millis(5_000)).await;
+            dump_stats(
+                args,
+                &handle.stats.snapshot().merged(&handle.tracker().snapshot()),
+            );
             return Ok(());
         }
         wait_forever().await;
@@ -292,6 +313,10 @@ async fn run_origin(args: &Args) -> Result<(), String> {
         eprintln!("origin {id} draining (DCR solicitations sent)");
         handle.drain();
         tokio::time::sleep(Duration::from_millis(5_000)).await;
+        dump_stats(
+            args,
+            &handle.stats.snapshot().merged(&handle.tracker().snapshot()),
+        );
         return Ok(());
     }
     wait_forever().await;
@@ -311,6 +336,14 @@ async fn run_edge(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         ready(handle.addr);
         wait_forever().await;
+        dump_stats(
+            args,
+            &handle
+                .stats
+                .snapshot()
+                .merged(&handle.dcr_stats.snapshot())
+                .merged(&handle.tracker().snapshot()),
+        );
         return Ok(());
     }
     let handle = spawn_edge(listen, origins)
@@ -318,6 +351,14 @@ async fn run_edge(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     ready(handle.addr);
     wait_forever().await;
+    dump_stats(
+        args,
+        &handle
+            .stats
+            .snapshot()
+            .merged(&handle.dcr_stats.snapshot())
+            .merged(&handle.tracker().snapshot()),
+    );
     Ok(())
 }
 
@@ -353,6 +394,7 @@ async fn run_quic(args: &Args) -> Result<(), String> {
         "quic generation {} drained ({} datagrams served while draining)",
         drained.generation, drained.served_during_drain
     );
+    dump_stats(args, &drained.snapshot);
     println!("DRAINED");
     Ok(())
 }
@@ -431,8 +473,18 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         args.u64_or("--drain-ms", 2_000)?
     );
     tokio::time::sleep(Duration::from_millis(args.u64_or("--drain-ms", 2_000)?)).await;
+    dump_stats(args, &drained_snapshot(&drained));
     announce("DRAINED");
     Ok(())
+}
+
+/// Merged counters + connection-tracking view of a drained proxy.
+fn drained_snapshot(drained: &zero_downtime_release::proxy::takeover::Drained) -> StatsSnapshot {
+    drained
+        .reverse
+        .stats
+        .snapshot()
+        .merged(&drained.reverse.tracker().snapshot())
 }
 
 /// Old-process side of a supervised release: serve takeovers, watch each
@@ -467,6 +519,7 @@ async fn run_proxy_supervised(args: &Args, instance: ProxyInstance) -> Result<()
                     drained.generation
                 );
                 tokio::time::sleep(Duration::from_millis(drain_ms)).await;
+                dump_stats(args, &drained_snapshot(&drained));
                 announce("DRAINED");
                 return Ok(());
             }
@@ -513,7 +566,9 @@ async fn run_proxy_watched_successor(
     let (verdict, release) = tokio::task::spawn_blocking(move || {
         std::thread::sleep(Duration::from_millis(report_ms));
         let mut release = release;
-        release.report_health(report_ok).map_err(|e| e.to_string())?;
+        release
+            .report_health(report_ok)
+            .map_err(|e| e.to_string())?;
         let verdict = release
             .await_verdict(Duration::from_secs(600))
             .map_err(|e| e.to_string())?;
@@ -535,10 +590,14 @@ async fn run_proxy_watched_successor(
                 drained.generation
             );
             tokio::time::sleep(Duration::from_millis(drain_ms)).await;
+            dump_stats(args, &drained_snapshot(&drained));
             announce("DRAINED");
         }
         ReclaimVerdict::Reclaimed => {
-            let drained = instance.serve_reclaim(release).await.map_err(|e| e.to_string())?;
+            let drained = instance
+                .serve_reclaim(release)
+                .await
+                .map_err(|e| e.to_string())?;
             eprintln!("generation {} handed the sockets back", drained.generation);
             announce("RECLAIMED");
             tokio::time::sleep(Duration::from_millis(500)).await;

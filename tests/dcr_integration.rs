@@ -10,7 +10,6 @@ use zero_downtime_release::broker::server as broker;
 use zero_downtime_release::proto::dcr::UserId;
 use zero_downtime_release::proto::mqtt::{self, ConnectReturnCode, Packet, QoS, StreamDecoder};
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
-use zero_downtime_release::proxy::ProxyStats;
 
 struct Client {
     stream: TcpStream,
@@ -118,13 +117,9 @@ async fn publish_stream_continues_across_origin_restart() {
     }
     publisher.await.unwrap();
 
-    assert_eq!(ProxyStats::get(&edge.dcr_stats.rehomed_ok), 1);
+    assert_eq!(edge.dcr_stats.rehomed_ok.get(), 1);
     assert_eq!(broker.core.stats().dcr_accepted, 1);
-    assert_eq!(
-        ProxyStats::get(&edge.stats.mqtt_dropped),
-        0,
-        "no client saw a drop"
-    );
+    assert_eq!(edge.stats.mqtt_dropped.get(), 0, "no client saw a drop");
 }
 
 #[tokio::test]
@@ -154,11 +149,7 @@ async fn many_tunnels_rehome_concurrently() {
 
     o1.drain();
     tokio::time::sleep(Duration::from_millis(500)).await;
-    assert_eq!(
-        ProxyStats::get(&edge.dcr_stats.rehomed_ok),
-        20,
-        "every tunnel re-homed"
-    );
+    assert_eq!(edge.dcr_stats.rehomed_ok.get(), 20, "every tunnel re-homed");
     assert_eq!(broker.core.stats().dcr_accepted, 20);
 
     // Every client still receives its topic.

@@ -122,10 +122,8 @@ async fn requests_traverse_all_three_tiers() {
     }
     // Both proxies saw the user traffic (health probes also count into
     // requests_ok, so subtract the probe tally).
-    use zero_downtime_release::proxy::ProxyStats;
-    let user_requests = |p: &ProxyInstance| {
-        ProxyStats::get(&p.reverse.stats.requests_ok) - ProxyStats::get(&p.reverse.stats.health_ok)
-    };
+    let user_requests =
+        |p: &ProxyInstance| p.reverse.stats.requests_ok.get() - p.reverse.stats.health_ok.get();
     let total = user_requests(&stack.proxies[0]) + user_requests(&stack.proxies[1]);
     assert_eq!(total, 20);
 }

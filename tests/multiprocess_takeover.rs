@@ -297,7 +297,10 @@ async fn cross_process_rollback_when_successor_dies_before_health_confirm() {
 
     // Zero-loss after the failed release: the old process serves the VIP.
     for i in 0..25 {
-        assert!(get_ok(vip, &format!("/post/{i}")).await, "post-rollback {i}");
+        assert!(
+            get_ok(vip, &format!("/post/{i}")).await,
+            "post-rollback {i}"
+        );
     }
 
     // And a healthy successor can still release afterwards: the supervisor
@@ -323,7 +326,10 @@ async fn cross_process_rollback_when_successor_dies_before_health_confirm() {
     })
     .await
     .unwrap();
-    assert!(drained.0, "old process must drain after the second, healthy release");
+    assert!(
+        drained.0,
+        "old process must drain after the second, healthy release"
+    );
     assert!(drained.1, "old process must exit cleanly");
     assert!(get_ok(vip, "/post-release").await);
 }

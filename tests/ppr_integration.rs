@@ -13,7 +13,6 @@ use zero_downtime_release::proto::http1::{serialize_request, Request, Response, 
 use zero_downtime_release::proxy::reverse::{
     spawn_reverse_proxy, ReverseProxyConfig, ReverseProxyHandle,
 };
-use zero_downtime_release::proxy::ProxyStats;
 
 async fn slow_app(name: &str, delay_ms: u64) -> AppServerHandle {
     appserver::spawn(
@@ -87,9 +86,9 @@ async fn upload_survives_app_restart_via_replay() {
         format!("received={}", 1024 * 1024).as_bytes()
     );
 
-    assert_eq!(ProxyStats::get(&p.stats.ppr_handoffs), 1);
-    assert_eq!(ProxyStats::get(&p.stats.ppr_replayed_ok), 1);
-    assert_eq!(ProxyStats::get(&p.stats.responses_5xx), 0);
+    assert_eq!(p.stats.ppr_handoffs.get(), 1);
+    assert_eq!(p.stats.ppr_replayed_ok.get(), 1);
+    assert_eq!(p.stats.responses_5xx.get(), 0);
     assert_eq!(a.stats.snapshot().1, 1, "app-A must have sent one 379");
 }
 
@@ -112,7 +111,7 @@ async fn without_ppr_the_user_sees_500() {
         resp.status.code, 500,
         "no PPR → the disruption reaches the user"
     );
-    assert_eq!(ProxyStats::get(&p.stats.responses_5xx), 1);
+    assert_eq!(p.stats.responses_5xx.get(), 1);
 }
 
 #[tokio::test]
@@ -138,7 +137,7 @@ async fn replay_chains_through_consecutively_restarting_servers() {
     let resp = client.await.unwrap();
     assert_eq!(resp.status.code, 200);
     assert_eq!(resp.headers.get("x-served-by"), Some("app-C"));
-    assert!(ProxyStats::get(&p.stats.ppr_handoffs) >= 1);
+    assert!(p.stats.ppr_handoffs.get() >= 1);
 }
 
 #[tokio::test]
@@ -177,5 +176,5 @@ async fn short_get_unaffected_by_upstream_restart_mechanics() {
     let p = proxy(vec![a.addr], true).await;
     let resp = send(p.addr, &Request::get("/health")).await.unwrap();
     assert_eq!(resp.status.code, 200);
-    assert_eq!(ProxyStats::get(&p.stats.ppr_handoffs), 0);
+    assert_eq!(p.stats.ppr_handoffs.get(), 0);
 }

@@ -1,0 +1,353 @@
+//! The unified service layer end to end: HTTP, MQTT, and QUIC services
+//! draining **concurrently** under client load, each force-closing its
+//! survivors at the hard deadline with its protocol's close signal — and
+//! one merged `StatsSnapshot` whose forced-close/active-connection
+//! accounting matches exactly what the clients observed on the wire.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpStream, UdpSocket};
+
+use zero_downtime_release::appserver::{self, AppServerConfig};
+use zero_downtime_release::broker::server as broker;
+use zero_downtime_release::proto::dcr::UserId;
+use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
+use zero_downtime_release::proto::mqtt::{self, ConnectReturnCode, Packet, StreamDecoder};
+use zero_downtime_release::proto::quic::{self, ConnectionId, Datagram, PacketType};
+use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
+use zero_downtime_release::proxy::quic_service::{QuicInstance, QuicInstanceConfig};
+use zero_downtime_release::proxy::reverse::{spawn_reverse_proxy, ReverseProxyConfig};
+use zero_downtime_release::proxy::stats::StatsSnapshot;
+
+const DEADLINE: Duration = Duration::from_millis(500);
+
+/// One keep-alive HTTP request/response on an open stream.
+async fn http_roundtrip(stream: &mut TcpStream, target: &str) -> std::io::Result<u16> {
+    stream
+        .write_all(&serialize_request(&Request::get(target)))
+        .await?;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "closed mid-response",
+            ));
+        }
+        if let Some(resp) = parser
+            .push(&buf[..n])
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            return Ok(resp.status.code);
+        }
+    }
+}
+
+struct MqttClient {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+}
+
+impl MqttClient {
+    async fn connect(edge: SocketAddr, user: UserId) -> MqttClient {
+        let mut stream = TcpStream::connect(edge).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: broker::client_id_for(user),
+            keep_alive: 60,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut c = MqttClient {
+            stream,
+            decoder: StreamDecoder::new(),
+        };
+        match c.recv().await {
+            Packet::ConnAck {
+                code: ConnectReturnCode::Accepted,
+                ..
+            } => c,
+            other => panic!("expected CONNACK, got {other:?}"),
+        }
+    }
+
+    async fn recv(&mut self) -> Packet {
+        let mut buf = [0u8; 8192];
+        loop {
+            if let Some(p) = self.decoder.next_packet().unwrap() {
+                return p;
+            }
+            let n = tokio::time::timeout(Duration::from_secs(10), self.stream.read(&mut buf))
+                .await
+                .expect("mqtt recv timeout")
+                .unwrap();
+            assert!(n > 0, "peer closed without a close signal");
+            self.decoder.extend(&buf[..n]);
+        }
+    }
+}
+
+struct QuicFlow {
+    socket: UdpSocket,
+    cid: ConnectionId,
+    next_pn: u64,
+}
+
+impl QuicFlow {
+    async fn open(vip: SocketAddr, random: u64) -> QuicFlow {
+        let socket = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let hello = Datagram::initial(ConnectionId::new(0, random), &b"hello"[..]);
+        socket
+            .send_to(&quic::encode(&hello).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(5), socket.recv_from(&mut buf))
+            .await
+            .expect("quic open timeout")
+            .unwrap();
+        let reply = quic::decode(&buf[..n]).unwrap();
+        QuicFlow {
+            socket,
+            cid: reply.cid,
+            next_pn: 1,
+        }
+    }
+
+    async fn echo(&mut self, vip: SocketAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        let d = Datagram::one_rtt(self.cid, self.next_pn, payload.to_vec());
+        self.next_pn += 1;
+        self.socket
+            .send_to(&quic::encode(&d).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(5), self.socket.recv_from(&mut buf))
+            .await
+            .ok()?
+            .ok()?;
+        Some(quic::decode(&buf[..n]).unwrap().payload.to_vec())
+    }
+
+    /// Waits for the CONNECTION_CLOSE the draining instance must send.
+    async fn recv_close(&mut self) -> Datagram {
+        let mut buf = [0u8; 2048];
+        loop {
+            let (n, _) =
+                tokio::time::timeout(Duration::from_secs(5), self.socket.recv_from(&mut buf))
+                    .await
+                    .expect("quic close timeout")
+                    .unwrap();
+            let d = quic::decode(&buf[..n]).unwrap();
+            // Skip any echo replies still in flight from the load phase.
+            if d.packet_type == PacketType::Close {
+                return d;
+            }
+        }
+    }
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-service-layer-{tag}-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+#[tokio::test]
+async fn concurrent_drain_across_http_mqtt_quic() {
+    // --- Spin up all three protocol stacks. -------------------------------
+    let app = appserver::spawn("127.0.0.1:0".parse().unwrap(), AppServerConfig::default())
+        .await
+        .unwrap();
+    let http = spawn_reverse_proxy(
+        "127.0.0.1:0".parse().unwrap(),
+        ReverseProxyConfig {
+            upstreams: vec![app.addr],
+            upstream_timeout: Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+
+    let brk = broker::spawn("127.0.0.1:0".parse().unwrap()).await.unwrap();
+    let origin = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, vec![brk.addr], 5_000)
+        .await
+        .unwrap();
+    let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![origin.addr])
+        .await
+        .unwrap();
+
+    let quic_cfg = QuicInstanceConfig {
+        takeover_path: tmp_path("quic"),
+        sockets: 2,
+        drain_ms: DEADLINE.as_millis() as u64,
+    };
+    let quic_old = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), quic_cfg.clone())
+        .await
+        .unwrap();
+    let vip = quic_old.vip;
+
+    // --- Load phase: every protocol has live, active clients. -------------
+    // HTTP: a keep-alive connection doing requests, plus an idle victim
+    // that will outlive the drain.
+    let mut http_loader = TcpStream::connect(http.addr).await.unwrap();
+    let mut http_victim = TcpStream::connect(http.addr).await.unwrap();
+    for _ in 0..3 {
+        assert_eq!(
+            http_roundtrip(&mut http_loader, "/feed").await.unwrap(),
+            200
+        );
+    }
+    assert_eq!(
+        http_roundtrip(&mut http_victim, "/warm").await.unwrap(),
+        200
+    );
+
+    // MQTT: a connected client that keeps pinging through the drain.
+    let mut mqtt_client = MqttClient::connect(edge.addr, UserId(42)).await;
+
+    // QUIC: an established flow, actively echoing.
+    let mut flow = QuicFlow::open(vip, 7).await;
+    assert_eq!(flow.echo(vip, b"pre").await.unwrap(), b"echo:pre");
+
+    assert_eq!(http.active_connections(), 2);
+    assert_eq!(edge.active_connections(), 1);
+    assert_eq!(quic_old.active_connections(), 1);
+
+    // --- Drain all three services CONCURRENTLY. ---------------------------
+    // QUIC drains through a real Socket Takeover (its drain entry point);
+    // HTTP and MQTT drain in place. Same deadline everywhere.
+    let quic_task = tokio::spawn(quic_old.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let quic_new = QuicInstance::takeover_from(quic_cfg).await.unwrap();
+
+    let drain_started = std::time::Instant::now();
+    http.drain_with_deadline(DEADLINE);
+    edge.drain_with_deadline(DEADLINE);
+    assert!(http.is_draining() && edge.is_draining());
+
+    // In-flight traffic keeps flowing while draining (the whole point of
+    // the paper): a request already on the keep-alive connection finishes
+    // with a 200 (the connection then closes gracefully — NOT a forced
+    // close), the MQTT tunnel still answers pings, and the old QUIC
+    // generation still serves its flow via user-space routing.
+    assert_eq!(
+        http_roundtrip(&mut http_loader, "/during-drain")
+            .await
+            .unwrap(),
+        200,
+        "in-flight HTTP requests must finish during the drain"
+    );
+    let mut post_drain_pongs = 0u32;
+    let mut mqtt_disconnected = false;
+    for _ in 0..3 {
+        mqtt_client
+            .stream
+            .write_all(&mqtt::encode(&Packet::PingReq).unwrap())
+            .await
+            .unwrap();
+        match mqtt_client.recv().await {
+            Packet::PingResp => post_drain_pongs += 1,
+            Packet::Disconnect => {
+                mqtt_disconnected = true;
+                break;
+            }
+            other => panic!("unexpected packet while draining: {other:?}"),
+        }
+        tokio::time::sleep(Duration::from_millis(25)).await;
+    }
+    assert!(
+        post_drain_pongs >= 1,
+        "tunnel must keep relaying while draining"
+    );
+    assert_eq!(
+        flow.echo(vip, b"mid").await.unwrap(),
+        b"echo:mid",
+        "old flow must be served through the drain"
+    );
+
+    // --- Hard deadline: each client observes its protocol's close signal. -
+    // HTTP victim: bare TCP close (EOF), no earlier than the deadline.
+    let mut buf = [0u8; 64];
+    let n = tokio::time::timeout(Duration::from_secs(5), http_victim.read(&mut buf))
+        .await
+        .expect("http victim outlived the hard deadline")
+        .unwrap_or(0);
+    assert_eq!(n, 0, "HTTP close signal is the TCP close itself");
+    assert!(
+        drain_started.elapsed() >= Duration::from_millis(400),
+        "victim closed before the deadline"
+    );
+
+    // MQTT client: an explicit DISCONNECT packet before the close.
+    while !mqtt_disconnected {
+        match mqtt_client.recv().await {
+            Packet::PingResp => continue,
+            Packet::Disconnect => mqtt_disconnected = true,
+            other => panic!("expected DISCONNECT, got {other:?}"),
+        }
+    }
+
+    // QUIC flow: a CONNECTION_CLOSE datagram carrying the flow's CID.
+    let quic_drained = quic_task.await.unwrap().unwrap();
+    let close = flow.recv_close().await;
+    assert_eq!(close.cid, flow.cid);
+
+    // The loader's connection was closed gracefully after its in-drain
+    // response: a further request fails, but it was NOT a forced close.
+    assert!(http_roundtrip(&mut http_loader, "/late").await.is_err());
+
+    // --- Drained: gauges at zero, every service settled. ------------------
+    tokio::time::timeout(Duration::from_secs(2), http.drained())
+        .await
+        .expect("http drained");
+    tokio::time::timeout(Duration::from_secs(2), edge.drained())
+        .await
+        .expect("edge drained");
+
+    // --- One merged snapshot, accounting exactly what clients saw. --------
+    let unified: StatsSnapshot = http
+        .stats
+        .snapshot()
+        .merged(&http.tracker().snapshot())
+        .merged(&edge.stats.snapshot())
+        .merged(&edge.dcr_stats.snapshot())
+        .merged(&edge.tracker().snapshot())
+        .merged(&quic_drained.snapshot);
+
+    assert_eq!(
+        unified.forced_tcp_resets, 1,
+        "exactly the idle HTTP victim was reset"
+    );
+    assert_eq!(
+        unified.forced_mqtt_disconnects, 1,
+        "exactly the MQTT client got a DISCONNECT"
+    );
+    assert_eq!(
+        unified.forced_quic_closes, 1,
+        "exactly the QUIC flow got a CONNECTION_CLOSE"
+    );
+    assert_eq!(unified.forced_closes(), 3, "one forced close per protocol");
+    assert_eq!(unified.active_connections, 0, "all gauges settled to zero");
+    assert!(
+        unified.connections_tracked >= 4,
+        "loader + victim + mqtt + quic all registered"
+    );
+    assert_eq!(unified.quic_flows_opened, 1);
+    assert!(unified.quic_served >= 2);
+
+    // The new QUIC generation is untouched by the old one's accounting.
+    assert_eq!(quic_new.forced_closes(), 0);
+}

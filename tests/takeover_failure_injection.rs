@@ -297,15 +297,22 @@ mod backoff_properties {
     use zero_downtime_release::core::supervisor::BackoffSchedule;
 
     fn schedules() -> impl Strategy<Value = BackoffSchedule> {
-        (1u64..500, 500u64..50_000, 1.0f64..4.0, 0.0f64..0.9, 1u32..10).prop_map(
-            |(base_ms, cap_ms, multiplier, jitter_frac, max_attempts)| BackoffSchedule {
-                base_ms,
-                cap_ms,
-                multiplier,
-                jitter_frac,
-                max_attempts,
-            },
+        (
+            1u64..500,
+            500u64..50_000,
+            1.0f64..4.0,
+            0.0f64..0.9,
+            1u32..10,
         )
+            .prop_map(|(base_ms, cap_ms, multiplier, jitter_frac, max_attempts)| {
+                BackoffSchedule {
+                    base_ms,
+                    cap_ms,
+                    multiplier,
+                    jitter_frac,
+                    max_attempts,
+                }
+            })
     }
 
     proptest! {
