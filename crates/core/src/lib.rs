@@ -29,6 +29,11 @@
 //! * [`supervisor`] — the per-instance release supervisor: attempt →
 //!   confirm → watch → drain with per-phase timeouts, bounded jittered
 //!   retry backoff, and rollback on post-confirm failure.
+//! * [`resilience`] — upstream-resilience primitives: the per-upstream
+//!   circuit breaker (closed → open → half-open, seeded-jitter probe
+//!   windows) and the cluster-wide retry budget that keep §4.4's
+//!   retry-on-another-server rule from amplifying a mass restart into a
+//!   retry storm.
 
 pub mod calendar;
 pub mod canary;
@@ -36,6 +41,7 @@ pub mod drain;
 pub mod mechanism;
 pub mod metrics;
 pub mod pipeline;
+pub mod resilience;
 pub mod scheduler;
 pub mod supervisor;
 pub mod tier;

@@ -217,6 +217,59 @@ impl TimeSeries {
     }
 }
 
+/// A lock-free exponentially-weighted moving average over `u64` samples
+/// (microseconds, bytes, …), for request-path gauges like the accept-queue
+/// delay feeding the overload-shed gate.
+///
+/// `value ← (alpha·sample + (1000−alpha)·value) / 1000` per observation,
+/// fixed-point, one CAS loop — no locks, mirroring the atomics-only rule
+/// for everything consulted per request.
+#[derive(Debug)]
+pub struct Ewma {
+    alpha_permille: u64,
+    value: std::sync::atomic::AtomicU64,
+    seeded: std::sync::atomic::AtomicBool,
+}
+
+impl Ewma {
+    /// A new average with smoothing factor `alpha_permille`/1000
+    /// (e.g. 200 → α = 0.2). The first sample seeds the average directly.
+    pub fn new(alpha_permille: u64) -> Self {
+        Ewma {
+            alpha_permille: alpha_permille.min(1000),
+            value: std::sync::atomic::AtomicU64::new(0),
+            seeded: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Folds one sample into the average.
+    pub fn observe(&self, sample: u64) {
+        use std::sync::atomic::Ordering;
+        if !self.seeded.swap(true, Ordering::AcqRel) {
+            self.value.store(sample, Ordering::Release);
+            return;
+        }
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = (self.alpha_permille.saturating_mul(sample)
+                + (1000 - self.alpha_permille).saturating_mul(cur))
+                / 1000;
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current smoothed value (0 before any sample).
+    pub fn get(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// The `p`-th percentile (0–100) of `values`, by nearest-rank on a sorted
 /// copy. Returns `None` on empty input.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {

@@ -1,0 +1,674 @@
+//! Upstream-resilience primitives: circuit breaker and retry budget.
+//!
+//! §4.4's retry rule ("the downstream Proxygen retries the request with a
+//! different HHVM server") is safe only when something bounds the blast
+//! radius of those retries. During a mass app-tier restart, naive
+//! per-request retries multiply offered load exactly when capacity is
+//! lowest — the reconnection storm the paper warns about. This module holds
+//! the two pure state machines that prevent it:
+//!
+//! * [`CircuitBreaker`] — per-upstream closed → open → half-open breaker
+//!   with exponential, seeded-jitter open windows and single-flight
+//!   half-open probes. Lock-free: the request path touches only atomics,
+//!   like `conn_tracker` in the proxy crate.
+//! * [`RetryBudget`] — a cluster-wide token bucket refilled as a fraction
+//!   of successful requests, so retries amplify load by at most ~10%
+//!   (plus a small fixed reserve) no matter how many upstreams die.
+//!
+//! Both take an explicit `now_ms` timestamp so the deterministic simulator
+//! can drive them on virtual time; the proxy passes a monotonic clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Breaker states. Packed into two bits of [`CircuitBreaker`]'s state word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BreakerState {
+    /// Healthy: all requests admitted.
+    Closed,
+    /// Tripped: requests rejected until the open window elapses.
+    Open,
+    /// Recovering: a single probe request at a time is admitted.
+    HalfOpen,
+}
+
+/// Admission decision for one request attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Send the request normally.
+    Yes,
+    /// Send the request, but it is the *only* in-flight half-open probe;
+    /// callers should count it separately (breaker-open upstreams must
+    /// receive nothing but these).
+    Probe,
+    /// Do not send; pick another upstream or fail fast.
+    No,
+}
+
+impl Admit {
+    /// True when the request may be sent ([`Admit::Yes`] or [`Admit::Probe`]).
+    pub fn allowed(self) -> bool {
+        !matches!(self, Admit::No)
+    }
+}
+
+/// State-change edge reported by [`CircuitBreaker::record_success`] /
+/// [`CircuitBreaker::record_failure`], for stats counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Breaker tripped open (closed→open or half-open→open).
+    Opened,
+    /// Breaker recovered (half-open→closed).
+    Closed,
+}
+
+/// Tunables for [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Consecutive half-open probe successes that close the breaker.
+    pub success_threshold: u32,
+    /// Base open window; doubles per consecutive open up to
+    /// [`BreakerConfig::open_max_ms`].
+    pub open_base_ms: u64,
+    /// Cap on the exponential open window.
+    pub open_max_ms: u64,
+    /// A granted half-open probe that neither succeeds nor fails within
+    /// this window is presumed lost; another probe may be granted.
+    pub probe_ttl_ms: u64,
+    /// Seed for the deterministic ±50% jitter applied to open windows, so
+    /// a fleet of breakers tripped by the same event does not probe in
+    /// lockstep.
+    pub jitter_seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            success_threshold: 2,
+            open_base_ms: 1_000,
+            open_max_ms: 30_000,
+            probe_ttl_ms: 10_000,
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// splitmix64 — same generator the fault injector uses; good enough to
+/// decorrelate open windows and cheap enough for the request path.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// Packed state word layout: [state:2][failures:20][successes:20][opens:20].
+const STATE_SHIFT: u32 = 60;
+const FAIL_SHIFT: u32 = 40;
+const SUCC_SHIFT: u32 = 20;
+const FIELD_MASK: u64 = (1 << 20) - 1;
+
+fn pack(state: BreakerState, failures: u64, successes: u64, opens: u64) -> u64 {
+    let s = match state {
+        BreakerState::Closed => 0u64,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    };
+    (s << STATE_SHIFT)
+        | ((failures & FIELD_MASK) << FAIL_SHIFT)
+        | ((successes & FIELD_MASK) << SUCC_SHIFT)
+        | (opens & FIELD_MASK)
+}
+
+fn unpack(word: u64) -> (BreakerState, u64, u64, u64) {
+    let state = match word >> STATE_SHIFT {
+        0 => BreakerState::Closed,
+        1 => BreakerState::Open,
+        _ => BreakerState::HalfOpen,
+    };
+    (
+        state,
+        (word >> FAIL_SHIFT) & FIELD_MASK,
+        (word >> SUCC_SHIFT) & FIELD_MASK,
+        word & FIELD_MASK,
+    )
+}
+
+/// Per-upstream circuit breaker: closed → open → half-open, all-atomic.
+///
+/// The entire mutable state lives in one packed [`AtomicU64`] word (state,
+/// consecutive-failure count, half-open success count, open episode count)
+/// plus two auxiliary timestamps. Transitions are CAS loops on the word;
+/// the request path never takes a lock, mirroring the `conn_tracker` idiom.
+///
+/// Timestamps are caller-supplied milliseconds from any monotonically
+/// non-decreasing clock (virtual time in the simulator, a monotonic clock
+/// in the proxy).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    word: AtomicU64,
+    /// When the current open window started. Written by the thread that
+    /// wins the open transition; a momentarily stale read can only admit a
+    /// probe early, which is benign.
+    opened_at_ms: AtomicU64,
+    /// When the outstanding half-open probe was granted; 0 = none.
+    probe_started_ms: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            word: AtomicU64::new(pack(BreakerState::Closed, 0, 0, 0)),
+            opened_at_ms: AtomicU64::new(0),
+            probe_started_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Current state (for stats/snapshots; racy by nature).
+    pub fn state(&self) -> BreakerState {
+        unpack(self.word.load(Ordering::Relaxed)).0
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn open_episodes(&self) -> u64 {
+        unpack(self.word.load(Ordering::Relaxed)).3
+    }
+
+    /// The jittered open window for the `opens`-th consecutive open
+    /// episode: `open_base_ms << (opens-1)` capped at `open_max_ms`, then
+    /// jittered to 50–150% deterministically from the seed. Stable for a
+    /// given episode, so repeated [`CircuitBreaker::admit`] calls agree.
+    pub fn open_window_ms(&self, opens: u64) -> u64 {
+        let exp = opens.saturating_sub(1).min(20) as u32;
+        let base = self
+            .config
+            .open_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.config.open_max_ms)
+            .max(1);
+        let jitter = splitmix64(self.config.jitter_seed ^ opens) % (base + 1); // 0..=base
+        base / 2 + jitter // 50%..150% of base
+    }
+
+    /// Admission check for one request attempt at `now_ms`.
+    pub fn admit(&self, now_ms: u64) -> Admit {
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            let (state, failures, _successes, opens) = unpack(w);
+            match state {
+                BreakerState::Closed => return Admit::Yes,
+                BreakerState::Open => {
+                    let opened = self.opened_at_ms.load(Ordering::Acquire);
+                    if now_ms < opened.saturating_add(self.open_window_ms(opens.max(1))) {
+                        return Admit::No;
+                    }
+                    // Window elapsed: move to half-open and own the probe.
+                    let nw = pack(BreakerState::HalfOpen, failures, 0, opens);
+                    if self
+                        .word
+                        .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.probe_started_ms.store(now_ms.max(1), Ordering::Release);
+                        return Admit::Probe;
+                    }
+                }
+                BreakerState::HalfOpen => {
+                    let ps = self.probe_started_ms.load(Ordering::Acquire);
+                    if ps != 0 && now_ms < ps.saturating_add(self.config.probe_ttl_ms) {
+                        return Admit::No; // a probe is already in flight
+                    }
+                    // No probe outstanding (or it timed out): try to own one.
+                    if self
+                        .probe_started_ms
+                        .compare_exchange(ps, now_ms.max(1), Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return Admit::Probe;
+                    }
+                    return Admit::No;
+                }
+            }
+        }
+    }
+
+    /// Non-consuming peek: would an attempt at `now_ms` be admitted?
+    /// Unlike [`CircuitBreaker::admit`], this never transitions state and
+    /// never claims the half-open probe slot, so health views can call it
+    /// freely.
+    pub fn would_admit(&self, now_ms: u64) -> bool {
+        let (state, _f, _s, opens) = unpack(self.word.load(Ordering::Acquire));
+        match state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let opened = self.opened_at_ms.load(Ordering::Acquire);
+                now_ms >= opened.saturating_add(self.open_window_ms(opens.max(1)))
+            }
+            BreakerState::HalfOpen => {
+                let ps = self.probe_started_ms.load(Ordering::Acquire);
+                ps == 0 || now_ms >= ps.saturating_add(self.config.probe_ttl_ms)
+            }
+        }
+    }
+
+    /// Records a successful request outcome. Returns
+    /// [`BreakerTransition::Closed`] when this success closes the breaker.
+    pub fn record_success(&self, _now_ms: u64) -> Option<BreakerTransition> {
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            let (state, _failures, successes, opens) = unpack(w);
+            match state {
+                BreakerState::Closed => {
+                    let nw = pack(BreakerState::Closed, 0, 0, opens);
+                    if w == nw
+                        || self
+                            .word
+                            .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        return None;
+                    }
+                }
+                BreakerState::Open => return None, // stale success from before the trip
+                BreakerState::HalfOpen => {
+                    let s = successes + 1;
+                    let nw = if s >= self.config.success_threshold as u64 {
+                        pack(BreakerState::Closed, 0, 0, 0)
+                    } else {
+                        pack(BreakerState::HalfOpen, 0, s, opens)
+                    };
+                    if self
+                        .word
+                        .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.probe_started_ms.store(0, Ordering::Release);
+                        return if s >= self.config.success_threshold as u64 {
+                            Some(BreakerTransition::Closed)
+                        } else {
+                            None
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a failed request outcome. Returns
+    /// [`BreakerTransition::Opened`] when this failure trips the breaker.
+    pub fn record_failure(&self, now_ms: u64) -> Option<BreakerTransition> {
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            let (state, failures, _successes, opens) = unpack(w);
+            match state {
+                BreakerState::Closed => {
+                    let f = failures + 1;
+                    if f >= self.config.failure_threshold as u64 {
+                        let nw = pack(BreakerState::Open, 0, 0, (opens + 1).min(FIELD_MASK));
+                        if self
+                            .word
+                            .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            self.opened_at_ms.store(now_ms, Ordering::Release);
+                            return Some(BreakerTransition::Opened);
+                        }
+                    } else {
+                        let nw = pack(BreakerState::Closed, f, 0, opens);
+                        if self
+                            .word
+                            .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            return None;
+                        }
+                    }
+                }
+                BreakerState::Open => return None, // already open
+                BreakerState::HalfOpen => {
+                    // Failed probe: straight back to open, longer window.
+                    let nw = pack(BreakerState::Open, 0, 0, (opens + 1).min(FIELD_MASK));
+                    if self
+                        .word
+                        .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.opened_at_ms.store(now_ms, Ordering::Release);
+                        self.probe_started_ms.store(0, Ordering::Release);
+                        return Some(BreakerTransition::Opened);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forces the breaker open at `now_ms` regardless of counts (operator
+    /// action / legacy `mark_unhealthy`). Recovery then follows the normal
+    /// open → half-open → closed path, which is what makes TTL-style
+    /// re-admission automatic. Returns the transition if the breaker was
+    /// not already open.
+    pub fn force_open(&self, now_ms: u64) -> Option<BreakerTransition> {
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            let (state, _f, _s, opens) = unpack(w);
+            if state == BreakerState::Open {
+                return None;
+            }
+            let nw = pack(BreakerState::Open, 0, 0, (opens + 1).min(FIELD_MASK));
+            if self
+                .word
+                .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.opened_at_ms.store(now_ms, Ordering::Release);
+                self.probe_started_ms.store(0, Ordering::Release);
+                return Some(BreakerTransition::Opened);
+            }
+        }
+    }
+
+    /// Forces the breaker closed (operator action / legacy `mark_healthy`).
+    /// Returns the transition if the breaker was not already closed.
+    pub fn force_close(&self) -> Option<BreakerTransition> {
+        let prev = self.word.swap(pack(BreakerState::Closed, 0, 0, 0), Ordering::AcqRel);
+        self.probe_started_ms.store(0, Ordering::Release);
+        if unpack(prev).0 == BreakerState::Closed {
+            None
+        } else {
+            Some(BreakerTransition::Closed)
+        }
+    }
+}
+
+/// Tunables for [`RetryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetryBudgetConfig {
+    /// Millitokens deposited per successful request. 100 = each success
+    /// funds 10% of a retry, i.e. retries add ≤ ~10% load at scale.
+    pub deposit_permille: u64,
+    /// Tokens the bucket starts with (and never decays below deposits to
+    /// reach): lets a cold or tiny deployment still retry a handful of
+    /// times. Sized so small functional tests are unaffected while storms
+    /// at scale stay ratio-bounded.
+    pub reserve_tokens: u64,
+    /// Cap on the bucket, in tokens, so a long quiet period cannot bank an
+    /// unbounded burst of retries.
+    pub max_tokens: u64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            deposit_permille: 100,
+            reserve_tokens: 20,
+            max_tokens: 1_000,
+        }
+    }
+}
+
+/// Cluster-wide retry token bucket, refilled as a fraction of successes.
+///
+/// One instance is shared by every request path in a proxy process. A
+/// retry (any attempt after the first) must [`RetryBudget::try_withdraw`]
+/// a token; successful requests [`RetryBudget::record_success`] deposits.
+/// All atomic, no locks.
+#[derive(Debug)]
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    /// Balance in millitokens (1 retry = 1000).
+    millitokens: AtomicU64,
+    /// Total retries granted (monotonic, for reports).
+    withdrawn: AtomicU64,
+    /// Total withdrawals refused (monotonic, for reports).
+    exhausted: AtomicU64,
+}
+
+impl RetryBudget {
+    /// A bucket holding the configured reserve.
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        let start = config.reserve_tokens.saturating_mul(1000);
+        RetryBudget {
+            config,
+            millitokens: AtomicU64::new(start),
+            withdrawn: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// Deposits the per-success fraction, capped at `max_tokens`.
+    pub fn record_success(&self) {
+        let cap = self.config.max_tokens.saturating_mul(1000);
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(self.config.deposit_permille).min(cap);
+            if next == cur {
+                return;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Attempts to spend one retry token. `false` means the budget is
+    /// exhausted and the caller must fail fast instead of retrying.
+    pub fn try_withdraw(&self) -> bool {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.withdrawn.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn balance_tokens(&self) -> u64 {
+        self.millitokens.load(Ordering::Relaxed) / 1000
+    }
+
+    /// Total retries granted so far.
+    pub fn withdrawn(&self) -> u64 {
+        self.withdrawn.load(Ordering::Relaxed)
+    }
+
+    /// Total withdrawals refused so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            success_threshold: 2,
+            open_base_ms: 1_000,
+            open_max_ms: 8_000,
+            probe_ttl_ms: 500,
+            jitter_seed: 42,
+        }
+    }
+
+    #[test]
+    fn closed_admits_and_failures_trip() {
+        let b = CircuitBreaker::new(cfg());
+        assert_eq!(b.admit(0), Admit::Yes);
+        assert_eq!(b.record_failure(10), None);
+        assert_eq!(b.record_failure(20), None);
+        assert_eq!(b.record_failure(30), Some(BreakerTransition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(31), Admit::No);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let b = CircuitBreaker::new(cfg());
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success(2); // streak broken
+        assert_eq!(b.record_failure(3), None);
+        assert_eq!(b.record_failure(4), None);
+        assert_eq!(b.record_failure(5), Some(BreakerTransition::Opened));
+    }
+
+    #[test]
+    fn open_window_elapses_to_single_probe() {
+        let b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        // Tripped at t=2, so the window is measured from there.
+        let reopen = 2 + b.open_window_ms(1);
+        assert!((502..=1502).contains(&reopen), "reopen {reopen}");
+        assert_eq!(b.admit(reopen - 1), Admit::No);
+        assert_eq!(b.admit(reopen), Admit::Probe);
+        // Only one probe at a time within the TTL.
+        assert_eq!(b.admit(reopen + 1), Admit::No);
+        assert_eq!(b.admit(reopen + 100), Admit::No);
+        // Probe succeeds twice -> closed.
+        assert_eq!(b.record_success(reopen + 10), None);
+        assert_eq!(b.admit(reopen + 11), Admit::Probe);
+        assert_eq!(
+            b.record_success(reopen + 20),
+            Some(BreakerTransition::Closed)
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(reopen + 21), Admit::Yes);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_longer_window() {
+        let b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        let t1 = 2 + b.open_window_ms(1); // tripped at t=2
+        assert_eq!(b.admit(t1), Admit::Probe);
+        assert_eq!(b.record_failure(t1 + 5), Some(BreakerTransition::Opened));
+        assert_eq!(b.open_episodes(), 2);
+        // Second window is computed from a doubled base (still jittered).
+        let w2 = b.open_window_ms(2);
+        assert!((1000..=3000).contains(&w2), "w2 {w2}");
+        assert_eq!(b.admit(t1 + 5 + w2 - 1), Admit::No);
+        assert_eq!(b.admit(t1 + 5 + w2), Admit::Probe);
+    }
+
+    #[test]
+    fn probe_ttl_regrants_lost_probe() {
+        let b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        let t = 2 + b.open_window_ms(1); // tripped at t=2
+        assert_eq!(b.admit(t), Admit::Probe);
+        // Probe vanished (upstream black-holed it). After the TTL a new
+        // probe is granted; before it, nothing.
+        assert_eq!(b.admit(t + 499), Admit::No);
+        assert_eq!(b.admit(t + 500), Admit::Probe);
+    }
+
+    #[test]
+    fn open_window_caps_at_max() {
+        let b = CircuitBreaker::new(cfg());
+        // Episode 40 would be base << 39 without the cap.
+        let w = b.open_window_ms(40);
+        assert!(w <= 12_000, "window {w} exceeds 1.5x open_max");
+    }
+
+    #[test]
+    fn force_open_and_force_close() {
+        let b = CircuitBreaker::new(cfg());
+        assert_eq!(b.force_open(100), Some(BreakerTransition::Opened));
+        assert_eq!(b.force_open(100), None);
+        assert_eq!(b.admit(101), Admit::No);
+        // Recovery is automatic: after the window a probe is allowed.
+        let w = b.open_window_ms(1);
+        assert_eq!(b.admit(100 + w), Admit::Probe);
+        assert_eq!(b.force_close(), Some(BreakerTransition::Closed));
+        assert_eq!(b.force_close(), None);
+        assert_eq!(b.admit(102), Admit::Yes);
+    }
+
+    #[test]
+    fn jitter_decorrelates_seeds() {
+        let mut a = cfg();
+        a.jitter_seed = 1;
+        let mut c = cfg();
+        c.jitter_seed = 2;
+        let ba = CircuitBreaker::new(a);
+        let bc = CircuitBreaker::new(c);
+        let distinct = (1..=8).filter(|&e| ba.open_window_ms(e) != bc.open_window_ms(e)).count();
+        assert!(distinct >= 6, "only {distinct}/8 windows differ");
+    }
+
+    #[test]
+    fn budget_reserve_then_ratio() {
+        let budget = RetryBudget::new(RetryBudgetConfig {
+            deposit_permille: 100,
+            reserve_tokens: 2,
+            max_tokens: 10,
+        });
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw(), "reserve exhausted");
+        assert_eq!(budget.exhausted(), 1);
+        // 10 successes fund exactly one retry.
+        for _ in 0..10 {
+            budget.record_success();
+        }
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+        assert_eq!(budget.withdrawn(), 3);
+    }
+
+    #[test]
+    fn budget_caps_at_max() {
+        let budget = RetryBudget::new(RetryBudgetConfig {
+            deposit_permille: 1000, // 1 token per success
+            reserve_tokens: 0,
+            max_tokens: 3,
+        });
+        for _ in 0..100 {
+            budget.record_success();
+        }
+        assert_eq!(budget.balance_tokens(), 3);
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+    }
+
+    #[test]
+    fn breaker_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitBreaker>();
+        assert_send_sync::<RetryBudget>();
+    }
+}

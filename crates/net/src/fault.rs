@@ -31,6 +31,12 @@ pub enum FaultPoint {
     /// UDP router is about to forward an encapsulated datagram to the old
     /// process.
     ForwardDatagram,
+    /// A proxy is about to open (or reuse) a connection to an upstream —
+    /// the hook the resilience layer's chaos tests drive: slow upstreams
+    /// ([`FaultAction::Delay`]), black holes ([`FaultAction::Drop`] — the
+    /// connect hangs until the caller's deadline), and dead/flapping
+    /// upstreams ([`FaultAction::Die`] — immediate connection refusal).
+    UpstreamConnect,
 }
 
 /// What the injector does at a hook point.
@@ -57,6 +63,15 @@ pub enum FaultAction {
 pub trait FaultInjector: Send + Sync {
     /// Decides what happens at `point`. Called once per protocol step.
     fn decide(&self, point: FaultPoint) -> FaultAction;
+
+    /// Like [`FaultInjector::decide`], but with the identity of the
+    /// upstream being contacted (any stable hash of its address), so an
+    /// injector can fail *specific* upstreams — a flapping replica, a
+    /// black-holed rack — rather than a fraction of all traffic. The
+    /// default ignores the key.
+    fn decide_upstream(&self, _upstream_key: u64, point: FaultPoint) -> FaultAction {
+        self.decide(point)
+    }
 
     /// Total faults fired so far (actions other than `Proceed`).
     fn injected(&self) -> u64 {
@@ -97,7 +112,7 @@ pub struct FaultRule {
 pub struct ScriptedFaults {
     rules: Vec<FaultRule>,
     seed: u64,
-    visits: [AtomicU64; 4],
+    visits: [AtomicU64; 5],
     injected: AtomicU64,
 }
 
@@ -107,6 +122,7 @@ fn point_index(point: FaultPoint) -> usize {
         FaultPoint::SendConfirm => 1,
         FaultPoint::SendOffer => 2,
         FaultPoint::ForwardDatagram => 3,
+        FaultPoint::UpstreamConnect => 4,
     }
 }
 
@@ -170,6 +186,101 @@ impl FaultInjector for ScriptedFaults {
             }
         }
         FaultAction::Proceed
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// How a [`FlakyUpstreams`] injector misbehaves at
+/// [`FaultPoint::UpstreamConnect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpstreamFaultMode {
+    /// Every connect is delayed by roughly `0.5×–1.5×` the given duration
+    /// (seed-jittered): a slow but live upstream.
+    Slow(Duration),
+    /// Every connect hangs until the caller's deadline: a black-holed
+    /// upstream (SYNs swallowed, nothing ever answers).
+    BlackHole,
+    /// The upstream alternates `period` good connects with `period`
+    /// refused connects, with a per-upstream seeded phase offset — the
+    /// flapping replica that keeps re-tripping its breaker.
+    Flap {
+        /// Connect attempts per up (and per down) window; must be ≥ 1.
+        period: u64,
+    },
+}
+
+/// A seeded injector that misbehaves only at
+/// [`FaultPoint::UpstreamConnect`], keyed per upstream.
+///
+/// Unlike [`ScriptedFaults`] (which fires on global visit counts), this
+/// injector tracks visits *per upstream key*, so "upstream 3 is flapping"
+/// means exactly that regardless of how traffic interleaves across the
+/// pool. Determinism: same seed + same per-key visit order ⇒ same faults.
+#[derive(Debug)]
+pub struct FlakyUpstreams {
+    seed: u64,
+    mode: UpstreamFaultMode,
+    visits: std::sync::Mutex<std::collections::HashMap<u64, u64>>,
+    injected: AtomicU64,
+}
+
+impl FlakyUpstreams {
+    /// An injector applying `mode` to every upstream, perturbed by `seed`.
+    pub fn new(seed: u64, mode: UpstreamFaultMode) -> Self {
+        FlakyUpstreams {
+            seed,
+            mode,
+            visits: std::sync::Mutex::new(std::collections::HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    fn bump(&self, action: FaultAction) -> FaultAction {
+        if action != FaultAction::Proceed {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+}
+
+impl FaultInjector for FlakyUpstreams {
+    fn decide(&self, point: FaultPoint) -> FaultAction {
+        self.decide_upstream(0, point)
+    }
+
+    fn decide_upstream(&self, upstream_key: u64, point: FaultPoint) -> FaultAction {
+        if point != FaultPoint::UpstreamConnect {
+            return FaultAction::Proceed;
+        }
+        let visit = {
+            let mut visits = self.visits.lock().expect("fault visit map poisoned");
+            let v = visits.entry(upstream_key).or_insert(0);
+            let cur = *v;
+            *v += 1;
+            cur
+        };
+        match self.mode {
+            UpstreamFaultMode::Slow(base) => {
+                let base_ms = base.as_millis() as u64;
+                let r = splitmix64(self.seed ^ upstream_key ^ visit.wrapping_mul(0x9E37));
+                self.bump(FaultAction::Delay(Duration::from_millis(
+                    base_ms / 2 + r % (base_ms + 1),
+                )))
+            }
+            UpstreamFaultMode::BlackHole => self.bump(FaultAction::Drop),
+            UpstreamFaultMode::Flap { period } => {
+                let period = period.max(1);
+                let phase = splitmix64(self.seed ^ upstream_key) % period;
+                if ((visit + phase) / period) % 2 == 1 {
+                    self.bump(FaultAction::Die)
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+        }
     }
 
     fn injected(&self) -> u64 {
@@ -244,6 +355,76 @@ mod tests {
             }
             other => panic!("expected delay, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flap_alternates_windows_per_upstream() {
+        let inj = FlakyUpstreams::new(11, UpstreamFaultMode::Flap { period: 3 });
+        // Per key, outcomes come in runs of exactly `period`, alternating.
+        for key in [1u64, 2, 3] {
+            let outcomes: Vec<bool> = (0..12)
+                .map(|_| inj.decide_upstream(key, FaultPoint::UpstreamConnect) == FaultAction::Die)
+                .collect();
+            let mut runs = vec![(outcomes[0], 1u64)];
+            for &o in &outcomes[1..] {
+                let last = runs.last_mut().unwrap();
+                if last.0 == o {
+                    last.1 += 1;
+                } else {
+                    runs.push((o, 1));
+                }
+            }
+            // Interior runs are exactly `period` long; edge runs may be cut
+            // by the phase offset or the sample window.
+            for &(_, len) in &runs[1..runs.len().saturating_sub(1)] {
+                assert_eq!(len, 3, "key {key}: runs {runs:?}");
+            }
+            assert!(runs.iter().any(|&(down, _)| down), "key {key} never down");
+            assert!(runs.iter().any(|&(down, _)| !down), "key {key} never up");
+        }
+        // Other points are untouched.
+        assert_eq!(
+            inj.decide_upstream(1, FaultPoint::SendOffer),
+            FaultAction::Proceed
+        );
+    }
+
+    #[test]
+    fn flaky_modes_are_deterministic() {
+        let run = |mode| {
+            let inj = FlakyUpstreams::new(5, mode);
+            (0..6)
+                .map(|_| inj.decide_upstream(9, FaultPoint::UpstreamConnect))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(UpstreamFaultMode::Slow(Duration::from_millis(40))),
+            run(UpstreamFaultMode::Slow(Duration::from_millis(40)))
+        );
+        for a in run(UpstreamFaultMode::Slow(Duration::from_millis(40))) {
+            match a {
+                FaultAction::Delay(d) => {
+                    assert!(d >= Duration::from_millis(20) && d <= Duration::from_millis(60))
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+        assert!(run(UpstreamFaultMode::BlackHole)
+            .iter()
+            .all(|&a| a == FaultAction::Drop));
+        let inj = FlakyUpstreams::new(5, UpstreamFaultMode::BlackHole);
+        inj.decide_upstream(1, FaultPoint::UpstreamConnect);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn default_decide_upstream_delegates() {
+        let inj = ScriptedFaults::once(FaultPoint::UpstreamConnect, FaultAction::Die);
+        assert_eq!(
+            inj.decide_upstream(42, FaultPoint::UpstreamConnect),
+            FaultAction::Die
+        );
+        assert_eq!(inj.injected(), 1);
     }
 
     #[test]

@@ -69,12 +69,21 @@ pub enum DcrMessage {
         /// The affected user.
         user_id: UserId,
     },
+    /// Deadline propagation for tunnel establishment: the Edge tells the
+    /// Origin the absolute instant (unix epoch ms) by which the broker
+    /// attach must finish. The Origin clamps its broker-connect timeout to
+    /// `deadline − now` instead of using a fixed value.
+    Deadline {
+        /// Absolute deadline, unix epoch milliseconds.
+        unix_ms: u64,
+    },
 }
 
 const TYPE_SOLICIT: u8 = 1;
 const TYPE_RECONNECT: u8 = 2;
 const TYPE_ACK: u8 = 3;
 const TYPE_REFUSE: u8 = 4;
+const TYPE_DEADLINE: u8 = 5;
 
 /// Fixed encoded size of every DCR message (type + 8-byte body).
 pub const MESSAGE_LEN: usize = 9;
@@ -103,6 +112,10 @@ pub fn encode(msg: &DcrMessage) -> Vec<u8> {
             w.u8(TYPE_REFUSE);
             w.u64(user_id.0);
         }
+        DcrMessage::Deadline { unix_ms } => {
+            w.u8(TYPE_DEADLINE);
+            w.u64(*unix_ms);
+        }
     }
     w.freeze().to_vec()
 }
@@ -128,6 +141,7 @@ pub fn decode(buf: &[u8]) -> Result<(DcrMessage, usize)> {
         TYPE_REFUSE => DcrMessage::ConnectRefuse {
             user_id: UserId(r.u64()?),
         },
+        TYPE_DEADLINE => DcrMessage::Deadline { unix_ms: r.u64()? },
         other => {
             return Err(CodecError::InvalidValue {
                 what: "DCR message type",
@@ -162,6 +176,9 @@ mod tests {
         round_trip(DcrMessage::ConnectAck { user_id: UserId(1) });
         round_trip(DcrMessage::ConnectRefuse {
             user_id: UserId(u64::MAX),
+        });
+        round_trip(DcrMessage::Deadline {
+            unix_ms: 1_754_400_000_000,
         });
     }
 

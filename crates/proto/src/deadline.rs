@@ -1,0 +1,148 @@
+//! Deadline propagation: the `x-zdr-deadline` request property.
+//!
+//! Fixed per-hop timeouts compose badly: three hops with 10s timeouts can
+//! burn 30s on a request whose client gave up after 10. Instead, requests
+//! carry an *absolute* deadline (unix epoch milliseconds) set at the edge;
+//! every hop computes `remaining = deadline − now` and uses that as its
+//! timeout, so elapsed time is subtracted automatically as the request
+//! travels. Draining instances additionally clamp in-flight deadlines to
+//! their force-close hard deadline — an upstream call must not outlive the
+//! process that issued it.
+//!
+//! The wire form is a decimal unix-ms integer. On HTTP it rides the
+//! [`DEADLINE_HEADER`] header; on the MQTT relay tunnels it rides a DCR
+//! `deadline` control message or a trunk stream header with the same name.
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Header / stream-header name carrying the absolute request deadline.
+pub const DEADLINE_HEADER: &str = "x-zdr-deadline";
+
+/// Current wall-clock time as unix epoch milliseconds.
+pub fn unix_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// An absolute request deadline (unix epoch milliseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct Deadline {
+    unix_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline at the given absolute unix-ms instant.
+    pub fn at_unix_ms(unix_ms: u64) -> Self {
+        Deadline { unix_ms }
+    }
+
+    /// A deadline `budget` after `now_ms`.
+    pub fn after(now_ms: u64, budget: Duration) -> Self {
+        Deadline {
+            unix_ms: now_ms.saturating_add(budget.as_millis() as u64),
+        }
+    }
+
+    /// The absolute instant, unix epoch milliseconds.
+    pub fn unix_ms(self) -> u64 {
+        self.unix_ms
+    }
+
+    /// Time left at `now_ms`, or `None` when the deadline has passed.
+    /// A deadline is *exceeded* only strictly after its instant.
+    pub fn remaining(self, now_ms: u64) -> Option<Duration> {
+        if now_ms > self.unix_ms {
+            None
+        } else {
+            Some(Duration::from_millis(self.unix_ms - now_ms))
+        }
+    }
+
+    /// True when the deadline has passed at `now_ms`.
+    pub fn is_expired(self, now_ms: u64) -> bool {
+        now_ms > self.unix_ms
+    }
+
+    /// The earlier of two deadlines — how a hop folds its own limit (or a
+    /// drain hard-deadline) into a propagated one.
+    pub fn clamp_to(self, other: Deadline) -> Deadline {
+        Deadline {
+            unix_ms: self.unix_ms.min(other.unix_ms),
+        }
+    }
+
+    /// Wire form: decimal unix-ms, e.g. `"1754400000000"`.
+    pub fn header_value(self) -> String {
+        self.unix_ms.to_string()
+    }
+
+    /// Parses the wire form; `None` on anything but a decimal integer.
+    pub fn parse(s: &str) -> Option<Deadline> {
+        let t = s.trim();
+        if t.is_empty() || t.len() > 20 {
+            return None;
+        }
+        t.parse::<u64>().ok().map(Deadline::at_unix_ms)
+    }
+}
+
+impl std::fmt::Display for Deadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline@{}ms", self.unix_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn after_and_remaining() {
+        let d = Deadline::after(1_000, Duration::from_millis(250));
+        assert_eq!(d.unix_ms(), 1_250);
+        assert_eq!(d.remaining(1_000), Some(Duration::from_millis(250)));
+        assert_eq!(d.remaining(1_250), Some(Duration::ZERO));
+        assert_eq!(d.remaining(1_251), None);
+        assert!(!d.is_expired(1_250));
+        assert!(d.is_expired(1_251));
+    }
+
+    #[test]
+    fn clamp_takes_earlier() {
+        let a = Deadline::at_unix_ms(500);
+        let b = Deadline::at_unix_ms(300);
+        assert_eq!(a.clamp_to(b), b);
+        assert_eq!(b.clamp_to(a), b);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let d = Deadline::at_unix_ms(1_754_400_123_456);
+        assert_eq!(Deadline::parse(&d.header_value()), Some(d));
+        assert_eq!(Deadline::parse(" 42 "), Some(Deadline::at_unix_ms(42)));
+        assert_eq!(Deadline::parse(""), None);
+        assert_eq!(Deadline::parse("abc"), None);
+        assert_eq!(Deadline::parse("-5"), None);
+        assert_eq!(Deadline::parse("123456789012345678901"), None);
+    }
+
+    #[test]
+    fn now_is_sane() {
+        // After 2020-01-01 and monotone-ish across two calls.
+        let a = unix_now_ms();
+        let b = unix_now_ms();
+        assert!(a > 1_577_836_800_000, "unix_now_ms {a}");
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn display_and_saturation() {
+        assert_eq!(Deadline::at_unix_ms(7).to_string(), "deadline@7ms");
+        let d = Deadline::after(u64::MAX - 1, Duration::from_secs(10));
+        assert_eq!(d.unix_ms(), u64::MAX);
+    }
+}

@@ -21,12 +21,16 @@
 //!   status-message gate, pseudo-header echoing, and request reconstruction.
 //! * [`wire`] — small shared buffer primitives (varints, length-prefixed
 //!   strings) used by the binary codecs.
+//! * [`deadline`] — the `x-zdr-deadline` absolute-deadline property that
+//!   requests carry so every hop subtracts elapsed time instead of using
+//!   fixed timeouts.
 //!
 //! All codecs are sans-I/O: they operate on byte buffers and are driven by
 //! whatever transport hosts them (real tokio sockets in `zdr-proxy`, or the
 //! deterministic simulator in `zdr-sim`).
 
 pub mod dcr;
+pub mod deadline;
 pub mod h2;
 pub mod http1;
 pub mod mqtt;

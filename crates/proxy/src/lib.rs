@@ -27,6 +27,10 @@
 //! * [`trunk`] — the long-lived Edge↔Origin trunk: streams multiplexed
 //!   over one TCP connection with GOAWAY graceful drain (§2.2, §4.1).
 //! * [`upstream`] — healthy-upstream selection shared by the above.
+//! * [`resilience`] — the shared upstream-resilience layer every
+//!   proxy→backend hop goes through: per-upstream circuit breakers,
+//!   a cluster-wide retry budget, deadline propagation, and overload
+//!   shedding at accept ([`resilience::LoadShedGate`]).
 //! * [`stats`] — per-instance disruption counters (the §6 monitoring
 //!   signals) and the unified [`stats::StatsSnapshot`] merged view.
 //!
@@ -47,6 +51,7 @@ pub mod mqtt_common;
 pub mod mqtt_relay;
 pub mod mqtt_relay_trunk;
 pub mod quic_service;
+pub mod resilience;
 pub mod reverse;
 pub mod service;
 pub mod stats;
@@ -55,7 +60,8 @@ pub mod trunk;
 pub mod upstream;
 
 pub use conn_tracker::{ConnGuard, ConnTracker};
-pub use mqtt_common::broker_for_user;
+pub use mqtt_common::{broker_for_user, brokers_ranked_for_user};
+pub use resilience::{LoadShedGate, Resilience, ResilienceConfig, ShedConfig};
 pub use reverse::{spawn_reverse_proxy, ReverseProxyConfig, ReverseProxyHandle};
 pub use service::{CloseSignal, DrainState, ServiceHandle};
 pub use stats::{Counter, EdgeDcrStats, ProxyStats, StatsSnapshot};

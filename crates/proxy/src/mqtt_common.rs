@@ -5,11 +5,21 @@
 //! a user no matter which relay flavor carried the tunnel.
 
 use std::net::SocketAddr;
+use std::time::Duration;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
 
 use zdr_proto::dcr::UserId;
+use zdr_proto::deadline::{unix_now_ms, Deadline};
 use zdr_proto::mqtt::{Packet, StreamDecoder};
+
+use crate::resilience::Resilience;
+use crate::stats::ProxyStats;
+
+/// Default budget for establishing a tunnel (edge→origin→broker) when no
+/// deadline was propagated; the Edge stamps this on every fresh tunnel.
+pub(crate) const TUNNEL_CONNECT_BUDGET: Duration = Duration::from_secs(5);
 
 /// Tunnel frame kind: opaque MQTT bytes.
 pub(crate) const KIND_DATA: u8 = 0;
@@ -57,15 +67,58 @@ pub(crate) async fn read_frame<R: tokio::io::AsyncRead + Unpin>(
 /// Locates the broker for a user by consistent hashing (§4.2: "Consistent
 /// hashing is used to keep these mappings consistent at scale").
 pub fn broker_for_user(user: UserId, brokers: &[SocketAddr]) -> Option<SocketAddr> {
-    if brokers.is_empty() {
-        return None;
+    brokers_ranked_for_user(user, brokers).into_iter().next()
+}
+
+/// The full rendezvous ranking for a user: every broker ordered by
+/// descending hash weight. Element 0 is [`broker_for_user`]'s answer; the
+/// rest are the deterministic next-replica fallbacks a relay walks when
+/// the preferred broker's circuit breaker is open. Rendezvous hashing
+/// keeps the *whole order* stable under broker-set changes, so two relays
+/// always agree on the fallback sequence too.
+pub fn brokers_ranked_for_user(user: UserId, brokers: &[SocketAddr]) -> Vec<SocketAddr> {
+    let mut ranked: Vec<SocketAddr> = brokers.to_vec();
+    ranked.sort_by_key(|b| {
+        std::cmp::Reverse(zdr_l4lb::hash::fnv1a(format!("{}|{}", user.0, b).as_bytes()))
+    });
+    ranked
+}
+
+/// Connects to the best available broker for `user`: the rendezvous-ranked
+/// list is walked in order, skipping brokers whose breaker rejects; the
+/// first connect attempt is free, every fallback attempt must be funded by
+/// the retry budget; the whole walk stops at `deadline`. This is §4.2's
+/// consistent-hash placement made breaker-aware: when the hashed broker is
+/// down, every relay deterministically agrees on the same next replica.
+pub(crate) async fn connect_ranked_broker(
+    user: UserId,
+    brokers: &[SocketAddr],
+    resilience: &Resilience,
+    stats: &ProxyStats,
+    deadline: Deadline,
+) -> Option<(TcpStream, SocketAddr)> {
+    let mut attempted = false;
+    for addr in brokers_ranked_for_user(user, brokers) {
+        let Some(remaining) = deadline.remaining(unix_now_ms()) else {
+            stats.deadline_exceeded.bump();
+            return None;
+        };
+        if !resilience.admit(addr, stats).allowed() {
+            continue;
+        }
+        if attempted && !resilience.try_retry(stats) {
+            return None;
+        }
+        attempted = true;
+        match tokio::time::timeout(remaining, TcpStream::connect(addr)).await {
+            Ok(Ok(conn)) => {
+                resilience.on_success(addr, stats);
+                return Some((conn, addr));
+            }
+            _ => resilience.on_failure(addr, stats),
+        }
     }
-    // Rendezvous (highest-random-weight) hashing: stable under broker-set
-    // changes, deterministic across relays.
-    brokers
-        .iter()
-        .max_by_key(|b| zdr_l4lb::hash::fnv1a(format!("{}|{}", user.0, b).as_bytes()))
-        .copied()
+    None
 }
 
 /// Feeds `bytes` to the sniffer and, if a complete CONNECT has arrived,
@@ -116,6 +169,22 @@ mod tests {
             "rendezvous hashing must not move unaffected users"
         );
         assert!(broker_for_user(UserId(1), &[]).is_none());
+    }
+
+    #[test]
+    fn ranked_order_is_stable_and_headed_by_primary() {
+        let brokers: Vec<SocketAddr> = (0..5)
+            .map(|i| format!("10.0.1.{}:1883", i + 1).parse().unwrap())
+            .collect();
+        for u in 0..200 {
+            let ranked = brokers_ranked_for_user(UserId(u), &brokers);
+            assert_eq!(ranked.len(), brokers.len());
+            assert_eq!(Some(ranked[0]), broker_for_user(UserId(u), &brokers));
+            // Removing the primary promotes exactly the second choice: the
+            // fallback order is itself consistent-hashing stable.
+            let without: Vec<_> = brokers.iter().copied().filter(|b| *b != ranked[0]).collect();
+            assert_eq!(broker_for_user(UserId(u), &without), Some(ranked[1]));
+        }
     }
 
     #[tokio::test]

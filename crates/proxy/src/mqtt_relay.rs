@@ -40,10 +40,15 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use zdr_proto::dcr::{self, DcrMessage, UserId};
+use zdr_proto::deadline::{unix_now_ms, Deadline};
 use zdr_proto::mqtt::StreamDecoder;
 
 use crate::conn_tracker::ConnGuard;
-use crate::mqtt_common::{read_frame, sniff_connect_user, write_frame, KIND_DATA, KIND_DCR};
+use crate::mqtt_common::{
+    connect_ranked_broker, read_frame, sniff_connect_user, write_frame, KIND_DATA, KIND_DCR,
+    TUNNEL_CONNECT_BUDGET,
+};
+use crate::resilience::{Resilience, ResilienceConfig};
 use crate::service::{DrainState, MqttCloseSignal, ServiceHandle};
 use crate::stats::ProxyStats;
 
@@ -65,6 +70,8 @@ pub struct OriginHandle {
     pub origin_id: u32,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
+    /// Broker-side resilience: per-broker breakers + shared retry budget.
+    pub resilience: Arc<Resilience>,
 }
 
 impl Deref for OriginHandle {
@@ -74,32 +81,54 @@ impl Deref for OriginHandle {
     }
 }
 
-/// Spawns an Origin relay fronting `brokers`.
+/// Spawns an Origin relay fronting `brokers` with default resilience.
 pub async fn spawn_origin(
     addr: SocketAddr,
     origin_id: u32,
     brokers: Vec<SocketAddr>,
     drain_deadline_ms: u32,
 ) -> std::io::Result<OriginHandle> {
+    spawn_origin_with(
+        addr,
+        origin_id,
+        brokers,
+        drain_deadline_ms,
+        ResilienceConfig::default(),
+    )
+    .await
+}
+
+/// Spawns an Origin relay with explicit resilience tunables.
+pub async fn spawn_origin_with(
+    addr: SocketAddr,
+    origin_id: u32,
+    brokers: Vec<SocketAddr>,
+    drain_deadline_ms: u32,
+    resilience: ResilienceConfig,
+) -> std::io::Result<OriginHandle> {
     let listener = TcpListener::bind(addr).await?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
     let state = DrainState::new(MqttCloseSignal);
     let brokers = Arc::new(brokers);
+    let resilience = Arc::new(Resilience::new(resilience));
 
     let loop_stats = Arc::clone(&stats);
     let loop_state = Arc::clone(&state);
+    let loop_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
             let stats = Arc::clone(&loop_stats);
             let brokers = Arc::clone(&brokers);
             let state = Arc::clone(&loop_state);
+            let resilience = Arc::clone(&loop_resilience);
             let guard = state.register();
             tokio::spawn(async move {
                 let _ = origin_tunnel(
                     stream,
                     origin_id,
                     &brokers,
+                    &resilience,
                     stats,
                     state,
                     guard,
@@ -114,14 +143,17 @@ pub async fn spawn_origin(
         service: ServiceHandle::new(addr, state, vec![accept_task]),
         origin_id,
         stats,
+        resilience,
     })
 }
 
 /// Handles one Edge↔Origin tunnel on the Origin side.
+#[allow(clippy::too_many_arguments)]
 async fn origin_tunnel(
     mut edge: TcpStream,
     origin_id: u32,
     brokers: &[SocketAddr],
+    resilience: &Resilience,
     stats: Arc<ProxyStats>,
     state: Arc<DrainState>,
     mut guard: ConnGuard,
@@ -130,11 +162,30 @@ async fn origin_tunnel(
     let mut drain = state.drain_watch();
     let mut force = state.force_watch();
 
+    // Establishment deadline: the Edge's propagated deadline (a DCR
+    // `deadline` control frame, when present) ∧ our own budget ∧ any armed
+    // drain hard deadline.
+    let mut deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
+    if let Some(d) = state.force_deadline() {
+        deadline = deadline.clamp_to(d);
+    }
+
     // First frame decides the mode: data (fresh tunnel, starts with the
     // client's CONNECT) or DCR re_connect (re-homing an existing session).
-    let Some((kind, payload)) = read_frame(&mut edge).await? else {
+    // A DCR `deadline` frame may precede either.
+    let Some((mut kind, mut payload)) = read_frame(&mut edge).await? else {
         return Ok(());
     };
+    if kind == KIND_DCR {
+        if let Ok((DcrMessage::Deadline { unix_ms }, _)) = dcr::decode(&payload) {
+            deadline = deadline.clamp_to(Deadline::at_unix_ms(unix_ms));
+            let Some((k, p)) = read_frame(&mut edge).await? else {
+                return Ok(());
+            };
+            kind = k;
+            payload = p;
+        }
+    }
 
     let mut broker_conn: TcpStream;
 
@@ -143,12 +194,14 @@ async fn origin_tunnel(
             let Ok((DcrMessage::ReConnect { user_id }, _)) = dcr::decode(&payload) else {
                 return Ok(());
             };
-            let Some(broker_addr) = broker_for_user(user_id, brokers) else {
+            let connected =
+                connect_ranked_broker(user_id, brokers, resilience, &stats, deadline).await;
+            let Some((conn, _)) = connected else {
                 let refuse = dcr::encode(&DcrMessage::ConnectRefuse { user_id });
                 return write_frame(&mut edge, KIND_DCR, &refuse).await;
             };
+            broker_conn = conn;
             // Forward the re_connect to the broker (its 0x02 path).
-            broker_conn = TcpStream::connect(broker_addr).await?;
             broker_conn
                 .write_all(&dcr::encode(&DcrMessage::ReConnect { user_id }))
                 .await?;
@@ -169,10 +222,12 @@ async fn origin_tunnel(
             let Some(user) = sniff_connect_user(&mut sniff, &payload) else {
                 return Ok(()); // first bytes must be a parseable CONNECT
             };
-            let Some(broker_addr) = broker_for_user(user, brokers) else {
+            let Some((conn, _)) =
+                connect_ranked_broker(user, brokers, resilience, &stats, deadline).await
+            else {
                 return Ok(());
             };
-            broker_conn = TcpStream::connect(broker_addr).await?;
+            broker_conn = conn;
             stats.mqtt_tunnels.bump();
             // Forward the CONNECT bytes.
             broker_conn.write_all(&payload).await?;
@@ -248,6 +303,8 @@ pub struct EdgeHandle {
     pub stats: Arc<ProxyStats>,
     /// DCR-specific counters.
     pub dcr_stats: Arc<EdgeDcrStats>,
+    /// Origin-side resilience: per-origin breakers + accept-side shed gate.
+    pub resilience: Arc<Resilience>,
     origins: Arc<parking_lot::RwLock<Vec<SocketAddr>>>,
 }
 
@@ -266,29 +323,58 @@ impl EdgeHandle {
     }
 }
 
-/// Spawns an Edge relay fronting `origins`.
+/// Spawns an Edge relay fronting `origins` with default resilience.
 pub async fn spawn_edge(addr: SocketAddr, origins: Vec<SocketAddr>) -> std::io::Result<EdgeHandle> {
+    spawn_edge_with(addr, origins, ResilienceConfig::default()).await
+}
+
+/// Spawns an Edge relay with explicit resilience tunables. An overloaded
+/// Edge sheds new clients at accept with an MQTT CONNACK refuse
+/// (`ServerUnavailable`) — the protocol-native analogue of HTTP's 503.
+pub async fn spawn_edge_with(
+    addr: SocketAddr,
+    origins: Vec<SocketAddr>,
+    resilience: ResilienceConfig,
+) -> std::io::Result<EdgeHandle> {
     let listener = TcpListener::bind(addr).await?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
     let dcr_stats = Arc::new(EdgeDcrStats::default());
     let origins = Arc::new(parking_lot::RwLock::new(origins));
     let state = DrainState::new(MqttCloseSignal);
+    let resilience = Arc::new(Resilience::new(resilience));
 
     let loop_stats = Arc::clone(&stats);
     let loop_dcr = Arc::clone(&dcr_stats);
     let loop_origins = Arc::clone(&origins);
     let loop_state = Arc::clone(&state);
+    let loop_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
-        while let Ok((stream, _)) = listener.accept().await {
+        while let Ok((mut stream, _)) = listener.accept().await {
             loop_stats.connections_accepted.bump();
+            let active = loop_state.tracker().active();
+            if loop_resilience.shed().should_shed(active) {
+                loop_stats.load_shed.bump();
+                tokio::spawn(async move {
+                    if let Ok(refuse) = zdr_proto::mqtt::encode(&zdr_proto::mqtt::Packet::ConnAck {
+                        session_present: false,
+                        code: zdr_proto::mqtt::ConnectReturnCode::ServerUnavailable,
+                    }) {
+                        let _ = stream.write_all(&refuse).await;
+                    }
+                    let _ = stream.shutdown().await;
+                });
+                continue;
+            }
             let stats = Arc::clone(&loop_stats);
             let dcr_stats = Arc::clone(&loop_dcr);
             let origins = Arc::clone(&loop_origins);
             let state = Arc::clone(&loop_state);
+            let resilience = Arc::clone(&loop_resilience);
             let guard = state.register();
             tokio::spawn(async move {
-                let _ = edge_tunnel(stream, origins, stats, dcr_stats, state, guard).await;
+                let _ =
+                    edge_tunnel(stream, origins, resilience, stats, dcr_stats, state, guard).await;
             });
         }
     });
@@ -297,6 +383,7 @@ pub async fn spawn_edge(addr: SocketAddr, origins: Vec<SocketAddr>) -> std::io::
         service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
         dcr_stats,
+        resilience,
         origins,
     })
 }
@@ -313,33 +400,71 @@ fn candidate_origins(
         .collect()
 }
 
-/// Connects to the first reachable Origin (a draining Origin no longer
+/// Connects to the first admitting Origin (a draining Origin no longer
 /// accepts new tunnels, so connect failures are expected mid-release).
+/// Each Origin's breaker gates the attempt and absorbs the outcome, so a
+/// crashed Origin stops being dialed after a few failures instead of
+/// adding a connect timeout to every tunnel establishment. No budget
+/// gating here: the walk is bounded by the configured origin count.
 async fn connect_origin(
     origins: &parking_lot::RwLock<Vec<SocketAddr>>,
     exclude: Option<SocketAddr>,
+    resilience: &Resilience,
+    stats: &ProxyStats,
 ) -> Option<(TcpStream, SocketAddr)> {
     for addr in candidate_origins(origins, exclude) {
-        if let Ok(conn) = TcpStream::connect(addr).await {
-            return Some((conn, addr));
+        if !resilience.admit(addr, stats).allowed() {
+            continue;
+        }
+        match TcpStream::connect(addr).await {
+            Ok(conn) => {
+                resilience.on_success(addr, stats);
+                return Some((conn, addr));
+            }
+            Err(_) => resilience.on_failure(addr, stats),
         }
     }
     None
+}
+
+/// Stamps the tunnel-establishment deadline as the first (DCR) frame of a
+/// new Edge→Origin tunnel, clamped to the Edge's drain hard deadline.
+async fn send_tunnel_deadline(
+    origin: &mut TcpStream,
+    state: &DrainState,
+) -> std::io::Result<Deadline> {
+    let mut deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
+    if let Some(d) = state.force_deadline() {
+        deadline = deadline.clamp_to(d);
+    }
+    let frame = dcr::encode(&DcrMessage::Deadline {
+        unix_ms: deadline.unix_ms(),
+    });
+    write_frame(origin, KIND_DCR, &frame).await?;
+    Ok(deadline)
 }
 
 /// Handles one client connection on the Edge side.
 async fn edge_tunnel(
     mut client: TcpStream,
     origins: Arc<parking_lot::RwLock<Vec<SocketAddr>>>,
+    resilience: Arc<Resilience>,
     stats: Arc<ProxyStats>,
     dcr_stats: Arc<EdgeDcrStats>,
     state: Arc<DrainState>,
     mut guard: ConnGuard,
 ) -> std::io::Result<()> {
     let mut force = state.force_watch();
-    let Some((mut origin, mut current_origin)) = connect_origin(&origins, None).await else {
+    let Some((mut origin, mut current_origin)) =
+        connect_origin(&origins, None, &resilience, &stats).await
+    else {
         return Ok(());
     };
+    // Every tunnel opens with its establishment deadline so the Origin can
+    // bound its broker connect.
+    if send_tunnel_deadline(&mut origin, &state).await.is_err() {
+        return Ok(());
+    }
     stats.mqtt_tunnels.bump();
 
     // Sniff the user id from the client's CONNECT as bytes flow.
@@ -395,7 +520,9 @@ async fn edge_tunnel(
                         {
                             // Fig. 6 steps B1→C2: re-home through another
                             // Origin, keeping the old tunnel live meanwhile.
-                            match rehome(&origins, current_origin, user).await {
+                            match rehome(&origins, current_origin, user, &resilience, &stats, &state)
+                                .await
+                            {
                                 Some((new_conn, new_addr)) => {
                                     origin = new_conn;
                                     current_origin = new_addr;
@@ -424,9 +551,19 @@ async fn rehome(
     origins: &parking_lot::RwLock<Vec<SocketAddr>>,
     exclude: SocketAddr,
     user: Option<UserId>,
+    resilience: &Resilience,
+    stats: &ProxyStats,
+    state: &DrainState,
 ) -> Option<(TcpStream, SocketAddr)> {
     let user = user?;
-    let (mut conn, new_addr) = connect_origin(origins, Some(exclude)).await?;
+    // The re-home is itself a retry of tunnel establishment: it must be
+    // funded by the shared budget before any connection work happens, and
+    // it propagates a deadline like any fresh tunnel.
+    if !resilience.try_retry(stats) {
+        return None;
+    }
+    let (mut conn, new_addr) = connect_origin(origins, Some(exclude), resilience, stats).await?;
+    send_tunnel_deadline(&mut conn, state).await.ok()?;
     let msg = dcr::encode(&DcrMessage::ReConnect { user_id: user });
     write_frame(&mut conn, KIND_DCR, &msg).await.ok()?;
     let (kind, payload) = read_frame(&mut conn).await.ok()??;
@@ -647,6 +784,144 @@ mod tests {
         tokio::time::sleep(Duration::from_millis(300)).await;
         assert_eq!(edge.dcr_stats.rehome_refused.get(), 1);
         assert_eq!(broker.core.stats().dcr_refused, 1);
+    }
+
+    #[tokio::test]
+    async fn overloaded_edge_refuses_with_connack_server_unavailable() {
+        let (_broker, o1, o2, _edge) = stack().await;
+        let edge = spawn_edge_with(
+            "127.0.0.1:0".parse().unwrap(),
+            vec![o1.addr, o2.addr],
+            ResilienceConfig {
+                shed: crate::resilience::ShedConfig {
+                    max_active: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+
+        // First client occupies the only admitted slot.
+        let _c = Client::connect(edge.addr, UserId(21)).await;
+        assert_eq!(edge.active_connections(), 1);
+
+        // The next client is refused at accept, before any tunnel work.
+        let mut stream = TcpStream::connect(edge.addr).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: zdr_broker::server::client_id_for(UserId(22)),
+            keep_alive: 60,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let mut decoder = StreamDecoder::new();
+        let mut buf = [0u8; 1024];
+        let code = loop {
+            if let Some(Packet::ConnAck { code, .. }) = decoder.next_packet().unwrap() {
+                break code;
+            }
+            let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+                .await
+                .expect("refusal timeout")
+                .unwrap();
+            assert!(n > 0, "closed before CONNACK");
+            decoder.extend(&buf[..n]);
+        };
+        assert_eq!(code, ConnectReturnCode::ServerUnavailable);
+        assert_eq!(edge.stats.load_shed.get(), 1);
+        assert_eq!(edge.active_connections(), 1, "shed client never admitted");
+    }
+
+    #[tokio::test]
+    async fn dead_primary_broker_falls_back_to_next_ranked_replica() {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        // Find a user whose rendezvous-preferred broker is the dead one,
+        // so the tunnel must fall back to the live replica.
+        let brokers = vec![dead, broker.addr];
+        let user = (0..10_000)
+            .map(UserId)
+            .find(|u| broker_for_user(*u, &brokers) == Some(dead))
+            .expect("some user must hash to the dead broker");
+
+        let o = spawn_origin("127.0.0.1:0".parse().unwrap(), 1, brokers, 5_000)
+            .await
+            .unwrap();
+        let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![o.addr])
+            .await
+            .unwrap();
+
+        let mut c = Client::connect(edge.addr, user).await;
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+
+        // The fallback was a funded retry, and the dead broker's failure
+        // fed its breaker.
+        assert_eq!(o.stats.retries.get(), 1);
+        assert_eq!(o.resilience.budget().withdrawn(), 1);
+
+        // Once the breaker trips (default threshold 3), further tunnels to
+        // the same user skip the dead broker without dialing it.
+        let _c2 = Client::connect(edge.addr, user).await;
+        let _c3 = Client::connect(edge.addr, user).await;
+        assert_eq!(o.stats.breaker_opened.get(), 1);
+        let mut c4 = Client::connect(edge.addr, user).await;
+        c4.send(&Packet::PingReq).await;
+        assert_eq!(c4.recv().await, Packet::PingResp);
+        assert_eq!(
+            o.stats.retries.get(),
+            3,
+            "breaker-skipped attempts are free, not funded retries"
+        );
+    }
+
+    #[tokio::test]
+    async fn edge_stamps_deadline_as_first_tunnel_frame() {
+        // A hand-rolled "origin" that captures the first frame raw.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let fake_origin = listener.local_addr().unwrap();
+        let (tx, rx) = tokio::sync::oneshot::channel::<(u8, Vec<u8>)>();
+        tokio::spawn(async move {
+            let (mut s, _) = listener.accept().await.unwrap();
+            let frame = read_frame(&mut s).await.unwrap().unwrap();
+            let _ = tx.send(frame);
+        });
+        let edge = spawn_edge("127.0.0.1:0".parse().unwrap(), vec![fake_origin])
+            .await
+            .unwrap();
+        let mut stream = TcpStream::connect(edge.addr).await.unwrap();
+        let pkt = Packet::Connect {
+            client_id: zdr_broker::server::client_id_for(UserId(31)),
+            keep_alive: 60,
+            clean_session: true,
+        };
+        stream
+            .write_all(&mqtt::encode(&pkt).unwrap())
+            .await
+            .unwrap();
+        let (kind, payload) = tokio::time::timeout(Duration::from_secs(5), rx)
+            .await
+            .expect("first frame timeout")
+            .unwrap();
+        assert_eq!(kind, KIND_DCR);
+        let (msg, _) = dcr::decode(&payload).unwrap();
+        let now = zdr_proto::deadline::unix_now_ms();
+        match msg {
+            DcrMessage::Deadline { unix_ms } => {
+                assert!(unix_ms > now, "deadline must be in the future");
+                assert!(
+                    unix_ms <= now + 10_000,
+                    "deadline must be bounded by the tunnel budget"
+                );
+            }
+            other => panic!("expected deadline frame, got {other:?}"),
+        }
     }
 
     #[tokio::test]

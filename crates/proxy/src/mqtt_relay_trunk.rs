@@ -33,10 +33,12 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use zdr_proto::dcr::{self, DcrMessage, UserId};
+use zdr_proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
 use zdr_proto::mqtt::{Packet, StreamDecoder};
 
 use crate::conn_tracker::ConnGuard;
-use crate::mqtt_common::broker_for_user;
+use crate::mqtt_common::{connect_ranked_broker, TUNNEL_CONNECT_BUDGET};
+use crate::resilience::{Resilience, ResilienceConfig};
 use crate::service::{DrainState, MqttCloseSignal, ServiceHandle, TrunkCloseSignal};
 use crate::stats::{EdgeDcrStats, ProxyStats};
 use crate::trunk::{self, StreamEvent, TrunkHandle, TrunkStream};
@@ -55,6 +57,8 @@ pub struct OriginTrunkHandle {
     pub service: ServiceHandle,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
+    /// Broker-side resilience: per-broker breakers + shared retry budget.
+    pub resilience: Arc<Resilience>,
 }
 
 impl Deref for OriginTrunkHandle {
@@ -76,16 +80,29 @@ pub async fn spawn_origin_trunk(
     addr: SocketAddr,
     brokers: Vec<SocketAddr>,
 ) -> std::io::Result<OriginTrunkHandle> {
+    spawn_origin_trunk_with(addr, brokers, ResilienceConfig::default()).await
+}
+
+/// Spawns a trunk-based Origin relay with explicit resilience tunables:
+/// broker connects go through per-broker circuit breakers with ranked
+/// fallback, clamped to the deadline the Edge stamped on the stream.
+pub async fn spawn_origin_trunk_with(
+    addr: SocketAddr,
+    brokers: Vec<SocketAddr>,
+    resilience: ResilienceConfig,
+) -> std::io::Result<OriginTrunkHandle> {
     let listener = TcpListener::bind(addr).await?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
     let trunks: Arc<Mutex<Vec<TrunkHandle>>> = Arc::new(Mutex::new(Vec::new()));
     let brokers = Arc::new(brokers);
     let state = DrainState::new(TrunkCloseSignal);
+    let resilience = Arc::new(Resilience::new(resilience));
 
     let loop_stats = Arc::clone(&stats);
     let loop_trunks = Arc::clone(&trunks);
     let loop_state = Arc::clone(&state);
+    let loop_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
             let (handle, mut incoming) = trunk::accept(stream);
@@ -93,14 +110,16 @@ pub async fn spawn_origin_trunk(
             let stats = Arc::clone(&loop_stats);
             let brokers = Arc::clone(&brokers);
             let state = Arc::clone(&loop_state);
+            let resilience = Arc::clone(&loop_resilience);
             tokio::spawn(async move {
                 while let Some(s) = incoming.recv().await {
                     let stats = Arc::clone(&stats);
                     let brokers = Arc::clone(&brokers);
                     let state = Arc::clone(&state);
+                    let resilience = Arc::clone(&resilience);
                     let guard = state.register();
                     tokio::spawn(async move {
-                        let _ = origin_stream(s, &brokers, stats, state, guard).await;
+                        let _ = origin_stream(s, &brokers, resilience, stats, state, guard).await;
                     });
                 }
             });
@@ -130,6 +149,7 @@ pub async fn spawn_origin_trunk(
     Ok(OriginTrunkHandle {
         service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
+        resilience,
     })
 }
 
@@ -144,6 +164,7 @@ fn header<'a>(s: &'a TrunkStream, name: &str) -> Option<&'a str> {
 async fn origin_stream(
     mut stream: TrunkStream,
     brokers: &[SocketAddr],
+    resilience: Arc<Resilience>,
     stats: Arc<ProxyStats>,
     state: Arc<DrainState>,
     mut guard: ConnGuard,
@@ -153,12 +174,25 @@ async fn origin_stream(
         let _ = stream.finish().await;
         return Ok(());
     };
-    let Some(broker_addr) = broker_for_user(user, brokers) else {
+
+    // Deadline propagation over the trunk is a stream header (the HTTP/2
+    // analogue of the per-tunnel relay's DCR frame): the hop budget is the
+    // local default clamped by whatever the Edge stamped and by our own
+    // drain hard deadline.
+    let mut deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
+    if let Some(d) = header(&stream, DEADLINE_HEADER).and_then(Deadline::parse) {
+        deadline = deadline.clamp_to(d);
+    }
+    if let Some(d) = state.force_deadline() {
+        deadline = deadline.clamp_to(d);
+    }
+
+    let Some((mut broker_conn, _broker_addr)) =
+        connect_ranked_broker(user, brokers, &resilience, &stats, deadline).await
+    else {
         let _ = stream.finish().await;
         return Ok(());
     };
-
-    let mut broker_conn = TcpStream::connect(broker_addr).await?;
 
     if header(&stream, "dcr") == Some("re_connect") {
         // Fig. 6 steps B2/C1–C2 over the trunk.
@@ -234,6 +268,8 @@ pub struct EdgeTrunkHandle {
     pub stats: Arc<ProxyStats>,
     /// DCR counters (shared shape with the per-tunnel-TCP relay).
     pub dcr_stats: Arc<EdgeDcrStats>,
+    /// Trunk-side resilience: per-origin breakers, retry budget, shed gate.
+    pub resilience: Arc<Resilience>,
 }
 
 impl Deref for EdgeTrunkHandle {
@@ -243,27 +279,36 @@ impl Deref for EdgeTrunkHandle {
     }
 }
 
-/// Lazily-connected trunks to each Origin.
+/// Lazily-connected trunks to each Origin, gated by per-origin circuit
+/// breakers: a dead Origin is probed on the breaker's schedule instead of
+/// paying a connect timeout on every tunnel.
 #[derive(Debug)]
 struct TrunkPool {
     origins: Vec<SocketAddr>,
     trunks: Mutex<Vec<Option<TrunkHandle>>>,
+    resilience: Arc<Resilience>,
+    stats: Arc<ProxyStats>,
 }
 
 impl TrunkPool {
-    fn new(origins: Vec<SocketAddr>) -> Self {
+    fn new(origins: Vec<SocketAddr>, resilience: Arc<Resilience>, stats: Arc<ProxyStats>) -> Self {
         let n = origins.len();
         TrunkPool {
             origins,
             trunks: Mutex::new(vec![None; n]),
+            resilience,
+            stats,
         }
     }
 
-    /// A healthy (non-draining) trunk, excluding index `exclude`.
-    /// Establishes connections on demand.
+    /// A healthy (non-draining, breaker-admitted) trunk, excluding index
+    /// `exclude`. Establishes connections on demand.
     async fn pick(&self, exclude: Option<usize>) -> Option<(usize, TrunkHandle)> {
         for i in 0..self.origins.len() {
             if Some(i) == exclude {
+                continue;
+            }
+            if !self.resilience.admit(self.origins[i], &self.stats).allowed() {
                 continue;
             }
             if let Some(h) = self.get(i).await {
@@ -283,10 +328,14 @@ impl TrunkPool {
             Ok((handle, _incoming)) => {
                 // Edge-initiated trunks carry no Origin-initiated streams;
                 // dropping the incoming half is fine.
+                self.resilience.on_success(self.origins[i], &self.stats);
                 self.trunks.lock()[i] = Some(handle.clone());
                 Some(handle)
             }
-            Err(_) => None,
+            Err(_) => {
+                self.resilience.on_failure(self.origins[i], &self.stats);
+                None
+            }
         }
     }
 }
@@ -296,19 +345,50 @@ pub async fn spawn_edge_trunk(
     addr: SocketAddr,
     origins: Vec<SocketAddr>,
 ) -> std::io::Result<EdgeTrunkHandle> {
+    spawn_edge_trunk_with(addr, origins, ResilienceConfig::default()).await
+}
+
+/// Spawns a trunk-based Edge relay with explicit resilience tunables. An
+/// overloaded Edge sheds new clients at accept with an MQTT CONNACK
+/// refuse (`ServerUnavailable`), before the connection counts as active.
+pub async fn spawn_edge_trunk_with(
+    addr: SocketAddr,
+    origins: Vec<SocketAddr>,
+    resilience: ResilienceConfig,
+) -> std::io::Result<EdgeTrunkHandle> {
     let listener = TcpListener::bind(addr).await?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
     let dcr_stats = Arc::new(EdgeDcrStats::default());
-    let pool = Arc::new(TrunkPool::new(origins));
+    let resilience = Arc::new(Resilience::new(resilience));
+    let pool = Arc::new(TrunkPool::new(
+        origins,
+        Arc::clone(&resilience),
+        Arc::clone(&stats),
+    ));
     let state = DrainState::new(MqttCloseSignal);
 
     let loop_stats = Arc::clone(&stats);
     let loop_dcr = Arc::clone(&dcr_stats);
     let loop_state = Arc::clone(&state);
+    let loop_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
-        while let Ok((client, _)) = listener.accept().await {
+        while let Ok((mut client, _)) = listener.accept().await {
             loop_stats.connections_accepted.bump();
+            let active = loop_state.tracker().active();
+            if loop_resilience.shed().should_shed(active) {
+                loop_stats.load_shed.bump();
+                tokio::spawn(async move {
+                    if let Ok(refuse) = zdr_proto::mqtt::encode(&Packet::ConnAck {
+                        session_present: false,
+                        code: zdr_proto::mqtt::ConnectReturnCode::ServerUnavailable,
+                    }) {
+                        let _ = client.write_all(&refuse).await;
+                    }
+                    let _ = client.shutdown().await;
+                });
+                continue;
+            }
             let stats = Arc::clone(&loop_stats);
             let dcr_stats = Arc::clone(&loop_dcr);
             let pool = Arc::clone(&pool);
@@ -324,6 +404,7 @@ pub async fn spawn_edge_trunk(
         service: ServiceHandle::new(addr, state, vec![accept_task]),
         stats,
         dcr_stats,
+        resilience,
     })
 }
 
@@ -361,13 +442,18 @@ async fn edge_client(
         }
     };
 
-    // Open the tunnel stream on a healthy trunk.
+    // Open the tunnel stream on a healthy trunk. The Edge stamps the
+    // tunnel-establishment deadline as a stream header so the Origin's
+    // broker connect spends only the remaining budget.
     let Some((mut origin_idx, handle)) = pool.pick(None).await else {
         stats.mqtt_dropped.bump();
         return Ok(());
     };
     let Ok(mut stream) = handle
-        .open_stream(vec![("user-id".into(), user.0.to_string())])
+        .open_stream(vec![
+            ("user-id".into(), user.0.to_string()),
+            (DEADLINE_HEADER.into(), tunnel_deadline(&state).header_value()),
+        ])
         .await
     else {
         stats.mqtt_dropped.bump();
@@ -398,7 +484,7 @@ async fn edge_client(
                     continue;
                 }
                 // GOAWAY from the Origin: re-home this tunnel (§4.2).
-                match rehome(&pool, origin_idx, user).await {
+                match rehome(&pool, origin_idx, user, &state).await {
                     Some((idx, new_stream, new_watch)) => {
                         // Old stream closes once we stop using it; the new
                         // one carries the tunnel from here.
@@ -448,18 +534,36 @@ async fn edge_client(
     }
 }
 
+/// The deadline the Edge stamps on a tunnel stream: the local connect
+/// budget, capped by the Edge's own drain hard deadline.
+fn tunnel_deadline(state: &DrainState) -> Deadline {
+    let mut deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
+    if let Some(d) = state.force_deadline() {
+        deadline = deadline.clamp_to(d);
+    }
+    deadline
+}
+
 /// Re-homes a tunnel through another Origin: opens a `re_connect` stream
-/// and waits for the broker's verdict.
+/// and waits for the broker's verdict. A re-home is a retry of the
+/// tunnel's transport, so it must be funded by the retry budget — during
+/// a mass restart this caps the solicitation-driven reconnect amplification
+/// just like PPR replays on the HTTP side.
 async fn rehome(
     pool: &TrunkPool,
     exclude: usize,
     user: UserId,
+    state: &DrainState,
 ) -> Option<(usize, TrunkStream, tokio::sync::watch::Receiver<bool>)> {
+    if !pool.resilience.try_retry(&pool.stats) {
+        return None;
+    }
     let (idx, handle) = pool.pick(Some(exclude)).await?;
     let mut stream = handle
         .open_stream(vec![
             ("dcr".into(), "re_connect".into()),
             ("user-id".into(), user.0.to_string()),
+            (DEADLINE_HEADER.into(), tunnel_deadline(state).header_value()),
         ])
         .await
         .ok()?;
@@ -700,5 +804,107 @@ mod tests {
                 other => panic!("user {u}: {other:?}"),
             }
         }
+    }
+
+    #[tokio::test]
+    async fn overloaded_edge_trunk_refuses_with_connack_server_unavailable() {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let o1 = spawn_origin_trunk("127.0.0.1:0".parse().unwrap(), vec![broker.addr])
+            .await
+            .unwrap();
+        let edge = spawn_edge_trunk_with(
+            "127.0.0.1:0".parse().unwrap(),
+            vec![o1.addr],
+            ResilienceConfig {
+                shed: crate::resilience::ShedConfig {
+                    max_active: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+
+        // First client occupies the only admitted slot.
+        let _c = Client::connect(edge.addr, UserId(31)).await;
+        assert_eq!(edge.tracker().active(), 1);
+
+        // The next client is refused at accept, before any trunk work.
+        let mut stream = TcpStream::connect(edge.addr).await.unwrap();
+        let mut decoder = StreamDecoder::new();
+        let mut buf = [0u8; 1024];
+        let code = loop {
+            if let Some(Packet::ConnAck { code, .. }) = decoder.next_packet().unwrap() {
+                break code;
+            }
+            let n = tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf))
+                .await
+                .expect("refusal timeout")
+                .unwrap();
+            assert!(n > 0, "closed before CONNACK");
+            decoder.extend(&buf[..n]);
+        };
+        assert_eq!(code, ConnectReturnCode::ServerUnavailable);
+        assert_eq!(edge.stats.load_shed.get(), 1);
+        assert_eq!(edge.tracker().active(), 1, "shed client never admitted");
+    }
+
+    #[tokio::test]
+    async fn origin_trunk_honors_expired_stream_deadline() {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let o = spawn_origin_trunk("127.0.0.1:0".parse().unwrap(), vec![broker.addr])
+            .await
+            .unwrap();
+
+        // A tunnel stream whose propagated deadline is already in the past
+        // must be refused without any broker work.
+        let (handle, _incoming) = trunk::connect(o.addr).await.unwrap();
+        let mut stream = handle
+            .open_stream(vec![
+                ("user-id".into(), "5".into()),
+                (DEADLINE_HEADER.into(), "1".into()),
+            ])
+            .await
+            .unwrap();
+        match tokio::time::timeout(Duration::from_secs(5), stream.recv())
+            .await
+            .expect("origin must answer")
+        {
+            Some(StreamEvent::End) | Some(StreamEvent::Reset) | None => {}
+            Some(StreamEvent::Data(d)) => panic!("unexpected data on expired tunnel: {d:?}"),
+        }
+        assert_eq!(o.stats.deadline_exceeded.get(), 1);
+        assert_eq!(o.stats.mqtt_tunnels.get(), 0, "no tunnel established");
+    }
+
+    #[tokio::test]
+    async fn dead_origin_trips_breaker_and_trunk_pool_skips_it() {
+        let broker = zdr_broker::server::spawn("127.0.0.1:0".parse().unwrap())
+            .await
+            .unwrap();
+        let live = spawn_origin_trunk("127.0.0.1:0".parse().unwrap(), vec![broker.addr])
+            .await
+            .unwrap();
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let edge = spawn_edge_trunk("127.0.0.1:0".parse().unwrap(), vec![dead, live.addr])
+            .await
+            .unwrap();
+
+        // Early clients each pay one failed connect to the dead origin and
+        // fall through to the live one; the default threshold (3 failures)
+        // then opens the breaker, and later clients skip the dead origin
+        // without attempting a connect at all.
+        for u in 0..5u64 {
+            let mut c = Client::connect(edge.addr, UserId(u)).await;
+            c.send(&Packet::PingReq).await;
+            assert_eq!(c.recv().await, Packet::PingResp);
+        }
+        assert_eq!(edge.stats.breaker_opened.get(), 1);
+        assert_eq!(live.active_streams(), 5, "all tunnels ride the live origin");
     }
 }

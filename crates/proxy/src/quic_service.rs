@@ -34,6 +34,7 @@ use zdr_net::udp_router::{Delivery, UdpRouter};
 use zdr_proto::quic::{self, ConnectionId, Datagram, PacketType};
 
 use crate::conn_tracker::ConnGuard;
+use crate::resilience::{LoadShedGate, ShedConfig};
 use crate::service::{quic_close_datagram, DrainState, QuicCloseSignal, ServiceHandle};
 use crate::stats::{Counter, StatsSnapshot};
 
@@ -46,6 +47,10 @@ pub struct QuicInstanceConfig {
     pub sockets: usize,
     /// How long the draining instance keeps serving its flows.
     pub drain_ms: u64,
+    /// Accept-side load shedding: an overloaded instance refuses new flows
+    /// at Initial with a CONNECTION_CLOSE (the datagram analogue of the
+    /// HTTP 503 / MQTT CONNACK refuse). Default fails open.
+    pub shed: ShedConfig,
 }
 
 /// Counters for one instance's flow service.
@@ -58,6 +63,8 @@ pub struct QuicStats {
     /// Datagrams for unknown flows (the misrouting signal — must stay 0
     /// under Zero Downtime Release).
     pub unknown_flow: Counter,
+    /// New flows refused at Initial by the overload gate.
+    pub load_shed: Counter,
 }
 
 impl QuicStats {
@@ -67,6 +74,7 @@ impl QuicStats {
             quic_flows_opened: self.flows_opened.get(),
             quic_served: self.served.get(),
             quic_unknown_flow: self.unknown_flow.get(),
+            load_shed: self.load_shed.get(),
             ..StatsSnapshot::default()
         }
     }
@@ -125,11 +133,20 @@ async fn serve_deliveries(
     table: Arc<FlowTable>,
     stats: Arc<QuicStats>,
     state: Arc<DrainState>,
+    shed: Arc<LoadShedGate>,
     generation: u32,
 ) {
     while let Some(d) = rx.recv().await {
         let cid = d.datagram.cid;
         if d.datagram.packet_type == PacketType::Initial {
+            // Overload gate: refuse the flow before any state is created.
+            // The CONNECTION_CLOSE echoes the client's own CID, so the
+            // client gives up immediately instead of retransmitting.
+            if shed.should_shed(state.tracker().active()) {
+                stats.load_shed.bump();
+                let _ = socket.send_to(&quic_close_datagram(cid), d.from).await;
+                continue;
+            }
             // New flows always belong to the serving instance; re-mint the
             // CID at our generation so subsequent packets route to us.
             let local_cid = ConnectionId::new(generation, cid.random);
@@ -229,6 +246,7 @@ impl QuicInstance {
         let stats = Arc::new(QuicStats::default());
         let table = Arc::new(FlowTable::default());
         let state = DrainState::new(QuicCloseSignal);
+        let shed = Arc::new(LoadShedGate::new(config.shed));
         let mut handover_sockets = Vec::with_capacity(group.len());
         let mut tasks = Vec::new();
 
@@ -247,6 +265,7 @@ impl QuicInstance {
                 Arc::clone(&table),
                 Arc::clone(&stats),
                 Arc::clone(&state),
+                Arc::clone(&shed),
                 generation,
             )));
         }
@@ -386,6 +405,7 @@ mod tests {
             takeover_path: tmp_path(tag),
             sockets: 2,
             drain_ms: 1_500,
+            shed: ShedConfig::default(),
         }
     }
 
@@ -533,5 +553,47 @@ mod tests {
         // bounded residual disruption the paper accepts for flows
         // outliving the drain.
         assert_eq!(flow.echo(vip, b"too-late").await, None);
+    }
+
+    #[tokio::test]
+    async fn overloaded_instance_sheds_new_flows_with_connection_close() {
+        let cfg = QuicInstanceConfig {
+            shed: ShedConfig {
+                max_active: 1,
+                ..Default::default()
+            },
+            ..config("shed")
+        };
+        let instance = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg)
+            .await
+            .unwrap();
+        let vip = instance.vip;
+
+        // First flow occupies the only admitted slot.
+        let mut flow = FlowClient::open(vip, 1).await;
+        assert_eq!(instance.active_connections(), 1);
+
+        // A second Initial is refused with CONNECTION_CLOSE on the
+        // client's own CID, before any flow state is created.
+        let socket = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let cid = ConnectionId::new(0, 2);
+        let hello = Datagram::initial(cid, &b"hello"[..]);
+        socket
+            .send_to(&quic::encode(&hello).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(5), socket.recv_from(&mut buf))
+            .await
+            .expect("shed reply timeout")
+            .unwrap();
+        let reply = quic::decode(&buf[..n]).unwrap();
+        assert_eq!(reply.packet_type, PacketType::Close);
+        assert_eq!(reply.cid, cid);
+        assert_eq!(instance.stats.load_shed.get(), 1);
+        assert_eq!(instance.active_connections(), 1, "no state for shed flow");
+
+        // The admitted flow is unaffected.
+        assert_eq!(flow.echo(vip, b"still").await.unwrap(), b"echo:still");
     }
 }

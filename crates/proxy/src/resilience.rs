@@ -1,0 +1,407 @@
+//! The shared upstream-resilience layer every proxy→backend hop goes
+//! through.
+//!
+//! [`Resilience`] bundles the three mechanisms that keep §4.4's
+//! retry-on-another-server rule from amplifying a mass restart into a
+//! retry storm, plus the accept-side overload gate:
+//!
+//! * a per-upstream [`CircuitBreaker`] (closed → open → half-open with
+//!   seeded-jitter probe windows — see [`zdr_core::resilience`]), keyed by
+//!   upstream address and created lazily;
+//! * one cluster-wide [`RetryBudget`] shared by HTTP retries, PPR replays,
+//!   and MQTT broker/origin failover, so all retry traffic together
+//!   amplifies load by at most the configured fraction of successes;
+//! * a [`LoadShedGate`] consulted at accept, driven by the
+//!   [`crate::conn_tracker::ConnTracker`] gauge and a queue-delay EWMA,
+//!   rejecting cheaply (HTTP 503 + Retry-After, MQTT CONNACK refuse, QUIC
+//!   CONNECTION_CLOSE) before any work is admitted.
+//!
+//! Lock discipline matches `conn_tracker`: the per-request path touches
+//! only atomics. The one shared map (addr → breaker) is read-locked for
+//! lookup only; each breaker is itself lock-free.
+//!
+//! **Fail-open rules** (mirroring [`zdr_l4lb::health`]'s `routable()`,
+//! which returns the full set when every instance looks down): a gate
+//! with zero configuration never sheds; the gate never sheds when no
+//! connection is active (serve degraded rather than serve nothing); and a
+//! pool whose breakers are all open still sends half-open probes, so a
+//! recovered fleet is rediscovered without operator action.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use zdr_core::metrics::Ewma;
+use zdr_core::resilience::{
+    Admit, BreakerConfig, BreakerTransition, CircuitBreaker, RetryBudget, RetryBudgetConfig,
+};
+
+use crate::stats::ProxyStats;
+
+/// Tunables for the accept-side load-shed gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Shed new connections while the tracker gauge is at or above this
+    /// many active connections. `0` disables the limit (fail open).
+    pub max_active: u64,
+    /// Shed while the smoothed accept→serve queue delay exceeds this.
+    /// `Duration::ZERO` disables the signal (fail open).
+    pub queue_delay_max: Duration,
+    /// EWMA smoothing factor for the queue-delay signal, in permille
+    /// (200 → α = 0.2).
+    pub ewma_alpha_permille: u64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig {
+            max_active: 0,
+            queue_delay_max: Duration::ZERO,
+            ewma_alpha_permille: 200,
+        }
+    }
+}
+
+/// Top-level resilience tunables, embedded in every service config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceConfig {
+    /// Per-upstream circuit-breaker tunables.
+    pub breaker: BreakerConfig,
+    /// Cluster-wide retry-budget tunables.
+    pub budget: RetryBudgetConfig,
+    /// Accept-side load-shed tunables.
+    pub shed: ShedConfig,
+}
+
+/// The accept-side overload gate. All-atomic; knobs are runtime-settable
+/// so an operator (or test) can tighten a live instance.
+#[derive(Debug)]
+pub struct LoadShedGate {
+    max_active: AtomicU64,
+    queue_delay_max_us: AtomicU64,
+    queue_delay: Ewma,
+    /// Decisions to shed (monotonic; the service also bumps its
+    /// [`ProxyStats::load_shed`]).
+    shed_count: AtomicU64,
+}
+
+impl LoadShedGate {
+    /// A gate with the given tunables.
+    pub fn new(config: ShedConfig) -> Self {
+        LoadShedGate {
+            max_active: AtomicU64::new(config.max_active),
+            queue_delay_max_us: AtomicU64::new(config.queue_delay_max.as_micros() as u64),
+            queue_delay: Ewma::new(config.ewma_alpha_permille),
+            shed_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one observed accept→serve scheduling delay into the EWMA.
+    pub fn observe_queue_delay(&self, delay: Duration) {
+        self.queue_delay.observe(delay.as_micros() as u64);
+    }
+
+    /// Current smoothed queue delay.
+    pub fn queue_delay(&self) -> Duration {
+        Duration::from_micros(self.queue_delay.get())
+    }
+
+    /// Decides whether to reject a new connection while `active`
+    /// connections are open. Fail-open: zero config never sheds, and a
+    /// gate never sheds its only would-be connection (`active == 0`) — a
+    /// degraded instance still serves *something*, matching
+    /// `l4lb::health::routable()`'s all-down-means-serve-all rule.
+    pub fn should_shed(&self, active: u64) -> bool {
+        if active == 0 {
+            return false;
+        }
+        let max = self.max_active.load(Ordering::Relaxed);
+        if max > 0 && active >= max {
+            self.shed_count.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let limit_us = self.queue_delay_max_us.load(Ordering::Relaxed);
+        if limit_us > 0 && self.queue_delay.get() > limit_us {
+            self.shed_count.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Total shed decisions taken.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_count.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the active-connection limit (0 disables).
+    pub fn set_max_active(&self, max: u64) {
+        self.max_active.store(max, Ordering::Relaxed);
+    }
+
+    /// Re-arms the queue-delay limit (zero disables).
+    pub fn set_queue_delay_max(&self, max: Duration) {
+        self.queue_delay_max_us
+            .store(max.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The pre-rendered HTTP shed response: costs one `write`, no parsing, no
+/// allocation — rejecting must be far cheaper than serving.
+pub const HTTP_503_SHED: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
+retry-after: 1\r\n\
+connection: close\r\n\
+content-length: 0\r\n\
+\r\n";
+
+/// Shared resilience state for one service: breakers + budget + shed gate.
+#[derive(Debug)]
+pub struct Resilience {
+    config: ResilienceConfig,
+    budget: RetryBudget,
+    shed: LoadShedGate,
+    breakers: RwLock<HashMap<SocketAddr, Arc<CircuitBreaker>>>,
+    epoch: Instant,
+}
+
+impl Resilience {
+    /// A fresh layer with the given tunables.
+    pub fn new(config: ResilienceConfig) -> Self {
+        Resilience {
+            config,
+            budget: RetryBudget::new(config.budget),
+            shed: LoadShedGate::new(config.shed),
+            breakers: RwLock::new(HashMap::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Monotonic milliseconds since this layer was created — the clock all
+    /// breaker decisions use.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// The configured tunables.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// The cluster-wide retry budget.
+    pub fn budget(&self) -> &RetryBudget {
+        &self.budget
+    }
+
+    /// The accept-side shed gate.
+    pub fn shed(&self) -> &LoadShedGate {
+        &self.shed
+    }
+
+    /// A stable per-upstream key (for keyed fault injection).
+    pub fn upstream_key(addr: SocketAddr) -> u64 {
+        zdr_l4lb::hash::fnv1a(addr.to_string().as_bytes())
+    }
+
+    /// The breaker guarding `addr`, created closed on first use. Each
+    /// breaker gets a per-address jitter seed so a fleet of breakers
+    /// tripped by one event re-probes staggered, not in lockstep.
+    pub fn breaker(&self, addr: SocketAddr) -> Arc<CircuitBreaker> {
+        if let Some(b) = self.breakers.read().get(&addr) {
+            return Arc::clone(b);
+        }
+        let mut map = self.breakers.write();
+        Arc::clone(map.entry(addr).or_insert_with(|| {
+            let mut cfg = self.config.breaker;
+            cfg.jitter_seed ^= Self::upstream_key(addr);
+            Arc::new(CircuitBreaker::new(cfg))
+        }))
+    }
+
+    /// Admission check for one attempt against `addr`, bumping the probe
+    /// counter when the breaker grants a half-open probe.
+    pub fn admit(&self, addr: SocketAddr, stats: &ProxyStats) -> Admit {
+        let decision = self.breaker(addr).admit(self.now_ms());
+        if decision == Admit::Probe {
+            stats.breaker_probes.bump();
+        }
+        decision
+    }
+
+    /// Records a successful attempt against `addr`: feeds the breaker and
+    /// deposits into the retry budget.
+    pub fn on_success(&self, addr: SocketAddr, stats: &ProxyStats) {
+        self.budget.record_success();
+        if let Some(BreakerTransition::Closed) =
+            self.breaker(addr).record_success(self.now_ms())
+        {
+            stats.breaker_closed.bump();
+        }
+    }
+
+    /// Records a failed attempt against `addr`.
+    pub fn on_failure(&self, addr: SocketAddr, stats: &ProxyStats) {
+        if let Some(BreakerTransition::Opened) =
+            self.breaker(addr).record_failure(self.now_ms())
+        {
+            stats.breaker_opened.bump();
+        }
+    }
+
+    /// Asks the budget to fund one retry (any attempt after the first),
+    /// bumping the matching counters. `false` ⇒ fail fast, do not retry.
+    pub fn try_retry(&self, stats: &ProxyStats) -> bool {
+        if self.budget.try_withdraw() {
+            stats.retries.bump();
+            true
+        } else {
+            stats.retry_budget_exhausted.bump();
+            false
+        }
+    }
+
+    /// Addresses whose breaker currently admits traffic (closed, or far
+    /// enough into its open window that a probe would be granted). A
+    /// non-consuming peek — health views never claim probe slots.
+    pub fn admitting<'a>(&self, addrs: impl IntoIterator<Item = &'a SocketAddr>) -> Vec<SocketAddr> {
+        let now = self.now_ms();
+        addrs
+            .into_iter()
+            .copied()
+            .filter(|a| self.breaker(*a).would_admit(now))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(p: u16) -> SocketAddr {
+        format!("127.0.0.1:{p}").parse().unwrap()
+    }
+
+    #[test]
+    fn gate_fails_open_by_default() {
+        let gate = LoadShedGate::new(ShedConfig::default());
+        for active in [0, 1, 10, 1_000_000] {
+            assert!(!gate.should_shed(active), "shed at {active} with no config");
+        }
+        assert_eq!(gate.shed_count(), 0);
+    }
+
+    #[test]
+    fn gate_sheds_on_active_limit_but_never_at_zero() {
+        let gate = LoadShedGate::new(ShedConfig {
+            max_active: 5,
+            ..Default::default()
+        });
+        assert!(!gate.should_shed(0), "must serve degraded, never nothing");
+        assert!(!gate.should_shed(4));
+        assert!(gate.should_shed(5));
+        assert!(gate.should_shed(6));
+        assert_eq!(gate.shed_count(), 2);
+        gate.set_max_active(0);
+        assert!(!gate.should_shed(100));
+    }
+
+    #[test]
+    fn gate_sheds_on_queue_delay_ewma() {
+        let gate = LoadShedGate::new(ShedConfig {
+            queue_delay_max: Duration::from_millis(10),
+            ewma_alpha_permille: 1000, // no smoothing: last sample wins
+            ..Default::default()
+        });
+        gate.observe_queue_delay(Duration::from_millis(2));
+        assert!(!gate.should_shed(3));
+        gate.observe_queue_delay(Duration::from_millis(50));
+        assert!(gate.should_shed(3));
+        assert!(!gate.should_shed(0), "zero-active always admits");
+        gate.observe_queue_delay(Duration::from_millis(1));
+        assert!(!gate.should_shed(3));
+        assert!(gate.queue_delay() <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn breakers_are_per_address_with_distinct_seeds() {
+        let r = Resilience::new(ResilienceConfig::default());
+        let b1 = r.breaker(addr(9001));
+        let b1_again = r.breaker(addr(9001));
+        let b2 = r.breaker(addr(9002));
+        assert!(Arc::ptr_eq(&b1, &b1_again));
+        assert!(!Arc::ptr_eq(&b1, &b2));
+        // Different per-address seeds ⇒ (almost surely) different windows.
+        let distinct = (1..=8).filter(|&e| b1.open_window_ms(e) != b2.open_window_ms(e)).count();
+        assert!(distinct >= 6, "only {distinct}/8 windows differ");
+    }
+
+    #[test]
+    fn success_and_failure_flow_through_to_stats() {
+        let r = Resilience::new(ResilienceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                success_threshold: 1,
+                open_base_ms: 0, // window ≈ 0: next admit is a probe
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let stats = ProxyStats::default();
+        let a = addr(9100);
+
+        r.on_failure(a, &stats);
+        r.on_failure(a, &stats);
+        assert_eq!(stats.breaker_opened.get(), 1);
+        // Open window is ~0ms (jittered 0..=1ms): wait it out, then probe.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(r.admit(a, &stats), Admit::Probe);
+        assert_eq!(stats.breaker_probes.get(), 1);
+        r.on_success(a, &stats);
+        assert_eq!(stats.breaker_closed.get(), 1);
+        assert_eq!(r.admit(a, &stats), Admit::Yes);
+    }
+
+    #[test]
+    fn retry_budget_counts_through_stats() {
+        let r = Resilience::new(ResilienceConfig {
+            budget: RetryBudgetConfig {
+                reserve_tokens: 1,
+                deposit_permille: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let stats = ProxyStats::default();
+        assert!(r.try_retry(&stats));
+        assert!(!r.try_retry(&stats));
+        assert_eq!(stats.retries.get(), 1);
+        assert_eq!(stats.retry_budget_exhausted.get(), 1);
+    }
+
+    #[test]
+    fn admitting_filters_open_breakers() {
+        let r = Resilience::new(ResilienceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                open_base_ms: 60_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let stats = ProxyStats::default();
+        let (a, b) = (addr(9201), addr(9202));
+        r.on_failure(a, &stats);
+        assert_eq!(r.admitting([a, b].iter()), vec![b]);
+    }
+
+    #[test]
+    fn shed_response_is_parseable_http() {
+        let text = std::str::from_utf8(HTTP_503_SHED).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 "));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+}

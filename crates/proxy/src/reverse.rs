@@ -20,28 +20,37 @@
 //!
 //! Lifecycle (drain, hard deadline, forced-close accounting) comes from
 //! the unified [`crate::service`] layer; HTTP's close signal is the bare
-//! TCP close itself.
+//! TCP close itself. Every upstream hop additionally goes through the
+//! [`crate::resilience`] layer: per-upstream circuit breakers pick where
+//! to send, the cluster-wide retry budget decides whether a second
+//! attempt is funded at all, the propagated `x-zdr-deadline` bounds how
+//! long any attempt may run (clamped to the drain hard deadline), and
+//! the accept loop sheds with a pre-rendered 503 when the instance is
+//! overloaded.
 
 use std::net::SocketAddr;
 use std::ops::Deref;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
+use zdr_net::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
+use zdr_proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
 use zdr_proto::http1::{
     serialize_request, serialize_response, Request, RequestParser, Response, StatusCode,
 };
 use zdr_proto::ppr::{decode_379, is_partial_post, ReplayBudget, ReplayDecision};
 
 use crate::conn_tracker::ConnGuard;
+use crate::resilience::{Resilience, ResilienceConfig, HTTP_503_SHED};
 use crate::service::{DrainState, HttpCloseSignal, ServiceHandle};
 use crate::stats::ProxyStats;
 use crate::upstream::UpstreamPool;
 
 /// Reverse-proxy tuning.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ReverseProxyConfig {
     /// App-server addresses.
     pub upstreams: Vec<SocketAddr>,
@@ -49,8 +58,26 @@ pub struct ReverseProxyConfig {
     pub ppr_budget: u32,
     /// PPR client side on/off (off = relay 500s like the baseline).
     pub ppr_enabled: bool,
-    /// Per-upstream connect/read timeout.
+    /// Per-upstream connect/read timeout; also the default per-request
+    /// deadline when the client sends no `x-zdr-deadline`.
     pub upstream_timeout: Duration,
+    /// Breaker / retry-budget / load-shed tunables.
+    pub resilience: ResilienceConfig,
+    /// Fault injector consulted before each upstream connect
+    /// ([`FaultPoint::UpstreamConnect`]); production is [`NoFaults`].
+    pub faults: Arc<dyn FaultInjector>,
+}
+
+impl std::fmt::Debug for ReverseProxyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReverseProxyConfig")
+            .field("upstreams", &self.upstreams)
+            .field("ppr_budget", &self.ppr_budget)
+            .field("ppr_enabled", &self.ppr_enabled)
+            .field("upstream_timeout", &self.upstream_timeout)
+            .field("resilience", &self.resilience)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ReverseProxyConfig {
@@ -60,6 +87,8 @@ impl Default for ReverseProxyConfig {
             ppr_budget: zdr_proto::ppr::DEFAULT_REPLAY_BUDGET,
             ppr_enabled: true,
             upstream_timeout: Duration::from_secs(10),
+            resilience: ResilienceConfig::default(),
+            faults: Arc::new(NoFaults),
         }
     }
 }
@@ -76,6 +105,14 @@ pub struct ReverseProxyHandle {
     pub stats: Arc<ProxyStats>,
     /// Upstream pool (health-markable by callers).
     pub pool: Arc<UpstreamPool>,
+}
+
+impl ReverseProxyHandle {
+    /// The resilience layer (breakers, retry budget, shed gate) backing
+    /// this proxy's upstream pool.
+    pub fn resilience(&self) -> &Arc<Resilience> {
+        self.pool.resilience()
+    }
 }
 
 impl Deref for ReverseProxyHandle {
@@ -105,22 +142,45 @@ pub fn serve_on_listener(
 ) -> std::io::Result<ReverseProxyHandle> {
     let addr = listener.local_addr()?;
     let stats = Arc::new(ProxyStats::default());
-    let pool = Arc::new(UpstreamPool::new(config.upstreams.clone()));
+    let resilience = Arc::new(Resilience::new(config.resilience));
+    let pool = Arc::new(UpstreamPool::with_resilience(
+        config.upstreams.clone(),
+        Arc::clone(&resilience),
+    ));
     let state = DrainState::new(HttpCloseSignal);
     let config = Arc::new(config);
 
     let accept_stats = Arc::clone(&stats);
     let accept_pool = Arc::clone(&pool);
     let accept_state = Arc::clone(&state);
+    let accept_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
-        while let Ok((stream, _)) = listener.accept().await {
+        while let Ok((mut stream, _)) = listener.accept().await {
             accept_stats.connections_accepted.bump();
+            // Overload gate, before any per-connection state exists:
+            // rejection is one pre-rendered write.
+            let active = accept_state.tracker().active();
+            if accept_resilience.shed().should_shed(active) {
+                accept_stats.load_shed.bump();
+                tokio::spawn(async move {
+                    let _ = stream.write_all(HTTP_503_SHED).await;
+                    let _ = stream.shutdown().await;
+                });
+                continue;
+            }
+            let accepted_at = Instant::now();
             let stats = Arc::clone(&accept_stats);
             let pool = Arc::clone(&accept_pool);
             let config = Arc::clone(&config);
             let state = Arc::clone(&accept_state);
+            let resilience = Arc::clone(&accept_resilience);
             let guard = state.register();
             tokio::spawn(async move {
+                // How long the connection sat between accept and service —
+                // the queue-delay signal the shed gate smooths.
+                resilience
+                    .shed()
+                    .observe_queue_delay(accepted_at.elapsed());
                 let _ = handle_client(stream, config, pool, stats, state, guard).await;
             });
         }
@@ -188,7 +248,24 @@ async fn handle_client(
                 Response::ok(&b"ok"[..])
             }
         } else {
-            proxy_with_replay(request, &config, &pool, &stats).await
+            // Effective deadline for this request: the client's propagated
+            // x-zdr-deadline (if any) ∧ our own timeout budget ∧ the drain
+            // hard deadline — never schedule work past the moment the
+            // connection will be force-closed anyway.
+            let now = unix_now_ms();
+            let mut deadline = Deadline::after(now, config.upstream_timeout);
+            if let Some(d) = request.headers.get(DEADLINE_HEADER).and_then(Deadline::parse) {
+                deadline = deadline.clamp_to(d);
+            }
+            if let Some(d) = state.force_deadline() {
+                deadline = deadline.clamp_to(d);
+            }
+            if deadline.is_expired(now) {
+                stats.deadline_exceeded.bump();
+                Response::new(StatusCode::from_code(504), &b"deadline exceeded"[..])
+            } else {
+                proxy_with_replay(request, deadline, &config, &pool, &stats).await
+            }
         };
 
         if response.status.is_server_error() {
@@ -209,8 +286,15 @@ async fn handle_client(
 }
 
 /// Forwards `request`, replaying on gated 379s and connect failures.
+///
+/// Resilience contract on every iteration: the upstream comes from
+/// [`UpstreamPool::pick_admit`] (breaker-gated — an open upstream gets at
+/// most one half-open probe), any attempt after the first must be funded
+/// by the cluster-wide retry budget, every outcome is reported back to
+/// the breaker, and the whole loop stops at `deadline`.
 async fn proxy_with_replay(
     request: Request,
+    deadline: Deadline,
     config: &ReverseProxyConfig,
     pool: &UpstreamPool,
     stats: &ProxyStats,
@@ -224,16 +308,37 @@ async fn proxy_with_replay(
     if current.chunked {
         current.headers.remove("content-length");
     }
+    // Propagate the absolute deadline: downstream hops subtract their own
+    // elapsed time implicitly by reading the same wall clock.
+    current
+        .headers
+        .set(DEADLINE_HEADER, deadline.header_value());
 
+    let resilience = pool.resilience();
+    let mut first_attempt = true;
     loop {
-        let Some(upstream) = pool.pick(&exclude) else {
+        if deadline.is_expired(unix_now_ms()) {
+            stats.deadline_exceeded.bump();
+            return Response::new(StatusCode::from_code(504), &b"deadline exceeded"[..]);
+        }
+        // Any attempt after the first is a retry and must be funded, no
+        // matter why the previous attempt failed (connect error or 379).
+        if !first_attempt && !resilience.try_retry(stats) {
+            stats.ppr_gave_up.bump();
+            return Response::internal_error();
+        }
+        let Some((upstream, _admit)) = pool.pick_admit(&exclude, stats) else {
             // §4.3 caveat: no replay target → standard 500.
             stats.ppr_gave_up.bump();
             return Response::internal_error();
         };
+        first_attempt = false;
 
-        match forward_once(upstream, &current, config.upstream_timeout).await {
+        match forward_once(upstream, &current, deadline, config.faults.as_ref()).await {
             Ok(resp) if resp.status.code == zdr_proto::ppr::STATUS_PARTIAL_POST => {
+                // The server answered: its breaker sees a success even
+                // though the request itself must be replayed elsewhere.
+                pool.report(upstream, true, stats);
                 if !is_partial_post(&resp) {
                     // §5.2: 379 without the exact status message is NOT a
                     // PPR — relay it like any other response.
@@ -272,15 +377,16 @@ async fn proxy_with_replay(
                 }
             }
             Ok(resp) => {
+                pool.report(upstream, true, stats);
                 if budget.used() > 0 {
                     stats.ppr_replayed_ok.bump();
                 }
                 return resp;
             }
             Err(_) => {
-                // Connect/read failure: mark and try another (counts
-                // against the same budget to bound total attempts).
-                pool.mark_unhealthy(upstream);
+                // Connect/read failure: feed the breaker and try another
+                // (still bounded by the same per-request replay budget).
+                pool.report(upstream, false, stats);
                 exclude.push(upstream);
                 match budget.decide() {
                     ReplayDecision::Retry { .. } => continue,
@@ -297,9 +403,34 @@ async fn proxy_with_replay(
 async fn forward_once(
     upstream: SocketAddr,
     request: &Request,
-    timeout: Duration,
+    deadline: Deadline,
+    faults: &dyn FaultInjector,
 ) -> std::io::Result<Response> {
+    // The per-attempt timeout is whatever is left of the deadline.
+    let Some(timeout) = deadline.remaining(unix_now_ms()) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "deadline already expired",
+        ));
+    };
     let io = async {
+        match faults.decide_upstream(
+            Resilience::upstream_key(upstream),
+            FaultPoint::UpstreamConnect,
+        ) {
+            FaultAction::Proceed => {}
+            // A slow upstream: stall, then proceed.
+            FaultAction::Delay(d) => tokio::time::sleep(d).await,
+            // A black hole: the connect hangs until the deadline fires.
+            FaultAction::Drop => std::future::pending::<()>().await,
+            // A dead upstream: immediate refusal.
+            FaultAction::Die | FaultAction::Truncate => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "injected upstream failure",
+                ));
+            }
+        }
         let mut conn = TcpStream::connect(upstream).await?;
         conn.write_all(&serialize_request(request)).await?;
         let mut parser = zdr_proto::http1::ResponseParser::new();
@@ -588,6 +719,171 @@ mod tests {
         let resp = send(p.addr, &req).await;
         assert_eq!(resp.status.code, 200);
         assert_eq!(&resp.body[..], b"received=5");
+    }
+
+    /// An upstream that accepts connections and then never answers —
+    /// the black-hole shape deadline propagation must bound.
+    async fn black_hole_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let mut held = Vec::new();
+            while let Ok((s, _)) = listener.accept().await {
+                held.push(s);
+            }
+        });
+        addr
+    }
+
+    #[tokio::test]
+    async fn expired_client_deadline_yields_504_without_upstream_work() {
+        let a = app("app-D").await;
+        let p = proxy(vec![a.addr]).await;
+        let mut req = Request::get("/feed");
+        // A deadline firmly in the past: the proxy must not even try.
+        req.headers.set(DEADLINE_HEADER, "1");
+        let resp = send(p.addr, &req).await;
+        assert_eq!(resp.status.code, 504);
+        assert_eq!(p.stats.deadline_exceeded.get(), 1);
+        assert_eq!(a.stats.snapshot().0, 0, "no upstream attempt");
+    }
+
+    #[tokio::test]
+    async fn drain_hard_deadline_caps_in_flight_request_deadline() {
+        // Satellite fix: a request computed while the force-close timer is
+        // armed must not outlive it, even against a black-hole upstream
+        // with a much longer configured timeout.
+        let dead = black_hole_upstream().await;
+        let p = proxy(vec![dead]).await;
+        p.arm_force_close(Duration::from_millis(200));
+        // Give the deadline store a moment to be visible.
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        let start = std::time::Instant::now();
+        let resp = send(p.addr, &Request::get("/slow")).await;
+        assert_eq!(resp.status.code, 504);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "request outlived the drain hard deadline: {:?}",
+            start.elapsed()
+        );
+        assert!(p.stats.deadline_exceeded.get() >= 1);
+    }
+
+    #[tokio::test]
+    async fn shed_gate_rejects_with_503_at_accept() {
+        let a = app("app-S").await;
+        let p = spawn_reverse_proxy(
+            "127.0.0.1:0".parse().unwrap(),
+            ReverseProxyConfig {
+                upstreams: vec![a.addr],
+                upstream_timeout: Duration::from_secs(5),
+                resilience: ResilienceConfig {
+                    shed: crate::resilience::ShedConfig {
+                        max_active: 1,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+
+        // First connection occupies the only admitted slot.
+        let mut held = TcpStream::connect(p.addr).await.unwrap();
+        held.write_all(&serialize_request(&Request::get("/warm")))
+            .await
+            .unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = held.read(&mut buf).await.unwrap();
+            assert!(n > 0);
+            if parser.push(&buf[..n]).unwrap().is_some() {
+                break;
+            }
+        }
+        assert_eq!(p.active_connections(), 1);
+
+        // The next connection is shed with the pre-rendered 503.
+        let resp = send(p.addr, &Request::get("/feed")).await;
+        assert_eq!(resp.status.code, 503);
+        assert_eq!(resp.headers.get("retry-after"), Some("1"));
+        assert_eq!(p.stats.load_shed.get(), 1);
+        assert_eq!(p.resilience().shed().shed_count(), 1);
+        assert_eq!(
+            a.stats.snapshot().0,
+            1,
+            "shed connection must never reach the upstream"
+        );
+    }
+
+    #[tokio::test]
+    async fn deadline_header_propagates_to_upstream_hop() {
+        // The app server echoes request headers? It does not — instead
+        // verify propagation with a hand-rolled upstream that captures the
+        // forwarded request head.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = tokio::sync::oneshot::channel::<Vec<u8>>();
+        tokio::spawn(async move {
+            let (mut s, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 8192];
+            let n = s.read(&mut buf).await.unwrap();
+            let _ = tx.send(buf[..n].to_vec());
+            let _ = s
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok")
+                .await;
+        });
+        let p = proxy(vec![addr]).await;
+        let resp = send(p.addr, &Request::get("/x")).await;
+        assert_eq!(resp.status.code, 200);
+        let head = rx.await.unwrap();
+        let head = String::from_utf8_lossy(&head).to_lowercase();
+        assert!(
+            head.contains(&format!("{DEADLINE_HEADER}:")),
+            "forwarded request must carry the absolute deadline: {head}"
+        );
+    }
+
+    #[tokio::test]
+    async fn budget_exhaustion_fails_fast_instead_of_retrying() {
+        // Zero reserve and zero deposits: the first attempt is free, every
+        // retry is refused.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let a = app("app-R").await;
+        let p = spawn_reverse_proxy(
+            "127.0.0.1:0".parse().unwrap(),
+            ReverseProxyConfig {
+                upstreams: vec![dead, a.addr],
+                upstream_timeout: Duration::from_secs(5),
+                resilience: ResilienceConfig {
+                    budget: zdr_core::resilience::RetryBudgetConfig {
+                        reserve_tokens: 0,
+                        deposit_permille: 0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        // Issue requests until one lands on the dead upstream first; that
+        // one must fail fast (500) without a funded retry.
+        let mut saw_fail_fast = false;
+        for _ in 0..4 {
+            let resp = send(p.addr, &Request::get("/x")).await;
+            if resp.status.code == 500 {
+                saw_fail_fast = true;
+                break;
+            }
+        }
+        assert!(saw_fail_fast, "round-robin must hit the dead upstream");
+        assert!(p.stats.retry_budget_exhausted.get() >= 1);
+        assert_eq!(p.stats.retries.get(), 0);
     }
 
     #[tokio::test]

@@ -24,6 +24,7 @@
 //! Service modules differ only in their accept loops and per-connection
 //! I/O; everything lifecycle-shaped lives here.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +32,7 @@ use bytes::Bytes;
 use tokio::sync::watch;
 use tokio::task::JoinHandle;
 
+use zdr_proto::deadline::{unix_now_ms, Deadline};
 use zdr_proto::mqtt;
 
 use crate::conn_tracker::{ConnGuard, ConnTracker};
@@ -116,6 +118,10 @@ pub struct DrainState {
     force_tx: watch::Sender<bool>,
     tracker: Arc<ConnTracker>,
     close: Arc<dyn CloseSignal>,
+    /// Absolute unix-ms of the armed force-close, 0 while unarmed. Request
+    /// paths clamp their per-request deadlines to this so no work is
+    /// scheduled past the moment the connection will be killed anyway.
+    force_deadline_ms: AtomicU64,
 }
 
 impl DrainState {
@@ -128,6 +134,7 @@ impl DrainState {
             force_tx,
             tracker: ConnTracker::new(),
             close: Arc::new(close),
+            force_deadline_ms: AtomicU64::new(0),
         })
     }
 
@@ -155,11 +162,28 @@ impl DrainState {
     /// deadline of §4.3). Connection tasks observe it via
     /// [`DrainState::force_signal`].
     pub fn arm_force_close(self: &Arc<Self>, after: Duration) {
+        let at = unix_now_ms().saturating_add(after.as_millis().min(u64::MAX as u128) as u64);
+        // Re-arming keeps the *earliest* deadline: in-flight requests must
+        // never believe they have longer than the soonest armed kill.
+        let _ = self
+            .force_deadline_ms
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(if cur == 0 { at } else { cur.min(at) })
+            });
         let state = Arc::clone(self);
         tokio::spawn(async move {
             tokio::time::sleep(after).await;
             let _ = state.force_tx.send(true);
         });
+    }
+
+    /// The armed force-close moment, if any. Request paths use this to cap
+    /// per-request deadlines during a drain.
+    pub fn force_deadline(&self) -> Option<Deadline> {
+        match self.force_deadline_ms.load(Ordering::Acquire) {
+            0 => None,
+            ms => Some(Deadline::at_unix_ms(ms)),
+        }
     }
 
     /// Resolves when the force-close deadline fires. If the service handle
@@ -354,6 +378,21 @@ mod tests {
         tokio::time::timeout(Duration::from_secs(2), DrainState::force_signal(&mut rx))
             .await
             .expect("force signal should fire");
+    }
+
+    #[tokio::test]
+    async fn force_deadline_exposed_and_keeps_earliest_on_rearm() {
+        let state = DrainState::new(HttpCloseSignal);
+        assert!(state.force_deadline().is_none(), "unarmed state has none");
+        state.arm_force_close(Duration::from_secs(60));
+        let first = state.force_deadline().expect("armed");
+        // Re-arming with a *later* deadline must not extend the first.
+        state.arm_force_close(Duration::from_secs(600));
+        let second = state.force_deadline().expect("still armed");
+        assert_eq!(second, first, "re-arm must keep the earliest deadline");
+        // Re-arming sooner tightens it.
+        state.arm_force_close(Duration::from_millis(10));
+        assert!(state.force_deadline().unwrap() < first);
     }
 
     #[tokio::test]

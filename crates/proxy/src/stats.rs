@@ -71,6 +71,22 @@ pub struct ProxyStats {
     pub rollbacks: Counter,
     /// Faults injected by the test harness on this instance's handshakes.
     pub injected_faults: Counter,
+
+    // Upstream resilience (crate::resilience).
+    /// Circuit breakers tripped open (closed/half-open → open).
+    pub breaker_opened: Counter,
+    /// Circuit breakers recovered (half-open → closed).
+    pub breaker_closed: Counter,
+    /// Half-open probe requests sent to breaker-open upstreams.
+    pub breaker_probes: Counter,
+    /// Retry attempts granted by the cluster-wide retry budget.
+    pub retries: Counter,
+    /// Retries refused because the budget was exhausted (fail-fast).
+    pub retry_budget_exhausted: Counter,
+    /// Connections/requests rejected at accept by the load-shed gate.
+    pub load_shed: Counter,
+    /// Requests failed because their propagated deadline expired.
+    pub deadline_exceeded: Counter,
 }
 
 impl ProxyStats {
@@ -106,6 +122,13 @@ impl ProxyStats {
             takeover_retries: self.takeover_retries.get(),
             rollbacks: self.rollbacks.get(),
             injected_faults: self.injected_faults.get(),
+            breaker_opened: self.breaker_opened.get(),
+            breaker_closed: self.breaker_closed.get(),
+            breaker_probes: self.breaker_probes.get(),
+            retries: self.retries.get(),
+            retry_budget_exhausted: self.retry_budget_exhausted.get(),
+            load_shed: self.load_shed.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
             ..StatsSnapshot::default()
         }
     }
@@ -175,6 +198,22 @@ pub struct StatsSnapshot {
     /// Faults injected by the test harness.
     pub injected_faults: u64,
 
+    // Upstream resilience (crate::resilience).
+    /// Circuit breakers tripped open.
+    pub breaker_opened: u64,
+    /// Circuit breakers recovered to closed.
+    pub breaker_closed: u64,
+    /// Half-open probes sent to tripped upstreams.
+    pub breaker_probes: u64,
+    /// Retries granted by the retry budget.
+    pub retries: u64,
+    /// Retries refused (budget exhausted).
+    pub retry_budget_exhausted: u64,
+    /// Accepts rejected by the load-shed gate.
+    pub load_shed: u64,
+    /// Requests failed on an expired propagated deadline.
+    pub deadline_exceeded: u64,
+
     // Edge-side DCR (EdgeDcrStats).
     /// Tunnels the Edge re-homed successfully.
     pub dcr_rehomed_ok: u64,
@@ -235,6 +274,13 @@ impl StatsSnapshot {
         self.takeover_retries += other.takeover_retries;
         self.rollbacks += other.rollbacks;
         self.injected_faults += other.injected_faults;
+        self.breaker_opened += other.breaker_opened;
+        self.breaker_closed += other.breaker_closed;
+        self.breaker_probes += other.breaker_probes;
+        self.retries += other.retries;
+        self.retry_budget_exhausted += other.retry_budget_exhausted;
+        self.load_shed += other.load_shed;
+        self.deadline_exceeded += other.deadline_exceeded;
         self.dcr_rehomed_ok += other.dcr_rehomed_ok;
         self.dcr_rehome_refused += other.dcr_rehome_refused;
         self.dcr_dropped += other.dcr_dropped;

@@ -1,32 +1,55 @@
 //! Upstream (app server / broker / peer-origin) selection.
 //!
-//! A small round-robin pool with failure marking and exclusion — enough to
-//! express the §4.4 retry rule: *"it is possible that the next HHVM server
-//! is also restarting ... In such a case, the downstream Proxygen retries
-//! the request with a different HHVM server"*.
+//! A round-robin pool expressing the §4.4 retry rule: *"it is possible
+//! that the next HHVM server is also restarting ... In such a case, the
+//! downstream Proxygen retries the request with a different HHVM
+//! server"*. Health is delegated to the per-upstream circuit breakers in
+//! [`crate::resilience`]: an upstream that fails trips its breaker open
+//! and is skipped, then automatically re-admitted via half-open probes
+//! when its (jittered, exponential) open window elapses.
+//!
+//! The legacy `mark_unhealthy` exists for callers that observe failures
+//! out-of-band; it force-opens the breaker, so even that path recovers on
+//! a TTL (the open window) instead of excluding the upstream forever.
 
-use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-/// A shared pool of upstream addresses.
+use zdr_core::resilience::Admit;
+
+use crate::resilience::{Resilience, ResilienceConfig};
+use crate::stats::ProxyStats;
+
+/// A shared pool of upstream addresses guarded by circuit breakers.
 #[derive(Debug)]
 pub struct UpstreamPool {
     addrs: RwLock<Vec<SocketAddr>>,
-    unhealthy: RwLock<HashSet<SocketAddr>>,
+    resilience: Arc<Resilience>,
     cursor: AtomicUsize,
 }
 
 impl UpstreamPool {
-    /// A pool over `addrs`, all initially healthy.
+    /// A pool over `addrs` with its own default resilience layer.
     pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        Self::with_resilience(addrs, Arc::new(Resilience::new(ResilienceConfig::default())))
+    }
+
+    /// A pool sharing an existing resilience layer (so pool picks, retry
+    /// budget, and service-level stats all see the same breakers).
+    pub fn with_resilience(addrs: Vec<SocketAddr>, resilience: Arc<Resilience>) -> Self {
         UpstreamPool {
             addrs: RwLock::new(addrs),
-            unhealthy: RwLock::new(HashSet::new()),
+            resilience,
             cursor: AtomicUsize::new(0),
         }
+    }
+
+    /// The resilience layer backing this pool.
+    pub fn resilience(&self) -> &Arc<Resilience> {
+        &self.resilience
     }
 
     /// Number of configured upstreams.
@@ -39,62 +62,127 @@ impl UpstreamPool {
         self.addrs.read().is_empty()
     }
 
-    /// Picks the next healthy upstream (round-robin), skipping any in
-    /// `exclude`. Returns `None` when nothing qualifies.
+    /// Picks the next admitting upstream (round-robin), skipping any in
+    /// `exclude` and any whose breaker rejects. Returns `None` when
+    /// nothing qualifies — the §4.4 contract is to fail with 500 when no
+    /// active server exists, never to dogpile a known-bad one.
+    ///
+    /// Non-consuming: this does not claim half-open probe slots, so it is
+    /// safe for health views and legacy callers. The request path should
+    /// prefer [`UpstreamPool::pick_admit`].
     pub fn pick(&self, exclude: &[SocketAddr]) -> Option<SocketAddr> {
         let addrs = self.addrs.read();
         if addrs.is_empty() {
             return None;
         }
-        let unhealthy = self.unhealthy.read();
+        let now = self.resilience.now_ms();
         let n = addrs.len();
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         for i in 0..n {
             let a = addrs[(start + i) % n];
-            if !exclude.contains(&a) && !unhealthy.contains(&a) {
+            if !exclude.contains(&a) && self.resilience.breaker(a).would_admit(now) {
                 return Some(a);
             }
         }
-        // Every healthy upstream is excluded — allow an unhealthy,
-        // non-excluded one as a last resort? No: the §4.4 contract is to
-        // fail with 500 when no active server exists.
         None
     }
 
-    /// Marks an upstream unhealthy (connect failure / restart observed).
+    /// Picks the next upstream for a real attempt, consuming admission:
+    /// a closed breaker admits normally ([`Admit::Yes`]); a tripped
+    /// breaker whose window has elapsed grants at most one in-flight
+    /// half-open probe ([`Admit::Probe`], counted in
+    /// `stats.breaker_probes`) — so recovering upstreams are rediscovered
+    /// organically by the rotation, one bounded probe at a time, while
+    /// breaker-open upstreams receive nothing else.
+    pub fn pick_admit(
+        &self,
+        exclude: &[SocketAddr],
+        stats: &ProxyStats,
+    ) -> Option<(SocketAddr, Admit)> {
+        let addrs = self.addrs.read().clone();
+        if addrs.is_empty() {
+            return None;
+        }
+        let n = addrs.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let a = addrs[(start + i) % n];
+            if exclude.contains(&a) {
+                continue;
+            }
+            match self.resilience.admit(a, stats) {
+                Admit::No => continue,
+                admit => return Some((a, admit)),
+            }
+        }
+        None
+    }
+
+    /// Reports an attempt outcome for `addr`, feeding its breaker (and on
+    /// success, the retry budget).
+    pub fn report(&self, addr: SocketAddr, ok: bool, stats: &ProxyStats) {
+        if ok {
+            self.resilience.on_success(addr, stats);
+        } else {
+            self.resilience.on_failure(addr, stats);
+        }
+    }
+
+    /// Marks an upstream unhealthy (out-of-band failure observation):
+    /// force-opens its breaker. Unlike the old permanent unhealthy set,
+    /// the upstream is automatically re-admitted for a probe when the
+    /// breaker's open window (the re-admission TTL) elapses.
     pub fn mark_unhealthy(&self, addr: SocketAddr) {
-        self.unhealthy.write().insert(addr);
+        self.resilience.breaker(addr).force_open(self.resilience.now_ms());
     }
 
-    /// Marks an upstream healthy again.
+    /// Marks an upstream healthy again immediately.
     pub fn mark_healthy(&self, addr: SocketAddr) {
-        self.unhealthy.write().remove(&addr);
+        self.resilience.breaker(addr).force_close();
     }
 
-    /// Currently healthy upstreams.
+    /// Upstreams currently admitting traffic (breaker closed, or open
+    /// with an elapsed window — i.e. probe-eligible counts as healthy).
     pub fn healthy(&self) -> Vec<SocketAddr> {
-        let unhealthy = self.unhealthy.read();
-        self.addrs
-            .read()
-            .iter()
-            .copied()
-            .filter(|a| !unhealthy.contains(a))
-            .collect()
+        let addrs = self.addrs.read();
+        self.resilience.admitting(addrs.iter())
     }
 
-    /// Replaces the address set (config update).
+    /// Replaces the address set (config update); new entries start with
+    /// fresh (closed) breakers.
     pub fn replace(&self, addrs: Vec<SocketAddr>) {
+        for a in &addrs {
+            self.resilience.breaker(*a).force_close();
+        }
         *self.addrs.write() = addrs;
-        self.unhealthy.write().clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use zdr_core::resilience::BreakerConfig;
 
     fn addr(p: u16) -> SocketAddr {
         format!("127.0.0.1:{p}").parse().unwrap()
+    }
+
+    /// A pool whose breakers re-admit after ~`ttl_ms` (no exponent, no
+    /// meaningful jitter spread beyond ±50%).
+    fn pool_with_ttl(addrs: Vec<SocketAddr>, ttl_ms: u64) -> UpstreamPool {
+        UpstreamPool::with_resilience(
+            addrs,
+            Arc::new(Resilience::new(ResilienceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    open_base_ms: ttl_ms,
+                    open_max_ms: ttl_ms,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })),
+        )
     }
 
     #[test]
@@ -136,6 +224,7 @@ mod tests {
         let empty = UpstreamPool::new(vec![]);
         assert!(empty.is_empty());
         assert_eq!(empty.pick(&[]), None);
+        assert!(empty.pick_admit(&[], &ProxyStats::default()).is_none());
     }
 
     #[test]
@@ -145,5 +234,47 @@ mod tests {
         pool.replace(vec![addr(1), addr(9)]);
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.healthy().len(), 2);
+    }
+
+    #[test]
+    fn marked_unhealthy_upstream_readmits_after_ttl() {
+        // The satellite fix: `mark_unhealthy` no longer excludes forever.
+        let pool = pool_with_ttl(vec![addr(1), addr(2)], 20);
+        pool.mark_unhealthy(addr(2));
+        assert_eq!(pool.healthy(), vec![addr(1)]);
+        // Jitter is ±50%, so 2× the TTL is always past the window.
+        std::thread::sleep(std::time::Duration::from_millis(45));
+        assert_eq!(pool.healthy().len(), 2, "TTL re-admission failed");
+        let stats = ProxyStats::default();
+        let picked: HashSet<_> = (0..4)
+            .filter_map(|_| pool.pick_admit(&[], &stats).map(|(a, _)| a))
+            .collect();
+        assert!(picked.contains(&addr(2)), "re-admitted upstream never picked");
+    }
+
+    #[test]
+    fn failures_trip_breaker_and_probe_grants_once() {
+        let pool = pool_with_ttl(vec![addr(1), addr(2)], 20);
+        let stats = ProxyStats::default();
+        pool.report(addr(2), false, &stats);
+        assert_eq!(stats.breaker_opened.get(), 1);
+        // Only addr(1) is picked while 2's breaker is open.
+        for _ in 0..4 {
+            assert_eq!(pool.pick_admit(&[], &stats).map(|(a, _)| a), Some(addr(1)));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(45));
+        // With addr(1) excluded, the tripped upstream is offered as a
+        // probe — exactly once until the probe resolves.
+        let (a, admit) = pool.pick_admit(&[addr(1)], &stats).unwrap();
+        assert_eq!((a, admit), (addr(2), Admit::Probe));
+        assert_eq!(stats.breaker_probes.get(), 1);
+        assert!(pool.pick_admit(&[addr(1)], &stats).is_none());
+        // Probe succeeds twice (default success_threshold) -> closed again.
+        pool.report(addr(2), true, &stats);
+        let (a, admit) = pool.pick_admit(&[addr(1)], &stats).unwrap();
+        assert_eq!((a, admit), (addr(2), Admit::Probe));
+        pool.report(addr(2), true, &stats);
+        assert_eq!(stats.breaker_closed.get(), 1);
+        assert_eq!(pool.pick_admit(&[addr(1)], &stats).unwrap().1, Admit::Yes);
     }
 }

@@ -15,6 +15,7 @@
 //! | [`drain_sweep`] | ablation — drain period vs disruption/completion |
 //! | [`ppr_alternatives`] | §4.3 ablation — 500 / 307 / buffering / PPR costs |
 //! | [`reconnect_storm`] | Fig. 3b — app-tier CPU under a reconnect storm |
+//! | [`restart_storm`] | resilience ablation — breakers/budget/deadlines under a 50% upstream restart |
 //! | [`idle_cpu`] | Fig. 8b — idle CPU, ZDR vs HardRestart |
 //! | [`dcr`] | Fig. 9 — MQTT publish continuity with/without DCR |
 //! | [`ppr`] | Fig. 11 — POST disruptions over a week of restarts |
@@ -43,5 +44,6 @@ pub mod ppr_alternatives;
 pub mod proxy_errors;
 pub mod reconnect_storm;
 pub mod releases;
+pub mod restart_storm;
 pub mod supervisor;
 pub mod timeline;

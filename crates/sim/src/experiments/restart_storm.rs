@@ -1,0 +1,330 @@
+//! Restart-storm ablation: the upstream-resilience layer under a mass
+//! restart.
+//!
+//! Half the upstream fleet restarts at once — the worst release wave §3
+//! contemplates — and the proxy tier's resilience primitives
+//! ([`zdr_core::resilience`]) must turn that into a brief goodput dip
+//! instead of a retry storm:
+//!
+//! * retries are funded by the shared budget, so total retry volume stays
+//!   ≤ reserve + 10% of successes (the ≤1.1× amplification bound);
+//! * no request is ever served past its propagated deadline;
+//! * once an upstream's breaker opens, the only traffic it sees is
+//!   half-open probes — the fleet stops paying connect timeouts to it.
+//!
+//! Virtual time, deterministic seed: the same storm replays bit-for-bit.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use zdr_core::resilience::{
+    Admit, BreakerConfig, BreakerTransition, CircuitBreaker, RetryBudget, RetryBudgetConfig,
+};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Upstream servers behind the proxy tier.
+    pub upstreams: usize,
+    /// Fraction of upstreams that restart simultaneously.
+    pub restart_fraction: f64,
+    /// When the storm begins (virtual ms).
+    pub restart_at_ms: u64,
+    /// How long each restarting upstream stays down.
+    pub restart_duration_ms: u64,
+    /// Total observation window (virtual ms).
+    pub window_ms: u64,
+    /// New requests arriving per virtual ms.
+    pub requests_per_ms: u64,
+    /// Deadline budget stamped on every request.
+    pub deadline_budget_ms: u64,
+    /// Virtual cost of a connect attempt to a dead upstream (the connect
+    /// timeout the breaker saves once open).
+    pub connect_timeout_ms: u64,
+    /// Virtual cost of a served request.
+    pub serve_ms: u64,
+    /// Per-upstream circuit-breaker tunables.
+    pub breaker: BreakerConfig,
+    /// Shared retry-budget tunables.
+    pub budget: RetryBudgetConfig,
+    /// Storm seed (upstream choice per request).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            upstreams: 10,
+            restart_fraction: 0.5,
+            restart_at_ms: 2_000,
+            restart_duration_ms: 5_000,
+            // Long enough that even the worst-case jittered open-window
+            // sequence (1.5s + 3s + 6s + 12s after the first open) probes
+            // a recovered upstream and re-closes before the window ends.
+            window_ms: 20_000,
+            requests_per_ms: 4,
+            deadline_budget_ms: 1_000,
+            connect_timeout_ms: 100,
+            serve_ms: 5,
+            breaker: BreakerConfig::default(),
+            budget: RetryBudgetConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one simulated storm.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Requests that completed within their deadline.
+    pub successes: u64,
+    /// Requests that failed (budget exhausted, deadline hit, or no
+    /// admitted upstream).
+    pub failures: u64,
+    /// Funded retry attempts (second and later attempts).
+    pub retries: u64,
+    /// Retries refused because the budget was empty.
+    pub budget_exhausted: u64,
+    /// Requests abandoned at their deadline.
+    pub deadline_exceeded: u64,
+    /// Half-open probe attempts granted to open breakers.
+    pub probes: u64,
+    /// Breaker open transitions observed.
+    pub breaker_opens: u64,
+    /// Breaker close transitions observed.
+    pub breaker_closes: u64,
+    /// Requests served after their deadline passed — must be zero.
+    pub served_past_deadline: u64,
+    /// Non-probe attempts that reached a restarting upstream after its
+    /// breaker had opened — must be zero.
+    pub non_probe_hits_after_open: u64,
+    /// Successes per 1-second bucket (the goodput timeline).
+    pub goodput: Vec<u64>,
+    /// Requests per 1-second bucket (the offered load).
+    pub offered: Vec<u64>,
+}
+
+impl Report {
+    /// retries / successes — the amplification the budget bounds.
+    pub fn retry_ratio(&self) -> f64 {
+        self.retries as f64 / self.successes.max(1) as f64
+    }
+
+    /// Worst per-second goodput over offered load.
+    pub fn min_goodput_ratio(&self) -> f64 {
+        self.goodput
+            .iter()
+            .zip(&self.offered)
+            .map(|(&g, &o)| g as f64 / o.max(1) as f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs the storm.
+pub fn run(cfg: &Config) -> Report {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let breakers: Vec<CircuitBreaker> = (0..cfg.upstreams)
+        .map(|i| {
+            CircuitBreaker::new(BreakerConfig {
+                jitter_seed: cfg.seed.wrapping_add(i as u64),
+                ..cfg.breaker
+            })
+        })
+        .collect();
+    let budget = RetryBudget::new(cfg.budget);
+    let restarting_count = (cfg.upstreams as f64 * cfg.restart_fraction).round() as usize;
+    let restart_end = cfg.restart_at_ms + cfg.restart_duration_ms;
+    let is_down = |upstream: usize, now: u64| {
+        upstream < restarting_count && (cfg.restart_at_ms..restart_end).contains(&now)
+    };
+
+    let buckets = cfg.window_ms.div_ceil(1_000) as usize;
+    let mut report = Report {
+        successes: 0,
+        failures: 0,
+        retries: 0,
+        budget_exhausted: 0,
+        deadline_exceeded: 0,
+        probes: 0,
+        breaker_opens: 0,
+        breaker_closes: 0,
+        served_past_deadline: 0,
+        non_probe_hits_after_open: 0,
+        goodput: vec![0; buckets],
+        offered: vec![0; buckets],
+    };
+    let mut opened_once = vec![false; cfg.upstreams];
+
+    for t in 0..cfg.window_ms {
+        let bucket = (t / 1_000) as usize;
+        for _ in 0..cfg.requests_per_ms {
+            report.offered[bucket] += 1;
+            let deadline = t + cfg.deadline_budget_ms;
+            let mut now = t;
+            let mut attempts = 0u32;
+            let start = rng.gen_range(0..cfg.upstreams);
+            let mut served = false;
+            for step in 0..cfg.upstreams {
+                let upstream = (start + step) % cfg.upstreams;
+                if now >= deadline {
+                    report.deadline_exceeded += 1;
+                    break;
+                }
+                let admit = breakers[upstream].admit(now);
+                let probe = match admit {
+                    Admit::No => continue, // breaker skip: free
+                    Admit::Probe => true,
+                    Admit::Yes => false,
+                };
+                // Every attempt after the first is a retry the shared
+                // budget must fund.
+                if attempts > 0 && !budget.try_withdraw() {
+                    report.budget_exhausted += 1;
+                    break;
+                }
+                attempts += 1;
+                if attempts > 1 {
+                    report.retries += 1;
+                }
+                if probe {
+                    report.probes += 1;
+                }
+                if is_down(upstream, now) {
+                    if opened_once[upstream] && !probe {
+                        report.non_probe_hits_after_open += 1;
+                    }
+                    // The attempt times out, but never past the deadline:
+                    // the propagated deadline caps the connect timeout.
+                    now = deadline.min(now + cfg.connect_timeout_ms);
+                    if let Some(BreakerTransition::Opened) = breakers[upstream].record_failure(now)
+                    {
+                        report.breaker_opens += 1;
+                        opened_once[upstream] = true;
+                    }
+                } else {
+                    now += cfg.serve_ms;
+                    if now > deadline {
+                        // Out of budget mid-service: the hop abandons the
+                        // request instead of serving it late. Serving here
+                        // would count as served_past_deadline.
+                        report.deadline_exceeded += 1;
+                        break;
+                    }
+                    if let Some(BreakerTransition::Closed) = breakers[upstream].record_success(now)
+                    {
+                        report.breaker_closes += 1;
+                    }
+                    budget.record_success();
+                    report.successes += 1;
+                    report.goodput[bucket] += 1;
+                    served = true;
+                    break;
+                }
+            }
+            if !served {
+                report.failures += 1;
+            }
+        }
+    }
+    report
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== restart storm: resilience layer under 50% upstream restart ==")?;
+        writeln!(
+            f,
+            "  served {} / failed {} (deadline {}, budget-refused {})",
+            self.successes, self.failures, self.deadline_exceeded, self.budget_exhausted
+        )?;
+        writeln!(
+            f,
+            "  retries {} ({:.3}x of successes); probes {}; breaker opens {} / closes {}",
+            self.retries,
+            self.retry_ratio(),
+            self.probes,
+            self.breaker_opens,
+            self.breaker_closes
+        )?;
+        writeln!(
+            f,
+            "  served past deadline: {}; non-probe hits on open upstreams: {}",
+            self.served_past_deadline, self.non_probe_hits_after_open
+        )?;
+        write!(f, "  goodput/s:")?;
+        for (g, o) in self.goodput.iter().zip(&self.offered) {
+            write!(f, " {:.0}%", *g as f64 / (*o).max(1) as f64 * 100.0)?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_volume_stays_ratio_bounded() {
+        let cfg = Config::default();
+        let r = run(&cfg);
+        assert!(r.successes > 0);
+        // Reserve + 10% of successes is the hard bound the budget enforces;
+        // the acceptance bar (≤ 1.1× successes) is far above it.
+        let bound = cfg.budget.reserve_tokens as f64 + 0.1 * r.successes as f64;
+        assert!(
+            (r.retries as f64) <= bound,
+            "retries {} exceed budget bound {bound}",
+            r.retries
+        );
+        assert!(r.retry_ratio() <= 1.1);
+    }
+
+    #[test]
+    fn nothing_is_served_past_its_deadline() {
+        let r = run(&Config::default());
+        assert_eq!(r.served_past_deadline, 0);
+    }
+
+    #[test]
+    fn open_upstreams_see_only_probes() {
+        let r = run(&Config::default());
+        assert!(r.breaker_opens >= 5, "half the fleet must trip: {r:?}");
+        assert_eq!(r.non_probe_hits_after_open, 0);
+    }
+
+    #[test]
+    fn goodput_dips_gracefully_and_recovers() {
+        let r = run(&Config::default());
+        // Before the storm: full goodput.
+        assert_eq!(r.goodput[0], r.offered[0]);
+        // During the storm the dip is bounded: breakers open within a few
+        // hundred attempts and the fleet routes around the dead half.
+        assert!(
+            r.min_goodput_ratio() > 0.4,
+            "goodput collapsed: {:.2}",
+            r.min_goodput_ratio()
+        );
+        // After the restart window the breakers re-close and the last
+        // second is clean again.
+        assert!(r.breaker_closes >= 1, "recovered upstreams must re-close");
+        let last = r.goodput.len() - 1;
+        assert_eq!(r.goodput[last], r.offered[last]);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = run(&Config::default());
+        let b = run(&Config::default());
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.goodput, b.goodput);
+    }
+
+    #[test]
+    fn report_prints() {
+        let s = run(&Config::default()).to_string();
+        assert!(s.contains("restart storm"));
+    }
+}

@@ -31,7 +31,9 @@ use std::time::Duration;
 
 use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::broker::server as broker;
-use zero_downtime_release::proxy::mqtt_relay::{spawn_edge, spawn_origin};
+use zero_downtime_release::core::resilience::{BreakerConfig, RetryBudgetConfig};
+use zero_downtime_release::proxy::mqtt_relay::{spawn_edge_with, spawn_origin_with};
+use zero_downtime_release::proxy::resilience::{ResilienceConfig, ShedConfig};
 use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
 use zero_downtime_release::proxy::stats::StatsSnapshot;
 use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
@@ -56,6 +58,15 @@ COMMON OPTIONS:
   --stats-json           print `STATS <json>` — one merged snapshot of every
                          counter (proxy + DCR + QUIC + connection tracking) —
                          when the role drains or exits
+
+RESILIENCE (proxy / edge / origin / quic):
+  --shed-max-active N    shed new connections at/above N active (0 = off)
+  --breaker-threshold N  consecutive upstream failures that open the
+                         circuit breaker (default 3)
+  --retry-reserve N      retry-budget reserve tokens (default 20)
+  --retry-deposit-permille N
+                         budget millitokens deposited per success
+                         (default 100 — retries add at most ~10% load)
 
 app-server:
   --name NAME            identity reported in x-served-by (default app-0)
@@ -161,6 +172,28 @@ impl Args {
             Some(v) => v.parse().map_err(|e| format!("bad {name}: {e}")),
         }
     }
+}
+
+/// The shared resilience tunables, from the common flags. Defaults fail
+/// open (no shedding) with the library's breaker/budget defaults.
+fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, String> {
+    let d = ResilienceConfig::default();
+    Ok(ResilienceConfig {
+        breaker: BreakerConfig {
+            failure_threshold: args.u64_or("--breaker-threshold", d.breaker.failure_threshold as u64)?
+                as u32,
+            ..d.breaker
+        },
+        budget: RetryBudgetConfig {
+            reserve_tokens: args.u64_or("--retry-reserve", d.budget.reserve_tokens)?,
+            deposit_permille: args.u64_or("--retry-deposit-permille", d.budget.deposit_permille)?,
+            ..d.budget
+        },
+        shed: ShedConfig {
+            max_active: args.u64_or("--shed-max-active", d.shed.max_active)?,
+            ..d.shed
+        },
+    })
 }
 
 fn main() -> ExitCode {
@@ -284,11 +317,13 @@ async fn run_origin(args: &Args) -> Result<(), String> {
     }
     let id = args.u64_or("--id", 1)? as u32;
     let drain_after = args.u64_or("--drain-after", 0)?;
+    let resilience = resilience_from_args(args)?;
     if args.flag("--trunk") {
-        let handle =
-            zero_downtime_release::proxy::mqtt_relay_trunk::spawn_origin_trunk(listen, brokers)
-                .await
-                .map_err(|e| e.to_string())?;
+        let handle = zero_downtime_release::proxy::mqtt_relay_trunk::spawn_origin_trunk_with(
+            listen, brokers, resilience,
+        )
+        .await
+        .map_err(|e| e.to_string())?;
         ready(handle.addr);
         if drain_after > 0 {
             tokio::time::sleep(Duration::from_millis(drain_after)).await;
@@ -304,7 +339,7 @@ async fn run_origin(args: &Args) -> Result<(), String> {
         wait_forever().await;
         return Ok(());
     }
-    let handle = spawn_origin(listen, id, brokers, 5_000)
+    let handle = spawn_origin_with(listen, id, brokers, 5_000, resilience)
         .await
         .map_err(|e| e.to_string())?;
     ready(handle.addr);
@@ -329,11 +364,13 @@ async fn run_edge(args: &Args) -> Result<(), String> {
     if origins.is_empty() {
         return Err("edge requires at least one --origin".into());
     }
+    let resilience = resilience_from_args(args)?;
     if args.flag("--trunk") {
-        let handle =
-            zero_downtime_release::proxy::mqtt_relay_trunk::spawn_edge_trunk(listen, origins)
-                .await
-                .map_err(|e| e.to_string())?;
+        let handle = zero_downtime_release::proxy::mqtt_relay_trunk::spawn_edge_trunk_with(
+            listen, origins, resilience,
+        )
+        .await
+        .map_err(|e| e.to_string())?;
         ready(handle.addr);
         wait_forever().await;
         dump_stats(
@@ -346,7 +383,7 @@ async fn run_edge(args: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    let handle = spawn_edge(listen, origins)
+    let handle = spawn_edge_with(listen, origins, resilience)
         .await
         .map_err(|e| e.to_string())?;
     ready(handle.addr);
@@ -372,6 +409,7 @@ async fn run_quic(args: &Args) -> Result<(), String> {
         takeover_path,
         sockets: args.u64_or("--sockets", 2)? as usize,
         drain_ms: args.u64_or("--drain-ms", 2_000)?,
+        shed: resilience_from_args(args)?.shed,
     };
     let instance = if args.flag("--takeover") {
         takeover_with_retry(|| QuicInstance::takeover_from(config.clone())).await?
@@ -429,6 +467,7 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         reverse: ReverseProxyConfig {
             upstreams,
             upstream_timeout: Duration::from_secs(30),
+            resilience: resilience_from_args(args)?,
             ..Default::default()
         },
         takeover_path,

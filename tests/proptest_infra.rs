@@ -361,6 +361,145 @@ proptest! {
     }
 }
 
+// ── Circuit breaker: liveness + single-flight probes ───────────────────
+
+use zero_downtime_release::core::resilience::{Admit, BreakerConfig, BreakerState, CircuitBreaker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Liveness: whatever outcome history the breaker has absorbed, once
+    /// the upstream is healthy (every admitted attempt succeeds) the
+    /// breaker re-closes within one open window plus a probe TTL — it can
+    /// never wedge open against a healthy upstream.
+    #[test]
+    fn breaker_never_wedges_open_against_healthy_upstream(
+        failure_threshold in 1u32..6,
+        success_threshold in 1u32..6,
+        open_base_ms in 10u64..2_000,
+        max_mult in 1u64..16,
+        probe_ttl_ms in 10u64..2_000,
+        jitter_seed in any::<u64>(),
+        history in proptest::collection::vec((0u8..3, 1u64..500), 0..100),
+    ) {
+        let config = BreakerConfig {
+            failure_threshold,
+            success_threshold,
+            open_base_ms,
+            open_max_ms: open_base_ms * max_mult,
+            probe_ttl_ms,
+            jitter_seed,
+        };
+        let b = CircuitBreaker::new(config);
+
+        // Arbitrary past: failures, successes, and admit attempts (which
+        // may claim — and then lose — half-open probes).
+        let mut now = 0u64;
+        for (op, dt) in history {
+            now += dt;
+            match op {
+                0 => {
+                    b.record_failure(now);
+                }
+                1 => {
+                    b.record_success(now);
+                }
+                _ => {
+                    b.admit(now);
+                }
+            }
+        }
+
+        // From here the upstream is healthy: every admitted attempt
+        // succeeds. The breaker must close within (worst case) a lost
+        // probe's TTL + one maximal jittered open window + the successes
+        // needed to re-close.
+        let deadline = now
+            + config.probe_ttl_ms
+            + 2 * config.open_max_ms.max(config.open_base_ms)
+            + 1_000 * success_threshold as u64
+            + 1_000;
+        while b.state() != BreakerState::Closed {
+            prop_assert!(
+                now <= deadline,
+                "breaker wedged {:?} against a healthy upstream",
+                b.state()
+            );
+            if b.admit(now).allowed() {
+                b.record_success(now);
+                now += 1;
+            } else {
+                now += 50;
+            }
+        }
+        prop_assert_eq!(b.admit(now), Admit::Yes);
+    }
+
+    /// Single-flight probes: once tripped, the breaker never grants a
+    /// second half-open probe while one is in flight and inside its TTL —
+    /// recovering upstreams cannot be stormed by probes.
+    #[test]
+    fn breaker_never_storms_half_open_probes(
+        success_threshold in 1u32..6,
+        open_base_ms in 10u64..2_000,
+        probe_ttl_ms in 10u64..2_000,
+        jitter_seed in any::<u64>(),
+        steps in proptest::collection::vec((1u64..3_000, 0u8..4), 1..200),
+    ) {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            success_threshold,
+            open_base_ms,
+            open_max_ms: open_base_ms * 8,
+            probe_ttl_ms,
+            jitter_seed,
+        };
+        let b = CircuitBreaker::new(config);
+        b.record_failure(0);
+        prop_assert_eq!(b.state(), BreakerState::Open);
+
+        // Model: the grant time of the outstanding probe, if any.
+        let mut outstanding: Option<u64> = None;
+        let mut now = 0u64;
+        for (dt, outcome) in steps {
+            now += dt;
+            match b.admit(now) {
+                Admit::Yes => {
+                    // Plain admission only ever happens closed.
+                    prop_assert_eq!(b.state(), BreakerState::Closed);
+                    if outcome == 1 {
+                        b.record_failure(now); // may re-trip (threshold 1)
+                    } else {
+                        b.record_success(now);
+                    }
+                }
+                Admit::Probe => {
+                    if let Some(granted) = outstanding {
+                        prop_assert!(
+                            now >= granted + config.probe_ttl_ms,
+                            "probe granted at {now} while one from {granted} \
+                             is in flight (ttl {})",
+                            config.probe_ttl_ms
+                        );
+                    }
+                    match outcome {
+                        0 => outstanding = Some(now), // probe lost in transit
+                        1 => {
+                            b.record_failure(now); // probe failed: reopen
+                            outstanding = None;
+                        }
+                        _ => {
+                            b.record_success(now); // probe succeeded
+                            outstanding = None;
+                        }
+                    }
+                }
+                Admit::No => {}
+            }
+        }
+    }
+}
+
 #[test]
 fn maglev_lookup_distribution_is_uniform_ish() {
     // Non-proptest statistical check: hashing 100k flows over 10 backends

@@ -1,0 +1,195 @@
+//! The ISSUE's acceptance experiment on real sockets: half the upstream
+//! fleet restarts under live traffic, and the resilience layer must keep
+//! the storm bounded —
+//!
+//! * total retry volume stays ≤ 1.1× the successful-request volume
+//!   (budget-funded retries, reserve + 10% of successes);
+//! * zero requests are served past their propagated deadline;
+//! * once a restarting upstream's breaker opens, the only connections it
+//!   receives are half-open probes;
+//! * every counter involved is visible in the serialized
+//!   [`StatsSnapshot`] (the `zdr --stats-json` payload).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+use zero_downtime_release::appserver::{self, AppServerConfig};
+use zero_downtime_release::proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
+use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
+use zero_downtime_release::proxy::reverse::{spawn_reverse_proxy, ReverseProxyConfig};
+
+/// An upstream mid-restart: accepts (the listen socket still exists) but
+/// closes immediately, so every request through it fails. Counts hits —
+/// the signal that breakers stop traffic to it.
+async fn restarting_upstream() -> (SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hits = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&hits);
+    tokio::spawn(async move {
+        while let Ok((stream, _)) = listener.accept().await {
+            counter.fetch_add(1, Ordering::Relaxed);
+            drop(stream);
+        }
+    });
+    (addr, hits)
+}
+
+/// One GET through the proxy on a fresh connection, stamped with an
+/// absolute deadline. Returns (status, elapsed).
+async fn request_with_deadline(
+    proxy: SocketAddr,
+    deadline: Deadline,
+) -> std::io::Result<(u16, Duration)> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(proxy).await?;
+    let mut req = Request::get("/");
+    req.headers.set(DEADLINE_HEADER, deadline.header_value());
+    stream.write_all(&serialize_request(&req)).await?;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "closed mid-response",
+            ));
+        }
+        if let Some(resp) = parser.push(&buf[..n]).map_err(std::io::Error::other)? {
+            return Ok((resp.status.code, started.elapsed()));
+        }
+    }
+}
+
+#[tokio::test]
+async fn restart_storm_keeps_retries_probes_and_deadlines_bounded() {
+    // Two live app servers, two restarting upstreams: a 50% storm.
+    let live_a = appserver::spawn("127.0.0.1:0".parse().unwrap(), AppServerConfig::default())
+        .await
+        .unwrap();
+    let live_b = appserver::spawn("127.0.0.1:0".parse().unwrap(), AppServerConfig::default())
+        .await
+        .unwrap();
+    let (dead_a, hits_a) = restarting_upstream().await;
+    let (dead_b, hits_b) = restarting_upstream().await;
+
+    let proxy = spawn_reverse_proxy(
+        "127.0.0.1:0".parse().unwrap(),
+        ReverseProxyConfig {
+            upstreams: vec![dead_a, live_a.addr, dead_b, live_b.addr],
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+
+    const REQUESTS: u64 = 200;
+    const BUDGET: Duration = Duration::from_secs(5);
+    let mut successes = 0u64;
+    let mut failures = 0u64;
+    for _ in 0..REQUESTS {
+        let deadline = Deadline::after(unix_now_ms(), BUDGET);
+        let (status, elapsed) = request_with_deadline(proxy.addr, deadline)
+            .await
+            .expect("proxy must always answer");
+        // Nothing is served past its propagated deadline: every answer —
+        // success or failure — lands within the stamped budget.
+        assert!(
+            elapsed < BUDGET,
+            "answered after the deadline: {elapsed:?} (status {status})"
+        );
+        match status {
+            200 => successes += 1,
+            _ => failures += 1,
+        }
+    }
+
+    let snapshot = proxy.stats.snapshot();
+
+    // The storm is survivable: breakers route around the dead half, so
+    // nearly everything succeeds.
+    assert!(
+        successes >= REQUESTS * 9 / 10,
+        "goodput collapsed: {successes}/{REQUESTS} ({failures} failures)"
+    );
+
+    // Retry amplification is budget-bounded: reserve + 10% of successes is
+    // the structural cap, far inside the ≤1.1× acceptance bound.
+    let reserve = zero_downtime_release::core::resilience::RetryBudgetConfig::default()
+        .reserve_tokens as f64;
+    assert!(
+        (snapshot.retries as f64) <= reserve + 0.1 * successes as f64,
+        "retries {} exceed budget cap",
+        snapshot.retries
+    );
+    assert!(
+        (snapshot.retries as f64) <= 1.1 * successes as f64,
+        "retry volume {} above 1.1x successes {successes}",
+        snapshot.retries
+    );
+
+    // Both dead upstreams tripped their breakers…
+    assert!(
+        snapshot.breaker_opened >= 2,
+        "both breakers must open: {snapshot:?}"
+    );
+    // …and after tripping they saw only half-open probes: total hits are
+    // the failures needed to trip (threshold 3 each, requests are
+    // sequential) plus the probes the breakers granted.
+    let dead_hits = hits_a.load(Ordering::Relaxed) + hits_b.load(Ordering::Relaxed);
+    assert!(
+        dead_hits <= 6 + snapshot.breaker_probes,
+        "dead upstreams saw {dead_hits} connections but only {} probes were granted",
+        snapshot.breaker_probes
+    );
+
+    // Every resilience counter rides the one serialized snapshot (what
+    // `zdr --stats-json` prints).
+    let json = serde_json::to_string(&snapshot).unwrap();
+    for field in [
+        "breaker_opened",
+        "breaker_closed",
+        "breaker_probes",
+        "retries",
+        "retry_budget_exhausted",
+        "load_shed",
+        "deadline_exceeded",
+    ] {
+        assert!(json.contains(field), "snapshot JSON missing {field}: {json}");
+    }
+}
+
+#[tokio::test]
+async fn expired_deadlines_are_refused_not_served() {
+    let live = appserver::spawn("127.0.0.1:0".parse().unwrap(), AppServerConfig::default())
+        .await
+        .unwrap();
+    let proxy = spawn_reverse_proxy(
+        "127.0.0.1:0".parse().unwrap(),
+        ReverseProxyConfig {
+            upstreams: vec![live.addr],
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+
+    // A batch of requests whose propagated deadline has already passed:
+    // each must be refused with 504 — zero served past the deadline.
+    for _ in 0..20 {
+        let (status, _) = request_with_deadline(proxy.addr, Deadline::at_unix_ms(1))
+            .await
+            .unwrap();
+        assert_eq!(status, 504, "expired deadline must never be served");
+    }
+    let snapshot = proxy.stats.snapshot();
+    assert_eq!(snapshot.deadline_exceeded, 20);
+    // No upstream work happened for any of them.
+    assert_eq!(live.stats.snapshot().0, 0);
+}

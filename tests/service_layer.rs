@@ -193,6 +193,7 @@ async fn concurrent_drain_across_http_mqtt_quic() {
         takeover_path: tmp_path("quic"),
         sockets: 2,
         drain_ms: DEADLINE.as_millis() as u64,
+        shed: Default::default(),
     };
     let quic_old = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), quic_cfg.clone())
         .await
