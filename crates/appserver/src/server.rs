@@ -19,12 +19,12 @@
 //!   contrasts (§4.3 option i).
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::watch;
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
 
 use zdr_proto::http1::{
     serialize_response, Method, Request, RequestParser, Response, StatusCode, Version,

@@ -1,0 +1,186 @@
+//! The one place this workspace reads the real clock.
+//!
+//! The deterministic simulator, the seeded fault injector, and the
+//! breaker/budget state machines all take explicit `now_ms` arguments —
+//! replaying a failing seed byte-for-byte only works when no code path
+//! sneaks in a wall-clock read of its own. This module is the single
+//! approved home of `Instant::now()` / `SystemTime::now()`; the repo
+//! linter (`cargo xtask lint`, rule `inline-now`) rejects either call
+//! anywhere else in product code, so every other module either threads a
+//! timestamp through or holds a [`Clock`].
+//!
+//! [`Clock`] is cheap to clone (one `Arc`), monotonic, and mockable:
+//! [`Clock::mock`] returns a clock that only moves when
+//! [`Clock::advance`] is called, so tests drive timeout/window logic on
+//! virtual time without sleeping.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::sync::{Arc, AtomicU64, Ordering};
+
+/// Current wall-clock time as unix epoch milliseconds.
+///
+/// This is the cross-process timestamp used to stamp and check propagated
+/// `x-zdr-deadline` values (see `zdr_proto::deadline`): every hop of a
+/// request may run in a different process, so the only clock they share is
+/// the system's. In-process, prefer a [`Clock`], which is monotonic and
+/// mockable.
+pub fn unix_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A monotonic, mockable time source.
+///
+/// * [`Clock::system`] — backed by [`Instant`]; advances on its own.
+/// * [`Clock::mock`] — starts at zero and advances only via
+///   [`Clock::advance`], for deterministic tests.
+///
+/// All readings are relative to the clock's creation, so `now_ms()` starts
+/// near 0 for both variants and never goes backwards.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Real {
+        epoch: Instant,
+        unix_epoch_ms: u64,
+    },
+    Mock {
+        /// Virtual microseconds since creation.
+        now_us: AtomicU64,
+        unix_base_ms: u64,
+    },
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::system()
+    }
+}
+
+impl Clock {
+    /// The real monotonic clock.
+    pub fn system() -> Clock {
+        Clock {
+            inner: Arc::new(Inner::Real {
+                epoch: Instant::now(),
+                unix_epoch_ms: unix_now_ms(),
+            }),
+        }
+    }
+
+    /// A virtual clock starting at `start_unix_ms` wall time and zero
+    /// elapsed time. It advances only via [`Clock::advance`].
+    pub fn mock(start_unix_ms: u64) -> Clock {
+        Clock {
+            inner: Arc::new(Inner::Mock {
+                now_us: AtomicU64::new(0),
+                unix_base_ms: start_unix_ms,
+            }),
+        }
+    }
+
+    /// True when this is a [`Clock::mock`] clock.
+    pub fn is_mock(&self) -> bool {
+        matches!(*self.inner, Inner::Mock { .. })
+    }
+
+    /// Monotonic microseconds since this clock was created.
+    pub fn now_us(&self) -> u64 {
+        match &*self.inner {
+            Inner::Real { epoch, .. } => epoch.elapsed().as_micros() as u64,
+            Inner::Mock { now_us, .. } => now_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Monotonic milliseconds since this clock was created — the timestamp
+    /// shape the breaker/budget/deadline state machines consume.
+    pub fn now_ms(&self) -> u64 {
+        self.now_us() / 1_000
+    }
+
+    /// Wall-clock unix milliseconds, derived monotonically from the
+    /// creation instant (immune to wall-clock steps after creation; for a
+    /// mock clock, `start_unix_ms + elapsed`).
+    pub fn unix_ms(&self) -> u64 {
+        match &*self.inner {
+            Inner::Real { unix_epoch_ms, .. } => unix_epoch_ms.saturating_add(self.now_ms()),
+            Inner::Mock { unix_base_ms, .. } => unix_base_ms.saturating_add(self.now_ms()),
+        }
+    }
+
+    /// Advances a mock clock by `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Clock::system`] clock — real time cannot be steered,
+    /// and a test silently "advancing" it would assert nothing.
+    pub fn advance(&self, d: Duration) {
+        match &*self.inner {
+            Inner::Real { .. } => panic!("Clock::advance called on the system clock"),
+            Inner::Mock { now_us, .. } => {
+                now_us.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_now_is_sane() {
+        // After 2020-01-01 and monotone-ish across two calls.
+        let a = unix_now_ms();
+        let b = unix_now_ms();
+        assert!(a > 1_577_836_800_000, "unix_now_ms {a}");
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = Clock::system();
+        assert!(!c.is_mock());
+        let a = c.now_us();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.now_us() > a);
+        // Wall view tracks the monotonic view from a sane base.
+        assert!(c.unix_ms() > 1_577_836_800_000);
+    }
+
+    #[test]
+    fn mock_clock_only_moves_when_advanced() {
+        let c = Clock::mock(1_000_000);
+        assert!(c.is_mock());
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.unix_ms(), 1_000_000);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.now_ms(), 0, "mock time must not flow on its own");
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now_ms(), 250);
+        assert_eq!(c.unix_ms(), 1_000_250);
+        c.advance(Duration::from_micros(500));
+        assert_eq!(c.now_us(), 250_500);
+    }
+
+    #[test]
+    fn clones_share_the_same_timeline() {
+        let c = Clock::mock(0);
+        let c2 = c.clone();
+        c.advance(Duration::from_millis(10));
+        assert_eq!(c2.now_ms(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "system clock")]
+    fn advancing_the_system_clock_panics() {
+        Clock::system().advance(Duration::from_millis(1));
+    }
+}

@@ -34,9 +34,17 @@
 //!   windows) and the cluster-wide retry budget that keep §4.4's
 //!   retry-on-another-server rule from amplifying a mass restart into a
 //!   retry storm.
+//! * [`sync`] — the atomics facade every lock-free structure imports
+//!   from; under `--cfg loom` it swaps in loom's model-checked doubles so
+//!   the production interleavings are explored exhaustively.
+//! * [`clock`] — the single approved wall/monotonic time source
+//!   (mockable [`clock::Clock`], cross-process [`clock::unix_now_ms`]);
+//!   everything else takes timestamps as arguments so seeded replays stay
+//!   deterministic.
 
 pub mod calendar;
 pub mod canary;
+pub mod clock;
 pub mod drain;
 pub mod mechanism;
 pub mod metrics;
@@ -44,6 +52,7 @@ pub mod pipeline;
 pub mod resilience;
 pub mod scheduler;
 pub mod supervisor;
+pub mod sync;
 pub mod tier;
 
 pub use mechanism::Mechanism;

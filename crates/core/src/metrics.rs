@@ -227,8 +227,8 @@ impl TimeSeries {
 #[derive(Debug)]
 pub struct Ewma {
     alpha_permille: u64,
-    value: std::sync::atomic::AtomicU64,
-    seeded: std::sync::atomic::AtomicBool,
+    value: crate::sync::AtomicU64,
+    seeded: crate::sync::AtomicBool,
 }
 
 impl Ewma {
@@ -237,14 +237,18 @@ impl Ewma {
     pub fn new(alpha_permille: u64) -> Self {
         Ewma {
             alpha_permille: alpha_permille.min(1000),
-            value: std::sync::atomic::AtomicU64::new(0),
-            seeded: std::sync::atomic::AtomicBool::new(false),
+            value: crate::sync::AtomicU64::new(0),
+            seeded: crate::sync::AtomicBool::new(false),
         }
     }
 
     /// Folds one sample into the average.
     pub fn observe(&self, sample: u64) {
-        use std::sync::atomic::Ordering;
+        use crate::sync::Ordering;
+        // AcqRel swap: exactly one observer wins the seeding; its Release
+        // half pairs with later Acquire-free readers only loosely, which is
+        // fine — a reader racing the very first sample may see 0, a
+        // one-shot startup artifact the shed gate tolerates.
         if !self.seeded.swap(true, Ordering::AcqRel) {
             self.value.store(sample, Ordering::Release);
             return;
@@ -254,9 +258,11 @@ impl Ewma {
             let next = (self.alpha_permille.saturating_mul(sample)
                 + (1000 - self.alpha_permille).saturating_mul(cur))
                 / 1000;
+            // Relaxed CAS: single-variable fold; the per-location
+            // modification order makes every sample land exactly once.
             match self
                 .value
-                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -266,7 +272,8 @@ impl Ewma {
 
     /// Current smoothed value (0 before any sample).
     pub fn get(&self) -> u64 {
-        self.value.load(std::sync::atomic::Ordering::Relaxed)
+        // Relaxed: gauge snapshot; staleness is inherent to an EWMA.
+        self.value.load(crate::sync::Ordering::Relaxed)
     }
 }
 

@@ -17,8 +17,17 @@
 //!
 //! Both take an explicit `now_ms` timestamp so the deterministic simulator
 //! can drive them on virtual time; the proxy passes a monotonic clock.
+//!
+//! Atomics come from the [`crate::sync`] facade, so under `--cfg loom` the
+//! `tests/loom.rs` suite model-checks these exact state machines: probe
+//! single-flight, trip-once, budget non-negativity, and deposit-cap
+//! behaviour are exhaustively explored rather than sampled. Each
+//! `Ordering` below carries a why-comment; the audit convention is that
+//! single-variable CAS loops may be `Relaxed` (atomics have a total
+//! modification order per location), and anything stronger must name the
+//! store/load pair it synchronizes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Breaker states. Packed into two bits of [`CircuitBreaker`]'s state word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -171,11 +180,13 @@ impl CircuitBreaker {
 
     /// Current state (for stats/snapshots; racy by nature).
     pub fn state(&self) -> BreakerState {
+        // Relaxed: snapshot for reporting only; nothing is read "through" it.
         unpack(self.word.load(Ordering::Relaxed)).0
     }
 
     /// How many times this breaker has tripped open.
     pub fn open_episodes(&self) -> u64 {
+        // Relaxed: monotonic counter read for reporting only.
         unpack(self.word.load(Ordering::Relaxed)).3
     }
 
@@ -198,32 +209,51 @@ impl CircuitBreaker {
     /// Admission check for one request attempt at `now_ms`.
     pub fn admit(&self, now_ms: u64) -> Admit {
         loop {
+            // Acquire: pairs with the Release side of the AcqRel CASes below
+            // so a thread that observes Open also tends to see the
+            // opened_at_ms written just after the trip. The pairing is
+            // advisory, not load-bearing: a stale opened_at_ms can only
+            // admit one probe early (see field doc), never corrupt state —
+            // state correctness rests on the CAS loops alone.
             let w = self.word.load(Ordering::Acquire);
             let (state, failures, _successes, opens) = unpack(w);
             match state {
                 BreakerState::Closed => return Admit::Yes,
                 BreakerState::Open => {
+                    // Acquire: pairs with the Release store in
+                    // record_failure/force_open; benign if stale (above).
                     let opened = self.opened_at_ms.load(Ordering::Acquire);
                     if now_ms < opened.saturating_add(self.open_window_ms(opens.max(1))) {
                         return Admit::No;
                     }
-                    // Window elapsed: move to half-open and own the probe.
+                    // Window elapsed: move to half-open, then loop into the
+                    // HalfOpen arm to contend for the probe slot. The probe
+                    // is claimed in exactly one place (the probe_started_ms
+                    // CAS below) — an earlier version claimed it here with a
+                    // plain store after winning this CAS, and loom's
+                    // probe_single_flight model found the two-probe leak: a
+                    // second thread could observe HalfOpen before the store
+                    // landed, see ps == 0, and win the slot CAS too.
+                    // AcqRel: single-variable CAS would be correct Relaxed
+                    // (per-location modification order); kept AcqRel to
+                    // match the word's protocol everywhere else.
                     let nw = pack(BreakerState::HalfOpen, failures, 0, opens);
-                    if self
+                    let _ = self
                         .word
-                        .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        self.probe_started_ms.store(now_ms.max(1), Ordering::Release);
-                        return Admit::Probe;
-                    }
+                        .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire);
+                    // Win or lose, re-read: the state is HalfOpen either way.
                 }
                 BreakerState::HalfOpen => {
+                    // Acquire: pairs with the Release stores in
+                    // record_success/record_failure that free the slot.
                     let ps = self.probe_started_ms.load(Ordering::Acquire);
                     if ps != 0 && now_ms < ps.saturating_add(self.config.probe_ttl_ms) {
                         return Admit::No; // a probe is already in flight
                     }
                     // No probe outstanding (or it timed out): try to own one.
+                    // AcqRel: claim CAS on a single variable — at most one
+                    // thread can move ps → now for a given observed ps, which
+                    // is the whole single-flight guarantee.
                     if self
                         .probe_started_ms
                         .compare_exchange(ps, now_ms.max(1), Ordering::AcqRel, Ordering::Acquire)
@@ -242,6 +272,9 @@ impl CircuitBreaker {
     /// never claims the half-open probe slot, so health views can call it
     /// freely.
     pub fn would_admit(&self, now_ms: u64) -> bool {
+        // Acquire on all three loads: mirrors admit()'s read protocol so the
+        // peek and the real admission agree as often as possible; a stale
+        // answer is inherently fine (the caller re-checks via admit()).
         let (state, _f, _s, opens) = unpack(self.word.load(Ordering::Acquire));
         match state {
             BreakerState::Closed => true,
@@ -260,6 +293,8 @@ impl CircuitBreaker {
     /// [`BreakerTransition::Closed`] when this success closes the breaker.
     pub fn record_success(&self, _now_ms: u64) -> Option<BreakerTransition> {
         loop {
+            // Acquire/AcqRel throughout: same protocol as admit(); see the
+            // ordering notes there. Correctness is carried by the CAS loop.
             let w = self.word.load(Ordering::Acquire);
             let (state, _failures, successes, opens) = unpack(w);
             match state {
@@ -287,6 +322,7 @@ impl CircuitBreaker {
                         .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
+                        // Release: frees the probe slot for the next admit.
                         self.probe_started_ms.store(0, Ordering::Release);
                         return if s >= self.config.success_threshold as u64 {
                             Some(BreakerTransition::Closed)
@@ -303,6 +339,9 @@ impl CircuitBreaker {
     /// [`BreakerTransition::Opened`] when this failure trips the breaker.
     pub fn record_failure(&self, now_ms: u64) -> Option<BreakerTransition> {
         loop {
+            // Acquire/AcqRel throughout: same protocol as admit(). The CAS
+            // is what makes the trip happen exactly once (loom: trip_once);
+            // whichever thread wins it owns the opened_at_ms store.
             let w = self.word.load(Ordering::Acquire);
             let (state, failures, _successes, opens) = unpack(w);
             match state {
@@ -315,6 +354,8 @@ impl CircuitBreaker {
                             .compare_exchange(w, nw, Ordering::AcqRel, Ordering::Acquire)
                             .is_ok()
                         {
+                            // Release: pairs with admit()'s Acquire load;
+                            // stale readers only admit a probe early.
                             self.opened_at_ms.store(now_ms, Ordering::Release);
                             return Some(BreakerTransition::Opened);
                         }
@@ -375,7 +416,12 @@ impl CircuitBreaker {
     /// Forces the breaker closed (operator action / legacy `mark_healthy`).
     /// Returns the transition if the breaker was not already closed.
     pub fn force_close(&self) -> Option<BreakerTransition> {
-        let prev = self.word.swap(pack(BreakerState::Closed, 0, 0, 0), Ordering::AcqRel);
+        // AcqRel swap: unconditional overwrite still joins the word's
+        // modification order, so concurrent CAS loops retry against it.
+        let prev = self
+            .word
+            .swap(pack(BreakerState::Closed, 0, 0, 0), Ordering::AcqRel);
+        // Release: frees the probe slot, as in record_success.
         self.probe_started_ms.store(0, Ordering::Release);
         if unpack(prev).0 == BreakerState::Closed {
             None
@@ -449,10 +495,14 @@ impl RetryBudget {
             if next == cur {
                 return;
             }
+            // Relaxed CAS (downgraded from AcqRel in the ordering audit):
+            // the balance is a single atomic guarding nothing else, so its
+            // per-location modification order is all the correctness needed
+            // — loom's budget models pass with Relaxed here.
             match self.millitokens.compare_exchange_weak(
                 cur,
                 next,
-                Ordering::AcqRel,
+                Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return,
@@ -467,16 +517,20 @@ impl RetryBudget {
         let mut cur = self.millitokens.load(Ordering::Relaxed);
         loop {
             if cur < 1000 {
+                // Relaxed: standalone event counter, read only in reports.
                 self.exhausted.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
+            // Relaxed CAS: same single-variable argument as record_success;
+            // the CAS itself guarantees no double-spend of a token.
             match self.millitokens.compare_exchange_weak(
                 cur,
                 cur - 1000,
-                Ordering::AcqRel,
+                Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // Relaxed: standalone event counter, read only in reports.
                     self.withdrawn.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
@@ -487,21 +541,26 @@ impl RetryBudget {
 
     /// Whole tokens currently available.
     pub fn balance_tokens(&self) -> u64 {
+        // Relaxed: snapshot for reporting only.
         self.millitokens.load(Ordering::Relaxed) / 1000
     }
 
     /// Total retries granted so far.
     pub fn withdrawn(&self) -> u64 {
+        // Relaxed: snapshot for reporting only.
         self.withdrawn.load(Ordering::Relaxed)
     }
 
     /// Total withdrawals refused so far.
     pub fn exhausted(&self) -> u64 {
+        // Relaxed: snapshot for reporting only.
         self.exhausted.load(Ordering::Relaxed)
     }
 }
 
-#[cfg(test)]
+// not(loom): loom atomics panic outside a loom::model run; the loom suite
+// for these types lives in tests/loom.rs.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -624,7 +683,9 @@ mod tests {
         c.jitter_seed = 2;
         let ba = CircuitBreaker::new(a);
         let bc = CircuitBreaker::new(c);
-        let distinct = (1..=8).filter(|&e| ba.open_window_ms(e) != bc.open_window_ms(e)).count();
+        let distinct = (1..=8)
+            .filter(|&e| ba.open_window_ms(e) != bc.open_window_ms(e))
+            .count();
         assert!(distinct >= 6, "only {distinct}/8 windows differ");
     }
 
@@ -670,5 +731,88 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CircuitBreaker>();
         assert_send_sync::<RetryBudget>();
+    }
+
+    mod packed_word {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn any_state() -> impl Strategy<Value = BreakerState> {
+            prop_oneof![
+                Just(BreakerState::Closed),
+                Just(BreakerState::Open),
+                Just(BreakerState::HalfOpen),
+            ]
+        }
+
+        proptest! {
+            /// Every (state, failures, successes, opens) combination the
+            /// breaker can legally store survives a pack/unpack round-trip.
+            #[test]
+            fn round_trips(
+                state in any_state(),
+                failures in 0u64..(1 << 20),
+                successes in 0u64..(1 << 20),
+                opens in 0u64..(1 << 20),
+            ) {
+                let word = pack(state, failures, successes, opens);
+                prop_assert_eq!(unpack(word), (state, failures, successes, opens));
+            }
+
+            /// No bit-field overlaps: flipping one field of the packed word
+            /// never changes what the other fields decode to.
+            #[test]
+            fn fields_are_independent(
+                state in any_state(),
+                failures in 0u64..(1 << 20),
+                successes in 0u64..(1 << 20),
+                opens in 0u64..(1 << 20),
+                other in 0u64..(1 << 20),
+            ) {
+                let base = pack(state, failures, successes, opens);
+                let (s0, f0, c0, o0) = unpack(base);
+                let (s1, _, c1, o1) = unpack(pack(state, other, successes, opens));
+                prop_assert_eq!((s1, c1, o1), (s0, c0, o0));
+                let (s2, f2, _, o2) = unpack(pack(state, failures, other, opens));
+                prop_assert_eq!((s2, f2, o2), (s0, f0, o0));
+                let (s3, f3, c3, _) = unpack(pack(state, failures, successes, other));
+                prop_assert_eq!((s3, f3, c3), (s0, f0, c0));
+            }
+        }
+
+        #[test]
+        fn field_masks_are_disjoint_and_in_range() {
+            // Max each field in turn; the set bits must never collide, and
+            // the state bits must sit above every counter field.
+            let fail = pack(BreakerState::Closed, FIELD_MASK, 0, 0);
+            let succ = pack(BreakerState::Closed, 0, FIELD_MASK, 0);
+            let opens = pack(BreakerState::Closed, 0, 0, FIELD_MASK);
+            let state = pack(BreakerState::HalfOpen, 0, 0, 0);
+            for (a, b) in [
+                (fail, succ),
+                (fail, opens),
+                (fail, state),
+                (succ, opens),
+                (succ, state),
+                (opens, state),
+            ] {
+                assert_eq!(a & b, 0, "bit fields overlap: {a:#066b} & {b:#066b}");
+            }
+            // Everything fits the 64-bit word with the 2 state bits on top.
+            let all_counters = (FIELD_MASK << FAIL_SHIFT) | (FIELD_MASK << SUCC_SHIFT) | FIELD_MASK;
+            assert_eq!(fail | succ | opens | state, state | all_counters);
+            assert!(STATE_SHIFT >= FAIL_SHIFT + 20);
+        }
+
+        /// Values wider than a field must be masked by pack(), not bleed
+        /// into the neighbouring field.
+        #[test]
+        fn oversize_values_do_not_bleed() {
+            let w = pack(BreakerState::Closed, u64::MAX, 0, 0);
+            let (_, f, s, o) = unpack(w);
+            assert_eq!(f, FIELD_MASK);
+            assert_eq!(s, 0);
+            assert_eq!(o, 0);
+        }
     }
 }

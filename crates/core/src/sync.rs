@@ -1,0 +1,57 @@
+//! The one place this workspace imports atomics from.
+//!
+//! Every lock-free structure in the tree — the packed-word
+//! [`crate::resilience::CircuitBreaker`], the [`crate::resilience::RetryBudget`]
+//! millitoken bucket, the proxy's sharded connection gauge and stats
+//! counters, the UDP router's generation counters — synchronizes through
+//! the types re-exported here instead of naming `std::sync::atomic`
+//! directly. Under `--cfg loom` the re-exports swap to
+//! [loom](https://docs.rs/loom)'s model-checked doubles, so the
+//! `tests/loom.rs` suites in `zdr-core` and `zdr-proxy` exhaustively
+//! explore the interleavings of the *production* code, not a copy of it.
+//!
+//! The repo linter (`cargo xtask lint`, rule `raw-atomics`) rejects any
+//! `std::sync::atomic` import or path outside this module, so new
+//! lock-free code is loom-checkable by construction.
+//!
+//! `Arc` is deliberately re-exported from `std` under both cfgs:
+//! `loom::sync::Arc` is not a valid method-receiver type on stable Rust
+//! (`self: &Arc<Self>` receivers, as used by the proxy's `ConnTracker`,
+//! only accept the std pointer types), and none of our models rely on
+//! refcount interleavings — the invariants under test all live in the
+//! atomics themselves. std's `Arc` works inside loom models; its refcount
+//! traffic is simply not explored.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub use loom::thread;
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::thread;
+
+pub use std::sync::Arc;
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_types_behave_like_std() {
+        let word = AtomicU64::new(7);
+        assert_eq!(word.fetch_add(1, Ordering::Relaxed), 7);
+        assert_eq!(word.load(Ordering::Relaxed), 8);
+        let flag = AtomicBool::new(false);
+        assert!(!flag.swap(true, Ordering::AcqRel));
+        let n = AtomicUsize::new(0);
+        let shared = Arc::new(n);
+        let t = thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || shared.fetch_add(3, Ordering::Relaxed)
+        });
+        t.join().unwrap();
+        assert_eq!(shared.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Loom model checks for the lock-free resilience state machines.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p zdr-core --test loom
+//! --release`; without `--cfg loom` this file compiles to nothing, so the
+//! normal test run never pays for (or depends on) loom. Each model
+//! exhaustively explores thread interleavings up to the preemption bound
+//! (`LOOM_MAX_PREEMPTIONS`, default 3 below), which is what turns the
+//! ordering why-comments in `core::resilience` from prose into theorems.
+//!
+//! The probe_single_flight model is not ceremonial: it caught a real
+//! two-probe leak in `CircuitBreaker::admit` (the Open→HalfOpen winner
+//! published `probe_started_ms` with a plain store after the word CAS, so
+//! a second thread could observe HalfOpen with an unclaimed slot). The
+//! fix — claim the probe only through the `probe_started_ms` CAS — is
+//! documented at the site.
+#![cfg(loom)]
+
+use loom::thread;
+use std::sync::Arc;
+
+use zdr_core::resilience::{
+    Admit, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, RetryBudget,
+    RetryBudgetConfig,
+};
+
+/// Runs `f` under loom with a bounded number of preemptions. The bound
+/// keeps CI wall-clock sane; `LOOM_MAX_PREEMPTIONS` in the environment
+/// overrides it (`Builder::new` reads the variable).
+fn model(f: impl Fn() + Send + Sync + 'static) {
+    let mut builder = loom::model::Builder::new();
+    if builder.preemption_bound.is_none() {
+        builder.preemption_bound = Some(3);
+    }
+    builder.check(f);
+}
+
+/// A breaker that trips on the first failure and whose open window is
+/// certainly over by t=100 (base 10ms, jitter ≤ 150% ⇒ window ≤ 15ms).
+fn touchy_breaker() -> CircuitBreaker {
+    CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 1,
+        success_threshold: 1,
+        open_base_ms: 10,
+        open_max_ms: 10,
+        probe_ttl_ms: 1_000,
+        jitter_seed: 7,
+    })
+}
+
+/// Exactly one of the threads racing `admit()` on a recovered-window
+/// breaker is granted the half-open probe; the other is refused.
+#[test]
+fn breaker_probe_single_flight() {
+    model(|| {
+        let b = Arc::new(touchy_breaker());
+        assert_eq!(b.record_failure(0), Some(BreakerTransition::Opened));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || b.admit(100))
+            })
+            .collect();
+        let decisions: Vec<Admit> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let probes = decisions.iter().filter(|d| **d == Admit::Probe).count();
+        assert_eq!(probes, 1, "probe not single-flight: {decisions:?}");
+        assert!(
+            decisions.iter().all(|d| *d != Admit::Yes),
+            "a half-open breaker must never plain-admit: {decisions:?}"
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    });
+}
+
+/// Two failures racing a threshold-1 breaker trip it exactly once: one
+/// thread reports the Opened transition, the episode counter reads 1.
+#[test]
+fn breaker_trips_exactly_once() {
+    model(|| {
+        let b = Arc::new(touchy_breaker());
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || b.record_failure(0))
+            })
+            .collect();
+        let opened = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|t| *t == Some(BreakerTransition::Opened))
+            .count();
+
+        assert_eq!(opened, 1, "trip reported {opened} times");
+        assert_eq!(b.open_episodes(), 1);
+        assert_eq!(b.state(), BreakerState::Open);
+    });
+}
+
+/// A one-token budget racing two withdrawals grants exactly one: the
+/// balance never goes negative (no double-spend) and the refusal is
+/// tallied.
+#[test]
+fn budget_never_negative_no_double_spend() {
+    model(|| {
+        let budget = Arc::new(RetryBudget::new(RetryBudgetConfig {
+            deposit_permille: 0,
+            reserve_tokens: 1,
+            max_tokens: 10,
+        }));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let budget = Arc::clone(&budget);
+                thread::spawn(move || budget.try_withdraw())
+            })
+            .collect();
+        let grants = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|granted| *granted)
+            .count() as u64;
+
+        assert_eq!(grants, 1, "one token funded {grants} retries");
+        assert_eq!(budget.balance_tokens(), 0);
+        assert_eq!(budget.withdrawn(), 1);
+        assert_eq!(budget.exhausted(), 1);
+    });
+}
+
+/// Racing deposits are never lost below the cap and never overshoot it:
+/// two 0.6-token deposits into an empty one-token bucket always leave
+/// exactly the cap.
+#[test]
+fn budget_cap_no_lost_deposits() {
+    model(|| {
+        let budget = Arc::new(RetryBudget::new(RetryBudgetConfig {
+            deposit_permille: 600,
+            reserve_tokens: 0,
+            max_tokens: 1,
+        }));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let budget = Arc::clone(&budget);
+                thread::spawn(move || budget.record_success())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // 600 + 600 capped at 1000 millitokens, under every interleaving.
+        assert_eq!(budget.balance_tokens(), 1);
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+    });
+}

@@ -64,15 +64,39 @@ pub fn recv_with_fds(sock: &UnixStream, buf: &mut [u8]) -> Result<(usize, Vec<Ow
         Some(&mut cmsg_buf),
         MsgFlags::MSG_CMSG_CLOEXEC,
     )?;
+    // Take ownership of every delivered FD *before* any validation below:
+    // the kernel installed them into our file table during recvmsg(2), so
+    // an early return that drops them un-owned would leak live descriptors
+    // — and the takeover handshake runs in a draining process that never
+    // gets a second chance to close them. (A `cmsgs()` parse error is the
+    // one unrecoverable case: a malformed control area leaves no way to
+    // enumerate what the kernel installed.)
     let mut fds = Vec::new();
     for cmsg in msg.cmsgs()? {
         if let ControlMessageOwned::ScmRights(received) = cmsg {
             for fd in received {
-                // SAFETY: the kernel just installed `fd` into our file table
-                // for this process; we are its unique owner.
+                // SAFETY: the kernel just installed `fd` into our file
+                // table for this process and nothing else has seen the raw
+                // value, so wrapping it makes this `OwnedFd` the unique
+                // owner (close-on-drop, including on the error paths
+                // below). The value itself is trustworthy: `cmsg_space!`
+                // allocates the control buffer with `cmsghdr` alignment,
+                // and nix's iterator reads the SCM_RIGHTS int array through
+                // `CMSG_DATA`, which the kernel guarantees is suitably
+                // aligned for the FD array — `fd` is a whole descriptor,
+                // never a torn or misaligned read.
                 fds.push(unsafe { OwnedFd::from_raw_fd(fd) });
             }
         }
+    }
+    // Validate only now that the FDs are owned: these returns close them
+    // on drop instead of leaking them. MSG_CTRUNC means the control area
+    // was too small for the sender's full FD array — the tail descriptors
+    // are gone for good, so the batch is unusable.
+    if msg.flags.contains(MsgFlags::MSG_CTRUNC) {
+        return Err(NetError::Inventory(
+            "SCM_RIGHTS control data truncated (MSG_CTRUNC): fd batch incomplete".into(),
+        ));
     }
     Ok((msg.bytes, fds))
 }
@@ -388,6 +412,30 @@ mod tests {
         assert!(parse_chunk_header("chunk a/3 fds 64").is_err());
         assert!(parse_chunk_header("chunk 0/3 fds x").is_err());
         assert!(parse_chunk_header("").is_err());
+    }
+
+    fn open_fd_count() -> usize {
+        std::fs::read_dir("/proc/self/fd").unwrap().count()
+    }
+
+    #[test]
+    fn error_paths_do_not_leak_fds() {
+        // A truncated chunk makes recv_fd_batch fail *after* the kernel has
+        // already installed the chunk's FDs in our file table; the OwnedFd
+        // wrapping in recv_with_fds must close every one on the error path.
+        use crate::fault::{FaultPoint, ScriptedFaults};
+        let (a, b) = UnixStream::pair().unwrap();
+        let files: Vec<_> = (0..5).map(|_| tempfile()).collect();
+        let faults = ScriptedFaults::once(FaultPoint::SendFdChunk, FaultAction::Truncate);
+        let sender = std::thread::spawn(move || {
+            let borrowed: Vec<_> = files.iter().map(|f| f.as_fd()).collect();
+            send_fd_batch_with(&a, &borrowed, &faults).unwrap();
+        });
+        sender.join().unwrap(); // whole batch is queued in the socket buffer
+
+        let before = open_fd_count();
+        assert!(recv_fd_batch(&b).is_err());
+        assert_eq!(open_fd_count(), before, "error path leaked descriptors");
     }
 
     #[test]

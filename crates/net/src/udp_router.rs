@@ -19,10 +19,10 @@
 //!   dropped (it indicates a rollback — see §5.1 on rollback hazards).
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use tokio::net::UdpSocket;
+
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
 
 use zdr_proto::quic;
 
@@ -88,7 +88,7 @@ impl Classifier {
 /// Counters exposed by a running router — the per-instance signals the
 /// paper's auditing system scrapes (§6, "each restarting instance emits a
 /// signal through which its status can be observed in real-time").
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RouterStats {
     /// Datagrams handled locally.
     pub local: AtomicU64,
@@ -105,8 +105,25 @@ pub struct RouterStats {
     pub dropped_injected: AtomicU64,
 }
 
+// Manual impl: the loom doubles behind the `zdr_core::sync` facade don't
+// promise `Default`.
+impl Default for RouterStats {
+    fn default() -> Self {
+        RouterStats {
+            local: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            dropped_garbage: AtomicU64::new(0),
+            dropped_future_gen: AtomicU64::new(0),
+            dropped_injected: AtomicU64::new(0),
+        }
+    }
+}
+
 impl RouterStats {
     /// Snapshot as `(local, forwarded, dropped)`.
+    /// All counter loads/stores in these stats are Relaxed: standalone
+    /// monotonic event tallies, read only by observability paths.
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
             self.local.load(Ordering::Relaxed),
@@ -300,7 +317,8 @@ impl UdpRouter {
     }
 }
 
-#[cfg(test)]
+// not(loom): loom atomics panic outside a loom::model run.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use zdr_proto::quic::{ConnectionId, Datagram};

@@ -12,19 +12,16 @@
 //! The wire form is a decimal unix-ms integer. On HTTP it rides the
 //! [`DEADLINE_HEADER`] header; on the MQTT relay tunnels it rides a DCR
 //! `deadline` control message or a trunk stream header with the same name.
+//!
+//! [`Deadline`] itself is a pure state machine: every method takes `now_ms`
+//! as an argument, and *reading* the wall clock is `zdr_core::clock`'s job
+//! (`zdr_core::clock::unix_now_ms` — the single approved `SystemTime::now`
+//! site the repo linter enforces).
 
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::Duration;
 
 /// Header / stream-header name carrying the absolute request deadline.
 pub const DEADLINE_HEADER: &str = "x-zdr-deadline";
-
-/// Current wall-clock time as unix epoch milliseconds.
-pub fn unix_now_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
-}
 
 /// An absolute request deadline (unix epoch milliseconds).
 #[derive(
@@ -128,15 +125,6 @@ mod tests {
         assert_eq!(Deadline::parse("abc"), None);
         assert_eq!(Deadline::parse("-5"), None);
         assert_eq!(Deadline::parse("123456789012345678901"), None);
-    }
-
-    #[test]
-    fn now_is_sane() {
-        // After 2020-01-01 and monotone-ish across two calls.
-        let a = unix_now_ms();
-        let b = unix_now_ms();
-        assert!(a > 1_577_836_800_000, "unix_now_ms {a}");
-        assert!(b >= a);
     }
 
     #[test]

@@ -10,8 +10,9 @@ use std::time::Duration;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::TcpStream;
 
+use zdr_core::clock::unix_now_ms;
 use zdr_proto::dcr::UserId;
-use zdr_proto::deadline::{unix_now_ms, Deadline};
+use zdr_proto::deadline::Deadline;
 use zdr_proto::mqtt::{Packet, StreamDecoder};
 
 use crate::resilience::Resilience;
@@ -79,7 +80,9 @@ pub fn broker_for_user(user: UserId, brokers: &[SocketAddr]) -> Option<SocketAdd
 pub fn brokers_ranked_for_user(user: UserId, brokers: &[SocketAddr]) -> Vec<SocketAddr> {
     let mut ranked: Vec<SocketAddr> = brokers.to_vec();
     ranked.sort_by_key(|b| {
-        std::cmp::Reverse(zdr_l4lb::hash::fnv1a(format!("{}|{}", user.0, b).as_bytes()))
+        std::cmp::Reverse(zdr_l4lb::hash::fnv1a(
+            format!("{}|{}", user.0, b).as_bytes(),
+        ))
     });
     ranked
 }
@@ -182,7 +185,11 @@ mod tests {
             assert_eq!(Some(ranked[0]), broker_for_user(UserId(u), &brokers));
             // Removing the primary promotes exactly the second choice: the
             // fallback order is itself consistent-hashing stable.
-            let without: Vec<_> = brokers.iter().copied().filter(|b| *b != ranked[0]).collect();
+            let without: Vec<_> = brokers
+                .iter()
+                .copied()
+                .filter(|b| *b != ranked[0])
+                .collect();
             assert_eq!(broker_for_user(UserId(u), &without), Some(ranked[1]));
         }
     }

@@ -39,8 +39,9 @@ use std::sync::Arc;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
+use zdr_core::clock::unix_now_ms;
 use zdr_proto::dcr::{self, DcrMessage, UserId};
-use zdr_proto::deadline::{unix_now_ms, Deadline};
+use zdr_proto::deadline::Deadline;
 use zdr_proto::mqtt::StreamDecoder;
 
 use crate::conn_tracker::ConnGuard;
@@ -911,7 +912,7 @@ mod tests {
             .unwrap();
         assert_eq!(kind, KIND_DCR);
         let (msg, _) = dcr::decode(&payload).unwrap();
-        let now = zdr_proto::deadline::unix_now_ms();
+        let now = zdr_core::clock::unix_now_ms();
         match msg {
             DcrMessage::Deadline { unix_ms } => {
                 assert!(unix_ms > now, "deadline must be in the future");

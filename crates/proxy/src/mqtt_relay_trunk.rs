@@ -32,8 +32,9 @@ use parking_lot::Mutex;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
+use zdr_core::clock::unix_now_ms;
 use zdr_proto::dcr::{self, DcrMessage, UserId};
-use zdr_proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
+use zdr_proto::deadline::{Deadline, DEADLINE_HEADER};
 use zdr_proto::mqtt::{Packet, StreamDecoder};
 
 use crate::conn_tracker::ConnGuard;
@@ -308,7 +309,11 @@ impl TrunkPool {
             if Some(i) == exclude {
                 continue;
             }
-            if !self.resilience.admit(self.origins[i], &self.stats).allowed() {
+            if !self
+                .resilience
+                .admit(self.origins[i], &self.stats)
+                .allowed()
+            {
                 continue;
             }
             if let Some(h) = self.get(i).await {
@@ -452,7 +457,10 @@ async fn edge_client(
     let Ok(mut stream) = handle
         .open_stream(vec![
             ("user-id".into(), user.0.to_string()),
-            (DEADLINE_HEADER.into(), tunnel_deadline(&state).header_value()),
+            (
+                DEADLINE_HEADER.into(),
+                tunnel_deadline(&state).header_value(),
+            ),
         ])
         .await
     else {
@@ -563,7 +571,10 @@ async fn rehome(
         .open_stream(vec![
             ("dcr".into(), "re_connect".into()),
             ("user-id".into(), user.0.to_string()),
-            (DEADLINE_HEADER.into(), tunnel_deadline(state).header_value()),
+            (
+                DEADLINE_HEADER.into(),
+                tunnel_deadline(state).header_value(),
+            ),
         ])
         .await
         .ok()?;

@@ -29,16 +29,16 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use zdr_core::clock::Clock;
 use zdr_core::metrics::Ewma;
 use zdr_core::resilience::{
     Admit, BreakerConfig, BreakerTransition, CircuitBreaker, RetryBudget, RetryBudgetConfig,
 };
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
 
 use crate::stats::ProxyStats;
 
@@ -119,6 +119,12 @@ impl LoadShedGate {
         if active == 0 {
             return false;
         }
+        // Relaxed throughout: the knobs are independent runtime settings
+        // (operator writes race admission checks by nature), the gauge
+        // value arrives as an argument, and shed_count is a reporting-only
+        // tally — every decision here is advisory, so no load/store pairs
+        // to order. Loom's shed_count_consistency model checks the one real
+        // invariant: sheds counted == `true` decisions returned.
         let max = self.max_active.load(Ordering::Relaxed);
         if max > 0 && active >= max {
             self.shed_count.fetch_add(1, Ordering::Relaxed);
@@ -134,16 +140,19 @@ impl LoadShedGate {
 
     /// Total shed decisions taken.
     pub fn shed_count(&self) -> u64 {
+        // Relaxed: monotonic counter read, reporting only.
         self.shed_count.load(Ordering::Relaxed)
     }
 
     /// Re-arms the active-connection limit (0 disables).
     pub fn set_max_active(&self, max: u64) {
+        // Relaxed: independent knob; racing admissions may use either value.
         self.max_active.store(max, Ordering::Relaxed);
     }
 
     /// Re-arms the queue-delay limit (zero disables).
     pub fn set_queue_delay_max(&self, max: Duration) {
+        // Relaxed: independent knob; racing admissions may use either value.
         self.queue_delay_max_us
             .store(max.as_micros() as u64, Ordering::Relaxed);
     }
@@ -164,25 +173,37 @@ pub struct Resilience {
     budget: RetryBudget,
     shed: LoadShedGate,
     breakers: RwLock<HashMap<SocketAddr, Arc<CircuitBreaker>>>,
-    epoch: Instant,
+    clock: Clock,
 }
 
 impl Resilience {
-    /// A fresh layer with the given tunables.
+    /// A fresh layer on the system clock.
     pub fn new(config: ResilienceConfig) -> Self {
+        Self::with_clock(config, Clock::system())
+    }
+
+    /// A fresh layer on a caller-supplied clock — tests pass
+    /// [`Clock::mock`] and drive breaker windows on virtual time.
+    pub fn with_clock(config: ResilienceConfig, clock: Clock) -> Self {
         Resilience {
             config,
             budget: RetryBudget::new(config.budget),
             shed: LoadShedGate::new(config.shed),
             breakers: RwLock::new(HashMap::new()),
-            epoch: Instant::now(),
+            clock,
         }
     }
 
     /// Monotonic milliseconds since this layer was created — the clock all
     /// breaker decisions use.
     pub fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
+        self.clock.now_ms()
+    }
+
+    /// The layer's time source; services reuse it for queue-delay
+    /// measurements so everything in one process shares a timeline.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The configured tunables.
@@ -234,18 +255,14 @@ impl Resilience {
     /// deposits into the retry budget.
     pub fn on_success(&self, addr: SocketAddr, stats: &ProxyStats) {
         self.budget.record_success();
-        if let Some(BreakerTransition::Closed) =
-            self.breaker(addr).record_success(self.now_ms())
-        {
+        if let Some(BreakerTransition::Closed) = self.breaker(addr).record_success(self.now_ms()) {
             stats.breaker_closed.bump();
         }
     }
 
     /// Records a failed attempt against `addr`.
     pub fn on_failure(&self, addr: SocketAddr, stats: &ProxyStats) {
-        if let Some(BreakerTransition::Opened) =
-            self.breaker(addr).record_failure(self.now_ms())
-        {
+        if let Some(BreakerTransition::Opened) = self.breaker(addr).record_failure(self.now_ms()) {
             stats.breaker_opened.bump();
         }
     }
@@ -265,7 +282,10 @@ impl Resilience {
     /// Addresses whose breaker currently admits traffic (closed, or far
     /// enough into its open window that a probe would be granted). A
     /// non-consuming peek — health views never claim probe slots.
-    pub fn admitting<'a>(&self, addrs: impl IntoIterator<Item = &'a SocketAddr>) -> Vec<SocketAddr> {
+    pub fn admitting<'a>(
+        &self,
+        addrs: impl IntoIterator<Item = &'a SocketAddr>,
+    ) -> Vec<SocketAddr> {
         let now = self.now_ms();
         addrs
             .into_iter()
@@ -275,7 +295,9 @@ impl Resilience {
     }
 }
 
-#[cfg(test)]
+// not(loom): loom atomics panic outside a loom::model run; the shed-gate
+// loom model lives in tests/loom.rs.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -333,29 +355,36 @@ mod tests {
         assert!(Arc::ptr_eq(&b1, &b1_again));
         assert!(!Arc::ptr_eq(&b1, &b2));
         // Different per-address seeds ⇒ (almost surely) different windows.
-        let distinct = (1..=8).filter(|&e| b1.open_window_ms(e) != b2.open_window_ms(e)).count();
+        let distinct = (1..=8)
+            .filter(|&e| b1.open_window_ms(e) != b2.open_window_ms(e))
+            .count();
         assert!(distinct >= 6, "only {distinct}/8 windows differ");
     }
 
     #[test]
     fn success_and_failure_flow_through_to_stats() {
-        let r = Resilience::new(ResilienceConfig {
-            breaker: BreakerConfig {
-                failure_threshold: 2,
-                success_threshold: 1,
-                open_base_ms: 0, // window ≈ 0: next admit is a probe
+        // Mock clock: the open window elapses on virtual time, no sleeps.
+        let clock = Clock::mock(0);
+        let r = Resilience::with_clock(
+            ResilienceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    success_threshold: 1,
+                    open_base_ms: 10,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
-            ..Default::default()
-        });
+            clock.clone(),
+        );
         let stats = ProxyStats::default();
         let a = addr(9100);
 
         r.on_failure(a, &stats);
         r.on_failure(a, &stats);
         assert_eq!(stats.breaker_opened.get(), 1);
-        // Open window is ~0ms (jittered 0..=1ms): wait it out, then probe.
-        std::thread::sleep(Duration::from_millis(5));
+        // Jittered window is at most 1.5 × base: step past it, then probe.
+        clock.advance(Duration::from_millis(16));
         assert_eq!(r.admit(a, &stats), Admit::Probe);
         assert_eq!(stats.breaker_probes.get(), 1);
         r.on_success(a, &stats);

@@ -31,13 +31,14 @@
 use std::net::SocketAddr;
 use std::ops::Deref;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
+use zdr_core::clock::unix_now_ms;
 use zdr_net::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
-use zdr_proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
+use zdr_proto::deadline::{Deadline, DEADLINE_HEADER};
 use zdr_proto::http1::{
     serialize_request, serialize_response, Request, RequestParser, Response, StatusCode,
 };
@@ -168,7 +169,10 @@ pub fn serve_on_listener(
                 });
                 continue;
             }
-            let accepted_at = Instant::now();
+            // Stamped off the resilience clock (not `Instant::now()`) so
+            // tests can drive the queue-delay signal deterministically with
+            // `Clock::mock` — the repo linter flags inline `now` calls.
+            let accepted_at_us = accept_resilience.clock().now_us();
             let stats = Arc::clone(&accept_stats);
             let pool = Arc::clone(&accept_pool);
             let config = Arc::clone(&config);
@@ -178,9 +182,10 @@ pub fn serve_on_listener(
             tokio::spawn(async move {
                 // How long the connection sat between accept and service —
                 // the queue-delay signal the shed gate smooths.
+                let waited_us = resilience.clock().now_us().saturating_sub(accepted_at_us);
                 resilience
                     .shed()
-                    .observe_queue_delay(accepted_at.elapsed());
+                    .observe_queue_delay(Duration::from_micros(waited_us));
                 let _ = handle_client(stream, config, pool, stats, state, guard).await;
             });
         }
@@ -254,7 +259,11 @@ async fn handle_client(
             // connection will be force-closed anyway.
             let now = unix_now_ms();
             let mut deadline = Deadline::after(now, config.upstream_timeout);
-            if let Some(d) = request.headers.get(DEADLINE_HEADER).and_then(Deadline::parse) {
+            if let Some(d) = request
+                .headers
+                .get(DEADLINE_HEADER)
+                .and_then(Deadline::parse)
+            {
                 deadline = deadline.clamp_to(d);
             }
             if let Some(d) = state.force_deadline() {

@@ -24,15 +24,15 @@
 //! Service modules differ only in their accept loops and per-connection
 //! I/O; everything lifecycle-shaped lives here.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use tokio::sync::watch;
 use tokio::task::JoinHandle;
 
-use zdr_proto::deadline::{unix_now_ms, Deadline};
+use zdr_core::clock::unix_now_ms;
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_proto::deadline::Deadline;
 use zdr_proto::mqtt;
 
 use crate::conn_tracker::{ConnGuard, ConnTracker};
@@ -165,6 +165,9 @@ impl DrainState {
         let at = unix_now_ms().saturating_add(after.as_millis().min(u64::MAX as u128) as u64);
         // Re-arming keeps the *earliest* deadline: in-flight requests must
         // never believe they have longer than the soonest armed kill.
+        // AcqRel/Acquire: the min-fold must read the latest armed value so
+        // concurrent re-arms converge on the true minimum; the matching
+        // Acquire load is in force_deadline().
         let _ = self
             .force_deadline_ms
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
@@ -180,6 +183,8 @@ impl DrainState {
     /// The armed force-close moment, if any. Request paths use this to cap
     /// per-request deadlines during a drain.
     pub fn force_deadline(&self) -> Option<Deadline> {
+        // Acquire: pairs with arm_force_close()'s AcqRel fetch_update so a
+        // request admitted after arming sees the tightened deadline.
         match self.force_deadline_ms.load(Ordering::Acquire) {
             0 => None,
             ms => Some(Deadline::at_unix_ms(ms)),
@@ -325,7 +330,9 @@ impl Drop for ServiceHandle {
     }
 }
 
-#[cfg(test)]
+// not(loom): these tests drive real tokio timers; the drain/force-close
+// race is model-checked in tests/loom.rs instead.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -7,20 +7,32 @@
 //! touch a counter through the struct that owns it. The merged, serializable
 //! view of everything is [`StatsSnapshot`] — the `zdr --stats-json` payload.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use serde::{Deserialize, Serialize};
+use zdr_core::sync::{AtomicU64, Ordering};
 
 /// A relaxed monotonic event counter.
 ///
 /// Counters count events — they never go down. The live gauge of open
 /// connections lives in [`crate::conn_tracker::ConnTracker`], not here.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Counter(AtomicU64);
+
+// Manual impl: the loom doubles behind the `zdr_core::sync` facade don't
+// promise `Default`, and derived-Default on a field type is the kind of
+// incidental API dependency that breaks only in `--cfg loom` builds.
+impl Default for Counter {
+    fn default() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+}
 
 impl Counter {
     /// Adds one.
     pub fn bump(&self) {
+        // Relaxed (here and below): counters are standalone monotonic
+        // event tallies — nothing is published through them and snapshot
+        // reads are racy by design, so no ordering beyond the atomicity of
+        // fetch_add is needed.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -302,7 +314,8 @@ impl StatsSnapshot {
     }
 }
 
-#[cfg(test)]
+// not(loom): loom atomics panic outside a loom::model run.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -19,7 +19,8 @@
 //! lifecycle rather than a private drain implementation.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+
+use zdr_core::sync::{Arc, AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -124,7 +125,7 @@ pub struct TrunkHandle {
     cmd: mpsc::Sender<Cmd>,
     drained: watch::Receiver<bool>,
     peer_draining: watch::Receiver<bool>,
-    active: Arc<std::sync::atomic::AtomicUsize>,
+    active: Arc<AtomicUsize>,
 }
 
 impl TrunkHandle {
@@ -166,7 +167,7 @@ impl TrunkHandle {
 
     /// Live streams on this side.
     pub fn active_streams(&self) -> usize {
-        self.active.load(std::sync::atomic::Ordering::Relaxed)
+        self.active.load(Ordering::Relaxed)
     }
 
     /// True once the peer has sent GOAWAY — the §4.2 "restart incoming"
@@ -202,7 +203,7 @@ fn spawn_connection(
     let (incoming_tx, incoming_rx) = mpsc::channel(64);
     let (drained_tx, drained_rx) = watch::channel(false);
     let (peer_draining_tx, peer_draining_rx) = watch::channel(false);
-    let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let active = Arc::new(AtomicUsize::new(0));
     let handle = TrunkHandle {
         cmd: cmd_tx.clone(),
         drained: drained_rx,
@@ -231,7 +232,7 @@ async fn connection_task(
     incoming_tx: mpsc::Sender<TrunkStream>,
     drained_tx: watch::Sender<bool>,
     peer_draining_tx: watch::Sender<bool>,
-    active: Arc<std::sync::atomic::AtomicUsize>,
+    active: Arc<AtomicUsize>,
 ) {
     let (mut rd, mut wr) = stream.into_split();
     let mut streams: HashMap<u32, mpsc::Sender<StreamEvent>> = HashMap::new();
@@ -269,7 +270,7 @@ async fn connection_task(
                                 }
                                 let (tx, rx) = mpsc::channel(256);
                                 streams.insert(id, tx);
-                                active.store(streams.len(), std::sync::atomic::Ordering::Relaxed);
+                                active.store(streams.len(), Ordering::Relaxed);
                                 let _ = reply.send(Ok(TrunkStream {
                                     id,
                                     headers,
@@ -299,7 +300,7 @@ async fn connection_task(
                             let _ = mux.local_end(id);
                             if mux.stream_state(id).is_none() {
                                 streams.remove(&id);
-                                active.store(streams.len(), std::sync::atomic::Ordering::Relaxed);
+                                active.store(streams.len(), Ordering::Relaxed);
                             }
                             update_drained(&mux, &drained_tx);
                         }
@@ -320,7 +321,7 @@ async fn connection_task(
                         for (_, tx) in streams.drain() {
                             let _ = tx.try_send(StreamEvent::Reset);
                         }
-                        active.store(0, std::sync::atomic::Ordering::Relaxed);
+                        active.store(0, Ordering::Relaxed);
                         return;
                     }
                     Ok(n) => n,
@@ -371,7 +372,7 @@ async fn handle_frame(
     cmd_tx: &mpsc::Sender<Cmd>,
     incoming_tx: &mpsc::Sender<TrunkStream>,
     wr: &mut tokio::net::tcp::OwnedWriteHalf,
-    active: &Arc<std::sync::atomic::AtomicUsize>,
+    active: &Arc<AtomicUsize>,
 ) -> Result<(), ()> {
     match frame {
         Frame::Headers {
@@ -383,7 +384,7 @@ async fn handle_frame(
                 Ok(true) => {
                     let (tx, rx) = mpsc::channel(256);
                     streams.insert(stream_id, tx);
-                    active.store(streams.len(), std::sync::atomic::Ordering::Relaxed);
+                    active.store(streams.len(), Ordering::Relaxed);
                     let stream = TrunkStream {
                         id: stream_id,
                         headers,
@@ -428,7 +429,7 @@ async fn handle_frame(
                 let _ = mux.peer_end(stream_id);
                 if mux.stream_state(stream_id).is_none() {
                     streams.remove(&stream_id);
-                    active.store(streams.len(), std::sync::atomic::Ordering::Relaxed);
+                    active.store(streams.len(), Ordering::Relaxed);
                 }
             }
         }
@@ -436,7 +437,7 @@ async fn handle_frame(
             mux.reset_stream(stream_id);
             if let Some(tx) = streams.remove(&stream_id) {
                 let _ = tx.try_send(StreamEvent::Reset);
-                active.store(streams.len(), std::sync::atomic::Ordering::Relaxed);
+                active.store(streams.len(), Ordering::Relaxed);
             }
         }
         Frame::GoAway { last_stream_id, .. } => {
@@ -453,7 +454,7 @@ async fn handle_frame(
                     let _ = tx.try_send(StreamEvent::Reset);
                 }
             }
-            active.store(streams.len(), std::sync::atomic::Ordering::Relaxed);
+            active.store(streams.len(), Ordering::Relaxed);
         }
         Frame::Ping { ack: false, data } => {
             let pong = Frame::Ping { ack: true, data };
@@ -466,7 +467,8 @@ async fn handle_frame(
     Ok(())
 }
 
-#[cfg(test)]
+// not(loom): these tests drive real sockets and tokio tasks.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::time::Duration;

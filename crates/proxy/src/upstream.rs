@@ -13,10 +13,10 @@
 //! a TTL (the open window) instead of excluding the upstream forever.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use parking_lot::RwLock;
+
+use zdr_core::sync::{Arc, AtomicUsize, Ordering};
 
 use zdr_core::resilience::Admit;
 
@@ -34,7 +34,10 @@ pub struct UpstreamPool {
 impl UpstreamPool {
     /// A pool over `addrs` with its own default resilience layer.
     pub fn new(addrs: Vec<SocketAddr>) -> Self {
-        Self::with_resilience(addrs, Arc::new(Resilience::new(ResilienceConfig::default())))
+        Self::with_resilience(
+            addrs,
+            Arc::new(Resilience::new(ResilienceConfig::default())),
+        )
     }
 
     /// A pool sharing an existing resilience layer (so pool picks, retry
@@ -77,6 +80,8 @@ impl UpstreamPool {
         }
         let now = self.resilience.now_ms();
         let n = addrs.len();
+        // Relaxed: the cursor only spreads load; any interleaving of
+        // increments still yields a valid starting index.
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         for i in 0..n {
             let a = addrs[(start + i) % n];
@@ -104,6 +109,8 @@ impl UpstreamPool {
             return None;
         }
         let n = addrs.len();
+        // Relaxed: the cursor only spreads load; any interleaving of
+        // increments still yields a valid starting index.
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         for i in 0..n {
             let a = addrs[(start + i) % n];
@@ -133,7 +140,9 @@ impl UpstreamPool {
     /// the upstream is automatically re-admitted for a probe when the
     /// breaker's open window (the re-admission TTL) elapses.
     pub fn mark_unhealthy(&self, addr: SocketAddr) {
-        self.resilience.breaker(addr).force_open(self.resilience.now_ms());
+        self.resilience
+            .breaker(addr)
+            .force_open(self.resilience.now_ms());
     }
 
     /// Marks an upstream healthy again immediately.
@@ -158,7 +167,8 @@ impl UpstreamPool {
     }
 }
 
-#[cfg(test)]
+// not(loom): loom atomics panic outside a loom::model run.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;
@@ -249,7 +259,10 @@ mod tests {
         let picked: HashSet<_> = (0..4)
             .filter_map(|_| pool.pick_admit(&[], &stats).map(|(a, _)| a))
             .collect();
-        assert!(picked.contains(&addr(2)), "re-admitted upstream never picked");
+        assert!(
+            picked.contains(&addr(2)),
+            "re-admitted upstream never picked"
+        );
     }
 
     #[test]

@@ -233,7 +233,10 @@ pub fn run(cfg: &Config) -> Report {
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== restart storm: resilience layer under 50% upstream restart ==")?;
+        writeln!(
+            f,
+            "== restart storm: resilience layer under 50% upstream restart =="
+        )?;
         writeln!(
             f,
             "  served {} / failed {} (deadline {}, budget-refused {})",

@@ -1,0 +1,6 @@
+//! Control fixture: violates nothing; every rule must stay silent.
+use std::time::Duration;
+
+pub fn double(d: Duration) -> Duration {
+    d * 2
+}

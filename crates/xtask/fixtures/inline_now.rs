@@ -1,0 +1,15 @@
+//! Seeded violation for the `inline-now` rule: reads the wall clock inline
+//! instead of taking a `zdr_core::clock::Clock` (or a now_ms argument).
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_reading_the_clock_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded violation for the `safety-comment` rule.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// This one carries the required justification and must not be flagged.
+pub fn read_second(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//! Seeded violation for the `raw-atomics` rule: imports and names std
+//! atomics directly instead of going through the `zdr_core::sync` facade.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn qualified() -> std::sync::atomic::AtomicBool {
+    std::sync::atomic::AtomicBool::new(false)
+}

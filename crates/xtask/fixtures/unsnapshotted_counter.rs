@@ -1,0 +1,20 @@
+//! Seeded violation for the `counter-in-snapshot` rule: `dropped` never
+//! reaches the snapshot, so dashboards would silently miss it.
+pub struct Counter(u64);
+
+pub struct DemoStats {
+    pub served: Counter,
+    pub dropped: Counter,
+}
+
+pub struct Snap {
+    pub served: u64,
+}
+
+impl DemoStats {
+    pub fn snapshot(&self) -> Snap {
+        Snap {
+            served: self.served.0,
+        }
+    }
+}

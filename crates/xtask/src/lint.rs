@@ -1,0 +1,488 @@
+//! The repo-invariant linter behind `cargo xtask lint`.
+//!
+//! Four rules, each guarding an invariant the test suite cannot express:
+//!
+//! * **raw-atomics** — no `std::sync::atomic` (or `core::sync::atomic`)
+//!   outside `crates/core/src/sync.rs`. Everything else goes through the
+//!   `zdr_core::sync` facade, which is what lets `--cfg loom` swap every
+//!   atomic in the workspace for loom's model-checked doubles. One stray
+//!   raw atomic silently exempts that state from the loom suites.
+//! * **inline-now** — no `Instant::now()` / `SystemTime::now()` outside
+//!   `crates/core/src/clock.rs` (tests and benches excepted). Product
+//!   code reads time through `zdr_core::clock`, so virtual-time tests can
+//!   drive breaker windows and queue-delay signals deterministically.
+//! * **safety-comment** — every `unsafe` block, impl, or fn carries a
+//!   `// SAFETY:` comment on the line(s) immediately above the statement
+//!   that contains it.
+//! * **counter-in-snapshot** — every `Counter`-typed field of a stats
+//!   struct is referenced in that struct's `snapshot()` method, so a new
+//!   counter cannot silently vanish from the unified `StatsSnapshot`.
+//!
+//! The walker is syn-based: rules see the AST (paths, calls, unsafe
+//! expressions, struct fields), not text, so `// Instant::now()` in a
+//! comment or `"std::sync::atomic"` in a string never false-positives.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use syn::spanned::Spanned;
+use syn::visit::Visit;
+
+/// One rule violation, formatted `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a file, derived from its path.
+#[derive(Debug, Clone, Copy)]
+struct Policy {
+    /// The facade itself may name raw atomics — that is its whole job.
+    allow_raw_atomics: bool,
+    /// The clock module is the one approved wall-clock read site.
+    allow_inline_now: bool,
+    /// Integration tests and benches drive real timers; inline-now does
+    /// not apply there (raw-atomics and safety-comment still do).
+    is_test_code: bool,
+}
+
+fn policy_for(path: &Path) -> Policy {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let is_test_code = ["tests", "benches"]
+        .iter()
+        .any(|dir| p.starts_with(&format!("{dir}/")) || p.contains(&format!("/{dir}/")));
+    Policy {
+        allow_raw_atomics: p.ends_with("crates/core/src/sync.rs"),
+        allow_inline_now: p.ends_with("crates/core/src/clock.rs") || is_test_code,
+        is_test_code,
+    }
+}
+
+/// Lints one file's source. `path` is used for policy decisions and
+/// violation labels only; the file is not re-read.
+pub fn lint_source(path: &Path, source: &str) -> Result<Vec<Violation>, syn::Error> {
+    let ast = syn::parse_file(source)?;
+    let lines: Vec<&str> = source.lines().collect();
+    let policy = policy_for(path);
+    let mut walker = Walker {
+        file: path.to_path_buf(),
+        lines: &lines,
+        policy,
+        test_mod_depth: 0,
+        stmt_lines: Vec::new(),
+        counter_structs: Vec::new(),
+        snapshot_bodies: Vec::new(),
+        violations: Vec::new(),
+    };
+    walker.visit_file(&ast);
+    walker.check_counters_in_snapshots();
+    let mut v = walker.violations;
+    v.sort_by_key(|x| x.line);
+    Ok(v)
+}
+
+/// A struct with `Counter`-typed fields: (name, line, counter fields).
+type CounterStruct = (String, usize, Vec<(String, usize)>);
+
+struct Walker<'a> {
+    file: PathBuf,
+    lines: &'a [&'a str],
+    policy: Policy,
+    /// Depth of enclosing `#[cfg(test)]`-style modules.
+    test_mod_depth: usize,
+    /// Start lines of the enclosing statement chain, innermost last — the
+    /// anchor the safety-comment rule scans upward from.
+    stmt_lines: Vec<usize>,
+    counter_structs: Vec<CounterStruct>,
+    /// (self type name, snapshot() body as space-separated tokens).
+    snapshot_bodies: Vec<(String, String)>,
+    violations: Vec<Violation>,
+}
+
+impl Walker<'_> {
+    fn push(&mut self, line: usize, rule: &'static str, message: String) {
+        self.violations.push(Violation {
+            file: self.file.clone(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn in_test_context(&self) -> bool {
+        self.policy.is_test_code || self.test_mod_depth > 0
+    }
+
+    /// True when the comment run immediately above `anchor_line`
+    /// (1-indexed) contains a `SAFETY:` marker.
+    fn has_safety_comment_above(&self, anchor_line: usize) -> bool {
+        let mut idx = anchor_line.saturating_sub(1); // 0-indexed line above
+        while idx > 0 {
+            let text = self.lines.get(idx - 1).map(|l| l.trim()).unwrap_or("");
+            if text.starts_with("//") {
+                if text.contains("SAFETY:") {
+                    return true;
+                }
+                idx -= 1;
+            } else {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn check_unsafe_marker(&mut self, anchor_line: usize, what: &str) {
+        if !self.has_safety_comment_above(anchor_line) {
+            self.push(
+                anchor_line,
+                "safety-comment",
+                format!("{what} is not preceded by a `// SAFETY:` comment"),
+            );
+        }
+    }
+
+    fn check_raw_atomic_segments(&mut self, segments: &[(String, usize)]) {
+        if self.policy.allow_raw_atomics {
+            return;
+        }
+        for w in segments.windows(3) {
+            if (w[0].0 == "std" || w[0].0 == "core") && w[1].0 == "sync" && w[2].0 == "atomic" {
+                self.push(
+                    w[0].1,
+                    "raw-atomics",
+                    format!(
+                        "`{}::sync::atomic` bypasses the zdr_core::sync facade \
+                         (loom cannot model it)",
+                        w[0].0
+                    ),
+                );
+                return; // one report per path
+            }
+        }
+    }
+
+    /// Recursively flattens a use-tree into segment chains and checks each.
+    fn check_use_tree(&mut self, prefix: &[(String, usize)], tree: &syn::UseTree) {
+        match tree {
+            syn::UseTree::Path(p) => {
+                let mut chain = prefix.to_vec();
+                chain.push((p.ident.to_string(), p.ident.span().start().line));
+                self.check_use_tree(&chain, &p.tree);
+            }
+            syn::UseTree::Group(g) => {
+                for t in &g.items {
+                    self.check_use_tree(prefix, t);
+                }
+            }
+            syn::UseTree::Name(n) => {
+                let mut chain = prefix.to_vec();
+                chain.push((n.ident.to_string(), n.ident.span().start().line));
+                self.check_raw_atomic_segments(&chain);
+            }
+            syn::UseTree::Rename(r) => {
+                let mut chain = prefix.to_vec();
+                chain.push((r.ident.to_string(), r.ident.span().start().line));
+                self.check_raw_atomic_segments(&chain);
+            }
+            syn::UseTree::Glob(_) => {
+                self.check_raw_atomic_segments(prefix);
+            }
+        }
+    }
+
+    /// Post-pass: every Counter field must appear in its struct's
+    /// snapshot() body.
+    fn check_counters_in_snapshots(&mut self) {
+        let structs = std::mem::take(&mut self.counter_structs);
+        for (name, struct_line, fields) in structs {
+            let Some((_, body)) = self.snapshot_bodies.iter().find(|(n, _)| *n == name) else {
+                self.push(
+                    struct_line,
+                    "counter-in-snapshot",
+                    format!("stats struct `{name}` has Counter fields but no snapshot() method"),
+                );
+                continue;
+            };
+            let words: std::collections::HashSet<&str> = body
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .collect();
+            for (field, line) in fields {
+                if !words.contains(field.as_str()) {
+                    self.push(
+                        line,
+                        "counter-in-snapshot",
+                        format!("counter `{name}.{field}` is never read by {name}::snapshot()"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// True for `#[cfg(...)]` attributes whose predicate mentions the word
+/// `test` anywhere (covers `cfg(test)` and `cfg(all(test, not(loom)))`).
+/// Word-matching the token stream keeps this robust across every cfg
+/// combinator; the cost is that an exotic `cfg(feature = "test")` module
+/// would also be treated as test code — a lint relaxation, never a miss.
+fn is_cfg_test(attr: &syn::Attribute) -> bool {
+    attr.path().is_ident("cfg")
+        && attr
+            .meta
+            .require_list()
+            .map(|l| l.tokens.to_string())
+            .unwrap_or_default()
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|w| w == "test")
+}
+
+impl<'ast> Visit<'ast> for Walker<'_> {
+    fn visit_item_mod(&mut self, m: &'ast syn::ItemMod) {
+        let is_test = m.attrs.iter().any(is_cfg_test);
+        if is_test {
+            self.test_mod_depth += 1;
+        }
+        syn::visit::visit_item_mod(self, m);
+        if is_test {
+            self.test_mod_depth -= 1;
+        }
+    }
+
+    fn visit_item_use(&mut self, u: &'ast syn::ItemUse) {
+        self.check_use_tree(&[], &u.tree);
+        syn::visit::visit_item_use(self, u);
+    }
+
+    fn visit_path(&mut self, p: &'ast syn::Path) {
+        let segments: Vec<(String, usize)> = p
+            .segments
+            .iter()
+            .map(|s| (s.ident.to_string(), s.ident.span().start().line))
+            .collect();
+        self.check_raw_atomic_segments(&segments);
+        syn::visit::visit_path(self, p);
+    }
+
+    fn visit_expr_call(&mut self, call: &'ast syn::ExprCall) {
+        if self.policy.allow_inline_now || self.in_test_context() {
+            syn::visit::visit_expr_call(self, call);
+            return;
+        }
+        if let syn::Expr::Path(p) = &*call.func {
+            let segs: Vec<String> = p
+                .path
+                .segments
+                .iter()
+                .map(|s| s.ident.to_string())
+                .collect();
+            if segs.len() >= 2 && segs[segs.len() - 1] == "now" {
+                let ty = &segs[segs.len() - 2];
+                if ty == "Instant" || ty == "SystemTime" {
+                    self.push(
+                        p.path.span().start().line,
+                        "inline-now",
+                        format!(
+                            "`{ty}::now()` outside zdr_core::clock — take a Clock (or a \
+                             caller-supplied now_ms) so tests can run on virtual time"
+                        ),
+                    );
+                }
+            }
+        }
+        syn::visit::visit_expr_call(self, call);
+    }
+
+    fn visit_stmt(&mut self, s: &'ast syn::Stmt) {
+        self.stmt_lines.push(s.span().start().line);
+        syn::visit::visit_stmt(self, s);
+        self.stmt_lines.pop();
+    }
+
+    fn visit_expr_unsafe(&mut self, e: &'ast syn::ExprUnsafe) {
+        let anchor = self
+            .stmt_lines
+            .last()
+            .copied()
+            .unwrap_or_else(|| e.span().start().line);
+        self.check_unsafe_marker(anchor, "unsafe block");
+        syn::visit::visit_expr_unsafe(self, e);
+    }
+
+    fn visit_item_impl(&mut self, i: &'ast syn::ItemImpl) {
+        if i.unsafety.is_some() {
+            self.check_unsafe_marker(i.span().start().line, "unsafe impl");
+        }
+        // Record snapshot() bodies for the counter rule.
+        if i.trait_.is_none() {
+            if let syn::Type::Path(tp) = &*i.self_ty {
+                if let Some(name) = tp.path.segments.last().map(|s| s.ident.to_string()) {
+                    for item in &i.items {
+                        if let syn::ImplItem::Fn(f) = item {
+                            if f.sig.ident == "snapshot" {
+                                use quote::ToTokens;
+                                let body = f.block.to_token_stream().to_string();
+                                self.snapshot_bodies.push((name.clone(), body));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        syn::visit::visit_item_impl(self, i);
+    }
+
+    fn visit_item_fn(&mut self, f: &'ast syn::ItemFn) {
+        if f.sig.unsafety.is_some() {
+            self.check_unsafe_marker(f.span().start().line, "unsafe fn");
+        }
+        syn::visit::visit_item_fn(self, f);
+    }
+
+    fn visit_item_struct(&mut self, s: &'ast syn::ItemStruct) {
+        let mut counters = Vec::new();
+        if let syn::Fields::Named(named) = &s.fields {
+            for field in &named.named {
+                if let syn::Type::Path(tp) = &field.ty {
+                    let is_counter = tp
+                        .path
+                        .segments
+                        .last()
+                        .is_some_and(|seg| seg.ident == "Counter");
+                    if is_counter {
+                        if let Some(ident) = &field.ident {
+                            counters.push((ident.to_string(), ident.span().start().line));
+                        }
+                    }
+                }
+            }
+        }
+        if !counters.is_empty() {
+            self.counter_structs
+                .push((s.ident.to_string(), s.ident.span().start().line, counters));
+        }
+        syn::visit::visit_item_struct(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_fixture(fake_path: &str, source: &str) -> Vec<Violation> {
+        lint_source(Path::new(fake_path), source).expect("fixture must parse")
+    }
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn raw_atomics_fixture_fails() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/raw_atomics.rs"),
+        );
+        assert!(
+            v.iter().filter(|x| x.rule == "raw-atomics").count() >= 2,
+            "expected use-decl and qualified-path hits, got {v:?}"
+        );
+        assert!(v.iter().all(|x| x.rule == "raw-atomics"), "{v:?}");
+    }
+
+    #[test]
+    fn raw_atomics_allowed_in_the_facade_itself() {
+        let v = lint_fixture(
+            "crates/core/src/sync.rs",
+            include_str!("../fixtures/raw_atomics.rs"),
+        );
+        assert!(v.is_empty(), "facade must be exempt, got {v:?}");
+    }
+
+    #[test]
+    fn inline_now_fixture_fails_outside_tests_only() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/inline_now.rs"),
+        );
+        // Instant::now() + SystemTime::now() flagged; the #[cfg(test)]
+        // module's call is exempt.
+        assert_eq!(rules(&v), vec!["inline-now", "inline-now"], "{v:?}");
+    }
+
+    #[test]
+    fn inline_now_allowed_in_clock_and_integration_tests() {
+        let src = include_str!("../fixtures/inline_now.rs");
+        for path in ["crates/core/src/clock.rs", "crates/demo/tests/e2e.rs"] {
+            let v = lint_fixture(path, src);
+            assert!(v.is_empty(), "{path} must be exempt, got {v:?}");
+        }
+    }
+
+    #[test]
+    fn missing_safety_fixture_fails_once() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/missing_safety.rs"),
+        );
+        assert_eq!(rules(&v), vec!["safety-comment"], "{v:?}");
+        // The commented block further down must not be flagged.
+        assert_eq!(v[0].line, 4, "{v:?}");
+    }
+
+    #[test]
+    fn unsnapshotted_counter_fixture_fails() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/unsnapshotted_counter.rs"),
+        );
+        assert_eq!(rules(&v), vec!["counter-in-snapshot"], "{v:?}");
+        assert!(v[0].message.contains("dropped"), "{v:?}");
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/clean.rs"),
+        );
+        assert!(v.is_empty(), "clean fixture flagged: {v:?}");
+    }
+
+    #[test]
+    fn counter_struct_without_snapshot_is_flagged() {
+        let src = "pub struct Counter(u64);\n\
+                   pub struct Orphan { pub hits: Counter }\n";
+        let v = lint_fixture("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&v), vec!["counter-in-snapshot"], "{v:?}");
+        assert!(v[0].message.contains("no snapshot()"), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_anchors_to_statement_not_keyword() {
+        // The unsafe keyword sits on a continuation line of a multi-line
+        // statement; the SAFETY comment above the *statement* still counts.
+        let src = "pub fn f(p: *const u8) -> u8 {\n\
+                   \x20   // SAFETY: fixture — caller guarantees validity.\n\
+                   \x20   let v =\n\
+                   \x20       unsafe { *p };\n\
+                   \x20   v\n\
+                   }\n";
+        let v = lint_fixture("crates/demo/src/lib.rs", src);
+        assert!(v.is_empty(), "statement-anchored comment missed: {v:?}");
+    }
+}

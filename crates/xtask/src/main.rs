@@ -1,0 +1,98 @@
+//! `cargo xtask` — repo automation.
+//!
+//! Subcommands:
+//!
+//! * `lint` — walk every `.rs` file in the workspace and enforce the four
+//!   repo invariants (see [`lint`] for the rules). Exit code 1 on any
+//!   violation, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        other => {
+            eprintln!(
+                "unknown subcommand {:?}\n\nusage: cargo xtask lint",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    // crates/xtask/ → crates/ → workspace root; independent of the cwd
+    // cargo run was invoked from.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf();
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    files.sort();
+
+    let mut violations = 0usize;
+    let mut checked = 0usize;
+    for file in files {
+        let source = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: unreadable: {e}", file.display());
+                violations += 1;
+                continue;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(&file);
+        match lint::lint_source(rel, &source) {
+            Ok(found) => {
+                checked += 1;
+                for v in found {
+                    println!("{v}");
+                    violations += 1;
+                }
+            }
+            Err(e) => {
+                // A file rustc accepts must parse; surfacing this as a
+                // failure keeps the linter honest about its coverage.
+                eprintln!("{}: syn parse error: {e}", rel.display());
+                violations += 1;
+            }
+        }
+    }
+
+    if violations == 0 {
+        println!("xtask lint: {checked} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output, VCS metadata,
+/// and the linter's own seeded-violation fixtures.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

@@ -180,7 +180,8 @@ fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, String> {
     let d = ResilienceConfig::default();
     Ok(ResilienceConfig {
         breaker: BreakerConfig {
-            failure_threshold: args.u64_or("--breaker-threshold", d.breaker.failure_threshold as u64)?
+            failure_threshold: args
+                .u64_or("--breaker-threshold", d.breaker.failure_threshold as u64)?
                 as u32,
             ..d.breaker
         },

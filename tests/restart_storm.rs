@@ -19,7 +19,8 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use zero_downtime_release::appserver::{self, AppServerConfig};
-use zero_downtime_release::proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
+use zero_downtime_release::core::clock::unix_now_ms;
+use zero_downtime_release::proto::deadline::{Deadline, DEADLINE_HEADER};
 use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
 use zero_downtime_release::proxy::reverse::{spawn_reverse_proxy, ReverseProxyConfig};
 
@@ -121,8 +122,8 @@ async fn restart_storm_keeps_retries_probes_and_deadlines_bounded() {
 
     // Retry amplification is budget-bounded: reserve + 10% of successes is
     // the structural cap, far inside the ≤1.1× acceptance bound.
-    let reserve = zero_downtime_release::core::resilience::RetryBudgetConfig::default()
-        .reserve_tokens as f64;
+    let reserve =
+        zero_downtime_release::core::resilience::RetryBudgetConfig::default().reserve_tokens as f64;
     assert!(
         (snapshot.retries as f64) <= reserve + 0.1 * successes as f64,
         "retries {} exceed budget cap",
@@ -161,7 +162,10 @@ async fn restart_storm_keeps_retries_probes_and_deadlines_bounded() {
         "load_shed",
         "deadline_exceeded",
     ] {
-        assert!(json.contains(field), "snapshot JSON missing {field}: {json}");
+        assert!(
+            json.contains(field),
+            "snapshot JSON missing {field}: {json}"
+        );
     }
 }
 

@@ -310,9 +310,10 @@ mod upstream_chaos {
     use tokio::net::TcpStream;
 
     use zero_downtime_release::appserver::{self, AppServerConfig};
+    use zero_downtime_release::core::clock::unix_now_ms;
     use zero_downtime_release::core::resilience::RetryBudgetConfig;
     use zero_downtime_release::net::fault::{FlakyUpstreams, UpstreamFaultMode};
-    use zero_downtime_release::proto::deadline::{unix_now_ms, Deadline, DEADLINE_HEADER};
+    use zero_downtime_release::proto::deadline::{Deadline, DEADLINE_HEADER};
     use zero_downtime_release::proto::http1::{serialize_request, Request, ResponseParser};
     use zero_downtime_release::proxy::reverse::{spawn_reverse_proxy, ReverseProxyConfig};
 
