@@ -1,0 +1,268 @@
+//! Release-telemetry benchmark: a scripted Socket Takeover under
+//! keep-alive HTTP load, reported from the in-process [`zdr_core::telemetry`]
+//! bundle — request-latency percentiles from ≥10k server-side samples plus
+//! the takeover FD-pass pause histogram.
+//!
+//! The same scripted release is judged by the [`DisruptionAuditor`]:
+//! the pre-release load seeds the EWMA baseline, the release window
+//! spans the takeover, and the verdict is emitted as `AUDIT <json>`.
+//!
+//! Emits two machine-readable artifacts — `BENCH_telemetry.json` and
+//! `AUDIT_telemetry.json` (validated in CI against
+//! `schemas/bench_telemetry.schema.json` / `schemas/audit.schema.json`) —
+//! alongside a human-readable summary. Pass `--fast` for the scaled-down
+//! CI run, `--out PATH` / `--audit-out PATH` to redirect the artifacts.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zdr_appserver::{self as appserver, AppServerConfig};
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_core::telemetry::{AuditorConfig, DisruptionAuditor, TelemetrySnapshot};
+use zdr_proto::http1::{serialize_request, Request, ResponseParser};
+use zdr_proxy::reverse::ReverseProxyConfig;
+use zdr_proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+/// One keep-alive load worker: sends requests until the shared quota is
+/// exhausted, reopening its connection whenever the proxy closes it
+/// (e.g. a drain force-close mid-release). Returns (ok, failed).
+async fn worker(addr: SocketAddr, quota: Arc<AtomicU64>) -> (u64, u64) {
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut conn: Option<TcpStream> = None;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    while quota
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| q.checked_sub(1))
+        .is_ok()
+    {
+        if conn.is_none() {
+            match TcpStream::connect(addr).await {
+                Ok(s) => {
+                    parser.reset();
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    failed += 1;
+                    continue;
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("connection just established");
+        let req = Request::get(format!("/bench/{ok}"));
+        if stream.write_all(&serialize_request(&req)).await.is_err() {
+            conn = None;
+            failed += 1;
+            continue;
+        }
+        loop {
+            match stream.read(&mut buf).await {
+                Ok(0) | Err(_) => {
+                    conn = None;
+                    failed += 1;
+                    break;
+                }
+                Ok(n) => match parser.push(&buf[..n]) {
+                    Ok(Some(resp)) => {
+                        if resp.status.code == 200 {
+                            ok += 1;
+                        } else {
+                            failed += 1;
+                        }
+                        parser.reset();
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        conn = None;
+                        failed += 1;
+                        break;
+                    }
+                },
+            }
+        }
+    }
+    (ok, failed)
+}
+
+/// Drives `total` requests at `addr` across `workers` keep-alive
+/// connections; returns (ok, failed).
+async fn drive(addr: SocketAddr, total: u64, workers: usize) -> (u64, u64) {
+    let quota = Arc::new(AtomicU64::new(total));
+    let mut tasks = Vec::new();
+    for _ in 0..workers {
+        let quota = Arc::clone(&quota);
+        tasks.push(tokio::spawn(worker(addr, quota)));
+    }
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for t in tasks {
+        let (o, f) = t.await.expect("load worker panicked");
+        ok += o;
+        failed += f;
+    }
+    (ok, failed)
+}
+
+fn percentiles(h: &zdr_core::telemetry::HistogramSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "count": h.count,
+        "p50": h.percentile(50.0),
+        "p90": h.percentile(90.0),
+        "p99": h.percentile(99.0),
+        "p999": h.percentile(99.9),
+        "mean": h.mean(),
+        "max": h.max,
+    })
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+#[tokio::main]
+async fn main() {
+    zdr_bench::header(
+        "BENCH telemetry",
+        "request latency + takeover pause under scripted release",
+    );
+    let fast = zdr_bench::fast_mode();
+    let total: u64 = if fast { 4_000 } else { 20_000 };
+    let workers = 4;
+
+    // Backend tier: two app servers behind one proxy instance.
+    let mut apps = Vec::new();
+    for name in ["web-1", "web-2"] {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: name.into(),
+                    ..Default::default()
+                },
+            )
+            .await
+            .expect("spawn app server"),
+        );
+    }
+    let cfg = ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams: apps.iter().map(|a| a.addr).collect(),
+            upstream_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+        takeover_path: std::env::temp_dir().join(format!(
+            "zdr-bench-telemetry-{}.sock",
+            std::process::id()
+        )),
+        drain_ms: 500,
+    };
+    let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .await
+        .expect("bind proxy");
+    let addr = old.addr;
+    let old_stats = Arc::clone(&old.reverse.stats);
+
+    // Phase 1: warm half the sample budget through generation 0, feeding
+    // the auditor one baseline window per chunk.
+    let auditor = DisruptionAuditor::new(AuditorConfig::default());
+    auditor.observe(old_stats.audit_totals());
+    let chunk = (total / 2) / 4;
+    let mut ok1 = 0u64;
+    let mut failed1 = 0u64;
+    for _ in 0..4 {
+        let (o, f) = drive(addr, chunk, workers).await;
+        ok1 += o;
+        failed1 += f;
+        auditor.observe(old_stats.audit_totals());
+    }
+
+    // Phase 2: the release — load keeps flowing while generation 1 takes
+    // the sockets over and generation 0 drains; the audit window spans it.
+    auditor.begin_release();
+    let load = tokio::spawn(drive(addr, total - 4 * chunk, workers));
+    let old_task = tokio::spawn(old.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let new = ProxyInstance::takeover_from(cfg)
+        .await
+        .expect("takeover_from");
+    let drained = old_task
+        .await
+        .expect("takeover task panicked")
+        .expect("serve_one_takeover");
+    let (ok2, failed2) = load.await.expect("phase-2 load panicked");
+
+    // Merge both generations' telemetry: the old side holds most request
+    // samples and the drain duration; the new side holds the pause as
+    // measured across the handshake plus post-release samples.
+    let mut telemetry: TelemetrySnapshot = drained.reverse.stats.telemetry.snapshot();
+    telemetry.merge(&new.reverse.stats.telemetry.snapshot());
+
+    // Close the audit window over both generations' counters.
+    let release_totals = old_stats
+        .snapshot()
+        .merged(&new.reverse.stats.snapshot())
+        .audit_totals();
+    auditor.observe(release_totals);
+    let verdict = auditor.end_release();
+
+    let report = serde_json::json!({
+        "bench": "telemetry",
+        "fast": fast,
+        "requests_target": total,
+        "requests_ok": ok1 + ok2,
+        "requests_failed": failed1 + failed2,
+        "generation": new.generation,
+        "request_latency_us": percentiles(&telemetry.request_latency_us),
+        "upstream_connect_us": percentiles(&telemetry.upstream_connect_us),
+        "takeover_pause_us": telemetry.takeover_pause_us.clone(),
+        "drain_duration_ms": percentiles(&telemetry.drain_duration_ms),
+        "timeline": {
+            "events": telemetry.timeline.events.len(),
+            "dropped": telemetry.timeline.dropped,
+        },
+    });
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_telemetry.json".into());
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, &pretty).expect("write BENCH_telemetry.json");
+    let audit_out = arg_value("--audit-out").unwrap_or_else(|| "AUDIT_telemetry.json".into());
+    let audit_json = serde_json::to_string_pretty(&verdict).expect("serialize verdict");
+    std::fs::write(&audit_out, &audit_json).expect("write AUDIT_telemetry.json");
+
+    println!("BENCH_telemetry {report}");
+    println!(
+        "AUDIT {}",
+        serde_json::to_string(&verdict).expect("serialize verdict")
+    );
+    println!(
+        "requests: {}/{} ok, {} failed during release",
+        ok1 + ok2,
+        total,
+        failed1 + failed2
+    );
+    println!(
+        "request latency µs: p50={:?} p99={:?} (n={})",
+        telemetry.request_latency_us.percentile(50.0),
+        telemetry.request_latency_us.percentile(99.0),
+        telemetry.request_latency_us.count,
+    );
+    println!(
+        "takeover pause µs: max={} (n={})",
+        telemetry.takeover_pause_us.max, telemetry.takeover_pause_us.count,
+    );
+    println!(
+        "auditor: disrupted={} over {} release-window requests",
+        verdict.disrupted, verdict.requests
+    );
+    println!("artifacts: {out}, {audit_out}");
+    println!("paper: Fig. 5 — successor answers health checks from its first instant");
+}

@@ -41,6 +41,11 @@
 //!   (mockable [`clock::Clock`], cross-process [`clock::unix_now_ms`]);
 //!   everything else takes timestamps as arguments so seeded replays stay
 //!   deterministic.
+//! * [`telemetry`] — the measurement layer §6 evaluates with: the
+//!   lock-free log-bucketed [`telemetry::Histogram`] (the workspace's one
+//!   percentile implementation), the [`telemetry::EventRing`] release
+//!   phase timeline, and the [`telemetry::DisruptionAuditor`] that turns
+//!   §2.5's "irregular increase" into a verdict the canary gate consumes.
 
 pub mod calendar;
 pub mod canary;
@@ -53,6 +58,7 @@ pub mod resilience;
 pub mod scheduler;
 pub mod supervisor;
 pub mod sync;
+pub mod telemetry;
 pub mod tier;
 
 pub use mechanism::Mechanism;

@@ -4,8 +4,10 @@
 //! number of HTTP errors (e.g., 500 code), proxy errors (e.g., timeouts),
 //! connection terminations (e.g., TCP RSTs) and QoE degradation"*. Fig. 12
 //! breaks proxy errors into four classes. These types carry those counters
-//! through the simulator and the real proxy alike, plus the small
-//! time-series/percentile helpers every experiment reports with.
+//! through the simulator and the real proxy alike, plus the [`TimeSeries`]
+//! shape the timeline figures plot. Percentiles live in one place only:
+//! [`crate::telemetry::Histogram`] (experiments bridge f64 samples through
+//! [`crate::telemetry::HistogramSnapshot::of_scaled`]).
 
 use std::collections::BTreeMap;
 
@@ -277,19 +279,6 @@ impl Ewma {
     }
 }
 
-/// The `p`-th percentile (0–100) of `values`, by nearest-rank on a sorted
-/// copy. Returns `None` on empty input.
-pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
-    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric values"));
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    Some(sorted[rank])
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,23 +356,6 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(empty.min(), None);
         assert_eq!(empty.mean(), None);
-    }
-
-    #[test]
-    fn percentile_nearest_rank() {
-        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&v, 0.0), Some(1.0));
-        assert_eq!(percentile(&v, 50.0), Some(51.0));
-        assert_eq!(percentile(&v, 100.0), Some(100.0));
-        assert_eq!(percentile(&v, 99.0), Some(99.0));
-        assert_eq!(percentile(&[], 50.0), None);
-        assert_eq!(percentile(&[7.0], 99.9), Some(7.0));
-    }
-
-    #[test]
-    #[should_panic(expected = "percentile out of range")]
-    fn percentile_rejects_out_of_range() {
-        percentile(&[1.0], 101.0);
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! The disruption auditor: §2.5's "irregular increase" as a mechanism.
+//!
+//! The paper defines disruption operationally — *"any irregular increase
+//! in the number of HTTP errors (e.g., 500 code), proxy errors (e.g.,
+//! timeouts), connection terminations (e.g., TCP RSTs) and QoE
+//! degradation"* — which is a rate-over-time judgment a one-shot counter
+//! dump cannot make. Candea & Fox's microreboot evaluation makes the same
+//! point: end-user-visible damage has to be measured *during* the recovery
+//! window against a pre-recovery baseline.
+//!
+//! [`DisruptionAuditor`] does exactly that. A sampler feeds it cumulative
+//! [`AuditTotals`] (straight off the live stats counters) once per window.
+//! Outside a release the auditor folds each window's per-signal disruption
+//! rate into an EWMA baseline. Between [`DisruptionAuditor::begin_release`]
+//! and [`DisruptionAuditor::end_release`] it instead accumulates the
+//! release window and judges each signal against
+//! `baseline_rate * tolerance_factor + absolute_slack` — the same
+//! threshold shape as [`crate::canary::CanaryPolicy`], so the verdict
+//! plugs straight into the supervisor's [`crate::canary::CanaryGate`] via
+//! [`AuditVerdict::window_sample`].
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::canary::WindowSample;
+
+/// The §2.5 signal set the auditor watches.
+pub const SIGNALS: [&str; 4] = ["http_5xx", "proxy_errors", "conn_resets", "mqtt_drops"];
+
+/// Auditor thresholds and smoothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditorConfig {
+    /// EWMA smoothing for the baseline rates, per mille (200 → α = 0.2).
+    pub baseline_alpha_permille: u64,
+    /// A signal is irregular when its release-window rate exceeds
+    /// `baseline * tolerance_factor + absolute_slack`.
+    pub tolerance_factor: f64,
+    /// Additive slack shielding near-zero baselines from noise.
+    pub absolute_slack: f64,
+    /// Release windows with fewer requests than this are not judged.
+    pub min_requests: u64,
+}
+
+impl Default for AuditorConfig {
+    fn default() -> Self {
+        AuditorConfig {
+            baseline_alpha_permille: 200,
+            tolerance_factor: 3.0,
+            absolute_slack: 0.002,
+            min_requests: 200,
+        }
+    }
+}
+
+/// Cumulative counter readings for one sample — deltas are computed
+/// inside the auditor, so callers just hand over the live totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditTotals {
+    /// Requests handled (the rate denominator).
+    pub requests: u64,
+    /// HTTP 5xx sent to clients.
+    pub http_5xx: u64,
+    /// Proxy-error class total (timeouts, aborts, …).
+    pub proxy_errors: u64,
+    /// Connections terminated by reset.
+    pub conn_resets: u64,
+    /// MQTT tunnels dropped (forced client reconnects).
+    pub mqtt_drops: u64,
+}
+
+impl AuditTotals {
+    fn signals(&self) -> [u64; 4] {
+        [
+            self.http_5xx,
+            self.proxy_errors,
+            self.conn_resets,
+            self.mqtt_drops,
+        ]
+    }
+}
+
+/// Per-signal audit outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalAudit {
+    /// Signal name (one of [`SIGNALS`]).
+    pub signal: String,
+    /// EWMA baseline disruption rate (per request) before the release.
+    pub baseline_rate: f64,
+    /// Observed rate inside the release window.
+    pub release_rate: f64,
+    /// Raw disruption count inside the release window.
+    pub observed: u64,
+    /// The threshold the release rate was judged against.
+    pub threshold: f64,
+    /// True when the increase was irregular (threshold exceeded).
+    pub flagged: bool,
+}
+
+/// The auditor's judgment of one release window — the `AUDIT <json>`
+/// payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditVerdict {
+    /// Any signal flagged?
+    pub disrupted: bool,
+    /// Requests observed inside the release window.
+    pub requests: u64,
+    /// Release-window length in sampler windows.
+    pub windows: u64,
+    /// True when the window carried too few requests to judge.
+    pub insufficient_traffic: bool,
+    /// Per-signal detail, in [`SIGNALS`] order.
+    pub signals: Vec<SignalAudit>,
+}
+
+impl AuditVerdict {
+    /// Total disruptions across flagged-or-not signals.
+    pub fn disruptions(&self) -> u64 {
+        self.signals.iter().map(|s| s.observed).sum()
+    }
+
+    /// This verdict as a canary-gate window: requests and disruptions of
+    /// the release window, ready for
+    /// [`crate::canary::CanaryGate::observe`].
+    pub fn window_sample(&self) -> WindowSample {
+        WindowSample {
+            requests: self.requests,
+            disruptions: self.disruptions(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AuditorState {
+    last: Option<AuditTotals>,
+    /// EWMA baseline rate per signal, [`SIGNALS`] order.
+    baseline: [f64; 4],
+    baseline_windows: u64,
+    /// While a release window is open: totals at `begin_release` plus the
+    /// number of sampler windows folded since.
+    release_start: Option<AuditTotals>,
+    release_windows: u64,
+    latest: AuditVerdict,
+}
+
+/// Windowed-rate auditor for the §2.5 disruption signals.
+///
+/// Sampled, not request-path: one [`DisruptionAuditor::observe`] per
+/// window (hundreds of ms), so a mutex is the right tool here.
+#[derive(Debug)]
+pub struct DisruptionAuditor {
+    config: AuditorConfig,
+    state: Mutex<AuditorState>,
+}
+
+impl Default for DisruptionAuditor {
+    fn default() -> Self {
+        DisruptionAuditor::new(AuditorConfig::default())
+    }
+}
+
+impl DisruptionAuditor {
+    /// An auditor with `config` thresholds.
+    pub fn new(config: AuditorConfig) -> Self {
+        DisruptionAuditor {
+            config,
+            state: Mutex::new(AuditorState::default()),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AuditorConfig {
+        &self.config
+    }
+
+    /// Feeds one sampler window of cumulative totals. Outside a release
+    /// the deltas refresh the EWMA baseline; inside one they extend the
+    /// release window and refresh the standing verdict.
+    pub fn observe(&self, totals: AuditTotals) {
+        let mut st = self.state.lock();
+        let last = st.last.replace(totals).unwrap_or_default();
+        if st.release_start.is_some() {
+            st.release_windows += 1;
+            let verdict = self.judge(&st, totals);
+            st.latest = verdict;
+            return;
+        }
+        // Baseline fold. Windows without traffic carry no rate signal.
+        let dreq = totals.requests.saturating_sub(last.requests);
+        if dreq == 0 {
+            return;
+        }
+        let alpha = self.config.baseline_alpha_permille.min(1000) as f64 / 1000.0;
+        let cur = totals.signals();
+        let prev = last.signals();
+        for i in 0..SIGNALS.len() {
+            let rate = cur[i].saturating_sub(prev[i]) as f64 / dreq as f64;
+            st.baseline[i] = if st.baseline_windows == 0 {
+                rate
+            } else {
+                alpha * rate + (1.0 - alpha) * st.baseline[i]
+            };
+        }
+        st.baseline_windows += 1;
+    }
+
+    /// Opens the release window at the auditor's current totals. Idempotent
+    /// while a window is open.
+    pub fn begin_release(&self) {
+        let mut st = self.state.lock();
+        if st.release_start.is_none() {
+            st.release_start = Some(st.last.unwrap_or_default());
+            st.release_windows = 0;
+            st.latest = AuditVerdict::default();
+        }
+    }
+
+    /// True while a release window is open.
+    pub fn in_release(&self) -> bool {
+        self.state.lock().release_start.is_some()
+    }
+
+    /// Closes the release window and returns the final verdict. The
+    /// judged window ends at the last [`DisruptionAuditor::observe`]
+    /// reading. Returns the standing verdict unchanged when no window was
+    /// open.
+    pub fn end_release(&self) -> AuditVerdict {
+        let mut st = self.state.lock();
+        if st.release_start.is_some() {
+            let totals = st.last.unwrap_or_default();
+            let verdict = self.judge(&st, totals);
+            st.latest = verdict;
+            st.release_start = None;
+        }
+        st.latest.clone()
+    }
+
+    /// The standing verdict: live while a release window is open, final
+    /// after [`DisruptionAuditor::end_release`].
+    pub fn verdict(&self) -> AuditVerdict {
+        self.state.lock().latest.clone()
+    }
+
+    /// Judges `totals` against the baseline, relative to the open release
+    /// window's start.
+    fn judge(&self, st: &AuditorState, totals: AuditTotals) -> AuditVerdict {
+        let start = st.release_start.unwrap_or_default();
+        let requests = totals.requests.saturating_sub(start.requests);
+        let insufficient = requests < self.config.min_requests;
+        let cur = totals.signals();
+        let base_totals = start.signals();
+        let mut signals = Vec::with_capacity(SIGNALS.len());
+        let mut disrupted = false;
+        for i in 0..SIGNALS.len() {
+            let observed = cur[i].saturating_sub(base_totals[i]);
+            let release_rate = if requests == 0 {
+                0.0
+            } else {
+                observed as f64 / requests as f64
+            };
+            let threshold =
+                st.baseline[i] * self.config.tolerance_factor + self.config.absolute_slack;
+            let flagged = !insufficient && release_rate > threshold;
+            disrupted |= flagged;
+            signals.push(SignalAudit {
+                signal: SIGNALS[i].to_string(),
+                baseline_rate: st.baseline[i],
+                release_rate,
+                observed,
+                threshold,
+                flagged,
+            });
+        }
+        AuditVerdict {
+            disrupted,
+            requests,
+            windows: st.release_windows,
+            insufficient_traffic: insufficient,
+            signals,
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    /// Feeds `n` baseline windows of 1000 requests with `bad` 5xx each.
+    fn seed_baseline(a: &DisruptionAuditor, n: u64, bad: u64) -> AuditTotals {
+        let mut t = AuditTotals::default();
+        a.observe(t);
+        for _ in 0..n {
+            t.requests += 1_000;
+            t.http_5xx += bad;
+            a.observe(t);
+        }
+        t
+    }
+
+    #[test]
+    fn clean_release_is_not_disrupted() {
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 10, 1); // baseline rate 1e-3
+        a.begin_release();
+        assert!(a.in_release());
+        for _ in 0..3 {
+            t.requests += 1_000;
+            t.http_5xx += 1; // same rate as baseline
+            a.observe(t);
+        }
+        let v = a.end_release();
+        assert!(!a.in_release());
+        assert!(!v.disrupted, "{v:?}");
+        assert_eq!(v.requests, 3_000);
+        assert_eq!(v.windows, 3);
+        assert!(!v.insufficient_traffic);
+        assert_eq!(v.signals.len(), SIGNALS.len());
+        assert_eq!(v.window_sample().requests, 3_000);
+    }
+
+    #[test]
+    fn burst_during_release_is_flagged_on_the_right_signal() {
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 10, 1);
+        a.begin_release();
+        t.requests += 1_000;
+        t.http_5xx += 200; // 20% — far past 3×1e-3 + 2e-3
+        a.observe(t);
+        // Live verdict is already flagged mid-release.
+        assert!(a.verdict().disrupted);
+        let v = a.end_release();
+        assert!(v.disrupted);
+        let s5xx = &v.signals[0];
+        assert_eq!(s5xx.signal, "http_5xx");
+        assert!(s5xx.flagged);
+        assert_eq!(s5xx.observed, 200);
+        assert!(s5xx.release_rate > s5xx.threshold);
+        // Untouched signals stay clean.
+        assert!(v.signals[1..].iter().all(|s| !s.flagged));
+        assert_eq!(v.disruptions(), 200);
+    }
+
+    #[test]
+    fn irregularity_is_relative_to_baseline() {
+        // A noisy service with a 5% standing 5xx rate: the same 5% during
+        // the release is NOT irregular.
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 10, 50);
+        a.begin_release();
+        t.requests += 1_000;
+        t.http_5xx += 50;
+        a.observe(t);
+        assert!(!a.end_release().disrupted);
+    }
+
+    #[test]
+    fn thin_release_windows_are_not_judged() {
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 5, 0);
+        a.begin_release();
+        t.requests += 10; // below min_requests
+        t.conn_resets += 10;
+        a.observe(t);
+        let v = a.end_release();
+        assert!(v.insufficient_traffic);
+        assert!(!v.disrupted, "thin windows must not flag: {v:?}");
+    }
+
+    #[test]
+    fn all_four_signals_are_audited() {
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 10, 0);
+        a.begin_release();
+        t.requests += 1_000;
+        t.proxy_errors += 100;
+        t.conn_resets += 100;
+        t.mqtt_drops += 100;
+        a.observe(t);
+        let v = a.end_release();
+        let flagged: Vec<&str> = v
+            .signals
+            .iter()
+            .filter(|s| s.flagged)
+            .map(|s| s.signal.as_str())
+            .collect();
+        assert_eq!(flagged, vec!["proxy_errors", "conn_resets", "mqtt_drops"]);
+    }
+
+    #[test]
+    fn begin_is_idempotent_and_verdict_serializes() {
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 3, 0);
+        a.begin_release();
+        t.requests += 500;
+        a.observe(t);
+        a.begin_release(); // must not reset the open window
+        t.requests += 500;
+        t.http_5xx += 400;
+        a.observe(t);
+        let v = a.end_release();
+        assert_eq!(v.requests, 1_000);
+        assert!(v.disrupted);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: AuditVerdict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        // Verdict survives end_release (sticky standing verdict).
+        assert!(a.verdict().disrupted);
+    }
+
+    #[test]
+    fn verdict_feeds_the_canary_gate() {
+        use crate::canary::{CanaryGate, CanaryPolicy, WindowSample};
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 10, 0);
+        a.begin_release();
+        t.requests += 2_000;
+        t.http_5xx += 500;
+        a.observe(t);
+        let v = a.end_release();
+        let mut gate = CanaryGate::new(
+            CanaryPolicy {
+                bad_windows_to_halt: 1,
+                ..Default::default()
+            },
+            WindowSample {
+                requests: 10_000,
+                disruptions: 0,
+            },
+        );
+        gate.observe(1, v.window_sample());
+        assert!(gate.halted(), "flagged verdict must trip the gate");
+    }
+}

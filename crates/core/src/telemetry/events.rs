@@ -1,0 +1,323 @@
+//! The release phase timeline: a bounded structured event journal.
+//!
+//! Fig. 5 names the phases of a Socket Takeover (spin up, handshake, FD
+//! pass, confirm, health-check flip, drain) and §6's timeline figures plot
+//! a release as those phases against the clock. [`EventRing`] is that
+//! record: every supervisor/takeover/drain transition appends one
+//! [`TimelineEvent`] stamped from the one approved time source
+//! ([`crate::clock::Clock`] — monotonic `t_ms` for ordering, derived
+//! `unix_ms` for cross-process alignment). The ring is bounded so a
+//! long-lived instance can journal forever; when full, the oldest events
+//! fall off and `dropped` counts them, so a reader can always tell whether
+//! it is looking at a complete release.
+//!
+//! The journal is written a handful of times per release (not per
+//! request), so a plain mutex is the right tool — there is nothing here
+//! for loom to explore.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Clock;
+
+/// Default event capacity: generous for dozens of release attempts.
+pub const DEFAULT_EVENT_CAPACITY: usize = 512;
+
+/// One phase transition in a release, Fig. 5's vocabulary plus the
+/// supervisor/rollback states the repo has grown around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ReleasePhase {
+    /// Listening sockets bound (fresh bind or inherited via takeover).
+    Bind,
+    /// Successor asked the incumbent for its sockets (step A).
+    TakeoverRequest,
+    /// SCM_RIGHTS FD inventory passed over the UNIX socket (steps B–C).
+    FdPass,
+    /// Successor confirmed the inventory; incumbent may stop accepting.
+    Confirm,
+    /// Successor reported a health verdict on the watch channel.
+    HealthReport,
+    /// Health-check answer flipped (serving → draining or back).
+    HealthFlip,
+    /// Drain began: accepts stopped, existing connections keep serving.
+    DrainStart,
+    /// Drain hard deadline armed; survivors will be force-closed.
+    ForceCloseArmed,
+    /// Surviving connections force-closed with the protocol's signal.
+    ForcedClose,
+    /// Active-connection gauge reached zero; drain complete.
+    Drained,
+    /// Takeover attempt failed; supervisor backing off before a retry.
+    RetryBackoff,
+    /// Post-confirm failure: incumbent reclaimed its sockets.
+    Rollback,
+    /// Incumbent released: successor is the instance of record.
+    Released,
+    /// Incumbent finished reclaiming after a rollback.
+    Reclaimed,
+    /// Release aborted pre-confirm; incumbent keeps serving.
+    Aborted,
+}
+
+impl ReleasePhase {
+    /// Stable label used in JSON, Prometheus, and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReleasePhase::Bind => "bind",
+            ReleasePhase::TakeoverRequest => "takeover_request",
+            ReleasePhase::FdPass => "fd_pass",
+            ReleasePhase::Confirm => "confirm",
+            ReleasePhase::HealthReport => "health_report",
+            ReleasePhase::HealthFlip => "health_flip",
+            ReleasePhase::DrainStart => "drain_start",
+            ReleasePhase::ForceCloseArmed => "force_close_armed",
+            ReleasePhase::ForcedClose => "forced_close",
+            ReleasePhase::Drained => "drained",
+            ReleasePhase::RetryBackoff => "retry_backoff",
+            ReleasePhase::Rollback => "rollback",
+            ReleasePhase::Released => "released",
+            ReleasePhase::Reclaimed => "reclaimed",
+            ReleasePhase::Aborted => "aborted",
+        }
+    }
+}
+
+/// One journal entry: a phase transition with both clock views.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Monotone per-ring sequence number (never reused, survives drops).
+    pub seq: u64,
+    /// Monotonic ms since the ring's clock was created — orders events
+    /// within one process without wall-clock steps.
+    pub t_ms: u64,
+    /// Wall-clock unix ms derived from the same reading — aligns the old
+    /// and new instances of a takeover pair.
+    pub unix_ms: u64,
+    /// Which transition happened.
+    pub phase: ReleasePhase,
+    /// Instance generation the transition belongs to.
+    pub generation: u64,
+    /// Free-form context (addresses, counts, error text).
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TimelineEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe journal of [`TimelineEvent`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    clock: Clock,
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new(Clock::system())
+    }
+}
+
+impl EventRing {
+    /// A ring with the default capacity stamping from `clock`.
+    pub fn new(clock: Clock) -> Self {
+        EventRing::with_capacity(clock, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(clock: Clock, capacity: usize) -> Self {
+        EventRing {
+            clock,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// The clock events are stamped from.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Appends one event, stamped now. Returns its sequence number.
+    pub fn record(
+        &self,
+        phase: ReleasePhase,
+        generation: u64,
+        detail: impl Into<String>,
+    ) -> u64 {
+        let t_ms = self.clock.now_ms();
+        let unix_ms = self.clock.unix_ms();
+        let mut ring = self.inner.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(TimelineEvent {
+            seq,
+            t_ms,
+            unix_ms,
+            phase,
+            generation,
+            detail: detail.into(),
+        });
+        seq
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True when nothing has been recorded (and nothing dropped).
+    pub fn is_empty(&self) -> bool {
+        let ring = self.inner.lock();
+        ring.events.is_empty() && ring.dropped == 0
+    }
+
+    /// A serializable copy of the journal.
+    pub fn snapshot(&self) -> TimelineSnapshot {
+        let ring = self.inner.lock();
+        TimelineSnapshot {
+            events: ring.events.iter().cloned().collect(),
+            dropped: ring.dropped,
+        }
+    }
+}
+
+/// Serializable view of an [`EventRing`] — the `TIMELINE <json>` payload
+/// and the `timeline` section of the unified stats snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineSnapshot {
+    /// Retained events in recording order.
+    pub events: Vec<TimelineEvent>,
+    /// Events evicted by the capacity bound.
+    pub dropped: u64,
+}
+
+impl TimelineSnapshot {
+    /// True when no events were recorded or dropped.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// First event of `phase`, if present.
+    pub fn first(&self, phase: ReleasePhase) -> Option<&TimelineEvent> {
+        self.events.iter().find(|e| e.phase == phase)
+    }
+
+    /// True when `phases` all appear, in order (other events may
+    /// interleave) — the shape the release integration tests assert.
+    pub fn contains_sequence(&self, phases: &[ReleasePhase]) -> bool {
+        let mut want = phases.iter();
+        let mut next = want.next();
+        for e in &self.events {
+            if Some(&e.phase) == next {
+                next = want.next();
+            }
+        }
+        next.is_none()
+    }
+
+    /// Merges another process's timeline: interleaves by wall clock
+    /// (`unix_ms`, then `seq`) so a takeover pair reads as one release.
+    pub fn merge(&mut self, other: &TimelineSnapshot) {
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| (e.unix_ms, e.seq));
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn records_are_stamped_and_ordered() {
+        let clock = Clock::mock(1_000);
+        let ring = EventRing::new(clock.clone());
+        assert!(ring.is_empty());
+        ring.record(ReleasePhase::Bind, 1, "0.0.0.0:80");
+        clock.advance(Duration::from_millis(5));
+        ring.record(ReleasePhase::DrainStart, 1, "");
+        let snap = ring.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].phase, ReleasePhase::Bind);
+        assert_eq!(snap.events[0].t_ms, 0);
+        assert_eq!(snap.events[0].unix_ms, 1_000);
+        assert_eq!(snap.events[1].t_ms, 5);
+        assert!(snap.contains_sequence(&[ReleasePhase::Bind, ReleasePhase::DrainStart]));
+        assert!(!snap.contains_sequence(&[ReleasePhase::DrainStart, ReleasePhase::Bind]));
+        assert_eq!(snap.first(ReleasePhase::Bind).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::with_capacity(Clock::mock(0), 3);
+        for g in 0..5 {
+            ring.record(ReleasePhase::HealthReport, g, "");
+        }
+        let snap = ring.snapshot();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        assert!(!snap.is_empty());
+        let gens: Vec<u64> = snap.events.iter().map(|e| e.generation).collect();
+        assert_eq!(gens, vec![2, 3, 4]);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "sequence numbers survive eviction");
+    }
+
+    #[test]
+    fn merge_interleaves_by_wall_clock() {
+        let old_clock = Clock::mock(100);
+        let new_clock = Clock::mock(150);
+        let old = EventRing::new(old_clock.clone());
+        let new = EventRing::new(new_clock.clone());
+        old.record(ReleasePhase::FdPass, 1, "");
+        old_clock.advance(Duration::from_millis(100));
+        new.record(ReleasePhase::Confirm, 2, "");
+        new_clock.advance(Duration::from_millis(100));
+        old.record(ReleasePhase::DrainStart, 1, "");
+        new.record(ReleasePhase::HealthFlip, 2, "");
+        let mut merged = old.snapshot();
+        merged.merge(&new.snapshot());
+        let phases: Vec<ReleasePhase> = merged.events.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                ReleasePhase::FdPass,
+                ReleasePhase::Confirm,
+                ReleasePhase::DrainStart,
+                ReleasePhase::HealthFlip,
+            ]
+        );
+        // Wall clocks are non-decreasing after the merge.
+        assert!(merged.events.windows(2).all(|w| w[0].unix_ms <= w[1].unix_ms));
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let ring = EventRing::new(Clock::mock(7));
+        ring.record(ReleasePhase::Released, 3, "gen 3 → 4");
+        let snap = ring.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"released\""), "snake_case phase name: {json}");
+        let back: TimelineSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(ReleasePhase::FdPass.name(), "fd_pass");
+        assert_eq!(ReleasePhase::ForceCloseArmed.name(), "force_close_armed");
+    }
+}

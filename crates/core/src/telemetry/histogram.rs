@@ -1,0 +1,502 @@
+//! A lock-free, mergeable, log-bucketed latency histogram.
+//!
+//! The paper's evaluation reports latency as percentiles under load
+//! (Fig. 6's p99 during a restart; §6.1's request-latency comparison), so
+//! the repo needs a recorder that is (a) cheap enough to sit on the request
+//! path of every service, (b) snapshot-able mid-release without pausing
+//! writers, and (c) mergeable across the old and new instances of a
+//! takeover pair. This is the HdrHistogram shape: one atomic counter per
+//! log-spaced bucket, recorded with a single relaxed `fetch_add`.
+//!
+//! ## Bucket scheme
+//!
+//! Values `0..64` land in 64 exact linear buckets. Above that, each
+//! power-of-two octave is split into 64 sub-buckets, so the recorded value
+//! is over-estimated by at most one part in 64 (~1.6% relative error) —
+//! percentile reports quote the bucket's *upper* bound, clamped to the
+//! observed max, so errors are conservative and `p100 == max` exactly.
+//! The full `u64` range is representable in `64 + 58×64 = 3776` buckets
+//! (~30 KiB of atomics per histogram).
+//!
+//! All atomics come from the [`crate::sync`] facade, so the recorder is
+//! loom-checkable like every other lock-free structure in the tree, and
+//! the `cargo xtask lint` snapshot rule extends to `Histogram` fields:
+//! a histogram owned by a stats struct must appear in its `snapshot()`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Sub-bucket precision: each octave splits into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 6;
+/// Number of linear (exact) buckets; also the sub-bucket count per octave.
+const LINEAR: u64 = 1 << SUB_BITS;
+/// Octaves above the linear range: exponents `SUB_BITS..=63`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count.
+const BUCKETS: usize = LINEAR as usize * (OCTAVES + 1);
+
+/// Bucket index for a value. Exact below [`LINEAR`], log-spaced above.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+        let sub = (v >> (e - SUB_BITS)) - LINEAR; // 0..LINEAR
+        LINEAR as usize * (1 + e as usize - SUB_BITS as usize) + sub as usize
+    }
+}
+
+/// Largest value mapping to bucket `idx` (inclusive upper bound).
+fn bucket_high(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR {
+        idx
+    } else {
+        let octave = (idx - LINEAR) / LINEAR;
+        let sub = (idx - LINEAR) % LINEAR;
+        let shift = octave as u32; // value exponent e = SUB_BITS + octave
+        let low = (LINEAR + sub) << shift;
+        low + ((1u64 << shift) - 1)
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples.
+///
+/// Unit-agnostic: callers pick the unit and encode it in the field name
+/// (`request_latency_us`, `drain_duration_ms`, …). Recording is one relaxed
+/// `fetch_add` per sample plus min/max folds; reading is [`Histogram::snapshot`],
+/// which is racy-by-design like every counter snapshot in the tree.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        // Relaxed (here and below): buckets are standalone event tallies —
+        // nothing is published through them and snapshots are racy by
+        // design, exactly like the stats Counters.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Relaxed min/max folds: each is an independent monotone bound; the
+        // per-location modification order is all the CAS loop needs.
+        let _ = self
+            .min
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (v < cur).then_some(v)
+            });
+        let _ = self
+            .max
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (v > cur).then_some(v)
+            });
+    }
+
+    /// Records a `Duration` in whole microseconds.
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// A serializable point-in-time view (sparse: only non-empty buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some(BucketCount {
+                    idx: i as u32,
+                    n,
+                })
+            })
+            .collect();
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if min == u64::MAX { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Bucket index (see the module docs for the scheme).
+    pub idx: u32,
+    /// Samples in the bucket.
+    pub n: u64,
+}
+
+/// Serializable, mergeable view of a [`Histogram`].
+///
+/// Percentiles are computed here — on the snapshot — so the scraped JSON
+/// from `/stats` carries everything a consumer needs to re-derive p50/p99
+/// without the live atomics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (mean = sum/count).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by `idx`.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot directly from f64 samples, fixed-point scaled by
+    /// `scale` (e.g. `1e9` for per-request fractions, `1.0` for
+    /// milliseconds). Negative samples clamp to zero. This is how the
+    /// simulator's f64 reports reuse the one bucket scheme — read back
+    /// with [`HistogramSnapshot::percentile_scaled`].
+    pub fn of_scaled(values: impl IntoIterator<Item = f64>, scale: f64) -> HistogramSnapshot {
+        let mut buckets = std::collections::BTreeMap::<u32, u64>::new();
+        let mut snap = HistogramSnapshot {
+            min: u64::MAX,
+            ..HistogramSnapshot::default()
+        };
+        for v in values {
+            let v = (v * scale).round().max(0.0).min(u64::MAX as f64) as u64;
+            *buckets.entry(bucket_index(v) as u32).or_insert(0) += 1;
+            snap.count += 1;
+            snap.sum = snap.sum.saturating_add(v);
+            snap.min = snap.min.min(v);
+            snap.max = snap.max.max(v);
+        }
+        if snap.count == 0 {
+            snap.min = 0;
+        }
+        snap.buckets = buckets
+            .into_iter()
+            .map(|(idx, n)| BucketCount { idx, n })
+            .collect();
+        snap
+    }
+
+    /// The `p`-th percentile mapped back to the f64 domain of
+    /// [`HistogramSnapshot::of_scaled`]: `percentile(p) / scale`, or 0.0
+    /// when empty (the shape the experiment reports want).
+    pub fn percentile_scaled(&self, p: f64, scale: f64) -> f64 {
+        self.percentile(p).map(|v| v as f64 / scale).unwrap_or(0.0)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `p`-th percentile (0–100) by cumulative bucket rank — the one
+    /// percentile implementation in the workspace. Reports the matched
+    /// bucket's upper bound clamped to the observed `[min, max]`, so the
+    /// estimate errs high by at most one sub-bucket (~1.6%) and
+    /// `percentile(100.0) == max` exactly. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.n;
+            if seen >= target {
+                return Some(bucket_high(b.idx as usize).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// p50 (median).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// p90.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// p99.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// p99.9.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(99.9)
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum, bound folds).
+    /// Snapshots from the two sides of a takeover pair merge losslessly —
+    /// the bucket scheme is identical everywhere.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged: Vec<BucketCount> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+            match x.idx.cmp(&y.idx) {
+                std::cmp::Ordering::Less => {
+                    merged.push(*x);
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(*y);
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(BucketCount {
+                        idx: x.idx,
+                        n: x.n + y.n,
+                    });
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+// not(loom): loom atomics panic outside a loom::model run.
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_linear_range() {
+        for v in 0..LINEAR {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64_with_bounded_error() {
+        for &v in &[
+            64u64,
+            65,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let high = bucket_high(idx);
+            assert!(high >= v, "upper bound below sample for {v}");
+            // Error is at most one sub-bucket width: high/v < 1 + 1/64.
+            assert!(
+                (high as f64) < v as f64 * (1.0 + 1.0 / LINEAR as f64),
+                "bucket too wide for {v}: high {high}"
+            );
+            // Bucket indexes are monotone in v at the boundaries.
+            assert!(bucket_index(high) == idx);
+            assert!(v == u64::MAX || bucket_index(high + 1) == idx + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10_000);
+        let p50 = s.p50().unwrap() as f64;
+        let p99 = s.p99().unwrap() as f64;
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.02, "p50 {p50}");
+        assert!((p99 / 9_900.0 - 1.0).abs() < 0.02, "p99 {p99}");
+        assert_eq!(s.percentile(100.0), Some(10_000));
+        assert_eq!(s.percentile(0.0), Some(1));
+        assert!((s.mean().unwrap() / 5_000.5 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_values_in_linear_range() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 63] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(3));
+        assert_eq!(s.percentile(100.0), Some(63));
+        assert_eq!(s.percentile(99.9), Some(63));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let h = Histogram::new();
+        h.record(1);
+        let _ = h.snapshot().percentile(101.0);
+    }
+
+    #[test]
+    fn merge_is_lossless_against_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v * 3);
+            both.record(v * 3);
+        }
+        for v in 1..=400u64 {
+            b.record(v * 7 + 1);
+            both.record(v * 7 + 1);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+        // Merging into / from empty is identity either way.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&m);
+        assert_eq!(empty, both.snapshot());
+        let mut m2 = m.clone();
+        m2.merge(&HistogramSnapshot::default());
+        assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn of_scaled_bridges_f64_reports() {
+        let fractions = [0.0, 1e-6, 2e-6, 8e-6, 1e-4];
+        let s = HistogramSnapshot::of_scaled(fractions.iter().copied(), 1e9);
+        assert_eq!(s.count, 5);
+        let median = s.percentile_scaled(50.0, 1e9);
+        assert!((median / 2e-6 - 1.0).abs() < 0.02, "median {median}");
+        assert_eq!(s.percentile_scaled(100.0, 1e9), 1e-4);
+        // Negatives clamp, empties report zero.
+        let neg = HistogramSnapshot::of_scaled([-1.0].iter().copied(), 1.0);
+        assert_eq!(neg.max, 0);
+        assert_eq!(
+            HistogramSnapshot::of_scaled(std::iter::empty(), 1.0).percentile_scaled(50.0, 1.0),
+            0.0
+        );
+        // Same rank walk as the atomic recorder.
+        let h = Histogram::new();
+        for f in fractions {
+            h.record((f * 1e9).round() as u64);
+        }
+        assert_eq!(h.snapshot(), s);
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 90, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.count, 4);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use crate::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + (i % 97));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().count, 40_000);
+        assert_eq!(
+            h.snapshot().buckets.iter().map(|b| b.n).sum::<u64>(),
+            40_000
+        );
+    }
+}

@@ -292,13 +292,28 @@ pub enum ServeOutcome {
 
 /// The old process's side: a UNIX-socket server that hands its listening
 /// sockets to the next generation.
-#[derive(Debug)]
 pub struct TakeoverServer {
     listener: UnixListener,
     path: PathBuf,
     /// `(st_dev, st_ino)` of the socket file this server created, so Drop
     /// unlinks the path only while it still refers to *our* socket.
     bound_ino: Option<(u64, u64)>,
+    /// Called with the FD-pass pause in microseconds — the window between
+    /// starting to send the inventory (step B) and receiving Confirm
+    /// (step D), during which the handoff is in flight. The paper's
+    /// zero-downtime claim rests on this window costing no accepted
+    /// connections (SYNs queue in the shared backlog); telemetry records
+    /// it so releases can prove the pause stayed small.
+    pause_observer: Option<Box<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for TakeoverServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TakeoverServer")
+            .field("path", &self.path)
+            .field("bound_ino", &self.bound_ino)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TakeoverServer {
@@ -332,12 +347,20 @@ impl TakeoverServer {
             listener,
             path,
             bound_ino,
+            pause_observer: None,
         })
     }
 
     /// The bound path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Registers an observer for the FD-pass pause (µs between sending the
+    /// Offer and receiving Confirm). Runs on whatever thread serves the
+    /// handshake, so it must be `Send + Sync`.
+    pub fn on_fd_pass_pause(&mut self, observer: impl Fn(u64) + Send + Sync + 'static) {
+        self.pause_observer = Some(Box::new(observer));
     }
 
     /// Serves exactly one takeover: waits for the new process, transfers
@@ -387,8 +410,13 @@ impl TakeoverServer {
             }
         }
 
+        let clock = zdr_core::clock::Clock::system();
+        let pass_start_us = clock.now_us();
         send_inventory(&mut stream, inventory, info, faults)?;
         await_confirm(&mut stream)?;
+        if let Some(observer) = &self.pause_observer {
+            observer(clock.now_us().saturating_sub(pass_start_us));
+        }
         write_frame(&mut stream, &ControlFrame::Draining)?;
         Ok(WatchChannel { stream })
     }
@@ -914,6 +942,43 @@ mod tests {
             ReclaimVerdict::Released
         );
         assert!(old.join().unwrap(), "old side must see the healthy report");
+    }
+
+    #[test]
+    fn fd_pass_pause_observer_fires_on_confirm() {
+        let path = tmp_sock_path("pause");
+        let tcp = bind_tcp(loopback()).unwrap();
+        let tcp_addr = tcp.local_addr().unwrap();
+        let mut inv = ListenerInventory::new();
+        inv.add_tcp(tcp_addr, tcp);
+        let mut server = TakeoverServer::bind(&path).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        server.on_fd_pass_pause(move |us| {
+            let _ = tx.send(us);
+        });
+        let info = HandoffInfo {
+            generation: 1,
+            udp_router_addr: None,
+            drain_deadline_ms: 1000,
+        };
+        let old = std::thread::spawn(move || {
+            server
+                .serve_once(&inv, info, Duration::from_secs(10))
+                .unwrap()
+        });
+
+        let pending = request_takeover(&path, Duration::from_secs(10)).unwrap();
+        let mut result = pending.confirm().unwrap();
+        let _listener = result.inventory.claim_tcp(tcp_addr).unwrap();
+        result.inventory.finish().unwrap();
+        assert_eq!(old.join().unwrap(), ServeOutcome::DrainNow);
+
+        let pause_us = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("observer must fire once Confirm arrives");
+        // A loopback handshake completes in well under a minute; the value
+        // itself just has to be a plausible elapsed reading.
+        assert!(pause_us < 60_000_000, "pause_us={pause_us}");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Live admin scrape endpoint: a loopback HTTP/1.1 listener serving the
+//! instance's [`crate::stats::StatsSnapshot`] while the proxy runs —
+//! including *during* a takeover, which is the whole point: §2.5's
+//! disruption evidence has to be observable from outside while the
+//! release is in flight, not reconstructed from logs afterwards.
+//!
+//! Routes:
+//!
+//! * `/stats` — the full snapshot as JSON (counters, latency histograms,
+//!   release phase timeline);
+//! * `/healthz` — `200 ok` while serving, `503 draining` once the drain
+//!   signal fired (mirrors the VIP's `/proxygen/health` answer);
+//! * `/metrics` — Prometheus-style text: every scalar counter as a gauge
+//!   plus `_count`/`_sum`/quantile series per histogram.
+//!
+//! The listener binds loopback only: this is an operator/scraper surface,
+//! never a VIP. It is deliberately not wired into the takeover inventory —
+//! each generation runs its own admin endpoint on its own port, so both
+//! sides of a release can be scraped at once.
+
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+use zdr_core::telemetry::HistogramSnapshot;
+use zdr_proto::http1::{serialize_response, RequestParser, Response, StatusCode};
+
+use crate::stats::StatsSnapshot;
+
+/// Produces the snapshot served by `/stats` and `/metrics`. Called per
+/// request, so scrapes always see live values.
+pub type SnapshotFn = dyn Fn() -> StatsSnapshot + Send + Sync;
+
+/// Answers `/healthz`: `true` → 200, `false` → 503.
+pub type HealthyFn = dyn Fn() -> bool + Send + Sync;
+
+/// A running admin endpoint; aborting (or dropping) the handle stops it.
+pub struct AdminHandle {
+    /// The bound loopback address (the port was 0 in tests).
+    pub addr: SocketAddr,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl std::fmt::Debug for AdminHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdminHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdminHandle {
+    /// Stops accepting admin connections.
+    pub fn abort(&self) {
+        self.task.abort();
+    }
+}
+
+impl Drop for AdminHandle {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+/// Binds `127.0.0.1:port` (0 picks a free port) and serves the admin
+/// routes until the handle is dropped.
+pub async fn spawn_admin(
+    port: u16,
+    snapshot: impl Fn() -> StatsSnapshot + Send + Sync + 'static,
+    healthy: impl Fn() -> bool + Send + Sync + 'static,
+) -> std::io::Result<AdminHandle> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port)).await?;
+    let addr = listener.local_addr()?;
+    let snapshot: Arc<SnapshotFn> = Arc::new(snapshot);
+    let healthy: Arc<HealthyFn> = Arc::new(healthy);
+    let task = tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else {
+                break;
+            };
+            let snapshot = Arc::clone(&snapshot);
+            let healthy = Arc::clone(&healthy);
+            tokio::spawn(async move {
+                let _ = serve_conn(stream, &snapshot, &healthy).await;
+            });
+        }
+    });
+    Ok(AdminHandle { addr, task })
+}
+
+/// One admin connection: keep-alive request loop until EOF or error.
+async fn serve_conn(
+    mut stream: TcpStream,
+    snapshot: &Arc<SnapshotFn>,
+    healthy: &Arc<HealthyFn>,
+) -> std::io::Result<()> {
+    let mut buf = [0u8; 8192];
+    let mut parser = RequestParser::new();
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Ok(());
+        }
+        let request = match parser.push(&buf[..n]) {
+            Ok(Some(req)) => req,
+            Ok(None) => continue,
+            Err(_) => {
+                let resp = Response::new(StatusCode::from_code(400), "bad request\n");
+                stream.write_all(&serialize_response(&resp)).await?;
+                return Ok(());
+            }
+        };
+        parser.reset();
+        let response = route(request.target.as_str(), snapshot, healthy);
+        stream.write_all(&serialize_response(&response)).await?;
+    }
+}
+
+fn route(target: &str, snapshot: &Arc<SnapshotFn>, healthy: &Arc<HealthyFn>) -> Response {
+    // Strip a query string; scrapers commonly append cache-busters.
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/stats" => {
+            let snap = snapshot();
+            match serde_json::to_vec(&snap) {
+                Ok(body) => {
+                    let mut resp = Response::ok(body);
+                    resp.headers.set("content-type", "application/json");
+                    resp
+                }
+                Err(_) => Response::internal_error(),
+            }
+        }
+        "/healthz" => {
+            if healthy() {
+                Response::ok("ok\n")
+            } else {
+                Response::new(StatusCode::service_unavailable(), "draining\n")
+            }
+        }
+        "/metrics" => {
+            let mut resp = Response::ok(render_prometheus(&snapshot()));
+            resp.headers
+                .set("content-type", "text/plain; version=0.0.4");
+            resp
+        }
+        _ => Response::new(StatusCode::from_code(404), "not found\n"),
+    }
+}
+
+/// Renders a snapshot as Prometheus exposition text: every scalar counter
+/// becomes `zdr_<field>`, every histogram contributes `_count`, `_sum`,
+/// and p50/p90/p99/p999 quantile series.
+pub fn render_prometheus(snap: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    // The serde view *is* the counter inventory (the xtask linter keeps it
+    // exhaustive), so flattening it covers every scalar without a
+    // hand-maintained field list here.
+    if let Ok(serde_json::Value::Object(map)) = serde_json::to_value(snap) {
+        for (key, value) in &map {
+            if let Some(n) = value.as_u64() {
+                out.push_str("zdr_");
+                out.push_str(key);
+                out.push(' ');
+                out.push_str(&n.to_string());
+                out.push('\n');
+            }
+        }
+    }
+    let t = &snap.telemetry;
+    for (name, h) in [
+        ("request_latency_us", &t.request_latency_us),
+        ("upstream_connect_us", &t.upstream_connect_us),
+        ("takeover_pause_us", &t.takeover_pause_us),
+        ("drain_duration_ms", &t.drain_duration_ms),
+    ] {
+        render_histogram(&mut out, name, h);
+    }
+    out.push_str(&format!(
+        "zdr_timeline_events {}\nzdr_timeline_dropped {}\n",
+        t.timeline.events.len(),
+        t.timeline.dropped
+    ));
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("zdr_{name}_count {}\n", h.count));
+    out.push_str(&format!("zdr_{name}_sum {}\n", h.sum));
+    for (p, label) in [
+        (50.0, "0.5"),
+        (90.0, "0.9"),
+        (99.0, "0.99"),
+        (99.9, "0.999"),
+    ] {
+        if let Some(v) = h.percentile(p) {
+            out.push_str(&format!("zdr_{name}{{quantile=\"{label}\"}} {v}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ProxyStats;
+    use zdr_core::telemetry::ReleasePhase;
+    use zdr_proto::http1::{serialize_request, Request, ResponseParser};
+
+    async fn get(addr: SocketAddr, target: &str) -> Response {
+        let mut stream = TcpStream::connect(addr).await.unwrap();
+        stream
+            .write_all(&serialize_request(&Request::get(target)))
+            .await
+            .unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 65536];
+        loop {
+            let n = stream.read(&mut buf).await.unwrap();
+            assert!(n > 0, "admin endpoint closed mid-response");
+            if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                return resp;
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn stats_route_serves_live_snapshot_with_telemetry() {
+        let stats = Arc::new(ProxyStats::default());
+        stats.requests_ok.bump();
+        stats.telemetry.request_latency_us.record(250);
+        stats.telemetry.event(ReleasePhase::Bind, 0, "addr=test");
+        let scrape_stats = Arc::clone(&stats);
+        let admin = spawn_admin(0, move || scrape_stats.snapshot(), || true)
+            .await
+            .unwrap();
+
+        let resp = get(admin.addr, "/stats").await;
+        assert_eq!(resp.status.code, 200);
+        let snap: StatsSnapshot = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(snap.requests_ok, 1);
+        assert_eq!(snap.telemetry.request_latency_us.count, 1);
+        assert_eq!(snap.telemetry.timeline.events.len(), 1);
+
+        // Live: a later scrape sees later counts over the same keep-alive
+        // semantics (fresh connection here for simplicity).
+        stats.requests_ok.bump();
+        let resp = get(admin.addr, "/stats").await;
+        let snap: StatsSnapshot = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(snap.requests_ok, 2);
+    }
+
+    #[tokio::test]
+    async fn healthz_flips_with_the_health_closure() {
+        let healthy = Arc::new(zdr_core::sync::AtomicU64::new(1));
+        let h = Arc::clone(&healthy);
+        let admin = spawn_admin(
+            0,
+            || StatsSnapshot::default(),
+            move || h.load(zdr_core::sync::Ordering::Acquire) == 1,
+        )
+        .await
+        .unwrap();
+
+        assert_eq!(get(admin.addr, "/healthz").await.status.code, 200);
+        healthy.store(0, zdr_core::sync::Ordering::Release);
+        assert_eq!(get(admin.addr, "/healthz").await.status.code, 503);
+        assert_eq!(get(admin.addr, "/nope").await.status.code, 404);
+    }
+
+    #[tokio::test]
+    async fn metrics_route_renders_counters_and_histogram_series() {
+        let stats = Arc::new(ProxyStats::default());
+        stats.requests_ok.add(7);
+        for v in [100u64, 200, 300, 4000] {
+            stats.telemetry.request_latency_us.record(v);
+        }
+        let scrape_stats = Arc::clone(&stats);
+        let admin = spawn_admin(0, move || scrape_stats.snapshot(), || true)
+            .await
+            .unwrap();
+
+        let resp = get(admin.addr, "/metrics").await;
+        assert_eq!(resp.status.code, 200);
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(text.contains("zdr_requests_ok 7"), "{text}");
+        assert!(text.contains("zdr_request_latency_us_count 4"), "{text}");
+        assert!(
+            text.contains("zdr_request_latency_us{quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(text.contains("zdr_timeline_events 0"), "{text}");
+    }
+}

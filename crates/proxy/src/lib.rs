@@ -33,6 +33,8 @@
 //!   shedding at accept ([`resilience::LoadShedGate`]).
 //! * [`stats`] — per-instance disruption counters (the §6 monitoring
 //!   signals) and the unified [`stats::StatsSnapshot`] merged view.
+//! * [`admin`] — the loopback admin scrape endpoint (`/stats`, `/healthz`,
+//!   `/metrics`), live throughout a release.
 //!
 //! All four services share one lifecycle, the **unified service layer**:
 //!
@@ -46,6 +48,7 @@
 //! * [`mqtt_common`] — broker selection and tunnel framing shared by the
 //!   two MQTT relay flavors.
 
+pub mod admin;
 pub mod conn_tracker;
 pub mod mqtt_common;
 pub mod mqtt_relay;
@@ -59,6 +62,7 @@ pub mod takeover;
 pub mod trunk;
 pub mod upstream;
 
+pub use admin::{spawn_admin, AdminHandle};
 pub use conn_tracker::{ConnGuard, ConnTracker};
 pub use mqtt_common::{broker_for_user, brokers_ranked_for_user};
 pub use resilience::{LoadShedGate, Resilience, ResilienceConfig, ShedConfig};

@@ -113,8 +113,16 @@ pub(crate) async fn connect_ranked_broker(
             return None;
         }
         attempted = true;
+        let connect_start_us = stats.telemetry.clock().now_us();
         match tokio::time::timeout(remaining, TcpStream::connect(addr)).await {
             Ok(Ok(conn)) => {
+                stats.telemetry.upstream_connect_us.record(
+                    stats
+                        .telemetry
+                        .clock()
+                        .now_us()
+                        .saturating_sub(connect_start_us),
+                );
                 resilience.on_success(addr, stats);
                 return Some((conn, addr));
             }

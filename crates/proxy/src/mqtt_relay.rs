@@ -141,7 +141,8 @@ pub async fn spawn_origin_with(
     });
 
     Ok(OriginHandle {
-        service: ServiceHandle::new(addr, state, vec![accept_task]),
+        service: ServiceHandle::new(addr, state, vec![accept_task])
+            .with_telemetry(Arc::clone(&stats.telemetry), u64::from(origin_id)),
         origin_id,
         stats,
         resilience,
@@ -381,7 +382,8 @@ pub async fn spawn_edge_with(
     });
 
     Ok(EdgeHandle {
-        service: ServiceHandle::new(addr, state, vec![accept_task]),
+        service: ServiceHandle::new(addr, state, vec![accept_task])
+            .with_telemetry(Arc::clone(&stats.telemetry), 0),
         stats,
         dcr_stats,
         resilience,
@@ -417,8 +419,16 @@ async fn connect_origin(
         if !resilience.admit(addr, stats).allowed() {
             continue;
         }
+        let connect_start_us = stats.telemetry.clock().now_us();
         match TcpStream::connect(addr).await {
             Ok(conn) => {
+                stats.telemetry.upstream_connect_us.record(
+                    stats
+                        .telemetry
+                        .clock()
+                        .now_us()
+                        .saturating_sub(connect_start_us),
+                );
                 resilience.on_success(addr, stats);
                 return Some((conn, addr));
             }

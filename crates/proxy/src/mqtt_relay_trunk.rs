@@ -148,7 +148,8 @@ pub async fn spawn_origin_trunk_with(
     });
 
     Ok(OriginTrunkHandle {
-        service: ServiceHandle::new(addr, state, vec![accept_task]),
+        service: ServiceHandle::new(addr, state, vec![accept_task])
+            .with_telemetry(Arc::clone(&stats.telemetry), 0),
         stats,
         resilience,
     })
@@ -329,8 +330,16 @@ impl TrunkPool {
         if let Some(h) = self.trunks.lock()[i].clone() {
             return Some(h);
         }
+        let connect_start_us = self.stats.telemetry.clock().now_us();
         match trunk::connect(self.origins[i]).await {
             Ok((handle, _incoming)) => {
+                self.stats.telemetry.upstream_connect_us.record(
+                    self.stats
+                        .telemetry
+                        .clock()
+                        .now_us()
+                        .saturating_sub(connect_start_us),
+                );
                 // Edge-initiated trunks carry no Origin-initiated streams;
                 // dropping the incoming half is fine.
                 self.resilience.on_success(self.origins[i], &self.stats);
@@ -406,7 +415,8 @@ pub async fn spawn_edge_trunk_with(
     });
 
     Ok(EdgeTrunkHandle {
-        service: ServiceHandle::new(addr, state, vec![accept_task]),
+        service: ServiceHandle::new(addr, state, vec![accept_task])
+            .with_telemetry(Arc::clone(&stats.telemetry), 0),
         stats,
         dcr_stats,
         resilience,

@@ -28,6 +28,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use tokio::net::UdpSocket;
 
+use zdr_core::telemetry::Telemetry;
 use zdr_net::inventory::{bind_udp_reuseport_group, ListenerInventory};
 use zdr_net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
 use zdr_net::udp_router::{Delivery, UdpRouter};
@@ -65,6 +66,8 @@ pub struct QuicStats {
     pub unknown_flow: Counter,
     /// New flows refused at Initial by the overload gate.
     pub load_shed: Counter,
+    /// Datagram service-time histogram + phase timeline for this instance.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl QuicStats {
@@ -75,6 +78,7 @@ impl QuicStats {
             quic_served: self.served.get(),
             quic_unknown_flow: self.unknown_flow.get(),
             load_shed: self.load_shed.get(),
+            telemetry: self.telemetry.snapshot(),
             ..StatsSnapshot::default()
         }
     }
@@ -137,6 +141,7 @@ async fn serve_deliveries(
     generation: u32,
 ) {
     while let Some(d) = rx.recv().await {
+        let start_us = stats.telemetry.clock().now_us();
         let cid = d.datagram.cid;
         if d.datagram.packet_type == PacketType::Initial {
             // Overload gate: refuse the flow before any state is created.
@@ -156,6 +161,10 @@ async fn serve_deliveries(
             if let Ok(wire) = quic::encode(&reply) {
                 let _ = socket.send_to(&wire, d.from).await;
             }
+            stats
+                .telemetry
+                .request_latency_us
+                .record(stats.telemetry.clock().now_us().saturating_sub(start_us));
             continue;
         }
         match table.touch(cid, d.from) {
@@ -167,6 +176,10 @@ async fn serve_deliveries(
                 if let Ok(wire) = quic::encode(&reply) {
                     let _ = socket.send_to(&wire, d.from).await;
                 }
+                stats
+                    .telemetry
+                    .request_latency_us
+                    .record(stats.telemetry.clock().now_us().saturating_sub(start_us));
             }
             None => {
                 // A datagram for a flow we don't know: the §4.1 disruption.
@@ -271,7 +284,8 @@ impl QuicInstance {
         }
 
         Ok(QuicInstance {
-            service: ServiceHandle::new(vip, state, tasks),
+            service: ServiceHandle::new(vip, state, tasks)
+                .with_telemetry(Arc::clone(&stats.telemetry), generation as u64),
             generation,
             vip,
             stats,

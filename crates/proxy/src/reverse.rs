@@ -37,6 +37,7 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use zdr_core::clock::unix_now_ms;
+use zdr_core::telemetry::Telemetry;
 use zdr_net::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
 use zdr_proto::deadline::{Deadline, DEADLINE_HEADER};
 use zdr_proto::http1::{
@@ -192,7 +193,8 @@ pub fn serve_on_listener(
     });
 
     Ok(ReverseProxyHandle {
-        service: ServiceHandle::new(addr, state, vec![accept_task]),
+        service: ServiceHandle::new(addr, state, vec![accept_task])
+            .with_telemetry(Arc::clone(&stats.telemetry), 0),
         stats,
         pool,
     })
@@ -237,6 +239,10 @@ async fn handle_client(
                 }
             }
         };
+
+        // Service time starts at the parsed request, so keep-alive idle
+        // gaps between requests don't pollute the latency histogram.
+        let req_start_us = stats.telemetry.clock().now_us();
 
         let client_wants_close = request
             .headers
@@ -283,6 +289,10 @@ async fn handle_client(
             stats.requests_ok.bump();
         }
         stream.write_all(&serialize_response(&response)).await?;
+        stats
+            .telemetry
+            .request_latency_us
+            .record(stats.telemetry.clock().now_us().saturating_sub(req_start_us));
 
         if client_wants_close {
             return Ok(());
@@ -343,7 +353,15 @@ async fn proxy_with_replay(
         };
         first_attempt = false;
 
-        match forward_once(upstream, &current, deadline, config.faults.as_ref()).await {
+        match forward_once(
+            upstream,
+            &current,
+            deadline,
+            config.faults.as_ref(),
+            &stats.telemetry,
+        )
+        .await
+        {
             Ok(resp) if resp.status.code == zdr_proto::ppr::STATUS_PARTIAL_POST => {
                 // The server answered: its breaker sees a success even
                 // though the request itself must be replayed elsewhere.
@@ -414,6 +432,7 @@ async fn forward_once(
     request: &Request,
     deadline: Deadline,
     faults: &dyn FaultInjector,
+    telemetry: &Telemetry,
 ) -> std::io::Result<Response> {
     // The per-attempt timeout is whatever is left of the deadline.
     let Some(timeout) = deadline.remaining(unix_now_ms()) else {
@@ -440,7 +459,11 @@ async fn forward_once(
                 ));
             }
         }
+        let connect_start_us = telemetry.clock().now_us();
         let mut conn = TcpStream::connect(upstream).await?;
+        telemetry
+            .upstream_connect_us
+            .record(telemetry.clock().now_us().saturating_sub(connect_start_us));
         conn.write_all(&serialize_request(request)).await?;
         let mut parser = zdr_proto::http1::ResponseParser::new();
         let mut buf = [0u8; 16 * 1024];

@@ -32,6 +32,7 @@ use tokio::task::JoinHandle;
 
 use zdr_core::clock::unix_now_ms;
 use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_core::telemetry::{ReleasePhase, Telemetry};
 use zdr_proto::deadline::Deadline;
 use zdr_proto::mqtt;
 
@@ -239,6 +240,14 @@ pub struct ServiceHandle {
     pub addr: std::net::SocketAddr,
     state: Arc<DrainState>,
     accept_tasks: Vec<JoinHandle<()>>,
+    /// Telemetry bundle drain-phase events and durations are recorded
+    /// into, when the owning service carries one.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Instance generation stamped on recorded phase events.
+    generation: u64,
+    /// `Clock::now_us` at drain start (never 0 once started); swapped back
+    /// to 0 by [`ServiceHandle::drained`] so the duration records once.
+    drain_started_us: AtomicU64,
 }
 
 impl ServiceHandle {
@@ -253,17 +262,64 @@ impl ServiceHandle {
             addr,
             state,
             accept_tasks,
+            telemetry: None,
+            generation: 0,
+            drain_started_us: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a telemetry bundle (builder style): drain transitions are
+    /// journaled and the drain duration is recorded at `generation`.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>, generation: u64) -> Self {
+        self.telemetry = Some(telemetry);
+        self.generation = generation;
+        self
+    }
+
+    /// Updates the generation stamped on future phase events (a successor
+    /// learns its generation only after the FD-pass handshake).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Begins draining: stops the accept tasks and flips the drain signal.
     /// Sync and idempotent — the signal is the drain, observation is
     /// [`ServiceHandle::drained`].
     pub fn drain(&self) {
+        let fresh = !self.state.is_draining();
         for t in &self.accept_tasks {
             t.abort();
         }
         self.state.drain();
+        if !fresh {
+            return;
+        }
+        if let Some(t) = &self.telemetry {
+            // `.max(1)` keeps the 0 sentinel unambiguous on a mock clock
+            // still sitting at its epoch.
+            let now = t.clock().now_us().max(1);
+            let _ = self.drain_started_us.compare_exchange(
+                0,
+                now,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            t.event(
+                ReleasePhase::HealthFlip,
+                self.generation,
+                "health answer now draining",
+            );
+            t.event(
+                ReleasePhase::DrainStart,
+                self.generation,
+                format!("active={}", self.state.tracker().active()),
+            );
+        }
     }
 
     /// Has the drain begun?
@@ -275,6 +331,13 @@ impl ServiceHandle {
     /// force-closed with the protocol's close signal.
     pub fn arm_force_close(&self, after: Duration) {
         self.state.arm_force_close(after);
+        if let Some(t) = &self.telemetry {
+            t.event(
+                ReleasePhase::ForceCloseArmed,
+                self.generation,
+                format!("after_ms={}", after.as_millis()),
+            );
+        }
     }
 
     /// Drain with a hard deadline — the §4.3 shape: stop accepting now,
@@ -298,6 +361,29 @@ impl ServiceHandle {
         }
         while self.state.tracker().active() > 0 {
             tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        // Record the drain outcome exactly once, no matter how many tasks
+        // await drained(): the swap hands the start stamp to one caller.
+        let started = self.drain_started_us.swap(0, Ordering::AcqRel);
+        if started == 0 {
+            return;
+        }
+        if let Some(t) = &self.telemetry {
+            let duration_ms = t.clock().now_us().saturating_sub(started) / 1_000;
+            t.drain_duration_ms.record(duration_ms);
+            let forced = self.state.tracker().forced_closes();
+            if forced > 0 {
+                t.event(
+                    ReleasePhase::ForcedClose,
+                    self.generation,
+                    format!("forced={forced}"),
+                );
+            }
+            t.event(
+                ReleasePhase::Drained,
+                self.generation,
+                format!("duration_ms={duration_ms}"),
+            );
         }
     }
 
@@ -412,6 +498,36 @@ mod tests {
         })
         .await;
         assert!(fired.is_err(), "dropped sender must pend, not fire");
+    }
+
+    #[tokio::test]
+    async fn drain_lifecycle_journals_phases_and_duration() {
+        let telemetry = Telemetry::new();
+        let state = DrainState::new(HttpCloseSignal);
+        let h = handle(&state).with_telemetry(Arc::clone(&telemetry), 3);
+        h.drain_with_deadline(Duration::from_secs(30));
+        h.drain(); // idempotent: no duplicate phase events
+        tokio::time::timeout(Duration::from_secs(1), h.drained())
+            .await
+            .expect("drained should resolve");
+        h.drained().await; // second await must not re-record
+        let snap = telemetry.snapshot();
+        assert!(snap.timeline.contains_sequence(&[
+            ReleasePhase::HealthFlip,
+            ReleasePhase::DrainStart,
+            ReleasePhase::ForceCloseArmed,
+            ReleasePhase::Drained,
+        ]));
+        assert_eq!(
+            snap.timeline
+                .events
+                .iter()
+                .filter(|e| e.phase == ReleasePhase::DrainStart)
+                .count(),
+            1
+        );
+        assert!(snap.timeline.events.iter().all(|e| e.generation == 3));
+        assert_eq!(snap.drain_duration_ms.count, 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! view of everything is [`StatsSnapshot`] — the `zdr --stats-json` payload.
 
 use serde::{Deserialize, Serialize};
-use zdr_core::sync::{AtomicU64, Ordering};
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_core::telemetry::{AuditTotals, Telemetry, TelemetrySnapshot};
 
 /// A relaxed monotonic event counter.
 ///
@@ -99,6 +100,11 @@ pub struct ProxyStats {
     pub load_shed: Counter,
     /// Requests failed because their propagated deadline expired.
     pub deadline_exceeded: Counter,
+
+    /// Latency histograms + release phase timeline for this instance.
+    /// Shared (`Arc`) so the admin endpoint and the takeover choreography
+    /// can record into the same bundle the snapshot reads from.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl ProxyStats {
@@ -141,8 +147,15 @@ impl ProxyStats {
             retry_budget_exhausted: self.retry_budget_exhausted.get(),
             load_shed: self.load_shed.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
+            telemetry: self.telemetry.snapshot(),
             ..StatsSnapshot::default()
         }
+    }
+
+    /// Live counters grouped as the auditor's §2.5 signal set — see
+    /// [`StatsSnapshot::audit_totals`] for the taxonomy.
+    pub fn audit_totals(&self) -> AuditTotals {
+        self.snapshot().audit_totals()
     }
 }
 
@@ -174,7 +187,7 @@ impl EdgeDcrStats {
 /// HTTP reverse proxy, MQTT relay (per-tunnel or trunked), QUIC, plus the
 /// service layer's connection tracking. Sections a process doesn't run
 /// merge as zeros, so `zdr --stats-json` always emits the same shape.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     // HTTP reverse proxy (ProxyStats).
     /// Requests proxied to a 2xx/3xx/4xx conclusion.
@@ -255,6 +268,11 @@ pub struct StatsSnapshot {
     pub forced_mqtt_disconnects: u64,
     /// Forced closes delivered as QUIC CONNECTION_CLOSE.
     pub forced_quic_closes: u64,
+
+    /// Histograms + release phase timeline. `serde(default)` keeps old
+    /// snapshot JSON (pre-telemetry) deserializable.
+    #[serde(default)]
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl StatsSnapshot {
@@ -265,6 +283,21 @@ impl StatsSnapshot {
             + self.forced_h2_goaways
             + self.forced_mqtt_disconnects
             + self.forced_quic_closes
+    }
+
+    /// This snapshot's counters as the auditor's §2.5 signal set. The
+    /// groupings mirror the paper's taxonomy: HTTP errors, proxy errors
+    /// (gave-up replays, expired deadlines, shed load), connection
+    /// terminations (RSTs, whether organic or forced), and MQTT drops
+    /// (relay-, DCR-, or force-close-induced).
+    pub fn audit_totals(&self) -> AuditTotals {
+        AuditTotals {
+            requests: self.requests_ok + self.responses_5xx,
+            http_5xx: self.responses_5xx,
+            proxy_errors: self.ppr_gave_up + self.deadline_exceeded + self.load_shed,
+            conn_resets: self.connections_reset + self.forced_tcp_resets,
+            mqtt_drops: self.mqtt_dropped + self.dcr_dropped + self.forced_mqtt_disconnects,
+        }
     }
 
     /// Folds another snapshot into this one field-by-field. Snapshots from
@@ -305,6 +338,7 @@ impl StatsSnapshot {
         self.forced_h2_goaways += other.forced_h2_goaways;
         self.forced_mqtt_disconnects += other.forced_mqtt_disconnects;
         self.forced_quic_closes += other.forced_quic_closes;
+        self.telemetry.merge(&other.telemetry);
     }
 
     /// Merges by value (builder style): `a.merged(&b).merged(&c)`.
@@ -366,5 +400,47 @@ mod tests {
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.requests_ok, 7);
+    }
+
+    #[test]
+    fn snapshot_carries_and_merges_telemetry() {
+        let p = ProxyStats::default();
+        p.telemetry.request_latency_us.record(250);
+        p.telemetry
+            .event(zdr_core::telemetry::ReleasePhase::Bind, 1, "");
+        let snap = p.snapshot();
+        assert_eq!(snap.telemetry.request_latency_us.count, 1);
+        assert_eq!(snap.telemetry.timeline.events.len(), 1);
+
+        let q = ProxyStats::default();
+        q.telemetry.request_latency_us.record(500);
+        let merged = snap.merged(&q.snapshot());
+        assert_eq!(merged.telemetry.request_latency_us.count, 2);
+
+        // Pre-telemetry JSON still deserializes (serde default).
+        let old: StatsSnapshot = serde_json::from_str("{\"requests_ok\":3}").unwrap();
+        assert_eq!(old.requests_ok, 3);
+        assert!(old.telemetry.is_empty());
+    }
+
+    #[test]
+    fn audit_totals_groups_the_signal_set() {
+        let mut s = StatsSnapshot::default();
+        s.requests_ok = 900;
+        s.responses_5xx = 100;
+        s.ppr_gave_up = 5;
+        s.deadline_exceeded = 3;
+        s.load_shed = 2;
+        s.connections_reset = 7;
+        s.forced_tcp_resets = 1;
+        s.mqtt_dropped = 4;
+        s.dcr_dropped = 2;
+        s.forced_mqtt_disconnects = 6;
+        let t = s.audit_totals();
+        assert_eq!(t.requests, 1_000);
+        assert_eq!(t.http_5xx, 100);
+        assert_eq!(t.proxy_errors, 10);
+        assert_eq!(t.conn_resets, 8);
+        assert_eq!(t.mqtt_drops, 12);
     }
 }

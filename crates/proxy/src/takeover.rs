@@ -25,7 +25,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
+use zdr_core::clock::Clock;
 use zdr_core::supervisor::BackoffSchedule;
+use zdr_core::telemetry::ReleasePhase;
 use zdr_net::fault::FaultInjector;
 use zdr_net::inventory::ListenerInventory;
 use zdr_net::takeover::{
@@ -142,7 +144,13 @@ impl ProxyInstance {
         config: ProxyInstanceConfig,
     ) -> zdr_net::Result<ProxyInstance> {
         let std_listener = std::net::TcpListener::bind(addr)?;
-        Self::from_std_listener(std_listener, 0, config)
+        let instance = Self::from_std_listener(std_listener, 0, config)?;
+        instance.reverse.stats.telemetry.event(
+            ReleasePhase::Bind,
+            0,
+            format!("addr={} fresh", instance.addr),
+        );
+        Ok(instance)
     }
 
     fn from_std_listener(
@@ -154,7 +162,8 @@ impl ProxyInstance {
         let handover_listener = std_listener.try_clone()?;
         std_listener.set_nonblocking(true)?;
         let tokio_listener = tokio::net::TcpListener::from_std(std_listener)?;
-        let reverse = serve_on_listener(tokio_listener, config.reverse.clone())?;
+        let mut reverse = serve_on_listener(tokio_listener, config.reverse.clone())?;
+        reverse.service.set_generation(u64::from(generation));
         Ok(ProxyInstance {
             generation,
             reverse,
@@ -164,17 +173,45 @@ impl ProxyInstance {
         })
     }
 
+    /// Journals the successor's half of the handshake into its own
+    /// telemetry. The stats bundle is only born with the serving instance,
+    /// so the events are recorded post-construction and their timestamps
+    /// collapse to "handshake end" — the pause itself is preserved in the
+    /// `FdPass` detail and the `takeover_pause_us` histogram.
+    fn journal_successor_handshake(&self, pause_us: u64) {
+        let t = &self.reverse.stats.telemetry;
+        let generation = u64::from(self.generation);
+        t.event(
+            ReleasePhase::TakeoverRequest,
+            generation,
+            format!("path={}", self.config.takeover_path.display()),
+        );
+        t.event(
+            ReleasePhase::FdPass,
+            generation,
+            format!("pause_us={pause_us}"),
+        );
+        t.event(ReleasePhase::Confirm, generation, "handshake complete");
+        t.event(ReleasePhase::Bind, generation, format!("addr={}", self.addr));
+        t.takeover_pause_us.record(pause_us);
+    }
+
     /// Successor boot: receive the sockets from the instance at
     /// `config.takeover_path` and start serving at `predecessor + 1`.
     pub async fn takeover_from(config: ProxyInstanceConfig) -> zdr_net::Result<ProxyInstance> {
+        let clock = Clock::system();
+        let handshake_start_us = clock.now_us();
         let (pending, vip_addr, info) = Self::request_and_claim(&config).await?;
         let mut result = tokio::task::spawn_blocking(move || pending.confirm())
             .await
             .expect("confirm task panicked")?;
+        let pause_us = clock.now_us().saturating_sub(handshake_start_us);
         let listener = result.inventory.claim_tcp(vip_addr)?;
         result.inventory.finish()?;
 
-        Self::from_std_listener(listener, info.generation + 1, config)
+        let instance = Self::from_std_listener(listener, info.generation + 1, config)?;
+        instance.journal_successor_handshake(pause_us);
+        Ok(instance)
     }
 
     /// Like [`ProxyInstance::takeover_from`], but keeps the handshake
@@ -185,14 +222,18 @@ impl ProxyInstance {
     pub async fn takeover_from_watched(
         config: ProxyInstanceConfig,
     ) -> zdr_net::Result<(ProxyInstance, ReleaseChannel)> {
+        let clock = Clock::system();
+        let handshake_start_us = clock.now_us();
         let (pending, vip_addr, info) = Self::request_and_claim(&config).await?;
         let (mut result, release) = tokio::task::spawn_blocking(move || pending.confirm_watched())
             .await
             .expect("confirm task panicked")?;
+        let pause_us = clock.now_us().saturating_sub(handshake_start_us);
         let listener = result.inventory.claim_tcp(vip_addr)?;
         result.inventory.finish()?;
 
         let instance = Self::from_std_listener(listener, info.generation + 1, config)?;
+        instance.journal_successor_handshake(pause_us);
         Ok((instance, release))
     }
 
@@ -243,13 +284,28 @@ impl ProxyInstance {
             udp_router_addr: None,
             drain_deadline_ms: self.config.drain_ms,
         };
+        let telemetry = Arc::clone(&self.reverse.stats.telemetry);
+        let generation = u64::from(self.generation);
         let outcome = tokio::task::spawn_blocking(move || {
-            let server = bind_with_retry(&path)?;
+            let mut server = bind_with_retry(&path)?;
+            server.on_fd_pass_pause(move |pause_us| {
+                telemetry.takeover_pause_us.record(pause_us);
+                telemetry.event(
+                    ReleasePhase::FdPass,
+                    generation,
+                    format!("pause_us={pause_us}"),
+                );
+            });
             server.serve_once(&inventory, info, Duration::from_secs(60))
         })
         .await
         .expect("takeover server task panicked")?;
         debug_assert_eq!(outcome, ServeOutcome::DrainNow);
+        self.reverse.stats.telemetry.event(
+            ReleasePhase::Confirm,
+            generation,
+            "successor confirmed",
+        );
 
         // Step E: stop accepting, drain in-flight connections, force-close
         // whatever survives the deadline.
@@ -278,6 +334,7 @@ impl ProxyInstance {
         faults: Arc<dyn FaultInjector>,
     ) -> zdr_net::Result<SupervisedOutcome> {
         let stats = self.stats();
+        let generation = u64::from(self.generation);
         let mut attempt = 1u32;
         let watch = loop {
             let path = self.config.takeover_path.clone();
@@ -286,8 +343,17 @@ impl ProxyInstance {
             let info = self.handoff_info();
             let attempt_timeout = opts.attempt_timeout;
             let attempt_faults = Arc::clone(&faults);
+            let attempt_telemetry = Arc::clone(&stats.telemetry);
             let result = tokio::task::spawn_blocking(move || {
-                let server = bind_with_retry(&path)?;
+                let mut server = bind_with_retry(&path)?;
+                server.on_fd_pass_pause(move |pause_us| {
+                    attempt_telemetry.takeover_pause_us.record(pause_us);
+                    attempt_telemetry.event(
+                        ReleasePhase::FdPass,
+                        generation,
+                        format!("pause_us={pause_us}"),
+                    );
+                });
                 let mut inventory = ListenerInventory::new();
                 inventory.add_tcp(addr, listener);
                 server.serve_once_watched(&inventory, info, attempt_timeout, &*attempt_faults)
@@ -299,6 +365,11 @@ impl ProxyInstance {
                 Ok(watch) => break watch,
                 Err(e) if attempt >= opts.backoff.max_attempts => {
                     stats.injected_faults.add(faults.injected());
+                    stats.telemetry.event(
+                        ReleasePhase::Aborted,
+                        generation,
+                        format!("attempt {attempt} failed: {e}"),
+                    );
                     return Ok(SupervisedOutcome::AbortedKeepOld {
                         reason: format!("takeover attempt {attempt} failed: {e}"),
                         instance: self,
@@ -307,12 +378,20 @@ impl ProxyInstance {
                 Err(_) => {
                     stats.takeover_retries.bump();
                     let delay = opts.backoff.delay_ms(attempt, opts.seed);
+                    stats.telemetry.event(
+                        ReleasePhase::RetryBackoff,
+                        generation,
+                        format!("attempt={attempt} delay_ms={delay}"),
+                    );
                     tokio::time::sleep(Duration::from_millis(delay)).await;
                     attempt += 1;
                 }
             }
         };
         stats.injected_faults.add(faults.injected());
+        stats
+            .telemetry
+            .event(ReleasePhase::Confirm, generation, "successor confirmed");
 
         // Confirmed: the successor owns the accepts now; stop our own and
         // supervise its first health verdict before committing.
@@ -328,9 +407,17 @@ impl ProxyInstance {
 
         match health {
             Ok(true) => {
+                stats
+                    .telemetry
+                    .event(ReleasePhase::HealthReport, generation, "ok=true");
                 let _ = tokio::task::spawn_blocking(move || watch.release()).await;
                 self.reverse
                     .arm_force_close(Duration::from_millis(self.config.drain_ms));
+                stats.telemetry.event(
+                    ReleasePhase::Released,
+                    generation,
+                    "successor healthy; release stands",
+                );
                 Ok(SupervisedOutcome::Completed(Drained {
                     reverse: self.reverse,
                     generation: self.generation,
@@ -338,10 +425,18 @@ impl ProxyInstance {
             }
             outcome => {
                 let reason = match outcome {
-                    Ok(_) => "successor reported unhealthy".to_string(),
+                    Ok(_) => {
+                        stats
+                            .telemetry
+                            .event(ReleasePhase::HealthReport, generation, "ok=false");
+                        "successor reported unhealthy".to_string()
+                    }
                     Err(e) => format!("watch channel failed: {e}"),
                 };
                 stats.rollbacks.bump();
+                stats
+                    .telemetry
+                    .event(ReleasePhase::Rollback, generation, reason.clone());
                 // Reverse takeover. Best-effort: if the successor already
                 // died there is nobody to hand the FDs back — but our
                 // retained clone shares the kernel socket, so rebuilding
@@ -353,6 +448,11 @@ impl ProxyInstance {
                 let listener = self.handover_listener.try_clone()?;
                 let instance =
                     Self::from_std_listener(listener, self.generation, self.config.clone())?;
+                stats.telemetry.event(
+                    ReleasePhase::Reclaimed,
+                    generation,
+                    "old instance accepting again",
+                );
                 Ok(SupervisedOutcome::RolledBack { instance, reason })
             }
         }
@@ -368,6 +468,11 @@ impl ProxyInstance {
         tokio::task::spawn_blocking(move || release.serve_reclaim(&inventory, info))
             .await
             .expect("reclaim task panicked")?;
+        self.reverse.stats.telemetry.event(
+            ReleasePhase::Reclaimed,
+            u64::from(self.generation),
+            "sockets handed back to predecessor",
+        );
         self.reverse
             .drain_with_deadline(Duration::from_millis(self.config.drain_ms));
         Ok(Drained {
@@ -519,6 +624,52 @@ mod tests {
                 },
             }
         }
+    }
+
+    #[tokio::test]
+    async fn takeover_journals_phase_timeline_on_both_sides() {
+        let a = app().await;
+        let path = tmp_path("timeline");
+        let cfg = config(a.addr, path.clone());
+        let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+            .await
+            .unwrap();
+        let old_stats = old.stats();
+
+        let old_task = tokio::spawn(old.serve_one_takeover());
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+        let _drained = old_task.await.unwrap().unwrap();
+
+        // Predecessor: bound fresh, passed FDs, saw the confirm, flipped
+        // health, started draining.
+        let old_tl = old_stats.telemetry.timeline.snapshot();
+        assert!(
+            old_tl.contains_sequence(&[
+                ReleasePhase::Bind,
+                ReleasePhase::FdPass,
+                ReleasePhase::Confirm,
+                ReleasePhase::HealthFlip,
+                ReleasePhase::DrainStart,
+            ]),
+            "{old_tl:?}"
+        );
+        assert_eq!(old_stats.telemetry.takeover_pause_us.count(), 1);
+
+        // Successor: requested, received FDs, confirmed, bound (in that
+        // journal order), at generation 1.
+        let new_tl = new.reverse.stats.telemetry.timeline.snapshot();
+        assert!(
+            new_tl.contains_sequence(&[
+                ReleasePhase::TakeoverRequest,
+                ReleasePhase::FdPass,
+                ReleasePhase::Confirm,
+                ReleasePhase::Bind,
+            ]),
+            "{new_tl:?}"
+        );
+        assert!(new_tl.events.iter().all(|e| e.generation == 1), "{new_tl:?}");
+        assert_eq!(new.reverse.stats.telemetry.takeover_pause_us.count(), 1);
     }
 
     #[tokio::test]

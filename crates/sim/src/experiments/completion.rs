@@ -7,8 +7,8 @@
 use std::fmt;
 
 use zdr_core::mechanism::RestartStrategy;
-use zdr_core::metrics::percentile;
 use zdr_core::scheduler::{run_to_completion, ClusterRollout, RolloutPlan};
+use zdr_core::telemetry::HistogramSnapshot;
 use zdr_core::tier::Tier;
 
 /// Experiment parameters.
@@ -44,7 +44,9 @@ pub struct TierCompletion {
 impl TierCompletion {
     /// A percentile of the distribution, minutes.
     pub fn pct_minutes(&self, p: f64) -> f64 {
-        percentile(&self.completion_ms, p).unwrap_or(0.0) / 60_000.0
+        HistogramSnapshot::of_scaled(self.completion_ms.iter().copied(), 1.0)
+            .percentile_scaled(p, 1.0)
+            / 60_000.0
     }
 }
 

@@ -8,9 +8,17 @@
 
 use std::fmt;
 
-use zdr_core::metrics::percentile;
+use zdr_core::telemetry::HistogramSnapshot;
 
 use crate::cpu::{takeover_overhead_fraction, CpuModel};
+
+/// Fixed-point scale for overhead fractions (~1e-3..0.5): parts per
+/// million keeps them well inside the histogram's sub-bucket precision.
+const FRACTION_SCALE: f64 = 1e6;
+
+fn pct(values: impl IntoIterator<Item = f64>, p: f64) -> f64 {
+    HistogramSnapshot::of_scaled(values, FRACTION_SCALE).percentile_scaled(p, FRACTION_SCALE)
+}
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -68,12 +76,12 @@ impl Report {
 
     /// Median of a metric across machines.
     pub fn median(&self, f: impl Fn(&MachineOverhead) -> f64) -> f64 {
-        percentile(&self.collect(f), 50.0).unwrap_or(0.0)
+        pct(self.collect(f), 50.0)
     }
 
     /// p99 of a metric across machines.
     pub fn p99(&self, f: impl Fn(&MachineOverhead) -> f64) -> f64 {
-        percentile(&self.collect(f), 99.0).unwrap_or(0.0)
+        pct(self.collect(f), 99.0)
     }
 }
 
@@ -94,8 +102,8 @@ pub fn run(cfg: &Config) -> Report {
         for t in 0..cfg.drain_s {
             series.push(takeover_overhead_fraction(&cfg.cpu, t) * j);
         }
-        let cpu_median = percentile(&series, 50.0).unwrap_or(0.0);
-        let cpu_peak = percentile(&series, 100.0).unwrap_or(0.0);
+        let cpu_median = pct(series.iter().copied(), 50.0);
+        let cpu_peak = pct(series.iter().copied(), 100.0);
         // Throughput dip correlates (inverse-proportionally, §6.3) with the
         // CPU spike.
         let throughput_dip = cpu_peak * 0.8;

@@ -9,9 +9,14 @@
 
 use std::fmt;
 
-use zdr_core::metrics::percentile;
+use zdr_core::telemetry::HistogramSnapshot;
 
 use crate::workload::WorkloadSampler;
+
+/// Fixed-point scale for per-restart disruption fractions (~1e-6): parts
+/// per billion keeps three significant digits inside the histogram's
+/// 1/64-sub-bucket precision.
+const FRACTION_SCALE: f64 = 1e9;
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -82,18 +87,20 @@ pub struct Report {
 impl Report {
     /// Percentile of the *without-PPR* disruption fractions.
     pub fn interrupted_pct(&self, p: f64) -> f64 {
-        let v: Vec<f64> = self
-            .outcomes
-            .iter()
-            .map(|o| o.interrupted_fraction)
-            .collect();
-        percentile(&v, p).unwrap_or(0.0)
+        HistogramSnapshot::of_scaled(
+            self.outcomes.iter().map(|o| o.interrupted_fraction),
+            FRACTION_SCALE,
+        )
+        .percentile_scaled(p, FRACTION_SCALE)
     }
 
     /// Percentile of the with-PPR residual disruption fractions.
     pub fn disrupted_pct(&self, p: f64) -> f64 {
-        let v: Vec<f64> = self.outcomes.iter().map(|o| o.disrupted_fraction).collect();
-        percentile(&v, p).unwrap_or(0.0)
+        HistogramSnapshot::of_scaled(
+            self.outcomes.iter().map(|o| o.disrupted_fraction),
+            FRACTION_SCALE,
+        )
+        .percentile_scaled(p, FRACTION_SCALE)
     }
 
     /// Total requests saved by PPR over the window.

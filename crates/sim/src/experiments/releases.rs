@@ -5,8 +5,14 @@ use std::fmt;
 use zdr_core::calendar::{
     cause_fractions, hour_histogram, releases_per_week, ReleaseCalendar, ReleaseEvent, RootCause,
 };
-use zdr_core::metrics::percentile;
+use zdr_core::telemetry::HistogramSnapshot;
 use zdr_core::tier::Tier;
+
+/// Median of a set of f64 counts via the workspace histogram (counts are
+/// small integers, so the linear buckets keep this exact below 128).
+fn median(values: impl IntoIterator<Item = f64>) -> f64 {
+    HistogramSnapshot::of_scaled(values, 1.0).percentile_scaled(50.0, 1.0)
+}
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -48,24 +54,12 @@ pub struct Report {
 impl Report {
     /// Median weekly L7LB releases across clusters and weeks.
     pub fn l7lb_median_per_week(&self) -> f64 {
-        let all: Vec<f64> = self
-            .l7lb_weekly
-            .iter()
-            .flatten()
-            .map(|&c| c as f64)
-            .collect();
-        percentile(&all, 50.0).unwrap_or(0.0)
+        median(self.l7lb_weekly.iter().flatten().map(|&c| c as f64))
     }
 
     /// Median weekly App Server releases.
     pub fn app_median_per_week(&self) -> f64 {
-        let all: Vec<f64> = self
-            .app_weekly
-            .iter()
-            .flatten()
-            .map(|&c| c as f64)
-            .collect();
-        percentile(&all, 50.0).unwrap_or(0.0)
+        median(self.app_weekly.iter().flatten().map(|&c| c as f64))
     }
 
     /// Binary-update fraction (paper: ≈47%).
@@ -96,11 +90,12 @@ pub fn run(cfg: &Config) -> Report {
     }
 
     let causes = cause_fractions(&l7lb_events);
-    let commits: Vec<f64> = app_events.iter().map(|e| e.commits as f64).collect();
+    let commits =
+        HistogramSnapshot::of_scaled(app_events.iter().map(|e| e.commits as f64), 1.0);
     let commit_percentiles = (
-        percentile(&commits, 10.0).unwrap_or(0.0),
-        percentile(&commits, 50.0).unwrap_or(0.0),
-        percentile(&commits, 90.0).unwrap_or(0.0),
+        commits.percentile_scaled(10.0, 1.0),
+        commits.percentile_scaled(50.0, 1.0),
+        commits.percentile_scaled(90.0, 1.0),
     );
     let app_hour_histogram = hour_histogram(&app_events);
 

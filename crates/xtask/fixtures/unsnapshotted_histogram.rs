@@ -1,0 +1,23 @@
+//! Seeded violation for the `counter-in-snapshot` rule's telemetry
+//! extension: `connect_us` (a Histogram) and `timeline` (an EventRing)
+//! never reach the snapshot, so scrapes would silently miss them.
+pub struct Histogram(u64);
+pub struct EventRing(u64);
+
+pub struct DemoTelemetry {
+    pub latency_us: Histogram,
+    pub connect_us: Histogram,
+    pub timeline: EventRing,
+}
+
+pub struct Snap {
+    pub latency_us: u64,
+}
+
+impl DemoTelemetry {
+    pub fn snapshot(&self) -> Snap {
+        Snap {
+            latency_us: self.latency_us.0,
+        }
+    }
+}

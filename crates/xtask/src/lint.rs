@@ -14,9 +14,11 @@
 //! * **safety-comment** — every `unsafe` block, impl, or fn carries a
 //!   `// SAFETY:` comment on the line(s) immediately above the statement
 //!   that contains it.
-//! * **counter-in-snapshot** — every `Counter`-typed field of a stats
-//!   struct is referenced in that struct's `snapshot()` method, so a new
-//!   counter cannot silently vanish from the unified `StatsSnapshot`.
+//! * **counter-in-snapshot** — every `Counter`-, `Histogram`-, or
+//!   `EventRing`-typed field of a stats struct is referenced in that
+//!   struct's `snapshot()` method, so a new counter, latency histogram,
+//!   or phase timeline cannot silently vanish from the unified
+//!   `StatsSnapshot`.
 //!
 //! The walker is syn-based: rules see the AST (paths, calls, unsafe
 //! expressions, struct fields), not text, so `// Instant::now()` in a
@@ -97,8 +99,13 @@ pub fn lint_source(path: &Path, source: &str) -> Result<Vec<Violation>, syn::Err
     Ok(v)
 }
 
-/// A struct with `Counter`-typed fields: (name, line, counter fields).
-type CounterStruct = (String, usize, Vec<(String, usize)>);
+/// Field types whose values feed the unified snapshot; a field of any of
+/// these types must be read by its struct's `snapshot()` method.
+const SNAPSHOTTED_TYPES: [&str; 3] = ["Counter", "Histogram", "EventRing"];
+
+/// A struct with snapshot-tracked fields:
+/// (name, line, fields as (field name, type name, line)).
+type CounterStruct = (String, usize, Vec<(String, &'static str, usize)>);
 
 struct Walker<'a> {
     file: PathBuf,
@@ -206,8 +213,8 @@ impl Walker<'_> {
         }
     }
 
-    /// Post-pass: every Counter field must appear in its struct's
-    /// snapshot() body.
+    /// Post-pass: every Counter/Histogram/EventRing field must appear in
+    /// its struct's snapshot() body.
     fn check_counters_in_snapshots(&mut self) {
         let structs = std::mem::take(&mut self.counter_structs);
         for (name, struct_line, fields) in structs {
@@ -215,19 +222,22 @@ impl Walker<'_> {
                 self.push(
                     struct_line,
                     "counter-in-snapshot",
-                    format!("stats struct `{name}` has Counter fields but no snapshot() method"),
+                    format!(
+                        "stats struct `{name}` has Counter/Histogram/EventRing fields \
+                         but no snapshot() method"
+                    ),
                 );
                 continue;
             };
             let words: std::collections::HashSet<&str> = body
                 .split(|c: char| !c.is_alphanumeric() && c != '_')
                 .collect();
-            for (field, line) in fields {
+            for (field, ty, line) in fields {
                 if !words.contains(field.as_str()) {
                     self.push(
                         line,
                         "counter-in-snapshot",
-                        format!("counter `{name}.{field}` is never read by {name}::snapshot()"),
+                        format!("{ty} field `{name}.{field}` is never read by {name}::snapshot()"),
                     );
                 }
             }
@@ -358,14 +368,12 @@ impl<'ast> Visit<'ast> for Walker<'_> {
         if let syn::Fields::Named(named) = &s.fields {
             for field in &named.named {
                 if let syn::Type::Path(tp) = &field.ty {
-                    let is_counter = tp
-                        .path
-                        .segments
-                        .last()
-                        .is_some_and(|seg| seg.ident == "Counter");
-                    if is_counter {
+                    let tracked = tp.path.segments.last().and_then(|seg| {
+                        SNAPSHOTTED_TYPES.iter().find(|ty| seg.ident == **ty)
+                    });
+                    if let Some(ty) = tracked {
                         if let Some(ident) = &field.ident {
-                            counters.push((ident.to_string(), ident.span().start().line));
+                            counters.push((ident.to_string(), *ty, ident.span().start().line));
                         }
                     }
                 }
@@ -452,6 +460,38 @@ mod tests {
         );
         assert_eq!(rules(&v), vec!["counter-in-snapshot"], "{v:?}");
         assert!(v[0].message.contains("dropped"), "{v:?}");
+    }
+
+    #[test]
+    fn unsnapshotted_histogram_fixture_fails_per_field() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/unsnapshotted_histogram.rs"),
+        );
+        assert_eq!(
+            rules(&v),
+            vec!["counter-in-snapshot", "counter-in-snapshot"],
+            "{v:?}"
+        );
+        // The violation names the field's type, so the fix is obvious.
+        assert!(v[0].message.contains("Histogram field"), "{v:?}");
+        assert!(v[0].message.contains("connect_us"), "{v:?}");
+        assert!(v[1].message.contains("EventRing field"), "{v:?}");
+        assert!(v[1].message.contains("timeline"), "{v:?}");
+    }
+
+    #[test]
+    fn telemetry_bundle_shape_passes_when_snapshot_reads_all_fields() {
+        let src = "pub struct Histogram(u64);\n\
+                   pub struct EventRing(u64);\n\
+                   pub struct Bundle { pub lat: Histogram, pub tl: EventRing }\n\
+                   impl Bundle {\n\
+                   \x20   pub fn snapshot(&self) -> (u64, u64) {\n\
+                   \x20       (self.lat.0, self.tl.0)\n\
+                   \x20   }\n\
+                   }\n";
+        let v = lint_fixture("crates/demo/src/lib.rs", src);
+        assert!(v.is_empty(), "exhaustive snapshot flagged: {v:?}");
     }
 
     #[test]

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a checked-in schema.
+
+Dependency-free on purpose (CI runners only guarantee a bare python3):
+implements the JSON Schema subset the repo's schemas actually use —
+type (including union types and null), required, properties, items,
+enum, minimum, and $ref into #/definitions.
+
+Usage: validate_json.py SCHEMA.json DOCUMENT.json
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, TYPES[name])
+
+
+def resolve(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise SystemExit(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path):
+    errors = []
+    schema = resolve(schema, root)
+
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {declared}, got {type(value).__name__}")
+            return errors  # further checks would just cascade
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                errors.extend(validate(value[key], sub, root, f"{path}.{key}"))
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], root, f"{path}[{i}]"))
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    schema_path, doc_path = sys.argv[1], sys.argv[2]
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(doc_path) as f:
+        doc = json.load(f)
+    errors = validate(doc, schema, schema, "$")
+    if errors:
+        print(f"FAIL {doc_path} against {schema_path}:")
+        for e in errors:
+            print(f"  {e}")
+        raise SystemExit(1)
+    print(f"OK {doc_path} conforms to {schema_path}")
+
+
+if __name__ == "__main__":
+    main()

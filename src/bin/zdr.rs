@@ -27,15 +27,20 @@
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::broker::server as broker;
 use zero_downtime_release::core::resilience::{BreakerConfig, RetryBudgetConfig};
+use zero_downtime_release::core::telemetry::{AuditorConfig, DisruptionAuditor};
+use zero_downtime_release::proxy::admin::{spawn_admin, AdminHandle};
+use zero_downtime_release::proxy::conn_tracker::ConnTracker;
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge_with, spawn_origin_with};
 use zero_downtime_release::proxy::resilience::{ResilienceConfig, ShedConfig};
 use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
-use zero_downtime_release::proxy::stats::StatsSnapshot;
+use zero_downtime_release::proxy::service::DrainState;
+use zero_downtime_release::proxy::stats::{ProxyStats, StatsSnapshot};
 use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
 
 const USAGE: &str = "\
@@ -55,9 +60,18 @@ ROLES:
 
 COMMON OPTIONS:
   --listen ADDR          bind address (default 127.0.0.1:0)
-  --stats-json           print `STATS <json>` — one merged snapshot of every
-                         counter (proxy + DCR + QUIC + connection tracking) —
+  --stats-json           print `TIMELINE <json>` (the release phase journal)
+                         and `STATS <json>` — one merged snapshot of every
+                         counter, latency histogram, and timeline event —
                          when the role drains or exits
+
+TELEMETRY (proxy):
+  --admin-port PORT      loopback admin endpoint serving /stats, /healthz,
+                         and /metrics; 0 picks a free port; prints
+                         `ADMIN <addr>` once bound (scrapable mid-takeover)
+  --audit                sample the disruption signals (5xx, proxy errors,
+                         resets, MQTT drops) against an EWMA baseline; the
+                         release window opens at drain; prints `AUDIT <json>`
 
 RESILIENCE (proxy / edge / origin / quic):
   --shed-max-active N    shed new connections at/above N active (0 = off)
@@ -267,8 +281,95 @@ async fn wait_forever() {
 fn dump_stats(args: &Args, snapshot: &StatsSnapshot) {
     if args.flag("--stats-json") {
         announce(&format!(
+            "TIMELINE {}",
+            serde_json::to_string(&snapshot.telemetry.timeline).expect("timeline serializes")
+        ));
+        announce(&format!(
             "STATS {}",
             serde_json::to_string(snapshot).expect("snapshot serializes")
+        ));
+    }
+}
+
+/// Live scrape sources behind one lock, so the supervised loop can point
+/// the admin endpoint and the auditor at a rebuilt instance after a
+/// rollback without rebinding the admin port.
+struct ScrapeSources {
+    stats: Arc<ProxyStats>,
+    tracker: Arc<ConnTracker>,
+    drain: Arc<DrainState>,
+}
+
+type SharedSources = Arc<parking_lot::Mutex<ScrapeSources>>;
+
+fn sources_of(instance: &ProxyInstance) -> ScrapeSources {
+    ScrapeSources {
+        stats: instance.stats(),
+        tracker: Arc::clone(instance.reverse.tracker()),
+        drain: Arc::clone(instance.reverse.state()),
+    }
+}
+
+/// Spawns the admin endpoint when `--admin-port` was given and prints
+/// `ADMIN <addr>` so scripts and tests can find it.
+async fn maybe_spawn_admin(
+    args: &Args,
+    sources: &SharedSources,
+) -> Result<Option<AdminHandle>, String> {
+    let Some(port) = args.value("--admin-port") else {
+        return Ok(None);
+    };
+    let port: u16 = port.parse().map_err(|e| format!("bad --admin-port: {e}"))?;
+    let snap_src = Arc::clone(sources);
+    let health_src = Arc::clone(sources);
+    let handle = spawn_admin(
+        port,
+        move || {
+            let s = snap_src.lock();
+            s.stats.snapshot().merged(&s.tracker.snapshot())
+        },
+        move || !health_src.lock().drain.is_draining(),
+    )
+    .await
+    .map_err(|e| format!("admin endpoint: {e}"))?;
+    announce(&format!("ADMIN {}", handle.addr));
+    Ok(Some(handle))
+}
+
+type AuditorHandle = (Arc<DisruptionAuditor>, tokio::task::JoinHandle<()>);
+
+/// Samples the disruption signals every 50 ms: outside a release the
+/// deltas feed the EWMA baseline, and the release window opens the moment
+/// the drain signal fires.
+fn spawn_auditor(sources: &SharedSources) -> AuditorHandle {
+    let auditor = Arc::new(DisruptionAuditor::new(AuditorConfig::default()));
+    let task_auditor = Arc::clone(&auditor);
+    let task_sources = Arc::clone(sources);
+    let task = tokio::spawn(async move {
+        loop {
+            {
+                let s = task_sources.lock();
+                task_auditor.observe(s.stats.audit_totals());
+                if s.drain.is_draining() && !task_auditor.in_release() {
+                    task_auditor.begin_release();
+                }
+            }
+            tokio::time::sleep(Duration::from_millis(50)).await;
+        }
+    });
+    (auditor, task)
+}
+
+/// Takes a final reading, closes the release window, and prints
+/// `AUDIT <json>` (a no-disruption verdict when nothing was flagged).
+fn dump_audit(auditor: &Option<AuditorHandle>, stats: &ProxyStats) {
+    if let Some((auditor, task)) = auditor {
+        task.abort();
+        auditor.observe(stats.audit_totals());
+        let verdict = auditor.end_release();
+        announce(&format!(
+            "AUDIT {}",
+            serde_json::to_string(&verdict).expect("verdict serializes")
         ));
     }
 }
@@ -495,10 +596,13 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         "proxy generation {} serving on {}",
         instance.generation, instance.addr
     );
+    let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
+    let _admin = maybe_spawn_admin(args, &sources).await?;
+    let auditor = args.flag("--audit").then(|| spawn_auditor(&sources));
     ready(instance.addr);
 
     if supervised {
-        return run_proxy_supervised(args, instance).await;
+        return run_proxy_supervised(args, instance, &sources, &auditor).await;
     }
 
     // Serve until a successor takes over, then drain and exit — the real
@@ -514,6 +618,7 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
     );
     tokio::time::sleep(Duration::from_millis(args.u64_or("--drain-ms", 2_000)?)).await;
     dump_stats(args, &drained_snapshot(&drained));
+    dump_audit(&auditor, &drained.reverse.stats);
     announce("DRAINED");
     Ok(())
 }
@@ -530,8 +635,12 @@ fn drained_snapshot(drained: &zero_downtime_release::proxy::takeover::Drained) -
 /// Old-process side of a supervised release: serve takeovers, watch each
 /// successor, and on rollback/abort go right back to serving — the release
 /// failed, the users never noticed.
-async fn run_proxy_supervised(args: &Args, instance: ProxyInstance) -> Result<(), String> {
-    use std::sync::Arc;
+async fn run_proxy_supervised(
+    args: &Args,
+    instance: ProxyInstance,
+    sources: &SharedSources,
+    auditor: &Option<AuditorHandle>,
+) -> Result<(), String> {
     use zero_downtime_release::core::supervisor::BackoffSchedule;
     use zero_downtime_release::net::fault::NoFaults;
     use zero_downtime_release::proxy::takeover::{SupervisedOutcome, SupervisorOptions};
@@ -560,6 +669,7 @@ async fn run_proxy_supervised(args: &Args, instance: ProxyInstance) -> Result<()
                 );
                 tokio::time::sleep(Duration::from_millis(drain_ms)).await;
                 dump_stats(args, &drained_snapshot(&drained));
+                dump_audit(auditor, &drained.reverse.stats);
                 announce("DRAINED");
                 return Ok(());
             }
@@ -568,8 +678,19 @@ async fn run_proxy_supervised(args: &Args, instance: ProxyInstance) -> Result<()
                 reason,
             } => {
                 eprintln!("release rolled back: {reason}");
+                // One AUDIT line per release attempt: the window the
+                // rollback just closed, judged before the sources swap to
+                // the rebuilt instance's fresh counters.
+                if let Some((a, _)) = auditor {
+                    a.observe(sources.lock().stats.audit_totals());
+                    announce(&format!(
+                        "AUDIT {}",
+                        serde_json::to_string(&a.end_release()).expect("verdict serializes")
+                    ));
+                }
                 announce(&format!("ROLLBACK {reason}"));
                 instance = reclaimed;
+                *sources.lock() = sources_of(&instance);
             }
             SupervisedOutcome::AbortedKeepOld {
                 instance: kept,
@@ -599,6 +720,9 @@ async fn run_proxy_watched_successor(
         "proxy generation {} serving on {} (supervised)",
         instance.generation, instance.addr
     );
+    let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
+    let _admin = maybe_spawn_admin(args, &sources).await?;
+    let auditor = args.flag("--audit").then(|| spawn_auditor(&sources));
     ready(instance.addr);
 
     let report_ms = args.u64_or("--health-report-ms", 200)?;
@@ -631,6 +755,7 @@ async fn run_proxy_watched_successor(
             );
             tokio::time::sleep(Duration::from_millis(drain_ms)).await;
             dump_stats(args, &drained_snapshot(&drained));
+            dump_audit(&auditor, &drained.reverse.stats);
             announce("DRAINED");
         }
         ReclaimVerdict::Reclaimed => {
@@ -639,6 +764,7 @@ async fn run_proxy_watched_successor(
                 .await
                 .map_err(|e| e.to_string())?;
             eprintln!("generation {} handed the sockets back", drained.generation);
+            dump_audit(&auditor, &drained.reverse.stats);
             announce("RECLAIMED");
             tokio::time::sleep(Duration::from_millis(500)).await;
         }

@@ -1,0 +1,347 @@
+//! Release telemetry end to end: the admin endpoint is scraped *mid-drain*
+//! during a real Socket Takeover (the §2.5 evidence must be observable
+//! while the release is in flight), and the disruption auditor judges a
+//! clean takeover vs an injected 5xx burst.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::appserver::{self, AppServerConfig};
+use zero_downtime_release::core::sync::{AtomicBool, AtomicU64, Ordering};
+use zero_downtime_release::core::telemetry::{AuditorConfig, DisruptionAuditor, ReleasePhase};
+use zero_downtime_release::net::fault::{FaultAction, FaultInjector, FaultPoint};
+use zero_downtime_release::proto::http1::{serialize_request, Request, Response, ResponseParser};
+use zero_downtime_release::proxy::admin::spawn_admin;
+use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+use zero_downtime_release::proxy::stats::StatsSnapshot;
+use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+fn takeover_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-admintel-{tag}-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+async fn send(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr).await?;
+    stream.write_all(&serialize_request(req)).await?;
+    read_response(&mut stream, &mut ResponseParser::new()).await
+}
+
+async fn read_response(
+    stream: &mut TcpStream,
+    parser: &mut ResponseParser,
+) -> std::io::Result<Response> {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof",
+            ));
+        }
+        if let Some(resp) = parser.push(&buf[..n]).map_err(std::io::Error::other)? {
+            parser.reset();
+            return Ok(resp);
+        }
+    }
+}
+
+/// Drives `total` keep-alive requests at `addr` over four connections,
+/// reopening a connection whenever the proxy closes it (drain). Returns
+/// (responses with 200, responses with any other status); attempts that
+/// die before a response count in neither.
+async fn drive(addr: SocketAddr, total: u64) -> (u64, u64) {
+    let quota = Arc::new(AtomicU64::new(total));
+    let mut tasks = Vec::new();
+    for _ in 0..4 {
+        let quota = Arc::clone(&quota);
+        tasks.push(tokio::spawn(async move {
+            let mut ok = 0u64;
+            let mut other = 0u64;
+            let mut conn: Option<TcpStream> = None;
+            let mut parser = ResponseParser::new();
+            while quota
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| q.checked_sub(1))
+                .is_ok()
+            {
+                if conn.is_none() {
+                    match TcpStream::connect(addr).await {
+                        Ok(s) => {
+                            parser.reset();
+                            conn = Some(s);
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                let stream = conn.as_mut().expect("connection just established");
+                let req = Request::get("/load");
+                if stream.write_all(&serialize_request(&req)).await.is_err() {
+                    conn = None;
+                    continue;
+                }
+                match read_response(stream, &mut parser).await {
+                    Ok(resp) if resp.status.code == 200 => ok += 1,
+                    Ok(_) => other += 1,
+                    Err(_) => conn = None,
+                }
+            }
+            (ok, other)
+        }));
+    }
+    let mut ok = 0u64;
+    let mut other = 0u64;
+    for t in tasks {
+        let (o, x) = t.await.expect("load worker panicked");
+        ok += o;
+        other += x;
+    }
+    (ok, other)
+}
+
+async fn spawn_apps(n: usize) -> Vec<appserver::AppServerHandle> {
+    let mut apps = Vec::new();
+    for i in 0..n {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: format!("web-{i}"),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap(),
+        );
+    }
+    apps
+}
+
+#[tokio::test]
+async fn admin_scrape_mid_drain_sees_timeline_and_latency_histogram() {
+    let apps = spawn_apps(2).await;
+    let cfg = ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams: apps.iter().map(|a| a.addr).collect(),
+            upstream_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+        takeover_path: takeover_path("scrape"),
+        drain_ms: 3_000,
+    };
+    let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .await
+        .unwrap();
+    let addr = old.addr;
+
+    // The admin endpoint over the old generation's live sources — exactly
+    // what `zdr --admin-port` wires up.
+    let stats = Arc::clone(&old.reverse.stats);
+    let tracker = Arc::clone(old.reverse.tracker());
+    let drain = Arc::clone(old.reverse.state());
+    let scrape_stats = Arc::clone(&stats);
+    let admin = spawn_admin(
+        0,
+        move || scrape_stats.snapshot().merged(&tracker.snapshot()),
+        move || !drain.is_draining(),
+    )
+    .await
+    .unwrap();
+    assert_eq!(get(admin.addr, "/healthz").await.status.code, 200);
+
+    // ≥10k request-latency samples through generation 0.
+    let (ok, other) = drive(addr, 11_000).await;
+    assert_eq!(ok, 11_000, "pre-release load must be clean ({other} non-200)");
+
+    // Hold one keep-alive connection open so the drain stays in progress
+    // while we scrape.
+    let mut held = TcpStream::connect(addr).await.unwrap();
+    held.write_all(&serialize_request(&Request::get("/held")))
+        .await
+        .unwrap();
+    read_response(&mut held, &mut ResponseParser::new())
+        .await
+        .unwrap();
+
+    // The release: generation 1 takes the sockets over.
+    let old_task = tokio::spawn(old.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+    let drained = old_task.await.unwrap().unwrap();
+    assert_eq!(new.generation, 1);
+    // Let the last server-side latency record land before comparing counts.
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    // Mid-drain: the old generation is draining, its admin endpoint is
+    // still answering, and the new generation is serving the VIP.
+    assert!(drained.reverse.state().is_draining());
+    assert_eq!(get(admin.addr, "/healthz").await.status.code, 503);
+    assert_eq!(send(addr, &Request::get("/after")).await.unwrap().status.code, 200);
+
+    let resp = get(admin.addr, "/stats").await;
+    assert_eq!(resp.status.code, 200);
+    let snap: StatsSnapshot = serde_json::from_slice(&resp.body).unwrap();
+
+    // Full old-side phase sequence, with monotonic timestamps.
+    assert!(
+        snap.telemetry.timeline.contains_sequence(&[
+            ReleasePhase::Bind,
+            ReleasePhase::FdPass,
+            ReleasePhase::Confirm,
+            ReleasePhase::HealthFlip,
+            ReleasePhase::DrainStart,
+        ]),
+        "timeline: {:?}",
+        snap.telemetry.timeline.events
+    );
+    let events = &snap.telemetry.timeline.events;
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "{pair:?}");
+        assert!(pair[0].t_ms <= pair[1].t_ms, "{pair:?}");
+    }
+
+    // Histogram counts match the live counters: one latency sample per
+    // answered request (11k load + the held request), p99 present.
+    let h = &snap.telemetry.request_latency_us;
+    assert_eq!(h.count, snap.requests_ok + snap.responses_5xx, "{snap:?}");
+    assert!(h.count >= 10_000, "need ≥10k samples, got {}", h.count);
+    assert!(h.percentile(99.0).is_some());
+    assert_eq!(snap.telemetry.takeover_pause_us.count, 1);
+
+    // The Prometheus view renders the same series.
+    let resp = get(admin.addr, "/metrics").await;
+    assert_eq!(resp.status.code, 200);
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert!(
+        text.contains(&format!("zdr_request_latency_us_count {}", h.count)),
+        "{text}"
+    );
+    assert!(
+        text.contains("zdr_request_latency_us{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("zdr_requests_ok {}", snap.requests_ok)),
+        "{text}"
+    );
+    drop(held);
+}
+
+async fn get(addr: SocketAddr, target: &str) -> Response {
+    send(addr, &Request::get(target)).await.unwrap()
+}
+
+/// A toggleable injector: while on, every upstream connect dies — the
+/// §2.5 "irregular increase" burst, injected at `net::fault`'s
+/// [`FaultPoint::UpstreamConnect`] hook.
+#[derive(Default)]
+struct BurstFaults {
+    on: AtomicBool,
+    injected: AtomicU64,
+}
+
+impl FaultInjector for BurstFaults {
+    fn decide(&self, point: FaultPoint) -> FaultAction {
+        if point == FaultPoint::UpstreamConnect && self.on.load(Ordering::Acquire) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            FaultAction::Die
+        } else {
+            FaultAction::Proceed
+        }
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[tokio::test]
+async fn auditor_clears_a_clean_takeover_and_flags_a_5xx_burst() {
+    let apps = spawn_apps(2).await;
+    let faults = Arc::new(BurstFaults::default());
+    let cfg = ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams: apps.iter().map(|a| a.addr).collect(),
+            upstream_timeout: Duration::from_secs(2),
+            faults: Arc::clone(&faults) as Arc<dyn FaultInjector>,
+            ..Default::default()
+        },
+        takeover_path: takeover_path("audit"),
+        drain_ms: 500,
+    };
+    let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .await
+        .unwrap();
+    let addr = old.addr;
+    let old_stats = Arc::clone(&old.reverse.stats);
+
+    // Wider slack than production: a real drain can shed a handful of
+    // connections organically, and that must not fail the *clean* half.
+    let auditor = DisruptionAuditor::new(AuditorConfig {
+        absolute_slack: 0.05,
+        ..AuditorConfig::default()
+    });
+
+    // Baseline: three clean sampler windows through generation 0.
+    let totals = |new_stats: Option<&zero_downtime_release::proxy::stats::ProxyStats>| {
+        let mut snap = old_stats.snapshot();
+        if let Some(s) = new_stats {
+            snap = snap.merged(&s.snapshot());
+        }
+        snap.audit_totals()
+    };
+    auditor.observe(totals(None));
+    for _ in 0..3 {
+        let (ok, other) = drive(addr, 200).await;
+        assert_eq!((ok, other), (200, 0));
+        auditor.observe(totals(None));
+    }
+
+    // Clean release: a real takeover inside the audit window.
+    auditor.begin_release();
+    assert!(auditor.in_release());
+    let old_task = tokio::spawn(old.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+    old_task.await.unwrap().unwrap();
+    let (ok, _) = drive(addr, 400).await;
+    assert!(ok >= 300, "most release-window requests must succeed: {ok}");
+    auditor.observe(totals(Some(&new.reverse.stats)));
+    let verdict = auditor.end_release();
+    assert!(!verdict.insufficient_traffic, "{verdict:?}");
+    assert!(
+        !verdict.disrupted,
+        "clean takeover must yield a no-disruption verdict: {verdict:?}"
+    );
+
+    // Burst release: every upstream connect dies mid-window; the auditor
+    // must flag the 5xx signal.
+    auditor.begin_release();
+    faults.on.store(true, Ordering::Release);
+    let (ok, other) = drive(addr, 300).await;
+    faults.on.store(false, Ordering::Release);
+    assert!(other > 0, "burst must surface as non-200 responses ({ok} ok)");
+    auditor.observe(totals(Some(&new.reverse.stats)));
+    let verdict = auditor.end_release();
+    assert!(!verdict.insufficient_traffic, "{verdict:?}");
+    assert!(verdict.disrupted, "burst must be flagged: {verdict:?}");
+    assert!(
+        verdict
+            .signals
+            .iter()
+            .any(|s| s.flagged && (s.signal == "http_5xx" || s.signal == "proxy_errors")),
+        "{verdict:?}"
+    );
+    assert!(verdict.window_sample().disruptions > 0);
+    assert!(faults.injected() > 0);
+}
