@@ -1,0 +1,1161 @@
+//! Client-facing admission control: the layer that lets a release train
+//! proceed safely through a traffic storm.
+//!
+//! §6.2's hardest case is a release during peak traffic: a takeover under
+//! a connect storm is exactly when drain deadlines blow and disruption
+//! leaks to users. The accept-side [`LoadShedGate`] reacts to *aggregate*
+//! pressure (active connections, queue delay) — it cannot distinguish one
+//! abusive client from a fleet-wide storm, and by the time its signals
+//! move the storm is already inside the house. This module holds the two
+//! pure state machines that close that gap:
+//!
+//! * [`SlidingWindowLimiter`] — a lock-free per-client rate limiter: a
+//!   sharded fixed-size table keyed by client hash, two-bucket rotating
+//!   windows per slot, thresholds that tighten while a drain (or armed
+//!   protection) is in progress, and **fail-open on table pressure** —
+//!   when every probed slot belongs to someone else the arrival is
+//!   admitted, mirroring `l4lb::health::routable()`'s rule that an
+//!   all-down view serves everything rather than nothing.
+//! * [`ProtectionMode`] — a self-tripping Disarmed → Armed(reason) →
+//!   Cooling state machine that engages when a [`StormDetector`] sees a
+//!   timeout/refused/reset storm in the stats deltas, carries a
+//!   [`StormReason`] code, and disarms only after N consecutive stable
+//!   probe windows.
+//!
+//! Both take explicit `now_ms` timestamps (the [`crate::clock::Clock`]
+//! discipline), touch only atomics from the [`crate::sync`] facade, and
+//! follow the ordering audit convention of [`crate::resilience`]:
+//! single-variable CAS loops may be `Relaxed` (atomics have a total
+//! modification order per location); anything stronger names the pair it
+//! synchronizes. The arm/disarm CAS path is model-checked in
+//! `crates/core/tests/loom.rs`.
+//!
+//! [`LoadShedGate`]: ../../zdr_proxy/resilience/struct.LoadShedGate.html
+
+use crate::sync::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------
+// Sliding-window limiter
+// ---------------------------------------------------------------------
+
+/// Tunables for the per-client sliding-window limiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// New connections one client may open per window. `0` disables the
+    /// limiter entirely (fail open), matching the shed gate's zero-config
+    /// rule.
+    pub rate_per_window: u64,
+    /// Window length in milliseconds (minimum 1).
+    pub window_ms: u64,
+    /// Threshold multiplier (permille) applied while tightened — a drain
+    /// in progress or protection armed. 500 ⇒ half the configured rate.
+    /// The tightened limit never drops below 1: a legitimate client must
+    /// always be able to trickle through.
+    pub tightened_permille: u64,
+    /// Shards in the client table.
+    pub shards: usize,
+    /// Slots per shard. The table is fixed-size by design: admission must
+    /// never allocate on the accept path, so overflow fails open instead
+    /// of growing.
+    pub slots_per_shard: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_window: 0,
+            window_ms: 1_000,
+            tightened_permille: 500,
+            shards: 8,
+            slots_per_shard: 64,
+        }
+    }
+}
+
+/// Outcome of one admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Under the limit (or the limiter is disabled): accept the client.
+    Admitted,
+    /// Admitted *because the table was full*: every probed slot belongs to
+    /// another client, so this arrival could not be tracked. Counted
+    /// separately so operators can see when the table is undersized.
+    FailOpen,
+    /// Over the per-client limit: reject before any per-connection state
+    /// exists (HTTP 429, MQTT CONNACK refuse, QUIC close).
+    Rejected,
+}
+
+impl AdmitDecision {
+    /// True when the connection may proceed.
+    pub fn allowed(self) -> bool {
+        !matches!(self, AdmitDecision::Rejected)
+    }
+}
+
+/// Hashes a client IP into a non-zero table key (zero marks empty slots).
+pub fn client_key(ip: &std::net::IpAddr) -> u64 {
+    let folded = match ip {
+        std::net::IpAddr::V4(v4) => u32::from_be_bytes(v4.octets()) as u64,
+        std::net::IpAddr::V6(v6) => {
+            let o = v6.octets();
+            u64::from_be_bytes(o[..8].try_into().expect("8 bytes"))
+                ^ u64::from_be_bytes(o[8..].try_into().expect("8 bytes"))
+        }
+    };
+    let h = splitmix64(folded ^ 0xadb1_5510_c0de_0001);
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// splitmix64 — same generator the breaker jitter and fault injector use.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// Packed slot state: [epoch:24][prev:20][cur:20]. Epoch is the window
+// index (now_ms / window_ms) truncated to 24 bits — wraparound after ~16M
+// windows (194 days at 1 s windows) can at worst confuse one window's
+// counts for one client, which self-heals on the next arrival.
+const EPOCH_SHIFT: u32 = 40;
+const PREV_SHIFT: u32 = 20;
+const COUNT_MASK: u64 = (1 << 20) - 1;
+const EPOCH_MASK: u64 = (1 << 24) - 1;
+
+fn pack_slot(epoch: u64, prev: u64, cur: u64) -> u64 {
+    ((epoch & EPOCH_MASK) << EPOCH_SHIFT)
+        | ((prev & COUNT_MASK) << PREV_SHIFT)
+        | (cur & COUNT_MASK)
+}
+
+fn unpack_slot(word: u64) -> (u64, u64, u64) {
+    (
+        (word >> EPOCH_SHIFT) & EPOCH_MASK,
+        (word >> PREV_SHIFT) & COUNT_MASK,
+        word & COUNT_MASK,
+    )
+}
+
+/// One table slot: the owning client's key and its two rotating buckets.
+#[derive(Debug)]
+struct Slot {
+    /// Hashed client key; 0 = empty. Claimed by CAS, stolen (also by CAS)
+    /// when the resident entry has been idle for ≥ 2 windows.
+    key: AtomicU64,
+    /// Packed (epoch, prev-window count, current-window count).
+    state: AtomicU64,
+}
+
+/// Lock-free per-client sliding-window rate limiter.
+///
+/// Each client hashes to a shard and linearly probes a handful of slots.
+/// A slot counts arrivals in the current window (`cur`) and remembers the
+/// previous window's total (`prev`); the sliding estimate is the classic
+/// two-bucket interpolation `cur + prev × remaining-window-fraction`, so
+/// a burst at a window edge cannot double its budget. All decisions are
+/// CAS loops on one packed word per slot — the accept path never locks
+/// and never allocates.
+#[derive(Debug)]
+pub struct SlidingWindowLimiter {
+    config: AdmissionConfig,
+    shards: Vec<Vec<Slot>>,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    fail_open: AtomicU64,
+}
+
+impl SlidingWindowLimiter {
+    /// A limiter with the given tunables (table dimensions clamped ≥ 1).
+    pub fn new(config: AdmissionConfig) -> Self {
+        let shards = config.shards.max(1);
+        let slots = config.slots_per_shard.max(1);
+        SlidingWindowLimiter {
+            config,
+            shards: (0..shards)
+                .map(|_| {
+                    (0..slots)
+                        .map(|_| Slot {
+                            key: AtomicU64::new(0),
+                            state: AtomicU64::new(0),
+                        })
+                        .collect()
+                })
+                .collect(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            fail_open: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured tunables.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Arrivals admitted under the limit.
+    pub fn admitted(&self) -> u64 {
+        // Relaxed (here and in the peers below): monotonic reporting tally.
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Arrivals rejected over the limit.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Arrivals admitted because the table was full (fail-open).
+    pub fn fail_open(&self) -> u64 {
+        self.fail_open.load(Ordering::Relaxed)
+    }
+
+    /// The per-window limit in force: the configured rate, scaled by
+    /// `tightened_permille` (but never below 1) while `tightened`.
+    pub fn effective_limit(&self, tightened: bool) -> u64 {
+        let rate = self.config.rate_per_window;
+        if rate == 0 || !tightened {
+            return rate;
+        }
+        (rate.saturating_mul(self.config.tightened_permille) / 1000).max(1)
+    }
+
+    /// Decides one arrival from `key` at `now_ms`. `tightened` applies the
+    /// drain/protection threshold. Every arrival is counted — rejected
+    /// clients keep consuming their window, so a storming client does not
+    /// earn fresh budget by being refused.
+    pub fn check(&self, key: u64, now_ms: u64, tightened: bool) -> AdmitDecision {
+        let limit = self.effective_limit(tightened);
+        if limit == 0 {
+            // Disabled: fail open without touching the table.
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            return AdmitDecision::Admitted;
+        }
+        let window_ms = self.config.window_ms.max(1);
+        let epoch = (now_ms / window_ms) & EPOCH_MASK;
+        let Some(slot) = self.find_slot(key, epoch) else {
+            // Table pressure: every probed slot is owned by another live
+            // client. Fail open — over-admitting a storm is recoverable
+            // (the shed gate still stands behind us); refusing legitimate
+            // clients because a hash table is small is not.
+            self.fail_open.fetch_add(1, Ordering::Relaxed);
+            return AdmitDecision::FailOpen;
+        };
+        // Rotate-and-count CAS loop on the packed slot word.
+        loop {
+            let w = slot.state.load(Ordering::Relaxed);
+            let (e, prev, cur) = unpack_slot(w);
+            let (new_prev, new_cur) = if e == epoch {
+                (prev, (cur + 1).min(COUNT_MASK))
+            } else if epoch == (e + 1) & EPOCH_MASK {
+                // Window rolled once: current becomes previous.
+                (cur, 1)
+            } else {
+                // Idle ≥ 2 windows (or a clock skip): both buckets expired.
+                (0, 1)
+            };
+            let nw = pack_slot(epoch, new_prev, new_cur);
+            // Relaxed CAS: single-location loop; the slot word is the only
+            // state and per-location modification order is total.
+            if slot
+                .state
+                .compare_exchange(w, nw, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // Two-bucket sliding estimate: the previous window contributes
+            // its share of the still-uncovered window fraction.
+            let offset = now_ms % window_ms;
+            let estimate = new_cur + new_prev * (window_ms - offset) / window_ms;
+            return if estimate > limit {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                AdmitDecision::Rejected
+            } else {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                AdmitDecision::Admitted
+            };
+        }
+    }
+
+    /// Finds (or claims, or steals) the slot for `key`. `None` = pressure.
+    fn find_slot(&self, key: u64, epoch: u64) -> Option<&Slot> {
+        let shard = &self.shards[(splitmix64(key) % self.shards.len() as u64) as usize];
+        let slots = shard.len();
+        let start = (key % slots as u64) as usize;
+        let probes = slots.min(8);
+        // Pass 1: the key's own slot, or an empty one to claim.
+        for i in 0..probes {
+            let slot = &shard[(start + i) % slots];
+            // Relaxed loads/CAS: slot ownership is a single-location
+            // protocol; the state word is self-validating via its epoch.
+            let k = slot.key.load(Ordering::Relaxed);
+            if k == key {
+                return Some(slot);
+            }
+            if k == 0
+                && slot
+                    .key
+                    .compare_exchange(0, key, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(slot);
+            }
+            // Lost the claim race: the winner may have been us-by-proxy.
+            if slot.key.load(Ordering::Relaxed) == key {
+                return Some(slot);
+            }
+        }
+        // Pass 2: steal a slot whose entry has been idle ≥ 2 windows. A
+        // concurrent arrival from the evicted client can briefly co-write
+        // the state word; the mixed counts last at most one window and
+        // only ever over-count — admission stays safe, never stuck.
+        for i in 0..probes {
+            let slot = &shard[(start + i) % slots];
+            let (e, _, _) = unpack_slot(slot.state.load(Ordering::Relaxed));
+            let age = epoch.wrapping_sub(e) & EPOCH_MASK;
+            if age >= 2 {
+                let k = slot.key.load(Ordering::Relaxed);
+                if k != key
+                    && slot
+                        .key
+                        .compare_exchange(k, key, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_err()
+                {
+                    continue;
+                }
+                return Some(slot);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protection mode
+// ---------------------------------------------------------------------
+
+/// Why protection armed — the reason code carried through `/stats`, the
+/// `EventRing` timeline, and Prometheus. Every variant must be rendered
+/// in the admin `/metrics` output; the repo linter (rule
+/// `protection-reason-metrics`) enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StormReason {
+    /// Requests dying on expired deadlines (a wedged upstream tier).
+    TimeoutStorm,
+    /// Accept-side refusals spiking (shed gate + admission rejects).
+    RefusedStorm,
+    /// Connections resetting in bulk (restart gone wrong, network event).
+    ResetStorm,
+    /// Raw accept rate spiking before anything is refused yet — the early
+    /// warning a SYN/connect flood gives while still being absorbed.
+    ConnectFlood,
+}
+
+/// All reason codes, in [`StormDetector`] priority order.
+pub const STORM_REASONS: [StormReason; 4] = [
+    StormReason::TimeoutStorm,
+    StormReason::RefusedStorm,
+    StormReason::ResetStorm,
+    StormReason::ConnectFlood,
+];
+
+impl StormReason {
+    /// Stable label used in JSON, Prometheus, and timeline details.
+    pub fn name(self) -> &'static str {
+        match self {
+            StormReason::TimeoutStorm => "timeout_storm",
+            StormReason::RefusedStorm => "refused_storm",
+            StormReason::ResetStorm => "reset_storm",
+            StormReason::ConnectFlood => "connect_flood",
+        }
+    }
+
+    /// Stable numeric code (1-based; 0 means "no reason" in snapshots).
+    pub fn code(self) -> u64 {
+        match self {
+            StormReason::TimeoutStorm => 1,
+            StormReason::RefusedStorm => 2,
+            StormReason::ResetStorm => 3,
+            StormReason::ConnectFlood => 4,
+        }
+    }
+
+    /// Inverse of [`StormReason::code`].
+    pub fn from_code(code: u64) -> Option<StormReason> {
+        STORM_REASONS.into_iter().find(|r| r.code() == code)
+    }
+}
+
+/// Protection states. Packed into two bits of [`ProtectionMode`]'s word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ProtectionState {
+    /// Normal operation.
+    Disarmed,
+    /// A storm is in progress: admission thresholds are tightened.
+    Armed,
+    /// The storm has quieted; counting stable windows toward disarm.
+    /// Thresholds stay tightened until the full disarm — a storm that
+    /// pauses for one window must not win its budget back.
+    Cooling,
+}
+
+/// State-change edge reported by [`ProtectionMode::observe_window`], for
+/// stats counters and the release timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectionTransition {
+    /// Disarmed/Cooling → Armed with the given reason.
+    Armed(StormReason),
+    /// Armed → Cooling: first stable window seen.
+    Cooling,
+    /// Cooling → Disarmed: N consecutive stable windows observed.
+    Disarmed,
+}
+
+// Packed protection word: [state:2][reason:3][stable:16].
+const P_STATE_SHIFT: u32 = 62;
+const P_REASON_SHIFT: u32 = 59;
+const P_REASON_MASK: u64 = 0b111;
+const P_STABLE_MASK: u64 = (1 << 16) - 1;
+
+fn pack_protection(state: ProtectionState, reason: u64, stable: u64) -> u64 {
+    let s = match state {
+        ProtectionState::Disarmed => 0u64,
+        ProtectionState::Armed => 1,
+        ProtectionState::Cooling => 2,
+    };
+    (s << P_STATE_SHIFT) | ((reason & P_REASON_MASK) << P_REASON_SHIFT) | (stable & P_STABLE_MASK)
+}
+
+fn unpack_protection(word: u64) -> (ProtectionState, u64, u64) {
+    let state = match word >> P_STATE_SHIFT {
+        0 => ProtectionState::Disarmed,
+        1 => ProtectionState::Armed,
+        _ => ProtectionState::Cooling,
+    };
+    (
+        state,
+        (word >> P_REASON_SHIFT) & P_REASON_MASK,
+        word & P_STABLE_MASK,
+    )
+}
+
+/// The self-tripping protection state machine: Disarmed → Armed(reason) →
+/// Cooling → Disarmed, all in one packed atomic word.
+///
+/// One [`ProtectionMode::observe_window`] call per probe window (stormy or
+/// stable) drives every transition; racing observers resolve through the
+/// CAS loop so each edge is reported exactly once — the loom model
+/// `protection_arm_disarm_single_edge` checks it.
+#[derive(Debug)]
+pub struct ProtectionMode {
+    word: AtomicU64,
+}
+
+impl Default for ProtectionMode {
+    fn default() -> Self {
+        ProtectionMode {
+            word: AtomicU64::new(pack_protection(ProtectionState::Disarmed, 0, 0)),
+        }
+    }
+}
+
+impl ProtectionMode {
+    /// A disarmed machine.
+    pub fn new() -> Self {
+        ProtectionMode::default()
+    }
+
+    /// Current state (racy snapshot, reporting only).
+    pub fn state(&self) -> ProtectionState {
+        // Relaxed: reporting read; nothing is published through it.
+        unpack_protection(self.word.load(Ordering::Relaxed)).0
+    }
+
+    /// True while thresholds are tightened (Armed or Cooling).
+    pub fn engaged(&self) -> bool {
+        !matches!(self.state(), ProtectionState::Disarmed)
+    }
+
+    /// The active reason code, if armed or cooling.
+    pub fn reason(&self) -> Option<StormReason> {
+        let (state, reason, _) = unpack_protection(self.word.load(Ordering::Relaxed));
+        match state {
+            ProtectionState::Disarmed => None,
+            _ => StormReason::from_code(reason),
+        }
+    }
+
+    /// Snapshot codes for serialization: `(engaged as 0/1, reason code)`.
+    pub fn snapshot_codes(&self) -> (u64, u64) {
+        let (state, reason, _) = unpack_protection(self.word.load(Ordering::Relaxed));
+        match state {
+            ProtectionState::Disarmed => (0, 0),
+            _ => (1, reason),
+        }
+    }
+
+    /// Folds one probe window in: `storm` is the window's classification
+    /// (`None` = stable). `disarm_successes` is the N consecutive stable
+    /// windows required to disarm (clamped ≥ 1). Returns the edge taken,
+    /// if any — exactly one racing caller reports each edge.
+    pub fn observe_window(
+        &self,
+        storm: Option<StormReason>,
+        disarm_successes: u32,
+    ) -> Option<ProtectionTransition> {
+        let need = (disarm_successes.max(1) as u64).min(P_STABLE_MASK);
+        loop {
+            // Relaxed loads and CAS throughout: the machine is one atomic
+            // word, so the CAS loop alone gives each edge a unique winner
+            // (total modification order per location). No payload is
+            // published through the word — reason codes ride inside it.
+            let w = self.word.load(Ordering::Relaxed);
+            let (state, reason, stable) = unpack_protection(w);
+            let (nw, edge) = match (state, storm) {
+                (ProtectionState::Disarmed, None) => return None,
+                (ProtectionState::Disarmed, Some(r)) | (ProtectionState::Cooling, Some(r)) => (
+                    pack_protection(ProtectionState::Armed, r.code(), 0),
+                    Some(ProtectionTransition::Armed(r)),
+                ),
+                // Already armed: the storm continues; nothing to report.
+                (ProtectionState::Armed, Some(_)) => return None,
+                (ProtectionState::Armed, None) => {
+                    if need <= 1 {
+                        (
+                            pack_protection(ProtectionState::Disarmed, 0, 0),
+                            Some(ProtectionTransition::Disarmed),
+                        )
+                    } else {
+                        (
+                            pack_protection(ProtectionState::Cooling, reason, 1),
+                            Some(ProtectionTransition::Cooling),
+                        )
+                    }
+                }
+                (ProtectionState::Cooling, None) => {
+                    let n = stable + 1;
+                    if n >= need {
+                        (
+                            pack_protection(ProtectionState::Disarmed, 0, 0),
+                            Some(ProtectionTransition::Disarmed),
+                        )
+                    } else {
+                        (pack_protection(ProtectionState::Cooling, reason, n), None)
+                    }
+                }
+            };
+            if self
+                .word
+                .compare_exchange(w, nw, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return edge;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storm detection
+// ---------------------------------------------------------------------
+
+/// Tunables for storm detection and disarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectionConfig {
+    /// Events (per probe window, per signal) that classify the window as a
+    /// storm. `0` disables detection entirely (fail open).
+    pub arm_threshold: u64,
+    /// Consecutive stable probe windows required to disarm.
+    pub disarm_successes: u32,
+    /// Probe window length in milliseconds (minimum 1).
+    pub probe_window_ms: u64,
+}
+
+impl Default for ProtectionConfig {
+    fn default() -> Self {
+        ProtectionConfig {
+            arm_threshold: 0,
+            disarm_successes: 3,
+            probe_window_ms: 100,
+        }
+    }
+}
+
+/// Cumulative storm-signal totals, straight off the live stats counters —
+/// deltas are computed inside the detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StormSignals {
+    /// Connections accepted (raw arrival pressure).
+    pub connects: u64,
+    /// Requests dead on expired deadlines.
+    pub timeouts: u64,
+    /// Accept-side refusals (load shed + admission rejects).
+    pub refusals: u64,
+    /// Connections reset.
+    pub resets: u64,
+}
+
+/// Classifies one window's deltas: the first signal at or over the
+/// threshold wins, in [`STORM_REASONS`] priority order — failure signals
+/// (timeouts, refusals, resets) outrank the raw connect rate, so the
+/// reason names what is *breaking*, not merely what is loud.
+pub fn classify_storm(delta: StormSignals, arm_threshold: u64) -> Option<StormReason> {
+    if arm_threshold == 0 {
+        return None;
+    }
+    for reason in STORM_REASONS {
+        let value = match reason {
+            StormReason::TimeoutStorm => delta.timeouts,
+            StormReason::RefusedStorm => delta.refusals,
+            StormReason::ResetStorm => delta.resets,
+            StormReason::ConnectFlood => delta.connects,
+        };
+        if value >= arm_threshold {
+            return Some(reason);
+        }
+    }
+    None
+}
+
+/// Windowed delta sampler driving a [`ProtectionMode`].
+///
+/// Callers feed cumulative [`StormSignals`] from any vantage (the accept
+/// path, a sampler loop); once per probe window exactly one caller wins
+/// the window CAS, computes the deltas, classifies them, and folds the
+/// verdict into the protection machine. Lock-free and allocation-free, so
+/// it can sit directly on the accept path.
+#[derive(Debug)]
+pub struct StormDetector {
+    config: ProtectionConfig,
+    /// Start of the open probe window; 0 = no sample taken yet.
+    window_start_ms: AtomicU64,
+    last_connects: AtomicU64,
+    last_timeouts: AtomicU64,
+    last_refusals: AtomicU64,
+    last_resets: AtomicU64,
+}
+
+impl StormDetector {
+    /// A detector with the given tunables.
+    pub fn new(config: ProtectionConfig) -> Self {
+        StormDetector {
+            config,
+            window_start_ms: AtomicU64::new(0),
+            last_connects: AtomicU64::new(0),
+            last_timeouts: AtomicU64::new(0),
+            last_refusals: AtomicU64::new(0),
+            last_resets: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured tunables.
+    pub fn config(&self) -> &ProtectionConfig {
+        &self.config
+    }
+
+    /// Feeds one reading of cumulative totals at `now_ms`. Returns the
+    /// protection edge taken, if this call closed a probe window that
+    /// caused one. Callers bump stats / record timeline events on `Some`.
+    pub fn observe(
+        &self,
+        totals: StormSignals,
+        now_ms: u64,
+        protection: &ProtectionMode,
+    ) -> Option<ProtectionTransition> {
+        if self.config.arm_threshold == 0 {
+            return None;
+        }
+        let window = self.config.probe_window_ms.max(1);
+        // Relaxed load + CAS: the window-start word is the only gate; one
+        // winner per window by per-location modification order. The
+        // baseline totals below are only ever written by a window winner,
+        // so winner-to-winner visibility is what matters — and each winner
+        // is ordered through this same CAS location.
+        let start = self.window_start_ms.load(Ordering::Relaxed);
+        if start == 0 {
+            // First reading: establish the baseline, no verdict yet.
+            if self
+                .window_start_ms
+                .compare_exchange(0, now_ms.max(1), Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.store_baseline(totals);
+            }
+            return None;
+        }
+        if now_ms < start.saturating_add(window) {
+            return None;
+        }
+        if self
+            .window_start_ms
+            .compare_exchange(start, now_ms.max(1), Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            // Another caller closed this window.
+            return None;
+        }
+        let delta = StormSignals {
+            connects: totals
+                .connects
+                .saturating_sub(self.last_connects.load(Ordering::Relaxed)),
+            timeouts: totals
+                .timeouts
+                .saturating_sub(self.last_timeouts.load(Ordering::Relaxed)),
+            refusals: totals
+                .refusals
+                .saturating_sub(self.last_refusals.load(Ordering::Relaxed)),
+            resets: totals
+                .resets
+                .saturating_sub(self.last_resets.load(Ordering::Relaxed)),
+        };
+        self.store_baseline(totals);
+        let storm = classify_storm(delta, self.config.arm_threshold);
+        protection.observe_window(storm, self.config.disarm_successes)
+    }
+
+    fn store_baseline(&self, totals: StormSignals) {
+        // Relaxed: only window winners write these, and winners are
+        // serialized through the window_start_ms CAS (see observe).
+        self.last_connects.store(totals.connects, Ordering::Relaxed);
+        self.last_timeouts.store(totals.timeouts, Ordering::Relaxed);
+        self.last_refusals.store(totals.refusals, Ordering::Relaxed);
+        self.last_resets.store(totals.resets, Ordering::Relaxed);
+    }
+}
+
+// not(loom): loom atomics panic outside a loom::model run; the arm/disarm
+// CAS model lives in crates/core/tests/loom.rs.
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn limiter(rate: u64, window_ms: u64) -> SlidingWindowLimiter {
+        SlidingWindowLimiter::new(AdmissionConfig {
+            rate_per_window: rate,
+            window_ms,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn disabled_limiter_admits_everything() {
+        let l = limiter(0, 1_000);
+        for i in 0..1_000 {
+            assert_eq!(l.check(42, i, i % 2 == 0), AdmitDecision::Admitted);
+        }
+        assert_eq!(l.admitted(), 1_000);
+        assert_eq!(l.rejected(), 0);
+    }
+
+    #[test]
+    fn per_client_limit_is_enforced_independently() {
+        let l = limiter(3, 1_000);
+        for _ in 0..3 {
+            assert!(l.check(1, 10, false).allowed());
+        }
+        assert_eq!(l.check(1, 10, false), AdmitDecision::Rejected);
+        // A different client has its own budget.
+        assert_eq!(l.check(2, 10, false), AdmitDecision::Admitted);
+        assert_eq!(l.rejected(), 1);
+        assert_eq!(l.admitted(), 4);
+    }
+
+    #[test]
+    fn rejected_arrivals_still_consume_the_window() {
+        let l = limiter(2, 1_000);
+        for _ in 0..10 {
+            l.check(7, 100, false);
+        }
+        // Early in the next window the previous window's 10 arrivals still
+        // weigh in via the sliding estimate: no fresh budget for storming.
+        assert_eq!(l.check(7, 1_050, false), AdmitDecision::Rejected);
+    }
+
+    #[test]
+    fn sliding_estimate_decays_across_the_window() {
+        let l = limiter(4, 1_000);
+        for _ in 0..4 {
+            assert!(l.check(9, 500, false).allowed());
+        }
+        assert_eq!(l.check(9, 900, false), AdmitDecision::Rejected);
+        // Late in the NEXT window the previous 5 arrivals have decayed to
+        // 5 × 0.1 = 0.5 → 0 in integer math; budget is back.
+        assert_eq!(l.check(9, 1_900, false), AdmitDecision::Admitted);
+    }
+
+    #[test]
+    fn idle_clients_expire_after_two_windows() {
+        let l = limiter(1, 100);
+        assert!(l.check(5, 0, false).allowed());
+        assert_eq!(l.check(5, 10, false), AdmitDecision::Rejected);
+        // A clock skip of many windows: both buckets expired.
+        assert_eq!(l.check(5, 10_000, false), AdmitDecision::Admitted);
+    }
+
+    #[test]
+    fn tightened_threshold_halves_but_never_hits_zero() {
+        let l = limiter(4, 1_000);
+        assert_eq!(l.effective_limit(false), 4);
+        assert_eq!(l.effective_limit(true), 2);
+        let one = limiter(1, 1_000);
+        assert_eq!(one.effective_limit(true), 1, "tightened floor is 1");
+        // Tightened: third arrival in-window is over the halved limit.
+        assert!(l.check(3, 0, true).allowed());
+        assert!(l.check(3, 0, true).allowed());
+        assert_eq!(l.check(3, 0, true), AdmitDecision::Rejected);
+    }
+
+    #[test]
+    fn table_pressure_fails_open() {
+        let l = SlidingWindowLimiter::new(AdmissionConfig {
+            rate_per_window: 1,
+            window_ms: 1_000,
+            shards: 1,
+            slots_per_shard: 2,
+            ..Default::default()
+        });
+        // Fill both slots with live entries, then present fresh keys until
+        // one cannot be seated (probing may wrap to an owned slot).
+        let mut seated = 0u64;
+        let mut failed_open = false;
+        for key in 1..=64u64 {
+            match l.check(key, 10, false) {
+                AdmitDecision::FailOpen => {
+                    failed_open = true;
+                    break;
+                }
+                AdmitDecision::Admitted => seated += 1,
+                AdmitDecision::Rejected => panic!("fresh key rejected"),
+            }
+        }
+        assert!(failed_open, "full table must fail open (seated {seated})");
+        assert!(l.fail_open() >= 1);
+    }
+
+    #[test]
+    fn stale_slots_are_stolen_not_failed_open() {
+        let l = SlidingWindowLimiter::new(AdmissionConfig {
+            rate_per_window: 1,
+            window_ms: 100,
+            shards: 1,
+            slots_per_shard: 2,
+            ..Default::default()
+        });
+        assert!(l.check(1, 0, false).allowed());
+        assert!(l.check(2, 0, false).allowed());
+        // Two windows later both entries are stale: a new client takes a
+        // slot over instead of failing open.
+        assert_eq!(l.check(3, 250, false), AdmitDecision::Admitted);
+        assert_eq!(l.fail_open(), 0);
+    }
+
+    #[test]
+    fn client_keys_are_nonzero_and_spread() {
+        let a: std::net::IpAddr = "10.0.0.1".parse().unwrap();
+        let b: std::net::IpAddr = "10.0.0.2".parse().unwrap();
+        let c: std::net::IpAddr = "2001:db8::1".parse().unwrap();
+        assert_ne!(client_key(&a), 0);
+        assert_ne!(client_key(&a), client_key(&b));
+        assert_ne!(client_key(&a), client_key(&c));
+        assert_eq!(client_key(&a), client_key(&a), "stable per client");
+    }
+
+    #[test]
+    fn protection_arms_cools_and_disarms_after_n_stable_windows() {
+        let p = ProtectionMode::new();
+        assert_eq!(p.state(), ProtectionState::Disarmed);
+        assert!(!p.engaged());
+        assert_eq!(
+            p.observe_window(Some(StormReason::RefusedStorm), 3),
+            Some(ProtectionTransition::Armed(StormReason::RefusedStorm))
+        );
+        assert!(p.engaged());
+        assert_eq!(p.reason(), Some(StormReason::RefusedStorm));
+        assert_eq!(p.snapshot_codes(), (1, StormReason::RefusedStorm.code()));
+        // Storm continues: no new edge.
+        assert_eq!(p.observe_window(Some(StormReason::RefusedStorm), 3), None);
+        // Stable window 1: Armed → Cooling; thresholds stay tightened.
+        assert_eq!(
+            p.observe_window(None, 3),
+            Some(ProtectionTransition::Cooling)
+        );
+        assert!(p.engaged(), "cooling keeps thresholds tightened");
+        assert_eq!(p.reason(), Some(StormReason::RefusedStorm));
+        // Stable window 2: still cooling, no edge.
+        assert_eq!(p.observe_window(None, 3), None);
+        // Stable window 3: disarm.
+        assert_eq!(
+            p.observe_window(None, 3),
+            Some(ProtectionTransition::Disarmed)
+        );
+        assert!(!p.engaged());
+        assert_eq!(p.reason(), None);
+        assert_eq!(p.snapshot_codes(), (0, 0));
+    }
+
+    #[test]
+    fn storm_during_cooling_rearms_and_resets_the_count() {
+        let p = ProtectionMode::new();
+        p.observe_window(Some(StormReason::TimeoutStorm), 2);
+        assert_eq!(
+            p.observe_window(None, 2),
+            Some(ProtectionTransition::Cooling)
+        );
+        // The storm returns mid-cooldown: re-arm (possibly new reason).
+        assert_eq!(
+            p.observe_window(Some(StormReason::ResetStorm), 2),
+            Some(ProtectionTransition::Armed(StormReason::ResetStorm))
+        );
+        assert_eq!(p.reason(), Some(StormReason::ResetStorm));
+        // Disarm requires the full N stable windows again.
+        assert_eq!(
+            p.observe_window(None, 2),
+            Some(ProtectionTransition::Cooling)
+        );
+        assert_eq!(
+            p.observe_window(None, 2),
+            Some(ProtectionTransition::Disarmed)
+        );
+    }
+
+    #[test]
+    fn disarm_successes_of_one_skips_cooling() {
+        let p = ProtectionMode::new();
+        p.observe_window(Some(StormReason::ConnectFlood), 1);
+        assert_eq!(
+            p.observe_window(None, 1),
+            Some(ProtectionTransition::Disarmed)
+        );
+        assert_eq!(p.state(), ProtectionState::Disarmed);
+    }
+
+    #[test]
+    fn classify_prioritizes_failure_signals_over_connect_rate() {
+        let t = 10;
+        let mk = |connects, timeouts, refusals, resets| StormSignals {
+            connects,
+            timeouts,
+            refusals,
+            resets,
+        };
+        assert_eq!(classify_storm(mk(0, 0, 0, 0), t), None);
+        assert_eq!(classify_storm(mk(9, 9, 9, 9), t), None);
+        assert_eq!(
+            classify_storm(mk(100, 10, 50, 0), t),
+            Some(StormReason::TimeoutStorm)
+        );
+        assert_eq!(
+            classify_storm(mk(100, 0, 50, 20), t),
+            Some(StormReason::RefusedStorm)
+        );
+        assert_eq!(
+            classify_storm(mk(100, 0, 0, 20), t),
+            Some(StormReason::ResetStorm)
+        );
+        assert_eq!(
+            classify_storm(mk(100, 0, 0, 0), t),
+            Some(StormReason::ConnectFlood)
+        );
+        // Threshold 0 disables detection entirely.
+        assert_eq!(classify_storm(mk(1_000_000, 1_000, 1_000, 1_000), 0), None);
+    }
+
+    #[test]
+    fn reason_codes_round_trip_and_names_are_stable() {
+        for r in STORM_REASONS {
+            assert_eq!(StormReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(StormReason::from_code(0), None);
+        assert_eq!(StormReason::TimeoutStorm.name(), "timeout_storm");
+        assert_eq!(StormReason::RefusedStorm.name(), "refused_storm");
+        assert_eq!(StormReason::ResetStorm.name(), "reset_storm");
+        assert_eq!(StormReason::ConnectFlood.name(), "connect_flood");
+        let json = serde_json::to_string(&StormReason::RefusedStorm).unwrap();
+        assert_eq!(json, "\"refused_storm\"");
+    }
+
+    #[test]
+    fn detector_arms_on_a_refusal_spike_and_disarms_after_quiet_windows() {
+        let p = ProtectionMode::new();
+        let d = StormDetector::new(ProtectionConfig {
+            arm_threshold: 10,
+            disarm_successes: 2,
+            probe_window_ms: 100,
+        });
+        let totals = |connects, refusals| StormSignals {
+            connects,
+            refusals,
+            ..Default::default()
+        };
+        // Baseline reading.
+        assert_eq!(d.observe(totals(5, 0), 10, &p), None);
+        // Mid-window readings do nothing.
+        assert_eq!(d.observe(totals(40, 20), 50, &p), None);
+        // Window closes: refusals delta 30 ≥ 10 → armed.
+        assert_eq!(
+            d.observe(totals(60, 30), 120, &p),
+            Some(ProtectionTransition::Armed(StormReason::RefusedStorm))
+        );
+        // Quiet window → cooling; second quiet window → disarmed.
+        assert_eq!(
+            d.observe(totals(62, 30), 230, &p),
+            Some(ProtectionTransition::Cooling)
+        );
+        assert_eq!(
+            d.observe(totals(64, 30), 340, &p),
+            Some(ProtectionTransition::Disarmed)
+        );
+        assert!(!p.engaged());
+    }
+
+    #[test]
+    fn detector_disabled_by_zero_threshold() {
+        let p = ProtectionMode::new();
+        let d = StormDetector::new(ProtectionConfig::default());
+        let flood = StormSignals {
+            connects: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(d.observe(flood, 1_000, &p), None);
+        assert_eq!(d.observe(flood, 2_000, &p), None);
+        assert!(!p.engaged());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Within one window, once a client is rejected it stays
+            /// rejected for the rest of that window: the sliding estimate
+            /// is monotone non-decreasing under continued arrivals.
+            #[test]
+            fn rejection_is_monotone_within_a_window(
+                rate in 1u64..20,
+                window_ms in 10u64..2_000,
+                arrivals in 2usize..200,
+                key in 1u64..u64::MAX,
+            ) {
+                let l = SlidingWindowLimiter::new(AdmissionConfig {
+                    rate_per_window: rate,
+                    window_ms,
+                    ..Default::default()
+                });
+                let now = window_ms * 5 + window_ms / 3;
+                let mut seen_reject = false;
+                for _ in 0..arrivals {
+                    match l.check(key, now, false) {
+                        AdmitDecision::Rejected => seen_reject = true,
+                        AdmitDecision::Admitted => {
+                            prop_assert!(!seen_reject, "admit after reject in one window");
+                        }
+                        AdmitDecision::FailOpen => unreachable!("single key cannot pressure"),
+                    }
+                }
+                prop_assert!(seen_reject, "rate {rate} never rejected {arrivals} arrivals");
+            }
+
+            /// Under arbitrary forward clock skips (the mockable
+            /// `core::clock` only moves forward), a skip of ≥ 2 windows
+            /// always restores the client's full budget — two-bucket state
+            /// expires, it never leaks into the distant future.
+            #[test]
+            fn budget_recovers_after_clock_skips(
+                rate in 1u64..10,
+                window_ms in 10u64..1_000,
+                skips in proptest::collection::vec(0u64..5_000, 1..20),
+                key in 1u64..u64::MAX,
+            ) {
+                let l = SlidingWindowLimiter::new(AdmissionConfig {
+                    rate_per_window: rate,
+                    window_ms,
+                    ..Default::default()
+                });
+                let mut now = 0u64;
+                for skip in skips {
+                    // Exhaust the budget at `now`…
+                    for _ in 0..rate * 3 {
+                        l.check(key, now, false);
+                    }
+                    // …then skip the clock forward.
+                    now += skip;
+                    if skip >= 2 * window_ms {
+                        prop_assert_eq!(
+                            l.check(key, now, false),
+                            AdmitDecision::Admitted,
+                            "stale buckets must expire after a {}ms skip (window {}ms)",
+                            skip,
+                            window_ms
+                        );
+                    }
+                }
+            }
+
+            /// The first `min(limit, arrivals)` arrivals of a fresh client
+            /// in a fresh window are always admitted: the limiter never
+            /// under-admits below its configured rate.
+            #[test]
+            fn fresh_clients_get_their_full_budget(
+                rate in 1u64..50,
+                window_ms in 10u64..2_000,
+                key in 1u64..u64::MAX,
+                tightened in proptest::bool::ANY,
+            ) {
+                let l = SlidingWindowLimiter::new(AdmissionConfig {
+                    rate_per_window: rate,
+                    window_ms,
+                    ..Default::default()
+                });
+                let limit = l.effective_limit(tightened);
+                prop_assert!(limit >= 1);
+                let now = window_ms * 10; // fresh window, zero offset
+                for i in 0..limit {
+                    prop_assert_eq!(
+                        l.check(key, now, tightened),
+                        AdmitDecision::Admitted,
+                        "arrival {} of {} refused",
+                        i,
+                        limit
+                    );
+                }
+            }
+
+            /// The protection machine disarms after exactly N stable
+            /// windows from Armed, for any N, and never reports more than
+            /// one Armed edge per storm episode.
+            #[test]
+            fn protection_disarms_after_exactly_n_stable_windows(
+                n in 1u32..16,
+                storm_windows in 1usize..10,
+            ) {
+                let p = ProtectionMode::new();
+                let mut armed_edges = 0;
+                for _ in 0..storm_windows {
+                    if matches!(
+                        p.observe_window(Some(StormReason::ResetStorm), n),
+                        Some(ProtectionTransition::Armed(_))
+                    ) {
+                        armed_edges += 1;
+                    }
+                }
+                prop_assert_eq!(armed_edges, 1, "one Armed edge per episode");
+                let mut disarmed_at = None;
+                for window in 1..=n {
+                    if p.observe_window(None, n) == Some(ProtectionTransition::Disarmed) {
+                        disarmed_at = Some(window);
+                        break;
+                    }
+                }
+                prop_assert_eq!(disarmed_at, Some(n), "disarm must take exactly N windows");
+                prop_assert!(!p.engaged());
+            }
+        }
+    }
+}

@@ -29,6 +29,10 @@
 //! * [`supervisor`] — the per-instance release supervisor: attempt →
 //!   confirm → watch → drain with per-phase timeouts, bounded jittered
 //!   retry backoff, and rollback on post-confirm failure.
+//! * [`admission`] — client-facing admission control: the lock-free
+//!   per-client sliding-window rate limiter and the storm-triggered
+//!   [`admission::ProtectionMode`] that keep a release train safe to run
+//!   through a connect/timeout/reset storm (§6.2's peak-traffic case).
 //! * [`resilience`] — upstream-resilience primitives: the per-upstream
 //!   circuit breaker (closed → open → half-open, seeded-jitter probe
 //!   windows) and the cluster-wide retry budget that keep §4.4's
@@ -47,6 +51,7 @@
 //!   phase timeline, and the [`telemetry::DisruptionAuditor`] that turns
 //!   §2.5's "irregular increase" into a verdict the canary gate consumes.
 
+pub mod admission;
 pub mod calendar;
 pub mod canary;
 pub mod clock;

@@ -24,8 +24,16 @@ use serde::{Deserialize, Serialize};
 
 use crate::canary::WindowSample;
 
-/// The §2.5 signal set the auditor watches.
-pub const SIGNALS: [&str; 4] = ["http_5xx", "proxy_errors", "conn_resets", "mqtt_drops"];
+/// The §2.5 signal set the auditor watches, plus the admission layer's
+/// rejects — kept distinct from `proxy_errors` so a release that trips
+/// storm protection is attributed to admission, not to upstream failures.
+pub const SIGNALS: [&str; 5] = [
+    "http_5xx",
+    "proxy_errors",
+    "conn_resets",
+    "mqtt_drops",
+    "admit_rejects",
+];
 
 /// Auditor thresholds and smoothing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,15 +74,19 @@ pub struct AuditTotals {
     pub conn_resets: u64,
     /// MQTT tunnels dropped (forced client reconnects).
     pub mqtt_drops: u64,
+    /// Arrivals refused by the admission limiter (HTTP 429 / CONNACK
+    /// refuse / QUIC close before any per-connection state existed).
+    pub admit_rejects: u64,
 }
 
 impl AuditTotals {
-    fn signals(&self) -> [u64; 4] {
+    fn signals(&self) -> [u64; SIGNALS.len()] {
         [
             self.http_5xx,
             self.proxy_errors,
             self.conn_resets,
             self.mqtt_drops,
+            self.admit_rejects,
         ]
     }
 }
@@ -133,7 +145,7 @@ impl AuditVerdict {
 struct AuditorState {
     last: Option<AuditTotals>,
     /// EWMA baseline rate per signal, [`SIGNALS`] order.
-    baseline: [f64; 4],
+    baseline: [f64; SIGNALS.len()],
     baseline_windows: u64,
     /// While a release window is open: totals at `begin_release` plus the
     /// number of sampler windows folded since.
@@ -366,7 +378,7 @@ mod tests {
     }
 
     #[test]
-    fn all_four_signals_are_audited() {
+    fn all_signals_are_audited() {
         let a = DisruptionAuditor::default();
         let mut t = seed_baseline(&a, 10, 0);
         a.begin_release();
@@ -374,6 +386,7 @@ mod tests {
         t.proxy_errors += 100;
         t.conn_resets += 100;
         t.mqtt_drops += 100;
+        t.admit_rejects += 100;
         a.observe(t);
         let v = a.end_release();
         let flagged: Vec<&str> = v
@@ -382,7 +395,29 @@ mod tests {
             .filter(|s| s.flagged)
             .map(|s| s.signal.as_str())
             .collect();
-        assert_eq!(flagged, vec!["proxy_errors", "conn_resets", "mqtt_drops"]);
+        assert_eq!(
+            flagged,
+            vec!["proxy_errors", "conn_resets", "mqtt_drops", "admit_rejects"]
+        );
+    }
+
+    #[test]
+    fn admission_rejects_are_attributed_separately_from_proxy_errors() {
+        // A storm of admission rejects during a release flags the
+        // admit_rejects signal alone — proxy_errors stays clean, so the
+        // operator can tell "admission refused the storm" apart from
+        // "upstreams fell over".
+        let a = DisruptionAuditor::default();
+        let mut t = seed_baseline(&a, 10, 0);
+        a.begin_release();
+        t.requests += 1_000;
+        t.admit_rejects += 300;
+        a.observe(t);
+        let v = a.end_release();
+        assert!(v.disrupted);
+        let by_name = |name: &str| v.signals.iter().find(|s| s.signal == name).unwrap();
+        assert!(by_name("admit_rejects").flagged);
+        assert!(!by_name("proxy_errors").flagged);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub enum ReleasePhase {
     Reclaimed,
     /// Release aborted pre-confirm; incumbent keeps serving.
     Aborted,
+    /// Storm protection armed: admission thresholds tightened (detail
+    /// carries the [`crate::admission::StormReason`] label).
+    ProtectionArmed,
+    /// Storm protection disarmed after N consecutive stable windows.
+    ProtectionDisarmed,
 }
 
 impl ReleasePhase {
@@ -81,6 +86,8 @@ impl ReleasePhase {
             ReleasePhase::Released => "released",
             ReleasePhase::Reclaimed => "reclaimed",
             ReleasePhase::Aborted => "aborted",
+            ReleasePhase::ProtectionArmed => "protection_armed",
+            ReleasePhase::ProtectionDisarmed => "protection_disarmed",
         }
     }
 }

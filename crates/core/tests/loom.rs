@@ -18,6 +18,7 @@
 use loom::thread;
 use std::sync::Arc;
 
+use zdr_core::admission::{ProtectionMode, ProtectionState, ProtectionTransition, StormReason};
 use zdr_core::resilience::{
     Admit, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, RetryBudget,
     RetryBudgetConfig,
@@ -126,6 +127,66 @@ fn budget_never_negative_no_double_spend() {
         assert_eq!(budget.balance_tokens(), 0);
         assert_eq!(budget.withdrawn(), 1);
         assert_eq!(budget.exhausted(), 1);
+    });
+}
+
+/// Two window observers racing the same storm report the Armed edge
+/// exactly once — the whole point of the single-CAS `observe_window`
+/// design in `core::admission`: detector windows can close concurrently
+/// (accept-path tick vs. the periodic sampler) yet the timeline gets one
+/// arm event, not two.
+#[test]
+fn protection_arm_disarm_single_edge() {
+    model(|| {
+        let p = Arc::new(ProtectionMode::new());
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                thread::spawn(move || p.observe_window(Some(StormReason::TimeoutStorm), 1))
+            })
+            .collect();
+        let armed = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|t| matches!(t, Some(ProtectionTransition::Armed(_))))
+            .count();
+
+        assert_eq!(armed, 1, "arm edge reported {armed} times");
+        assert_eq!(p.state(), ProtectionState::Armed);
+        assert_eq!(p.reason(), Some(StormReason::TimeoutStorm));
+    });
+}
+
+/// With `disarm_successes = 1`, two racing stable windows on an armed
+/// mode disarm it exactly once; the other observer sees no edge (either
+/// it lost the CAS and re-observed Disarmed+stable ⇒ no transition, or
+/// it arrived second). No interleaving double-reports or wedges in
+/// Cooling.
+#[test]
+fn protection_disarm_single_edge() {
+    model(|| {
+        let p = Arc::new(ProtectionMode::new());
+        assert!(matches!(
+            p.observe_window(Some(StormReason::RefusedStorm), 1),
+            Some(ProtectionTransition::Armed(StormReason::RefusedStorm))
+        ));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                thread::spawn(move || p.observe_window(None, 1))
+            })
+            .collect();
+        let disarmed = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|t| matches!(t, Some(ProtectionTransition::Disarmed)))
+            .count();
+
+        assert_eq!(disarmed, 1, "disarm edge reported {disarmed} times");
+        assert_eq!(p.state(), ProtectionState::Disarmed);
+        assert_eq!(p.reason(), None);
     });
 }
 

@@ -291,6 +291,97 @@ impl FaultInjector for FlakyUpstreams {
     }
 }
 
+/// A seeded client-side connect storm: the abusive-traffic half of the
+/// chaos toolkit.
+///
+/// Where [`ScriptedFaults`] / [`FlakyUpstreams`] sabotage the *server's*
+/// own protocol steps, `ConnectStorm` attacks from outside — a burst of
+/// TCP connects against a VIP, the workload the admission layer
+/// (`zdr-core`'s `admission` module) exists to absorb. The storm is
+/// deterministic per seed: the same seed yields the same per-connection
+/// jitter schedule, so a storm that trips protection in CI replays
+/// byte-for-byte locally (`ZDR_FAULT_SEED`).
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectStorm {
+    /// Seed for the per-connection jitter schedule.
+    pub seed: u64,
+    /// Total connect attempts across all workers.
+    pub connections: usize,
+    /// Concurrent workers driving the attempts (min 1).
+    pub concurrency: usize,
+    /// How long each successful connection is held open before being
+    /// dropped without a clean close — storm clients don't say goodbye.
+    pub hold: Duration,
+}
+
+/// What one [`ConnectStorm::unleash`] run observed, from the client side.
+///
+/// Application-layer refusals (HTTP 429, CONNACK refuse) still count as
+/// `connected` here — the kernel completed the handshake; what the server
+/// did next is asserted via its own counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StormReport {
+    /// Connect attempts made (== the configured `connections`).
+    pub attempted: u64,
+    /// Attempts whose TCP handshake completed.
+    pub connected: u64,
+    /// Attempts refused or errored at the transport layer.
+    pub refused: u64,
+}
+
+impl ConnectStorm {
+    /// Runs the storm against `addr` and reports what the clients saw.
+    pub async fn unleash(&self, addr: std::net::SocketAddr) -> StormReport {
+        use std::sync::Arc;
+        let next = Arc::new(AtomicU64::new(0));
+        let connected = Arc::new(AtomicU64::new(0));
+        let refused = Arc::new(AtomicU64::new(0));
+        let total = self.connections as u64;
+        let (seed, hold) = (self.seed, self.hold);
+        let mut workers = Vec::new();
+        for _ in 0..self.concurrency.max(1) {
+            let next = Arc::clone(&next);
+            let connected = Arc::clone(&connected);
+            let refused = Arc::clone(&refused);
+            workers.push(tokio::spawn(async move {
+                loop {
+                    // Workers pull indices from one shared counter, so the
+                    // jitter schedule depends only on (seed, index), not on
+                    // which worker drew which connection.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let jitter_ms = splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9)) % 3;
+                    if jitter_ms > 0 {
+                        tokio::time::sleep(Duration::from_millis(jitter_ms)).await;
+                    }
+                    match tokio::net::TcpStream::connect(addr).await {
+                        Ok(stream) => {
+                            connected.fetch_add(1, Ordering::Relaxed);
+                            if !hold.is_zero() {
+                                tokio::time::sleep(hold).await;
+                            }
+                            drop(stream);
+                        }
+                        Err(_) => {
+                            refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }));
+        }
+        for worker in workers {
+            let _ = worker.await;
+        }
+        StormReport {
+            attempted: total,
+            connected: connected.load(Ordering::Relaxed),
+            refused: refused.load(Ordering::Relaxed),
+        }
+    }
+}
+
 // not(loom): loom atomics panic outside a loom::model run.
 #[cfg(all(test, not(loom)))]
 mod tests {
@@ -429,6 +520,50 @@ mod tests {
             FaultAction::Die
         );
         assert_eq!(inj.injected(), 1);
+    }
+
+    #[tokio::test]
+    async fn connect_storm_accounts_every_attempt() {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept-and-drop server: every handshake completes.
+        tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                drop(stream);
+            }
+        });
+        let storm = ConnectStorm {
+            seed: 42,
+            connections: 16,
+            concurrency: 4,
+            hold: Duration::ZERO,
+        };
+        let report = storm.unleash(addr).await;
+        assert_eq!(report.attempted, 16);
+        assert_eq!(report.connected + report.refused, report.attempted);
+        assert_eq!(report.connected, 16, "live listener accepts everything");
+    }
+
+    #[tokio::test]
+    async fn connect_storm_counts_transport_refusals() {
+        // Bind then drop: the port is (almost certainly) closed, so
+        // loopback connects are refused at the transport layer.
+        let addr = {
+            let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            listener.local_addr().unwrap()
+        };
+        let storm = ConnectStorm {
+            seed: 7,
+            connections: 8,
+            concurrency: 2,
+            hold: Duration::ZERO,
+        };
+        let report = storm.unleash(addr).await;
+        assert_eq!(report.attempted, 8);
+        assert_eq!(report.refused, 8, "closed port refuses every connect");
     }
 
     #[test]

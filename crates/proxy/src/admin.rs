@@ -24,6 +24,7 @@ use std::sync::Arc;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
+use zdr_core::admission::{StormReason, STORM_REASONS};
 use zdr_core::telemetry::HistogramSnapshot;
 use zdr_proto::http1::{serialize_response, RequestParser, Response, StatusCode};
 
@@ -169,6 +170,20 @@ pub fn render_prometheus(snap: &StatsSnapshot) -> String {
             }
         }
     }
+    // Storm-protection reason as one labelled series per variant, so a
+    // scraper alerts on `zdr_protection_reason_active{reason="..."}`
+    // without decoding the numeric `zdr_protection_reason` gauge. At most
+    // one variant is 1 (the engaged reason); all are 0 when disarmed. The
+    // repo linter (rule `protection-reason-rendered`) checks every
+    // [`StormReason`] variant has its label here.
+    for reason in STORM_REASONS {
+        let active = snap.protection_engaged == 1 && snap.protection_reason == reason.code();
+        out.push_str(&format!(
+            "zdr_protection_reason_active{{reason=\"{}\"}} {}\n",
+            reason_label(reason),
+            u64::from(active)
+        ));
+    }
     let t = &snap.telemetry;
     for (name, h) in [
         ("request_latency_us", &t.request_latency_us),
@@ -184,6 +199,18 @@ pub fn render_prometheus(snap: &StatsSnapshot) -> String {
         t.timeline.dropped
     ));
     out
+}
+
+/// The `/metrics` label for one storm reason. An exhaustive match (not
+/// [`StormReason::name`]) so adding a variant breaks the build here — the
+/// linter additionally checks each label string appears in this file.
+fn reason_label(reason: StormReason) -> &'static str {
+    match reason {
+        StormReason::TimeoutStorm => "timeout_storm",
+        StormReason::RefusedStorm => "refused_storm",
+        StormReason::ResetStorm => "reset_storm",
+        StormReason::ConnectFlood => "connect_flood",
+    }
 }
 
 fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
@@ -291,5 +318,47 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("zdr_timeline_events 0"), "{text}");
+    }
+
+    #[tokio::test]
+    async fn metrics_route_renders_every_protection_reason_variant() {
+        let stats = Arc::new(ProxyStats::default());
+        stats.admit_rejected.add(3);
+        let scrape_stats = Arc::clone(&stats);
+        let admin = spawn_admin(0, move || scrape_stats.snapshot(), || true)
+            .await
+            .unwrap();
+
+        // Disarmed: every reason label present and 0, admission counters
+        // ride the generic scalar flattening.
+        let text = String::from_utf8(get(admin.addr, "/metrics").await.body.to_vec()).unwrap();
+        assert!(text.contains("zdr_admit_rejected 3"), "{text}");
+        assert!(text.contains("zdr_protection_engaged 0"), "{text}");
+        for label in [
+            "timeout_storm",
+            "refused_storm",
+            "reset_storm",
+            "connect_flood",
+        ] {
+            assert!(
+                text.contains(&format!("zdr_protection_reason_active{{reason=\"{label}\"}} 0")),
+                "{label} missing or nonzero while disarmed: {text}"
+            );
+        }
+
+        // Armed: exactly the engaged reason flips to 1.
+        stats
+            .protection
+            .observe_window(Some(StormReason::RefusedStorm), 3);
+        let text = String::from_utf8(get(admin.addr, "/metrics").await.body.to_vec()).unwrap();
+        assert!(text.contains("zdr_protection_engaged 1"), "{text}");
+        assert!(
+            text.contains("zdr_protection_reason_active{reason=\"refused_storm\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("zdr_protection_reason_active{reason=\"timeout_storm\"} 0"),
+            "{text}"
+        );
     }
 }

@@ -387,11 +387,17 @@ pub async fn spawn_edge_trunk_with(
     let loop_state = Arc::clone(&state);
     let loop_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
-        while let Ok((mut client, _)) = listener.accept().await {
+        while let Ok((mut client, peer)) = listener.accept().await {
             loop_stats.connections_accepted.bump();
+            // Per-client admission ahead of the shed gate; the refusal is
+            // the same protocol-native CONNACK the gate uses.
+            let admitted =
+                loop_resilience.admit_client(peer, loop_state.is_draining(), &loop_stats);
             let active = loop_state.tracker().active();
-            if loop_resilience.shed().should_shed(active) {
-                loop_stats.load_shed.bump();
+            if !admitted || loop_resilience.shed().should_shed(active) {
+                if admitted {
+                    loop_stats.load_shed.bump();
+                }
                 tokio::spawn(async move {
                     if let Ok(refuse) = zdr_proto::mqtt::encode(&Packet::ConnAck {
                         session_present: false,

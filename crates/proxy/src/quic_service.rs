@@ -28,7 +28,11 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use tokio::net::UdpSocket;
 
-use zdr_core::telemetry::Telemetry;
+use zdr_core::admission::{
+    client_key, AdmissionConfig, AdmitDecision, ProtectionConfig, ProtectionMode,
+    ProtectionTransition, SlidingWindowLimiter, StormDetector, StormSignals,
+};
+use zdr_core::telemetry::{ReleasePhase, Telemetry};
 use zdr_net::inventory::{bind_udp_reuseport_group, ListenerInventory};
 use zdr_net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
 use zdr_net::udp_router::{Delivery, UdpRouter};
@@ -52,6 +56,13 @@ pub struct QuicInstanceConfig {
     /// at Initial with a CONNECTION_CLOSE (the datagram analogue of the
     /// HTTP 503 / MQTT CONNACK refuse). Default fails open.
     pub shed: ShedConfig,
+    /// Per-client admission control, checked at Initial ahead of the shed
+    /// gate (same CONNECTION_CLOSE refusal, distinct counter). Default
+    /// fails open.
+    pub admission: AdmissionConfig,
+    /// Storm protection: arm thresholds for the self-tripping
+    /// [`ProtectionMode`] fed by this instance's counters.
+    pub protection: ProtectionConfig,
 }
 
 /// Counters for one instance's flow service.
@@ -66,6 +77,18 @@ pub struct QuicStats {
     pub unknown_flow: Counter,
     /// New flows refused at Initial by the overload gate.
     pub load_shed: Counter,
+    /// New flows refused at Initial by per-client admission control
+    /// (distinct from `load_shed` so the auditor attributes disruption
+    /// to the right gate).
+    pub admit_rejected: Counter,
+    /// Admission checks that failed open under table pressure.
+    pub admit_fail_open: Counter,
+    /// Times storm protection armed on this instance.
+    pub protection_armed: Counter,
+    /// Times storm protection disarmed after stable probe windows.
+    pub protection_disarmed: Counter,
+    /// The self-tripping storm-protection state machine for this instance.
+    pub protection: Arc<ProtectionMode>,
     /// Datagram service-time histogram + phase timeline for this instance.
     pub telemetry: Arc<Telemetry>,
 }
@@ -73,14 +96,53 @@ pub struct QuicStats {
 impl QuicStats {
     /// These counters as a (partial) unified snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let (protection_engaged, protection_reason) = self.protection.snapshot_codes();
         StatsSnapshot {
             quic_flows_opened: self.flows_opened.get(),
             quic_served: self.served.get(),
             quic_unknown_flow: self.unknown_flow.get(),
             load_shed: self.load_shed.get(),
+            admit_rejected: self.admit_rejected.get(),
+            admit_fail_open: self.admit_fail_open.get(),
+            protection_armed: self.protection_armed.get(),
+            protection_disarmed: self.protection_disarmed.get(),
+            protection_engaged,
+            protection_reason,
             telemetry: self.telemetry.snapshot(),
             ..StatsSnapshot::default()
         }
+    }
+}
+
+/// One detector window tick off this instance's cumulative counters.
+/// QUIC has no upstream timeouts/resets to watch, so the signal set is
+/// connect volume and refusals — a connect flood arms [`ProtectionMode`]
+/// via `ConnectFlood`, a refusal spike via `RefusedStorm`.
+fn protection_tick(detector: &StormDetector, stats: &QuicStats, generation: u32) {
+    let refusals = stats.load_shed.get() + stats.admit_rejected.get();
+    let totals = StormSignals {
+        connects: stats.flows_opened.get() + refusals,
+        timeouts: 0,
+        refusals,
+        resets: 0,
+    };
+    let now_ms = stats.telemetry.clock().now_ms();
+    match detector.observe(totals, now_ms, &stats.protection) {
+        Some(ProtectionTransition::Armed(reason)) => {
+            stats.protection_armed.bump();
+            stats
+                .telemetry
+                .event(ReleasePhase::ProtectionArmed, generation as u64, reason.name());
+        }
+        Some(ProtectionTransition::Disarmed) => {
+            stats.protection_disarmed.bump();
+            stats.telemetry.event(
+                ReleasePhase::ProtectionDisarmed,
+                generation as u64,
+                "stable windows reached",
+            );
+        }
+        Some(ProtectionTransition::Cooling) | None => {}
     }
 }
 
@@ -138,12 +200,33 @@ async fn serve_deliveries(
     stats: Arc<QuicStats>,
     state: Arc<DrainState>,
     shed: Arc<LoadShedGate>,
+    admission: Arc<SlidingWindowLimiter>,
+    detector: Arc<StormDetector>,
     generation: u32,
 ) {
     while let Some(d) = rx.recv().await {
         let start_us = stats.telemetry.clock().now_us();
         let cid = d.datagram.cid;
         if d.datagram.packet_type == PacketType::Initial {
+            // Admission runs ahead of the shed gate: a single client
+            // hammering Initials is refused per-client before the
+            // instance-wide overload gate even looks. Same wire refusal
+            // (CONNECTION_CLOSE on the client's own CID), distinct
+            // counter so the auditor attributes the disruption.
+            protection_tick(&detector, &stats, generation);
+            let tightened = state.is_draining() || stats.protection.engaged();
+            let now_ms = stats.telemetry.clock().now_ms();
+            match admission.check(client_key(&d.from.ip()), now_ms, tightened) {
+                AdmitDecision::Admitted => {}
+                AdmitDecision::FailOpen => {
+                    stats.admit_fail_open.bump();
+                }
+                AdmitDecision::Rejected => {
+                    stats.admit_rejected.bump();
+                    let _ = socket.send_to(&quic_close_datagram(cid), d.from).await;
+                    continue;
+                }
+            }
             // Overload gate: refuse the flow before any state is created.
             // The CONNECTION_CLOSE echoes the client's own CID, so the
             // client gives up immediately instead of retransmitting.
@@ -260,6 +343,8 @@ impl QuicInstance {
         let table = Arc::new(FlowTable::default());
         let state = DrainState::new(QuicCloseSignal);
         let shed = Arc::new(LoadShedGate::new(config.shed));
+        let admission = Arc::new(SlidingWindowLimiter::new(config.admission));
+        let detector = Arc::new(StormDetector::new(config.protection));
         let mut handover_sockets = Vec::with_capacity(group.len());
         let mut tasks = Vec::new();
 
@@ -279,6 +364,8 @@ impl QuicInstance {
                 Arc::clone(&stats),
                 Arc::clone(&state),
                 Arc::clone(&shed),
+                Arc::clone(&admission),
+                Arc::clone(&detector),
                 generation,
             )));
         }
@@ -420,6 +507,8 @@ mod tests {
             sockets: 2,
             drain_ms: 1_500,
             shed: ShedConfig::default(),
+            admission: AdmissionConfig::default(),
+            protection: ProtectionConfig::default(),
         }
     }
 
@@ -609,5 +698,51 @@ mod tests {
 
         // The admitted flow is unaffected.
         assert_eq!(flow.echo(vip, b"still").await.unwrap(), b"echo:still");
+    }
+
+    #[tokio::test]
+    async fn admission_refuses_per_client_floods_ahead_of_shed_gate() {
+        let cfg = QuicInstanceConfig {
+            admission: AdmissionConfig {
+                rate_per_window: 1,
+                window_ms: 60_000,
+                ..AdmissionConfig::default()
+            },
+            ..config("admit")
+        };
+        let instance = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg)
+            .await
+            .unwrap();
+        let vip = instance.vip;
+
+        // First Initial from this client IP consumes the window budget.
+        let mut flow = FlowClient::open(vip, 1).await;
+
+        // The second Initial (same IP — all test clients are 127.0.0.1)
+        // is refused by admission: CONNECTION_CLOSE on the client's own
+        // CID, and the refusal lands on admit_rejected, NOT load_shed.
+        let socket = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let cid = ConnectionId::new(0, 2);
+        let hello = Datagram::initial(cid, &b"hello"[..]);
+        socket
+            .send_to(&quic::encode(&hello).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(5), socket.recv_from(&mut buf))
+            .await
+            .expect("admit reply timeout")
+            .unwrap();
+        let reply = quic::decode(&buf[..n]).unwrap();
+        assert_eq!(reply.packet_type, PacketType::Close);
+        assert_eq!(reply.cid, cid);
+        assert_eq!(instance.stats.admit_rejected.get(), 1);
+        assert_eq!(instance.stats.load_shed.get(), 0, "distinct attribution");
+        assert_eq!(instance.active_connections(), 1, "no state for refused flow");
+
+        // The admitted flow is unaffected, and the refusal rides the
+        // unified snapshot.
+        assert_eq!(flow.echo(vip, b"still").await.unwrap(), b"echo:still");
+        assert_eq!(instance.stats.snapshot().admit_rejected, 1);
     }
 }

@@ -14,7 +14,15 @@
 //! * a [`LoadShedGate`] consulted at accept, driven by the
 //!   [`crate::conn_tracker::ConnTracker`] gauge and a queue-delay EWMA,
 //!   rejecting cheaply (HTTP 503 + Retry-After, MQTT CONNACK refuse, QUIC
-//!   CONNECTION_CLOSE) before any work is admitted.
+//!   CONNECTION_CLOSE) before any work is admitted;
+//! * the client-facing admission layer ([`zdr_core::admission`]): a
+//!   per-client [`SlidingWindowLimiter`] plus the storm-triggered
+//!   [`ProtectionMode`], consulted **ahead of** the shed gate via
+//!   [`Resilience::admit_client`]. The shed gate answers "is this
+//!   instance overloaded?"; admission answers "is this *client* abusive,
+//!   or is a storm in progress?" — and each bumps a distinct counter
+//!   (`admit_rejected` vs `load_shed`) so the auditor can attribute
+//!   disruption correctly.
 //!
 //! Lock discipline matches `conn_tracker`: the per-request path touches
 //! only atomics. The one shared map (addr → breaker) is read-locked for
@@ -33,12 +41,17 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use zdr_core::admission::{
+    client_key, AdmissionConfig, AdmitDecision, ProtectionConfig, ProtectionMode,
+    ProtectionTransition, SlidingWindowLimiter, StormDetector, StormSignals,
+};
 use zdr_core::clock::Clock;
 use zdr_core::metrics::Ewma;
 use zdr_core::resilience::{
     Admit, BreakerConfig, BreakerTransition, CircuitBreaker, RetryBudget, RetryBudgetConfig,
 };
 use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_core::telemetry::ReleasePhase;
 
 use crate::stats::ProxyStats;
 
@@ -75,6 +88,10 @@ pub struct ResilienceConfig {
     pub budget: RetryBudgetConfig,
     /// Accept-side load-shed tunables.
     pub shed: ShedConfig,
+    /// Per-client admission-limiter tunables.
+    pub admission: AdmissionConfig,
+    /// Storm-detection / protection-mode tunables.
+    pub protection: ProtectionConfig,
 }
 
 /// The accept-side overload gate. All-atomic; knobs are runtime-settable
@@ -166,12 +183,23 @@ connection: close\r\n\
 content-length: 0\r\n\
 \r\n";
 
+/// The pre-rendered admission rejection: 429 (the *client* is over its
+/// rate, distinct from the gate's 503 "the *instance* is overloaded")
+/// with a Retry-After one admission window in the future.
+pub const HTTP_429_ADMIT: &[u8] = b"HTTP/1.1 429 Too Many Requests\r\n\
+retry-after: 1\r\n\
+connection: close\r\n\
+content-length: 0\r\n\
+\r\n";
+
 /// Shared resilience state for one service: breakers + budget + shed gate.
 #[derive(Debug)]
 pub struct Resilience {
     config: ResilienceConfig,
     budget: RetryBudget,
     shed: LoadShedGate,
+    admission: SlidingWindowLimiter,
+    detector: StormDetector,
     breakers: RwLock<HashMap<SocketAddr, Arc<CircuitBreaker>>>,
     clock: Clock,
 }
@@ -189,6 +217,8 @@ impl Resilience {
             config,
             budget: RetryBudget::new(config.budget),
             shed: LoadShedGate::new(config.shed),
+            admission: SlidingWindowLimiter::new(config.admission),
+            detector: StormDetector::new(config.protection),
             breakers: RwLock::new(HashMap::new()),
             clock,
         }
@@ -219,6 +249,74 @@ impl Resilience {
     /// The accept-side shed gate.
     pub fn shed(&self) -> &LoadShedGate {
         &self.shed
+    }
+
+    /// The per-client admission limiter.
+    pub fn admission(&self) -> &SlidingWindowLimiter {
+        &self.admission
+    }
+
+    /// Admission check for one arriving connection from `peer`, run on the
+    /// accept path **ahead of** the shed gate. Feeds the storm detector
+    /// (so protection can arm/disarm), then rate-limits the client —
+    /// with thresholds tightened while `draining` or while protection is
+    /// engaged. Returns `false` when the arrival must be refused; the
+    /// caller sends the protocol's cheap rejection ([`HTTP_429_ADMIT`],
+    /// MQTT CONNACK ServerUnavailable, QUIC close) and bumps nothing —
+    /// all counters are handled here.
+    pub fn admit_client(&self, peer: SocketAddr, draining: bool, stats: &ProxyStats) -> bool {
+        // Detector first: a connect flood must be able to arm protection
+        // even while every arrival is still being admitted.
+        self.protection_tick(stats);
+        let tightened = draining || stats.protection.engaged();
+        match self
+            .admission
+            .check(client_key(&peer.ip()), self.now_ms(), tightened)
+        {
+            AdmitDecision::Admitted => true,
+            AdmitDecision::FailOpen => {
+                stats.admit_fail_open.bump();
+                true
+            }
+            AdmitDecision::Rejected => {
+                stats.admit_rejected.bump();
+                false
+            }
+        }
+    }
+
+    /// Feeds the storm detector one reading of the §2.5 storm signals off
+    /// the live counters, folding any closed probe window into
+    /// [`ProxyStats::protection`]. Called from every [`Resilience::admit_client`]
+    /// and from the periodic stats sampler, so protection disarms even
+    /// when the storm ends in silence. Arm/disarm edges bump their stats
+    /// counters and land on the release timeline.
+    pub fn protection_tick(&self, stats: &ProxyStats) -> Option<ProtectionTransition> {
+        let totals = StormSignals {
+            connects: stats.connections_accepted.get(),
+            timeouts: stats.deadline_exceeded.get(),
+            refusals: stats.load_shed.get() + stats.admit_rejected.get(),
+            resets: stats.connections_reset.get(),
+        };
+        let edge = self
+            .detector
+            .observe(totals, self.now_ms(), &stats.protection);
+        match edge {
+            Some(ProtectionTransition::Armed(reason)) => {
+                stats.protection_armed.bump();
+                stats
+                    .telemetry
+                    .event(ReleasePhase::ProtectionArmed, 0, reason.name());
+            }
+            Some(ProtectionTransition::Disarmed) => {
+                stats.protection_disarmed.bump();
+                stats
+                    .telemetry
+                    .event(ReleasePhase::ProtectionDisarmed, 0, "stable windows reached");
+            }
+            Some(ProtectionTransition::Cooling) | None => {}
+        }
+        edge
     }
 
     /// A stable per-upstream key (for keyed fault injection).
@@ -432,5 +530,158 @@ mod tests {
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn admit_response_is_parseable_http_and_distinct_from_shed() {
+        let text = std::str::from_utf8(HTTP_429_ADMIT).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 "));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+        assert_ne!(HTTP_429_ADMIT, HTTP_503_SHED);
+    }
+
+    use zdr_core::admission::{AdmissionConfig, ProtectionConfig, StormReason};
+
+    #[test]
+    fn admit_client_rejects_over_rate_and_bumps_its_own_counter() {
+        let r = Resilience::new(ResilienceConfig {
+            admission: AdmissionConfig {
+                rate_per_window: 2,
+                window_ms: 60_000, // one window for the whole test
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let stats = ProxyStats::default();
+        let peer = addr(40_001);
+        assert!(r.admit_client(peer, false, &stats));
+        assert!(r.admit_client(peer, false, &stats));
+        assert!(!r.admit_client(peer, false, &stats), "third must refuse");
+        // Distinct attribution (the satellite fix): admission rejects land
+        // on admit_rejected, never on load_shed.
+        assert_eq!(stats.admit_rejected.get(), 1);
+        assert_eq!(stats.load_shed.get(), 0);
+        // A different client is untouched.
+        assert!(r.admit_client(addr(40_002), false, &stats));
+    }
+
+    #[test]
+    fn admit_client_tightens_while_draining() {
+        let r = Resilience::new(ResilienceConfig {
+            admission: AdmissionConfig {
+                rate_per_window: 4,
+                window_ms: 60_000,
+                tightened_permille: 500,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let stats = ProxyStats::default();
+        let peer = addr(40_010);
+        assert!(r.admit_client(peer, true, &stats));
+        assert!(r.admit_client(peer, true, &stats));
+        assert!(
+            !r.admit_client(peer, true, &stats),
+            "drain halves the limit: 3rd of 4 must refuse"
+        );
+    }
+
+    #[test]
+    fn protection_arms_from_stats_deltas_and_disarms_on_quiet() {
+        let clock = Clock::mock(0);
+        let r = Resilience::with_clock(
+            ResilienceConfig {
+                protection: ProtectionConfig {
+                    arm_threshold: 10,
+                    disarm_successes: 2,
+                    probe_window_ms: 100,
+                },
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let stats = ProxyStats::default();
+        // Baseline window.
+        assert_eq!(r.protection_tick(&stats), None);
+        // A refusal storm: shed + admission rejects spike inside one window.
+        stats.connections_accepted.add(50);
+        stats.load_shed.add(8);
+        stats.admit_rejected.add(7);
+        clock.advance(Duration::from_millis(120));
+        let edge = r.protection_tick(&stats);
+        assert!(
+            matches!(
+                edge,
+                Some(ProtectionTransition::Armed(StormReason::RefusedStorm))
+            ),
+            "refusal spike must arm with refused_storm: {edge:?}"
+        );
+        assert!(stats.protection.engaged());
+        assert_eq!(stats.protection_armed.get(), 1);
+        // The arm edge landed on the release timeline with its reason.
+        let timeline = stats.telemetry.snapshot().timeline;
+        assert!(timeline.contains_sequence(&[ReleasePhase::ProtectionArmed]));
+        assert_eq!(
+            timeline.first(ReleasePhase::ProtectionArmed).unwrap().detail,
+            "refused_storm"
+        );
+
+        // Two quiet windows: Cooling, then Disarmed.
+        clock.advance(Duration::from_millis(120));
+        assert_eq!(
+            r.protection_tick(&stats),
+            Some(ProtectionTransition::Cooling)
+        );
+        assert!(stats.protection.engaged(), "cooling stays tightened");
+        clock.advance(Duration::from_millis(120));
+        assert_eq!(
+            r.protection_tick(&stats),
+            Some(ProtectionTransition::Disarmed)
+        );
+        assert!(!stats.protection.engaged());
+        assert_eq!(stats.protection_disarmed.get(), 1);
+        assert!(stats
+            .telemetry
+            .snapshot()
+            .timeline
+            .contains_sequence(&[ReleasePhase::ProtectionArmed, ReleasePhase::ProtectionDisarmed]));
+    }
+
+    #[test]
+    fn engaged_protection_tightens_admission() {
+        let clock = Clock::mock(0);
+        let r = Resilience::with_clock(
+            ResilienceConfig {
+                admission: AdmissionConfig {
+                    rate_per_window: 4,
+                    window_ms: 60_000,
+                    tightened_permille: 500,
+                    ..Default::default()
+                },
+                protection: ProtectionConfig {
+                    arm_threshold: 5,
+                    disarm_successes: 3,
+                    probe_window_ms: 100,
+                },
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let stats = ProxyStats::default();
+        // Arm protection via a connect flood (nothing refused yet).
+        r.protection_tick(&stats);
+        stats.connections_accepted.add(20);
+        clock.advance(Duration::from_millis(120));
+        assert!(matches!(
+            r.protection_tick(&stats),
+            Some(ProtectionTransition::Armed(StormReason::ConnectFlood))
+        ));
+        // Not draining — but protection alone halves the client budget.
+        let peer = addr(40_020);
+        assert!(r.admit_client(peer, false, &stats));
+        assert!(r.admit_client(peer, false, &stats));
+        assert!(!r.admit_client(peer, false, &stats));
     }
 }

@@ -46,7 +46,7 @@ use zdr_proto::http1::{
 use zdr_proto::ppr::{decode_379, is_partial_post, ReplayBudget, ReplayDecision};
 
 use crate::conn_tracker::ConnGuard;
-use crate::resilience::{Resilience, ResilienceConfig, HTTP_503_SHED};
+use crate::resilience::{Resilience, ResilienceConfig, HTTP_429_ADMIT, HTTP_503_SHED};
 use crate::service::{DrainState, HttpCloseSignal, ServiceHandle};
 use crate::stats::ProxyStats;
 use crate::upstream::UpstreamPool;
@@ -157,8 +157,18 @@ pub fn serve_on_listener(
     let accept_state = Arc::clone(&state);
     let accept_resilience = Arc::clone(&resilience);
     let accept_task = tokio::spawn(async move {
-        while let Ok((mut stream, _)) = listener.accept().await {
+        while let Ok((mut stream, peer)) = listener.accept().await {
             accept_stats.connections_accepted.bump();
+            // Per-client admission, ahead of the shed gate: an abusive
+            // client (or a storm with protection armed) is refused with a
+            // 429 before any per-connection state exists.
+            if !accept_resilience.admit_client(peer, accept_state.is_draining(), &accept_stats) {
+                tokio::spawn(async move {
+                    let _ = stream.write_all(HTTP_429_ADMIT).await;
+                    let _ = stream.shutdown().await;
+                });
+                continue;
+            }
             // Overload gate, before any per-connection state exists:
             // rejection is one pre-rendered write.
             let active = accept_state.tracker().active();

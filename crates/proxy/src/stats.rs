@@ -8,6 +8,7 @@
 //! view of everything is [`StatsSnapshot`] — the `zdr --stats-json` payload.
 
 use serde::{Deserialize, Serialize};
+use zdr_core::admission::ProtectionMode;
 use zdr_core::sync::{Arc, AtomicU64, Ordering};
 use zdr_core::telemetry::{AuditTotals, Telemetry, TelemetrySnapshot};
 
@@ -101,6 +102,22 @@ pub struct ProxyStats {
     /// Requests failed because their propagated deadline expired.
     pub deadline_exceeded: Counter,
 
+    // Admission control (zdr_core::admission) — kept distinct from
+    // `load_shed` so the auditor can attribute disruption correctly.
+    /// Arrivals refused by the per-client admission limiter.
+    pub admit_rejected: Counter,
+    /// Arrivals admitted because the limiter table was full (fail-open).
+    pub admit_fail_open: Counter,
+    /// Storm-protection Armed edges taken.
+    pub protection_armed: Counter,
+    /// Storm-protection Disarmed edges taken.
+    pub protection_disarmed: Counter,
+
+    /// Storm-protection state machine for this instance. Shared (`Arc`)
+    /// so the accept paths, the admin endpoint, and the snapshot all see
+    /// the same machine.
+    pub protection: Arc<ProtectionMode>,
+
     /// Latency histograms + release phase timeline for this instance.
     /// Shared (`Arc`) so the admin endpoint and the takeover choreography
     /// can record into the same bundle the snapshot reads from.
@@ -123,6 +140,7 @@ impl ProxyStats {
 
     /// This instance's counters as a (partial) unified snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let (protection_engaged, protection_reason) = self.protection.snapshot_codes();
         StatsSnapshot {
             requests_ok: self.requests_ok.get(),
             responses_5xx: self.responses_5xx.get(),
@@ -147,6 +165,12 @@ impl ProxyStats {
             retry_budget_exhausted: self.retry_budget_exhausted.get(),
             load_shed: self.load_shed.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
+            admit_rejected: self.admit_rejected.get(),
+            admit_fail_open: self.admit_fail_open.get(),
+            protection_armed: self.protection_armed.get(),
+            protection_disarmed: self.protection_disarmed.get(),
+            protection_engaged,
+            protection_reason,
             telemetry: self.telemetry.snapshot(),
             ..StatsSnapshot::default()
         }
@@ -187,7 +211,10 @@ impl EdgeDcrStats {
 /// HTTP reverse proxy, MQTT relay (per-tunnel or trunked), QUIC, plus the
 /// service layer's connection tracking. Sections a process doesn't run
 /// merge as zeros, so `zdr --stats-json` always emits the same shape.
+/// Container-level `serde(default)` keeps snapshots from older binaries
+/// (fewer fields) deserializable by newer readers.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct StatsSnapshot {
     // HTTP reverse proxy (ProxyStats).
     /// Requests proxied to a 2xx/3xx/4xx conclusion.
@@ -238,6 +265,21 @@ pub struct StatsSnapshot {
     pub load_shed: u64,
     /// Requests failed on an expired propagated deadline.
     pub deadline_exceeded: u64,
+
+    // Admission control (zdr_core::admission).
+    /// Arrivals refused by the per-client admission limiter.
+    pub admit_rejected: u64,
+    /// Arrivals admitted because the limiter table was full (fail-open).
+    pub admit_fail_open: u64,
+    /// Storm-protection Armed edges taken.
+    pub protection_armed: u64,
+    /// Storm-protection Disarmed edges taken.
+    pub protection_disarmed: u64,
+    /// Gauge: 1 while storm protection is engaged (Armed or Cooling).
+    pub protection_engaged: u64,
+    /// Gauge: the active [`zdr_core::admission::StormReason`] code
+    /// (0 = none).
+    pub protection_reason: u64,
 
     // Edge-side DCR (EdgeDcrStats).
     /// Tunnels the Edge re-homed successfully.
@@ -297,6 +339,10 @@ impl StatsSnapshot {
             proxy_errors: self.ppr_gave_up + self.deadline_exceeded + self.load_shed,
             conn_resets: self.connections_reset + self.forced_tcp_resets,
             mqtt_drops: self.mqtt_dropped + self.dcr_dropped + self.forced_mqtt_disconnects,
+            // Admission rejects are their own signal — NOT folded into
+            // proxy_errors — so the auditor can tell "admission refused
+            // the storm" apart from "upstreams fell over".
+            admit_rejects: self.admit_rejected,
         }
     }
 
@@ -326,6 +372,16 @@ impl StatsSnapshot {
         self.retry_budget_exhausted += other.retry_budget_exhausted;
         self.load_shed += other.load_shed;
         self.deadline_exceeded += other.deadline_exceeded;
+        self.admit_rejected += other.admit_rejected;
+        self.admit_fail_open += other.admit_fail_open;
+        self.protection_armed += other.protection_armed;
+        self.protection_disarmed += other.protection_disarmed;
+        // Gauges, not counters: a merged process view is "engaged" if any
+        // section is, and carries whichever reason code is set.
+        self.protection_engaged = self.protection_engaged.max(other.protection_engaged);
+        if self.protection_reason == 0 {
+            self.protection_reason = other.protection_reason;
+        }
         self.dcr_rehomed_ok += other.dcr_rehomed_ok;
         self.dcr_rehome_refused += other.dcr_rehome_refused;
         self.dcr_dropped += other.dcr_dropped;
@@ -436,11 +492,53 @@ mod tests {
         s.mqtt_dropped = 4;
         s.dcr_dropped = 2;
         s.forced_mqtt_disconnects = 6;
+        s.admit_rejected = 9;
         let t = s.audit_totals();
         assert_eq!(t.requests, 1_000);
         assert_eq!(t.http_5xx, 100);
-        assert_eq!(t.proxy_errors, 10);
+        assert_eq!(t.proxy_errors, 10, "admit rejects must NOT fold in");
         assert_eq!(t.conn_resets, 8);
         assert_eq!(t.mqtt_drops, 12);
+        assert_eq!(t.admit_rejects, 9);
+    }
+
+    #[test]
+    fn protection_state_rides_the_snapshot() {
+        use zdr_core::admission::StormReason;
+        let p = ProxyStats::default();
+        p.admit_rejected.add(5);
+        p.admit_fail_open.bump();
+        let snap = p.snapshot();
+        assert_eq!(snap.admit_rejected, 5);
+        assert_eq!(snap.admit_fail_open, 1);
+        assert_eq!((snap.protection_engaged, snap.protection_reason), (0, 0));
+
+        p.protection
+            .observe_window(Some(StormReason::RefusedStorm), 3);
+        p.protection_armed.bump();
+        let snap = p.snapshot();
+        assert_eq!(snap.protection_engaged, 1);
+        assert_eq!(snap.protection_reason, StormReason::RefusedStorm.code());
+        assert_eq!(snap.protection_armed, 1);
+
+        // Merge semantics: counters add, gauges carry the engaged side.
+        let calm = ProxyStats::default().snapshot();
+        let merged = calm.merged(&snap);
+        assert_eq!(merged.protection_engaged, 1);
+        assert_eq!(merged.protection_reason, StormReason::RefusedStorm.code());
+        assert_eq!(merged.admit_rejected, 5);
+
+        // JSON carries the new fields.
+        let json = serde_json::to_string(&snap).unwrap();
+        for field in [
+            "admit_rejected",
+            "admit_fail_open",
+            "protection_armed",
+            "protection_disarmed",
+            "protection_engaged",
+            "protection_reason",
+        ] {
+            assert!(json.contains(field), "snapshot JSON missing {field}");
+        }
     }
 }

@@ -14,11 +14,17 @@
 //! * **safety-comment** — every `unsafe` block, impl, or fn carries a
 //!   `// SAFETY:` comment on the line(s) immediately above the statement
 //!   that contains it.
-//! * **counter-in-snapshot** — every `Counter`-, `Histogram`-, or
-//!   `EventRing`-typed field of a stats struct is referenced in that
-//!   struct's `snapshot()` method, so a new counter, latency histogram,
-//!   or phase timeline cannot silently vanish from the unified
-//!   `StatsSnapshot`.
+//! * **counter-in-snapshot** — every `Counter`-, `Histogram`-,
+//!   `EventRing`-, or `ProtectionMode`-typed field of a stats struct
+//!   (including behind `Arc<…>`) is referenced in that struct's
+//!   `snapshot()` method, so a new counter, latency histogram, phase
+//!   timeline, or protection gauge cannot silently vanish from the
+//!   unified `StatsSnapshot`.
+//! * **protection-reason-rendered** — cross-file: every variant of
+//!   `core::admission`'s `StormReason` enum appears as a snake_case
+//!   string literal in the admin endpoint's source, so a new storm
+//!   reason cannot ship without its labelled `/metrics` series
+//!   (see [`check_reason_rendering`]).
 //!
 //! The walker is syn-based: rules see the AST (paths, calls, unsafe
 //! expressions, struct fields), not text, so `// Instant::now()` in a
@@ -101,7 +107,7 @@ pub fn lint_source(path: &Path, source: &str) -> Result<Vec<Violation>, syn::Err
 
 /// Field types whose values feed the unified snapshot; a field of any of
 /// these types must be read by its struct's `snapshot()` method.
-const SNAPSHOTTED_TYPES: [&str; 3] = ["Counter", "Histogram", "EventRing"];
+const SNAPSHOTTED_TYPES: [&str; 4] = ["Counter", "Histogram", "EventRing", "ProtectionMode"];
 
 /// A struct with snapshot-tracked fields:
 /// (name, line, fields as (field name, type name, line)).
@@ -245,6 +251,98 @@ impl Walker<'_> {
     }
 }
 
+/// Resolves a field type to a snapshot-tracked type name, looking through
+/// one level of `Arc<…>`/`Box<…>` wrapping (stats structs share their
+/// protection state as `Arc<ProtectionMode>`).
+fn tracked_type(ty: &syn::Type) -> Option<&'static str> {
+    let syn::Type::Path(tp) = ty else {
+        return None;
+    };
+    let seg = tp.path.segments.last()?;
+    if let Some(ty) = SNAPSHOTTED_TYPES.iter().find(|t| seg.ident == **t) {
+        return Some(ty);
+    }
+    if seg.ident == "Arc" || seg.ident == "Box" {
+        if let syn::PathArguments::AngleBracketed(args) = &seg.arguments {
+            for arg in &args.args {
+                if let syn::GenericArgument::Type(inner) = arg {
+                    return tracked_type(inner);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The cross-file rule behind `protection-reason-rendered`: every variant
+/// of the `StormReason` enum in `admission_src` must appear, snake_cased,
+/// as a string literal somewhere in `admin_src` — which is how the admin
+/// endpoint renders the labelled `/metrics` series per reason. A variant
+/// added to the enum without a rendering label fails the lint (and the
+/// violation points at the variant).
+pub fn check_reason_rendering(
+    admission_path: &Path,
+    admission_src: &str,
+    admin_src: &str,
+) -> Result<Vec<Violation>, syn::Error> {
+    let admission = syn::parse_file(admission_src)?;
+    let admin = syn::parse_file(admin_src)?;
+
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    for item in &admission.items {
+        if let syn::Item::Enum(e) = item {
+            if e.ident == "StormReason" {
+                for v in &e.variants {
+                    variants.push((v.ident.to_string(), v.ident.span().start().line));
+                }
+            }
+        }
+    }
+
+    struct Literals(std::collections::HashSet<String>);
+    impl<'ast> Visit<'ast> for Literals {
+        fn visit_lit_str(&mut self, l: &'ast syn::LitStr) {
+            self.0.insert(l.value());
+        }
+    }
+    let mut literals = Literals(std::collections::HashSet::new());
+    literals.visit_file(&admin);
+
+    let mut violations = Vec::new();
+    for (variant, line) in variants {
+        let label = snake_case(&variant);
+        if !literals.0.contains(&label) {
+            violations.push(Violation {
+                file: admission_path.to_path_buf(),
+                line,
+                rule: "protection-reason-rendered",
+                message: format!(
+                    "StormReason::{variant} has no \"{label}\" literal in the admin \
+                     endpoint — its /metrics reason series would be missing"
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// `TimeoutStorm` → `timeout_storm` (matches serde's rename_all and
+/// `StormReason::name()`).
+fn snake_case(ident: &str) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// True for `#[cfg(...)]` attributes whose predicate mentions the word
 /// `test` anywhere (covers `cfg(test)` and `cfg(all(test, not(loom)))`).
 /// Word-matching the token stream keeps this robust across every cfg
@@ -367,14 +465,9 @@ impl<'ast> Visit<'ast> for Walker<'_> {
         let mut counters = Vec::new();
         if let syn::Fields::Named(named) = &s.fields {
             for field in &named.named {
-                if let syn::Type::Path(tp) = &field.ty {
-                    let tracked = tp.path.segments.last().and_then(|seg| {
-                        SNAPSHOTTED_TYPES.iter().find(|ty| seg.ident == **ty)
-                    });
-                    if let Some(ty) = tracked {
-                        if let Some(ident) = &field.ident {
-                            counters.push((ident.to_string(), *ty, ident.span().start().line));
-                        }
+                if let Some(ty) = tracked_type(&field.ty) {
+                    if let Some(ident) = &field.ident {
+                        counters.push((ident.to_string(), ty, ident.span().start().line));
                     }
                 }
             }
@@ -510,6 +603,68 @@ mod tests {
         let v = lint_fixture("crates/demo/src/lib.rs", src);
         assert_eq!(rules(&v), vec!["counter-in-snapshot"], "{v:?}");
         assert!(v[0].message.contains("no snapshot()"), "{v:?}");
+    }
+
+    #[test]
+    fn arc_wrapped_protection_mode_field_is_tracked() {
+        let src = "pub struct ProtectionMode(u64);\n\
+                   pub struct Stats { pub protection: Arc<ProtectionMode> }\n\
+                   impl Stats {\n\
+                   \x20   pub fn snapshot(&self) -> u64 { 0 }\n\
+                   }\n";
+        let v = lint_fixture("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&v), vec!["counter-in-snapshot"], "{v:?}");
+        assert!(v[0].message.contains("protection"), "{v:?}");
+
+        let ok = "pub struct ProtectionMode(u64);\n\
+                  pub struct Stats { pub protection: Arc<ProtectionMode> }\n\
+                  impl Stats {\n\
+                  \x20   pub fn snapshot(&self) -> u64 { self.protection.0 }\n\
+                  }\n";
+        let v = lint_fixture("crates/demo/src/lib.rs", ok);
+        assert!(v.is_empty(), "read field flagged: {v:?}");
+    }
+
+    #[test]
+    fn reason_rendering_flags_unrendered_variants() {
+        let admission = "pub enum StormReason { TimeoutStorm, RefusedStorm }\n";
+        let admin_ok = "pub fn labels() -> [&'static str; 2] {\n\
+                        \x20   [\"timeout_storm\", \"refused_storm\"]\n\
+                        }\n";
+        let admin_missing = "pub fn labels() -> [&'static str; 1] { [\"timeout_storm\"] }\n";
+
+        let v = check_reason_rendering(
+            Path::new("crates/core/src/admission.rs"),
+            admission,
+            admin_ok,
+        )
+        .unwrap();
+        assert!(v.is_empty(), "complete rendering flagged: {v:?}");
+
+        let v = check_reason_rendering(
+            Path::new("crates/core/src/admission.rs"),
+            admission,
+            admin_missing,
+        )
+        .unwrap();
+        assert_eq!(rules(&v), vec!["protection-reason-rendered"], "{v:?}");
+        assert!(v[0].message.contains("RefusedStorm"), "{v:?}");
+        assert!(v[0].message.contains("refused_storm"), "{v:?}");
+    }
+
+    #[test]
+    fn repo_admission_and_admin_sources_satisfy_reason_rendering() {
+        // The rule run exactly as `cargo xtask lint` runs it, against the
+        // real sources — a unit-test early warning for the CI gate.
+        let admission = include_str!("../../core/src/admission.rs");
+        let admin = include_str!("../../proxy/src/admin.rs");
+        let v = check_reason_rendering(
+            Path::new("crates/core/src/admission.rs"),
+            admission,
+            admin,
+        )
+        .unwrap();
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — walk every `.rs` file in the workspace and enforce the four
-//!   repo invariants (see [`lint`] for the rules). Exit code 1 on any
-//!   violation, so CI can gate on it.
+//! * `lint` — walk every `.rs` file in the workspace and enforce the repo
+//!   invariants (see [`lint`] for the rules), plus the cross-file
+//!   protection-reason-rendered check. Exit code 1 on any violation, so
+//!   CI can gate on it.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -64,6 +65,38 @@ fn run_lint() -> ExitCode {
                 eprintln!("{}: syn parse error: {e}", rel.display());
                 violations += 1;
             }
+        }
+    }
+
+    // Cross-file rule: every StormReason variant must be rendered as a
+    // labelled /metrics series by the admin endpoint.
+    let admission_rel = Path::new("crates/core/src/admission.rs");
+    let admin_rel = Path::new("crates/proxy/src/admin.rs");
+    match (
+        std::fs::read_to_string(root.join(admission_rel)),
+        std::fs::read_to_string(root.join(admin_rel)),
+    ) {
+        (Ok(admission_src), Ok(admin_src)) => {
+            match lint::check_reason_rendering(admission_rel, &admission_src, &admin_src) {
+                Ok(found) => {
+                    for v in found {
+                        println!("{v}");
+                        violations += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("protection-reason-rendered: syn parse error: {e}");
+                    violations += 1;
+                }
+            }
+        }
+        (a, b) => {
+            for (rel, r) in [(admission_rel, &a), (admin_rel, &b)] {
+                if let Err(e) = r {
+                    eprintln!("{}: unreadable: {e}", rel.display());
+                }
+            }
+            violations += 1;
         }
     }
 

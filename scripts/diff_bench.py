@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_telemetry.json run against the checked-in baseline.
+
+Dependency-free on purpose, like validate_json.py: CI runners only
+guarantee a bare python3. Schema conformance is validate_json.py's job;
+this script asks the next question — did the run *mean* the same thing
+as the baseline in results/BENCH_telemetry.json?
+
+Three tiers of comparison, loosest first, because CI runners are noisy
+shared machines and a flaky perf gate is worse than none:
+
+* identity   — bench name, fast flag, request target, generation must
+               match the baseline exactly; a mismatch means the bench
+               itself changed and the baseline must be re-recorded.
+* semantics  — success/failure accounting must stay disruption-free in
+               kind: ok >= 95% of target, failures bounded, timeline
+               present with nothing dropped, exactly one takeover pause.
+* magnitude  — latency/pause/drain values may drift but not explode:
+               each compared value must stay within RATIO x the baseline
+               (with an absolute floor so microsecond jitter on a quiet
+               metric can't trip the ratio).
+
+Usage: diff_bench.py BASELINE.json FRESH.json
+"""
+
+import json
+import sys
+
+# A 20x band with a floor is deliberately wide: this gate exists to
+# catch order-of-magnitude regressions (a lost pool, a sync accept
+# path), not 2x scheduler noise on shared CI hardware.
+RATIO = 20.0
+FLOOR_US = 200
+FLOOR_MS = 50
+
+
+def fail(errors):
+    print("BASELINE DIFF FAIL:")
+    for e in errors:
+        print(f"  {e}")
+    raise SystemExit(1)
+
+
+def banded(errors, path, base, fresh, floor):
+    """fresh must sit inside [base/RATIO, base*RATIO], floor-padded."""
+    if base is None or fresh is None:
+        # Null percentiles mean an empty histogram; emptiness itself is
+        # policed by the count checks, not here.
+        return
+    lo = min(base / RATIO, base - floor)
+    hi = max(base * RATIO, base + floor)
+    if not lo <= fresh <= hi:
+        errors.append(f"{path}: {fresh} outside [{lo:.0f}, {hi:.0f}] (baseline {base})")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    errors = []
+
+    # Identity: the bench being measured must be the bench that was
+    # baselined.
+    for key in ("bench", "fast", "requests_target", "generation"):
+        if base.get(key) != fresh.get(key):
+            errors.append(f"$.{key}: {fresh.get(key)!r} != baseline {base.get(key)!r}")
+
+    # Semantics: the release stayed disruption-free in kind.
+    target = fresh.get("requests_target", 0)
+    ok = fresh.get("requests_ok", 0)
+    failed = fresh.get("requests_failed", 0)
+    if ok < target * 0.95:
+        errors.append(f"$.requests_ok: {ok} < 95% of target {target}")
+    if failed > max(50, target * 0.05):
+        errors.append(f"$.requests_failed: {failed} exceeds budget for target {target}")
+
+    timeline = fresh.get("timeline", {})
+    if timeline.get("events", 0) < 1:
+        errors.append("$.timeline.events: empty timeline")
+    if timeline.get("dropped", 0) != 0:
+        errors.append(f"$.timeline.dropped: {timeline.get('dropped')} events lost")
+
+    pause = fresh.get("takeover_pause_us", {})
+    if pause.get("count") != 1:
+        errors.append(f"$.takeover_pause_us.count: {pause.get('count')} != 1 release")
+
+    latency = fresh.get("request_latency_us", {})
+    if latency.get("count", 0) < ok * 0.9:
+        errors.append(
+            f"$.request_latency_us.count: {latency.get('count')} < 90% of ok {ok}"
+        )
+
+    # Magnitude: within RATIO of the baseline. Counts are exempt — the
+    # upstream pool makes connect counts load-shape-dependent.
+    for metric in ("request_latency_us", "upstream_connect_us"):
+        for q in ("p50", "p99", "mean", "max"):
+            banded(
+                errors,
+                f"$.{metric}.{q}",
+                base.get(metric, {}).get(q),
+                fresh.get(metric, {}).get(q),
+                FLOOR_US,
+            )
+    banded(
+        errors,
+        "$.takeover_pause_us.max",
+        base.get("takeover_pause_us", {}).get("max"),
+        pause.get("max"),
+        FLOOR_US,
+    )
+    banded(
+        errors,
+        "$.drain_duration_ms.max",
+        base.get("drain_duration_ms", {}).get("max"),
+        fresh.get("drain_duration_ms", {}).get("max"),
+        FLOOR_MS,
+    )
+
+    if errors:
+        fail(errors)
+    print(f"OK {sys.argv[2]} within bands of baseline {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

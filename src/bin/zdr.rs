@@ -32,12 +32,13 @@ use std::time::Duration;
 
 use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::broker::server as broker;
+use zero_downtime_release::core::admission::{AdmissionConfig, ProtectionConfig};
 use zero_downtime_release::core::resilience::{BreakerConfig, RetryBudgetConfig};
 use zero_downtime_release::core::telemetry::{AuditorConfig, DisruptionAuditor};
 use zero_downtime_release::proxy::admin::{spawn_admin, AdminHandle};
 use zero_downtime_release::proxy::conn_tracker::ConnTracker;
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge_with, spawn_origin_with};
-use zero_downtime_release::proxy::resilience::{ResilienceConfig, ShedConfig};
+use zero_downtime_release::proxy::resilience::{Resilience, ResilienceConfig, ShedConfig};
 use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
 use zero_downtime_release::proxy::service::DrainState;
 use zero_downtime_release::proxy::stats::{ProxyStats, StatsSnapshot};
@@ -81,6 +82,21 @@ RESILIENCE (proxy / edge / origin / quic):
   --retry-deposit-permille N
                          budget millitokens deposited per success
                          (default 100 — retries add at most ~10% load)
+  --admit-rate N         per-client admission: new connections allowed per
+                         sliding window (0 = off, fail open — the default);
+                         refusals answer HTTP 429 / MQTT CONNACK refuse /
+                         QUIC CONNECTION_CLOSE ahead of the shed gate
+  --admit-window-ms MS   admission sliding-window width (default 1000);
+                         the per-client budget halves while draining or
+                         while storm protection is armed
+  --protection-arm-threshold N
+                         timeout/refusal/reset/connect deltas per probe
+                         window that arm storm protection (0 = off, the
+                         default); armed state + reason ride /stats,
+                         /metrics, and the release timeline
+  --protection-disarm-successes N
+                         consecutive stable probe windows required before
+                         protection disarms (default 3)
 
 app-server:
   --name NAME            identity reported in x-served-by (default app-0)
@@ -208,6 +224,21 @@ fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, String> {
             max_active: args.u64_or("--shed-max-active", d.shed.max_active)?,
             ..d.shed
         },
+        admission: AdmissionConfig {
+            rate_per_window: args.u64_or("--admit-rate", d.admission.rate_per_window)?,
+            window_ms: args
+                .u64_or("--admit-window-ms", d.admission.window_ms)?
+                .max(1),
+            ..d.admission
+        },
+        protection: ProtectionConfig {
+            arm_threshold: args.u64_or("--protection-arm-threshold", d.protection.arm_threshold)?,
+            disarm_successes: args.u64_or(
+                "--protection-disarm-successes",
+                d.protection.disarm_successes as u64,
+            )? as u32,
+            ..d.protection
+        },
     })
 }
 
@@ -298,6 +329,7 @@ struct ScrapeSources {
     stats: Arc<ProxyStats>,
     tracker: Arc<ConnTracker>,
     drain: Arc<DrainState>,
+    resilience: Arc<Resilience>,
 }
 
 type SharedSources = Arc<parking_lot::Mutex<ScrapeSources>>;
@@ -307,7 +339,24 @@ fn sources_of(instance: &ProxyInstance) -> ScrapeSources {
         stats: instance.stats(),
         tracker: Arc::clone(instance.reverse.tracker()),
         drain: Arc::clone(instance.reverse.state()),
+        resilience: Arc::clone(instance.reverse.resilience()),
     }
+}
+
+/// Ticks the storm detector every 50 ms so protection mode observes quiet
+/// probe windows (and disarms) even when no new connection arrives to tick
+/// it inline from the accept path.
+fn spawn_protection_ticker(sources: &SharedSources) -> tokio::task::JoinHandle<()> {
+    let task_sources = Arc::clone(sources);
+    tokio::spawn(async move {
+        loop {
+            {
+                let s = task_sources.lock();
+                s.resilience.protection_tick(&s.stats);
+            }
+            tokio::time::sleep(Duration::from_millis(50)).await;
+        }
+    })
 }
 
 /// Spawns the admin endpoint when `--admin-port` was given and prints
@@ -507,11 +556,14 @@ async fn run_quic(args: &Args) -> Result<(), String> {
         .value("--takeover-path")
         .ok_or_else(|| "quic requires --takeover-path".to_string())?
         .into();
+    let resilience = resilience_from_args(args)?;
     let config = QuicInstanceConfig {
         takeover_path,
         sockets: args.u64_or("--sockets", 2)? as usize,
         drain_ms: args.u64_or("--drain-ms", 2_000)?,
-        shed: resilience_from_args(args)?.shed,
+        shed: resilience.shed,
+        admission: resilience.admission,
+        protection: resilience.protection,
     };
     let instance = if args.flag("--takeover") {
         takeover_with_retry(|| QuicInstance::takeover_from(config.clone())).await?
@@ -598,6 +650,7 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
     );
     let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
     let _admin = maybe_spawn_admin(args, &sources).await?;
+    let _ticker = spawn_protection_ticker(&sources);
     let auditor = args.flag("--audit").then(|| spawn_auditor(&sources));
     ready(instance.addr);
 
@@ -722,6 +775,7 @@ async fn run_proxy_watched_successor(
     );
     let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
     let _admin = maybe_spawn_admin(args, &sources).await?;
+    let _ticker = spawn_protection_ticker(&sources);
     let auditor = args.flag("--audit").then(|| spawn_auditor(&sources));
     ready(instance.addr);
 

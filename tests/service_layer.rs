@@ -194,6 +194,8 @@ async fn concurrent_drain_across_http_mqtt_quic() {
         sockets: 2,
         drain_ms: DEADLINE.as_millis() as u64,
         shed: Default::default(),
+        admission: Default::default(),
+        protection: Default::default(),
     };
     let quic_old = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), quic_cfg.clone())
         .await
