@@ -1,0 +1,287 @@
+//! Config-change disruption delta: the same tuning change (shed +
+//! breaker limits) applied two ways, under identical keep-alive load —
+//!
+//! * **hot reload** — one `ConfigStore::publish`, fanned out to the live
+//!   instance's applier; no socket moves, no process restart;
+//! * **supervised takeover** — the pre-config-plane way: boot a successor
+//!   with the new settings and hand the sockets over (§2.3 choreography).
+//!
+//! Reports, per leg, the failed-request count, connection churn, forced
+//! closes, and the time until the new limits govern the accept path; the
+//! `delta` block is the takeover leg minus the reload leg — the price of
+//! a restart for a change that needed none.
+//!
+//! Emits `BENCH_config_reload.json` (validated in CI against
+//! `schemas/bench_config_reload.schema.json`). Pass `--fast` for the
+//! scaled-down CI run, `--out PATH` to redirect the artifact.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zdr_appserver::{self as appserver, AppServerConfig};
+use zdr_core::clock::Clock;
+use zdr_core::config::{ConfigStore, ZdrConfig};
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_proto::http1::{serialize_request, Request, ResponseParser};
+use zdr_proxy::reverse::ReverseProxyConfig;
+use zdr_proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+/// One keep-alive load worker: sends requests until the shared quota is
+/// exhausted, reopening its connection whenever the proxy closes it.
+/// Returns (ok, failed, reconnects) — reconnects count the churn a
+/// restart inflicts on clients that a reload must not.
+async fn worker(addr: SocketAddr, quota: Arc<AtomicU64>) -> (u64, u64, u64) {
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut reconnects = 0u64;
+    let mut conn: Option<TcpStream> = None;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    while quota
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| q.checked_sub(1))
+        .is_ok()
+    {
+        if conn.is_none() {
+            match TcpStream::connect(addr).await {
+                Ok(s) => {
+                    reconnects += 1;
+                    parser.reset();
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    failed += 1;
+                    continue;
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("connection just established");
+        let req = Request::get(format!("/bench/{ok}"));
+        if stream.write_all(&serialize_request(&req)).await.is_err() {
+            conn = None;
+            failed += 1;
+            continue;
+        }
+        loop {
+            match stream.read(&mut buf).await {
+                Ok(0) | Err(_) => {
+                    conn = None;
+                    failed += 1;
+                    break;
+                }
+                Ok(n) => match parser.push(&buf[..n]) {
+                    Ok(Some(resp)) => {
+                        if resp.status.code == 200 {
+                            ok += 1;
+                        } else {
+                            failed += 1;
+                        }
+                        parser.reset();
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        conn = None;
+                        failed += 1;
+                        break;
+                    }
+                },
+            }
+        }
+    }
+    (ok, failed, reconnects)
+}
+
+/// Drives `total` requests at `addr` across `workers` keep-alive
+/// connections; returns (ok, failed, reconnects). The initial connect of
+/// each worker is excluded from churn (every leg opens its connections
+/// once).
+async fn drive(addr: SocketAddr, total: u64, workers: usize) -> (u64, u64, u64) {
+    let quota = Arc::new(AtomicU64::new(total));
+    let mut tasks = Vec::new();
+    for _ in 0..workers {
+        let quota = Arc::clone(&quota);
+        tasks.push(tokio::spawn(worker(addr, quota)));
+    }
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut reconnects = 0u64;
+    for t in tasks {
+        let (o, f, r) = t.await.expect("load worker panicked");
+        ok += o;
+        failed += f;
+        reconnects += r;
+    }
+    (ok, failed, reconnects.saturating_sub(workers as u64))
+}
+
+/// The tuning change both legs apply: enable count-based shedding and
+/// tighten the breaker. Benign under the bench's 4 workers, observable
+/// on the gates.
+fn retuned(boot: &ZdrConfig) -> ZdrConfig {
+    let mut cfg = boot.clone();
+    cfg.shed.max_active = 64;
+    cfg.breaker.failure_threshold = 3;
+    cfg
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+#[tokio::main]
+async fn main() {
+    zdr_bench::header(
+        "BENCH config_reload",
+        "disruption delta: hot reload vs takeover for the same tuning change",
+    );
+    let fast = zdr_bench::fast_mode();
+    let total: u64 = if fast { 4_000 } else { 20_000 };
+    let workers = 4;
+    let clock = Clock::system();
+
+    // Backend tier shared by both legs: two app servers.
+    let mut apps = Vec::new();
+    for name in ["web-1", "web-2"] {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: name.into(),
+                    ..Default::default()
+                },
+            )
+            .await
+            .expect("spawn app server"),
+        );
+    }
+    let upstreams: Vec<SocketAddr> = apps.iter().map(|a| a.addr).collect();
+    let mut boot = ZdrConfig::default();
+    boot.routing.upstreams = upstreams.clone();
+    boot.drain.drain_ms = 500;
+
+    let instance_cfg = |tag: &str, from: &ZdrConfig| ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams: from.routing.upstreams.clone(),
+            upstream_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+        takeover_path: std::env::temp_dir().join(format!(
+            "zdr-bench-cfgreload-{tag}-{}.sock",
+            std::process::id()
+        )),
+        drain_ms: from.drain.drain_ms,
+    };
+
+    // ---- Leg 1: hot reload ------------------------------------------
+    // One instance, one ConfigStore, one publish mid-load.
+    let cfg1 = instance_cfg("reload", &boot);
+    let store = Arc::new(ConfigStore::new(boot.clone()));
+    let inst = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg1)
+        .await
+        .expect("bind proxy");
+    let addr = inst.addr;
+    let apply = inst.config_applier();
+    store.subscribe(Box::new(move |c, e| apply(c.as_ref(), e)));
+
+    let load = tokio::spawn(drive(addr, total, workers));
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    // publish() returns only after every subscriber applied the snapshot,
+    // so this measures the full change-to-in-force latency.
+    let t0 = clock.now_us();
+    let epoch = store.publish(retuned(&boot)).expect("publish retuned config");
+    let reload_apply_us = clock.now_us() - t0;
+    let (r_ok, r_failed, r_churn) = load.await.expect("reload-leg load panicked");
+    let reload_forced = inst.reverse.forced_closes();
+    drop(inst);
+
+    // ---- Leg 2: supervised takeover ---------------------------------
+    // Old instance boots the *old* settings; the successor boots the
+    // retuned ones — the restart-shaped way to apply the same change.
+    let cfg_old = instance_cfg("takeover", &boot);
+    let mut cfg_new = instance_cfg("takeover", &retuned(&boot));
+    cfg_new.takeover_path = cfg_old.takeover_path.clone();
+    let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg_old)
+        .await
+        .expect("bind old proxy");
+    let addr = old.addr;
+
+    let load = tokio::spawn(drive(addr, total, workers));
+    let old_task = tokio::spawn(old.serve_one_takeover());
+    // Parity with the reload leg's 50 ms of pre-change load; also lets
+    // the handover socket come up before the measured window opens.
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let t0 = clock.now_us();
+    let new = ProxyInstance::takeover_from(cfg_new)
+        .await
+        .expect("takeover_from");
+    // The successor owns the VIP here: the retuned limits now govern
+    // every fresh accept — that is the takeover leg's time-to-in-force.
+    let takeover_apply_us = clock.now_us() - t0;
+    let drained = old_task
+        .await
+        .expect("takeover task panicked")
+        .expect("serve_one_takeover");
+    // Let the drain deadline pass so the forced-close tally is final.
+    tokio::time::sleep(Duration::from_millis(700)).await;
+    let (t_ok, t_failed, t_churn) = load.await.expect("takeover-leg load panicked");
+    let takeover_forced = drained.reverse.forced_closes() + new.reverse.forced_closes();
+    let pause_us = {
+        let mut tel = drained.reverse.stats.telemetry.snapshot();
+        tel.merge(&new.reverse.stats.telemetry.snapshot());
+        tel.takeover_pause_us.max
+    };
+
+    let delta = |takeover: u64, reload: u64| (takeover as i64) - (reload as i64);
+    let report = serde_json::json!({
+        "bench": "config_reload",
+        "fast": fast,
+        "requests_target": total,
+        "reload": {
+            "requests_ok": r_ok,
+            "requests_failed": r_failed,
+            "connection_churn": r_churn,
+            "forced_closes": reload_forced,
+            "apply_us": reload_apply_us,
+            "config_epoch": epoch,
+        },
+        "takeover": {
+            "requests_ok": t_ok,
+            "requests_failed": t_failed,
+            "connection_churn": t_churn,
+            "forced_closes": takeover_forced,
+            "apply_us": takeover_apply_us,
+            "takeover_pause_us": pause_us,
+            "generation": new.generation,
+        },
+        "delta": {
+            "requests_failed": delta(t_failed, r_failed),
+            "connection_churn": delta(t_churn, r_churn),
+            "forced_closes": delta(takeover_forced, reload_forced),
+            "apply_us": delta(takeover_apply_us, reload_apply_us),
+        },
+    });
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_config_reload.json".into());
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, &pretty).expect("write BENCH_config_reload.json");
+
+    println!("BENCH_config_reload {report}");
+    println!(
+        "reload:   {r_ok}/{total} ok, {r_failed} failed, churn {r_churn}, \
+         forced {reload_forced}, in force after {reload_apply_us} µs (epoch {epoch})"
+    );
+    println!(
+        "takeover: {t_ok}/{total} ok, {t_failed} failed, churn {t_churn}, \
+         forced {takeover_forced}, in force after {takeover_apply_us} µs"
+    );
+    println!("artifact: {out}");
+    println!("paper: §2.3 — restarts pay a disruption bill; a reload of hot fields pays none");
+}

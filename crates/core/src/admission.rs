@@ -32,7 +32,7 @@
 //!
 //! [`LoadShedGate`]: ../../zdr_proxy/resilience/struct.LoadShedGate.html
 
-use crate::sync::{AtomicU64, Ordering};
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
 
 // ---------------------------------------------------------------------
 // Sliding-window limiter
@@ -163,7 +163,17 @@ struct Slot {
 /// and never allocates.
 #[derive(Debug)]
 pub struct SlidingWindowLimiter {
-    config: AdmissionConfig,
+    /// Boot-time config. `shards`/`slots_per_shard` fix the table geometry
+    /// for the limiter's lifetime (boot-only); the three threshold fields
+    /// below shadow their hot counterparts and are kept only so
+    /// [`SlidingWindowLimiter::config`] can report a coherent whole.
+    boot: AdmissionConfig,
+    /// Hot: per-window rate, re-armed by [`SlidingWindowLimiter::apply`].
+    rate_per_window: AtomicU64,
+    /// Hot: window length in ms.
+    window_ms: AtomicU64,
+    /// Hot: tightened-mode multiplier (permille).
+    tightened_permille: AtomicU64,
     shards: Vec<Vec<Slot>>,
     admitted: AtomicU64,
     rejected: AtomicU64,
@@ -176,7 +186,10 @@ impl SlidingWindowLimiter {
         let shards = config.shards.max(1);
         let slots = config.slots_per_shard.max(1);
         SlidingWindowLimiter {
-            config,
+            boot: config,
+            rate_per_window: AtomicU64::new(config.rate_per_window),
+            window_ms: AtomicU64::new(config.window_ms),
+            tightened_permille: AtomicU64::new(config.tightened_permille),
             shards: (0..shards)
                 .map(|_| {
                     (0..slots)
@@ -193,9 +206,31 @@ impl SlidingWindowLimiter {
         }
     }
 
-    /// The configured tunables.
-    pub fn config(&self) -> &AdmissionConfig {
-        &self.config
+    /// The tunables currently in force: the hot thresholds as last
+    /// [`SlidingWindowLimiter::apply`]d, over the boot-time table geometry.
+    pub fn config(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            // Relaxed: independent knobs, reporting read.
+            rate_per_window: self.rate_per_window.load(Ordering::Relaxed),
+            window_ms: self.window_ms.load(Ordering::Relaxed),
+            tightened_permille: self.tightened_permille.load(Ordering::Relaxed),
+            ..self.boot
+        }
+    }
+
+    /// Re-arms the hot thresholds from a freshly published config. Table
+    /// geometry (`shards`/`slots_per_shard`) is boot-only — the
+    /// `ConfigStore` refuses publishes that change it, so it is simply
+    /// not read here.
+    pub fn apply(&self, config: &AdmissionConfig) {
+        // Relaxed stores: each knob is an independent runtime setting;
+        // racing admission checks may use either the old or new value,
+        // which is inherent to reloading a live limiter.
+        self.rate_per_window
+            .store(config.rate_per_window, Ordering::Relaxed);
+        self.window_ms.store(config.window_ms, Ordering::Relaxed);
+        self.tightened_permille
+            .store(config.tightened_permille, Ordering::Relaxed);
     }
 
     /// Arrivals admitted under the limit.
@@ -217,11 +252,13 @@ impl SlidingWindowLimiter {
     /// The per-window limit in force: the configured rate, scaled by
     /// `tightened_permille` (but never below 1) while `tightened`.
     pub fn effective_limit(&self, tightened: bool) -> u64 {
-        let rate = self.config.rate_per_window;
+        // Relaxed: hot knobs; see apply().
+        let rate = self.rate_per_window.load(Ordering::Relaxed);
         if rate == 0 || !tightened {
             return rate;
         }
-        (rate.saturating_mul(self.config.tightened_permille) / 1000).max(1)
+        let permille = self.tightened_permille.load(Ordering::Relaxed);
+        (rate.saturating_mul(permille) / 1000).max(1)
     }
 
     /// Decides one arrival from `key` at `now_ms`. `tightened` applies the
@@ -235,7 +272,9 @@ impl SlidingWindowLimiter {
             self.admitted.fetch_add(1, Ordering::Relaxed);
             return AdmitDecision::Admitted;
         }
-        let window_ms = self.config.window_ms.max(1);
+        // Relaxed: hot knob; a reload mid-window restarts the epoch
+        // arithmetic, which at worst grants one client one fresh window.
+        let window_ms = self.window_ms.load(Ordering::Relaxed).max(1);
         let epoch = (now_ms / window_ms) & EPOCH_MASK;
         let Some(slot) = self.find_slot(key, epoch) else {
             // Table pressure: every probed slot is owned by another live
@@ -633,7 +672,12 @@ pub fn classify_storm(delta: StormSignals, arm_threshold: u64) -> Option<StormRe
 /// it can sit directly on the accept path.
 #[derive(Debug)]
 pub struct StormDetector {
-    config: ProtectionConfig,
+    /// Hot: per-window arm threshold (0 disables detection).
+    arm_threshold: AtomicU64,
+    /// Hot: consecutive stable windows to disarm.
+    disarm_successes: AtomicU32,
+    /// Hot: probe window length in ms.
+    probe_window_ms: AtomicU64,
     /// Start of the open probe window; 0 = no sample taken yet.
     window_start_ms: AtomicU64,
     last_connects: AtomicU64,
@@ -646,7 +690,9 @@ impl StormDetector {
     /// A detector with the given tunables.
     pub fn new(config: ProtectionConfig) -> Self {
         StormDetector {
-            config,
+            arm_threshold: AtomicU64::new(config.arm_threshold),
+            disarm_successes: AtomicU32::new(config.disarm_successes),
+            probe_window_ms: AtomicU64::new(config.probe_window_ms),
             window_start_ms: AtomicU64::new(0),
             last_connects: AtomicU64::new(0),
             last_timeouts: AtomicU64::new(0),
@@ -655,9 +701,28 @@ impl StormDetector {
         }
     }
 
-    /// The configured tunables.
-    pub fn config(&self) -> &ProtectionConfig {
-        &self.config
+    /// The tunables currently in force (every field is hot).
+    pub fn config(&self) -> ProtectionConfig {
+        ProtectionConfig {
+            // Relaxed: independent knobs, reporting read.
+            arm_threshold: self.arm_threshold.load(Ordering::Relaxed),
+            disarm_successes: self.disarm_successes.load(Ordering::Relaxed),
+            probe_window_ms: self.probe_window_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-arms every detection tunable from a freshly published config.
+    /// Takes effect on the next probe window; the window currently open
+    /// closes under whichever values its closer loads.
+    pub fn apply(&self, config: &ProtectionConfig) {
+        // Relaxed stores: independent knobs; racing observers may see a
+        // mix for one window, after which all reads are the new values.
+        self.arm_threshold
+            .store(config.arm_threshold, Ordering::Relaxed);
+        self.disarm_successes
+            .store(config.disarm_successes, Ordering::Relaxed);
+        self.probe_window_ms
+            .store(config.probe_window_ms, Ordering::Relaxed);
     }
 
     /// Feeds one reading of cumulative totals at `now_ms`. Returns the
@@ -669,10 +734,12 @@ impl StormDetector {
         now_ms: u64,
         protection: &ProtectionMode,
     ) -> Option<ProtectionTransition> {
-        if self.config.arm_threshold == 0 {
+        // Relaxed: hot knobs; see apply().
+        let arm_threshold = self.arm_threshold.load(Ordering::Relaxed);
+        if arm_threshold == 0 {
             return None;
         }
-        let window = self.config.probe_window_ms.max(1);
+        let window = self.probe_window_ms.load(Ordering::Relaxed).max(1);
         // Relaxed load + CAS: the window-start word is the only gate; one
         // winner per window by per-location modification order. The
         // baseline totals below are only ever written by a window winner,
@@ -716,8 +783,9 @@ impl StormDetector {
                 .saturating_sub(self.last_resets.load(Ordering::Relaxed)),
         };
         self.store_baseline(totals);
-        let storm = classify_storm(delta, self.config.arm_threshold);
-        protection.observe_window(storm, self.config.disarm_successes)
+        let storm = classify_storm(delta, arm_threshold);
+        // Relaxed: hot knob; see apply().
+        protection.observe_window(storm, self.disarm_successes.load(Ordering::Relaxed))
     }
 
     fn store_baseline(&self, totals: StormSignals) {
@@ -742,6 +810,56 @@ mod tests {
             window_ms,
             ..Default::default()
         })
+    }
+
+    #[test]
+    fn apply_rearms_hot_limits_without_rebuilding_the_table() {
+        let l = limiter(2, 1_000);
+        assert_eq!(l.check(7, 0, false), AdmitDecision::Admitted);
+        assert_eq!(l.check(7, 1, false), AdmitDecision::Admitted);
+        assert_eq!(l.check(7, 2, false), AdmitDecision::Rejected);
+        // Hot reload: triple the rate. The same client (same table slot,
+        // same window) is immediately under the new limit.
+        l.apply(&AdmissionConfig {
+            rate_per_window: 6,
+            ..l.config()
+        });
+        assert_eq!(l.config().rate_per_window, 6);
+        assert_eq!(l.check(7, 3, false), AdmitDecision::Admitted);
+        // And back down: the very next check enforces the tighter limit.
+        l.apply(&AdmissionConfig {
+            rate_per_window: 1,
+            ..l.config()
+        });
+        assert_eq!(l.check(7, 4, false), AdmitDecision::Rejected);
+    }
+
+    #[test]
+    fn detector_apply_enables_detection_in_place() {
+        let protection = ProtectionMode::default();
+        let d = StormDetector::new(ProtectionConfig::default());
+        // arm_threshold 0 ⇒ disabled: readings are ignored entirely.
+        assert_eq!(
+            d.observe(StormSignals { connects: 1_000, ..Default::default() }, 5, &protection),
+            None
+        );
+        d.apply(&ProtectionConfig {
+            arm_threshold: 10,
+            disarm_successes: 1,
+            probe_window_ms: 100,
+        });
+        assert_eq!(d.config().arm_threshold, 10);
+        // Baseline read, then a flood inside one window arms protection.
+        assert_eq!(d.observe(StormSignals::default(), 10, &protection), None);
+        let edge = d.observe(
+            StormSignals { connects: 50, ..Default::default() },
+            150,
+            &protection,
+        );
+        assert_eq!(
+            edge,
+            Some(ProtectionTransition::Armed(StormReason::ConnectFlood))
+        );
     }
 
     #[test]

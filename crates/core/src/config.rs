@@ -1,0 +1,908 @@
+//! The hot config plane: one typed [`ZdrConfig`] for every tunable, and
+//! the epoch-versioned [`ConfigStore`] that lets a running proxy apply a
+//! new one without restarting anything.
+//!
+//! Fig. 2b of the paper: config changes are ~38% of L7LB releases, yet the
+//! pre-ZDR stack (and this repo before this module) paid a full socket
+//! takeover for each one. The finest-grained release is one that restarts
+//! nothing at all — so every limit the services consult per accept or per
+//! request is published here and read back as a snapshot, and a reload is
+//! just [`ConfigStore::publish`].
+//!
+//! Three layers:
+//!
+//! * [`ZdrConfig`] — the typed tree of tunables (routing/backends,
+//!   breaker, retry budget, shed, admission, protection, drain deadline,
+//!   admin), buildable from the existing `--flags` (via
+//!   [`ZdrConfig::set_flag`]) or a TOML-subset file
+//!   ([`ZdrConfig::from_toml`] / [`ZdrConfig::to_toml`], hand-rolled so
+//!   the workspace stays dependency-free). The two paths round-trip
+//!   losslessly (proptested below).
+//! * [`ZdrConfig::validate`] — the strict validation pass shared by
+//!   `zdr check <file>`, SIGHUP reloads, and `POST /config/reload`: a bad
+//!   config is rejected with every error listed, never half-applied.
+//! * [`ConfigStore`] — arc-swap-style snapshot semantics on the
+//!   [`crate::sync`] facade (so loom model-checks the epoch/tuple
+//!   protocol): [`ConfigStore::current`] clones the live `Arc`,
+//!   [`ConfigStore::publish`] validates, refuses boot-only changes,
+//!   bumps the epoch, and fans out to subscribers — the watch-style
+//!   change signal the services hang their appliers on.
+//!
+//! **Hot vs. boot-only.** Every field is declared in [`FIELDS`] with a
+//! `hot` flag. Hot fields take effect on the very next accept/request
+//! after a publish. Boot-only fields (listen ports, shard geometry,
+//! anything that sizes a structure at construction) are rejected by
+//! `publish` with an error naming the field — changing them still costs a
+//! takeover, by design. The repo linter (`cargo xtask lint`, rule
+//! `config-coverage`) enforces that every hot field is covered by the
+//! validator and renderable into the `/stats` config section, so a new
+//! tunable cannot silently dodge validation or observability.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+
+use crate::admission::{AdmissionConfig, ProtectionConfig};
+use crate::resilience::{BreakerConfig, RetryBudgetConfig};
+use crate::sync::{Arc, AtomicU64, Mutex, Ordering, RwLock};
+
+/// Backend routing: the upstream set the reverse proxy load-balances
+/// over. Hot: [`ConfigStore::publish`] + `UpstreamPool::replace` rotate
+/// backends with zero connection churn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingConfig {
+    /// Upstream (app-server) addresses.
+    pub upstreams: Vec<SocketAddr>,
+}
+
+/// Accept-side load-shed tunables, mirrored into the proxy's
+/// `ShedConfig` (which holds a `Duration`; the config plane keeps plain
+/// milliseconds so the TOML form stays integer-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedSection {
+    /// Shed new connections at or above this many active connections
+    /// (0 = fail open, never shed on count).
+    pub max_active: u64,
+    /// Shed while the smoothed accept→serve queue delay exceeds this
+    /// (0 = signal disabled).
+    pub queue_delay_max_ms: u64,
+    /// EWMA smoothing factor for the queue-delay signal, in permille.
+    /// Boot-only: the EWMA is constructed with its α baked in.
+    pub ewma_alpha_permille: u64,
+}
+
+impl Default for ShedSection {
+    fn default() -> Self {
+        ShedSection {
+            max_active: 0,
+            queue_delay_max_ms: 0,
+            ewma_alpha_permille: 200,
+        }
+    }
+}
+
+/// Drain tunables for the takeover choreography.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSection {
+    /// Drain hard deadline: established connections get this long after
+    /// handover before force-close. Hot: the next drain (and any drain
+    /// already arming its timer) picks up the new value.
+    pub drain_ms: u64,
+}
+
+impl Default for DrainSection {
+    fn default() -> Self {
+        DrainSection { drain_ms: 2_000 }
+    }
+}
+
+/// Admin-endpoint tunables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdminSection {
+    /// Loopback admin port (0 = disabled). Boot-only: listen sockets are
+    /// bound once; rebinding is exactly what takeover is for.
+    pub port: u16,
+}
+
+/// Every tunable the zdr services consult, as one typed tree.
+///
+/// Loadable from flags ([`ZdrConfig::set_flag`]) or a TOML file
+/// ([`ZdrConfig::from_toml`]); both forms round-trip losslessly through
+/// [`ZdrConfig::to_toml`]. See the module docs for hot vs. boot-only
+/// semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZdrConfig {
+    /// Backend routing (upstream set).
+    pub routing: RoutingConfig,
+    /// Per-upstream circuit-breaker tunables.
+    pub breaker: BreakerConfig,
+    /// Cluster-wide retry-budget tunables.
+    pub budget: RetryBudgetConfig,
+    /// Accept-side load-shed tunables.
+    pub shed: ShedSection,
+    /// Per-client admission-limiter tunables.
+    pub admission: AdmissionConfig,
+    /// Storm-detection / protection-mode tunables.
+    pub protection: ProtectionConfig,
+    /// Drain deadline tunables.
+    pub drain: DrainSection,
+    /// Admin endpoint tunables.
+    pub admin: AdminSection,
+}
+
+/// One declared config field: its dotted `section.key` name and whether a
+/// live [`ConfigStore::publish`] may change it.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// Dotted name, `"section.key"` — also the TOML section/key pair.
+    pub name: &'static str,
+    /// `true` ⇒ applied in place on publish; `false` ⇒ boot-only, a
+    /// publish that changes it is rejected (takeover required).
+    pub hot: bool,
+}
+
+/// The full field inventory. Order here is the canonical render order for
+/// [`ZdrConfig::to_toml`] and the `/stats` config section. The
+/// `config-coverage` lint parses this table and cross-checks
+/// [`ZdrConfig::validate`] / [`ZdrConfig::field_value`] against it.
+pub const FIELDS: &[FieldSpec] = &[
+    FieldSpec { name: "routing.upstreams", hot: true },
+    FieldSpec { name: "breaker.failure_threshold", hot: true },
+    FieldSpec { name: "breaker.success_threshold", hot: true },
+    FieldSpec { name: "breaker.open_base_ms", hot: true },
+    FieldSpec { name: "breaker.open_max_ms", hot: true },
+    FieldSpec { name: "breaker.probe_ttl_ms", hot: true },
+    FieldSpec { name: "breaker.jitter_seed", hot: true },
+    FieldSpec { name: "budget.deposit_permille", hot: true },
+    FieldSpec { name: "budget.reserve_tokens", hot: false },
+    FieldSpec { name: "budget.max_tokens", hot: true },
+    FieldSpec { name: "shed.max_active", hot: true },
+    FieldSpec { name: "shed.queue_delay_max_ms", hot: true },
+    FieldSpec { name: "shed.ewma_alpha_permille", hot: false },
+    FieldSpec { name: "admission.rate_per_window", hot: true },
+    FieldSpec { name: "admission.window_ms", hot: true },
+    FieldSpec { name: "admission.tightened_permille", hot: true },
+    FieldSpec { name: "admission.shards", hot: false },
+    FieldSpec { name: "admission.slots_per_shard", hot: false },
+    FieldSpec { name: "protection.arm_threshold", hot: true },
+    FieldSpec { name: "protection.disarm_successes", hot: true },
+    FieldSpec { name: "protection.probe_window_ms", hot: true },
+    FieldSpec { name: "drain.drain_ms", hot: true },
+    FieldSpec { name: "admin.port", hot: false },
+];
+
+impl ZdrConfig {
+    /// Strict validation: every violated constraint is reported (the full
+    /// list, not just the first), so `zdr check` fixes a file in one pass.
+    /// A config that fails here is never published.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        // Range table: (field, value, min, max). Data-driven so every
+        // field — including ones with no tighter constraint than "fits in
+        // u64", like the jitter seed — passes through the same gate; the
+        // config-coverage lint checks each hot field is named here.
+        let ranges: &[(&str, u64, u64, u64)] = &[
+            ("breaker.failure_threshold", self.breaker.failure_threshold as u64, 1, 1 << 20),
+            ("breaker.success_threshold", self.breaker.success_threshold as u64, 1, 1 << 20),
+            ("breaker.open_base_ms", self.breaker.open_base_ms, 1, 86_400_000),
+            ("breaker.open_max_ms", self.breaker.open_max_ms, 1, 86_400_000),
+            ("breaker.probe_ttl_ms", self.breaker.probe_ttl_ms, 1, 86_400_000),
+            ("breaker.jitter_seed", self.breaker.jitter_seed, 0, u64::MAX),
+            ("budget.deposit_permille", self.budget.deposit_permille, 0, 100_000),
+            ("budget.reserve_tokens", self.budget.reserve_tokens, 0, 1_000_000_000),
+            ("budget.max_tokens", self.budget.max_tokens, 1, 1_000_000_000),
+            ("shed.max_active", self.shed.max_active, 0, u64::MAX),
+            ("shed.queue_delay_max_ms", self.shed.queue_delay_max_ms, 0, 86_400_000),
+            ("shed.ewma_alpha_permille", self.shed.ewma_alpha_permille, 1, 1_000),
+            ("admission.rate_per_window", self.admission.rate_per_window, 0, u64::MAX),
+            ("admission.window_ms", self.admission.window_ms, 1, 86_400_000),
+            ("admission.tightened_permille", self.admission.tightened_permille, 1, 1_000),
+            ("admission.shards", self.admission.shards as u64, 1, 1 << 16),
+            ("admission.slots_per_shard", self.admission.slots_per_shard as u64, 1, 1 << 20),
+            ("protection.arm_threshold", self.protection.arm_threshold, 0, u64::MAX),
+            ("protection.disarm_successes", self.protection.disarm_successes as u64, 1, 1 << 20),
+            ("protection.probe_window_ms", self.protection.probe_window_ms, 1, 3_600_000),
+            ("drain.drain_ms", self.drain.drain_ms, 0, 86_400_000),
+            ("admin.port", self.admin.port as u64, 0, 65_535),
+        ];
+        for &(name, value, min, max) in ranges {
+            if value < min || value > max {
+                errs.push(format!("{name}: {value} out of range [{min}, {max}]"));
+            }
+        }
+        // Cross-field constraints.
+        if self.breaker.open_base_ms > self.breaker.open_max_ms {
+            errs.push(format!(
+                "breaker.open_base_ms: {} exceeds breaker.open_max_ms {}",
+                self.breaker.open_base_ms, self.breaker.open_max_ms
+            ));
+        }
+        if self.budget.reserve_tokens > self.budget.max_tokens {
+            errs.push(format!(
+                "budget.reserve_tokens: {} exceeds budget.max_tokens {}",
+                self.budget.reserve_tokens, self.budget.max_tokens
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for addr in &self.routing.upstreams {
+            if !seen.insert(*addr) {
+                errs.push(format!("routing.upstreams: duplicate upstream {addr}"));
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Renders one declared field by dotted name, as its canonical string
+    /// form. `None` for names not in [`FIELDS`]. Drives both the generic
+    /// boot-only diff in [`ConfigStore::publish`] and the `/stats` config
+    /// section ([`ZdrConfig::render_map`]).
+    pub fn field_value(&self, name: &str) -> Option<String> {
+        Some(match name {
+            "routing.upstreams" => self
+                .routing
+                .upstreams
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            "breaker.failure_threshold" => self.breaker.failure_threshold.to_string(),
+            "breaker.success_threshold" => self.breaker.success_threshold.to_string(),
+            "breaker.open_base_ms" => self.breaker.open_base_ms.to_string(),
+            "breaker.open_max_ms" => self.breaker.open_max_ms.to_string(),
+            "breaker.probe_ttl_ms" => self.breaker.probe_ttl_ms.to_string(),
+            "breaker.jitter_seed" => self.breaker.jitter_seed.to_string(),
+            "budget.deposit_permille" => self.budget.deposit_permille.to_string(),
+            "budget.reserve_tokens" => self.budget.reserve_tokens.to_string(),
+            "budget.max_tokens" => self.budget.max_tokens.to_string(),
+            "shed.max_active" => self.shed.max_active.to_string(),
+            "shed.queue_delay_max_ms" => self.shed.queue_delay_max_ms.to_string(),
+            "shed.ewma_alpha_permille" => self.shed.ewma_alpha_permille.to_string(),
+            "admission.rate_per_window" => self.admission.rate_per_window.to_string(),
+            "admission.window_ms" => self.admission.window_ms.to_string(),
+            "admission.tightened_permille" => self.admission.tightened_permille.to_string(),
+            "admission.shards" => self.admission.shards.to_string(),
+            "admission.slots_per_shard" => self.admission.slots_per_shard.to_string(),
+            "protection.arm_threshold" => self.protection.arm_threshold.to_string(),
+            "protection.disarm_successes" => self.protection.disarm_successes.to_string(),
+            "protection.probe_window_ms" => self.protection.probe_window_ms.to_string(),
+            "drain.drain_ms" => self.drain.drain_ms.to_string(),
+            "admin.port" => self.admin.port.to_string(),
+            _ => return None,
+        })
+    }
+
+    /// Every declared field as `name → value`, for the `/stats` config
+    /// section. [`FIELDS`] is the single source of truth, so a field added
+    /// there (and to [`ZdrConfig::field_value`], lint-enforced) shows up
+    /// here with no extra wiring.
+    pub fn render_map(&self) -> BTreeMap<String, String> {
+        FIELDS
+            .iter()
+            .filter_map(|spec| Some((spec.name.to_string(), self.field_value(spec.name)?)))
+            .collect()
+    }
+
+    /// Applies one `--flag value` pair from the CLI surface. Unknown
+    /// flags are `Err` — the caller decides whether that's fatal (it is
+    /// for `zdr`, which rejects unknown flags outright).
+    pub fn set_flag(&mut self, flag: &str, value: &str) -> Result<(), String> {
+        fn num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            value.parse().map_err(|e| format!("bad {flag} {value:?}: {e}"))
+        }
+        match flag {
+            "--upstream" => {
+                let addr: SocketAddr = num(flag, value)?;
+                self.routing.upstreams.push(addr);
+            }
+            "--breaker-threshold" => self.breaker.failure_threshold = num(flag, value)?,
+            "--retry-reserve" => self.budget.reserve_tokens = num(flag, value)?,
+            "--retry-deposit-permille" => self.budget.deposit_permille = num(flag, value)?,
+            "--shed-max-active" => self.shed.max_active = num(flag, value)?,
+            "--admit-rate" => self.admission.rate_per_window = num(flag, value)?,
+            "--admit-window-ms" => self.admission.window_ms = num(flag, value)?,
+            "--protection-arm-threshold" => self.protection.arm_threshold = num(flag, value)?,
+            "--protection-disarm-successes" => {
+                self.protection.disarm_successes = num(flag, value)?
+            }
+            "--drain-ms" => self.drain.drain_ms = num(flag, value)?,
+            "--admin-port" => self.admin.port = num(flag, value)?,
+            _ => return Err(format!("unknown config flag {flag}")),
+        }
+        Ok(())
+    }
+
+    /// The flags understood by [`ZdrConfig::set_flag`], with whether each
+    /// takes a value (all do today; the signature matches the binary's
+    /// flag table).
+    pub const FLAGS: &'static [&'static str] = &[
+        "--upstream",
+        "--breaker-threshold",
+        "--retry-reserve",
+        "--retry-deposit-permille",
+        "--shed-max-active",
+        "--admit-rate",
+        "--admit-window-ms",
+        "--protection-arm-threshold",
+        "--protection-disarm-successes",
+        "--drain-ms",
+        "--admin-port",
+    ];
+
+    /// The inverse of [`ZdrConfig::set_flag`]: this config as `(flag,
+    /// value)` pairs. `set_flag`ing these onto a default config
+    /// reconstructs every field a flag can reach (the rest are already at
+    /// their defaults), which is what the lossless round-trip proptest
+    /// pins down.
+    pub fn to_flag_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = self
+            .routing
+            .upstreams
+            .iter()
+            .map(|a| ("--upstream".to_string(), a.to_string()))
+            .collect();
+        for (flag, value) in [
+            ("--breaker-threshold", self.breaker.failure_threshold.to_string()),
+            ("--retry-reserve", self.budget.reserve_tokens.to_string()),
+            ("--retry-deposit-permille", self.budget.deposit_permille.to_string()),
+            ("--shed-max-active", self.shed.max_active.to_string()),
+            ("--admit-rate", self.admission.rate_per_window.to_string()),
+            ("--admit-window-ms", self.admission.window_ms.to_string()),
+            ("--protection-arm-threshold", self.protection.arm_threshold.to_string()),
+            (
+                "--protection-disarm-successes",
+                self.protection.disarm_successes.to_string(),
+            ),
+            ("--drain-ms", self.drain.drain_ms.to_string()),
+            ("--admin-port", self.admin.port.to_string()),
+        ] {
+            pairs.push((flag.to_string(), value));
+        }
+        pairs
+    }
+
+    /// Serializes to the TOML subset [`ZdrConfig::from_toml`] parses:
+    /// `[section]` headers, `key = int`, and `key = ["str", ...]` for the
+    /// upstream list. Canonical order is [`FIELDS`] order, so serialized
+    /// files diff cleanly.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let mut section = "";
+        for spec in FIELDS {
+            let (sect, key) = spec.name.split_once('.').expect("FIELDS names are dotted");
+            if sect != section {
+                if !section.is_empty() {
+                    out.push('\n');
+                }
+                let _ = writeln!(out, "[{sect}]");
+                section = sect;
+            }
+            if spec.name == "routing.upstreams" {
+                let list = self
+                    .routing
+                    .upstreams
+                    .iter()
+                    .map(|a| format!("\"{a}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "{key} = [{list}]");
+            } else {
+                let value = self.field_value(spec.name).expect("FIELDS are renderable");
+                let _ = writeln!(out, "{key} = {value}");
+            }
+        }
+        out
+    }
+
+    /// Parses the TOML subset emitted by [`ZdrConfig::to_toml`]:
+    /// `[section]` headers, `key = <u64>`, `key = ["str", ...]`, `#`
+    /// comments. Hand-rolled (no `toml` crate in this workspace); strict —
+    /// unknown sections/keys and malformed values are errors, reported
+    /// with line numbers, all at once. Missing keys keep their defaults.
+    pub fn from_toml(src: &str) -> Result<ZdrConfig, Vec<String>> {
+        let mut cfg = ZdrConfig::default();
+        let mut errs = Vec::new();
+        let mut section = String::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(body) = line.strip_prefix('[') {
+                match body.strip_suffix(']') {
+                    Some(name) => {
+                        section = name.trim().to_string();
+                        if !FIELDS.iter().any(|s| s.name.starts_with(&format!("{section}."))) {
+                            errs.push(format!("line {lineno}: unknown section [{section}]"));
+                        }
+                    }
+                    None => errs.push(format!("line {lineno}: unterminated section header")),
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                errs.push(format!("line {lineno}: expected `key = value`, got {line:?}"));
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if section.is_empty() {
+                errs.push(format!("line {lineno}: key {key:?} before any [section]"));
+                continue;
+            }
+            if let Err(e) = cfg.set_key(&section, key, value) {
+                errs.push(format!("line {lineno}: {e}"));
+            }
+        }
+        if errs.is_empty() {
+            Ok(cfg)
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Applies one parsed `section` / `key` / raw-value triple.
+    fn set_key(&mut self, section: &str, key: &str, value: &str) -> Result<(), String> {
+        fn int<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            value
+                .parse()
+                .map_err(|e| format!("{name}: bad integer {value:?}: {e}"))
+        }
+        let name = format!("{section}.{key}");
+        match name.as_str() {
+            "routing.upstreams" => {
+                self.routing.upstreams = parse_str_array(&name, value)?
+                    .iter()
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|e| format!("{name}: bad address {s:?}: {e}"))
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
+            "breaker.failure_threshold" => self.breaker.failure_threshold = int(&name, value)?,
+            "breaker.success_threshold" => self.breaker.success_threshold = int(&name, value)?,
+            "breaker.open_base_ms" => self.breaker.open_base_ms = int(&name, value)?,
+            "breaker.open_max_ms" => self.breaker.open_max_ms = int(&name, value)?,
+            "breaker.probe_ttl_ms" => self.breaker.probe_ttl_ms = int(&name, value)?,
+            "breaker.jitter_seed" => self.breaker.jitter_seed = int(&name, value)?,
+            "budget.deposit_permille" => self.budget.deposit_permille = int(&name, value)?,
+            "budget.reserve_tokens" => self.budget.reserve_tokens = int(&name, value)?,
+            "budget.max_tokens" => self.budget.max_tokens = int(&name, value)?,
+            "shed.max_active" => self.shed.max_active = int(&name, value)?,
+            "shed.queue_delay_max_ms" => self.shed.queue_delay_max_ms = int(&name, value)?,
+            "shed.ewma_alpha_permille" => self.shed.ewma_alpha_permille = int(&name, value)?,
+            "admission.rate_per_window" => self.admission.rate_per_window = int(&name, value)?,
+            "admission.window_ms" => self.admission.window_ms = int(&name, value)?,
+            "admission.tightened_permille" => {
+                self.admission.tightened_permille = int(&name, value)?
+            }
+            "admission.shards" => self.admission.shards = int(&name, value)?,
+            "admission.slots_per_shard" => self.admission.slots_per_shard = int(&name, value)?,
+            "protection.arm_threshold" => self.protection.arm_threshold = int(&name, value)?,
+            "protection.disarm_successes" => {
+                self.protection.disarm_successes = int(&name, value)?
+            }
+            "protection.probe_window_ms" => self.protection.probe_window_ms = int(&name, value)?,
+            "drain.drain_ms" => self.drain.drain_ms = int(&name, value)?,
+            "admin.port" => self.admin.port = int(&name, value)?,
+            _ => return Err(format!("unknown key {name}")),
+        }
+        Ok(())
+    }
+}
+
+/// Cuts a `#` comment, respecting double-quoted strings (no escape
+/// sequences — addresses and field names never need them).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its string elements (empty `[]` is fine).
+fn parse_str_array(name: &str, value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("{name}: expected [\"...\"] array, got {value:?}"))?
+        .trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            item.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name}: expected quoted string, got {item:?}"))
+        })
+        .collect()
+}
+
+/// The epoch of the boot-time config: the first [`ConfigStore::publish`]
+/// lands epoch 2, so "epoch > 1" always means "reloaded since boot".
+pub const BOOT_EPOCH: u64 = 1;
+
+/// Change-signal callback: invoked with the freshly published snapshot
+/// and its epoch.
+pub type ConfigSubscriber = Box<dyn Fn(&Arc<ZdrConfig>, u64) + Send + Sync>;
+
+/// Epoch-versioned shared config with arc-swap snapshot semantics.
+///
+/// Readers call [`ConfigStore::current`] (a read-lock + `Arc` clone, a
+/// handful of nanoseconds) at accept/request granularity and use the
+/// snapshot consistently for that unit of work — no torn reads across
+/// fields. [`ConfigStore::epoch`] is a lock-free gauge read for `/stats`
+/// and `/metrics`.
+///
+/// Writers go through [`ConfigStore::publish`]: validate → reject
+/// boot-only drift → swap the `(epoch, snapshot)` tuple → bump the epoch
+/// gauge → notify subscribers, all serialized by the subscriber lock so
+/// appliers observe epochs in order.
+///
+/// Built on the [`crate::sync`] facade: the loom suite model-checks the
+/// epoch/tuple protocol (a reader that observes epoch `e` then reads the
+/// tuple always finds tuple-epoch ≥ `e`).
+pub struct ConfigStore {
+    /// Lock-free epoch gauge. Written only inside `current`'s write lock;
+    /// may lag the tuple from a racing reader's viewpoint, never lead it.
+    epoch: AtomicU64,
+    /// The live `(epoch, snapshot)` pair, swapped atomically as a unit.
+    current: RwLock<(u64, Arc<ZdrConfig>)>,
+    /// Change-signal fan-out; doubles as the publisher serialization lock.
+    subscribers: Mutex<Vec<ConfigSubscriber>>,
+}
+
+impl std::fmt::Debug for ConfigStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConfigStore")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConfigStore {
+    /// A store holding `initial` at [`BOOT_EPOCH`]. The boot config is
+    /// trusted (it came from flags the binary already vetted); publishes
+    /// after boot are validated.
+    pub fn new(initial: ZdrConfig) -> Self {
+        ConfigStore {
+            epoch: AtomicU64::new(BOOT_EPOCH),
+            current: RwLock::new((BOOT_EPOCH, Arc::new(initial))),
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The live snapshot. Cheap; call at accept/request granularity and
+    /// keep the `Arc` for the duration of that unit of work.
+    pub fn current(&self) -> Arc<ZdrConfig> {
+        Arc::clone(&self.current.read().expect("config lock poisoned").1)
+    }
+
+    /// The live `(epoch, snapshot)` pair, read atomically.
+    pub fn current_with_epoch(&self) -> (u64, Arc<ZdrConfig>) {
+        let cur = self.current.read().expect("config lock poisoned");
+        (cur.0, Arc::clone(&cur.1))
+    }
+
+    /// Lock-free epoch gauge for `/stats`, `/metrics`, and tests.
+    pub fn epoch(&self) -> u64 {
+        // Acquire: pairs with the Release store in publish, so a reader
+        // that sees epoch n and then takes the read lock finds a tuple at
+        // least that new (loom: config_epoch_monotonic).
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Registers a change-signal callback, invoked on every successful
+    /// publish with the new snapshot and epoch (in epoch order).
+    pub fn subscribe(&self, f: ConfigSubscriber) {
+        self.subscribers
+            .lock()
+            .expect("subscriber lock poisoned")
+            .push(f);
+    }
+
+    /// Validates and publishes `cfg` as the new live snapshot, returning
+    /// the new epoch. Errors (validation failures or boot-only drift)
+    /// leave the store untouched — a reload is all-or-nothing.
+    pub fn publish(&self, cfg: ZdrConfig) -> Result<u64, Vec<String>> {
+        cfg.validate()?;
+        // Serialize publishers across the swap *and* the fan-out, so two
+        // concurrent reloads cannot deliver epochs to appliers out of
+        // order.
+        let subs = self.subscribers.lock().expect("subscriber lock poisoned");
+        let snapshot = Arc::new(cfg);
+        let epoch = {
+            let mut cur = self.current.write().expect("config lock poisoned");
+            let drift: Vec<String> = FIELDS
+                .iter()
+                .filter(|spec| !spec.hot)
+                .filter(|spec| cur.1.field_value(spec.name) != snapshot.field_value(spec.name))
+                .map(|spec| {
+                    format!(
+                        "{}: boot-only field changed ({} -> {}); apply it with a takeover, \
+                         not a reload",
+                        spec.name,
+                        cur.1.field_value(spec.name).unwrap_or_default(),
+                        snapshot.field_value(spec.name).unwrap_or_default(),
+                    )
+                })
+                .collect();
+            if !drift.is_empty() {
+                return Err(drift);
+            }
+            let epoch = cur.0 + 1;
+            *cur = (epoch, Arc::clone(&snapshot));
+            // Release: pairs with the Acquire load in epoch(); stored
+            // inside the write lock so the gauge never leads the tuple.
+            self.epoch.store(epoch, Ordering::Release);
+            epoch
+        };
+        for sub in subs.iter() {
+            sub(&snapshot, epoch);
+        }
+        Ok(epoch)
+    }
+}
+
+// not(loom): loom sync types panic outside a loom::model run; the store's
+// loom model lives in tests/loom.rs.
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn addr(p: u16) -> SocketAddr {
+        format!("127.0.0.1:{p}").parse().unwrap()
+    }
+
+    #[test]
+    fn default_config_validates() {
+        ZdrConfig::default().validate().expect("defaults are legal");
+    }
+
+    #[test]
+    fn validate_reports_every_error_at_once() {
+        let mut cfg = ZdrConfig::default();
+        cfg.admission.window_ms = 0;
+        cfg.shed.ewma_alpha_permille = 5_000;
+        cfg.breaker.open_base_ms = 60_000;
+        cfg.breaker.open_max_ms = 1_000;
+        cfg.routing.upstreams = vec![addr(1), addr(1)];
+        let errs = cfg.validate().unwrap_err();
+        for needle in [
+            "admission.window_ms",
+            "shed.ewma_alpha_permille",
+            "breaker.open_base_ms",
+            "routing.upstreams",
+        ] {
+            assert!(
+                errs.iter().any(|e| e.contains(needle)),
+                "missing {needle} in {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_field_is_renderable_and_in_the_map() {
+        let cfg = ZdrConfig::default();
+        let map = cfg.render_map();
+        for spec in FIELDS {
+            assert!(
+                cfg.field_value(spec.name).is_some(),
+                "{} not renderable",
+                spec.name
+            );
+            assert!(map.contains_key(spec.name), "{} not in map", spec.name);
+        }
+        assert_eq!(map.len(), FIELDS.len());
+    }
+
+    #[test]
+    fn toml_round_trips_a_nontrivial_config() {
+        let mut cfg = ZdrConfig::default();
+        cfg.routing.upstreams = vec![addr(9001), addr(9002)];
+        cfg.shed.max_active = 128;
+        cfg.admission.rate_per_window = 50;
+        cfg.protection.arm_threshold = 10;
+        cfg.drain.drain_ms = 750;
+        cfg.admin.port = 7777;
+        let toml = cfg.to_toml();
+        let back = ZdrConfig::from_toml(&toml).expect("canonical form parses");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn toml_parser_is_strict_with_line_numbers() {
+        let errs = ZdrConfig::from_toml(
+            "[breaker]\nfailure_threshold = nope\n[nosuch]\nkey = 1\norphan\n",
+        )
+        .unwrap_err();
+        assert!(errs.iter().any(|e| e.starts_with("line 2:")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("unknown section")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.starts_with("line 5:")),
+            "bare word must be an error: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn toml_comments_and_blank_lines_are_ignored() {
+        let cfg = ZdrConfig::from_toml(
+            "# boot config\n\n[shed]\nmax_active = 9 # tightened for the canary\n\n[routing]\nupstreams = [\"127.0.0.1:8080\"] # one backend\n",
+        )
+        .expect("comments parse");
+        assert_eq!(cfg.shed.max_active, 9);
+        assert_eq!(cfg.routing.upstreams, vec![addr(8080)]);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let mut cfg = ZdrConfig::default();
+        let err = cfg.set_flag("--sched-max-active", "5").unwrap_err();
+        assert!(err.contains("--sched-max-active"));
+    }
+
+    #[test]
+    fn store_publish_bumps_epoch_and_swaps_snapshot() {
+        let store = ConfigStore::new(ZdrConfig::default());
+        assert_eq!(store.epoch(), BOOT_EPOCH);
+        let mut next = ZdrConfig::default();
+        next.shed.max_active = 42;
+        let epoch = store.publish(next).expect("valid publish");
+        assert_eq!(epoch, BOOT_EPOCH + 1);
+        assert_eq!(store.epoch(), epoch);
+        assert_eq!(store.current().shed.max_active, 42);
+        let (e, snap) = store.current_with_epoch();
+        assert_eq!((e, snap.shed.max_active), (epoch, 42));
+    }
+
+    #[test]
+    fn store_rejects_invalid_and_keeps_old_snapshot() {
+        let store = ConfigStore::new(ZdrConfig::default());
+        let mut bad = ZdrConfig::default();
+        bad.admission.window_ms = 0;
+        assert!(store.publish(bad).is_err());
+        assert_eq!(store.epoch(), BOOT_EPOCH, "failed publish must not bump");
+        assert_eq!(store.current().admission.window_ms, 1_000);
+    }
+
+    #[test]
+    fn store_rejects_boot_only_drift_naming_the_field() {
+        let store = ConfigStore::new(ZdrConfig::default());
+        let mut rebind = ZdrConfig::default();
+        rebind.admin.port = 9999;
+        let errs = store.publish(rebind).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("admin.port"), "{errs:?}");
+        assert!(errs[0].contains("takeover"), "{errs:?}");
+        assert_eq!(store.epoch(), BOOT_EPOCH);
+    }
+
+    #[test]
+    fn subscribers_see_each_publish_in_epoch_order() {
+        use std::sync::Mutex as StdMutex;
+        let store = ConfigStore::new(ZdrConfig::default());
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        store.subscribe(Box::new(move |cfg, epoch| {
+            sink.lock().unwrap().push((epoch, cfg.shed.max_active));
+        }));
+        for max in [7, 8, 9] {
+            let mut cfg = ZdrConfig::default();
+            cfg.shed.max_active = max;
+            store.publish(cfg).unwrap();
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![(2, 7), (3, 8), (4, 9)]);
+    }
+
+    #[test]
+    fn flag_names_match_set_flag() {
+        let mut cfg = ZdrConfig::default();
+        for flag in ZdrConfig::FLAGS {
+            let value = if *flag == "--upstream" { "127.0.0.1:1" } else { "1" };
+            cfg.set_flag(flag, value)
+                .unwrap_or_else(|e| panic!("{flag}: {e}"));
+        }
+    }
+
+    mod round_trip {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn flag_config() -> impl Strategy<Value = ZdrConfig> {
+            (
+                proptest::collection::vec(1u16..u16::MAX, 0..4),
+                1u32..1000,
+                (0u64..100, 100u64..1000),
+                0u64..10_000,
+                (0u64..1000, 1u64..100_000),
+                (0u64..1000, 1u32..100),
+                0u64..100_000,
+                0u16..u16::MAX,
+            )
+                .prop_map(
+                    |(
+                        ports,
+                        breaker_threshold,
+                        (reserve, max_tokens),
+                        shed_max,
+                        (admit_rate, admit_window),
+                        (arm, disarm),
+                        drain_ms,
+                        admin_port,
+                    )| {
+                        let mut cfg = ZdrConfig::default();
+                        let mut seen = std::collections::HashSet::new();
+                        cfg.routing.upstreams = ports
+                            .into_iter()
+                            .filter(|p| seen.insert(*p))
+                            .map(|p| format!("127.0.0.1:{p}").parse().unwrap())
+                            .collect();
+                        cfg.breaker.failure_threshold = breaker_threshold;
+                        cfg.budget.reserve_tokens = reserve;
+                        cfg.budget.max_tokens = max_tokens;
+                        cfg.shed.max_active = shed_max;
+                        cfg.admission.rate_per_window = admit_rate;
+                        cfg.admission.window_ms = admit_window;
+                        cfg.protection.arm_threshold = arm;
+                        cfg.protection.disarm_successes = disarm;
+                        cfg.drain.drain_ms = drain_ms;
+                        cfg.admin.port = admin_port;
+                        cfg
+                    },
+                )
+        }
+
+        proptest! {
+            /// flags → ZdrConfig → TOML → ZdrConfig is lossless: a config
+            /// born from the CLI surface survives being written to a file
+            /// and reloaded, bit-for-bit.
+            #[test]
+            fn flags_to_toml_round_trips(cfg in flag_config()) {
+                // Rebuild from the flag surface (set_flag is the CLI path).
+                let mut from_flags = ZdrConfig::default();
+                for (flag, value) in cfg.to_flag_pairs() {
+                    from_flags.set_flag(&flag, &value).unwrap();
+                }
+                prop_assert_eq!(&from_flags, &cfg);
+                // And through the file surface.
+                let parsed = ZdrConfig::from_toml(&from_flags.to_toml()).unwrap();
+                prop_assert_eq!(parsed, cfg);
+            }
+
+            /// The canonical serializer emits only what the strict parser
+            /// accepts, for any config (not just flag-reachable ones).
+            #[test]
+            fn to_toml_always_parses(
+                alpha in 1u64..=1000,
+                tightened in 1u64..=1000,
+                seed in proptest::num::u64::ANY,
+            ) {
+                let mut cfg = ZdrConfig::default();
+                cfg.shed.ewma_alpha_permille = alpha;
+                cfg.admission.tightened_permille = tightened;
+                cfg.breaker.jitter_seed = seed;
+                let parsed = ZdrConfig::from_toml(&cfg.to_toml()).unwrap();
+                prop_assert_eq!(parsed, cfg);
+            }
+        }
+    }
+}

@@ -33,6 +33,11 @@
 //!   per-client sliding-window rate limiter and the storm-triggered
 //!   [`admission::ProtectionMode`] that keep a release train safe to run
 //!   through a connect/timeout/reset storm (§6.2's peak-traffic case).
+//! * [`config`] — the hot config plane: the typed [`config::ZdrConfig`]
+//!   tunable tree (flags or TOML, losslessly interchangeable) and the
+//!   epoch-versioned [`config::ConfigStore`] whose publishes reload hot
+//!   fields in place — the Fig. 2b insight that ~38% of releases are
+//!   config-only and should restart nothing.
 //! * [`resilience`] — upstream-resilience primitives: the per-upstream
 //!   circuit breaker (closed → open → half-open, seeded-jitter probe
 //!   windows) and the cluster-wide retry budget that keep §4.4's
@@ -55,6 +60,7 @@ pub mod admission;
 pub mod calendar;
 pub mod canary;
 pub mod clock;
+pub mod config;
 pub mod drain;
 pub mod mechanism;
 pub mod metrics;

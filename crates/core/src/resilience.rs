@@ -465,7 +465,12 @@ impl Default for RetryBudgetConfig {
 /// All atomic, no locks.
 #[derive(Debug)]
 pub struct RetryBudget {
-    config: RetryBudgetConfig,
+    /// Hot: millitokens deposited per success, re-armed by
+    /// [`RetryBudget::apply`]. (`reserve_tokens` is boot-only: it sets the
+    /// initial balance and is never read again.)
+    deposit_permille: AtomicU64,
+    /// Hot: cap on the balance, in millitokens.
+    max_millitokens: AtomicU64,
     /// Balance in millitokens (1 retry = 1000).
     millitokens: AtomicU64,
     /// Total retries granted (monotonic, for reports).
@@ -479,19 +484,35 @@ impl RetryBudget {
     pub fn new(config: RetryBudgetConfig) -> Self {
         let start = config.reserve_tokens.saturating_mul(1000);
         RetryBudget {
-            config,
+            deposit_permille: AtomicU64::new(config.deposit_permille),
+            max_millitokens: AtomicU64::new(config.max_tokens.saturating_mul(1000)),
             millitokens: AtomicU64::new(start),
             withdrawn: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
         }
     }
 
+    /// Re-arms the hot tunables from a freshly published config. The
+    /// current balance is kept (an existing surplus above a lowered cap
+    /// drains naturally at the next deposit); `reserve_tokens` is
+    /// boot-only and ignored here.
+    pub fn apply(&self, config: &RetryBudgetConfig) {
+        // Relaxed stores: independent knobs; a racing deposit may use
+        // either value, which is inherent to reloading a live bucket.
+        self.deposit_permille
+            .store(config.deposit_permille, Ordering::Relaxed);
+        self.max_millitokens
+            .store(config.max_tokens.saturating_mul(1000), Ordering::Relaxed);
+    }
+
     /// Deposits the per-success fraction, capped at `max_tokens`.
     pub fn record_success(&self) {
-        let cap = self.config.max_tokens.saturating_mul(1000);
+        // Relaxed: hot knobs; see apply().
+        let cap = self.max_millitokens.load(Ordering::Relaxed);
+        let deposit = self.deposit_permille.load(Ordering::Relaxed);
         let mut cur = self.millitokens.load(Ordering::Relaxed);
         loop {
-            let next = cur.saturating_add(self.config.deposit_permille).min(cap);
+            let next = cur.saturating_add(deposit).min(cap);
             if next == cur {
                 return;
             }
@@ -707,6 +728,30 @@ mod tests {
         assert!(budget.try_withdraw());
         assert!(!budget.try_withdraw());
         assert_eq!(budget.withdrawn(), 3);
+    }
+
+    #[test]
+    fn budget_apply_rearms_deposit_and_cap_in_place() {
+        let budget = RetryBudget::new(RetryBudgetConfig {
+            deposit_permille: 0,
+            reserve_tokens: 0,
+            max_tokens: 10,
+        });
+        budget.record_success();
+        assert_eq!(budget.balance_tokens(), 0, "zero deposit funds nothing");
+        // Hot reload: successes now fund full tokens, capped at 2.
+        budget.apply(&RetryBudgetConfig {
+            deposit_permille: 1000,
+            reserve_tokens: 999, // boot-only: must NOT refill the balance
+            max_tokens: 2,
+        });
+        for _ in 0..5 {
+            budget.record_success();
+        }
+        assert_eq!(budget.balance_tokens(), 2, "new cap enforced");
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw(), "reserve was not re-applied");
     }
 
     #[test]

@@ -22,13 +22,23 @@
 //! atomics themselves. std's `Arc` works inside loom models; its refcount
 //! traffic is simply not explored.
 
+//!
+//! `Mutex`/`RwLock` are re-exported too (std's poisoning API; loom's
+//! doubles mirror the same `LockResult` signatures), so the rare
+//! lock-guarded structure — the config plane's `ConfigStore` — gets loom
+//! coverage alongside the atomics.
+
 #[cfg(loom)]
 pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub use loom::sync::{Mutex, RwLock};
 #[cfg(loom)]
 pub use loom::thread;
 
 #[cfg(not(loom))]
 pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::{Mutex, RwLock};
 #[cfg(not(loom))]
 pub use std::thread;
 

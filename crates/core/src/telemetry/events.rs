@@ -65,6 +65,9 @@ pub enum ReleasePhase {
     ProtectionArmed,
     /// Storm protection disarmed after N consecutive stable windows.
     ProtectionDisarmed,
+    /// A new config epoch was applied in place — the zero-restart release
+    /// (detail carries the epoch and what triggered the reload).
+    ConfigApplied,
 }
 
 impl ReleasePhase {
@@ -88,6 +91,7 @@ impl ReleasePhase {
             ReleasePhase::Aborted => "aborted",
             ReleasePhase::ProtectionArmed => "protection_armed",
             ReleasePhase::ProtectionDisarmed => "protection_disarmed",
+            ReleasePhase::ConfigApplied => "config_applied",
         }
     }
 }

@@ -19,6 +19,7 @@ use loom::thread;
 use std::sync::Arc;
 
 use zdr_core::admission::{ProtectionMode, ProtectionState, ProtectionTransition, StormReason};
+use zdr_core::config::{ConfigStore, ZdrConfig, BOOT_EPOCH};
 use zdr_core::resilience::{
     Admit, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, RetryBudget,
     RetryBudgetConfig,
@@ -187,6 +188,93 @@ fn protection_disarm_single_edge() {
         assert_eq!(disarmed, 1, "disarm edge reported {disarmed} times");
         assert_eq!(p.state(), ProtectionState::Disarmed);
         assert_eq!(p.reason(), None);
+    });
+}
+
+/// The config-plane visibility contract from `core::config`: the
+/// `config_epoch` gauge (Acquire) never leads the snapshot tuple — a
+/// reader that observes epoch n and then takes the read lock finds a
+/// snapshot at least that new, under every interleaving with a
+/// concurrent publish. This is the theorem behind the "stored inside the
+/// write lock so the gauge never leads the tuple" comment in `publish`.
+#[test]
+fn config_epoch_monotonic() {
+    model(|| {
+        let store = Arc::new(ConfigStore::new(ZdrConfig::default()));
+
+        let publisher = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut cfg = ZdrConfig::default();
+                cfg.shed.max_active = 7;
+                store.publish(cfg).unwrap()
+            })
+        };
+        let reader = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let gauge = store.epoch();
+                let (tuple_epoch, snapshot) = store.current_with_epoch();
+                assert!(
+                    tuple_epoch >= gauge,
+                    "gauge {gauge} leads tuple epoch {tuple_epoch}"
+                );
+                // An epoch past boot is inseparable from its payload.
+                if tuple_epoch > BOOT_EPOCH {
+                    assert_eq!(snapshot.shed.max_active, 7);
+                }
+            })
+        };
+
+        assert_eq!(publisher.join().unwrap(), BOOT_EPOCH + 1);
+        reader.join().unwrap();
+
+        // Quiescent: gauge and tuple agree on the published epoch.
+        assert_eq!(store.epoch(), BOOT_EPOCH + 1);
+        let (epoch, snapshot) = store.current_with_epoch();
+        assert_eq!(epoch, BOOT_EPOCH + 1);
+        assert_eq!(snapshot.shed.max_active, 7);
+    });
+}
+
+/// Two racing publishers are serialized: they take epochs 2 and 3 (one
+/// each), and a subscriber sees both fan-outs in epoch order — the
+/// subscriber-lock-around-the-swap design means appliers can never
+/// observe a newer config before an older one.
+#[test]
+fn config_publish_serialized_fanout_in_order() {
+    model(|| {
+        let store = Arc::new(ConfigStore::new(ZdrConfig::default()));
+        let seen = Arc::new(loom::sync::Mutex::new(Vec::new()));
+        {
+            let seen = Arc::clone(&seen);
+            store.subscribe(Box::new(move |cfg, epoch| {
+                seen.lock().unwrap().push((epoch, cfg.shed.max_active));
+            }));
+        }
+
+        let handles: Vec<_> = [3u64, 9]
+            .iter()
+            .map(|&limit| {
+                let store = Arc::clone(&store);
+                thread::spawn(move || {
+                    let mut cfg = ZdrConfig::default();
+                    cfg.shed.max_active = limit;
+                    store.publish(cfg).unwrap()
+                })
+            })
+            .collect();
+        let mut epochs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        epochs.sort_unstable();
+        assert_eq!(epochs, vec![BOOT_EPOCH + 1, BOOT_EPOCH + 2]);
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "every publish fans out exactly once");
+        assert!(
+            seen[0].0 < seen[1].0,
+            "fan-out delivered epochs out of order: {seen:?}"
+        );
+        assert_eq!(store.epoch(), BOOT_EPOCH + 2);
     });
 }
 

@@ -6,12 +6,16 @@
 //!
 //! Routes:
 //!
-//! * `/stats` — the full snapshot as JSON (counters, latency histograms,
-//!   release phase timeline);
-//! * `/healthz` — `200 ok` while serving, `503 draining` once the drain
-//!   signal fired (mirrors the VIP's `/proxygen/health` answer);
-//! * `/metrics` — Prometheus-style text: every scalar counter as a gauge
-//!   plus `_count`/`_sum`/quantile series per histogram.
+//! * `GET /stats` — the full snapshot as JSON (counters, latency
+//!   histograms, release phase timeline, config section + epoch);
+//! * `GET /healthz` — `200 ok` while serving, `503 draining` once the
+//!   drain signal fired (mirrors the VIP's `/proxygen/health` answer);
+//! * `GET /metrics` — Prometheus-style text: every scalar counter as a
+//!   gauge plus `_count`/`_sum`/quantile series per histogram;
+//! * `POST /config/reload` — re-reads and publishes the config file via
+//!   the wired [`ReloadFn`] ([`spawn_admin_with_reload`]): `200` with
+//!   `{"epoch": n}` on success, `400` listing every validation error on
+//!   refusal, `404` when the binary was started without `--config`.
 //!
 //! The listener binds loopback only: this is an operator/scraper surface,
 //! never a VIP. It is deliberately not wired into the takeover inventory —
@@ -26,7 +30,7 @@ use tokio::net::{TcpListener, TcpStream};
 
 use zdr_core::admission::{StormReason, STORM_REASONS};
 use zdr_core::telemetry::HistogramSnapshot;
-use zdr_proto::http1::{serialize_response, RequestParser, Response, StatusCode};
+use zdr_proto::http1::{serialize_response, Method, RequestParser, Response, StatusCode};
 
 use crate::stats::StatsSnapshot;
 
@@ -36,6 +40,10 @@ pub type SnapshotFn = dyn Fn() -> StatsSnapshot + Send + Sync;
 
 /// Answers `/healthz`: `true` → 200, `false` → 503.
 pub type HealthyFn = dyn Fn() -> bool + Send + Sync;
+
+/// Handles `POST /config/reload`: re-read the config source and publish
+/// it. `Ok(epoch)` on success; `Err` carries every validation error.
+pub type ReloadFn = dyn Fn() -> Result<u64, Vec<String>> + Send + Sync;
 
 /// A running admin endpoint; aborting (or dropping) the handle stops it.
 pub struct AdminHandle {
@@ -65,17 +73,36 @@ impl Drop for AdminHandle {
     }
 }
 
-/// Binds `127.0.0.1:port` (0 picks a free port) and serves the admin
-/// routes until the handle is dropped.
+/// Binds `127.0.0.1:port` (0 picks a free port) and serves the read-only
+/// admin routes until the handle is dropped. `POST /config/reload`
+/// answers 404; wire a reload with [`spawn_admin_with_reload`].
 pub async fn spawn_admin(
     port: u16,
     snapshot: impl Fn() -> StatsSnapshot + Send + Sync + 'static,
     healthy: impl Fn() -> bool + Send + Sync + 'static,
 ) -> std::io::Result<AdminHandle> {
+    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), None).await
+}
+
+/// [`spawn_admin`] plus the mutating route: `POST /config/reload` invokes
+/// `reload` (re-read file → validate → publish) and reports the outcome.
+pub async fn spawn_admin_with_reload(
+    port: u16,
+    snapshot: impl Fn() -> StatsSnapshot + Send + Sync + 'static,
+    healthy: impl Fn() -> bool + Send + Sync + 'static,
+    reload: Arc<ReloadFn>,
+) -> std::io::Result<AdminHandle> {
+    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), Some(reload)).await
+}
+
+async fn spawn_admin_inner(
+    port: u16,
+    snapshot: Arc<SnapshotFn>,
+    healthy: Arc<HealthyFn>,
+    reload: Option<Arc<ReloadFn>>,
+) -> std::io::Result<AdminHandle> {
     let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port)).await?;
     let addr = listener.local_addr()?;
-    let snapshot: Arc<SnapshotFn> = Arc::new(snapshot);
-    let healthy: Arc<HealthyFn> = Arc::new(healthy);
     let task = tokio::spawn(async move {
         loop {
             let Ok((stream, _)) = listener.accept().await else {
@@ -83,8 +110,9 @@ pub async fn spawn_admin(
             };
             let snapshot = Arc::clone(&snapshot);
             let healthy = Arc::clone(&healthy);
+            let reload = reload.clone();
             tokio::spawn(async move {
-                let _ = serve_conn(stream, &snapshot, &healthy).await;
+                let _ = serve_conn(stream, &snapshot, &healthy, reload.as_ref()).await;
             });
         }
     });
@@ -96,6 +124,7 @@ async fn serve_conn(
     mut stream: TcpStream,
     snapshot: &Arc<SnapshotFn>,
     healthy: &Arc<HealthyFn>,
+    reload: Option<&Arc<ReloadFn>>,
 ) -> std::io::Result<()> {
     let mut buf = [0u8; 8192];
     let mut parser = RequestParser::new();
@@ -114,14 +143,49 @@ async fn serve_conn(
             }
         };
         parser.reset();
-        let response = route(request.target.as_str(), snapshot, healthy);
+        let response = route(request.method, request.target.as_str(), snapshot, healthy, reload);
         stream.write_all(&serialize_response(&response)).await?;
     }
 }
 
-fn route(target: &str, snapshot: &Arc<SnapshotFn>, healthy: &Arc<HealthyFn>) -> Response {
+fn route(
+    method: Method,
+    target: &str,
+    snapshot: &Arc<SnapshotFn>,
+    healthy: &Arc<HealthyFn>,
+    reload: Option<&Arc<ReloadFn>>,
+) -> Response {
     // Strip a query string; scrapers commonly append cache-busters.
     let path = target.split('?').next().unwrap_or(target);
+    if path == "/config/reload" {
+        // The one mutating route: POST only, so a stray scraper GET can
+        // never trigger a reload.
+        if method != Method::Post {
+            return Response::new(StatusCode::from_code(405), "POST only\n");
+        }
+        let Some(reload) = reload else {
+            return Response::new(
+                StatusCode::from_code(404),
+                "no config file wired (start with --config)\n",
+            );
+        };
+        return match reload() {
+            Ok(epoch) => {
+                let mut resp = Response::ok(format!("{{\"epoch\":{epoch}}}\n"));
+                resp.headers.set("content-type", "application/json");
+                resp
+            }
+            Err(errors) => {
+                let mut body = String::from("config rejected:\n");
+                for e in &errors {
+                    body.push_str("  ");
+                    body.push_str(e);
+                    body.push('\n');
+                }
+                Response::new(StatusCode::from_code(400), body)
+            }
+        };
+    }
     match path {
         "/stats" => {
             let snap = snapshot();
@@ -236,9 +300,17 @@ mod tests {
     use zdr_proto::http1::{serialize_request, Request, ResponseParser};
 
     async fn get(addr: SocketAddr, target: &str) -> Response {
+        roundtrip(addr, Request::get(target)).await
+    }
+
+    async fn post(addr: SocketAddr, target: &str) -> Response {
+        roundtrip(addr, Request::post(target, "")).await
+    }
+
+    async fn roundtrip(addr: SocketAddr, request: Request) -> Response {
         let mut stream = TcpStream::connect(addr).await.unwrap();
         stream
-            .write_all(&serialize_request(&Request::get(target)))
+            .write_all(&serialize_request(&request))
             .await
             .unwrap();
         let mut parser = ResponseParser::new();
@@ -360,5 +432,52 @@ mod tests {
             text.contains("zdr_protection_reason_active{reason=\"timeout_storm\"} 0"),
             "{text}"
         );
+    }
+
+    #[tokio::test]
+    async fn config_reload_answers_404_when_no_reload_is_wired() {
+        let admin = spawn_admin(0, StatsSnapshot::default, || true).await.unwrap();
+        let resp = post(admin.addr, "/config/reload").await;
+        assert_eq!(resp.status.code, 404);
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("--config"), "{body}");
+    }
+
+    #[tokio::test]
+    async fn config_reload_reports_epoch_on_success_and_errors_on_refusal() {
+        // Odd calls succeed with a bumped epoch; even calls are rejected —
+        // exercises both arms over one wired ReloadFn.
+        let calls = Arc::new(zdr_core::sync::AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let reload: Arc<ReloadFn> = Arc::new(move || {
+            let n = c.fetch_add(1, zdr_core::sync::Ordering::AcqRel);
+            if n % 2 == 0 {
+                Ok(n + 2)
+            } else {
+                Err(vec![
+                    "breaker.failure_threshold: 0 out of range 1..=1048576".into(),
+                    "budget.reserve_tokens: exceeds budget.max_tokens".into(),
+                ])
+            }
+        });
+        let admin = spawn_admin_with_reload(0, StatsSnapshot::default, || true, reload)
+            .await
+            .unwrap();
+
+        let resp = post(admin.addr, "/config/reload").await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(resp.headers.get("content-type"), Some("application/json"));
+        assert_eq!(&resp.body[..], b"{\"epoch\":2}\n");
+
+        let resp = post(admin.addr, "/config/reload").await;
+        assert_eq!(resp.status.code, 400);
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("failure_threshold"), "{body}");
+        assert!(body.contains("reserve_tokens"), "{body}");
+
+        // The mutating route is POST-only; a scraper GET can't reload.
+        let resp = get(admin.addr, "/config/reload").await;
+        assert_eq!(resp.status.code, 405);
+        assert_eq!(calls.load(zdr_core::sync::Ordering::Acquire), 2);
     }
 }

@@ -40,6 +40,9 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use zdr_core::clock::unix_now_ms;
+use zdr_core::config::ZdrConfig;
+use zdr_core::sync::{AtomicU64, Ordering};
+use zdr_core::telemetry::ReleasePhase;
 use zdr_proto::dcr::{self, DcrMessage, UserId};
 use zdr_proto::deadline::Deadline;
 use zdr_proto::mqtt::StreamDecoder;
@@ -73,12 +76,55 @@ pub struct OriginHandle {
     pub stats: Arc<ProxyStats>,
     /// Broker-side resilience: per-broker breakers + shared retry budget.
     pub resilience: Arc<Resilience>,
+    /// Hot drain deadline advertised in DCR solicitations, rewritable by
+    /// a config reload without restarting the relay.
+    drain_deadline: Arc<AtomicU64>,
 }
 
 impl Deref for OriginHandle {
     type Target = ServiceHandle;
     fn deref(&self) -> &ServiceHandle {
         &self.service
+    }
+}
+
+impl OriginHandle {
+    /// The drain deadline (ms) currently advertised to Edges.
+    pub fn drain_deadline_ms(&self) -> u64 {
+        // Relaxed: advisory tuning; old or new value are both valid.
+        self.drain_deadline.load(Ordering::Relaxed)
+    }
+
+    /// Applies a hot config snapshot: re-arms the broker-side resilience
+    /// layer in place and moves the advertised drain deadline, without
+    /// touching any live tunnel.
+    pub fn apply_config(&self, cfg: &ZdrConfig, epoch: u64) {
+        self.resilience.apply(ResilienceConfig::from_zdr(cfg));
+        self.drain_deadline
+            .store(cfg.drain.drain_ms, Ordering::Relaxed);
+        self.stats.telemetry.event(
+            ReleasePhase::ConfigApplied,
+            u64::from(self.origin_id),
+            format!("epoch={epoch}"),
+        );
+    }
+
+    /// A subscriber for [`zdr_core::config::ConfigStore::subscribe`]
+    /// applying snapshots to this relay's live handles.
+    pub fn config_applier(&self) -> Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync> {
+        let resilience = Arc::clone(&self.resilience);
+        let drain_deadline = Arc::clone(&self.drain_deadline);
+        let telemetry = Arc::clone(&self.stats.telemetry);
+        let origin_id = u64::from(self.origin_id);
+        Arc::new(move |cfg: &ZdrConfig, epoch: u64| {
+            resilience.apply(ResilienceConfig::from_zdr(cfg));
+            drain_deadline.store(cfg.drain.drain_ms, Ordering::Relaxed);
+            telemetry.event(
+                ReleasePhase::ConfigApplied,
+                origin_id,
+                format!("epoch={epoch}"),
+            );
+        })
     }
 }
 
@@ -113,16 +159,22 @@ pub async fn spawn_origin_with(
     let state = DrainState::new(MqttCloseSignal);
     let brokers = Arc::new(brokers);
     let resilience = Arc::new(Resilience::new(resilience));
+    let drain_deadline = Arc::new(AtomicU64::new(u64::from(drain_deadline_ms)));
 
     let loop_stats = Arc::clone(&stats);
     let loop_state = Arc::clone(&state);
     let loop_resilience = Arc::clone(&resilience);
+    let loop_deadline = Arc::clone(&drain_deadline);
     let accept_task = tokio::spawn(async move {
         while let Ok((stream, _)) = listener.accept().await {
             let stats = Arc::clone(&loop_stats);
             let brokers = Arc::clone(&brokers);
             let state = Arc::clone(&loop_state);
             let resilience = Arc::clone(&loop_resilience);
+            // Loaded per accept so a hot reload governs every tunnel
+            // established after it. Saturating: the wire field is u32.
+            let drain_deadline_ms =
+                u32::try_from(loop_deadline.load(Ordering::Relaxed)).unwrap_or(u32::MAX);
             let guard = state.register();
             tokio::spawn(async move {
                 let _ = origin_tunnel(
@@ -146,6 +198,7 @@ pub async fn spawn_origin_with(
         origin_id,
         stats,
         resilience,
+        drain_deadline,
     })
 }
 
@@ -322,6 +375,28 @@ impl EdgeHandle {
     /// restarting on a new port in tests).
     pub fn set_origins(&self, origins: Vec<SocketAddr>) {
         *self.origins.write() = origins;
+    }
+
+    /// Applies a hot config snapshot: resilience knobs (breakers, retry
+    /// budget, shed gate, admission, storm detector). The Origin set is
+    /// deliberately *not* touched — Edge backends come from `--origin`
+    /// flags, not `routing.upstreams`, and are managed by DCR/takeover.
+    pub fn apply_config(&self, cfg: &ZdrConfig, epoch: u64) {
+        self.resilience.apply(ResilienceConfig::from_zdr(cfg));
+        self.stats
+            .telemetry
+            .event(ReleasePhase::ConfigApplied, 0, format!("epoch={epoch}"));
+    }
+
+    /// A subscriber closure for [`zdr_core::config::ConfigStore`] that
+    /// outlives this handle (captures the shared parts, not `self`).
+    pub fn config_applier(&self) -> Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync> {
+        let resilience = Arc::clone(&self.resilience);
+        let telemetry = Arc::clone(&self.stats.telemetry);
+        Arc::new(move |cfg, epoch| {
+            resilience.apply(ResilienceConfig::from_zdr(cfg));
+            telemetry.event(ReleasePhase::ConfigApplied, 0, format!("epoch={epoch}"));
+        })
     }
 }
 
@@ -713,6 +788,65 @@ mod tests {
         let mut c = Client::connect(edge.addr, UserId(5)).await;
         c.send(&Packet::PingReq).await;
         assert_eq!(c.recv().await, Packet::PingResp);
+    }
+
+    #[tokio::test]
+    async fn apply_config_rearms_relays_without_dropping_tunnels() {
+        let (_broker, o1, _o2, edge) = stack().await;
+        let mut c = Client::connect(edge.addr, UserId(21)).await;
+
+        // Hot snapshot: single-slot shed gate, shorter drain deadline.
+        let mut cfg = ZdrConfig::default();
+        cfg.shed.max_active = 1;
+        cfg.drain.drain_ms = 750;
+        (edge.config_applier())(&cfg, 5);
+        o1.apply_config(&cfg, 5);
+
+        assert_eq!(o1.drain_deadline_ms(), 750);
+
+        // The gate is full (one live tunnel), so the next client is
+        // refused protocol-natively — no restart, no takeover.
+        let mut stream = TcpStream::connect(edge.addr).await.unwrap();
+        stream
+            .write_all(
+                &mqtt::encode(&Packet::Connect {
+                    client_id: zdr_broker::server::client_id_for(UserId(22)),
+                    keep_alive: 60,
+                    clean_session: true,
+                })
+                .unwrap(),
+            )
+            .await
+            .unwrap();
+        let mut shed = Client {
+            stream,
+            decoder: StreamDecoder::new(),
+        };
+        match shed.recv().await {
+            Packet::ConnAck {
+                code: ConnectReturnCode::ServerUnavailable,
+                ..
+            } => {}
+            other => panic!("expected shed CONNACK, got {other:?}"),
+        }
+        assert_eq!(edge.stats.load_shed.get(), 1);
+
+        // The established tunnel is untouched by the reload.
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+        assert_eq!(edge.forced_closes(), 0);
+
+        // Both relays journalled the apply.
+        for (stats, who) in [(&edge.stats, "edge"), (&o1.stats, "origin")] {
+            let tl = stats.telemetry.timeline.snapshot();
+            assert!(
+                tl.events
+                    .iter()
+                    .any(|e| e.phase == ReleasePhase::ConfigApplied
+                        && e.detail.contains("epoch=5")),
+                "{who}: {tl:?}"
+            );
+        }
     }
 
     #[tokio::test]

@@ -33,6 +33,8 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 use zdr_core::clock::unix_now_ms;
+use zdr_core::config::ZdrConfig;
+use zdr_core::telemetry::ReleasePhase;
 use zdr_proto::dcr::{self, DcrMessage, UserId};
 use zdr_proto::deadline::{Deadline, DEADLINE_HEADER};
 use zdr_proto::mqtt::{Packet, StreamDecoder};
@@ -73,6 +75,27 @@ impl OriginTrunkHandle {
     /// Streams still relaying across all trunks.
     pub fn active_streams(&self) -> usize {
         self.tracker().active() as usize
+    }
+
+    /// Applies a hot config snapshot: re-arms the broker-side resilience
+    /// layer in place. The trunk protocol announces drain via GOAWAY, so
+    /// there is no advertised deadline to rewrite here.
+    pub fn apply_config(&self, cfg: &ZdrConfig, epoch: u64) {
+        self.resilience.apply(ResilienceConfig::from_zdr(cfg));
+        self.stats
+            .telemetry
+            .event(ReleasePhase::ConfigApplied, 0, format!("epoch={epoch}"));
+    }
+
+    /// A subscriber closure for [`zdr_core::config::ConfigStore`] that
+    /// outlives this handle (captures the shared parts, not `self`).
+    pub fn config_applier(&self) -> Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync> {
+        let resilience = Arc::clone(&self.resilience);
+        let telemetry = Arc::clone(&self.stats.telemetry);
+        Arc::new(move |cfg, epoch| {
+            resilience.apply(ResilienceConfig::from_zdr(cfg));
+            telemetry.event(ReleasePhase::ConfigApplied, 0, format!("epoch={epoch}"));
+        })
     }
 }
 
@@ -278,6 +301,28 @@ impl Deref for EdgeTrunkHandle {
     type Target = ServiceHandle;
     fn deref(&self) -> &ServiceHandle {
         &self.service
+    }
+}
+
+impl EdgeTrunkHandle {
+    /// Applies a hot config snapshot: resilience knobs only (the Origin
+    /// set comes from `--origin` flags, not `routing.upstreams`).
+    pub fn apply_config(&self, cfg: &ZdrConfig, epoch: u64) {
+        self.resilience.apply(ResilienceConfig::from_zdr(cfg));
+        self.stats
+            .telemetry
+            .event(ReleasePhase::ConfigApplied, 0, format!("epoch={epoch}"));
+    }
+
+    /// A subscriber closure for [`zdr_core::config::ConfigStore`] that
+    /// outlives this handle (captures the shared parts, not `self`).
+    pub fn config_applier(&self) -> Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync> {
+        let resilience = Arc::clone(&self.resilience);
+        let telemetry = Arc::clone(&self.stats.telemetry);
+        Arc::new(move |cfg, epoch| {
+            resilience.apply(ResilienceConfig::from_zdr(cfg));
+            telemetry.event(ReleasePhase::ConfigApplied, 0, format!("epoch={epoch}"));
+        })
     }
 }
 

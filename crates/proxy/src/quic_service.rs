@@ -32,6 +32,8 @@ use zdr_core::admission::{
     client_key, AdmissionConfig, AdmitDecision, ProtectionConfig, ProtectionMode,
     ProtectionTransition, SlidingWindowLimiter, StormDetector, StormSignals,
 };
+use zdr_core::config::ZdrConfig;
+use zdr_core::sync::{AtomicU64, Ordering};
 use zdr_core::telemetry::{ReleasePhase, Telemetry};
 use zdr_net::inventory::{bind_udp_reuseport_group, ListenerInventory};
 use zdr_net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
@@ -286,6 +288,14 @@ pub struct QuicInstance {
     pub stats: Arc<QuicStats>,
     config: QuicInstanceConfig,
     table: Arc<FlowTable>,
+    /// Hot drain deadline: starts at `config.drain_ms`, rewritable by a
+    /// config reload without restarting.
+    drain_ms: Arc<AtomicU64>,
+    /// Shared gate handles (also captured by the per-socket serve tasks),
+    /// kept on the instance so a config reload can re-arm them in place.
+    shed: Arc<LoadShedGate>,
+    admission: Arc<SlidingWindowLimiter>,
+    detector: Arc<StormDetector>,
     /// Pristine socket clones reserved for the next handover.
     handover_sockets: Vec<std::net::UdpSocket>,
 }
@@ -370,6 +380,7 @@ impl QuicInstance {
             )));
         }
 
+        let drain_ms = Arc::new(AtomicU64::new(config.drain_ms));
         Ok(QuicInstance {
             service: ServiceHandle::new(vip, state, tasks)
                 .with_telemetry(Arc::clone(&stats.telemetry), generation as u64),
@@ -378,7 +389,50 @@ impl QuicInstance {
             stats,
             config,
             table,
+            drain_ms,
+            shed,
+            admission,
+            detector,
             handover_sockets,
+        })
+    }
+
+    /// The drain hard deadline currently in force (hot-reloadable).
+    pub fn drain_ms(&self) -> u64 {
+        // Relaxed: advisory tuning; old or new value are both valid.
+        self.drain_ms.load(Ordering::Relaxed)
+    }
+
+    /// Applies a hot config snapshot: re-arms the shed / admission /
+    /// storm-protection gates in place and moves the drain deadline,
+    /// without dropping a single flow.
+    pub fn apply_config(&self, cfg: &ZdrConfig, epoch: u64) {
+        apply_quic_config_parts(
+            &self.shed,
+            &self.admission,
+            &self.detector,
+            &self.drain_ms,
+            &self.stats.telemetry,
+            u64::from(self.generation),
+            cfg,
+            epoch,
+        );
+    }
+
+    /// A subscriber for [`zdr_core::config::ConfigStore::subscribe`] that
+    /// keeps applying snapshots to this instance's live gates even after
+    /// the instance moves into [`QuicInstance::serve_one_takeover`].
+    pub fn config_applier(&self) -> Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync> {
+        let shed = Arc::clone(&self.shed);
+        let admission = Arc::clone(&self.admission);
+        let detector = Arc::clone(&self.detector);
+        let drain_ms = Arc::clone(&self.drain_ms);
+        let telemetry = Arc::clone(&self.stats.telemetry);
+        let generation = u64::from(self.generation);
+        Arc::new(move |cfg, epoch| {
+            apply_quic_config_parts(
+                &shed, &admission, &detector, &drain_ms, &telemetry, generation, cfg, epoch,
+            );
         })
     }
 
@@ -405,9 +459,8 @@ impl QuicInstance {
         let info = HandoffInfo {
             generation: self.generation,
             udp_router_addr: Some(drain_addr),
-            drain_deadline_ms: self.config.drain_ms,
+            drain_deadline_ms: self.drain_ms(),
         };
-        let drain_ms = self.config.drain_ms;
         tokio::task::spawn_blocking(move || {
             server.serve_once(&inventory, info, Duration::from_secs(60))
         })
@@ -419,8 +472,10 @@ impl QuicInstance {
         // reads win). Enter the unified drain: VIP tasks stop, the force
         // timer arms the hard deadline.
         let mut force = self.service.state().force_watch();
+        // Re-read the hot deadline at drain time: a reload that landed
+        // mid-handshake still governs this drain.
         self.service
-            .drain_with_deadline(Duration::from_millis(drain_ms));
+            .drain_with_deadline(Duration::from_millis(self.drain_ms()));
 
         // Serve forwarded packets from the drain socket until the deadline.
         let socket = Arc::new(drain_socket);
@@ -471,6 +526,31 @@ impl QuicInstance {
             snapshot: self.stats_snapshot(),
         })
     }
+}
+
+/// Shared body of [`QuicInstance::apply_config`] and the detached applier
+/// closure from [`QuicInstance::config_applier`].
+fn apply_quic_config_parts(
+    shed: &LoadShedGate,
+    admission: &SlidingWindowLimiter,
+    detector: &StormDetector,
+    drain_ms: &AtomicU64,
+    telemetry: &Telemetry,
+    generation: u64,
+    cfg: &ZdrConfig,
+    epoch: u64,
+) {
+    shed.set_max_active(cfg.shed.max_active);
+    shed.set_queue_delay_max(Duration::from_millis(cfg.shed.queue_delay_max_ms));
+    admission.apply(&cfg.admission);
+    detector.apply(&cfg.protection);
+    // Relaxed: advisory tuning (see QuicInstance::drain_ms).
+    drain_ms.store(cfg.drain.drain_ms, Ordering::Relaxed);
+    telemetry.event(
+        ReleasePhase::ConfigApplied,
+        generation,
+        format!("epoch={epoch}"),
+    );
 }
 
 /// The retired instance after its drain completed.
@@ -698,6 +778,58 @@ mod tests {
 
         // The admitted flow is unaffected.
         assert_eq!(flow.echo(vip, b"still").await.unwrap(), b"echo:still");
+    }
+
+    #[tokio::test]
+    async fn apply_config_rearms_gates_without_dropping_flows() {
+        let instance = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), config("hot"))
+            .await
+            .unwrap();
+        let vip = instance.vip;
+        assert_eq!(instance.drain_ms(), 1_500);
+
+        // One admitted flow under the boot config (shed disabled).
+        let mut flow = FlowClient::open(vip, 1).await;
+        assert_eq!(instance.active_connections(), 1);
+
+        // Hot reload: cap active flows at 1, shorten the drain window —
+        // via the detached applier, the shape the ConfigStore subscriber
+        // uses.
+        let applier = instance.config_applier();
+        let mut cfg = ZdrConfig::default();
+        cfg.shed.max_active = 1;
+        cfg.drain.drain_ms = 250;
+        applier(&cfg, 3);
+        assert_eq!(instance.drain_ms(), 250);
+
+        // The very next Initial is refused by the reloaded shed limit.
+        let socket = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let cid = ConnectionId::new(0, 2);
+        let hello = Datagram::initial(cid, &b"hello"[..]);
+        socket
+            .send_to(&quic::encode(&hello).unwrap(), vip)
+            .await
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(5), socket.recv_from(&mut buf))
+            .await
+            .expect("shed reply timeout")
+            .unwrap();
+        let reply = quic::decode(&buf[..n]).unwrap();
+        assert_eq!(reply.packet_type, PacketType::Close);
+        assert_eq!(instance.stats.load_shed.get(), 1);
+
+        // The established flow never noticed the reload.
+        assert_eq!(flow.echo(vip, b"still").await.unwrap(), b"echo:still");
+        assert_eq!(instance.forced_closes(), 0);
+
+        let tl = instance.stats.telemetry.timeline.snapshot();
+        assert!(
+            tl.events
+                .iter()
+                .any(|e| e.phase == ReleasePhase::ConfigApplied && e.detail.contains("epoch=3")),
+            "{tl:?}"
+        );
     }
 
     #[tokio::test]

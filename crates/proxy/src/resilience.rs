@@ -94,6 +94,26 @@ pub struct ResilienceConfig {
     pub protection: ProtectionConfig,
 }
 
+impl ResilienceConfig {
+    /// Projects the service-facing slice out of a published
+    /// [`zdr_core::config::ZdrConfig`] snapshot (the config plane keeps
+    /// durations as plain milliseconds; this is where they become
+    /// [`Duration`]s).
+    pub fn from_zdr(cfg: &zdr_core::config::ZdrConfig) -> Self {
+        ResilienceConfig {
+            breaker: cfg.breaker,
+            budget: cfg.budget,
+            shed: ShedConfig {
+                max_active: cfg.shed.max_active,
+                queue_delay_max: Duration::from_millis(cfg.shed.queue_delay_max_ms),
+                ewma_alpha_permille: cfg.shed.ewma_alpha_permille,
+            },
+            admission: cfg.admission,
+            protection: cfg.protection,
+        }
+    }
+}
+
 /// The accept-side overload gate. All-atomic; knobs are runtime-settable
 /// so an operator (or test) can tighten a live instance.
 #[derive(Debug)]
@@ -193,9 +213,17 @@ content-length: 0\r\n\
 \r\n";
 
 /// Shared resilience state for one service: breakers + budget + shed gate.
+///
+/// Hot-reloadable: [`Resilience::apply`] re-arms every threshold in place
+/// from a freshly published [`ResilienceConfig`] — the config plane's
+/// appliers call it on each `ConfigStore` publish, so new limits are in
+/// force on the very next accept with zero connection churn.
 #[derive(Debug)]
 pub struct Resilience {
-    config: ResilienceConfig,
+    /// The tunables last applied (boot config until the first reload).
+    /// Guarded so [`Resilience::apply`] can diff-and-swap atomically with
+    /// respect to [`Resilience::breaker`]'s lazy creation.
+    config: RwLock<ResilienceConfig>,
     budget: RetryBudget,
     shed: LoadShedGate,
     admission: SlidingWindowLimiter,
@@ -214,13 +242,44 @@ impl Resilience {
     /// [`Clock::mock`] and drive breaker windows on virtual time.
     pub fn with_clock(config: ResilienceConfig, clock: Clock) -> Self {
         Resilience {
-            config,
+            config: RwLock::new(config),
             budget: RetryBudget::new(config.budget),
             shed: LoadShedGate::new(config.shed),
             admission: SlidingWindowLimiter::new(config.admission),
             detector: StormDetector::new(config.protection),
             breakers: RwLock::new(HashMap::new()),
             clock,
+        }
+    }
+
+    /// Applies a freshly published config to the live layer, in place:
+    ///
+    /// * shed gate limits re-armed via its runtime setters
+    ///   (`ewma_alpha_permille` is boot-only — the EWMA keeps its α);
+    /// * admission thresholds, storm-protection tunables, and retry-budget
+    ///   deposit/cap re-armed through their `apply` hooks (table geometry
+    ///   and the already-banked reserve are boot-only);
+    /// * a *changed* breaker config drops the lazy breaker map, so every
+    ///   upstream's next request recreates its breaker closed under the
+    ///   new tunables. Unchanged breaker config keeps all live breaker
+    ///   state — a no-op reload forgets nothing.
+    ///
+    /// In-flight requests that already hold a decision keep it; everything
+    /// decided after this call uses the new thresholds.
+    pub fn apply(&self, new: ResilienceConfig) {
+        self.shed.set_max_active(new.shed.max_active);
+        self.shed.set_queue_delay_max(new.shed.queue_delay_max);
+        self.admission.apply(&new.admission);
+        self.detector.apply(&new.protection);
+        self.budget.apply(&new.budget);
+        let breaker_changed = {
+            let mut cur = self.config.write();
+            let changed = cur.breaker != new.breaker;
+            *cur = new;
+            changed
+        };
+        if breaker_changed {
+            self.breakers.write().clear();
         }
     }
 
@@ -236,9 +295,10 @@ impl Resilience {
         &self.clock
     }
 
-    /// The configured tunables.
-    pub fn config(&self) -> &ResilienceConfig {
-        &self.config
+    /// The tunables currently in force (boot config until the first
+    /// [`Resilience::apply`]).
+    pub fn config(&self) -> ResilienceConfig {
+        *self.config.read()
     }
 
     /// The cluster-wide retry budget.
@@ -331,9 +391,9 @@ impl Resilience {
         if let Some(b) = self.breakers.read().get(&addr) {
             return Arc::clone(b);
         }
+        let mut cfg = self.config.read().breaker;
         let mut map = self.breakers.write();
         Arc::clone(map.entry(addr).or_insert_with(|| {
-            let mut cfg = self.config.breaker;
             cfg.jitter_seed ^= Self::upstream_key(addr);
             Arc::new(CircuitBreaker::new(cfg))
         }))
@@ -521,6 +581,60 @@ mod tests {
         let (a, b) = (addr(9201), addr(9202));
         r.on_failure(a, &stats);
         assert_eq!(r.admitting([a, b].iter()), vec![b]);
+    }
+
+    #[test]
+    fn apply_rearms_shed_and_admission_in_place() {
+        let r = Resilience::new(ResilienceConfig::default());
+        let stats = ProxyStats::default();
+        assert!(!r.shed().should_shed(1_000), "boot config fails open");
+        let peer = addr(40_030);
+        assert!(r.admit_client(peer, false, &stats));
+
+        let mut next = r.config();
+        next.shed.max_active = 10;
+        next.admission.rate_per_window = 1;
+        next.admission.window_ms = 60_000;
+        r.apply(next);
+        assert_eq!(r.config(), next);
+        // The very next decisions use the new limits.
+        assert!(r.shed().should_shed(10));
+        assert!(
+            !r.admit_client(peer, false, &stats),
+            "client already spent the 1-per-window budget before the reload"
+        );
+
+        // Reload back to fail-open: both gates relax immediately.
+        r.apply(ResilienceConfig::default());
+        assert!(!r.shed().should_shed(1_000));
+        assert!(r.admit_client(peer, false, &stats));
+    }
+
+    #[test]
+    fn apply_keeps_breakers_unless_breaker_config_changed() {
+        let r = Resilience::new(ResilienceConfig::default());
+        let a = addr(40_040);
+        let before = r.breaker(a);
+
+        // Non-breaker reload: live breaker state survives.
+        let mut next = r.config();
+        next.shed.max_active = 5;
+        r.apply(next);
+        assert!(Arc::ptr_eq(&before, &r.breaker(a)));
+
+        // Breaker reload: the map is dropped; the next request sees a
+        // fresh closed breaker built from the new tunables.
+        next.breaker.failure_threshold = 1;
+        r.apply(next);
+        let after = r.breaker(a);
+        assert!(!Arc::ptr_eq(&before, &after));
+        let stats = ProxyStats::default();
+        r.on_failure(a, &stats);
+        assert_eq!(
+            stats.breaker_opened.get(),
+            1,
+            "one failure must trip the reloaded threshold"
+        );
     }
 
     #[test]

@@ -311,6 +311,18 @@ pub struct StatsSnapshot {
     /// Forced closes delivered as QUIC CONNECTION_CLOSE.
     pub forced_quic_closes: u64,
 
+    // Config plane (zdr_core::config).
+    /// Gauge: the config epoch in force (1 = boot config, +1 per applied
+    /// reload). Rendered as `zdr_config_epoch` in `/metrics`.
+    pub config_epoch: u64,
+
+    /// The config fields in force, `section.key → value` (the `/stats`
+    /// config section the `config-coverage` lint points at). Stamped by
+    /// the binary from its `ConfigStore`; empty when no store is wired
+    /// (bare library users, old snapshots).
+    #[serde(default)]
+    pub config: std::collections::BTreeMap<String, String>,
+
     /// Histograms + release phase timeline. `serde(default)` keeps old
     /// snapshot JSON (pre-telemetry) deserializable.
     #[serde(default)]
@@ -394,6 +406,14 @@ impl StatsSnapshot {
         self.forced_h2_goaways += other.forced_h2_goaways;
         self.forced_mqtt_disconnects += other.forced_mqtt_disconnects;
         self.forced_quic_closes += other.forced_quic_closes;
+        // Gauge: every section of one process shares one store, so any
+        // stamped epoch is THE epoch; max() also tolerates merging across
+        // a reload race.
+        self.config_epoch = self.config_epoch.max(other.config_epoch);
+        // One process, one config: keep the first stamped section.
+        if self.config.is_empty() {
+            self.config = other.config.clone();
+        }
         self.telemetry.merge(&other.telemetry);
     }
 
@@ -430,6 +450,27 @@ mod tests {
         assert_eq!(c.forced_closes, 4);
         assert_eq!(c.injected_faults, 2);
         assert_eq!(c.failed_releases(), 1);
+    }
+
+    #[test]
+    fn config_epoch_and_section_merge_as_gauges() {
+        let mut a = StatsSnapshot {
+            config_epoch: 3,
+            ..Default::default()
+        };
+        a.config.insert("shed.max_active".into(), "10".into());
+        let mut b = StatsSnapshot {
+            config_epoch: 2,
+            ..Default::default()
+        };
+        b.config.insert("shed.max_active".into(), "999".into());
+        let merged = a.clone().merged(&b);
+        assert_eq!(merged.config_epoch, 3, "max, not sum");
+        assert_eq!(merged.config["shed.max_active"], "10", "first stamp wins");
+        // An unstamped snapshot adopts the stamped section.
+        let plain = StatsSnapshot::default().merged(&a);
+        assert_eq!(plain.config_epoch, 3);
+        assert_eq!(plain.config["shed.max_active"], "10");
     }
 
     #[test]

@@ -26,16 +26,20 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use zdr_core::clock::Clock;
+use zdr_core::config::ZdrConfig;
 use zdr_core::supervisor::BackoffSchedule;
-use zdr_core::telemetry::ReleasePhase;
+use zdr_core::sync::{AtomicU64, Ordering};
+use zdr_core::telemetry::{ReleasePhase, Telemetry};
 use zdr_net::fault::FaultInjector;
 use zdr_net::inventory::ListenerInventory;
 use zdr_net::takeover::{
     request_takeover, HandoffInfo, ReleaseChannel, ServeOutcome, TakeoverServer,
 };
 
+use crate::resilience::{Resilience, ResilienceConfig};
 use crate::reverse::{serve_on_listener, ReverseProxyConfig, ReverseProxyHandle};
 use crate::stats::ProxyStats;
+use crate::upstream::UpstreamPool;
 
 /// Configuration for a takeover-capable proxy instance.
 #[derive(Debug, Clone)]
@@ -58,6 +62,11 @@ pub struct ProxyInstance {
     /// VIP address.
     pub addr: SocketAddr,
     config: ProxyInstanceConfig,
+    /// Hot drain deadline: starts at `config.drain_ms`, rewritable by a
+    /// config reload ([`ProxyInstance::apply_config`]) without restarting.
+    /// Shared with the applier closure, which outlives the instance move
+    /// into [`ProxyInstance::serve_one_takeover`].
+    drain_ms: Arc<AtomicU64>,
     /// Pristine listener clone reserved for the next handover.
     handover_listener: std::net::TcpListener,
 }
@@ -164,11 +173,13 @@ impl ProxyInstance {
         let tokio_listener = tokio::net::TcpListener::from_std(std_listener)?;
         let mut reverse = serve_on_listener(tokio_listener, config.reverse.clone())?;
         reverse.service.set_generation(u64::from(generation));
+        let drain_ms = Arc::new(AtomicU64::new(config.drain_ms));
         Ok(ProxyInstance {
             generation,
             reverse,
             addr,
             config,
+            drain_ms,
             handover_listener,
         })
     }
@@ -264,8 +275,52 @@ impl ProxyInstance {
         HandoffInfo {
             generation: self.generation,
             udp_router_addr: None,
-            drain_deadline_ms: self.config.drain_ms,
+            drain_deadline_ms: self.drain_ms(),
         }
+    }
+
+    /// The drain hard deadline currently in force (hot-reloadable).
+    pub fn drain_ms(&self) -> u64 {
+        // Relaxed: the deadline is advisory tuning; any read sees either
+        // the old or the new value, both of which are valid deadlines.
+        self.drain_ms.load(Ordering::Relaxed)
+    }
+
+    /// Applies a hot config snapshot to this running instance: swaps the
+    /// upstream set, re-arms the resilience layer (shed / admission /
+    /// storm-protection / retry-budget knobs in place, breakers only
+    /// rebuilt if their config actually changed), and moves the drain
+    /// hard deadline — all without touching a single established
+    /// connection. Boot-only drift was already rejected by
+    /// [`zdr_core::config::ConfigStore::publish`].
+    pub fn apply_config(&self, cfg: &ZdrConfig, epoch: u64) {
+        apply_config_parts(
+            &self.reverse.pool,
+            self.reverse.resilience(),
+            &self.drain_ms,
+            &self.reverse.stats.telemetry,
+            u64::from(self.generation),
+            cfg,
+            epoch,
+        );
+    }
+
+    /// A subscriber for [`zdr_core::config::ConfigStore::subscribe`] that
+    /// keeps applying snapshots to this instance's live handles even after
+    /// the instance itself moves into
+    /// [`ProxyInstance::serve_one_takeover`] — it captures the shared
+    /// pool/resilience/deadline handles, not `self`.
+    pub fn config_applier(&self) -> Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync> {
+        let pool = Arc::clone(&self.reverse.pool);
+        let resilience = Arc::clone(self.reverse.resilience());
+        let drain_ms = Arc::clone(&self.drain_ms);
+        let telemetry = Arc::clone(&self.reverse.stats.telemetry);
+        let generation = u64::from(self.generation);
+        Arc::new(move |cfg, epoch| {
+            apply_config_parts(
+                &pool, &resilience, &drain_ms, &telemetry, generation, cfg, epoch,
+            );
+        })
     }
 
     /// Parks a takeover server and serves one handover; on success the
@@ -277,13 +332,9 @@ impl ProxyInstance {
     /// the instance's release logic lives.
     pub async fn serve_one_takeover(self) -> zdr_net::Result<Drained> {
         let path = self.config.takeover_path.clone();
+        let info = self.handoff_info();
         let mut inventory = ListenerInventory::new();
         inventory.add_tcp(self.addr, self.handover_listener);
-        let info = HandoffInfo {
-            generation: self.generation,
-            udp_router_addr: None,
-            drain_deadline_ms: self.config.drain_ms,
-        };
         let telemetry = Arc::clone(&self.reverse.stats.telemetry);
         let generation = u64::from(self.generation);
         let outcome = tokio::task::spawn_blocking(move || {
@@ -308,9 +359,12 @@ impl ProxyInstance {
         );
 
         // Step E: stop accepting, drain in-flight connections, force-close
-        // whatever survives the deadline.
+        // whatever survives the deadline. Field load, not the getter:
+        // `handover_listener` moved into the inventory above, so whole-self
+        // borrows are gone — and it re-reads the atomic so a reload that
+        // landed mid-handshake still governs this drain.
         self.reverse
-            .drain_with_deadline(Duration::from_millis(self.config.drain_ms));
+            .drain_with_deadline(Duration::from_millis(self.drain_ms.load(Ordering::Relaxed)));
         Ok(Drained {
             reverse: self.reverse,
             generation: self.generation,
@@ -412,7 +466,7 @@ impl ProxyInstance {
                     .event(ReleasePhase::HealthReport, generation, "ok=true");
                 let _ = tokio::task::spawn_blocking(move || watch.release()).await;
                 self.reverse
-                    .arm_force_close(Duration::from_millis(self.config.drain_ms));
+                    .arm_force_close(Duration::from_millis(self.drain_ms()));
                 stats.telemetry.event(
                     ReleasePhase::Released,
                     generation,
@@ -462,9 +516,9 @@ impl ProxyInstance {
     /// sending the listeners back over the reverse handshake, then drains
     /// this instance (hard deadline armed).
     pub async fn serve_reclaim(self, release: ReleaseChannel) -> zdr_net::Result<Drained> {
+        let info = self.handoff_info();
         let mut inventory = ListenerInventory::new();
         inventory.add_tcp(self.addr, self.handover_listener);
-        let info = self.handoff_info();
         tokio::task::spawn_blocking(move || release.serve_reclaim(&inventory, info))
             .await
             .expect("reclaim task panicked")?;
@@ -473,8 +527,10 @@ impl ProxyInstance {
             u64::from(self.generation),
             "sockets handed back to predecessor",
         );
+        // Field load (not the getter): `handover_listener` moved into the
+        // inventory above, so whole-self borrows are gone.
         self.reverse
-            .drain_with_deadline(Duration::from_millis(self.config.drain_ms));
+            .drain_with_deadline(Duration::from_millis(self.drain_ms.load(Ordering::Relaxed)));
         Ok(Drained {
             reverse: self.reverse,
             generation: self.generation,
@@ -494,6 +550,33 @@ impl ProxyInstance {
             .snapshot()
             .merged(&self.reverse.tracker().snapshot())
     }
+}
+
+/// Shared body of [`ProxyInstance::apply_config`] and the detached applier
+/// closure from [`ProxyInstance::config_applier`].
+fn apply_config_parts(
+    pool: &UpstreamPool,
+    resilience: &Resilience,
+    drain_ms: &AtomicU64,
+    telemetry: &Telemetry,
+    generation: u64,
+    cfg: &ZdrConfig,
+    epoch: u64,
+) {
+    // Only touch the pool when the set actually changed: `replace`
+    // force-closes breakers for the incoming set, which would erase live
+    // breaker state on every unrelated reload.
+    if pool.addrs() != cfg.routing.upstreams {
+        pool.replace(cfg.routing.upstreams.clone());
+    }
+    resilience.apply(ResilienceConfig::from_zdr(cfg));
+    // Relaxed: the deadline is advisory tuning (see ProxyInstance::drain_ms).
+    drain_ms.store(cfg.drain.drain_ms, Ordering::Relaxed);
+    telemetry.event(
+        ReleasePhase::ConfigApplied,
+        generation,
+        format!("epoch={epoch}"),
+    );
 }
 
 #[cfg(test)]
@@ -859,6 +942,75 @@ mod tests {
         let resp = send(vip, &Request::get("/proxygen/health")).await;
         assert_eq!(resp.status.code, 200);
         assert!(new.reverse.stats.health_ok.get() >= 1);
+    }
+
+    #[tokio::test]
+    async fn apply_config_rearms_live_instance_without_touching_connections() {
+        let a = app().await;
+        let b = app().await;
+        let path = tmp_path("hot-config");
+        let instance = ProxyInstance::bind_fresh(
+            "127.0.0.1:0".parse().unwrap(),
+            config(a.addr, path.clone()),
+        )
+        .await
+        .unwrap();
+        let vip = instance.addr;
+        assert_eq!(instance.drain_ms(), 1_000);
+
+        // Warm one keep-alive connection; it must survive the reload.
+        let mut held = TcpStream::connect(vip).await.unwrap();
+        held.write_all(&serialize_request(&Request::get("/warm")))
+            .await
+            .unwrap();
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = held.read(&mut buf).await.unwrap();
+            assert!(n > 0);
+            if parser.push(&buf[..n]).unwrap().is_some() {
+                break;
+            }
+        }
+
+        // Reroute to upstream B, move the drain deadline — via the
+        // detached applier, the shape the ConfigStore subscriber uses.
+        let applier = instance.config_applier();
+        let mut cfg = zdr_core::config::ZdrConfig::default();
+        cfg.routing.upstreams = vec![b.addr];
+        cfg.drain.drain_ms = 5_000;
+        applier(&cfg, 2);
+
+        assert_eq!(instance.drain_ms(), 5_000);
+        assert_eq!(instance.reverse.pool.addrs(), vec![b.addr]);
+        let before_b = b.stats.snapshot().0;
+        let resp = send(vip, &Request::get("/rerouted")).await;
+        assert_eq!(resp.status.code, 200);
+        assert!(b.stats.snapshot().0 > before_b, "new upstream takes over");
+
+        // The established connection was never churned: it still answers.
+        held.write_all(&serialize_request(&Request::get("/still-warm")))
+            .await
+            .unwrap();
+        parser.reset();
+        loop {
+            let n = held.read(&mut buf).await.unwrap();
+            assert!(n > 0, "reload must not close established connections");
+            if let Some(resp) = parser.push(&buf[..n]).unwrap() {
+                assert_eq!(resp.status.code, 200);
+                break;
+            }
+        }
+        assert_eq!(instance.reverse.forced_closes(), 0);
+
+        // The reload is journalled on the release timeline.
+        let tl = instance.reverse.stats.telemetry.timeline.snapshot();
+        assert!(
+            tl.events
+                .iter()
+                .any(|e| e.phase == ReleasePhase::ConfigApplied && e.detail.contains("epoch=2")),
+            "{tl:?}"
+        );
     }
 
     #[tokio::test]

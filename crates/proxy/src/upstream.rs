@@ -157,6 +157,11 @@ impl UpstreamPool {
         self.resilience.admitting(addrs.iter())
     }
 
+    /// The configured address set, in rotation order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.addrs.read().clone()
+    }
+
     /// Replaces the address set (config update); new entries start with
     /// fresh (closed) breakers.
     pub fn replace(&self, addrs: Vec<SocketAddr>) {

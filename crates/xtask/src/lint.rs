@@ -25,6 +25,12 @@
 //!   string literal in the admin endpoint's source, so a new storm
 //!   reason cannot ship without its labelled `/metrics` series
 //!   (see [`check_reason_rendering`]).
+//! * **config-coverage** — every field declared in `core::config`'s
+//!   `FIELDS` table is rendered by `ZdrConfig::field_value` (and hence the
+//!   `/stats` config section and the boot-only reload diff), and every
+//!   *hot* field is named in `ZdrConfig::validate`'s constraint table — a
+//!   hot-reloadable knob cannot ship without a validator or invisible to
+//!   operators (see [`check_config_coverage`]).
 //!
 //! The walker is syn-based: rules see the AST (paths, calls, unsafe
 //! expressions, struct fields), not text, so `// Instant::now()` in a
@@ -319,6 +325,135 @@ pub fn check_reason_rendering(
                 message: format!(
                     "StormReason::{variant} has no \"{label}\" literal in the admin \
                      endpoint — its /metrics reason series would be missing"
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// The `config-coverage` rule: parses `core::config`'s `FIELDS` table
+/// (the `FieldSpec { name, hot }` inventory) and cross-checks it against
+/// the string literals inside `ZdrConfig::validate` and
+/// `ZdrConfig::field_value`. Every declared field must be renderable
+/// (named in `field_value`, which drives the `/stats` config section and
+/// the publish-time boot-only diff); every `hot: true` field must also be
+/// named in `validate`'s constraint table. Violations point at the
+/// `FieldSpec` entry.
+pub fn check_config_coverage(
+    config_path: &Path,
+    config_src: &str,
+) -> Result<Vec<Violation>, syn::Error> {
+    let ast = syn::parse_file(config_src)?;
+
+    // 1. The FIELDS inventory: (name, hot, line) per FieldSpec literal.
+    struct Specs(Vec<(String, bool, usize)>);
+    impl<'ast> Visit<'ast> for Specs {
+        fn visit_expr_struct(&mut self, e: &'ast syn::ExprStruct) {
+            let is_spec = e
+                .path
+                .segments
+                .last()
+                .is_some_and(|s| s.ident == "FieldSpec");
+            if is_spec {
+                let mut name = None;
+                let mut hot = None;
+                for field in &e.fields {
+                    let syn::Member::Named(ident) = &field.member else {
+                        continue;
+                    };
+                    match (&field.expr, ident.to_string().as_str()) {
+                        (syn::Expr::Lit(l), "name") => {
+                            if let syn::Lit::Str(s) = &l.lit {
+                                name = Some((s.value(), s.span().start().line));
+                            }
+                        }
+                        (syn::Expr::Lit(l), "hot") => {
+                            if let syn::Lit::Bool(b) = &l.lit {
+                                hot = Some(b.value());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let (Some((name, line)), Some(hot)) = (name, hot) {
+                    self.0.push((name, hot, line));
+                }
+            }
+            syn::visit::visit_expr_struct(self, e);
+        }
+    }
+    let mut specs = Specs(Vec::new());
+    for item in &ast.items {
+        if let syn::Item::Const(c) = item {
+            if c.ident == "FIELDS" {
+                specs.visit_expr(&c.expr);
+            }
+        }
+    }
+
+    // 2. String literals inside ZdrConfig::validate and ::field_value.
+    struct Literals(std::collections::HashSet<String>);
+    impl<'ast> Visit<'ast> for Literals {
+        fn visit_lit_str(&mut self, l: &'ast syn::LitStr) {
+            self.0.insert(l.value());
+        }
+    }
+    let mut validate_lits = Literals(std::collections::HashSet::new());
+    let mut render_lits = Literals(std::collections::HashSet::new());
+    for item in &ast.items {
+        let syn::Item::Impl(i) = item else { continue };
+        if i.trait_.is_some() {
+            continue;
+        }
+        let is_config = matches!(&*i.self_ty, syn::Type::Path(tp)
+            if tp.path.segments.last().is_some_and(|s| s.ident == "ZdrConfig"));
+        if !is_config {
+            continue;
+        }
+        for impl_item in &i.items {
+            if let syn::ImplItem::Fn(f) = impl_item {
+                if f.sig.ident == "validate" {
+                    validate_lits.visit_block(&f.block);
+                } else if f.sig.ident == "field_value" {
+                    render_lits.visit_block(&f.block);
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    if specs.0.is_empty() {
+        violations.push(Violation {
+            file: config_path.to_path_buf(),
+            line: 1,
+            rule: "config-coverage",
+            message: "no FieldSpec entries found in a FIELDS const — the config \
+                      inventory the lint guards is missing"
+                .to_string(),
+        });
+        return Ok(violations);
+    }
+    for (name, hot, line) in &specs.0 {
+        if !render_lits.0.contains(name) {
+            violations.push(Violation {
+                file: config_path.to_path_buf(),
+                line: *line,
+                rule: "config-coverage",
+                message: format!(
+                    "field {name:?} is not named in ZdrConfig::field_value — it would be \
+                     missing from the /stats config section and the boot-only reload diff"
+                ),
+            });
+        }
+        if *hot && !validate_lits.0.contains(name) {
+            violations.push(Violation {
+                file: config_path.to_path_buf(),
+                line: *line,
+                rule: "config-coverage",
+                message: format!(
+                    "hot field {name:?} is not named in ZdrConfig::validate — a reload \
+                     could publish it unchecked"
                 ),
             });
         }
@@ -664,6 +799,80 @@ mod tests {
             admin,
         )
         .unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// A minimal config.rs-shaped fixture: a FIELDS table plus validate /
+    /// field_value impls whose literal coverage the rule inspects.
+    fn config_fixture(fields: &str, validate: &str, field_value: &str) -> String {
+        format!(
+            "pub struct FieldSpec {{ pub name: &'static str, pub hot: bool }}\n\
+             pub struct ZdrConfig;\n\
+             pub const FIELDS: &[FieldSpec] = &[{fields}];\n\
+             impl ZdrConfig {{\n\
+                 pub fn validate(&self) -> Result<(), Vec<String>> {{\n\
+                     let _ranges: &[&str] = &[{validate}];\n\
+                     Ok(())\n\
+                 }}\n\
+                 pub fn field_value(&self, name: &str) -> Option<String> {{\n\
+                     match name {{\n{field_value}\n_ => None }}\n\
+                 }}\n\
+             }}\n"
+        )
+    }
+
+    #[test]
+    fn config_coverage_flags_unvalidated_and_unrendered_fields() {
+        let fields = "FieldSpec { name: \"shed.max_active\", hot: true },\n\
+                      FieldSpec { name: \"admin.port\", hot: false },";
+
+        // Clean: hot field validated + both rendered.
+        let ok = config_fixture(
+            fields,
+            "\"shed.max_active\"",
+            "\"shed.max_active\" => Some(String::new()),\n\
+             \"admin.port\" => Some(String::new()),",
+        );
+        let v = check_config_coverage(Path::new("crates/core/src/config.rs"), &ok).unwrap();
+        assert!(v.is_empty(), "complete coverage flagged: {v:?}");
+
+        // Seeded violation: the hot field is missing from BOTH the
+        // validator table and the renderer — two distinct violations.
+        let seeded = config_fixture(fields, "", "\"admin.port\" => Some(String::new()),");
+        let v = check_config_coverage(Path::new("crates/core/src/config.rs"), &seeded).unwrap();
+        assert_eq!(
+            rules(&v),
+            vec!["config-coverage", "config-coverage"],
+            "{v:?}"
+        );
+        assert!(v.iter().any(|x| x.message.contains("field_value")), "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("validate")), "{v:?}");
+        assert!(v.iter().all(|x| x.message.contains("shed.max_active")), "{v:?}");
+
+        // A boot-only field may skip validate but must still render.
+        let boot_only_unrendered =
+            config_fixture(fields, "\"shed.max_active\"", "\"shed.max_active\" => Some(String::new()),");
+        let v = check_config_coverage(
+            Path::new("crates/core/src/config.rs"),
+            &boot_only_unrendered,
+        )
+        .unwrap();
+        assert_eq!(rules(&v), vec!["config-coverage"], "{v:?}");
+        assert!(v[0].message.contains("admin.port"), "{v:?}");
+
+        // An empty inventory is itself a violation (the rule must never
+        // pass vacuously because the table moved or was renamed).
+        let gutted = config_fixture("", "", "");
+        let v = check_config_coverage(Path::new("crates/core/src/config.rs"), &gutted).unwrap();
+        assert_eq!(rules(&v), vec!["config-coverage"], "{v:?}");
+    }
+
+    #[test]
+    fn repo_config_source_satisfies_config_coverage() {
+        // The rule run exactly as `cargo xtask lint` runs it, against the
+        // real source — a unit-test early warning for the CI gate.
+        let config = include_str!("../../core/src/config.rs");
+        let v = check_config_coverage(Path::new("crates/core/src/config.rs"), config).unwrap();
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -100,6 +100,28 @@ fn run_lint() -> ExitCode {
         }
     }
 
+    // Cross-check rule: every declared config field is rendered, and every
+    // hot-reloadable field is validated (see lint::check_config_coverage).
+    let config_rel = Path::new("crates/core/src/config.rs");
+    match std::fs::read_to_string(root.join(config_rel)) {
+        Ok(config_src) => match lint::check_config_coverage(config_rel, &config_src) {
+            Ok(found) => {
+                for v in found {
+                    println!("{v}");
+                    violations += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("config-coverage: syn parse error: {e}");
+                violations += 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("{}: unreadable: {e}", config_rel.display());
+            violations += 1;
+        }
+    }
+
     if violations == 0 {
         println!("xtask lint: {checked} files clean");
         ExitCode::SUCCESS

@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Diff a fresh BENCH_telemetry.json run against the checked-in baseline.
+"""Diff a fresh BENCH_*.json run against its checked-in baseline.
 
 Dependency-free on purpose, like validate_json.py: CI runners only
 guarantee a bare python3. Schema conformance is validate_json.py's job;
 this script asks the next question — did the run *mean* the same thing
-as the baseline in results/BENCH_telemetry.json?
+as the baseline in results/?
+
+The comparator is picked by the report's `bench` field:
+
+* telemetry      — the scripted-takeover report (results/BENCH_telemetry.json)
+* config_reload  — the reload-vs-takeover disruption delta
+                   (results/BENCH_config_reload.json)
 
 Three tiers of comparison, loosest first, because CI runners are noisy
 shared machines and a flaky perf gate is worse than none:
 
-* identity   — bench name, fast flag, request target, generation must
-               match the baseline exactly; a mismatch means the bench
-               itself changed and the baseline must be re-recorded.
+* identity   — bench name, fast flag, request target (and generation
+               where the report has one) must match the baseline
+               exactly; a mismatch means the bench itself changed and
+               the baseline must be re-recorded.
 * semantics  — success/failure accounting must stay disruption-free in
-               kind: ok >= 95% of target, failures bounded, timeline
-               present with nothing dropped, exactly one takeover pause.
-* magnitude  — latency/pause/drain values may drift but not explode:
-               each compared value must stay within RATIO x the baseline
+               kind (what "disruption-free" means is per-bench).
+* magnitude  — latency/pause values may drift but not explode: each
+               compared value must stay within RATIO x the baseline
                (with an absolute floor so microsecond jitter on a quiet
                metric can't trip the ratio).
 
@@ -53,21 +59,12 @@ def banded(errors, path, base, fresh, floor):
         errors.append(f"{path}: {fresh} outside [{lo:.0f}, {hi:.0f}] (baseline {base})")
 
 
-def main():
-    if len(sys.argv) != 3:
-        raise SystemExit(__doc__)
-    with open(sys.argv[1]) as f:
-        base = json.load(f)
-    with open(sys.argv[2]) as f:
-        fresh = json.load(f)
-
-    errors = []
-
-    # Identity: the bench being measured must be the bench that was
-    # baselined.
-    for key in ("bench", "fast", "requests_target", "generation"):
-        if base.get(key) != fresh.get(key):
-            errors.append(f"$.{key}: {fresh.get(key)!r} != baseline {base.get(key)!r}")
+def diff_telemetry(base, fresh, errors):
+    """The scripted-takeover telemetry report."""
+    if base.get("generation") != fresh.get("generation"):
+        errors.append(
+            f"$.generation: {fresh.get('generation')!r} != baseline {base.get('generation')!r}"
+        )
 
     # Semantics: the release stayed disruption-free in kind.
     target = fresh.get("requests_target", 0)
@@ -119,6 +116,102 @@ def main():
         fresh.get("drain_duration_ms", {}).get("max"),
         FLOOR_MS,
     )
+
+
+def diff_config_reload(base, fresh, errors):
+    """The reload-vs-takeover disruption delta report.
+
+    The headline claim this gate defends: the *reload* leg is
+    disruption-free in absolute terms — zero failed requests, zero
+    connection churn, zero forced closes — not merely better than the
+    takeover leg. The takeover leg gets the same failure budget the
+    telemetry bench does.
+    """
+    if base.get("takeover", {}).get("generation") != fresh.get("takeover", {}).get(
+        "generation"
+    ):
+        errors.append(
+            f"$.takeover.generation: {fresh.get('takeover', {}).get('generation')!r}"
+            f" != baseline {base.get('takeover', {}).get('generation')!r}"
+        )
+
+    target = fresh.get("requests_target", 0)
+    reload = fresh.get("reload", {})
+    takeover = fresh.get("takeover", {})
+
+    for key in ("requests_failed", "connection_churn", "forced_closes"):
+        if reload.get(key, 1) != 0:
+            errors.append(f"$.reload.{key}: {reload.get(key)} != 0 (reloads must not disrupt)")
+    if reload.get("requests_ok", 0) != target:
+        errors.append(f"$.reload.requests_ok: {reload.get('requests_ok')} != target {target}")
+    if reload.get("config_epoch") != 2:
+        errors.append(f"$.reload.config_epoch: {reload.get('config_epoch')} != 2 (one publish)")
+
+    if takeover.get("requests_ok", 0) < target * 0.95:
+        errors.append(
+            f"$.takeover.requests_ok: {takeover.get('requests_ok')} < 95% of target {target}"
+        )
+    if takeover.get("requests_failed", 0) > max(50, target * 0.05):
+        errors.append(
+            f"$.takeover.requests_failed: {takeover.get('requests_failed')}"
+            f" exceeds budget for target {target}"
+        )
+
+    # The delta is the bench's reason to exist: a restart must never beat
+    # a reload on disruption or time-to-in-force.
+    delta = fresh.get("delta", {})
+    for key in ("requests_failed", "connection_churn", "forced_closes", "apply_us"):
+        if delta.get(key, 0) < 0:
+            errors.append(
+                f"$.delta.{key}: {delta.get(key)} < 0 (takeover leg beat the reload leg)"
+            )
+
+    # Magnitude: the reload must stay sub-millisecond-ish (banded against
+    # baseline), the takeover pays its usual socket-handover price.
+    for leg in ("reload", "takeover"):
+        banded(
+            errors,
+            f"$.{leg}.apply_us",
+            base.get(leg, {}).get("apply_us"),
+            fresh.get(leg, {}).get("apply_us"),
+            FLOOR_US,
+        )
+    banded(
+        errors,
+        "$.takeover.takeover_pause_us",
+        base.get("takeover", {}).get("takeover_pause_us"),
+        takeover.get("takeover_pause_us"),
+        FLOOR_US,
+    )
+
+
+COMPARATORS = {
+    "telemetry": diff_telemetry,
+    "config_reload": diff_config_reload,
+}
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    errors = []
+
+    # Identity: the bench being measured must be the bench that was
+    # baselined.
+    for key in ("bench", "fast", "requests_target"):
+        if base.get(key) != fresh.get(key):
+            errors.append(f"$.{key}: {fresh.get(key)!r} != baseline {base.get(key)!r}")
+
+    comparator = COMPARATORS.get(base.get("bench"))
+    if comparator is None:
+        errors.append(f"$.bench: no comparator for {base.get('bench')!r}")
+    else:
+        comparator(base, fresh, errors)
 
     if errors:
         fail(errors)

@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# The release gate a config change rides through, against real `zdr`
+# processes: check → reload (admin POST + SIGHUP) → verify → takeover →
+# rollback. Every hop asserts the serving path stayed up and the
+# config_epoch gauge tells the truth.
+#
+# Needs: bash, python3, curl, a built `zdr` binary (ZDR_BIN overrides
+# the default target/release/zdr; the script builds it if missing).
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+ZDR_BIN=${ZDR_BIN:-target/release/zdr}
+if [ ! -x "$ZDR_BIN" ]; then
+    cargo build --release --bin zdr
+fi
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+step() { echo "==> $*"; }
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+# Waits for the daemon behind $1 (a log file) to print `READY <addr>`
+# and echoes the addr.
+wait_ready() {
+    for _ in $(seq 1 100); do
+        if addr=$(sed -n 's/^READY \(.*\)$/\1/p' "$1" | head -n1) && [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    die "no READY line in $1: $(cat "$1")"
+}
+
+# HTTP status of a GET (curl exit tolerated so a refused connect reads
+# as 000, not a script abort).
+get_code() { curl -s -o /dev/null -w '%{http_code}' --max-time 5 "$1" || true; }
+
+# config_epoch as reported by /stats on admin port $1.
+epoch_at() {
+    curl -s --max-time 5 "http://127.0.0.1:$1/stats" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["config_epoch"])'
+}
+
+# Rendered value of config field $2 in /stats on admin port $1.
+config_field_at() {
+    curl -s --max-time 5 "http://127.0.0.1:$1/stats" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["config"][sys.argv[1]])' "$2"
+}
+
+ADMIN0=$((21000 + RANDOM % 10000))
+ADMIN1=$((ADMIN0 + 1))
+SOCK="$TMP/takeover.sock"
+
+step "unknown flags are rejected with a hint, never silently ignored"
+if "$ZDR_BIN" proxy --shed-max-actve 5 >"$TMP/typo.log" 2>&1; then
+    die "typoed flag was accepted"
+fi
+grep -q 'did you mean --shed-max-active' "$TMP/typo.log" \
+    || die "no nearest-match hint: $(cat "$TMP/typo.log")"
+
+step "app server up"
+"$ZDR_BIN" app-server --listen 127.0.0.1:0 --name web-e2e >"$TMP/app.log" 2>&1 &
+PIDS+=($!)
+APP_ADDR=$(wait_ready "$TMP/app.log")
+
+cat >"$TMP/zdr.toml" <<EOF
+[routing]
+upstreams = ["$APP_ADDR"]
+
+[shed]
+max_active = 128
+
+[drain]
+drain_ms = 500
+
+[admin]
+port = $ADMIN0
+EOF
+
+step "zdr check rejects a bad file, passes the good one"
+cat >"$TMP/bad.toml" <<EOF
+[admission]
+window_ms = 0
+typo_key = 7
+EOF
+if "$ZDR_BIN" check "$TMP/bad.toml" >"$TMP/check-bad.log" 2>&1; then
+    die "zdr check accepted a bad file"
+fi
+grep -q 'config rejected' "$TMP/check-bad.log" || die "no rejection report"
+"$ZDR_BIN" check "$TMP/zdr.toml" >"$TMP/check-ok.log"
+grep -q '^OK ' "$TMP/check-ok.log" || die "zdr check did not pass the good file"
+
+step "generation 0 up from the checked file"
+"$ZDR_BIN" proxy --config "$TMP/zdr.toml" --takeover-path "$SOCK" >"$TMP/g0.log" 2>&1 &
+G0=$!
+PIDS+=($G0)
+VIP=$(wait_ready "$TMP/g0.log")
+[ "$(get_code "http://$VIP/boot")" = 200 ] || die "VIP not serving after boot"
+[ "$(epoch_at $ADMIN0)" = 1 ] || die "boot epoch must be 1"
+
+step "hot reload via POST /config/reload"
+sed -i 's/max_active = 128/max_active = 64/' "$TMP/zdr.toml"
+code=$(curl -s -o "$TMP/reload1.json" -w '%{http_code}' --max-time 5 \
+    -X POST "http://127.0.0.1:$ADMIN0/config/reload")
+[ "$code" = 200 ] || die "reload POST returned $code: $(cat "$TMP/reload1.json")"
+grep -q '"epoch":2' "$TMP/reload1.json" || die "reload did not report epoch 2"
+[ "$(epoch_at $ADMIN0)" = 2 ] || die "config_epoch gauge did not advance"
+[ "$(config_field_at $ADMIN0 shed.max_active)" = 64 ] || die "/stats config section stale"
+[ "$(get_code "http://$VIP/after-reload")" = 200 ] || die "VIP disrupted by reload"
+
+step "hot reload via SIGHUP"
+sed -i 's/drain_ms = 500/drain_ms = 750/' "$TMP/zdr.toml"
+kill -HUP "$G0"
+for _ in $(seq 1 50); do
+    [ "$(epoch_at $ADMIN0)" = 3 ] && break
+    sleep 0.1
+done
+[ "$(epoch_at $ADMIN0)" = 3 ] || die "SIGHUP reload did not land"
+[ "$(config_field_at $ADMIN0 drain.drain_ms)" = 750 ] || die "drain_ms not applied"
+
+step "invalid reload is rejected whole, epoch unchanged"
+cp "$TMP/zdr.toml" "$TMP/zdr.toml.good"
+sed -i 's/max_active = 64/max_active = 64\ntypo_key = 1/' "$TMP/zdr.toml"
+code=$(curl -s -o "$TMP/reload-bad.json" -w '%{http_code}' --max-time 5 \
+    -X POST "http://127.0.0.1:$ADMIN0/config/reload")
+[ "$code" = 400 ] || die "invalid reload returned $code"
+cp "$TMP/zdr.toml.good" "$TMP/zdr.toml"
+[ "$(epoch_at $ADMIN0)" = 3 ] || die "rejected reload moved the epoch"
+
+step "boot-only drift is rejected with takeover guidance"
+sed -i "s/port = $ADMIN0/port = $ADMIN1/" "$TMP/zdr.toml"
+code=$(curl -s -o "$TMP/reload-drift.json" -w '%{http_code}' --max-time 5 \
+    -X POST "http://127.0.0.1:$ADMIN0/config/reload")
+[ "$code" = 400 ] || die "boot-only drift returned $code"
+grep -q 'takeover' "$TMP/reload-drift.json" || die "drift rejection lacks takeover guidance"
+
+step "takeover: the boot-only change ships as generation 1"
+# The drifted file (admin on $ADMIN1) is exactly what a takeover is for;
+# it boots the successor while generation 0 drains.
+"$ZDR_BIN" check "$TMP/zdr.toml" >/dev/null || die "successor file must pass check"
+"$ZDR_BIN" proxy --config "$TMP/zdr.toml" --takeover-path "$SOCK" --takeover \
+    >"$TMP/g1.log" 2>&1 &
+G1=$!
+PIDS+=($G1)
+VIP1=$(wait_ready "$TMP/g1.log")
+[ "$VIP1" = "$VIP" ] || die "successor VIP $VIP1 != $VIP"
+for _ in $(seq 1 100); do
+    grep -q 'DRAINED' "$TMP/g0.log" && break
+    sleep 0.1
+done
+grep -q 'DRAINED' "$TMP/g0.log" || die "generation 0 never drained"
+[ "$(get_code "http://$VIP/after-takeover")" = 200 ] || die "VIP down after takeover"
+[ "$(epoch_at $ADMIN1)" = 1 ] || die "successor should boot at epoch 1 from the file"
+[ "$(config_field_at $ADMIN1 admin.port)" = "$ADMIN1" ] || die "boot-only change not in force"
+
+step "rollback: take the VIP back with the previous file"
+cp "$TMP/zdr.toml.good" "$TMP/zdr.toml"
+"$ZDR_BIN" proxy --config "$TMP/zdr.toml" --takeover-path "$SOCK" --takeover \
+    >"$TMP/g2.log" 2>&1 &
+PIDS+=($!)
+VIP2=$(wait_ready "$TMP/g2.log")
+[ "$VIP2" = "$VIP" ] || die "rollback VIP $VIP2 != $VIP"
+for _ in $(seq 1 100); do
+    grep -q 'DRAINED' "$TMP/g1.log" && break
+    sleep 0.1
+done
+grep -q 'DRAINED' "$TMP/g1.log" || die "generation 1 never drained"
+[ "$(get_code "http://$VIP/after-rollback")" = 200 ] || die "VIP down after rollback"
+[ "$(epoch_at $ADMIN0)" = 1 ] || die "rolled-back generation should boot at epoch 1"
+code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 5 \
+    -X POST "http://127.0.0.1:$ADMIN0/config/reload")
+[ "$code" = 200 ] || die "config plane dead after rollback ($code)"
+[ "$(epoch_at $ADMIN0)" = 2 ] || die "post-rollback reload did not land"
+
+echo "PASS: check → reload → verify → takeover → rollback, VIP up throughout"

@@ -21,24 +21,36 @@
 //!           --takeover-path /run/zdr-proxy.sock
 //! ```
 //!
+//! The config-plane roles (proxy / quic / origin / edge) can instead load
+//! every tunable from a TOML file and hot-reload it without a restart:
+//!
+//! ```sh
+//! zdr check /etc/zdr.toml                  # dry-run validation
+//! zdr proxy --config /etc/zdr.toml --takeover-path /run/zdr-proxy.sock
+//! kill -HUP <pid>                          # re-read + hot-apply
+//! curl -X POST localhost:<admin>/config/reload   # ditto, over HTTP
+//! ```
+//!
 //! Every role prints `READY <addr>` on stdout once serving, so scripts and
-//! tests can synchronize on it.
+//! tests can synchronize on it. Unknown flags are rejected (with a
+//! nearest-match hint), never silently ignored.
 
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::broker::server as broker;
-use zero_downtime_release::core::admission::{AdmissionConfig, ProtectionConfig};
-use zero_downtime_release::core::resilience::{BreakerConfig, RetryBudgetConfig};
+use zero_downtime_release::core::config::{ConfigStore, ZdrConfig, BOOT_EPOCH, FIELDS};
 use zero_downtime_release::core::telemetry::{AuditorConfig, DisruptionAuditor};
-use zero_downtime_release::proxy::admin::{spawn_admin, AdminHandle};
+use zero_downtime_release::proxy::admin::{
+    spawn_admin, spawn_admin_with_reload, AdminHandle, ReloadFn,
+};
 use zero_downtime_release::proxy::conn_tracker::ConnTracker;
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge_with, spawn_origin_with};
-use zero_downtime_release::proxy::resilience::{Resilience, ResilienceConfig, ShedConfig};
+use zero_downtime_release::proxy::resilience::{Resilience, ResilienceConfig};
 use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
 use zero_downtime_release::proxy::service::DrainState;
 use zero_downtime_release::proxy::stats::{ProxyStats, StatsSnapshot};
@@ -49,6 +61,7 @@ zdr — Zero Downtime Release stack daemon
 
 USAGE:
   zdr <role> [options]
+  zdr check <file>       validate a config file and exit (reload dry-run)
 
 ROLES:
   broker       MQTT pub/sub broker
@@ -66,10 +79,22 @@ COMMON OPTIONS:
                          counter, latency histogram, and timeline event —
                          when the role drains or exits
 
+CONFIG PLANE (proxy / quic / origin / edge):
+  --config FILE          load every tunable from a TOML file instead of
+                         per-field flags (the two are mutually exclusive).
+                         SIGHUP — or POST /config/reload on the admin
+                         endpoint — re-reads the file, validates it, and
+                         hot-applies it to the live service: no restart,
+                         no dropped connection. Boot-only fields (admin
+                         port, shard shapes) are rejected on reload;
+                         apply those with a takeover.
+
 TELEMETRY (proxy):
   --admin-port PORT      loopback admin endpoint serving /stats, /healthz,
-                         and /metrics; 0 picks a free port; prints
-                         `ADMIN <addr>` once bound (scrapable mid-takeover)
+                         /metrics, and POST /config/reload; 0 picks a free
+                         port; prints `ADMIN <addr>` once bound (scrapable
+                         mid-takeover). With --config, the endpoint comes
+                         from the file's [admin] port instead (0 = off)
   --audit                sample the disruption signals (5xx, proxy errors,
                          resets, MQTT drops) against an EWMA baseline; the
                          release window opens at drain; prints `AUDIT <json>`
@@ -109,6 +134,8 @@ origin:
   --id N                 origin id in solicitations (default 1)
   --broker ADDR          broker address (repeatable)
   --drain-after MS       begin DCR drain after MS (for demos)
+  --drain-ms MS          drain deadline advertised in DCR solicitations
+                         (default 5000; hot-reloadable via --config)
   --trunk                multiplex tunnels over an HTTP/2-like trunk
                          (GOAWAY-driven DCR) instead of per-tunnel TCP
 
@@ -146,6 +173,91 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The resilience flags shared by every config-plane role.
+const RESILIENCE_FLAGS: &[&str] = &[
+    "--shed-max-active",
+    "--breaker-threshold",
+    "--retry-reserve",
+    "--retry-deposit-permille",
+    "--admit-rate",
+    "--admit-window-ms",
+    "--protection-arm-threshold",
+    "--protection-disarm-successes",
+];
+
+/// The `(value_flags, bool_flags)` a role accepts, or `None` for an
+/// unknown role. This is the single source of truth for strict flag
+/// validation: anything not listed here is rejected at startup.
+fn role_flags(role: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
+    let mut value = vec!["--listen"];
+    let mut boolean = vec!["--stats-json"];
+    match role {
+        "broker" => {}
+        "app-server" => {
+            value.extend(["--name", "--read-delay", "--drain-ms", "--restart-after"]);
+            boolean.push("--no-ppr");
+        }
+        "origin" => {
+            value.extend(["--config", "--id", "--broker", "--drain-after", "--drain-ms"]);
+            value.extend(RESILIENCE_FLAGS);
+            boolean.push("--trunk");
+        }
+        "edge" => {
+            value.extend(["--config", "--origin"]);
+            value.extend(RESILIENCE_FLAGS);
+            boolean.push("--trunk");
+        }
+        "proxy" => {
+            value.extend([
+                "--config",
+                "--upstream",
+                "--takeover-path",
+                "--drain-ms",
+                "--watch-ms",
+                "--max-attempts",
+                "--health-report-ms",
+                "--admin-port",
+            ]);
+            value.extend(RESILIENCE_FLAGS);
+            boolean.extend(["--takeover", "--supervised", "--report-unhealthy", "--audit"]);
+        }
+        "quic" => {
+            value.extend(["--config", "--takeover-path", "--sockets", "--drain-ms"]);
+            value.extend(RESILIENCE_FLAGS);
+            boolean.push("--takeover");
+        }
+        "l4" => value.extend(["--backend", "--probe-interval-ms"]),
+        _ => return None,
+    }
+    Some((value, boolean))
+}
+
+/// Edit distance for the did-you-mean hint on unknown flags.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag within an edit distance worth suggesting.
+fn closest_flag<'a>(unknown: &str, known: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    known
+        .map(|k| (levenshtein(unknown, k), k))
+        .filter(|(d, _)| *d <= 3)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, k)| k)
+}
+
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Args {
     items: Vec<String>,
@@ -156,6 +268,35 @@ impl Args {
         Args {
             items: std::env::args().skip(2).collect(),
         }
+    }
+
+    /// Strict validation against the role's flag tables: unknown flags
+    /// and stray positional arguments are errors, with a nearest-match
+    /// hint. (The old parser silently ignored anything it didn't look up
+    /// — a typo like `--shed-max-actve` was a no-op with the default
+    /// limits, the worst possible failure mode for an overload knob.)
+    fn validate(&self, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.items.len() {
+            let item = self.items[i].as_str();
+            if value_flags.contains(&item) {
+                if self.items.get(i + 1).is_none() {
+                    return Err(format!("{item} requires a value"));
+                }
+                i += 2;
+            } else if bool_flags.contains(&item) {
+                i += 1;
+            } else if item.starts_with("--") {
+                let known = value_flags.iter().chain(bool_flags.iter()).copied();
+                return Err(match closest_flag(item, known) {
+                    Some(s) => format!("unknown flag {item} (did you mean {s}?)"),
+                    None => format!("unknown flag {item}"),
+                });
+            } else {
+                return Err(format!("unexpected argument {item:?}"));
+            }
+        }
+        Ok(())
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -204,42 +345,157 @@ impl Args {
     }
 }
 
-/// The shared resilience tunables, from the common flags. Defaults fail
-/// open (no shedding) with the library's breaker/budget defaults.
-fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, String> {
-    let d = ResilienceConfig::default();
-    Ok(ResilienceConfig {
-        breaker: BreakerConfig {
-            failure_threshold: args
-                .u64_or("--breaker-threshold", d.breaker.failure_threshold as u64)?
-                as u32,
-            ..d.breaker
-        },
-        budget: RetryBudgetConfig {
-            reserve_tokens: args.u64_or("--retry-reserve", d.budget.reserve_tokens)?,
-            deposit_permille: args.u64_or("--retry-deposit-permille", d.budget.deposit_permille)?,
-            ..d.budget
-        },
-        shed: ShedConfig {
-            max_active: args.u64_or("--shed-max-active", d.shed.max_active)?,
-            ..d.shed
-        },
-        admission: AdmissionConfig {
-            rate_per_window: args.u64_or("--admit-rate", d.admission.rate_per_window)?,
-            window_ms: args
-                .u64_or("--admit-window-ms", d.admission.window_ms)?
-                .max(1),
-            ..d.admission
-        },
-        protection: ProtectionConfig {
-            arm_threshold: args.u64_or("--protection-arm-threshold", d.protection.arm_threshold)?,
-            disarm_successes: args.u64_or(
-                "--protection-disarm-successes",
-                d.protection.disarm_successes as u64,
-            )? as u32,
-            ..d.protection
-        },
+// ---------------------------------------------------------------------
+// Config plane
+// ---------------------------------------------------------------------
+
+/// The process-wide config plane: the versioned store every service reads
+/// snapshots from, plus the file path reloads re-read (None = flags-only
+/// boot, reloads unavailable).
+struct ConfigPlane {
+    store: Arc<ConfigStore>,
+    path: Option<PathBuf>,
+}
+
+impl ConfigPlane {
+    /// The reload closure shared by SIGHUP and `POST /config/reload`:
+    /// re-read the file, parse, validate, publish. `None` without a file.
+    fn reload(&self) -> Option<Arc<ReloadFn>> {
+        let path = self.path.clone()?;
+        let store = Arc::clone(&self.store);
+        Some(Arc::new(move || {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| vec![format!("read {}: {e}", path.display())])?;
+            let cfg = ZdrConfig::from_toml(&src)?;
+            store.publish(cfg)
+        }))
+    }
+
+    /// Stamps the live config epoch + rendered field map onto a snapshot,
+    /// so `/stats`, `/metrics` (`zdr_config_epoch`), and `STATS` lines all
+    /// report which config generation produced the counters.
+    fn stamp(&self, mut snap: StatsSnapshot) -> StatsSnapshot {
+        snap.config_epoch = self.store.epoch();
+        snap.config = self.store.current().render_map();
+        snap
+    }
+}
+
+/// Reads and fully validates a config file (the `zdr check` body and the
+/// `--config` boot path share this, so a file that checks clean boots).
+fn check_config_file(path: &Path) -> Result<ZdrConfig, Vec<String>> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| vec![format!("read {}: {e}", path.display())])?;
+    let cfg = ZdrConfig::from_toml(&src)?;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Builds the boot config: `--config FILE` (authoritative — per-field
+/// flags conflict with it, since the next reload would silently shadow
+/// them) or the role's config flags over defaults. `default_drain_ms`
+/// preserves each role's historical drain default when neither source
+/// names one.
+fn config_plane(
+    args: &Args,
+    value_flags: &[&str],
+    default_drain_ms: u64,
+) -> Result<ConfigPlane, String> {
+    let path = args.value("--config").map(PathBuf::from);
+    let cfg = match &path {
+        Some(p) => {
+            for item in &args.items {
+                if ZdrConfig::FLAGS.contains(&item.as_str()) {
+                    return Err(format!(
+                        "{item} conflicts with --config; set the field in the file"
+                    ));
+                }
+            }
+            check_config_file(p).map_err(|errs| format!("config rejected:\n  {}", errs.join("\n  ")))?
+        }
+        None => {
+            let mut cfg = ZdrConfig::default();
+            cfg.drain.drain_ms = default_drain_ms;
+            let mut i = 0;
+            while i < args.items.len() {
+                let item = args.items[i].as_str();
+                if ZdrConfig::FLAGS.contains(&item) {
+                    let v = args.items.get(i + 1).map(String::as_str).unwrap_or_default();
+                    cfg.set_flag(item, v)?;
+                    i += 2;
+                } else if value_flags.contains(&item) {
+                    i += 2; // non-config value flag: skip its value too
+                } else {
+                    i += 1;
+                }
+            }
+            cfg.validate()
+                .map_err(|errs| format!("boot config invalid:\n  {}", errs.join("\n  ")))?;
+            cfg
+        }
+    };
+    Ok(ConfigPlane {
+        store: Arc::new(ConfigStore::new(cfg)),
+        path,
     })
+}
+
+/// Hot-reload on SIGHUP: the classic daemon contract, same closure the
+/// admin endpoint's `POST /config/reload` runs. `None` when booted from
+/// flags (nothing to re-read).
+fn spawn_sighup_reload(plane: &ConfigPlane) -> Option<tokio::task::JoinHandle<()>> {
+    let reload = plane.reload()?;
+    Some(tokio::spawn(async move {
+        use tokio::signal::unix::{signal, SignalKind};
+        let Ok(mut hup) = signal(SignalKind::hangup()) else {
+            return;
+        };
+        while hup.recv().await.is_some() {
+            match reload() {
+                Ok(epoch) => eprintln!("config reloaded (epoch {epoch})"),
+                Err(errs) => {
+                    eprintln!("config reload rejected:");
+                    for e in errs {
+                        eprintln!("  {e}");
+                    }
+                }
+            }
+        }
+    }))
+}
+
+/// `zdr check <file>`: the reload dry-run. Exit 0 and the canonical
+/// rendering on success; exit 1 with every error at once on failure.
+fn run_check(args: &Args) -> ExitCode {
+    let Some(path) = args.items.first() else {
+        eprintln!("error: check requires a config file path\n\nUSAGE:\n  zdr check <file>");
+        return ExitCode::FAILURE;
+    };
+    if let Some(extra) = args.items.get(1) {
+        eprintln!("error: unexpected argument {extra:?} after the config file");
+        return ExitCode::FAILURE;
+    }
+    match check_config_file(Path::new(path)) {
+        Ok(cfg) => {
+            let hot = FIELDS.iter().filter(|s| s.hot).count();
+            println!(
+                "OK {path}: {} fields valid ({hot} hot-reloadable, {} boot-only)",
+                FIELDS.len(),
+                FIELDS.len() - hot
+            );
+            for (name, value) in cfg.render_map() {
+                println!("  {name} = {value}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            eprintln!("config rejected: {path}");
+            for e in errs {
+                eprintln!("  {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -248,6 +504,20 @@ fn main() -> ExitCode {
         None => return fail("missing role"),
     };
     let args = Args::new();
+    match role.as_str() {
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        "check" => return run_check(&args),
+        _ => {}
+    }
+    let Some((value_flags, bool_flags)) = role_flags(&role) else {
+        return fail(&format!("unknown role {role:?}"));
+    };
+    if let Err(msg) = args.validate(&value_flags, &bool_flags) {
+        return fail(&msg);
+    }
     let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
     let result = rt.block_on(async {
         match role.as_str() {
@@ -258,10 +528,6 @@ fn main() -> ExitCode {
             "proxy" => run_proxy(&args).await,
             "quic" => run_quic(&args).await,
             "l4" => run_l4(&args).await,
-            "--help" | "-h" | "help" => {
-                println!("{USAGE}");
-                Ok(())
-            }
             other => Err(format!("unknown role {other:?}")),
         }
     });
@@ -359,27 +625,41 @@ fn spawn_protection_ticker(sources: &SharedSources) -> tokio::task::JoinHandle<(
     })
 }
 
-/// Spawns the admin endpoint when `--admin-port` was given and prints
-/// `ADMIN <addr>` so scripts and tests can find it.
+/// Spawns the admin endpoint and prints `ADMIN <addr>`. The port comes
+/// from `--admin-port` (flags boot) or the file's `[admin] port` (config
+/// boot; 0 = disabled). With a config file wired, the endpoint also
+/// serves `POST /config/reload`.
 async fn maybe_spawn_admin(
     args: &Args,
     sources: &SharedSources,
+    plane: &ConfigPlane,
 ) -> Result<Option<AdminHandle>, String> {
-    let Some(port) = args.value("--admin-port") else {
-        return Ok(None);
+    let port: u16 = match (args.value("--admin-port"), &plane.path) {
+        (Some(p), _) => p.parse().map_err(|e| format!("bad --admin-port: {e}"))?,
+        (None, Some(_)) => {
+            let port = plane.store.current().admin.port;
+            if port == 0 {
+                return Ok(None);
+            }
+            port
+        }
+        (None, None) => return Ok(None),
     };
-    let port: u16 = port.parse().map_err(|e| format!("bad --admin-port: {e}"))?;
     let snap_src = Arc::clone(sources);
+    let snap_store = Arc::clone(&plane.store);
     let health_src = Arc::clone(sources);
-    let handle = spawn_admin(
-        port,
-        move || {
-            let s = snap_src.lock();
-            s.stats.snapshot().merged(&s.tracker.snapshot())
-        },
-        move || !health_src.lock().drain.is_draining(),
-    )
-    .await
+    let snapshot = move || {
+        let s = snap_src.lock();
+        let mut snap = s.stats.snapshot().merged(&s.tracker.snapshot());
+        snap.config_epoch = snap_store.epoch();
+        snap.config = snap_store.current().render_map();
+        snap
+    };
+    let healthy = move || !health_src.lock().drain.is_draining();
+    let handle = match plane.reload() {
+        Some(reload) => spawn_admin_with_reload(port, snapshot, healthy, reload).await,
+        None => spawn_admin(port, snapshot, healthy).await,
+    }
     .map_err(|e| format!("admin endpoint: {e}"))?;
     announce(&format!("ADMIN {}", handle.addr));
     Ok(Some(handle))
@@ -468,13 +748,21 @@ async fn run_origin(args: &Args) -> Result<(), String> {
     }
     let id = args.u64_or("--id", 1)? as u32;
     let drain_after = args.u64_or("--drain-after", 0)?;
-    let resilience = resilience_from_args(args)?;
+    let (value_flags, _) = role_flags("origin").expect("origin is a role");
+    let plane = config_plane(args, &value_flags, 5_000)?;
+    let boot = plane.store.current();
+    let resilience = ResilienceConfig::from_zdr(&boot);
     if args.flag("--trunk") {
         let handle = zero_downtime_release::proxy::mqtt_relay_trunk::spawn_origin_trunk_with(
             listen, brokers, resilience,
         )
         .await
         .map_err(|e| e.to_string())?;
+        let apply = handle.config_applier();
+        plane
+            .store
+            .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+        let _hup = spawn_sighup_reload(&plane);
         ready(handle.addr);
         if drain_after > 0 {
             tokio::time::sleep(Duration::from_millis(drain_after)).await;
@@ -483,16 +771,22 @@ async fn run_origin(args: &Args) -> Result<(), String> {
             tokio::time::sleep(Duration::from_millis(5_000)).await;
             dump_stats(
                 args,
-                &handle.stats.snapshot().merged(&handle.tracker().snapshot()),
+                &plane.stamp(handle.stats.snapshot().merged(&handle.tracker().snapshot())),
             );
             return Ok(());
         }
         wait_forever().await;
         return Ok(());
     }
-    let handle = spawn_origin_with(listen, id, brokers, 5_000, resilience)
+    let deadline = u32::try_from(boot.drain.drain_ms).unwrap_or(u32::MAX);
+    let handle = spawn_origin_with(listen, id, brokers, deadline, resilience)
         .await
         .map_err(|e| e.to_string())?;
+    let apply = handle.config_applier();
+    plane
+        .store
+        .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    let _hup = spawn_sighup_reload(&plane);
     ready(handle.addr);
     if drain_after > 0 {
         tokio::time::sleep(Duration::from_millis(drain_after)).await;
@@ -501,7 +795,7 @@ async fn run_origin(args: &Args) -> Result<(), String> {
         tokio::time::sleep(Duration::from_millis(5_000)).await;
         dump_stats(
             args,
-            &handle.stats.snapshot().merged(&handle.tracker().snapshot()),
+            &plane.stamp(handle.stats.snapshot().merged(&handle.tracker().snapshot())),
         );
         return Ok(());
     }
@@ -515,37 +809,53 @@ async fn run_edge(args: &Args) -> Result<(), String> {
     if origins.is_empty() {
         return Err("edge requires at least one --origin".into());
     }
-    let resilience = resilience_from_args(args)?;
+    let (value_flags, _) = role_flags("edge").expect("edge is a role");
+    let plane = config_plane(args, &value_flags, 2_000)?;
+    let resilience = ResilienceConfig::from_zdr(&plane.store.current());
     if args.flag("--trunk") {
         let handle = zero_downtime_release::proxy::mqtt_relay_trunk::spawn_edge_trunk_with(
             listen, origins, resilience,
         )
         .await
         .map_err(|e| e.to_string())?;
+        let apply = handle.config_applier();
+        plane
+            .store
+            .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+        let _hup = spawn_sighup_reload(&plane);
         ready(handle.addr);
         wait_forever().await;
         dump_stats(
             args,
-            &handle
-                .stats
-                .snapshot()
-                .merged(&handle.dcr_stats.snapshot())
-                .merged(&handle.tracker().snapshot()),
+            &plane.stamp(
+                handle
+                    .stats
+                    .snapshot()
+                    .merged(&handle.dcr_stats.snapshot())
+                    .merged(&handle.tracker().snapshot()),
+            ),
         );
         return Ok(());
     }
     let handle = spawn_edge_with(listen, origins, resilience)
         .await
         .map_err(|e| e.to_string())?;
+    let apply = handle.config_applier();
+    plane
+        .store
+        .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    let _hup = spawn_sighup_reload(&plane);
     ready(handle.addr);
     wait_forever().await;
     dump_stats(
         args,
-        &handle
-            .stats
-            .snapshot()
-            .merged(&handle.dcr_stats.snapshot())
-            .merged(&handle.tracker().snapshot()),
+        &plane.stamp(
+            handle
+                .stats
+                .snapshot()
+                .merged(&handle.dcr_stats.snapshot())
+                .merged(&handle.tracker().snapshot()),
+        ),
     );
     Ok(())
 }
@@ -556,11 +866,14 @@ async fn run_quic(args: &Args) -> Result<(), String> {
         .value("--takeover-path")
         .ok_or_else(|| "quic requires --takeover-path".to_string())?
         .into();
-    let resilience = resilience_from_args(args)?;
+    let (value_flags, _) = role_flags("quic").expect("quic is a role");
+    let plane = config_plane(args, &value_flags, 2_000)?;
+    let boot = plane.store.current();
+    let resilience = ResilienceConfig::from_zdr(&boot);
     let config = QuicInstanceConfig {
         takeover_path,
         sockets: args.u64_or("--sockets", 2)? as usize,
-        drain_ms: args.u64_or("--drain-ms", 2_000)?,
+        drain_ms: boot.drain.drain_ms,
         shed: resilience.shed,
         admission: resilience.admission,
         protection: resilience.protection,
@@ -573,6 +886,11 @@ async fn run_quic(args: &Args) -> Result<(), String> {
             .await
             .map_err(|e| e.to_string())?
     };
+    let apply = instance.config_applier();
+    plane
+        .store
+        .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    let _hup = spawn_sighup_reload(&plane);
     eprintln!(
         "quic generation {} serving on {}",
         instance.generation, instance.vip
@@ -586,7 +904,7 @@ async fn run_quic(args: &Args) -> Result<(), String> {
         "quic generation {} drained ({} datagrams served while draining)",
         drained.generation, drained.served_during_drain
     );
-    dump_stats(args, &drained.snapshot);
+    dump_stats(args, &plane.stamp(drained.snapshot.clone()));
     println!("DRAINED");
     Ok(())
 }
@@ -612,25 +930,27 @@ async fn run_l4(args: &Args) -> Result<(), String> {
 }
 
 async fn run_proxy(args: &Args) -> Result<(), String> {
-    let upstreams = args.addrs("--upstream")?;
     let takeover_path: PathBuf = args
         .value("--takeover-path")
         .ok_or_else(|| "proxy requires --takeover-path".to_string())?
         .into();
+    let (value_flags, _) = role_flags("proxy").expect("proxy is a role");
+    let plane = config_plane(args, &value_flags, 2_000)?;
+    let boot = plane.store.current();
     let config = ProxyInstanceConfig {
         reverse: ReverseProxyConfig {
-            upstreams,
+            upstreams: boot.routing.upstreams.clone(),
             upstream_timeout: Duration::from_secs(30),
-            resilience: resilience_from_args(args)?,
+            resilience: ResilienceConfig::from_zdr(&boot),
             ..Default::default()
         },
         takeover_path,
-        drain_ms: args.u64_or("--drain-ms", 2_000)?,
+        drain_ms: boot.drain.drain_ms,
     };
 
     let supervised = args.flag("--supervised");
     if supervised && args.flag("--takeover") {
-        return run_proxy_watched_successor(args, config).await;
+        return run_proxy_watched_successor(args, config, plane).await;
     }
 
     let instance = if args.flag("--takeover") {
@@ -649,14 +969,22 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         instance.generation, instance.addr
     );
     let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
-    let _admin = maybe_spawn_admin(args, &sources).await?;
+    let _admin = maybe_spawn_admin(args, &sources, &plane).await?;
     let _ticker = spawn_protection_ticker(&sources);
+    let _hup = spawn_sighup_reload(&plane);
     let auditor = args.flag("--audit").then(|| spawn_auditor(&sources));
-    ready(instance.addr);
 
     if supervised {
-        return run_proxy_supervised(args, instance, &sources, &auditor).await;
+        // The supervised loop wires its own rollback-surviving subscriber.
+        ready(instance.addr);
+        return run_proxy_supervised(args, instance, &sources, &auditor, &plane).await;
     }
+
+    let apply = instance.config_applier();
+    plane
+        .store
+        .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    ready(instance.addr);
 
     // Serve until a successor takes over, then drain and exit — the real
     // release lifecycle: each process serves exactly one generation.
@@ -664,13 +992,13 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         .serve_one_takeover()
         .await
         .map_err(|e| e.to_string())?;
+    let drain_ms = plane.store.current().drain.drain_ms;
     eprintln!(
-        "generation {} handed over; draining {} ms before exit",
+        "generation {} handed over; draining {drain_ms} ms before exit",
         drained.generation,
-        args.u64_or("--drain-ms", 2_000)?
     );
-    tokio::time::sleep(Duration::from_millis(args.u64_or("--drain-ms", 2_000)?)).await;
-    dump_stats(args, &drained_snapshot(&drained));
+    tokio::time::sleep(Duration::from_millis(drain_ms)).await;
+    dump_stats(args, &plane.stamp(drained_snapshot(&drained)));
     dump_audit(&auditor, &drained.reverse.stats);
     announce("DRAINED");
     Ok(())
@@ -693,12 +1021,12 @@ async fn run_proxy_supervised(
     instance: ProxyInstance,
     sources: &SharedSources,
     auditor: &Option<AuditorHandle>,
+    plane: &ConfigPlane,
 ) -> Result<(), String> {
     use zero_downtime_release::core::supervisor::BackoffSchedule;
     use zero_downtime_release::net::fault::NoFaults;
     use zero_downtime_release::proxy::takeover::{SupervisedOutcome, SupervisorOptions};
 
-    let drain_ms = args.u64_or("--drain-ms", 2_000)?;
     let opts = SupervisorOptions {
         watch: Duration::from_millis(args.u64_or("--watch-ms", 10_000)?),
         backoff: BackoffSchedule {
@@ -708,6 +1036,20 @@ async fn run_proxy_supervised(
         ..Default::default()
     };
 
+    // A rollback rebuilds the instance with fresh gates, so the config
+    // subscriber routes through a swappable slot instead of capturing one
+    // instance's applier forever.
+    type Applier = Arc<dyn Fn(&ZdrConfig, u64) + Send + Sync>;
+    let slot: Arc<parking_lot::Mutex<Applier>> =
+        Arc::new(parking_lot::Mutex::new(instance.config_applier()));
+    {
+        let slot = Arc::clone(&slot);
+        plane.store.subscribe(Box::new(move |cfg, epoch| {
+            let apply = Arc::clone(&*slot.lock());
+            apply(cfg.as_ref(), epoch);
+        }));
+    }
+
     let mut instance = instance;
     loop {
         let outcome = instance
@@ -716,12 +1058,13 @@ async fn run_proxy_supervised(
             .map_err(|e| e.to_string())?;
         match outcome {
             SupervisedOutcome::Completed(drained) => {
+                let drain_ms = plane.store.current().drain.drain_ms;
                 eprintln!(
                     "generation {} handed over; draining {drain_ms} ms before exit",
                     drained.generation
                 );
                 tokio::time::sleep(Duration::from_millis(drain_ms)).await;
-                dump_stats(args, &drained_snapshot(&drained));
+                dump_stats(args, &plane.stamp(drained_snapshot(&drained)));
                 dump_audit(auditor, &drained.reverse.stats);
                 announce("DRAINED");
                 return Ok(());
@@ -744,6 +1087,13 @@ async fn run_proxy_supervised(
                 announce(&format!("ROLLBACK {reason}"));
                 instance = reclaimed;
                 *sources.lock() = sources_of(&instance);
+                // Catch the rebuilt instance up with any reload that
+                // landed mid-release, then aim future publishes at it.
+                let (epoch, cfg) = plane.store.current_with_epoch();
+                if epoch > BOOT_EPOCH {
+                    instance.apply_config(&cfg, epoch);
+                }
+                *slot.lock() = instance.config_applier();
             }
             SupervisedOutcome::AbortedKeepOld {
                 instance: kept,
@@ -764,6 +1114,7 @@ async fn run_proxy_supervised(
 async fn run_proxy_watched_successor(
     args: &Args,
     config: ProxyInstanceConfig,
+    plane: ConfigPlane,
 ) -> Result<(), String> {
     use zero_downtime_release::net::takeover::ReclaimVerdict;
 
@@ -774,8 +1125,13 @@ async fn run_proxy_watched_successor(
         instance.generation, instance.addr
     );
     let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
-    let _admin = maybe_spawn_admin(args, &sources).await?;
+    let _admin = maybe_spawn_admin(args, &sources, &plane).await?;
     let _ticker = spawn_protection_ticker(&sources);
+    let _hup = spawn_sighup_reload(&plane);
+    let apply = instance.config_applier();
+    plane
+        .store
+        .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
     let auditor = args.flag("--audit").then(|| spawn_auditor(&sources));
     ready(instance.addr);
 
@@ -798,17 +1154,17 @@ async fn run_proxy_watched_successor(
     match verdict {
         ReclaimVerdict::Released => {
             announce("RELEASED");
-            let drain_ms = args.u64_or("--drain-ms", 2_000)?;
             let drained = instance
                 .serve_one_takeover()
                 .await
                 .map_err(|e| e.to_string())?;
+            let drain_ms = plane.store.current().drain.drain_ms;
             eprintln!(
                 "generation {} handed over; draining {drain_ms} ms before exit",
                 drained.generation
             );
             tokio::time::sleep(Duration::from_millis(drain_ms)).await;
-            dump_stats(args, &drained_snapshot(&drained));
+            dump_stats(args, &plane.stamp(drained_snapshot(&drained)));
             dump_audit(&auditor, &drained.reverse.stats);
             announce("DRAINED");
         }

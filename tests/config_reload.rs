@@ -1,0 +1,354 @@
+//! Hot config plane end to end: a `ConfigStore` publish re-arms live
+//! proxy generations mid-drain and mid-takeover without touching a single
+//! established connection, the new limits govern the very next accept,
+//! and `ConfigApplied` lands on the release timeline in epoch order.
+//! Plus the lossless flag↔TOML round trip over the public surface.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::appserver::{self, AppServerConfig};
+use zero_downtime_release::core::config::{ConfigStore, ZdrConfig, BOOT_EPOCH};
+use zero_downtime_release::core::telemetry::ReleasePhase;
+use zero_downtime_release::proto::http1::{serialize_request, Request, Response, ResponseParser};
+use zero_downtime_release::proxy::reverse::ReverseProxyConfig;
+use zero_downtime_release::proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+fn takeover_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-cfgreload-{tag}-{}-{:x}.sock",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+async fn send(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr).await?;
+    stream.write_all(&serialize_request(req)).await?;
+    read_response(&mut stream, &mut ResponseParser::new()).await
+}
+
+async fn read_response(
+    stream: &mut TcpStream,
+    parser: &mut ResponseParser,
+) -> std::io::Result<Response> {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof",
+            ));
+        }
+        if let Some(resp) = parser.push(&buf[..n]).map_err(std::io::Error::other)? {
+            parser.reset();
+            return Ok(resp);
+        }
+    }
+}
+
+async fn spawn_apps(n: usize) -> Vec<appserver::AppServerHandle> {
+    let mut apps = Vec::new();
+    for i in 0..n {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: format!("web-{i}"),
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap(),
+        );
+    }
+    apps
+}
+
+/// One request/response over an already-open keep-alive connection.
+async fn roundtrip(stream: &mut TcpStream, parser: &mut ResponseParser, target: &str) -> u16 {
+    stream
+        .write_all(&serialize_request(&Request::get(target)))
+        .await
+        .unwrap();
+    read_response(stream, parser).await.unwrap().status.code
+}
+
+fn boot_config(upstreams: &[SocketAddr], drain_ms: u64) -> ZdrConfig {
+    let mut cfg = ZdrConfig::default();
+    cfg.routing.upstreams = upstreams.to_vec();
+    cfg.drain.drain_ms = drain_ms;
+    cfg
+}
+
+fn instance_config(boot: &ZdrConfig, tag: &str) -> ProxyInstanceConfig {
+    ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams: boot.routing.upstreams.clone(),
+            upstream_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+        takeover_path: takeover_path(tag),
+        drain_ms: boot.drain.drain_ms,
+    }
+}
+
+/// The §2.3 choreography with a reload landing *mid-drain*: the old
+/// generation is draining a held connection while the new generation owns
+/// the VIP. One publish must re-arm both — new drain deadline on the
+/// draining side, new shed limit on the very next VIP accept — with zero
+/// established-connection churn.
+#[tokio::test]
+async fn hot_reload_mid_drain_spares_connections_and_rearms_next_accept() {
+    let apps = spawn_apps(2).await;
+    let upstreams: Vec<SocketAddr> = apps.iter().map(|a| a.addr).collect();
+    let boot = boot_config(&upstreams, 30_000);
+    let cfg = instance_config(&boot, "mid-drain");
+    let store = Arc::new(ConfigStore::new(boot.clone()));
+
+    let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .await
+        .unwrap();
+    let addr = old.addr;
+    // Subscribed *before* the instance moves into serve_one_takeover: the
+    // applier captures shared handles, so it keeps steering the drained
+    // generation afterwards — the same wiring `zdr` does at boot.
+    let apply_old = old.config_applier();
+    store.subscribe(Box::new(move |c, e| apply_old(c.as_ref(), e)));
+
+    // A keep-alive connection that must survive everything below.
+    let mut held = TcpStream::connect(addr).await.unwrap();
+    let mut held_parser = ResponseParser::new();
+    assert_eq!(roundtrip(&mut held, &mut held_parser, "/held").await, 200);
+
+    // The release: generation 1 takes the sockets, generation 0 drains.
+    let old_task = tokio::spawn(old.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+    let drained = old_task.await.unwrap().unwrap();
+    assert!(drained.reverse.state().is_draining());
+    let apply_new = new.config_applier();
+    store.subscribe(Box::new(move |c, e| apply_new(c.as_ref(), e)));
+
+    // Mid-drain reload: tighter shed limit, longer drain deadline.
+    let mut next = boot.clone();
+    next.shed.max_active = 1;
+    next.drain.drain_ms = 45_000;
+    let epoch = store.publish(next).unwrap();
+    assert_eq!(epoch, BOOT_EPOCH + 1);
+
+    // Both generations now run the reloaded drain deadline — no restart.
+    assert_eq!(drained.drain_ms(), 45_000);
+    assert_eq!(new.drain_ms(), 45_000);
+
+    // Zero churn: the held connection still answers, nothing was forced.
+    assert_eq!(roundtrip(&mut held, &mut held_parser, "/held-again").await, 200);
+    assert_eq!(drained.reverse.forced_closes(), 0);
+    assert_eq!(new.reverse.forced_closes(), 0);
+
+    // The reloaded shed limit governs the very next accepts at the VIP:
+    // the first connection occupies the single admitted slot (the held
+    // connection is tracked by the *old* generation, not this one), the
+    // second is shed with the pre-rendered 503.
+    let mut first = TcpStream::connect(addr).await.unwrap();
+    let mut first_parser = ResponseParser::new();
+    assert_eq!(roundtrip(&mut first, &mut first_parser, "/first").await, 200);
+    let resp = send(addr, &Request::get("/second")).await.unwrap();
+    assert_eq!(resp.status.code, 503);
+    assert!(new.reverse.stats.load_shed.get() >= 1);
+
+    // Timeline: the old side journals ConfigApplied *after* DrainStart
+    // (the reload landed mid-drain), the new side journals it too.
+    let tl = drained.reverse.stats.telemetry.timeline.snapshot();
+    let drain_seq = tl
+        .events
+        .iter()
+        .find(|e| e.phase == ReleasePhase::DrainStart)
+        .expect("DrainStart journalled")
+        .seq;
+    let applied = tl
+        .events
+        .iter()
+        .find(|e| e.phase == ReleasePhase::ConfigApplied)
+        .expect("ConfigApplied journalled on the draining side");
+    assert!(applied.detail.contains("epoch=2"), "{applied:?}");
+    assert!(drain_seq < applied.seq, "{:?}", tl.events);
+    let tl_new = new.reverse.stats.telemetry.timeline.snapshot();
+    assert!(
+        tl_new
+            .events
+            .iter()
+            .any(|e| e.phase == ReleasePhase::ConfigApplied && e.detail.contains("epoch=2")),
+        "{:?}",
+        tl_new.events
+    );
+    drop(held);
+    drop(first);
+}
+
+/// A reload landing *mid-takeover* — after the old generation started
+/// serving the handover but before the successor exists. The successor
+/// boots from stale settings and must catch up: apply the current
+/// snapshot once (iff the epoch moved past boot), then subscribe. This is
+/// the exact choreography `zdr` runs for a supervised successor after a
+/// rollback swap.
+#[tokio::test]
+async fn reload_mid_takeover_catches_up_the_successor() {
+    let apps = spawn_apps(2).await;
+    let upstreams: Vec<SocketAddr> = apps.iter().map(|a| a.addr).collect();
+    let boot = boot_config(&upstreams, 20_000);
+    let cfg = instance_config(&boot, "mid-takeover");
+    let store = Arc::new(ConfigStore::new(boot.clone()));
+
+    let old = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .await
+        .unwrap();
+    let addr = old.addr;
+    let apply_old = old.config_applier();
+    store.subscribe(Box::new(move |c, e| apply_old(c.as_ref(), e)));
+
+    // Takeover in flight: the old generation is waiting on the handover
+    // socket; the successor has not booted yet.
+    let old_task = tokio::spawn(old.serve_one_takeover());
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    // The reload lands in that window. The old generation applies it via
+    // its subscription; there is no successor to notify yet.
+    let mut next = boot.clone();
+    next.drain.drain_ms = 60_000;
+    let epoch = store.publish(next.clone()).unwrap();
+    assert_eq!(epoch, BOOT_EPOCH + 1);
+
+    let new = ProxyInstance::takeover_from(cfg).await.unwrap();
+    let drained = old_task.await.unwrap().unwrap();
+    assert_eq!(drained.drain_ms(), 60_000);
+
+    // The successor booted from pre-reload flags and missed the publish.
+    assert_eq!(new.drain_ms(), 20_000);
+
+    // Catch-up: apply the current snapshot iff anything was published
+    // since boot, then aim the subscription at the successor.
+    let (epoch_now, current) = store.current_with_epoch();
+    assert_eq!(epoch_now, epoch);
+    if epoch_now > BOOT_EPOCH {
+        new.apply_config(&current, epoch_now);
+    }
+    assert_eq!(new.drain_ms(), 60_000);
+    let apply_new = new.config_applier();
+    store.subscribe(Box::new(move |c, e| apply_new(c.as_ref(), e)));
+
+    // Later publishes reach the successor through the subscription.
+    let mut third = next.clone();
+    third.drain.drain_ms = 75_000;
+    assert_eq!(store.publish(third).unwrap(), epoch + 1);
+    assert_eq!(new.drain_ms(), 75_000);
+
+    // The VIP stayed clean throughout; nothing was force-closed.
+    assert_eq!(send(addr, &Request::get("/after")).await.unwrap().status.code, 200);
+    assert_eq!(drained.reverse.forced_closes(), 0);
+    assert_eq!(new.reverse.forced_closes(), 0);
+
+    // The successor's timeline records both applies in epoch order.
+    let tl = new.reverse.stats.telemetry.timeline.snapshot();
+    let applies: Vec<_> = tl
+        .events
+        .iter()
+        .filter(|e| e.phase == ReleasePhase::ConfigApplied)
+        .collect();
+    assert_eq!(applies.len(), 2, "{:?}", tl.events);
+    assert!(applies[0].detail.contains("epoch=2"), "{applies:?}");
+    assert!(applies[1].detail.contains("epoch=3"), "{applies:?}");
+}
+
+/// Boot-only drift never reaches a subscriber: the publish is rejected
+/// whole (all-or-nothing) with guidance to use a takeover, and the epoch
+/// gauge does not move.
+#[test]
+fn boot_only_drift_is_rejected_with_takeover_guidance() {
+    let store = ConfigStore::new(ZdrConfig::default());
+    let mut drifted = ZdrConfig::default();
+    drifted.admin.port = 9_100;
+    drifted.shed.max_active = 7; // hot change riding along must not leak
+    let errs = store.publish(drifted).unwrap_err();
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("admin.port") && e.contains("takeover")),
+        "{errs:?}"
+    );
+    assert_eq!(store.epoch(), BOOT_EPOCH);
+    assert_eq!(store.current().shed.max_active, ZdrConfig::default().shed.max_active);
+
+    // The same hot change alone lands fine.
+    let mut hot = ZdrConfig::default();
+    hot.shed.max_active = 7;
+    assert_eq!(store.publish(hot).unwrap(), BOOT_EPOCH + 1);
+    assert_eq!(store.current().shed.max_active, 7);
+}
+
+mod round_trip {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every flag-reachable config survives flags → ZdrConfig → TOML
+        /// → ZdrConfig losslessly over the *public* surface — what `zdr
+        /// check` and the `--config`-vs-flags equivalence rest on.
+        #[test]
+        fn flags_to_toml_round_trip(
+            ports in proptest::collection::vec(1u16..u16::MAX, 0..4),
+            breaker in 1u32..1_000,
+            reserve in 0u64..100,
+            max_tokens in 100u64..1_000,
+            deposit in 0u64..=1_000,
+            shed_max in 0u64..10_000,
+            admit_rate in 0u64..100_000,
+            admit_window in 1u64..60_000,
+            arm in 1u64..1_000,
+            disarm in 1u32..100,
+            drain in 1u64..100_000,
+            admin_port in 0u16..u16::MAX,
+        ) {
+            let mut cfg = ZdrConfig::default();
+            for p in &ports {
+                cfg.set_flag("--upstream", &format!("127.0.0.1:{p}")).unwrap();
+            }
+            for (flag, value) in [
+                ("--breaker-threshold", breaker.to_string()),
+                ("--retry-reserve", reserve.to_string()),
+                ("--retry-deposit-permille", deposit.to_string()),
+                ("--shed-max-active", shed_max.to_string()),
+                ("--admit-rate", admit_rate.to_string()),
+                ("--admit-window-ms", admit_window.to_string()),
+                ("--protection-arm-threshold", arm.to_string()),
+                ("--protection-disarm-successes", disarm.to_string()),
+                ("--drain-ms", drain.to_string()),
+                ("--admin-port", admin_port.to_string()),
+            ] {
+                cfg.set_flag(flag, &value).unwrap();
+            }
+            // Duplicate --upstream ports (and any other cross-field
+            // clash) are invalid configs; the round trip is only pinned
+            // for configs a boot would accept.
+            prop_assume!(cfg.validate().is_ok());
+
+            // Flag surface: to_flag_pairs onto a default reconstructs it.
+            let mut from_flags = ZdrConfig::default();
+            for (flag, value) in cfg.to_flag_pairs() {
+                from_flags.set_flag(&flag, &value).unwrap();
+            }
+            prop_assert_eq!(&from_flags, &cfg);
+
+            // File surface: the canonical serializer parses back equal.
+            let parsed = ZdrConfig::from_toml(&cfg.to_toml()).unwrap();
+            prop_assert_eq!(parsed, cfg);
+        }
+    }
+}
