@@ -1,0 +1,98 @@
+//! Fleet release-train bench: §6.2's staggered, canary-gated batches plus
+//! the PAPERS.md Microreboots ablation, over a simulated fleet.
+//!
+//! Four arms — {whole-process takeover, per-service microreboot} ×
+//! {healthy, defective binary}. Healthy arms must complete with every
+//! batch promoted; defective arms must halt on the canary gate and roll
+//! the failing batch back, never settling mixed. The ablation's claim is
+//! the last two columns: microreboots confine the blast radius of a bad
+//! binary and pay for it in rollout time.
+//!
+//! Emits `BENCH_orchestrate.json` (validated in CI against
+//! `schemas/bench_orchestrate.schema.json`). Pass `--fast` for the
+//! scaled-down CI run, `--out PATH` to redirect the artifact.
+
+use zdr_sim::experiments::release_train;
+use zdr_sim::TICK_MS;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    zdr_bench::header(
+        "BENCH orchestrate",
+        "release trains: whole-process vs microreboot, healthy vs defective",
+    );
+    let fast = zdr_bench::fast_mode();
+    let cfg = if fast {
+        release_train::Config {
+            clusters: 4,
+            machines_per_cluster: 10,
+            batch_size: 2,
+            stagger_ticks: 5,
+            window_ticks: 2,
+            drain_ms: 5_000,
+            ..release_train::Config::default()
+        }
+    } else {
+        // ~3k proxies: the fleet scale §6.2's trains exist for.
+        release_train::Config {
+            clusters: 12,
+            machines_per_cluster: 256,
+            batch_size: 3,
+            ..release_train::Config::default()
+        }
+    };
+    let report = release_train::run(&cfg);
+
+    let arms: Vec<serde_json::Value> = report
+        .arms
+        .iter()
+        .map(|a| {
+            serde_json::json!({
+                "mode": a.mode.name(),
+                "buggy": a.buggy,
+                "completed": a.completed,
+                "halted": a.halted,
+                "halt_reason": a.halt_reason,
+                "mixed_state": a.mixed_state,
+                "batches_promoted": a.batches_promoted,
+                "batches_rolled_back": a.batches_rolled_back,
+                "completion_ms": a.completion_ms,
+                "peak_blast_radius": a.peak_blast_radius,
+                "user_errors": a.user_errors,
+                "disruptions": a.disruptions,
+                "requests": a.requests,
+            })
+        })
+        .collect();
+    let json = serde_json::json!({
+        "bench": "orchestrate",
+        "fast": fast,
+        "clusters": cfg.clusters,
+        "machines_per_cluster": cfg.machines_per_cluster,
+        "batch_size": cfg.batch_size,
+        "stagger_ms": cfg.stagger_ticks * TICK_MS,
+        "window_ms": cfg.window_ticks * TICK_MS,
+        "drain_ms": cfg.drain_ms,
+        "arms": arms,
+    });
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_orchestrate.json".into());
+    let pretty = serde_json::to_string_pretty(&json).expect("serialize report");
+    std::fs::write(&out, &pretty).expect("write BENCH_orchestrate.json");
+
+    println!("BENCH_orchestrate {json}");
+    println!("{report}");
+    println!("artifact: {out}");
+    println!(
+        "paper: §6.2 — staggered canary-gated batches; a bad binary is halted and \
+         rolled back before it reaches the fleet"
+    );
+}

@@ -129,9 +129,7 @@ const COUNT_MASK: u64 = (1 << 20) - 1;
 const EPOCH_MASK: u64 = (1 << 24) - 1;
 
 fn pack_slot(epoch: u64, prev: u64, cur: u64) -> u64 {
-    ((epoch & EPOCH_MASK) << EPOCH_SHIFT)
-        | ((prev & COUNT_MASK) << PREV_SHIFT)
-        | (cur & COUNT_MASK)
+    ((epoch & EPOCH_MASK) << EPOCH_SHIFT) | ((prev & COUNT_MASK) << PREV_SHIFT) | (cur & COUNT_MASK)
 }
 
 fn unpack_slot(word: u64) -> (u64, u64, u64) {
@@ -840,7 +838,14 @@ mod tests {
         let d = StormDetector::new(ProtectionConfig::default());
         // arm_threshold 0 ⇒ disabled: readings are ignored entirely.
         assert_eq!(
-            d.observe(StormSignals { connects: 1_000, ..Default::default() }, 5, &protection),
+            d.observe(
+                StormSignals {
+                    connects: 1_000,
+                    ..Default::default()
+                },
+                5,
+                &protection
+            ),
             None
         );
         d.apply(&ProtectionConfig {
@@ -852,7 +857,10 @@ mod tests {
         // Baseline read, then a flood inside one window arms protection.
         assert_eq!(d.observe(StormSignals::default(), 10, &protection), None);
         let edge = d.observe(
-            StormSignals { connects: 50, ..Default::default() },
+            StormSignals {
+                connects: 50,
+                ..Default::default()
+            },
             150,
             &protection,
         );

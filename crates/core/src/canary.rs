@@ -58,7 +58,7 @@ pub enum Verdict {
 }
 
 /// One observation window's traffic summary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct WindowSample {
     /// Requests handled in the window.
     pub requests: u64,

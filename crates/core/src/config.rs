@@ -146,29 +146,98 @@ pub struct FieldSpec {
 /// `config-coverage` lint parses this table and cross-checks
 /// [`ZdrConfig::validate`] / [`ZdrConfig::field_value`] against it.
 pub const FIELDS: &[FieldSpec] = &[
-    FieldSpec { name: "routing.upstreams", hot: true },
-    FieldSpec { name: "breaker.failure_threshold", hot: true },
-    FieldSpec { name: "breaker.success_threshold", hot: true },
-    FieldSpec { name: "breaker.open_base_ms", hot: true },
-    FieldSpec { name: "breaker.open_max_ms", hot: true },
-    FieldSpec { name: "breaker.probe_ttl_ms", hot: true },
-    FieldSpec { name: "breaker.jitter_seed", hot: true },
-    FieldSpec { name: "budget.deposit_permille", hot: true },
-    FieldSpec { name: "budget.reserve_tokens", hot: false },
-    FieldSpec { name: "budget.max_tokens", hot: true },
-    FieldSpec { name: "shed.max_active", hot: true },
-    FieldSpec { name: "shed.queue_delay_max_ms", hot: true },
-    FieldSpec { name: "shed.ewma_alpha_permille", hot: false },
-    FieldSpec { name: "admission.rate_per_window", hot: true },
-    FieldSpec { name: "admission.window_ms", hot: true },
-    FieldSpec { name: "admission.tightened_permille", hot: true },
-    FieldSpec { name: "admission.shards", hot: false },
-    FieldSpec { name: "admission.slots_per_shard", hot: false },
-    FieldSpec { name: "protection.arm_threshold", hot: true },
-    FieldSpec { name: "protection.disarm_successes", hot: true },
-    FieldSpec { name: "protection.probe_window_ms", hot: true },
-    FieldSpec { name: "drain.drain_ms", hot: true },
-    FieldSpec { name: "admin.port", hot: false },
+    FieldSpec {
+        name: "routing.upstreams",
+        hot: true,
+    },
+    FieldSpec {
+        name: "breaker.failure_threshold",
+        hot: true,
+    },
+    FieldSpec {
+        name: "breaker.success_threshold",
+        hot: true,
+    },
+    FieldSpec {
+        name: "breaker.open_base_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "breaker.open_max_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "breaker.probe_ttl_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "breaker.jitter_seed",
+        hot: true,
+    },
+    FieldSpec {
+        name: "budget.deposit_permille",
+        hot: true,
+    },
+    FieldSpec {
+        name: "budget.reserve_tokens",
+        hot: false,
+    },
+    FieldSpec {
+        name: "budget.max_tokens",
+        hot: true,
+    },
+    FieldSpec {
+        name: "shed.max_active",
+        hot: true,
+    },
+    FieldSpec {
+        name: "shed.queue_delay_max_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "shed.ewma_alpha_permille",
+        hot: false,
+    },
+    FieldSpec {
+        name: "admission.rate_per_window",
+        hot: true,
+    },
+    FieldSpec {
+        name: "admission.window_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "admission.tightened_permille",
+        hot: true,
+    },
+    FieldSpec {
+        name: "admission.shards",
+        hot: false,
+    },
+    FieldSpec {
+        name: "admission.slots_per_shard",
+        hot: false,
+    },
+    FieldSpec {
+        name: "protection.arm_threshold",
+        hot: true,
+    },
+    FieldSpec {
+        name: "protection.disarm_successes",
+        hot: true,
+    },
+    FieldSpec {
+        name: "protection.probe_window_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "drain.drain_ms",
+        hot: true,
+    },
+    FieldSpec {
+        name: "admin.port",
+        hot: false,
+    },
 ];
 
 impl ZdrConfig {
@@ -182,26 +251,111 @@ impl ZdrConfig {
         // u64", like the jitter seed — passes through the same gate; the
         // config-coverage lint checks each hot field is named here.
         let ranges: &[(&str, u64, u64, u64)] = &[
-            ("breaker.failure_threshold", self.breaker.failure_threshold as u64, 1, 1 << 20),
-            ("breaker.success_threshold", self.breaker.success_threshold as u64, 1, 1 << 20),
-            ("breaker.open_base_ms", self.breaker.open_base_ms, 1, 86_400_000),
-            ("breaker.open_max_ms", self.breaker.open_max_ms, 1, 86_400_000),
-            ("breaker.probe_ttl_ms", self.breaker.probe_ttl_ms, 1, 86_400_000),
+            (
+                "breaker.failure_threshold",
+                self.breaker.failure_threshold as u64,
+                1,
+                1 << 20,
+            ),
+            (
+                "breaker.success_threshold",
+                self.breaker.success_threshold as u64,
+                1,
+                1 << 20,
+            ),
+            (
+                "breaker.open_base_ms",
+                self.breaker.open_base_ms,
+                1,
+                86_400_000,
+            ),
+            (
+                "breaker.open_max_ms",
+                self.breaker.open_max_ms,
+                1,
+                86_400_000,
+            ),
+            (
+                "breaker.probe_ttl_ms",
+                self.breaker.probe_ttl_ms,
+                1,
+                86_400_000,
+            ),
             ("breaker.jitter_seed", self.breaker.jitter_seed, 0, u64::MAX),
-            ("budget.deposit_permille", self.budget.deposit_permille, 0, 100_000),
-            ("budget.reserve_tokens", self.budget.reserve_tokens, 0, 1_000_000_000),
-            ("budget.max_tokens", self.budget.max_tokens, 1, 1_000_000_000),
+            (
+                "budget.deposit_permille",
+                self.budget.deposit_permille,
+                0,
+                100_000,
+            ),
+            (
+                "budget.reserve_tokens",
+                self.budget.reserve_tokens,
+                0,
+                1_000_000_000,
+            ),
+            (
+                "budget.max_tokens",
+                self.budget.max_tokens,
+                1,
+                1_000_000_000,
+            ),
             ("shed.max_active", self.shed.max_active, 0, u64::MAX),
-            ("shed.queue_delay_max_ms", self.shed.queue_delay_max_ms, 0, 86_400_000),
-            ("shed.ewma_alpha_permille", self.shed.ewma_alpha_permille, 1, 1_000),
-            ("admission.rate_per_window", self.admission.rate_per_window, 0, u64::MAX),
-            ("admission.window_ms", self.admission.window_ms, 1, 86_400_000),
-            ("admission.tightened_permille", self.admission.tightened_permille, 1, 1_000),
+            (
+                "shed.queue_delay_max_ms",
+                self.shed.queue_delay_max_ms,
+                0,
+                86_400_000,
+            ),
+            (
+                "shed.ewma_alpha_permille",
+                self.shed.ewma_alpha_permille,
+                1,
+                1_000,
+            ),
+            (
+                "admission.rate_per_window",
+                self.admission.rate_per_window,
+                0,
+                u64::MAX,
+            ),
+            (
+                "admission.window_ms",
+                self.admission.window_ms,
+                1,
+                86_400_000,
+            ),
+            (
+                "admission.tightened_permille",
+                self.admission.tightened_permille,
+                1,
+                1_000,
+            ),
             ("admission.shards", self.admission.shards as u64, 1, 1 << 16),
-            ("admission.slots_per_shard", self.admission.slots_per_shard as u64, 1, 1 << 20),
-            ("protection.arm_threshold", self.protection.arm_threshold, 0, u64::MAX),
-            ("protection.disarm_successes", self.protection.disarm_successes as u64, 1, 1 << 20),
-            ("protection.probe_window_ms", self.protection.probe_window_ms, 1, 3_600_000),
+            (
+                "admission.slots_per_shard",
+                self.admission.slots_per_shard as u64,
+                1,
+                1 << 20,
+            ),
+            (
+                "protection.arm_threshold",
+                self.protection.arm_threshold,
+                0,
+                u64::MAX,
+            ),
+            (
+                "protection.disarm_successes",
+                self.protection.disarm_successes as u64,
+                1,
+                1 << 20,
+            ),
+            (
+                "protection.probe_window_ms",
+                self.protection.probe_window_ms,
+                1,
+                3_600_000,
+            ),
             ("drain.drain_ms", self.drain.drain_ms, 0, 86_400_000),
             ("admin.port", self.admin.port as u64, 0, 65_535),
         ];
@@ -294,7 +448,9 @@ impl ZdrConfig {
         where
             T::Err: std::fmt::Display,
         {
-            value.parse().map_err(|e| format!("bad {flag} {value:?}: {e}"))
+            value
+                .parse()
+                .map_err(|e| format!("bad {flag} {value:?}: {e}"))
         }
         match flag {
             "--upstream" => {
@@ -308,9 +464,7 @@ impl ZdrConfig {
             "--admit-rate" => self.admission.rate_per_window = num(flag, value)?,
             "--admit-window-ms" => self.admission.window_ms = num(flag, value)?,
             "--protection-arm-threshold" => self.protection.arm_threshold = num(flag, value)?,
-            "--protection-disarm-successes" => {
-                self.protection.disarm_successes = num(flag, value)?
-            }
+            "--protection-disarm-successes" => self.protection.disarm_successes = num(flag, value)?,
             "--drain-ms" => self.drain.drain_ms = num(flag, value)?,
             "--admin-port" => self.admin.port = num(flag, value)?,
             _ => return Err(format!("unknown config flag {flag}")),
@@ -348,13 +502,22 @@ impl ZdrConfig {
             .map(|a| ("--upstream".to_string(), a.to_string()))
             .collect();
         for (flag, value) in [
-            ("--breaker-threshold", self.breaker.failure_threshold.to_string()),
+            (
+                "--breaker-threshold",
+                self.breaker.failure_threshold.to_string(),
+            ),
             ("--retry-reserve", self.budget.reserve_tokens.to_string()),
-            ("--retry-deposit-permille", self.budget.deposit_permille.to_string()),
+            (
+                "--retry-deposit-permille",
+                self.budget.deposit_permille.to_string(),
+            ),
             ("--shed-max-active", self.shed.max_active.to_string()),
             ("--admit-rate", self.admission.rate_per_window.to_string()),
             ("--admit-window-ms", self.admission.window_ms.to_string()),
-            ("--protection-arm-threshold", self.protection.arm_threshold.to_string()),
+            (
+                "--protection-arm-threshold",
+                self.protection.arm_threshold.to_string(),
+            ),
             (
                 "--protection-disarm-successes",
                 self.protection.disarm_successes.to_string(),
@@ -420,7 +583,10 @@ impl ZdrConfig {
                 match body.strip_suffix(']') {
                     Some(name) => {
                         section = name.trim().to_string();
-                        if !FIELDS.iter().any(|s| s.name.starts_with(&format!("{section}."))) {
+                        if !FIELDS
+                            .iter()
+                            .any(|s| s.name.starts_with(&format!("{section}.")))
+                        {
                             errs.push(format!("line {lineno}: unknown section [{section}]"));
                         }
                     }
@@ -429,7 +595,9 @@ impl ZdrConfig {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                errs.push(format!("line {lineno}: expected `key = value`, got {line:?}"));
+                errs.push(format!(
+                    "line {lineno}: expected `key = value`, got {line:?}"
+                ));
                 continue;
             };
             let (key, value) = (key.trim(), value.trim());
@@ -489,9 +657,7 @@ impl ZdrConfig {
             "admission.shards" => self.admission.shards = int(&name, value)?,
             "admission.slots_per_shard" => self.admission.slots_per_shard = int(&name, value)?,
             "protection.arm_threshold" => self.protection.arm_threshold = int(&name, value)?,
-            "protection.disarm_successes" => {
-                self.protection.disarm_successes = int(&name, value)?
-            }
+            "protection.disarm_successes" => self.protection.disarm_successes = int(&name, value)?,
             "protection.probe_window_ms" => self.protection.probe_window_ms = int(&name, value)?,
             "drain.drain_ms" => self.drain.drain_ms = int(&name, value)?,
             "admin.port" => self.admin.port = int(&name, value)?,
@@ -736,7 +902,10 @@ mod tests {
         )
         .unwrap_err();
         assert!(errs.iter().any(|e| e.starts_with("line 2:")), "{errs:?}");
-        assert!(errs.iter().any(|e| e.contains("unknown section")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("unknown section")),
+            "{errs:?}"
+        );
         assert!(
             errs.iter().any(|e| e.starts_with("line 5:")),
             "bare word must be an error: {errs:?}"
@@ -817,7 +986,11 @@ mod tests {
     fn flag_names_match_set_flag() {
         let mut cfg = ZdrConfig::default();
         for flag in ZdrConfig::FLAGS {
-            let value = if *flag == "--upstream" { "127.0.0.1:1" } else { "1" };
+            let value = if *flag == "--upstream" {
+                "127.0.0.1:1"
+            } else {
+                "1"
+            };
             cfg.set_flag(flag, value)
                 .unwrap_or_else(|e| panic!("{flag}: {e}"));
         }

@@ -26,6 +26,11 @@
 //!   radius and swift rollback).
 //! * [`pipeline`] — multi-cluster release trains (canary → early → fleet)
 //!   with a gate between stages.
+//! * [`orchestrator`] — the fleet-scale release-train controller brain:
+//!   staggered batches, per-cluster canary gates, a global halt/rollback
+//!   decision, pause/resume, and a write-ahead [`orchestrator::JournalRecord`]
+//!   stream that lets a crashed controller resume mid-train instead of
+//!   orphaning half-released clusters.
 //! * [`supervisor`] — the per-instance release supervisor: attempt →
 //!   confirm → watch → drain with per-phase timeouts, bounded jittered
 //!   retry backoff, and rollback on post-confirm failure.
@@ -64,6 +69,7 @@ pub mod config;
 pub mod drain;
 pub mod mechanism;
 pub mod metrics;
+pub mod orchestrator;
 pub mod pipeline;
 pub mod resilience;
 pub mod scheduler;

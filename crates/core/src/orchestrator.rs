@@ -1,0 +1,1790 @@
+//! Fleet-scale release orchestration: the release train.
+//!
+//! Everything below [`crate::pipeline`] releases one cluster at a time and
+//! forgets what it did the moment the process exits. The §6.2 "peak-hour
+//! release" story is about a *fleet*: thousands of proxies released in
+//! staggered batches, each batch watched by a canary gate, with one bad
+//! cluster freezing the whole train and rolling back exactly its batch —
+//! and a controller that can crash mid-train and pick the train back up
+//! instead of orphaning half-released clusters.
+//!
+//! [`ReleaseTrain`] is that controller's brain, and deliberately nothing
+//! else: a pure, IO-free state machine in the style of
+//! [`crate::supervisor`]. The caller (the simulator's `release_train`
+//! experiment, or the real `zdr orchestrate` process) owns time, sockets,
+//! and disk; the train owns the decisions:
+//!
+//! * [`ReleaseTrain::next_actions`] says what to do *now* — release a
+//!   cluster, observe a canary window, roll a cluster back, or wait out
+//!   the stagger gap. Each action is issued exactly once; the caller
+//!   reports the outcome back through the `on_*` event methods.
+//! * Every state change appends a [`JournalRecord`]. The caller drains
+//!   them with [`ReleaseTrain::drain_journal`] and persists them (one
+//!   JSON line each, in the real plane) **before** acting on them —
+//!   write-ahead, so a controller crash can never get ahead of the
+//!   journal.
+//! * [`ReleaseTrain::from_journal`] replays a journal back into the
+//!   identical state. A batch the crash caught mid-release or
+//!   mid-observation is rolled back first (journaled as a
+//!   [`RollbackReason::ControllerRestart`] rollback) and then retried —
+//!   the train's core invariant is that **every batch ends fully promoted
+//!   or fully rolled back**, and a halt is always journaled
+//!   ([`JournalRecord::Halted`]) before the first rollback action is
+//!   issued.
+//!
+//! Promotion is gated per cluster by a [`CanaryGate`] seeded with the
+//! pre-release baseline window. Windows the controller *loses* (a dropped
+//! promotion verdict, a scrape that never lands, traffic too thin to
+//! judge) are counted against `max_missed_windows` and fail **safe**: a
+//! cluster the controller cannot observe is halted and rolled back, never
+//! promoted.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::canary::{CanaryGate, CanaryPolicy, Verdict, WindowSample};
+use crate::{ClusterId, TimeMs};
+
+/// Train-wide configuration. The [`fingerprint`](TrainConfig::fingerprint)
+/// of this struct is embedded in the journal's `TrainStarted` record so a
+/// journal can never be replayed against a different train.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Clusters to release, in train order.
+    pub clusters: Vec<ClusterId>,
+    /// Clusters per batch (clamped to at least 1).
+    pub batch_size: usize,
+    /// Gap between a batch's promotion and the next batch's release.
+    pub stagger_ms: TimeMs,
+    /// Canary thresholds applied to every cluster's gate.
+    pub policy: CanaryPolicy,
+    /// Consecutive-or-not *clean* post-release windows a cluster must show
+    /// before its batch may promote.
+    pub windows_to_promote: u32,
+    /// Windows the controller may lose (dropped verdict, thin traffic)
+    /// per cluster before the train halts fail-safe.
+    pub max_missed_windows: u32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            clusters: Vec::new(),
+            batch_size: 1,
+            stagger_ms: 0,
+            policy: CanaryPolicy::default(),
+            windows_to_promote: 2,
+            max_missed_windows: 3,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// FNV-1a over every decision-relevant field. Stored in
+    /// [`JournalRecord::TrainStarted`]; [`ReleaseTrain::from_journal`]
+    /// refuses a journal whose fingerprint disagrees (a *stale* journal —
+    /// from a different fleet, batch plan, or gate policy).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |x: u64, h: &mut u64| {
+            for b in x.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        put(self.clusters.len() as u64, &mut h);
+        for c in &self.clusters {
+            put(c.0 as u64, &mut h);
+        }
+        put(self.batch_size as u64, &mut h);
+        put(self.stagger_ms, &mut h);
+        put(self.windows_to_promote as u64, &mut h);
+        put(self.max_missed_windows as u64, &mut h);
+        put(self.policy.tolerance_factor.to_bits(), &mut h);
+        put(self.policy.absolute_slack.to_bits(), &mut h);
+        put(self.policy.min_requests, &mut h);
+        put(self.policy.bad_windows_to_halt as u64, &mut h);
+        h
+    }
+}
+
+/// Why the train halted. Serialized into [`JournalRecord::Halted`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum HaltReason {
+    /// A cluster's canary gate tripped on observed traffic.
+    CanaryGate {
+        /// The cluster whose gate tripped.
+        cluster: ClusterId,
+        /// Its observed disruption rate.
+        observed_rate: f64,
+        /// The threshold it exceeded.
+        threshold: f64,
+    },
+    /// A cluster's release itself failed (takeover aborted or rolled back
+    /// by the supervisor before any traffic window showed it).
+    ReleaseFailed {
+        /// The cluster whose release failed.
+        cluster: ClusterId,
+    },
+    /// The controller lost too many promotion verdicts for a cluster
+    /// (dropped scrapes or traffic too thin to judge): fail safe.
+    VerdictLost {
+        /// The cluster the controller could not observe.
+        cluster: ClusterId,
+    },
+    /// Storm protection armed on a cluster mid-train.
+    StormProtection {
+        /// The cluster that armed.
+        cluster: ClusterId,
+    },
+}
+
+/// Why a batch rollback began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RollbackReason {
+    /// The train halted (see the preceding [`JournalRecord::Halted`]);
+    /// the batch rolls back and the train ends.
+    Halt,
+    /// A controller restart found the batch in flight; the batch rolls
+    /// back, returns to `Pending`, and the train continues.
+    ControllerRestart,
+}
+
+/// Where one batch stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BatchState {
+    /// Not started.
+    Pending,
+    /// Release actions issued; waiting for every cluster to come up.
+    Releasing,
+    /// Released; accumulating clean canary windows.
+    Observing,
+    /// Fully promoted.
+    Promoted,
+    /// Rollback actions issued; waiting for every cluster to revert.
+    RollingBack,
+    /// Fully rolled back.
+    RolledBack,
+}
+
+/// Where the train stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TrainPhase {
+    /// Releasing, observing, or waiting out a stagger gap.
+    Running,
+    /// Paused by the operator; safety rollbacks still proceed.
+    Paused,
+    /// Halted (sticky); the offending batch rolls back and the train ends.
+    Halted,
+    /// Every batch promoted.
+    Completed,
+}
+
+/// What the caller must do next. Each action is issued exactly once; the
+/// caller answers with the matching `on_*` event. Rollback actions must be
+/// idempotent on the caller's side (a resume may re-issue one whose
+/// completion the crash swallowed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainAction {
+    /// Begin the release of `cluster` (capture a baseline window, then
+    /// call [`ReleaseTrain::on_release_started`], run the takeover, and
+    /// call [`ReleaseTrain::on_cluster_released`] or
+    /// [`ReleaseTrain::on_release_failed`]).
+    ReleaseCluster {
+        /// Batch index.
+        batch: usize,
+        /// Cluster to release.
+        cluster: ClusterId,
+    },
+    /// Observe one canary window on `cluster` and report it via
+    /// [`ReleaseTrain::on_window`] (or [`ReleaseTrain::on_window_missed`]
+    /// if the verdict was lost).
+    ObserveCluster {
+        /// Batch index.
+        batch: usize,
+        /// Cluster to observe.
+        cluster: ClusterId,
+    },
+    /// Revert `cluster` to the previous configuration (reverse takeover)
+    /// and call [`ReleaseTrain::on_cluster_rolled_back`].
+    RollBackCluster {
+        /// Batch index.
+        batch: usize,
+        /// Cluster to roll back.
+        cluster: ClusterId,
+    },
+    /// Nothing to do until `at` (stagger gap).
+    WaitUntil {
+        /// Wake-up time.
+        at: TimeMs,
+    },
+}
+
+/// One write-ahead journal line. In the real plane each record is one
+/// JSON object per line; the caller persists drained records *before*
+/// executing the actions they describe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum JournalRecord {
+    /// Train accepted; always the first record.
+    TrainStarted {
+        /// Journal time.
+        at: TimeMs,
+        /// [`TrainConfig::fingerprint`] of the config that started it.
+        fingerprint: u64,
+        /// The train's clusters, in order.
+        clusters: Vec<ClusterId>,
+        /// Clusters per batch.
+        batch_size: u32,
+    },
+    /// A batch's release actions were issued.
+    BatchStarted {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+    },
+    /// A cluster's release began; its gate is armed with this baseline.
+    ClusterReleaseStarted {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+        /// Cluster being released.
+        cluster: ClusterId,
+        /// Pre-release baseline window.
+        baseline: WindowSample,
+    },
+    /// A cluster's release completed (successor serving).
+    ClusterReleased {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+        /// Cluster released.
+        cluster: ClusterId,
+    },
+    /// A cluster's release failed outright.
+    ReleaseFailed {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+        /// Cluster whose release failed.
+        cluster: ClusterId,
+    },
+    /// One canary window landed.
+    WindowObserved {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+        /// Cluster observed.
+        cluster: ClusterId,
+        /// The window.
+        sample: WindowSample,
+    },
+    /// One canary window was lost (dropped verdict / unreachable scrape).
+    WindowMissed {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+        /// Cluster whose window was lost.
+        cluster: ClusterId,
+    },
+    /// Every cluster in the batch showed enough clean windows.
+    BatchPromoted {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+    },
+    /// Operator paused the train.
+    Paused {
+        /// Journal time.
+        at: TimeMs,
+    },
+    /// Operator resumed the train.
+    Resumed {
+        /// Journal time.
+        at: TimeMs,
+    },
+    /// Storm protection armed on a cluster mid-train.
+    ProtectionArmed {
+        /// Journal time.
+        at: TimeMs,
+        /// Cluster that armed.
+        cluster: ClusterId,
+    },
+    /// The train halted. Always journaled **before** any rollback record
+    /// or action — a halted fleet is never mixed without this line.
+    Halted {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch in force when the halt tripped.
+        batch: u32,
+        /// Why.
+        reason: HaltReason,
+    },
+    /// A batch rollback began.
+    RollbackStarted {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch rolling back.
+        batch: u32,
+        /// Why.
+        reason: RollbackReason,
+    },
+    /// One cluster reverted.
+    ClusterRolledBack {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+        /// Cluster reverted.
+        cluster: ClusterId,
+    },
+    /// Every cluster in the batch reverted.
+    BatchRolledBack {
+        /// Journal time.
+        at: TimeMs,
+        /// Batch index.
+        batch: u32,
+    },
+    /// Every batch promoted.
+    Completed {
+        /// Journal time.
+        at: TimeMs,
+    },
+}
+
+/// Config rejected by [`ReleaseTrain::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No clusters to release.
+    NoClusters,
+    /// The same cluster appears twice in the plan.
+    DuplicateCluster(ClusterId),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoClusters => write!(f, "train has no clusters"),
+            TrainError::DuplicateCluster(c) => write!(f, "{c} appears twice in the train"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Journal rejected by [`ReleaseTrain::from_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The journal has no records.
+    EmptyJournal,
+    /// The first record is not `TrainStarted`.
+    NotAJournal,
+    /// The journal belongs to a different train (stale journal).
+    StaleJournal {
+        /// Fingerprint of the config trying to resume.
+        expected: u64,
+        /// Fingerprint recorded in the journal.
+        found: u64,
+    },
+    /// The config itself is invalid.
+    BadConfig(TrainError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::EmptyJournal => write!(f, "journal is empty"),
+            ResumeError::NotAJournal => write!(f, "journal does not begin with TrainStarted"),
+            ResumeError::StaleJournal { expected, found } => write!(
+                f,
+                "stale journal: config fingerprint {expected:#018x} != journaled {found:#018x}"
+            ),
+            ResumeError::BadConfig(e) => write!(f, "invalid train config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// The train's view of one batch's final disposition, plus the
+/// acceptance-criteria invariant rolled up for artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Where the train stands.
+    pub phase: TrainPhase,
+    /// Per-batch disposition, in train order.
+    pub batches: Vec<BatchState>,
+    /// Batches fully promoted.
+    pub batches_promoted: usize,
+    /// Batches fully rolled back.
+    pub batches_rolled_back: usize,
+    /// The batch in force when the halt tripped, if any.
+    pub halted_at_batch: Option<usize>,
+    /// Why the train halted, if it did.
+    pub halt_reason: Option<HaltReason>,
+    /// When the last batch promoted, if the train completed.
+    pub completed_at: Option<TimeMs>,
+    /// True when a *settled* train left any batch neither fully promoted,
+    /// fully rolled back, nor untouched — the state the journal exists to
+    /// make impossible.
+    pub mixed_state: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClusterProgress {
+    release_issued: bool,
+    released: bool,
+    observe_issued: bool,
+    clean_windows: u32,
+    missed_windows: u32,
+    gate: Option<CanaryGate>,
+    rollback_issued: bool,
+    rolled_back: bool,
+}
+
+/// The release-train state machine. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct ReleaseTrain {
+    config: TrainConfig,
+    batches: Vec<Vec<ClusterId>>,
+    state: Vec<BatchState>,
+    /// Index of the batch currently in force (== `batches.len()` when the
+    /// train has run off the end).
+    current: usize,
+    /// Per-cluster progress for the current batch only.
+    progress: BTreeMap<ClusterId, ClusterProgress>,
+    next_batch_at: TimeMs,
+    paused: bool,
+    halt: Option<(usize, HaltReason)>,
+    rollback_reason: Option<RollbackReason>,
+    completed_at: Option<TimeMs>,
+    journal: Vec<JournalRecord>,
+}
+
+impl ReleaseTrain {
+    /// A new, un-started train. Call [`start`](Self::start) to journal the
+    /// `TrainStarted` record and arm the first batch.
+    pub fn new(config: TrainConfig) -> Result<Self, TrainError> {
+        if config.clusters.is_empty() {
+            return Err(TrainError::NoClusters);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in &config.clusters {
+            if !seen.insert(c) {
+                return Err(TrainError::DuplicateCluster(c));
+            }
+        }
+        let batch_size = config.batch_size.max(1);
+        let batches: Vec<Vec<ClusterId>> = config
+            .clusters
+            .chunks(batch_size)
+            .map(|c| c.to_vec())
+            .collect();
+        let state = vec![BatchState::Pending; batches.len()];
+        Ok(ReleaseTrain {
+            config,
+            batches,
+            state,
+            current: 0,
+            progress: BTreeMap::new(),
+            next_batch_at: 0,
+            paused: false,
+            halt: None,
+            rollback_reason: None,
+            completed_at: None,
+            journal: Vec::new(),
+        })
+    }
+
+    /// Journals `TrainStarted` and arms batch 0 for time `now`.
+    pub fn start(&mut self, now: TimeMs) {
+        self.next_batch_at = now;
+        self.journal.push(JournalRecord::TrainStarted {
+            at: now,
+            fingerprint: self.config.fingerprint(),
+            clusters: self.config.clusters.clone(),
+            batch_size: self.config.batch_size.max(1) as u32,
+        });
+    }
+
+    /// Replays a journal into the state it described, then normalizes:
+    /// a batch the crash caught in `Releasing`/`Observing` is sent to
+    /// `RollingBack` with [`RollbackReason::ControllerRestart`] (journaled)
+    /// so the fleet is never left mixed. The journal's fingerprint must
+    /// match `config`'s or the journal is stale and refused.
+    pub fn from_journal(
+        config: TrainConfig,
+        records: &[JournalRecord],
+    ) -> Result<Self, ResumeError> {
+        let first = records.first().ok_or(ResumeError::EmptyJournal)?;
+        let JournalRecord::TrainStarted { fingerprint, .. } = first else {
+            return Err(ResumeError::NotAJournal);
+        };
+        let expected = config.fingerprint();
+        if *fingerprint != expected {
+            return Err(ResumeError::StaleJournal {
+                expected,
+                found: *fingerprint,
+            });
+        }
+        let mut train = ReleaseTrain::new(config).map_err(ResumeError::BadConfig)?;
+        for rec in records {
+            train.apply(rec);
+        }
+        // Normalization: fail safe on whatever the crash interrupted.
+        let b = train.current;
+        if train.completed_at.is_none()
+            && b < train.batches.len()
+            && matches!(
+                train.state[b],
+                BatchState::Releasing | BatchState::Observing
+            )
+        {
+            let at = train.next_batch_at; // best known time; caller's clock resumes from here
+            train.begin_rollback(at, b, RollbackReason::ControllerRestart);
+        }
+        // A journal whose terminal `Completed` line died with the machine:
+        // every batch is promoted and nothing is in flight, so the only
+        // missing fact is the record itself. Re-derive it — otherwise the
+        // train is unsettled with no actions left and a resumed controller
+        // would spin forever.
+        if train.completed_at.is_none()
+            && train.halt.is_none()
+            && train.current >= train.batches.len()
+        {
+            let at = train.next_batch_at;
+            train.completed_at = Some(at);
+            train.journal.push(JournalRecord::Completed { at });
+        }
+        Ok(train)
+    }
+
+    /// Replays one journal record. Declarative: records drive every state
+    /// change directly (no re-deriving of halts or promotions — those have
+    /// their own records), but gates are re-fed so their debounce and
+    /// sticky-halt state is faithful.
+    fn apply(&mut self, rec: &JournalRecord) {
+        match rec {
+            JournalRecord::TrainStarted { at, .. } => self.next_batch_at = *at,
+            JournalRecord::BatchStarted { at, batch } => {
+                let b = *batch as usize;
+                self.current = b;
+                self.state[b] = BatchState::Releasing;
+                self.init_progress(b);
+                self.next_batch_at = *at;
+            }
+            JournalRecord::ClusterReleaseStarted {
+                cluster, baseline, ..
+            } => {
+                let policy = self.config.policy;
+                if let Some(p) = self.progress.get_mut(cluster) {
+                    p.release_issued = true;
+                    p.gate = Some(CanaryGate::new(policy, *baseline));
+                }
+            }
+            JournalRecord::ClusterReleased { at, cluster, .. } => {
+                if let Some(p) = self.progress.get_mut(cluster) {
+                    p.released = true;
+                }
+                let b = self.current;
+                if self.state[b] == BatchState::Releasing && self.all_released(b) {
+                    self.state[b] = BatchState::Observing;
+                }
+                self.next_batch_at = *at;
+            }
+            JournalRecord::ReleaseFailed { .. } => {
+                // The Halted record that followed carries the consequence.
+            }
+            JournalRecord::WindowObserved {
+                at,
+                cluster,
+                sample,
+                ..
+            } => {
+                let released = self
+                    .progress
+                    .get(cluster)
+                    .map(|p| p.released)
+                    .unwrap_or(false);
+                let min_requests = self.config.policy.min_requests;
+                if let Some(p) = self.progress.get_mut(cluster) {
+                    p.observe_issued = false;
+                    if sample.requests < min_requests {
+                        p.missed_windows += 1;
+                    }
+                    if let Some(gate) = p.gate.as_mut() {
+                        let threshold = gate.threshold();
+                        gate.observe(*at, *sample);
+                        if released && sample.requests >= min_requests && sample.rate() <= threshold
+                        {
+                            p.clean_windows += 1;
+                        }
+                    }
+                }
+            }
+            JournalRecord::WindowMissed { cluster, .. } => {
+                if let Some(p) = self.progress.get_mut(cluster) {
+                    p.observe_issued = false;
+                    p.missed_windows += 1;
+                }
+            }
+            JournalRecord::BatchPromoted { at, batch } => {
+                let b = *batch as usize;
+                self.state[b] = BatchState::Promoted;
+                self.current = b + 1;
+                self.progress.clear();
+                self.next_batch_at = *at + self.config.stagger_ms;
+            }
+            JournalRecord::Paused { .. } => self.paused = true,
+            JournalRecord::Resumed { .. } => self.paused = false,
+            JournalRecord::ProtectionArmed { .. } => {
+                // The Halted record that followed carries the consequence.
+            }
+            JournalRecord::Halted { batch, reason, .. } => {
+                self.halt = Some((*batch as usize, reason.clone()));
+            }
+            JournalRecord::RollbackStarted { batch, reason, .. } => {
+                let b = *batch as usize;
+                self.state[b] = BatchState::RollingBack;
+                self.rollback_reason = Some(*reason);
+                if self.progress.is_empty() {
+                    self.init_progress(b);
+                }
+                for p in self.progress.values_mut() {
+                    p.rollback_issued = false;
+                }
+            }
+            JournalRecord::ClusterRolledBack { cluster, .. } => {
+                if let Some(p) = self.progress.get_mut(cluster) {
+                    p.rollback_issued = true;
+                    p.rolled_back = true;
+                }
+            }
+            JournalRecord::BatchRolledBack { at, batch } => {
+                self.finish_batch_rollback(*at, *batch as usize);
+            }
+            JournalRecord::Completed { at } => self.completed_at = Some(*at),
+        }
+    }
+
+    fn init_progress(&mut self, batch: usize) {
+        self.progress.clear();
+        for &c in &self.batches[batch] {
+            self.progress.insert(c, ClusterProgress::default());
+        }
+    }
+
+    fn all_released(&self, batch: usize) -> bool {
+        self.batches[batch]
+            .iter()
+            .all(|c| self.progress.get(c).map(|p| p.released).unwrap_or(false))
+    }
+
+    /// Actions the caller must execute now. Issued exactly once each;
+    /// answered via the `on_*` events. While paused, only safety
+    /// (rollback) actions are issued.
+    pub fn next_actions(&mut self, now: TimeMs) -> Vec<TrainAction> {
+        let mut out = Vec::new();
+        if self.completed_at.is_some() || self.current >= self.batches.len() {
+            return out;
+        }
+        let b = self.current;
+        match self.state[b] {
+            BatchState::Pending => {
+                if self.halt.is_some() || self.paused {
+                    return out;
+                }
+                if now < self.next_batch_at {
+                    out.push(TrainAction::WaitUntil {
+                        at: self.next_batch_at,
+                    });
+                    return out;
+                }
+                self.state[b] = BatchState::Releasing;
+                self.journal.push(JournalRecord::BatchStarted {
+                    at: now,
+                    batch: b as u32,
+                });
+                self.init_progress(b);
+                for &c in &self.batches[b] {
+                    self.progress
+                        .get_mut(&c)
+                        .expect("init_progress")
+                        .release_issued = true;
+                    out.push(TrainAction::ReleaseCluster {
+                        batch: b,
+                        cluster: c,
+                    });
+                }
+            }
+            BatchState::Releasing => {
+                if self.paused {
+                    return out;
+                }
+                for &c in &self.batches[b] {
+                    let p = self.progress.get_mut(&c).expect("progress entry");
+                    if !p.release_issued {
+                        p.release_issued = true;
+                        out.push(TrainAction::ReleaseCluster {
+                            batch: b,
+                            cluster: c,
+                        });
+                    }
+                }
+            }
+            BatchState::Observing => {
+                if self.paused {
+                    return out;
+                }
+                let needed = self.config.windows_to_promote;
+                for &c in &self.batches[b] {
+                    let p = self.progress.get_mut(&c).expect("progress entry");
+                    if !p.observe_issued && p.clean_windows < needed {
+                        p.observe_issued = true;
+                        out.push(TrainAction::ObserveCluster {
+                            batch: b,
+                            cluster: c,
+                        });
+                    }
+                }
+            }
+            BatchState::RollingBack => {
+                // Safety actions proceed even while paused.
+                for &c in &self.batches[b] {
+                    let p = self.progress.get_mut(&c).expect("progress entry");
+                    if !p.rollback_issued && !p.rolled_back {
+                        p.rollback_issued = true;
+                        out.push(TrainAction::RollBackCluster {
+                            batch: b,
+                            cluster: c,
+                        });
+                    }
+                }
+            }
+            BatchState::Promoted | BatchState::RolledBack => {}
+        }
+        out
+    }
+
+    /// The caller began releasing `cluster`; its gate arms with the
+    /// pre-release `baseline`. Interim windows fed during the release
+    /// already count against the gate (halt side only).
+    pub fn on_release_started(&mut self, now: TimeMs, cluster: ClusterId, baseline: WindowSample) {
+        let b = self.current;
+        let policy = self.config.policy;
+        if let Some(p) = self.progress.get_mut(&cluster) {
+            if p.gate.is_some() {
+                return;
+            }
+            p.gate = Some(CanaryGate::new(policy, baseline));
+            self.journal.push(JournalRecord::ClusterReleaseStarted {
+                at: now,
+                batch: b as u32,
+                cluster,
+                baseline,
+            });
+        }
+    }
+
+    /// `cluster`'s successor is serving. When the whole batch is up the
+    /// batch moves to `Observing`.
+    pub fn on_cluster_released(&mut self, now: TimeMs, cluster: ClusterId) {
+        let b = self.current;
+        if b >= self.batches.len() || self.state[b] != BatchState::Releasing {
+            return;
+        }
+        let Some(p) = self.progress.get_mut(&cluster) else {
+            return;
+        };
+        if p.released {
+            return;
+        }
+        p.released = true;
+        self.journal.push(JournalRecord::ClusterReleased {
+            at: now,
+            batch: b as u32,
+            cluster,
+        });
+        if self.all_released(b) {
+            self.state[b] = BatchState::Observing;
+        }
+    }
+
+    /// `cluster`'s release failed outright (supervisor aborted or rolled
+    /// back). Halts the train and rolls back the whole batch.
+    pub fn on_release_failed(&mut self, now: TimeMs, cluster: ClusterId) {
+        let b = self.current;
+        if b >= self.batches.len() || !self.progress.contains_key(&cluster) {
+            return;
+        }
+        self.journal.push(JournalRecord::ReleaseFailed {
+            at: now,
+            batch: b as u32,
+            cluster,
+        });
+        if let Some(gate) = self
+            .progress
+            .get_mut(&cluster)
+            .and_then(|p| p.gate.as_mut())
+        {
+            gate.record_release_failure(now);
+        }
+        self.halt_train(now, HaltReason::ReleaseFailed { cluster });
+    }
+
+    /// One canary window for `cluster`. Thin windows (below the policy's
+    /// `min_requests`) cannot be judged and count as *missed* — a cluster
+    /// that cannot be observed fails safe, never promotes.
+    pub fn on_window(&mut self, now: TimeMs, cluster: ClusterId, sample: WindowSample) {
+        let b = self.current;
+        if b >= self.batches.len()
+            || !matches!(self.state[b], BatchState::Releasing | BatchState::Observing)
+        {
+            return;
+        }
+        if !self.progress.contains_key(&cluster) {
+            return;
+        }
+        self.journal.push(JournalRecord::WindowObserved {
+            at: now,
+            batch: b as u32,
+            cluster,
+            sample,
+        });
+        let min_requests = self.config.policy.min_requests;
+        let max_missed = self.config.max_missed_windows;
+        let mut lost_verdict = false;
+        let mut tripped: Option<(f64, f64)> = None;
+        {
+            let p = self.progress.get_mut(&cluster).expect("checked above");
+            p.observe_issued = false;
+            if sample.requests < min_requests {
+                p.missed_windows += 1;
+                lost_verdict = p.missed_windows > max_missed;
+            }
+            if let Some(gate) = p.gate.as_mut() {
+                let threshold = gate.threshold();
+                if let Verdict::Halt {
+                    observed_rate,
+                    threshold,
+                    ..
+                } = gate.observe(now, sample)
+                {
+                    tripped = Some((*observed_rate, *threshold));
+                } else if p.released
+                    && sample.requests >= min_requests
+                    && sample.rate() <= threshold
+                {
+                    p.clean_windows += 1;
+                }
+            }
+        }
+        if let Some((observed_rate, threshold)) = tripped {
+            self.halt_train(
+                now,
+                HaltReason::CanaryGate {
+                    cluster,
+                    observed_rate,
+                    threshold,
+                },
+            );
+            return;
+        }
+        if lost_verdict {
+            self.halt_train(now, HaltReason::VerdictLost { cluster });
+            return;
+        }
+        self.maybe_promote(now);
+    }
+
+    /// The controller lost `cluster`'s window entirely (dropped promotion
+    /// verdict, scrape failure). Counts against `max_missed_windows`.
+    pub fn on_window_missed(&mut self, now: TimeMs, cluster: ClusterId) {
+        let b = self.current;
+        if b >= self.batches.len() || !self.progress.contains_key(&cluster) {
+            return;
+        }
+        self.journal.push(JournalRecord::WindowMissed {
+            at: now,
+            batch: b as u32,
+            cluster,
+        });
+        let max_missed = self.config.max_missed_windows;
+        let lost = {
+            let p = self.progress.get_mut(&cluster).expect("checked above");
+            p.observe_issued = false;
+            p.missed_windows += 1;
+            p.missed_windows > max_missed
+        };
+        if lost {
+            self.halt_train(now, HaltReason::VerdictLost { cluster });
+        }
+    }
+
+    /// Storm protection armed on `cluster`. If the train has a batch in
+    /// flight it halts and rolls that batch back; between batches it halts
+    /// in place (nothing is mixed, nothing to roll back).
+    pub fn on_protection_armed(&mut self, now: TimeMs, cluster: ClusterId) {
+        if self.halt.is_some() || self.completed_at.is_some() {
+            return;
+        }
+        self.journal
+            .push(JournalRecord::ProtectionArmed { at: now, cluster });
+        self.halt_train(now, HaltReason::StormProtection { cluster });
+    }
+
+    /// `cluster` reverted to the previous configuration.
+    pub fn on_cluster_rolled_back(&mut self, now: TimeMs, cluster: ClusterId) {
+        let b = self.current;
+        if b >= self.batches.len() || self.state[b] != BatchState::RollingBack {
+            return;
+        }
+        let Some(p) = self.progress.get_mut(&cluster) else {
+            return;
+        };
+        if p.rolled_back {
+            return;
+        }
+        p.rolled_back = true;
+        self.journal.push(JournalRecord::ClusterRolledBack {
+            at: now,
+            batch: b as u32,
+            cluster,
+        });
+        let done = self.batches[b]
+            .iter()
+            .all(|c| self.progress.get(c).map(|p| p.rolled_back).unwrap_or(false));
+        if done {
+            self.journal.push(JournalRecord::BatchRolledBack {
+                at: now,
+                batch: b as u32,
+            });
+            self.finish_batch_rollback(now, b);
+        }
+    }
+
+    /// Shared by the live path and journal replay: a fully-reverted batch
+    /// either ends a halted train or (controller-restart rollback) returns
+    /// to `Pending` for a retry after one stagger gap.
+    fn finish_batch_rollback(&mut self, at: TimeMs, batch: usize) {
+        self.state[batch] = BatchState::RolledBack;
+        if self.rollback_reason == Some(RollbackReason::ControllerRestart) && self.halt.is_none() {
+            self.state[batch] = BatchState::Pending;
+            self.init_progress(batch);
+            self.next_batch_at = at + self.config.stagger_ms;
+        }
+        self.rollback_reason = None;
+    }
+
+    /// Pauses the train: no new releases, observations, or batch starts.
+    /// Safety rollbacks still proceed.
+    pub fn pause(&mut self, now: TimeMs) {
+        if !self.paused {
+            self.paused = true;
+            self.journal.push(JournalRecord::Paused { at: now });
+        }
+    }
+
+    /// Resumes a paused train.
+    pub fn resume(&mut self, now: TimeMs) {
+        if self.paused {
+            self.paused = false;
+            self.journal.push(JournalRecord::Resumed { at: now });
+        }
+    }
+
+    /// Sticky halt: journals `Halted` **first**, then (if a batch is in
+    /// flight) `RollbackStarted` and the rollback transition.
+    fn halt_train(&mut self, now: TimeMs, reason: HaltReason) {
+        if self.halt.is_some() {
+            return;
+        }
+        let b = self.current.min(self.batches.len().saturating_sub(1));
+        self.halt = Some((b, reason.clone()));
+        self.journal.push(JournalRecord::Halted {
+            at: now,
+            batch: b as u32,
+            reason,
+        });
+        if self.current < self.batches.len()
+            && matches!(
+                self.state[self.current],
+                BatchState::Releasing | BatchState::Observing
+            )
+        {
+            self.begin_rollback(now, self.current, RollbackReason::Halt);
+        }
+    }
+
+    fn begin_rollback(&mut self, now: TimeMs, batch: usize, reason: RollbackReason) {
+        self.journal.push(JournalRecord::RollbackStarted {
+            at: now,
+            batch: batch as u32,
+            reason,
+        });
+        self.state[batch] = BatchState::RollingBack;
+        self.rollback_reason = Some(reason);
+        if self.progress.is_empty() {
+            self.init_progress(batch);
+        }
+        for p in self.progress.values_mut() {
+            p.rollback_issued = false;
+        }
+    }
+
+    fn maybe_promote(&mut self, now: TimeMs) {
+        let b = self.current;
+        if self.state[b] != BatchState::Observing || self.halt.is_some() {
+            return;
+        }
+        let needed = self.config.windows_to_promote;
+        let ready = self.batches[b].iter().all(|c| {
+            self.progress
+                .get(c)
+                .map(|p| p.released && p.clean_windows >= needed)
+                .unwrap_or(false)
+        });
+        if !ready {
+            return;
+        }
+        self.state[b] = BatchState::Promoted;
+        self.journal.push(JournalRecord::BatchPromoted {
+            at: now,
+            batch: b as u32,
+        });
+        self.current = b + 1;
+        self.progress.clear();
+        if self.current >= self.batches.len() {
+            self.completed_at = Some(now);
+            self.journal.push(JournalRecord::Completed { at: now });
+        } else {
+            self.next_batch_at = now + self.config.stagger_ms;
+        }
+    }
+
+    /// Drains journal records accumulated since the last drain. The caller
+    /// persists these **before** executing any action issued alongside
+    /// them (write-ahead).
+    pub fn drain_journal(&mut self) -> Vec<JournalRecord> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Where the train stands.
+    pub fn phase(&self) -> TrainPhase {
+        if self.completed_at.is_some() {
+            TrainPhase::Completed
+        } else if self.halt.is_some() {
+            TrainPhase::Halted
+        } else if self.paused {
+            TrainPhase::Paused
+        } else {
+            TrainPhase::Running
+        }
+    }
+
+    /// True when nothing remains in flight: completed, or halted with the
+    /// offending batch fully rolled back.
+    pub fn is_settled(&self) -> bool {
+        match self.phase() {
+            TrainPhase::Completed => true,
+            TrainPhase::Halted => {
+                self.current >= self.batches.len()
+                    || self.state[self.current] != BatchState::RollingBack
+            }
+            TrainPhase::Running | TrainPhase::Paused => false,
+        }
+    }
+
+    /// Index of the batch currently in force.
+    pub fn current_batch(&self) -> usize {
+        self.current
+    }
+
+    /// The batch plan (clusters per batch, in train order).
+    pub fn batches(&self) -> &[Vec<ClusterId>] {
+        &self.batches
+    }
+
+    /// Per-batch states, in train order.
+    pub fn batch_states(&self) -> &[BatchState] {
+        &self.state
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Rolls the invariants up for artifacts and assertions.
+    pub fn report(&self) -> TrainReport {
+        let promoted = self
+            .state
+            .iter()
+            .filter(|s| **s == BatchState::Promoted)
+            .count();
+        let rolled_back = self
+            .state
+            .iter()
+            .filter(|s| **s == BatchState::RolledBack)
+            .count();
+        let mixed_state = self.is_settled()
+            && self.state.iter().any(|s| {
+                matches!(
+                    s,
+                    BatchState::Releasing | BatchState::Observing | BatchState::RollingBack
+                )
+            });
+        TrainReport {
+            phase: self.phase(),
+            batches: self.state.clone(),
+            batches_promoted: promoted,
+            batches_rolled_back: rolled_back,
+            halted_at_batch: self.halt.as_ref().map(|(b, _)| *b),
+            halt_reason: self.halt.as_ref().map(|(_, r)| r.clone()),
+            completed_at: self.completed_at,
+            mixed_state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: WindowSample = WindowSample {
+        requests: 10_000,
+        disruptions: 2,
+    };
+    const BAD: WindowSample = WindowSample {
+        requests: 10_000,
+        disruptions: 900,
+    };
+    const BASELINE: WindowSample = WindowSample {
+        requests: 10_000,
+        disruptions: 1,
+    };
+
+    fn cfg(clusters: u32, batch_size: usize) -> TrainConfig {
+        TrainConfig {
+            clusters: (0..clusters).map(ClusterId).collect(),
+            batch_size,
+            stagger_ms: 5_000,
+            policy: CanaryPolicy {
+                min_requests: 100,
+                ..CanaryPolicy::default()
+            },
+            windows_to_promote: 2,
+            max_missed_windows: 2,
+        }
+    }
+
+    /// Drives the train until it settles, answering every action: releases
+    /// succeed with the shared baseline, windows come from `window(cluster,
+    /// nth_window_for_that_cluster)` (None = verdict lost).
+    fn drive(
+        train: &mut ReleaseTrain,
+        mut window: impl FnMut(ClusterId, u32) -> Option<WindowSample>,
+    ) -> TimeMs {
+        let mut now = 0;
+        let mut seen: BTreeMap<ClusterId, u32> = BTreeMap::new();
+        for _ in 0..100_000 {
+            if train.is_settled() {
+                break;
+            }
+            let actions = train.next_actions(now);
+            if actions.is_empty() {
+                now += 1_000;
+                continue;
+            }
+            for a in actions {
+                match a {
+                    TrainAction::ReleaseCluster { cluster, .. } => {
+                        train.on_release_started(now, cluster, BASELINE);
+                        train.on_cluster_released(now, cluster);
+                    }
+                    TrainAction::ObserveCluster { cluster, .. } => {
+                        let n = seen.entry(cluster).or_insert(0);
+                        let w = window(cluster, *n);
+                        *n += 1;
+                        match w {
+                            Some(s) => train.on_window(now, cluster, s),
+                            None => train.on_window_missed(now, cluster),
+                        }
+                    }
+                    TrainAction::RollBackCluster { cluster, .. } => {
+                        train.on_cluster_rolled_back(now, cluster);
+                    }
+                    TrainAction::WaitUntil { at } => now = at.max(now),
+                }
+            }
+            now += 1_000;
+        }
+        assert!(train.is_settled(), "train failed to settle");
+        now
+    }
+
+    #[test]
+    fn happy_train_promotes_every_batch() {
+        let mut train = ReleaseTrain::new(cfg(6, 2)).unwrap();
+        train.start(0);
+        drive(&mut train, |_, _| Some(GOOD));
+        let report = train.report();
+        assert_eq!(report.phase, TrainPhase::Completed);
+        assert_eq!(report.batches_promoted, 3);
+        assert_eq!(report.batches_rolled_back, 0);
+        assert!(!report.mixed_state);
+        let journal = train.drain_journal();
+        assert!(matches!(
+            journal.last(),
+            Some(JournalRecord::Completed { .. })
+        ));
+        assert_eq!(
+            journal
+                .iter()
+                .filter(|r| matches!(r, JournalRecord::BatchPromoted { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn bad_cluster_halts_and_rolls_back_only_its_batch() {
+        let mut train = ReleaseTrain::new(cfg(6, 2)).unwrap();
+        train.start(0);
+        // Cluster 2 sits in batch 1; its windows are catastrophically bad.
+        drive(&mut train, |c, _| {
+            Some(if c == ClusterId(2) { BAD } else { GOOD })
+        });
+        let report = train.report();
+        assert_eq!(report.phase, TrainPhase::Halted);
+        assert_eq!(report.halted_at_batch, Some(1));
+        assert!(matches!(
+            report.halt_reason,
+            Some(HaltReason::CanaryGate { cluster, .. }) if cluster == ClusterId(2)
+        ));
+        assert_eq!(
+            report.batches,
+            vec![
+                BatchState::Promoted,
+                BatchState::RolledBack,
+                BatchState::Pending
+            ]
+        );
+        assert!(!report.mixed_state);
+        // The halt is journaled before the rollback begins.
+        let journal = train.drain_journal();
+        let halted = journal
+            .iter()
+            .position(|r| matches!(r, JournalRecord::Halted { .. }))
+            .expect("Halted journaled");
+        let rollback = journal
+            .iter()
+            .position(|r| matches!(r, JournalRecord::RollbackStarted { .. }))
+            .expect("RollbackStarted journaled");
+        assert!(halted < rollback, "HALT must be journaled before rollback");
+    }
+
+    #[test]
+    fn single_bad_window_is_debounced() {
+        let mut train = ReleaseTrain::new(cfg(2, 2)).unwrap();
+        train.start(0);
+        drive(&mut train, |c, n| {
+            Some(if c == ClusterId(0) && n == 0 {
+                BAD
+            } else {
+                GOOD
+            })
+        });
+        assert_eq!(train.phase(), TrainPhase::Completed);
+    }
+
+    #[test]
+    fn lost_verdicts_fail_safe() {
+        let mut train = ReleaseTrain::new(cfg(2, 1)).unwrap();
+        train.start(0);
+        // Cluster 0's windows never arrive: the controller must halt and
+        // roll back rather than promote what it cannot observe.
+        drive(&mut train, |c, _| (c != ClusterId(0)).then_some(GOOD));
+        let report = train.report();
+        assert_eq!(report.phase, TrainPhase::Halted);
+        assert!(matches!(
+            report.halt_reason,
+            Some(HaltReason::VerdictLost { cluster }) if cluster == ClusterId(0)
+        ));
+        assert_eq!(
+            report.batches,
+            vec![BatchState::RolledBack, BatchState::Pending]
+        );
+    }
+
+    #[test]
+    fn thin_traffic_counts_as_missed() {
+        let mut train = ReleaseTrain::new(cfg(1, 1)).unwrap();
+        train.start(0);
+        let thin = WindowSample {
+            requests: 3,
+            disruptions: 0,
+        };
+        drive(&mut train, move |_, _| Some(thin));
+        let report = train.report();
+        assert_eq!(report.phase, TrainPhase::Halted);
+        assert!(matches!(
+            report.halt_reason,
+            Some(HaltReason::VerdictLost { .. })
+        ));
+    }
+
+    #[test]
+    fn release_failure_rolls_back_the_whole_batch() {
+        let mut train = ReleaseTrain::new(cfg(4, 2)).unwrap();
+        train.start(0);
+        let mut now = 0;
+        let actions = train.next_actions(now);
+        assert_eq!(actions.len(), 2);
+        // First cluster comes up; the second fails its takeover.
+        train.on_release_started(now, ClusterId(0), BASELINE);
+        train.on_cluster_released(now, ClusterId(0));
+        train.on_release_started(now, ClusterId(1), BASELINE);
+        train.on_release_failed(now, ClusterId(1));
+        assert_eq!(train.phase(), TrainPhase::Halted);
+        // BOTH clusters of the batch get rollback actions — the released
+        // one too, so the batch ends uniform.
+        now += 1_000;
+        let rollbacks = train.next_actions(now);
+        assert_eq!(
+            rollbacks,
+            vec![
+                TrainAction::RollBackCluster {
+                    batch: 0,
+                    cluster: ClusterId(0)
+                },
+                TrainAction::RollBackCluster {
+                    batch: 0,
+                    cluster: ClusterId(1)
+                },
+            ]
+        );
+        train.on_cluster_rolled_back(now, ClusterId(0));
+        train.on_cluster_rolled_back(now, ClusterId(1));
+        let report = train.report();
+        assert!(train.is_settled());
+        assert_eq!(
+            report.batches,
+            vec![BatchState::RolledBack, BatchState::Pending]
+        );
+        assert!(!report.mixed_state);
+    }
+
+    #[test]
+    fn pause_blocks_new_batches_and_resume_continues() {
+        let mut train = ReleaseTrain::new(cfg(2, 1)).unwrap();
+        train.start(0);
+        train.pause(0);
+        assert_eq!(train.phase(), TrainPhase::Paused);
+        assert!(train.next_actions(0).is_empty());
+        assert!(train.next_actions(60_000).is_empty());
+        train.resume(61_000);
+        // Probe on a clone so the real train's actions are not consumed.
+        assert!(!train.clone().next_actions(61_000).is_empty());
+        drive(&mut train, |_, _| Some(GOOD));
+        assert_eq!(train.phase(), TrainPhase::Completed);
+    }
+
+    #[test]
+    fn pause_does_not_block_safety_rollbacks() {
+        let mut train = ReleaseTrain::new(cfg(1, 1)).unwrap();
+        train.start(0);
+        let _ = train.next_actions(0);
+        train.on_release_started(0, ClusterId(0), BASELINE);
+        train.on_cluster_released(0, ClusterId(0));
+        train.pause(1_000);
+        // Gate trips while paused (two bad windows).
+        train.on_window(2_000, ClusterId(0), BAD);
+        train.on_window(3_000, ClusterId(0), BAD);
+        assert_eq!(train.phase(), TrainPhase::Halted);
+        let actions = train.next_actions(4_000);
+        assert_eq!(
+            actions,
+            vec![TrainAction::RollBackCluster {
+                batch: 0,
+                cluster: ClusterId(0)
+            }],
+            "rollback must proceed even while paused"
+        );
+    }
+
+    #[test]
+    fn protection_arming_freezes_the_train() {
+        let mut train = ReleaseTrain::new(cfg(4, 2)).unwrap();
+        train.start(0);
+        let _ = train.next_actions(0);
+        train.on_release_started(0, ClusterId(0), BASELINE);
+        train.on_cluster_released(0, ClusterId(0));
+        train.on_protection_armed(1_000, ClusterId(0));
+        assert_eq!(train.phase(), TrainPhase::Halted);
+        assert!(matches!(
+            train.report().halt_reason,
+            Some(HaltReason::StormProtection { cluster }) if cluster == ClusterId(0)
+        ));
+        // The in-flight batch rolls back.
+        let actions = train.next_actions(2_000);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, TrainAction::RollBackCluster { .. })));
+    }
+
+    #[test]
+    fn protection_arming_between_batches_halts_in_place() {
+        let mut train = ReleaseTrain::new(cfg(2, 1)).unwrap();
+        train.start(0);
+        // Promote batch 0.
+        let _ = train.next_actions(0);
+        train.on_release_started(0, ClusterId(0), BASELINE);
+        train.on_cluster_released(0, ClusterId(0));
+        let _ = train.next_actions(1_000);
+        train.on_window(1_000, ClusterId(0), GOOD);
+        let _ = train.next_actions(2_000);
+        train.on_window(2_000, ClusterId(0), GOOD);
+        assert_eq!(train.batch_states()[0], BatchState::Promoted);
+        // Storm arms in the stagger gap: nothing in flight, halt in place.
+        train.on_protection_armed(3_000, ClusterId(0));
+        assert_eq!(train.phase(), TrainPhase::Halted);
+        assert!(train.is_settled());
+        assert_eq!(
+            train.batch_states(),
+            &[BatchState::Promoted, BatchState::Pending]
+        );
+        assert!(!train.report().mixed_state);
+    }
+
+    #[test]
+    fn stagger_emits_wait_between_batches() {
+        let mut train = ReleaseTrain::new(cfg(2, 1)).unwrap();
+        train.start(0);
+        let _ = train.next_actions(0);
+        train.on_release_started(0, ClusterId(0), BASELINE);
+        train.on_cluster_released(0, ClusterId(0));
+        let _ = train.next_actions(1_000);
+        train.on_window(1_000, ClusterId(0), GOOD);
+        let _ = train.next_actions(2_000);
+        train.on_window(2_000, ClusterId(0), GOOD);
+        // Batch 0 promoted at t=2000; stagger is 5000.
+        assert_eq!(
+            train.next_actions(3_000),
+            vec![TrainAction::WaitUntil { at: 7_000 }]
+        );
+        let actions = train.next_actions(7_000);
+        assert_eq!(
+            actions,
+            vec![TrainAction::ReleaseCluster {
+                batch: 1,
+                cluster: ClusterId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn journal_replay_reproduces_mid_train_state() {
+        let config = cfg(4, 2);
+        let mut train = ReleaseTrain::new(config.clone()).unwrap();
+        train.start(0);
+        // Promote batch 0.
+        let _ = train.next_actions(0);
+        for c in [ClusterId(0), ClusterId(1)] {
+            train.on_release_started(0, c, BASELINE);
+            train.on_cluster_released(0, c);
+        }
+        for t in [1_000, 2_000] {
+            let _ = train.next_actions(t);
+            for c in [ClusterId(0), ClusterId(1)] {
+                train.on_window(t, c, GOOD);
+            }
+        }
+        assert_eq!(train.batch_states()[0], BatchState::Promoted);
+        let journal = train.drain_journal();
+
+        let resumed = ReleaseTrain::from_journal(config, &journal).unwrap();
+        assert_eq!(resumed.batch_states(), train.batch_states());
+        assert_eq!(resumed.current_batch(), 1);
+        assert_eq!(resumed.phase(), TrainPhase::Running);
+    }
+
+    #[test]
+    fn truncated_terminal_completed_record_is_rederived() {
+        // The machine dies after the last BatchPromoted fsyncs but before
+        // the Completed line does: every batch is promoted, nothing is in
+        // flight, and a resumed controller must settle — not spin on a
+        // train with no actions left.
+        let config = cfg(2, 2);
+        let mut train = ReleaseTrain::new(config.clone()).unwrap();
+        train.start(0);
+        drive(&mut train, |_, _| Some(GOOD));
+        let mut journal = train.drain_journal();
+        assert!(matches!(
+            journal.pop(),
+            Some(JournalRecord::Completed { .. })
+        ));
+
+        let mut resumed = ReleaseTrain::from_journal(config, &journal).unwrap();
+        assert_eq!(resumed.phase(), TrainPhase::Completed);
+        assert!(resumed.is_settled());
+        // The re-derived terminal record is journaled so the next persist
+        // repairs the file on disk.
+        assert!(matches!(
+            resumed.drain_journal().last(),
+            Some(JournalRecord::Completed { .. })
+        ));
+        let report = resumed.report();
+        assert_eq!(report.batches_promoted, 1);
+        assert!(!report.mixed_state);
+    }
+
+    #[test]
+    fn crash_mid_batch_rolls_back_then_retries() {
+        let config = cfg(4, 2);
+        let mut train = ReleaseTrain::new(config.clone()).unwrap();
+        train.start(0);
+        // Promote batch 0, then crash with batch 1 half-released.
+        let _ = train.next_actions(0);
+        for c in [ClusterId(0), ClusterId(1)] {
+            train.on_release_started(0, c, BASELINE);
+            train.on_cluster_released(0, c);
+        }
+        for t in [1_000, 2_000] {
+            let _ = train.next_actions(t);
+            for c in [ClusterId(0), ClusterId(1)] {
+                train.on_window(t, c, GOOD);
+            }
+        }
+        let _ = train.next_actions(10_000); // starts batch 1
+        train.on_release_started(10_000, ClusterId(2), BASELINE);
+        train.on_cluster_released(10_000, ClusterId(2));
+        // ClusterId(3)'s release is in flight when the controller dies.
+        let journal = train.drain_journal();
+
+        let mut resumed = ReleaseTrain::from_journal(config, &journal).unwrap();
+        // Normalization journaled a controller-restart rollback.
+        let fresh = resumed.drain_journal();
+        assert!(fresh.iter().any(|r| matches!(
+            r,
+            JournalRecord::RollbackStarted {
+                reason: RollbackReason::ControllerRestart,
+                ..
+            }
+        )));
+        assert_eq!(resumed.batch_states()[1], BatchState::RollingBack);
+        // First actions: roll batch 1 back (both clusters — idempotent for
+        // the one that never released).
+        let actions = resumed.next_actions(20_000);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, TrainAction::RollBackCluster { batch: 1, .. })));
+        for a in actions {
+            let TrainAction::RollBackCluster { cluster, .. } = a else {
+                unreachable!()
+            };
+            resumed.on_cluster_rolled_back(20_000, cluster);
+        }
+        assert_eq!(
+            resumed.batch_states()[1],
+            BatchState::Pending,
+            "retry armed"
+        );
+        // After the rollback the batch retries and the train completes.
+        drive(&mut resumed, |_, _| Some(GOOD));
+        let report = resumed.report();
+        assert_eq!(report.phase, TrainPhase::Completed);
+        assert_eq!(report.batches_promoted, 2);
+        assert!(!report.mixed_state);
+    }
+
+    #[test]
+    fn crash_mid_rollback_reissues_remaining_clusters() {
+        let config = cfg(2, 2);
+        let mut train = ReleaseTrain::new(config.clone()).unwrap();
+        train.start(0);
+        let _ = train.next_actions(0);
+        for c in [ClusterId(0), ClusterId(1)] {
+            train.on_release_started(0, c, BASELINE);
+            train.on_cluster_released(0, c);
+        }
+        let _ = train.next_actions(1_000);
+        train.on_window(1_000, ClusterId(0), BAD);
+        let _ = train.next_actions(2_000);
+        train.on_window(2_000, ClusterId(0), BAD);
+        assert_eq!(train.phase(), TrainPhase::Halted);
+        let _ = train.next_actions(3_000);
+        train.on_cluster_rolled_back(3_000, ClusterId(0));
+        // Crash here: cluster 1's rollback was issued but never finished.
+        let journal = train.drain_journal();
+
+        let mut resumed = ReleaseTrain::from_journal(config, &journal).unwrap();
+        assert_eq!(resumed.phase(), TrainPhase::Halted);
+        let actions = resumed.next_actions(10_000);
+        assert_eq!(
+            actions,
+            vec![TrainAction::RollBackCluster {
+                batch: 0,
+                cluster: ClusterId(1)
+            }]
+        );
+        resumed.on_cluster_rolled_back(10_000, ClusterId(1));
+        assert!(resumed.is_settled());
+        assert_eq!(resumed.batch_states()[0], BatchState::RolledBack);
+        assert!(!resumed.report().mixed_state);
+    }
+
+    #[test]
+    fn stale_journal_is_refused() {
+        let mut train = ReleaseTrain::new(cfg(2, 1)).unwrap();
+        train.start(0);
+        let journal = train.drain_journal();
+        // A different fleet (3 clusters) must not accept this journal.
+        let err = ReleaseTrain::from_journal(cfg(3, 1), &journal).unwrap_err();
+        assert!(matches!(err, ResumeError::StaleJournal { .. }));
+        // A different gate policy is a different train too.
+        let mut other = cfg(2, 1);
+        other.policy.tolerance_factor *= 2.0;
+        assert!(matches!(
+            ReleaseTrain::from_journal(other, &journal),
+            Err(ResumeError::StaleJournal { .. })
+        ));
+        // And garbage journals are named as such.
+        assert!(matches!(
+            ReleaseTrain::from_journal(cfg(2, 1), &[]),
+            Err(ResumeError::EmptyJournal)
+        ));
+        assert!(matches!(
+            ReleaseTrain::from_journal(cfg(2, 1), &journal[1..]),
+            Err(ResumeError::NotAJournal) | Err(ResumeError::EmptyJournal)
+        ));
+    }
+
+    #[test]
+    fn journal_records_round_trip_json() {
+        let records = vec![
+            JournalRecord::TrainStarted {
+                at: 1,
+                fingerprint: 0xdead_beef,
+                clusters: vec![ClusterId(0), ClusterId(1)],
+                batch_size: 1,
+            },
+            JournalRecord::BatchStarted { at: 2, batch: 0 },
+            JournalRecord::ClusterReleaseStarted {
+                at: 3,
+                batch: 0,
+                cluster: ClusterId(0),
+                baseline: BASELINE,
+            },
+            JournalRecord::ClusterReleased {
+                at: 4,
+                batch: 0,
+                cluster: ClusterId(0),
+            },
+            JournalRecord::ReleaseFailed {
+                at: 5,
+                batch: 0,
+                cluster: ClusterId(0),
+            },
+            JournalRecord::WindowObserved {
+                at: 6,
+                batch: 0,
+                cluster: ClusterId(0),
+                sample: GOOD,
+            },
+            JournalRecord::WindowMissed {
+                at: 7,
+                batch: 0,
+                cluster: ClusterId(0),
+            },
+            JournalRecord::BatchPromoted { at: 8, batch: 0 },
+            JournalRecord::Paused { at: 9 },
+            JournalRecord::Resumed { at: 10 },
+            JournalRecord::ProtectionArmed {
+                at: 11,
+                cluster: ClusterId(1),
+            },
+            JournalRecord::Halted {
+                at: 12,
+                batch: 1,
+                reason: HaltReason::CanaryGate {
+                    cluster: ClusterId(1),
+                    observed_rate: 0.09,
+                    threshold: 0.001,
+                },
+            },
+            JournalRecord::RollbackStarted {
+                at: 13,
+                batch: 1,
+                reason: RollbackReason::Halt,
+            },
+            JournalRecord::ClusterRolledBack {
+                at: 14,
+                batch: 1,
+                cluster: ClusterId(1),
+            },
+            JournalRecord::BatchRolledBack { at: 15, batch: 1 },
+            JournalRecord::Completed { at: 16 },
+        ];
+        for rec in records {
+            let line = serde_json::to_string(&rec).unwrap();
+            let back: JournalRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_members_and_policy() {
+        let base = cfg(4, 2);
+        assert_eq!(base.fingerprint(), cfg(4, 2).fingerprint());
+        assert_ne!(base.fingerprint(), cfg(5, 2).fingerprint());
+        assert_ne!(base.fingerprint(), cfg(4, 3).fingerprint());
+        let mut stagger = cfg(4, 2);
+        stagger.stagger_ms += 1;
+        assert_ne!(base.fingerprint(), stagger.fingerprint());
+        let mut policy = cfg(4, 2);
+        policy.policy.absolute_slack += 0.001;
+        assert_ne!(base.fingerprint(), policy.fingerprint());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert_eq!(
+            ReleaseTrain::new(TrainConfig::default()).unwrap_err(),
+            TrainError::NoClusters
+        );
+        let dup = TrainConfig {
+            clusters: vec![ClusterId(1), ClusterId(1)],
+            ..TrainConfig::default()
+        };
+        assert_eq!(
+            ReleaseTrain::new(dup).unwrap_err(),
+            TrainError::DuplicateCluster(ClusterId(1))
+        );
+    }
+
+    #[test]
+    fn actions_are_issued_exactly_once() {
+        let mut train = ReleaseTrain::new(cfg(2, 2)).unwrap();
+        train.start(0);
+        let first = train.next_actions(0);
+        assert_eq!(first.len(), 2);
+        // Nothing answered yet: asking again must not re-issue.
+        assert!(train.next_actions(0).is_empty());
+        assert!(train.next_actions(1_000).is_empty());
+    }
+}

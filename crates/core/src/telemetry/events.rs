@@ -157,12 +157,7 @@ impl EventRing {
     }
 
     /// Appends one event, stamped now. Returns its sequence number.
-    pub fn record(
-        &self,
-        phase: ReleasePhase,
-        generation: u64,
-        detail: impl Into<String>,
-    ) -> u64 {
+    pub fn record(&self, phase: ReleasePhase, generation: u64, detail: impl Into<String>) -> u64 {
         let t_ms = self.clock.now_ms();
         let unix_ms = self.clock.unix_ms();
         let mut ring = self.inner.lock();
@@ -312,7 +307,10 @@ mod tests {
             ]
         );
         // Wall clocks are non-decreasing after the merge.
-        assert!(merged.events.windows(2).all(|w| w[0].unix_ms <= w[1].unix_ms));
+        assert!(merged
+            .events
+            .windows(2)
+            .all(|w| w[0].unix_ms <= w[1].unix_ms));
     }
 
     #[test]
@@ -321,7 +319,10 @@ mod tests {
         ring.record(ReleasePhase::Released, 3, "gen 3 → 4");
         let snap = ring.snapshot();
         let json = serde_json::to_string(&snap).unwrap();
-        assert!(json.contains("\"released\""), "snake_case phase name: {json}");
+        assert!(
+            json.contains("\"released\""),
+            "snake_case phase name: {json}"
+        );
         let back: TimelineSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
     }

@@ -150,10 +150,7 @@ impl Histogram {
             .enumerate()
             .filter_map(|(i, b)| {
                 let n = b.load(Ordering::Relaxed);
-                (n > 0).then_some(BucketCount {
-                    idx: i as u32,
-                    n,
-                })
+                (n > 0).then_some(BucketCount { idx: i as u32, n })
             })
             .collect();
         let min = self.min.load(Ordering::Relaxed);
@@ -295,7 +292,10 @@ impl HistogramSnapshot {
             return;
         }
         let mut merged: Vec<BucketCount> = Vec::with_capacity(self.buckets.len());
-        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
         while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
             match x.idx.cmp(&y.idx) {
                 std::cmp::Ordering::Less => {

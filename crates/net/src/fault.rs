@@ -38,6 +38,22 @@ pub enum FaultPoint {
     /// connect hangs until the caller's deadline), and dead/flapping
     /// upstreams ([`FaultAction::Die`] — immediate connection refusal).
     UpstreamConnect,
+    /// The release-train controller is about to cross a batch boundary
+    /// (it just journaled a batch promotion and is about to start the
+    /// next batch). [`FaultAction::Die`] here models the controller
+    /// crashing between batches — the resume-from-journal path's
+    /// bread-and-butter case.
+    BatchBoundary,
+    /// The controller is about to consume one canary observation window
+    /// for a cluster. [`FaultAction::Drop`] models a promotion verdict
+    /// that never arrives (telemetry scrape lost); the train must count
+    /// it as a missed window and fail safe, never promote on silence.
+    PromotionVerdict,
+    /// The controller is about to replay its journal on startup.
+    /// [`FaultAction::Die`] models a crash mid-replay (before any new
+    /// record is appended); [`FaultAction::Truncate`] models a journal
+    /// whose tail was lost with the machine.
+    JournalReplay,
 }
 
 /// What the injector does at a hook point.
@@ -113,7 +129,7 @@ pub struct FaultRule {
 pub struct ScriptedFaults {
     rules: Vec<FaultRule>,
     seed: u64,
-    visits: [AtomicU64; 5],
+    visits: [AtomicU64; 8],
     injected: AtomicU64,
 }
 
@@ -124,6 +140,9 @@ fn point_index(point: FaultPoint) -> usize {
         FaultPoint::SendOffer => 2,
         FaultPoint::ForwardDatagram => 3,
         FaultPoint::UpstreamConnect => 4,
+        FaultPoint::BatchBoundary => 5,
+        FaultPoint::PromotionVerdict => 6,
+        FaultPoint::JournalReplay => 7,
     }
 }
 
@@ -395,10 +414,39 @@ mod tests {
             FaultPoint::SendConfirm,
             FaultPoint::SendOffer,
             FaultPoint::ForwardDatagram,
+            FaultPoint::UpstreamConnect,
+            FaultPoint::BatchBoundary,
+            FaultPoint::PromotionVerdict,
+            FaultPoint::JournalReplay,
         ] {
             assert_eq!(inj.decide(p), FaultAction::Proceed);
         }
         assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn orchestration_points_are_counted_independently() {
+        let inj = ScriptedFaults::new(
+            3,
+            vec![
+                FaultRule {
+                    point: FaultPoint::BatchBoundary,
+                    nth: 1,
+                    action: FaultAction::Die,
+                },
+                FaultRule {
+                    point: FaultPoint::PromotionVerdict,
+                    nth: 0,
+                    action: FaultAction::Drop,
+                },
+            ],
+        );
+        // PromotionVerdict visits don't advance the BatchBoundary count.
+        assert_eq!(inj.decide(FaultPoint::PromotionVerdict), FaultAction::Drop);
+        assert_eq!(inj.decide(FaultPoint::BatchBoundary), FaultAction::Proceed);
+        assert_eq!(inj.decide(FaultPoint::JournalReplay), FaultAction::Proceed);
+        assert_eq!(inj.decide(FaultPoint::BatchBoundary), FaultAction::Die);
+        assert_eq!(inj.injected(), 2);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   timeouts; cut QUIC flows → connection resets. Saturated machines
 //!   (capacity loss, reconnect storms) shed excess work as TCP timeouts
 //!   and application write timeouts.
+//! * Microreboots (per-service partial restarts, the PAPERS.md ablation):
+//!   a machine is modeled as three independently restartable service
+//!   slices ([`ServiceSlice`]). [`ClusterSim::begin_microreboot`] drains
+//!   only one slice's connections while the process keeps serving, and a
+//!   defective deployment marks only that slice buggy — so
+//!   [`ClusterSim::buggy_fraction`] (slice-weighted) captures the smaller
+//!   blast radius partial restarts buy, at the cost of one drain per
+//!   slice.
 
 use std::collections::BTreeMap;
 
@@ -42,6 +50,44 @@ pub struct KindCounts {
     pub post: u64,
     /// QUIC flows.
     pub quic: u64,
+}
+
+/// The independently restartable services inside one proxy process — the
+/// Microreboots ablation's unit of restart. `ALL` lists them in rollout
+/// order: HTTP first, so a defective binary is caught by the 5xx canary
+/// signal while only one slice of each machine runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceSlice {
+    /// The HTTP request path (short requests, POST uploads, keep-alives).
+    Http,
+    /// The MQTT tunnel relay.
+    Mqtt,
+    /// The QUIC flow path.
+    Quic,
+}
+
+impl ServiceSlice {
+    /// All slices, in partial-rollout order.
+    pub const ALL: [ServiceSlice; 3] = [ServiceSlice::Http, ServiceSlice::Mqtt, ServiceSlice::Quic];
+
+    fn index(self) -> usize {
+        match self {
+            ServiceSlice::Http => 0,
+            ServiceSlice::Mqtt => 1,
+            ServiceSlice::Quic => 2,
+        }
+    }
+}
+
+/// An in-flight per-service partial restart: only `slice`'s old
+/// connections drain; the rest of the process keeps serving untouched.
+#[derive(Debug)]
+struct PartialRestart {
+    slice: ServiceSlice,
+    /// Tick the slice's drain hard-deadline lands on.
+    deadline_tick: u64,
+    /// The old service instance's connections, bucketed by completion tick.
+    draining: BTreeMap<u64, KindCounts>,
 }
 
 impl KindCounts {
@@ -74,14 +120,21 @@ struct MachineState {
     keepalive: u64,
     /// Tick the current takeover began, for overhead modeling.
     takeover_start: Option<u64>,
-    /// True when the machine runs a defective binary (the §5.1 bad-release
-    /// scenario): it serves, but errors at `buggy_error_rate`.
-    buggy: bool,
+    /// Which service slices run a defective binary (the §5.1 bad-release
+    /// scenario): a buggy slice serves, but errors at `buggy_error_rate`.
+    /// A whole-process release flips all three at once; a microreboot
+    /// flips only the restarted slice.
+    buggy_slices: [bool; 3],
+    /// In-flight per-service partial restart, if any.
+    partial: Option<PartialRestart>,
     cpu: CpuMeter,
     /// Requests completed this tick (throughput).
     completed_this_tick: u64,
     /// Requests accepted this tick (RPS).
     accepted_this_tick: u64,
+    /// HTTP (short + POST) arrivals accepted this tick, for the per-slice
+    /// defect model.
+    accepted_http_this_tick: u64,
 }
 
 /// Cluster simulation parameters.
@@ -166,10 +219,12 @@ impl ClusterSim {
                 mqtt: cfg.workload.mqtt_tunnels_per_machine,
                 keepalive: cfg.keepalive_per_machine,
                 takeover_start: None,
-                buggy: false,
+                buggy_slices: [false; 3],
+                partial: None,
                 cpu: CpuMeter::default(),
                 completed_this_tick: 0,
                 accepted_this_tick: 0,
+                accepted_http_this_tick: 0,
             })
             .collect();
         ClusterSim {
@@ -263,6 +318,81 @@ impl ClusterSim {
         }
     }
 
+    /// Begins a per-service partial restart (microreboot) of `slice` on
+    /// the given machines: the process keeps serving and answering health
+    /// checks; only the slice's old connections drain (against the usual
+    /// drain deadline); and the slice runs the deployed binary from this
+    /// tick — so a defective deployment is visible to the canary from the
+    /// first window, while only one of the machine's three slices runs it.
+    ///
+    /// Machines mid-takeover or already microrebooting are skipped (one
+    /// restart at a time per machine).
+    pub fn begin_microreboot(&mut self, indices: &[usize], slice: ServiceSlice) {
+        self.set_restart_group(indices);
+        let deadline_tick = self.tick + self.cfg.drain_ms.div_ceil(TICK_MS).max(1);
+        for &i in indices {
+            if self.machines[i].partial.is_some()
+                || !self.machines[i].lifecycle.accepts_new_connections()
+            {
+                continue;
+            }
+            self.machines[i].buggy_slices[slice.index()] = self.deploying_buggy_code;
+            if slice == ServiceSlice::Mqtt {
+                // DCR re-homes tunnels at solicitation time; without DCR
+                // the relay's tunnels storm back like a hard restart's.
+                let moving = self.machines[i].mqtt;
+                self.machines[i].mqtt = 0;
+                if self.cfg.strategy.uses(Mechanism::DownstreamConnectionReuse) {
+                    self.counters.dcr_handovers += moving;
+                    self.distribute_mqtt(moving, indices);
+                } else {
+                    self.reconnect_backlog += moving;
+                    self.counters.connections_reset += moving;
+                }
+            }
+            let draining = split_expiry(&mut self.machines[i], slice);
+            self.machines[i].partial = Some(PartialRestart {
+                slice,
+                deadline_tick,
+                draining,
+            });
+        }
+    }
+
+    /// Applies the drain-deadline fates to machine `i`'s partial
+    /// (per-service) drain and retires the microreboot.
+    fn finish_microreboot(&mut self, i: usize) {
+        let Some(partial) = self.machines[i].partial.take() else {
+            return;
+        };
+        let mut survivors = KindCounts::default();
+        for (_, c) in partial.draining.range(self.tick + 1..) {
+            survivors.merge(c);
+        }
+        self.cut_survivors(i, survivors);
+        if partial.slice == ServiceSlice::Http {
+            // Keep-alives ride the HTTP slice: the old service closes them
+            // gracefully after their last response, which clients absorb
+            // silently except for a sliver of in-flight races.
+            let racing = self.machines[i].keepalive / 100;
+            for _ in 0..racing {
+                self.counters
+                    .record_proxy_error(ProxyErrorKind::StreamAbort);
+            }
+            self.counters.connections_reset += racing;
+        }
+    }
+
+    /// True when no per-service partial restart is in flight.
+    pub fn microreboots_settled(&self) -> bool {
+        self.machines.iter().all(|m| m.partial.is_none())
+    }
+
+    /// True when machine `i`'s `slice` currently runs the defective binary.
+    pub fn slice_buggy(&self, i: usize, slice: ServiceSlice) -> bool {
+        self.machines[i].buggy_slices[slice.index()]
+    }
+
     /// Indices of machines currently accepting new connections.
     fn accepting(&self) -> Vec<usize> {
         (0..self.machines.len())
@@ -310,6 +440,7 @@ impl ClusterSim {
             m.cpu.reset();
             m.completed_this_tick = 0;
             m.accepted_this_tick = 0;
+            m.accepted_http_this_tick = 0;
         }
 
         // 1. Lifecycle transitions (drain endings, restarts completing).
@@ -319,7 +450,7 @@ impl ClusterSim {
             match event {
                 Some(LifecycleEvent::DrainEnded) => drain_ended.push(i),
                 Some(LifecycleEvent::BackInService { .. }) => {
-                    self.machines[i].buggy = self.deploying_buggy_code;
+                    self.machines[i].buggy_slices = [self.deploying_buggy_code; 3];
                     if self.machines[i].takeover_start.take().is_some() {
                         // Takeover drain over: old-process survivors face
                         // the deadline fates.
@@ -337,9 +468,14 @@ impl ClusterSim {
             self.finish_drain(i);
         }
 
-        // 2. Connection completions (both ledgers).
+        // 2. Connection completions (all ledgers, including any in-flight
+        // microreboot's partial drain — those connections finish normally).
         for m in &mut self.machines {
-            for ledger in [&mut m.expiry, &mut m.draining] {
+            let partial_ledger = m.partial.as_mut().map(|p| &mut p.draining);
+            for ledger in [Some(&mut m.expiry), Some(&mut m.draining), partial_ledger]
+                .into_iter()
+                .flatten()
+            {
                 let done: Vec<u64> = ledger.range(..=self.tick).map(|(k, _)| *k).collect();
                 for k in done {
                     let c = ledger.remove(&k).expect("key exists");
@@ -347,6 +483,19 @@ impl ClusterSim {
                     self.counters.requests_ok += c.short + c.post;
                 }
             }
+        }
+
+        // 2b. Microreboot drains settle when empty or at their deadline.
+        let micro_done: Vec<usize> = (0..self.machines.len())
+            .filter(|&i| {
+                self.machines[i]
+                    .partial
+                    .as_ref()
+                    .is_some_and(|p| p.deadline_tick <= self.tick || p.draining.is_empty())
+            })
+            .collect();
+        for i in micro_done {
+            self.finish_microreboot(i);
         }
 
         // 3. New arrivals, spread across accepting machines (the L4LB view).
@@ -366,22 +515,42 @@ impl ClusterSim {
                 let end_tick = self.tick + arrival.duration_ms.div_ceil(TICK_MS).max(1);
                 m.expiry.entry(end_tick).or_default().add(arrival.kind, 1);
                 m.accepted_this_tick += 1;
+                if arrival.kind != ConnectionKind::QuicFlow {
+                    m.accepted_http_this_tick += 1;
+                }
                 m.cpu.charge(self.cfg.cpu.handshake_cost_ms * 0.1); // amortized setup
                 m.cpu.charge(self.cfg.cpu.request_cost_ms);
             }
         }
 
-        // 3b. Defective binaries error on a slice of what they serve.
+        // 3b. Defective binaries error on a slice of what they serve, per
+        // service slice: a buggy HTTP slice 5xxes its accepted requests, a
+        // buggy QUIC slice resets its accepted flows, a buggy MQTT slice
+        // resets a slice of its tunnels' deliveries (modeled stateless —
+        // the client reconnects to the same relay within the tick).
         if self.cfg.buggy_error_rate > 0.0 {
-            let mut extra_5xx = 0u64;
+            let rate = self.cfg.buggy_error_rate;
+            let publish = self.cfg.workload.publish_rate;
+            let (mut extra_5xx, mut quic_resets, mut mqtt_resets) = (0u64, 0u64, 0u64);
             for m in &self.machines {
-                if m.buggy && m.accepted_this_tick > 0 {
+                let quic_accepted = m.accepted_this_tick - m.accepted_http_this_tick;
+                if m.buggy_slices[ServiceSlice::Http.index()] && m.accepted_http_this_tick > 0 {
                     extra_5xx += self
                         .sampler
-                        .poisson(m.accepted_this_tick as f64 * self.cfg.buggy_error_rate);
+                        .poisson(m.accepted_http_this_tick as f64 * rate);
+                }
+                if m.buggy_slices[ServiceSlice::Quic.index()] && quic_accepted > 0 {
+                    quic_resets += self.sampler.poisson(quic_accepted as f64 * rate);
+                }
+                if m.buggy_slices[ServiceSlice::Mqtt.index()] && m.mqtt > 0 {
+                    mqtt_resets += self.sampler.poisson(m.mqtt as f64 * publish * rate);
                 }
             }
             self.counters.http_5xx += extra_5xx;
+            self.counters.connections_reset += quic_resets + mqtt_resets;
+            for _ in 0..quic_resets.min(10_000) {
+                self.counters.record_proxy_error(ProxyErrorKind::ConnReset);
+            }
         }
 
         // 4. MQTT reconnect backlog drains (forced reconnect storms).
@@ -523,15 +692,10 @@ impl ClusterSim {
         self.series.entry(name).or_default().push(t, v);
     }
 
-    /// Applies the drain-deadline fates to machine `i`'s draining ledger.
-    fn finish_drain(&mut self, i: usize) {
+    /// §2.5 fates for connections still open when their process (or, for a
+    /// microreboot, their service slice) hits the drain deadline.
+    fn cut_survivors(&mut self, i: usize, survivors: KindCounts) {
         let strategy = self.cfg.strategy.clone();
-        let m = &mut self.machines[i];
-        let mut survivors = KindCounts::default();
-        for (_, c) in m.draining.range(self.tick + 1..) {
-            survivors.merge(c);
-        }
-        m.draining.clear();
 
         // Short requests cut mid-flight: stream aborts.
         for _ in 0..survivors.short {
@@ -568,6 +732,18 @@ impl ClusterSim {
         self.counters.connections_reset += survivors.quic;
         self.counters.rehandshakes += survivors.quic + survivors.short;
         self.rehandshake_pool += (survivors.quic + survivors.short) as f64;
+    }
+
+    /// Applies the drain-deadline fates to machine `i`'s draining ledger.
+    fn finish_drain(&mut self, i: usize) {
+        let strategy = self.cfg.strategy.clone();
+        let m = &mut self.machines[i];
+        let mut survivors = KindCounts::default();
+        for (_, c) in m.draining.range(self.tick + 1..) {
+            survivors.merge(c);
+        }
+        m.draining.clear();
+        self.cut_survivors(i, survivors);
 
         let m = &mut self.machines[i];
         let graceful = strategy.stays_healthy_during_restart();
@@ -664,15 +840,22 @@ impl ClusterSim {
         self.deploying_buggy_code = buggy;
     }
 
-    /// True when machine `i` currently runs the defective binary.
+    /// True when any of machine `i`'s slices runs the defective binary.
     pub fn is_buggy(&self, i: usize) -> bool {
-        self.machines[i].buggy
+        self.machines[i].buggy_slices.iter().any(|&b| b)
     }
 
-    /// Fraction of the fleet currently running the defective binary — the
-    /// blast radius of a bad release.
+    /// Slice-weighted fraction of the fleet currently running the
+    /// defective binary — the blast radius of a bad release. A machine
+    /// whose whole process is buggy contributes 1; a machine with one
+    /// buggy slice contributes 1/3.
     pub fn buggy_fraction(&self) -> f64 {
-        self.machines.iter().filter(|m| m.buggy).count() as f64 / self.machines.len() as f64
+        let buggy_slices: usize = self
+            .machines
+            .iter()
+            .map(|m| m.buggy_slices.iter().filter(|&&b| b).count())
+            .sum();
+        buggy_slices as f64 / (3 * self.machines.len()) as f64
     }
 
     /// True when every machine is back in normal service (no drains or
@@ -682,6 +865,56 @@ impl ClusterSim {
             .iter()
             .all(|m| m.lifecycle.phase() == Phase::Serving)
     }
+}
+
+/// Moves `slice`'s connections out of the live expiry ledger into a fresh
+/// partial-drain ledger, leaving the other slices' connections live.
+fn split_expiry(m: &mut MachineState, slice: ServiceSlice) -> BTreeMap<u64, KindCounts> {
+    let mut draining = BTreeMap::new();
+    let old = std::mem::take(&mut m.expiry);
+    for (t, c) in old {
+        let (drain, keep) = match slice {
+            ServiceSlice::Http => (
+                KindCounts {
+                    short: c.short,
+                    post: c.post,
+                    quic: 0,
+                },
+                KindCounts {
+                    short: 0,
+                    post: 0,
+                    quic: c.quic,
+                },
+            ),
+            ServiceSlice::Quic => (
+                KindCounts {
+                    short: 0,
+                    post: 0,
+                    quic: c.quic,
+                },
+                KindCounts {
+                    short: c.short,
+                    post: c.post,
+                    quic: 0,
+                },
+            ),
+            // MQTT tunnels live outside the expiry ledger.
+            ServiceSlice::Mqtt => (KindCounts::default(), c),
+        };
+        if drain != KindCounts::default() {
+            draining
+                .entry(t)
+                .or_insert_with(KindCounts::default)
+                .merge(&drain);
+        }
+        if keep != KindCounts::default() {
+            m.expiry
+                .entry(t)
+                .or_insert_with(KindCounts::default)
+                .merge(&keep);
+        }
+    }
+    draining
 }
 
 #[cfg(test)]
@@ -906,6 +1139,84 @@ mod tests {
         sim.begin_restart(&[0, 1]);
         sim.run_ticks(3);
         assert!(sim.counters().proxy_error(ProxyErrorKind::Timeout) > 0);
+    }
+
+    #[test]
+    fn microreboot_keeps_the_machine_serving() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(small_cfg(strategy, 20));
+        sim.run_ticks(5);
+        sim.begin_microreboot(&[0, 1], ServiceSlice::Http);
+        assert!(!sim.microreboots_settled());
+        sim.run_ticks(40); // across the 30 s drain deadline
+        assert!(sim.microreboots_settled());
+        // The process never left rotation: full health and capacity.
+        assert_eq!(sim.series("healthy_fraction").unwrap().min(), Some(1.0));
+        assert_eq!(sim.series("capacity").unwrap().min(), Some(1.0));
+        assert_eq!(sim.generation(0), 0, "lifecycle untouched");
+    }
+
+    #[test]
+    fn microreboot_of_http_slice_leaves_tunnels_alone() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(small_cfg(strategy, 21));
+        sim.run_ticks(5);
+        sim.begin_microreboot(&[0, 1, 2], ServiceSlice::Http);
+        sim.run_ticks(40);
+        assert_eq!(sim.counters().dcr_handovers, 0);
+        assert_eq!(sim.counters().mqtt_forced_reconnects, 0);
+        assert_eq!(sim.series("mqtt_conns").unwrap().min(), Some(1000.0));
+    }
+
+    #[test]
+    fn microreboot_of_mqtt_slice_rehomes_via_dcr() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(small_cfg(strategy, 22));
+        sim.run_ticks(5);
+        sim.begin_microreboot(&[0, 1], ServiceSlice::Mqtt);
+        sim.run_ticks(10);
+        assert!(sim.microreboots_settled());
+        assert_eq!(sim.counters().dcr_handovers, 200);
+        assert_eq!(sim.counters().mqtt_forced_reconnects, 0);
+        assert_eq!(sim.series("mqtt_conns").unwrap().min(), Some(1000.0));
+    }
+
+    #[test]
+    fn microreboot_marks_only_its_slice_buggy() {
+        let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+        let mut sim = ClusterSim::new(small_cfg(strategy, 23));
+        sim.run_ticks(3);
+        sim.set_buggy_deployment(true);
+        sim.begin_microreboot(&[0], ServiceSlice::Http);
+        assert!(sim.slice_buggy(0, ServiceSlice::Http));
+        assert!(!sim.slice_buggy(0, ServiceSlice::Mqtt));
+        assert!(sim.is_buggy(0));
+        assert!((sim.buggy_fraction() - 1.0 / 30.0).abs() < 1e-9);
+        sim.run_ticks(40);
+        let before = sim.counters().http_5xx;
+        sim.run_ticks(20);
+        assert!(sim.counters().http_5xx > before, "buggy HTTP slice 5xxes");
+        // Rollback: re-microreboot the slice on the fixed binary.
+        sim.set_buggy_deployment(false);
+        sim.begin_microreboot(&[0], ServiceSlice::Http);
+        sim.run_ticks(40);
+        assert!(!sim.is_buggy(0));
+        assert_eq!(sim.buggy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn whole_process_restart_flips_every_slice() {
+        let mut sim = ClusterSim::new(small_cfg(RestartStrategy::HardRestart, 24));
+        sim.run_ticks(3);
+        sim.set_buggy_deployment(true);
+        sim.begin_restart(&[0]);
+        while !sim.all_serving() {
+            sim.tick();
+        }
+        for slice in ServiceSlice::ALL {
+            assert!(sim.slice_buggy(0, slice), "{slice:?}");
+        }
+        assert!((sim.buggy_fraction() - 0.1).abs() < 1e-9);
     }
 
     #[test]

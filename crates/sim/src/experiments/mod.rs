@@ -26,6 +26,7 @@
 //! | [`completion`] | Fig. 16 — release completion times |
 //! | [`overhead`] | Fig. 17 — system overheads during takeover |
 //! | [`supervisor`] | robustness ablation — supervised releases under injected failure |
+//! | [`release_train`] | §6.2 + Microreboots ablation — fleet release trains, blast radius vs completion |
 
 pub mod blast_radius;
 pub mod capacity;
@@ -43,6 +44,7 @@ pub mod ppr;
 pub mod ppr_alternatives;
 pub mod proxy_errors;
 pub mod reconnect_storm;
+pub mod release_train;
 pub mod releases;
 pub mod restart_storm;
 pub mod supervisor;

@@ -1,0 +1,556 @@
+//! Fleet-scale release trains + the Microreboots ablation.
+//!
+//! §6.2 releases a *fleet* — thousands of proxies in staggered batches of
+//! clusters — and the operators' safety net is the canary gate plus a
+//! global halt. This experiment drives a [`ReleaseTrain`] over a fleet of
+//! [`ClusterSim`]s and compares two restart granularities under both a
+//! healthy and a defective binary:
+//!
+//! * **whole-process** — the paper's Socket Takeover: every machine in the
+//!   cluster hands its sockets to a full successor process at once;
+//! * **microreboot** — the PAPERS.md ablation: per-service partial
+//!   restarts ([`ServiceSlice`], HTTP first), one slice-wide drain wave at
+//!   a time, so a defective binary is caught while only a third of each
+//!   machine runs it.
+//!
+//! The canary window must be shorter than a drain wave for the ablation to
+//! mean anything: the gate's debounce (two bad windows) has to trip while
+//! the microreboot train is still on its first slice. That is the ablation
+//! in one sentence — partial restarts buy the gate *time*, at the price of
+//! a longer rollout.
+//!
+//! Reported per arm: peak blast radius (slice-weighted fraction of the
+//! fleet on the defective binary), completion time, user errors, total
+//! disruptions, and the train's final batch ledger — the checked-in
+//! `results/BENCH_orchestrate.json` artifact.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use zdr_core::canary::{CanaryPolicy, WindowSample};
+use zdr_core::mechanism::RestartStrategy;
+use zdr_core::orchestrator::{
+    BatchState, HaltReason, ReleaseTrain, TrainAction, TrainConfig, TrainPhase,
+};
+use zdr_core::tier::Tier;
+use zdr_core::ClusterId;
+
+use crate::cluster::{ClusterConfig, ClusterSim, ServiceSlice};
+use crate::TICK_MS;
+
+/// Restart granularity under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Socket takeover of the whole process, cluster-wide in one wave.
+    WholeProcess,
+    /// Per-service partial restarts, one [`ServiceSlice`] wave at a time.
+    Microreboot,
+}
+
+impl RestartMode {
+    /// Stable artifact/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestartMode::WholeProcess => "whole_process",
+            RestartMode::Microreboot => "microreboot",
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Clusters in the fleet.
+    pub clusters: usize,
+    /// Machines per cluster (fleet size = `clusters * machines_per_cluster`).
+    pub machines_per_cluster: usize,
+    /// Clusters released per train batch.
+    pub batch_size: usize,
+    /// Stagger between a batch's promotion and the next release, ticks.
+    pub stagger_ticks: u64,
+    /// Ticks per canary observation window. Keep this *below* the drain
+    /// period (see the module docs) or the gate cannot beat the waves.
+    pub window_ticks: u64,
+    /// Restart granularity.
+    pub mode: RestartMode,
+    /// Whether the deployed binary is defective.
+    pub buggy: bool,
+    /// Drain period per restart wave, ms.
+    pub drain_ms: u64,
+    /// HTTP 5xx rate of the defective binary.
+    pub buggy_error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            clusters: 6,
+            machines_per_cluster: 50,
+            batch_size: 2,
+            stagger_ticks: 10,
+            window_ticks: 4,
+            mode: RestartMode::WholeProcess,
+            buggy: false,
+            drain_ms: 10_000,
+            buggy_error_rate: 0.05,
+            seed: 20_26,
+        }
+    }
+}
+
+/// One train run's outcome.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Restart granularity of the arm.
+    pub mode: RestartMode,
+    /// Whether the arm deployed a defective binary.
+    pub buggy: bool,
+    /// Train reached `Completed` (every batch promoted).
+    pub completed: bool,
+    /// Train halted (journaled HALT + rollback of the failing batch).
+    pub halted: bool,
+    /// Stable kind of the halt reason, when halted.
+    pub halt_reason: Option<&'static str>,
+    /// True if the train settled with a batch neither promoted nor rolled
+    /// back — the state the orchestrator exists to make impossible.
+    pub mixed_state: bool,
+    /// Batches fully promoted.
+    pub batches_promoted: usize,
+    /// Batches fully rolled back.
+    pub batches_rolled_back: usize,
+    /// Wall time from train start to settle, simulated ms.
+    pub completion_ms: u64,
+    /// Peak slice-weighted fraction of the fleet on the defective binary.
+    pub peak_blast_radius: f64,
+    /// HTTP 5xx served to users over the whole run.
+    pub user_errors: u64,
+    /// Total §2.5 disruptions over the whole run.
+    pub disruptions: u64,
+    /// Requests offered over the whole run (ok + 5xx).
+    pub requests: u64,
+}
+
+/// The four-arm ablation: {whole-process, microreboot} × {healthy, buggy}.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Outcomes in a fixed order: whole/healthy, whole/buggy,
+    /// micro/healthy, micro/buggy.
+    pub arms: Vec<TrainOutcome>,
+}
+
+/// One wave of intra-cluster restart work.
+enum Wave {
+    Restart(Vec<usize>),
+    Micro(Vec<usize>, ServiceSlice),
+}
+
+/// Sequences one cluster's release (or rollback) waves; each wave launches
+/// only once the previous one has fully settled.
+struct ClusterDriver {
+    waves: VecDeque<Wave>,
+    rolling_back: bool,
+}
+
+impl ClusterDriver {
+    /// The release plan: whole-process restarts the cluster in one
+    /// takeover wave (§4's point — the VIP never blinks); microreboot
+    /// ships one service slice at a time, HTTP first.
+    fn release(mode: RestartMode, machines: usize) -> ClusterDriver {
+        let all: Vec<usize> = (0..machines).collect();
+        let waves = match mode {
+            RestartMode::WholeProcess => VecDeque::from(vec![Wave::Restart(all)]),
+            RestartMode::Microreboot => ServiceSlice::ALL
+                .iter()
+                .map(|&s| Wave::Micro(all.clone(), s))
+                .collect(),
+        };
+        ClusterDriver {
+            waves,
+            rolling_back: false,
+        }
+    }
+
+    /// The rollback plan: re-release exactly what is currently defective
+    /// (whole machines, or just the shipped slices). Computed at halt
+    /// time; machines still draining toward the defective binary come up
+    /// clean instead, because the deployment flag flips first.
+    fn rollback(sim: &ClusterSim, mode: RestartMode) -> ClusterDriver {
+        let mut waves = VecDeque::new();
+        match mode {
+            RestartMode::WholeProcess => {
+                let hit: Vec<usize> = (0..sim.len()).filter(|&i| sim.is_buggy(i)).collect();
+                if !hit.is_empty() {
+                    waves.push_back(Wave::Restart(hit));
+                }
+            }
+            RestartMode::Microreboot => {
+                for slice in ServiceSlice::ALL {
+                    let hit: Vec<usize> = (0..sim.len())
+                        .filter(|&i| sim.slice_buggy(i, slice))
+                        .collect();
+                    if !hit.is_empty() {
+                        waves.push_back(Wave::Micro(hit, slice));
+                    }
+                }
+            }
+        }
+        ClusterDriver {
+            waves,
+            rolling_back: true,
+        }
+    }
+}
+
+/// A pending canary window: deliver at tick `due` as the delta against the
+/// counter snapshot taken at arm time.
+struct Watch {
+    due: u64,
+    req0: u64,
+    bad0: u64,
+    batch: usize,
+}
+
+/// `(requests, http_5xx)` counter totals — the canary signal is HTTP 5xx
+/// only (the blast-radius idiom), so drain-end churn never trips a gate on
+/// a healthy binary.
+fn totals(sim: &ClusterSim) -> (u64, u64) {
+    let c = sim.counters();
+    (c.requests_ok + c.http_5xx, c.http_5xx)
+}
+
+fn fleet_radius(sims: &[ClusterSim]) -> f64 {
+    sims.iter().map(|s| s.buggy_fraction()).sum::<f64>() / sims.len() as f64
+}
+
+fn halt_kind(r: &HaltReason) -> &'static str {
+    match r {
+        HaltReason::CanaryGate { .. } => "canary_gate",
+        HaltReason::ReleaseFailed { .. } => "release_failed",
+        HaltReason::VerdictLost { .. } => "verdict_lost",
+        HaltReason::StormProtection { .. } => "storm_protection",
+    }
+}
+
+/// Runs one arm: one train over a fresh fleet.
+pub fn run_one(cfg: &Config) -> TrainOutcome {
+    assert!(cfg.clusters > 0 && cfg.machines_per_cluster > 1);
+    let strategy = RestartStrategy::zero_downtime_for(Tier::EdgeProxygen);
+    let mut sims: Vec<ClusterSim> = (0..cfg.clusters)
+        .map(|c| {
+            let seed = cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut ccfg = ClusterConfig::edge(cfg.machines_per_cluster, strategy.clone(), seed);
+            ccfg.drain_ms = cfg.drain_ms;
+            ccfg.buggy_error_rate = cfg.buggy_error_rate;
+            ccfg.workload.short_rps = 200.0;
+            ccfg.workload.mqtt_tunnels_per_machine = 100;
+            ccfg.workload.quic_fps = 1.0;
+            ClusterSim::new(ccfg)
+        })
+        .collect();
+
+    // One clean post-release window promotes: the train's own stagger and
+    // the gate's two-bad-window debounce carry the caution here, and short
+    // windows are the whole point (see the module docs).
+    let mut train = ReleaseTrain::new(TrainConfig {
+        clusters: (0..cfg.clusters as u32).map(ClusterId).collect(),
+        batch_size: cfg.batch_size,
+        stagger_ms: cfg.stagger_ticks * TICK_MS,
+        policy: CanaryPolicy::default(),
+        windows_to_promote: 1,
+        max_missed_windows: 3,
+    })
+    .expect("valid train config");
+
+    // Warm-up, then capture per-cluster baseline windows.
+    let mut tick: u64 = 0;
+    for _ in 0..(cfg.window_ticks + 5) {
+        for sim in &mut sims {
+            sim.tick();
+        }
+        tick += 1;
+    }
+    let mut baselines: Vec<(u64, u64)> = sims.iter().map(totals).collect();
+    for _ in 0..cfg.window_ticks {
+        for sim in &mut sims {
+            sim.tick();
+        }
+        tick += 1;
+    }
+    for (c, sim) in sims.iter().enumerate() {
+        let (req, bad) = totals(sim);
+        baselines[c] = (req - baselines[c].0, bad - baselines[c].1);
+    }
+
+    let started_ms = tick * TICK_MS;
+    train.start(started_ms);
+
+    let mut drivers: Vec<Option<ClusterDriver>> = (0..cfg.clusters).map(|_| None).collect();
+    let mut watches: Vec<Option<Watch>> = (0..cfg.clusters).map(|_| None).collect();
+    let mut peak_radius = 0.0f64;
+    let limit = tick + 500_000;
+
+    loop {
+        let now = tick * TICK_MS;
+
+        // 1. Deliver matured canary windows, then re-arm while the batch
+        //    is still judging (deliveries to settled batches are no-ops).
+        for c in 0..cfg.clusters {
+            if watches[c].as_ref().is_some_and(|w| w.due <= tick) {
+                let w = watches[c].take().expect("watch just checked");
+                let (req1, bad1) = totals(&sims[c]);
+                train.on_window(
+                    now,
+                    ClusterId(c as u32),
+                    WindowSample {
+                        requests: req1 - w.req0,
+                        disruptions: bad1 - w.bad0,
+                    },
+                );
+                if matches!(
+                    train.batch_states()[w.batch],
+                    BatchState::Releasing | BatchState::Observing
+                ) {
+                    watches[c] = Some(Watch {
+                        due: tick + cfg.window_ticks,
+                        req0: req1,
+                        bad0: bad1,
+                        batch: w.batch,
+                    });
+                }
+            }
+        }
+
+        // 2. Answer the train's actions. A halt journaled in step 1 turns
+        //    into RollBackCluster actions here, *before* any further wave
+        //    launches — a halted microreboot never ships its next slice.
+        for action in train.next_actions(now) {
+            match action {
+                TrainAction::ReleaseCluster { batch, cluster } => {
+                    let c = cluster.0 as usize;
+                    let (req, bad) = baselines[c];
+                    train.on_release_started(
+                        now,
+                        cluster,
+                        WindowSample {
+                            requests: req,
+                            disruptions: bad,
+                        },
+                    );
+                    sims[c].set_buggy_deployment(cfg.buggy);
+                    drivers[c] = Some(ClusterDriver::release(cfg.mode, cfg.machines_per_cluster));
+                    let (req0, bad0) = totals(&sims[c]);
+                    watches[c] = Some(Watch {
+                        due: tick + cfg.window_ticks,
+                        req0,
+                        bad0,
+                        batch,
+                    });
+                }
+                TrainAction::RollBackCluster { cluster, .. } => {
+                    let c = cluster.0 as usize;
+                    // Flip the deployment first: anything still draining
+                    // toward the defective binary comes up clean instead.
+                    sims[c].set_buggy_deployment(false);
+                    drivers[c] = Some(ClusterDriver::rollback(&sims[c], cfg.mode));
+                }
+                // Windows are self-scheduled from the release; the train's
+                // observe hints and stagger waits need no extra work here.
+                TrainAction::ObserveCluster { .. } | TrainAction::WaitUntil { .. } => {}
+            }
+        }
+
+        // 3. Launch the next wave per cluster (or report completion) once
+        //    the previous wave has fully settled.
+        for c in 0..cfg.clusters {
+            let settled = sims[c].all_serving() && sims[c].microreboots_settled();
+            if !settled {
+                continue;
+            }
+            if let Some(driver) = drivers[c].as_mut() {
+                match driver.waves.pop_front() {
+                    Some(Wave::Restart(idx)) => sims[c].begin_restart(&idx),
+                    Some(Wave::Micro(idx, slice)) => sims[c].begin_microreboot(&idx, slice),
+                    None => {
+                        let rolling_back = driver.rolling_back;
+                        drivers[c] = None;
+                        if rolling_back {
+                            train.on_cluster_rolled_back(now, ClusterId(c as u32));
+                        } else {
+                            train.on_cluster_released(now, ClusterId(c as u32));
+                        }
+                    }
+                }
+            }
+        }
+
+        for sim in &mut sims {
+            sim.tick();
+        }
+        tick += 1;
+        peak_radius = peak_radius.max(fleet_radius(&sims));
+
+        let _ = train.drain_journal();
+        if train.is_settled() && drivers.iter().all(Option::is_none) {
+            break;
+        }
+        assert!(tick < limit, "train failed to settle");
+    }
+
+    let report = train.report();
+    TrainOutcome {
+        mode: cfg.mode,
+        buggy: cfg.buggy,
+        completed: report.phase == TrainPhase::Completed,
+        halted: report.phase == TrainPhase::Halted,
+        halt_reason: report.halt_reason.as_ref().map(halt_kind),
+        mixed_state: report.mixed_state,
+        batches_promoted: report.batches_promoted,
+        batches_rolled_back: report.batches_rolled_back,
+        completion_ms: tick * TICK_MS - started_ms,
+        peak_blast_radius: peak_radius,
+        user_errors: sims.iter().map(|s| s.counters().http_5xx).sum(),
+        disruptions: sims.iter().map(|s| s.counters().total_disruptions()).sum(),
+        requests: sims.iter().map(|s| totals(s).0).sum(),
+    }
+}
+
+/// Runs the four-arm ablation.
+pub fn run(cfg: &Config) -> Report {
+    let mut arms = Vec::new();
+    for mode in [RestartMode::WholeProcess, RestartMode::Microreboot] {
+        for buggy in [false, true] {
+            let arm = Config {
+                mode,
+                buggy,
+                ..cfg.clone()
+            };
+            arms.push(run_one(&arm));
+        }
+    }
+    Report { arms }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Release train: blast radius & completion, whole-process vs microreboot =="
+        )?;
+        for a in &self.arms {
+            writeln!(
+                f,
+                "  {:<14} {:<8} promoted {:>2}  rolled back {:>2}  peak radius {:>5.1}%  \
+                 completion {:>7} ms  5xx {:>8}  disruptions {:>8}  {}",
+                a.mode.name(),
+                if a.buggy { "buggy" } else { "healthy" },
+                a.batches_promoted,
+                a.batches_rolled_back,
+                a.peak_blast_radius * 100.0,
+                a.completion_ms,
+                a.user_errors,
+                a.disruptions,
+                if a.completed {
+                    "completed".to_string()
+                } else {
+                    format!("halted ({})", a.halt_reason.unwrap_or("?"))
+                }
+            )?;
+        }
+        writeln!(
+            f,
+            "  paper/PAPERS.md: partial restarts trade completion time for a smaller blast radius"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(mode: RestartMode, buggy: bool) -> Config {
+        Config {
+            clusters: 4,
+            machines_per_cluster: 10,
+            batch_size: 2,
+            stagger_ticks: 5,
+            window_ticks: 2,
+            mode,
+            buggy,
+            drain_ms: 5_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn healthy_trains_complete_in_both_modes() {
+        for mode in [RestartMode::WholeProcess, RestartMode::Microreboot] {
+            let o = run_one(&fast(mode, false));
+            assert!(o.completed, "{mode:?}");
+            assert!(!o.halted, "{mode:?}");
+            assert_eq!(o.batches_promoted, 2, "{mode:?}");
+            assert!(!o.mixed_state, "{mode:?}");
+            assert_eq!(o.peak_blast_radius, 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn buggy_train_halts_and_rolls_back_cleanly() {
+        for mode in [RestartMode::WholeProcess, RestartMode::Microreboot] {
+            let o = run_one(&fast(mode, true));
+            assert!(o.halted, "{mode:?}");
+            assert!(!o.completed, "{mode:?}");
+            assert_eq!(o.halt_reason, Some("canary_gate"), "{mode:?}");
+            assert_eq!(o.batches_rolled_back, 1, "{mode:?}");
+            assert!(!o.mixed_state, "{mode:?}");
+            assert!(o.peak_blast_radius > 0.0, "{mode:?}");
+            assert!(
+                o.peak_blast_radius < 0.75,
+                "{mode:?}: {}",
+                o.peak_blast_radius
+            );
+        }
+    }
+
+    #[test]
+    fn microreboot_confines_the_blast_radius() {
+        let whole = run_one(&fast(RestartMode::WholeProcess, true));
+        let micro = run_one(&fast(RestartMode::Microreboot, true));
+        assert!(
+            micro.peak_blast_radius < whole.peak_blast_radius,
+            "micro {} vs whole {}",
+            micro.peak_blast_radius,
+            whole.peak_blast_radius
+        );
+    }
+
+    #[test]
+    fn microreboot_pays_in_completion_time() {
+        let whole = run_one(&fast(RestartMode::WholeProcess, false));
+        let micro = run_one(&fast(RestartMode::Microreboot, false));
+        assert!(
+            micro.completion_ms > whole.completion_ms,
+            "micro {} vs whole {}",
+            micro.completion_ms,
+            whole.completion_ms
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_one(&fast(RestartMode::Microreboot, true));
+        let b = run_one(&fast(RestartMode::Microreboot, true));
+        assert_eq!(a.completion_ms, b.completion_ms);
+        assert_eq!(a.user_errors, b.user_errors);
+        assert_eq!(a.peak_blast_radius, b.peak_blast_radius);
+    }
+
+    #[test]
+    fn report_prints_every_arm() {
+        let s = run(&fast(RestartMode::WholeProcess, false)).to_string();
+        assert!(s.contains("whole_process"));
+        assert!(s.contains("microreboot"));
+        assert!(s.contains("halted (canary_gate)"));
+    }
+}

@@ -90,8 +90,7 @@ pub fn run(cfg: &Config) -> Report {
     }
 
     let causes = cause_fractions(&l7lb_events);
-    let commits =
-        HistogramSnapshot::of_scaled(app_events.iter().map(|e| e.commits as f64), 1.0);
+    let commits = HistogramSnapshot::of_scaled(app_events.iter().map(|e| e.commits as f64), 1.0);
     let commit_percentiles = (
         commits.percentile_scaled(10.0, 1.0),
         commits.percentile_scaled(50.0, 1.0),

@@ -11,6 +11,8 @@ The comparator is picked by the report's `bench` field:
 * telemetry      — the scripted-takeover report (results/BENCH_telemetry.json)
 * config_reload  — the reload-vs-takeover disruption delta
                    (results/BENCH_config_reload.json)
+* orchestrate    — the fleet release-train ablation
+                   (results/BENCH_orchestrate.json)
 
 Three tiers of comparison, loosest first, because CI runners are noisy
 shared machines and a flaky perf gate is worse than none:
@@ -185,9 +187,90 @@ def diff_config_reload(base, fresh, errors):
     )
 
 
+def diff_orchestrate(base, fresh, errors):
+    """The fleet release-train ablation report.
+
+    The baseline's numbers are arm-shaped expectations, not measurements
+    to reproduce: what this gate defends is the *invariants* — a defective
+    binary is always halted and rolled back (never a mixed fleet), healthy
+    trains always complete, and microreboots confine the blast radius a
+    whole-process release pays in full. Magnitudes are banded loosely.
+    """
+    for key in ("clusters", "machines_per_cluster", "batch_size",
+                "stagger_ms", "window_ms", "drain_ms"):
+        if base.get(key) != fresh.get(key):
+            errors.append(f"$.{key}: {fresh.get(key)!r} != baseline {base.get(key)!r}")
+
+    def arm_index(report):
+        return {
+            (a.get("mode"), a.get("buggy")): a for a in report.get("arms", [])
+        }
+
+    base_arms = arm_index(base)
+    fresh_arms = arm_index(fresh)
+    if set(base_arms) != set(fresh_arms):
+        errors.append(
+            f"$.arms: arm set {sorted(fresh_arms)} != baseline {sorted(base_arms)}"
+        )
+        return
+
+    for (mode, buggy), a in sorted(fresh_arms.items()):
+        path = f"$.arms[{mode},{'buggy' if buggy else 'healthy'}]"
+        if a.get("mixed_state"):
+            errors.append(f"{path}.mixed_state: true (a batch settled half-released)")
+        if buggy:
+            if not a.get("halted") or a.get("completed"):
+                errors.append(f"{path}: defective binary must halt, not complete")
+            if a.get("halt_reason") != "canary_gate":
+                errors.append(
+                    f"{path}.halt_reason: {a.get('halt_reason')!r} != 'canary_gate'"
+                )
+            if a.get("batches_rolled_back", 0) < 1:
+                errors.append(f"{path}.batches_rolled_back: nothing rolled back")
+            if not a.get("peak_blast_radius", 0) > 0:
+                errors.append(f"{path}.peak_blast_radius: 0 (the bug never shipped?)")
+        else:
+            if not a.get("completed") or a.get("halted"):
+                errors.append(f"{path}: healthy train must complete")
+            if a.get("halt_reason") is not None:
+                errors.append(f"{path}.halt_reason: {a.get('halt_reason')!r} on a healthy train")
+            if a.get("batches_rolled_back", 0) != 0:
+                errors.append(f"{path}.batches_rolled_back: healthy train rolled back")
+            if a.get("peak_blast_radius", 1) != 0:
+                errors.append(f"{path}.peak_blast_radius: nonzero on a healthy train")
+            if a.get("user_errors", 1) != 0:
+                errors.append(f"{path}.user_errors: healthy train served 5xx")
+        banded(
+            errors,
+            f"{path}.completion_ms",
+            base_arms[(mode, buggy)].get("completion_ms"),
+            a.get("completion_ms"),
+            FLOOR_MS,
+        )
+
+    # The ablation's two claims, checked within the fresh run itself.
+    micro = fresh_arms.get(("microreboot", True), {})
+    whole = fresh_arms.get(("whole_process", True), {})
+    if not micro.get("peak_blast_radius", 1) < whole.get("peak_blast_radius", 0):
+        errors.append(
+            "$.arms: microreboot blast radius "
+            f"{micro.get('peak_blast_radius')} not below whole-process "
+            f"{whole.get('peak_blast_radius')}"
+        )
+    micro_h = fresh_arms.get(("microreboot", False), {})
+    whole_h = fresh_arms.get(("whole_process", False), {})
+    if not micro_h.get("completion_ms", 0) > whole_h.get("completion_ms", 1):
+        errors.append(
+            "$.arms: microreboot completion "
+            f"{micro_h.get('completion_ms')} not above whole-process "
+            f"{whole_h.get('completion_ms')} (the radius win must cost time)"
+        )
+
+
 COMPARATORS = {
     "telemetry": diff_telemetry,
     "config_reload": diff_config_reload,
+    "orchestrate": diff_orchestrate,
 }
 
 

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # The release gate a config change rides through, against real `zdr`
-# processes: check → reload (admin POST + SIGHUP) → verify → takeover →
-# rollback. Every hop asserts the serving path stayed up and the
-# config_epoch gauge tells the truth.
+# processes: check → reload (admin POST + SIGHUP) → verify → doctor
+# preflight → takeover → rollback. The takeover and rollback hops ride
+# `zdr orchestrate` as single-node release trains, so this script and the
+# controller exercise the same choreography and cannot drift apart. Every
+# hop asserts the serving path stayed up and the config_epoch gauge tells
+# the truth.
 #
 # Needs: bash, python3, curl, a built `zdr` binary (ZDR_BIN overrides
 # the default target/release/zdr; the script builds it if missing).
@@ -143,16 +146,42 @@ code=$(curl -s -o "$TMP/reload-drift.json" -w '%{http_code}' --max-time 5 \
 [ "$code" = 400 ] || die "boot-only drift returned $code"
 grep -q 'takeover' "$TMP/reload-drift.json" || die "drift rejection lacks takeover guidance"
 
-step "takeover: the boot-only change ships as generation 1"
+step "doctor: preflight verdicts gate the release"
+# An unreachable upstream is a critical verdict and a non-zero exit.
+if "$ZDR_BIN" doctor --upstream 127.0.0.1:1 >"$TMP/doctor-bad.log" 2>&1; then
+    die "doctor passed an unreachable upstream"
+fi
+grep -q 'DOCTOR VERDICT critical' "$TMP/doctor-bad.log" \
+    || die "no critical verdict: $(cat "$TMP/doctor-bad.log")"
+# The real release preflights clean. The drifted file differing from the
+# live proxy is a warn, not a refusal — the takeover train below is
+# exactly how that drift ships.
+"$ZDR_BIN" doctor --takeover-path "$SOCK" --upstream "$APP_ADDR" \
+    --config "$TMP/zdr.toml" --admin "127.0.0.1:$ADMIN0" >"$TMP/doctor.log" 2>&1 \
+    || die "doctor refused the release: $(cat "$TMP/doctor.log")"
+grep -q 'DOCTOR VERDICT' "$TMP/doctor.log" || die "no doctor verdict"
+
+# Collects the pids of fleet proxies a train spawned (they outlive the
+# controller by design) so cleanup reaps them.
+absorb_fleet() {
+    while read -r pid; do
+        PIDS+=("$pid")
+    done < <(sed -n 's/^SPAWNED pid=\([0-9]*\).*/\1/p' "$1")
+}
+
+step "takeover via orchestrate: the boot-only change ships as a 1-node train"
 # The drifted file (admin on $ADMIN1) is exactly what a takeover is for;
-# it boots the successor while generation 0 drains.
-"$ZDR_BIN" check "$TMP/zdr.toml" >/dev/null || die "successor file must pass check"
-"$ZDR_BIN" proxy --config "$TMP/zdr.toml" --takeover-path "$SOCK" --takeover \
-    >"$TMP/g1.log" 2>&1 &
-G1=$!
-PIDS+=($G1)
-VIP1=$(wait_ready "$TMP/g1.log")
-[ "$VIP1" = "$VIP" ] || die "successor VIP $VIP1 != $VIP"
+# the train preflights it, boots the successor while generation 0 drains,
+# and canary-gates the new generation before promoting.
+"$ZDR_BIN" orchestrate --node "$VIP=$SOCK=$TMP/zdr.toml=$TMP/zdr.toml.good" \
+    --journal "$TMP/train-up.journal" --window-ms 200 --probes-per-window 5 \
+    >"$TMP/train-up.log" 2>&1 \
+    || die "takeover train failed: $(cat "$TMP/train-up.log")"
+absorb_fleet "$TMP/train-up.log"
+grep -q '"event":"batch_promoted"' "$TMP/train-up.log" \
+    || die "takeover train never promoted: $(cat "$TMP/train-up.log")"
+grep -q '"phase":"completed"' "$TMP/train-up.log" \
+    || die "takeover train did not complete: $(cat "$TMP/train-up.log")"
 for _ in $(seq 1 100); do
     grep -q 'DRAINED' "$TMP/g0.log" && break
     sleep 0.1
@@ -162,18 +191,14 @@ grep -q 'DRAINED' "$TMP/g0.log" || die "generation 0 never drained"
 [ "$(epoch_at $ADMIN1)" = 1 ] || die "successor should boot at epoch 1 from the file"
 [ "$(config_field_at $ADMIN1 admin.port)" = "$ADMIN1" ] || die "boot-only change not in force"
 
-step "rollback: take the VIP back with the previous file"
-cp "$TMP/zdr.toml.good" "$TMP/zdr.toml"
-"$ZDR_BIN" proxy --config "$TMP/zdr.toml" --takeover-path "$SOCK" --takeover \
-    >"$TMP/g2.log" 2>&1 &
-PIDS+=($!)
-VIP2=$(wait_ready "$TMP/g2.log")
-[ "$VIP2" = "$VIP" ] || die "rollback VIP $VIP2 != $VIP"
-for _ in $(seq 1 100); do
-    grep -q 'DRAINED' "$TMP/g1.log" && break
-    sleep 0.1
-done
-grep -q 'DRAINED' "$TMP/g1.log" || die "generation 1 never drained"
+step "rollback via orchestrate: demotion is just another 1-node train"
+"$ZDR_BIN" orchestrate --node "$VIP=$SOCK=$TMP/zdr.toml.good=$TMP/zdr.toml.good" \
+    --journal "$TMP/train-down.journal" --window-ms 200 --probes-per-window 5 \
+    >"$TMP/train-down.log" 2>&1 \
+    || die "rollback train failed: $(cat "$TMP/train-down.log")"
+absorb_fleet "$TMP/train-down.log"
+grep -q '"phase":"completed"' "$TMP/train-down.log" \
+    || die "rollback train did not complete: $(cat "$TMP/train-down.log")"
 [ "$(get_code "http://$VIP/after-rollback")" = 200 ] || die "VIP down after rollback"
 [ "$(epoch_at $ADMIN0)" = 1 ] || die "rolled-back generation should boot at epoch 1"
 code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 5 \
@@ -181,4 +206,4 @@ code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 5 \
 [ "$code" = 200 ] || die "config plane dead after rollback ($code)"
 [ "$(epoch_at $ADMIN0)" = 2 ] || die "post-rollback reload did not land"
 
-echo "PASS: check → reload → verify → takeover → rollback, VIP up throughout"
+echo "PASS: check → reload → verify → doctor → orchestrated takeover → orchestrated rollback, VIP up throughout"

@@ -1,0 +1,334 @@
+//! `zdr doctor` — preflight a host before a release.
+//!
+//! The paper's framework treats a release as routine precisely because the
+//! boring failure modes are caught *before* any socket moves: a takeover
+//! path whose directory the process cannot write, an upstream that is not
+//! listening, a config file that will not validate, a config file that has
+//! drifted from what the live proxy is actually running. Each check yields
+//! one verdict line:
+//!
+//! ```text
+//! DOCTOR ok fd-limit: soft limit 524288
+//! DOCTOR critical upstream 127.0.0.1:9999: connect: Connection refused
+//! DOCTOR VERDICT critical (1 critical, 0 warn, 3 ok)
+//! ```
+//!
+//! `zdr orchestrate` runs the same checks over every node of a train and
+//! refuses to start on any critical finding unless `--force` is given —
+//! the train's journal should never have to record a halt the host could
+//! have predicted.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use zero_downtime_release::core::config::ZdrConfig;
+
+use crate::{announce, check_config_file, Args};
+
+/// How bad one finding is. `Ord` so the worst of a batch is `max()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Severity {
+    /// The check passed.
+    Ok,
+    /// Suspicious but releasable (stale config, unknown limits).
+    Warn,
+    /// Releasing through this will fail or disrupt; refuse unless forced.
+    Critical,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One check's verdict.
+#[derive(Debug)]
+pub(crate) struct Finding {
+    pub severity: Severity,
+    /// Which check (plus its subject, e.g. `upstream 127.0.0.1:8080`).
+    pub check: String,
+    pub detail: String,
+}
+
+impl Finding {
+    fn new(severity: Severity, check: impl Into<String>, detail: impl Into<String>) -> Self {
+        Finding {
+            severity,
+            check: check.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// How long a reachability or scrape probe may take. Short on purpose:
+/// preflight runs serially over every node of a train.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+/// The soft fd limit below which a proxy that holds every draining
+/// connection *and* the successor's fresh accepts is at risk.
+const FD_SOFT_FLOOR: u64 = 1_024;
+
+/// Parses the soft "Max open files" limit from `/proc/self/limits`
+/// (fields: `Max open files  <soft>  <hard>  files`). `None` where the
+/// procfs line is missing or unparsable — non-Linux hosts degrade to a
+/// warn, not a crash.
+fn fd_soft_limit() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// File-descriptor headroom: a takeover momentarily doubles the fleet's
+/// sockets in one process tree (old drains, new accepts).
+pub(crate) fn check_fd_limit() -> Finding {
+    match fd_soft_limit() {
+        Some(soft) if soft < FD_SOFT_FLOOR => Finding::new(
+            Severity::Warn,
+            "fd-limit",
+            format!("soft limit {soft} below {FD_SOFT_FLOOR}; a drain may exhaust fds"),
+        ),
+        Some(soft) => Finding::new(Severity::Ok, "fd-limit", format!("soft limit {soft}")),
+        None => Finding::new(
+            Severity::Warn,
+            "fd-limit",
+            "could not read /proc/self/limits; limit unknown",
+        ),
+    }
+}
+
+/// The takeover socket's directory must exist and be writable, or the
+/// successor cannot even offer the handshake.
+pub(crate) fn check_takeover_path(path: &Path) -> Finding {
+    let check = format!("takeover-path {}", path.display());
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    if !dir.is_dir() {
+        return Finding::new(
+            Severity::Critical,
+            check,
+            format!("directory {} does not exist", dir.display()),
+        );
+    }
+    // An actual write probe, not a mode check: ACLs, read-only mounts, and
+    // containers all lie to stat-based heuristics.
+    let probe = dir.join(format!(".zdr-doctor-{}", std::process::id()));
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            Finding::new(Severity::Ok, check, format!("{} writable", dir.display()))
+        }
+        Err(e) => Finding::new(
+            Severity::Critical,
+            check,
+            format!("{} not writable: {e}", dir.display()),
+        ),
+    }
+}
+
+/// TCP reachability of one upstream (or VIP). The probe only completes the
+/// handshake — an accept-then-close upstream passes here and is caught by
+/// the canary gate instead; that split is deliberate (doctor is cheap and
+/// traffic-free, the gate judges real traffic).
+pub(crate) fn check_reachable(what: &str, addr: SocketAddr, severity_if_down: Severity) -> Finding {
+    let check = format!("{what} {addr}");
+    match TcpStream::connect_timeout(&addr, PROBE_TIMEOUT) {
+        Ok(_) => Finding::new(Severity::Ok, check, "reachable"),
+        Err(e) => Finding::new(severity_if_down, check, format!("connect: {e}")),
+    }
+}
+
+/// Parses and fully validates a config file; on success also probes every
+/// upstream it routes to.
+pub(crate) fn check_config(path: &Path, findings: &mut Vec<Finding>) -> Option<ZdrConfig> {
+    let check = format!("config {}", path.display());
+    match check_config_file(path) {
+        Ok(cfg) => {
+            findings.push(Finding::new(
+                Severity::Ok,
+                check,
+                format!("valid ({} upstreams)", cfg.routing.upstreams.len()),
+            ));
+            for &u in &cfg.routing.upstreams {
+                findings.push(check_reachable("upstream", u, Severity::Critical));
+            }
+            Some(cfg)
+        }
+        Err(errs) => {
+            findings.push(Finding::new(Severity::Critical, check, errs.join("; ")));
+            None
+        }
+    }
+}
+
+/// One blocking HTTP/1.0 GET, small enough to not need the async stack:
+/// doctor (and the orchestrator's canary probes) run before any runtime
+/// exists.
+pub(crate) fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        TcpStream::connect_timeout(&addr, PROBE_TIMEOUT).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(PROBE_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(PROBE_TIMEOUT)))
+        .map_err(|e| format!("socket: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: zdr-doctor\r\n\r\n").as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response".to_string())?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("status {status:?}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Compares the file the operator is about to release against what the
+/// live proxy (scraped via its admin endpoint) is actually running. Drift
+/// is a warn, not a critical: it usually means "a reload is pending", but
+/// it is exactly how half-applied fleets happen.
+pub(crate) fn check_staleness(admin: SocketAddr, file_cfg: &ZdrConfig, path: &Path) -> Finding {
+    let check = format!("config-staleness {admin}");
+    let body = match http_get(admin, "/stats") {
+        Ok(b) => b,
+        Err(e) => return Finding::new(Severity::Warn, check, format!("/stats scrape: {e}")),
+    };
+    let stats: serde_json::Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => return Finding::new(Severity::Warn, check, format!("/stats parse: {e}")),
+    };
+    let epoch = stats
+        .get("config_epoch")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let live: BTreeMap<String, String> = match stats.get("config") {
+        Some(serde_json::Value::Object(map)) => map
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+            .collect(),
+        _ => return Finding::new(Severity::Warn, check, "/stats carries no config map"),
+    };
+    let file_map = file_cfg.render_map();
+    if live == file_map {
+        return Finding::new(
+            Severity::Ok,
+            check,
+            format!("live config (epoch {epoch}) matches {}", path.display()),
+        );
+    }
+    let drifted: Vec<&str> = file_map
+        .iter()
+        .filter(|(k, v)| live.get(*k) != Some(v))
+        .map(|(k, _)| k.as_str())
+        .chain(
+            live.keys()
+                .filter(|k| !file_map.contains_key(*k))
+                .map(String::as_str),
+        )
+        .collect();
+    Finding::new(
+        Severity::Warn,
+        check,
+        format!(
+            "live config (epoch {epoch}) differs from {} in: {}",
+            path.display(),
+            drifted.join(", ")
+        ),
+    )
+}
+
+/// Prints every finding as a `DOCTOR` line plus the `VERDICT` summary, and
+/// returns the worst severity.
+pub(crate) fn emit(findings: &[Finding]) -> Severity {
+    let mut worst = Severity::Ok;
+    let (mut criticals, mut warns, mut oks) = (0u32, 0u32, 0u32);
+    for f in findings {
+        announce(&format!(
+            "DOCTOR {} {}: {}",
+            f.severity.label(),
+            f.check,
+            f.detail
+        ));
+        worst = worst.max(f.severity);
+        match f.severity {
+            Severity::Ok => oks += 1,
+            Severity::Warn => warns += 1,
+            Severity::Critical => criticals += 1,
+        }
+    }
+    announce(&format!(
+        "DOCTOR VERDICT {} ({criticals} critical, {warns} warn, {oks} ok)",
+        worst.label()
+    ));
+    worst
+}
+
+/// `zdr doctor` entry point.
+pub(crate) fn run(args: &Args) -> ExitCode {
+    let value_flags = ["--config", "--takeover-path", "--upstream", "--admin"];
+    if let Err(msg) = args.validate(&value_flags, &[]) {
+        eprintln!("error: {msg}\n\nsee `zdr --help` for doctor options");
+        return ExitCode::FAILURE;
+    }
+
+    let mut findings = vec![check_fd_limit()];
+    for path in args.values("--takeover-path") {
+        findings.push(check_takeover_path(Path::new(path)));
+    }
+    for spec in args.values("--upstream") {
+        match spec.parse::<SocketAddr>() {
+            Ok(addr) => findings.push(check_reachable("upstream", addr, Severity::Critical)),
+            Err(e) => findings.push(Finding::new(
+                Severity::Critical,
+                format!("upstream {spec}"),
+                format!("bad address: {e}"),
+            )),
+        }
+    }
+    let configs = args.values("--config");
+    let mut parsed = Vec::new();
+    for path in &configs {
+        let path = Path::new(path);
+        if let Some(cfg) = check_config(path, &mut findings) {
+            parsed.push((path.to_path_buf(), cfg));
+        }
+    }
+    for spec in args.values("--admin") {
+        match (spec.parse::<SocketAddr>(), parsed.as_slice()) {
+            (Ok(admin), [(path, cfg)]) => findings.push(check_staleness(admin, cfg, path)),
+            (Ok(_), _) => findings.push(Finding::new(
+                Severity::Warn,
+                format!("config-staleness {spec}"),
+                format!(
+                    "needs exactly one valid --config to compare against (got {})",
+                    parsed.len()
+                ),
+            )),
+            (Err(e), _) => findings.push(Finding::new(
+                Severity::Critical,
+                format!("config-staleness {spec}"),
+                format!("bad address: {e}"),
+            )),
+        }
+    }
+
+    match emit(&findings) {
+        Severity::Critical => ExitCode::FAILURE,
+        Severity::Ok | Severity::Warn => ExitCode::SUCCESS,
+    }
+}

@@ -35,6 +35,9 @@
 //! tests can synchronize on it. Unknown flags are rejected (with a
 //! nearest-match hint), never silently ignored.
 
+mod doctor;
+mod orchestrate;
+
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -62,6 +65,9 @@ zdr — Zero Downtime Release stack daemon
 USAGE:
   zdr <role> [options]
   zdr check <file>       validate a config file and exit (reload dry-run)
+  zdr doctor [options]   preflight a host for a release (ok/warn/critical)
+  zdr orchestrate [options]
+                         drive a canary-gated release train across nodes
 
 ROLES:
   broker       MQTT pub/sub broker
@@ -166,6 +172,38 @@ quic:
 l4:
   --backend ADDR         L7 proxy address (repeatable)
   --probe-interval-ms MS health-probe cadence (default 200)
+
+doctor:
+  --config FILE          validate FILE and check its upstreams (repeatable)
+  --takeover-path PATH   check the takeover socket's directory (repeatable)
+  --upstream ADDR        check TCP reachability (repeatable)
+  --admin ADDR           compare a live proxy's config against --config
+                         (staleness check; needs exactly one --config)
+  Prints one `DOCTOR ok|warn|critical <check>: <detail>` line per check
+  and a `DOCTOR VERDICT <worst>` summary; exits 1 on any critical.
+
+orchestrate:
+  --node VIP=SOCK=NEWCFG=ROLLBACKCFG
+                         one cluster of the train (repeatable, in train
+                         order): the VIP its proxy serves, its takeover
+                         socket, the config to release, and the config to
+                         revert to on rollback
+  --journal PATH         write-ahead journal (JSON lines); an existing
+                         journal resumes the train — a crash mid-batch
+                         rolls that batch back and retries it
+  --fresh                discard an existing journal and start over
+  --force                proceed despite critical preflight findings
+  --batch-size N         clusters per batch (default 1)
+  --stagger-ms MS        gap between batches (default 0)
+  --window-ms MS         canary observation window length (default 500)
+  --windows N            clean windows required to promote (default 1)
+  --probes-per-window N  probe requests per window (default 20)
+  --max-missed N         lost windows tolerated per cluster (default 3)
+  --fault SPEC           inject a controller fault (repeatable):
+                         controller-crash@N | drop-verdict@N |
+                         replay-crash@N | replay-truncate@N
+  Exit codes: 0 completed, 2 refused (preflight/stale journal),
+  3 halted (batch rolled back), 7 injected controller crash.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -198,7 +236,13 @@ fn role_flags(role: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
             boolean.push("--no-ppr");
         }
         "origin" => {
-            value.extend(["--config", "--id", "--broker", "--drain-after", "--drain-ms"]);
+            value.extend([
+                "--config",
+                "--id",
+                "--broker",
+                "--drain-after",
+                "--drain-ms",
+            ]);
             value.extend(RESILIENCE_FLAGS);
             boolean.push("--trunk");
         }
@@ -219,7 +263,12 @@ fn role_flags(role: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--admin-port",
             ]);
             value.extend(RESILIENCE_FLAGS);
-            boolean.extend(["--takeover", "--supervised", "--report-unhealthy", "--audit"]);
+            boolean.extend([
+                "--takeover",
+                "--supervised",
+                "--report-unhealthy",
+                "--audit",
+            ]);
         }
         "quic" => {
             value.extend(["--config", "--takeover-path", "--sockets", "--drain-ms"]);
@@ -384,8 +433,8 @@ impl ConfigPlane {
 /// Reads and fully validates a config file (the `zdr check` body and the
 /// `--config` boot path share this, so a file that checks clean boots).
 fn check_config_file(path: &Path) -> Result<ZdrConfig, Vec<String>> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| vec![format!("read {}: {e}", path.display())])?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("read {}: {e}", path.display())])?;
     let cfg = ZdrConfig::from_toml(&src)?;
     cfg.validate()?;
     Ok(cfg)
@@ -411,7 +460,8 @@ fn config_plane(
                     ));
                 }
             }
-            check_config_file(p).map_err(|errs| format!("config rejected:\n  {}", errs.join("\n  ")))?
+            check_config_file(p)
+                .map_err(|errs| format!("config rejected:\n  {}", errs.join("\n  ")))?
         }
         None => {
             let mut cfg = ZdrConfig::default();
@@ -420,7 +470,11 @@ fn config_plane(
             while i < args.items.len() {
                 let item = args.items[i].as_str();
                 if ZdrConfig::FLAGS.contains(&item) {
-                    let v = args.items.get(i + 1).map(String::as_str).unwrap_or_default();
+                    let v = args
+                        .items
+                        .get(i + 1)
+                        .map(String::as_str)
+                        .unwrap_or_default();
                     cfg.set_flag(item, v)?;
                     i += 2;
                 } else if value_flags.contains(&item) {
@@ -510,6 +564,8 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         "check" => return run_check(&args),
+        "doctor" => return doctor::run(&args),
+        "orchestrate" => return orchestrate::run(&args),
         _ => {}
     }
     let Some((value_flags, bool_flags)) = role_flags(&role) else {
@@ -561,10 +617,14 @@ fn ready(addr: SocketAddr) {
 }
 
 fn announce(line: &str) {
-    // stdout is block-buffered when piped; tests tail it line by line.
-    println!("{line}");
+    // Write errors are swallowed on purpose: a fleet proxy spawned by
+    // `zdr orchestrate` outlives its controller, and once the controller
+    // exits the pipe's read end is gone — a panicking println! here would
+    // kill the serving process at its next announcement.
     use std::io::Write;
-    let _ = std::io::stdout().flush();
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
 }
 
 async fn wait_forever() {

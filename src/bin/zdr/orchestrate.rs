@@ -1,0 +1,549 @@
+//! `zdr orchestrate` — a canary-gated release train over real processes.
+//!
+//! The simulator's `release_train` experiment drives thousands of modeled
+//! proxies; this subcommand drives the same [`ReleaseTrain`] state machine
+//! over *actual* `zdr proxy` processes, one per `--node`. Each node is a
+//! running predecessor serving a VIP with a takeover socket; releasing a
+//! cluster is the paper's check → takeover → verify choreography:
+//!
+//! 1. **check** — the new config must validate (`zdr check` semantics),
+//! 2. **release** — spawn `zdr proxy --takeover --config NEWCFG` against
+//!    the node's takeover socket and wait for its `READY`,
+//! 3. **verify** — probe the VIP for `--windows` clean canary windows; a
+//!    disruption rate above the gate's threshold halts the *whole train*
+//!    and rolls the batch back by spawning a successor on the rollback
+//!    config (reverse takeover: same mechanism, previous generation's
+//!    tunables).
+//!
+//! Every decision is journaled (write-ahead, fsynced) to `--journal`
+//! before the action it describes runs, so a controller killed mid-batch
+//! resumes exactly once: the next invocation replays the journal, rolls
+//! back whatever the crash left in flight, and continues the train. A
+//! journal from a *different* train (clusters, batching, or gate policy
+//! changed) is refused as stale unless `--fresh` discards it.
+//!
+//! Controller faults are injected through the same seeded
+//! [`ScriptedFaults`] scripting the takeover handshake uses
+//! (`ZDR_FAULT_SEED` selects the seed): `controller-crash@N` kills the
+//! controller at the Nth batch boundary, `drop-verdict@N` loses the Nth
+//! canary observation, `replay-crash@N`/`replay-truncate@N` sabotage the
+//! Nth journal replay.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use zero_downtime_release::core::canary::{CanaryPolicy, WindowSample};
+use zero_downtime_release::core::clock::Clock;
+use zero_downtime_release::core::orchestrator::{
+    JournalRecord, ReleaseTrain, ResumeError, TrainAction, TrainConfig, TrainPhase,
+};
+use zero_downtime_release::core::ClusterId;
+use zero_downtime_release::net::fault::{
+    FaultAction, FaultInjector, FaultPoint, FaultRule, ScriptedFaults,
+};
+
+use crate::doctor::{self, Severity};
+use crate::{announce, check_config_file, Args};
+
+/// Exit codes beyond success/failure, so scripts and the e2e tests can
+/// tell a refused train from a halted one from an injected crash.
+const EXIT_REFUSED: u8 = 2;
+const EXIT_HALTED: u8 = 3;
+const EXIT_ROLLBACK_FAILED: u8 = 4;
+const EXIT_CRASHED: u8 = 7;
+
+/// One cluster of the train: the VIP its proxy serves, the takeover
+/// socket releases move through, and the two configs (release / revert).
+struct Node {
+    vip: SocketAddr,
+    sock: PathBuf,
+    new_cfg: PathBuf,
+    rollback_cfg: PathBuf,
+}
+
+impl Node {
+    /// Parses `VIP=SOCK=NEWCFG=ROLLBACKCFG` (paths must not contain `=`).
+    fn parse(spec: &str) -> Result<Node, String> {
+        let parts: Vec<&str> = spec.split('=').collect();
+        let [vip, sock, new_cfg, rollback_cfg] = parts.as_slice() else {
+            return Err(format!(
+                "bad --node {spec:?}: expected VIP=SOCK=NEWCFG=ROLLBACKCFG"
+            ));
+        };
+        Ok(Node {
+            vip: vip
+                .parse()
+                .map_err(|e| format!("bad --node VIP {vip:?}: {e}"))?,
+            sock: PathBuf::from(sock),
+            new_cfg: PathBuf::from(new_cfg),
+            rollback_cfg: PathBuf::from(rollback_cfg),
+        })
+    }
+}
+
+/// Maps one `--fault NAME@NTH` spec onto the injector's hook points.
+fn parse_fault(spec: &str) -> Result<FaultRule, String> {
+    let (name, nth) = match spec.split_once('@') {
+        Some((name, n)) => (
+            name,
+            n.parse::<u64>()
+                .map_err(|e| format!("bad --fault {spec:?}: {e}"))?,
+        ),
+        None => (spec, 0),
+    };
+    let (point, action) = match name {
+        "controller-crash" => (FaultPoint::BatchBoundary, FaultAction::Die),
+        "drop-verdict" => (FaultPoint::PromotionVerdict, FaultAction::Drop),
+        "replay-crash" => (FaultPoint::JournalReplay, FaultAction::Die),
+        "replay-truncate" => (FaultPoint::JournalReplay, FaultAction::Truncate),
+        other => {
+            return Err(format!(
+                "bad --fault {other:?}: expected controller-crash, drop-verdict, \
+                 replay-crash, or replay-truncate"
+            ))
+        }
+    };
+    Ok(FaultRule { point, nth, action })
+}
+
+/// The write-ahead journal: one JSON record per line, fsynced per drain.
+/// Records are also announced as `TRAIN <json>` lines so tests and
+/// operators watch the train's decisions live.
+struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    fn append_to(path: &Path) -> Result<Journal, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open journal {}: {e}", path.display()))?;
+        Ok(Journal { file })
+    }
+
+    /// Persists drained records before their actions execute. Returns
+    /// whether a `BatchPromoted` landed — the batch-boundary hook.
+    fn persist(&mut self, records: &[JournalRecord]) -> Result<bool, String> {
+        let mut promoted = false;
+        for rec in records {
+            let line = serde_json::to_string(rec).expect("journal record serializes");
+            writeln!(self.file, "{line}").map_err(|e| format!("journal write: {e}"))?;
+            announce(&format!("TRAIN {line}"));
+            promoted |= matches!(rec, JournalRecord::BatchPromoted { .. });
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| format!("journal fsync: {e}"))?;
+        Ok(promoted)
+    }
+}
+
+/// Reads an existing journal; empty or missing files resolve to no
+/// records. A line that does not parse is corruption, not staleness —
+/// refuse loudly rather than resume from a half-truth.
+fn load_journal(path: &Path) -> Result<Vec<JournalRecord>, String> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read journal {}: {e}", path.display())),
+    };
+    src.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .map_err(|e| format!("corrupt journal {}: {e} in {l:?}", path.display()))
+        })
+        .collect()
+}
+
+/// One canary window: `probes` HTTP GETs against the VIP, evenly spaced
+/// across `window_ms`. Anything but a 2xx — connect refusal, reset, 5xx —
+/// counts as a disruption, the same signal the simulator's gates judge.
+fn probe_window(vip: SocketAddr, probes: u64, window_ms: u64) -> WindowSample {
+    let gap = Duration::from_millis(window_ms / probes.max(1));
+    let mut disruptions = 0;
+    for _ in 0..probes {
+        if doctor::http_get(vip, "/zdr-train-probe").is_err() {
+            disruptions += 1;
+        }
+        std::thread::sleep(gap);
+    }
+    WindowSample {
+        requests: probes,
+        disruptions,
+    }
+}
+
+/// Spawns a successor proxy (`zdr proxy --takeover --config <cfg>`) for
+/// `node` and blocks until it announces `READY` (its takeover finished and
+/// it is serving the VIP). The successor's stdout is drained by a
+/// detached thread afterwards so its later announcements never block it.
+fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .arg("proxy")
+        .arg("--takeover")
+        .arg("--config")
+        .arg(cfg)
+        .arg("--takeover-path")
+        .arg(&node.sock)
+        .stdout(Stdio::piped())
+        // The fleet outlives the controller; inheriting its stderr would
+        // keep any pipe capturing the controller's output open forever.
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn successor for {}: {e}", node.vip))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                let status = child.wait().map(|s| s.to_string()).unwrap_or_default();
+                return Err(format!(
+                    "successor for {} exited before READY ({status})",
+                    node.vip
+                ));
+            }
+            Ok(_) => {
+                if line.starts_with("READY ") {
+                    announce(&format!(
+                        "SPAWNED pid={} vip={} config={}",
+                        child.id(),
+                        node.vip,
+                        cfg.display()
+                    ));
+                    // Keep the pipe drained for the child's lifetime; a
+                    // dropped read end would EPIPE its next announcement.
+                    std::thread::spawn(move || {
+                        let mut sink = String::new();
+                        loop {
+                            sink.clear();
+                            match reader.read_line(&mut sink) {
+                                Ok(0) | Err(_) => break,
+                                Ok(_) => {}
+                            }
+                        }
+                    });
+                    return Ok(child);
+                }
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("successor for {}: read stdout: {e}", node.vip));
+            }
+        }
+    }
+}
+
+/// Doctor preflight over every node of the train: the takeover sockets
+/// must be offerable, both configs of every node must validate, their
+/// upstreams must answer, and each VIP must be serving. Returns the worst
+/// severity (the caller refuses on critical unless `--force`).
+fn preflight(nodes: &[Node]) -> Severity {
+    let mut findings = vec![doctor::check_fd_limit()];
+    for node in nodes {
+        findings.push(doctor::check_takeover_path(&node.sock));
+        findings.push(doctor::check_reachable("vip", node.vip, Severity::Critical));
+        doctor::check_config(&node.new_cfg, &mut findings);
+        doctor::check_config(&node.rollback_cfg, &mut findings);
+    }
+    doctor::emit(&findings)
+}
+
+struct TrainFlags {
+    batch_size: usize,
+    stagger_ms: u64,
+    window_ms: u64,
+    windows: u32,
+    probes: u64,
+    max_missed: u32,
+}
+
+impl TrainFlags {
+    fn from_args(args: &Args) -> Result<TrainFlags, String> {
+        Ok(TrainFlags {
+            batch_size: args.u64_or("--batch-size", 1)?.max(1) as usize,
+            stagger_ms: args.u64_or("--stagger-ms", 0)?,
+            window_ms: args.u64_or("--window-ms", 500)?.max(1),
+            windows: args.u64_or("--windows", 1)?.max(1) as u32,
+            probes: args.u64_or("--probes-per-window", 20)?.max(1),
+            max_missed: args.u64_or("--max-missed", 3)? as u32,
+        })
+    }
+
+    fn train_config(&self, clusters: usize) -> TrainConfig {
+        TrainConfig {
+            clusters: (0..clusters).map(|i| ClusterId(i as u32)).collect(),
+            batch_size: self.batch_size,
+            stagger_ms: self.stagger_ms,
+            policy: CanaryPolicy {
+                // The gate must be able to judge a window made of exactly
+                // our own probes.
+                min_requests: self.probes,
+                ..CanaryPolicy::default()
+            },
+            windows_to_promote: self.windows,
+            max_missed_windows: self.max_missed,
+        }
+    }
+}
+
+/// `zdr orchestrate` entry point.
+pub(crate) fn run(args: &Args) -> ExitCode {
+    match orchestrate(args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn orchestrate(args: &Args) -> Result<ExitCode, String> {
+    let value_flags = [
+        "--node",
+        "--journal",
+        "--batch-size",
+        "--stagger-ms",
+        "--window-ms",
+        "--windows",
+        "--probes-per-window",
+        "--max-missed",
+        "--fault",
+    ];
+    let bool_flags = ["--force", "--fresh"];
+    args.validate(&value_flags, &bool_flags)?;
+
+    let nodes: Vec<Node> = args
+        .values("--node")
+        .into_iter()
+        .map(Node::parse)
+        .collect::<Result<_, _>>()?;
+    if nodes.is_empty() {
+        return Err("orchestrate requires at least one --node".into());
+    }
+    let journal_path = PathBuf::from(
+        args.value("--journal")
+            .ok_or_else(|| "orchestrate requires --journal".to_string())?,
+    );
+    let flags = TrainFlags::from_args(args)?;
+    let rules = args
+        .values("--fault")
+        .into_iter()
+        .map(parse_fault)
+        .collect::<Result<Vec<_>, _>>()?;
+    let seed = std::env::var("ZDR_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let faults = ScriptedFaults::new(seed, rules);
+
+    // Preflight before anything irreversible: a train that cannot finish
+    // should not start.
+    if preflight(&nodes) == Severity::Critical {
+        if args.flag("--force") {
+            announce("PREFLIGHT critical overridden by --force");
+        } else {
+            eprintln!(
+                "orchestrate refused: preflight found critical problems (--force to override)"
+            );
+            return Ok(ExitCode::from(EXIT_REFUSED));
+        }
+    }
+
+    let clock = Clock::system();
+    let config = flags.train_config(nodes.len());
+
+    // Resume-or-start: an existing journal is replayed (rolling back
+    // whatever a crash left in flight); --fresh discards it.
+    let mut existing = if args.flag("--fresh") {
+        std::fs::write(&journal_path, b"")
+            .map_err(|e| format!("truncate journal {}: {e}", journal_path.display()))?;
+        Vec::new()
+    } else {
+        load_journal(&journal_path)?
+    };
+    if !existing.is_empty() {
+        match faults.decide(FaultPoint::JournalReplay) {
+            FaultAction::Die => {
+                announce("TRAIN_CRASH injected at journal replay");
+                return Ok(ExitCode::from(EXIT_CRASHED));
+            }
+            FaultAction::Truncate => {
+                // A journal whose tail died with the machine: drop the
+                // last record on disk and in memory, then replay.
+                existing.pop();
+                let mut rewritten = String::new();
+                for rec in &existing {
+                    rewritten.push_str(&serde_json::to_string(rec).expect("record serializes"));
+                    rewritten.push('\n');
+                }
+                std::fs::write(&journal_path, rewritten)
+                    .map_err(|e| format!("rewrite journal {}: {e}", journal_path.display()))?;
+                announce("TRAIN_FAULT journal tail truncated (injected)");
+            }
+            _ => {}
+        }
+    }
+    let mut train = if existing.is_empty() {
+        let mut train = ReleaseTrain::new(config).map_err(|e| e.to_string())?;
+        train.start(clock.unix_ms());
+        train
+    } else {
+        match ReleaseTrain::from_journal(config, &existing) {
+            Ok(train) => {
+                announce(&format!(
+                    "RESUMED {} records from {}",
+                    existing.len(),
+                    journal_path.display()
+                ));
+                train
+            }
+            Err(e @ ResumeError::StaleJournal { .. }) => {
+                eprintln!(
+                    "orchestrate refused: {e} — this journal belongs to a different train; \
+                     pass --fresh to discard it"
+                );
+                return Ok(ExitCode::from(EXIT_REFUSED));
+            }
+            Err(e) => {
+                eprintln!(
+                    "orchestrate refused: journal {}: {e}",
+                    journal_path.display()
+                );
+                return Ok(ExitCode::from(EXIT_REFUSED));
+            }
+        }
+    };
+
+    let mut journal = Journal::append_to(&journal_path)?;
+    // Children are the serving fleet: kept so their handles outlive the
+    // loop, never killed by the controller.
+    let mut fleet: Vec<Child> = Vec::new();
+
+    loop {
+        let actions = train.next_actions(clock.unix_ms());
+        // Write-ahead: persist what next_actions decided (BatchStarted,
+        // rollback transitions) before executing any of it.
+        journal.persist(&train.drain_journal())?;
+        for action in &actions {
+            // A halt triggered by an earlier action in this same list
+            // voids the rest of the batch's releases/observations: only
+            // safety (rollback) actions still execute.
+            if train.phase() == TrainPhase::Halted
+                && !matches!(action, TrainAction::RollBackCluster { .. })
+            {
+                continue;
+            }
+            match *action {
+                TrainAction::ReleaseCluster { cluster, .. } => {
+                    let node = &nodes[cluster.0 as usize];
+                    // Baseline on the old generation, so the gate's
+                    // threshold reflects this VIP's pre-release health.
+                    let baseline = probe_window(node.vip, flags.probes, flags.window_ms);
+                    train.on_release_started(clock.unix_ms(), cluster, baseline);
+                    journal.persist(&train.drain_journal())?;
+                    match check_config_file(&node.new_cfg) {
+                        Ok(_) => match spawn_successor(node, &node.new_cfg) {
+                            Ok(child) => {
+                                fleet.push(child);
+                                train.on_cluster_released(clock.unix_ms(), cluster);
+                            }
+                            Err(e) => {
+                                eprintln!("release of {} failed: {e}", node.vip);
+                                train.on_release_failed(clock.unix_ms(), cluster);
+                            }
+                        },
+                        Err(errs) => {
+                            eprintln!(
+                                "release of {} failed: config {} rejected: {}",
+                                node.vip,
+                                node.new_cfg.display(),
+                                errs.join("; ")
+                            );
+                            train.on_release_failed(clock.unix_ms(), cluster);
+                        }
+                    }
+                    journal.persist(&train.drain_journal())?;
+                }
+                TrainAction::ObserveCluster { cluster, .. } => {
+                    let node = &nodes[cluster.0 as usize];
+                    if faults.decide(FaultPoint::PromotionVerdict) == FaultAction::Drop {
+                        announce(&format!(
+                            "TRAIN_FAULT verdict for {} dropped (injected)",
+                            node.vip
+                        ));
+                        train.on_window_missed(clock.unix_ms(), cluster);
+                    } else {
+                        let sample = probe_window(node.vip, flags.probes, flags.window_ms);
+                        train.on_window(clock.unix_ms(), cluster, sample);
+                    }
+                    let promoted = journal.persist(&train.drain_journal())?;
+                    if promoted
+                        && !train.is_settled()
+                        && faults.decide(FaultPoint::BatchBoundary) == FaultAction::Die
+                    {
+                        // The promotion is journaled (write-ahead held),
+                        // the crash lands between batches — the resume
+                        // path's bread-and-butter case.
+                        announce("TRAIN_CRASH injected at batch boundary");
+                        return Ok(ExitCode::from(EXIT_CRASHED));
+                    }
+                }
+                TrainAction::RollBackCluster { cluster, .. } => {
+                    let node = &nodes[cluster.0 as usize];
+                    match spawn_successor(node, &node.rollback_cfg) {
+                        Ok(child) => {
+                            fleet.push(child);
+                            train.on_cluster_rolled_back(clock.unix_ms(), cluster);
+                            journal.persist(&train.drain_journal())?;
+                        }
+                        Err(e) => {
+                            // The journal shows RollbackStarted without
+                            // this cluster's ClusterRolledBack, so a rerun
+                            // re-issues exactly this rollback.
+                            eprintln!(
+                                "rollback of {} failed: {e}; journal is consistent — rerun to retry",
+                                node.vip
+                            );
+                            return Ok(ExitCode::from(EXIT_ROLLBACK_FAILED));
+                        }
+                    }
+                }
+                TrainAction::WaitUntil { at } => {
+                    let now = clock.unix_ms();
+                    if at > now {
+                        // Capped so a long stagger stays interruptible in
+                        // bounded steps (and WaitUntil is re-issued).
+                        std::thread::sleep(Duration::from_millis((at - now).min(200)));
+                    }
+                }
+            }
+        }
+        if train.is_settled() {
+            break;
+        }
+        if actions.is_empty() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    journal.persist(&train.drain_journal())?;
+    let report = train.report();
+    announce(&format!(
+        "TRAIN_REPORT {}",
+        serde_json::to_string(&report).expect("report serializes")
+    ));
+    Ok(match report.phase {
+        TrainPhase::Completed => ExitCode::SUCCESS,
+        _ => ExitCode::from(EXIT_HALTED),
+    })
+}

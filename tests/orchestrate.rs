@@ -1,0 +1,682 @@
+//! Fleet release orchestration, end to end across real OS processes:
+//! `zdr orchestrate` drives a canary-gated release train over live
+//! `zdr proxy` predecessors, and the acceptance invariant of the whole
+//! subsystem is exercised under injected faults — an injected canary
+//! failure or controller crash mid-train must never leave the fleet in a
+//! mixed state without an explicit journaled HALT: every batch ends fully
+//! promoted or fully rolled back.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use zero_downtime_release::core::config::ZdrConfig;
+
+const ZDR_BIN: &str = env!("CARGO_BIN_EXE_zdr");
+
+/// Orchestrate's documented exit codes (see `zdr --help`).
+const EXIT_REFUSED: i32 = 2;
+const EXIT_HALTED: i32 = 3;
+const EXIT_CRASHED: i32 = 7;
+
+struct Daemon {
+    child: Child,
+    /// Address parsed from the `READY <addr>` line.
+    addr: SocketAddr,
+    /// Retained so the pipe stays open (a dropped read end would EPIPE the
+    /// child's later DRAINED announcement).
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(ZDR_BIN)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn zdr");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read READY line");
+        let addr = line
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("expected READY line, got {line:?}"))
+            .parse()
+            .expect("parse READY addr");
+        Daemon {
+            child,
+            addr,
+            _stdout: stdout,
+        }
+    }
+
+    fn alive(&mut self) -> bool {
+        self.child.try_wait().expect("try_wait").is_none()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn tmp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "zdr-orch-{tag}-{}-{:x}.{ext}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+/// Writes a full config file routing to `upstreams` with a short drain, so
+/// superseded generations leave quickly.
+fn write_cfg(tag: &str, upstreams: &[SocketAddr]) -> PathBuf {
+    let mut cfg = ZdrConfig::default();
+    cfg.routing.upstreams = upstreams.to_vec();
+    cfg.drain.drain_ms = 300;
+    let path = tmp_path(tag, "toml");
+    std::fs::write(&path, cfg.to_toml()).expect("write config");
+    path
+}
+
+/// An upstream that passes the doctor's reachability probe (the TCP
+/// handshake completes) but serves nothing: every proxied request through
+/// it fails, which is exactly what the canary gate exists to catch.
+fn accept_then_close_upstream() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind black hole");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            drop(conn);
+        }
+    });
+    addr
+}
+
+/// Blocking HTTP/1.0 GET; true on a 200.
+fn get_ok(addr: SocketAddr, path: &str) -> bool {
+    let timeout = Duration::from_secs(2);
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+        || stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: zdr-test\r\n\r\n").as_bytes())
+            .is_err()
+    {
+        return false;
+    }
+    let mut response = String::new();
+    if stream.read_to_string(&mut response).is_err() {
+        return false;
+    }
+    response
+        .lines()
+        .next()
+        .is_some_and(|status| status.contains(" 200 "))
+}
+
+/// One cluster of the train: a live predecessor proxy serving a VIP, its
+/// takeover socket, and the release/rollback config pair.
+struct TrainNode {
+    pred: Daemon,
+    vip: SocketAddr,
+    spec: String,
+}
+
+fn spawn_node(tag: &str, app: SocketAddr, new_cfg: &Path, rollback_cfg: &Path) -> TrainNode {
+    let sock = tmp_path(tag, "sock").to_string_lossy().into_owned();
+    let pred = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app.to_string(),
+        "--takeover-path",
+        &sock,
+        "--drain-ms",
+        "300",
+    ]);
+    let vip = pred.addr;
+    let spec = format!(
+        "{vip}={sock}={}={}",
+        new_cfg.display(),
+        rollback_cfg.display()
+    );
+    TrainNode { pred, vip, spec }
+}
+
+struct TrainRun {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+impl TrainRun {
+    /// The final `TRAIN_REPORT <json>` line.
+    fn report(&self) -> serde_json::Value {
+        let line = self
+            .stdout
+            .lines()
+            .rev()
+            .find_map(|l| l.strip_prefix("TRAIN_REPORT "))
+            .unwrap_or_else(|| panic!("no TRAIN_REPORT in stdout:\n{}", self.stdout));
+        serde_json::from_str(line).expect("TRAIN_REPORT parses")
+    }
+
+    /// Pids of the fleet processes this run left serving.
+    fn spawned_pids(&self) -> Vec<u32> {
+        self.stdout
+            .lines()
+            .filter_map(|l| l.strip_prefix("SPAWNED pid="))
+            .filter_map(|rest| rest.split_whitespace().next()?.parse().ok())
+            .collect()
+    }
+}
+
+/// Runs `zdr orchestrate` to completion with a hard timeout (a train that
+/// neither settles nor crashes is itself a bug worth failing loudly on).
+fn orchestrate(seed: u64, args: &[String]) -> TrainRun {
+    let mut child = Command::new(ZDR_BIN)
+        .arg("orchestrate")
+        .args(args)
+        .env("ZDR_FAULT_SEED", seed.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn orchestrate");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let out = std::thread::spawn(move || {
+        let mut s = String::new();
+        let _ = BufReader::new(stdout).read_to_string(&mut s);
+        s
+    });
+    let err = std::thread::spawn(move || {
+        let mut s = String::new();
+        let _ = BufReader::new(stderr).read_to_string(&mut s);
+        s
+    });
+    let start = Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("wait orchestrate") {
+            break status;
+        }
+        if start.elapsed() > Duration::from_secs(120) {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("orchestrate did not settle within 120s");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    TrainRun {
+        code: status.code(),
+        stdout: out.join().unwrap(),
+        stderr: err.join().unwrap(),
+    }
+}
+
+/// The fleet outlives the controller by design; tests must not.
+struct Fleet(Vec<u32>);
+
+impl Fleet {
+    fn new() -> Fleet {
+        Fleet(Vec::new())
+    }
+    fn absorb(&mut self, run: &TrainRun) {
+        self.0.extend(run.spawned_pids());
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for pid in &self.0 {
+            let _ = Command::new("kill").arg(pid.to_string()).status();
+        }
+    }
+}
+
+/// Parses the journal file into its per-line JSON records.
+fn journal_events(path: &Path) -> Vec<serde_json::Value> {
+    std::fs::read_to_string(path)
+        .expect("read journal")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("journal line parses"))
+        .collect()
+}
+
+fn event_index(events: &[serde_json::Value], name: &str) -> Option<usize> {
+    events.iter().position(|e| e["event"] == name)
+}
+
+/// Common flags: tight canary windows so trains settle in seconds.
+fn train_flags(nodes: &[&TrainNode], journal: &Path) -> Vec<String> {
+    let mut args = Vec::new();
+    for n in nodes {
+        args.push("--node".into());
+        args.push(n.spec.clone());
+    }
+    args.extend([
+        "--journal".into(),
+        journal.to_string_lossy().into_owned(),
+        "--window-ms".into(),
+        "150".into(),
+        "--probes-per-window".into(),
+        "4".into(),
+    ]);
+    args
+}
+
+#[test]
+fn happy_train_promotes_every_batch_across_processes() {
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+    let good = write_cfg("happy-good", &[app.addr]);
+    let nodes: Vec<TrainNode> = (0..3)
+        .map(|i| spawn_node(&format!("happy-{i}"), app.addr, &good, &good))
+        .collect();
+    let journal = tmp_path("happy", "journal");
+    let mut fleet = Fleet::new();
+
+    let run = orchestrate(0, &train_flags(&nodes.iter().collect::<Vec<_>>(), &journal));
+    fleet.absorb(&run);
+    assert_eq!(
+        run.code,
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+
+    let report = run.report();
+    assert_eq!(report["phase"], "completed");
+    assert_eq!(report["batches_promoted"], 3);
+    assert_eq!(report["batches_rolled_back"], 0);
+    assert_eq!(report["mixed_state"], false);
+
+    let events = journal_events(&journal);
+    assert_eq!(events.first().unwrap()["event"], "train_started");
+    assert_eq!(events.last().unwrap()["event"], "completed");
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e["event"] == "batch_promoted")
+            .count(),
+        3
+    );
+
+    // The whole fleet serves its new generation.
+    for node in &nodes {
+        assert!(
+            get_ok(node.vip, "/post-train"),
+            "vip {} must serve",
+            node.vip
+        );
+    }
+}
+
+#[test]
+fn canary_failure_in_batch_2_halts_rolls_back_and_spares_the_rest() {
+    // The acceptance case, under 4 fault seeds: batch 1 (released before
+    // the halt) stays promoted, batch 2's bad release is rolled back, and
+    // batch 3 is never touched.
+    for seed in 1..=4u64 {
+        let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+        let good = write_cfg(&format!("canary-good-{seed}"), &[app.addr]);
+        // Passes preflight (TCP handshake completes), 502s on traffic.
+        let bad = write_cfg(
+            &format!("canary-bad-{seed}"),
+            &[accept_then_close_upstream()],
+        );
+        let nodes = [
+            spawn_node(&format!("canary-{seed}-0"), app.addr, &good, &good),
+            spawn_node(&format!("canary-{seed}-1"), app.addr, &bad, &good),
+            spawn_node(&format!("canary-{seed}-2"), app.addr, &good, &good),
+        ];
+        let journal = tmp_path(&format!("canary-{seed}"), "journal");
+        let mut fleet = Fleet::new();
+
+        let run = orchestrate(
+            seed,
+            &train_flags(&nodes.iter().collect::<Vec<_>>(), &journal),
+        );
+        fleet.absorb(&run);
+        assert_eq!(
+            run.code,
+            Some(EXIT_HALTED),
+            "seed {seed} stdout:\n{}\nstderr:\n{}",
+            run.stdout,
+            run.stderr
+        );
+
+        let report = run.report();
+        assert_eq!(report["phase"], "halted", "seed {seed}");
+        assert_eq!(report["halted_at_batch"], 1, "seed {seed}");
+        assert_eq!(report["halt_reason"]["kind"], "canary_gate", "seed {seed}");
+        assert_eq!(report["halt_reason"]["cluster"], 1, "seed {seed}");
+        assert_eq!(
+            report["batches"],
+            serde_json::json!(["promoted", "rolled_back", "pending"]),
+            "seed {seed}"
+        );
+        assert_eq!(report["mixed_state"], false, "seed {seed}");
+
+        // The journal proves the ordering invariant: HALT is on disk
+        // before the first rollback record, and batch 2 never started.
+        let events = journal_events(&journal);
+        let halted = event_index(&events, "halted").expect("halted journaled");
+        let rollback = event_index(&events, "rollback_started").expect("rollback journaled");
+        assert!(halted < rollback, "seed {seed}: HALT must precede rollback");
+        assert!(
+            events
+                .iter()
+                .any(|e| e["event"] == "batch_rolled_back" && e["batch"] == 1),
+            "seed {seed}: batch 1 must be fully rolled back"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| e["event"] == "batch_started" && e["batch"] == 2),
+            "seed {seed}: batch 2 must never start"
+        );
+
+        // Batch 1's release survives, batch 2 serves its rollback config,
+        // batch 3's untouched predecessor is still the serving process.
+        let mut nodes = nodes;
+        assert!(get_ok(nodes[0].vip, "/batch-0"), "seed {seed}: released");
+        assert!(get_ok(nodes[1].vip, "/batch-1"), "seed {seed}: rolled back");
+        assert!(get_ok(nodes[2].vip, "/batch-2"), "seed {seed}: untouched");
+        assert!(
+            nodes[2].pred.alive(),
+            "seed {seed}: batch 3's predecessor must never be released"
+        );
+    }
+}
+
+#[test]
+fn controller_crash_at_batch_boundary_resumes_from_journal() {
+    for seed in 1..=2u64 {
+        let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+        let good = write_cfg(&format!("crash-good-{seed}"), &[app.addr]);
+        let nodes = [
+            spawn_node(&format!("crash-{seed}-0"), app.addr, &good, &good),
+            spawn_node(&format!("crash-{seed}-1"), app.addr, &good, &good),
+        ];
+        let journal = tmp_path(&format!("crash-{seed}"), "journal");
+        let mut fleet = Fleet::new();
+        let base = train_flags(&nodes.iter().collect::<Vec<_>>(), &journal);
+
+        // Leg 1: the controller dies right after journaling batch 0's
+        // promotion, before batch 1 starts.
+        let mut crashing = base.clone();
+        crashing.extend(["--fault".into(), "controller-crash@0".into()]);
+        let run = orchestrate(seed, &crashing);
+        fleet.absorb(&run);
+        assert_eq!(
+            run.code,
+            Some(EXIT_CRASHED),
+            "seed {seed} stdout:\n{}\nstderr:\n{}",
+            run.stdout,
+            run.stderr
+        );
+        assert!(run
+            .stdout
+            .contains("TRAIN_CRASH injected at batch boundary"));
+        let events = journal_events(&journal);
+        assert!(
+            events
+                .iter()
+                .any(|e| e["event"] == "batch_promoted" && e["batch"] == 0),
+            "seed {seed}: promotion must be journaled before the crash"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| e["event"] == "batch_started" && e["batch"] == 1),
+            "seed {seed}: batch 1 must not have started"
+        );
+        assert!(event_index(&events, "completed").is_none(), "seed {seed}");
+
+        // Leg 2: a new controller resumes from the journal and finishes
+        // the train; batch 0 is not re-released.
+        let run = orchestrate(seed, &base);
+        fleet.absorb(&run);
+        assert_eq!(
+            run.code,
+            Some(0),
+            "seed {seed} stdout:\n{}\nstderr:\n{}",
+            run.stdout,
+            run.stderr
+        );
+        assert!(run.stdout.contains("RESUMED"), "seed {seed}");
+        let report = run.report();
+        assert_eq!(report["phase"], "completed", "seed {seed}");
+        assert_eq!(report["batches_promoted"], 2, "seed {seed}");
+        assert_eq!(report["mixed_state"], false, "seed {seed}");
+        let events = journal_events(&journal);
+        assert_eq!(events.last().unwrap()["event"], "completed", "seed {seed}");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e["event"] == "batch_started" && e["batch"] == 0)
+                .count(),
+            1,
+            "seed {seed}: batch 0 released exactly once across both legs"
+        );
+        for node in &nodes {
+            assert!(get_ok(node.vip, "/post-resume"), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn dropped_promotion_verdicts_fail_safe() {
+    // The controller loses every canary verdict for the one cluster; with
+    // no missed-window budget the train must halt and roll back, never
+    // promote on silence.
+    for seed in 1..=2u64 {
+        let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+        let good = write_cfg(&format!("verdict-good-{seed}"), &[app.addr]);
+        let node = spawn_node(&format!("verdict-{seed}"), app.addr, &good, &good);
+        let journal = tmp_path(&format!("verdict-{seed}"), "journal");
+        let mut fleet = Fleet::new();
+
+        let mut args = train_flags(&[&node], &journal);
+        args.extend([
+            "--max-missed".into(),
+            "0".into(),
+            "--fault".into(),
+            "drop-verdict@0".into(),
+        ]);
+        let run = orchestrate(seed, &args);
+        fleet.absorb(&run);
+        assert_eq!(
+            run.code,
+            Some(EXIT_HALTED),
+            "seed {seed} stdout:\n{}\nstderr:\n{}",
+            run.stdout,
+            run.stderr
+        );
+        let report = run.report();
+        assert_eq!(report["phase"], "halted", "seed {seed}");
+        assert_eq!(report["halt_reason"]["kind"], "verdict_lost", "seed {seed}");
+        assert_eq!(report["batches"], serde_json::json!(["rolled_back"]));
+        assert_eq!(report["mixed_state"], false, "seed {seed}");
+        let events = journal_events(&journal);
+        assert!(
+            event_index(&events, "window_missed").is_some(),
+            "seed {seed}"
+        );
+        assert!(
+            event_index(&events, "halted").unwrap()
+                < event_index(&events, "rollback_started").unwrap(),
+            "seed {seed}"
+        );
+        // The rollback successor serves the VIP.
+        assert!(get_ok(node.vip, "/rolled-back"), "seed {seed}");
+    }
+}
+
+#[test]
+fn journal_staleness_truncation_and_replay_crash() {
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+    let good = write_cfg("journal-good", &[app.addr]);
+    let node = spawn_node("journal", app.addr, &good, &good);
+    let journal = tmp_path("journal", "journal");
+    let mut fleet = Fleet::new();
+    let base = train_flags(&[&node], &journal);
+
+    // A completed single-node train to resume against.
+    let run = orchestrate(1, &base);
+    fleet.absorb(&run);
+    assert_eq!(
+        run.code,
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+
+    // Injected crash during journal replay: exits before any new record.
+    let before = std::fs::read_to_string(&journal).unwrap();
+    let mut crash = base.clone();
+    crash.extend(["--fault".into(), "replay-crash@0".into()]);
+    let run = orchestrate(2, &crash);
+    assert_eq!(run.code, Some(EXIT_CRASHED));
+    assert!(run
+        .stdout
+        .contains("TRAIN_CRASH injected at journal replay"));
+    assert_eq!(
+        std::fs::read_to_string(&journal).unwrap(),
+        before,
+        "a replay crash must not touch the journal"
+    );
+
+    // Injected tail loss: the terminal `completed` record is dropped; the
+    // resumed controller re-derives it, repairs the file, spawns nothing.
+    let mut truncate = base.clone();
+    truncate.extend(["--fault".into(), "replay-truncate@0".into()]);
+    let run = orchestrate(3, &truncate);
+    assert_eq!(
+        run.code,
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+    assert!(run.spawned_pids().is_empty(), "nothing to re-release");
+    let events = journal_events(&journal);
+    assert_eq!(events.last().unwrap()["event"], "completed");
+
+    // A journal from a *different* train (another gate shape) is stale:
+    // refused with guidance, journal untouched.
+    let mut stale = base.clone();
+    stale.extend(["--windows".into(), "2".into()]);
+    let run = orchestrate(4, &stale);
+    assert_eq!(run.code, Some(EXIT_REFUSED), "stderr:\n{}", run.stderr);
+    assert!(
+        run.stderr.contains("stale journal") && run.stderr.contains("--fresh"),
+        "stderr must name the staleness and the escape hatch:\n{}",
+        run.stderr
+    );
+
+    // --fresh discards it and the differently-shaped train runs.
+    let mut fresh = stale;
+    fresh.push("--fresh".into());
+    let run = orchestrate(5, &fresh);
+    fleet.absorb(&run);
+    assert_eq!(
+        run.code,
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+    assert_eq!(run.report()["phase"], "completed");
+    assert!(get_ok(node.vip, "/post-fresh"));
+}
+
+#[test]
+fn doctor_gates_the_train_and_force_overrides() {
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+
+    // Plain doctor: a healthy upstream is ok, an unreachable one critical.
+    let out = Command::new(ZDR_BIN)
+        .args(["doctor", "--upstream", &app.addr.to_string()])
+        .output()
+        .expect("run doctor");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DOCTOR VERDICT ok"), "{stdout}");
+
+    let unreachable = {
+        // Bind-then-drop: an address known free a moment ago.
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let out = Command::new(ZDR_BIN)
+        .args(["doctor", "--upstream", &unreachable.to_string()])
+        .output()
+        .expect("run doctor");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DOCTOR VERDICT critical"), "{stdout}");
+
+    // Orchestrate refuses a train whose preflight is critical (takeover
+    // socket directory missing) — and writes no journal doing so.
+    let good = write_cfg("doctor-good", &[app.addr]);
+    let journal = tmp_path("doctor-refused", "journal");
+    let spec = format!(
+        "{}=/nonexistent-zdr-dir/to.sock={}={}",
+        unreachable,
+        good.display(),
+        good.display()
+    );
+    let run = orchestrate(
+        1,
+        &[
+            "--node".into(),
+            spec,
+            "--journal".into(),
+            journal.to_string_lossy().into_owned(),
+        ],
+    );
+    assert_eq!(run.code, Some(EXIT_REFUSED), "stderr:\n{}", run.stderr);
+    assert!(run.stderr.contains("preflight"), "{}", run.stderr);
+    assert!(!journal.exists(), "a refused train must not journal");
+
+    // --force overrides: critical only in the (never-released) rollback
+    // config's dead upstream, so the forced train still completes cleanly.
+    let dead_rollback = write_cfg("doctor-dead-rollback", &[app.addr, unreachable]);
+    let node = spawn_node("doctor-force", app.addr, &good, &dead_rollback);
+    let journal = tmp_path("doctor-forced", "journal");
+    let mut fleet = Fleet::new();
+    let mut args = train_flags(&[&node], &journal);
+    args.push("--force".into());
+    let run = orchestrate(1, &args);
+    fleet.absorb(&run);
+    assert_eq!(
+        run.code,
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+    assert!(
+        run.stdout
+            .contains("PREFLIGHT critical overridden by --force"),
+        "{}",
+        run.stdout
+    );
+    assert_eq!(run.report()["phase"], "completed");
+}
