@@ -271,6 +271,8 @@ async fn finish_incomplete(
         // client sees a connection reset — counted by the proxy.
         return Ok(());
     };
+    // PANIC-OK: the head-parsed guard above means the parser is at or past
+    // body state, so partial_body is Some by the parser's state machine.
     let (body, chunk_state) = parser.partial_body().expect("head implies body state");
 
     match config.restart_behavior {

@@ -4,7 +4,15 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use tokio::runtime::Runtime;
 
+use zdr_core::clock::unix_now_ms;
+use zdr_proto::deadline::Deadline;
 use zdr_proxy::trunk::{self, StreamEvent};
+
+/// Generous bound on the loopback dial — benches measure stream costs,
+/// not connect latency, so the deadline just satisfies the API.
+fn bench_deadline() -> Deadline {
+    Deadline::after(unix_now_ms(), std::time::Duration::from_secs(5))
+}
 
 fn trunk_round_trip(c: &mut Criterion) {
     let rt = Runtime::new().unwrap();
@@ -19,7 +27,7 @@ fn trunk_round_trip(c: &mut Criterion) {
             let (stream, _) = listener.accept().await.unwrap();
             trunk::accept(stream)
         });
-        let (client, _ci) = trunk::connect(addr).await.unwrap();
+        let (client, _ci) = trunk::connect(addr, bench_deadline()).await.unwrap();
         let (server, mut incoming) = server_task.await.unwrap();
         // Echo every incoming stream.
         let echo = tokio::spawn(async move {
@@ -95,7 +103,7 @@ fn trunk_round_trip(c: &mut Criterion) {
                     let (stream, _) = listener.accept().await.unwrap();
                     trunk::accept(stream)
                 });
-                let (_client, _ci) = trunk::connect(addr).await.unwrap();
+                let (_client, _ci) = trunk::connect(addr, bench_deadline()).await.unwrap();
                 let (server, _si) = accept.await.unwrap();
                 server.goaway().await.unwrap();
                 server.drained().await

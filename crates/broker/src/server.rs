@@ -138,6 +138,8 @@ async fn handle_mqtt(
                 keep_alive,
             })) => {
                 let Some(user) = parse_user_id(&client_id) else {
+                    // PANIC-OK: ConnAck is a fixed two-byte body; encoding
+                    // a static control packet cannot fail.
                     let nack = mqtt::encode(&Packet::ConnAck {
                         session_present: false,
                         code: ConnectReturnCode::IdentifierRejected,
@@ -148,6 +150,8 @@ async fn handle_mqtt(
                 };
                 let (tx, rx) = mpsc::unbounded_channel();
                 let present = core.connect(user, clean_session, tx);
+                // PANIC-OK: ConnAck is a fixed two-byte body; encoding a
+                // static control packet cannot fail.
                 let ack = mqtt::encode(&Packet::ConnAck {
                     session_present: present,
                     code: ConnectReturnCode::Accepted,
@@ -259,6 +263,8 @@ async fn handle_packet(
     match pkt {
         Packet::Subscribe { packet_id, filters } => {
             let return_codes = core.subscribe(user, &filters);
+            // PANIC-OK: SubAck carries one return code per requested
+            // filter, far under the encodable length limit.
             let ack = mqtt::encode(&Packet::SubAck {
                 packet_id,
                 return_codes,
@@ -276,6 +282,8 @@ async fn handle_packet(
             core.publish(&topic, &payload, qos);
             if qos == QoS::AtLeastOnce {
                 if let Some(id) = packet_id {
+                    // PANIC-OK: PubAck is a fixed two-byte body; encoding
+                    // cannot fail.
                     let ack =
                         mqtt::encode(&Packet::PubAck { packet_id: id }).expect("puback encodes");
                     wr.write_all(&ack).await?;
@@ -283,6 +291,7 @@ async fn handle_packet(
             }
         }
         Packet::PingReq => {
+            // PANIC-OK: PingResp has an empty body; encoding cannot fail.
             let pong = mqtt::encode(&Packet::PingResp).expect("pingresp encodes");
             wr.write_all(&pong).await?;
         }

@@ -99,6 +99,7 @@ pub fn client_key(ip: &std::net::IpAddr) -> u64 {
         std::net::IpAddr::V4(v4) => u32::from_be_bytes(v4.octets()) as u64,
         std::net::IpAddr::V6(v6) => {
             let o = v6.octets();
+            // PANIC-OK: o is [u8; 16], so both 8-byte halves convert.
             u64::from_be_bytes(o[..8].try_into().expect("8 bytes"))
                 ^ u64::from_be_bytes(o[8..].try_into().expect("8 bytes"))
         }

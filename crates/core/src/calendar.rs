@@ -118,6 +118,8 @@ impl ReleaseCalendar {
     pub fn sample(&mut self, tier: Tier, weeks: u32) -> Vec<ReleaseEvent> {
         let profile = tier.profile();
         let cause_weights = RootCause::weighted();
+        // PANIC-OK: both weight tables are compile-time constants (nonzero,
+        // finite), so WeightedIndex construction cannot fail.
         let cause_dist = WeightedIndex::new(cause_weights.iter().map(|(_, w)| *w))
             .expect("static weights are valid");
         let hour_dist = WeightedIndex::new(hour_pdf(tier)).expect("hour pdf is valid");
@@ -179,6 +181,8 @@ pub fn cause_fractions(events: &[ReleaseEvent]) -> Vec<(RootCause, f64)> {
     let mut counts: std::collections::BTreeMap<RootCause, usize> =
         RootCause::weighted().iter().map(|(c, _)| (*c, 0)).collect();
     for e in events {
+        // PANIC-OK: counts was seeded from RootCause::weighted(), which
+        // enumerates every variant a sampled event can carry.
         *counts.get_mut(&e.cause).expect("all causes present") += 1;
     }
     let total = events.len().max(1) as f64;

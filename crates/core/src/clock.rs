@@ -123,6 +123,8 @@ impl Clock {
     /// and a test silently "advancing" it would assert nothing.
     pub fn advance(&self, d: Duration) {
         match &*self.inner {
+            // PANIC-OK: documented API contract — only mock clocks can be
+            // steered, and a silent no-op would invalidate the test.
             Inner::Real { .. } => panic!("Clock::advance called on the system clock"),
             Inner::Mock { now_us, .. } => {
                 now_us.fetch_add(d.as_micros() as u64, Ordering::Relaxed);

@@ -538,6 +538,8 @@ impl ZdrConfig {
         let mut out = String::new();
         let mut section = "";
         for spec in FIELDS {
+            // PANIC-OK: every FIELDS name is a "section.key" literal; the
+            // registry tests enumerate them.
             let (sect, key) = spec.name.split_once('.').expect("FIELDS names are dotted");
             if sect != section {
                 if !section.is_empty() {
@@ -556,6 +558,8 @@ impl ZdrConfig {
                     .join(", ");
                 let _ = writeln!(out, "{key} = [{list}]");
             } else {
+                // PANIC-OK: field_value covers every FIELDS entry; the
+                // config-coverage lint keeps the two lists in sync.
                 let value = self.field_value(spec.name).expect("FIELDS are renderable");
                 let _ = writeln!(out, "{key} = {value}");
             }
@@ -760,11 +764,15 @@ impl ConfigStore {
     /// The live snapshot. Cheap; call at accept/request granularity and
     /// keep the `Arc` for the duration of that unit of work.
     pub fn current(&self) -> Arc<ZdrConfig> {
+        // PANIC-OK: writers only swap an Arc and bump an epoch (no panic
+        // inside the critical section); poison implies a prior panic.
         Arc::clone(&self.current.read().expect("config lock poisoned").1)
     }
 
     /// The live `(epoch, snapshot)` pair, read atomically.
     pub fn current_with_epoch(&self) -> (u64, Arc<ZdrConfig>) {
+        // PANIC-OK: writers only swap an Arc and bump an epoch; poison
+        // implies a prior panic.
         let cur = self.current.read().expect("config lock poisoned");
         (cur.0, Arc::clone(&cur.1))
     }
@@ -780,6 +788,8 @@ impl ConfigStore {
     /// Registers a change-signal callback, invoked on every successful
     /// publish with the new snapshot and epoch (in epoch order).
     pub fn subscribe(&self, f: ConfigSubscriber) {
+        // PANIC-OK: holders only push/iterate the Vec; poison implies a
+        // prior panic in a subscriber callback, which must stay fatal.
         self.subscribers
             .lock()
             .expect("subscriber lock poisoned")
@@ -794,9 +804,13 @@ impl ConfigStore {
         // Serialize publishers across the swap *and* the fan-out, so two
         // concurrent reloads cannot deliver epochs to appliers out of
         // order.
+        // PANIC-OK: poison means a subscriber callback panicked mid-apply;
+        // continuing to publish over half-applied config would be worse.
         let subs = self.subscribers.lock().expect("subscriber lock poisoned");
         let snapshot = Arc::new(cfg);
         let epoch = {
+            // PANIC-OK: the write section only swaps the Arc and computes
+            // drift strings; poison implies a prior panic.
             let mut cur = self.current.write().expect("config lock poisoned");
             let drift: Vec<String> = FIELDS
                 .iter()

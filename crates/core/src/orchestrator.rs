@@ -719,6 +719,8 @@ impl ReleaseTrain {
                 });
                 self.init_progress(b);
                 for &c in &self.batches[b] {
+                    // PANIC-OK: init_progress just seeded an entry for
+                    // every cluster in this batch.
                     self.progress
                         .get_mut(&c)
                         .expect("init_progress")
@@ -734,6 +736,8 @@ impl ReleaseTrain {
                     return out;
                 }
                 for &c in &self.batches[b] {
+                    // PANIC-OK: entering Releasing seeds progress for the
+                    // whole batch; entries are never removed.
                     let p = self.progress.get_mut(&c).expect("progress entry");
                     if !p.release_issued {
                         p.release_issued = true;
@@ -750,6 +754,8 @@ impl ReleaseTrain {
                 }
                 let needed = self.config.windows_to_promote;
                 for &c in &self.batches[b] {
+                    // PANIC-OK: Observing is entered from Releasing, which
+                    // seeded progress for the whole batch.
                     let p = self.progress.get_mut(&c).expect("progress entry");
                     if !p.observe_issued && p.clean_windows < needed {
                         p.observe_issued = true;
@@ -763,6 +769,8 @@ impl ReleaseTrain {
             BatchState::RollingBack => {
                 // Safety actions proceed even while paused.
                 for &c in &self.batches[b] {
+                    // PANIC-OK: a batch only reaches RollingBack after its
+                    // progress entries were seeded on release.
                     let p = self.progress.get_mut(&c).expect("progress entry");
                     if !p.rollback_issued && !p.rolled_back {
                         p.rollback_issued = true;
@@ -868,6 +876,8 @@ impl ReleaseTrain {
         let mut lost_verdict = false;
         let mut tripped: Option<(f64, f64)> = None;
         {
+            // PANIC-OK: the guard above verified this cluster has a live
+            // progress entry before taking the sample.
             let p = self.progress.get_mut(&cluster).expect("checked above");
             p.observe_issued = false;
             if sample.requests < min_requests {
@@ -923,6 +933,8 @@ impl ReleaseTrain {
         });
         let max_missed = self.config.max_missed_windows;
         let lost = {
+            // PANIC-OK: the guard above verified this cluster has a live
+            // progress entry before counting the miss.
             let p = self.progress.get_mut(&cluster).expect("checked above");
             p.observe_issued = false;
             p.missed_windows += 1;

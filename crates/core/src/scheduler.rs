@@ -167,6 +167,8 @@ pub fn run_to_completion(rollout: &mut ClusterRollout, tick_ms: u64) -> (TimeMs,
         rollout.tick(now);
         min_capacity = min_capacity.min(rollout.capacity());
     }
+    // PANIC-OK: the loop above only exits once the rollout completed (the
+    // assert bounds it), so completed_at is Some.
     (rollout.completed_at().expect("complete"), min_capacity)
 }
 

@@ -1,0 +1,274 @@
+//! Exhaustive crash-point exploration of the release-train journal.
+//!
+//! The journal's whole reason to exist is the §1 mixed-fleet hazard: a
+//! controller that dies mid-train must never leave a batch half-promoted,
+//! and a rollback must never begin without its `Halted` line on disk.
+//! Unit tests sample a few crash points; this test takes the opposite
+//! approach and crashes the controller at **every** journal boundary:
+//!
+//! 1. Run a scenario to settlement and capture its journal.
+//! 2. For every prefix `k` of that journal, build a fresh controller with
+//!    [`ReleaseTrain::from_journal`] (the crash-resume path), drive it to
+//!    settlement, and assert the safety invariants below.
+//! 3. DFS one level deeper: every record the *resumed* run appends is
+//!    itself a crash boundary — crash again at each and re-verify
+//!    (depth 2, which covers crash-during-crash-recovery).
+//!
+//! Invariants checked at every settled endpoint:
+//! * no mixed state: every batch is fully `Promoted`, fully `RolledBack`,
+//!   or untouched `Pending`;
+//! * halt-before-rollback: a `RollbackStarted { reason: Halt }` record is
+//!   always preceded by a `Halted` record in the combined journal;
+//! * outcome stability: the happy train completes and the bad train halts
+//!   at the same batch no matter where the controller died;
+//! * a stale journal (any config drift that moves the fingerprint) is
+//!   refused with [`ResumeError::StaleJournal`] at every prefix.
+
+use zdr_core::canary::{CanaryPolicy, WindowSample};
+use zdr_core::orchestrator::{
+    BatchState, JournalRecord, ReleaseTrain, ResumeError, RollbackReason, TrainAction, TrainConfig,
+    TrainPhase,
+};
+use zdr_core::{ClusterId, TimeMs};
+
+const GOOD: WindowSample = WindowSample {
+    requests: 10_000,
+    disruptions: 2,
+};
+const BAD: WindowSample = WindowSample {
+    requests: 10_000,
+    disruptions: 900,
+};
+const BASELINE: WindowSample = WindowSample {
+    requests: 10_000,
+    disruptions: 1,
+};
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        clusters: (0..6).map(ClusterId).collect(),
+        batch_size: 2,
+        stagger_ms: 5_000,
+        policy: CanaryPolicy {
+            min_requests: 100,
+            ..CanaryPolicy::default()
+        },
+        windows_to_promote: 2,
+        max_missed_windows: 2,
+    }
+}
+
+/// The scenario's traffic: which window a cluster shows on its nth look.
+fn window_for(scenario: Scenario, cluster: ClusterId) -> WindowSample {
+    match scenario {
+        Scenario::Happy => GOOD,
+        Scenario::BadCluster2 => {
+            if cluster == ClusterId(2) {
+                BAD
+            } else {
+                GOOD
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Happy,
+    BadCluster2,
+}
+
+/// Drives `train` until it settles, answering every action the way the
+/// real controller would (releases succeed, windows follow the scenario).
+/// Returns the records the drive appended to the journal.
+fn drive(train: &mut ReleaseTrain, scenario: Scenario) -> Vec<JournalRecord> {
+    let mut now: TimeMs = 0;
+    for _ in 0..100_000 {
+        if train.is_settled() {
+            break;
+        }
+        let actions = train.next_actions(now);
+        if actions.is_empty() {
+            now += 1_000;
+            continue;
+        }
+        for a in actions {
+            match a {
+                TrainAction::ReleaseCluster { cluster, .. } => {
+                    train.on_release_started(now, cluster, BASELINE);
+                    train.on_cluster_released(now, cluster);
+                }
+                TrainAction::ObserveCluster { cluster, .. } => {
+                    train.on_window(now, cluster, window_for(scenario, cluster));
+                }
+                TrainAction::RollBackCluster { cluster, .. } => {
+                    train.on_cluster_rolled_back(now, cluster);
+                }
+                TrainAction::WaitUntil { at } => now = at.max(now),
+            }
+        }
+        now += 1_000;
+    }
+    assert!(train.is_settled(), "train failed to settle");
+    train.drain_journal()
+}
+
+/// Asserts every safety invariant on one settled endpoint: the resumed
+/// train's report plus the combined (pre-crash + post-resume) journal.
+fn assert_safe(scenario: Scenario, train: &ReleaseTrain, combined: &[JournalRecord], ctx: &str) {
+    let report = train.report();
+    assert!(!report.mixed_state, "{ctx}: mixed fleet state");
+    for (i, b) in report.batches.iter().enumerate() {
+        assert!(
+            matches!(
+                b,
+                BatchState::Pending | BatchState::Promoted | BatchState::RolledBack
+            ),
+            "{ctx}: batch {i} settled in half-state {b:?}"
+        );
+    }
+    // Halt-before-rollback: a halt rollback's record must be preceded by
+    // the Halted line that justifies it.
+    let first_halt = combined
+        .iter()
+        .position(|r| matches!(r, JournalRecord::Halted { .. }));
+    for (i, r) in combined.iter().enumerate() {
+        if let JournalRecord::RollbackStarted {
+            reason: RollbackReason::Halt,
+            ..
+        } = r
+        {
+            let h = first_halt.expect("halt rollback without any Halted record");
+            assert!(
+                h < i,
+                "{ctx}: RollbackStarted(Halt) at {i} precedes Halted at {h}"
+            );
+        }
+    }
+    match scenario {
+        Scenario::Happy => {
+            assert_eq!(report.phase, TrainPhase::Completed, "{ctx}");
+            assert_eq!(report.batches, vec![BatchState::Promoted; 3], "{ctx}");
+        }
+        Scenario::BadCluster2 => {
+            assert_eq!(report.phase, TrainPhase::Halted, "{ctx}");
+            assert_eq!(report.halted_at_batch, Some(1), "{ctx}");
+            assert_eq!(report.batches[1], BatchState::RolledBack, "{ctx}");
+            assert_eq!(report.batches[2], BatchState::Pending, "{ctx}");
+        }
+    }
+}
+
+/// A config whose fingerprint differs from `cfg()` in exactly one field —
+/// the "operator edited the plan between crash and resume" hazard.
+fn drifted_cfg() -> TrainConfig {
+    TrainConfig {
+        stagger_ms: cfg().stagger_ms + 1,
+        ..cfg()
+    }
+}
+
+/// Crash at every boundary of `journal`, resume, drive to settlement,
+/// verify; recurse one level into each resumed run's appended records.
+fn explore(scenario: Scenario, journal: &[JournalRecord], depth: u32) {
+    for k in 1..=journal.len() {
+        let prefix = &journal[..k];
+        let ctx = format!(
+            "scenario crash at record {k}/{} depth {depth}",
+            journal.len()
+        );
+
+        // A drifted config must refuse this journal at every boundary.
+        match ReleaseTrain::from_journal(drifted_cfg(), prefix) {
+            Err(ResumeError::StaleJournal { .. }) => {}
+            other => panic!("{ctx}: drifted config accepted stale journal: {other:?}"),
+        }
+
+        let mut train =
+            ReleaseTrain::from_journal(cfg(), prefix).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let appended = drive(&mut train, scenario);
+        let combined: Vec<JournalRecord> = prefix
+            .iter()
+            .cloned()
+            .chain(appended.iter().cloned())
+            .collect();
+        assert_safe(scenario, &train, &combined, &ctx);
+
+        if depth < 2 && !appended.is_empty() {
+            // Crash again inside the recovery: every record the resumed
+            // run appended is itself a boundary.
+            explore_suffix(scenario, prefix, &appended, depth + 1);
+        }
+    }
+}
+
+/// Depth-2 helper: crash points inside a resumed run's appended records.
+fn explore_suffix(
+    scenario: Scenario,
+    prefix: &[JournalRecord],
+    appended: &[JournalRecord],
+    depth: u32,
+) {
+    for k in 1..=appended.len() {
+        let combined_prefix: Vec<JournalRecord> = prefix
+            .iter()
+            .cloned()
+            .chain(appended[..k].iter().cloned())
+            .collect();
+        let ctx = format!(
+            "re-crash at appended record {k}/{} (prefix {}) depth {depth}",
+            appended.len(),
+            prefix.len()
+        );
+        let mut train = ReleaseTrain::from_journal(cfg(), &combined_prefix)
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let re_appended = drive(&mut train, scenario);
+        let combined: Vec<JournalRecord> = combined_prefix
+            .iter()
+            .cloned()
+            .chain(re_appended.iter().cloned())
+            .collect();
+        assert_safe(scenario, &train, &combined, &ctx);
+    }
+}
+
+fn baseline_journal(scenario: Scenario) -> Vec<JournalRecord> {
+    let mut train = ReleaseTrain::new(cfg()).expect("valid config");
+    train.start(0);
+    let journal = drive(&mut train, scenario);
+    assert!(matches!(
+        journal.first(),
+        Some(JournalRecord::TrainStarted { .. })
+    ));
+    journal
+}
+
+#[test]
+fn happy_train_survives_a_crash_at_every_journal_boundary() {
+    let journal = baseline_journal(Scenario::Happy);
+    // Sanity: the uncrashed run completed.
+    let report = ReleaseTrain::from_journal(cfg(), &journal)
+        .expect("own journal resumes")
+        .report();
+    assert_eq!(report.phase, TrainPhase::Completed);
+    explore(Scenario::Happy, &journal, 1);
+}
+
+#[test]
+fn halting_train_survives_a_crash_at_every_journal_boundary() {
+    let journal = baseline_journal(Scenario::BadCluster2);
+    explore(Scenario::BadCluster2, &journal, 1);
+}
+
+#[test]
+fn empty_and_headless_journals_are_refused() {
+    assert!(matches!(
+        ReleaseTrain::from_journal(cfg(), &[]),
+        Err(ResumeError::EmptyJournal)
+    ));
+    let headless = [JournalRecord::BatchStarted { at: 0, batch: 0 }];
+    assert!(matches!(
+        ReleaseTrain::from_journal(cfg(), &headless),
+        Err(ResumeError::NotAJournal)
+    ));
+}

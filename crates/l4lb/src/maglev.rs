@@ -75,6 +75,8 @@ impl MaglevTable {
         }
 
         Some(MaglevTable {
+            // PANIC-OK: the permutation walk above only terminates once
+            // every slot is populated, so no None survives to this map.
             table: table.into_iter().map(|s| s.expect("filled")).collect(),
             backends: backends.to_vec(),
             size,
@@ -101,6 +103,8 @@ impl MaglevTable {
         let mut counts: std::collections::BTreeMap<BackendId, usize> =
             self.backends.iter().map(|b| (*b, 0)).collect();
         for b in &self.table {
+            // PANIC-OK: counts was seeded from self.backends, and build()
+            // only ever writes those ids into the table.
             *counts.get_mut(b).expect("backend in table") += 1;
         }
         counts.into_iter().collect()

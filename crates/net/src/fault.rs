@@ -278,6 +278,9 @@ impl FaultInjector for FlakyUpstreams {
             return FaultAction::Proceed;
         }
         let visit = {
+            // PANIC-OK: the critical section below is two infallible map
+            // ops, so the mutex can only be poisoned by a prior panic —
+            // propagating it is the honest failure mode for a fault rig.
             let mut visits = self.visits.lock().expect("fault visit map poisoned");
             let v = visits.entry(upstream_key).or_insert(0);
             let cur = *v;

@@ -197,6 +197,7 @@ impl ReceivedInventory {
                 "vip {vip} has {n} fds, expected 1"
             )));
         }
+        // PANIC-OK: the len()==1 guard above makes pop() infallible.
         Ok(TcpListener::from(fds.pop().expect("one fd")))
     }
 

@@ -162,6 +162,8 @@ pub fn simulate_handover(
     let mut ring = SocketRing::new(sockets_per_process, ProcessId::Old, 0);
 
     // Pin each flow's state to its pre-restart socket.
+    // PANIC-OK: the ring was just built with sockets_per_process > 0
+    // (asserted above), so routing cannot miss.
     let state_home: HashMap<u64, u64> = flow_hashes
         .iter()
         .map(|&h| (h, ring.route(h).expect("non-empty ring").socket_id))
@@ -175,6 +177,8 @@ pub fn simulate_handover(
         let mut step_miss = 0u64;
         for &h in flow_hashes {
             total += 1;
+            // PANIC-OK: both handover strategies keep at least one socket
+            // in the ring at every step, so routing cannot miss.
             let landed = ring.route(h).expect("ring never fully empties mid-flux");
             if landed.socket_id != state_home[&h] {
                 step_miss += 1;

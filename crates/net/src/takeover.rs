@@ -337,11 +337,15 @@ impl TakeoverServer {
                     )))
                 }
                 Err(_) => {
+                    // BLOCKING-OK: sub-ms unlink of a local socket path,
+                    // once per takeover attempt, before serving starts.
                     let _ = std::fs::remove_file(&path);
                 }
             }
         }
         let listener = UnixListener::bind(&path)?;
+        // BLOCKING-OK: one sub-ms stat of the just-bound local socket
+        // path, once per takeover attempt.
         let bound_ino = std::fs::metadata(&path).ok().map(|m| (m.dev(), m.ino()));
         Ok(TakeoverServer {
             listener,

@@ -76,6 +76,8 @@ impl BodyReader {
                 Ok(want)
             }
             BodyFraming::Chunked => {
+                // PANIC-OK: the decoder is constructed together with the
+                // Chunked framing choice, so this arm always finds it.
                 let dec = self.chunked.as_mut().expect("chunked decoder present");
                 let (consumed, events) = dec.feed(input)?;
                 for e in events {
@@ -196,6 +198,8 @@ impl RequestParser {
                         self.buf = rebuilt;
                     }
                     if reader.is_complete() {
+                        // PANIC-OK: this arm only runs while self.state is
+                        // Body, so the replace always yields that variant.
                         let ReqState::Body { head, mut reader } =
                             std::mem::replace(&mut self.state, ReqState::Done)
                         else {
@@ -339,6 +343,8 @@ impl ResponseParser {
                         self.buf = rebuilt;
                     }
                     if reader.is_complete() {
+                        // PANIC-OK: this arm only runs while self.state is
+                        // Body, so the replace always yields that variant.
                         let RespState::Body { head, mut reader } =
                             std::mem::replace(&mut self.state, RespState::Done)
                         else {
@@ -368,6 +374,8 @@ impl ResponseParser {
         if let RespState::Body { reader, .. } = &mut self.state {
             reader.finish_on_close();
             if reader.is_complete() {
+                // PANIC-OK: the enclosing branch matched self.state as
+                // Body, so the replace always yields that variant.
                 let RespState::Body { head, mut reader } =
                     std::mem::replace(&mut self.state, RespState::Done)
                 else {

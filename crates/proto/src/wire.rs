@@ -118,6 +118,8 @@ impl<'a> Reader<'a> {
             }
             multiplier *= 128;
         }
+        // PANIC-OK: the loop above returns or errors by its 4th iteration
+        // (the varint-length guard), so control never falls through.
         unreachable!("loop returns or errors within 4 iterations")
     }
 

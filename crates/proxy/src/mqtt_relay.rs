@@ -203,6 +203,9 @@ pub async fn spawn_origin_with(
 }
 
 /// Handles one Edge↔Origin tunnel on the Origin side.
+// ALLOW: the tunnel needs the whole per-origin context (broker set,
+// breaker, stats, drain state, conn guard); bundling it into a struct
+// would be a one-caller indirection.
 #[allow(clippy::too_many_arguments)]
 async fn origin_tunnel(
     mut edge: TcpStream,
@@ -484,25 +487,44 @@ fn candidate_origins(
         .collect()
 }
 
+/// Tunnel-establishment deadline on the Edge side: our own connect
+/// budget ∧ any armed drain hard deadline. The same instant bounds the
+/// local Origin dial and rides the first DCR frame so the Origin can
+/// bound its broker connect.
+fn establish_deadline(state: &DrainState) -> Deadline {
+    let mut deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
+    if let Some(d) = state.force_deadline() {
+        deadline = deadline.clamp_to(d);
+    }
+    deadline
+}
+
 /// Connects to the first admitting Origin (a draining Origin no longer
 /// accepts new tunnels, so connect failures are expected mid-release).
 /// Each Origin's breaker gates the attempt and absorbs the outcome, so a
 /// crashed Origin stops being dialed after a few failures instead of
 /// adding a connect timeout to every tunnel establishment. No budget
-/// gating here: the walk is bounded by the configured origin count.
+/// gating here: the walk is bounded by the configured origin count, and
+/// the whole walk by `deadline` — a black-holed Origin cannot stall
+/// establishment past it.
 async fn connect_origin(
     origins: &parking_lot::RwLock<Vec<SocketAddr>>,
     exclude: Option<SocketAddr>,
     resilience: &Resilience,
     stats: &ProxyStats,
+    deadline: Deadline,
 ) -> Option<(TcpStream, SocketAddr)> {
     for addr in candidate_origins(origins, exclude) {
         if !resilience.admit(addr, stats).allowed() {
             continue;
         }
+        let Some(remaining) = deadline.remaining(unix_now_ms()) else {
+            stats.deadline_exceeded.bump();
+            return None;
+        };
         let connect_start_us = stats.telemetry.clock().now_us();
-        match TcpStream::connect(addr).await {
-            Ok(conn) => {
+        match tokio::time::timeout(remaining, TcpStream::connect(addr)).await {
+            Ok(Ok(conn)) => {
                 stats.telemetry.upstream_connect_us.record(
                     stats
                         .telemetry
@@ -513,27 +535,19 @@ async fn connect_origin(
                 resilience.on_success(addr, stats);
                 return Some((conn, addr));
             }
-            Err(_) => resilience.on_failure(addr, stats),
+            _ => resilience.on_failure(addr, stats),
         }
     }
     None
 }
 
 /// Stamps the tunnel-establishment deadline as the first (DCR) frame of a
-/// new Edge→Origin tunnel, clamped to the Edge's drain hard deadline.
-async fn send_tunnel_deadline(
-    origin: &mut TcpStream,
-    state: &DrainState,
-) -> std::io::Result<Deadline> {
-    let mut deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
-    if let Some(d) = state.force_deadline() {
-        deadline = deadline.clamp_to(d);
-    }
+/// new Edge→Origin tunnel.
+async fn send_tunnel_deadline(origin: &mut TcpStream, deadline: Deadline) -> std::io::Result<()> {
     let frame = dcr::encode(&DcrMessage::Deadline {
         unix_ms: deadline.unix_ms(),
     });
-    write_frame(origin, KIND_DCR, &frame).await?;
-    Ok(deadline)
+    write_frame(origin, KIND_DCR, &frame).await
 }
 
 /// Handles one client connection on the Edge side.
@@ -547,14 +561,15 @@ async fn edge_tunnel(
     mut guard: ConnGuard,
 ) -> std::io::Result<()> {
     let mut force = state.force_watch();
+    let deadline = establish_deadline(&state);
     let Some((mut origin, mut current_origin)) =
-        connect_origin(&origins, None, &resilience, &stats).await
+        connect_origin(&origins, None, &resilience, &stats, deadline).await
     else {
         return Ok(());
     };
     // Every tunnel opens with its establishment deadline so the Origin can
     // bound its broker connect.
-    if send_tunnel_deadline(&mut origin, &state).await.is_err() {
+    if send_tunnel_deadline(&mut origin, deadline).await.is_err() {
         return Ok(());
     }
     stats.mqtt_tunnels.bump();
@@ -654,8 +669,10 @@ async fn rehome(
     if !resilience.try_retry(stats) {
         return None;
     }
-    let (mut conn, new_addr) = connect_origin(origins, Some(exclude), resilience, stats).await?;
-    send_tunnel_deadline(&mut conn, state).await.ok()?;
+    let deadline = establish_deadline(state);
+    let (mut conn, new_addr) =
+        connect_origin(origins, Some(exclude), resilience, stats, deadline).await?;
+    send_tunnel_deadline(&mut conn, deadline).await.ok()?;
     let msg = dcr::encode(&DcrMessage::ReConnect { user_id: user });
     write_frame(&mut conn, KIND_DCR, &msg).await.ok()?;
     let (kind, payload) = read_frame(&mut conn).await.ok()??;

@@ -376,7 +376,8 @@ impl TrunkPool {
             return Some(h);
         }
         let connect_start_us = self.stats.telemetry.clock().now_us();
-        match trunk::connect(self.origins[i]).await {
+        let deadline = Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET);
+        match trunk::connect(self.origins[i], deadline).await {
             Ok((handle, _incoming)) => {
                 self.stats.telemetry.upstream_connect_us.record(
                     self.stats
@@ -935,7 +936,12 @@ mod tests {
 
         // A tunnel stream whose propagated deadline is already in the past
         // must be refused without any broker work.
-        let (handle, _incoming) = trunk::connect(o.addr).await.unwrap();
+        let (handle, _incoming) = trunk::connect(
+            o.addr,
+            Deadline::after(unix_now_ms(), TUNNEL_CONNECT_BUDGET),
+        )
+        .await
+        .unwrap();
         let mut stream = handle
             .open_stream(vec![
                 ("user-id".into(), "5".into()),

@@ -44,6 +44,7 @@ use crate::conn_tracker::ConnGuard;
 use crate::resilience::{LoadShedGate, ShedConfig};
 use crate::service::{quic_close_datagram, DrainState, QuicCloseSignal, ServiceHandle};
 use crate::stats::{Counter, StatsSnapshot};
+use crate::takeover::join_err;
 
 /// Configuration for a takeover-capable QUIC service instance.
 #[derive(Debug, Clone)]
@@ -323,7 +324,7 @@ impl QuicInstance {
         let pending =
             tokio::task::spawn_blocking(move || request_takeover(&path, Duration::from_secs(30)))
                 .await
-                .expect("takeover task panicked")?;
+                .map_err(|e| join_err("takeover request", e))??;
         let info = pending.result.info.clone();
         let vips = pending.result.inventory.unclaimed();
         let [vip] = vips.as_slice() else {
@@ -336,7 +337,7 @@ impl QuicInstance {
         let vip_addr = vip.addr;
         let mut result = tokio::task::spawn_blocking(move || pending.confirm())
             .await
-            .expect("confirm task panicked")?;
+            .map_err(|e| join_err("confirm", e))??;
         let group = result.inventory.claim_udp_group(vip_addr)?;
         result.inventory.finish()?;
         Self::from_sockets(group, info.generation + 1, info.udp_router_addr, config)
@@ -465,7 +466,7 @@ impl QuicInstance {
             server.serve_once(&inventory, info, Duration::from_secs(60))
         })
         .await
-        .expect("takeover server task panicked")?;
+        .map_err(|e| join_err("takeover server", e))??;
 
         // Successor owns the VIP; our routers now see no packets (the
         // kernel still delivers to the shared ring, but the successor's

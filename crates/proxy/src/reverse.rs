@@ -470,6 +470,8 @@ async fn forward_once(
             }
         }
         let connect_start_us = telemetry.clock().now_us();
+        // DEADLINE-OK: this whole async block runs under the caller's
+        // remaining-deadline timeout, which bounds the connect too.
         let mut conn = TcpStream::connect(upstream).await?;
         telemetry
             .upstream_connect_us

@@ -107,6 +107,8 @@ impl CloseSignal for QuicCloseSignal {
 
 /// Builds the CONNECTION_CLOSE datagram for one QUIC flow.
 pub fn quic_close_datagram(cid: zdr_proto::quic::ConnectionId) -> Bytes {
+    // PANIC-OK: CONNECTION_CLOSE is a fixed-shape datagram well under the
+    // length limits; encoding it cannot fail.
     zdr_proto::quic::encode(&zdr_proto::quic::Datagram::connection_close(cid))
         .expect("close datagram encoding is infallible")
 }

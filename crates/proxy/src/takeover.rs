@@ -129,21 +129,30 @@ pub enum SupervisedOutcome {
     },
 }
 
+/// Folds a blocking-pool join failure (the spawned closure panicked or was
+/// cancelled) into the release error channel: a takeover helper that dies
+/// must surface as a retryable/abortable handshake failure, never as a
+/// panic unwinding through the serving task.
+pub(crate) fn join_err(stage: &str, e: tokio::task::JoinError) -> zdr_net::NetError {
+    zdr_net::NetError::Handshake(format!("{stage} task panicked: {e}"))
+}
+
 /// Binds the takeover path, retrying briefly: with strict stale-socket
 /// handling a just-retired predecessor may still hold the path (and its
 /// live server refuses replacement) for a beat while it tears down.
 fn bind_with_retry(path: &Path) -> zdr_net::Result<TakeoverServer> {
-    let mut last = None;
-    for _ in 0..50 {
+    let mut last = match TakeoverServer::bind(path) {
+        Ok(server) => return Ok(server),
+        Err(e) => e,
+    };
+    for _ in 0..49 {
+        std::thread::sleep(Duration::from_millis(100));
         match TakeoverServer::bind(path) {
             Ok(server) => return Ok(server),
-            Err(e) => {
-                last = Some(e);
-                std::thread::sleep(Duration::from_millis(100));
-            }
+            Err(e) => last = e,
         }
     }
-    Err(last.expect("retry loop ran at least once"))
+    Err(last)
 }
 
 impl ProxyInstance {
@@ -215,7 +224,7 @@ impl ProxyInstance {
         let (pending, vip_addr, info) = Self::request_and_claim(&config).await?;
         let mut result = tokio::task::spawn_blocking(move || pending.confirm())
             .await
-            .expect("confirm task panicked")?;
+            .map_err(|e| join_err("confirm", e))??;
         let pause_us = clock.now_us().saturating_sub(handshake_start_us);
         let listener = result.inventory.claim_tcp(vip_addr)?;
         result.inventory.finish()?;
@@ -238,7 +247,7 @@ impl ProxyInstance {
         let (pending, vip_addr, info) = Self::request_and_claim(&config).await?;
         let (mut result, release) = tokio::task::spawn_blocking(move || pending.confirm_watched())
             .await
-            .expect("confirm task panicked")?;
+            .map_err(|e| join_err("confirm", e))??;
         let pause_us = clock.now_us().saturating_sub(handshake_start_us);
         let listener = result.inventory.claim_tcp(vip_addr)?;
         result.inventory.finish()?;
@@ -255,7 +264,7 @@ impl ProxyInstance {
         let pending =
             tokio::task::spawn_blocking(move || request_takeover(&path, Duration::from_secs(30)))
                 .await
-                .expect("takeover task panicked")?;
+                .map_err(|e| join_err("takeover request", e))??;
 
         let info = pending.result.info.clone();
         let vips = pending.result.inventory.unclaimed();
@@ -350,7 +359,7 @@ impl ProxyInstance {
             server.serve_once(&inventory, info, Duration::from_secs(60))
         })
         .await
-        .expect("takeover server task panicked")?;
+        .map_err(|e| join_err("takeover server", e))??;
         debug_assert_eq!(outcome, ServeOutcome::DrainNow);
         self.reverse.stats.telemetry.event(
             ReleasePhase::Confirm,
@@ -413,7 +422,9 @@ impl ProxyInstance {
                 server.serve_once_watched(&inventory, info, attempt_timeout, &*attempt_faults)
             })
             .await
-            .expect("takeover server task panicked");
+            // A panicked attempt is just a failed attempt: fold the join
+            // error into the retry/abort path below.
+            .unwrap_or_else(|e| Err(join_err("takeover server", e)));
 
             match result {
                 Ok(watch) => break watch,
@@ -457,7 +468,7 @@ impl ProxyInstance {
             (watch, health)
         })
         .await
-        .expect("watch task panicked");
+        .map_err(|e| join_err("watch", e))?;
 
         match health {
             Ok(true) => {
@@ -496,9 +507,18 @@ impl ProxyInstance {
                 // retained clone shares the kernel socket, so rebuilding
                 // from it resumes accepts either way, and SYNs that arrived
                 // meanwhile are still queued in the backlog.
-                let _ = tokio::task::spawn_blocking(move || watch.reclaim(Duration::from_secs(5)))
-                    .await
-                    .expect("reclaim task panicked");
+                // The reclaim itself is already best-effort; a panicked
+                // reclaim task only loses the hand-back, which the shared
+                // kernel socket below tolerates. Record it and move on.
+                if let Err(e) =
+                    tokio::task::spawn_blocking(move || watch.reclaim(Duration::from_secs(5))).await
+                {
+                    stats.telemetry.event(
+                        ReleasePhase::Rollback,
+                        generation,
+                        format!("reclaim task panicked: {e}"),
+                    );
+                }
                 let listener = self.handover_listener.try_clone()?;
                 let instance =
                     Self::from_std_listener(listener, self.generation, self.config.clone())?;
@@ -521,7 +541,7 @@ impl ProxyInstance {
         inventory.add_tcp(self.addr, self.handover_listener);
         tokio::task::spawn_blocking(move || release.serve_reclaim(&inventory, info))
             .await
-            .expect("reclaim task panicked")?;
+            .map_err(|e| join_err("reclaim", e))??;
         self.reverse.stats.telemetry.event(
             ReleasePhase::Reclaimed,
             u64::from(self.generation),

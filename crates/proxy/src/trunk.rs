@@ -27,6 +27,8 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::TcpStream;
 use tokio::sync::{mpsc, oneshot, watch};
 
+use zdr_core::clock::unix_now_ms;
+use zdr_proto::deadline::Deadline;
 use zdr_proto::h2::{self, ErrorCode, Frame, Multiplexer};
 
 /// Events surfaced to a stream consumer.
@@ -183,10 +185,22 @@ impl TrunkHandle {
 }
 
 /// Establishes the client (stream-initiating, e.g. Edge) side of a trunk.
+/// The TCP dial is bounded by `deadline`: a black-holed Origin yields
+/// `TimedOut` instead of stalling tunnel establishment indefinitely.
 pub async fn connect(
     addr: std::net::SocketAddr,
+    deadline: Deadline,
 ) -> std::io::Result<(TrunkHandle, mpsc::Receiver<TrunkStream>)> {
-    let stream = TcpStream::connect(addr).await?;
+    let timed_out = || {
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "trunk connect deadline expired",
+        )
+    };
+    let remaining = deadline.remaining(unix_now_ms()).ok_or_else(timed_out)?;
+    let stream = tokio::time::timeout(remaining, TcpStream::connect(addr))
+        .await
+        .map_err(|_| timed_out())??;
     Ok(spawn_connection(stream, Multiplexer::client()))
 }
 
@@ -223,6 +237,8 @@ fn spawn_connection(
     (handle, incoming_rx)
 }
 
+// ALLOW: the connection task owns every channel end the handle and the
+// mux need; packing them into a struct would only rename the arg list.
 #[allow(clippy::too_many_arguments)]
 async fn connection_task(
     stream: TcpStream,

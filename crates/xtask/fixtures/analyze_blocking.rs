@@ -1,0 +1,23 @@
+//! Seeded violations for the async-blocking pass. Parsed, never compiled.
+
+async fn serve_loop() {
+    // Direct blocking call in an async body: flagged.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    // Taints `nap`: the sleep inside it is flagged with this fn as witness.
+    nap();
+    tokio::task::spawn_blocking(|| {
+        // Inside a spawn_blocking closure: clean.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    });
+    // BLOCKING-OK: startup-only pause, measured under a millisecond
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn offline_only() {
+    // Never called from async context: clean.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

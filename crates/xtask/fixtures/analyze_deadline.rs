@@ -1,0 +1,20 @@
+//! Seeded violations for the deadline-coverage pass. Parsed, never compiled.
+
+use tokio::net::TcpStream;
+
+async fn naked(addr: std::net::SocketAddr) {
+    let _ = TcpStream::connect(addr).await; // flagged: no deadline bound
+}
+
+async fn bounded(addr: std::net::SocketAddr) {
+    let _ = tokio::time::timeout(
+        std::time::Duration::from_millis(5),
+        TcpStream::connect(addr), // clean: lexically inside timeout(..)
+    )
+    .await;
+}
+
+async fn justified(addr: std::net::SocketAddr) {
+    // DEADLINE-OK: health probe raced against a bounded select! arm upstream
+    let _ = TcpStream::connect(addr).await;
+}

@@ -1,0 +1,33 @@
+//! Seeded violations for the await-holding-guard pass. Parsed, never compiled.
+
+struct Shared {
+    inner: std::sync::Mutex<u64>,
+}
+
+async fn tick() {}
+
+async fn bad(shared: &Shared) {
+    let guard = shared.inner.lock().unwrap();
+    tick().await; // flagged: `guard` is still live
+    drop(guard);
+}
+
+async fn good(shared: &Shared) {
+    let done = shared.inner.lock().unwrap();
+    drop(done);
+    tick().await; // clean: dropped before the await
+}
+
+async fn scoped(shared: &Shared) {
+    {
+        let _held = shared.inner.lock().unwrap();
+    }
+    tick().await; // clean: the guard died with its block
+}
+
+async fn justified(shared: &Shared) {
+    let excused = shared.inner.lock().unwrap();
+    // GUARD-OK: protects one counter bump; no task can park on this lock
+    tick().await;
+    drop(excused);
+}

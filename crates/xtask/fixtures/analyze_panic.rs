@@ -1,0 +1,29 @@
+//! Seeded violations for the panic-path pass. Parsed, never compiled.
+
+async fn serve_conn(frame: &[u8]) {
+    let len = parse_len(frame);
+    let _ = len;
+}
+
+fn parse_len(frame: &[u8]) -> u64 {
+    // Reachable from the `serve_conn` entry point: flagged.
+    decode(frame).unwrap()
+}
+
+fn decode(frame: &[u8]) -> Option<u64> {
+    if frame.len() < 8 {
+        return None;
+    }
+    // Indexing is reported only under --strict-index.
+    Some(frame[0] as u64)
+}
+
+fn handle_frame(frame: &[u8]) -> u64 {
+    // PANIC-OK: the accept path validated the frame length before dispatch
+    decode(frame).unwrap()
+}
+
+fn offline() -> u64 {
+    // Not reachable from any data-plane entry point: clean.
+    decode(&[]).unwrap()
+}

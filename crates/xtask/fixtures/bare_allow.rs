@@ -1,0 +1,16 @@
+//! Seeded violations for the allow-justified lint rule. Parsed, never compiled.
+
+// ALLOW: the relay fans out to many sinks; the arg list is the protocol
+#[allow(clippy::too_many_arguments)]
+fn justified(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u8 {
+    a + b + c + d + e + f + g + h
+}
+
+#[allow(dead_code)]
+fn bare() {}
+
+#[cfg(test)]
+mod tests {
+    #[allow(dead_code)]
+    fn exempt_in_tests() {}
+}

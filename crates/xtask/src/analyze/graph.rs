@@ -1,0 +1,894 @@
+//! Cross-crate call-graph extraction for `cargo xtask analyze`.
+//!
+//! One syn pass over every workspace source file records, per function:
+//! the calls it makes (with enough path/receiver context to resolve them
+//! heuristically), the blocking/panic/connect sites inside it, and the
+//! execution context each site runs under (async, inherited from the
+//! caller, or explicitly blocking-allowed via `spawn_blocking` /
+//! `thread::spawn`). Resolution into edges happens after all files are
+//! extracted, so cross-crate calls link up by name + receiver-type
+//! heuristics documented in DESIGN.md §12.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use syn::spanned::Spanned;
+use syn::visit::{self, Visit};
+
+/// The execution context a call or blocking site occurs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctx {
+    /// Lexically inside an `async fn` body or `async {}` block.
+    Async,
+    /// Inside a sync fn body: asyncness is inherited from whoever calls it.
+    Inherit,
+    /// Inside a `spawn_blocking` / `thread::spawn` closure: blocking is fine.
+    BlockingAllowed,
+}
+
+/// A site that may block the executor (pass 1).
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub line: usize,
+    pub stmt_line: usize,
+    pub what: String,
+    pub ctx: Ctx,
+}
+
+/// A site that may panic (pass 4).
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub line: usize,
+    pub stmt_line: usize,
+    pub what: String,
+    /// Indexing sites are only reported under `--strict-index`.
+    pub strict_only: bool,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone)]
+pub enum CalleeRef {
+    /// A path call: `foo()`, `module::foo()`, `zdr_net::takeover::request()`.
+    /// Segments are already expanded through the file's `use` map.
+    Free { path: Vec<String> },
+    /// A qualified call: `Type::method()`.
+    Typed { ty: String, method: String },
+    /// A method call: `recv.method()`, with the receiver type when inferable.
+    Method {
+        method: String,
+        recv_ty: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: CalleeRef,
+    pub ctx: Ctx,
+}
+
+/// One extracted function (free fn, inherent/trait method, or default body).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub crate_name: String,
+    pub file: usize, // index into the file table held by the caller
+    pub line: usize,
+    pub name: String,
+    pub self_ty: Option<String>,
+    pub is_async: bool,
+    pub calls: Vec<CallSite>,
+    pub blocking: Vec<Site>,
+    pub connects: Vec<Site>,
+    pub panics: Vec<PanicSite>,
+}
+
+impl FnDef {
+    /// `Type::method` or bare name, for diagnostics.
+    pub fn qualified_name(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub caller: usize,
+    pub callee: usize,
+    pub ctx: Ctx,
+}
+
+/// Path roots that never resolve to workspace functions. Note `core` here
+/// is the *language* core library — our `core` crate is imported as
+/// `zdr_core`, so the bare root is unambiguous.
+const EXTERNAL_ROOTS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "tokio",
+    "parking_lot",
+    "serde",
+    "serde_json",
+    "libc",
+    "rand",
+    "futures",
+    "bytes",
+    "loom",
+    "proc_macro2",
+    "quote",
+    "syn",
+    "crossbeam",
+];
+
+/// Maps a `use`/path crate root to a workspace crate directory name.
+fn workspace_crate_of_root(root: &str) -> Option<String> {
+    if root == "zero_downtime_release" {
+        return Some("zdr".to_string());
+    }
+    root.strip_prefix("zdr_").map(|rest| rest.to_string())
+}
+
+/// Maps a root-relative file path to its workspace crate name, or `None`
+/// for files that are not part of an analyzed crate.
+pub fn crate_of(rel: &Path) -> Option<String> {
+    let comps: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    match comps.first().map(String::as_str) {
+        Some("crates") => comps.get(1).cloned(),
+        Some("src") => Some("zdr".to_string()),
+        _ => None,
+    }
+}
+
+/// Strips references and transparent smart pointers down to the type name
+/// that methods actually dispatch on.
+fn type_last_seg(ty: &syn::Type) -> Option<String> {
+    match ty {
+        syn::Type::Reference(r) => type_last_seg(&r.elem),
+        syn::Type::Paren(p) => type_last_seg(&p.elem),
+        syn::Type::Group(g) => type_last_seg(&g.elem),
+        syn::Type::Path(p) => {
+            let seg = p.path.segments.last()?;
+            let name = seg.ident.to_string();
+            if matches!(name.as_str(), "Arc" | "Box" | "Rc") {
+                if let syn::PathArguments::AngleBracketed(args) = &seg.arguments {
+                    for arg in &args.args {
+                        if let syn::GenericArgument::Type(t) = arg {
+                            return type_last_seg(t);
+                        }
+                    }
+                }
+                Some(name)
+            } else {
+                Some(name)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Collects `use` aliases: local name -> full segment chain. Globs are
+/// ignored (we cannot know what they bring in).
+fn collect_use_tree(
+    tree: &syn::UseTree,
+    prefix: &mut Vec<String>,
+    map: &mut HashMap<String, Vec<String>>,
+) {
+    match tree {
+        syn::UseTree::Path(p) => {
+            prefix.push(p.ident.to_string());
+            collect_use_tree(&p.tree, prefix, map);
+            prefix.pop();
+        }
+        syn::UseTree::Name(n) => {
+            let mut full = prefix.clone();
+            full.push(n.ident.to_string());
+            map.insert(n.ident.to_string(), full);
+        }
+        syn::UseTree::Rename(r) => {
+            let mut full = prefix.clone();
+            full.push(r.ident.to_string());
+            map.insert(r.rename.to_string(), full);
+        }
+        syn::UseTree::Group(g) => {
+            for item in &g.items {
+                collect_use_tree(item, prefix, map);
+            }
+        }
+        syn::UseTree::Glob(_) => {}
+    }
+}
+
+struct UseCollector {
+    map: HashMap<String, Vec<String>>,
+}
+
+impl<'ast> Visit<'ast> for UseCollector {
+    fn visit_item_use(&mut self, i: &'ast syn::ItemUse) {
+        let mut prefix = Vec::new();
+        collect_use_tree(&i.tree, &mut prefix, &mut self.map);
+    }
+}
+
+/// `#[cfg(test)]` / `#[cfg(all(test, ...))]` detection, same word-match
+/// shape as the linter's.
+pub fn is_cfg_test(attrs: &[syn::Attribute]) -> bool {
+    use quote::ToTokens;
+    attrs.iter().any(|attr| {
+        if !attr.path().is_ident("cfg") {
+            return false;
+        }
+        let tokens = attr.to_token_stream().to_string();
+        tokens
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|word| word == "test")
+    })
+}
+
+fn is_test_fn(attrs: &[syn::Attribute]) -> bool {
+    attrs.iter().any(|attr| {
+        let path = attr.path();
+        path.is_ident("test") || path.segments.last().is_some_and(|s| s.ident == "test")
+    })
+}
+
+/// Phase A: global struct-field type map (`struct -> field -> type name`),
+/// used for receiver-type inference on `self.field.method()` chains.
+pub struct FieldMap {
+    pub fields: HashMap<String, HashMap<String, String>>,
+}
+
+struct FieldCollector {
+    fields: HashMap<String, HashMap<String, String>>,
+    test_mod_depth: usize,
+}
+
+impl<'ast> Visit<'ast> for FieldCollector {
+    fn visit_item_mod(&mut self, i: &'ast syn::ItemMod) {
+        let test = is_cfg_test(&i.attrs);
+        if test {
+            self.test_mod_depth += 1;
+        }
+        if !test {
+            visit::visit_item_mod(self, i);
+        }
+        if test {
+            self.test_mod_depth -= 1;
+        }
+    }
+
+    fn visit_item_struct(&mut self, i: &'ast syn::ItemStruct) {
+        if self.test_mod_depth > 0 {
+            return;
+        }
+        let entry = self.fields.entry(i.ident.to_string()).or_default();
+        if let syn::Fields::Named(named) = &i.fields {
+            for field in &named.named {
+                if let (Some(ident), Some(ty)) = (&field.ident, type_last_seg(&field.ty)) {
+                    entry.insert(ident.to_string(), ty);
+                }
+            }
+        }
+    }
+}
+
+/// Collects the field map across a set of parsed files.
+pub fn collect_fields<'a>(files: impl Iterator<Item = &'a syn::File>) -> FieldMap {
+    let mut collector = FieldCollector {
+        fields: HashMap::new(),
+        test_mod_depth: 0,
+    };
+    for file in files {
+        collector.visit_file(file);
+    }
+    FieldMap {
+        fields: collector.fields,
+    }
+}
+
+/// Blocking std::net verbs. `bind` is deliberately exempt: binding a
+/// listener is a local, non-routing syscall the takeover path performs
+/// on purpose before handing it to the runtime.
+const NET_BLOCKING_VERBS: &[&str] = &[
+    "connect",
+    "accept",
+    "read",
+    "write",
+    "recv",
+    "recv_from",
+    "send",
+    "send_to",
+    "peek",
+];
+
+const PROCESS_BLOCKING_VERBS: &[&str] = &["output", "status", "wait", "spawn"];
+
+/// The per-file extraction visitor.
+pub struct Extractor<'f> {
+    crate_name: String,
+    file_idx: usize,
+    use_map: HashMap<String, Vec<String>>,
+    /// Lock type names this file imported from `std::sync` (facade and
+    /// parking_lot imports are exempt by construction).
+    std_sync_locks: Vec<String>,
+    field_map: &'f FieldMap,
+    pub fns: Vec<FnDef>,
+    // --- stacks ---
+    fn_stack: Vec<usize>,
+    ctx_stack: Vec<Ctx>,
+    impl_ty: Vec<Option<String>>,
+    stmt_lines: Vec<usize>,
+    locals: Vec<HashMap<String, String>>,
+    test_mod_depth: usize,
+    timeout_depth: usize,
+}
+
+impl<'f> Extractor<'f> {
+    pub fn new(crate_name: String, file_idx: usize, field_map: &'f FieldMap) -> Self {
+        Extractor {
+            crate_name,
+            file_idx,
+            use_map: HashMap::new(),
+            std_sync_locks: Vec::new(),
+            field_map,
+            fns: Vec::new(),
+            fn_stack: Vec::new(),
+            ctx_stack: Vec::new(),
+            impl_ty: Vec::new(),
+            stmt_lines: Vec::new(),
+            locals: Vec::new(),
+            test_mod_depth: 0,
+            timeout_depth: 0,
+        }
+    }
+
+    pub fn extract(mut self, file: &syn::File) -> Vec<FnDef> {
+        let mut uses = UseCollector {
+            map: HashMap::new(),
+        };
+        uses.visit_file(file);
+        for (alias, full) in &uses.map {
+            if full.len() >= 3
+                && full[0] == "std"
+                && full[1] == "sync"
+                && matches!(full.last().map(String::as_str), Some("Mutex" | "RwLock"))
+            {
+                self.std_sync_locks.push(alias.clone());
+            }
+        }
+        self.use_map = uses.map;
+        self.visit_file(file);
+        self.fns
+    }
+
+    fn effective_ctx(&self) -> Ctx {
+        self.ctx_stack.last().copied().unwrap_or(Ctx::Inherit)
+    }
+
+    fn cur_fn(&mut self) -> Option<&mut FnDef> {
+        let idx = *self.fn_stack.last()?;
+        self.fns.get_mut(idx)
+    }
+
+    fn anchor_line(&self, line: usize) -> usize {
+        self.stmt_lines.last().copied().unwrap_or(line)
+    }
+
+    /// Expands a path through the file's `use` map and the enclosing
+    /// `impl` type (for `Self::`).
+    fn expand_path(&self, path: &syn::Path) -> Vec<String> {
+        let mut segs: Vec<String> = path.segments.iter().map(|s| s.ident.to_string()).collect();
+        if let Some(first) = segs.first() {
+            if first == "Self" {
+                if let Some(Some(ty)) = self.impl_ty.last() {
+                    segs[0] = ty.clone();
+                }
+            } else if let Some(full) = self.use_map.get(first) {
+                let mut expanded = full.clone();
+                expanded.extend(segs.iter().skip(1).cloned());
+                segs = expanded;
+            }
+        }
+        segs
+    }
+
+    /// Best-effort receiver type for a method call.
+    fn recv_type(&self, expr: &syn::Expr) -> Option<String> {
+        match expr {
+            syn::Expr::Path(p) => {
+                if p.path.segments.len() != 1 {
+                    return None;
+                }
+                let name = p.path.segments[0].ident.to_string();
+                if name == "self" {
+                    return self.impl_ty.last().cloned().flatten();
+                }
+                for scope in self.locals.iter().rev() {
+                    if let Some(ty) = scope.get(&name) {
+                        return Some(ty.clone());
+                    }
+                }
+                None
+            }
+            syn::Expr::Field(f) => {
+                let base = self.recv_type(&f.base)?;
+                let member = match &f.member {
+                    syn::Member::Named(ident) => ident.to_string(),
+                    syn::Member::Unnamed(_) => return None,
+                };
+                self.field_map.fields.get(&base)?.get(&member).cloned()
+            }
+            syn::Expr::MethodCall(m)
+                if matches!(
+                    m.method.to_string().as_str(),
+                    "clone" | "as_ref" | "as_mut" | "borrow" | "to_owned"
+                ) =>
+            {
+                self.recv_type(&m.receiver)
+            }
+            syn::Expr::Reference(r) => self.recv_type(&r.expr),
+            syn::Expr::Paren(p) => self.recv_type(&p.expr),
+            syn::Expr::Unary(u) => self.recv_type(&u.expr),
+            _ => None,
+        }
+    }
+
+    /// Infers a local's type from its initializer: `Ty::ctor(..)`,
+    /// `Ty { .. }`, or a clone of a known local.
+    fn init_type(&self, expr: &syn::Expr) -> Option<String> {
+        match expr {
+            syn::Expr::Call(call) => {
+                if let syn::Expr::Path(p) = &*call.func {
+                    let segs = self.expand_path(&p.path);
+                    if segs.len() >= 2 {
+                        let ty = &segs[segs.len() - 2];
+                        if ty.chars().next().is_some_and(|c| c.is_uppercase()) {
+                            return Some(ty.clone());
+                        }
+                    }
+                }
+                None
+            }
+            syn::Expr::Struct(s) => s
+                .path
+                .segments
+                .last()
+                .map(|seg| seg.ident.to_string())
+                .filter(|name| name != "Self"),
+            syn::Expr::MethodCall(m) if m.method == "clone" => self.recv_type(&m.receiver),
+            syn::Expr::Reference(r) => self.init_type(&r.expr),
+            _ => None,
+        }
+    }
+
+    fn record_local_type(&mut self, local: &syn::Local) {
+        let name = match &local.pat {
+            syn::Pat::Ident(p) => p.ident.to_string(),
+            syn::Pat::Type(t) => {
+                if let syn::Pat::Ident(p) = &*t.pat {
+                    let name = p.ident.to_string();
+                    if let Some(ty) = type_last_seg(&t.ty) {
+                        if let Some(scope) = self.locals.last_mut() {
+                            scope.insert(name, ty);
+                        }
+                    }
+                    return;
+                }
+                return;
+            }
+            _ => return,
+        };
+        if let Some(init) = &local.init {
+            if let Some(ty) = self.init_type(&init.expr) {
+                if let Some(scope) = self.locals.last_mut() {
+                    scope.insert(name, ty);
+                }
+            }
+        }
+    }
+
+    fn enter_fn(
+        &mut self,
+        name: String,
+        line: usize,
+        is_async: bool,
+        self_ty: Option<String>,
+        inputs: &syn::punctuated::Punctuated<syn::FnArg, syn::Token![,]>,
+    ) {
+        let mut locals = HashMap::new();
+        for input in inputs {
+            if let syn::FnArg::Typed(pat_ty) = input {
+                if let syn::Pat::Ident(p) = &*pat_ty.pat {
+                    if let Some(ty) = type_last_seg(&pat_ty.ty) {
+                        locals.insert(p.ident.to_string(), ty);
+                    }
+                }
+            }
+        }
+        self.fns.push(FnDef {
+            crate_name: self.crate_name.clone(),
+            file: self.file_idx,
+            line,
+            name,
+            self_ty,
+            is_async,
+            calls: Vec::new(),
+            blocking: Vec::new(),
+            connects: Vec::new(),
+            panics: Vec::new(),
+        });
+        self.fn_stack.push(self.fns.len() - 1);
+        self.ctx_stack
+            .push(if is_async { Ctx::Async } else { Ctx::Inherit });
+        self.locals.push(locals);
+    }
+
+    fn exit_fn(&mut self) {
+        self.fn_stack.pop();
+        self.ctx_stack.pop();
+        self.locals.pop();
+    }
+
+    fn record_call(&mut self, callee: CalleeRef) {
+        let ctx = self.effective_ctx();
+        if let Some(f) = self.cur_fn() {
+            f.calls.push(CallSite { callee, ctx });
+        }
+    }
+
+    fn record_blocking(&mut self, line: usize, what: String) {
+        let ctx = self.effective_ctx();
+        let stmt_line = self.anchor_line(line);
+        if let Some(f) = self.cur_fn() {
+            f.blocking.push(Site {
+                line,
+                stmt_line,
+                what,
+                ctx,
+            });
+        }
+    }
+
+    fn record_connect(&mut self, line: usize, what: String) {
+        let ctx = self.effective_ctx();
+        let stmt_line = self.anchor_line(line);
+        if let Some(f) = self.cur_fn() {
+            f.connects.push(Site {
+                line,
+                stmt_line,
+                what,
+                ctx,
+            });
+        }
+    }
+
+    fn record_panic(&mut self, line: usize, what: String, strict_only: bool) {
+        let stmt_line = self.anchor_line(line);
+        if let Some(f) = self.cur_fn() {
+            f.panics.push(PanicSite {
+                line,
+                stmt_line,
+                what,
+                strict_only,
+            });
+        }
+    }
+
+    /// Checks an expanded path against the blocking-call table.
+    fn blocking_what(&self, segs: &[String]) -> Option<String> {
+        let last = segs.last()?.as_str();
+        if segs.len() >= 2 && segs[0] == "std" && segs[1] == "fs" {
+            return Some(segs.join("::"));
+        }
+        if segs.len() >= 2
+            && segs[0] == "std"
+            && segs[1] == "net"
+            && NET_BLOCKING_VERBS.contains(&last)
+        {
+            return Some(segs.join("::"));
+        }
+        // `std::thread::sleep` and the `core::sync` facade's re-export
+        // (`zdr_core::sync::thread::sleep`) both block a worker thread.
+        if last == "sleep" && segs.len() >= 2 && segs[segs.len() - 2] == "thread" {
+            return Some(segs.join("::"));
+        }
+        if segs.len() >= 3
+            && segs[0] == "std"
+            && segs[1] == "process"
+            && PROCESS_BLOCKING_VERBS.contains(&last)
+        {
+            return Some(segs.join("::"));
+        }
+        None
+    }
+
+    fn is_spawn_blocking_path(segs: &[String]) -> bool {
+        match segs.last().map(String::as_str) {
+            Some("spawn_blocking") => true,
+            Some("spawn") => segs.len() >= 2 && segs[segs.len() - 2] == "thread",
+            _ => false,
+        }
+    }
+
+    fn in_test_context(&self) -> bool {
+        self.test_mod_depth > 0
+    }
+}
+
+impl<'ast, 'f> Visit<'ast> for Extractor<'f> {
+    fn visit_item_mod(&mut self, i: &'ast syn::ItemMod) {
+        if is_cfg_test(&i.attrs) {
+            return; // test modules contribute nothing to the graph
+        }
+        visit::visit_item_mod(self, i);
+    }
+
+    fn visit_item_impl(&mut self, i: &'ast syn::ItemImpl) {
+        let ty = type_last_seg(&i.self_ty);
+        self.impl_ty.push(ty);
+        visit::visit_item_impl(self, i);
+        self.impl_ty.pop();
+    }
+
+    fn visit_item_fn(&mut self, i: &'ast syn::ItemFn) {
+        if self.in_test_context() || is_test_fn(&i.attrs) {
+            return;
+        }
+        self.enter_fn(
+            i.sig.ident.to_string(),
+            i.sig.ident.span().start().line,
+            i.sig.asyncness.is_some(),
+            None,
+            &i.sig.inputs,
+        );
+        self.visit_block(&i.block);
+        self.exit_fn();
+    }
+
+    fn visit_impl_item_fn(&mut self, i: &'ast syn::ImplItemFn) {
+        if self.in_test_context() || is_test_fn(&i.attrs) {
+            return;
+        }
+        let self_ty = self.impl_ty.last().cloned().flatten();
+        self.enter_fn(
+            i.sig.ident.to_string(),
+            i.sig.ident.span().start().line,
+            i.sig.asyncness.is_some(),
+            self_ty,
+            &i.sig.inputs,
+        );
+        self.visit_block(&i.block);
+        self.exit_fn();
+    }
+
+    fn visit_trait_item_fn(&mut self, i: &'ast syn::TraitItemFn) {
+        if self.in_test_context() || is_test_fn(&i.attrs) {
+            return;
+        }
+        if let Some(block) = &i.default {
+            self.enter_fn(
+                i.sig.ident.to_string(),
+                i.sig.ident.span().start().line,
+                i.sig.asyncness.is_some(),
+                None,
+                &i.sig.inputs,
+            );
+            self.visit_block(block);
+            self.exit_fn();
+        }
+    }
+
+    fn visit_stmt(&mut self, i: &'ast syn::Stmt) {
+        self.stmt_lines.push(i.span().start().line);
+        if let syn::Stmt::Local(local) = i {
+            self.record_local_type(local);
+        }
+        visit::visit_stmt(self, i);
+        self.stmt_lines.pop();
+    }
+
+    fn visit_expr_async(&mut self, i: &'ast syn::ExprAsync) {
+        self.ctx_stack.push(Ctx::Async);
+        visit::visit_expr_async(self, i);
+        self.ctx_stack.pop();
+    }
+
+    fn visit_expr_call(&mut self, i: &'ast syn::ExprCall) {
+        let mut spawn_blocking = false;
+        let mut is_timeout = false;
+        if let syn::Expr::Path(p) = &*i.func {
+            let segs = self.expand_path(&p.path);
+            if let Some(last) = segs.last() {
+                is_timeout = last == "timeout";
+            }
+            spawn_blocking = Self::is_spawn_blocking_path(&segs);
+            if let Some(what) = self.blocking_what(&segs) {
+                self.record_blocking(p.path.span().start().line, what);
+            }
+            if segs.len() >= 2
+                && segs[segs.len() - 2] == "TcpStream"
+                && segs.last().map(String::as_str) == Some("connect")
+                && self.timeout_depth == 0
+            {
+                self.record_connect(p.path.span().start().line, "TcpStream::connect".to_string());
+            }
+            // Record the call edge.
+            if segs.len() >= 2
+                && segs[segs.len() - 2]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_uppercase())
+            {
+                self.record_call(CalleeRef::Typed {
+                    ty: segs[segs.len() - 2].clone(),
+                    method: segs.last().cloned().unwrap_or_default(),
+                });
+            } else {
+                self.record_call(CalleeRef::Free { path: segs });
+            }
+        } else {
+            // Calling a closure/field: visit the callee expr normally.
+            self.visit_expr(&i.func);
+        }
+
+        if is_timeout {
+            self.timeout_depth += 1;
+        }
+        for arg in &i.args {
+            if spawn_blocking {
+                if let syn::Expr::Closure(closure) = arg {
+                    self.ctx_stack.push(Ctx::BlockingAllowed);
+                    self.visit_expr(&closure.body);
+                    self.ctx_stack.pop();
+                    continue;
+                }
+            }
+            self.visit_expr(arg);
+        }
+        if is_timeout {
+            self.timeout_depth -= 1;
+        }
+    }
+
+    fn visit_expr_method_call(&mut self, i: &'ast syn::ExprMethodCall) {
+        let method = i.method.to_string();
+        let line = i.method.span().start().line;
+        match method.as_str() {
+            "unwrap" | "expect" => {
+                self.record_panic(line, method.clone(), false);
+            }
+            "block_on" => {
+                self.record_blocking(line, "block_on".to_string());
+            }
+            _ => {}
+        }
+        let recv_ty = self.recv_type(&i.receiver);
+        if matches!(method.as_str(), "lock" | "read" | "write") {
+            if let Some(ty) = &recv_ty {
+                if self.std_sync_locks.iter().any(|l| l == ty) {
+                    self.record_blocking(line, format!("std::sync::{ty}::{method}"));
+                }
+            }
+        }
+        self.record_call(CalleeRef::Method { method, recv_ty });
+        visit::visit_expr_method_call(self, i);
+    }
+
+    fn visit_expr_index(&mut self, i: &'ast syn::ExprIndex) {
+        self.record_panic(i.span().start().line, "indexing".to_string(), true);
+        visit::visit_expr_index(self, i);
+    }
+
+    fn visit_macro(&mut self, i: &'ast syn::Macro) {
+        if let Some(last) = i.path.segments.last() {
+            let name = last.ident.to_string();
+            if matches!(
+                name.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) {
+                self.record_panic(i.path.span().start().line, format!("{name}!"), false);
+            }
+        }
+        visit::visit_macro(self, i);
+    }
+}
+
+/// Resolves recorded call sites into edges over the extracted functions.
+pub fn resolve(fns: &[FnDef]) -> Vec<Edge> {
+    let mut free: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut typed: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    let mut by_method: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        match &f.self_ty {
+            Some(ty) => {
+                typed
+                    .entry((ty.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(idx);
+                by_method.entry(f.name.as_str()).or_default().push(idx);
+            }
+            None => {
+                free.entry(f.name.as_str()).or_default().push(idx);
+            }
+        }
+    }
+
+    let narrow = |candidates: &[usize], hint: Option<&str>, caller_crate: &str| -> Vec<usize> {
+        if let Some(hint) = hint {
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].crate_name == hint)
+                .collect();
+        }
+        let same: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].crate_name == caller_crate)
+            .collect();
+        if !same.is_empty() {
+            same
+        } else {
+            candidates.to_vec()
+        }
+    };
+
+    let mut edges = Vec::new();
+    for (caller, f) in fns.iter().enumerate() {
+        for call in &f.calls {
+            let targets: Vec<usize> = match &call.callee {
+                CalleeRef::Free { path } => {
+                    let Some(last) = path.last() else { continue };
+                    let first = path.first().map(String::as_str).unwrap_or("");
+                    let hint: Option<String>;
+                    if matches!(first, "crate" | "self" | "super") {
+                        hint = Some(f.crate_name.clone());
+                    } else if let Some(ws) = workspace_crate_of_root(first) {
+                        hint = Some(ws);
+                    } else if EXTERNAL_ROOTS.contains(&first) {
+                        continue;
+                    } else if first.chars().next().is_some_and(|c| c.is_uppercase()) {
+                        hint = None;
+                    } else {
+                        // A bare or module-relative path: the use map already
+                        // expanded imports, so this stays in the caller crate.
+                        hint = Some(f.crate_name.clone());
+                    }
+                    match free.get(last.as_str()) {
+                        Some(c) => narrow(c, hint.as_deref(), &f.crate_name),
+                        None => continue,
+                    }
+                }
+                CalleeRef::Typed { ty, method } => {
+                    match typed.get(&(ty.as_str(), method.as_str())) {
+                        Some(c) => narrow(c, None, &f.crate_name),
+                        None => continue,
+                    }
+                }
+                CalleeRef::Method { method, recv_ty } => match recv_ty {
+                    Some(ty) => match typed.get(&(ty.as_str(), method.as_str())) {
+                        Some(c) => narrow(c, None, &f.crate_name),
+                        None => continue,
+                    },
+                    None => match by_method.get(method.as_str()) {
+                        // Untyped receivers resolve only when the name is
+                        // unambiguous workspace-wide.
+                        Some(c) if c.len() == 1 => c.clone(),
+                        _ => continue,
+                    },
+                },
+            };
+            for callee in targets {
+                edges.push(Edge {
+                    caller,
+                    callee,
+                    ctx: call.ctx,
+                });
+            }
+        }
+    }
+    edges
+}

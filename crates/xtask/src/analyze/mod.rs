@@ -1,0 +1,417 @@
+//! `cargo xtask analyze` — workspace-wide static analysis over a
+//! heuristic cross-crate call graph.
+//!
+//! Four passes (DESIGN.md §12): async-blocking, await-holding-guard,
+//! deadline-coverage, and panic-path. Findings are suppressed only by a
+//! verified justification comment (`// BLOCKING-OK: <reason>`,
+//! `// GUARD-OK: <reason>`, `// DEADLINE-OK: <reason>`,
+//! `// PANIC-OK: <reason>`) — the marker must carry a non-empty reason,
+//! either trailing on the flagged line or in the contiguous comment run
+//! above the flagged line or its enclosing statement.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::path::PathBuf;
+
+pub mod graph;
+pub mod passes;
+
+use passes::RawFinding;
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOptions {
+    /// Also report slice/array indexing on data-plane panic paths. Off by
+    /// default: the wire parsers index bounds-checked buffers constantly.
+    pub strict_index: bool,
+}
+
+/// A user-facing diagnostic, printed as `file:line: [pass] message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: PathBuf,
+    pub line: usize,
+    pub pass: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.pass,
+            self.message
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct AnalyzeOutcome {
+    pub findings: Vec<Finding>,
+    /// Parse/IO failures: these exit 2, distinct from rule violations.
+    pub errors: Vec<String>,
+}
+
+fn marker_for(pass: &str) -> &'static str {
+    match pass {
+        passes::PASS_BLOCKING => "BLOCKING-OK:",
+        passes::PASS_GUARD => "GUARD-OK:",
+        passes::PASS_DEADLINE => "DEADLINE-OK:",
+        _ => "PANIC-OK:",
+    }
+}
+
+/// True when `text` contains `marker` followed by a non-empty reason.
+fn line_has_marker(text: &str, marker: &str) -> bool {
+    match text.find(marker) {
+        Some(pos) => !text[pos + marker.len()..].trim().is_empty(),
+        None => false,
+    }
+}
+
+/// Scans the contiguous `//` comment run immediately above `anchor`
+/// (1-based line) for a justified marker.
+fn comment_run_has_marker(lines: &[String], anchor: usize, marker: &str) -> bool {
+    let mut idx = anchor.saturating_sub(1); // 0-based index of the anchor line
+    while idx > 0 {
+        let text = lines[idx - 1].trim_start();
+        if !text.starts_with("//") {
+            return false;
+        }
+        if line_has_marker(text, marker) {
+            return true;
+        }
+        idx -= 1;
+    }
+    false
+}
+
+fn suppressed(lines: &[String], line: usize, stmt_line: usize, marker: &str) -> bool {
+    (line >= 1 && line <= lines.len() && line_has_marker(&lines[line - 1], marker))
+        || comment_run_has_marker(lines, line, marker)
+        || comment_run_has_marker(lines, stmt_line, marker)
+}
+
+struct FileEntry {
+    path: PathBuf,
+    crate_name: String,
+    lines: Vec<String>,
+    ast: syn::File,
+}
+
+/// Runs all four passes over `sources` (root-relative path + contents).
+///
+/// Files outside analyzed crates — `sim`, `bench`, `xtask`, integration
+/// `tests/`, `benches/`, and anything not under `crates/` or `src/` —
+/// are skipped: they never run on the data plane.
+pub fn analyze_sources(sources: &[(PathBuf, String)], opts: &AnalyzeOptions) -> AnalyzeOutcome {
+    let mut errors: Vec<String> = Vec::new();
+    let mut files: Vec<FileEntry> = Vec::new();
+    for (path, src) in sources {
+        let Some(crate_name) = graph::crate_of(path) else {
+            continue;
+        };
+        if matches!(crate_name.as_str(), "sim" | "bench" | "xtask") {
+            continue;
+        }
+        if path
+            .components()
+            .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches")
+        {
+            continue;
+        }
+        match syn::parse_file(src) {
+            Ok(ast) => files.push(FileEntry {
+                path: path.clone(),
+                crate_name,
+                lines: src.lines().map(String::from).collect(),
+                ast,
+            }),
+            Err(e) => errors.push(format!("{}: parse error: {e}", path.display())),
+        }
+    }
+
+    let field_map = graph::collect_fields(files.iter().map(|f| &f.ast));
+    let mut fns = Vec::new();
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for (idx, entry) in files.iter().enumerate() {
+        let extractor = graph::Extractor::new(entry.crate_name.clone(), idx, &field_map);
+        fns.extend(extractor.extract(&entry.ast));
+        let mut guards = passes::GuardScan::new(idx);
+        guards.run(&entry.ast);
+        raw.extend(guards.findings);
+    }
+    let edges = graph::resolve(&fns);
+
+    raw.extend(passes::async_blocking(&fns, &edges));
+    let proxy_files: HashSet<usize> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.path.starts_with("crates/proxy"))
+        .map(|(i, _)| i)
+        .collect();
+    raw.extend(passes::deadline_coverage(&fns, &proxy_files));
+    raw.extend(passes::panic_paths(&fns, &edges, opts.strict_index));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for r in raw {
+        let lines = &files[r.file].lines;
+        if suppressed(lines, r.line, r.stmt_line, marker_for(r.pass)) {
+            continue;
+        }
+        findings.push(Finding {
+            file: files[r.file].path.clone(),
+            line: r.line,
+            pass: r.pass,
+            message: r.message,
+        });
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
+    });
+    findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.pass == b.pass && a.message == b.message
+    });
+    errors.sort();
+    AnalyzeOutcome { findings, errors }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled `--json` rendering (xtask deliberately has no serde).
+pub fn render_json(outcome: &AnalyzeOutcome) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"pass\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            f.pass,
+            json_escape(&f.message)
+        ));
+    }
+    if !outcome.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"errors\": [");
+    for (i, e) in outcome.errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", json_escape(e)));
+    }
+    if !outcome.errors.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_fixture(path: &str, src: &str, strict: bool) -> AnalyzeOutcome {
+        analyze_sources(
+            &[(PathBuf::from(path), src.to_string())],
+            &AnalyzeOptions {
+                strict_index: strict,
+            },
+        )
+    }
+
+    fn of_pass<'a>(outcome: &'a AnalyzeOutcome, pass: &str) -> Vec<&'a Finding> {
+        outcome.findings.iter().filter(|f| f.pass == pass).collect()
+    }
+
+    const BLOCKING_FIXTURE: &str = include_str!("../../fixtures/analyze_blocking.rs");
+    const GUARD_FIXTURE: &str = include_str!("../../fixtures/analyze_guard.rs");
+    const DEADLINE_FIXTURE: &str = include_str!("../../fixtures/analyze_deadline.rs");
+    const PANIC_FIXTURE: &str = include_str!("../../fixtures/analyze_panic.rs");
+
+    #[test]
+    fn blocking_pass_catches_direct_and_tainted_sites() {
+        let outcome = analyze_fixture("crates/proxy/src/fix.rs", BLOCKING_FIXTURE, false);
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        let blocking = of_pass(&outcome, passes::PASS_BLOCKING);
+        assert_eq!(blocking.len(), 2, "{:#?}", outcome.findings);
+        assert!(
+            blocking.iter().any(|f| f.message.contains("serve_loop")),
+            "direct async-context sleep must be flagged: {blocking:#?}"
+        );
+        assert!(
+            blocking.iter().any(|f| f.message.contains("`nap`")),
+            "sleep behind a sync helper must be flagged via taint: {blocking:#?}"
+        );
+    }
+
+    #[test]
+    fn blocking_pass_respects_spawn_blocking_and_suppression() {
+        let outcome = analyze_fixture("crates/proxy/src/fix.rs", BLOCKING_FIXTURE, false);
+        let blocking = of_pass(&outcome, passes::PASS_BLOCKING);
+        assert!(
+            !blocking.iter().any(|f| f.message.contains("offline_only")),
+            "a sync fn never reached from async context is clean: {blocking:#?}"
+        );
+        // The suppressed site and the spawn_blocking closure contribute the
+        // difference between "all sleeps" (4 in async context) and the two
+        // reported ones.
+        assert_eq!(blocking.len(), 2);
+    }
+
+    #[test]
+    fn guard_pass_flags_live_guard_across_await() {
+        let outcome = analyze_fixture("crates/proxy/src/fix.rs", GUARD_FIXTURE, false);
+        assert!(outcome.errors.is_empty());
+        let guard = of_pass(&outcome, passes::PASS_GUARD);
+        assert_eq!(guard.len(), 1, "{:#?}", outcome.findings);
+        assert!(guard[0].message.contains("`guard`"));
+    }
+
+    #[test]
+    fn deadline_pass_flags_naked_connect_only() {
+        let outcome = analyze_fixture("crates/proxy/src/fix_deadline.rs", DEADLINE_FIXTURE, false);
+        assert!(outcome.errors.is_empty());
+        let deadline = of_pass(&outcome, passes::PASS_DEADLINE);
+        assert_eq!(deadline.len(), 1, "{:#?}", outcome.findings);
+        assert!(deadline[0].message.contains("naked"));
+    }
+
+    #[test]
+    fn deadline_pass_scoped_to_proxy_crate() {
+        let outcome = analyze_fixture("crates/broker/src/fix.rs", DEADLINE_FIXTURE, false);
+        assert!(of_pass(&outcome, passes::PASS_DEADLINE).is_empty());
+    }
+
+    #[test]
+    fn panic_pass_reachability_and_suppression() {
+        let outcome = analyze_fixture("crates/proxy/src/fix_panic.rs", PANIC_FIXTURE, false);
+        assert!(outcome.errors.is_empty());
+        let panics = of_pass(&outcome, passes::PASS_PANIC);
+        assert_eq!(panics.len(), 1, "{:#?}", outcome.findings);
+        assert!(panics[0].message.contains("parse_len"));
+        assert!(panics[0].message.contains("serve_conn"));
+    }
+
+    #[test]
+    fn strict_index_adds_indexing_sites() {
+        let outcome = analyze_fixture("crates/proxy/src/fix_panic.rs", PANIC_FIXTURE, true);
+        let panics = of_pass(&outcome, passes::PASS_PANIC);
+        assert_eq!(panics.len(), 2, "{:#?}", outcome.findings);
+        assert!(panics.iter().any(|f| f.message.contains("indexing")));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_as_errors_not_findings() {
+        let outcome = analyze_fixture("crates/proxy/src/broken.rs", "fn broken( {", false);
+        assert!(outcome.findings.is_empty());
+        assert_eq!(outcome.errors.len(), 1);
+        assert!(outcome.errors[0].contains("parse error"));
+    }
+
+    #[test]
+    fn non_workspace_paths_are_ignored() {
+        let outcome = analyze_fixture("scratch.rs", "fn ok() { panic!(\"x\") }", false);
+        assert!(outcome.findings.is_empty());
+        assert!(outcome.errors.is_empty());
+    }
+
+    #[test]
+    fn test_files_and_excluded_crates_are_skipped() {
+        for path in [
+            "crates/proxy/tests/chaos.rs",
+            "crates/sim/src/lib.rs",
+            "crates/bench/src/main.rs",
+            "crates/xtask/src/lint.rs",
+        ] {
+            let outcome = analyze_fixture(path, PANIC_FIXTURE, true);
+            assert!(
+                outcome.findings.is_empty(),
+                "{path} should be outside the analyzer's scope"
+            );
+        }
+    }
+
+    #[test]
+    fn findings_are_sorted_and_stable() {
+        let sources = vec![
+            (
+                PathBuf::from("crates/proxy/src/fix_panic.rs"),
+                PANIC_FIXTURE.to_string(),
+            ),
+            (
+                PathBuf::from("crates/proxy/src/fix_blocking.rs"),
+                BLOCKING_FIXTURE.to_string(),
+            ),
+        ];
+        let outcome = analyze_sources(&sources, &AnalyzeOptions::default());
+        let keys: Vec<(String, usize)> = outcome
+            .findings
+            .iter()
+            .map(|f| (f.file.display().to_string(), f.line))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn real_mqtt_common_connect_is_deadline_bounded() {
+        // The exemplar deadline idiom: its TcpStream::connect sits inside
+        // tokio::time::timeout and must stay clean under pass 3.
+        let src = include_str!("../../../proxy/src/mqtt_common.rs");
+        let outcome = analyze_fixture("crates/proxy/src/mqtt_common.rs", src, false);
+        assert!(outcome.errors.is_empty());
+        let deadline = of_pass(&outcome, passes::PASS_DEADLINE);
+        assert!(deadline.is_empty(), "{deadline:#?}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_shapes() {
+        let outcome = AnalyzeOutcome {
+            findings: vec![Finding {
+                file: PathBuf::from("a.rs"),
+                line: 3,
+                pass: passes::PASS_PANIC,
+                message: "`unwrap` on \"thing\"".to_string(),
+            }],
+            errors: vec!["b.rs: parse error: oops".to_string()],
+        };
+        let json = render_json(&outcome);
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\\\"thing\\\""));
+        assert!(json.contains("parse error"));
+        let empty = render_json(&AnalyzeOutcome::default());
+        assert!(empty.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn suppression_requires_a_nonempty_reason() {
+        let src = "async fn f() {\n    // BLOCKING-OK:\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+        let outcome = analyze_fixture("crates/proxy/src/fix.rs", src, false);
+        assert_eq!(
+            of_pass(&outcome, passes::PASS_BLOCKING).len(),
+            1,
+            "a bare marker with no reason must not suppress"
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! The four analysis passes over the extracted call graph.
+//!
+//! Each pass emits `RawFinding`s (pre-suppression); `mod.rs` applies the
+//! per-pass justification markers (`// BLOCKING-OK:` etc.) before turning
+//! them into user-facing findings.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use syn::spanned::Spanned;
+use syn::visit::{self, Visit};
+
+use super::graph::{is_cfg_test, Ctx, Edge, FnDef};
+
+/// A pass result before suppression comments are considered.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub file: usize,
+    pub line: usize,
+    /// Statement anchor: a justification comment above the enclosing
+    /// statement also suppresses the finding.
+    pub stmt_line: usize,
+    pub pass: &'static str,
+    pub message: String,
+}
+
+pub const PASS_BLOCKING: &str = "async-blocking";
+pub const PASS_GUARD: &str = "await-holding-guard";
+pub const PASS_DEADLINE: &str = "deadline-coverage";
+pub const PASS_PANIC: &str = "panic-path";
+
+/// Crates whose functions count as data-plane code for the panic pass.
+const DATA_PLANE_CRATES: &[&str] = &["proxy", "net", "appserver", "broker", "zdr"];
+
+/// Function-name prefixes that mark data-plane entry points: accept
+/// loops, per-connection servers, and takeover choreography.
+const ENTRY_PREFIXES: &[&str] = &["serve", "accept", "handle_", "takeover", "relay", "spawn_"];
+
+fn is_entry(f: &FnDef) -> bool {
+    if !DATA_PLANE_CRATES.contains(&f.crate_name.as_str()) {
+        return false;
+    }
+    if f.name == "main" {
+        return true;
+    }
+    ENTRY_PREFIXES.iter().any(|p| f.name.starts_with(p))
+}
+
+/// Pass 1: blocking std calls reachable from async context.
+///
+/// A function is *async-tainted* if it is itself `async`, is called from
+/// an async body (`Ctx::Async` edge), or is called with `Ctx::Inherit`
+/// from a tainted function. `Ctx::BlockingAllowed` edges (spawn_blocking
+/// / thread::spawn closures) never propagate taint.
+pub fn async_blocking(fns: &[FnDef], edges: &[Edge]) -> Vec<RawFinding> {
+    let mut tainted_by: HashMap<usize, String> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (idx, f) in fns.iter().enumerate() {
+        if f.is_async {
+            tainted_by.insert(idx, format!("async fn `{}`", f.qualified_name()));
+            queue.push_back(idx);
+        }
+    }
+    let mut inherit_out: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in edges {
+        match e.ctx {
+            Ctx::Async => {
+                if let Entry::Vacant(slot) = tainted_by.entry(e.callee) {
+                    slot.insert(format!(
+                        "async context in `{}`",
+                        fns[e.caller].qualified_name()
+                    ));
+                    queue.push_back(e.callee);
+                }
+            }
+            Ctx::Inherit => inherit_out.entry(e.caller).or_default().push(e.callee),
+            Ctx::BlockingAllowed => {}
+        }
+    }
+    while let Some(g) = queue.pop_front() {
+        let witness = tainted_by.get(&g).cloned().unwrap_or_default();
+        if let Some(callees) = inherit_out.get(&g) {
+            for &callee in callees {
+                if let Entry::Vacant(slot) = tainted_by.entry(callee) {
+                    slot.insert(witness.clone());
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (idx, f) in fns.iter().enumerate() {
+        for site in &f.blocking {
+            let message = match site.ctx {
+                Ctx::Async => format!(
+                    "blocking call `{}` in async context in `{}`",
+                    site.what,
+                    f.qualified_name()
+                ),
+                Ctx::Inherit => match tainted_by.get(&idx) {
+                    Some(witness) => format!(
+                        "blocking call `{}` in `{}`, reachable from {witness}",
+                        site.what,
+                        f.qualified_name()
+                    ),
+                    None => continue,
+                },
+                Ctx::BlockingAllowed => continue,
+            };
+            findings.push(RawFinding {
+                file: f.file,
+                line: site.line,
+                stmt_line: site.stmt_line,
+                pass: PASS_BLOCKING,
+                message,
+            });
+        }
+    }
+    findings
+}
+
+/// Pass 3: every outbound `TcpStream::connect` in the proxy crate must be
+/// lexically inside a `timeout(...)` call (the `proto::deadline`-bounded
+/// idiom), so no upstream hop can outlive `x-zdr-deadline`.
+pub fn deadline_coverage(fns: &[FnDef], proxy_files: &HashSet<usize>) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    for f in fns {
+        if !proxy_files.contains(&f.file) {
+            continue;
+        }
+        for site in &f.connects {
+            findings.push(RawFinding {
+                file: f.file,
+                line: site.line,
+                stmt_line: site.stmt_line,
+                pass: PASS_DEADLINE,
+                message: format!(
+                    "`{}` in `{}` is not deadline-bounded: wrap it in \
+                     `tokio::time::timeout(deadline.remaining(..), ..)`",
+                    site.what,
+                    f.qualified_name()
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Pass 4: unwrap/expect/panic!-family sites reachable from data-plane
+/// entry points. Reachability follows *all* edges regardless of context —
+/// a panic inside a spawn_blocking task still kills that attempt.
+pub fn panic_paths(fns: &[FnDef], edges: &[Edge], strict_index: bool) -> Vec<RawFinding> {
+    let mut out: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in edges {
+        out.entry(e.caller).or_default().push(e.callee);
+    }
+    let mut reached_from: HashMap<usize, String> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (idx, f) in fns.iter().enumerate() {
+        if is_entry(f) {
+            reached_from.insert(idx, f.qualified_name());
+            queue.push_back(idx);
+        }
+    }
+    while let Some(g) = queue.pop_front() {
+        let entry = reached_from.get(&g).cloned().unwrap_or_default();
+        if let Some(callees) = out.get(&g) {
+            for &callee in callees {
+                if let Entry::Vacant(slot) = reached_from.entry(callee) {
+                    slot.insert(entry.clone());
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (idx, f) in fns.iter().enumerate() {
+        let Some(entry) = reached_from.get(&idx) else {
+            continue;
+        };
+        for site in &f.panics {
+            if site.strict_only && !strict_index {
+                continue;
+            }
+            findings.push(RawFinding {
+                file: f.file,
+                line: site.line,
+                stmt_line: site.stmt_line,
+                pass: PASS_PANIC,
+                message: format!(
+                    "`{}` in `{}` is reachable from data-plane entry `{entry}`",
+                    site.what,
+                    f.qualified_name()
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: sync lock guard held across an `.await` point.
+// ---------------------------------------------------------------------------
+
+/// Finds the first `.await` in a statement subtree, not descending into
+/// nested `async` blocks or closures (their awaits belong to a different
+/// execution scope).
+struct AwaitFinder {
+    line: Option<usize>,
+}
+
+impl<'ast> Visit<'ast> for AwaitFinder {
+    fn visit_expr_async(&mut self, _: &'ast syn::ExprAsync) {}
+    fn visit_expr_closure(&mut self, _: &'ast syn::ExprClosure) {}
+    fn visit_expr_await(&mut self, i: &'ast syn::ExprAwait) {
+        if self.line.is_none() {
+            self.line = Some(i.await_token.span().start().line);
+        }
+        visit::visit_expr_await(self, i);
+    }
+}
+
+fn first_await_line(stmt: &syn::Stmt) -> Option<usize> {
+    let mut finder = AwaitFinder { line: None };
+    finder.visit_stmt(stmt);
+    finder.line
+}
+
+/// Returns the lock-method line if `expr` is a sync lock acquisition:
+/// `x.lock()`, `x.read()`, `x.write()`, optionally wrapped in
+/// `unwrap`/`expect`/`?`. An awaited acquisition (`x.lock().await`) is an
+/// async mutex, whose guard is designed to live across awaits.
+fn lock_guard_init(expr: &syn::Expr) -> Option<usize> {
+    match expr {
+        syn::Expr::MethodCall(m) => match m.method.to_string().as_str() {
+            "lock" | "read" | "write" => Some(m.method.span().start().line),
+            "unwrap" | "expect" => lock_guard_init(&m.receiver),
+            _ => None,
+        },
+        syn::Expr::Try(t) => lock_guard_init(&t.expr),
+        syn::Expr::Reference(r) => lock_guard_init(&r.expr),
+        syn::Expr::Await(_) => None,
+        _ => None,
+    }
+}
+
+/// Scans one async body linearly: tracks guards bound by top-level `let`
+/// statements and reports any later statement containing an `.await`
+/// while a guard is still live. `drop(guard)` and end-of-block release
+/// guards; branch-sensitive drops and guards confined to nested blocks
+/// are out of scope (see DESIGN.md §12).
+fn scan_async_block(block: &syn::Block, file: usize, findings: &mut Vec<RawFinding>) {
+    let mut live: Vec<(String, usize)> = Vec::new();
+    for stmt in &block.stmts {
+        if let Some(await_line) = first_await_line(stmt) {
+            for (guard, guard_line) in &live {
+                findings.push(RawFinding {
+                    file,
+                    line: await_line,
+                    stmt_line: stmt.span().start().line,
+                    pass: PASS_GUARD,
+                    message: format!(
+                        "`.await` while sync lock guard `{guard}` \
+                         (acquired on line {guard_line}) is still live"
+                    ),
+                });
+            }
+        }
+        match stmt {
+            syn::Stmt::Local(local) => {
+                if let Some(init) = &local.init {
+                    if let Some(guard_line) = lock_guard_init(&init.expr) {
+                        let name = match &local.pat {
+                            syn::Pat::Ident(p) => Some(p.ident.to_string()),
+                            syn::Pat::Type(t) => match &*t.pat {
+                                syn::Pat::Ident(p) => Some(p.ident.to_string()),
+                                _ => None,
+                            },
+                            _ => None,
+                        };
+                        if let Some(name) = name {
+                            live.push((name, guard_line));
+                        }
+                    }
+                }
+            }
+            syn::Stmt::Expr(syn::Expr::Call(call), _) => {
+                if let syn::Expr::Path(p) = &*call.func {
+                    if p.path.is_ident("drop") && call.args.len() == 1 {
+                        if let syn::Expr::Path(arg) = &call.args[0] {
+                            if let Some(ident) = arg.path.get_ident() {
+                                let name = ident.to_string();
+                                live.retain(|(g, _)| *g != name);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The per-file visitor for pass 2: finds async fn bodies and async
+/// blocks (each `async {}` is its own scan root), skipping test code.
+pub struct GuardScan {
+    file: usize,
+    pub findings: Vec<RawFinding>,
+}
+
+impl GuardScan {
+    pub fn new(file: usize) -> Self {
+        GuardScan {
+            file,
+            findings: Vec::new(),
+        }
+    }
+
+    pub fn run(&mut self, file: &syn::File) {
+        self.visit_file(file);
+    }
+}
+
+impl<'ast> Visit<'ast> for GuardScan {
+    fn visit_item_mod(&mut self, i: &'ast syn::ItemMod) {
+        if is_cfg_test(&i.attrs) {
+            return;
+        }
+        visit::visit_item_mod(self, i);
+    }
+
+    fn visit_item_fn(&mut self, i: &'ast syn::ItemFn) {
+        if i.sig.asyncness.is_some() {
+            scan_async_block(&i.block, self.file, &mut self.findings);
+        }
+        visit::visit_item_fn(self, i);
+    }
+
+    fn visit_impl_item_fn(&mut self, i: &'ast syn::ImplItemFn) {
+        if i.sig.asyncness.is_some() {
+            scan_async_block(&i.block, self.file, &mut self.findings);
+        }
+        visit::visit_impl_item_fn(self, i);
+    }
+
+    fn visit_expr_async(&mut self, i: &'ast syn::ExprAsync) {
+        scan_async_block(&i.block, self.file, &mut self.findings);
+        visit::visit_expr_async(self, i);
+    }
+}

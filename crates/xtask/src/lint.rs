@@ -25,6 +25,10 @@
 //!   string literal in the admin endpoint's source, so a new storm
 //!   reason cannot ship without its labelled `/metrics` series
 //!   (see [`check_reason_rendering`]).
+//! * **allow-justified** — every `#[allow(...)]` in product code carries
+//!   a `// ALLOW: <reason>` comment in the run immediately above it
+//!   (same shape as the `// SAFETY:` rule, but the reason must be
+//!   non-empty). Lint suppressions are debt; the why must ship with them.
 //! * **config-coverage** — every field declared in `core::config`'s
 //!   `FIELDS` table is rendered by `ZdrConfig::field_value` (and hence the
 //!   `/stats` config section and the boot-only reload diff), and every
@@ -162,6 +166,25 @@ impl Walker<'_> {
             } else {
                 return false;
             }
+        }
+        false
+    }
+
+    /// True when the comment run immediately above `anchor_line` contains
+    /// `marker` followed by a non-empty reason.
+    fn has_marker_above(&self, anchor_line: usize, marker: &str) -> bool {
+        let mut idx = anchor_line.saturating_sub(1); // 0-indexed line above
+        while idx > 0 {
+            let text = self.lines.get(idx - 1).map(|l| l.trim()).unwrap_or("");
+            if !text.starts_with("//") {
+                return false;
+            }
+            if let Some(pos) = text.find(marker) {
+                if !text[pos + marker.len()..].trim().is_empty() {
+                    return true;
+                }
+            }
+            idx -= 1;
         }
         false
     }
@@ -506,6 +529,22 @@ impl<'ast> Visit<'ast> for Walker<'_> {
         }
     }
 
+    fn visit_attribute(&mut self, a: &'ast syn::Attribute) {
+        if a.path().is_ident("allow") && !self.in_test_context() {
+            let line = a.span().start().line;
+            if !self.has_marker_above(line, "ALLOW:") {
+                self.push(
+                    line,
+                    "allow-justified",
+                    "#[allow(...)] without a `// ALLOW: <reason>` justification \
+                     comment on the line(s) above"
+                        .to_string(),
+                );
+            }
+        }
+        syn::visit::visit_attribute(self, a);
+    }
+
     fn visit_item_use(&mut self, u: &'ast syn::ItemUse) {
         self.check_use_tree(&[], &u.tree);
         syn::visit::visit_item_use(self, u);
@@ -761,6 +800,25 @@ mod tests {
     }
 
     #[test]
+    fn bare_allow_fixture_flags_unjustified_only() {
+        let v = lint_fixture(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/bare_allow.rs"),
+        );
+        assert_eq!(rules(&v), vec!["allow-justified"], "{v:?}");
+        // The justified attribute and the one inside #[cfg(test)] are
+        // exempt; only the bare product-code allow is flagged.
+        assert_eq!(v[0].line, 9, "{v:?}");
+    }
+
+    #[test]
+    fn allow_justification_requires_a_reason() {
+        let src = "// ALLOW:\n#[allow(dead_code)]\nfn f() {}\n";
+        let v = lint_fixture("crates/demo/src/lib.rs", src);
+        assert_eq!(rules(&v), vec!["allow-justified"], "{v:?}");
+    }
+
+    #[test]
     fn reason_rendering_flags_unrendered_variants() {
         let admission = "pub enum StormReason { TimeoutStorm, RefusedStorm }\n";
         let admin_ok = "pub fn labels() -> [&'static str; 2] {\n\
@@ -793,12 +851,8 @@ mod tests {
         // real sources — a unit-test early warning for the CI gate.
         let admission = include_str!("../../core/src/admission.rs");
         let admin = include_str!("../../proxy/src/admin.rs");
-        let v = check_reason_rendering(
-            Path::new("crates/core/src/admission.rs"),
-            admission,
-            admin,
-        )
-        .unwrap();
+        let v = check_reason_rendering(Path::new("crates/core/src/admission.rs"), admission, admin)
+            .unwrap();
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -847,11 +901,17 @@ mod tests {
         );
         assert!(v.iter().any(|x| x.message.contains("field_value")), "{v:?}");
         assert!(v.iter().any(|x| x.message.contains("validate")), "{v:?}");
-        assert!(v.iter().all(|x| x.message.contains("shed.max_active")), "{v:?}");
+        assert!(
+            v.iter().all(|x| x.message.contains("shed.max_active")),
+            "{v:?}"
+        );
 
         // A boot-only field may skip validate but must still render.
-        let boot_only_unrendered =
-            config_fixture(fields, "\"shed.max_active\"", "\"shed.max_active\" => Some(String::new()),");
+        let boot_only_unrendered = config_fixture(
+            fields,
+            "\"shed.max_active\"",
+            "\"shed.max_active\" => Some(String::new()),",
+        );
         let v = check_config_coverage(
             Path::new("crates/core/src/config.rs"),
             &boot_only_unrendered,

@@ -4,21 +4,45 @@
 //!
 //! * `lint` — walk every `.rs` file in the workspace and enforce the repo
 //!   invariants (see [`lint`] for the rules), plus the cross-file
-//!   protection-reason-rendered check. Exit code 1 on any violation, so
-//!   CI can gate on it.
+//!   protection-reason-rendered check.
+//! * `analyze` — build the heuristic cross-crate call graph and run the
+//!   four data-plane passes (see [`analyze`]): async-blocking,
+//!   await-holding-guard, deadline-coverage, panic-path. Flags:
+//!   `--json` (machine-readable output), `--strict-index` (also flag
+//!   slice indexing on panic paths).
+//!
+//! Exit codes, for both subcommands: `0` clean, `1` rule violations,
+//! `2` parse/IO errors (reported even when violations are also present).
+//! Diagnostics are sorted by `file:line` so CI diffs are stable.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod analyze;
 mod lint;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("analyze") => {
+            let mut json = false;
+            let mut strict_index = false;
+            for flag in &args[1..] {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--strict-index" => strict_index = true,
+                    other => {
+                        eprintln!("unknown analyze flag {other:?}\n\nusage: cargo xtask analyze [--json] [--strict-index]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_analyze(json, strict_index)
+        }
         other => {
             eprintln!(
-                "unknown subcommand {:?}\n\nusage: cargo xtask lint",
+                "unknown subcommand {:?}\n\nusage: cargo xtask <lint|analyze>",
                 other.unwrap_or("<none>")
             );
             ExitCode::from(2)
@@ -26,27 +50,42 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint() -> ExitCode {
-    // crates/xtask/ → crates/ → workspace root; independent of the cwd
-    // cargo run was invoked from.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+/// crates/xtask/ → crates/ → workspace root; independent of the cwd
+/// cargo run was invoked from.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("xtask lives two levels below the workspace root")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+/// Maps violation/error counts to the shared exit-code contract.
+fn exit_for(violations: usize, errors: usize) -> ExitCode {
+    if errors > 0 {
+        ExitCode::from(2)
+    } else if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
 
     let mut files = Vec::new();
     collect_rs_files(&root, &mut files);
     files.sort();
 
-    let mut violations = 0usize;
+    let mut violations: Vec<lint::Violation> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
     let mut checked = 0usize;
     for file in files {
         let source = match std::fs::read_to_string(&file) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("{}: unreadable: {e}", file.display());
-                violations += 1;
+                errors.push(format!("{}: unreadable: {e}", file.display()));
                 continue;
             }
         };
@@ -54,16 +93,12 @@ fn run_lint() -> ExitCode {
         match lint::lint_source(rel, &source) {
             Ok(found) => {
                 checked += 1;
-                for v in found {
-                    println!("{v}");
-                    violations += 1;
-                }
+                violations.extend(found);
             }
             Err(e) => {
                 // A file rustc accepts must parse; surfacing this as a
                 // failure keeps the linter honest about its coverage.
-                eprintln!("{}: syn parse error: {e}", rel.display());
-                violations += 1;
+                errors.push(format!("{}: syn parse error: {e}", rel.display()));
             }
         }
     }
@@ -78,25 +113,16 @@ fn run_lint() -> ExitCode {
     ) {
         (Ok(admission_src), Ok(admin_src)) => {
             match lint::check_reason_rendering(admission_rel, &admission_src, &admin_src) {
-                Ok(found) => {
-                    for v in found {
-                        println!("{v}");
-                        violations += 1;
-                    }
-                }
-                Err(e) => {
-                    eprintln!("protection-reason-rendered: syn parse error: {e}");
-                    violations += 1;
-                }
+                Ok(found) => violations.extend(found),
+                Err(e) => errors.push(format!("protection-reason-rendered: syn parse error: {e}")),
             }
         }
         (a, b) => {
             for (rel, r) in [(admission_rel, &a), (admin_rel, &b)] {
                 if let Err(e) = r {
-                    eprintln!("{}: unreadable: {e}", rel.display());
+                    errors.push(format!("{}: unreadable: {e}", rel.display()));
                 }
             }
-            violations += 1;
         }
     }
 
@@ -105,30 +131,79 @@ fn run_lint() -> ExitCode {
     let config_rel = Path::new("crates/core/src/config.rs");
     match std::fs::read_to_string(root.join(config_rel)) {
         Ok(config_src) => match lint::check_config_coverage(config_rel, &config_src) {
-            Ok(found) => {
-                for v in found {
-                    println!("{v}");
-                    violations += 1;
-                }
-            }
-            Err(e) => {
-                eprintln!("config-coverage: syn parse error: {e}");
-                violations += 1;
-            }
+            Ok(found) => violations.extend(found),
+            Err(e) => errors.push(format!("config-coverage: syn parse error: {e}")),
         },
-        Err(e) => {
-            eprintln!("{}: unreadable: {e}", config_rel.display());
-            violations += 1;
+        Err(e) => errors.push(format!("{}: unreadable: {e}", config_rel.display())),
+    }
+
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    errors.sort();
+    for v in &violations {
+        println!("{v}");
+    }
+    for e in &errors {
+        eprintln!("{e}");
+    }
+    if violations.is_empty() && errors.is_empty() {
+        println!("xtask lint: {checked} files clean");
+    } else {
+        eprintln!(
+            "xtask lint: {} violation(s), {} error(s)",
+            violations.len(),
+            errors.len()
+        );
+    }
+    exit_for(violations.len(), errors.len())
+}
+
+fn run_analyze(json: bool, strict_index: bool) -> ExitCode {
+    let root = workspace_root();
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    files.sort();
+
+    let mut io_errors: Vec<String> = Vec::new();
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
+        match std::fs::read_to_string(&file) {
+            Ok(src) => sources.push((rel, src)),
+            Err(e) => io_errors.push(format!("{}: unreadable: {e}", rel.display())),
         }
     }
 
-    if violations == 0 {
-        println!("xtask lint: {checked} files clean");
-        ExitCode::SUCCESS
+    let options = analyze::AnalyzeOptions { strict_index };
+    let mut outcome = analyze::analyze_sources(&sources, &options);
+    outcome.errors.extend(io_errors);
+    outcome.errors.sort();
+
+    if json {
+        print!("{}", analyze::render_json(&outcome));
+        for e in &outcome.errors {
+            eprintln!("{e}");
+        }
     } else {
-        eprintln!("xtask lint: {violations} violation(s)");
-        ExitCode::FAILURE
+        for f in &outcome.findings {
+            println!("{f}");
+        }
+        for e in &outcome.errors {
+            eprintln!("{e}");
+        }
+        if outcome.findings.is_empty() && outcome.errors.is_empty() {
+            println!("xtask analyze: {} files clean", sources.len());
+        } else {
+            eprintln!(
+                "xtask analyze: {} finding(s), {} error(s)",
+                outcome.findings.len(),
+                outcome.errors.len()
+            );
+        }
     }
+    exit_for(outcome.findings.len(), outcome.errors.len())
 }
 
 /// Recursively collects `.rs` files, skipping build output, VCS metadata,

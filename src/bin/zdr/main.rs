@@ -574,6 +574,8 @@ fn main() -> ExitCode {
     if let Err(msg) = args.validate(&value_flags, &bool_flags) {
         return fail(&msg);
     }
+    // PANIC-OK: runtime construction failing at boot (fd/thread limits) is
+    // unrecoverable; dying before serving is the correct behaviour.
     let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
     let result = rt.block_on(async {
         match role.as_str() {
@@ -637,6 +639,8 @@ async fn wait_forever() {
 /// merged view instead of scraping per-module counters.
 fn dump_stats(args: &Args, snapshot: &StatsSnapshot) {
     if args.flag("--stats-json") {
+        // PANIC-OK: both are plain derive(Serialize) structs of integers
+        // and strings; serialization cannot fail.
         announce(&format!(
             "TIMELINE {}",
             serde_json::to_string(&snapshot.telemetry.timeline).expect("timeline serializes")
@@ -756,6 +760,8 @@ fn dump_audit(auditor: &Option<AuditorHandle>, stats: &ProxyStats) {
         task.abort();
         auditor.observe(stats.audit_totals());
         let verdict = auditor.end_release();
+        // PANIC-OK: the verdict is a derive(Serialize) struct of scalars;
+        // serialization cannot fail.
         announce(&format!(
             "AUDIT {}",
             serde_json::to_string(&verdict).expect("verdict serializes")
@@ -808,6 +814,7 @@ async fn run_origin(args: &Args) -> Result<(), String> {
     }
     let id = args.u64_or("--id", 1)? as u32;
     let drain_after = args.u64_or("--drain-after", 0)?;
+    // PANIC-OK: "origin" is in the static role table this fn serves.
     let (value_flags, _) = role_flags("origin").expect("origin is a role");
     let plane = config_plane(args, &value_flags, 5_000)?;
     let boot = plane.store.current();
@@ -869,6 +876,7 @@ async fn run_edge(args: &Args) -> Result<(), String> {
     if origins.is_empty() {
         return Err("edge requires at least one --origin".into());
     }
+    // PANIC-OK: "edge" is in the static role table this fn serves.
     let (value_flags, _) = role_flags("edge").expect("edge is a role");
     let plane = config_plane(args, &value_flags, 2_000)?;
     let resilience = ResilienceConfig::from_zdr(&plane.store.current());
@@ -926,6 +934,7 @@ async fn run_quic(args: &Args) -> Result<(), String> {
         .value("--takeover-path")
         .ok_or_else(|| "quic requires --takeover-path".to_string())?
         .into();
+    // PANIC-OK: "quic" is in the static role table this fn serves.
     let (value_flags, _) = role_flags("quic").expect("quic is a role");
     let plane = config_plane(args, &value_flags, 2_000)?;
     let boot = plane.store.current();
@@ -994,6 +1003,7 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         .value("--takeover-path")
         .ok_or_else(|| "proxy requires --takeover-path".to_string())?
         .into();
+    // PANIC-OK: "proxy" is in the static role table this fn serves.
     let (value_flags, _) = role_flags("proxy").expect("proxy is a role");
     let plane = config_plane(args, &value_flags, 2_000)?;
     let boot = plane.store.current();
@@ -1139,6 +1149,8 @@ async fn run_proxy_supervised(
                 // the rebuilt instance's fresh counters.
                 if let Some((a, _)) = auditor {
                     a.observe(sources.lock().stats.audit_totals());
+                    // PANIC-OK: the verdict is a derive(Serialize) struct
+                    // of scalars; serialization cannot fail.
                     announce(&format!(
                         "AUDIT {}",
                         serde_json::to_string(&a.end_release()).expect("verdict serializes")
@@ -1209,7 +1221,7 @@ async fn run_proxy_watched_successor(
         Ok::<_, String>((verdict, release))
     })
     .await
-    .expect("verdict task panicked")?;
+    .map_err(|e| format!("verdict task panicked: {e}"))??;
 
     match verdict {
         ReclaimVerdict::Released => {

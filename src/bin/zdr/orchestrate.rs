@@ -131,6 +131,8 @@ impl Journal {
     fn persist(&mut self, records: &[JournalRecord]) -> Result<bool, String> {
         let mut promoted = false;
         for rec in records {
+            // PANIC-OK: journal records are derive(Serialize) enums of
+            // scalars and strings; serialization cannot fail.
             let line = serde_json::to_string(rec).expect("journal record serializes");
             writeln!(self.file, "{line}").map_err(|e| format!("journal write: {e}"))?;
             announce(&format!("TRAIN {line}"));
@@ -198,6 +200,8 @@ fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
         .stderr(Stdio::null())
         .spawn()
         .map_err(|e| format!("spawn successor for {}: {e}", node.vip))?;
+    // PANIC-OK: the Command above set Stdio::piped() for stdout, so the
+    // handle is always present on a spawned child.
     let stdout = child.stdout.take().expect("stdout was piped");
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
@@ -383,6 +387,8 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
                 existing.pop();
                 let mut rewritten = String::new();
                 for rec in &existing {
+                    // PANIC-OK: records round-trip through serde_json;
+                    // anything we just parsed re-serializes.
                     rewritten.push_str(&serde_json::to_string(rec).expect("record serializes"));
                     rewritten.push('\n');
                 }
@@ -538,6 +544,8 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
 
     journal.persist(&train.drain_journal())?;
     let report = train.report();
+    // PANIC-OK: the report is a derive(Serialize) struct of scalars;
+    // serialization cannot fail.
     announce(&format!(
         "TRAIN_REPORT {}",
         serde_json::to_string(&report).expect("report serializes")
