@@ -1,0 +1,310 @@
+//! Trace-plane overhead benchmark: pins the cost of carrying the
+//! [`zdr_core::trace::Tracer`] in the request path with sampling *off* —
+//! the steady-state configuration every production box runs — as a
+//! checked-in baseline (`results/BENCH_trace.json`).
+//!
+//! Three measurements:
+//!
+//! * a micro loop over [`Tracer::sample`] itself, off and at 1-in-8, in
+//!   ns/call — sampling off must stay a single relaxed load;
+//! * an end-to-end keep-alive leg through a proxy with tracing off,
+//!   whose request-latency percentiles are the banded baseline;
+//! * the same leg at 1-in-8 sampling, which must not blow the latency up
+//!   and whose span ring feeds two more CI artifacts: the `/traces`
+//!   JSON body (`--traces-out`, validated against
+//!   `schemas/trace.schema.json`) and a two-node [`FleetReport`] merged
+//!   from both legs' histograms (`--fleet-out`, validated against
+//!   `schemas/fleet_report.schema.json`).
+//!
+//! Pass `--fast` for the scaled-down CI run, `--out PATH` /
+//! `--traces-out PATH` / `--fleet-out PATH` to redirect the artifacts.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zdr_appserver::{self as appserver, AppServerConfig};
+use zdr_core::clock::Clock;
+use zdr_core::fleet::{FleetReport, NodeReport};
+use zdr_core::sync::{Arc, AtomicU64, Ordering};
+use zdr_core::trace::Tracer;
+use zdr_proto::http1::{serialize_request, Request, ResponseParser};
+use zdr_proxy::admin::render_traces;
+use zdr_proxy::reverse::ReverseProxyConfig;
+use zdr_proxy::takeover::{ProxyInstance, ProxyInstanceConfig};
+
+/// One keep-alive load worker: sends requests until the shared quota is
+/// exhausted, reopening its connection if the proxy closes it.
+/// Returns (ok, failed).
+async fn worker(addr: SocketAddr, quota: Arc<AtomicU64>) -> (u64, u64) {
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut conn: Option<TcpStream> = None;
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    while quota
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| q.checked_sub(1))
+        .is_ok()
+    {
+        if conn.is_none() {
+            match TcpStream::connect(addr).await {
+                Ok(s) => {
+                    parser.reset();
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    failed += 1;
+                    continue;
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("connection just established");
+        let req = Request::get(format!("/bench/{ok}"));
+        if stream.write_all(&serialize_request(&req)).await.is_err() {
+            conn = None;
+            failed += 1;
+            continue;
+        }
+        loop {
+            match stream.read(&mut buf).await {
+                Ok(0) | Err(_) => {
+                    conn = None;
+                    failed += 1;
+                    break;
+                }
+                Ok(n) => match parser.push(&buf[..n]) {
+                    Ok(Some(resp)) => {
+                        if resp.status.code == 200 {
+                            ok += 1;
+                        } else {
+                            failed += 1;
+                        }
+                        parser.reset();
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        conn = None;
+                        failed += 1;
+                        break;
+                    }
+                },
+            }
+        }
+    }
+    (ok, failed)
+}
+
+/// Drives `total` requests at `addr` across `workers` keep-alive
+/// connections; returns (ok, failed).
+async fn drive(addr: SocketAddr, total: u64, workers: usize) -> (u64, u64) {
+    let quota = Arc::new(AtomicU64::new(total));
+    let mut tasks = Vec::new();
+    for _ in 0..workers {
+        let quota = Arc::clone(&quota);
+        tasks.push(tokio::spawn(worker(addr, quota)));
+    }
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for t in tasks {
+        let (o, f) = t.await.expect("load worker panicked");
+        ok += o;
+        failed += f;
+    }
+    (ok, failed)
+}
+
+fn percentiles(h: &zdr_core::telemetry::HistogramSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "count": h.count,
+        "p50": h.percentile(50.0),
+        "p90": h.percentile(90.0),
+        "p99": h.percentile(99.0),
+        "p999": h.percentile(99.9),
+        "mean": h.mean(),
+        "max": h.max,
+    })
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// ns/call for `iters` calls of [`Tracer::sample`] at the tracer's
+/// current rate, timed with the repo clock (µs resolution over the whole
+/// loop, so keep `iters` in the millions).
+fn sample_ns_per_call(tracer: &Tracer, iters: u64) -> f64 {
+    let clock = Clock::system();
+    let start = clock.now_us();
+    for _ in 0..iters {
+        // black_box defeats the optimizer, not the measurement: without
+        // it the relaxed load folds away and the loop times to zero.
+        std::hint::black_box(tracer.sample());
+    }
+    let elapsed_us = clock.now_us().saturating_sub(start);
+    elapsed_us as f64 * 1_000.0 / iters as f64
+}
+
+/// Spawns one proxy over the shared app tier and drives `total` requests
+/// through it at the given sampling rate. Returns the report fragment
+/// plus the pieces the fleet/traces artifacts need.
+async fn e2e_leg(
+    upstreams: Vec<SocketAddr>,
+    tag: &str,
+    sample_every: u64,
+    total: u64,
+    workers: usize,
+) -> (
+    serde_json::Value,
+    NodeReport,
+    zdr_core::trace::TraceSnapshot,
+) {
+    let cfg = ProxyInstanceConfig {
+        reverse: ReverseProxyConfig {
+            upstreams,
+            upstream_timeout: Duration::from_secs(10),
+            ..Default::default()
+        },
+        takeover_path: std::env::temp_dir()
+            .join(format!("zdr-bench-trace-{tag}-{}.sock", std::process::id())),
+        drain_ms: 500,
+    };
+    let proxy = ProxyInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), cfg)
+        .await
+        .expect("bind proxy");
+    proxy
+        .reverse
+        .stats
+        .telemetry
+        .tracer
+        .set_sample_every(sample_every);
+
+    let (ok, failed) = drive(proxy.addr, total, workers).await;
+
+    let latency = proxy.reverse.stats.telemetry.snapshot().request_latency_us;
+    let traces = proxy.reverse.stats.telemetry.tracer.snapshot();
+    let mut trace_ids: Vec<u64> = traces.spans.iter().map(|s| s.trace_id).collect();
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+
+    let fragment = serde_json::json!({
+        "sample_every": sample_every,
+        "requests_ok": ok,
+        "requests_failed": failed,
+        "spans_recorded": traces.recorded,
+        "spans_dropped": traces.dropped,
+        "traces": trace_ids.len(),
+        "request_latency_us": percentiles(&latency),
+    });
+    let node = NodeReport {
+        cluster: 0, // caller renumbers
+        vip: proxy.addr.to_string(),
+        scraped: true,
+        requests: ok + failed,
+        disruptions: failed,
+        latency_us: latency,
+        audit: None,
+    };
+    (fragment, node, traces)
+}
+
+#[tokio::main]
+async fn main() {
+    zdr_bench::header(
+        "BENCH trace",
+        "tracer overhead: sampling off vs 1-in-8, micro + end-to-end",
+    );
+    let fast = zdr_bench::fast_mode();
+    let total: u64 = if fast { 2_000 } else { 10_000 };
+    let sample_calls: u64 = if fast { 2_000_000 } else { 20_000_000 };
+    let workers = 4;
+    const SAMPLED_EVERY: u64 = 8;
+
+    // Micro leg: the per-request fast path is one Tracer::sample call.
+    let tracer = Tracer::default();
+    let off_ns = sample_ns_per_call(&tracer, sample_calls);
+    tracer.set_sample_every(SAMPLED_EVERY);
+    let on_ns = sample_ns_per_call(&tracer, sample_calls);
+
+    // Backend tier shared by both end-to-end legs.
+    let mut apps = Vec::new();
+    for name in ["web-1", "web-2"] {
+        apps.push(
+            appserver::spawn(
+                "127.0.0.1:0".parse().unwrap(),
+                AppServerConfig {
+                    server_name: name.into(),
+                    ..Default::default()
+                },
+            )
+            .await
+            .expect("spawn app server"),
+        );
+    }
+    let upstreams: Vec<SocketAddr> = apps.iter().map(|a| a.addr).collect();
+
+    let (off, mut off_node, off_traces) =
+        e2e_leg(upstreams.clone(), "off", 0, total, workers).await;
+    let (sampled, mut sampled_node, sampled_traces) =
+        e2e_leg(upstreams, "sampled", SAMPLED_EVERY, total, workers).await;
+    assert!(
+        off_traces.is_empty() && off_traces.recorded == 0,
+        "sampling off must record nothing"
+    );
+    assert!(
+        sampled_traces.recorded > 0,
+        "1-in-{SAMPLED_EVERY} sampling must record spans"
+    );
+
+    let report = serde_json::json!({
+        "bench": "trace",
+        "fast": fast,
+        "requests_target": total,
+        "sample_calls": sample_calls,
+        "sample_off_ns_per_call": off_ns,
+        "sample_on_ns_per_call": on_ns,
+        "off": off,
+        "sampled": sampled,
+    });
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_trace.json".into());
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, &pretty).expect("write BENCH_trace.json");
+
+    // The /traces body from the sampled leg — the same JSON the admin
+    // endpoint serves, so the schema check covers the live wire format.
+    let traces_out = arg_value("--traces-out").unwrap_or_else(|| "TRACES_trace.json".into());
+    let traces_json =
+        serde_json::to_string_pretty(&render_traces(&sampled_traces)).expect("serialize traces");
+    std::fs::write(&traces_out, &traces_json).expect("write TRACES_trace.json");
+
+    // A two-node fleet report merged from both legs' histograms — the
+    // same artifact `zdr orchestrate` journals per batch.
+    off_node.cluster = 0;
+    sampled_node.cluster = 1;
+    let mut fleet = FleetReport::new(0, zdr_core::clock::unix_now_ms());
+    fleet.push(off_node);
+    fleet.push(sampled_node);
+    let fleet_out = arg_value("--fleet-out").unwrap_or_else(|| "FLEET_trace.json".into());
+    let fleet_json = serde_json::to_string_pretty(&fleet).expect("serialize fleet report");
+    std::fs::write(&fleet_out, &fleet_json).expect("write FLEET_trace.json");
+
+    println!("BENCH_trace {report}");
+    println!("sample() ns/call: off={off_ns:.2} on(1-in-{SAMPLED_EVERY})={on_ns:.2}");
+    println!(
+        "e2e p50 µs: off={:?} sampled={:?} (spans recorded={} dropped={})",
+        off["request_latency_us"]["p50"],
+        sampled["request_latency_us"]["p50"],
+        sampled_traces.recorded,
+        sampled_traces.dropped,
+    );
+    println!("artifacts: {out}, {traces_out}, {fleet_out}");
+    println!("paper: §6 — observability must not tax the request path it watches");
+}

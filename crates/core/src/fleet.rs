@@ -1,0 +1,177 @@
+//! Per-batch fleet observability reports for release trains.
+//!
+//! §6.2 releases a fleet in staggered batches, and the operators' view of
+//! a batch is not one machine's counters but the *merge* across every
+//! node the batch touched: cross-node latency quantiles, summed traffic,
+//! and each node's disruption-audit verdict. [`FleetReport`] is that
+//! merge — built from per-node [`NodeReport`]s whose histograms are the
+//! same mergeable [`HistogramSnapshot`]s `/stats` serves, so a controller
+//! scraping live admin endpoints and a simulator modeling thousands of
+//! proxies emit the identical artifact (`FLEET_REPORT <json>`, journaled
+//! beside the train's write-ahead journal and schema-checked in CI by
+//! `schemas/fleet_report.schema.json`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::telemetry::{AuditVerdict, HistogramSnapshot};
+
+/// One node's contribution to a batch report.
+///
+/// `requests`/`disruptions` cover the node's release window (the
+/// successor process's own counters in the live controller, the
+/// since-release delta in the simulator). Container-level
+/// `serde(default)` keeps reports from older controllers readable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct NodeReport {
+    /// Cluster index within the train.
+    pub cluster: u32,
+    /// The VIP the node serves (display form; empty in pure simulations).
+    pub vip: String,
+    /// Whether the node's `/stats` scrape succeeded. A false here with
+    /// zeroed counters is "the node went dark", not "the node was idle".
+    pub scraped: bool,
+    /// Requests the node handled in its release window.
+    pub requests: u64,
+    /// §2.5 disruptions (5xx, proxy errors, resets, MQTT drops) in the
+    /// window.
+    pub disruptions: u64,
+    /// The node's request-latency histogram — the same
+    /// [`HistogramSnapshot`] its `/stats` serves, mergeable across nodes.
+    pub latency_us: HistogramSnapshot,
+    /// The controller-side disruption-audit verdict for this node's
+    /// release window, when an auditor observed it.
+    pub audit: Option<AuditVerdict>,
+}
+
+/// The merged per-batch view: every node's histogram folded into one
+/// cross-node latency distribution, traffic and disruptions summed, and
+/// the batch flagged `disrupted` if any node's window showed disruption.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FleetReport {
+    /// Which batch of the train this report covers (0-based).
+    pub batch: u32,
+    /// Wall-clock time the report was assembled, unix ms (0 in
+    /// deterministic simulations, which have no wall clock).
+    pub unix_ms: u64,
+    /// Per-node detail, in cluster order.
+    pub nodes: Vec<NodeReport>,
+    /// Cross-node merge of every node's latency histogram.
+    pub latency_us: HistogramSnapshot,
+    /// p50 of the merged distribution, µs (0 when no samples).
+    pub latency_p50_us: u64,
+    /// p99 of the merged distribution, µs (0 when no samples).
+    pub latency_p99_us: u64,
+    /// Total requests across the batch's nodes.
+    pub requests: u64,
+    /// Total disruptions across the batch's nodes.
+    pub disruptions: u64,
+    /// True when any node counted a disruption or its audit flagged one.
+    pub disrupted: bool,
+}
+
+impl FleetReport {
+    /// An empty report for `batch`, assembled at `unix_ms`.
+    pub fn new(batch: u32, unix_ms: u64) -> FleetReport {
+        FleetReport {
+            batch,
+            unix_ms,
+            ..FleetReport::default()
+        }
+    }
+
+    /// Folds one node in: histogram merged, totals summed, quantiles and
+    /// the `disrupted` flag re-derived.
+    pub fn push(&mut self, node: NodeReport) {
+        self.latency_us.merge(&node.latency_us);
+        self.requests += node.requests;
+        self.disruptions += node.disruptions;
+        self.disrupted |=
+            node.disruptions > 0 || node.audit.as_ref().is_some_and(|a| a.disrupted);
+        self.latency_p50_us = self.latency_us.p50().unwrap_or(0);
+        self.latency_p99_us = self.latency_us.p99().unwrap_or(0);
+        self.nodes.push(node);
+    }
+
+    /// Disruptions per request across the batch (0 when no traffic).
+    pub fn disruption_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.disruptions as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(cluster: u32, requests: u64, disruptions: u64, samples: &[f64]) -> NodeReport {
+        NodeReport {
+            cluster,
+            vip: format!("127.0.0.1:{}", 9000 + cluster),
+            scraped: true,
+            requests,
+            disruptions,
+            latency_us: HistogramSnapshot::of_scaled(samples.iter().copied(), 1.0),
+            audit: None,
+        }
+    }
+
+    #[test]
+    fn push_merges_histograms_and_sums_totals() {
+        let mut report = FleetReport::new(1, 42);
+        report.push(node(0, 100, 0, &[100.0, 200.0, 300.0]));
+        report.push(node(1, 50, 2, &[1_000.0, 2_000.0]));
+        assert_eq!(report.batch, 1);
+        assert_eq!(report.nodes.len(), 2);
+        assert_eq!(report.requests, 150);
+        assert_eq!(report.disruptions, 2);
+        assert!(report.disrupted);
+        assert_eq!(report.latency_us.count, 5, "cross-node merge");
+        assert!(report.latency_p50_us >= 200 && report.latency_p50_us <= 320);
+        assert!(report.latency_p99_us >= 1_000, "p99 sees the slow node");
+        assert!((report.disruption_rate() - 2.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_batch_is_not_disrupted() {
+        let mut report = FleetReport::new(0, 0);
+        report.push(node(0, 500, 0, &[50.0]));
+        assert!(!report.disrupted);
+        assert_eq!(report.disruption_rate(), 0.0);
+        // An audit that flagged disruption trips the batch flag even with
+        // zero counted disruptions (the auditor judges rates, not counts).
+        let mut flagged = node(1, 500, 0, &[60.0]);
+        flagged.audit = Some(AuditVerdict {
+            disrupted: true,
+            ..AuditVerdict::default()
+        });
+        report.push(flagged);
+        assert!(report.disrupted);
+    }
+
+    #[test]
+    fn empty_report_has_zero_quantiles() {
+        let report = FleetReport::new(3, 7);
+        assert_eq!(report.latency_p50_us, 0);
+        assert_eq!(report.latency_p99_us, 0);
+        assert_eq!(report.disruption_rate(), 0.0);
+        assert!(!report.disrupted);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = FleetReport::new(2, 99);
+        report.push(node(0, 10, 1, &[5.0, 6.0]));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // Older (sparser) JSON still deserializes via serde(default).
+        let old: FleetReport = serde_json::from_str("{\"batch\":4}").unwrap();
+        assert_eq!(old.batch, 4);
+        assert!(old.nodes.is_empty());
+    }
+}

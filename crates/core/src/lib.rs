@@ -31,6 +31,10 @@
 //!   decision, pause/resume, and a write-ahead [`orchestrator::JournalRecord`]
 //!   stream that lets a crashed controller resume mid-train instead of
 //!   orphaning half-released clusters.
+//! * [`fleet`] — per-batch fleet observability: [`fleet::FleetReport`]
+//!   merges every node's latency [`telemetry::HistogramSnapshot`] and
+//!   audit verdict into the cross-node view a release train journals at
+//!   each batch promotion.
 //! * [`supervisor`] — the per-instance release supervisor: attempt →
 //!   confirm → watch → drain with per-phase timeouts, bounded jittered
 //!   retry backoff, and rollback on post-confirm failure.
@@ -60,6 +64,11 @@
 //!   percentile implementation), the [`telemetry::EventRing`] release
 //!   phase timeline, and the [`telemetry::DisruptionAuditor`] that turns
 //!   §2.5's "irregular increase" into a verdict the canary gate consumes.
+//! * [`trace`] — sampled per-request span recording: the seeded
+//!   [`trace::Tracer`] and its fixed-capacity ring turn one sampled
+//!   request into a generation-tagged span tree across edge → trunk →
+//!   origin, attributing disruption to the hop and mechanism that
+//!   caused it.
 
 pub mod admission;
 pub mod calendar;
@@ -67,6 +76,7 @@ pub mod canary;
 pub mod clock;
 pub mod config;
 pub mod drain;
+pub mod fleet;
 pub mod mechanism;
 pub mod metrics;
 pub mod orchestrator;
@@ -77,6 +87,7 @@ pub mod supervisor;
 pub mod sync;
 pub mod telemetry;
 pub mod tier;
+pub mod trace;
 
 pub use mechanism::Mechanism;
 pub use tier::Tier;

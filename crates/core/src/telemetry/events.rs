@@ -111,6 +111,11 @@ pub struct TimelineEvent {
     pub phase: ReleasePhase,
     /// Instance generation the transition belongs to.
     pub generation: u64,
+    /// Trace that caused or witnessed this transition, when one was in
+    /// scope (`0` = unlinked). Lets `/timeline` readers jump from a
+    /// release phase to the request spans it affected.
+    #[serde(default)]
+    pub trace_id: u64,
     /// Free-form context (addresses, counts, error text).
     pub detail: String,
 }
@@ -158,6 +163,18 @@ impl EventRing {
 
     /// Appends one event, stamped now. Returns its sequence number.
     pub fn record(&self, phase: ReleasePhase, generation: u64, detail: impl Into<String>) -> u64 {
+        self.record_traced(phase, generation, 0, detail)
+    }
+
+    /// Appends one event linked to `trace_id` (`0` = unlinked), stamped
+    /// now. Returns its sequence number.
+    pub fn record_traced(
+        &self,
+        phase: ReleasePhase,
+        generation: u64,
+        trace_id: u64,
+        detail: impl Into<String>,
+    ) -> u64 {
         let t_ms = self.clock.now_ms();
         let unix_ms = self.clock.unix_ms();
         let mut ring = self.inner.lock();
@@ -173,6 +190,7 @@ impl EventRing {
             unix_ms,
             phase,
             generation,
+            trace_id,
             detail: detail.into(),
         });
         seq
@@ -325,6 +343,21 @@ mod tests {
         );
         let back: TimelineSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn trace_links_record_and_legacy_payloads_default_to_unlinked() {
+        let ring = EventRing::new(Clock::mock(0));
+        ring.record_traced(ReleasePhase::FdPass, 1, 0xbeef, "pause");
+        ring.record(ReleasePhase::Drained, 1, "");
+        let snap = ring.snapshot();
+        assert_eq!(snap.events[0].trace_id, 0xbeef);
+        assert_eq!(snap.events[1].trace_id, 0, "untraced record is unlinked");
+        // Payloads written before the field existed still load.
+        let legacy =
+            r#"{"seq":0,"t_ms":0,"unix_ms":0,"phase":"bind","generation":1,"detail":""}"#;
+        let e: TimelineEvent = serde_json::from_str(legacy).unwrap();
+        assert_eq!(e.trace_id, 0);
     }
 
     #[test]

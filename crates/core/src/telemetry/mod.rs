@@ -51,6 +51,9 @@ pub struct Telemetry {
     pub drain_duration_ms: Histogram,
     /// The release phase journal.
     pub timeline: EventRing,
+    /// Sampled per-request span recorder (served by `/traces`, not part
+    /// of [`TelemetrySnapshot`] — spans are per-request, not aggregates).
+    pub tracer: crate::trace::Tracer,
 }
 
 impl Telemetry {
@@ -76,6 +79,19 @@ impl Telemetry {
     /// Appends one phase transition to the timeline.
     pub fn event(&self, phase: ReleasePhase, generation: u64, detail: impl Into<String>) {
         self.timeline.record(phase, generation, detail);
+    }
+
+    /// Appends one phase transition linked to the trace that caused or
+    /// witnessed it (`trace_id` 0 = unlinked).
+    pub fn event_traced(
+        &self,
+        phase: ReleasePhase,
+        generation: u64,
+        trace_id: u64,
+        detail: impl Into<String>,
+    ) {
+        self.timeline
+            .record_traced(phase, generation, trace_id, detail);
     }
 
     /// Serializable point-in-time view of every histogram and the

@@ -1,0 +1,599 @@
+//! Sampled per-request span recording — the disruption-attribution layer.
+//!
+//! The paper's argument is measured in end-user-visible disruption
+//! (§2.5), but counters cannot say *which hop* (edge, trunk, origin) or
+//! *which mechanism* (shed, breaker admit, retry, upstream connect, the
+//! takeover FD-pass pause) cost a given request its latency during a
+//! release. [`Tracer`] answers that: a sampled request carries a trace
+//! context across hops (the same wire pattern as deadline propagation —
+//! `zdr_proto::trace`), and every mechanism it touches records one
+//! [`SpanRecord`] into a fixed-capacity ring. One request then yields a
+//! generation-tagged span tree across the whole data plane, including
+//! both generations of a Socket Takeover handoff.
+//!
+//! Recording is designed for the request hot path:
+//!
+//! * **Sampling off is one relaxed load** — [`Tracer::sample`] reads
+//!   `sample_every` and returns immediately when it is zero, which is
+//!   what `bench_trace` pins as a checked-in baseline.
+//! * **Recording never blocks** — a writer claims a ring slot with an
+//!   atomic `fetch_add` (on the [`crate::sync`] facade) and takes the
+//!   slot's lock with `try_lock` only; a contended slot counts a drop
+//!   instead of waiting. Span ids come from a seeded splitmix64 stream,
+//!   so a seeded run produces the same ids in the same call order.
+//!
+//! The [`Tracer`] hangs off the per-process `telemetry::Telemetry`
+//! bundle; timestamps are *passed in* by callers (stamped from
+//! `telemetry.clock().now_us()`), keeping this module clock-free and
+//! deterministic under mock clocks.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Default ring capacity: enough for several sampled requests' full
+/// trees on every hop without unbounded memory.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// What a span measures — every mechanism the data plane can charge a
+/// request for. Each variant is recorded somewhere in the workspace and
+/// rendered by the admin `/traces` endpoint (the `span-kind-rendered`
+/// lint rule enforces the latter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpanKind {
+    /// The whole request at one hop: accept/parse to response written.
+    Request,
+    /// Admission-control verdict on a new connection or request.
+    Admission,
+    /// Storm-protection verdict contribution (detail carries the reason).
+    Protection,
+    /// Load-shed refusal: the hop answered 503/`ServerUnavailable`.
+    Shed,
+    /// Circuit-breaker admit decision while picking an upstream.
+    BreakerAdmit,
+    /// One funded retry attempt (HTTP replay or tunnel re-home).
+    RetryAttempt,
+    /// TCP connect (or trunk dial) to the chosen upstream.
+    UpstreamConnect,
+    /// Forwarding the request and reading the upstream response.
+    Forward,
+    /// The takeover FD-pass pause: request start to successor confirm.
+    TakeoverPause,
+    /// One Edge↔Origin trunk stream serving this request.
+    TrunkStream,
+    /// One MQTT relay tunnel leg (edge or origin side).
+    Tunnel,
+    /// A QUIC datagram routed/forwarded for this flow.
+    QuicDelivery,
+}
+
+impl SpanKind {
+    /// Stable label used in JSON and `/traces` rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Admission => "admission",
+            SpanKind::Protection => "protection",
+            SpanKind::Shed => "shed",
+            SpanKind::BreakerAdmit => "breaker_admit",
+            SpanKind::RetryAttempt => "retry_attempt",
+            SpanKind::UpstreamConnect => "upstream_connect",
+            SpanKind::Forward => "forward",
+            SpanKind::TakeoverPause => "takeover_pause",
+            SpanKind::TrunkStream => "trunk_stream",
+            SpanKind::Tunnel => "tunnel",
+            SpanKind::QuicDelivery => "quic_delivery",
+        }
+    }
+}
+
+/// One recorded span: a timed slice of one request at one hop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// The request tree this span belongs to (never zero).
+    pub trace_id: u64,
+    /// This span's id within the tree (never zero).
+    pub span_id: u64,
+    /// Parent span id; `0` marks a root span.
+    pub parent_id: u64,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Instance generation that recorded the span — how a takeover
+    /// handoff shows up as spans from *both* generations.
+    pub generation: u64,
+    /// Start instant, monotonic µs from the recording process's clock.
+    pub start_us: u64,
+    /// End instant, same clock. `end_us >= start_us`.
+    pub end_us: u64,
+    /// Free-form context (verdicts, upstream addresses, error text).
+    pub detail: String,
+}
+
+impl SpanRecord {
+    /// The span's duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Lock-free sampled span recorder: seeded deterministic id allocation
+/// plus a fixed-capacity overwrite ring.
+#[derive(Debug)]
+pub struct Tracer {
+    /// Seed for the splitmix64 id stream (settable once at startup).
+    seed: AtomicU64,
+    /// Monotone id-allocation counter.
+    ids: AtomicU64,
+    /// Requests seen by the sampler (sampled or not).
+    sampler: AtomicU64,
+    /// Record every Nth request; `0` disables sampling entirely.
+    sample_every: AtomicU64,
+    /// Next ring slot to claim.
+    head: AtomicU64,
+    /// Spans accepted into the ring.
+    recorded: AtomicU64,
+    /// Spans lost: overwritten by the capacity bound or skipped because
+    /// the claimed slot was contended (recording never waits).
+    dropped: AtomicU64,
+    /// Most recent sampled context seen by any handler, packed as
+    /// `[trace_id, span_id]` — the parent for ambient spans like the
+    /// FD-pass pause that have no single owning request in scope.
+    last_seen: [AtomicU64; 2],
+    /// Instance generation stamped on recorded spans (a successor learns
+    /// its generation after the FD-pass handshake).
+    generation: AtomicU64,
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+}
+
+/// The ids of a request being traced at one hop: the tree it belongs
+/// to, the upstream hop's span to parent under, and this hop's own root
+/// span id (allocated eagerly so child spans can parent to it before
+/// the root span itself is recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveTrace {
+    /// The request tree (never zero).
+    pub trace_id: u64,
+    /// Parent for this hop's root span (`0` when this hop is the root).
+    pub parent_id: u64,
+    /// This hop's root span id — the parent for its child spans and the
+    /// span id propagated to the next hop.
+    pub span_id: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::with_capacity(0, DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer with `capacity` ring slots (minimum 1), ids seeded from
+    /// `seed`. Sampling starts disabled.
+    pub fn with_capacity(seed: u64, capacity: usize) -> Tracer {
+        let capacity = capacity.max(1);
+        Tracer {
+            seed: AtomicU64::new(seed),
+            ids: AtomicU64::new(0),
+            sampler: AtomicU64::new(0),
+            sample_every: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            last_seen: [AtomicU64::new(0), AtomicU64::new(0)],
+            generation: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Updates the generation stamped on spans recorded from now on.
+    pub fn set_generation(&self, generation: u64) {
+        self.generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// The generation spans are currently stamped with.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Reseeds the id stream (startup wiring: `--seed` → deterministic
+    /// trace ids). Does not disturb already-allocated ids.
+    pub fn set_seed(&self, seed: u64) {
+        self.seed.store(seed, Ordering::Relaxed);
+    }
+
+    /// Sets the sampling rate: record every `n`th request, `0` = off.
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n, Ordering::Relaxed);
+    }
+
+    /// The current sampling rate (`0` = off).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Decides whether to trace a new request. With sampling off this is
+    /// a single relaxed load — the hot-path cost `bench_trace` pins.
+    /// Returns the new trace id when the request is sampled.
+    pub fn sample(&self) -> Option<u64> {
+        let every = self.sample_every.load(Ordering::Relaxed);
+        if every == 0 {
+            return None;
+        }
+        let n = self.sampler.fetch_add(1, Ordering::Relaxed);
+        if n % every != 0 {
+            return None;
+        }
+        Some(self.next_id())
+    }
+
+    /// Allocates a fresh nonzero span/trace id from the seeded stream.
+    pub fn next_id(&self) -> u64 {
+        let n = self.ids.fetch_add(1, Ordering::Relaxed);
+        let seed = self.seed.load(Ordering::Relaxed);
+        let id = splitmix64(seed ^ (n + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if id == 0 {
+            // One input in 2^64 hashes to zero; remap it off the "no
+            // trace" sentinel.
+            1
+        } else {
+            id
+        }
+    }
+
+    /// Starts tracing a request at this hop. `incoming` is the upstream
+    /// hop's `(trace_id, span_id)` when the request arrived with a
+    /// sampled context; without one, the local sampler decides. Returns
+    /// `None` when the request is not traced at all.
+    pub fn begin(&self, incoming: Option<(u64, u64)>) -> Option<ActiveTrace> {
+        let (trace_id, parent_id) = match incoming {
+            Some(pair) => pair,
+            None => (self.sample()?, 0),
+        };
+        let active = ActiveTrace {
+            trace_id,
+            parent_id,
+            span_id: self.next_id(),
+        };
+        self.note_seen(active.trace_id, active.span_id);
+        Some(active)
+    }
+
+    /// Records a span of `kind` under `active`'s root span. Convenience
+    /// wrapper for the common "child of this hop's request" shape.
+    pub fn child_span(
+        &self,
+        active: ActiveTrace,
+        kind: SpanKind,
+        start_us: u64,
+        end_us: u64,
+        detail: impl Into<String>,
+    ) {
+        self.record(SpanRecord {
+            trace_id: active.trace_id,
+            span_id: self.next_id(),
+            parent_id: active.span_id,
+            kind,
+            generation: self.generation(),
+            start_us,
+            end_us,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records `active`'s root span for this hop (parented under the
+    /// upstream hop's span), closing out the request's visit here.
+    pub fn root_span(
+        &self,
+        active: ActiveTrace,
+        kind: SpanKind,
+        start_us: u64,
+        end_us: u64,
+        detail: impl Into<String>,
+    ) {
+        self.record(SpanRecord {
+            trace_id: active.trace_id,
+            span_id: active.span_id,
+            parent_id: active.parent_id,
+            kind,
+            generation: self.generation(),
+            start_us,
+            end_us,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records one span. Never blocks: the slot is claimed atomically
+    /// and a contended slot counts a drop instead of waiting.
+    pub fn record(&self, span: SpanRecord) {
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        match self.slots[idx].try_lock() {
+            Some(mut slot) => {
+                if slot.is_some() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                *slot = Some(span);
+                self.recorded.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Notes the most recent sampled context a handler adopted, for
+    /// ambient spans (e.g. the FD-pass pause) to parent under.
+    pub fn note_seen(&self, trace_id: u64, span_id: u64) {
+        self.last_seen[0].store(trace_id, Ordering::Relaxed);
+        self.last_seen[1].store(span_id, Ordering::Relaxed);
+    }
+
+    /// The most recent sampled `(trace_id, span_id)`, if any.
+    pub fn last_seen(&self) -> Option<(u64, u64)> {
+        let trace_id = self.last_seen[0].load(Ordering::Relaxed);
+        if trace_id == 0 {
+            None
+        } else {
+            Some((trace_id, self.last_seen[1].load(Ordering::Relaxed)))
+        }
+    }
+
+    /// A serializable copy of the ring, spans ordered by start time.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut spans: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().clone())
+            .collect();
+        spans.sort_by(|a, b| {
+            (a.trace_id, a.start_us, a.span_id).cmp(&(b.trace_id, b.start_us, b.span_id))
+        });
+        TraceSnapshot {
+            spans,
+            recorded: self.recorded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            sample_every: self.sample_every.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable view of a [`Tracer`] — the `/traces` payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    /// Retained spans, ordered by `(trace_id, start_us, span_id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Spans accepted into the ring since startup.
+    pub recorded: u64,
+    /// Spans lost to the capacity bound or slot contention.
+    pub dropped: u64,
+    /// Sampling rate at snapshot time (`0` = off).
+    pub sample_every: u64,
+}
+
+impl TraceSnapshot {
+    /// True when nothing was ever recorded or dropped.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.recorded == 0 && self.dropped == 0
+    }
+
+    /// All spans of one trace, in recording order.
+    pub fn for_trace(&self, trace_id: u64) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect()
+    }
+
+    /// True when every non-root span of `trace_id` has its parent
+    /// present in the snapshot — the "parent links intact" check.
+    pub fn is_connected(&self, trace_id: u64) -> bool {
+        let spans = self.for_trace(trace_id);
+        if spans.is_empty() {
+            return false;
+        }
+        spans.iter().all(|s| {
+            s.parent_id == 0 || spans.iter().any(|p| p.span_id == s.parent_id)
+        })
+    }
+
+    /// Folds another process's spans in (a takeover pair reads as one
+    /// tree), preserving the canonical ordering.
+    pub fn merge(&mut self, other: &TraceSnapshot) {
+        self.spans.extend(other.spans.iter().cloned());
+        self.spans.sort_by(|a, b| {
+            (a.trace_id, a.start_us, a.span_id).cmp(&(b.trace_id, b.start_us, b.span_id))
+        });
+        self.recorded += other.recorded;
+        self.dropped += other.dropped;
+        self.sample_every = self.sample_every.max(other.sample_every);
+    }
+}
+
+/// splitmix64: the workspace-standard cheap seeded mixer (same constants
+/// as `zdr_net::fault`'s jitter stream).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, span_id: u64, parent_id: u64, start_us: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            span_id,
+            parent_id,
+            kind: SpanKind::Request,
+            generation: 1,
+            start_us,
+            end_us: start_us + 10,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn sampling_off_records_nothing() {
+        let t = Tracer::default();
+        assert_eq!(t.sample_every(), 0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(), None);
+        }
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn sample_every_n_is_deterministic() {
+        let a = Tracer::with_capacity(42, 64);
+        let b = Tracer::with_capacity(42, 64);
+        a.set_sample_every(3);
+        b.set_sample_every(3);
+        let ids_a: Vec<Option<u64>> = (0..9).map(|_| a.sample()).collect();
+        let ids_b: Vec<Option<u64>> = (0..9).map(|_| b.sample()).collect();
+        assert_eq!(ids_a, ids_b, "same seed, same decisions and ids");
+        assert_eq!(ids_a.iter().filter(|i| i.is_some()).count(), 3);
+        assert!(ids_a[0].is_some(), "first request always sampled");
+        let c = Tracer::with_capacity(43, 64);
+        c.set_sample_every(3);
+        assert_ne!(c.sample(), ids_a[0], "different seed, different ids");
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let t = Tracer::default();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = t.next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::with_capacity(0, 4);
+        for i in 0..6 {
+            t.record(span(1, i + 1, 0, i * 100));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.recorded, 6);
+        assert_eq!(snap.dropped, 2);
+        // The two oldest spans (start 0, 100) were overwritten.
+        assert!(snap.spans.iter().all(|s| s.start_us >= 200));
+    }
+
+    #[test]
+    fn snapshot_orders_and_connects_trees() {
+        let t = Tracer::with_capacity(0, 16);
+        t.record(span(7, 30, 10, 300));
+        t.record(span(7, 10, 0, 100));
+        t.record(span(7, 20, 10, 200));
+        t.record(span(9, 50, 40, 100)); // orphan: parent 40 missing
+        let snap = t.snapshot();
+        let starts: Vec<u64> = snap.for_trace(7).iter().map(|s| s.start_us).collect();
+        assert_eq!(starts, vec![100, 200, 300]);
+        assert!(snap.is_connected(7));
+        assert!(!snap.is_connected(9));
+        assert!(!snap.is_connected(8), "absent trace is not connected");
+    }
+
+    #[test]
+    fn merge_combines_generations() {
+        let old = Tracer::with_capacity(0, 8);
+        let new = Tracer::with_capacity(1, 8);
+        old.record(span(7, 10, 0, 100));
+        new.record(SpanRecord {
+            generation: 2,
+            ..span(7, 20, 10, 200)
+        });
+        let mut merged = old.snapshot();
+        merged.merge(&new.snapshot());
+        assert_eq!(merged.spans.len(), 2);
+        assert_eq!(merged.recorded, 2);
+        assert!(merged.is_connected(7));
+        let gens: Vec<u64> = merged.for_trace(7).iter().map(|s| s.generation).collect();
+        assert_eq!(gens, vec![1, 2], "both generations present");
+    }
+
+    #[test]
+    fn begin_adopts_incoming_or_samples_locally() {
+        let t = Tracer::with_capacity(1, 16);
+        assert!(t.begin(None).is_none(), "sampling off, no incoming context");
+        let adopted = t.begin(Some((77, 5))).unwrap();
+        assert_eq!(adopted.trace_id, 77);
+        assert_eq!(adopted.parent_id, 5);
+        assert_ne!(adopted.span_id, 0);
+        assert_eq!(t.last_seen(), Some((77, adopted.span_id)));
+        t.set_sample_every(1);
+        let rooted = t.begin(None).unwrap();
+        assert_eq!(rooted.parent_id, 0, "locally sampled request is a root");
+    }
+
+    #[test]
+    fn root_and_child_spans_form_a_connected_generation_tagged_tree() {
+        let t = Tracer::with_capacity(1, 16);
+        t.set_sample_every(1);
+        t.set_generation(3);
+        let active = t.begin(None).unwrap();
+        t.child_span(active, SpanKind::UpstreamConnect, 10, 20, "app");
+        t.root_span(active, SpanKind::Request, 0, 30, "GET /");
+        let snap = t.snapshot();
+        assert!(snap.is_connected(active.trace_id));
+        assert!(snap.spans.iter().all(|s| s.generation == 3));
+        let root = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Request)
+            .unwrap();
+        assert_eq!(root.span_id, active.span_id);
+        assert_eq!(root.parent_id, 0);
+        let child = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::UpstreamConnect)
+            .unwrap();
+        assert_eq!(child.parent_id, active.span_id);
+    }
+
+    #[test]
+    fn last_seen_round_trips() {
+        let t = Tracer::default();
+        assert_eq!(t.last_seen(), None);
+        t.note_seen(7, 3);
+        assert_eq!(t.last_seen(), Some((7, 3)));
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let t = Tracer::with_capacity(0, 4);
+        t.set_sample_every(5);
+        t.record(span(1, 2, 0, 10));
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"request\""), "snake_case kind: {json}");
+        let back: TraceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.sample_every, 5);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(SpanKind::TakeoverPause.name(), "takeover_pause");
+        assert_eq!(SpanKind::BreakerAdmit.name(), "breaker_admit");
+        assert_eq!(SpanKind::QuicDelivery.name(), "quic_delivery");
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let mut s = span(1, 2, 0, 100);
+        assert_eq!(s.duration_us(), 10);
+        s.end_us = 50;
+        assert_eq!(s.duration_us(), 0);
+    }
+}

@@ -54,6 +54,15 @@ pub enum FaultPoint {
     /// record is appended); [`FaultAction::Truncate`] models a journal
     /// whose tail was lost with the machine.
     JournalReplay,
+    /// The controller is about to scrape a released node's `/stats` and
+    /// fold its per-protocol (MQTT/QUIC) canary windows into the gate.
+    /// [`FaultAction::Drop`] models a lost scrape — the train degrades to
+    /// HTTP-only signals for that window, never promotes on silence-plus-
+    /// green-probes alone. [`FaultAction::Die`] models the scrape
+    /// reporting a generation that drops every MQTT tunnel: the
+    /// per-protocol gate must halt the train even though the HTTP probes
+    /// stay green.
+    StatsScrape,
 }
 
 /// What the injector does at a hook point.
@@ -129,7 +138,7 @@ pub struct FaultRule {
 pub struct ScriptedFaults {
     rules: Vec<FaultRule>,
     seed: u64,
-    visits: [AtomicU64; 8],
+    visits: [AtomicU64; 9],
     injected: AtomicU64,
 }
 
@@ -143,6 +152,7 @@ fn point_index(point: FaultPoint) -> usize {
         FaultPoint::BatchBoundary => 5,
         FaultPoint::PromotionVerdict => 6,
         FaultPoint::JournalReplay => 7,
+        FaultPoint::StatsScrape => 8,
     }
 }
 
@@ -421,6 +431,7 @@ mod tests {
             FaultPoint::BatchBoundary,
             FaultPoint::PromotionVerdict,
             FaultPoint::JournalReplay,
+            FaultPoint::StatsScrape,
         ] {
             assert_eq!(inj.decide(p), FaultAction::Proceed);
         }

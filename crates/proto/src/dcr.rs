@@ -77,6 +77,18 @@ pub enum DcrMessage {
         /// Absolute deadline, unix epoch milliseconds.
         unix_ms: u64,
     },
+    /// Trace-context propagation for the tunnel (the causality twin of
+    /// [`DcrMessage::Deadline`]): the Edge stamps the tunnel with the
+    /// request tree it belongs to, so Origin-side spans parent correctly.
+    /// The only variable-length-exempt message: 18 bytes, not 9.
+    Trace {
+        /// Identifier of the request's trace tree (never zero).
+        trace_id: u64,
+        /// Span id of the sending hop — the receiver's parent span.
+        span_id: u64,
+        /// Whether the receiving hop should record spans.
+        sampled: bool,
+    },
 }
 
 const TYPE_SOLICIT: u8 = 1;
@@ -84,11 +96,18 @@ const TYPE_RECONNECT: u8 = 2;
 const TYPE_ACK: u8 = 3;
 const TYPE_REFUSE: u8 = 4;
 const TYPE_DEADLINE: u8 = 5;
+const TYPE_TRACE: u8 = 6;
 
-/// Fixed encoded size of every DCR message (type + 8-byte body).
+/// Fixed encoded size of every DCR message except [`DcrMessage::Trace`]
+/// (type + 8-byte body).
 pub const MESSAGE_LEN: usize = 9;
 
-/// Encodes a DCR message to its fixed 9-byte wire form.
+/// Encoded size of a [`DcrMessage::Trace`] (type + two ids + flag). The
+/// fixed-size `MESSAGE_LEN` readers never see this message: it only
+/// travels inside length-prefixed tunnel frames.
+pub const TRACE_MESSAGE_LEN: usize = 18;
+
+/// Encodes a DCR message to its wire form (9 bytes, or 18 for `Trace`).
 pub fn encode(msg: &DcrMessage) -> Vec<u8> {
     let mut w = Writer::with_capacity(MESSAGE_LEN);
     match msg {
@@ -116,6 +135,16 @@ pub fn encode(msg: &DcrMessage) -> Vec<u8> {
             w.u8(TYPE_DEADLINE);
             w.u64(*unix_ms);
         }
+        DcrMessage::Trace {
+            trace_id,
+            span_id,
+            sampled,
+        } => {
+            w.u8(TYPE_TRACE);
+            w.u64(*trace_id);
+            w.u64(*span_id);
+            w.u8(u8::from(*sampled));
+        }
     }
     w.freeze().to_vec()
 }
@@ -142,6 +171,34 @@ pub fn decode(buf: &[u8]) -> Result<(DcrMessage, usize)> {
             user_id: UserId(r.u64()?),
         },
         TYPE_DEADLINE => DcrMessage::Deadline { unix_ms: r.u64()? },
+        TYPE_TRACE => {
+            if buf.len() < TRACE_MESSAGE_LEN {
+                return Err(CodecError::needs(TRACE_MESSAGE_LEN - buf.len()));
+            }
+            let trace_id = r.u64()?;
+            let span_id = r.u64()?;
+            let sampled = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(CodecError::InvalidValue {
+                        what: "DCR trace sampled flag",
+                        value: u64::from(other),
+                    })
+                }
+            };
+            if trace_id == 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "DCR trace id",
+                    value: 0,
+                });
+            }
+            DcrMessage::Trace {
+                trace_id,
+                span_id,
+                sampled,
+            }
+        }
         other => {
             return Err(CodecError::InvalidValue {
                 what: "DCR message type",
@@ -180,6 +237,47 @@ mod tests {
         round_trip(DcrMessage::Deadline {
             unix_ms: 1_754_400_000_000,
         });
+    }
+
+    #[test]
+    fn trace_round_trips_at_its_own_length() {
+        let msg = DcrMessage::Trace {
+            trace_id: 0xdead_beef_0000_0001,
+            span_id: 42,
+            sampled: true,
+        };
+        let wire = encode(&msg);
+        assert_eq!(wire.len(), TRACE_MESSAGE_LEN);
+        let (back, consumed) = decode(&wire).unwrap();
+        assert_eq!(consumed, TRACE_MESSAGE_LEN);
+        assert_eq!(back, msg);
+        for cut in 0..TRACE_MESSAGE_LEN {
+            assert!(
+                decode(&wire[..cut]).unwrap_err().is_incomplete(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_rejects_zero_id_and_bad_flag() {
+        let wire = encode(&DcrMessage::Trace {
+            trace_id: 1,
+            span_id: 2,
+            sampled: false,
+        });
+        let mut zero_id = wire.clone();
+        zero_id[1..9].fill(0);
+        assert!(matches!(
+            decode(&zero_id),
+            Err(CodecError::InvalidValue { .. })
+        ));
+        let mut bad_flag = wire;
+        bad_flag[TRACE_MESSAGE_LEN - 1] = 9;
+        assert!(matches!(
+            decode(&bad_flag),
+            Err(CodecError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`deadline`] — the `x-zdr-deadline` absolute-deadline property that
 //!   requests carry so every hop subtracts elapsed time instead of using
 //!   fixed timeouts.
+//! * [`trace`] — the `x-zdr-trace` trace-context property: the same wire
+//!   pattern as [`deadline`] carrying causality (trace/span ids) instead
+//!   of budget, so one request yields a span tree across edge → trunk →
+//!   origin.
 //!
 //! All codecs are sans-I/O: they operate on byte buffers and are driven by
 //! whatever transport hosts them (real tokio sockets in `zdr-proxy`, or the
@@ -36,6 +40,7 @@ pub mod http1;
 pub mod mqtt;
 pub mod ppr;
 pub mod quic;
+pub mod trace;
 pub mod wire;
 
 use std::fmt;

@@ -1,0 +1,179 @@
+//! Trace context propagation: the `x-zdr-trace` request property.
+//!
+//! The paper's evaluation (§6) is measured in *end-user-visible
+//! disruption*, but per-process counters cannot attribute a slow request
+//! to the hop (edge, trunk, origin) or mechanism (shed, breaker, retry,
+//! FD-pass pause) that cost it. A request therefore carries a sampled
+//! *trace context* — the causality twin of [`crate::deadline`]'s budget —
+//! across every hop, using the same wire pattern:
+//!
+//! * HTTP and trunk streams carry the [`TRACE_HEADER`] header,
+//! * MQTT relay tunnels carry a DCR `Trace` control frame
+//!   ([`crate::dcr::DcrMessage::Trace`]),
+//! * QUIC flows echo the context the edge stamped on them.
+//!
+//! The wire form is `"<16-hex trace-id>-<16-hex span-id>-<0|1>"`, e.g.
+//! `"00000000deadbeef-0000000000000001-1"`: the id of the whole request
+//! tree, the id of the *sending* hop's span (the receiver's parent), and
+//! whether the trace is sampled. A zero trace id is invalid — `0` is the
+//! in-memory sentinel for "no trace" — so [`TraceContext::parse`] rejects
+//! it.
+//!
+//! Like [`crate::deadline::Deadline`], this type is pure data: id
+//! *allocation* (seeded, deterministic) and span *recording* are
+//! `zdr_core::trace`'s job.
+
+use serde::{Deserialize, Serialize};
+
+/// Header / stream-header name carrying the request trace context.
+pub const TRACE_HEADER: &str = "x-zdr-trace";
+
+/// A propagated trace context: which request tree a hop belongs to and
+/// which span to parent its own spans under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Identifier of the whole request tree. Never zero on the wire.
+    pub trace_id: u64,
+    /// Span id of the sending hop — the receiver's parent span.
+    pub span_id: u64,
+    /// Whether downstream hops should record spans for this request.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled context rooted at `span_id` within `trace_id`.
+    pub fn sampled(trace_id: u64, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            span_id,
+            sampled: true,
+        }
+    }
+
+    /// The context a hop forwards after recording its own span: same
+    /// tree and sampling decision, parented under `span_id`.
+    pub fn child(self, span_id: u64) -> TraceContext {
+        TraceContext { span_id, ..self }
+    }
+
+    /// Wire form: `<16-hex trace-id>-<16-hex span-id>-<0|1>`.
+    pub fn header_value(self) -> String {
+        format!(
+            "{:016x}-{:016x}-{}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parses the wire form; `None` on malformed input or a zero trace
+    /// id (the "no trace" sentinel must not appear on the wire).
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let t = s.trim();
+        if t.len() > 64 {
+            return None;
+        }
+        let mut parts = t.splitn(3, '-');
+        let trace_id = parse_hex16(parts.next()?)?;
+        let span_id = parse_hex16(parts.next()?)?;
+        let sampled = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            sampled,
+        })
+    }
+}
+
+/// Parses exactly 16 lowercase/uppercase hex digits.
+fn parse_hex16(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+impl std::fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace:{}", self.header_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let ctx = TraceContext::sampled(0xdead_beef, 0x1234);
+        assert_eq!(ctx.header_value(), "00000000deadbeef-0000000000001234-1");
+        assert_eq!(TraceContext::parse(&ctx.header_value()), Some(ctx));
+        let unsampled = TraceContext {
+            trace_id: 1,
+            span_id: 0,
+            sampled: false,
+        };
+        assert_eq!(TraceContext::parse(&unsampled.header_value()), Some(unsampled));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(TraceContext::parse(""), None);
+        assert_eq!(TraceContext::parse("deadbeef-1234-1"), None, "short hex");
+        assert_eq!(
+            TraceContext::parse("00000000deadbeef-0000000000001234-2"),
+            None,
+            "bad sampled flag"
+        );
+        assert_eq!(
+            TraceContext::parse("0000000000000000-0000000000001234-1"),
+            None,
+            "zero trace id"
+        );
+        assert_eq!(
+            TraceContext::parse("00000000deadbeef-0000000000001234"),
+            None,
+            "missing flag"
+        );
+        assert_eq!(
+            TraceContext::parse("g0000000deadbeef-0000000000001234-1"),
+            None,
+            "non-hex"
+        );
+        let too_long = "0".repeat(65);
+        assert_eq!(TraceContext::parse(&too_long), None);
+    }
+
+    #[test]
+    fn parse_accepts_surrounding_whitespace_and_uppercase() {
+        let ctx = TraceContext::parse(" 00000000DEADBEEF-0000000000001234-1 ").unwrap();
+        assert_eq!(ctx.trace_id, 0xdead_beef);
+        assert_eq!(ctx.span_id, 0x1234);
+        assert!(ctx.sampled);
+    }
+
+    #[test]
+    fn child_keeps_tree_and_sampling() {
+        let ctx = TraceContext::sampled(7, 1);
+        let child = ctx.child(2);
+        assert_eq!(child.trace_id, 7);
+        assert_eq!(child.span_id, 2);
+        assert!(child.sampled);
+    }
+
+    #[test]
+    fn display_is_the_wire_form() {
+        let ctx = TraceContext::sampled(7, 1);
+        assert_eq!(
+            ctx.to_string(),
+            format!("trace:{}", ctx.header_value())
+        );
+    }
+}

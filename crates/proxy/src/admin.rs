@@ -15,7 +15,16 @@
 //! * `POST /config/reload` — re-reads and publishes the config file via
 //!   the wired [`ReloadFn`] ([`spawn_admin_with_reload`]): `200` with
 //!   `{"epoch": n}` on success, `400` listing every validation error on
-//!   refusal, `404` when the binary was started without `--config`.
+//!   refusal, `404` when the binary was started without `--config`;
+//! * `GET /timeline` — the release-phase [`EventRing`] as JSON, each
+//!   record carrying its linked `trace_id` (`0` = unlinked);
+//! * `GET /traces` — the sampled span ring as JSON
+//!   (`schemas/trace.schema.json`), rendered through the exhaustive
+//!   [`kind_label`] match so the `span-kind-rendered` lint can prove
+//!   every recorded [`SpanKind`] is visible here. `404` until a tracer
+//!   is wired ([`spawn_admin_full`]).
+//!
+//! [`EventRing`]: zdr_core::telemetry::EventRing
 //!
 //! The listener binds loopback only: this is an operator/scraper surface,
 //! never a VIP. It is deliberately not wired into the takeover inventory —
@@ -30,6 +39,7 @@ use tokio::net::{TcpListener, TcpStream};
 
 use zdr_core::admission::{StormReason, STORM_REASONS};
 use zdr_core::telemetry::HistogramSnapshot;
+use zdr_core::trace::{SpanKind, TraceSnapshot};
 use zdr_proto::http1::{serialize_response, Method, RequestParser, Response, StatusCode};
 
 use crate::stats::StatsSnapshot;
@@ -44,6 +54,11 @@ pub type HealthyFn = dyn Fn() -> bool + Send + Sync;
 /// Handles `POST /config/reload`: re-read the config source and publish
 /// it. `Ok(epoch)` on success; `Err` carries every validation error.
 pub type ReloadFn = dyn Fn() -> Result<u64, Vec<String>> + Send + Sync;
+
+/// Produces the span-ring snapshot served by `/traces`. Separate from
+/// [`SnapshotFn`] because spans are per-request records, not aggregates —
+/// the tracer deliberately stays out of [`StatsSnapshot`].
+pub type TracesFn = dyn Fn() -> TraceSnapshot + Send + Sync;
 
 /// A running admin endpoint; aborting (or dropping) the handle stops it.
 pub struct AdminHandle {
@@ -81,7 +96,7 @@ pub async fn spawn_admin(
     snapshot: impl Fn() -> StatsSnapshot + Send + Sync + 'static,
     healthy: impl Fn() -> bool + Send + Sync + 'static,
 ) -> std::io::Result<AdminHandle> {
-    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), None).await
+    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), None, None).await
 }
 
 /// [`spawn_admin`] plus the mutating route: `POST /config/reload` invokes
@@ -92,7 +107,19 @@ pub async fn spawn_admin_with_reload(
     healthy: impl Fn() -> bool + Send + Sync + 'static,
     reload: Arc<ReloadFn>,
 ) -> std::io::Result<AdminHandle> {
-    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), Some(reload)).await
+    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), Some(reload), None).await
+}
+
+/// The full surface: every read-only route, the reload route when a
+/// [`ReloadFn`] is wired, and `/traces` when a [`TracesFn`] is wired.
+pub async fn spawn_admin_full(
+    port: u16,
+    snapshot: impl Fn() -> StatsSnapshot + Send + Sync + 'static,
+    healthy: impl Fn() -> bool + Send + Sync + 'static,
+    reload: Option<Arc<ReloadFn>>,
+    traces: Option<Arc<TracesFn>>,
+) -> std::io::Result<AdminHandle> {
+    spawn_admin_inner(port, Arc::new(snapshot), Arc::new(healthy), reload, traces).await
 }
 
 async fn spawn_admin_inner(
@@ -100,6 +127,7 @@ async fn spawn_admin_inner(
     snapshot: Arc<SnapshotFn>,
     healthy: Arc<HealthyFn>,
     reload: Option<Arc<ReloadFn>>,
+    traces: Option<Arc<TracesFn>>,
 ) -> std::io::Result<AdminHandle> {
     let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port)).await?;
     let addr = listener.local_addr()?;
@@ -111,8 +139,10 @@ async fn spawn_admin_inner(
             let snapshot = Arc::clone(&snapshot);
             let healthy = Arc::clone(&healthy);
             let reload = reload.clone();
+            let traces = traces.clone();
             tokio::spawn(async move {
-                let _ = serve_conn(stream, &snapshot, &healthy, reload.as_ref()).await;
+                let _ =
+                    serve_conn(stream, &snapshot, &healthy, reload.as_ref(), traces.as_ref()).await;
             });
         }
     });
@@ -125,6 +155,7 @@ async fn serve_conn(
     snapshot: &Arc<SnapshotFn>,
     healthy: &Arc<HealthyFn>,
     reload: Option<&Arc<ReloadFn>>,
+    traces: Option<&Arc<TracesFn>>,
 ) -> std::io::Result<()> {
     let mut buf = [0u8; 8192];
     let mut parser = RequestParser::new();
@@ -143,7 +174,14 @@ async fn serve_conn(
             }
         };
         parser.reset();
-        let response = route(request.method, request.target.as_str(), snapshot, healthy, reload);
+        let response = route(
+            request.method,
+            request.target.as_str(),
+            snapshot,
+            healthy,
+            reload,
+            traces,
+        );
         stream.write_all(&serialize_response(&response)).await?;
     }
 }
@@ -154,6 +192,7 @@ fn route(
     snapshot: &Arc<SnapshotFn>,
     healthy: &Arc<HealthyFn>,
     reload: Option<&Arc<ReloadFn>>,
+    traces: Option<&Arc<TracesFn>>,
 ) -> Response {
     // Strip a query string; scrapers commonly append cache-busters.
     let path = target.split('?').next().unwrap_or(target);
@@ -211,7 +250,80 @@ fn route(
                 .set("content-type", "text/plain; version=0.0.4");
             resp
         }
+        "/timeline" => {
+            // The EventRing alone (it also rides /stats inside the full
+            // snapshot): one record per release phase, each linked to its
+            // trace via `trace_id` where a sampled request was involved.
+            match serde_json::to_vec(&snapshot().telemetry.timeline) {
+                Ok(body) => {
+                    let mut resp = Response::ok(body);
+                    resp.headers.set("content-type", "application/json");
+                    resp
+                }
+                Err(_) => Response::internal_error(),
+            }
+        }
+        "/traces" => {
+            let Some(traces) = traces else {
+                return Response::new(StatusCode::from_code(404), "no tracer wired\n");
+            };
+            match serde_json::to_vec(&render_traces(&traces())) {
+                Ok(body) => {
+                    let mut resp = Response::ok(body);
+                    resp.headers.set("content-type", "application/json");
+                    resp
+                }
+                Err(_) => Response::internal_error(),
+            }
+        }
         _ => Response::new(StatusCode::from_code(404), "not found\n"),
+    }
+}
+
+/// The `/traces` body (`schemas/trace.schema.json`): ring counters plus
+/// every span, each rendered through [`kind_label`].
+pub fn render_traces(snap: &TraceSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "sample_every": snap.sample_every,
+        "recorded": snap.recorded,
+        "dropped": snap.dropped,
+        "spans": snap
+            .spans
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "trace_id": s.trace_id,
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    "kind": kind_label(s.kind),
+                    "generation": s.generation,
+                    "start_us": s.start_us,
+                    "end_us": s.end_us,
+                    "detail": s.detail,
+                })
+            })
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// The `/traces` label for one span kind. An exhaustive match (not
+/// [`SpanKind::name`]) so adding a variant breaks the build here — the
+/// linter (rule `span-kind-rendered`) additionally checks that every kind
+/// recorded anywhere in the workspace has its label in this file.
+pub fn kind_label(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Request => "request",
+        SpanKind::Admission => "admission",
+        SpanKind::Protection => "protection",
+        SpanKind::Shed => "shed",
+        SpanKind::BreakerAdmit => "breaker_admit",
+        SpanKind::RetryAttempt => "retry_attempt",
+        SpanKind::UpstreamConnect => "upstream_connect",
+        SpanKind::Forward => "forward",
+        SpanKind::TakeoverPause => "takeover_pause",
+        SpanKind::TrunkStream => "trunk_stream",
+        SpanKind::Tunnel => "tunnel",
+        SpanKind::QuicDelivery => "quic_delivery",
     }
 }
 
@@ -432,6 +544,88 @@ mod tests {
             text.contains("zdr_protection_reason_active{reason=\"timeout_storm\"} 0"),
             "{text}"
         );
+    }
+
+    #[tokio::test]
+    async fn traces_route_renders_spans_and_timeline_links_trace_ids() {
+        let stats = Arc::new(ProxyStats::default());
+        let tracer = &stats.telemetry.tracer;
+        tracer.set_sample_every(1);
+        let active = tracer.begin(None).expect("sampled");
+        tracer.child_span(
+            active,
+            zdr_core::trace::SpanKind::UpstreamConnect,
+            100,
+            250,
+            "upstream=test".into(),
+        );
+        tracer.root_span(
+            active,
+            zdr_core::trace::SpanKind::Request,
+            50,
+            400,
+            "/ status=200".into(),
+        );
+        stats.telemetry.event_traced(
+            ReleasePhase::FdPass,
+            3,
+            active.trace_id,
+            "pause_us=10".into(),
+        );
+
+        let scrape = Arc::clone(&stats);
+        let trace_stats = Arc::clone(&stats);
+        let admin = spawn_admin_full(
+            0,
+            move || scrape.snapshot(),
+            || true,
+            None,
+            Some(Arc::new(move || {
+                trace_stats.telemetry.tracer.snapshot()
+            })),
+        )
+        .await
+        .unwrap();
+
+        let resp = get(admin.addr, "/traces").await;
+        assert_eq!(resp.status.code, 200);
+        assert_eq!(resp.headers.get("content-type"), Some("application/json"));
+        let body: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(body["recorded"], 2);
+        assert_eq!(body["sample_every"], 1);
+        let spans = body["spans"].as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+        let root = spans
+            .iter()
+            .find(|s| s["kind"] == "request")
+            .expect("request span rendered");
+        assert_eq!(root["parent_id"], 0);
+        let child = spans
+            .iter()
+            .find(|s| s["kind"] == "upstream_connect")
+            .expect("upstream_connect span rendered");
+        assert_eq!(child["parent_id"], root["span_id"]);
+        assert_eq!(child["trace_id"], root["trace_id"]);
+
+        // /timeline serves the EventRing with the trace link intact.
+        let resp = get(admin.addr, "/timeline").await;
+        assert_eq!(resp.status.code, 200);
+        let tl: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let events = tl["events"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["trace_id"], root["trace_id"]);
+        assert_eq!(events[0]["phase"], "fd_pass");
+    }
+
+    #[tokio::test]
+    async fn traces_route_answers_404_when_no_tracer_is_wired() {
+        let admin = spawn_admin(0, StatsSnapshot::default, || true).await.unwrap();
+        let resp = get(admin.addr, "/traces").await;
+        assert_eq!(resp.status.code, 404);
+        let body = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(body.contains("tracer"), "{body}");
+        // /timeline needs only the stats closure, so it is always served.
+        assert_eq!(get(admin.addr, "/timeline").await.status.code, 200);
     }
 
     #[tokio::test]

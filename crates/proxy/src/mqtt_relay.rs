@@ -43,6 +43,7 @@ use zdr_core::clock::unix_now_ms;
 use zdr_core::config::ZdrConfig;
 use zdr_core::sync::{AtomicU64, Ordering};
 use zdr_core::telemetry::ReleasePhase;
+use zdr_core::trace::{ActiveTrace, SpanKind};
 use zdr_proto::dcr::{self, DcrMessage, UserId};
 use zdr_proto::deadline::Deadline;
 use zdr_proto::mqtt::StreamDecoder;
@@ -230,31 +231,77 @@ async fn origin_tunnel(
 
     // First frame decides the mode: data (fresh tunnel, starts with the
     // client's CONNECT) or DCR re_connect (re-homing an existing session).
-    // A DCR `deadline` frame may precede either.
+    // A DCR preamble — `deadline` and/or `trace` frames, in either order —
+    // may precede either, exactly mirroring the HTTP headers.
+    let tunnel_start_us = stats.telemetry.clock().now_us();
+    let mut incoming: Option<(u64, u64)> = None;
     let Some((mut kind, mut payload)) = read_frame(&mut edge).await? else {
         return Ok(());
     };
-    if kind == KIND_DCR {
-        if let Ok((DcrMessage::Deadline { unix_ms }, _)) = dcr::decode(&payload) {
-            deadline = deadline.clamp_to(Deadline::at_unix_ms(unix_ms));
-            let Some((k, p)) = read_frame(&mut edge).await? else {
-                return Ok(());
-            };
-            kind = k;
-            payload = p;
+    while kind == KIND_DCR {
+        match dcr::decode(&payload) {
+            Ok((DcrMessage::Deadline { unix_ms }, _)) => {
+                deadline = deadline.clamp_to(Deadline::at_unix_ms(unix_ms));
+            }
+            Ok((
+                DcrMessage::Trace {
+                    trace_id,
+                    span_id,
+                    sampled,
+                },
+                _,
+            )) => {
+                if sampled {
+                    incoming = Some((trace_id, span_id));
+                }
+            }
+            _ => break, // the mode frame (re_connect) — handled below
         }
+        let Some((k, p)) = read_frame(&mut edge).await? else {
+            return Ok(());
+        };
+        kind = k;
+        payload = p;
     }
+    let trace = stats.telemetry.tracer.begin(incoming);
+    // Closes out this hop's span (parented under the Edge's tunnel span
+    // when one rode the preamble) on every establishment outcome, so the
+    // tree stays connected even when the broker refuses.
+    let record_tunnel = |detail: String| {
+        if let Some(active) = trace {
+            stats.telemetry.tracer.root_span(
+                active,
+                SpanKind::Tunnel,
+                tunnel_start_us,
+                stats.telemetry.clock().now_us(),
+                detail,
+            );
+        }
+    };
 
     let mut broker_conn: TcpStream;
+    let mode;
 
     match kind {
         KIND_DCR => {
             let Ok((DcrMessage::ReConnect { user_id }, _)) = dcr::decode(&payload) else {
                 return Ok(());
             };
+            mode = "re_connect";
+            let connect_start_us = stats.telemetry.clock().now_us();
             let connected =
                 connect_ranked_broker(user_id, brokers, resilience, &stats, deadline).await;
+            if let Some(active) = trace {
+                stats.telemetry.tracer.child_span(
+                    active,
+                    SpanKind::UpstreamConnect,
+                    connect_start_us,
+                    stats.telemetry.clock().now_us(),
+                    format!("broker connected={}", connected.is_some()),
+                );
+            }
             let Some((conn, _)) = connected else {
+                record_tunnel(format!("origin={origin_id} mode=re_connect no_broker"));
                 let refuse = dcr::encode(&DcrMessage::ConnectRefuse { user_id });
                 return write_frame(&mut edge, KIND_DCR, &refuse).await;
             };
@@ -271,7 +318,11 @@ async fn origin_tunnel(
                 Ok((DcrMessage::ConnectAck { .. }, _)) => {
                     stats.mqtt_tunnels.bump();
                 }
-                _ => return Ok(()), // refused; tunnel dies here
+                _ => {
+                    // Refused; tunnel dies here.
+                    record_tunnel(format!("origin={origin_id} mode=re_connect refused"));
+                    return Ok(());
+                }
             }
         }
         KIND_DATA => {
@@ -280,9 +331,21 @@ async fn origin_tunnel(
             let Some(user) = sniff_connect_user(&mut sniff, &payload) else {
                 return Ok(()); // first bytes must be a parseable CONNECT
             };
-            let Some((conn, _)) =
-                connect_ranked_broker(user, brokers, resilience, &stats, deadline).await
-            else {
+            mode = "connect";
+            let connect_start_us = stats.telemetry.clock().now_us();
+            let connected =
+                connect_ranked_broker(user, brokers, resilience, &stats, deadline).await;
+            if let Some(active) = trace {
+                stats.telemetry.tracer.child_span(
+                    active,
+                    SpanKind::UpstreamConnect,
+                    connect_start_us,
+                    stats.telemetry.clock().now_us(),
+                    format!("broker connected={}", connected.is_some()),
+                );
+            }
+            let Some((conn, _)) = connected else {
+                record_tunnel(format!("origin={origin_id} mode=connect no_broker"));
                 return Ok(());
             };
             broker_conn = conn;
@@ -292,6 +355,8 @@ async fn origin_tunnel(
         }
         _ => return Ok(()),
     }
+
+    record_tunnel(format!("origin={origin_id} mode={mode}"));
 
     // Steady-state relay loop.
     let mut solicited = false;
@@ -441,6 +506,21 @@ pub async fn spawn_edge_with(
                 if admitted {
                     loop_stats.load_shed.bump();
                 }
+                // A sampled refusal leaves a one-span trace, same as the
+                // HTTP accept path: admission refusals and sheds are the
+                // first verdicts a request can hit.
+                if let Some(t) = loop_stats.telemetry.tracer.begin(None) {
+                    let now_us = loop_stats.telemetry.clock().now_us();
+                    let (kind, detail) = if admitted {
+                        (SpanKind::Shed, format!("active={active}"))
+                    } else {
+                        (SpanKind::Admission, format!("refused peer={peer}"))
+                    };
+                    loop_stats
+                        .telemetry
+                        .tracer
+                        .root_span(t, kind, now_us, now_us, detail);
+                }
                 tokio::spawn(async move {
                     if let Ok(refuse) = zdr_proto::mqtt::encode(&zdr_proto::mqtt::Packet::ConnAck {
                         session_present: false,
@@ -550,6 +630,18 @@ async fn send_tunnel_deadline(origin: &mut TcpStream, deadline: Deadline) -> std
     write_frame(origin, KIND_DCR, &frame).await
 }
 
+/// Stamps the active trace context as a DCR preamble frame, the tunnel
+/// analogue of the `x-zdr-trace` HTTP header: the Origin's spans parent
+/// under this Edge's tunnel span.
+async fn send_tunnel_trace(origin: &mut TcpStream, active: ActiveTrace) -> std::io::Result<()> {
+    let frame = dcr::encode(&DcrMessage::Trace {
+        trace_id: active.trace_id,
+        span_id: active.span_id,
+        sampled: true,
+    });
+    write_frame(origin, KIND_DCR, &frame).await
+}
+
 /// Handles one client connection on the Edge side.
 async fn edge_tunnel(
     mut client: TcpStream,
@@ -562,15 +654,51 @@ async fn edge_tunnel(
 ) -> std::io::Result<()> {
     let mut force = state.force_watch();
     let deadline = establish_deadline(&state);
+    // The Edge is the trace root for MQTT: clients speak raw MQTT with no
+    // room for a context header, so sampling decides here and the context
+    // rides the tunnel preamble as a DCR frame.
+    let trace = stats.telemetry.tracer.begin(None);
+    let connect_start_us = stats.telemetry.clock().now_us();
     let Some((mut origin, mut current_origin)) =
         connect_origin(&origins, None, &resilience, &stats, deadline).await
     else {
+        if let Some(active) = trace {
+            let now_us = stats.telemetry.clock().now_us();
+            stats.telemetry.tracer.root_span(
+                active,
+                SpanKind::Tunnel,
+                connect_start_us,
+                now_us,
+                "no origin admitted".to_string(),
+            );
+        }
         return Ok(());
     };
+    if let Some(active) = trace {
+        stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::UpstreamConnect,
+            connect_start_us,
+            stats.telemetry.clock().now_us(),
+            format!("origin={current_origin}"),
+        );
+    }
     // Every tunnel opens with its establishment deadline so the Origin can
-    // bound its broker connect.
+    // bound its broker connect, then the trace context when one is active.
     if send_tunnel_deadline(&mut origin, deadline).await.is_err() {
         return Ok(());
+    }
+    if let Some(active) = trace {
+        if send_tunnel_trace(&mut origin, active).await.is_err() {
+            return Ok(());
+        }
+        stats.telemetry.tracer.root_span(
+            active,
+            SpanKind::Tunnel,
+            connect_start_us,
+            stats.telemetry.clock().now_us(),
+            format!("established origin={current_origin}"),
+        );
     }
     stats.mqtt_tunnels.bump();
 
@@ -627,8 +755,16 @@ async fn edge_tunnel(
                         {
                             // Fig. 6 steps B1→C2: re-home through another
                             // Origin, keeping the old tunnel live meanwhile.
-                            match rehome(&origins, current_origin, user, &resilience, &stats, &state)
-                                .await
+                            match rehome(
+                                &origins,
+                                current_origin,
+                                user,
+                                &resilience,
+                                &stats,
+                                &state,
+                                trace,
+                            )
+                            .await
                             {
                                 Some((new_conn, new_addr)) => {
                                     origin = new_conn;
@@ -661,6 +797,7 @@ async fn rehome(
     resilience: &Resilience,
     stats: &ProxyStats,
     state: &DrainState,
+    trace: Option<ActiveTrace>,
 ) -> Option<(TcpStream, SocketAddr)> {
     let user = user?;
     // The re-home is itself a retry of tunnel establishment: it must be
@@ -669,10 +806,33 @@ async fn rehome(
     if !resilience.try_retry(stats) {
         return None;
     }
+    if let Some(active) = trace {
+        let now_us = stats.telemetry.clock().now_us();
+        stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::RetryAttempt,
+            now_us,
+            now_us,
+            format!("rehome funded exclude={exclude}"),
+        );
+    }
     let deadline = establish_deadline(state);
+    let connect_start_us = stats.telemetry.clock().now_us();
     let (mut conn, new_addr) =
         connect_origin(origins, Some(exclude), resilience, stats, deadline).await?;
+    if let Some(active) = trace {
+        stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::UpstreamConnect,
+            connect_start_us,
+            stats.telemetry.clock().now_us(),
+            format!("origin={new_addr}"),
+        );
+    }
     send_tunnel_deadline(&mut conn, deadline).await.ok()?;
+    if let Some(active) = trace {
+        send_tunnel_trace(&mut conn, active).await.ok()?;
+    }
     let msg = dcr::encode(&DcrMessage::ReConnect { user_id: user });
     write_frame(&mut conn, KIND_DCR, &msg).await.ok()?;
     let (kind, payload) = read_frame(&mut conn).await.ok()??;
@@ -1090,6 +1250,90 @@ mod tests {
             }
             other => panic!("expected deadline frame, got {other:?}"),
         }
+    }
+
+    #[tokio::test]
+    async fn sampled_tunnel_yields_connected_tree_across_edge_and_origin() {
+        let (_broker, o1, _o2, edge) = stack().await;
+        edge.stats.telemetry.tracer.set_sample_every(1);
+
+        // Establishing the tunnel records every span before the CONNACK
+        // reaches the client, so no polling is needed after connect.
+        let mut c = Client::connect(edge.addr, UserId(41)).await;
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+
+        // An Edge + Origin pair reads as one tree once merged.
+        let mut merged = edge.stats.telemetry.tracer.snapshot();
+        merged.merge(&o1.stats.telemetry.tracer.snapshot());
+
+        let root = merged
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Tunnel && s.parent_id == 0)
+            .expect("edge tunnel root span");
+        assert!(root.detail.contains("established"), "{root:?}");
+        let trace_id = root.trace_id;
+        assert!(merged.is_connected(trace_id), "{merged:?}");
+
+        // The Origin adopted the DCR trace frame: its leg parents under
+        // the Edge's tunnel span, with its own broker connect beneath it.
+        let origin_leg = merged
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Tunnel && s.parent_id == root.span_id)
+            .expect("origin tunnel span parented under the edge root");
+        assert_eq!(origin_leg.trace_id, trace_id);
+        assert!(origin_leg.detail.contains("mode=connect"), "{origin_leg:?}");
+        assert!(merged
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::UpstreamConnect && s.parent_id == root.span_id));
+        assert!(merged
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::UpstreamConnect && s.parent_id == origin_leg.span_id));
+
+        // The Origin never sampled locally — it only adopted.
+        assert_eq!(o1.stats.telemetry.tracer.sample_every(), 0);
+    }
+
+    #[tokio::test]
+    async fn rehome_carries_the_trace_to_the_alternate_origin() {
+        let (_broker, o1, o2, edge) = stack().await;
+        edge.stats.telemetry.tracer.set_sample_every(1);
+        let mut c = Client::connect(edge.addr, UserId(43)).await;
+
+        o1.drain();
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        assert_eq!(edge.dcr_stats.rehomed_ok.get(), 1);
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+
+        let mut merged = edge.stats.telemetry.tracer.snapshot();
+        merged.merge(&o1.stats.telemetry.tracer.snapshot());
+        merged.merge(&o2.stats.telemetry.tracer.snapshot());
+
+        let root = merged
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Tunnel && s.parent_id == 0)
+            .expect("edge tunnel root span");
+        assert!(merged.is_connected(root.trace_id), "{merged:?}");
+        // The funded re-home left a retry span, and BOTH origin legs —
+        // the original and the re_connect — hang off the same root.
+        assert!(merged
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::RetryAttempt && s.parent_id == root.span_id));
+        let legs: Vec<_> = merged
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Tunnel && s.parent_id == root.span_id)
+            .collect();
+        assert_eq!(legs.len(), 2, "{legs:?}");
+        assert!(legs.iter().any(|s| s.detail.contains("mode=connect")));
+        assert!(legs.iter().any(|s| s.detail.contains("mode=re_connect")));
     }
 
     #[tokio::test]

@@ -35,9 +35,11 @@ use tokio::net::{TcpListener, TcpStream};
 use zdr_core::clock::unix_now_ms;
 use zdr_core::config::ZdrConfig;
 use zdr_core::telemetry::ReleasePhase;
+use zdr_core::trace::{ActiveTrace, SpanKind};
 use zdr_proto::dcr::{self, DcrMessage, UserId};
 use zdr_proto::deadline::{Deadline, DEADLINE_HEADER};
 use zdr_proto::mqtt::{Packet, StreamDecoder};
+use zdr_proto::trace::{TraceContext, TRACE_HEADER};
 
 use crate::conn_tracker::ConnGuard;
 use crate::mqtt_common::{connect_ranked_broker, TUNNEL_CONNECT_BUDGET};
@@ -195,9 +197,37 @@ async fn origin_stream(
     mut guard: ConnGuard,
 ) -> std::io::Result<()> {
     let mut force = state.force_watch();
+    let stream_start_us = stats.telemetry.clock().now_us();
     let Some(user) = header(&stream, "user-id").and_then(|v| v.parse().ok().map(UserId)) else {
         let _ = stream.finish().await;
         return Ok(());
+    };
+    let mode = if header(&stream, "dcr") == Some("re_connect") {
+        "re_connect"
+    } else {
+        "connect"
+    };
+
+    // Trace context propagates over the trunk exactly like the deadline: a
+    // stream header. The Origin's spans parent under the Edge's stream span.
+    let trace = stats.telemetry.tracer.begin(
+        header(&stream, TRACE_HEADER)
+            .and_then(TraceContext::parse)
+            .filter(|c| c.sampled)
+            .map(|c| (c.trace_id, c.span_id)),
+    );
+    // Closes out this hop's span on every establishment outcome so the
+    // tree stays connected even when the broker refuses.
+    let record_stream = |detail: String| {
+        if let Some(active) = trace {
+            stats.telemetry.tracer.root_span(
+                active,
+                SpanKind::TrunkStream,
+                stream_start_us,
+                stats.telemetry.clock().now_us(),
+                detail,
+            );
+        }
     };
 
     // Deadline propagation over the trunk is a stream header (the HTTP/2
@@ -212,14 +242,24 @@ async fn origin_stream(
         deadline = deadline.clamp_to(d);
     }
 
-    let Some((mut broker_conn, _broker_addr)) =
-        connect_ranked_broker(user, brokers, &resilience, &stats, deadline).await
-    else {
+    let connect_start_us = stats.telemetry.clock().now_us();
+    let connected = connect_ranked_broker(user, brokers, &resilience, &stats, deadline).await;
+    if let Some(active) = trace {
+        stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::UpstreamConnect,
+            connect_start_us,
+            stats.telemetry.clock().now_us(),
+            format!("broker connected={}", connected.is_some()),
+        );
+    }
+    let Some((mut broker_conn, _broker_addr)) = connected else {
+        record_stream(format!("mode={mode} no_broker"));
         let _ = stream.finish().await;
         return Ok(());
     };
 
-    if header(&stream, "dcr") == Some("re_connect") {
+    if mode == "re_connect" {
         // Fig. 6 steps B2/C1–C2 over the trunk.
         broker_conn
             .write_all(&dcr::encode(&DcrMessage::ReConnect { user_id: user }))
@@ -229,12 +269,14 @@ async fn origin_stream(
         let accepted = matches!(dcr::decode(&reply), Ok((DcrMessage::ConnectAck { .. }, _)));
         let _ = stream.send(reply.to_vec()).await;
         if !accepted {
+            record_stream("mode=re_connect refused".to_string());
             let _ = stream.finish().await;
             return Ok(());
         }
         stats.dcr_rehomed.bump();
     }
 
+    record_stream(format!("mode={mode}"));
     stats.mqtt_tunnels.bump();
     // Steady-state relay: stream ↔ broker.
     let mut broker_buf = [0u8; 16 * 1024];
@@ -444,6 +486,20 @@ pub async fn spawn_edge_trunk_with(
                 if admitted {
                     loop_stats.load_shed.bump();
                 }
+                // A sampled refusal leaves a one-span trace, same as the
+                // HTTP accept path.
+                if let Some(t) = loop_stats.telemetry.tracer.begin(None) {
+                    let now_us = loop_stats.telemetry.clock().now_us();
+                    let (kind, detail) = if admitted {
+                        (SpanKind::Shed, format!("active={active}"))
+                    } else {
+                        (SpanKind::Admission, format!("refused peer={peer}"))
+                    };
+                    loop_stats
+                        .telemetry
+                        .tracer
+                        .root_span(t, kind, now_us, now_us, detail);
+                }
                 tokio::spawn(async move {
                     if let Ok(refuse) = zdr_proto::mqtt::encode(&Packet::ConnAck {
                         session_present: false,
@@ -509,29 +565,67 @@ async fn edge_client(
         }
     };
 
+    // The Edge is the trace root for trunk MQTT: the client speaks raw
+    // MQTT, so sampling decides here and the context rides the stream
+    // headers, exactly like the deadline.
+    let trace = stats.telemetry.tracer.begin(None);
+
     // Open the tunnel stream on a healthy trunk. The Edge stamps the
     // tunnel-establishment deadline as a stream header so the Origin's
     // broker connect spends only the remaining budget.
+    let connect_start_us = stats.telemetry.clock().now_us();
     let Some((mut origin_idx, handle)) = pool.pick(None).await else {
+        if let Some(active) = trace {
+            let now_us = stats.telemetry.clock().now_us();
+            stats.telemetry.tracer.root_span(
+                active,
+                SpanKind::TrunkStream,
+                connect_start_us,
+                now_us,
+                "no origin admitted".to_string(),
+            );
+        }
         stats.mqtt_dropped.bump();
         return Ok(());
     };
-    let Ok(mut stream) = handle
-        .open_stream(vec![
-            ("user-id".into(), user.0.to_string()),
-            (
-                DEADLINE_HEADER.into(),
-                tunnel_deadline(&state).header_value(),
-            ),
-        ])
-        .await
-    else {
+    if let Some(active) = trace {
+        stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::UpstreamConnect,
+            connect_start_us,
+            stats.telemetry.clock().now_us(),
+            format!("origin={}", pool.origins[origin_idx]),
+        );
+    }
+    let mut headers = vec![
+        ("user-id".into(), user.0.to_string()),
+        (
+            DEADLINE_HEADER.into(),
+            tunnel_deadline(&state).header_value(),
+        ),
+    ];
+    if let Some(active) = trace {
+        headers.push((
+            TRACE_HEADER.into(),
+            TraceContext::sampled(active.trace_id, active.span_id).header_value(),
+        ));
+    }
+    let Ok(mut stream) = handle.open_stream(headers).await else {
         stats.mqtt_dropped.bump();
         return Ok(());
     };
     if stream.send(initial).await.is_err() {
         stats.mqtt_dropped.bump();
         return Ok(());
+    }
+    if let Some(active) = trace {
+        stats.telemetry.tracer.root_span(
+            active,
+            SpanKind::TrunkStream,
+            connect_start_us,
+            stats.telemetry.clock().now_us(),
+            format!("established origin={}", pool.origins[origin_idx]),
+        );
     }
     stats.mqtt_tunnels.bump();
     let mut draining = handle.peer_draining_watch();
@@ -554,7 +648,7 @@ async fn edge_client(
                     continue;
                 }
                 // GOAWAY from the Origin: re-home this tunnel (§4.2).
-                match rehome(&pool, origin_idx, user, &state).await {
+                match rehome(&pool, origin_idx, user, &state, trace).await {
                     Some((idx, new_stream, new_watch)) => {
                         // Old stream closes once we stop using it; the new
                         // one carries the tunnel from here.
@@ -624,22 +718,47 @@ async fn rehome(
     exclude: usize,
     user: UserId,
     state: &DrainState,
+    trace: Option<ActiveTrace>,
 ) -> Option<(usize, TrunkStream, tokio::sync::watch::Receiver<bool>)> {
     if !pool.resilience.try_retry(&pool.stats) {
         return None;
     }
+    if let Some(active) = trace {
+        let now_us = pool.stats.telemetry.clock().now_us();
+        pool.stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::RetryAttempt,
+            now_us,
+            now_us,
+            format!("rehome funded exclude={}", pool.origins[exclude]),
+        );
+    }
+    let connect_start_us = pool.stats.telemetry.clock().now_us();
     let (idx, handle) = pool.pick(Some(exclude)).await?;
-    let mut stream = handle
-        .open_stream(vec![
-            ("dcr".into(), "re_connect".into()),
-            ("user-id".into(), user.0.to_string()),
-            (
-                DEADLINE_HEADER.into(),
-                tunnel_deadline(state).header_value(),
-            ),
-        ])
-        .await
-        .ok()?;
+    if let Some(active) = trace {
+        pool.stats.telemetry.tracer.child_span(
+            active,
+            SpanKind::UpstreamConnect,
+            connect_start_us,
+            pool.stats.telemetry.clock().now_us(),
+            format!("origin={}", pool.origins[idx]),
+        );
+    }
+    let mut headers = vec![
+        ("dcr".into(), "re_connect".into()),
+        ("user-id".into(), user.0.to_string()),
+        (
+            DEADLINE_HEADER.into(),
+            tunnel_deadline(state).header_value(),
+        ),
+    ];
+    if let Some(active) = trace {
+        headers.push((
+            TRACE_HEADER.into(),
+            TraceContext::sampled(active.trace_id, active.span_id).header_value(),
+        ));
+    }
+    let mut stream = handle.open_stream(headers).await.ok()?;
     // First data frame is the broker's DCR verdict.
     let verdict: Bytes = loop {
         match stream.recv().await? {
@@ -958,6 +1077,43 @@ mod tests {
         }
         assert_eq!(o.stats.deadline_exceeded.get(), 1);
         assert_eq!(o.stats.mqtt_tunnels.get(), 0, "no tunnel established");
+    }
+
+    #[tokio::test]
+    async fn sampled_stream_yields_connected_tree_across_edge_and_origin() {
+        let (_broker, o1, _o2, edge) = stack().await;
+        edge.stats.telemetry.tracer.set_sample_every(1);
+
+        // The Origin records its stream span before relaying the CONNACK,
+        // so every span exists by the time the client sees it.
+        let mut c = Client::connect(edge.addr, UserId(51)).await;
+        c.send(&Packet::PingReq).await;
+        assert_eq!(c.recv().await, Packet::PingResp);
+
+        let mut merged = edge.stats.telemetry.tracer.snapshot();
+        merged.merge(&o1.stats.telemetry.tracer.snapshot());
+
+        let root = merged
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::TrunkStream && s.parent_id == 0)
+            .expect("edge stream root span");
+        assert!(root.detail.contains("established"), "{root:?}");
+        assert!(merged.is_connected(root.trace_id), "{merged:?}");
+
+        // The Origin adopted the x-zdr-trace stream header: its leg
+        // parents under the Edge's span, broker connect beneath it.
+        let origin_leg = merged
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::TrunkStream && s.parent_id == root.span_id)
+            .expect("origin stream span parented under the edge root");
+        assert_eq!(origin_leg.trace_id, root.trace_id);
+        assert!(origin_leg.detail.contains("mode=connect"), "{origin_leg:?}");
+        assert!(merged
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::UpstreamConnect && s.parent_id == origin_leg.span_id));
     }
 
     #[tokio::test]

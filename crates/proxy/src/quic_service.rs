@@ -35,6 +35,8 @@ use zdr_core::admission::{
 use zdr_core::config::ZdrConfig;
 use zdr_core::sync::{AtomicU64, Ordering};
 use zdr_core::telemetry::{ReleasePhase, Telemetry};
+use zdr_core::trace::SpanKind;
+use zdr_proto::trace::TraceContext;
 use zdr_net::inventory::{bind_udp_reuseport_group, ListenerInventory};
 use zdr_net::takeover::{request_takeover, HandoffInfo, TakeoverServer};
 use zdr_net::udp_router::{Delivery, UdpRouter};
@@ -196,6 +198,33 @@ impl FlowTable {
     }
 }
 
+/// QUIC has no header channel, so trace context is *echoed*: a payload
+/// opening with `trace:<wire-context>` carries the client's sampled
+/// context, the echo reply returns it verbatim, and the instance records
+/// a [`SpanKind::QuicDelivery`] span under it — tagged with this
+/// instance's generation, so a flow served across a takeover shows both.
+fn payload_trace(payload: &[u8]) -> Option<(u64, u64)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let wire = text.strip_prefix("trace:")?.split_whitespace().next()?;
+    let ctx = TraceContext::parse(wire)?;
+    ctx.sampled.then_some((ctx.trace_id, ctx.span_id))
+}
+
+/// Records the delivery span for one served datagram (shared by the VIP
+/// serve path and the post-takeover drain path).
+fn record_delivery(stats: &QuicStats, payload: &[u8], start_us: u64, detail: String) {
+    let Some(active) = stats.telemetry.tracer.begin(payload_trace(payload)) else {
+        return;
+    };
+    stats.telemetry.tracer.root_span(
+        active,
+        SpanKind::QuicDelivery,
+        start_us,
+        stats.telemetry.clock().now_us(),
+        detail,
+    );
+}
+
 async fn serve_deliveries(
     socket: Arc<UdpSocket>,
     mut rx: tokio::sync::mpsc::Receiver<Delivery>,
@@ -247,6 +276,12 @@ async fn serve_deliveries(
             if let Ok(wire) = quic::encode(&reply) {
                 let _ = socket.send_to(&wire, d.from).await;
             }
+            record_delivery(
+                &stats,
+                &d.datagram.payload,
+                start_us,
+                format!("initial gen={generation}"),
+            );
             stats
                 .telemetry
                 .request_latency_us
@@ -262,6 +297,12 @@ async fn serve_deliveries(
                 if let Ok(wire) = quic::encode(&reply) {
                     let _ = socket.send_to(&wire, d.from).await;
                 }
+                record_delivery(
+                    &stats,
+                    &d.datagram.payload,
+                    start_us,
+                    format!("gen={generation} seen={seen}"),
+                );
                 stats
                     .telemetry
                     .request_latency_us
@@ -497,6 +538,7 @@ impl QuicInstance {
                         continue;
                     };
                     if let Some(seen) = self.table.touch(datagram.cid, from) {
+                        let start_us = self.stats.telemetry.clock().now_us();
                         self.stats.served.bump();
                         served_during_drain += 1;
                         let mut payload = b"echo:".to_vec();
@@ -505,6 +547,12 @@ impl QuicInstance {
                         if let Ok(wire) = quic::encode(&reply) {
                             let _ = socket.send_to(&wire, from).await;
                         }
+                        record_delivery(
+                            &self.stats,
+                            &datagram.payload,
+                            start_us,
+                            format!("drain gen={} seen={seen}", self.generation),
+                        );
                     } else {
                         self.stats.unknown_flow.bump();
                     }
@@ -831,6 +879,37 @@ mod tests {
                 .any(|e| e.phase == ReleasePhase::ConfigApplied && e.detail.contains("epoch=3")),
             "{tl:?}"
         );
+    }
+
+    #[tokio::test]
+    async fn trace_context_in_payload_is_echoed_and_recorded() {
+        let instance = QuicInstance::bind_fresh("127.0.0.1:0".parse().unwrap(), config("trace"))
+            .await
+            .unwrap();
+        let vip = instance.vip;
+        let mut flow = FlowClient::open(vip, 4).await;
+
+        // Sampling is off (the default): only the client's own context
+        // produces spans, exactly like an adopted x-zdr-trace header.
+        let wire = TraceContext::sampled(0xABCD, 0x17).header_value();
+        let payload = format!("trace:{wire} hello");
+        let reply = flow.echo(vip, payload.as_bytes()).await.expect("echo");
+        // The context is echoed back to the client verbatim.
+        assert_eq!(reply, format!("echo:{payload}").as_bytes());
+
+        let snap = instance.stats.telemetry.tracer.snapshot();
+        let span = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::QuicDelivery)
+            .expect("delivery span");
+        assert_eq!(span.trace_id, 0xABCD);
+        assert_eq!(span.parent_id, 0x17, "parented under the client's span");
+        assert_eq!(span.generation, 0);
+
+        // A plain payload with sampling off records nothing further.
+        flow.echo(vip, b"plain").await.expect("echo");
+        assert_eq!(instance.stats.telemetry.tracer.snapshot().spans.len(), 1);
     }
 
     #[tokio::test]

@@ -38,8 +38,10 @@ use tokio::net::{TcpListener, TcpStream};
 
 use zdr_core::clock::unix_now_ms;
 use zdr_core::telemetry::Telemetry;
+use zdr_core::trace::{ActiveTrace, SpanKind};
 use zdr_net::fault::{FaultAction, FaultInjector, FaultPoint, NoFaults};
 use zdr_proto::deadline::{Deadline, DEADLINE_HEADER};
+use zdr_proto::trace::{TraceContext, TRACE_HEADER};
 use zdr_proto::http1::{
     serialize_request, serialize_response, Request, RequestParser, Response, StatusCode,
 };
@@ -163,6 +165,29 @@ pub fn serve_on_listener(
             // client (or a storm with protection armed) is refused with a
             // 429 before any per-connection state exists.
             if !accept_resilience.admit_client(peer, accept_state.is_draining(), &accept_stats) {
+                // Refusals happen before a request exists, so the verdict
+                // span is a locally sampled root (no incoming context).
+                let tracer = &accept_stats.telemetry.tracer;
+                if let Some(active) = tracer.begin(None) {
+                    let now_us = accept_stats.telemetry.clock().now_us();
+                    let (engaged, reason) = accept_stats.protection.snapshot_codes();
+                    if engaged != 0 {
+                        tracer.child_span(
+                            active,
+                            SpanKind::Protection,
+                            now_us,
+                            now_us,
+                            format!("engaged reason_code={reason}"),
+                        );
+                    }
+                    tracer.root_span(
+                        active,
+                        SpanKind::Admission,
+                        now_us,
+                        now_us,
+                        format!("refused peer={peer}"),
+                    );
+                }
                 tokio::spawn(async move {
                     let _ = stream.write_all(HTTP_429_ADMIT).await;
                     let _ = stream.shutdown().await;
@@ -174,6 +199,17 @@ pub fn serve_on_listener(
             let active = accept_state.tracker().active();
             if accept_resilience.shed().should_shed(active) {
                 accept_stats.load_shed.bump();
+                let tracer = &accept_stats.telemetry.tracer;
+                if let Some(active_trace) = tracer.begin(None) {
+                    let now_us = accept_stats.telemetry.clock().now_us();
+                    tracer.root_span(
+                        active_trace,
+                        SpanKind::Shed,
+                        now_us,
+                        now_us,
+                        format!("active={active}"),
+                    );
+                }
                 tokio::spawn(async move {
                     let _ = stream.write_all(HTTP_503_SHED).await;
                     let _ = stream.shutdown().await;
@@ -254,6 +290,20 @@ async fn handle_client(
         // gaps between requests don't pollute the latency histogram.
         let req_start_us = stats.telemetry.clock().now_us();
 
+        // Trace context: adopt the client's sampled x-zdr-trace (the
+        // deadline pattern carrying causality) or let the local sampler
+        // decide; the root span id is allocated up front so child spans
+        // and the propagated context parent correctly.
+        let trace = stats.telemetry.tracer.begin(
+            request
+                .headers
+                .get(TRACE_HEADER)
+                .and_then(TraceContext::parse)
+                .filter(|c| c.sampled)
+                .map(|c| (c.trace_id, c.span_id)),
+        );
+        let target = request.target.clone();
+
         let client_wants_close = request
             .headers
             .wants_close(request.version == zdr_proto::http1::Version::Http10);
@@ -289,7 +339,7 @@ async fn handle_client(
                 stats.deadline_exceeded.bump();
                 Response::new(StatusCode::from_code(504), &b"deadline exceeded"[..])
             } else {
-                proxy_with_replay(request, deadline, &config, &pool, &stats).await
+                proxy_with_replay(request, deadline, trace, &config, &pool, &stats).await
             }
         };
 
@@ -299,10 +349,20 @@ async fn handle_client(
             stats.requests_ok.bump();
         }
         stream.write_all(&serialize_response(&response)).await?;
+        let req_end_us = stats.telemetry.clock().now_us();
         stats
             .telemetry
             .request_latency_us
-            .record(stats.telemetry.clock().now_us().saturating_sub(req_start_us));
+            .record(req_end_us.saturating_sub(req_start_us));
+        if let Some(active) = trace {
+            stats.telemetry.tracer.root_span(
+                active,
+                SpanKind::Request,
+                req_start_us,
+                req_end_us,
+                format!("{target} status={}", response.status.code),
+            );
+        }
 
         if client_wants_close {
             return Ok(());
@@ -324,6 +384,7 @@ async fn handle_client(
 async fn proxy_with_replay(
     request: Request,
     deadline: Deadline,
+    trace: Option<ActiveTrace>,
     config: &ReverseProxyConfig,
     pool: &UpstreamPool,
     stats: &ProxyStats,
@@ -342,8 +403,17 @@ async fn proxy_with_replay(
     current
         .headers
         .set(DEADLINE_HEADER, deadline.header_value());
+    // Propagate the trace context the same way: the next hop parents its
+    // spans under this hop's root span.
+    if let Some(active) = trace {
+        current.headers.set(
+            TRACE_HEADER,
+            TraceContext::sampled(active.trace_id, active.span_id).header_value(),
+        );
+    }
 
     let resilience = pool.resilience();
+    let tracer = &stats.telemetry.tracer;
     let mut first_attempt = true;
     loop {
         if deadline.is_expired(unix_now_ms()) {
@@ -352,11 +422,37 @@ async fn proxy_with_replay(
         }
         // Any attempt after the first is a retry and must be funded, no
         // matter why the previous attempt failed (connect error or 379).
-        if !first_attempt && !resilience.try_retry(stats) {
-            stats.ppr_gave_up.bump();
-            return Response::internal_error();
+        if !first_attempt {
+            if !resilience.try_retry(stats) {
+                stats.ppr_gave_up.bump();
+                return Response::internal_error();
+            }
+            if let Some(active) = trace {
+                let now_us = stats.telemetry.clock().now_us();
+                tracer.child_span(
+                    active,
+                    SpanKind::RetryAttempt,
+                    now_us,
+                    now_us,
+                    format!("funded excluded={}", exclude.len()),
+                );
+            }
         }
-        let Some((upstream, _admit)) = pool.pick_admit(&exclude, stats) else {
+        let picked = pool.pick_admit(&exclude, stats);
+        if let Some(active) = trace {
+            let now_us = stats.telemetry.clock().now_us();
+            tracer.child_span(
+                active,
+                SpanKind::BreakerAdmit,
+                now_us,
+                now_us,
+                match &picked {
+                    Some((upstream, _)) => format!("admitted upstream={upstream}"),
+                    None => "no upstream admitted".to_string(),
+                },
+            );
+        }
+        let Some((upstream, _admit)) = picked else {
             // §4.3 caveat: no replay target → standard 500.
             stats.ppr_gave_up.bump();
             return Response::internal_error();
@@ -367,6 +463,7 @@ async fn proxy_with_replay(
             upstream,
             &current,
             deadline,
+            trace,
             config.faults.as_ref(),
             &stats.telemetry,
         )
@@ -441,6 +538,7 @@ async fn forward_once(
     upstream: SocketAddr,
     request: &Request,
     deadline: Deadline,
+    trace: Option<ActiveTrace>,
     faults: &dyn FaultInjector,
     telemetry: &Telemetry,
 ) -> std::io::Result<Response> {
@@ -473,9 +571,19 @@ async fn forward_once(
         // DEADLINE-OK: this whole async block runs under the caller's
         // remaining-deadline timeout, which bounds the connect too.
         let mut conn = TcpStream::connect(upstream).await?;
+        let connect_end_us = telemetry.clock().now_us();
         telemetry
             .upstream_connect_us
-            .record(telemetry.clock().now_us().saturating_sub(connect_start_us));
+            .record(connect_end_us.saturating_sub(connect_start_us));
+        if let Some(active) = trace {
+            telemetry.tracer.child_span(
+                active,
+                SpanKind::UpstreamConnect,
+                connect_start_us,
+                connect_end_us,
+                format!("upstream={upstream}"),
+            );
+        }
         conn.write_all(&serialize_request(request)).await?;
         let mut parser = zdr_proto::http1::ResponseParser::new();
         let mut buf = [0u8; 16 * 1024];
@@ -507,9 +615,27 @@ async fn forward_once(
             }
         }
     };
-    tokio::time::timeout(timeout, io)
-        .await
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::TimedOut, "upstream timeout"))?
+    let forward_start_us = telemetry.clock().now_us();
+    let result = match tokio::time::timeout(timeout, io).await {
+        Ok(r) => r,
+        Err(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "upstream timeout",
+        )),
+    };
+    if let Some(active) = trace {
+        telemetry.tracer.child_span(
+            active,
+            SpanKind::Forward,
+            forward_start_us,
+            telemetry.clock().now_us(),
+            match &result {
+                Ok(resp) => format!("upstream={upstream} status={}", resp.status.code),
+                Err(e) => format!("upstream={upstream} error={}", e.kind()),
+            },
+        );
+    }
+    result
 }
 
 #[cfg(test)]
@@ -889,6 +1015,123 @@ mod tests {
             head.contains(&format!("{DEADLINE_HEADER}:")),
             "forwarded request must carry the absolute deadline: {head}"
         );
+    }
+
+    /// Polls the tracer until `pred` holds (the root span is recorded
+    /// just after the response bytes are written, so a client that has
+    /// already parsed the response may race it).
+    async fn wait_for_spans(
+        handle: &ReverseProxyHandle,
+        pred: impl Fn(&zdr_core::trace::TraceSnapshot) -> bool,
+    ) -> zdr_core::trace::TraceSnapshot {
+        for _ in 0..200 {
+            let snap = handle.stats.telemetry.tracer.snapshot();
+            if pred(&snap) {
+                return snap;
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        panic!(
+            "spans never matched: {:?}",
+            handle.stats.telemetry.tracer.snapshot()
+        );
+    }
+
+    #[tokio::test]
+    async fn sampled_request_yields_connected_tree_and_propagates_context() {
+        // A hand-rolled upstream that captures the forwarded head, so we
+        // can assert the x-zdr-trace header rides the upstream hop.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = tokio::sync::oneshot::channel::<Vec<u8>>();
+        tokio::spawn(async move {
+            let (mut s, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 8192];
+            let n = s.read(&mut buf).await.unwrap();
+            let _ = tx.send(buf[..n].to_vec());
+            let _ = s
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok")
+                .await;
+        });
+        let p = proxy(vec![addr]).await;
+        p.stats.telemetry.tracer.set_sample_every(1);
+        let resp = send(p.addr, &Request::get("/traced")).await;
+        assert_eq!(resp.status.code, 200);
+
+        let head = String::from_utf8_lossy(&rx.await.unwrap()).to_lowercase();
+        assert!(
+            head.contains(&format!("{TRACE_HEADER}:")),
+            "forwarded request must carry the trace context: {head}"
+        );
+
+        let snap = wait_for_spans(&p, |s| {
+            s.spans.iter().any(|sp| sp.kind == SpanKind::Request)
+        })
+        .await;
+        let root = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Request)
+            .unwrap();
+        assert_eq!(root.parent_id, 0, "locally sampled request is the root");
+        assert!(snap.is_connected(root.trace_id), "parent links intact");
+        for kind in [
+            SpanKind::BreakerAdmit,
+            SpanKind::UpstreamConnect,
+            SpanKind::Forward,
+        ] {
+            let child = snap
+                .spans
+                .iter()
+                .find(|s| s.kind == kind)
+                .unwrap_or_else(|| panic!("missing {kind:?} span: {snap:?}"));
+            assert_eq!(child.trace_id, root.trace_id);
+            assert_eq!(child.parent_id, root.span_id);
+        }
+        // The propagated context names this root span as the parent.
+        let wire = head
+            .lines()
+            .find(|l| l.starts_with(TRACE_HEADER))
+            .and_then(|l| l.split_once(':'))
+            .and_then(|(_, v)| TraceContext::parse(v))
+            .expect("parsable propagated context");
+        assert_eq!(wire.trace_id, root.trace_id);
+        assert_eq!(wire.span_id, root.span_id);
+        assert!(wire.sampled);
+    }
+
+    #[tokio::test]
+    async fn sampling_off_records_no_spans() {
+        let a = app("app-T0").await;
+        let p = proxy(vec![a.addr]).await;
+        for _ in 0..3 {
+            let resp = send(p.addr, &Request::get("/x")).await;
+            assert_eq!(resp.status.code, 200);
+        }
+        let snap = p.stats.telemetry.tracer.snapshot();
+        assert!(snap.is_empty(), "sampling off must record nothing: {snap:?}");
+    }
+
+    #[tokio::test]
+    async fn client_supplied_trace_context_is_adopted_even_with_sampling_off() {
+        let a = app("app-T1").await;
+        let p = proxy(vec![a.addr]).await;
+        let mut req = Request::get("/x");
+        req.headers
+            .set(TRACE_HEADER, "00000000deadbeef-0000000000000005-1");
+        let resp = send(p.addr, &req).await;
+        assert_eq!(resp.status.code, 200);
+        let snap = wait_for_spans(&p, |s| {
+            s.spans.iter().any(|sp| sp.kind == SpanKind::Request)
+        })
+        .await;
+        let root = snap
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Request)
+            .unwrap();
+        assert_eq!(root.trace_id, 0xdead_beef, "adopted the client's tree");
+        assert_eq!(root.parent_id, 5, "parented under the client's span");
     }
 
     #[tokio::test]

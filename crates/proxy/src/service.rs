@@ -273,15 +273,19 @@ impl ServiceHandle {
     /// Attaches a telemetry bundle (builder style): drain transitions are
     /// journaled and the drain duration is recorded at `generation`.
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>, generation: u64) -> Self {
+        telemetry.tracer.set_generation(generation);
         self.telemetry = Some(telemetry);
         self.generation = generation;
         self
     }
 
-    /// Updates the generation stamped on future phase events (a successor
-    /// learns its generation only after the FD-pass handshake).
+    /// Updates the generation stamped on future phase events and spans (a
+    /// successor learns its generation only after the FD-pass handshake).
     pub fn set_generation(&mut self, generation: u64) {
         self.generation = generation;
+        if let Some(t) = &self.telemetry {
+            t.tracer.set_generation(generation);
+        }
     }
 
     /// The attached telemetry bundle, if any.

@@ -30,6 +30,7 @@ use zdr_core::config::ZdrConfig;
 use zdr_core::supervisor::BackoffSchedule;
 use zdr_core::sync::{AtomicU64, Ordering};
 use zdr_core::telemetry::{ReleasePhase, Telemetry};
+use zdr_core::trace::SpanKind;
 use zdr_net::fault::FaultInjector;
 use zdr_net::inventory::ListenerInventory;
 use zdr_net::takeover::{
@@ -135,6 +136,27 @@ pub enum SupervisedOutcome {
 /// panic unwinding through the serving task.
 pub(crate) fn join_err(stage: &str, e: tokio::task::JoinError) -> zdr_net::NetError {
     zdr_net::NetError::Handshake(format!("{stage} task panicked: {e}"))
+}
+
+/// Records the FD-pass pause as a span. The pause is ambient — it has no
+/// single owning request — so it parents under the most recent sampled
+/// context any handler adopted (a request alive across the handoff),
+/// falling back to the local sampler. Returns the trace id for the
+/// timeline link, `0` when the pause went untraced.
+fn record_pause_span(telemetry: &Telemetry, pause_us: u64) -> u64 {
+    let tracer = &telemetry.tracer;
+    let Some(active) = tracer.begin(tracer.last_seen()) else {
+        return 0;
+    };
+    let end_us = telemetry.clock().now_us();
+    tracer.root_span(
+        active,
+        SpanKind::TakeoverPause,
+        end_us.saturating_sub(pause_us),
+        end_us,
+        format!("pause_us={pause_us}"),
+    );
+    active.trace_id
 }
 
 /// Binds the takeover path, retrying briefly: with strict stale-socket
@@ -350,9 +372,11 @@ impl ProxyInstance {
             let mut server = bind_with_retry(&path)?;
             server.on_fd_pass_pause(move |pause_us| {
                 telemetry.takeover_pause_us.record(pause_us);
-                telemetry.event(
+                let trace_id = record_pause_span(&telemetry, pause_us);
+                telemetry.event_traced(
                     ReleasePhase::FdPass,
                     generation,
+                    trace_id,
                     format!("pause_us={pause_us}"),
                 );
             });
@@ -411,9 +435,11 @@ impl ProxyInstance {
                 let mut server = bind_with_retry(&path)?;
                 server.on_fd_pass_pause(move |pause_us| {
                     attempt_telemetry.takeover_pause_us.record(pause_us);
-                    attempt_telemetry.event(
+                    let trace_id = record_pause_span(&attempt_telemetry, pause_us);
+                    attempt_telemetry.event_traced(
                         ReleasePhase::FdPass,
                         generation,
+                        trace_id,
                         format!("pause_us={pause_us}"),
                     );
                 });

@@ -24,13 +24,14 @@
 //! disruptions, and the train's final batch ledger — the checked-in
 //! `results/BENCH_orchestrate.json` artifact.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use zdr_core::canary::{CanaryPolicy, WindowSample};
+use zdr_core::fleet::{FleetReport, NodeReport};
 use zdr_core::mechanism::RestartStrategy;
 use zdr_core::orchestrator::{
-    BatchState, HaltReason, ReleaseTrain, TrainAction, TrainConfig, TrainPhase,
+    BatchState, HaltReason, JournalRecord, ReleaseTrain, TrainAction, TrainConfig, TrainPhase,
 };
 use zdr_core::tier::Tier;
 use zdr_core::ClusterId;
@@ -130,6 +131,12 @@ pub struct TrainOutcome {
     pub disruptions: u64,
     /// Requests offered over the whole run (ok + 5xx).
     pub requests: u64,
+    /// One [`FleetReport`] per promoted batch — the sim's counterpart of
+    /// `zdr orchestrate`'s `FLEET_REPORT` stream: each member cluster's
+    /// since-release request/disruption deltas merged into the batch view.
+    /// The sim models counts, not latencies, so the merged histograms stay
+    /// empty.
+    pub fleet_reports: Vec<FleetReport>,
 }
 
 /// The four-arm ablation: {whole-process, microreboot} × {healthy, buggy}.
@@ -289,6 +296,11 @@ pub fn run_one(cfg: &Config) -> TrainOutcome {
     let mut drivers: Vec<Option<ClusterDriver>> = (0..cfg.clusters).map(|_| None).collect();
     let mut watches: Vec<Option<Watch>> = (0..cfg.clusters).map(|_| None).collect();
     let mut peak_radius = 0.0f64;
+    // Fleet-report bookkeeping: counter totals captured when each
+    // cluster's release starts, batch membership from the journal stream.
+    let mut release_totals: Vec<(u64, u64)> = vec![(0, 0); cfg.clusters];
+    let mut members: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut fleet_reports: Vec<FleetReport> = Vec::new();
     let limit = tick + 500_000;
 
     loop {
@@ -340,6 +352,8 @@ pub fn run_one(cfg: &Config) -> TrainOutcome {
                     );
                     sims[c].set_buggy_deployment(cfg.buggy);
                     drivers[c] = Some(ClusterDriver::release(cfg.mode, cfg.machines_per_cluster));
+                    release_totals[c] =
+                        (totals(&sims[c]).0, sims[c].counters().total_disruptions());
                     let (req0, bad0) = totals(&sims[c]);
                     watches[c] = Some(Watch {
                         due: tick + cfg.window_ticks,
@@ -391,7 +405,32 @@ pub fn run_one(cfg: &Config) -> TrainOutcome {
         tick += 1;
         peak_radius = peak_radius.max(fleet_radius(&sims));
 
-        let _ = train.drain_journal();
+        // The sim's counterpart of the controller's fleet loop: batch
+        // membership and promotions ride the same journal records, and a
+        // promoted batch merges its members' since-release deltas into a
+        // [`FleetReport`].
+        for rec in train.drain_journal() {
+            match rec {
+                JournalRecord::ClusterReleased { batch, cluster, .. } => {
+                    members.entry(batch).or_default().push(cluster.0 as usize);
+                }
+                JournalRecord::BatchPromoted { batch, .. } => {
+                    let mut report = FleetReport::new(batch, 0);
+                    for c in members.remove(&batch).unwrap_or_default() {
+                        let (req0, dis0) = release_totals[c];
+                        report.push(NodeReport {
+                            cluster: c as u32,
+                            scraped: true,
+                            requests: totals(&sims[c]).0 - req0,
+                            disruptions: sims[c].counters().total_disruptions() - dis0,
+                            ..NodeReport::default()
+                        });
+                    }
+                    fleet_reports.push(report);
+                }
+                _ => {}
+            }
+        }
         if train.is_settled() && drivers.iter().all(Option::is_none) {
             break;
         }
@@ -413,6 +452,7 @@ pub fn run_one(cfg: &Config) -> TrainOutcome {
         user_errors: sims.iter().map(|s| s.counters().http_5xx).sum(),
         disruptions: sims.iter().map(|s| s.counters().total_disruptions()).sum(),
         requests: sims.iter().map(|s| totals(s).0).sum(),
+        fleet_reports,
     }
 }
 
@@ -544,6 +584,26 @@ mod tests {
         assert_eq!(a.completion_ms, b.completion_ms);
         assert_eq!(a.user_errors, b.user_errors);
         assert_eq!(a.peak_blast_radius, b.peak_blast_radius);
+    }
+
+    #[test]
+    fn promoted_batches_emit_fleet_reports() {
+        let o = run_one(&fast(RestartMode::WholeProcess, false));
+        assert_eq!(
+            o.fleet_reports.len(),
+            o.batches_promoted,
+            "one report per promoted batch"
+        );
+        assert_eq!(o.fleet_reports.len(), 2);
+        for (i, r) in o.fleet_reports.iter().enumerate() {
+            assert_eq!(r.batch as usize, i);
+            assert_eq!(r.nodes.len(), 2, "batch_size clusters per report");
+            assert!(r.requests > 0, "members saw traffic in their windows");
+            assert!(r.nodes.iter().all(|n| n.scraped));
+        }
+        // A halted train reports only the batches it actually promoted.
+        let halted = run_one(&fast(RestartMode::WholeProcess, true));
+        assert_eq!(halted.fleet_reports.len(), halted.batches_promoted);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Seeded violation for the `span-kind-rendered` rule: `GhostHop` is
+//! recorded but the admin `/traces` renderer never labels it, so its
+//! spans would be invisible to operators.
+pub enum SpanKind {
+    Request,
+    GhostHop,
+}
+
+pub fn record(spans: &mut Vec<SpanKind>) {
+    spans.push(SpanKind::Request);
+    spans.push(SpanKind::GhostHop);
+}

@@ -35,6 +35,12 @@
 //!   *hot* field is named in `ZdrConfig::validate`'s constraint table — a
 //!   hot-reloadable knob cannot ship without a validator or invisible to
 //!   operators (see [`check_config_coverage`]).
+//! * **span-kind-rendered** — cross-file, the trace mirror of
+//!   counter-in-snapshot: every `SpanKind::<Variant>` recorded anywhere
+//!   in the workspace must appear as a match arm inside the admin
+//!   endpoint's `kind_label` function, so a new span kind cannot ship
+//!   invisible to the `/traces` renderer
+//!   (see [`check_span_kind_rendering`]).
 //!
 //! The walker is syn-based: rules see the AST (paths, calls, unsafe
 //! expressions, struct fields), not text, so `// Instant::now()` in a
@@ -484,6 +490,115 @@ pub fn check_config_coverage(
     Ok(violations)
 }
 
+/// Path visitor shared by the span-kind-rendered rule: collects every
+/// `SpanKind::<Variant>` two-segment path as (variant, line). Uppercase
+/// guard keeps associated functions (`SpanKind::name`) out of the
+/// variant inventory.
+struct SpanKindPaths(Vec<(String, usize)>);
+
+impl<'ast> Visit<'ast> for SpanKindPaths {
+    fn visit_path(&mut self, p: &'ast syn::Path) {
+        let segs: Vec<&syn::PathSegment> = p.segments.iter().collect();
+        for w in segs.windows(2) {
+            if w[0].ident == "SpanKind"
+                && w[1]
+                    .ident
+                    .to_string()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_uppercase())
+            {
+                self.0
+                    .push((w[1].ident.to_string(), w[1].ident.span().start().line));
+            }
+        }
+        syn::visit::visit_path(self, p);
+    }
+}
+
+/// Collects every `SpanKind::<Variant>` path in one file — recording
+/// expressions and match patterns alike — as (variant, line) pairs. This
+/// is the per-file inventory side of the `span-kind-rendered` rule: the
+/// driver runs it over the whole workspace and feeds the union to
+/// [`check_span_kind_rendering`].
+pub fn collect_recorded_span_kinds(source: &str) -> Result<Vec<(String, usize)>, syn::Error> {
+    let ast = syn::parse_file(source)?;
+    let mut kinds = SpanKindPaths(Vec::new());
+    kinds.visit_file(&ast);
+    Ok(kinds.0)
+}
+
+/// The cross-file rule behind `span-kind-rendered`: every `SpanKind`
+/// variant recorded anywhere in the workspace (`recorded` is the merged
+/// (file, variant, line) inventory from [`collect_recorded_span_kinds`])
+/// must appear as a `SpanKind::<Variant>` arm inside the admin
+/// endpoint's `kind_label` function — the single place `/traces` turns a
+/// kind into its rendered label. A kind recorded without a label fails
+/// the lint (the violation points at the first recording site). A
+/// missing `kind_label` function is itself a violation, so the rule can
+/// never pass vacuously because the renderer moved or was renamed.
+pub fn check_span_kind_rendering(
+    admin_path: &Path,
+    admin_src: &str,
+    recorded: &[(PathBuf, String, usize)],
+) -> Result<Vec<Violation>, syn::Error> {
+    let admin = syn::parse_file(admin_src)?;
+
+    struct Renderer {
+        found: bool,
+        kinds: SpanKindPaths,
+    }
+    impl<'ast> Visit<'ast> for Renderer {
+        fn visit_item_fn(&mut self, f: &'ast syn::ItemFn) {
+            if f.sig.ident == "kind_label" {
+                self.found = true;
+                self.kinds.visit_block(&f.block);
+            }
+            syn::visit::visit_item_fn(self, f);
+        }
+    }
+    let mut renderer = Renderer {
+        found: false,
+        kinds: SpanKindPaths(Vec::new()),
+    };
+    renderer.visit_file(&admin);
+
+    if !renderer.found {
+        return Ok(vec![Violation {
+            file: admin_path.to_path_buf(),
+            line: 1,
+            rule: "span-kind-rendered",
+            message: "no kind_label function found in the admin endpoint — the \
+                      /traces renderer the lint guards is missing"
+                .to_string(),
+        }]);
+    }
+    let rendered: std::collections::HashSet<&str> =
+        renderer.kinds.0.iter().map(|(v, _)| v.as_str()).collect();
+
+    // One violation per unrendered variant, anchored at its first
+    // recording site in (file, line) order.
+    let mut sites: Vec<&(PathBuf, String, usize)> = recorded.iter().collect();
+    sites.sort_by(|a, b| (&a.0, a.2).cmp(&(&b.0, b.2)));
+    let mut flagged: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut violations = Vec::new();
+    for (file, variant, line) in sites {
+        if rendered.contains(variant.as_str()) || !flagged.insert(variant.as_str()) {
+            continue;
+        }
+        violations.push(Violation {
+            file: file.clone(),
+            line: *line,
+            rule: "span-kind-rendered",
+            message: format!(
+                "SpanKind::{variant} is recorded here but never rendered by the \
+                 admin endpoint's kind_label — its spans would be invisible to /traces"
+            ),
+        });
+    }
+    Ok(violations)
+}
+
 /// `TimeoutStorm` → `timeout_storm` (matches serde's rename_all and
 /// `StormReason::name()`).
 fn snake_case(ident: &str) -> String {
@@ -852,6 +967,134 @@ mod tests {
         let admission = include_str!("../../core/src/admission.rs");
         let admin = include_str!("../../proxy/src/admin.rs");
         let v = check_reason_rendering(Path::new("crates/core/src/admission.rs"), admission, admin)
+            .unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// Turns one file's collected span kinds into the merged inventory
+    /// shape [`check_span_kind_rendering`] takes.
+    fn span_sites(fake_path: &str, source: &str) -> Vec<(PathBuf, String, usize)> {
+        collect_recorded_span_kinds(source)
+            .expect("fixture must parse")
+            .into_iter()
+            .map(|(variant, line)| (PathBuf::from(fake_path), variant, line))
+            .collect()
+    }
+
+    #[test]
+    fn span_kind_fixture_flags_unrendered_recording() {
+        let sites = span_sites(
+            "crates/demo/src/lib.rs",
+            include_str!("../fixtures/unrendered_span_kind.rs"),
+        );
+        let admin_missing = "pub fn kind_label(kind: SpanKind) -> &'static str {\n\
+                             \x20   match kind {\n\
+                             \x20       SpanKind::Request => \"request\",\n\
+                             \x20       _ => \"unknown\",\n\
+                             \x20   }\n\
+                             }\n";
+        let v = check_span_kind_rendering(
+            Path::new("crates/proxy/src/admin.rs"),
+            admin_missing,
+            &sites,
+        )
+        .unwrap();
+        assert_eq!(rules(&v), vec!["span-kind-rendered"], "{v:?}");
+        assert!(v[0].message.contains("GhostHop"), "{v:?}");
+        // The violation points at the recording site, not the renderer.
+        assert_eq!(v[0].file, PathBuf::from("crates/demo/src/lib.rs"), "{v:?}");
+        assert_eq!(v[0].line, 11, "{v:?}");
+
+        let admin_ok = "pub fn kind_label(kind: SpanKind) -> &'static str {\n\
+                        \x20   match kind {\n\
+                        \x20       SpanKind::Request => \"request\",\n\
+                        \x20       SpanKind::GhostHop => \"ghost_hop\",\n\
+                        \x20   }\n\
+                        }\n";
+        let v = check_span_kind_rendering(Path::new("crates/proxy/src/admin.rs"), admin_ok, &sites)
+            .unwrap();
+        assert!(v.is_empty(), "complete rendering flagged: {v:?}");
+    }
+
+    #[test]
+    fn span_kind_rule_reports_each_variant_once_and_needs_the_renderer() {
+        // Two recording sites for the same unrendered kind → one report,
+        // anchored at the first site in (file, line) order.
+        let src = "pub fn f(spans: &mut Vec<u32>) {\n\
+                   \x20   spans.push(SpanKind::GhostHop as u32);\n\
+                   \x20   spans.push(SpanKind::GhostHop as u32);\n\
+                   }\n";
+        let sites = span_sites("crates/demo/src/lib.rs", src);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        let admin = "pub fn kind_label(kind: SpanKind) -> &'static str { \"x\" }\n";
+        let v = check_span_kind_rendering(Path::new("crates/proxy/src/admin.rs"), admin, &sites)
+            .unwrap();
+        assert_eq!(rules(&v), vec!["span-kind-rendered"], "{v:?}");
+        assert_eq!(v[0].line, 2, "{v:?}");
+
+        // Associated functions are not variants and must not be flagged.
+        let assoc = span_sites(
+            "crates/demo/src/lib.rs",
+            "pub fn g() { SpanKind::name(); }\n",
+        );
+        assert!(assoc.is_empty(), "{assoc:?}");
+
+        // A renamed/removed kind_label can never make the rule pass
+        // vacuously — it is itself the violation.
+        let v = check_span_kind_rendering(
+            Path::new("crates/proxy/src/admin.rs"),
+            "fn other() {}\n",
+            &sites,
+        )
+        .unwrap();
+        assert_eq!(rules(&v), vec!["span-kind-rendered"], "{v:?}");
+        assert!(v[0].message.contains("kind_label"), "{v:?}");
+    }
+
+    #[test]
+    fn repo_trace_recordings_satisfy_span_kind_rendering() {
+        // The rule run exactly as `cargo xtask lint` runs it, against the
+        // real sources — a unit-test early warning for the CI gate.
+        // `core::trace`'s exhaustive `SpanKind::name()` match makes the
+        // inventory cover every declared variant, so including trace.rs
+        // alone already forces kind_label to stay exhaustive; the proxy
+        // services add the actual recording sites.
+        let mut sites = Vec::new();
+        for (path, src) in [
+            (
+                "crates/core/src/trace.rs",
+                include_str!("../../core/src/trace.rs"),
+            ),
+            (
+                "crates/proxy/src/service.rs",
+                include_str!("../../proxy/src/service.rs"),
+            ),
+            (
+                "crates/proxy/src/reverse.rs",
+                include_str!("../../proxy/src/reverse.rs"),
+            ),
+            (
+                "crates/proxy/src/takeover.rs",
+                include_str!("../../proxy/src/takeover.rs"),
+            ),
+            (
+                "crates/proxy/src/mqtt_relay.rs",
+                include_str!("../../proxy/src/mqtt_relay.rs"),
+            ),
+            (
+                "crates/proxy/src/mqtt_relay_trunk.rs",
+                include_str!("../../proxy/src/mqtt_relay_trunk.rs"),
+            ),
+            (
+                "crates/proxy/src/quic_service.rs",
+                include_str!("../../proxy/src/quic_service.rs"),
+            ),
+        ] {
+            sites.extend(span_sites(path, src));
+        }
+        assert!(!sites.is_empty(), "trace sources record no SpanKind at all");
+        let admin = include_str!("../../proxy/src/admin.rs");
+        let v = check_span_kind_rendering(Path::new("crates/proxy/src/admin.rs"), admin, &sites)
             .unwrap();
         assert!(v.is_empty(), "{v:?}");
     }

@@ -4,7 +4,8 @@
 //!
 //! * `lint` — walk every `.rs` file in the workspace and enforce the repo
 //!   invariants (see [`lint`] for the rules), plus the cross-file
-//!   protection-reason-rendered check.
+//!   protection-reason-rendered, span-kind-rendered, and config-coverage
+//!   checks.
 //! * `analyze` — build the heuristic cross-crate call graph and run the
 //!   four data-plane passes (see [`analyze`]): async-blocking,
 //!   await-holding-guard, deadline-coverage, panic-path. Flags:
@@ -81,6 +82,9 @@ fn run_lint() -> ExitCode {
     let mut violations: Vec<lint::Violation> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
     let mut checked = 0usize;
+    // (file, variant, line) for every SpanKind recording in the
+    // workspace — the inventory side of the span-kind-rendered rule.
+    let mut span_sites: Vec<(PathBuf, String, usize)> = Vec::new();
     for file in files {
         let source = match std::fs::read_to_string(&file) {
             Ok(s) => s,
@@ -94,6 +98,13 @@ fn run_lint() -> ExitCode {
             Ok(found) => {
                 checked += 1;
                 violations.extend(found);
+                if let Ok(kinds) = lint::collect_recorded_span_kinds(&source) {
+                    span_sites.extend(
+                        kinds
+                            .into_iter()
+                            .map(|(variant, line)| (rel.to_path_buf(), variant, line)),
+                    );
+                }
             }
             Err(e) => {
                 // A file rustc accepts must parse; surfacing this as a
@@ -124,6 +135,19 @@ fn run_lint() -> ExitCode {
                 }
             }
         }
+    }
+
+    // Cross-file rule: every SpanKind recorded anywhere in the workspace
+    // is rendered by the admin endpoint's kind_label — the /traces
+    // labeller (see lint::check_span_kind_rendering).
+    match std::fs::read_to_string(root.join(admin_rel)) {
+        Ok(admin_src) => {
+            match lint::check_span_kind_rendering(admin_rel, &admin_src, &span_sites) {
+                Ok(found) => violations.extend(found),
+                Err(e) => errors.push(format!("span-kind-rendered: syn parse error: {e}")),
+            }
+        }
+        Err(e) => errors.push(format!("{}: unreadable: {e}", admin_rel.display())),
     }
 
     // Cross-check rule: every declared config field is rendered, and every

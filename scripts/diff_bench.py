@@ -13,6 +13,7 @@ The comparator is picked by the report's `bench` field:
                    (results/BENCH_config_reload.json)
 * orchestrate    — the fleet release-train ablation
                    (results/BENCH_orchestrate.json)
+* trace          — the tracer-overhead report (results/BENCH_trace.json)
 
 Three tiers of comparison, loosest first, because CI runners are noisy
 shared machines and a flaky perf gate is worse than none:
@@ -267,10 +268,80 @@ def diff_orchestrate(base, fresh, errors):
         )
 
 
+def diff_trace(base, fresh, errors):
+    """The tracer-overhead report.
+
+    The claim this gate defends: carrying the tracer with sampling *off*
+    — every production box's steady state — costs nothing measurable.
+    The off leg must record zero spans, the sampled leg must actually
+    sample, and neither the per-call micro cost nor the end-to-end
+    latency may explode relative to the baseline.
+    """
+    if base.get("sample_calls") != fresh.get("sample_calls"):
+        errors.append(
+            f"$.sample_calls: {fresh.get('sample_calls')!r}"
+            f" != baseline {base.get('sample_calls')!r}"
+        )
+
+    target = fresh.get("requests_target", 0)
+    for leg in ("off", "sampled"):
+        l = fresh.get(leg, {})
+        if l.get("requests_ok", 0) < target * 0.95:
+            errors.append(
+                f"$.{leg}.requests_ok: {l.get('requests_ok')} < 95% of target {target}"
+            )
+        if l.get("requests_failed", 0) > max(50, target * 0.05):
+            errors.append(
+                f"$.{leg}.requests_failed: {l.get('requests_failed')}"
+                f" exceeds budget for target {target}"
+            )
+        if base.get(leg, {}).get("sample_every") != l.get("sample_every"):
+            errors.append(
+                f"$.{leg}.sample_every: {l.get('sample_every')!r}"
+                f" != baseline {base.get(leg, {}).get('sample_every')!r}"
+            )
+
+    # Semantics: off records nothing, sampled records real span trees.
+    off = fresh.get("off", {})
+    for key in ("spans_recorded", "spans_dropped", "traces"):
+        if off.get(key, 1) != 0:
+            errors.append(f"$.off.{key}: {off.get(key)} != 0 (sampling was off)")
+    sampled = fresh.get("sampled", {})
+    if sampled.get("spans_recorded", 0) < 1:
+        errors.append("$.sampled.spans_recorded: sampling on recorded nothing")
+    if sampled.get("traces", 0) < 1:
+        errors.append("$.sampled.traces: no trace trees retained")
+
+    # Magnitude: ns/call for the off fast path is the headline number —
+    # one relaxed load, so hold it to an absolute ceiling as well as the
+    # baseline band (the 50 ns floor keeps sub-ns jitter out of the
+    # ratio, the 200 ns cap catches "someone put a lock in sample()").
+    off_ns = fresh.get("sample_off_ns_per_call")
+    banded(errors, "$.sample_off_ns_per_call",
+           base.get("sample_off_ns_per_call"), off_ns, 50)
+    if off_ns is not None and off_ns > 200:
+        errors.append(
+            f"$.sample_off_ns_per_call: {off_ns} > 200 ns (off path must stay a load)"
+        )
+    banded(errors, "$.sample_on_ns_per_call",
+           base.get("sample_on_ns_per_call"),
+           fresh.get("sample_on_ns_per_call"), 50)
+    for leg in ("off", "sampled"):
+        for q in ("p50", "p99", "mean", "max"):
+            banded(
+                errors,
+                f"$.{leg}.request_latency_us.{q}",
+                base.get(leg, {}).get("request_latency_us", {}).get(q),
+                fresh.get(leg, {}).get("request_latency_us", {}).get(q),
+                FLOOR_US,
+            )
+
+
 COMPARATORS = {
     "telemetry": diff_telemetry,
     "config_reload": diff_config_reload,
     "orchestrate": diff_orchestrate,
+    "trace": diff_trace,
 }
 
 

@@ -104,6 +104,145 @@ pub(crate) fn check_fd_limit() -> Finding {
     }
 }
 
+/// Reads one whole-file procfs integer (`nf_conntrack_count` and friends).
+fn read_proc_u64(path: &str) -> Option<u64> {
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+/// Conntrack table headroom: a drain briefly *doubles* the host's tracked
+/// flows — the predecessor holds every draining connection while the
+/// successor accepts and dials fresh ones — so a table whose doubled
+/// count would not fit is a release risk (overflow silently drops new
+/// flows). A host without the netfilter procfs has no table to overflow
+/// and passes.
+pub(crate) fn check_conntrack() -> Finding {
+    let check = "conntrack";
+    let count = read_proc_u64("/proc/sys/net/netfilter/nf_conntrack_count");
+    let max = read_proc_u64("/proc/sys/net/netfilter/nf_conntrack_max");
+    match (count, max) {
+        (Some(count), Some(max)) if max > 0 => {
+            let doubled = count.saturating_mul(2);
+            if doubled >= max {
+                Finding::new(
+                    Severity::Critical,
+                    check,
+                    format!(
+                        "{count} of {max} entries in use; a drain's doubling would \
+                         overflow the table and drop new flows"
+                    ),
+                )
+            } else if doubled * 10 >= max * 8 {
+                Finding::new(
+                    Severity::Warn,
+                    check,
+                    format!(
+                        "{count} of {max} entries in use; a drain's doubling leaves \
+                         under 20% headroom"
+                    ),
+                )
+            } else {
+                Finding::new(Severity::Ok, check, format!("{count} of {max} entries in use"))
+            }
+        }
+        _ => Finding::new(
+            Severity::Ok,
+            check,
+            "netfilter conntrack not present; no table to overflow",
+        ),
+    }
+}
+
+/// Parses `/proc/sys/net/ipv4/ip_local_port_range` (`low<tab>high`).
+fn parse_port_range(s: &str) -> Option<(u64, u64)> {
+    let mut it = s.split_whitespace();
+    let low = it.next()?.parse().ok()?;
+    let high = it.next()?.parse().ok()?;
+    (low <= high).then_some((low, high))
+}
+
+/// Local ports inside `[low, high]` held by sockets in one `/proc/net/tcp`
+/// table (hex `local_address` column). TIME_WAIT rows count too — those
+/// ports are just as unusable for fresh connects.
+fn count_ports_in_range(table: &str, low: u64, high: u64) -> u64 {
+    table
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let local = line.split_whitespace().nth(1)?;
+            let (_, port_hex) = local.rsplit_once(':')?;
+            u64::from_str_radix(port_hex, 16).ok()
+        })
+        .filter(|port| (low..=high).contains(port))
+        .count() as u64
+}
+
+/// Ephemeral-port headroom: the successor's fresh upstream connects draw
+/// from the same `ip_local_port_range` the draining predecessor is still
+/// sitting on, so the drain's doubling of socket count must fit the
+/// range. Warn-degrades where the procfs is unreadable (non-Linux).
+pub(crate) fn check_ephemeral_ports() -> Finding {
+    let check = "ephemeral-ports";
+    let range = match std::fs::read_to_string("/proc/sys/net/ipv4/ip_local_port_range") {
+        Ok(s) => s,
+        Err(_) => {
+            return Finding::new(
+                Severity::Warn,
+                check,
+                "could not read ip_local_port_range; headroom unknown",
+            )
+        }
+    };
+    let Some((low, high)) = parse_port_range(&range) else {
+        return Finding::new(
+            Severity::Warn,
+            check,
+            format!("unparsable ip_local_port_range {range:?}"),
+        );
+    };
+    let span = high - low + 1;
+    let mut used = 0;
+    let mut readable = false;
+    for table in ["/proc/net/tcp", "/proc/net/tcp6"] {
+        if let Ok(src) = std::fs::read_to_string(table) {
+            readable = true;
+            used += count_ports_in_range(&src, low, high);
+        }
+    }
+    if !readable {
+        return Finding::new(
+            Severity::Warn,
+            check,
+            "could not read /proc/net/tcp; port usage unknown",
+        );
+    }
+    let doubled = used.saturating_mul(2);
+    if doubled >= span {
+        Finding::new(
+            Severity::Critical,
+            check,
+            format!(
+                "{used} of {span} ephemeral ports ({low}-{high}) in use; a drain's \
+                 doubling would exhaust the range"
+            ),
+        )
+    } else if doubled * 10 >= span * 8 {
+        Finding::new(
+            Severity::Warn,
+            check,
+            format!(
+                "{used} of {span} ephemeral ports ({low}-{high}) in use; a drain's \
+                 doubling leaves under 20% headroom"
+            ),
+        )
+    } else {
+        Finding::new(
+            Severity::Ok,
+            check,
+            format!("{used} of {span} ephemeral ports ({low}-{high}) in use"),
+        )
+    }
+}
+
 /// The takeover socket's directory must exist and be writable, or the
 /// successor cannot even offer the handshake.
 pub(crate) fn check_takeover_path(path: &Path) -> Finding {
@@ -286,7 +425,7 @@ pub(crate) fn run(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut findings = vec![check_fd_limit()];
+    let mut findings = vec![check_fd_limit(), check_conntrack(), check_ephemeral_ports()];
     for path in args.values("--takeover-path") {
         findings.push(check_takeover_path(Path::new(path)));
     }
@@ -330,5 +469,45 @@ pub(crate) fn run(args: &Args) -> ExitCode {
     match emit(&findings) {
         Severity::Critical => ExitCode::FAILURE,
         Severity::Ok | Severity::Warn => ExitCode::SUCCESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_range_parses_and_rejects_nonsense() {
+        assert_eq!(parse_port_range("32768\t60999\n"), Some((32768, 60999)));
+        assert_eq!(parse_port_range("1024 1024"), Some((1024, 1024)));
+        assert_eq!(parse_port_range("60999 32768"), None, "inverted range");
+        assert_eq!(parse_port_range("garbage"), None);
+        assert_eq!(parse_port_range(""), None);
+    }
+
+    #[test]
+    fn port_counting_reads_the_hex_local_port_column() {
+        // Two sockets in the ephemeral range (0x8000 = 32768 and
+        // 0x8E47 = 36423), one below it (0x50 = 80); the header and
+        // malformed rows are skipped.
+        let table = "  sl  local_address rem_address   st\n\
+             0: 0100007F:8000 00000000:0000 0A\n\
+             1: 0100007F:0050 00000000:0000 0A\n\
+             2: 0100007F:8E47 00000000:0000 06\n\
+             3: not-a-row\n";
+        assert_eq!(count_ports_in_range(table, 32768, 60999), 2);
+        assert_eq!(count_ports_in_range(table, 1, 100), 1);
+        assert_eq!(count_ports_in_range("", 1, 100), 0);
+    }
+
+    #[test]
+    fn headroom_checks_degrade_not_crash() {
+        // Whatever this host's procfs looks like, the checks must yield a
+        // finding (the severities depend on the host, the shape must not).
+        let c = check_conntrack();
+        assert_eq!(c.check, "conntrack");
+        let e = check_ephemeral_ports();
+        assert_eq!(e.check, "ephemeral-ports");
+        assert!(!e.detail.is_empty());
     }
 }

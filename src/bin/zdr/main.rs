@@ -47,10 +47,8 @@ use std::time::Duration;
 use zero_downtime_release::appserver::{self, AppServerConfig, RestartBehavior};
 use zero_downtime_release::broker::server as broker;
 use zero_downtime_release::core::config::{ConfigStore, ZdrConfig, BOOT_EPOCH, FIELDS};
-use zero_downtime_release::core::telemetry::{AuditorConfig, DisruptionAuditor};
-use zero_downtime_release::proxy::admin::{
-    spawn_admin, spawn_admin_with_reload, AdminHandle, ReloadFn,
-};
+use zero_downtime_release::core::telemetry::{AuditorConfig, DisruptionAuditor, Telemetry};
+use zero_downtime_release::proxy::admin::{spawn_admin_full, AdminHandle, TracesFn};
 use zero_downtime_release::proxy::conn_tracker::ConnTracker;
 use zero_downtime_release::proxy::mqtt_relay::{spawn_edge_with, spawn_origin_with};
 use zero_downtime_release::proxy::resilience::{Resilience, ResilienceConfig};
@@ -97,13 +95,28 @@ CONFIG PLANE (proxy / quic / origin / edge):
 
 TELEMETRY (proxy):
   --admin-port PORT      loopback admin endpoint serving /stats, /healthz,
-                         /metrics, and POST /config/reload; 0 picks a free
-                         port; prints `ADMIN <addr>` once bound (scrapable
+                         /metrics, /timeline, /traces, and POST
+                         /config/reload; 0 picks a free port; prints
+                         `ADMIN <addr>` once bound (scrapable
                          mid-takeover). With --config, the endpoint comes
                          from the file's [admin] port instead (0 = off)
   --audit                sample the disruption signals (5xx, proxy errors,
                          resets, MQTT drops) against an EWMA baseline; the
                          release window opens at drain; prints `AUDIT <json>`
+  --fleet-admin          bind the admin endpoint on an ephemeral port even
+                         when booting from --config (whose [admin] port is
+                         boot-only and would collide with the draining
+                         predecessor's). `zdr orchestrate` passes this to
+                         every successor it spawns so it can scrape /stats
+                         per canary window
+
+TRACING (proxy / quic / origin / edge):
+  --trace-sample N       record a span tree for one request in N (0 = off,
+                         the default; 1 = every request). A sampled trace
+                         context arriving from an upstream hop is always
+                         adopted regardless of N, so one sampling decision
+                         at the edge covers the whole chain. Spans ride
+                         the admin endpoint's /traces route
 
 RESILIENCE (proxy / edge / origin / quic):
   --shed-max-active N    shed new connections at/above N active (0 = off)
@@ -179,6 +192,8 @@ doctor:
   --upstream ADDR        check TCP reachability (repeatable)
   --admin ADDR           compare a live proxy's config against --config
                          (staleness check; needs exactly one --config)
+  Always checks host headroom against a drain's doubling of socket
+  count: fd soft limit, conntrack table fill, ephemeral-port usage.
   Prints one `DOCTOR ok|warn|critical <check>: <detail>` line per check
   and a `DOCTOR VERDICT <worst>` summary; exits 1 on any critical.
 
@@ -190,7 +205,9 @@ orchestrate:
                          revert to on rollback
   --journal PATH         write-ahead journal (JSON lines); an existing
                          journal resumes the train — a crash mid-batch
-                         rolls that batch back and retries it
+                         rolls that batch back and retries it. Per-batch
+                         fleet reports land beside it in PATH.fleet and
+                         are announced as `FLEET_REPORT <json>`
   --fresh                discard an existing journal and start over
   --force                proceed despite critical preflight findings
   --batch-size N         clusters per batch (default 1)
@@ -201,7 +218,12 @@ orchestrate:
   --max-missed N         lost windows tolerated per cluster (default 3)
   --fault SPEC           inject a controller fault (repeatable):
                          controller-crash@N | drop-verdict@N |
-                         replay-crash@N | replay-truncate@N
+                         replay-crash@N | replay-truncate@N |
+                         mqtt-canary-fail@N (the Nth /stats scrape reports
+                         a generation dropping every MQTT tunnel while
+                         HTTP probes stay green) | scrape-drop@N (the Nth
+                         scrape is lost — that window degrades to
+                         HTTP-only signals)
   Exit codes: 0 completed, 2 refused (preflight/stale journal),
   3 halted (batch rolled back), 7 injected controller crash.
 ";
@@ -242,12 +264,13 @@ fn role_flags(role: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--broker",
                 "--drain-after",
                 "--drain-ms",
+                "--trace-sample",
             ]);
             value.extend(RESILIENCE_FLAGS);
             boolean.push("--trunk");
         }
         "edge" => {
-            value.extend(["--config", "--origin"]);
+            value.extend(["--config", "--origin", "--trace-sample"]);
             value.extend(RESILIENCE_FLAGS);
             boolean.push("--trunk");
         }
@@ -261,6 +284,7 @@ fn role_flags(role: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--max-attempts",
                 "--health-report-ms",
                 "--admin-port",
+                "--trace-sample",
             ]);
             value.extend(RESILIENCE_FLAGS);
             boolean.extend([
@@ -268,10 +292,17 @@ fn role_flags(role: &str) -> Option<(Vec<&'static str>, Vec<&'static str>)> {
                 "--supervised",
                 "--report-unhealthy",
                 "--audit",
+                "--fleet-admin",
             ]);
         }
         "quic" => {
-            value.extend(["--config", "--takeover-path", "--sockets", "--drain-ms"]);
+            value.extend([
+                "--config",
+                "--takeover-path",
+                "--sockets",
+                "--drain-ms",
+                "--trace-sample",
+            ]);
             value.extend(RESILIENCE_FLAGS);
             boolean.push("--takeover");
         }
@@ -689,6 +720,17 @@ fn spawn_protection_ticker(sources: &SharedSources) -> tokio::task::JoinHandle<(
     })
 }
 
+/// Applies `--trace-sample N` to a service's tracer: record the span tree
+/// of one locally-originated request in N (0 leaves sampling off — traces
+/// adopted from upstream hops still record either way).
+fn apply_trace_sample(args: &Args, telemetry: &Telemetry) -> Result<(), String> {
+    let n = args.u64_or("--trace-sample", 0)?;
+    if n > 0 {
+        telemetry.tracer.set_sample_every(n);
+    }
+    Ok(())
+}
+
 /// Spawns the admin endpoint and prints `ADMIN <addr>`. The port comes
 /// from `--admin-port` (flags boot) or the file's `[admin] port` (config
 /// boot; 0 = disabled). With a config file wired, the endpoint also
@@ -698,16 +740,23 @@ async fn maybe_spawn_admin(
     sources: &SharedSources,
     plane: &ConfigPlane,
 ) -> Result<Option<AdminHandle>, String> {
-    let port: u16 = match (args.value("--admin-port"), &plane.path) {
-        (Some(p), _) => p.parse().map_err(|e| format!("bad --admin-port: {e}"))?,
-        (None, Some(_)) => {
-            let port = plane.store.current().admin.port;
-            if port == 0 {
-                return Ok(None);
+    // --fleet-admin: an orchestrator-spawned successor always binds an
+    // ephemeral admin port — a fixed [admin] port from the config file
+    // would collide with the still-draining predecessor's endpoint.
+    let port: u16 = if args.flag("--fleet-admin") {
+        0
+    } else {
+        match (args.value("--admin-port"), &plane.path) {
+            (Some(p), _) => p.parse().map_err(|e| format!("bad --admin-port: {e}"))?,
+            (None, Some(_)) => {
+                let port = plane.store.current().admin.port;
+                if port == 0 {
+                    return Ok(None);
+                }
+                port
             }
-            port
+            (None, None) => return Ok(None),
         }
-        (None, None) => return Ok(None),
     };
     let snap_src = Arc::clone(sources);
     let snap_store = Arc::clone(&plane.store);
@@ -720,11 +769,12 @@ async fn maybe_spawn_admin(
         snap
     };
     let healthy = move || !health_src.lock().drain.is_draining();
-    let handle = match plane.reload() {
-        Some(reload) => spawn_admin_with_reload(port, snapshot, healthy, reload).await,
-        None => spawn_admin(port, snapshot, healthy).await,
-    }
-    .map_err(|e| format!("admin endpoint: {e}"))?;
+    let traces_src = Arc::clone(sources);
+    let traces: Arc<TracesFn> =
+        Arc::new(move || traces_src.lock().stats.telemetry.tracer.snapshot());
+    let handle = spawn_admin_full(port, snapshot, healthy, plane.reload(), Some(traces))
+        .await
+        .map_err(|e| format!("admin endpoint: {e}"))?;
     announce(&format!("ADMIN {}", handle.addr));
     Ok(Some(handle))
 }
@@ -829,6 +879,7 @@ async fn run_origin(args: &Args) -> Result<(), String> {
         plane
             .store
             .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+        apply_trace_sample(args, &handle.stats.telemetry)?;
         let _hup = spawn_sighup_reload(&plane);
         ready(handle.addr);
         if drain_after > 0 {
@@ -853,6 +904,7 @@ async fn run_origin(args: &Args) -> Result<(), String> {
     plane
         .store
         .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    apply_trace_sample(args, &handle.stats.telemetry)?;
     let _hup = spawn_sighup_reload(&plane);
     ready(handle.addr);
     if drain_after > 0 {
@@ -890,6 +942,7 @@ async fn run_edge(args: &Args) -> Result<(), String> {
         plane
             .store
             .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+        apply_trace_sample(args, &handle.stats.telemetry)?;
         let _hup = spawn_sighup_reload(&plane);
         ready(handle.addr);
         wait_forever().await;
@@ -912,6 +965,7 @@ async fn run_edge(args: &Args) -> Result<(), String> {
     plane
         .store
         .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    apply_trace_sample(args, &handle.stats.telemetry)?;
     let _hup = spawn_sighup_reload(&plane);
     ready(handle.addr);
     wait_forever().await;
@@ -959,6 +1013,7 @@ async fn run_quic(args: &Args) -> Result<(), String> {
     plane
         .store
         .subscribe(Box::new(move |cfg, epoch| apply(cfg.as_ref(), epoch)));
+    apply_trace_sample(args, &instance.stats.telemetry)?;
     let _hup = spawn_sighup_reload(&plane);
     eprintln!(
         "quic generation {} serving on {}",
@@ -1038,6 +1093,7 @@ async fn run_proxy(args: &Args) -> Result<(), String> {
         "proxy generation {} serving on {}",
         instance.generation, instance.addr
     );
+    apply_trace_sample(args, &instance.stats().telemetry)?;
     let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
     let _admin = maybe_spawn_admin(args, &sources, &plane).await?;
     let _ticker = spawn_protection_ticker(&sources);
@@ -1158,6 +1214,9 @@ async fn run_proxy_supervised(
                 }
                 announce(&format!("ROLLBACK {reason}"));
                 instance = reclaimed;
+                // The rebuilt instance carries a fresh tracer; re-apply the
+                // boot-time sampling rate so traces survive a rollback.
+                apply_trace_sample(args, &instance.stats().telemetry)?;
                 *sources.lock() = sources_of(&instance);
                 // Catch the rebuilt instance up with any reload that
                 // landed mid-release, then aim future publishes at it.
@@ -1196,6 +1255,7 @@ async fn run_proxy_watched_successor(
         "proxy generation {} serving on {} (supervised)",
         instance.generation, instance.addr
     );
+    apply_trace_sample(args, &instance.stats().telemetry)?;
     let sources = Arc::new(parking_lot::Mutex::new(sources_of(&instance)));
     let _admin = maybe_spawn_admin(args, &sources, &plane).await?;
     let _ticker = spawn_protection_ticker(&sources);

@@ -27,8 +27,21 @@
 //! (`ZDR_FAULT_SEED` selects the seed): `controller-crash@N` kills the
 //! controller at the Nth batch boundary, `drop-verdict@N` loses the Nth
 //! canary observation, `replay-crash@N`/`replay-truncate@N` sabotage the
-//! Nth journal replay.
+//! Nth journal replay, and `mqtt-canary-fail@N`/`scrape-drop@N` corrupt
+//! or lose the Nth per-protocol `/stats` scrape.
+//!
+//! The verify step is more than HTTP probes: every successor is spawned
+//! with `--fleet-admin`, its `ADMIN <addr>` endpoint is captured, and each
+//! canary window folds the successor's own MQTT/QUIC counters (scraped as
+//! consecutive `/stats` deltas) into the gate beside the HTTP probe
+//! sample — a release that silently drops every MQTT tunnel halts the
+//! train even while HTTP stays green. At each batch promotion the scraped
+//! [`StatsSnapshot`]s are merged into a [`FleetReport`] — cross-node
+//! latency quantiles from the already-mergeable histograms plus a
+//! controller-side [`DisruptionAuditor`] verdict per node — journaled to
+//! `<journal>.fleet` and announced as `FLEET_REPORT <json>`.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -37,13 +50,16 @@ use std::time::Duration;
 
 use zero_downtime_release::core::canary::{CanaryPolicy, WindowSample};
 use zero_downtime_release::core::clock::Clock;
+use zero_downtime_release::core::fleet::{FleetReport, NodeReport};
 use zero_downtime_release::core::orchestrator::{
     JournalRecord, ReleaseTrain, ResumeError, TrainAction, TrainConfig, TrainPhase,
 };
+use zero_downtime_release::core::telemetry::{AuditTotals, AuditorConfig, DisruptionAuditor};
 use zero_downtime_release::core::ClusterId;
 use zero_downtime_release::net::fault::{
     FaultAction, FaultInjector, FaultPoint, FaultRule, ScriptedFaults,
 };
+use zero_downtime_release::proxy::stats::StatsSnapshot;
 
 use crate::doctor::{self, Severity};
 use crate::{announce, check_config_file, Args};
@@ -99,10 +115,12 @@ fn parse_fault(spec: &str) -> Result<FaultRule, String> {
         "drop-verdict" => (FaultPoint::PromotionVerdict, FaultAction::Drop),
         "replay-crash" => (FaultPoint::JournalReplay, FaultAction::Die),
         "replay-truncate" => (FaultPoint::JournalReplay, FaultAction::Truncate),
+        "mqtt-canary-fail" => (FaultPoint::StatsScrape, FaultAction::Die),
+        "scrape-drop" => (FaultPoint::StatsScrape, FaultAction::Drop),
         other => {
             return Err(format!(
                 "bad --fault {other:?}: expected controller-crash, drop-verdict, \
-                 replay-crash, or replay-truncate"
+                 replay-crash, replay-truncate, mqtt-canary-fail, or scrape-drop"
             ))
         }
     };
@@ -181,11 +199,14 @@ fn probe_window(vip: SocketAddr, probes: u64, window_ms: u64) -> WindowSample {
     }
 }
 
-/// Spawns a successor proxy (`zdr proxy --takeover --config <cfg>`) for
-/// `node` and blocks until it announces `READY` (its takeover finished and
-/// it is serving the VIP). The successor's stdout is drained by a
-/// detached thread afterwards so its later announcements never block it.
-fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
+/// Spawns a successor proxy (`zdr proxy --takeover --config <cfg>
+/// --fleet-admin`) for `node` and blocks until it announces `READY` (its
+/// takeover finished and it is serving the VIP), capturing the `ADMIN
+/// <addr>` line printed on the way so the controller can scrape the
+/// successor's `/stats` per canary window. The successor's stdout is
+/// drained by a detached thread afterwards so its later announcements
+/// never block it.
+fn spawn_successor(node: &Node, cfg: &Path) -> Result<(Child, Option<SocketAddr>), String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut child = Command::new(exe)
         .arg("proxy")
@@ -194,6 +215,7 @@ fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
         .arg(cfg)
         .arg("--takeover-path")
         .arg(&node.sock)
+        .arg("--fleet-admin")
         .stdout(Stdio::piped())
         // The fleet outlives the controller; inheriting its stderr would
         // keep any pipe capturing the controller's output open forever.
@@ -205,6 +227,7 @@ fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
     let stdout = child.stdout.take().expect("stdout was piped");
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
+    let mut admin: Option<SocketAddr> = None;
     loop {
         line.clear();
         match reader.read_line(&mut line) {
@@ -216,6 +239,9 @@ fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
                 ));
             }
             Ok(_) => {
+                if let Some(addr) = line.strip_prefix("ADMIN ") {
+                    admin = addr.trim().parse().ok();
+                }
                 if line.starts_with("READY ") {
                     announce(&format!(
                         "SPAWNED pid={} vip={} config={}",
@@ -235,7 +261,7 @@ fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
                             }
                         }
                     });
-                    return Ok(child);
+                    return Ok((child, admin));
                 }
             }
             Err(e) => {
@@ -247,12 +273,200 @@ fn spawn_successor(node: &Node, cfg: &Path) -> Result<Child, String> {
     }
 }
 
+/// `<journal>.fleet` — the per-batch fleet-report sidecar, beside the
+/// train journal. A separate file keeps the train journal a strict
+/// [`JournalRecord`] stream that resume can replay.
+fn sidecar_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_os_string();
+    os.push(".fleet");
+    PathBuf::from(os)
+}
+
+/// The controller's fleet-observability state: each released successor's
+/// admin endpoint (captured from its `ADMIN` line), its last `/stats`
+/// scrape (consecutive scrapes give the per-protocol canary deltas), a
+/// controller-side [`DisruptionAuditor`] per release window, and the
+/// batch → clusters membership learned from the journal stream. At each
+/// batch promotion the member nodes' snapshots merge into a
+/// [`FleetReport`] journaled to the sidecar and announced as
+/// `FLEET_REPORT <json>`.
+struct FleetObserver {
+    admins: HashMap<u32, SocketAddr>,
+    last: HashMap<u32, StatsSnapshot>,
+    auditors: HashMap<u32, DisruptionAuditor>,
+    members: HashMap<u32, Vec<u32>>,
+    sidecar: std::fs::File,
+}
+
+impl FleetObserver {
+    /// Opens the report sidecar beside `journal_path` (`fresh` discards
+    /// reports from a previous train, mirroring the journal).
+    fn new(journal_path: &Path, fresh: bool) -> Result<FleetObserver, String> {
+        let path = sidecar_path(journal_path);
+        let mut opts = std::fs::OpenOptions::new();
+        opts.create(true);
+        if fresh {
+            opts.write(true).truncate(true);
+        } else {
+            opts.append(true);
+        }
+        let sidecar = opts
+            .open(&path)
+            .map_err(|e| format!("open fleet sidecar {}: {e}", path.display()))?;
+        Ok(FleetObserver {
+            admins: HashMap::new(),
+            last: HashMap::new(),
+            auditors: HashMap::new(),
+            members: HashMap::new(),
+            sidecar,
+        })
+    }
+
+    /// A cluster's successor is serving: remember its admin endpoint and
+    /// open a fresh controller-side audit window. The successor's
+    /// counters start at zero, so observing zero totals before
+    /// `begin_release` puts its whole lifetime inside the window.
+    fn released(&mut self, cluster: ClusterId, admin: Option<SocketAddr>) {
+        let c = cluster.0;
+        self.last.remove(&c);
+        match admin {
+            Some(addr) => self.admins.insert(c, addr),
+            None => self.admins.remove(&c),
+        };
+        let auditor = DisruptionAuditor::new(AuditorConfig::default());
+        auditor.observe(AuditTotals::default());
+        auditor.begin_release();
+        self.auditors.insert(c, auditor);
+    }
+
+    /// Scrapes the successor's `/stats`, feeds the controller-side
+    /// auditor, and returns the (MQTT, QUIC) canary windows as deltas
+    /// against the previous scrape. `None` means the node has no admin
+    /// endpoint or the scrape failed — the caller degrades to an
+    /// HTTP-only window rather than halting on silence.
+    fn scrape(&mut self, cluster: ClusterId) -> Option<(WindowSample, WindowSample)> {
+        let c = cluster.0;
+        let admin = *self.admins.get(&c)?;
+        let body = doctor::http_get(admin, "/stats").ok()?;
+        let snap: StatsSnapshot = serde_json::from_str(&body).ok()?;
+        if let Some(auditor) = self.auditors.get(&c) {
+            auditor.observe(snap.audit_totals());
+        }
+        let zero = StatsSnapshot::default();
+        let prev = self.last.get(&c).unwrap_or(&zero);
+        let mqtt_disruptions = (snap.mqtt_dropped + snap.dcr_dropped + snap.forced_mqtt_disconnects)
+            .saturating_sub(prev.mqtt_dropped + prev.dcr_dropped + prev.forced_mqtt_disconnects);
+        let mqtt = WindowSample {
+            // Drops count as traffic too, so a window of pure drops
+            // carries its own denominator.
+            requests: snap.mqtt_tunnels.saturating_sub(prev.mqtt_tunnels) + mqtt_disruptions,
+            disruptions: mqtt_disruptions,
+        };
+        let quic_disruptions = (snap.quic_unknown_flow + snap.forced_quic_closes)
+            .saturating_sub(prev.quic_unknown_flow + prev.forced_quic_closes);
+        let quic = WindowSample {
+            requests: (snap.quic_flows_opened + snap.quic_served)
+                .saturating_sub(prev.quic_flows_opened + prev.quic_served)
+                + quic_disruptions,
+            disruptions: quic_disruptions,
+        };
+        self.last.insert(c, snap);
+        Some((mqtt, quic))
+    }
+
+    /// Folds freshly-journaled records into the observer's view: cluster
+    /// membership per batch, and — when a `BatchPromoted` landed — which
+    /// batch just closed.
+    fn note(&mut self, records: &[JournalRecord]) -> Option<u32> {
+        let mut promoted = None;
+        for rec in records {
+            match rec {
+                JournalRecord::ClusterReleased { batch, cluster, .. } => {
+                    self.members.entry(*batch).or_default().push(cluster.0);
+                }
+                JournalRecord::BatchPromoted { batch, .. } => promoted = Some(*batch),
+                _ => {}
+            }
+        }
+        promoted
+    }
+
+    /// Assembles and journals the just-promoted batch's [`FleetReport`]:
+    /// one final scrape per member node, the cross-node merge of their
+    /// latency histograms, and each node's audit verdict.
+    fn publish(&mut self, batch: u32, nodes: &[Node], unix_ms: u64) -> Result<(), String> {
+        let mut report = FleetReport::new(batch, unix_ms);
+        for c in self.members.remove(&batch).unwrap_or_default() {
+            // One last scrape so the report covers the full window.
+            let _ = self.scrape(ClusterId(c));
+            let audit = self.auditors.remove(&c).map(|a| a.end_release());
+            let vip = nodes[c as usize].vip.to_string();
+            let node = match self.last.get(&c) {
+                Some(snap) => {
+                    let totals = snap.audit_totals();
+                    NodeReport {
+                        cluster: c,
+                        vip,
+                        scraped: true,
+                        requests: totals.requests,
+                        disruptions: totals.http_5xx
+                            + totals.proxy_errors
+                            + totals.conn_resets
+                            + totals.mqtt_drops,
+                        latency_us: snap.telemetry.request_latency_us.clone(),
+                        audit,
+                    }
+                }
+                None => NodeReport {
+                    cluster: c,
+                    vip,
+                    audit,
+                    ..NodeReport::default()
+                },
+            };
+            report.push(node);
+        }
+        // PANIC-OK: the report is derive(Serialize) scalars, strings, and
+        // histograms; serialization cannot fail.
+        let line = serde_json::to_string(&report).expect("fleet report serializes");
+        writeln!(self.sidecar, "{line}").map_err(|e| format!("fleet sidecar write: {e}"))?;
+        self.sidecar
+            .sync_data()
+            .map_err(|e| format!("fleet sidecar fsync: {e}"))?;
+        announce(&format!("FLEET_REPORT {line}"));
+        Ok(())
+    }
+}
+
+/// Write-ahead persist plus fleet bookkeeping: journals the drained
+/// records, folds them into the observer, and publishes a fleet report
+/// for any batch they promoted. Returns whether a promotion landed (the
+/// batch-boundary fault hook).
+fn commit(
+    journal: &mut Journal,
+    observer: &mut FleetObserver,
+    nodes: &[Node],
+    unix_ms: u64,
+    records: &[JournalRecord],
+) -> Result<bool, String> {
+    journal.persist(records)?;
+    if let Some(batch) = observer.note(records) {
+        observer.publish(batch, nodes, unix_ms)?;
+        return Ok(true);
+    }
+    Ok(false)
+}
+
 /// Doctor preflight over every node of the train: the takeover sockets
 /// must be offerable, both configs of every node must validate, their
 /// upstreams must answer, and each VIP must be serving. Returns the worst
 /// severity (the caller refuses on critical unless `--force`).
 fn preflight(nodes: &[Node]) -> Severity {
-    let mut findings = vec![doctor::check_fd_limit()];
+    let mut findings = vec![
+        doctor::check_fd_limit(),
+        doctor::check_conntrack(),
+        doctor::check_ephemeral_ports(),
+    ];
     for node in nodes {
         findings.push(doctor::check_takeover_path(&node.sock));
         findings.push(doctor::check_reachable("vip", node.vip, Severity::Critical));
@@ -431,15 +645,31 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
     };
 
     let mut journal = Journal::append_to(&journal_path)?;
+    let mut observer = FleetObserver::new(&journal_path, args.flag("--fresh"))?;
+    // Rebuild batch membership from the replayed journal so a batch whose
+    // releases landed before the crash still gets a fleet report — minus
+    // batches already promoted, whose reports were published pre-crash.
+    observer.note(&existing);
+    for rec in &existing {
+        if let JournalRecord::BatchPromoted { batch, .. } = rec {
+            observer.members.remove(batch);
+        }
+    }
     // Children are the serving fleet: kept so their handles outlive the
     // loop, never killed by the controller.
-    let mut fleet: Vec<Child> = Vec::new();
+    let mut children: Vec<Child> = Vec::new();
 
     loop {
         let actions = train.next_actions(clock.unix_ms());
         // Write-ahead: persist what next_actions decided (BatchStarted,
         // rollback transitions) before executing any of it.
-        journal.persist(&train.drain_journal())?;
+        commit(
+            &mut journal,
+            &mut observer,
+            &nodes,
+            clock.unix_ms(),
+            &train.drain_journal(),
+        )?;
         for action in &actions {
             // A halt triggered by an earlier action in this same list
             // voids the rest of the batch's releases/observations: only
@@ -456,11 +686,18 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
                     // threshold reflects this VIP's pre-release health.
                     let baseline = probe_window(node.vip, flags.probes, flags.window_ms);
                     train.on_release_started(clock.unix_ms(), cluster, baseline);
-                    journal.persist(&train.drain_journal())?;
+                    commit(
+                        &mut journal,
+                        &mut observer,
+                        &nodes,
+                        clock.unix_ms(),
+                        &train.drain_journal(),
+                    )?;
                     match check_config_file(&node.new_cfg) {
                         Ok(_) => match spawn_successor(node, &node.new_cfg) {
-                            Ok(child) => {
-                                fleet.push(child);
+                            Ok((child, admin)) => {
+                                children.push(child);
+                                observer.released(cluster, admin);
                                 train.on_cluster_released(clock.unix_ms(), cluster);
                             }
                             Err(e) => {
@@ -478,7 +715,13 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
                             train.on_release_failed(clock.unix_ms(), cluster);
                         }
                     }
-                    journal.persist(&train.drain_journal())?;
+                    commit(
+                        &mut journal,
+                        &mut observer,
+                        &nodes,
+                        clock.unix_ms(),
+                        &train.drain_journal(),
+                    )?;
                 }
                 TrainAction::ObserveCluster { cluster, .. } => {
                     let node = &nodes[cluster.0 as usize];
@@ -489,10 +732,58 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
                         ));
                         train.on_window_missed(clock.unix_ms(), cluster);
                     } else {
-                        let sample = probe_window(node.vip, flags.probes, flags.window_ms);
+                        let http = probe_window(node.vip, flags.probes, flags.window_ms);
+                        // The per-protocol half of the window rides the
+                        // successor's own /stats counters.
+                        let (mqtt, quic) = match faults.decide(FaultPoint::StatsScrape) {
+                            FaultAction::Die => {
+                                // Injected: the scrape reports a
+                                // generation dropping every MQTT tunnel
+                                // while the HTTP probes stay green.
+                                announce(&format!(
+                                    "TRAIN_FAULT scrape for {} reports total MQTT drop (injected)",
+                                    node.vip
+                                ));
+                                (
+                                    WindowSample {
+                                        requests: flags.probes,
+                                        disruptions: flags.probes,
+                                    },
+                                    WindowSample::default(),
+                                )
+                            }
+                            FaultAction::Drop => {
+                                announce(&format!(
+                                    "TRAIN_FAULT scrape for {} lost (injected) — HTTP-only window",
+                                    node.vip
+                                ));
+                                (WindowSample::default(), WindowSample::default())
+                            }
+                            _ => observer.scrape(cluster).unwrap_or_default(),
+                        };
+                        announce(&format!(
+                            "CANARY vip={} http={}/{} mqtt={}/{} quic={}/{}",
+                            node.vip,
+                            http.disruptions,
+                            http.requests,
+                            mqtt.disruptions,
+                            mqtt.requests,
+                            quic.disruptions,
+                            quic.requests,
+                        ));
+                        let sample = WindowSample {
+                            requests: http.requests + mqtt.requests + quic.requests,
+                            disruptions: http.disruptions + mqtt.disruptions + quic.disruptions,
+                        };
                         train.on_window(clock.unix_ms(), cluster, sample);
                     }
-                    let promoted = journal.persist(&train.drain_journal())?;
+                    let promoted = commit(
+                        &mut journal,
+                        &mut observer,
+                        &nodes,
+                        clock.unix_ms(),
+                        &train.drain_journal(),
+                    )?;
                     if promoted
                         && !train.is_settled()
                         && faults.decide(FaultPoint::BatchBoundary) == FaultAction::Die
@@ -507,10 +798,19 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
                 TrainAction::RollBackCluster { cluster, .. } => {
                     let node = &nodes[cluster.0 as usize];
                     match spawn_successor(node, &node.rollback_cfg) {
-                        Ok(child) => {
-                            fleet.push(child);
+                        // The rollback successor's admin endpoint is not
+                        // tracked: its batch already failed, and no fleet
+                        // report will cover it.
+                        Ok((child, _admin)) => {
+                            children.push(child);
                             train.on_cluster_rolled_back(clock.unix_ms(), cluster);
-                            journal.persist(&train.drain_journal())?;
+                            commit(
+                                &mut journal,
+                                &mut observer,
+                                &nodes,
+                                clock.unix_ms(),
+                                &train.drain_journal(),
+                            )?;
                         }
                         Err(e) => {
                             // The journal shows RollbackStarted without
@@ -542,7 +842,13 @@ fn orchestrate(args: &Args) -> Result<ExitCode, String> {
         }
     }
 
-    journal.persist(&train.drain_journal())?;
+    commit(
+        &mut journal,
+        &mut observer,
+        &nodes,
+        clock.unix_ms(),
+        &train.drain_journal(),
+    )?;
     let report = train.report();
     // PANIC-OK: the report is a derive(Serialize) struct of scalars;
     // serialization cannot fail.

@@ -404,6 +404,147 @@ fn canary_failure_in_batch_2_halts_rolls_back_and_spares_the_rest() {
 }
 
 #[test]
+fn mqtt_canary_failure_halts_while_http_stays_green() {
+    // ROADMAP item 3's gap, closed: the gate judges the successor's own
+    // per-protocol counters, not just HTTP probes. Inject a /stats scrape
+    // that reports a generation dropping every MQTT tunnel for two
+    // consecutive windows (the gate's debounce) while every HTTP probe
+    // keeps answering 200 — the train must halt and roll back anyway.
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+    let good = write_cfg("mqtt-canary-good", &[app.addr]);
+    let node = spawn_node("mqtt-canary", app.addr, &good, &good);
+    let journal = tmp_path("mqtt-canary", "journal");
+    let mut fleet = Fleet::new();
+
+    let mut args = train_flags(&[&node], &journal);
+    args.extend([
+        "--fault".into(),
+        "mqtt-canary-fail@0".into(),
+        "--fault".into(),
+        "mqtt-canary-fail@1".into(),
+    ]);
+    let run = orchestrate(1, &args);
+    fleet.absorb(&run);
+    assert_eq!(
+        run.code,
+        Some(EXIT_HALTED),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+
+    let report = run.report();
+    assert_eq!(report["phase"], "halted");
+    assert_eq!(report["halt_reason"]["kind"], "canary_gate");
+    assert_eq!(report["batches"], serde_json::json!(["rolled_back"]));
+    assert_eq!(report["mixed_state"], false);
+
+    // The CANARY lines prove the split: HTTP clean, MQTT catastrophic.
+    let canaries: Vec<&str> = run
+        .stdout
+        .lines()
+        .filter(|l| l.starts_with("CANARY "))
+        .collect();
+    assert!(
+        canaries.len() >= 2,
+        "two bad windows observed:\n{}",
+        run.stdout
+    );
+    for line in &canaries {
+        assert!(line.contains("http=0/4"), "HTTP stayed green: {line}");
+        assert!(line.contains("mqtt=4/4"), "MQTT dropped everything: {line}");
+    }
+    assert!(run.stdout.contains("TRAIN_FAULT scrape"), "{}", run.stdout);
+
+    // The journaled windows carry the combined sample (4 HTTP + 4 MQTT
+    // requests, 4 MQTT disruptions), and the halt precedes the rollback.
+    let events = journal_events(&journal);
+    assert!(
+        events.iter().any(|e| e["event"] == "window_observed"
+            && e["sample"]["requests"] == 8
+            && e["sample"]["disruptions"] == 4),
+        "combined window journaled:\n{events:?}"
+    );
+    assert!(
+        event_index(&events, "halted").unwrap() < event_index(&events, "rollback_started").unwrap()
+    );
+
+    // Nothing promoted, so no fleet report was published.
+    let sidecar = PathBuf::from(format!("{}.fleet", journal.display()));
+    let reports = std::fs::read_to_string(&sidecar).unwrap_or_default();
+    assert!(
+        reports.trim().is_empty(),
+        "halted train publishes no fleet report: {reports}"
+    );
+
+    // The rollback successor serves the VIP.
+    assert!(get_ok(node.vip, "/rolled-back"));
+}
+
+#[test]
+fn promoted_batches_publish_merged_fleet_reports() {
+    // The fleet loop: each batch promotion merges every member node's
+    // scraped /stats — cross-node latency quantiles, summed traffic, a
+    // controller-side audit verdict — into a FLEET_REPORT, journaled to
+    // the sidecar beside the train journal.
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);
+    let good = write_cfg("fleet-good", &[app.addr]);
+    let nodes: Vec<TrainNode> = (0..2)
+        .map(|i| spawn_node(&format!("fleet-{i}"), app.addr, &good, &good))
+        .collect();
+    let journal = tmp_path("fleet", "journal");
+    let mut fleet = Fleet::new();
+
+    let mut args = train_flags(&nodes.iter().collect::<Vec<_>>(), &journal);
+    args.extend(["--batch-size".into(), "2".into()]);
+    let run = orchestrate(1, &args);
+    fleet.absorb(&run);
+    assert_eq!(
+        run.code,
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        run.stdout,
+        run.stderr
+    );
+
+    let reports: Vec<serde_json::Value> = run
+        .stdout
+        .lines()
+        .filter_map(|l| l.strip_prefix("FLEET_REPORT "))
+        .map(|l| serde_json::from_str(l).expect("FLEET_REPORT parses"))
+        .collect();
+    assert_eq!(reports.len(), 1, "one report per promoted batch");
+    let report = &reports[0];
+    assert_eq!(report["batch"], 0);
+    assert_eq!(report["disrupted"], false);
+    assert_eq!(report["disruptions"], 0);
+    assert!(report["unix_ms"].as_u64().unwrap() > 0);
+    let members = report["nodes"].as_array().expect("nodes array");
+    assert_eq!(members.len(), 2, "both batch members reported");
+    for (node, member) in nodes.iter().zip(members) {
+        assert_eq!(member["vip"], node.vip.to_string());
+        assert_eq!(member["scraped"], true, "live admin scrape succeeded");
+        assert!(member["requests"].as_u64().unwrap() > 0);
+        assert!(member["audit"].is_object(), "audit verdict attached");
+    }
+    // The merged histogram really merged: the cross-node count covers at
+    // least both nodes' canary probes, and the quantiles are derived.
+    let merged = report["latency_us"]["count"].as_u64().unwrap();
+    assert!(merged >= 8, "cross-node latency merge, got {merged}");
+    assert!(report["latency_p99_us"].as_u64().unwrap() >= report["latency_p50_us"].as_u64().unwrap());
+
+    // The sidecar journal carries the same report.
+    let sidecar = PathBuf::from(format!("{}.fleet", journal.display()));
+    let journaled: Vec<serde_json::Value> = std::fs::read_to_string(&sidecar)
+        .expect("fleet sidecar exists")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("sidecar line parses"))
+        .collect();
+    assert_eq!(journaled, reports);
+}
+
+#[test]
 fn controller_crash_at_batch_boundary_resumes_from_journal() {
     for seed in 1..=2u64 {
         let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0", "--name", "web-1"]);

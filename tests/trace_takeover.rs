@@ -1,0 +1,404 @@
+//! Cross-hop tracing across a real supervised Socket Takeover, between
+//! **separate OS processes**: one logical request whose trace context
+//! rides `x-zdr-trace` lands spans on *both* generations of the VIP —
+//! the predecessor records the request it served plus the FD-pass pause
+//! span, the successor records the follow-up hop — and the two `/traces`
+//! payloads merge into one connected, generation-tagged tree. Sampling
+//! stays honest too: sampled-out requests record nothing.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+use zero_downtime_release::core::trace::{SpanKind, TraceSnapshot};
+use zero_downtime_release::proto::http1::{serialize_request, Request, Response, ResponseParser};
+use zero_downtime_release::proto::trace::{TraceContext, TRACE_HEADER};
+
+const ZDR_BIN: &str = env!("CARGO_BIN_EXE_zdr");
+
+struct Daemon {
+    child: Child,
+    /// Address parsed from the `READY <addr>` line.
+    addr: SocketAddr,
+    /// Admin endpoint parsed from the `ADMIN <addr>` line (printed
+    /// before READY when `--admin-port` is given).
+    admin: Option<SocketAddr>,
+    /// Retained stdout reader (for DRAINED etc.).
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(ZDR_BIN)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn zdr");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut admin = None;
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read boot line");
+            assert_ne!(n, 0, "process exited before READY");
+            let text = line.trim();
+            if let Some(a) = text.strip_prefix("ADMIN ") {
+                admin = Some(a.parse().expect("parse ADMIN addr"));
+            } else if let Some(a) = text.strip_prefix("READY ") {
+                break a.parse().expect("parse READY addr");
+            }
+        };
+        Daemon {
+            child,
+            addr,
+            admin,
+            stdout,
+        }
+    }
+
+    fn wait_for_line(&mut self, needle: &str, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        let mut line = String::new();
+        while start.elapsed() < timeout {
+            line.clear();
+            match self.stdout.read_line(&mut line) {
+                Ok(0) => return false, // EOF
+                Ok(_) if line.contains(needle) => return true,
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+        }
+        false
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn sock_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "zdr-trace-{tag}-{}-{:x}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+async fn send(addr: SocketAddr, req: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr).await?;
+    stream.write_all(&serialize_request(req)).await?;
+    read_response(&mut stream).await
+}
+
+async fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
+    let mut parser = ResponseParser::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof",
+            ));
+        }
+        if let Some(resp) = parser.push(&buf[..n]).map_err(std::io::Error::other)? {
+            return Ok(resp);
+        }
+    }
+}
+
+/// Scrapes `/traces` from an admin endpoint; the JSON round-trips into
+/// [`TraceSnapshot`] because the rendered field names and snake_case
+/// span kinds match the serde view exactly.
+async fn scrape_traces(admin: SocketAddr) -> TraceSnapshot {
+    let resp = send(admin, &Request::get("/traces"))
+        .await
+        .expect("/traces");
+    assert_eq!(resp.status.code, 200, "/traces must answer 200");
+    serde_json::from_slice(&resp.body).expect("parse /traces JSON")
+}
+
+/// Polls `/traces` until `pred` holds (spans are recorded just after the
+/// response bytes are written, so a client that already parsed its
+/// response may race the recording).
+async fn wait_for_traces(
+    admin: SocketAddr,
+    pred: impl Fn(&TraceSnapshot) -> bool,
+) -> TraceSnapshot {
+    for _ in 0..200 {
+        let snap = scrape_traces(admin).await;
+        if pred(&snap) {
+            return snap;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    panic!("spans never matched: {:?}", scrape_traces(admin).await);
+}
+
+/// The one-trace tree across a supervised release: a slow upload carrying
+/// an `x-zdr-trace` context is in flight on generation 0 when the FD
+/// pass happens, so the predecessor's tracer holds the trace's spans
+/// *and* parents the ambient [`SpanKind::TakeoverPause`] span under it;
+/// a follow-up hop with the same context then lands on generation 1.
+/// Merging both `/traces` payloads yields one connected tree whose spans
+/// carry both generation tags.
+#[tokio::test]
+async fn supervised_takeover_spans_both_generations() {
+    // Slow-reading app so the traced upload stays in flight across the
+    // FD pass (~16 KiB read per 40 ms ≈ 1.3 s for 512 KiB).
+    let app = Daemon::spawn(&[
+        "app-server",
+        "--listen",
+        "127.0.0.1:0",
+        "--name",
+        "web-1",
+        "--read-delay",
+        "40",
+    ]);
+    let app_addr = app.addr.to_string();
+    let path = sock_path("both-gens");
+
+    // Generation 0: supervised, sampling OFF — the trace is adopted from
+    // the propagated context, exactly like deadline propagation.
+    let mut old = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "8000",
+        "--supervised",
+        "--watch-ms",
+        "10000",
+        "--admin-port",
+        "0",
+    ]);
+    let vip = old.addr;
+    let old_admin = old.admin.expect("old proxy admin endpoint");
+
+    // An idle keep-alive connection whose request completed pre-release:
+    // the drain waits for it, keeping the old process (and its admin
+    // endpoint) alive while we scrape mid-drain.
+    let mut held = TcpStream::connect(vip).await.unwrap();
+    held.write_all(&serialize_request(&Request::get("/held")))
+        .await
+        .unwrap();
+    let resp = read_response(&mut held).await.unwrap();
+    assert_eq!(resp.status.code, 200);
+
+    // The traced request: a downstream hop (played by this test) stamps
+    // the sampled context; span_id 0 makes this hop's span the root.
+    let ctx = TraceContext::sampled(0xfeed_f00d_cafe_0001, 0);
+    let trace_id = ctx.trace_id;
+    let mut upload = Request::post("/upload", vec![0x42u8; 512 * 1024]);
+    upload.headers.set(TRACE_HEADER, &ctx.header_value());
+    let in_flight = tokio::spawn(async move {
+        let mut stream = TcpStream::connect(vip).await.unwrap();
+        stream.write_all(&serialize_request(&upload)).await.unwrap();
+        read_response(&mut stream).await.unwrap()
+    });
+    // Let generation 0 parse the head and adopt the context before the
+    // FD pass, so the pause span has a live request to parent under.
+    tokio::time::sleep(Duration::from_millis(300)).await;
+
+    // The supervised release: generation 1 takes the sockets over and
+    // reports healthy; the old process drains.
+    let new = Daemon::spawn(&[
+        "proxy",
+        "--takeover",
+        "--supervised",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &path,
+        "--drain-ms",
+        "8000",
+        "--health-report-ms",
+        "100",
+        "--trace-sample",
+        "1",
+        "--admin-port",
+        "0",
+    ]);
+    assert_eq!(new.addr, vip, "successor must own the same VIP");
+    let new_admin = new.admin.expect("successor admin endpoint");
+
+    // The in-flight upload completes on the draining generation 0.
+    let resp = in_flight.await.unwrap();
+    assert_eq!(
+        resp.status.code, 200,
+        "in-flight request survives the release"
+    );
+
+    // Mid-drain scrape of generation 0: the request's root span AND the
+    // ambient FD-pass pause span, all in the same trace, all tagged
+    // generation 0.
+    let old_snap = wait_for_traces(old_admin, |s| {
+        let t = s.for_trace(trace_id);
+        t.iter().any(|sp| sp.kind == SpanKind::Request)
+            && t.iter().any(|sp| sp.kind == SpanKind::TakeoverPause)
+    })
+    .await;
+    let old_trace = old_snap.for_trace(trace_id);
+    assert!(
+        old_trace.iter().all(|sp| sp.generation == 0),
+        "generation 0 spans only: {old_trace:?}"
+    );
+    let pause = old_trace
+        .iter()
+        .find(|sp| sp.kind == SpanKind::TakeoverPause)
+        .unwrap();
+    assert!(
+        pause.detail.contains("pause_us="),
+        "pause span carries the measured pause: {pause:?}"
+    );
+    assert_ne!(pause.parent_id, 0, "pause parents under the live request");
+    assert!(
+        old_trace
+            .iter()
+            .any(|sp| sp.kind == SpanKind::Forward && sp.parent_id != 0),
+        "forward child span present: {old_trace:?}"
+    );
+
+    // The follow-up hop of the same logical request (a downstream retry
+    // or next phase) lands on generation 1 with the same trace id.
+    let mut follow = Request::get("/follow-up");
+    follow.headers.set(TRACE_HEADER, &ctx.header_value());
+    assert_eq!(send(vip, &follow).await.unwrap().status.code, 200);
+    let new_snap = wait_for_traces(new_admin, |s| {
+        s.for_trace(trace_id)
+            .iter()
+            .any(|sp| sp.kind == SpanKind::Request)
+    })
+    .await;
+    assert!(
+        new_snap
+            .for_trace(trace_id)
+            .iter()
+            .all(|sp| sp.generation == 1),
+        "successor spans tagged generation 1: {new_snap:?}"
+    );
+
+    // Merged, the takeover pair reads as ONE connected tree spanning
+    // both generations.
+    let mut merged = old_snap.clone();
+    merged.merge(&new_snap);
+    assert!(
+        merged.is_connected(trace_id),
+        "parent links intact across the handoff: {:?}",
+        merged.for_trace(trace_id)
+    );
+    let gens: std::collections::HashSet<u64> = merged
+        .for_trace(trace_id)
+        .iter()
+        .map(|sp| sp.generation)
+        .collect();
+    assert!(
+        gens.contains(&0) && gens.contains(&1),
+        "one trace, both generations: {gens:?}"
+    );
+
+    // Release the drain: the old process finishes and exits cleanly.
+    drop(held);
+    let drained = tokio::task::spawn_blocking(move || {
+        let ok = old.wait_for_line("DRAINED", Duration::from_secs(15));
+        let status = old.child.wait().expect("old process exits");
+        (ok, status.success())
+    })
+    .await
+    .unwrap();
+    assert!(drained.0, "old process must report DRAINED");
+    assert!(drained.1, "old process must exit cleanly");
+}
+
+/// Sampling honesty end to end: with `--trace-sample N` only every Nth
+/// request records a tree (sampled-out requests leave no spans at all),
+/// and with sampling off nothing is ever recorded.
+#[tokio::test]
+async fn sampled_out_requests_record_nothing() {
+    let app = Daemon::spawn(&["app-server", "--listen", "127.0.0.1:0"]);
+    let app_addr = app.addr.to_string();
+
+    // Sampling off (the default): traffic leaves the ring untouched.
+    let off = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &sock_path("sample-off"),
+        "--admin-port",
+        "0",
+    ]);
+    for i in 0..5 {
+        let resp = send(off.addr, &Request::get(&format!("/r/{i}")))
+            .await
+            .unwrap();
+        assert_eq!(resp.status.code, 200);
+    }
+    let snap = scrape_traces(off.admin.expect("admin")).await;
+    assert_eq!(snap.sample_every, 0);
+    assert!(
+        snap.spans.is_empty() && snap.recorded == 0 && snap.dropped == 0,
+        "sampling off must record nothing: {snap:?}"
+    );
+
+    // 1-in-3 sampling: 9 sequential requests yield exactly 3 traced
+    // trees; the other 6 record nothing.
+    let sampled = Daemon::spawn(&[
+        "proxy",
+        "--listen",
+        "127.0.0.1:0",
+        "--upstream",
+        &app_addr,
+        "--takeover-path",
+        &sock_path("sample-3"),
+        "--trace-sample",
+        "3",
+        "--admin-port",
+        "0",
+    ]);
+    let admin = sampled.admin.expect("admin");
+    for i in 0..9 {
+        let resp = send(sampled.addr, &Request::get(&format!("/s/{i}")))
+            .await
+            .unwrap();
+        assert_eq!(resp.status.code, 200);
+    }
+    let snap = wait_for_traces(admin, |s| {
+        s.spans
+            .iter()
+            .filter(|sp| sp.kind == SpanKind::Request)
+            .count()
+            >= 3
+    })
+    .await;
+    assert_eq!(snap.sample_every, 3);
+    let traces: std::collections::HashSet<u64> = snap.spans.iter().map(|sp| sp.trace_id).collect();
+    assert_eq!(
+        traces.len(),
+        3,
+        "1-in-3 sampling over 9 requests is exactly 3 trees: {snap:?}"
+    );
+    for id in traces {
+        assert!(snap.is_connected(id), "sampled tree connected: {snap:?}");
+    }
+}
